@@ -1,0 +1,248 @@
+//! Compiler: maps a hierarchical solve plan onto the machine's macros.
+
+use crate::{ArchConfig, ArchError, Instruction};
+
+/// One sub-problem to execute on an Ising macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubProblem {
+    /// Number of cities of the sub-problem.
+    pub cities: usize,
+    /// Number of annealing iterations to run.
+    pub iterations: u64,
+}
+
+/// All sub-problems of one hierarchy level. Sub-problems of the same level are
+/// independent and may run in parallel, limited only by the number of macros.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LevelPlan {
+    subproblems: Vec<SubProblem>,
+}
+
+impl LevelPlan {
+    /// Creates a level plan from its sub-problems.
+    pub fn new(subproblems: Vec<SubProblem>) -> Self {
+        Self { subproblems }
+    }
+
+    /// The sub-problems of this level.
+    pub fn subproblems(&self) -> &[SubProblem] {
+        &self.subproblems
+    }
+
+    /// Number of sub-problems.
+    pub fn len(&self) -> usize {
+        self.subproblems.len()
+    }
+
+    /// Returns `true` if the level has no sub-problems.
+    pub fn is_empty(&self) -> bool {
+        self.subproblems.is_empty()
+    }
+}
+
+/// A hierarchical solve plan: levels are executed top-down, one after the other, because
+/// each level's endpoint fixing depends on the previous level's solution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SolvePlan {
+    levels: Vec<LevelPlan>,
+}
+
+impl SolvePlan {
+    /// Creates a solve plan from its levels (in execution order, topmost first).
+    pub fn new(levels: Vec<LevelPlan>) -> Self {
+        Self { levels }
+    }
+
+    /// The levels in execution order.
+    pub fn levels(&self) -> &[LevelPlan] {
+        &self.levels
+    }
+
+    /// Total number of sub-problems across all levels.
+    pub fn num_subproblems(&self) -> usize {
+        self.levels.iter().map(LevelPlan::len).sum()
+    }
+}
+
+/// A compiled program: the instruction stream plus the machine configuration needed to
+/// cost it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    config: ArchConfig,
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// The instruction stream.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The machine configuration the program was compiled for.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Runs the program through the simulator, producing the latency/energy report.
+    pub fn simulate(&self) -> crate::ArchReport {
+        crate::Simulator::new(self.config.clone()).run(&self.instructions)
+    }
+}
+
+/// The compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiler {
+    config: ArchConfig,
+}
+
+impl Compiler {
+    /// Creates a compiler for the given machine.
+    pub fn new(config: ArchConfig) -> Self {
+        Self { config }
+    }
+
+    /// Compiles a solve plan into an instruction stream.
+    ///
+    /// Sub-problems within a level are distributed over the chip's macros round-robin;
+    /// when there are more sub-problems than macros, the level executes in multiple
+    /// hardware waves separated by barriers. Levels themselves are separated by barriers
+    /// because fixing each level's endpoints requires the previous level's solution.
+    pub fn compile(&self, plan: &SolvePlan) -> Program {
+        let total_macros = self.config.total_macros().max(1);
+        let mut instructions = Vec::new();
+        for level in plan.levels() {
+            for wave in level.subproblems().chunks(total_macros) {
+                for (slot, sub) in wave.iter().enumerate() {
+                    let payload = self.config.subproblem_payload_bytes(sub.cities);
+                    let solution = self.config.solution_payload_bytes(sub.cities);
+                    instructions.push(Instruction::TransferIn {
+                        macro_id: slot,
+                        bytes: payload,
+                    });
+                    instructions.push(Instruction::ProgramMacro {
+                        macro_id: slot,
+                        cities: sub.cities,
+                    });
+                    instructions.push(Instruction::RunMacro {
+                        macro_id: slot,
+                        cities: sub.cities,
+                        iterations: sub.iterations,
+                    });
+                    instructions.push(Instruction::TransferOut {
+                        macro_id: slot,
+                        bytes: solution,
+                    });
+                }
+                instructions.push(Instruction::Barrier);
+            }
+            instructions.push(Instruction::Barrier);
+        }
+        Program {
+            config: self.config.clone(),
+            instructions,
+        }
+    }
+
+    /// Validates that every sub-problem of the plan fits the machine's macros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::SubProblemTooLarge`] for the first over-sized sub-problem, or
+    /// a configuration error if the machine description itself is invalid.
+    pub fn check(&self, plan: &SolvePlan) -> Result<(), ArchError> {
+        self.config.validate()?;
+        let capacity = self.config.macro_capacity();
+        for level in plan.levels() {
+            for sub in level.subproblems() {
+                if sub.cities > capacity {
+                    return Err(ArchError::SubProblemTooLarge {
+                        cities: sub.cities,
+                        capacity,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_with(count: usize, cities: usize) -> SolvePlan {
+        SolvePlan::new(vec![LevelPlan::new(vec![
+            SubProblem {
+                cities,
+                iterations: 100
+            };
+            count
+        ])])
+    }
+
+    #[test]
+    fn compile_emits_four_instructions_per_subproblem_plus_barriers() {
+        let compiler = Compiler::new(ArchConfig::default());
+        let program = compiler.compile(&plan_with(3, 12));
+        let non_barrier = program
+            .instructions()
+            .iter()
+            .filter(|i| !matches!(i, Instruction::Barrier))
+            .count();
+        assert_eq!(non_barrier, 3 * 4);
+        assert!(program
+            .instructions()
+            .iter()
+            .any(|i| matches!(i, Instruction::Barrier)));
+    }
+
+    #[test]
+    fn waves_are_bounded_by_macro_count() {
+        let mut config = ArchConfig::default();
+        config.tiles = 1;
+        config.cores_per_tile = 1;
+        config.cells_per_core = config.macro_geometry().cells() * 2; // exactly 2 macros
+        let compiler = Compiler::new(config);
+        let program = compiler.compile(&plan_with(5, 12));
+        // 5 sub-problems over 2 macros → 3 waves → 3 wave barriers + 1 level barrier.
+        let barriers = program
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Barrier))
+            .count();
+        assert_eq!(barriers, 3 + 1);
+        // No macro slot exceeds the wave size.
+        for instruction in program.instructions() {
+            if let Some(id) = instruction.macro_id() {
+                assert!(id < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn check_rejects_oversized_subproblems() {
+        let compiler = Compiler::new(ArchConfig::default());
+        assert!(compiler.check(&plan_with(1, 12)).is_ok());
+        assert!(matches!(
+            compiler.check(&plan_with(1, 40)),
+            Err(ArchError::SubProblemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_levels_are_separated_by_barriers() {
+        let plan = SolvePlan::new(vec![
+            LevelPlan::new(vec![SubProblem { cities: 12, iterations: 10 }]),
+            LevelPlan::new(vec![SubProblem { cities: 12, iterations: 10 }]),
+        ]);
+        let compiler = Compiler::new(ArchConfig::default());
+        let program = compiler.compile(&plan);
+        let barriers = program
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, Instruction::Barrier))
+            .count();
+        assert_eq!(barriers, 4); // one wave + one level barrier per level
+        assert_eq!(plan.num_subproblems(), 2);
+    }
+}

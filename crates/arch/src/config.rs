@@ -1,0 +1,254 @@
+//! Machine description and technology constants.
+
+use taxi_xbar::{ArrayGeometry, BitPrecision, MacroCircuitModel};
+
+use crate::ArchError;
+
+/// Technology node of the spatial architecture. PUMA's published figures are for 32 nm;
+/// the paper scales everything to 65 nm to match its circuit simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TechnologyNode {
+    /// The original PUMA node.
+    Nm32,
+    /// The paper's node (TSMC 65 nm).
+    #[default]
+    Nm65,
+}
+
+impl TechnologyNode {
+    /// Latency scaling factor relative to the 32 nm baseline (gate delay grows roughly
+    /// linearly with feature size).
+    pub fn latency_scale(self) -> f64 {
+        match self {
+            TechnologyNode::Nm32 => 1.0,
+            TechnologyNode::Nm65 => 65.0 / 32.0,
+        }
+    }
+
+    /// Energy scaling factor relative to the 32 nm baseline (switching energy grows
+    /// roughly quadratically with feature size through capacitance and voltage).
+    pub fn energy_scale(self) -> f64 {
+        match self {
+            TechnologyNode::Nm32 => 1.0,
+            TechnologyNode::Nm65 => (65.0 / 32.0) * (65.0 / 32.0),
+        }
+    }
+}
+
+/// Full description of the spatial architecture and its cost constants.
+///
+/// The interconnect/DRAM constants are 32 nm PUMA-class figures; the
+/// [`TechnologyNode`] scaling is applied on top when the simulator accounts costs.
+///
+/// # Example
+///
+/// ```
+/// use taxi_arch::ArchConfig;
+///
+/// let config = ArchConfig::default();
+/// assert!(config.total_macros() >= 1);
+/// assert_eq!(config.macro_capacity(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Technology node.
+    pub node: TechnologyNode,
+    /// Number of tiles on the chip.
+    pub tiles: usize,
+    /// Number of cores per tile.
+    pub cores_per_tile: usize,
+    /// Crossbar cell budget per core, in SOT-MRAM cells. The number of Ising macros per
+    /// core follows from the macro geometry (capacity × bit precision).
+    pub cells_per_core: usize,
+    /// Maximum sub-problem size of one macro (the "maximum cluster size").
+    pub macro_capacity: usize,
+    /// Weight bit precision of the macros.
+    pub precision: BitPrecision,
+    /// Off-chip (DRAM) energy per byte at the 32 nm baseline, in joules.
+    pub dram_energy_per_byte: f64,
+    /// Off-chip bandwidth, in bytes per second.
+    pub dram_bandwidth_bytes_per_second: f64,
+    /// Off-chip access base latency per transaction, in seconds.
+    pub dram_base_latency: f64,
+    /// On-chip interconnect energy per byte per hop at the 32 nm baseline, in joules.
+    pub noc_energy_per_byte_hop: f64,
+    /// On-chip interconnect latency per hop, in seconds.
+    pub noc_latency_per_hop: f64,
+    /// Average number of interconnect hops between the chip interface and a macro.
+    pub average_hops: usize,
+    /// Circuit model of one Ising macro (calibrated to Table I).
+    pub macro_model: MacroCircuitModel,
+}
+
+impl ArchConfig {
+    /// The default machine: 8 tiles × 8 cores, each core holding a cell budget equivalent
+    /// to 16 macros of 12 cities at 4-bit precision (1024 macros chip-wide at the default
+    /// capacity), at 65 nm.
+    pub fn paper_default() -> Self {
+        let reference_macro_cells = ArrayGeometry::new(12, BitPrecision::FOUR).cells();
+        Self {
+            node: TechnologyNode::Nm65,
+            tiles: 8,
+            cores_per_tile: 8,
+            cells_per_core: 16 * reference_macro_cells,
+            macro_capacity: 12,
+            precision: BitPrecision::FOUR,
+            dram_energy_per_byte: 20.0e-12 * 8.0, // 20 pJ/bit
+            dram_bandwidth_bytes_per_second: 12.8e9,
+            dram_base_latency: 100e-9,
+            noc_energy_per_byte_hop: 1.0e-12,
+            noc_latency_per_hop: 2e-9,
+            average_hops: 4,
+            macro_model: MacroCircuitModel::paper_calibrated(),
+        }
+    }
+
+    /// Sets the maximum sub-problem size of one macro (the maximum cluster size).
+    pub fn with_macro_capacity(mut self, capacity: usize) -> Self {
+        self.macro_capacity = capacity;
+        self
+    }
+
+    /// Sets the weight bit precision of the macros.
+    pub fn with_precision(mut self, precision: BitPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the technology node.
+    pub fn with_node(mut self, node: TechnologyNode) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if any structural parameter is zero or the
+    /// cell budget cannot hold even one macro.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.tiles == 0 || self.cores_per_tile == 0 {
+            return Err(ArchError::InvalidConfig {
+                name: "tiles/cores_per_tile",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.macro_capacity < 4 {
+            return Err(ArchError::InvalidConfig {
+                name: "macro_capacity",
+                reason: "must be at least 4".to_string(),
+            });
+        }
+        if self.macros_per_core() == 0 {
+            return Err(ArchError::InvalidConfig {
+                name: "cells_per_core",
+                reason: "cell budget cannot hold a single macro at this capacity/precision"
+                    .to_string(),
+            });
+        }
+        if self.dram_bandwidth_bytes_per_second <= 0.0 {
+            return Err(ArchError::InvalidConfig {
+                name: "dram_bandwidth_bytes_per_second",
+                reason: "must be strictly positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Geometry of one macro at the configured capacity and precision.
+    pub fn macro_geometry(&self) -> ArrayGeometry {
+        ArrayGeometry::new(self.macro_capacity, self.precision)
+    }
+
+    /// Number of macros that fit in one core's cell budget.
+    pub fn macros_per_core(&self) -> usize {
+        self.cells_per_core / self.macro_geometry().cells().max(1)
+    }
+
+    /// Total number of macros on the chip. Bigger macros (larger cluster capacity or more
+    /// weight bits) reduce this number, which is the parallelism/latency trade-off the
+    /// paper's Fig. 6a sweeps.
+    pub fn total_macros(&self) -> usize {
+        self.tiles * self.cores_per_tile * self.macros_per_core()
+    }
+
+    /// The configured macro capacity (maximum cluster size).
+    pub fn macro_capacity(&self) -> usize {
+        self.macro_capacity
+    }
+
+    /// Bytes needed to ship one sub-problem's quantised distance matrix to a macro.
+    pub fn subproblem_payload_bytes(&self, cities: usize) -> usize {
+        let weight_bits = cities * cities * usize::from(self.precision.bits());
+        weight_bits.div_ceil(8) + cities * 4 // distances + city-id metadata
+    }
+
+    /// Bytes needed to read one sub-problem's solution back.
+    pub fn solution_payload_bytes(&self, cities: usize) -> usize {
+        cities * 2
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_is_valid() {
+        let config = ArchConfig::default();
+        config.validate().unwrap();
+        assert_eq!(config.total_macros(), 8 * 8 * 16);
+    }
+
+    #[test]
+    fn larger_capacity_reduces_macro_count() {
+        let small = ArchConfig::default().with_macro_capacity(12);
+        let large = ArchConfig::default().with_macro_capacity(20);
+        assert!(large.total_macros() < small.total_macros());
+    }
+
+    #[test]
+    fn higher_precision_reduces_macro_count() {
+        let low = ArchConfig::default().with_precision(BitPrecision::TWO);
+        let high = ArchConfig::default().with_precision(BitPrecision::FOUR);
+        assert!(low.total_macros() > high.total_macros());
+    }
+
+    #[test]
+    fn node_scaling_factors_are_sensible() {
+        assert_eq!(TechnologyNode::Nm32.latency_scale(), 1.0);
+        assert!(TechnologyNode::Nm65.latency_scale() > 1.0);
+        assert!(TechnologyNode::Nm65.energy_scale() > TechnologyNode::Nm65.latency_scale());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut config = ArchConfig::default();
+        config.tiles = 0;
+        assert!(config.validate().is_err());
+
+        let mut config = ArchConfig::default();
+        config.cells_per_core = 10;
+        assert!(config.validate().is_err());
+
+        let mut config = ArchConfig::default();
+        config.macro_capacity = 2;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn payload_grows_quadratically_with_cities() {
+        let config = ArchConfig::default();
+        let p12 = config.subproblem_payload_bytes(12);
+        let p24 = config.subproblem_payload_bytes(24);
+        assert!(p24 > 3 * p12);
+        assert!(config.solution_payload_bytes(12) < p12);
+    }
+}

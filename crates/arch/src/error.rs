@@ -1,0 +1,56 @@
+//! Error type for the architecture simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the architecture layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The machine description is invalid (zero tiles, zero budget, ...).
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// A sub-problem does not fit on any macro of the configured machine.
+    SubProblemTooLarge {
+        /// Number of cities of the offending sub-problem.
+        cities: usize,
+        /// Macro capacity of the machine.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidConfig { name, reason } => {
+                write!(f, "invalid architecture configuration `{name}`: {reason}")
+            }
+            ArchError::SubProblemTooLarge { cities, capacity } => write!(
+                f,
+                "sub-problem with {cities} cities does not fit the macro capacity of {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ArchError::SubProblemTooLarge { cities: 40, capacity: 20 };
+        assert!(err.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

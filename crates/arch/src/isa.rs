@@ -1,0 +1,90 @@
+//! Instruction set of the spatial architecture.
+//!
+//! The PUMA compiler generates instructions for its ISA and the simulator executes them
+//! to assess latency and energy. This reproduction keeps the same split with a compact
+//! instruction set tailored to the Ising-macro workload: every sub-problem is shipped to
+//! a macro, programmed, annealed, and read back; barriers separate hierarchy levels and
+//! hardware waves.
+
+/// One instruction of the spatial-architecture program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instruction {
+    /// Move a sub-problem's payload from off-chip memory to the macro's core.
+    TransferIn {
+        /// Destination macro.
+        macro_id: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// Program the macro's crossbar with the quantised distance weights and the initial
+    /// spin storage (the "mapping" cost of the paper).
+    ProgramMacro {
+        /// Destination macro.
+        macro_id: usize,
+        /// Sub-problem size in cities.
+        cities: usize,
+    },
+    /// Run the in-macro annealing for a number of iterations.
+    RunMacro {
+        /// Macro executing the sub-problem.
+        macro_id: usize,
+        /// Sub-problem size in cities.
+        cities: usize,
+        /// Number of annealing iterations (one iteration = superpose + optimize +
+        /// update, Table I).
+        iterations: u64,
+    },
+    /// Read the solution (spin storage) back from the macro.
+    TransferOut {
+        /// Source macro.
+        macro_id: usize,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// Synchronisation barrier: all preceding work must finish before anything after the
+    /// barrier starts (used between hardware waves and hierarchy levels).
+    Barrier,
+}
+
+impl Instruction {
+    /// Returns `true` for instructions that move data on or off the chip.
+    pub fn is_transfer(&self) -> bool {
+        matches!(
+            self,
+            Instruction::TransferIn { .. } | Instruction::TransferOut { .. }
+        )
+    }
+
+    /// The macro this instruction targets, if any.
+    pub fn macro_id(&self) -> Option<usize> {
+        match *self {
+            Instruction::TransferIn { macro_id, .. }
+            | Instruction::ProgramMacro { macro_id, .. }
+            | Instruction::RunMacro { macro_id, .. }
+            | Instruction::TransferOut { macro_id, .. } => Some(macro_id),
+            Instruction::Barrier => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_classification() {
+        assert!(Instruction::TransferIn { macro_id: 0, bytes: 10 }.is_transfer());
+        assert!(Instruction::TransferOut { macro_id: 0, bytes: 10 }.is_transfer());
+        assert!(!Instruction::RunMacro { macro_id: 0, cities: 12, iterations: 10 }.is_transfer());
+        assert!(!Instruction::Barrier.is_transfer());
+    }
+
+    #[test]
+    fn macro_id_extraction() {
+        assert_eq!(
+            Instruction::ProgramMacro { macro_id: 7, cities: 12 }.macro_id(),
+            Some(7)
+        );
+        assert_eq!(Instruction::Barrier.macro_id(), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! PUMA-style spatial architecture simulator for the TAXI reproduction (Section V of the
+//! paper).
+//!
+//! The paper instruments the PUMA in-memory-computing architecture (chip → tile → core →
+//! MVMU), replaces the ReRAM MVMUs with the SOT-MRAM Ising macros, scales the technology
+//! from 32 nm to 65 nm, and uses the simulator to evaluate the latency and energy of data
+//! movement plus parallel Ising computation. This crate is a from-scratch event-driven
+//! model with the same structure (see DESIGN.md, substitutions):
+//!
+//! * [`config`] — the machine description (hierarchy sizes, technology constants, macro
+//!   circuit model) and the technology-node scaling,
+//! * [`isa`] — the small instruction set the compiler emits per sub-problem
+//!   (transfer, program, run, read back, synchronise),
+//! * [`compiler`] — maps a hierarchical solve plan onto the available macros, producing
+//!   waves of parallel sub-problems per hierarchy level,
+//! * [`simulator`] — executes the instruction stream, accumulating per-component latency
+//!   and energy,
+//! * [`report`] — the latency/energy breakdown consumed by the figure harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_arch::{ArchConfig, Compiler, LevelPlan, SolvePlan, SubProblem};
+//!
+//! let config = ArchConfig::default();
+//! let plan = SolvePlan::new(vec![LevelPlan::new(vec![
+//!     SubProblem { cities: 12, iterations: 1340 },
+//!     SubProblem { cities: 12, iterations: 1340 },
+//! ])]);
+//! let report = Compiler::new(config).compile(&plan).simulate();
+//! assert!(report.ising_latency_seconds > 0.0);
+//! assert!(report.total_energy_joules() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod config;
+pub mod error;
+pub mod isa;
+pub mod report;
+pub mod simulator;
+
+pub use compiler::{Compiler, LevelPlan, Program, SolvePlan, SubProblem};
+pub use config::{ArchConfig, TechnologyNode};
+pub use error::ArchError;
+pub use isa::Instruction;
+pub use report::ArchReport;
+pub use simulator::Simulator;

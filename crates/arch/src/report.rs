@@ -1,0 +1,98 @@
+//! Latency / energy breakdown produced by the simulator.
+
+/// Per-component latency and energy of one simulated program.
+///
+/// Latencies are wall-clock contributions: sub-problems inside one hardware wave run in
+/// parallel (the wave costs as much as its slowest member), while waves and hierarchy
+/// levels are sequential. Energies are sums over every operation executed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ArchReport {
+    /// Data movement (off-chip + on-chip) latency, in seconds.
+    pub transfer_latency_seconds: f64,
+    /// Macro programming ("mapping") latency, in seconds.
+    pub mapping_latency_seconds: f64,
+    /// In-macro Ising annealing latency, in seconds.
+    pub ising_latency_seconds: f64,
+    /// Data movement energy, in joules.
+    pub transfer_energy_joules: f64,
+    /// Macro programming energy, in joules.
+    pub mapping_energy_joules: f64,
+    /// In-macro Ising annealing energy, in joules.
+    pub ising_energy_joules: f64,
+    /// Number of hardware waves executed.
+    pub waves: usize,
+    /// Number of sub-problems executed.
+    pub subproblems: usize,
+}
+
+impl ArchReport {
+    /// Total latency across all components, in seconds.
+    pub fn total_latency_seconds(&self) -> f64 {
+        self.transfer_latency_seconds + self.mapping_latency_seconds + self.ising_latency_seconds
+    }
+
+    /// Total energy across all components, in joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.transfer_energy_joules + self.mapping_energy_joules + self.ising_energy_joules
+    }
+
+    /// Energy excluding data transfer and mapping (the figure the paper's Table II
+    /// reports for a fair device-level comparison).
+    pub fn compute_energy_joules(&self) -> f64 {
+        self.ising_energy_joules
+    }
+
+    /// Adds another report component-wise (useful for aggregating levels simulated
+    /// separately).
+    pub fn merged_with(&self, other: &ArchReport) -> ArchReport {
+        ArchReport {
+            transfer_latency_seconds: self.transfer_latency_seconds
+                + other.transfer_latency_seconds,
+            mapping_latency_seconds: self.mapping_latency_seconds + other.mapping_latency_seconds,
+            ising_latency_seconds: self.ising_latency_seconds + other.ising_latency_seconds,
+            transfer_energy_joules: self.transfer_energy_joules + other.transfer_energy_joules,
+            mapping_energy_joules: self.mapping_energy_joules + other.mapping_energy_joules,
+            ising_energy_joules: self.ising_energy_joules + other.ising_energy_joules,
+            waves: self.waves + other.waves,
+            subproblems: self.subproblems + other.subproblems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let report = ArchReport {
+            transfer_latency_seconds: 1.0,
+            mapping_latency_seconds: 2.0,
+            ising_latency_seconds: 3.0,
+            transfer_energy_joules: 0.5,
+            mapping_energy_joules: 0.25,
+            ising_energy_joules: 0.25,
+            waves: 2,
+            subproblems: 10,
+        };
+        assert_eq!(report.total_latency_seconds(), 6.0);
+        assert_eq!(report.total_energy_joules(), 1.0);
+        assert_eq!(report.compute_energy_joules(), 0.25);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = ArchReport {
+            transfer_latency_seconds: 1.0,
+            ising_energy_joules: 2.0,
+            waves: 1,
+            subproblems: 3,
+            ..ArchReport::default()
+        };
+        let merged = a.merged_with(&a);
+        assert_eq!(merged.transfer_latency_seconds, 2.0);
+        assert_eq!(merged.ising_energy_joules, 4.0);
+        assert_eq!(merged.waves, 2);
+        assert_eq!(merged.subproblems, 6);
+    }
+}

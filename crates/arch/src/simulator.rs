@@ -1,0 +1,243 @@
+//! Execution of compiled programs: per-component latency and energy accounting.
+
+use taxi_xbar::BitPrecision;
+
+use crate::{ArchConfig, ArchReport, Instruction};
+
+/// The architecture simulator.
+///
+/// Within a hardware wave (the region between two barriers) every macro operates in
+/// parallel, so the wave's latency contribution per component is the *maximum* over the
+/// macros involved, while the energy is the *sum*. Waves are sequential.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulator {
+    config: ArchConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine.
+    pub fn new(config: ArchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Runs an instruction stream and returns the accumulated report.
+    pub fn run(&self, instructions: &[Instruction]) -> ArchReport {
+        let latency_scale = self.config.node.latency_scale();
+        let energy_scale = self.config.node.energy_scale();
+        let mut report = ArchReport::default();
+
+        // Per-wave accumulators: latency per macro per component.
+        let mut wave_transfer: Vec<f64> = Vec::new();
+        let mut wave_mapping: Vec<f64> = Vec::new();
+        let mut wave_ising: Vec<f64> = Vec::new();
+        let mut wave_had_work = false;
+
+        let ensure_slot = |v: &mut Vec<f64>, id: usize| {
+            if v.len() <= id {
+                v.resize(id + 1, 0.0);
+            }
+        };
+
+        for instruction in instructions {
+            match *instruction {
+                Instruction::TransferIn { macro_id, bytes }
+                | Instruction::TransferOut { macro_id, bytes } => {
+                    wave_had_work = true;
+                    ensure_slot(&mut wave_transfer, macro_id);
+                    let bytes_f = bytes as f64;
+                    let dram_latency = self.config.dram_base_latency
+                        + bytes_f / self.config.dram_bandwidth_bytes_per_second;
+                    let noc_latency =
+                        self.config.noc_latency_per_hop * self.config.average_hops as f64;
+                    wave_transfer[macro_id] += (dram_latency + noc_latency) * latency_scale;
+                    let energy = bytes_f * self.config.dram_energy_per_byte
+                        + bytes_f
+                            * self.config.noc_energy_per_byte_hop
+                            * self.config.average_hops as f64;
+                    report.transfer_energy_joules += energy * energy_scale;
+                }
+                Instruction::ProgramMacro { macro_id, cities } => {
+                    wave_had_work = true;
+                    ensure_slot(&mut wave_mapping, macro_id);
+                    let precision = self.config.precision;
+                    wave_mapping[macro_id] +=
+                        self.config.macro_model.mapping_latency_seconds(cities, precision);
+                    report.mapping_energy_joules +=
+                        self.config.macro_model.mapping_energy_joules(cities, precision);
+                }
+                Instruction::RunMacro {
+                    macro_id,
+                    cities,
+                    iterations,
+                } => {
+                    wave_had_work = true;
+                    ensure_slot(&mut wave_ising, macro_id);
+                    let precision = self.config.precision;
+                    let per_iter_latency = self.config.macro_model.latency_per_iteration_seconds();
+                    let per_iter_energy = self
+                        .config
+                        .macro_model
+                        .energy_per_iteration_joules(cities, precision);
+                    wave_ising[macro_id] += per_iter_latency * iterations as f64;
+                    report.ising_energy_joules += per_iter_energy * iterations as f64;
+                    report.subproblems += 1;
+                }
+                Instruction::Barrier => {
+                    if wave_had_work {
+                        report.transfer_latency_seconds +=
+                            wave_transfer.iter().copied().fold(0.0, f64::max);
+                        report.mapping_latency_seconds +=
+                            wave_mapping.iter().copied().fold(0.0, f64::max);
+                        report.ising_latency_seconds +=
+                            wave_ising.iter().copied().fold(0.0, f64::max);
+                        report.waves += 1;
+                    }
+                    wave_transfer.clear();
+                    wave_mapping.clear();
+                    wave_ising.clear();
+                    wave_had_work = false;
+                }
+            }
+        }
+        // Flush a trailing wave without a barrier.
+        if wave_had_work {
+            report.transfer_latency_seconds += wave_transfer.iter().copied().fold(0.0, f64::max);
+            report.mapping_latency_seconds += wave_mapping.iter().copied().fold(0.0, f64::max);
+            report.ising_latency_seconds += wave_ising.iter().copied().fold(0.0, f64::max);
+            report.waves += 1;
+        }
+        report
+    }
+
+    /// Convenience: energy of one annealing iteration for a sub-problem of `cities`
+    /// cities at the machine's precision.
+    pub fn iteration_energy_joules(&self, cities: usize) -> f64 {
+        self.config
+            .macro_model
+            .energy_per_iteration_joules(cities, self.config.precision)
+    }
+
+    /// Convenience: the machine's precision.
+    pub fn precision(&self) -> BitPrecision {
+        self.config.precision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, LevelPlan, SolvePlan, SubProblem};
+
+    fn plan(count: usize, iterations: u64) -> SolvePlan {
+        SolvePlan::new(vec![LevelPlan::new(vec![
+            SubProblem { cities: 12, iterations };
+            count
+        ])])
+    }
+
+    #[test]
+    fn parallel_subproblems_share_wave_latency() {
+        let config = ArchConfig::default();
+        let compiler = Compiler::new(config.clone());
+        let one = compiler.compile(&plan(1, 1000)).simulate();
+        let many = compiler.compile(&plan(64, 1000)).simulate();
+        // 64 sub-problems fit in one wave (1024 macros), so the Ising latency must not
+        // grow, while the energy grows 64×.
+        assert!((many.ising_latency_seconds - one.ising_latency_seconds).abs() < 1e-12);
+        assert!((many.ising_energy_joules / one.ising_energy_joules - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_subproblems_than_macros_serialise_into_waves() {
+        let mut config = ArchConfig::default();
+        config.tiles = 1;
+        config.cores_per_tile = 1;
+        config.cells_per_core = config.macro_geometry().cells(); // exactly 1 macro
+        let compiler = Compiler::new(config);
+        let one = compiler.compile(&plan(1, 1000)).simulate();
+        let three = compiler.compile(&plan(3, 1000)).simulate();
+        assert!((three.ising_latency_seconds / one.ising_latency_seconds - 3.0).abs() < 1e-9);
+        assert_eq!(three.waves, 3);
+    }
+
+    #[test]
+    fn iteration_latency_matches_table_one() {
+        let config = ArchConfig::default();
+        let compiler = Compiler::new(config);
+        let report = compiler.compile(&plan(1, 1340)).simulate();
+        // 1340 iterations × 9 ns ≈ 12.06 µs of pure Ising latency.
+        assert!((report.ising_latency_seconds - 1340.0 * 9e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_costs_scale_with_payload() {
+        let config = ArchConfig::default();
+        let compiler = Compiler::new(config);
+        let small = compiler
+            .compile(&SolvePlan::new(vec![LevelPlan::new(vec![SubProblem {
+                cities: 8,
+                iterations: 10,
+            }])]))
+            .simulate();
+        let large = compiler
+            .compile(&SolvePlan::new(vec![LevelPlan::new(vec![SubProblem {
+                cities: 12,
+                iterations: 10,
+            }])]))
+            .simulate();
+        assert!(large.transfer_energy_joules > small.transfer_energy_joules);
+    }
+
+    #[test]
+    fn technology_scaling_increases_cost() {
+        let nm32 = ArchConfig::default().with_node(crate::TechnologyNode::Nm32);
+        let nm65 = ArchConfig::default().with_node(crate::TechnologyNode::Nm65);
+        let p = plan(4, 100);
+        let r32 = Compiler::new(nm32).compile(&p).simulate();
+        let r65 = Compiler::new(nm65).compile(&p).simulate();
+        assert!(r65.transfer_energy_joules > r32.transfer_energy_joules);
+        assert!(r65.transfer_latency_seconds > r32.transfer_latency_seconds);
+    }
+
+    #[test]
+    fn empty_program_produces_empty_report() {
+        let report = Simulator::new(ArchConfig::default()).run(&[]);
+        assert_eq!(report.total_latency_seconds(), 0.0);
+        assert_eq!(report.total_energy_joules(), 0.0);
+        assert_eq!(report.waves, 0);
+    }
+
+    #[test]
+    fn subproblem_count_is_tracked() {
+        let compiler = Compiler::new(ArchConfig::default());
+        let report = compiler.compile(&plan(7, 10)).simulate();
+        assert_eq!(report.subproblems, 7);
+    }
+
+    #[test]
+    fn larger_cluster_capacity_increases_latency_for_big_workloads() {
+        // The Fig. 6a trend: with a fixed chip area budget, larger macros mean fewer of
+        // them, so a workload with many sub-problems needs more waves.
+        let subproblems_per_config = |capacity: usize, count: usize| {
+            let config = ArchConfig::default().with_macro_capacity(capacity);
+            let compiler = Compiler::new(config);
+            let plan = SolvePlan::new(vec![LevelPlan::new(vec![
+                SubProblem {
+                    cities: capacity,
+                    iterations: 1000
+                };
+                count
+            ])]);
+            compiler.compile(&plan).simulate().ising_latency_seconds
+        };
+        // Same total number of cities (~24k) decomposed at the two capacities.
+        let small = subproblems_per_config(12, 2000);
+        let large = subproblems_per_config(20, 1200);
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the architecture compiler and simulator.
+
+use proptest::prelude::*;
+
+use taxi_arch::{ArchConfig, Compiler, LevelPlan, SolvePlan, SubProblem};
+
+fn plan_strategy() -> impl Strategy<Value = SolvePlan> {
+    let subproblem = (4usize..=12, 1u64..2000).prop_map(|(cities, iterations)| SubProblem {
+        cities,
+        iterations,
+    });
+    let level = prop::collection::vec(subproblem, 1..40).prop_map(LevelPlan::new);
+    prop::collection::vec(level, 1..4).prop_map(SolvePlan::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Energy is additive over sub-problems: simulating a plan costs exactly the sum of
+    /// the per-sub-problem iteration energies plus transfer/mapping terms, all of which
+    /// are non-negative.
+    #[test]
+    fn energy_is_additive_and_nonnegative(plan in plan_strategy()) {
+        let config = ArchConfig::default();
+        let compiler = Compiler::new(config.clone());
+        let report = compiler.compile(&plan).simulate();
+        prop_assert!(report.ising_energy_joules >= 0.0);
+        prop_assert!(report.transfer_energy_joules >= 0.0);
+        prop_assert!(report.mapping_energy_joules >= 0.0);
+
+        let expected_ising: f64 = plan
+            .levels()
+            .iter()
+            .flat_map(|l| l.subproblems())
+            .map(|s| {
+                config
+                    .macro_model
+                    .energy_per_iteration_joules(s.cities, config.precision)
+                    * s.iterations as f64
+            })
+            .sum();
+        prop_assert!((report.ising_energy_joules - expected_ising).abs() / expected_ising.max(1e-30) < 1e-9);
+        prop_assert_eq!(report.subproblems, plan.num_subproblems());
+    }
+
+    /// Latency is monotone: appending a level to a plan can only increase every latency
+    /// component.
+    #[test]
+    fn latency_is_monotone_in_levels(plan in plan_strategy()) {
+        let config = ArchConfig::default();
+        let compiler = Compiler::new(config);
+        let base = compiler.compile(&plan).simulate();
+        let mut levels = plan.levels().to_vec();
+        levels.push(LevelPlan::new(vec![SubProblem { cities: 12, iterations: 500 }]));
+        let extended = compiler.compile(&SolvePlan::new(levels)).simulate();
+        prop_assert!(extended.ising_latency_seconds >= base.ising_latency_seconds);
+        prop_assert!(extended.transfer_latency_seconds >= base.transfer_latency_seconds);
+        prop_assert!(extended.total_energy_joules() >= base.total_energy_joules());
+    }
+
+    /// A machine with fewer macros never finishes a level faster than a bigger machine.
+    #[test]
+    fn smaller_machines_are_never_faster(plan in plan_strategy()) {
+        let big = ArchConfig::default();
+        let mut small = ArchConfig::default();
+        small.tiles = 1;
+        small.cores_per_tile = 1;
+        small.cells_per_core = small.macro_geometry().cells() * 2;
+        let big_report = Compiler::new(big).compile(&plan).simulate();
+        let small_report = Compiler::new(small).compile(&plan).simulate();
+        prop_assert!(small_report.ising_latency_seconds >= big_report.ising_latency_seconds - 1e-15);
+        prop_assert!(small_report.waves >= big_report.waves);
+    }
+}

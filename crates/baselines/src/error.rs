@@ -1,0 +1,52 @@
+//! Error type for baseline solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the baseline solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The instance is too large for the requested exact algorithm.
+    TooLargeForExact {
+        /// Number of cities requested.
+        cities: usize,
+        /// Maximum supported by the algorithm.
+        limit: usize,
+    },
+    /// The problem definition was invalid (empty or non-square matrix).
+    InvalidProblem {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::TooLargeForExact { cities, limit } => write!(
+                f,
+                "instance with {cities} cities exceeds the exact-solver limit of {limit}"
+            ),
+            BaselineError::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = BaselineError::TooLargeForExact { cities: 50, limit: 20 };
+        assert!(err.to_string().contains("50"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

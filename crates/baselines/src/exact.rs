@@ -1,0 +1,277 @@
+//! Exact TSP solving (Held–Karp) and a Concorde-style exact-solver projection model.
+
+use crate::BaselineError;
+
+/// Maximum instance size accepted by [`held_karp`] (the DP table is `2^n · n`).
+pub const HELD_KARP_LIMIT: usize = 20;
+
+/// An exact solution produced by [`held_karp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// Optimal visiting order (a cycle starting at city 0).
+    pub order: Vec<usize>,
+    /// Optimal cycle length.
+    pub length: f64,
+}
+
+/// Solves the TSP exactly with the Held–Karp dynamic program.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLargeForExact`] for more than [`HELD_KARP_LIMIT`] cities
+/// and [`BaselineError::InvalidProblem`] for an empty or non-square matrix.
+///
+/// # Example
+///
+/// ```
+/// use taxi_baselines::held_karp;
+///
+/// // Unit square: the optimal cycle is the perimeter of length 4.
+/// let d = vec![
+///     vec![0.0, 1.0, 1.4142135623730951, 1.0],
+///     vec![1.0, 0.0, 1.0, 1.4142135623730951],
+///     vec![1.4142135623730951, 1.0, 0.0, 1.0],
+///     vec![1.0, 1.4142135623730951, 1.0, 0.0],
+/// ];
+/// let solution = held_karp(&d)?;
+/// assert!((solution.length - 4.0).abs() < 1e-9);
+/// # Ok::<(), taxi_baselines::BaselineError>(())
+/// ```
+pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError> {
+    let n = distances.len();
+    if n == 0 || distances.iter().any(|row| row.len() != n) {
+        return Err(BaselineError::InvalidProblem {
+            reason: "distance matrix must be square and non-empty".to_string(),
+        });
+    }
+    if n > HELD_KARP_LIMIT {
+        return Err(BaselineError::TooLargeForExact {
+            cities: n,
+            limit: HELD_KARP_LIMIT,
+        });
+    }
+    if n == 1 {
+        return Ok(ExactSolution {
+            order: vec![0],
+            length: 0.0,
+        });
+    }
+    if n == 2 {
+        return Ok(ExactSolution {
+            order: vec![0, 1],
+            length: distances[0][1] + distances[1][0],
+        });
+    }
+
+    // dp[mask][j] = shortest path starting at 0, visiting exactly the cities in `mask`
+    // (which always contains 0 and j), ending at j.
+    let full: usize = 1 << n;
+    let mut dp = vec![f64::INFINITY; full * n];
+    let mut parent = vec![usize::MAX; full * n];
+    dp[(1 << 0) * n] = 0.0; // mask = {0}, end = 0
+    for mask in 1..full {
+        if mask & 1 == 0 {
+            continue;
+        }
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cur = dp[mask * n + last];
+            if !cur.is_finite() {
+                continue;
+            }
+            for next in 1..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let new_mask = mask | (1 << next);
+                let cand = cur + distances[last][next];
+                if cand < dp[new_mask * n + next] {
+                    dp[new_mask * n + next] = cand;
+                    parent[new_mask * n + next] = last;
+                }
+            }
+        }
+    }
+    let all = full - 1;
+    let (mut best_last, mut best_len) = (usize::MAX, f64::INFINITY);
+    for last in 1..n {
+        let cand = dp[all * n + last] + distances[last][0];
+        if cand < best_len {
+            best_len = cand;
+            best_last = last;
+        }
+    }
+    // Reconstruct.
+    let mut order = Vec::with_capacity(n);
+    let mut mask = all;
+    let mut last = best_last;
+    while last != usize::MAX && last != 0 {
+        order.push(last);
+        let prev = parent[mask * n + last];
+        mask &= !(1 << last);
+        last = prev;
+    }
+    order.push(0);
+    order.reverse();
+    Ok(ExactSolution {
+        order,
+        length: best_len,
+    })
+}
+
+/// Projection model of an exact (Concorde-style) solver running on one CPU core.
+///
+/// The paper compares TAXI's total latency against an exact solver whose runtime on
+/// `pla85900` is projected at 136 years (≈ 4.3·10⁹ s) and whose energy is 3.82·10¹¹ J —
+/// an average CPU power of ≈ 89 W. This model follows the same shape: runtime grows
+/// exponentially in `sqrt(n)` (the empirical Concorde scaling law), anchored so that the
+/// 85 900-city projection matches the paper.
+///
+/// # Example
+///
+/// ```
+/// use taxi_baselines::ExactSolverProjection;
+///
+/// let model = ExactSolverProjection::paper_calibrated();
+/// let small = model.latency_seconds(101);
+/// let large = model.latency_seconds(85_900);
+/// assert!(large / small > 1e6, "exact solving must blow up with size");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactSolverProjection {
+    /// Base runtime coefficient, in seconds.
+    t0: f64,
+    /// Exponential growth coefficient applied to sqrt(n).
+    k: f64,
+    /// Average single-core CPU power, in watts.
+    cpu_power_watts: f64,
+}
+
+impl ExactSolverProjection {
+    /// The model calibrated to the paper's pla85900 projection (≈ 4.3·10⁹ s, 3.82·10¹¹ J)
+    /// and a ~10 s solve of a 1 000-city instance.
+    pub fn paper_calibrated() -> Self {
+        let sqrt_small = (1_000.0f64).sqrt();
+        let sqrt_large = (85_900.0f64).sqrt();
+        let t_small = 10.0f64;
+        let t_large = 4.28e9f64;
+        let k = (t_large / t_small).ln() / (sqrt_large - sqrt_small);
+        let t0 = t_small / (k * sqrt_small).exp();
+        Self {
+            t0,
+            k,
+            cpu_power_watts: 89.3,
+        }
+    }
+
+    /// Projected single-core runtime for an `n`-city instance, in seconds.
+    pub fn latency_seconds(&self, n: usize) -> f64 {
+        self.t0 * (self.k * (n as f64).sqrt()).exp()
+    }
+
+    /// Projected energy for an `n`-city instance, in joules.
+    pub fn energy_joules(&self, n: usize) -> f64 {
+        self.latency_seconds(n) * self.cpu_power_watts
+    }
+
+    /// The assumed average CPU power, in watts.
+    pub fn cpu_power_watts(&self) -> f64 {
+        self.cpu_power_watts
+    }
+}
+
+impl Default for ExactSolverProjection {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Vec<Vec<f64>> {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        pts.iter()
+            .map(|&(x1, y1)| pts.iter().map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn held_karp_solves_a_ring_optimally() {
+        let d = ring(8);
+        let expected: f64 = (0..8).map(|i| d[i][(i + 1) % 8]).sum();
+        let sol = held_karp(&d).unwrap();
+        assert!((sol.length - expected).abs() < 1e-9);
+        assert_eq!(sol.order.len(), 8);
+        assert_eq!(sol.order[0], 0);
+    }
+
+    #[test]
+    fn held_karp_finds_known_optimum_on_asymmetric_costs() {
+        // Small instance: the three possible cycles have lengths 13, 12 and 17, so the
+        // optimum is the 0-1-3-2-0 cycle of length 12.
+        let d = vec![
+            vec![0.0, 1.0, 6.0, 4.0],
+            vec![1.0, 0.0, 5.0, 2.0],
+            vec![6.0, 5.0, 0.0, 3.0],
+            vec![4.0, 2.0, 3.0, 0.0],
+        ];
+        let sol = held_karp(&d).unwrap();
+        assert!((sol.length - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn held_karp_tour_is_a_permutation() {
+        let d = ring(11);
+        let sol = held_karp(&d).unwrap();
+        let mut sorted = sol.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn held_karp_rejects_large_and_invalid_instances() {
+        let d = ring(HELD_KARP_LIMIT + 1);
+        assert!(matches!(
+            held_karp(&d),
+            Err(BaselineError::TooLargeForExact { .. })
+        ));
+        assert!(held_karp(&[]).is_err());
+        assert!(held_karp(&[vec![0.0, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn held_karp_handles_trivial_sizes() {
+        assert_eq!(held_karp(&[vec![0.0]]).unwrap().length, 0.0);
+        let two = vec![vec![0.0, 3.0], vec![3.0, 0.0]];
+        assert_eq!(held_karp(&two).unwrap().length, 6.0);
+    }
+
+    #[test]
+    fn projection_matches_paper_anchor() {
+        let model = ExactSolverProjection::paper_calibrated();
+        let t = model.latency_seconds(85_900);
+        assert!((t / 4.28e9 - 1.0).abs() < 0.05, "pla85900 projection: {t}");
+        let e = model.energy_joules(85_900);
+        assert!((e / 3.82e11 - 1.0).abs() < 0.1, "pla85900 energy: {e}");
+    }
+
+    #[test]
+    fn projection_is_monotonic_in_size() {
+        let model = ExactSolverProjection::paper_calibrated();
+        let mut prev = 0.0;
+        for n in [76usize, 1002, 11849, 85900] {
+            let t = model.latency_seconds(n);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

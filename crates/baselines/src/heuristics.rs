@@ -1,0 +1,337 @@
+//! Classical TSP construction heuristics and local search.
+//!
+//! These serve two purposes in the reproduction: they provide the *reference tour* used
+//! as the optimal-ratio denominator on synthetic instances (where the published TSPLIB
+//! optimum does not apply), and they are the comparison heuristics for the ablation
+//! benches.
+
+/// Length of the closed tour `order` under `distances`.
+///
+/// # Panics
+///
+/// Panics if `order` references cities outside the matrix.
+pub fn tour_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+    let n = order.len();
+    if n < 2 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|i| distances[order[i]][order[(i + 1) % n]])
+        .sum()
+}
+
+/// Nearest-neighbour construction starting at `start`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or `start` is out of range.
+pub fn nearest_neighbor_tour(distances: &[Vec<f64>], start: usize) -> Vec<usize> {
+    let n = distances.len();
+    assert!(n > 0 && start < n, "start city must exist");
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    visited[current] = true;
+    order.push(current);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&c| !visited[c])
+            .min_by(|&a, &b| {
+                distances[current][a]
+                    .partial_cmp(&distances[current][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("an unvisited city remains");
+        visited[next] = true;
+        order.push(next);
+        current = next;
+    }
+    order
+}
+
+/// Greedy-edge construction: repeatedly adds the shortest edge that keeps the partial
+/// solution a set of simple paths, then closes the cycle.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn greedy_edge_tour(distances: &[Vec<f64>]) -> Vec<usize> {
+    let n = distances.len();
+    assert!(n > 0, "instance must have at least one city");
+    if n == 1 {
+        return vec![0];
+    }
+    let mut edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    edges.sort_by(|&(a, b), &(c, d)| {
+        distances[a][b]
+            .partial_cmp(&distances[c][d])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut degree = vec![0usize; n];
+    let mut component: Vec<usize> = (0..n).collect();
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    fn find(component: &mut Vec<usize>, x: usize) -> usize {
+        if component[x] != x {
+            let root = find(component, component[x]);
+            component[x] = root;
+        }
+        component[x]
+    }
+    let mut added = 0usize;
+    for (a, b) in edges {
+        if added == n - 1 {
+            break;
+        }
+        if degree[a] >= 2 || degree[b] >= 2 {
+            continue;
+        }
+        let (ra, rb) = (find(&mut component, a), find(&mut component, b));
+        if ra == rb {
+            continue;
+        }
+        component[rb] = ra;
+        degree[a] += 1;
+        degree[b] += 1;
+        adjacency[a].push(b);
+        adjacency[b].push(a);
+        added += 1;
+    }
+    // Close the cycle: connect the two remaining endpoints (degree 1).
+    let endpoints: Vec<usize> = (0..n).filter(|&c| degree[c] <= 1).collect();
+    if endpoints.len() == 2 {
+        adjacency[endpoints[0]].push(endpoints[1]);
+        adjacency[endpoints[1]].push(endpoints[0]);
+    }
+    // Walk the cycle.
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut current = 0usize;
+    for _ in 0..n {
+        order.push(current);
+        let next = adjacency[current]
+            .iter()
+            .copied()
+            .find(|&c| c != prev)
+            .unwrap_or_else(|| adjacency[current][0]);
+        prev = current;
+        current = next;
+    }
+    order
+}
+
+/// 2-opt local search: repeatedly reverses tour segments while that shortens the tour,
+/// up to `max_passes` full passes. Returns the number of improving moves applied.
+pub fn two_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+    let n = order.len();
+    if n < 4 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for i in 0..n - 1 {
+            for j in i + 2..n {
+                if i == 0 && j == n - 1 {
+                    continue;
+                }
+                let a = order[i];
+                let b = order[i + 1];
+                let c = order[j];
+                let d = order[(j + 1) % n];
+                let delta =
+                    distances[a][c] + distances[b][d] - distances[a][b] - distances[c][d];
+                if delta < -1e-12 {
+                    order[i + 1..=j].reverse();
+                    improvements += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
+/// Or-opt local search: relocates segments of 1–3 consecutive cities while that shortens
+/// the tour, up to `max_passes` passes. Returns the number of improving moves applied.
+pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+    let n = order.len();
+    if n < 5 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for seg_len in 1..=3usize {
+            let mut i = 0;
+            while i + seg_len < order.len() {
+                let before = tour_length(distances, order);
+                let segment: Vec<usize> = order[i..i + seg_len].to_vec();
+                let mut trial: Vec<usize> = order
+                    .iter()
+                    .copied()
+                    .filter(|c| !segment.contains(c))
+                    .collect();
+                let mut best_len = before;
+                let mut best_pos = None;
+                for pos in 0..=trial.len() {
+                    let mut candidate = trial.clone();
+                    for (offset, &c) in segment.iter().enumerate() {
+                        candidate.insert(pos + offset, c);
+                    }
+                    let len = tour_length(distances, &candidate);
+                    if len < best_len - 1e-12 {
+                        best_len = len;
+                        best_pos = Some(pos);
+                    }
+                }
+                if let Some(pos) = best_pos {
+                    for (offset, &c) in segment.iter().enumerate() {
+                        trial.insert(pos + offset, c);
+                    }
+                    *order = trial;
+                    improvements += 1;
+                    improved = true;
+                }
+                i += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
+/// Reference tour used as the optimal-ratio denominator on synthetic instances:
+/// nearest-neighbour construction followed by 2-opt (and Or-opt for small instances).
+///
+/// The local-search effort is bounded so that even the largest benchmark instances finish
+/// in reasonable time; for instances above `two_opt_limit` cities only the construction
+/// heuristic plus a single bounded 2-opt pass is applied.
+pub fn reference_tour(distances: &[Vec<f64>]) -> Vec<usize> {
+    let n = distances.len();
+    let mut order = nearest_neighbor_tour(distances, 0);
+    let two_opt_limit = 3_000;
+    if n <= two_opt_limit {
+        two_opt(distances, &mut order, 8);
+        if n <= 400 {
+            or_opt(distances, &mut order, 2);
+            two_opt(distances, &mut order, 4);
+        }
+    } else {
+        two_opt(distances, &mut order, 1);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> (Vec<Vec<f64>>, f64) {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        let d: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|&(x1, y1)| {
+                pts.iter()
+                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+                    .collect()
+            })
+            .collect();
+        let opt = (0..n).map(|i| d[i][(i + 1) % n]).sum();
+        (d, opt)
+    }
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&c| {
+                if c < n && !seen[c] {
+                    seen[c] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+    }
+
+    #[test]
+    fn nearest_neighbor_returns_permutation() {
+        let (d, _) = ring(15);
+        let t = nearest_neighbor_tour(&d, 3);
+        assert!(is_permutation(&t, 15));
+        assert_eq!(t[0], 3);
+    }
+
+    #[test]
+    fn greedy_edge_returns_permutation() {
+        let (d, _) = ring(20);
+        let t = greedy_edge_tour(&d);
+        assert!(is_permutation(&t, 20));
+    }
+
+    #[test]
+    fn greedy_edge_is_optimal_on_a_ring() {
+        let (d, opt) = ring(16);
+        let t = greedy_edge_tour(&d);
+        assert!((tour_length(&d, &t) - opt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_opt_removes_crossings() {
+        let (d, opt) = ring(12);
+        // Start from a deliberately scrambled tour.
+        let mut order: Vec<usize> = (0..12).map(|i| (i * 5) % 12).collect();
+        assert!(is_permutation(&order, 12));
+        let before = tour_length(&d, &order);
+        let moves = two_opt(&d, &mut order, 50);
+        let after = tour_length(&d, &order);
+        assert!(moves > 0);
+        assert!(after < before);
+        assert!((after - opt).abs() / opt < 0.05, "2-opt should nearly close a ring");
+        assert!(is_permutation(&order, 12));
+    }
+
+    #[test]
+    fn or_opt_never_worsens_the_tour() {
+        let (d, _) = ring(10);
+        let mut order: Vec<usize> = (0..10).map(|i| (i * 3) % 10).collect();
+        let before = tour_length(&d, &order);
+        or_opt(&d, &mut order, 3);
+        let after = tour_length(&d, &order);
+        assert!(after <= before + 1e-9);
+        assert!(is_permutation(&order, 10));
+    }
+
+    #[test]
+    fn reference_tour_is_close_to_exact_on_small_instances() {
+        let (d, opt) = ring(14);
+        let reference = reference_tour(&d);
+        let len = tour_length(&d, &reference);
+        assert!(len <= opt * 1.05);
+    }
+
+    #[test]
+    fn tour_length_of_trivial_tours_is_zero() {
+        let d = vec![vec![0.0]];
+        assert_eq!(tour_length(&d, &[0]), 0.0);
+    }
+
+    #[test]
+    fn two_opt_leaves_small_tours_untouched() {
+        let (d, _) = ring(3);
+        let mut order = vec![0, 1, 2];
+        assert_eq!(two_opt(&d, &mut order, 10), 0);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

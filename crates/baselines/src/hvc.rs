@@ -1,0 +1,192 @@
+//! HVC-style clustered baseline (k-means, independent closed sub-tours, no endpoint
+//! fixing).
+//!
+//! Hierarchical Vertex Clustering (the paper's ref. [4]) and its successors decompose the
+//! TSP with k-means and solve the clusters without pinning the inter-cluster boundary
+//! cities. This baseline reproduces that structure so the ablation benches can quantify
+//! what TAXI's two algorithmic changes (Ward agglomerative clustering and fixed
+//! endpoints) contribute.
+
+use taxi_cluster::{kmeans_clusters, KMeansConfig, Point};
+use taxi_tsplib::{TspInstance, Tour, TsplibError};
+
+use crate::heuristics::{nearest_neighbor_tour, tour_length, two_opt};
+
+/// Configuration of the HVC-style baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HvcConfig {
+    /// Maximum cluster (sub-problem) size.
+    pub max_cluster_size: usize,
+    /// RNG seed for k-means.
+    pub seed: u64,
+}
+
+impl HvcConfig {
+    /// Creates a configuration with the given maximum cluster size.
+    pub fn new(max_cluster_size: usize) -> Self {
+        Self {
+            max_cluster_size: max_cluster_size.max(4),
+            seed: 0xBA5E,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for HvcConfig {
+    fn default() -> Self {
+        Self::new(12)
+    }
+}
+
+/// Result of the HVC-style baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HvcSolution {
+    /// The stitched global tour.
+    pub tour: Tour,
+    /// Its length under the instance's distance convention.
+    pub length: f64,
+    /// Number of clusters used.
+    pub num_clusters: usize,
+}
+
+/// The HVC-style baseline solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HvcBaseline {
+    config: HvcConfig,
+}
+
+impl HvcBaseline {
+    /// Creates a baseline solver with the given configuration.
+    pub fn new(config: HvcConfig) -> Self {
+        Self { config }
+    }
+
+    /// Solves `instance`: k-means clustering, a centroid-level tour, independent closed
+    /// sub-tours per cluster, and naive stitching of consecutive sub-tours.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TsplibError`] if the instance has no coordinates (explicit-matrix
+    /// instances are not supported by this baseline) or the assembled tour is invalid.
+    pub fn solve(&self, instance: &TspInstance) -> Result<HvcSolution, TsplibError> {
+        let coords = instance
+            .coordinates()
+            .ok_or_else(|| TsplibError::Inconsistent {
+                reason: "the HVC baseline requires coordinate-based instances".to_string(),
+            })?;
+        let n = coords.len();
+        if n <= self.config.max_cluster_size {
+            let matrix = instance.full_distance_matrix();
+            let mut order = nearest_neighbor_tour(&matrix, 0);
+            two_opt(&matrix, &mut order, 4);
+            let length = tour_length(&matrix, &order);
+            return Ok(HvcSolution {
+                tour: Tour::new(order)?,
+                length,
+                num_clusters: 1,
+            });
+        }
+        let points: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let k = n.div_ceil(self.config.max_cluster_size);
+        let kmeans_cfg = KMeansConfig::new(k)
+            .expect("k is at least 1")
+            .with_seed(self.config.seed);
+        let clusters = kmeans_clusters(&points, &kmeans_cfg).map_err(|err| {
+            TsplibError::Inconsistent {
+                reason: format!("k-means failed: {err}"),
+            }
+        })?;
+
+        // Order clusters by a nearest-neighbour walk over their centroids.
+        let centroids: Vec<Point> = clusters
+            .iter()
+            .map(|members| Point::centroid_of_indices(&points, members))
+            .collect();
+        let centroid_matrix: Vec<Vec<f64>> = centroids
+            .iter()
+            .map(|a| centroids.iter().map(|b| a.distance(b)).collect())
+            .collect();
+        let cluster_order = nearest_neighbor_tour(&centroid_matrix, 0);
+
+        // Solve each cluster independently as a *closed* cycle (no fixed endpoints) and
+        // stitch consecutive clusters by rotating each sub-tour so it starts at the city
+        // nearest to the previous cluster's last visited city.
+        let mut global_order: Vec<usize> = Vec::with_capacity(n);
+        for &cluster_idx in &cluster_order {
+            let members = &clusters[cluster_idx];
+            let sub_matrix = instance.distance_matrix_for(members)?;
+            let mut sub_order = nearest_neighbor_tour(&sub_matrix, 0);
+            two_opt(&sub_matrix, &mut sub_order, 4);
+            let mut cities: Vec<usize> = sub_order.iter().map(|&local| members[local]).collect();
+            if let Some(&last_city) = global_order.last() {
+                let (px, py) = coords[last_city];
+                let nearest_pos = cities
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        let da = (coords[a].0 - px).hypot(coords[a].1 - py);
+                        let db = (coords[b].0 - px).hypot(coords[b].1 - py);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(pos, _)| pos)
+                    .unwrap_or(0);
+                cities.rotate_left(nearest_pos);
+            }
+            global_order.extend(cities);
+        }
+        let tour = Tour::new(global_order)?;
+        let length = tour.length(instance);
+        Ok(HvcSolution {
+            tour,
+            length,
+            num_clusters: clusters.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_tsplib::generator::clustered_instance;
+
+    #[test]
+    fn produces_a_valid_tour() {
+        let instance = clustered_instance("hvc-test", 150, 6, 9);
+        let solution = HvcBaseline::new(HvcConfig::new(12)).solve(&instance).unwrap();
+        assert!(solution.tour.is_valid_for(&instance));
+        assert!(solution.length > 0.0);
+        assert!(solution.num_clusters >= 150 / 12);
+    }
+
+    #[test]
+    fn small_instances_bypass_clustering() {
+        let instance = clustered_instance("small", 10, 2, 1);
+        let solution = HvcBaseline::default().solve(&instance).unwrap();
+        assert_eq!(solution.num_clusters, 1);
+        assert!(solution.tour.is_valid_for(&instance));
+    }
+
+    #[test]
+    fn explicit_matrix_instances_are_rejected() {
+        let instance = TspInstance::from_matrix(
+            "m",
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        )
+        .unwrap();
+        assert!(HvcBaseline::default().solve(&instance).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let instance = clustered_instance("det", 120, 5, 2);
+        let solver = HvcBaseline::new(HvcConfig::new(12).with_seed(7));
+        let a = solver.solve(&instance).unwrap();
+        let b = solver.solve(&instance).unwrap();
+        assert_eq!(a.tour, b.tour);
+    }
+}

@@ -1,0 +1,122 @@
+//! Neuro-Ising surrogate (the paper's ref. [5]), the state-of-the-art clustering-based
+//! Ising solver TAXI is benchmarked against.
+//!
+//! Two facets are modelled:
+//!
+//! * a **latency model** reproducing the relative comparison of Fig. 6b (TAXI is 8×
+//!   faster on average, with the gap widening for larger instances), and
+//! * a **quality surrogate** that actually runs: k-means clustering plus sequential,
+//!   localized sub-solves without endpoint fixing, whose solution quality degrades with
+//!   problem size in the same qualitative way the paper reports for Neuro-Ising.
+
+use taxi_tsplib::{Tour, TspInstance, TsplibError};
+
+use crate::hvc::{HvcBaseline, HvcConfig};
+use crate::reported::{NEURO_ISING_LATENCY_RATIO, PROBLEM_SIZES};
+
+/// Latency/quality model of the Neuro-Ising solver.
+///
+/// # Example
+///
+/// ```
+/// use taxi_baselines::NeuroIsingModel;
+///
+/// let model = NeuroIsingModel::new();
+/// // If TAXI needs 10 s on a 33 810-city instance, Neuro-Ising needs about 130 s.
+/// let latency = model.latency_seconds(33_810, 10.0);
+/// assert!(latency > 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NeuroIsingModel;
+
+impl NeuroIsingModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Latency ratio of Neuro-Ising to TAXI for an `n`-city instance, interpolated from
+    /// the per-instance ratios adapted from the paper's Fig. 6b.
+    pub fn latency_ratio(&self, n: usize) -> f64 {
+        let sizes = &PROBLEM_SIZES;
+        if n <= sizes[0] {
+            return NEURO_ISING_LATENCY_RATIO[0];
+        }
+        if n >= sizes[sizes.len() - 1] {
+            return NEURO_ISING_LATENCY_RATIO[sizes.len() - 1];
+        }
+        // Linear interpolation in log(problem size).
+        let x = (n as f64).ln();
+        for w in 0..sizes.len() - 1 {
+            let (a, b) = (sizes[w], sizes[w + 1]);
+            if n >= a && n <= b {
+                let (xa, xb) = ((a as f64).ln(), (b as f64).ln());
+                let t = (x - xa) / (xb - xa);
+                return NEURO_ISING_LATENCY_RATIO[w]
+                    + t * (NEURO_ISING_LATENCY_RATIO[w + 1] - NEURO_ISING_LATENCY_RATIO[w]);
+            }
+        }
+        NEURO_ISING_LATENCY_RATIO[sizes.len() - 1]
+    }
+
+    /// Projected Neuro-Ising latency given TAXI's latency on the same instance.
+    pub fn latency_seconds(&self, n: usize, taxi_latency_seconds: f64) -> f64 {
+        self.latency_ratio(n) * taxi_latency_seconds
+    }
+
+    /// Runs the quality surrogate: k-means clustering with sequential localized
+    /// sub-solves and no endpoint fixing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TsplibError`] for explicit-matrix instances (the surrogate needs
+    /// coordinates).
+    pub fn solve_surrogate(
+        &self,
+        instance: &TspInstance,
+        max_cluster_size: usize,
+    ) -> Result<(Tour, f64), TsplibError> {
+        let solution = HvcBaseline::new(HvcConfig::new(max_cluster_size).with_seed(0x9E02))
+            .solve(instance)?;
+        Ok((solution.tour, solution.length))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_tsplib::generator::clustered_instance;
+
+    #[test]
+    fn latency_ratio_grows_with_problem_size() {
+        let model = NeuroIsingModel::new();
+        assert!(model.latency_ratio(100) < model.latency_ratio(10_000));
+        assert!(model.latency_ratio(10_000) < model.latency_ratio(85_900));
+    }
+
+    #[test]
+    fn latency_ratio_is_clamped_at_the_extremes() {
+        let model = NeuroIsingModel::new();
+        assert_eq!(model.latency_ratio(10), NEURO_ISING_LATENCY_RATIO[0]);
+        assert_eq!(
+            model.latency_ratio(1_000_000),
+            NEURO_ISING_LATENCY_RATIO[NEURO_ISING_LATENCY_RATIO.len() - 1]
+        );
+    }
+
+    #[test]
+    fn latency_scales_taxi_latency() {
+        let model = NeuroIsingModel::new();
+        let t = model.latency_seconds(1_060, 2.0);
+        assert!(t > 2.0 * 5.0 && t < 2.0 * 12.0);
+    }
+
+    #[test]
+    fn surrogate_produces_valid_tours() {
+        let instance = clustered_instance("neuro", 140, 6, 4);
+        let model = NeuroIsingModel::new();
+        let (tour, length) = model.solve_surrogate(&instance, 12).unwrap();
+        assert!(tour.is_valid_for(&instance));
+        assert!(length > 0.0);
+    }
+}

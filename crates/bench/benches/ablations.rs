@@ -1,0 +1,144 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * **Clustering**: agglomerative Ward (TAXI) vs. k-means (HVC/IMA/CIMA).
+//! * **Endpoint fixing**: TAXI's fixed first/last cities vs. the HVC-style free
+//!   endpoints.
+//! * **Annealing schedule**: the device-native sigmoidal stochasticity decay vs. a
+//!   truncated schedule (fewer iterations).
+//! * **Stochasticity**: the stochastic mask vs. a purely greedy ArgMax (elitist
+//!   tracking off vs. on isolates the same effect on solution readout).
+//!
+//! Each group prints the quality achieved by both arms once, then times the arms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use taxi::{TaxiConfig, TaxiSolver};
+use taxi_baselines::{HvcBaseline, HvcConfig};
+use taxi_bench::bench_instance;
+use taxi_cluster::hierarchy::ClusteringMethod;
+use taxi_ising::CurrentSchedule;
+
+fn quality(config: TaxiConfig, instance: &taxi_tsplib::TspInstance) -> f64 {
+    TaxiSolver::new(config)
+        .solve(instance)
+        .expect("solve succeeds")
+        .length
+}
+
+fn ablation_clustering(c: &mut Criterion) {
+    let instance = bench_instance();
+    let ward = quality(TaxiConfig::new().with_seed(1), &instance);
+    let kmeans = quality(
+        TaxiConfig::new()
+            .with_clustering_method(ClusteringMethod::KMeans)
+            .with_seed(1),
+        &instance,
+    );
+    println!("\nablation / clustering   : Ward {ward:.1} vs k-means {kmeans:.1} (tour length)");
+
+    let mut group = c.benchmark_group("ablation_clustering");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("ward", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(1));
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.bench_function("kmeans", |b| {
+        let solver = TaxiSolver::new(
+            TaxiConfig::new()
+                .with_clustering_method(ClusteringMethod::KMeans)
+                .with_seed(1),
+        );
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.finish();
+}
+
+fn ablation_fixing(c: &mut Criterion) {
+    let instance = bench_instance();
+    let fixed = quality(TaxiConfig::new().with_seed(2), &instance);
+    let free = HvcBaseline::new(HvcConfig::new(12))
+        .solve(&instance)
+        .expect("baseline succeeds")
+        .length;
+    println!("ablation / fixing       : fixed endpoints {fixed:.1} vs free endpoints {free:.1}");
+
+    let mut group = c.benchmark_group("ablation_fixing");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("fixed_endpoints", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(2));
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.bench_function("free_endpoints_hvc_style", |b| {
+        let baseline = HvcBaseline::new(HvcConfig::new(12));
+        b.iter(|| baseline.solve(&instance).expect("baseline succeeds"));
+    });
+    group.finish();
+}
+
+fn ablation_schedule(c: &mut Criterion) {
+    let instance = bench_instance();
+    let long = quality(
+        TaxiConfig::new()
+            .with_software_schedule(CurrentSchedule::software())
+            .with_seed(3),
+        &instance,
+    );
+    let short = quality(
+        TaxiConfig::new()
+            .with_software_schedule(CurrentSchedule::fast())
+            .with_seed(3),
+        &instance,
+    );
+    println!("ablation / schedule     : 670-iteration {long:.1} vs 67-iteration {short:.1}");
+
+    let mut group = c.benchmark_group("ablation_schedule");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("software_670_iterations", |b| {
+        let solver = TaxiSolver::new(
+            TaxiConfig::new()
+                .with_software_schedule(CurrentSchedule::software())
+                .with_seed(3),
+        );
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.bench_function("fast_67_iterations", |b| {
+        let solver = TaxiSolver::new(
+            TaxiConfig::new()
+                .with_software_schedule(CurrentSchedule::fast())
+                .with_seed(3),
+        );
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.finish();
+}
+
+fn ablation_elitist(c: &mut Criterion) {
+    let instance = bench_instance();
+    let elitist = quality(TaxiConfig::new().with_elitist(true).with_seed(4), &instance);
+    let final_readout = quality(TaxiConfig::new().with_elitist(false).with_seed(4), &instance);
+    println!(
+        "ablation / readout      : elitist {elitist:.1} vs final spin-storage readout {final_readout:.1}\n"
+    );
+
+    let mut group = c.benchmark_group("ablation_elitist");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("elitist_tracking", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_elitist(true).with_seed(4));
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.bench_function("final_readout_only", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_elitist(false).with_seed(4));
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_clustering,
+    ablation_fixing,
+    ablation_schedule,
+    ablation_elitist
+);
+criterion_main!(benches);

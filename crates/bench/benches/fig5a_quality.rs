@@ -1,0 +1,42 @@
+//! Fig. 5a bench: optimal ratio vs. problem size per maximum cluster size.
+//!
+//! Prints the regenerated Fig. 5a series once, then times an end-to-end TAXI solve at
+//! the cluster sizes the paper sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use taxi::experiments::fig5::run_fig5a;
+use taxi::{TaxiConfig, TaxiSolver};
+use taxi_bench::{bench_instance, bench_scale};
+
+fn fig5a(c: &mut Criterion) {
+    // Regenerate and print the figure data once.
+    let report = run_fig5a(bench_scale(), &[12, 14, 16, 18, 20]).expect("fig 5a runs");
+    println!("\n{report}");
+    for (size, mean) in report.mean_ratio_by_cluster_size() {
+        println!("mean optimal ratio @ cluster {size}: {mean:.4}");
+    }
+
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig5a_quality");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for cluster_size in [12usize, 16, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("taxi_solve", cluster_size),
+            &cluster_size,
+            |b, &size| {
+                let config = TaxiConfig::new()
+                    .with_max_cluster_size(size)
+                    .expect("valid cluster size")
+                    .with_seed(1);
+                let solver = TaxiSolver::new(config);
+                b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5a);
+criterion_main!(benches);

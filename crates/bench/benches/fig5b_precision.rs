@@ -1,0 +1,34 @@
+//! Fig. 5b bench: quality degradation at reduced weight precision.
+//!
+//! Prints the regenerated Fig. 5b rows once, then times TAXI solves at 2-, 3- and 4-bit
+//! weight precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use taxi::experiments::fig5::run_fig5b;
+use taxi::{TaxiConfig, TaxiSolver};
+use taxi_bench::{bench_instance, bench_scale};
+
+fn fig5b(c: &mut Criterion) {
+    let report = run_fig5b(bench_scale()).expect("fig 5b runs");
+    println!("\n{report}");
+
+    let instance = bench_instance();
+    let mut group = c.benchmark_group("fig5b_precision");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for bits in [2u8, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("taxi_solve", bits), &bits, |b, &bits| {
+            let config = TaxiConfig::new()
+                .with_bit_precision(bits)
+                .expect("valid precision")
+                .with_seed(2);
+            let solver = TaxiSolver::new(config);
+            b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5b);
+criterion_main!(benches);

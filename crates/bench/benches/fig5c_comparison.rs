@@ -1,0 +1,46 @@
+//! Fig. 5c bench: TAXI against the clustered-solver baselines.
+//!
+//! Prints the regenerated comparison table once, then times TAXI, the HVC-style baseline
+//! and a classical NN + 2-opt heuristic on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use taxi::experiments::fig5::run_fig5c;
+use taxi::{TaxiConfig, TaxiSolver};
+use taxi_baselines::{HvcBaseline, HvcConfig};
+use taxi_bench::{bench_instance, bench_scale};
+
+fn fig5c(c: &mut Criterion) {
+    let report = run_fig5c(bench_scale()).expect("fig 5c runs");
+    println!("\n{report}");
+    println!(
+        "TAXI (measured) beats the HVC-style baseline on {}/{} instances\n",
+        report.wins_over_hvc_baseline(),
+        report.rows.len()
+    );
+
+    let instance = bench_instance();
+    let matrix = instance.full_distance_matrix();
+    let mut group = c.benchmark_group("fig5c_comparison");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("taxi", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(3));
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.bench_function("hvc_style_baseline", |b| {
+        let baseline = HvcBaseline::new(HvcConfig::new(12));
+        b.iter(|| baseline.solve(&instance).expect("baseline succeeds"));
+    });
+    group.bench_function("nn_plus_2opt", |b| {
+        b.iter(|| {
+            let mut order = taxi_baselines::nearest_neighbor_tour(&matrix, 0);
+            taxi_baselines::two_opt(&matrix, &mut order, 8);
+            taxi_baselines::tour_length(&matrix, &order)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5c);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 6a bench: hardware latency and energy vs. maximum cluster size.
+//!
+//! Prints the regenerated Fig. 6a rows once, then times the architecture pipeline
+//! (compile + simulate) for a workload of many sub-problems at different macro
+//! capacities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use taxi::experiments::fig6::run_fig6a;
+use taxi_arch::{ArchConfig, Compiler, LevelPlan, SolvePlan, SubProblem};
+use taxi_bench::bench_scale;
+
+fn fig6a(c: &mut Criterion) {
+    let report = run_fig6a(bench_scale(), &[12, 14, 16, 18, 20]).expect("fig 6a runs");
+    println!("\n{report}");
+
+    let mut group = c.benchmark_group("fig6a_cluster_sweep");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    for capacity in [12usize, 16, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("arch_compile_simulate", capacity),
+            &capacity,
+            |b, &capacity| {
+                let config = ArchConfig::default().with_macro_capacity(capacity);
+                let compiler = Compiler::new(config);
+                // A large level of sub-problems, as produced by a big TSP at this
+                // cluster size.
+                let plan = SolvePlan::new(vec![LevelPlan::new(vec![
+                    SubProblem {
+                        cities: capacity,
+                        iterations: 1340
+                    };
+                    3000
+                ])]);
+                b.iter(|| compiler.compile(&plan).simulate());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6a);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 6b bench: total latency breakdown across problem sizes.
+//!
+//! Prints the regenerated Fig. 6b rows once, then times the individual pipeline phases
+//! (clustering, endpoint fixing, sub-problem solving) on a medium workload so their
+//! relative cost — the bar breakdown of the figure — can be tracked over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use taxi::experiments::fig6::run_fig6b;
+use taxi::{TaxiConfig, TaxiSolver};
+use taxi_bench::{bench_scale, medium_instance};
+use taxi_cluster::{EndpointFixer, Hierarchy, HierarchyConfig, Point};
+
+fn fig6b(c: &mut Criterion) {
+    let report = run_fig6b(bench_scale()).expect("fig 6b runs");
+    println!("\n{report}");
+    println!(
+        "geometric-mean speed-up over the Neuro-Ising model: {:.1}x (paper: 8x)\n",
+        report.mean_speedup_over_neuro_ising()
+    );
+
+    let instance = medium_instance();
+    let points: Vec<Point> = instance
+        .coordinates()
+        .expect("synthetic instances have coordinates")
+        .iter()
+        .map(|&(x, y)| Point::new(x, y))
+        .collect();
+    let hierarchy_config = HierarchyConfig::new(12).expect("valid config");
+    let hierarchy = Hierarchy::build(&points, &hierarchy_config).expect("hierarchy builds");
+    let level0 = hierarchy.level(0);
+    let members: Vec<Vec<usize>> = level0.clusters.iter().map(|c| c.members.clone()).collect();
+    let order: Vec<usize> = (0..members.len()).collect();
+
+    let mut group = c.benchmark_group("fig6b_breakdown");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("clustering_phase", |b| {
+        b.iter(|| Hierarchy::build(&points, &hierarchy_config).expect("hierarchy builds"));
+    });
+    group.bench_function("fixing_phase", |b| {
+        let fixer = EndpointFixer::new(&points);
+        b.iter(|| fixer.fix(&members, &order).expect("fixing succeeds"));
+    });
+    group.bench_function("end_to_end", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(6));
+        b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6b);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table I bench: circuit-level per-iteration characterisation.
+//!
+//! Prints the regenerated Table I once, then times one behavioural macro iteration
+//! (superpose → optimize → update) at each weight precision — the code path whose
+//! hardware cost Table I characterises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+use taxi::experiments::tables::run_table1;
+use taxi_device::WriteCurrent;
+use taxi_xbar::{IsingMacro, MacroConfig};
+
+fn table1(c: &mut Criterion) {
+    println!("\n{}", run_table1());
+
+    // A 12-city sub-problem, as characterised in the paper.
+    let distances: Vec<Vec<f64>> = (0..12)
+        .map(|i| {
+            (0..12)
+                .map(|j| {
+                    let a = 2.0 * std::f64::consts::PI * i as f64 / 12.0;
+                    let b = 2.0 * std::f64::consts::PI * j as f64 / 12.0;
+                    ((a.cos() - b.cos()).powi(2) + (a.sin() - b.sin()).powi(2)).sqrt()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("table1_circuit");
+    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    for bits in [2u8, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("macro_iteration", bits),
+            &bits,
+            |b, &bits| {
+                let mut macro_ =
+                    IsingMacro::new(&distances, MacroConfig::new(bits)).expect("macro builds");
+                macro_
+                    .initialize_order(&(0..12).collect::<Vec<_>>())
+                    .expect("initial order is valid");
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                let mut order = 0usize;
+                b.iter(|| {
+                    order = (order + 1) % 12;
+                    macro_
+                        .optimize_order(order, WriteCurrent::from_micro_amps(400.0), &mut rng)
+                        .expect("iteration succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table II bench: energy comparison with the state of the art.
+//!
+//! Prints the regenerated Table II once, then times the energy-accounting path (the
+//! architecture compile + simulate for a 1060-city-sized workload at 2-bit precision).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use taxi::experiments::tables::run_table2;
+use taxi_arch::{ArchConfig, Compiler, LevelPlan, SolvePlan, SubProblem};
+use taxi_bench::bench_scale;
+use taxi_xbar::BitPrecision;
+
+fn table2(c: &mut Criterion) {
+    let report = run_table2(bench_scale()).expect("table 2 runs");
+    println!("\n{report}");
+
+    // A 1060-city workload at cluster size 12 decomposes into roughly 98 sub-problems.
+    let plan = SolvePlan::new(vec![
+        LevelPlan::new(vec![SubProblem { cities: 12, iterations: 1340 }; 89]),
+        LevelPlan::new(vec![SubProblem { cities: 12, iterations: 1340 }; 8]),
+        LevelPlan::new(vec![SubProblem { cities: 8, iterations: 1340 }]),
+    ]);
+    let config = ArchConfig::default().with_precision(BitPrecision::TWO);
+    let compiler = Compiler::new(config);
+
+    let mut group = c.benchmark_group("table2_energy");
+    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group.bench_function("arch_energy_accounting_1060", |b| {
+        b.iter(|| compiler.compile(&plan).simulate().total_energy_joules());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared helpers for the TAXI benchmark harness.
+//!
+//! Each Criterion bench target under `benches/` regenerates one table or figure of the
+//! paper: it prints the regenerated rows/series once (so `cargo bench` output documents
+//! the reproduced data) and then times the code paths that produce them.
+
+use taxi::ExperimentScale;
+use taxi_tsplib::generator::clustered_instance;
+use taxi_tsplib::TspInstance;
+
+/// The experiment scale used inside benches. Benches default to the tiny scale so the
+/// full `cargo bench --workspace` run finishes quickly; set `TAXI_FULL_SCALE=1` to sweep
+/// the entire suite (several hours).
+pub fn bench_scale() -> ExperimentScale {
+    if std::env::var_os("TAXI_FULL_SCALE").is_some() {
+        ExperimentScale::full()
+    } else {
+        ExperimentScale::tiny().with_max_dimension(101)
+    }
+}
+
+/// A small synthetic workload used by the timing loops (101 cities, clustered).
+pub fn bench_instance() -> TspInstance {
+    clustered_instance("bench101", 101, 6, 0xBE7C)
+}
+
+/// A medium synthetic workload for the breakdown benches (442 cities, clustered).
+pub fn medium_instance() -> TspInstance {
+    clustered_instance("bench442", 442, 15, 0xBE7C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_instances_have_expected_sizes() {
+        assert_eq!(bench_instance().dimension(), 101);
+        assert_eq!(medium_instance().dimension(), 442);
+    }
+
+    #[test]
+    fn default_bench_scale_is_tiny() {
+        if std::env::var_os("TAXI_FULL_SCALE").is_none() {
+            assert!(bench_scale().max_dimension() <= 101);
+        }
+    }
+}

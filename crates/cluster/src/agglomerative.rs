@@ -1,0 +1,441 @@
+//! Agglomerative clustering with Ward linkage (nearest-neighbour chain algorithm).
+//!
+//! Ward's criterion merges, at every step, the pair of clusters whose union has the
+//! smallest increase in within-cluster variance. With cluster centroids `c_i`, `c_j` and
+//! sizes `n_i`, `n_j`, that increase is
+//!
+//! ```text
+//! Δ(i, j) = (n_i · n_j) / (n_i + n_j) · ‖c_i − c_j‖²
+//! ```
+//!
+//! The nearest-neighbour chain algorithm builds the full dendrogram in O(n²) time and
+//! O(n) memory (Ward linkage is reducible, so chain merges produce the same dendrogram as
+//! greedy merging). The dendrogram is then cut into the requested number of clusters.
+//!
+//! For very large inputs (beyond [`AgglomerativeConfig::max_exact_points`]) the points
+//! are first divided into spatially compact chunks with a recursive median split and the
+//! exact algorithm runs inside each chunk. This keeps the 85 900-city TSPLIB instance
+//! tractable while preserving the compact-irregular-cluster behaviour the paper relies
+//! on (see DESIGN.md).
+
+use crate::{ClusterError, Point};
+
+/// Configuration of the agglomerative clustering pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgglomerativeConfig {
+    /// Desired number of clusters.
+    pub target_clusters: usize,
+    /// Largest input size handled by the exact O(n²) algorithm; larger inputs are chunked
+    /// first.
+    pub max_exact_points: usize,
+    /// Chunk size used by the divisive pre-partition for very large inputs.
+    pub prepartition_chunk: usize,
+}
+
+impl AgglomerativeConfig {
+    /// Creates a configuration with default scalability thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if `target_clusters` is zero.
+    pub fn new(target_clusters: usize) -> Result<Self, ClusterError> {
+        if target_clusters == 0 {
+            return Err(ClusterError::InvalidConfig {
+                name: "target_clusters",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        Ok(Self {
+            target_clusters,
+            max_exact_points: 20_000,
+            prepartition_chunk: 2_048,
+        })
+    }
+
+    /// Overrides the exact-algorithm threshold.
+    pub fn with_max_exact_points(mut self, max_exact_points: usize) -> Self {
+        self.max_exact_points = max_exact_points.max(2);
+        self
+    }
+
+    /// Overrides the pre-partition chunk size.
+    pub fn with_prepartition_chunk(mut self, chunk: usize) -> Self {
+        self.prepartition_chunk = chunk.max(2);
+        self
+    }
+}
+
+/// Clusters `points` into `config.target_clusters` groups using Ward-linkage
+/// agglomerative clustering. Returns the member indices of each cluster.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::EmptyInput`] for an empty point set or
+/// [`ClusterError::TooManyClusters`] when more clusters than points are requested.
+///
+/// # Example
+///
+/// ```
+/// use taxi_cluster::{agglomerative_clusters, AgglomerativeConfig, Point};
+///
+/// // Two well-separated blobs must be recovered as two clusters.
+/// let mut points = Vec::new();
+/// for i in 0..5 {
+///     points.push(Point::new(i as f64 * 0.1, 0.0));
+///     points.push(Point::new(100.0 + i as f64 * 0.1, 0.0));
+/// }
+/// let clusters = agglomerative_clusters(&points, &AgglomerativeConfig::new(2)?)?;
+/// assert_eq!(clusters.len(), 2);
+/// assert!(clusters.iter().all(|c| c.len() == 5));
+/// # Ok::<(), taxi_cluster::ClusterError>(())
+/// ```
+pub fn agglomerative_clusters(
+    points: &[Point],
+    config: &AgglomerativeConfig,
+) -> Result<Vec<Vec<usize>>, ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    if config.target_clusters > points.len() {
+        return Err(ClusterError::TooManyClusters {
+            requested: config.target_clusters,
+            points: points.len(),
+        });
+    }
+    let all_indices: Vec<usize> = (0..points.len()).collect();
+    if points.len() <= config.max_exact_points {
+        return Ok(ward_cut(points, &all_indices, config.target_clusters));
+    }
+
+    // Divisive pre-partition: split into spatially compact chunks, then run the exact
+    // algorithm inside each chunk with a proportional share of the cluster budget.
+    let chunks = median_split_chunks(points, &all_indices, config.prepartition_chunk);
+    let total = points.len() as f64;
+    let mut clusters = Vec::with_capacity(config.target_clusters);
+    let mut remaining_clusters = config.target_clusters;
+    let mut remaining_points = points.len();
+    for chunk in &chunks {
+        let share = ((chunk.len() as f64 / total) * config.target_clusters as f64).round() as usize;
+        let k = share
+            .max(1)
+            .min(chunk.len())
+            .min(remaining_clusters.saturating_sub(0).max(1));
+        clusters.extend(ward_cut(points, chunk, k));
+        remaining_clusters = remaining_clusters.saturating_sub(k);
+        remaining_points -= chunk.len();
+        let _ = remaining_points;
+    }
+    Ok(clusters)
+}
+
+/// One merge of the dendrogram.
+#[derive(Debug, Clone, Copy)]
+struct Merge {
+    a: usize,
+    b: usize,
+    delta: f64,
+}
+
+/// Runs exact NN-chain Ward clustering over the points selected by `indices` and cuts the
+/// dendrogram into `k` clusters. Returns member lists in terms of the original indices.
+fn ward_cut(points: &[Point], indices: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let n = indices.len();
+    if k >= n {
+        return indices.iter().map(|&i| vec![i]).collect();
+    }
+    let merges = nn_chain_dendrogram(points, indices);
+
+    // Cut: apply the n - k merges with the smallest Ward deltas (Ward is monotonic, so
+    // this equals cutting the dendrogram at k clusters).
+    let mut order: Vec<usize> = (0..merges.len()).collect();
+    order.sort_by(|&x, &y| merges[x].delta.partial_cmp(&merges[y].delta).unwrap_or(std::cmp::Ordering::Equal));
+    let mut uf = UnionFind::new(n);
+    for &m in order.iter().take(n - k) {
+        uf.union(merges[m].a, merges[m].b);
+    }
+    // BTreeMap keeps the cluster order deterministic (keyed by the union-find root, i.e.
+    // the smallest-index representative encountered first).
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for local in 0..n {
+        groups.entry(uf.find(local)).or_default().push(indices[local]);
+    }
+    groups.into_values().collect()
+}
+
+/// Builds the full Ward dendrogram with the nearest-neighbour chain algorithm.
+/// Cluster identities in the returned merges refer to *local* leaf indices (0..n); merged
+/// clusters reuse the representative leaf index of one of their members via union-find at
+/// cut time, so each merge records one representative leaf per side.
+fn nn_chain_dendrogram(points: &[Point], indices: &[usize]) -> Vec<Merge> {
+    let n = indices.len();
+    #[derive(Clone, Copy)]
+    struct Active {
+        centroid: Point,
+        size: f64,
+        /// Representative local leaf index for the cut phase.
+        leaf: usize,
+    }
+    let mut active: Vec<Option<Active>> = indices
+        .iter()
+        .enumerate()
+        .map(|(local, &global)| {
+            Some(Active {
+                centroid: points[global],
+                size: 1.0,
+                leaf: local,
+            })
+        })
+        .collect();
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut chain: Vec<usize> = Vec::new();
+
+    let ward = |a: &Active, b: &Active| -> f64 {
+        (a.size * b.size) / (a.size + b.size) * a.centroid.squared_distance(&b.centroid)
+    };
+
+    while merges.len() + 1 < n {
+        if chain.is_empty() {
+            chain.push(*alive.first().expect("at least two clusters remain"));
+        }
+        let current = *chain.last().expect("chain is non-empty");
+        let current_cluster = active[current].expect("chain entries are alive");
+        // Nearest alive neighbour of `current`.
+        let mut best = usize::MAX;
+        let mut best_delta = f64::INFINITY;
+        for &other in &alive {
+            if other == current {
+                continue;
+            }
+            let delta = ward(&current_cluster, &active[other].expect("alive cluster"));
+            if delta < best_delta {
+                best_delta = delta;
+                best = other;
+            }
+        }
+        let reciprocal = chain.len() >= 2 && chain[chain.len() - 2] == best;
+        if reciprocal {
+            // Merge `current` and `best`.
+            chain.pop();
+            chain.pop();
+            let a = active[current].expect("alive");
+            let b = active[best].expect("alive");
+            let merged = Active {
+                centroid: Point::new(
+                    (a.centroid.x * a.size + b.centroid.x * b.size) / (a.size + b.size),
+                    (a.centroid.y * a.size + b.centroid.y * b.size) / (a.size + b.size),
+                ),
+                size: a.size + b.size,
+                leaf: a.leaf,
+            };
+            merges.push(Merge {
+                a: a.leaf,
+                b: b.leaf,
+                delta: best_delta,
+            });
+            active[current] = Some(merged);
+            active[best] = None;
+            alive.retain(|&c| c != best);
+        } else {
+            chain.push(best);
+        }
+    }
+    merges
+}
+
+/// Recursively splits the points selected by `indices` along the axis of larger spread at
+/// the median, until every chunk holds at most `chunk_size` points.
+fn median_split_chunks(points: &[Point], indices: &[usize], chunk_size: usize) -> Vec<Vec<usize>> {
+    if indices.len() <= chunk_size {
+        return vec![indices.to_vec()];
+    }
+    let (min_x, max_x) = indices
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+            (lo.min(points[i].x), hi.max(points[i].x))
+        });
+    let (min_y, max_y) = indices
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+            (lo.min(points[i].y), hi.max(points[i].y))
+        });
+    let split_x = (max_x - min_x) >= (max_y - min_y);
+    let mut sorted = indices.to_vec();
+    sorted.sort_by(|&a, &b| {
+        let (ka, kb) = if split_x {
+            (points[a].x, points[b].x)
+        } else {
+            (points[a].y, points[b].y)
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mid = sorted.len() / 2;
+    let (left, right) = sorted.split_at(mid);
+    let mut chunks = median_split_chunks(points, left, chunk_size);
+    chunks.extend(median_split_chunks(points, right, chunk_size));
+    chunks
+}
+
+/// Splits an oversized member list into pieces of at most `max_size` members using the
+/// same recursive median split (exposed for the hierarchy builder).
+pub(crate) fn split_to_max_size(
+    points: &[Point],
+    members: &[usize],
+    max_size: usize,
+) -> Vec<Vec<usize>> {
+    median_split_chunks(points, members, max_size)
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per_blob: usize, spread: f64) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..per_blob {
+                // Deterministic jitter.
+                let angle = (ci * per_blob + k) as f64 * 2.399_963; // golden angle
+                let r = spread * ((k % 7) as f64 / 7.0);
+                pts.push(Point::new(cx + r * angle.cos(), cy + r * angle.sin()));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let cfg = AgglomerativeConfig::new(2).unwrap();
+        assert_eq!(agglomerative_clusters(&[], &cfg), Err(ClusterError::EmptyInput));
+    }
+
+    #[test]
+    fn zero_clusters_is_rejected() {
+        assert!(AgglomerativeConfig::new(0).is_err());
+    }
+
+    #[test]
+    fn more_clusters_than_points_is_rejected() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let cfg = AgglomerativeConfig::new(5).unwrap();
+        assert!(matches!(
+            agglomerative_clusters(&pts, &cfg),
+            Err(ClusterError::TooManyClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn clusters_partition_the_input() {
+        let pts = blobs(&[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0)], 20, 2.0);
+        let cfg = AgglomerativeConfig::new(3).unwrap();
+        let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
+        let mut seen = vec![false; pts.len()];
+        for cluster in &clusters {
+            for &i in cluster {
+                assert!(!seen[i], "point {i} assigned to two clusters");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every point must be assigned");
+    }
+
+    #[test]
+    fn well_separated_blobs_are_recovered() {
+        let pts = blobs(&[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)], 15, 3.0);
+        let cfg = AgglomerativeConfig::new(4).unwrap();
+        let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
+        assert_eq!(clusters.len(), 4);
+        for cluster in &clusters {
+            assert_eq!(cluster.len(), 15, "each blob must map to exactly one cluster");
+            // All members of a cluster must come from the same blob (indices are grouped
+            // by blob in the generator).
+            let blob = cluster[0] / 15;
+            assert!(cluster.iter().all(|&i| i / 15 == blob));
+        }
+    }
+
+    #[test]
+    fn singleton_request_returns_one_cluster() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 0.0)], 5, 1.0);
+        let cfg = AgglomerativeConfig::new(1).unwrap();
+        let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 10);
+    }
+
+    #[test]
+    fn k_equals_n_returns_singletons() {
+        let pts = blobs(&[(0.0, 0.0)], 6, 2.0);
+        let cfg = AgglomerativeConfig::new(6).unwrap();
+        let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
+        assert_eq!(clusters.len(), 6);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn prepartition_path_still_partitions_input() {
+        let pts = blobs(&[(0.0, 0.0), (200.0, 0.0), (0.0, 200.0), (200.0, 200.0)], 50, 5.0);
+        let cfg = AgglomerativeConfig::new(8)
+            .unwrap()
+            .with_max_exact_points(60)
+            .with_prepartition_chunk(64);
+        let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+        assert!(clusters.len() >= 4, "expected at least one cluster per chunk");
+    }
+
+    #[test]
+    fn ward_prefers_merging_nearby_points() {
+        // Three points: two close together, one far away; with k = 2 the far point must
+        // be alone.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(100.0, 0.0),
+        ];
+        let cfg = AgglomerativeConfig::new(2).unwrap();
+        let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
+        let lonely = clusters.iter().find(|c| c.len() == 1).expect("a singleton cluster");
+        assert_eq!(lonely[0], 2);
+    }
+
+    #[test]
+    fn median_split_respects_chunk_size() {
+        let pts = blobs(&[(0.0, 0.0)], 100, 50.0);
+        let idx: Vec<usize> = (0..pts.len()).collect();
+        let chunks = median_split_chunks(&pts, &idx, 16);
+        assert!(chunks.iter().all(|c| c.len() <= 16));
+        let total: usize = chunks.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for clustering operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by clustering and hierarchy construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The input point set was empty.
+    EmptyInput,
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// The requested number of clusters exceeds the number of points.
+    TooManyClusters {
+        /// Requested number of clusters.
+        requested: usize,
+        /// Number of available points.
+        points: usize,
+    },
+    /// A cluster ordering passed to the endpoint fixer was inconsistent.
+    InvalidClusterOrder {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyInput => write!(f, "input point set is empty"),
+            ClusterError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            ClusterError::TooManyClusters { requested, points } => {
+                write!(f, "requested {requested} clusters from only {points} points")
+            }
+            ClusterError::InvalidClusterOrder { reason } => {
+                write!(f, "invalid cluster order: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ClusterError::TooManyClusters {
+            requested: 10,
+            points: 3,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

@@ -1,0 +1,378 @@
+//! Inter-cluster endpoint fixing (Section IV-2 of the paper).
+//!
+//! Once the visiting order of the clusters at a level is known, TAXI fixes the first and
+//! last entities of every cluster *before* solving its interior: for each pair of
+//! neighbouring clusters in the visiting order, the closest pair of member entities pins
+//! the exit of the first cluster and the entry of the second. This guarantees that
+//! solving the sub-problems independently (and in parallel) can never lengthen the
+//! inter-cluster portion of the route.
+
+use crate::{ClusterError, Point};
+
+/// Fixed entry/exit entities of one cluster, expressed as indices into the level's entity
+/// set (level 0: city indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedEndpoints {
+    /// Entity at which the route enters the cluster.
+    pub entry: usize,
+    /// Entity at which the route leaves the cluster.
+    pub exit: usize,
+}
+
+impl FixedEndpoints {
+    /// Returns `true` if the cluster is entered and left through the same entity (only
+    /// legal for single-entity clusters).
+    pub fn is_degenerate(&self) -> bool {
+        self.entry == self.exit
+    }
+}
+
+/// Computes fixed endpoints for every cluster of a level, given the clusters' member
+/// entities and the visiting order of the clusters.
+///
+/// # Example
+///
+/// ```
+/// use taxi_cluster::{EndpointFixer, Point};
+///
+/// // Two clusters side by side; the closest pair across the gap pins the boundary
+/// // cities, and each multi-member cluster gets distinct entry and exit cities.
+/// let entities = vec![
+///     Point::new(0.0, 0.0), Point::new(1.0, 0.0),   // cluster 0
+///     Point::new(3.0, 0.0), Point::new(4.0, 0.0),   // cluster 1
+/// ];
+/// let clusters = vec![vec![0, 1], vec![2, 3]];
+/// let fixer = EndpointFixer::new(&entities);
+/// let endpoints = fixer.fix(&clusters, &[0, 1])?;
+/// assert_eq!(endpoints[0].entry, 1);
+/// assert_eq!(endpoints[1].entry, 2);
+/// assert!(!endpoints[0].is_degenerate());
+/// assert!(!endpoints[1].is_degenerate());
+/// # Ok::<(), taxi_cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EndpointFixer<'a> {
+    entities: &'a [Point],
+}
+
+impl<'a> EndpointFixer<'a> {
+    /// Creates a fixer over the positions of a level's entities.
+    pub fn new(entities: &'a [Point]) -> Self {
+        Self { entities }
+    }
+
+    /// Fixes the endpoints of every cluster.
+    ///
+    /// `clusters[c]` lists the member entity indices of cluster `c`; `visit_order` is the
+    /// cyclic order in which the clusters are visited (each cluster index exactly once).
+    /// The result is indexed by cluster index (not by position in the visiting order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidClusterOrder`] if the visiting order is not a
+    /// permutation of the cluster indices, a cluster is empty, or a member index is out
+    /// of range.
+    pub fn fix(
+        &self,
+        clusters: &[Vec<usize>],
+        visit_order: &[usize],
+    ) -> Result<Vec<FixedEndpoints>, ClusterError> {
+        let k = clusters.len();
+        if visit_order.len() != k {
+            return Err(ClusterError::InvalidClusterOrder {
+                reason: format!(
+                    "visit order has {} entries but there are {} clusters",
+                    visit_order.len(),
+                    k
+                ),
+            });
+        }
+        let mut seen = vec![false; k];
+        for &c in visit_order {
+            if c >= k || seen[c] {
+                return Err(ClusterError::InvalidClusterOrder {
+                    reason: format!("cluster index {c} missing or duplicated in the visit order"),
+                });
+            }
+            seen[c] = true;
+        }
+        for (c, members) in clusters.iter().enumerate() {
+            if members.is_empty() {
+                return Err(ClusterError::InvalidClusterOrder {
+                    reason: format!("cluster {c} has no members"),
+                });
+            }
+            if let Some(&bad) = members.iter().find(|&&m| m >= self.entities.len()) {
+                return Err(ClusterError::InvalidClusterOrder {
+                    reason: format!("cluster {c} references entity {bad} which does not exist"),
+                });
+            }
+        }
+        if k == 1 {
+            // A single cluster: the route both starts and ends inside it; pick the two
+            // mutually farthest members as nominal endpoints (or the same entity when the
+            // cluster is a singleton).
+            let members = &clusters[visit_order[0]];
+            let (entry, exit) = if members.len() == 1 {
+                (members[0], members[0])
+            } else {
+                self.farthest_pair(members)
+            };
+            return Ok(vec![FixedEndpoints { entry, exit }]);
+        }
+
+        // For every adjacent pair in the cyclic visiting order, find the closest pair of
+        // entities across the boundary.
+        let mut exits = vec![usize::MAX; k];
+        let mut entries = vec![usize::MAX; k];
+        for pos in 0..k {
+            let current = visit_order[pos];
+            let next = visit_order[(pos + 1) % k];
+            let (a, b) = self.closest_pair(&clusters[current], &clusters[next]);
+            exits[current] = a;
+            entries[next] = b;
+        }
+
+        // Degenerate repair: if a multi-member cluster would enter and leave through the
+        // same entity, move the exit to the second-best choice towards the next cluster.
+        let mut result = Vec::with_capacity(k);
+        for c in 0..k {
+            let mut entry = entries[c];
+            let mut exit = exits[c];
+            if entry == exit && clusters[c].len() > 1 {
+                let pos = visit_order
+                    .iter()
+                    .position(|&x| x == c)
+                    .expect("cluster is in the visit order");
+                let next = visit_order[(pos + 1) % k];
+                exit = self.closest_excluding(&clusters[c], &clusters[next], entry);
+                if entry == exit {
+                    // Fall back to any other member.
+                    exit = *clusters[c]
+                        .iter()
+                        .find(|&&m| m != entry)
+                        .expect("cluster has more than one member");
+                }
+            }
+            if entry == usize::MAX {
+                entry = clusters[c][0];
+            }
+            if exit == usize::MAX {
+                exit = *clusters[c].last().expect("cluster is non-empty");
+            }
+            result.push(FixedEndpoints { entry, exit });
+        }
+        Ok(result)
+    }
+
+    /// Total length of the inter-cluster connections implied by `endpoints` and the
+    /// cyclic `visit_order`: the sum of distances from each cluster's exit to the next
+    /// cluster's entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn inter_cluster_length(
+        &self,
+        endpoints: &[FixedEndpoints],
+        visit_order: &[usize],
+    ) -> f64 {
+        let k = visit_order.len();
+        if k < 2 {
+            return 0.0;
+        }
+        (0..k)
+            .map(|pos| {
+                let current = visit_order[pos];
+                let next = visit_order[(pos + 1) % k];
+                self.entities[endpoints[current].exit]
+                    .distance(&self.entities[endpoints[next].entry])
+            })
+            .sum()
+    }
+
+    fn closest_pair(&self, a: &[usize], b: &[usize]) -> (usize, usize) {
+        let mut best = (a[0], b[0]);
+        let mut best_d = f64::INFINITY;
+        for &i in a {
+            for &j in b {
+                let d = self.entities[i].squared_distance(&self.entities[j]);
+                if d < best_d {
+                    best_d = d;
+                    best = (i, j);
+                }
+            }
+        }
+        best
+    }
+
+    fn closest_excluding(&self, a: &[usize], b: &[usize], excluded: usize) -> usize {
+        let mut best = excluded;
+        let mut best_d = f64::INFINITY;
+        for &i in a {
+            if i == excluded {
+                continue;
+            }
+            for &j in b {
+                let d = self.entities[i].squared_distance(&self.entities[j]);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+        }
+        best
+    }
+
+    fn farthest_pair(&self, members: &[usize]) -> (usize, usize) {
+        let mut best = (members[0], members[0]);
+        let mut best_d = -1.0;
+        for &i in members {
+            for &j in members {
+                if i == j {
+                    continue;
+                }
+                let d = self.entities[i].squared_distance(&self.entities[j]);
+                if d > best_d {
+                    best_d = d;
+                    best = (i, j);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_cluster_layout() -> (Vec<Point>, Vec<Vec<usize>>) {
+        // Three clusters of three points each arranged on a triangle; each cluster has a
+        // distinct member closest to each of the other clusters, so no endpoint conflicts
+        // arise for the natural visiting order.
+        let entities = vec![
+            Point::new(1.0, 0.2), // 0: cluster 0, towards cluster 1
+            Point::new(0.4, 1.0), // 1: cluster 0, towards cluster 2
+            Point::new(0.0, 0.0), // 2
+            Point::new(9.0, 0.2), // 3: cluster 1, towards cluster 0
+            Point::new(9.6, 1.0), // 4: cluster 1, towards cluster 2
+            Point::new(10.0, 0.0), // 5
+            Point::new(4.4, 7.0), // 6: cluster 2, towards cluster 0
+            Point::new(5.6, 7.0), // 7: cluster 2, towards cluster 1
+            Point::new(5.0, 8.0), // 8
+        ];
+        let clusters = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
+        (entities, clusters)
+    }
+
+    #[test]
+    fn closest_pairs_define_endpoints() {
+        let (entities, clusters) = three_cluster_layout();
+        let fixer = EndpointFixer::new(&entities);
+        let endpoints = fixer.fix(&clusters, &[0, 1, 2]).unwrap();
+        assert_eq!(endpoints[0], FixedEndpoints { entry: 1, exit: 0 });
+        assert_eq!(endpoints[1], FixedEndpoints { entry: 3, exit: 4 });
+        assert_eq!(endpoints[2], FixedEndpoints { entry: 7, exit: 6 });
+    }
+
+    #[test]
+    fn every_cluster_gets_entry_and_exit() {
+        let (entities, clusters) = three_cluster_layout();
+        let fixer = EndpointFixer::new(&entities);
+        let endpoints = fixer.fix(&clusters, &[2, 0, 1]).unwrap();
+        assert_eq!(endpoints.len(), 3);
+        for (c, e) in endpoints.iter().enumerate() {
+            assert!(clusters[c].contains(&e.entry));
+            assert!(clusters[c].contains(&e.exit));
+        }
+    }
+
+    #[test]
+    fn multi_member_clusters_get_distinct_endpoints() {
+        let (entities, clusters) = three_cluster_layout();
+        let fixer = EndpointFixer::new(&entities);
+        for order in [[0usize, 1, 2], [1, 2, 0], [2, 1, 0]] {
+            let endpoints = fixer.fix(&clusters, &order).unwrap();
+            for (c, e) in endpoints.iter().enumerate() {
+                if clusters[c].len() > 1 {
+                    assert_ne!(e.entry, e.exit, "cluster {c} must not be degenerate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_is_degenerate() {
+        let entities = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(9.0, 0.0)];
+        let clusters = vec![vec![0], vec![1], vec![2]];
+        let fixer = EndpointFixer::new(&entities);
+        let endpoints = fixer.fix(&clusters, &[0, 1, 2]).unwrap();
+        assert!(endpoints.iter().all(FixedEndpoints::is_degenerate));
+    }
+
+    #[test]
+    fn single_cluster_level_uses_farthest_pair() {
+        let entities = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(9.0, 0.0)];
+        let clusters = vec![vec![0, 1, 2]];
+        let fixer = EndpointFixer::new(&entities);
+        let endpoints = fixer.fix(&clusters, &[0]).unwrap();
+        let e = endpoints[0];
+        assert!((e.entry == 0 && e.exit == 2) || (e.entry == 2 && e.exit == 0));
+    }
+
+    #[test]
+    fn invalid_visit_orders_are_rejected() {
+        let (entities, clusters) = three_cluster_layout();
+        let fixer = EndpointFixer::new(&entities);
+        assert!(fixer.fix(&clusters, &[0, 1]).is_err());
+        assert!(fixer.fix(&clusters, &[0, 1, 1]).is_err());
+        assert!(fixer.fix(&clusters, &[0, 1, 9]).is_err());
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        let entities = vec![Point::new(0.0, 0.0)];
+        let clusters = vec![vec![0], vec![]];
+        let fixer = EndpointFixer::new(&entities);
+        assert!(fixer.fix(&clusters, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_member_is_rejected() {
+        let entities = vec![Point::new(0.0, 0.0)];
+        let clusters = vec![vec![0], vec![7]];
+        let fixer = EndpointFixer::new(&entities);
+        assert!(fixer.fix(&clusters, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn inter_cluster_length_matches_manual_sum() {
+        let (entities, clusters) = three_cluster_layout();
+        let fixer = EndpointFixer::new(&entities);
+        let order = [0usize, 1, 2];
+        let endpoints = fixer.fix(&clusters, &order).unwrap();
+        let len = fixer.inter_cluster_length(&endpoints, &order);
+        let manual = entities[endpoints[0].exit].distance(&entities[endpoints[1].entry])
+            + entities[endpoints[1].exit].distance(&entities[endpoints[2].entry])
+            + entities[endpoints[2].exit].distance(&entities[endpoints[0].entry]);
+        assert!((len - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixing_minimizes_boundary_crossing() {
+        // The chosen exit/entry pair across adjacent clusters must achieve the minimum
+        // possible crossing distance among all member pairs.
+        let (entities, clusters) = three_cluster_layout();
+        let fixer = EndpointFixer::new(&entities);
+        let endpoints = fixer.fix(&clusters, &[0, 1, 2]).unwrap();
+        let chosen = entities[endpoints[0].exit].distance(&entities[endpoints[1].entry]);
+        let mut brute = f64::INFINITY;
+        for &i in &clusters[0] {
+            for &j in &clusters[1] {
+                brute = brute.min(entities[i].distance(&entities[j]));
+            }
+        }
+        assert!((chosen - brute).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,365 @@
+//! Bottom-up hierarchy construction (Section IV-1 of the paper).
+//!
+//! Cities are clustered into groups no larger than the maximum TSP size one Ising macro
+//! can confidently solve; the cluster centroids form the next level, which is clustered
+//! again, and so on until a level has no more entities than the maximum size — that top
+//! level is solved directly as one sub-problem.
+
+use crate::agglomerative::split_to_max_size;
+use crate::{
+    agglomerative_clusters, kmeans_clusters, AgglomerativeConfig, ClusterError, KMeansConfig,
+    Point,
+};
+
+/// Clustering algorithm used to build each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusteringMethod {
+    /// Agglomerative clustering with Ward linkage (TAXI's choice).
+    #[default]
+    AgglomerativeWard,
+    /// Lloyd's k-means (the choice of HVC / IMA / CIMA, kept for ablations).
+    KMeans,
+}
+
+/// Configuration of the hierarchy builder.
+///
+/// # Example
+///
+/// ```
+/// use taxi_cluster::HierarchyConfig;
+///
+/// let config = HierarchyConfig::new(12)?;
+/// assert_eq!(config.max_cluster_size(), 12);
+/// # Ok::<(), taxi_cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    max_cluster_size: usize,
+    method: ClusteringMethod,
+    seed: u64,
+}
+
+impl HierarchyConfig {
+    /// Creates a configuration with the given maximum cluster (sub-problem) size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if `max_cluster_size` is below 4 (an Ising
+    /// macro needs at least four cities for the annealing moves to be meaningful).
+    pub fn new(max_cluster_size: usize) -> Result<Self, ClusterError> {
+        if max_cluster_size < 4 {
+            return Err(ClusterError::InvalidConfig {
+                name: "max_cluster_size",
+                reason: "must be at least 4".to_string(),
+            });
+        }
+        Ok(Self {
+            max_cluster_size,
+            method: ClusteringMethod::default(),
+            seed: 0xC1A5,
+        })
+    }
+
+    /// Selects the clustering algorithm.
+    pub fn with_method(mut self, method: ClusteringMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the RNG seed (only used by k-means).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The maximum cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.max_cluster_size
+    }
+
+    /// The clustering algorithm.
+    pub fn method(&self) -> ClusteringMethod {
+        self.method
+    }
+}
+
+/// One cluster at one hierarchy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Indices of the entities of the level below (level 0: city indices).
+    pub members: Vec<usize>,
+    /// Centroid of the member positions.
+    pub centroid: Point,
+}
+
+/// One level of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Level {
+    /// The clusters of this level.
+    pub clusters: Vec<Cluster>,
+}
+
+impl Level {
+    /// Number of clusters at this level.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` if the level has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Centroids of all clusters at this level.
+    pub fn centroids(&self) -> Vec<Point> {
+        self.clusters.iter().map(|c| c.centroid).collect()
+    }
+}
+
+/// A bottom-up cluster hierarchy over a set of cities.
+///
+/// Level 0 groups cities; level `i + 1` groups the centroids of level `i`. The topmost
+/// level always has at most `max_cluster_size` clusters so it can be solved directly by
+/// one Ising macro. For instances that already fit in one macro the hierarchy has zero
+/// levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+    num_cities: usize,
+    max_cluster_size: usize,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `cities` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyInput`] if `cities` is empty, or propagates
+    /// clustering errors.
+    pub fn build(cities: &[Point], config: &HierarchyConfig) -> Result<Self, ClusterError> {
+        if cities.is_empty() {
+            return Err(ClusterError::EmptyInput);
+        }
+        let max = config.max_cluster_size;
+        let mut levels = Vec::new();
+        let mut entities: Vec<Point> = cities.to_vec();
+        while entities.len() > max {
+            let target = entities.len().div_ceil(max);
+            let raw_clusters = match config.method {
+                ClusteringMethod::AgglomerativeWard => {
+                    agglomerative_clusters(&entities, &AgglomerativeConfig::new(target)?)?
+                }
+                ClusteringMethod::KMeans => {
+                    kmeans_clusters(&entities, &KMeansConfig::new(target)?.with_seed(config.seed))?
+                }
+            };
+            // Enforce the hard maximum sub-problem size by splitting oversized clusters.
+            let mut bounded: Vec<Vec<usize>> = Vec::with_capacity(raw_clusters.len());
+            for members in raw_clusters {
+                if members.len() <= max {
+                    bounded.push(members);
+                } else {
+                    bounded.extend(split_to_max_size(&entities, &members, max));
+                }
+            }
+            let clusters: Vec<Cluster> = bounded
+                .into_iter()
+                .map(|members| Cluster {
+                    centroid: Point::centroid_of_indices(&entities, &members),
+                    members,
+                })
+                .collect();
+            let level = Level { clusters };
+            entities = level.centroids();
+            levels.push(level);
+            if levels.len() > 64 {
+                return Err(ClusterError::InvalidConfig {
+                    name: "max_cluster_size",
+                    reason: "hierarchy did not converge (too many levels)".to_string(),
+                });
+            }
+        }
+        Ok(Self {
+            levels,
+            num_cities: cities.len(),
+            max_cluster_size: max,
+        })
+    }
+
+    /// Number of levels (zero when the whole instance fits in one macro).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels, bottom (cities) first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Level `i` (0 = the level grouping cities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn level(&self, i: usize) -> &Level {
+        &self.levels[i]
+    }
+
+    /// The topmost level (the one solved directly), if any levels exist.
+    pub fn top_level(&self) -> Option<&Level> {
+        self.levels.last()
+    }
+
+    /// Number of cities the hierarchy was built over.
+    pub fn num_cities(&self) -> usize {
+        self.num_cities
+    }
+
+    /// The maximum cluster size the hierarchy was built with.
+    pub fn max_cluster_size(&self) -> usize {
+        self.max_cluster_size
+    }
+
+    /// Total number of sub-problems (clusters across all levels plus the top-level TSP).
+    pub fn num_subproblems(&self) -> usize {
+        let cluster_subproblems: usize = self.levels.iter().map(Level::len).sum();
+        // The topmost solve over the last level's centroids (or over the cities if there
+        // are no levels) is one additional sub-problem.
+        cluster_subproblems + 1
+    }
+
+    /// Checks the structural invariants: every entity of every level appears in exactly
+    /// one cluster of the level above, and no cluster exceeds the maximum size.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let mut expected = self.num_cities;
+        for (li, level) in self.levels.iter().enumerate() {
+            let mut seen = vec![false; expected];
+            for cluster in &level.clusters {
+                if cluster.members.len() > self.max_cluster_size {
+                    return Err(ClusterError::InvalidConfig {
+                        name: "max_cluster_size",
+                        reason: format!(
+                            "cluster at level {li} has {} members (max {})",
+                            cluster.members.len(),
+                            self.max_cluster_size
+                        ),
+                    });
+                }
+                for &m in &cluster.members {
+                    if m >= expected || seen[m] {
+                        return Err(ClusterError::InvalidClusterOrder {
+                            reason: format!("entity {m} at level {li} is missing or duplicated"),
+                        });
+                    }
+                    seen[m] = true;
+                }
+            }
+            if !seen.iter().all(|&s| s) {
+                return Err(ClusterError::InvalidClusterOrder {
+                    reason: format!("level {li} does not cover all entities"),
+                });
+            }
+            expected = level.len();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Point> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Point::new((i % side) as f64, (i / side) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn small_instance_has_zero_levels() {
+        let cities = grid(10);
+        let h = Hierarchy::build(&cities, &HierarchyConfig::new(12).unwrap()).unwrap();
+        assert_eq!(h.num_levels(), 0);
+        assert_eq!(h.num_subproblems(), 1);
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn medium_instance_builds_one_level() {
+        let cities = grid(100);
+        let h = Hierarchy::build(&cities, &HierarchyConfig::new(12).unwrap()).unwrap();
+        assert!(h.num_levels() >= 1);
+        h.validate().unwrap();
+        // Level 0 must cover all 100 cities.
+        let covered: usize = h.level(0).clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn deep_hierarchy_for_large_instance() {
+        let cities = grid(2000);
+        let h = Hierarchy::build(&cities, &HierarchyConfig::new(12).unwrap()).unwrap();
+        assert!(h.num_levels() >= 2, "2000 cities at size 12 needs multiple levels");
+        h.validate().unwrap();
+        assert!(h.top_level().unwrap().len() <= 12);
+    }
+
+    #[test]
+    fn no_cluster_exceeds_max_size() {
+        let cities = grid(500);
+        for max in [8usize, 12, 20] {
+            let h = Hierarchy::build(&cities, &HierarchyConfig::new(max).unwrap()).unwrap();
+            for level in h.levels() {
+                for cluster in &level.clusters {
+                    assert!(cluster.members.len() <= max);
+                    assert!(!cluster.members.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_method_also_builds_valid_hierarchy() {
+        let cities = grid(300);
+        let config = HierarchyConfig::new(12)
+            .unwrap()
+            .with_method(ClusteringMethod::KMeans);
+        let h = Hierarchy::build(&cities, &config).unwrap();
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn larger_cluster_size_gives_fewer_subproblems() {
+        let cities = grid(600);
+        let small = Hierarchy::build(&cities, &HierarchyConfig::new(8).unwrap()).unwrap();
+        let large = Hierarchy::build(&cities, &HierarchyConfig::new(20).unwrap()).unwrap();
+        assert!(large.num_subproblems() < small.num_subproblems());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(
+            Hierarchy::build(&[], &HierarchyConfig::new(12).unwrap()),
+            Err(ClusterError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn tiny_max_cluster_size_is_rejected() {
+        assert!(HierarchyConfig::new(3).is_err());
+        assert!(HierarchyConfig::new(4).is_ok());
+    }
+
+    #[test]
+    fn centroids_lie_within_bounding_box() {
+        let cities = grid(250);
+        let h = Hierarchy::build(&cities, &HierarchyConfig::new(10).unwrap()).unwrap();
+        for level in h.levels() {
+            for cluster in &level.clusters {
+                assert!(cluster.centroid.x >= 0.0 && cluster.centroid.x <= 16.0);
+                assert!(cluster.centroid.y >= 0.0 && cluster.centroid.y <= 16.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Lloyd's k-means clustering.
+//!
+//! Earlier clustered Ising solvers (HVC, IMA, CIMA — the paper's refs [4]–[7]) use
+//! k-means to decompose the TSP. TAXI replaces it with agglomerative Ward clustering;
+//! this module provides k-means so the baseline solvers and the clustering ablation can
+//! compare both choices.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{ClusterError, Point};
+
+/// Configuration of the k-means pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// RNG seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration with 50 Lloyd iterations and a fixed seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if `k` is zero.
+    pub fn new(k: usize) -> Result<Self, ClusterError> {
+        if k == 0 {
+            return Err(ClusterError::InvalidConfig {
+                name: "k",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        Ok(Self {
+            k,
+            max_iterations: 50,
+            seed: 0x5eed,
+        })
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the iteration budget.
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations.max(1);
+        self
+    }
+}
+
+/// Clusters `points` into `config.k` groups with Lloyd's algorithm (k-means++
+/// initialisation). Returns the member indices of each cluster; empty clusters are
+/// dropped, so fewer than `k` clusters may be returned for degenerate inputs.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::EmptyInput`] for an empty point set or
+/// [`ClusterError::TooManyClusters`] when `k` exceeds the number of points.
+///
+/// # Example
+///
+/// ```
+/// use taxi_cluster::{kmeans_clusters, KMeansConfig, Point};
+///
+/// let mut points = Vec::new();
+/// for i in 0..10 {
+///     points.push(Point::new(i as f64 * 0.01, 0.0));
+///     points.push(Point::new(50.0 + i as f64 * 0.01, 0.0));
+/// }
+/// let clusters = kmeans_clusters(&points, &KMeansConfig::new(2)?)?;
+/// assert_eq!(clusters.len(), 2);
+/// # Ok::<(), taxi_cluster::ClusterError>(())
+/// ```
+pub fn kmeans_clusters(
+    points: &[Point],
+    config: &KMeansConfig,
+) -> Result<Vec<Vec<usize>>, ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::EmptyInput);
+    }
+    if config.k > points.len() {
+        return Err(ClusterError::TooManyClusters {
+            requested: config.k,
+            points: points.len(),
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut centroids = kmeans_plus_plus_init(points, config.k, &mut rng);
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..config.max_iterations {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    p.squared_distance(a)
+                        .partial_cmp(&p.squared_distance(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(idx, _)| idx)
+                .expect("at least one centroid");
+            if assignment[i] != nearest {
+                assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); config.k];
+        for (i, p) in points.iter().enumerate() {
+            let s = &mut sums[assignment[i]];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += 1;
+        }
+        for (c, s) in centroids.iter_mut().zip(&sums) {
+            if s.2 > 0 {
+                *c = Point::new(s.0 / s.2 as f64, s.1 / s.2 as f64);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); config.k];
+    for (i, &a) in assignment.iter().enumerate() {
+        clusters[a].push(i);
+    }
+    clusters.retain(|c| !c.is_empty());
+    Ok(clusters)
+}
+
+fn kmeans_plus_plus_init<R: Rng + ?Sized>(points: &[Point], k: usize, rng: &mut R) -> Vec<Point> {
+    let mut centroids = Vec::with_capacity(k);
+    let first = *points.choose(rng).expect("non-empty input");
+    centroids.push(first);
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| p.squared_distance(c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with existing centroids.
+            centroids.push(first);
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if target <= *w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen]);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let cfg = KMeansConfig::new(2).unwrap();
+        assert_eq!(kmeans_clusters(&[], &cfg), Err(ClusterError::EmptyInput));
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        assert!(KMeansConfig::new(0).is_err());
+    }
+
+    #[test]
+    fn too_many_clusters_is_rejected() {
+        let pts = vec![Point::new(0.0, 0.0)];
+        let cfg = KMeansConfig::new(3).unwrap();
+        assert!(matches!(
+            kmeans_clusters(&pts, &cfg),
+            Err(ClusterError::TooManyClusters { .. })
+        ));
+    }
+
+    #[test]
+    fn separated_blobs_are_recovered() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(Point::new(i as f64 * 0.1, 0.0));
+            pts.push(Point::new(1000.0 + i as f64 * 0.1, 0.0));
+        }
+        let cfg = KMeansConfig::new(2).unwrap();
+        let clusters = kmeans_clusters(&pts, &cfg).unwrap();
+        assert_eq!(clusters.len(), 2);
+        for cluster in &clusters {
+            assert_eq!(cluster.len(), 20);
+            let parity = cluster[0] % 2;
+            assert!(cluster.iter().all(|&i| i % 2 == parity));
+        }
+    }
+
+    #[test]
+    fn clusters_partition_the_input() {
+        let pts: Vec<Point> = (0..37)
+            .map(|i| Point::new((i % 6) as f64, (i / 6) as f64))
+            .collect();
+        let cfg = KMeansConfig::new(4).unwrap();
+        let clusters = kmeans_clusters(&pts, &cfg).unwrap();
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 13 % 29) as f64, (i * 7 % 31) as f64))
+            .collect();
+        let cfg = KMeansConfig::new(5).unwrap().with_seed(42);
+        let a = kmeans_clusters(&pts, &cfg).unwrap();
+        let b = kmeans_clusters(&pts, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_identical_points_do_not_panic() {
+        let pts = vec![Point::new(1.0, 1.0); 8];
+        let cfg = KMeansConfig::new(3).unwrap();
+        let clusters = kmeans_clusters(&pts, &cfg).unwrap();
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+    }
+}

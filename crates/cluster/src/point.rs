@@ -1,0 +1,123 @@
+//! 2-D point type shared by the clustering and hierarchy modules.
+
+use std::fmt;
+
+/// A city location in the Euclidean plane.
+///
+/// # Example
+///
+/// ```
+/// use taxi_cluster::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(&b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.squared_distance(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper; used by Ward linkage and k-means).
+    pub fn squared_distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Centroid of a non-empty set of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn centroid(points: &[Point]) -> Point {
+        assert!(!points.is_empty(), "centroid of an empty point set is undefined");
+        let n = points.len() as f64;
+        let (sx, sy) = points
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Point::new(sx / n, sy / n)
+    }
+
+    /// Centroid of the points selected by `indices` from `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or contains an out-of-range index.
+    pub fn centroid_of_indices(points: &[Point], indices: &[usize]) -> Point {
+        assert!(!indices.is_empty(), "centroid of an empty member set is undefined");
+        let n = indices.len() as f64;
+        let (sx, sy) = indices
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), &i| (sx + points[i].x, sy + points[i].y));
+        Point::new(sx / n, sy / n)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.squared_distance(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(-3.5, 7.0);
+        let b = Point::new(2.0, -1.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn centroid_averages_coordinates() {
+        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 3.0)];
+        let c = Point::centroid(&pts);
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_indices_uses_subset() {
+        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 10.0), Point::new(2.0, 4.0)];
+        let c = Point::centroid_of_indices(&pts, &[0, 2]);
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn centroid_of_empty_set_panics() {
+        Point::centroid(&[]);
+    }
+
+    #[test]
+    fn display_formats_coordinates() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+}

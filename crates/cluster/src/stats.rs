@@ -1,0 +1,134 @@
+//! Cluster-quality statistics.
+//!
+//! The paper argues for agglomerative Ward clustering over k-means because Ward minimises
+//! intra-cluster variance while still allowing compact *irregular* clusters. These
+//! statistics make that argument measurable: intra-cluster variance, cluster radius, and
+//! the balance of cluster sizes, computed for any clustering produced by this crate.
+
+use crate::Point;
+
+/// Summary statistics of one clustering (a partition of a point set).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusteringStats {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Total number of points.
+    pub points: usize,
+    /// Sum over clusters of the within-cluster sum of squared distances to the centroid
+    /// (the quantity Ward linkage greedily minimises).
+    pub within_cluster_variance: f64,
+    /// Mean distance of a point to its cluster centroid.
+    pub mean_radius: f64,
+    /// Largest distance of any point to its cluster centroid.
+    pub max_radius: f64,
+    /// Size of the smallest cluster.
+    pub min_cluster_size: usize,
+    /// Size of the largest cluster.
+    pub max_cluster_size: usize,
+}
+
+impl ClusteringStats {
+    /// Computes statistics for `clusters` (member indices into `points`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of range or a cluster is empty.
+    pub fn compute(points: &[Point], clusters: &[Vec<usize>]) -> Self {
+        assert!(!clusters.is_empty(), "at least one cluster is required");
+        let mut within = 0.0;
+        let mut radius_sum = 0.0;
+        let mut max_radius: f64 = 0.0;
+        let mut total_points = 0usize;
+        let mut min_size = usize::MAX;
+        let mut max_size = 0usize;
+        for members in clusters {
+            assert!(!members.is_empty(), "clusters must not be empty");
+            let centroid = Point::centroid_of_indices(points, members);
+            min_size = min_size.min(members.len());
+            max_size = max_size.max(members.len());
+            total_points += members.len();
+            for &m in members {
+                let d2 = points[m].squared_distance(&centroid);
+                within += d2;
+                let d = d2.sqrt();
+                radius_sum += d;
+                max_radius = max_radius.max(d);
+            }
+        }
+        Self {
+            clusters: clusters.len(),
+            points: total_points,
+            within_cluster_variance: within,
+            mean_radius: radius_sum / total_points as f64,
+            max_radius,
+            min_cluster_size: min_size,
+            max_cluster_size: max_size,
+        }
+    }
+
+    /// Ratio of the largest to the smallest cluster size (1.0 = perfectly balanced).
+    pub fn size_imbalance(&self) -> f64 {
+        if self.min_cluster_size == 0 {
+            return f64::INFINITY;
+        }
+        self.max_cluster_size as f64 / self.min_cluster_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{agglomerative_clusters, kmeans_clusters, AgglomerativeConfig, KMeansConfig};
+
+    fn two_blobs() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(Point::new(i as f64 * 0.1, 0.0));
+            pts.push(Point::new(100.0 + i as f64 * 0.1, 0.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn perfect_split_has_tiny_variance() {
+        let pts = two_blobs();
+        let good = vec![(0..40).step_by(2).collect::<Vec<_>>(), (1..40).step_by(2).collect()];
+        let bad = vec![(0..20).collect::<Vec<_>>(), (20..40).collect()];
+        let good_stats = ClusteringStats::compute(&pts, &good);
+        let bad_stats = ClusteringStats::compute(&pts, &bad);
+        // "good" groups each blob together (even indices = blob 1, odd = blob 2), "bad"
+        // cuts across the blobs, mixing near and far points.
+        assert!(good_stats.within_cluster_variance < bad_stats.within_cluster_variance);
+        assert!(good_stats.max_radius < bad_stats.max_radius);
+    }
+
+    #[test]
+    fn ward_variance_is_competitive_with_kmeans() {
+        let pts = two_blobs();
+        let ward = agglomerative_clusters(&pts, &AgglomerativeConfig::new(2).unwrap()).unwrap();
+        let km = kmeans_clusters(&pts, &KMeansConfig::new(2).unwrap()).unwrap();
+        let ward_stats = ClusteringStats::compute(&pts, &ward);
+        let km_stats = ClusteringStats::compute(&pts, &km);
+        // On a clean two-blob instance both must find the obvious partition.
+        assert!((ward_stats.within_cluster_variance - km_stats.within_cluster_variance).abs() < 1e-6);
+        assert_eq!(ward_stats.points, 40);
+        assert_eq!(ward_stats.clusters, 2);
+    }
+
+    #[test]
+    fn imbalance_is_one_for_equal_clusters() {
+        let pts = two_blobs();
+        let clusters = vec![(0..20).collect::<Vec<_>>(), (20..40).collect()];
+        let stats = ClusteringStats::compute(&pts, &clusters);
+        assert!((stats.size_imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.min_cluster_size, 20);
+        assert_eq!(stats.max_cluster_size, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_cluster_panics() {
+        let pts = two_blobs();
+        ClusteringStats::compute(&pts, &[vec![0, 1], vec![]]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the clustering substrate.
+
+use proptest::prelude::*;
+
+use taxi_cluster::{
+    agglomerative_clusters, kmeans_clusters, AgglomerativeConfig, ClusteringStats, EndpointFixer,
+    Hierarchy, HierarchyConfig, KMeansConfig, Point,
+};
+
+fn points_strategy(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((-200.0f64..200.0, -200.0f64..200.0), 8..max_len)
+        .prop_map(|raw| raw.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn is_partition(clusters: &[Vec<usize>], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for cluster in clusters {
+        for &m in cluster {
+            if m >= n || seen[m] {
+                return false;
+            }
+            seen[m] = true;
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// k-means always partitions the input and never produces empty clusters.
+    #[test]
+    fn kmeans_partitions_points(points in points_strategy(80), k in 1usize..8) {
+        prop_assume!(k <= points.len());
+        let clusters = kmeans_clusters(&points, &KMeansConfig::new(k).unwrap()).unwrap();
+        prop_assert!(is_partition(&clusters, points.len()));
+        prop_assert!(clusters.iter().all(|c| !c.is_empty()));
+        prop_assert!(clusters.len() <= k);
+    }
+
+    /// Ward agglomerative clustering never yields a higher within-cluster variance than
+    /// putting everything in one cluster, and splitting further never increases it.
+    #[test]
+    fn ward_variance_decreases_with_more_clusters(points in points_strategy(60)) {
+        let one = agglomerative_clusters(&points, &AgglomerativeConfig::new(1).unwrap()).unwrap();
+        let four_k = 4.min(points.len());
+        let four =
+            agglomerative_clusters(&points, &AgglomerativeConfig::new(four_k).unwrap()).unwrap();
+        let stats_one = ClusteringStats::compute(&points, &one);
+        let stats_four = ClusteringStats::compute(&points, &four);
+        prop_assert!(stats_four.within_cluster_variance <= stats_one.within_cluster_variance + 1e-6);
+    }
+
+    /// Endpoint fixing always returns endpoints that belong to their cluster, with
+    /// distinct entry/exit for multi-member clusters.
+    #[test]
+    fn endpoint_fixing_respects_membership(points in points_strategy(60), max_size in 4usize..10) {
+        let hierarchy = Hierarchy::build(&points, &HierarchyConfig::new(max_size).unwrap()).unwrap();
+        prop_assume!(hierarchy.num_levels() >= 1);
+        let level = hierarchy.level(0);
+        prop_assume!(level.len() >= 2);
+        let members: Vec<Vec<usize>> = level.clusters.iter().map(|c| c.members.clone()).collect();
+        let order: Vec<usize> = (0..members.len()).collect();
+        let fixer = EndpointFixer::new(&points);
+        let endpoints = fixer.fix(&members, &order).unwrap();
+        for (cluster, endpoint) in members.iter().zip(&endpoints) {
+            prop_assert!(cluster.contains(&endpoint.entry));
+            prop_assert!(cluster.contains(&endpoint.exit));
+            if cluster.len() > 1 {
+                prop_assert_ne!(endpoint.entry, endpoint.exit);
+            }
+        }
+        prop_assert!(fixer.inter_cluster_length(&endpoints, &order) >= 0.0);
+    }
+
+    /// Hierarchies built with either clustering method cover every city exactly once at
+    /// level 0 and never exceed the maximum cluster size anywhere.
+    #[test]
+    fn hierarchies_are_valid_partitions(points in points_strategy(120), max_size in 4usize..14) {
+        for method in [
+            taxi_cluster::hierarchy::ClusteringMethod::AgglomerativeWard,
+            taxi_cluster::hierarchy::ClusteringMethod::KMeans,
+        ] {
+            let config = HierarchyConfig::new(max_size).unwrap().with_method(method);
+            let hierarchy = Hierarchy::build(&points, &config).unwrap();
+            hierarchy.validate().unwrap();
+            if hierarchy.num_levels() > 0 {
+                let level0: Vec<Vec<usize>> = hierarchy
+                    .level(0)
+                    .clusters
+                    .iter()
+                    .map(|c| c.members.clone())
+                    .collect();
+                prop_assert!(is_partition(&level0, points.len()));
+            }
+        }
+    }
+}

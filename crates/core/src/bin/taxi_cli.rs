@@ -1,0 +1,192 @@
+//! Command-line front end for the TAXI solver.
+//!
+//! ```text
+//! taxi_cli --synthetic 500                    # solve a 500-city synthetic instance
+//! taxi_cli --instance data/pr1002.tsp         # solve a TSPLIB file
+//! taxi_cli --instance board.tsp --cluster-size 16 --bits 2 --tour-out board.tour
+//! ```
+
+use std::process::ExitCode;
+
+use taxi::{TaxiConfig, TaxiSolver};
+use taxi_tsplib::generator::clustered_instance;
+use taxi_tsplib::{parse_tsp, tour_io, TspInstance};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct CliOptions {
+    instance_path: Option<String>,
+    synthetic_size: Option<usize>,
+    cluster_size: usize,
+    bits: u8,
+    seed: u64,
+    tour_out: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            instance_path: None,
+            synthetic_size: None,
+            cluster_size: 12,
+            bits: 4,
+            seed: 42,
+            tour_out: None,
+        }
+    }
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    while let Some(arg) = args.next() {
+        let mut value_for = |name: &str, args: &mut I| {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--instance" => options.instance_path = Some(value_for("--instance", &mut args)?),
+            "--synthetic" => {
+                options.synthetic_size = Some(
+                    value_for("--synthetic", &mut args)?
+                        .parse()
+                        .map_err(|_| "invalid --synthetic size".to_string())?,
+                )
+            }
+            "--cluster-size" => {
+                options.cluster_size = value_for("--cluster-size", &mut args)?
+                    .parse()
+                    .map_err(|_| "invalid --cluster-size".to_string())?
+            }
+            "--bits" => {
+                options.bits = value_for("--bits", &mut args)?
+                    .parse()
+                    .map_err(|_| "invalid --bits".to_string())?
+            }
+            "--seed" => {
+                options.seed = value_for("--seed", &mut args)?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?
+            }
+            "--tour-out" => options.tour_out = Some(value_for("--tour-out", &mut args)?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if options.instance_path.is_none() && options.synthetic_size.is_none() {
+        options.synthetic_size = Some(200);
+    }
+    Ok(options)
+}
+
+fn usage() -> String {
+    "usage: taxi_cli [--instance <file.tsp> | --synthetic <cities>] \
+     [--cluster-size N] [--bits 2|3|4] [--seed S] [--tour-out <file.tour>]"
+        .to_string()
+}
+
+fn load_instance(options: &CliOptions) -> Result<TspInstance, String> {
+    if let Some(path) = &options.instance_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_tsp(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    } else {
+        let n = options.synthetic_size.expect("synthetic size defaulted");
+        Ok(clustered_instance("synthetic", n, (n / 40).max(2), options.seed))
+    }
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let instance = load_instance(options)?;
+    let config = TaxiConfig::new()
+        .with_max_cluster_size(options.cluster_size)
+        .map_err(|e| e.to_string())?
+        .with_bit_precision(options.bits)
+        .map_err(|e| e.to_string())?
+        .with_seed(options.seed);
+    let solution = TaxiSolver::new(config)
+        .solve(&instance)
+        .map_err(|e| e.to_string())?;
+
+    println!("instance        : {} ({} cities)", instance.name(), instance.dimension());
+    println!("cluster size    : {}", options.cluster_size);
+    println!("bit precision   : {}-bit", options.bits);
+    println!("tour length     : {:.2}", solution.length);
+    println!("hierarchy levels: {}", solution.levels);
+    println!("sub-problems    : {}", solution.subproblems);
+    println!("host latency    : {:.3} ms (clustering + fixing)",
+        (solution.latency.clustering_seconds + solution.latency.fixing_seconds) * 1e3);
+    println!("hw latency      : {:.3} µs (ising + transfer + mapping)",
+        (solution.latency.ising_seconds
+            + solution.latency.transfer_seconds
+            + solution.latency.mapping_seconds) * 1e6);
+    println!("hw energy       : {:.3} µJ", solution.energy.total_joules() * 1e6);
+
+    if let Some(path) = &options.tour_out {
+        let text = tour_io::write_tour(&solution.tour, instance.name());
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("tour written to : {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_a_synthetic_instance() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.synthetic_size, Some(200));
+        assert_eq!(options.cluster_size, 12);
+        assert_eq!(options.bits, 4);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let options = parse(&[
+            "--instance", "a.tsp", "--cluster-size", "16", "--bits", "2", "--seed", "7",
+            "--tour-out", "out.tour",
+        ])
+        .unwrap();
+        assert_eq!(options.instance_path.as_deref(), Some("a.tsp"));
+        assert_eq!(options.cluster_size, 16);
+        assert_eq!(options.bits, 2);
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.tour_out.as_deref(), Some("out.tour"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--cluster-size"]).is_err());
+        assert!(parse(&["--bits", "many"]).is_err());
+    }
+
+    #[test]
+    fn synthetic_run_end_to_end() {
+        let options = CliOptions {
+            synthetic_size: Some(60),
+            ..CliOptions::default()
+        };
+        run(&options).unwrap();
+    }
+}

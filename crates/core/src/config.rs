@@ -1,0 +1,258 @@
+//! Configuration of the end-to-end TAXI solver.
+
+use taxi_arch::ArchConfig;
+use taxi_cluster::hierarchy::ClusteringMethod;
+use taxi_cluster::HierarchyConfig;
+use taxi_ising::{CurrentSchedule, MacroSolverConfig};
+use taxi_xbar::{BitPrecision, MacroConfig};
+
+use crate::TaxiError;
+
+/// Builder-style configuration of the TAXI solver.
+///
+/// The defaults match the configuration the paper benchmarks (maximum cluster size 12,
+/// 4-bit weight precision, agglomerative Ward clustering, realistic device
+/// non-idealities) with the software annealing schedule (the hardware schedule is always
+/// used for latency/energy accounting).
+///
+/// # Example
+///
+/// ```
+/// use taxi::TaxiConfig;
+///
+/// let config = TaxiConfig::new()
+///     .with_max_cluster_size(16)?
+///     .with_bit_precision(2)?
+///     .with_seed(7);
+/// assert_eq!(config.max_cluster_size(), 16);
+/// # Ok::<(), taxi::TaxiError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxiConfig {
+    max_cluster_size: usize,
+    precision: BitPrecision,
+    clustering_method: ClusteringMethod,
+    ideal_devices: bool,
+    elitist: bool,
+    software_schedule: CurrentSchedule,
+    hardware_schedule: CurrentSchedule,
+    seed: u64,
+    threads: usize,
+    arch_override: Option<ArchConfig>,
+}
+
+impl TaxiConfig {
+    /// Creates the default configuration (cluster size 12, 4-bit, Ward clustering).
+    pub fn new() -> Self {
+        Self {
+            max_cluster_size: 12,
+            precision: BitPrecision::FOUR,
+            clustering_method: ClusteringMethod::AgglomerativeWard,
+            ideal_devices: false,
+            elitist: true,
+            software_schedule: CurrentSchedule::software(),
+            hardware_schedule: CurrentSchedule::paper(),
+            seed: 0x7A11,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            arch_override: None,
+        }
+    }
+
+    /// Sets the maximum cluster (sub-problem) size; the paper sweeps 12–20.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaxiError::InvalidConfig`] for values below 4.
+    pub fn with_max_cluster_size(mut self, size: usize) -> Result<Self, TaxiError> {
+        if size < 4 {
+            return Err(TaxiError::InvalidConfig {
+                name: "max_cluster_size",
+                reason: "must be at least 4".to_string(),
+            });
+        }
+        self.max_cluster_size = size;
+        Ok(self)
+    }
+
+    /// Sets the weight bit precision (the paper evaluates 2, 3 and 4 bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaxiError::InvalidConfig`] for precisions outside 1–8 bits.
+    pub fn with_bit_precision(mut self, bits: u8) -> Result<Self, TaxiError> {
+        self.precision = BitPrecision::new(bits).map_err(|_| TaxiError::InvalidConfig {
+            name: "bit_precision",
+            reason: format!("{bits} bits is outside the supported 1..=8 range"),
+        })?;
+        Ok(self)
+    }
+
+    /// Selects the clustering algorithm (Ward agglomerative by default; k-means for the
+    /// ablation).
+    pub fn with_clustering_method(mut self, method: ClusteringMethod) -> Self {
+        self.clustering_method = method;
+        self
+    }
+
+    /// Uses ideal devices (no wire resistance, variation, or ArgMax resolution limits).
+    pub fn with_ideal_devices(mut self, ideal: bool) -> Self {
+        self.ideal_devices = ideal;
+        self
+    }
+
+    /// Enables or disables elitist sub-solution tracking (see
+    /// [`taxi_ising::MacroSolverConfig::with_elitist`]).
+    pub fn with_elitist(mut self, elitist: bool) -> Self {
+        self.elitist = elitist;
+        self
+    }
+
+    /// Overrides the software annealing schedule used to actually solve sub-problems.
+    pub fn with_software_schedule(mut self, schedule: CurrentSchedule) -> Self {
+        self.software_schedule = schedule;
+        self
+    }
+
+    /// Overrides the hardware annealing schedule used for latency/energy accounting
+    /// (defaults to the paper's 1340-iteration schedule).
+    pub fn with_hardware_schedule(mut self, schedule: CurrentSchedule) -> Self {
+        self.hardware_schedule = schedule;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads used to solve clusters of a level in parallel.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The maximum cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.max_cluster_size
+    }
+
+    /// The weight bit precision.
+    pub fn precision(&self) -> BitPrecision {
+        self.precision
+    }
+
+    /// The clustering algorithm.
+    pub fn clustering_method(&self) -> ClusteringMethod {
+        self.clustering_method
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The software schedule used for the actual sub-problem solves.
+    pub fn software_schedule(&self) -> CurrentSchedule {
+        self.software_schedule
+    }
+
+    /// The hardware schedule used for latency/energy accounting.
+    pub fn hardware_schedule(&self) -> CurrentSchedule {
+        self.hardware_schedule
+    }
+
+    /// Builds the hierarchy configuration for the clustering layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid cluster sizes (cannot occur for a validated configuration).
+    pub fn hierarchy_config(&self) -> Result<HierarchyConfig, TaxiError> {
+        Ok(HierarchyConfig::new(self.max_cluster_size)?
+            .with_method(self.clustering_method)
+            .with_seed(self.seed))
+    }
+
+    /// Builds the per-macro solver configuration.
+    pub fn macro_solver_config(&self) -> MacroSolverConfig {
+        let mut macro_config = MacroConfig::new(self.precision.bits())
+            .with_capacity(self.max_cluster_size.max(4));
+        if self.ideal_devices {
+            macro_config = macro_config.with_ideal_devices();
+        }
+        MacroSolverConfig::new(macro_config)
+            .with_schedule(self.software_schedule)
+            .with_elitist(self.elitist)
+    }
+
+    /// Overrides the spatial-architecture description used for latency/energy
+    /// accounting (chip size, interconnect constants, ...). The macro capacity and bit
+    /// precision of the override are always forced to match this configuration.
+    pub fn with_arch_override(mut self, arch: ArchConfig) -> Self {
+        self.arch_override = Some(arch);
+        self
+    }
+
+    /// Builds the architecture configuration used for latency/energy accounting.
+    pub fn arch_config(&self) -> ArchConfig {
+        self.arch_override
+            .clone()
+            .unwrap_or_default()
+            .with_macro_capacity(self.max_cluster_size)
+            .with_precision(self.precision)
+    }
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_ising::AnnealingSchedule;
+
+    #[test]
+    fn defaults_match_the_paper_configuration() {
+        let config = TaxiConfig::default();
+        assert_eq!(config.max_cluster_size(), 12);
+        assert_eq!(config.precision(), BitPrecision::FOUR);
+        assert_eq!(config.clustering_method(), ClusteringMethod::AgglomerativeWard);
+        assert_eq!(config.hardware_schedule().len(), 1340);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(TaxiConfig::new().with_max_cluster_size(2).is_err());
+        assert!(TaxiConfig::new().with_bit_precision(0).is_err());
+        assert!(TaxiConfig::new().with_bit_precision(9).is_err());
+    }
+
+    #[test]
+    fn builders_propagate_to_sub_configurations() {
+        let config = TaxiConfig::new()
+            .with_max_cluster_size(16)
+            .unwrap()
+            .with_bit_precision(2)
+            .unwrap();
+        assert_eq!(config.macro_solver_config().macro_config().capacity(), 16);
+        assert_eq!(config.arch_config().macro_capacity(), 16);
+        assert_eq!(config.arch_config().precision, BitPrecision::TWO);
+        assert_eq!(config.hierarchy_config().unwrap().max_cluster_size(), 16);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        let config = TaxiConfig::new().with_threads(0);
+        assert_eq!(config.threads(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type of the top-level TAXI solver.
+
+use std::error::Error;
+use std::fmt;
+
+use taxi_arch::ArchError;
+use taxi_cluster::ClusterError;
+use taxi_ising::IsingError;
+use taxi_tsplib::TsplibError;
+
+/// Errors returned by the TAXI solver and experiment runners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaxiError {
+    /// The solver configuration is invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: String,
+    },
+    /// The instance cannot be solved by TAXI (e.g. no coordinates available).
+    UnsupportedInstance {
+        /// Explanation of the limitation.
+        reason: String,
+    },
+    /// Error from the clustering layer.
+    Cluster(ClusterError),
+    /// Error from the Ising / macro layer.
+    Ising(IsingError),
+    /// Error from the architecture simulator.
+    Arch(ArchError),
+    /// Error from the TSPLIB substrate.
+    Tsplib(TsplibError),
+}
+
+impl fmt::Display for TaxiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxiError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            TaxiError::UnsupportedInstance { reason } => {
+                write!(f, "unsupported instance: {reason}")
+            }
+            TaxiError::Cluster(err) => write!(f, "clustering error: {err}"),
+            TaxiError::Ising(err) => write!(f, "ising error: {err}"),
+            TaxiError::Arch(err) => write!(f, "architecture error: {err}"),
+            TaxiError::Tsplib(err) => write!(f, "tsplib error: {err}"),
+        }
+    }
+}
+
+impl Error for TaxiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TaxiError::Cluster(err) => Some(err),
+            TaxiError::Ising(err) => Some(err),
+            TaxiError::Arch(err) => Some(err),
+            TaxiError::Tsplib(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for TaxiError {
+    fn from(err: ClusterError) -> Self {
+        TaxiError::Cluster(err)
+    }
+}
+
+impl From<IsingError> for TaxiError {
+    fn from(err: IsingError) -> Self {
+        TaxiError::Ising(err)
+    }
+}
+
+impl From<ArchError> for TaxiError {
+    fn from(err: ArchError) -> Self {
+        TaxiError::Arch(err)
+    }
+}
+
+impl From<TsplibError> for TaxiError {
+    fn from(err: TsplibError) -> Self {
+        TaxiError::Tsplib(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TaxiError::UnsupportedInstance {
+            reason: "explicit matrix without coordinates".to_string(),
+        };
+        assert!(err.to_string().contains("coordinates"));
+    }
+
+    #[test]
+    fn sub_errors_chain() {
+        let err: TaxiError = ClusterError::EmptyInput.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TaxiError>();
+    }
+}

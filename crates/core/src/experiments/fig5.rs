@@ -1,0 +1,366 @@
+//! Figure 5 experiments: solution quality.
+
+use std::fmt;
+
+use taxi_baselines::reported;
+use taxi_baselines::{HvcBaseline, HvcConfig};
+
+use crate::experiments::{reference_length, suite_instances, ExperimentScale};
+use crate::report::format_table;
+use crate::{TaxiConfig, TaxiError, TaxiSolver};
+
+/// One measurement of Fig. 5a: the optimal ratio of one instance at one maximum cluster
+/// size (4-bit precision).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5aRow {
+    /// Instance name.
+    pub instance: String,
+    /// Number of cities.
+    pub dimension: usize,
+    /// Maximum cluster size used.
+    pub cluster_size: usize,
+    /// Tour length divided by the reference length.
+    pub optimal_ratio: f64,
+}
+
+/// The regenerated Fig. 5a data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig5aReport {
+    /// All measurements (instance × cluster size).
+    pub rows: Vec<Fig5aRow>,
+}
+
+impl Fig5aReport {
+    /// Measurements for one cluster size, in increasing instance size.
+    pub fn series_for_cluster_size(&self, cluster_size: usize) -> Vec<&Fig5aRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.cluster_size == cluster_size)
+            .collect()
+    }
+
+    /// Mean optimal ratio per cluster size, `(cluster_size, mean_ratio)`.
+    pub fn mean_ratio_by_cluster_size(&self) -> Vec<(usize, f64)> {
+        let mut sizes: Vec<usize> = self.rows.iter().map(|r| r.cluster_size).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        sizes
+            .into_iter()
+            .map(|size| {
+                let series = self.series_for_cluster_size(size);
+                let mean =
+                    series.iter().map(|r| r.optimal_ratio).sum::<f64>() / series.len() as f64;
+                (size, mean)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Fig5aReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.instance.clone(),
+                    r.dimension.to_string(),
+                    r.cluster_size.to_string(),
+                    format!("{:.4}", r.optimal_ratio),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Fig 5a — optimal ratio vs problem size per maximum cluster size (4-bit)\n{}",
+            format_table(&["instance", "cities", "cluster", "optimal ratio"], &rows)
+        )
+    }
+}
+
+/// Regenerates Fig. 5a: optimal ratio for every suite instance at every maximum cluster
+/// size in `cluster_sizes` (the paper sweeps 12–20), 4-bit precision.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_fig5a(
+    scale: ExperimentScale,
+    cluster_sizes: &[usize],
+) -> Result<Fig5aReport, TaxiError> {
+    let instances = suite_instances(scale)?;
+    let mut rows = Vec::new();
+    for (spec, instance) in &instances {
+        let reference = reference_length(spec, instance);
+        for &cluster_size in cluster_sizes {
+            let config = TaxiConfig::new()
+                .with_max_cluster_size(cluster_size)?
+                .with_bit_precision(4)?
+                .with_seed(0xF16_5A ^ cluster_size as u64);
+            let solution = TaxiSolver::new(config).solve(instance)?;
+            rows.push(Fig5aRow {
+                instance: spec.name.to_string(),
+                dimension: spec.dimension,
+                cluster_size,
+                optimal_ratio: solution.length / reference,
+            });
+        }
+    }
+    Ok(Fig5aReport { rows })
+}
+
+/// One row of Fig. 5b: quality degradation when lowering the weight precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5bRow {
+    /// Instance name.
+    pub instance: String,
+    /// Number of cities.
+    pub dimension: usize,
+    /// Optimal ratio at 4-bit precision.
+    pub ratio_4bit: f64,
+    /// Optimal ratio at 3-bit precision.
+    pub ratio_3bit: f64,
+    /// Optimal ratio at 2-bit precision.
+    pub ratio_2bit: f64,
+}
+
+impl Fig5bRow {
+    /// Quality degradation (positive = worse) going from 4-bit to 3-bit, in percent.
+    pub fn degradation_3bit_percent(&self) -> f64 {
+        (self.ratio_3bit / self.ratio_4bit - 1.0) * 100.0
+    }
+
+    /// Quality degradation (positive = worse) going from 4-bit to 2-bit, in percent.
+    pub fn degradation_2bit_percent(&self) -> f64 {
+        (self.ratio_2bit / self.ratio_4bit - 1.0) * 100.0
+    }
+}
+
+/// The regenerated Fig. 5b data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig5bReport {
+    /// Per-instance measurements.
+    pub rows: Vec<Fig5bRow>,
+}
+
+impl fmt::Display for Fig5bReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.instance.clone(),
+                    r.dimension.to_string(),
+                    format!("{:.4}", r.ratio_4bit),
+                    format!("{:+.2}%", r.degradation_3bit_percent()),
+                    format!("{:+.2}%", r.degradation_2bit_percent()),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Fig 5b — quality degradation vs 4-bit (cluster size 12)\n{}",
+            format_table(
+                &["instance", "cities", "4-bit ratio", "3-bit Δ", "2-bit Δ"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Regenerates Fig. 5b: quality at 4-, 3- and 2-bit precision with cluster size 12.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_fig5b(scale: ExperimentScale) -> Result<Fig5bReport, TaxiError> {
+    let instances = suite_instances(scale)?;
+    let mut rows = Vec::new();
+    for (spec, instance) in &instances {
+        let reference = reference_length(spec, instance);
+        let mut ratios = [0.0f64; 3];
+        for (slot, bits) in [(0usize, 4u8), (1, 3), (2, 2)] {
+            let config = TaxiConfig::new()
+                .with_max_cluster_size(12)?
+                .with_bit_precision(bits)?
+                .with_seed(0xF16_5B ^ u64::from(bits));
+            let solution = TaxiSolver::new(config).solve(instance)?;
+            ratios[slot] = solution.length / reference;
+        }
+        rows.push(Fig5bRow {
+            instance: spec.name.to_string(),
+            dimension: spec.dimension,
+            ratio_4bit: ratios[0],
+            ratio_3bit: ratios[1],
+            ratio_2bit: ratios[2],
+        });
+    }
+    Ok(Fig5bReport { rows })
+}
+
+/// One row of Fig. 5c: TAXI against the published clustered Ising solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5cRow {
+    /// Instance name.
+    pub instance: String,
+    /// Number of cities.
+    pub dimension: usize,
+    /// Optimal ratio measured by this reproduction (cluster size 12, 4-bit).
+    pub taxi_measured: f64,
+    /// Optimal ratio of an HVC-style baseline measured by this reproduction.
+    pub hvc_measured: f64,
+    /// TAXI's optimal ratio as reported in the paper.
+    pub taxi_reported: f64,
+    /// HVC's reported optimal ratio (where published).
+    pub hvc_reported: Option<f64>,
+    /// IMA's reported optimal ratio (where published).
+    pub ima_reported: Option<f64>,
+    /// CIMA's reported optimal ratio (where published).
+    pub cima_reported: Option<f64>,
+    /// Neuro-Ising's reported optimal ratio (where published).
+    pub neuro_ising_reported: Option<f64>,
+}
+
+/// The regenerated Fig. 5c data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig5cReport {
+    /// Per-instance comparison rows.
+    pub rows: Vec<Fig5cRow>,
+}
+
+impl Fig5cReport {
+    /// Number of instances where the measured TAXI beats the measured HVC-style
+    /// baseline.
+    pub fn wins_over_hvc_baseline(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.taxi_measured < r.hvc_measured)
+            .count()
+    }
+}
+
+impl fmt::Display for Fig5cReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.instance.clone(),
+                    r.dimension.to_string(),
+                    format!("{:.3}", r.taxi_measured),
+                    format!("{:.3}", r.hvc_measured),
+                    format!("{:.3}", r.taxi_reported),
+                    fmt_opt(r.hvc_reported),
+                    fmt_opt(r.ima_reported),
+                    fmt_opt(r.cima_reported),
+                    fmt_opt(r.neuro_ising_reported),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Fig 5c — solution optimality comparison (cluster size 12, 4-bit)\n{}",
+            format_table(
+                &[
+                    "instance",
+                    "cities",
+                    "TAXI (meas.)",
+                    "HVC-style (meas.)",
+                    "TAXI (paper)",
+                    "HVC (paper)",
+                    "IMA (paper)",
+                    "CIMA (paper)",
+                    "Neuro-Ising (paper)"
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+/// Regenerates Fig. 5c: TAXI (measured) against the measured HVC-style baseline and the
+/// published reference series.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_fig5c(scale: ExperimentScale) -> Result<Fig5cReport, TaxiError> {
+    let instances = suite_instances(scale)?;
+    let mut rows = Vec::new();
+    for (spec, instance) in &instances {
+        let reference = reference_length(spec, instance);
+        let config = TaxiConfig::new()
+            .with_max_cluster_size(12)?
+            .with_bit_precision(4)?
+            .with_seed(0xF16_5C);
+        let taxi_solution = TaxiSolver::new(config).solve(instance)?;
+        let hvc_solution = HvcBaseline::new(HvcConfig::new(12))
+            .solve(instance)
+            .map_err(TaxiError::Tsplib)?;
+        let suite_index = reported::PROBLEM_SIZES
+            .iter()
+            .position(|&n| n == spec.dimension);
+        let lookup = |series: &[Option<f64>; 20]| suite_index.and_then(|i| series[i]);
+        rows.push(Fig5cRow {
+            instance: spec.name.to_string(),
+            dimension: spec.dimension,
+            taxi_measured: taxi_solution.length / reference,
+            hvc_measured: hvc_solution.length / reference,
+            taxi_reported: suite_index
+                .map(|i| reported::TAXI_REPORTED_OPTIMAL_RATIO[i])
+                .unwrap_or(f64::NAN),
+            hvc_reported: lookup(&reported::HVC_REPORTED_OPTIMAL_RATIO),
+            ima_reported: lookup(&reported::IMA_REPORTED_OPTIMAL_RATIO),
+            cima_reported: lookup(&reported::CIMA_REPORTED_OPTIMAL_RATIO),
+            neuro_ising_reported: lookup(&reported::NEURO_ISING_REPORTED_OPTIMAL_RATIO),
+        });
+    }
+    Ok(Fig5cReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale::tiny().with_max_dimension(101)
+    }
+
+    #[test]
+    fn fig5a_produces_rows_for_every_cluster_size() {
+        let report = run_fig5a(tiny_scale(), &[12, 16]).unwrap();
+        assert_eq!(report.rows.len(), 2 * 2); // 2 instances (76, 101) × 2 cluster sizes
+        assert!(report.rows.iter().all(|r| r.optimal_ratio > 0.5));
+        assert_eq!(report.series_for_cluster_size(12).len(), 2);
+        assert_eq!(report.mean_ratio_by_cluster_size().len(), 2);
+        assert!(format!("{report}").contains("Fig 5a"));
+    }
+
+    #[test]
+    fn fig5b_reports_degradation_in_small_range() {
+        let report = run_fig5b(tiny_scale()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.ratio_4bit > 0.5);
+            // Degradation should stay within a modest band (the paper reports ±2 %; the
+            // reproduction tolerates a wider band because the sub-solver is stochastic).
+            assert!(row.degradation_2bit_percent().abs() < 30.0);
+            assert!(row.degradation_3bit_percent().abs() < 30.0);
+        }
+        assert!(format!("{report}").contains("Fig 5b"));
+    }
+
+    #[test]
+    fn fig5c_includes_published_series() {
+        let report = run_fig5c(tiny_scale()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.taxi_reported > 1.0);
+            assert!(row.neuro_ising_reported.is_some());
+        }
+        assert!(format!("{report}").contains("Neuro-Ising"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Figure 6 experiments: latency and energy of the spatial architecture.
+
+use std::fmt;
+
+use taxi_baselines::{ExactSolverProjection, NeuroIsingModel};
+
+use crate::experiments::{suite_instances, ExperimentScale};
+use crate::report::{format_engineering, format_table};
+use crate::{TaxiConfig, TaxiError, TaxiSolver};
+
+/// One row of Fig. 6a: hardware latency and energy at one maximum cluster size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6aRow {
+    /// Maximum cluster size.
+    pub cluster_size: usize,
+    /// Modelled hardware latency (Ising + transfer + mapping), in seconds.
+    pub hardware_latency_seconds: f64,
+    /// Latency relative to the cluster-size-12 configuration (1.0 at size 12).
+    pub latency_ratio_vs_size_12: f64,
+    /// Modelled energy at 2-bit precision (the representative energy line of Fig. 6a),
+    /// in joules.
+    pub energy_2bit_joules: f64,
+}
+
+/// The regenerated Fig. 6a data (one representative instance, cluster sizes swept).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig6aReport {
+    /// Instance used for the sweep.
+    pub instance: String,
+    /// Number of cities of that instance.
+    pub dimension: usize,
+    /// Per-cluster-size measurements.
+    pub rows: Vec<Fig6aRow>,
+}
+
+impl fmt::Display for Fig6aReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.cluster_size.to_string(),
+                    format_engineering(r.hardware_latency_seconds, "s"),
+                    format!("{:.1}%", r.latency_ratio_vs_size_12 * 100.0),
+                    format_engineering(r.energy_2bit_joules, "J"),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Fig 6a — hardware latency and energy vs maximum cluster size ({}, {} cities)\n{}",
+            self.instance,
+            self.dimension,
+            format_table(
+                &["cluster", "hw latency", "latency vs 12", "energy (2-bit)"],
+                &rows
+            )
+        )
+    }
+}
+
+/// Regenerates Fig. 6a on the largest instance within the scale: the hardware latency
+/// (relative to cluster size 12) and the 2-bit energy for every maximum cluster size.
+///
+/// # Errors
+///
+/// Propagates solver errors; fails if the scale admits no instance.
+pub fn run_fig6a(
+    scale: ExperimentScale,
+    cluster_sizes: &[usize],
+) -> Result<Fig6aReport, TaxiError> {
+    let mut instances = suite_instances(scale)?;
+    let (spec, instance) = instances.pop().ok_or_else(|| TaxiError::InvalidConfig {
+        name: "scale",
+        reason: "the experiment scale excludes every benchmark instance".to_string(),
+    })?;
+
+    // Size the chip to the workload: at the baseline cluster size the level-0
+    // sub-problems need roughly two hardware waves. Larger cluster sizes then fit fewer
+    // macros in the same silicon budget and need more waves — the parallelism loss that
+    // drives the latency trend of the paper's Fig. 6a. (With the default 1024-macro chip
+    // the quick-scale instances fit in a single wave at every cluster size and the trend
+    // is invisible.)
+    let baseline_size = cluster_sizes.first().copied().unwrap_or(12);
+    let baseline_subproblems = spec.dimension.div_ceil(baseline_size);
+    let target_macros = (baseline_subproblems / 2).max(1);
+
+    let mut latencies = Vec::new();
+    let mut energies = Vec::new();
+    for &cluster_size in cluster_sizes {
+        // Latency at 4-bit precision (the paper's Fig. 6a latency bars are 4-bit).
+        let base_config = TaxiConfig::new()
+            .with_max_cluster_size(cluster_size)?
+            .with_bit_precision(4)?
+            .with_seed(0xF16_6A);
+        let mut arch = base_config.arch_config();
+        arch.tiles = 1;
+        arch.cores_per_tile = 1;
+        arch.cells_per_core = target_macros
+            * taxi_xbar::ArrayGeometry::new(baseline_size, arch.precision).cells();
+        let config = base_config.with_arch_override(arch);
+        let solution = TaxiSolver::new(config).solve(&instance)?;
+        let hardware_latency = solution.latency.ising_seconds
+            + solution.latency.transfer_seconds
+            + solution.latency.mapping_seconds;
+        latencies.push(hardware_latency);
+
+        // Energy at 2-bit precision (the representative energy line).
+        let config_2bit = TaxiConfig::new()
+            .with_max_cluster_size(cluster_size)?
+            .with_bit_precision(2)?
+            .with_seed(0xF16_6A);
+        let solution_2bit = TaxiSolver::new(config_2bit).solve(&instance)?;
+        energies.push(solution_2bit.energy.total_joules());
+    }
+    let baseline_latency = latencies
+        .first()
+        .copied()
+        .filter(|&l| l > 0.0)
+        .unwrap_or(1.0);
+    let rows = cluster_sizes
+        .iter()
+        .zip(latencies.iter().zip(&energies))
+        .map(|(&cluster_size, (&latency, &energy))| Fig6aRow {
+            cluster_size,
+            hardware_latency_seconds: latency,
+            latency_ratio_vs_size_12: latency / baseline_latency,
+            energy_2bit_joules: energy,
+        })
+        .collect();
+    Ok(Fig6aReport {
+        instance: spec.name.to_string(),
+        dimension: spec.dimension,
+        rows,
+    })
+}
+
+/// One row of Fig. 6b: the total-latency breakdown of one instance plus the comparison
+/// solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6bRow {
+    /// Instance name.
+    pub instance: String,
+    /// Number of cities.
+    pub dimension: usize,
+    /// Host clustering latency, in seconds.
+    pub clustering_seconds: f64,
+    /// Host endpoint-fixing latency, in seconds.
+    pub fixing_seconds: f64,
+    /// Modelled in-macro Ising latency, in seconds.
+    pub ising_seconds: f64,
+    /// Modelled data-transfer (+ mapping) latency, in seconds.
+    pub transfer_seconds: f64,
+    /// Total TAXI latency, in seconds.
+    pub total_seconds: f64,
+    /// Neuro-Ising latency from the comparison model, in seconds.
+    pub neuro_ising_seconds: f64,
+    /// Exact-solver projection, in seconds.
+    pub exact_solver_seconds: f64,
+}
+
+impl Fig6bRow {
+    /// Fractions of the total contributed by (clustering, fixing, ising, transfer).
+    pub fn fractions(&self) -> [f64; 4] {
+        if self.total_seconds <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.clustering_seconds / self.total_seconds,
+            self.fixing_seconds / self.total_seconds,
+            self.ising_seconds / self.total_seconds,
+            self.transfer_seconds / self.total_seconds,
+        ]
+    }
+}
+
+/// The regenerated Fig. 6b data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig6bReport {
+    /// Per-instance rows.
+    pub rows: Vec<Fig6bRow>,
+}
+
+impl Fig6bReport {
+    /// Geometric-mean speed-up of TAXI over the Neuro-Ising comparison model.
+    pub fn mean_speedup_over_neuro_ising(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self
+            .rows
+            .iter()
+            .filter(|r| r.total_seconds > 0.0)
+            .map(|r| (r.neuro_ising_seconds / r.total_seconds).ln())
+            .sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+}
+
+impl fmt::Display for Fig6bReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let fractions = r.fractions();
+                vec![
+                    r.instance.clone(),
+                    r.dimension.to_string(),
+                    format_engineering(r.total_seconds, "s"),
+                    format!("{:.0}%", fractions[0] * 100.0),
+                    format!("{:.0}%", fractions[1] * 100.0),
+                    format!("{:.0}%", fractions[2] * 100.0),
+                    format!("{:.0}%", fractions[3] * 100.0),
+                    format_engineering(r.neuro_ising_seconds, "s"),
+                    format_engineering(r.exact_solver_seconds, "s"),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Fig 6b — total latency breakdown and solver comparison (cluster size 12)\n{}",
+            format_table(
+                &[
+                    "instance",
+                    "cities",
+                    "TAXI total",
+                    "cluster%",
+                    "fixing%",
+                    "ising%",
+                    "transfer%",
+                    "Neuro-Ising",
+                    "exact solver"
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+/// Regenerates Fig. 6b: per-instance latency breakdown plus the Neuro-Ising and
+/// exact-solver comparison lines.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_fig6b(scale: ExperimentScale) -> Result<Fig6bReport, TaxiError> {
+    let instances = suite_instances(scale)?;
+    let neuro = NeuroIsingModel::new();
+    let exact = ExactSolverProjection::paper_calibrated();
+    let mut rows = Vec::new();
+    for (spec, instance) in &instances {
+        let config = TaxiConfig::new()
+            .with_max_cluster_size(12)?
+            .with_bit_precision(4)?
+            .with_seed(0xF16_6B);
+        let solution = TaxiSolver::new(config).solve(instance)?;
+        let latency = solution.latency;
+        let total = latency.total_seconds();
+        rows.push(Fig6bRow {
+            instance: spec.name.to_string(),
+            dimension: spec.dimension,
+            clustering_seconds: latency.clustering_seconds,
+            fixing_seconds: latency.fixing_seconds,
+            ising_seconds: latency.ising_seconds,
+            transfer_seconds: latency.transfer_seconds + latency.mapping_seconds,
+            total_seconds: total,
+            neuro_ising_seconds: neuro.latency_seconds(spec.dimension, total),
+            exact_solver_seconds: exact.latency_seconds(spec.dimension),
+        });
+    }
+    Ok(Fig6bReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale::tiny().with_max_dimension(101)
+    }
+
+    #[test]
+    fn fig6a_reports_relative_latency() {
+        let report = run_fig6a(tiny_scale(), &[12, 16]).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert!((report.rows[0].latency_ratio_vs_size_12 - 1.0).abs() < 1e-9);
+        assert!(report.rows.iter().all(|r| r.energy_2bit_joules > 0.0));
+        assert!(format!("{report}").contains("Fig 6a"));
+    }
+
+    #[test]
+    fn fig6b_breakdown_fractions_sum_to_one() {
+        let report = run_fig6b(tiny_scale()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            let sum: f64 = row.fractions().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(row.exact_solver_seconds > 0.0);
+            assert!(row.neuro_ising_seconds > row.total_seconds);
+        }
+        assert!(report.mean_speedup_over_neuro_ising() > 1.0);
+        assert!(format!("{report}").contains("Fig 6b"));
+    }
+}

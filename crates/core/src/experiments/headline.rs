@@ -1,0 +1,147 @@
+//! Headline-claim experiment: the end-to-end numbers the paper's abstract and conclusion
+//! quote for the largest instance.
+
+use std::fmt;
+
+use taxi_baselines::reported::HEADLINE;
+use taxi_baselines::ExactSolverProjection;
+
+use crate::experiments::{reference_length, suite_instances, ExperimentScale};
+use crate::report::{format_engineering, format_table};
+use crate::{TaxiConfig, TaxiError, TaxiSolver};
+
+/// One compared quantity: the paper's value and the value measured by this reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineRow {
+    /// Name of the quantity.
+    pub metric: String,
+    /// The paper's value (for pla85900 unless stated otherwise).
+    pub paper: f64,
+    /// The value measured by this reproduction on the largest in-scale instance.
+    pub measured: f64,
+    /// Unit for display.
+    pub unit: &'static str,
+}
+
+/// The headline comparison report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HeadlineReport {
+    /// Instance the measured values refer to.
+    pub instance: String,
+    /// Number of cities of that instance.
+    pub dimension: usize,
+    /// Compared quantities.
+    pub rows: Vec<HeadlineRow>,
+}
+
+impl fmt::Display for HeadlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.metric.clone(),
+                    format_engineering(r.paper, r.unit),
+                    format_engineering(r.measured, r.unit),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Headline claims — paper (pla85900) vs this reproduction ({}, {} cities)\n{}",
+            self.instance,
+            self.dimension,
+            format_table(&["metric", "paper", "measured"], &rows)
+        )
+    }
+}
+
+/// Runs TAXI on the largest instance within the scale and compares the end-to-end
+/// latency, energy, quality and exact-solver gap against the paper's headline claims.
+///
+/// # Errors
+///
+/// Propagates solver errors; fails if the scale admits no instance.
+pub fn run_headline(scale: ExperimentScale) -> Result<HeadlineReport, TaxiError> {
+    let mut instances = suite_instances(scale)?;
+    let (spec, instance) = instances.pop().ok_or_else(|| TaxiError::InvalidConfig {
+        name: "scale",
+        reason: "the experiment scale excludes every benchmark instance".to_string(),
+    })?;
+    let reference = reference_length(&spec, &instance);
+    let config = TaxiConfig::new()
+        .with_max_cluster_size(12)?
+        .with_bit_precision(4)?
+        .with_seed(0x8EAD);
+    let solution = TaxiSolver::new(config).solve(&instance)?;
+    let exact = ExactSolverProjection::paper_calibrated();
+    let total_latency = solution.latency.total_seconds();
+    let exact_latency = exact.latency_seconds(spec.dimension);
+
+    let rows = vec![
+        HeadlineRow {
+            metric: "TAXI total latency".to_string(),
+            paper: HEADLINE.taxi_pla85900_latency_seconds,
+            measured: total_latency,
+            unit: "s",
+        },
+        HeadlineRow {
+            metric: "TAXI total energy".to_string(),
+            paper: HEADLINE.taxi_pla85900_energy_joules,
+            measured: solution.energy.total_joules(),
+            unit: "J",
+        },
+        HeadlineRow {
+            metric: "optimal ratio".to_string(),
+            paper: HEADLINE.optimal_ratio_85900,
+            measured: solution.length / reference,
+            unit: "",
+        },
+        HeadlineRow {
+            metric: "exact-solver latency (projection)".to_string(),
+            paper: HEADLINE.exact_pla85900_latency_seconds,
+            measured: exact_latency,
+            unit: "s",
+        },
+        HeadlineRow {
+            metric: "speed-up over exact solver".to_string(),
+            paper: HEADLINE.exact_pla85900_latency_seconds / HEADLINE.taxi_pla85900_latency_seconds,
+            measured: exact_latency / total_latency.max(f64::MIN_POSITIVE),
+            unit: "x",
+        },
+    ];
+    Ok(HeadlineReport {
+        instance: spec.name.to_string(),
+        dimension: spec.dimension,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_report_contains_all_metrics() {
+        let report = run_headline(ExperimentScale::tiny().with_max_dimension(101)).unwrap();
+        assert_eq!(report.rows.len(), 5);
+        assert_eq!(report.dimension, 101);
+        for row in &report.rows {
+            assert!(row.paper > 0.0);
+            assert!(row.measured > 0.0);
+        }
+        assert!(format!("{report}").contains("Headline"));
+    }
+
+    #[test]
+    fn speedup_over_exact_solver_is_large() {
+        let report = run_headline(ExperimentScale::tiny().with_max_dimension(101)).unwrap();
+        let speedup = report
+            .rows
+            .iter()
+            .find(|r| r.metric.contains("speed-up"))
+            .unwrap();
+        assert!(speedup.measured > 1.0);
+    }
+}

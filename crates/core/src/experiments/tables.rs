@@ -1,0 +1,258 @@
+//! Table I and Table II experiments.
+
+use std::fmt;
+
+use taxi_baselines::reported;
+use taxi_xbar::{BitPrecision, CircuitReport, MacroCircuitModel};
+
+use crate::experiments::{suite_instances, ExperimentScale};
+use crate::report::{format_engineering, format_table};
+use crate::{TaxiConfig, TaxiError, TaxiSolver};
+
+/// One column of the regenerated Table I with the paper's published values alongside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// The circuit report produced by the calibrated model.
+    pub report: CircuitReport,
+    /// Published power in milliwatts.
+    pub paper_power_milliwatts: f64,
+    /// Published energy per iteration in picojoules.
+    pub paper_energy_picojoules: f64,
+}
+
+/// The regenerated Table I.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table1Report {
+    /// One row per bit precision (2/3/4-bit).
+    pub rows: Vec<Table1Row>,
+}
+
+impl fmt::Display for Table1Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.report.precision.to_string(),
+                    r.report.geometry.to_string(),
+                    format!("{:.3}", r.report.power_milliwatts()),
+                    format!("{:.3}", r.paper_power_milliwatts),
+                    format!(
+                        "{:.0}/{:.0}/{:.0}",
+                        r.report.latency.superposition * 1e9,
+                        r.report.latency.optimization * 1e9,
+                        r.report.latency.storage_update * 1e9
+                    ),
+                    format!("{:.2}", r.report.energy_picojoules()),
+                    format!("{:.2}", r.paper_energy_picojoules),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Table I — circuit results for one iteration (12-city macro)\n{}",
+            format_table(
+                &[
+                    "precision",
+                    "array",
+                    "power mW (model)",
+                    "power mW (paper)",
+                    "latency ns (sup/opt/upd)",
+                    "energy pJ (model)",
+                    "energy pJ (paper)"
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+/// Regenerates Table I from the calibrated circuit model.
+pub fn run_table1() -> Table1Report {
+    let model = MacroCircuitModel::paper_calibrated();
+    let paper = [(4.202, 37.82), (5.033, 45.3), (5.11, 45.98)];
+    let rows = model
+        .table_one()
+        .into_iter()
+        .zip(paper)
+        .map(|(report, (power, energy))| Table1Row {
+            report,
+            paper_power_milliwatts: power,
+            paper_energy_picojoules: energy,
+        })
+        .collect();
+    Table1Report { rows }
+}
+
+/// One row of the regenerated Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Work the row refers to.
+    pub work: String,
+    /// Technology of that work.
+    pub technology: String,
+    /// Problem size.
+    pub problem_size: usize,
+    /// Energy in joules (excluding transfer and mapping, as in the paper).
+    pub energy_joules: f64,
+    /// Energy including mapping, in joules (TAXI rows only).
+    pub energy_with_mapping_joules: Option<f64>,
+    /// Whether the row was measured by this reproduction (as opposed to quoted).
+    pub measured: bool,
+}
+
+/// The regenerated Table II.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table2Report {
+    /// All rows: published comparisons, TAXI as published, and TAXI as measured.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Report {
+    /// Returns the measured TAXI rows.
+    pub fn measured_rows(&self) -> Vec<&Table2Row> {
+        self.rows.iter().filter(|r| r.measured).collect()
+    }
+}
+
+impl fmt::Display for Table2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.work.clone(),
+                    r.technology.clone(),
+                    r.problem_size.to_string(),
+                    format_engineering(r.energy_joules, "J"),
+                    r.energy_with_mapping_joules
+                        .map_or("-".to_string(), |e| format_engineering(e, "J")),
+                    if r.measured { "measured" } else { "published" }.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "Table II — energy comparison with the state of the art\n{}",
+            format_table(
+                &[
+                    "work",
+                    "technology",
+                    "cities",
+                    "energy (compute)",
+                    "energy (+mapping)",
+                    "source"
+                ],
+                &rows
+            )
+        )
+    }
+}
+
+/// Regenerates Table II: the published comparison rows, TAXI's published energies, and
+/// the energies measured by this reproduction for every suite instance within the scale.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn run_table2(scale: ExperimentScale) -> Result<Table2Report, TaxiError> {
+    let mut rows: Vec<Table2Row> = reported::TABLE2_PUBLISHED
+        .iter()
+        .map(|r| Table2Row {
+            work: r.work.to_string(),
+            technology: r.technology.to_string(),
+            problem_size: r.problem_size,
+            energy_joules: r.energy_joules,
+            energy_with_mapping_joules: None,
+            measured: false,
+        })
+        .collect();
+    for (&(size, energy), &(_, with_mapping)) in reported::TAXI_TABLE2_ENERGY
+        .iter()
+        .zip(reported::TAXI_TABLE2_ENERGY_WITH_MAPPING.iter())
+    {
+        rows.push(Table2Row {
+            work: "TAXI (paper)".to_string(),
+            technology: "65nm CMOS + SOT-MRAM".to_string(),
+            problem_size: size,
+            energy_joules: energy,
+            energy_with_mapping_joules: Some(with_mapping),
+            measured: false,
+        });
+    }
+
+    // Measured rows: the Table II sizes that fall within the requested scale, plus the
+    // largest in-scale instance if none of them do.
+    let table2_sizes = [1_060usize, 33_810, 85_900];
+    let instances = suite_instances(scale)?;
+    for (spec, instance) in &instances {
+        let relevant = table2_sizes.contains(&spec.dimension)
+            || Some(spec.dimension) == instances.last().map(|(s, _)| s.dimension);
+        if !relevant {
+            continue;
+        }
+        let config = TaxiConfig::new()
+            .with_max_cluster_size(12)?
+            .with_bit_precision(2)?
+            .with_seed(0x7AB_2);
+        let solution = TaxiSolver::new(config).solve(instance)?;
+        rows.push(Table2Row {
+            work: "TAXI (this reproduction)".to_string(),
+            technology: "65nm CMOS + SOT-MRAM (model)".to_string(),
+            problem_size: spec.dimension,
+            energy_joules: solution.energy.compute_joules(),
+            // The paper's "including mapping" figure covers getting the sub-problems
+            // onto the macros; in this model that is the programming energy plus the
+            // data movement that feeds it.
+            energy_with_mapping_joules: Some(solution.energy.total_joules()),
+            measured: true,
+        });
+    }
+    Ok(Table2Report { rows })
+}
+
+/// Convenience: the per-iteration energy for a macro of `cities` cities at `bits` bits,
+/// straight from the calibrated circuit model (used by the ablation benches).
+pub fn iteration_energy(cities: usize, bits: u8) -> f64 {
+    MacroCircuitModel::paper_calibrated().energy_per_iteration_joules(
+        cities,
+        BitPrecision::new(bits).expect("callers pass validated bit precisions"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_published_numbers() {
+        let report = run_table1();
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!((row.report.power_milliwatts() - row.paper_power_milliwatts).abs() < 1e-6);
+            assert!((row.report.energy_picojoules() - row.paper_energy_picojoules).abs() < 0.5);
+        }
+        assert!(format!("{report}").contains("Table I"));
+    }
+
+    #[test]
+    fn table2_contains_published_and_measured_rows() {
+        let report = run_table2(ExperimentScale::tiny().with_max_dimension(101)).unwrap();
+        assert!(report.rows.iter().any(|r| !r.measured));
+        let measured = report.measured_rows();
+        assert!(!measured.is_empty());
+        for row in measured {
+            assert!(row.energy_joules > 0.0);
+            assert!(row.energy_with_mapping_joules.unwrap() >= row.energy_joules);
+        }
+        assert!(format!("{report}").contains("Table II"));
+    }
+
+    #[test]
+    fn iteration_energy_is_positive_and_grows_with_bits() {
+        assert!(iteration_energy(12, 2) > 0.0);
+        assert!(iteration_energy(12, 4) > iteration_energy(12, 2));
+    }
+}

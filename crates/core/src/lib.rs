@@ -1,0 +1,55 @@
+//! # TAXI — Travelling Salesman Problem Accelerator with Crossbar Ising Macros
+//!
+//! A from-scratch Rust reproduction of *"TAXI: Traveling Salesman Problem Accelerator
+//! with X-bar-based Ising Macros Powered by SOT-MRAMs and Hierarchical Clustering"*
+//! (DAC 2025). This crate is the top of the stack: it combines
+//!
+//! * [`taxi_cluster`] — agglomerative (Ward) hierarchical clustering, hierarchy
+//!   construction, and inter-cluster endpoint fixing,
+//! * [`taxi_ising`] + [`taxi_xbar`] + [`taxi_device`] — the SOT-MRAM crossbar Ising
+//!   macro and the annealing algorithm that solves each sub-problem in place,
+//! * [`taxi_arch`] — the PUMA-style spatial architecture model used for latency and
+//!   energy accounting, and
+//! * [`taxi_baselines`] / [`taxi_tsplib`] — the workloads and the comparison solvers,
+//!
+//! into an end-to-end solver ([`TaxiSolver`]) plus experiment runners
+//! ([`experiments`]) that regenerate every table and figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taxi::{TaxiConfig, TaxiSolver};
+//! use taxi_tsplib::generator::clustered_instance;
+//!
+//! // A 150-city synthetic instance with clear cluster structure.
+//! let instance = clustered_instance("quickstart", 150, 8, 42);
+//!
+//! // Solve it with the paper's default configuration (cluster size 12, 4-bit weights).
+//! let solver = TaxiSolver::new(TaxiConfig::new().with_seed(42));
+//! let solution = solver.solve(&instance)?;
+//!
+//! assert!(solution.tour.is_valid_for(&instance));
+//! println!(
+//!     "tour length {:.1}, {} sub-problems, hardware latency {:.3} ms",
+//!     solution.length,
+//!     solution.subproblems,
+//!     solution.latency.ising_seconds * 1e3,
+//! );
+//! # Ok::<(), taxi::TaxiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod experiments;
+pub mod report;
+pub mod result;
+pub mod solver;
+
+pub use config::TaxiConfig;
+pub use error::TaxiError;
+pub use experiments::ExperimentScale;
+pub use result::{EnergyBreakdown, LatencyBreakdown, TaxiSolution};
+pub use solver::TaxiSolver;

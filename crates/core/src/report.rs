@@ -1,0 +1,96 @@
+//! Plain-text table formatting shared by the experiment reports.
+
+/// Formats a table with a header row and data rows as fixed-width plain text.
+///
+/// # Example
+///
+/// ```
+/// use taxi::report::format_table;
+///
+/// let text = format_table(
+///     &["instance", "ratio"],
+///     &[vec!["pr76".to_string(), "1.08".to_string()]],
+/// );
+/// assert!(text.contains("instance"));
+/// assert!(text.contains("pr76"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut write_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .take(columns)
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+    };
+    write_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(&separator);
+    for row in rows {
+        write_row(row);
+    }
+    out
+}
+
+/// Formats a floating-point quantity in engineering style with the given unit
+/// (e.g. `1.23 µJ`, `45.0 ns`).
+pub fn format_engineering(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = if value == 0.0 {
+        (0.0, "")
+    } else {
+        let exp = value.abs().log10().floor() as i32;
+        match exp {
+            e if e >= 9 => (value / 1e9, "G"),
+            e if e >= 6 => (value / 1e6, "M"),
+            e if e >= 3 => (value / 1e3, "k"),
+            e if e >= 0 => (value, ""),
+            e if e >= -3 => (value * 1e3, "m"),
+            e if e >= -6 => (value * 1e6, "µ"),
+            e if e >= -9 => (value * 1e9, "n"),
+            e if e >= -12 => (value * 1e12, "p"),
+            _ => (value * 1e15, "f"),
+        }
+    };
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_header_separator_and_rows() {
+        let text = format_table(
+            &["a", "bb"],
+            &[
+                vec!["1".to_string(), "2".to_string()],
+                vec!["333".to_string(), "4".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains('-'));
+        assert!(lines[3].starts_with("333"));
+    }
+
+    #[test]
+    fn engineering_formatting_selects_prefixes() {
+        assert_eq!(format_engineering(1.5e-6, "J"), "1.500 µJ");
+        assert_eq!(format_engineering(2.5e-9, "s"), "2.500 ns");
+        assert_eq!(format_engineering(3.0e3, "s"), "3.000 ks");
+        assert_eq!(format_engineering(0.0, "J"), "0.000 J");
+        assert_eq!(format_engineering(42.0, "W"), "42.000 W");
+    }
+}

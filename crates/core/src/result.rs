@@ -1,0 +1,147 @@
+//! Results produced by the TAXI solver.
+
+use taxi_arch::ArchReport;
+use taxi_tsplib::Tour;
+
+/// Wall-clock and modelled-hardware latency breakdown of one end-to-end solve, mirroring
+/// the components of the paper's Fig. 6b: clustering, endpoint fixing, Ising processing
+/// and data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Host time spent building the cluster hierarchy, in seconds (measured).
+    pub clustering_seconds: f64,
+    /// Host time spent fixing inter-cluster endpoints, in seconds (measured).
+    pub fixing_seconds: f64,
+    /// Modelled in-macro Ising annealing latency, in seconds (from the architecture
+    /// simulator, using the hardware schedule).
+    pub ising_seconds: f64,
+    /// Modelled data transfer latency, in seconds.
+    pub transfer_seconds: f64,
+    /// Modelled macro programming (mapping) latency, in seconds.
+    pub mapping_seconds: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency across all components, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.clustering_seconds
+            + self.fixing_seconds
+            + self.ising_seconds
+            + self.transfer_seconds
+            + self.mapping_seconds
+    }
+
+    /// Fraction of the total contributed by each component, in the order
+    /// (clustering, fixing, ising, transfer, mapping). Returns zeros for an empty
+    /// breakdown.
+    pub fn fractions(&self) -> [f64; 5] {
+        let total = self.total_seconds();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.clustering_seconds / total,
+            self.fixing_seconds / total,
+            self.ising_seconds / total,
+            self.transfer_seconds / total,
+            self.mapping_seconds / total,
+        ]
+    }
+}
+
+/// Energy breakdown of one end-to-end solve (modelled hardware energy).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// In-macro Ising annealing energy, in joules.
+    pub ising_joules: f64,
+    /// Data transfer energy, in joules.
+    pub transfer_joules: f64,
+    /// Macro programming (mapping) energy, in joules.
+    pub mapping_joules: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.ising_joules + self.transfer_joules + self.mapping_joules
+    }
+
+    /// Energy excluding transfer and mapping (the paper's Table II convention).
+    pub fn compute_joules(&self) -> f64 {
+        self.ising_joules
+    }
+}
+
+/// The complete result of one TAXI solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxiSolution {
+    /// The final tour over all cities.
+    pub tour: Tour,
+    /// Tour length under the instance's distance convention.
+    pub length: f64,
+    /// Number of hierarchy levels used (0 = the instance fitted in one macro).
+    pub levels: usize,
+    /// Number of sub-problems solved on Ising macros.
+    pub subproblems: usize,
+    /// Latency breakdown (host-measured + hardware-modelled).
+    pub latency: LatencyBreakdown,
+    /// Energy breakdown (hardware-modelled).
+    pub energy: EnergyBreakdown,
+    /// Raw architecture-simulator report.
+    pub arch_report: ArchReport,
+    /// Wall-clock time of the software sub-problem solves, in seconds (not part of the
+    /// hardware latency model; useful for benchmarking the simulator itself).
+    pub software_solve_seconds: f64,
+}
+
+impl TaxiSolution {
+    /// Ratio of this solution's length to a reference length (e.g. the published optimum
+    /// or a heuristic reference tour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_length` is not strictly positive.
+    pub fn optimal_ratio(&self, reference_length: f64) -> f64 {
+        assert!(
+            reference_length > 0.0,
+            "reference length must be strictly positive"
+        );
+        self.length / reference_length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_totals_and_fractions() {
+        let breakdown = LatencyBreakdown {
+            clustering_seconds: 2.0,
+            fixing_seconds: 1.0,
+            ising_seconds: 0.5,
+            transfer_seconds: 0.25,
+            mapping_seconds: 0.25,
+        };
+        assert!((breakdown.total_seconds() - 4.0).abs() < 1e-12);
+        let fractions = breakdown.fractions();
+        assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((fractions[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        assert_eq!(LatencyBreakdown::default().fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn energy_totals() {
+        let energy = EnergyBreakdown {
+            ising_joules: 1e-6,
+            transfer_joules: 2e-6,
+            mapping_joules: 3e-6,
+        };
+        assert!((energy.total_joules() - 6e-6).abs() < 1e-18);
+        assert_eq!(energy.compute_joules(), 1e-6);
+    }
+}

@@ -1,0 +1,422 @@
+//! The end-to-end TAXI solver: hierarchical clustering → endpoint fixing → parallel
+//! in-macro sub-problem solving → tour assembly → hardware latency/energy accounting.
+
+use std::time::Instant;
+
+use taxi_arch::{Compiler, LevelPlan, SolvePlan, SubProblem};
+use taxi_cluster::{EndpointFixer, Hierarchy, Point};
+use taxi_ising::{AnnealingSchedule, MacroTspSolver};
+use taxi_tsplib::{Tour, TspInstance};
+
+use crate::{EnergyBreakdown, LatencyBreakdown, TaxiConfig, TaxiError, TaxiSolution};
+
+/// The TAXI solver.
+///
+/// # Example
+///
+/// ```
+/// use taxi::{TaxiConfig, TaxiSolver};
+/// use taxi_tsplib::generator::clustered_instance;
+///
+/// let instance = clustered_instance("demo", 80, 5, 11);
+/// let solver = TaxiSolver::new(TaxiConfig::new().with_seed(1));
+/// let solution = solver.solve(&instance)?;
+/// assert!(solution.tour.is_valid_for(&instance));
+/// assert!(solution.latency.total_seconds() > 0.0);
+/// # Ok::<(), taxi::TaxiError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxiSolver {
+    config: TaxiConfig,
+}
+
+/// Positions and pairwise-distance access for the entities of one hierarchy level.
+enum EntitySpace<'a> {
+    /// Level 0: entities are the instance's cities.
+    Cities(&'a TspInstance),
+    /// Upper levels: entities are cluster centroids of the level below.
+    Centroids(&'a [Point]),
+}
+
+impl EntitySpace<'_> {
+    fn distance_matrix(&self, members: &[usize]) -> Vec<Vec<f64>> {
+        match self {
+            EntitySpace::Cities(instance) => instance
+                .distance_matrix_for(members)
+                .expect("member indices come from the hierarchy and are always in range"),
+            EntitySpace::Centroids(points) => members
+                .iter()
+                .map(|&i| members.iter().map(|&j| points[i].distance(&points[j])).collect())
+                .collect(),
+        }
+    }
+}
+
+impl TaxiSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: TaxiConfig) -> Self {
+        Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &TaxiConfig {
+        &self.config
+    }
+
+    /// Solves `instance` end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaxiError::UnsupportedInstance`] for explicit-matrix instances without
+    /// coordinates, or propagates clustering / Ising / architecture errors.
+    pub fn solve(&self, instance: &TspInstance) -> Result<TaxiSolution, TaxiError> {
+        let coords = instance
+            .coordinates()
+            .ok_or_else(|| TaxiError::UnsupportedInstance {
+                reason: "TAXI's hierarchical clustering requires city coordinates".to_string(),
+            })?;
+        let cities: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let hardware_iterations = self.config.hardware_schedule().len() as u64;
+        let solver = MacroTspSolver::new(self.config.macro_solver_config());
+
+        // Phase 1: hierarchical clustering (host, measured).
+        let clustering_start = Instant::now();
+        let hierarchy = Hierarchy::build(&cities, &self.config.hierarchy_config()?)?;
+        let clustering_seconds = clustering_start.elapsed().as_secs_f64();
+
+        let mut fixing_seconds = 0.0;
+        let mut software_solve_seconds = 0.0;
+        let mut level_plans: Vec<LevelPlan> = Vec::new();
+        let mut subproblem_count = 0usize;
+
+        // Phase 2: top-down solving.
+        let final_order: Vec<usize> = if hierarchy.num_levels() == 0 {
+            // The whole instance fits in one macro.
+            let solve_start = Instant::now();
+            let matrix = instance.full_distance_matrix();
+            let solution = solver.solve_cycle(&matrix, self.config.seed())?;
+            software_solve_seconds += solve_start.elapsed().as_secs_f64();
+            subproblem_count += 1;
+            level_plans.push(LevelPlan::new(vec![SubProblem {
+                cities: instance.dimension(),
+                iterations: hardware_iterations_for(instance.dimension(), hardware_iterations),
+            }]));
+            solution.order
+        } else {
+            // Topmost TSP over the top level's cluster centroids.
+            let top = hierarchy.top_level().expect("hierarchy has at least one level");
+            let top_centroids = top.centroids();
+            let solve_start = Instant::now();
+            let top_matrix: Vec<Vec<f64>> = top_centroids
+                .iter()
+                .map(|a| top_centroids.iter().map(|b| a.distance(b)).collect())
+                .collect();
+            let top_solution = solver.solve_cycle(&top_matrix, self.config.seed())?;
+            software_solve_seconds += solve_start.elapsed().as_secs_f64();
+            subproblem_count += 1;
+            level_plans.push(LevelPlan::new(vec![SubProblem {
+                cities: top.len(),
+                iterations: hardware_iterations_for(top.len(), hardware_iterations),
+            }]));
+
+            // Walk the hierarchy top-down, expanding the visiting order of each level's
+            // clusters into a visiting order of the entities one level below.
+            let mut cluster_order = top_solution.order;
+            let mut final_order = Vec::new();
+            for level_index in (0..hierarchy.num_levels()).rev() {
+                let level = hierarchy.level(level_index);
+                let entity_positions: Vec<Point> = if level_index == 0 {
+                    cities.clone()
+                } else {
+                    hierarchy.level(level_index - 1).centroids()
+                };
+                let entity_space = if level_index == 0 {
+                    EntitySpace::Cities(instance)
+                } else {
+                    EntitySpace::Centroids(&entity_positions)
+                };
+                let members: Vec<&[usize]> =
+                    level.clusters.iter().map(|c| c.members.as_slice()).collect();
+
+                // Phase 2a: endpoint fixing (host, measured).
+                let fixing_start = Instant::now();
+                let member_lists: Vec<Vec<usize>> =
+                    members.iter().map(|m| m.to_vec()).collect();
+                let fixer = EndpointFixer::new(&entity_positions);
+                let endpoints = fixer.fix(&member_lists, &cluster_order)?;
+                fixing_seconds += fixing_start.elapsed().as_secs_f64();
+
+                // Phase 2b: solve every cluster of this level in parallel.
+                let solve_start = Instant::now();
+                let entity_order = solve_level_parallel(
+                    &solver,
+                    &entity_space,
+                    &member_lists,
+                    &cluster_order,
+                    &endpoints,
+                    self.config.seed() ^ ((level_index as u64 + 1) << 32),
+                    self.config.threads(),
+                )?;
+                software_solve_seconds += solve_start.elapsed().as_secs_f64();
+
+                subproblem_count += level.len();
+                level_plans.push(LevelPlan::new(
+                    level
+                        .clusters
+                        .iter()
+                        .map(|c| SubProblem {
+                            cities: c.members.len(),
+                            iterations: hardware_iterations_for(
+                                c.members.len(),
+                                hardware_iterations,
+                            ),
+                        })
+                        .collect(),
+                ));
+
+                if level_index == 0 {
+                    final_order = entity_order;
+                } else {
+                    cluster_order = entity_order;
+                }
+            }
+            final_order
+        };
+
+        // Phase 3: hardware latency/energy accounting on the spatial architecture.
+        let arch_config = self.config.arch_config();
+        let compiler = Compiler::new(arch_config);
+        let plan = SolvePlan::new(level_plans);
+        compiler.check(&plan)?;
+        let arch_report = compiler.compile(&plan).simulate();
+
+        let tour = Tour::new(final_order)?;
+        let length = tour.length(instance);
+        let latency = LatencyBreakdown {
+            clustering_seconds,
+            fixing_seconds,
+            ising_seconds: arch_report.ising_latency_seconds,
+            transfer_seconds: arch_report.transfer_latency_seconds,
+            mapping_seconds: arch_report.mapping_latency_seconds,
+        };
+        let energy = EnergyBreakdown {
+            ising_joules: arch_report.ising_energy_joules,
+            transfer_joules: arch_report.transfer_energy_joules,
+            mapping_joules: arch_report.mapping_energy_joules,
+        };
+        Ok(TaxiSolution {
+            tour,
+            length,
+            levels: hierarchy.num_levels(),
+            subproblems: subproblem_count,
+            latency,
+            energy,
+            arch_report,
+            software_solve_seconds,
+        })
+    }
+}
+
+impl Default for TaxiSolver {
+    fn default() -> Self {
+        Self::new(TaxiConfig::default())
+    }
+}
+
+/// Trivially small sub-problems (≤ 3 cities) are solved without annealing, so they cost
+/// no macro iterations.
+fn hardware_iterations_for(cities: usize, schedule_iterations: u64) -> u64 {
+    if cities <= 3 {
+        0
+    } else {
+        schedule_iterations
+    }
+}
+
+/// Solves every cluster of one level (path TSPs with fixed endpoints) and concatenates
+/// the resulting member orders following the cluster visiting order.
+fn solve_level_parallel(
+    solver: &MacroTspSolver,
+    entity_space: &EntitySpace<'_>,
+    member_lists: &[Vec<usize>],
+    cluster_order: &[usize],
+    endpoints: &[taxi_cluster::FixedEndpoints],
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<usize>, TaxiError> {
+    // Each task solves one cluster and returns the member order in global entity ids.
+    let solve_one = |cluster_idx: usize| -> Result<Vec<usize>, TaxiError> {
+        let members = &member_lists[cluster_idx];
+        if members.len() == 1 {
+            return Ok(members.clone());
+        }
+        let matrix = entity_space.distance_matrix(members);
+        let endpoint = endpoints[cluster_idx];
+        let start_local = members
+            .iter()
+            .position(|&m| m == endpoint.entry)
+            .expect("entry endpoint belongs to the cluster");
+        let end_local = members
+            .iter()
+            .position(|&m| m == endpoint.exit)
+            .expect("exit endpoint belongs to the cluster");
+        let sub_seed = seed ^ (cluster_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let solution = if start_local == end_local {
+            // Degenerate endpoints can only happen for single-member clusters (handled
+            // above) or a single-cluster level; fall back to a cycle solve.
+            solver.solve_cycle(&matrix, sub_seed)?
+        } else {
+            solver.solve_path(&matrix, start_local, end_local, sub_seed)?
+        };
+        Ok(solution.order.iter().map(|&local| members[local]).collect())
+    };
+
+    let results: Vec<Result<Vec<usize>, TaxiError>> = if threads <= 1 || member_lists.len() <= 1 {
+        member_lists.iter().enumerate().map(|(i, _)| solve_one(i)).collect()
+    } else {
+        let mut results: Vec<Option<Result<Vec<usize>, TaxiError>>> =
+            (0..member_lists.len()).map(|_| None).collect();
+        let chunk = member_lists.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk_idx, _) in member_lists.chunks(chunk).enumerate() {
+                let start = chunk_idx * chunk;
+                let end = (start + chunk).min(member_lists.len());
+                let solve_one = &solve_one;
+                handles.push(scope.spawn(move || {
+                    (start..end)
+                        .map(|i| (i, solve_one(i)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("cluster solver thread panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every cluster was solved"))
+            .collect()
+    };
+
+    let mut per_cluster_orders = Vec::with_capacity(member_lists.len());
+    for result in results {
+        per_cluster_orders.push(result?);
+    }
+    let mut entity_order = Vec::new();
+    for &cluster_idx in cluster_order {
+        entity_order.extend_from_slice(&per_cluster_orders[cluster_idx]);
+    }
+    Ok(entity_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_tsplib::generator::{clustered_instance, random_uniform_instance};
+
+    fn assert_valid(solution: &TaxiSolution, instance: &TspInstance) {
+        assert!(solution.tour.is_valid_for(instance));
+        let mut seen = vec![false; instance.dimension()];
+        for &c in solution.tour.order() {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn solves_a_single_macro_instance() {
+        let instance = random_uniform_instance("tiny", 10, 3);
+        let solution = TaxiSolver::default().solve(&instance).unwrap();
+        assert_valid(&solution, &instance);
+        assert_eq!(solution.levels, 0);
+        assert_eq!(solution.subproblems, 1);
+    }
+
+    #[test]
+    fn solves_a_two_level_instance() {
+        let instance = clustered_instance("mid", 90, 5, 7);
+        let solution = TaxiSolver::new(TaxiConfig::new().with_seed(5))
+            .solve(&instance)
+            .unwrap();
+        assert_valid(&solution, &instance);
+        assert!(solution.levels >= 1);
+        assert!(solution.subproblems > 1);
+        assert!(solution.latency.clustering_seconds > 0.0);
+        assert!(solution.latency.ising_seconds > 0.0);
+        assert!(solution.energy.total_joules() > 0.0);
+    }
+
+    #[test]
+    fn solution_quality_is_reasonable_on_clustered_instances() {
+        let instance = clustered_instance("quality", 120, 6, 13);
+        let solution = TaxiSolver::new(TaxiConfig::new().with_seed(2))
+            .solve(&instance)
+            .unwrap();
+        // Compare against a nearest-neighbour + 2-opt reference.
+        let matrix = instance.full_distance_matrix();
+        let reference = taxi_baselines::reference_tour(&matrix);
+        let reference_length = taxi_baselines::tour_length(&matrix, &reference);
+        let ratio = solution.length / reference_length;
+        assert!(
+            ratio < 1.45,
+            "TAXI tour should be within 45% of the heuristic reference, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn explicit_matrix_instances_are_rejected() {
+        let instance = TspInstance::from_matrix(
+            "m",
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+        )
+        .unwrap();
+        assert!(matches!(
+            TaxiSolver::default().solve(&instance),
+            Err(TaxiError::UnsupportedInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_single_thread() {
+        let instance = clustered_instance("det", 70, 4, 21);
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(9).with_threads(1));
+        let a = solver.solve(&instance).unwrap();
+        let b = solver.solve(&instance).unwrap();
+        assert_eq!(a.tour, b.tour);
+        assert_eq!(a.length, b.length);
+    }
+
+    #[test]
+    fn parallel_and_serial_solves_agree() {
+        let instance = clustered_instance("par", 100, 6, 3);
+        let serial = TaxiSolver::new(TaxiConfig::new().with_seed(4).with_threads(1))
+            .solve(&instance)
+            .unwrap();
+        let parallel = TaxiSolver::new(TaxiConfig::new().with_seed(4).with_threads(4))
+            .solve(&instance)
+            .unwrap();
+        assert_eq!(serial.tour, parallel.tour);
+    }
+
+    #[test]
+    fn larger_cluster_size_reduces_subproblem_count() {
+        let instance = clustered_instance("sweep", 200, 8, 17);
+        let small = TaxiSolver::new(TaxiConfig::new().with_max_cluster_size(8).unwrap())
+            .solve(&instance)
+            .unwrap();
+        let large = TaxiSolver::new(TaxiConfig::new().with_max_cluster_size(20).unwrap())
+            .solve(&instance)
+            .unwrap();
+        assert!(large.subproblems < small.subproblems);
+    }
+
+    #[test]
+    fn hardware_iterations_vanish_for_trivial_subproblems() {
+        assert_eq!(hardware_iterations_for(3, 1340), 0);
+        assert_eq!(hardware_iterations_for(12, 1340), 1340);
+    }
+}

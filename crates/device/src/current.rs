@@ -1,0 +1,158 @@
+//! Strongly-typed write-current quantity.
+//!
+//! The annealing schedule in the paper is expressed directly in write current
+//! (initialised at 420 µA, decreased by 50 nA per iteration, stopping at 353 µA), so a
+//! dedicated newtype keeps units unambiguous throughout the stack.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A write current applied to the heavy-metal line of a SOT-MRAM device.
+///
+/// Internally stored in amperes. Construction helpers exist for the unit scales the paper
+/// quotes (µA and nA).
+///
+/// # Example
+///
+/// ```
+/// use taxi_device::WriteCurrent;
+///
+/// let start = WriteCurrent::from_micro_amps(420.0);
+/// let step = WriteCurrent::from_nano_amps(50.0);
+/// let after_one_iteration = start - step;
+/// assert!((after_one_iteration.as_micro_amps() - 419.95).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct WriteCurrent {
+    amps: f64,
+}
+
+impl WriteCurrent {
+    /// Zero current.
+    pub const ZERO: WriteCurrent = WriteCurrent { amps: 0.0 };
+
+    /// Creates a current from a value in amperes.
+    pub fn from_amps(amps: f64) -> Self {
+        Self { amps }
+    }
+
+    /// Creates a current from a value in microamperes.
+    pub fn from_micro_amps(micro_amps: f64) -> Self {
+        Self {
+            amps: micro_amps * 1e-6,
+        }
+    }
+
+    /// Creates a current from a value in nanoamperes.
+    pub fn from_nano_amps(nano_amps: f64) -> Self {
+        Self {
+            amps: nano_amps * 1e-9,
+        }
+    }
+
+    /// Returns the current in amperes.
+    pub fn as_amps(self) -> f64 {
+        self.amps
+    }
+
+    /// Returns the current in microamperes.
+    pub fn as_micro_amps(self) -> f64 {
+        self.amps * 1e6
+    }
+
+    /// Returns the current in nanoamperes.
+    pub fn as_nano_amps(self) -> f64 {
+        self.amps * 1e9
+    }
+
+    /// Returns the magnitude of the current (always non-negative).
+    pub fn abs(self) -> Self {
+        Self {
+            amps: self.amps.abs(),
+        }
+    }
+
+    /// Clamps the current between `min` and `max`.
+    pub fn clamp(self, min: WriteCurrent, max: WriteCurrent) -> Self {
+        Self {
+            amps: self.amps.clamp(min.amps, max.amps),
+        }
+    }
+
+    /// Returns `true` if this current is a finite number (not NaN or infinite).
+    pub fn is_finite(self) -> bool {
+        self.amps.is_finite()
+    }
+}
+
+impl Add for WriteCurrent {
+    type Output = WriteCurrent;
+
+    fn add(self, rhs: WriteCurrent) -> WriteCurrent {
+        WriteCurrent {
+            amps: self.amps + rhs.amps,
+        }
+    }
+}
+
+impl Sub for WriteCurrent {
+    type Output = WriteCurrent;
+
+    fn sub(self, rhs: WriteCurrent) -> WriteCurrent {
+        WriteCurrent {
+            amps: self.amps - rhs.amps,
+        }
+    }
+}
+
+impl fmt::Display for WriteCurrent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} µA", self.as_micro_amps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_amp_round_trip() {
+        let i = WriteCurrent::from_micro_amps(420.0);
+        assert!((i.as_micro_amps() - 420.0).abs() < 1e-12);
+        assert!((i.as_amps() - 420e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nano_amp_round_trip() {
+        let i = WriteCurrent::from_nano_amps(50.0);
+        assert!((i.as_nano_amps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_matches_paper_schedule_step() {
+        let start = WriteCurrent::from_micro_amps(420.0);
+        let step = WriteCurrent::from_nano_amps(50.0);
+        let stop = WriteCurrent::from_micro_amps(353.0);
+        let iterations = ((start - stop).as_amps() / step.as_amps()).round() as u64;
+        assert_eq!(iterations, 1340);
+    }
+
+    #[test]
+    fn clamp_limits_range() {
+        let lo = WriteCurrent::from_micro_amps(300.0);
+        let hi = WriteCurrent::from_micro_amps(650.0);
+        assert_eq!(WriteCurrent::from_micro_amps(700.0).clamp(lo, hi), hi);
+        assert_eq!(WriteCurrent::from_micro_amps(100.0).clamp(lo, hi), lo);
+    }
+
+    #[test]
+    fn display_uses_micro_amps() {
+        let i = WriteCurrent::from_micro_amps(353.0);
+        assert_eq!(format!("{i}"), "353.000 µA");
+    }
+
+    #[test]
+    fn ordering_follows_magnitude() {
+        assert!(WriteCurrent::from_micro_amps(353.0) < WriteCurrent::from_micro_amps(420.0));
+    }
+}

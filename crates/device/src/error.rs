@@ -1,0 +1,88 @@
+//! Error type for device-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::WriteCurrent;
+
+/// Errors returned by device-level operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The requested write current lies outside the stochastic operating window.
+    CurrentOutsideStochasticWindow {
+        /// The offending current.
+        current: WriteCurrent,
+        /// Lower bound of the stochastic window.
+        min: WriteCurrent,
+        /// Upper bound of the stochastic window.
+        max: WriteCurrent,
+    },
+    /// The requested write current is below the deterministic switching threshold.
+    CurrentBelowDeterministicThreshold {
+        /// The offending current.
+        current: WriteCurrent,
+        /// Minimum current for deterministic switching.
+        threshold: WriteCurrent,
+    },
+    /// A device parameter was invalid (non-positive resistance, inverted window, ...).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A requested vector length was zero.
+    EmptyVector,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::CurrentOutsideStochasticWindow { current, min, max } => write!(
+                f,
+                "write current {current} outside stochastic window [{min}, {max}]"
+            ),
+            DeviceError::CurrentBelowDeterministicThreshold { current, threshold } => write!(
+                f,
+                "write current {current} below deterministic threshold {threshold}"
+            ),
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid device parameter `{name}`: {reason}")
+            }
+            DeviceError::EmptyVector => write!(f, "requested stochastic vector of length zero"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let err = DeviceError::EmptyVector;
+        let text = err.to_string();
+        assert!(!text.is_empty());
+        assert!(text.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+
+    #[test]
+    fn window_error_mentions_bounds() {
+        let err = DeviceError::CurrentOutsideStochasticWindow {
+            current: WriteCurrent::from_micro_amps(700.0),
+            min: WriteCurrent::from_micro_amps(300.0),
+            max: WriteCurrent::from_micro_amps(650.0),
+        };
+        let text = err.to_string();
+        assert!(text.contains("700.000"));
+        assert!(text.contains("650.000"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Device parameter set.
+
+use crate::{DeviceError, SwitchingCurve, WriteCurrent};
+
+/// Behavioural parameters of the SOT-MRAM device used across the reproduction.
+///
+/// Resistance values follow typical perpendicular SOT-MRAM figures (consistent with the
+/// field-free perpendicular SOT-MRAM of the paper's ref. [19]); the stochastic window and
+/// switching-probability anchors come directly from the paper.
+///
+/// # Example
+///
+/// ```
+/// use taxi_device::{DeviceParams, WriteCurrent};
+///
+/// let params = DeviceParams::default();
+/// assert!(params.on_off_ratio() > 1.5);
+/// let p = params.switching_probability(WriteCurrent::from_micro_amps(420.0));
+/// assert!((p - 0.2).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// Resistance in the parallel (low-resistance) state, in ohms.
+    pub r_parallel_ohms: f64,
+    /// Resistance in the anti-parallel (high-resistance) state, in ohms.
+    pub r_antiparallel_ohms: f64,
+    /// Lower bound of the stochastic write-current window.
+    pub stochastic_window_min: WriteCurrent,
+    /// Upper bound of the stochastic write-current window (also the deterministic
+    /// threshold).
+    pub deterministic_threshold: WriteCurrent,
+    /// Switching-probability curve in the stochastic regime.
+    pub switching_curve: SwitchingCurve,
+    /// Duration of a single write pulse, in seconds.
+    pub write_pulse_seconds: f64,
+    /// Duration of a single read access, in seconds.
+    pub read_pulse_seconds: f64,
+    /// Energy of a deterministic write pulse, in joules.
+    pub write_energy_joules: f64,
+    /// Supply/read voltage across the device during reads, in volts.
+    pub read_voltage: f64,
+}
+
+impl DeviceParams {
+    /// Parameters used throughout the paper reproduction.
+    ///
+    /// * `R_P` = 5 kΩ, `R_AP` = 12.5 kΩ (TMR = 150 %), typical of perpendicular MTJs.
+    /// * Stochastic window 300 µA – 650 µA, switching curve anchored at the paper's
+    ///   quoted operating points.
+    /// * 1 ns write pulse, ~0.2 ns read access, 50 fJ deterministic write energy.
+    pub fn paper() -> Self {
+        Self {
+            r_parallel_ohms: 5_000.0,
+            r_antiparallel_ohms: 12_500.0,
+            stochastic_window_min: WriteCurrent::from_micro_amps(300.0),
+            deterministic_threshold: WriteCurrent::from_micro_amps(650.0),
+            switching_curve: SwitchingCurve::paper_fit(),
+            write_pulse_seconds: 1e-9,
+            read_pulse_seconds: 0.2e-9,
+            write_energy_joules: 50e-15,
+            read_voltage: 0.2,
+        }
+    }
+
+    /// Validates the parameter set, returning an error describing the first violated
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if any resistance is non-positive, the
+    /// anti-parallel resistance does not exceed the parallel resistance, the stochastic
+    /// window is inverted, or any timing/energy figure is non-positive.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if self.r_parallel_ohms <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "r_parallel_ohms",
+                reason: "must be strictly positive".to_string(),
+            });
+        }
+        if self.r_antiparallel_ohms <= self.r_parallel_ohms {
+            return Err(DeviceError::InvalidParameter {
+                name: "r_antiparallel_ohms",
+                reason: "must exceed the parallel-state resistance".to_string(),
+            });
+        }
+        if self.stochastic_window_min >= self.deterministic_threshold {
+            return Err(DeviceError::InvalidParameter {
+                name: "stochastic_window_min",
+                reason: "must be below the deterministic threshold".to_string(),
+            });
+        }
+        if self.write_pulse_seconds <= 0.0
+            || self.read_pulse_seconds <= 0.0
+            || self.write_energy_joules <= 0.0
+        {
+            return Err(DeviceError::InvalidParameter {
+                name: "timing/energy",
+                reason: "pulse durations and write energy must be strictly positive".to_string(),
+            });
+        }
+        if self.read_voltage <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "read_voltage",
+                reason: "must be strictly positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Conductance of the parallel (low-resistance) state, in siemens.
+    pub fn g_parallel(&self) -> f64 {
+        1.0 / self.r_parallel_ohms
+    }
+
+    /// Conductance of the anti-parallel (high-resistance) state, in siemens.
+    pub fn g_antiparallel(&self) -> f64 {
+        1.0 / self.r_antiparallel_ohms
+    }
+
+    /// ON/OFF conductance ratio `G_P / G_AP = R_AP / R_P`.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.r_antiparallel_ohms / self.r_parallel_ohms
+    }
+
+    /// Switching probability at the given write current.
+    ///
+    /// Below the stochastic window the probability is effectively zero; above the
+    /// deterministic threshold it saturates at one. In between, the sigmoidal curve
+    /// applies.
+    pub fn switching_probability(&self, current: WriteCurrent) -> f64 {
+        if current >= self.deterministic_threshold {
+            1.0
+        } else {
+            self.switching_curve.probability(current)
+        }
+    }
+
+    /// Returns `true` if `current` lies inside the stochastic operating window.
+    pub fn is_in_stochastic_window(&self, current: WriteCurrent) -> bool {
+        current >= self.stochastic_window_min && current < self.deterministic_threshold
+    }
+
+    /// Ensures `current` lies inside the stochastic window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::CurrentOutsideStochasticWindow`] otherwise.
+    pub fn require_stochastic(&self, current: WriteCurrent) -> Result<(), DeviceError> {
+        if self.is_in_stochastic_window(current) {
+            Ok(())
+        } else {
+            Err(DeviceError::CurrentOutsideStochasticWindow {
+                current,
+                min: self.stochastic_window_min,
+                max: self.deterministic_threshold,
+            })
+        }
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        DeviceParams::default().validate().expect("paper defaults must validate");
+    }
+
+    #[test]
+    fn invalid_resistance_is_rejected() {
+        let mut p = DeviceParams::default();
+        p.r_parallel_ohms = -1.0;
+        assert!(matches!(
+            p.validate(),
+            Err(DeviceError::InvalidParameter { name: "r_parallel_ohms", .. })
+        ));
+    }
+
+    #[test]
+    fn inverted_states_are_rejected() {
+        let mut p = DeviceParams::default();
+        p.r_antiparallel_ohms = p.r_parallel_ohms / 2.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn inverted_window_is_rejected() {
+        let mut p = DeviceParams::default();
+        p.stochastic_window_min = WriteCurrent::from_micro_amps(700.0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic_regime_saturates_probability() {
+        let p = DeviceParams::default();
+        assert_eq!(
+            p.switching_probability(WriteCurrent::from_micro_amps(651.0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn stochastic_window_membership() {
+        let p = DeviceParams::default();
+        assert!(p.is_in_stochastic_window(WriteCurrent::from_micro_amps(420.0)));
+        assert!(!p.is_in_stochastic_window(WriteCurrent::from_micro_amps(299.0)));
+        assert!(!p.is_in_stochastic_window(WriteCurrent::from_micro_amps(650.0)));
+    }
+
+    #[test]
+    fn require_stochastic_reports_bounds() {
+        let p = DeviceParams::default();
+        let err = p
+            .require_stochastic(WriteCurrent::from_micro_amps(700.0))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::CurrentOutsideStochasticWindow { .. }));
+    }
+
+    #[test]
+    fn conductances_are_reciprocal_resistances() {
+        let p = DeviceParams::default();
+        assert!((p.g_parallel() * p.r_parallel_ohms - 1.0).abs() < 1e-12);
+        assert!((p.g_antiparallel() * p.r_antiparallel_ohms - 1.0).abs() < 1e-12);
+        assert!(p.on_off_ratio() > 1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! SOT-MRAM based stochastic bit and vector sources.
+//!
+//! The stochastic-mask circuit of the paper (Fig. 4c) consists of `N` identical units,
+//! each containing one SOT-MRAM device driven in the stochastic regime. Per iteration the
+//! devices are pulsed; the units whose device switched let the column current pass. The
+//! expected number of ones in the mask is therefore `N · P_sw(I_write)` and is swept down
+//! during annealing by reducing the write current.
+
+use rand::Rng;
+
+use crate::{DeviceError, DeviceParams, MagState, SotMram, WriteCurrent};
+
+/// A single stochastic bit source backed by one SOT-MRAM device.
+///
+/// # Example
+///
+/// ```
+/// use taxi_device::{DeviceParams, StochasticBitSource, WriteCurrent};
+/// use rand::SeedableRng;
+///
+/// let mut source = StochasticBitSource::new(DeviceParams::default());
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let bit = source.sample(WriteCurrent::from_micro_amps(420.0), &mut rng)?;
+/// assert!(bit == true || bit == false);
+/// # Ok::<(), taxi_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StochasticBitSource {
+    device: SotMram,
+    samples_drawn: u64,
+}
+
+impl StochasticBitSource {
+    /// Creates a bit source with the given device parameters.
+    pub fn new(params: DeviceParams) -> Self {
+        Self {
+            device: SotMram::new(params),
+            samples_drawn: 0,
+        }
+    }
+
+    /// Draws one stochastic bit: the device is reset to the anti-parallel state and
+    /// pulsed at `current`; the bit is 1 exactly when the device switched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `current` lies outside the stochastic window.
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        current: WriteCurrent,
+        rng: &mut R,
+    ) -> Result<bool, DeviceError> {
+        self.device.write_deterministic(MagState::AntiParallel);
+        let switched = self.device.try_stochastic_flip(current, rng)?;
+        self.samples_drawn += 1;
+        Ok(switched)
+    }
+
+    /// Number of bits drawn so far.
+    pub fn samples_drawn(&self) -> u64 {
+        self.samples_drawn
+    }
+
+    /// The underlying device (for inspecting resistance/energy figures).
+    pub fn device(&self) -> &SotMram {
+        &self.device
+    }
+}
+
+/// Generates the length-`N` stochastic binary mask used by the Ising macro.
+///
+/// One SOT-MRAM unit exists per column of the sub-problem (Section III-B/III-C3 of the
+/// paper). The generator also tracks aggregate energy and latency so the architecture
+/// simulator can account for the mask-generation cost.
+///
+/// # Example
+///
+/// ```
+/// use taxi_device::{DeviceParams, StochasticVectorGenerator, WriteCurrent};
+/// use rand::SeedableRng;
+///
+/// let mut gen = StochasticVectorGenerator::new(DeviceParams::default(), 12)?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+/// let mask = gen.generate(WriteCurrent::from_micro_amps(420.0), &mut rng)?;
+/// assert_eq!(mask.len(), 12);
+/// # Ok::<(), taxi_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StochasticVectorGenerator {
+    units: Vec<StochasticBitSource>,
+    params: DeviceParams,
+    pulses_issued: u64,
+}
+
+impl StochasticVectorGenerator {
+    /// Creates a generator with `width` independent SOT-MRAM units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EmptyVector`] if `width` is zero, or a parameter-validation
+    /// error if `params` is inconsistent.
+    pub fn new(params: DeviceParams, width: usize) -> Result<Self, DeviceError> {
+        if width == 0 {
+            return Err(DeviceError::EmptyVector);
+        }
+        params.validate()?;
+        Ok(Self {
+            units: (0..width)
+                .map(|_| StochasticBitSource::new(params.clone()))
+                .collect(),
+            params,
+            pulses_issued: 0,
+        })
+    }
+
+    /// Number of units (mask width).
+    pub fn width(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Generates one stochastic binary mask at the given write current.
+    ///
+    /// Mirrors the circuit behaviour described in the paper: if **no** unit switched
+    /// (`S = ∅`), the NAND gate opens every unit, so the all-zero mask is replaced by the
+    /// all-ones mask (all columns allowed to pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `current` lies outside the stochastic window.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        current: WriteCurrent,
+        rng: &mut R,
+    ) -> Result<Vec<bool>, DeviceError> {
+        let mut mask = Vec::with_capacity(self.units.len());
+        for unit in &mut self.units {
+            mask.push(unit.sample(current, rng)?);
+        }
+        self.pulses_issued += 1;
+        if mask.iter().all(|&b| !b) {
+            mask.iter_mut().for_each(|b| *b = true);
+        }
+        Ok(mask)
+    }
+
+    /// Expected number of ones in a mask generated at `current` (before the empty-set
+    /// fallback is applied).
+    pub fn expected_ones(&self, current: WriteCurrent) -> f64 {
+        self.units.len() as f64 * self.params.switching_probability(current)
+    }
+
+    /// Total number of mask-generation pulses issued so far.
+    pub fn pulses_issued(&self) -> u64 {
+        self.pulses_issued
+    }
+
+    /// Energy of generating one mask (all units pulsed once), in joules.
+    pub fn energy_per_mask(&self) -> f64 {
+        self.units.len() as f64 * self.params.write_energy_joules
+    }
+
+    /// Latency of generating one mask, in seconds (units are pulsed in parallel).
+    pub fn latency_per_mask(&self) -> f64 {
+        self.params.write_pulse_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_width_is_rejected() {
+        assert!(matches!(
+            StochasticVectorGenerator::new(DeviceParams::default(), 0),
+            Err(DeviceError::EmptyVector)
+        ));
+    }
+
+    #[test]
+    fn mask_has_requested_width() {
+        let mut gen = StochasticVectorGenerator::new(DeviceParams::default(), 12).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mask = gen
+            .generate(WriteCurrent::from_micro_amps(420.0), &mut rng)
+            .unwrap();
+        assert_eq!(mask.len(), 12);
+    }
+
+    #[test]
+    fn empty_mask_falls_back_to_all_ones() {
+        // At the very bottom of the stochastic window the switching probability is tiny,
+        // so most draws produce the empty set; the circuit must then pass every column.
+        let mut gen = StochasticVectorGenerator::new(DeviceParams::default(), 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut saw_all_ones = false;
+        for _ in 0..50 {
+            let mask = gen
+                .generate(WriteCurrent::from_micro_amps(305.0), &mut rng)
+                .unwrap();
+            assert!(mask.iter().any(|&b| b), "mask must never be all zeros");
+            if mask.iter().all(|&b| b) {
+                saw_all_ones = true;
+            }
+        }
+        assert!(saw_all_ones);
+    }
+
+    #[test]
+    fn mean_ones_tracks_switching_probability() {
+        let params = DeviceParams::default();
+        let width = 64;
+        let mut gen = StochasticVectorGenerator::new(params.clone(), width).unwrap();
+        let current = WriteCurrent::from_micro_amps(450.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let trials = 2_000;
+        let mut total_ones = 0usize;
+        for _ in 0..trials {
+            total_ones += gen.generate(current, &mut rng).unwrap().iter().filter(|&&b| b).count();
+        }
+        let observed = total_ones as f64 / trials as f64;
+        let expected = gen.expected_ones(current);
+        assert!(
+            (observed - expected).abs() / expected < 0.05,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn expected_ones_decreases_with_current() {
+        let gen = StochasticVectorGenerator::new(DeviceParams::default(), 12).unwrap();
+        let high = gen.expected_ones(WriteCurrent::from_micro_amps(420.0));
+        let low = gen.expected_ones(WriteCurrent::from_micro_amps(353.0));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn bookkeeping_counts_pulses_and_energy() {
+        let mut gen = StochasticVectorGenerator::new(DeviceParams::default(), 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..3 {
+            gen.generate(WriteCurrent::from_micro_amps(400.0), &mut rng)
+                .unwrap();
+        }
+        assert_eq!(gen.pulses_issued(), 3);
+        assert!(gen.energy_per_mask() > 0.0);
+        assert!(gen.latency_per_mask() > 0.0);
+    }
+
+    #[test]
+    fn bit_source_counts_samples() {
+        let mut src = StochasticBitSource::new(DeviceParams::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..10 {
+            src.sample(WriteCurrent::from_micro_amps(500.0), &mut rng)
+                .unwrap();
+        }
+        assert_eq!(src.samples_drawn(), 10);
+    }
+}

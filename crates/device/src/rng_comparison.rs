@@ -1,0 +1,163 @@
+//! Comparison of stochasticity sources (Section II-B of the paper).
+//!
+//! The paper motivates SOT-MRAM stochastic switching over the alternatives: CMOS true
+//! random number generators are slower (< 2 400 Mb/s) and larger (> 375 µm²), low-barrier
+//! MTJ RNGs need near-zero energy barriers and fast sense circuitry, and the intrinsic
+//! noise of RRAM/FinFET crossbars becomes uncontrollable as the array grows. This module
+//! captures those published figures in one place so analyses and examples can reproduce
+//! the paper's argument quantitatively.
+
+use crate::DeviceParams;
+
+/// A class of random-number source considered by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RngTechnology {
+    /// Fully-synthesised CMOS TRNG (the paper's ref. [8], 23 Mb/s, 23 pJ/bit).
+    CmosSynthesized,
+    /// All-digital high-performance CMOS TRNG (ref. [9], 2.4 Gb/s, 7 mW).
+    CmosHighPerformance,
+    /// Low-barrier MTJ / spin-dice style RNG (refs. [15]–[18]).
+    LowBarrierMtj,
+    /// SOT-MRAM stochastic switching as used by TAXI.
+    SotMram,
+}
+
+/// Published (or modelled) characteristics of one RNG implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RngProfile {
+    /// Technology class.
+    pub technology: RngTechnology,
+    /// Throughput per generator instance, in bits per second.
+    pub throughput_bits_per_second: f64,
+    /// Area per generator instance, in µm².
+    pub area_um2: f64,
+    /// Energy per generated bit, in joules.
+    pub energy_per_bit_joules: f64,
+}
+
+impl RngProfile {
+    /// The fully-synthesised CMOS TRNG of the paper's ref. [8] (23 Mb/s, 23 pJ/b,
+    /// > 375 µm²).
+    pub fn cmos_synthesized() -> Self {
+        Self {
+            technology: RngTechnology::CmosSynthesized,
+            throughput_bits_per_second: 23e6,
+            area_um2: 375.0,
+            energy_per_bit_joules: 23e-12,
+        }
+    }
+
+    /// The high-performance all-digital CMOS TRNG of ref. [9] (2.4 Gb/s at 7 mW,
+    /// ≈ 2.9 pJ/b; area ≈ 4 000 µm² in 45 nm).
+    pub fn cmos_high_performance() -> Self {
+        Self {
+            technology: RngTechnology::CmosHighPerformance,
+            throughput_bits_per_second: 2.4e9,
+            area_um2: 4_000.0,
+            energy_per_bit_joules: 7e-3 / 2.4e9,
+        }
+    }
+
+    /// A low-barrier MTJ RNG: very fast telegraphic switching (> 1 Gb/s) but requiring
+    /// ≈ 0 kT barriers and high-frequency sense circuitry.
+    pub fn low_barrier_mtj() -> Self {
+        Self {
+            technology: RngTechnology::LowBarrierMtj,
+            throughput_bits_per_second: 1e9,
+            area_um2: 50.0,
+            energy_per_bit_joules: 1e-12,
+        }
+    }
+
+    /// The SOT-MRAM stochastic unit used by TAXI, derived from the device parameters:
+    /// one bit per write pulse, one 3T-1M cell plus a divider/inverter (≈ 5 µm²).
+    pub fn sot_mram(params: &DeviceParams) -> Self {
+        Self {
+            technology: RngTechnology::SotMram,
+            throughput_bits_per_second: 1.0 / params.write_pulse_seconds,
+            area_um2: 5.0,
+            energy_per_bit_joules: params.write_energy_joules,
+        }
+    }
+
+    /// Time to produce one `width`-bit stochastic mask using as many generator instances
+    /// as fit in `area_budget_um2`, in seconds.
+    ///
+    /// This is the figure of merit the paper cares about: the mask must be refreshed
+    /// every macro iteration (9 ns), so the source must deliver `width` bits well inside
+    /// that window without blowing up the area.
+    pub fn mask_latency_seconds(&self, width: usize, area_budget_um2: f64) -> f64 {
+        let instances = (area_budget_um2 / self.area_um2).floor().max(1.0);
+        let bits_in_parallel = instances.min(width as f64);
+        let rounds = (width as f64 / bits_in_parallel).ceil();
+        rounds / self.throughput_bits_per_second
+    }
+
+    /// Energy to produce one `width`-bit mask, in joules.
+    pub fn mask_energy_joules(&self, width: usize) -> f64 {
+        width as f64 * self.energy_per_bit_joules
+    }
+}
+
+/// All profiles compared by the paper, with SOT-MRAM derived from `params`.
+pub fn all_profiles(params: &DeviceParams) -> Vec<RngProfile> {
+    vec![
+        RngProfile::cmos_synthesized(),
+        RngProfile::cmos_high_performance(),
+        RngProfile::low_barrier_mtj(),
+        RngProfile::sot_mram(params),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sot_mram_is_most_area_efficient() {
+        let params = DeviceParams::default();
+        let sot = RngProfile::sot_mram(&params);
+        for profile in all_profiles(&params) {
+            if profile.technology != RngTechnology::SotMram {
+                assert!(sot.area_um2 < profile.area_um2);
+            }
+        }
+    }
+
+    #[test]
+    fn sot_mram_mask_fits_the_iteration_budget() {
+        // A 12-wide mask must be produced well within the 9 ns iteration at a per-row
+        // area budget comparable to one CMOS TRNG instance.
+        let params = DeviceParams::default();
+        let sot = RngProfile::sot_mram(&params);
+        let latency = sot.mask_latency_seconds(12, 12.0 * sot.area_um2);
+        assert!(latency <= 2e-9, "SOT mask latency {latency}");
+    }
+
+    #[test]
+    fn synthesized_cmos_cannot_keep_up_at_the_same_area() {
+        let params = DeviceParams::default();
+        let cmos = RngProfile::cmos_synthesized();
+        let sot = RngProfile::sot_mram(&params);
+        let budget = 12.0 * sot.area_um2; // what TAXI spends on its 12 stochastic units
+        let cmos_latency = cmos.mask_latency_seconds(12, budget);
+        let sot_latency = sot.mask_latency_seconds(12, budget);
+        assert!(
+            cmos_latency > 100.0 * sot_latency,
+            "CMOS {cmos_latency} vs SOT {sot_latency}"
+        );
+    }
+
+    #[test]
+    fn mask_energy_scales_with_width() {
+        let params = DeviceParams::default();
+        let sot = RngProfile::sot_mram(&params);
+        assert!(sot.mask_energy_joules(24) > sot.mask_energy_joules(12));
+    }
+
+    #[test]
+    fn published_throughput_figures_are_respected() {
+        assert!(RngProfile::cmos_synthesized().throughput_bits_per_second < 2_400e6);
+        assert!(RngProfile::cmos_high_performance().throughput_bits_per_second <= 2.4e9);
+    }
+}

@@ -1,0 +1,199 @@
+//! Sigmoidal switching-probability model.
+//!
+//! The paper (Fig. 4c, following the IEDM'22 device of ref. [19]) controls the expected
+//! number of ones in the stochastic mask by setting the write current, exploiting the
+//! native sigmoidal switching-probability vs. write-current characteristic of the SOT
+//! device. Two operating points are quoted explicitly:
+//!
+//! * 20 % switching probability at 420 µA (annealing start), and
+//! * 1 % switching probability at 353 µA (annealing stop),
+//!
+//! with deterministic switching above 650 µA and the stochastic window spanning roughly
+//! 300 µA – 650 µA. [`SwitchingCurve`] is a logistic curve fitted through those anchor
+//! points; by construction it also satisfies the deterministic-regime requirement
+//! (P > 0.9999 above 650 µA).
+
+use crate::WriteCurrent;
+
+/// A logistic (sigmoidal) switching-probability curve `P_sw(I_write)`.
+///
+/// `P_sw(I) = 1 / (1 + exp(-(I - i_half) / slope))`.
+///
+/// # Example
+///
+/// ```
+/// use taxi_device::{SwitchingCurve, WriteCurrent};
+///
+/// let curve = SwitchingCurve::paper_fit();
+/// let p_start = curve.probability(WriteCurrent::from_micro_amps(420.0));
+/// let p_stop = curve.probability(WriteCurrent::from_micro_amps(353.0));
+/// assert!((p_start - 0.20).abs() < 0.01);
+/// assert!((p_stop - 0.01).abs() < 0.005);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingCurve {
+    /// Current at which the switching probability is exactly 0.5, in amperes.
+    i_half_amps: f64,
+    /// Logistic slope parameter, in amperes.
+    slope_amps: f64,
+}
+
+impl SwitchingCurve {
+    /// Builds a curve from the half-probability current and logistic slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slope` is not strictly positive or either quantity is not finite.
+    pub fn new(i_half: WriteCurrent, slope: WriteCurrent) -> Self {
+        assert!(
+            slope.as_amps() > 0.0 && slope.is_finite() && i_half.is_finite(),
+            "switching curve requires finite i_half and strictly positive slope"
+        );
+        Self {
+            i_half_amps: i_half.as_amps(),
+            slope_amps: slope.as_amps(),
+        }
+    }
+
+    /// Fits a logistic curve through two `(current, probability)` anchor points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are not strictly between 0 and 1 or if the two anchors
+    /// coincide.
+    pub fn from_anchor_points(
+        (i_a, p_a): (WriteCurrent, f64),
+        (i_b, p_b): (WriteCurrent, f64),
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p_a) && p_a > 0.0 && (0.0..1.0).contains(&p_b) && p_b > 0.0,
+            "anchor probabilities must lie strictly inside (0, 1)"
+        );
+        let la = logit(p_a);
+        let lb = logit(p_b);
+        assert!(
+            (la - lb).abs() > f64::EPSILON && (i_a.as_amps() - i_b.as_amps()).abs() > 0.0,
+            "anchor points must be distinct"
+        );
+        // logit(p) = (I - i_half) / slope  =>  linear system in (i_half, slope).
+        let slope = (i_a.as_amps() - i_b.as_amps()) / (la - lb);
+        let i_half = i_a.as_amps() - la * slope;
+        Self::new(
+            WriteCurrent::from_amps(i_half),
+            WriteCurrent::from_amps(slope),
+        )
+    }
+
+    /// The curve used throughout the reproduction: fitted through the paper's quoted
+    /// operating points (20 % @ 420 µA, 1 % @ 353 µA).
+    pub fn paper_fit() -> Self {
+        Self::from_anchor_points(
+            (WriteCurrent::from_micro_amps(420.0), 0.20),
+            (WriteCurrent::from_micro_amps(353.0), 0.01),
+        )
+    }
+
+    /// Switching probability at the given write current, clamped to `[0, 1]`.
+    pub fn probability(&self, current: WriteCurrent) -> f64 {
+        let x = (current.as_amps() - self.i_half_amps) / self.slope_amps;
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    /// Inverse of [`probability`](Self::probability): the current that yields probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly between 0 and 1.
+    pub fn current_for_probability(&self, p: f64) -> WriteCurrent {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "probability must lie strictly inside (0, 1), got {p}"
+        );
+        WriteCurrent::from_amps(self.i_half_amps + logit(p) * self.slope_amps)
+    }
+
+    /// Current at which the curve crosses 50 % probability.
+    pub fn i_half(&self) -> WriteCurrent {
+        WriteCurrent::from_amps(self.i_half_amps)
+    }
+
+    /// Logistic slope parameter.
+    pub fn slope(&self) -> WriteCurrent {
+        WriteCurrent::from_amps(self.slope_amps)
+    }
+}
+
+impl Default for SwitchingCurve {
+    fn default() -> Self {
+        Self::paper_fit()
+    }
+}
+
+fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fit_hits_anchor_points() {
+        let c = SwitchingCurve::paper_fit();
+        assert!((c.probability(WriteCurrent::from_micro_amps(420.0)) - 0.20).abs() < 1e-9);
+        assert!((c.probability(WriteCurrent::from_micro_amps(353.0)) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_regime_is_essentially_certain() {
+        let c = SwitchingCurve::paper_fit();
+        assert!(c.probability(WriteCurrent::from_micro_amps(650.0)) > 0.999);
+        assert!(c.probability(WriteCurrent::from_micro_amps(800.0)) > 0.9999);
+    }
+
+    #[test]
+    fn low_currents_rarely_switch() {
+        let c = SwitchingCurve::paper_fit();
+        assert!(c.probability(WriteCurrent::from_micro_amps(300.0)) < 0.01);
+        assert!(c.probability(WriteCurrent::ZERO) < 1e-6);
+    }
+
+    #[test]
+    fn probability_is_monotonically_increasing() {
+        let c = SwitchingCurve::paper_fit();
+        let mut prev = 0.0;
+        for ua in (300..=650).step_by(10) {
+            let p = c.probability(WriteCurrent::from_micro_amps(ua as f64));
+            assert!(p >= prev, "P_sw must be non-decreasing in I_write");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let c = SwitchingCurve::paper_fit();
+        for &p in &[0.01, 0.05, 0.2, 0.5, 0.9] {
+            let i = c.current_for_probability(p);
+            assert!((c.probability(i) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn inverse_rejects_degenerate_probability() {
+        SwitchingCurve::paper_fit().current_for_probability(1.0);
+    }
+
+    #[test]
+    fn sigmoid_decays_faster_early_in_schedule() {
+        // The paper argues the native sigmoidal shape gives a rapid decrease of
+        // stochasticity early in the anneal and a slow decrease later. With a linear
+        // current ramp from 420 µA to 353 µA, the probability drop in the first half of
+        // the ramp must exceed the drop in the second half.
+        let c = SwitchingCurve::paper_fit();
+        let start = c.probability(WriteCurrent::from_micro_amps(420.0));
+        let mid = c.probability(WriteCurrent::from_micro_amps(386.5));
+        let stop = c.probability(WriteCurrent::from_micro_amps(353.0));
+        assert!(start - mid > mid - stop);
+    }
+}

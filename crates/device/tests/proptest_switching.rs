@@ -1,0 +1,59 @@
+//! Property-based tests of the switching-probability model.
+
+use proptest::prelude::*;
+
+use taxi_device::{DeviceParams, SwitchingCurve, WriteCurrent};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The switching probability is always a valid probability and is monotone in the
+    /// write current.
+    #[test]
+    fn probability_is_bounded_and_monotone(ua_a in 0.0f64..1000.0, ua_b in 0.0f64..1000.0) {
+        let curve = SwitchingCurve::paper_fit();
+        let (lo, hi) = if ua_a <= ua_b { (ua_a, ua_b) } else { (ua_b, ua_a) };
+        let p_lo = curve.probability(WriteCurrent::from_micro_amps(lo));
+        let p_hi = curve.probability(WriteCurrent::from_micro_amps(hi));
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_hi >= p_lo);
+    }
+
+    /// `current_for_probability` is the exact inverse of `probability` over the open
+    /// unit interval.
+    #[test]
+    fn inverse_round_trips(p in 0.001f64..0.999) {
+        let curve = SwitchingCurve::paper_fit();
+        let current = curve.current_for_probability(p);
+        prop_assert!((curve.probability(current) - p).abs() < 1e-9);
+    }
+
+    /// Any curve fitted through two anchor points reproduces them exactly.
+    #[test]
+    fn anchor_fit_reproduces_anchors(
+        ua_a in 300.0f64..450.0,
+        delta in 20.0f64..200.0,
+        p_a in 0.01f64..0.4,
+        p_extra in 0.05f64..0.5,
+    ) {
+        let ua_b = ua_a + delta;
+        let p_b = (p_a + p_extra).min(0.95);
+        let curve = SwitchingCurve::from_anchor_points(
+            (WriteCurrent::from_micro_amps(ua_a), p_a),
+            (WriteCurrent::from_micro_amps(ua_b), p_b),
+        );
+        prop_assert!((curve.probability(WriteCurrent::from_micro_amps(ua_a)) - p_a).abs() < 1e-9);
+        prop_assert!((curve.probability(WriteCurrent::from_micro_amps(ua_b)) - p_b).abs() < 1e-9);
+    }
+
+    /// Device parameters in the deterministic regime always report certainty, and the
+    /// stochastic-window check matches the window bounds.
+    #[test]
+    fn deterministic_regime_saturates(ua in 650.0f64..2000.0) {
+        let params = DeviceParams::default();
+        let current = WriteCurrent::from_micro_amps(ua);
+        prop_assert_eq!(params.switching_probability(current), 1.0);
+        prop_assert!(!params.is_in_stochastic_window(current));
+    }
+}

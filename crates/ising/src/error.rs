@@ -1,0 +1,87 @@
+//! Error type for Ising-layer operations.
+
+use std::error::Error;
+use std::fmt;
+
+use taxi_xbar::XbarError;
+
+/// Errors returned by the Ising formulation and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsingError {
+    /// The problem definition was inconsistent (non-square matrix, size mismatch, ...).
+    InvalidProblem {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// The fixed endpoints requested for a path sub-problem are invalid.
+    InvalidEndpoints {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// An index was out of range.
+    IndexOutOfRange {
+        /// Kind of index ("spin", "city", ...).
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Valid exclusive upper bound.
+        len: usize,
+    },
+    /// A hardware-level (crossbar) error occurred.
+    Hardware(XbarError),
+}
+
+impl fmt::Display for IsingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsingError::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),
+            IsingError::InvalidEndpoints { reason } => {
+                write!(f, "invalid fixed endpoints: {reason}")
+            }
+            IsingError::IndexOutOfRange { kind, index, len } => {
+                write!(f, "{kind} index {index} out of range (0..{len})")
+            }
+            IsingError::Hardware(err) => write!(f, "hardware error: {err}"),
+        }
+    }
+}
+
+impl Error for IsingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsingError::Hardware(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<XbarError> for IsingError {
+    fn from(err: XbarError) -> Self {
+        IsingError::Hardware(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = IsingError::InvalidProblem {
+            reason: "matrix is not square".to_string(),
+        };
+        assert!(err.to_string().contains("square"));
+    }
+
+    #[test]
+    fn hardware_errors_chain() {
+        let err: IsingError = XbarError::UnsupportedBitPrecision { bits: 12 }.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsingError>();
+    }
+}

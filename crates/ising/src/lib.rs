@@ -1,0 +1,54 @@
+//! Ising-model formulation and annealing algorithms for the TAXI reproduction.
+//!
+//! The crate has three layers:
+//!
+//! * [`model`] / [`qubo`] — the textbook Ising Hamiltonian (Eqs. 1–3 of the paper) and
+//!   the QUBO encoding of a TSP, used by the software baselines and for validating that
+//!   the macro's MAC-based update indeed descends the energy landscape.
+//! * [`schedule`] — annealing schedules. The paper's schedule ramps the SOT write current
+//!   linearly from 420 µA down to 353 µA in 50 nA steps, which — through the device's
+//!   sigmoidal `P_sw(I)` — yields the non-linear stochasticity decay the paper argues for.
+//! * [`macro_solver`] — [`MacroTspSolver`], the algorithm of Section III driving a
+//!   [`taxi_xbar::IsingMacro`] over a full annealing schedule, with optional fixed
+//!   endpoints so the hierarchical layer can solve path sub-problems whose first and last
+//!   cities are pinned (Section IV-2).
+//! * [`sa`] — a plain software simulated-annealing Ising solver used as an algorithmic
+//!   baseline (it is also the sub-solver model for the HVC-style baseline).
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_ising::{CurrentSchedule, MacroSolverConfig, MacroTspSolver};
+//!
+//! let distances = vec![
+//!     vec![0.0, 1.0, 2.0, 3.0, 4.0],
+//!     vec![1.0, 0.0, 1.0, 2.0, 3.0],
+//!     vec![2.0, 1.0, 0.0, 1.0, 2.0],
+//!     vec![3.0, 2.0, 1.0, 0.0, 1.0],
+//!     vec![4.0, 3.0, 2.0, 1.0, 0.0],
+//! ];
+//! let config = MacroSolverConfig::default().with_schedule(CurrentSchedule::fast());
+//! let solver = MacroTspSolver::new(config);
+//! let solution = solver.solve_cycle(&distances, 99)?;
+//! assert_eq!(solution.order.len(), 5);
+//! # Ok::<(), taxi_ising::IsingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod macro_solver;
+pub mod model;
+pub mod qubo;
+pub mod sa;
+pub mod schedule;
+pub mod trace;
+
+pub use error::IsingError;
+pub use macro_solver::{MacroSolverConfig, MacroTspSolver, SubTourSolution};
+pub use model::{IsingModel, Spin};
+pub use qubo::{Qubo, TspQuboEncoder};
+pub use sa::{SaConfig, SimulatedAnnealingIsingSolver};
+pub use schedule::{AnnealingSchedule, CurrentSchedule, GeometricTemperatureSchedule};
+pub use trace::{AnnealingTrace, TracePoint};

@@ -1,0 +1,587 @@
+//! The Ising-macro TSP sub-solver (Section III of the paper).
+//!
+//! [`MacroTspSolver`] drives a [`taxi_xbar::IsingMacro`] through the annealing procedure
+//! of Section III-C6: the write current starts at 420 µA and decreases every iteration;
+//! each iteration optimises one visiting order (superpose → distance MAC → stochastic
+//! mask → ArgMax → spin-storage update), cycling from the first to the last order; when
+//! the current reaches 353 µA the spin storage is read out as the solution.
+//!
+//! Two solve modes exist:
+//!
+//! * [`solve_cycle`](MacroTspSolver::solve_cycle) — a closed tour over all cities of the
+//!   sub-problem (used for the topmost hierarchy level).
+//! * [`solve_path`](MacroTspSolver::solve_path) — an open path whose first and last
+//!   cities are fixed (used for every other level, where the hierarchical layer pins the
+//!   entry/exit cities of each cluster, Section IV-2).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use taxi_xbar::{IsingMacro, MacroConfig, MacroOpCounts};
+
+use crate::{AnnealingSchedule, CurrentSchedule, IsingError};
+
+/// Configuration of the macro-based TSP sub-solver.
+///
+/// # Example
+///
+/// ```
+/// use taxi_ising::{AnnealingSchedule, CurrentSchedule, MacroSolverConfig};
+/// use taxi_xbar::MacroConfig;
+///
+/// let config = MacroSolverConfig::new(MacroConfig::new(4))
+///     .with_schedule(CurrentSchedule::paper());
+/// assert_eq!(config.schedule().len(), 1340);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroSolverConfig {
+    macro_config: MacroConfig,
+    schedule: CurrentSchedule,
+    elitist: bool,
+}
+
+impl MacroSolverConfig {
+    /// Creates a solver configuration around a macro configuration, using the default
+    /// software schedule and elitist solution tracking.
+    pub fn new(macro_config: MacroConfig) -> Self {
+        Self {
+            macro_config,
+            schedule: CurrentSchedule::default(),
+            elitist: true,
+        }
+    }
+
+    /// Overrides the annealing schedule.
+    pub fn with_schedule(mut self, schedule: CurrentSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the macro configuration.
+    pub fn with_macro_config(mut self, macro_config: MacroConfig) -> Self {
+        self.macro_config = macro_config;
+        self
+    }
+
+    /// Enables or disables elitist tracking.
+    ///
+    /// When enabled (the default), the solver snapshots the spin storage after every
+    /// complete sweep over the visiting orders and returns the best tour encountered;
+    /// when disabled it returns exactly the spin storage read out at the end of the
+    /// schedule, as the paper's hardware does.
+    pub fn with_elitist(mut self, elitist: bool) -> Self {
+        self.elitist = elitist;
+        self
+    }
+
+    /// The macro configuration.
+    pub fn macro_config(&self) -> &MacroConfig {
+        &self.macro_config
+    }
+
+    /// The annealing schedule.
+    pub fn schedule(&self) -> CurrentSchedule {
+        self.schedule
+    }
+
+    /// Whether elitist tracking is enabled.
+    pub fn elitist(&self) -> bool {
+        self.elitist
+    }
+}
+
+impl Default for MacroSolverConfig {
+    fn default() -> Self {
+        Self::new(MacroConfig::default().with_capacity(64))
+    }
+}
+
+/// Solution of one sub-problem produced by an Ising macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubTourSolution {
+    /// Visiting order: `order[k]` is the sub-problem city index visited k-th.
+    pub order: Vec<usize>,
+    /// Length of the tour (cyclic) or path (fixed endpoints), in the units of the input
+    /// distance matrix.
+    pub length: f64,
+    /// Number of annealing iterations executed on the macro.
+    pub iterations: u64,
+    /// Hardware operation counters accumulated by the macro.
+    pub op_counts: MacroOpCounts,
+}
+
+/// TSP sub-solver built on a crossbar Ising macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroTspSolver {
+    config: MacroSolverConfig,
+}
+
+impl MacroTspSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: MacroSolverConfig) -> Self {
+        Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &MacroSolverConfig {
+        &self.config
+    }
+
+    /// Solves a closed (cyclic) TSP over the sub-problem described by `distances`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the distance matrix is malformed or exceeds the macro
+    /// capacity.
+    pub fn solve_cycle(
+        &self,
+        distances: &[Vec<f64>],
+        seed: u64,
+    ) -> Result<SubTourSolution, IsingError> {
+        let n = validate_square(distances)?;
+        if n <= 3 {
+            let order: Vec<usize> = (0..n).collect();
+            return Ok(SubTourSolution {
+                length: cycle_length(distances, &order),
+                order,
+                iterations: 0,
+                op_counts: MacroOpCounts::default(),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut macro_ = IsingMacro::new(distances, self.config.macro_config.clone())?;
+        let initial = nearest_neighbor_order(distances, 0);
+        macro_.initialize_order(&initial)?;
+
+        let schedule = self.config.schedule;
+        let total = schedule.len();
+        let mut best_order = initial.clone();
+        let mut best_length = cycle_length(distances, &best_order);
+        for t in 0..total {
+            let order = t % n;
+            let i_write = schedule.current_at(t);
+            macro_.optimize_order(order, i_write, &mut rng)?;
+            if self.config.elitist && (t + 1) % n == 0 {
+                let snapshot = macro_.read_solution()?;
+                let length = cycle_length(distances, &snapshot);
+                if length < best_length {
+                    best_length = length;
+                    best_order = snapshot;
+                }
+            }
+        }
+        let final_order = macro_.read_solution()?;
+        let final_length = cycle_length(distances, &final_order);
+        let (order, length) = if self.config.elitist && best_length < final_length {
+            (best_order, best_length)
+        } else {
+            (final_order, final_length)
+        };
+        Ok(SubTourSolution {
+            order,
+            length,
+            iterations: total as u64,
+            op_counts: macro_.op_counts(),
+        })
+    }
+
+    /// Like [`solve_cycle`](Self::solve_cycle), but additionally records an
+    /// [`AnnealingTrace`](crate::AnnealingTrace) with one sample per sweep over the
+    /// visiting orders (tour length, write current, stochasticity).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve_cycle`](Self::solve_cycle).
+    pub fn solve_cycle_traced(
+        &self,
+        distances: &[Vec<f64>],
+        seed: u64,
+    ) -> Result<(SubTourSolution, crate::AnnealingTrace), IsingError> {
+        let n = validate_square(distances)?;
+        let mut trace = crate::AnnealingTrace::new();
+        if n <= 3 {
+            return Ok((self.solve_cycle(distances, seed)?, trace));
+        }
+        let curve = self
+            .config
+            .macro_config
+            .device_params()
+            .switching_curve;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut macro_ = IsingMacro::new(distances, self.config.macro_config.clone())?;
+        let initial = nearest_neighbor_order(distances, 0);
+        macro_.initialize_order(&initial)?;
+        let schedule = self.config.schedule;
+        let total = schedule.len();
+        let mut best_order = initial.clone();
+        let mut best_length = cycle_length(distances, &best_order);
+        trace.record(0, schedule.current_at(0), &curve, best_length);
+        for t in 0..total {
+            let order = t % n;
+            let i_write = schedule.current_at(t);
+            macro_.optimize_order(order, i_write, &mut rng)?;
+            if (t + 1) % n == 0 {
+                let snapshot = macro_.read_solution()?;
+                let length = cycle_length(distances, &snapshot);
+                trace.record(t, i_write, &curve, length);
+                if self.config.elitist && length < best_length {
+                    best_length = length;
+                    best_order = snapshot;
+                }
+            }
+        }
+        let final_order = macro_.read_solution()?;
+        let final_length = cycle_length(distances, &final_order);
+        let (order, length) = if self.config.elitist && best_length < final_length {
+            (best_order, best_length)
+        } else {
+            (final_order, final_length)
+        };
+        Ok((
+            SubTourSolution {
+                order,
+                length,
+                iterations: total as u64,
+                op_counts: macro_.op_counts(),
+            },
+            trace,
+        ))
+    }
+
+    /// Solves an open-path TSP whose first city is `start` and last city is `end`
+    /// (sub-problem endpoint fixing of Section IV-2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is malformed, `start == end` while the sub-problem
+    /// has more than one city, or either endpoint is out of range.
+    pub fn solve_path(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+    ) -> Result<SubTourSolution, IsingError> {
+        let n = validate_square(distances)?;
+        if start >= n || end >= n {
+            return Err(IsingError::InvalidEndpoints {
+                reason: format!("endpoints ({start}, {end}) out of range for {n} cities"),
+            });
+        }
+        if n > 1 && start == end {
+            return Err(IsingError::InvalidEndpoints {
+                reason: "start and end city must differ for sub-problems with more than one city"
+                    .to_string(),
+            });
+        }
+        if n <= 3 {
+            let mut order = vec![start];
+            for c in 0..n {
+                if c != start && c != end {
+                    order.push(c);
+                }
+            }
+            if n > 1 {
+                order.push(end);
+            }
+            return Ok(SubTourSolution {
+                length: path_length(distances, &order),
+                order,
+                iterations: 0,
+                op_counts: MacroOpCounts::default(),
+            });
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut macro_ = IsingMacro::new(distances, self.config.macro_config.clone())?;
+        let initial = nearest_neighbor_path_order(distances, start, end);
+        macro_.initialize_order(&initial)?;
+
+        let frozen = [start, end];
+        let schedule = self.config.schedule;
+        let total = schedule.len();
+        let interior = n - 2;
+        let mut best_order = initial.clone();
+        let mut best_length = path_length(distances, &best_order);
+        for t in 0..total {
+            // Cycle over the interior orders 1..n-1; endpoints stay pinned.
+            let order = 1 + (t % interior);
+            let i_write = schedule.current_at(t);
+            macro_.optimize_order_constrained(order, i_write, &frozen, &mut rng)?;
+            if self.config.elitist && (t + 1) % interior == 0 {
+                let snapshot = macro_.read_solution()?;
+                let length = path_length(distances, &snapshot);
+                if length < best_length {
+                    best_length = length;
+                    best_order = snapshot;
+                }
+            }
+        }
+        let final_order = macro_.read_solution()?;
+        let final_length = path_length(distances, &final_order);
+        let (order, length) = if self.config.elitist && best_length < final_length {
+            (best_order, best_length)
+        } else {
+            (final_order, final_length)
+        };
+        debug_assert_eq!(order[0], start, "start endpoint must remain pinned");
+        debug_assert_eq!(order[n - 1], end, "end endpoint must remain pinned");
+        Ok(SubTourSolution {
+            length,
+            order,
+            iterations: total as u64,
+            op_counts: macro_.op_counts(),
+        })
+    }
+}
+
+impl Default for MacroTspSolver {
+    fn default() -> Self {
+        Self::new(MacroSolverConfig::default())
+    }
+}
+
+/// Length of a closed tour under `distances`.
+pub fn cycle_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+    let n = order.len();
+    if n < 2 {
+        return 0.0;
+    }
+    (0..n)
+        .map(|i| distances[order[i]][order[(i + 1) % n]])
+        .sum()
+}
+
+/// Length of an open path under `distances`.
+pub fn path_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+    order
+        .windows(2)
+        .map(|pair| distances[pair[0]][pair[1]])
+        .sum()
+}
+
+/// Nearest-neighbour visiting order starting from `start` (closed-tour initialisation).
+pub fn nearest_neighbor_order(distances: &[Vec<f64>], start: usize) -> Vec<usize> {
+    let n = distances.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    visited[current] = true;
+    order.push(current);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&c| !visited[c])
+            .min_by(|&a, &b| {
+                distances[current][a]
+                    .partial_cmp(&distances[current][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("an unvisited city must remain");
+        visited[next] = true;
+        order.push(next);
+        current = next;
+    }
+    order
+}
+
+/// Nearest-neighbour path order from `start`, forced to terminate at `end`.
+pub fn nearest_neighbor_path_order(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
+    let n = distances.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    visited[start] = true;
+    visited[end] = true;
+    order.push(start);
+    let mut current = start;
+    for _ in 0..n.saturating_sub(2) {
+        let next = (0..n)
+            .filter(|&c| !visited[c])
+            .min_by(|&a, &b| {
+                distances[current][a]
+                    .partial_cmp(&distances[current][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("an unvisited interior city must remain");
+        visited[next] = true;
+        order.push(next);
+        current = next;
+    }
+    if n > 1 {
+        order.push(end);
+    }
+    order
+}
+
+fn validate_square(distances: &[Vec<f64>]) -> Result<usize, IsingError> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(IsingError::InvalidProblem {
+            reason: "distance matrix is empty".to_string(),
+        });
+    }
+    if distances.iter().any(|row| row.len() != n) {
+        return Err(IsingError::InvalidProblem {
+            reason: "distance matrix is not square".to_string(),
+        });
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on a circle: the optimal cycle visits them in angular order.
+    fn circle_distances(n: usize) -> (Vec<Vec<f64>>, f64) {
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (angle.cos(), angle.sin())
+            })
+            .collect();
+        let d: Vec<Vec<f64>> = points
+            .iter()
+            .map(|&(x1, y1)| {
+                points
+                    .iter()
+                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+                    .collect()
+            })
+            .collect();
+        let optimal = cycle_length(&d, &(0..n).collect::<Vec<_>>());
+        (d, optimal)
+    }
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        if order.len() != n {
+            return false;
+        }
+        for &c in order {
+            if c >= n || seen[c] {
+                return false;
+            }
+            seen[c] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn solve_cycle_returns_valid_permutation() {
+        let (d, _) = circle_distances(10);
+        let solver = MacroTspSolver::default();
+        let sol = solver.solve_cycle(&d, 1).unwrap();
+        assert!(is_permutation(&sol.order, 10));
+        assert!(sol.length > 0.0);
+        assert_eq!(sol.iterations, CurrentSchedule::software().len() as u64);
+    }
+
+    #[test]
+    fn solve_cycle_is_near_optimal_on_circle() {
+        let (d, optimal) = circle_distances(10);
+        let solver = MacroTspSolver::default();
+        let sol = solver.solve_cycle(&d, 7).unwrap();
+        assert!(
+            sol.length <= optimal * 1.25,
+            "macro solution {:.3} should be within 25% of optimum {:.3}",
+            sol.length,
+            optimal
+        );
+    }
+
+    #[test]
+    fn solve_cycle_handles_tiny_instances_without_hardware() {
+        let d = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 1.5],
+            vec![2.0, 1.5, 0.0],
+        ];
+        let solver = MacroTspSolver::default();
+        let sol = solver.solve_cycle(&d, 0).unwrap();
+        assert_eq!(sol.order, vec![0, 1, 2]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn solve_path_pins_endpoints() {
+        let (d, _) = circle_distances(9);
+        let solver = MacroTspSolver::default();
+        let sol = solver.solve_path(&d, 2, 6, 3).unwrap();
+        assert!(is_permutation(&sol.order, 9));
+        assert_eq!(sol.order[0], 2);
+        assert_eq!(*sol.order.last().unwrap(), 6);
+    }
+
+    #[test]
+    fn solve_path_rejects_bad_endpoints() {
+        let (d, _) = circle_distances(6);
+        let solver = MacroTspSolver::default();
+        assert!(solver.solve_path(&d, 0, 9, 1).is_err());
+        assert!(solver.solve_path(&d, 3, 3, 1).is_err());
+    }
+
+    #[test]
+    fn solve_path_beats_or_matches_naive_order() {
+        // Points on a line with the endpoints fixed to the extremes: the optimal path is
+        // the sorted sweep, and the solver should get close to it.
+        let n = 8;
+        let d: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
+            .collect();
+        let solver = MacroTspSolver::default();
+        let sol = solver.solve_path(&d, 0, n - 1, 5).unwrap();
+        let optimal = (n - 1) as f64;
+        assert!(
+            sol.length <= optimal * 1.6,
+            "path length {} vs optimal {optimal}",
+            sol.length
+        );
+    }
+
+    #[test]
+    fn empty_and_ragged_matrices_are_rejected() {
+        let solver = MacroTspSolver::default();
+        assert!(solver.solve_cycle(&[], 0).is_err());
+        let ragged = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(solver.solve_cycle(&ragged, 0).is_err());
+    }
+
+    #[test]
+    fn nearest_neighbor_order_is_permutation() {
+        let (d, _) = circle_distances(12);
+        let order = nearest_neighbor_order(&d, 4);
+        assert!(is_permutation(&order, 12));
+        assert_eq!(order[0], 4);
+    }
+
+    #[test]
+    fn nearest_neighbor_path_respects_endpoints() {
+        let (d, _) = circle_distances(7);
+        let order = nearest_neighbor_path_order(&d, 1, 5);
+        assert!(is_permutation(&order, 7));
+        assert_eq!(order[0], 1);
+        assert_eq!(*order.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn lengths_helpers_match_manual_sums() {
+        let d = vec![
+            vec![0.0, 1.0, 4.0],
+            vec![1.0, 0.0, 2.0],
+            vec![4.0, 2.0, 0.0],
+        ];
+        assert!((cycle_length(&d, &[0, 1, 2]) - 7.0).abs() < 1e-12);
+        assert!((path_length(&d, &[0, 1, 2]) - 3.0).abs() < 1e-12);
+        assert_eq!(cycle_length(&d, &[0]), 0.0);
+    }
+
+    #[test]
+    fn paper_schedule_runs_more_iterations_than_fast() {
+        let (d, _) = circle_distances(6);
+        let fast = MacroTspSolver::default().solve_cycle(&d, 2).unwrap();
+        let paper_cfg = MacroSolverConfig::default().with_schedule(CurrentSchedule::paper());
+        let slow = MacroTspSolver::new(paper_cfg).solve_cycle(&d, 2).unwrap();
+        assert!(slow.iterations > fast.iterations);
+        assert_eq!(slow.op_counts.order_steps, slow.iterations);
+    }
+}

@@ -1,0 +1,383 @@
+//! The Ising Hamiltonian (Eqs. 1–3 of the paper).
+
+use crate::IsingError;
+
+/// A binary spin value (+1 / −1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Spin {
+    /// Spin up (+1).
+    Up,
+    /// Spin down (−1).
+    Down,
+}
+
+impl Spin {
+    /// The spin as a signed value (+1.0 or −1.0).
+    pub fn value(self) -> f64 {
+        match self {
+            Spin::Up => 1.0,
+            Spin::Down => -1.0,
+        }
+    }
+
+    /// The opposite spin.
+    pub fn flipped(self) -> Self {
+        match self {
+            Spin::Up => Spin::Down,
+            Spin::Down => Spin::Up,
+        }
+    }
+
+    /// Builds a spin from a sign (`>= 0` is up).
+    pub fn from_sign(value: f64) -> Self {
+        if value >= 0.0 {
+            Spin::Up
+        } else {
+            Spin::Down
+        }
+    }
+}
+
+/// A fully-connected Ising model with couplings `J`, external fields `h`, and a spin
+/// configuration.
+///
+/// The total energy is `H = −Σ_{i<j} J_ij σ_i σ_j − Σ_i h_i σ_i` (Eq. 1) and the local
+/// field on spin `i` is `H_i = Σ_j J_ij σ_j + h_i` (Eq. 2). Flipping spin `i` so that it
+/// aligns with the sign of its local field never increases the total energy (Eq. 3),
+/// which is the greedy-descent property the paper's MAC update exploits; the stochastic
+/// mask provides the hill-climbing violations.
+///
+/// # Example
+///
+/// ```
+/// use taxi_ising::{IsingModel, Spin};
+///
+/// // Two ferromagnetically coupled spins prefer to align.
+/// let mut model = IsingModel::new(2)?;
+/// model.set_coupling(0, 1, 1.0)?;
+/// model.set_spin(0, Spin::Up);
+/// model.set_spin(1, Spin::Down);
+/// let frustrated = model.total_energy();
+/// model.set_spin(1, Spin::Up);
+/// assert!(model.total_energy() < frustrated);
+/// # Ok::<(), taxi_ising::IsingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsingModel {
+    n: usize,
+    /// Symmetric coupling matrix, row-major, with a zero diagonal.
+    couplings: Vec<f64>,
+    fields: Vec<f64>,
+    spins: Vec<Spin>,
+}
+
+impl IsingModel {
+    /// Creates a model of `n` spins with zero couplings, zero fields, and all spins up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::InvalidProblem`] if `n` is zero.
+    pub fn new(n: usize) -> Result<Self, IsingError> {
+        if n == 0 {
+            return Err(IsingError::InvalidProblem {
+                reason: "an Ising model needs at least one spin".to_string(),
+            });
+        }
+        Ok(Self {
+            n,
+            couplings: vec![0.0; n * n],
+            fields: vec![0.0; n],
+            spins: vec![Spin::Up; n],
+        })
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the model has no spins (never true for constructed models).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets the symmetric coupling `J_ij = J_ji`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either index is out of range or `i == j`.
+    pub fn set_coupling(&mut self, i: usize, j: usize, value: f64) -> Result<(), IsingError> {
+        self.check(i)?;
+        self.check(j)?;
+        if i == j {
+            return Err(IsingError::InvalidProblem {
+                reason: "self-couplings are not allowed".to_string(),
+            });
+        }
+        self.couplings[i * self.n + j] = value;
+        self.couplings[j * self.n + i] = value;
+        Ok(())
+    }
+
+    /// The coupling `J_ij`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either index is out of range.
+    pub fn coupling(&self, i: usize, j: usize) -> Result<f64, IsingError> {
+        self.check(i)?;
+        self.check(j)?;
+        Ok(self.couplings[i * self.n + j])
+    }
+
+    /// Sets the external field `h_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `i` is out of range.
+    pub fn set_field(&mut self, i: usize, value: f64) -> Result<(), IsingError> {
+        self.check(i)?;
+        self.fields[i] = value;
+        Ok(())
+    }
+
+    /// The external field `h_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `i` is out of range.
+    pub fn field(&self, i: usize) -> Result<f64, IsingError> {
+        self.check(i)?;
+        Ok(self.fields[i])
+    }
+
+    /// Sets spin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_spin(&mut self, i: usize, spin: Spin) {
+        assert!(i < self.n, "spin index out of range");
+        self.spins[i] = spin;
+    }
+
+    /// Spin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn spin(&self, i: usize) -> Spin {
+        assert!(i < self.n, "spin index out of range");
+        self.spins[i]
+    }
+
+    /// The full spin configuration.
+    pub fn spins(&self) -> &[Spin] {
+        &self.spins
+    }
+
+    /// Replaces the full spin configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length differs from the model size.
+    pub fn set_spins(&mut self, spins: &[Spin]) -> Result<(), IsingError> {
+        if spins.len() != self.n {
+            return Err(IsingError::InvalidProblem {
+                reason: format!(
+                    "spin configuration has length {} but the model has {} spins",
+                    spins.len(),
+                    self.n
+                ),
+            });
+        }
+        self.spins.copy_from_slice(spins);
+        Ok(())
+    }
+
+    /// Local field `H_i = Σ_j J_ij σ_j + h_i` (Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn local_field(&self, i: usize) -> f64 {
+        assert!(i < self.n, "spin index out of range");
+        let mut sum = self.fields[i];
+        for j in 0..self.n {
+            if j != i {
+                sum += self.couplings[i * self.n + j] * self.spins[j].value();
+            }
+        }
+        sum
+    }
+
+    /// Total energy `H = −Σ_{i<j} J_ij σ_i σ_j − Σ_i h_i σ_i` (Eq. 1).
+    pub fn total_energy(&self) -> f64 {
+        let mut coupling_term = 0.0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                coupling_term +=
+                    self.couplings[i * self.n + j] * self.spins[i].value() * self.spins[j].value();
+            }
+        }
+        let field_term: f64 = self
+            .fields
+            .iter()
+            .zip(&self.spins)
+            .map(|(h, s)| h * s.value())
+            .sum();
+        -coupling_term - field_term
+    }
+
+    /// Energy change if spin `i` were flipped (positive means the flip raises the energy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip_delta(&self, i: usize) -> f64 {
+        // ΔH = 2 σ_i H_i  (flipping σ_i → −σ_i).
+        2.0 * self.spins[i].value() * self.local_field(i)
+    }
+
+    /// Greedy update of spin `i`: aligns it with the sign of its local field (Eq. 3).
+    /// Returns `true` if the spin changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn greedy_update(&mut self, i: usize) -> bool {
+        let target = Spin::from_sign(self.local_field(i));
+        if target != self.spins[i] {
+            self.spins[i] = target;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check(&self, i: usize) -> Result<(), IsingError> {
+        if i < self.n {
+            Ok(())
+        } else {
+            Err(IsingError::IndexOutOfRange {
+                kind: "spin",
+                index: i,
+                len: self.n,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frustrated_triangle() -> IsingModel {
+        // Anti-ferromagnetic triangle: no configuration satisfies all couplings.
+        let mut m = IsingModel::new(3).unwrap();
+        m.set_coupling(0, 1, -1.0).unwrap();
+        m.set_coupling(1, 2, -1.0).unwrap();
+        m.set_coupling(0, 2, -1.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn zero_size_model_is_rejected() {
+        assert!(IsingModel::new(0).is_err());
+    }
+
+    #[test]
+    fn couplings_are_symmetric() {
+        let mut m = IsingModel::new(3).unwrap();
+        m.set_coupling(0, 2, 0.5).unwrap();
+        assert_eq!(m.coupling(2, 0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn self_coupling_is_rejected() {
+        let mut m = IsingModel::new(3).unwrap();
+        assert!(m.set_coupling(1, 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn aligned_ferromagnet_has_lower_energy() {
+        let mut m = IsingModel::new(2).unwrap();
+        m.set_coupling(0, 1, 1.0).unwrap();
+        m.set_spin(0, Spin::Up);
+        m.set_spin(1, Spin::Up);
+        let aligned = m.total_energy();
+        m.set_spin(1, Spin::Down);
+        assert!(m.total_energy() > aligned);
+    }
+
+    #[test]
+    fn local_field_matches_definition() {
+        let mut m = IsingModel::new(3).unwrap();
+        m.set_coupling(0, 1, 2.0).unwrap();
+        m.set_coupling(0, 2, -1.0).unwrap();
+        m.set_field(0, 0.5).unwrap();
+        m.set_spin(1, Spin::Up);
+        m.set_spin(2, Spin::Down);
+        // H_0 = 2·(+1) + (−1)·(−1) + 0.5 = 3.5
+        assert!((m.local_field(0) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let mut m = frustrated_triangle();
+        m.set_field(1, 0.3).unwrap();
+        m.set_spin(0, Spin::Up);
+        m.set_spin(1, Spin::Down);
+        m.set_spin(2, Spin::Up);
+        for i in 0..3 {
+            let before = m.total_energy();
+            let predicted = m.flip_delta(i);
+            let mut flipped = m.clone();
+            flipped.set_spin(i, m.spin(i).flipped());
+            let actual = flipped.total_energy() - before;
+            assert!(
+                (predicted - actual).abs() < 1e-12,
+                "spin {i}: predicted {predicted}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_update_never_increases_energy() {
+        let mut m = frustrated_triangle();
+        m.set_spin(0, Spin::Up);
+        m.set_spin(1, Spin::Up);
+        m.set_spin(2, Spin::Up);
+        for _ in 0..10 {
+            for i in 0..3 {
+                let before = m.total_energy();
+                m.greedy_update(i);
+                assert!(m.total_energy() <= before + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn set_spins_validates_length() {
+        let mut m = IsingModel::new(3).unwrap();
+        assert!(m.set_spins(&[Spin::Up, Spin::Down]).is_err());
+        assert!(m.set_spins(&[Spin::Up, Spin::Down, Spin::Up]).is_ok());
+        assert_eq!(m.spin(1), Spin::Down);
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let m = IsingModel::new(2).unwrap();
+        assert!(m.coupling(0, 5).is_err());
+        assert!(m.field(9).is_err());
+    }
+
+    #[test]
+    fn spin_helpers() {
+        assert_eq!(Spin::Up.value(), 1.0);
+        assert_eq!(Spin::Down.value(), -1.0);
+        assert_eq!(Spin::Up.flipped(), Spin::Down);
+        assert_eq!(Spin::from_sign(-0.2), Spin::Down);
+        assert_eq!(Spin::from_sign(0.0), Spin::Up);
+    }
+}

@@ -1,0 +1,151 @@
+//! Annealing-trace recording.
+//!
+//! The paper argues (Section III-C6) that the device's sigmoidal switching curve yields a
+//! fast early / slow late decay of stochasticity, which shortens the anneal without
+//! hurting final quality. A trace of the tour length and stochasticity per sweep makes
+//! that claim observable in the reproduction and is used by the convergence analyses.
+
+use taxi_device::{SwitchingCurve, WriteCurrent};
+
+/// One sample of an annealing trace (recorded once per sweep over the visiting orders).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Iteration index at which the sample was taken (0-based, end of the sweep).
+    pub iteration: usize,
+    /// Write current applied during that iteration.
+    pub i_write: WriteCurrent,
+    /// Expected mask-pass probability at that current (the "stochasticity").
+    pub stochasticity: f64,
+    /// Tour (or path) length stored in the spin storage at that point.
+    pub length: f64,
+}
+
+/// A recorded annealing trajectory.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnnealingTrace {
+    points: Vec<TracePoint>,
+}
+
+impl AnnealingTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(
+        &mut self,
+        iteration: usize,
+        i_write: WriteCurrent,
+        curve: &SwitchingCurve,
+        length: f64,
+    ) {
+        self.points.push(TracePoint {
+            iteration,
+            i_write,
+            stochasticity: curve.probability(i_write),
+            length,
+        });
+    }
+
+    /// The recorded samples in chronological order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The best (shortest) length observed so far at each sample — a non-increasing
+    /// envelope of the trace.
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.points
+            .iter()
+            .map(|p| {
+                best = best.min(p.length);
+                best
+            })
+            .collect()
+    }
+
+    /// Fraction of the total improvement achieved by the first half of the anneal.
+    ///
+    /// Values above 0.5 indicate the fast-early / slow-late convergence behaviour the
+    /// paper attributes to the sigmoidal stochasticity decay. Returns `None` when the
+    /// trace is too short or shows no improvement.
+    pub fn early_improvement_fraction(&self) -> Option<f64> {
+        if self.points.len() < 4 {
+            return None;
+        }
+        let best = self.best_so_far();
+        let start = best[0];
+        let end = *best.last().expect("trace is non-empty");
+        let total = start - end;
+        if total <= 0.0 {
+            return None;
+        }
+        let half = best[best.len() / 2];
+        Some((start - half) / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_trace(lengths: &[f64]) -> AnnealingTrace {
+        let curve = SwitchingCurve::paper_fit();
+        let mut trace = AnnealingTrace::new();
+        for (i, &length) in lengths.iter().enumerate() {
+            trace.record(
+                i,
+                WriteCurrent::from_micro_amps(420.0 - i as f64),
+                &curve,
+                length,
+            );
+        }
+        trace
+    }
+
+    #[test]
+    fn records_points_in_order() {
+        let trace = synthetic_trace(&[10.0, 9.0, 8.0]);
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.points()[2].iteration, 2);
+        assert!(trace.points()[0].stochasticity > trace.points()[2].stochasticity);
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let trace = synthetic_trace(&[10.0, 12.0, 8.0, 9.0, 7.0]);
+        let best = trace.best_so_far();
+        assert_eq!(best, vec![10.0, 10.0, 8.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn early_improvement_detects_front_loaded_convergence() {
+        // Most of the improvement happens in the first half.
+        let front_loaded = synthetic_trace(&[10.0, 7.0, 6.0, 5.8, 5.7, 5.6, 5.55, 5.5]);
+        assert!(front_loaded.early_improvement_fraction().unwrap() > 0.5);
+        // Improvement only at the end.
+        let back_loaded = synthetic_trace(&[10.0, 10.0, 10.0, 10.0, 10.0, 9.0, 6.0, 5.0]);
+        assert!(back_loaded.early_improvement_fraction().unwrap() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_traces_return_none() {
+        assert!(synthetic_trace(&[5.0, 5.0]).early_improvement_fraction().is_none());
+        assert!(synthetic_trace(&[5.0, 5.0, 5.0, 5.0, 5.0])
+            .early_improvement_fraction()
+            .is_none());
+    }
+}

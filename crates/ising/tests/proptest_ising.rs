@@ -1,0 +1,111 @@
+//! Property-based tests of the Ising model and QUBO encoding.
+
+use proptest::prelude::*;
+
+use taxi_ising::{IsingModel, Spin, TspQuboEncoder};
+
+fn model_strategy(max_n: usize) -> impl Strategy<Value = IsingModel> {
+    (2..max_n).prop_flat_map(|n| {
+        let couplings = prop::collection::vec(-2.0f64..2.0, n * n);
+        let fields = prop::collection::vec(-1.0f64..1.0, n);
+        let spins = prop::collection::vec(prop::bool::ANY, n);
+        (Just(n), couplings, fields, spins).prop_map(|(n, couplings, fields, spins)| {
+            let mut model = IsingModel::new(n).unwrap();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    model.set_coupling(i, j, couplings[i * n + j]).unwrap();
+                }
+                model.set_field(i, fields[i]).unwrap();
+                model.set_spin(i, if spins[i] { Spin::Up } else { Spin::Down });
+            }
+            model
+        })
+    })
+}
+
+fn distance_matrix_strategy(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 3..max_n).prop_map(|points| {
+        points
+            .iter()
+            .map(|&(x1, y1)| {
+                points
+                    .iter()
+                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The analytically-predicted energy change of a single spin flip always matches the
+    /// recomputed total-energy difference.
+    #[test]
+    fn flip_delta_matches_recomputation(model in model_strategy(9), which in 0usize..9) {
+        let i = which % model.len();
+        let predicted = model.flip_delta(i);
+        let before = model.total_energy();
+        let mut flipped = model.clone();
+        flipped.set_spin(i, model.spin(i).flipped());
+        let actual = flipped.total_energy() - before;
+        prop_assert!((predicted - actual).abs() < 1e-9);
+    }
+
+    /// Greedy single-spin updates never increase the total energy (Eq. 3 of the paper).
+    #[test]
+    fn greedy_updates_descend(model in model_strategy(8)) {
+        let mut model = model;
+        for _ in 0..3 {
+            for i in 0..model.len() {
+                let before = model.total_energy();
+                model.greedy_update(i);
+                prop_assert!(model.total_energy() <= before + 1e-9);
+            }
+        }
+    }
+
+    /// For any pair of valid tours, the difference of their QUBO objectives equals the
+    /// difference of their geometric tour lengths (the constraint penalties cancel).
+    #[test]
+    fn qubo_differences_equal_length_differences(
+        matrix in distance_matrix_strategy(7),
+        swap_a in 0usize..7,
+        swap_b in 0usize..7,
+    ) {
+        let n = matrix.len();
+        let encoder = TspQuboEncoder::new(&matrix).unwrap();
+        let qubo = encoder.encode().unwrap();
+        let tour_a: Vec<usize> = (0..n).collect();
+        let mut tour_b = tour_a.clone();
+        tour_b.swap(swap_a % n, swap_b % n);
+        let length_diff = encoder.tour_length(&tour_b) - encoder.tour_length(&tour_a);
+        let qubo_diff = qubo.evaluate(&encoder.assignment_for_order(&tour_b))
+            - qubo.evaluate(&encoder.assignment_for_order(&tour_a));
+        prop_assert!((length_diff - qubo_diff).abs() < 1e-6);
+    }
+
+    /// QUBO → Ising conversion preserves the ordering of configurations (it differs only
+    /// by a constant offset).
+    #[test]
+    fn qubo_to_ising_preserves_offsets(matrix in distance_matrix_strategy(4)) {
+        let encoder = TspQuboEncoder::new(&matrix).unwrap();
+        let qubo = encoder.encode().unwrap();
+        let ising = qubo.to_ising().unwrap();
+        let n_vars = qubo.len();
+        prop_assume!(n_vars <= 16);
+        let mut offset: Option<f64> = None;
+        for bits in 0..(1u32 << n_vars) {
+            let x: Vec<bool> = (0..n_vars).map(|i| (bits >> i) & 1 == 1).collect();
+            let spins: Vec<Spin> = x.iter().map(|&b| if b { Spin::Up } else { Spin::Down }).collect();
+            let mut model = ising.clone();
+            model.set_spins(&spins).unwrap();
+            let diff = qubo.evaluate(&x) - model.total_energy();
+            match offset {
+                None => offset = Some(diff),
+                Some(reference) => prop_assert!((diff - reference).abs() < 1e-6),
+            }
+        }
+    }
+}

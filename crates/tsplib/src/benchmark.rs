@@ -1,0 +1,200 @@
+//! The paper's 20-instance benchmark suite and its loader.
+//!
+//! The paper evaluates TAXI on 20 TSPLIB instances with 76 – 85 900 cities. If the
+//! original `.tsp` files are present in a data directory they are parsed; otherwise a
+//! deterministic synthetic instance of the same size and broadly similar structure is
+//! generated (see DESIGN.md, substitutions). Either way the rest of the workspace sees a
+//! [`TspInstance`] of the right dimension under the right name.
+
+use std::path::Path;
+
+use crate::generator::{clustered_instance, grid_drilling_instance, random_uniform_instance};
+use crate::{known_optimum, parse_tsp, TspInstance, TsplibError};
+
+/// Spatial structure family of a benchmark instance, used to pick the matching synthetic
+/// generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceFamily {
+    /// Cities distributed roughly uniformly (random instances such as `rat*`, `rl*`).
+    Uniform,
+    /// Cities grouped geographically (city/road instances such as `pr*`, `gr*`, `d*`).
+    Clustered,
+    /// Drilling / programmed-logic-array instances on a near-grid (`pla*`, `pcb*`, `u*`).
+    Grid,
+}
+
+/// Descriptor of one benchmark instance of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BenchmarkInstance {
+    /// TSPLIB instance name.
+    pub name: &'static str,
+    /// Number of cities.
+    pub dimension: usize,
+    /// Structure family (used by the synthetic fallback generator).
+    pub family: InstanceFamily,
+}
+
+impl BenchmarkInstance {
+    /// Published optimal tour length for the original TSPLIB instance, if known.
+    pub fn known_optimum(&self) -> Option<u64> {
+        known_optimum(self.name)
+    }
+}
+
+/// The 20 benchmark instances of the paper, in increasing size order.
+pub const BENCHMARK_SUITE: [BenchmarkInstance; 20] = [
+    BenchmarkInstance { name: "pr76", dimension: 76, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "eil101", dimension: 101, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "kroA200", dimension: 200, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "gil262", dimension: 262, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "lin318", dimension: 318, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "pcb442", dimension: 442, family: InstanceFamily::Grid },
+    BenchmarkInstance { name: "rat575", dimension: 575, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "gr666", dimension: 666, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "rat783", dimension: 783, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "pr1002", dimension: 1002, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "u1060", dimension: 1060, family: InstanceFamily::Grid },
+    BenchmarkInstance { name: "pr2392", dimension: 2392, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "pcb3038", dimension: 3038, family: InstanceFamily::Grid },
+    BenchmarkInstance { name: "fnl4461", dimension: 4461, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "rl5915", dimension: 5915, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "rl5934", dimension: 5934, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "rl11849", dimension: 11849, family: InstanceFamily::Uniform },
+    BenchmarkInstance { name: "d18512", dimension: 18512, family: InstanceFamily::Clustered },
+    BenchmarkInstance { name: "pla33810", dimension: 33810, family: InstanceFamily::Grid },
+    BenchmarkInstance { name: "pla85900", dimension: 85900, family: InstanceFamily::Grid },
+];
+
+/// Returns the paper's benchmark suite (20 instances, increasing size).
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::benchmark_suite;
+///
+/// let suite = benchmark_suite();
+/// assert_eq!(suite.len(), 20);
+/// assert_eq!(suite.last().unwrap().dimension, 85_900);
+/// ```
+pub fn benchmark_suite() -> Vec<BenchmarkInstance> {
+    BENCHMARK_SUITE.to_vec()
+}
+
+/// Loads a benchmark instance: parses `<data_dir>/<name>.tsp` if it exists, otherwise
+/// generates a deterministic synthetic instance of the same dimension and family.
+///
+/// # Errors
+///
+/// Returns a [`TsplibError`] only if a real file exists but cannot be parsed; the
+/// synthetic fallback itself cannot fail.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::{benchmark_suite, load_or_generate};
+///
+/// let spec = benchmark_suite()[0];
+/// let instance = load_or_generate(&spec, "data")?;
+/// assert_eq!(instance.dimension(), spec.dimension);
+/// # Ok::<(), taxi_tsplib::TsplibError>(())
+/// ```
+pub fn load_or_generate(
+    spec: &BenchmarkInstance,
+    data_dir: impl AsRef<Path>,
+) -> Result<TspInstance, TsplibError> {
+    let path = data_dir.as_ref().join(format!("{}.tsp", spec.name));
+    if path.is_file() {
+        let text = std::fs::read_to_string(&path).map_err(|err| TsplibError::Parse {
+            line: None,
+            reason: format!("cannot read {}: {err}", path.display()),
+        })?;
+        return parse_tsp(&text);
+    }
+    let seed = deterministic_seed(spec.name);
+    Ok(match spec.family {
+        InstanceFamily::Uniform => random_uniform_instance(spec.name, spec.dimension, seed),
+        InstanceFamily::Clustered => {
+            let blobs = (spec.dimension / 40).clamp(3, 200);
+            clustered_instance(spec.name, spec.dimension, blobs, seed)
+        }
+        InstanceFamily::Grid => grid_drilling_instance(spec.name, spec.dimension, seed),
+    })
+}
+
+/// Derives a stable seed from an instance name so synthetic instances are reproducible
+/// across runs and machines.
+fn deterministic_seed(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        let sizes: Vec<usize> = benchmark_suite().iter().map(|b| b.dimension).collect();
+        assert_eq!(
+            sizes,
+            vec![
+                76, 101, 200, 262, 318, 442, 575, 666, 783, 1002, 1060, 2392, 3038, 4461, 5915,
+                5934, 11849, 18512, 33810, 85900
+            ]
+        );
+    }
+
+    #[test]
+    fn every_suite_instance_has_a_known_optimum() {
+        for spec in benchmark_suite() {
+            assert!(
+                spec.known_optimum().is_some(),
+                "missing published optimum for {}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_fallback_matches_dimension() {
+        for spec in benchmark_suite().into_iter().take(5) {
+            let inst = load_or_generate(&spec, "/nonexistent-data-dir").unwrap();
+            assert_eq!(inst.dimension(), spec.dimension);
+            assert_eq!(inst.name(), spec.name);
+        }
+    }
+
+    #[test]
+    fn synthetic_fallback_is_deterministic() {
+        let spec = benchmark_suite()[2];
+        let a = load_or_generate(&spec, "/nonexistent").unwrap();
+        let b = load_or_generate(&spec, "/nonexistent").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_files_are_parsed_when_present() {
+        let dir = std::env::temp_dir().join("taxi_tsplib_test_data");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = BenchmarkInstance {
+            name: "pr76",
+            dimension: 3,
+            family: InstanceFamily::Clustered,
+        };
+        std::fs::write(
+            dir.join("pr76.tsp"),
+            "NAME: pr76\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 3 0\n3 0 4\nEOF\n",
+        )
+        .unwrap();
+        let inst = load_or_generate(&spec, &dir).unwrap();
+        assert_eq!(inst.dimension(), 3);
+        assert_eq!(inst.distance(1, 2).unwrap(), 5.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deterministic_seed_is_stable_and_distinct() {
+        assert_eq!(deterministic_seed("pla85900"), deterministic_seed("pla85900"));
+        assert_ne!(deterministic_seed("pla85900"), deterministic_seed("pr76"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for TSPLIB parsing and instance handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the TSPLIB substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsplibError {
+    /// The `.tsp` file could not be parsed.
+    Parse {
+        /// Line number (1-based) where parsing failed, if known.
+        line: Option<usize>,
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The file declares an unsupported feature (edge-weight type or format).
+    Unsupported {
+        /// What is unsupported.
+        what: String,
+    },
+    /// The instance definition is internally inconsistent.
+    Inconsistent {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// An index was out of range for the instance.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The instance dimension.
+        dimension: usize,
+    },
+}
+
+impl fmt::Display for TsplibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsplibError::Parse { line: Some(line), reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            TsplibError::Parse { line: None, reason } => write!(f, "parse error: {reason}"),
+            TsplibError::Unsupported { what } => write!(f, "unsupported TSPLIB feature: {what}"),
+            TsplibError::Inconsistent { reason } => {
+                write!(f, "inconsistent instance definition: {reason}")
+            }
+            TsplibError::IndexOutOfRange { index, dimension } => {
+                write!(f, "city index {index} out of range for dimension {dimension}")
+            }
+        }
+    }
+}
+
+impl Error for TsplibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_numbers() {
+        let err = TsplibError::Parse {
+            line: Some(12),
+            reason: "bad coordinate".to_string(),
+        };
+        assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TsplibError>();
+    }
+}

@@ -1,0 +1,171 @@
+//! Deterministic synthetic TSP instance generators.
+//!
+//! The original TSPLIB coordinate files are not bundled with this repository, so the
+//! benchmark loader falls back to synthetic instances of the same sizes (see DESIGN.md).
+//! Three families are provided:
+//!
+//! * [`random_uniform_instance`] — cities uniformly distributed in a square (typical of
+//!   the `rat*`/`rl*` style random instances),
+//! * [`clustered_instance`] — cities concentrated in Gaussian-like blobs (typical of
+//!   geography-derived instances, and the regime where hierarchical clustering shines),
+//! * [`grid_drilling_instance`] — a perturbed regular grid (the `pla*` instances are
+//!   programmed logic-array drilling problems with strong grid structure).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{EdgeWeightKind, TspInstance};
+
+/// Generates `n` cities uniformly in a `[0, side] × [0, side]` square, where `side`
+/// scales with `sqrt(n)` so that city density stays constant across sizes.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::generator::random_uniform_instance;
+///
+/// let a = random_uniform_instance("u100", 100, 7);
+/// let b = random_uniform_instance("u100", 100, 7);
+/// assert_eq!(a, b, "generation is deterministic for a fixed seed");
+/// ```
+pub fn random_uniform_instance(name: &str, n: usize, seed: u64) -> TspInstance {
+    assert!(n > 0, "an instance needs at least one city");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = (n as f64).sqrt() * 100.0;
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect();
+    TspInstance::from_coordinates(name, coords, EdgeWeightKind::Euclidean)
+        .expect("generated coordinates are always valid")
+}
+
+/// Generates `n` cities grouped into `blobs` clusters with Gaussian-like spread.
+///
+/// # Panics
+///
+/// Panics if `n` or `blobs` is zero.
+pub fn clustered_instance(name: &str, n: usize, blobs: usize, seed: u64) -> TspInstance {
+    assert!(n > 0, "an instance needs at least one city");
+    assert!(blobs > 0, "at least one blob is required");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = (n as f64).sqrt() * 100.0;
+    let spread = side / (blobs as f64).sqrt() / 4.0;
+    let centers: Vec<(f64, f64)> = (0..blobs)
+        .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect();
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let (cx, cy) = centers[i % blobs];
+            // Approximate Gaussian jitter from the sum of uniforms (Irwin–Hall).
+            let jitter = |rng: &mut ChaCha8Rng| {
+                let s: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() / 4.0 - 0.5;
+                s * 2.0 * spread
+            };
+            (cx + jitter(&mut rng), cy + jitter(&mut rng))
+        })
+        .collect();
+    TspInstance::from_coordinates(name, coords, EdgeWeightKind::Euclidean)
+        .expect("generated coordinates are always valid")
+}
+
+/// Generates `n` cities on a perturbed regular grid (drilling-style instance).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn grid_drilling_instance(name: &str, n: usize, seed: u64) -> TspInstance {
+    assert!(n > 0, "an instance needs at least one city");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = (n as f64).sqrt().ceil() as usize;
+    let pitch = 100.0;
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let gx = (i % side) as f64 * pitch;
+            let gy = (i / side) as f64 * pitch;
+            (
+                gx + (rng.gen::<f64>() - 0.5) * pitch * 0.2,
+                gy + (rng.gen::<f64>() - 0.5) * pitch * 0.2,
+            )
+        })
+        .collect();
+    TspInstance::from_coordinates(name, coords, EdgeWeightKind::Euclidean)
+        .expect("generated coordinates are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_instance_has_requested_size() {
+        let inst = random_uniform_instance("u", 64, 1);
+        assert_eq!(inst.dimension(), 64);
+        assert_eq!(inst.edge_weight_kind(), EdgeWeightKind::Euclidean);
+    }
+
+    #[test]
+    fn uniform_generation_is_deterministic() {
+        assert_eq!(
+            random_uniform_instance("u", 128, 9),
+            random_uniform_instance("u", 128, 9)
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_instances() {
+        assert_ne!(
+            random_uniform_instance("u", 128, 1),
+            random_uniform_instance("u", 128, 2)
+        );
+    }
+
+    #[test]
+    fn clustered_instance_is_more_compact_than_uniform() {
+        // With the same number of cities, a clustered instance has smaller mean
+        // nearest-neighbour distance than a uniform one (cities bunch together).
+        let n = 300;
+        let uniform = random_uniform_instance("u", n, 3);
+        let clustered = clustered_instance("c", n, 10, 3);
+        let mean_nn = |inst: &TspInstance| {
+            (0..n)
+                .map(|i| {
+                    (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| inst.distance_unchecked(i, j))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        assert!(mean_nn(&clustered) < mean_nn(&uniform));
+    }
+
+    #[test]
+    fn grid_instance_covers_a_grid() {
+        let inst = grid_drilling_instance("g", 100, 5);
+        assert_eq!(inst.dimension(), 100);
+        let coords = inst.coordinates().unwrap();
+        let max_x = coords.iter().map(|&(x, _)| x).fold(f64::MIN, f64::max);
+        let max_y = coords.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max);
+        assert!(max_x > 800.0 && max_y > 800.0);
+    }
+
+    #[test]
+    fn blob_count_controls_structure() {
+        let few = clustered_instance("c", 200, 2, 11);
+        let many = clustered_instance("c", 200, 40, 11);
+        assert_eq!(few.dimension(), many.dimension());
+        assert_ne!(few, many);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city")]
+    fn zero_size_panics() {
+        random_uniform_instance("bad", 0, 0);
+    }
+}

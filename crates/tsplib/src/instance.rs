@@ -1,0 +1,371 @@
+//! The TSP instance type and TSPLIB distance conventions.
+
+use crate::TsplibError;
+
+/// Distance convention of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdgeWeightKind {
+    /// Euclidean distance rounded to the nearest integer (TSPLIB `EUC_2D`).
+    #[default]
+    Euc2d,
+    /// Euclidean distance rounded up (TSPLIB `CEIL_2D`).
+    Ceil2d,
+    /// Pseudo-Euclidean distance (TSPLIB `ATT`).
+    Att,
+    /// Geographical distance on the Earth's surface (TSPLIB `GEO`).
+    Geo,
+    /// Plain (unrounded) Euclidean distance, used by synthetic instances.
+    Euclidean,
+    /// Distances given explicitly as a matrix (TSPLIB `EXPLICIT`).
+    Explicit,
+}
+
+impl EdgeWeightKind {
+    /// Parses the TSPLIB `EDGE_WEIGHT_TYPE` keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::Unsupported`] for edge-weight types this crate does not
+    /// implement.
+    pub fn from_keyword(keyword: &str) -> Result<Self, TsplibError> {
+        match keyword.trim() {
+            "EUC_2D" => Ok(EdgeWeightKind::Euc2d),
+            "CEIL_2D" => Ok(EdgeWeightKind::Ceil2d),
+            "ATT" => Ok(EdgeWeightKind::Att),
+            "GEO" => Ok(EdgeWeightKind::Geo),
+            "EXPLICIT" => Ok(EdgeWeightKind::Explicit),
+            other => Err(TsplibError::Unsupported {
+                what: format!("edge weight type {other}"),
+            }),
+        }
+    }
+}
+
+/// Payload of an instance: node coordinates or an explicit distance matrix.
+#[derive(Debug, Clone, PartialEq)]
+enum InstanceData {
+    Coordinates(Vec<(f64, f64)>),
+    Matrix(Vec<f64>),
+}
+
+/// One travelling-salesman-problem instance.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::{EdgeWeightKind, TspInstance};
+///
+/// let instance = TspInstance::from_coordinates(
+///     "square4",
+///     vec![(0.0, 0.0), (3.0, 0.0), (3.0, 4.0), (0.0, 4.0)],
+///     EdgeWeightKind::Euclidean,
+/// )?;
+/// assert_eq!(instance.dimension(), 4);
+/// assert_eq!(instance.distance(0, 2)?, 5.0);
+/// # Ok::<(), taxi_tsplib::TsplibError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TspInstance {
+    name: String,
+    kind: EdgeWeightKind,
+    data: InstanceData,
+    dimension: usize,
+}
+
+impl TspInstance {
+    /// Builds an instance from node coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::Inconsistent`] if no coordinates are given or the
+    /// edge-weight kind is [`EdgeWeightKind::Explicit`].
+    pub fn from_coordinates(
+        name: &str,
+        coordinates: Vec<(f64, f64)>,
+        kind: EdgeWeightKind,
+    ) -> Result<Self, TsplibError> {
+        if coordinates.is_empty() {
+            return Err(TsplibError::Inconsistent {
+                reason: "instance has no cities".to_string(),
+            });
+        }
+        if kind == EdgeWeightKind::Explicit {
+            return Err(TsplibError::Inconsistent {
+                reason: "explicit edge weights require a matrix, not coordinates".to_string(),
+            });
+        }
+        Ok(Self {
+            name: name.to_string(),
+            kind,
+            dimension: coordinates.len(),
+            data: InstanceData::Coordinates(coordinates),
+        })
+    }
+
+    /// Builds an instance from an explicit full distance matrix (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::Inconsistent`] if the matrix is empty or not square.
+    pub fn from_matrix(name: &str, matrix: Vec<Vec<f64>>) -> Result<Self, TsplibError> {
+        let n = matrix.len();
+        if n == 0 || matrix.iter().any(|row| row.len() != n) {
+            return Err(TsplibError::Inconsistent {
+                reason: "explicit distance matrix must be square and non-empty".to_string(),
+            });
+        }
+        Ok(Self {
+            name: name.to_string(),
+            kind: EdgeWeightKind::Explicit,
+            dimension: n,
+            data: InstanceData::Matrix(matrix.into_iter().flatten().collect()),
+        })
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cities.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The distance convention.
+    pub fn edge_weight_kind(&self) -> EdgeWeightKind {
+        self.kind
+    }
+
+    /// City coordinates, if the instance is coordinate-based.
+    pub fn coordinates(&self) -> Option<&[(f64, f64)]> {
+        match &self.data {
+            InstanceData::Coordinates(c) => Some(c),
+            InstanceData::Matrix(_) => None,
+        }
+    }
+
+    /// Distance between cities `i` and `j` under the instance's convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::IndexOutOfRange`] if either index is out of range.
+    pub fn distance(&self, i: usize, j: usize) -> Result<f64, TsplibError> {
+        if i >= self.dimension || j >= self.dimension {
+            return Err(TsplibError::IndexOutOfRange {
+                index: i.max(j),
+                dimension: self.dimension,
+            });
+        }
+        Ok(self.distance_unchecked(i, j))
+    }
+
+    /// Distance between cities `i` and `j` without bounds checking (both indices must be
+    /// in range).
+    ///
+    /// # Panics
+    ///
+    /// May panic if an index is out of range.
+    pub fn distance_unchecked(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        match &self.data {
+            InstanceData::Matrix(m) => m[i * self.dimension + j],
+            InstanceData::Coordinates(coords) => {
+                let (x1, y1) = coords[i];
+                let (x2, y2) = coords[j];
+                match self.kind {
+                    EdgeWeightKind::Euclidean => ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt(),
+                    EdgeWeightKind::Euc2d => {
+                        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().round()
+                    }
+                    EdgeWeightKind::Ceil2d => ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().ceil(),
+                    EdgeWeightKind::Att => {
+                        let rij = (((x1 - x2).powi(2) + (y1 - y2).powi(2)) / 10.0).sqrt();
+                        let tij = rij.round();
+                        if tij < rij {
+                            tij + 1.0
+                        } else {
+                            tij
+                        }
+                    }
+                    EdgeWeightKind::Geo => geo_distance((x1, y1), (x2, y2)),
+                    EdgeWeightKind::Explicit => unreachable!("explicit instances store a matrix"),
+                }
+            }
+        }
+    }
+
+    /// Full distance sub-matrix for a set of cities, in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::IndexOutOfRange`] if any index is out of range.
+    pub fn distance_matrix_for(&self, cities: &[usize]) -> Result<Vec<Vec<f64>>, TsplibError> {
+        for &c in cities {
+            if c >= self.dimension {
+                return Err(TsplibError::IndexOutOfRange {
+                    index: c,
+                    dimension: self.dimension,
+                });
+            }
+        }
+        Ok(cities
+            .iter()
+            .map(|&i| cities.iter().map(|&j| self.distance_unchecked(i, j)).collect())
+            .collect())
+    }
+
+    /// Full `n × n` distance matrix. Prefer [`distance_matrix_for`](Self::distance_matrix_for)
+    /// for sub-problems; this allocates `n²` doubles.
+    pub fn full_distance_matrix(&self) -> Vec<Vec<f64>> {
+        let all: Vec<usize> = (0..self.dimension).collect();
+        self.distance_matrix_for(&all).expect("all indices are in range")
+    }
+}
+
+/// TSPLIB GEO distance (geographical distance on the idealised Earth).
+fn geo_distance((x1, y1): (f64, f64), (x2, y2): (f64, f64)) -> f64 {
+    const RRR: f64 = 6378.388;
+    let to_radians = |coord: f64| {
+        let deg = coord.trunc();
+        let minutes = coord - deg;
+        std::f64::consts::PI * (deg + 5.0 * minutes / 3.0) / 180.0
+    };
+    let (lat1, lon1) = (to_radians(x1), to_radians(y1));
+    let (lat2, lon2) = (to_radians(x2), to_radians(y2));
+    let q1 = (lon1 - lon2).cos();
+    let q2 = (lat1 - lat2).cos();
+    let q3 = (lat1 + lat2).cos();
+    (RRR * (0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)).acos() + 1.0).floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> TspInstance {
+        TspInstance::from_coordinates(
+            "sq",
+            vec![(0.0, 0.0), (3.0, 0.0), (3.0, 4.0), (0.0, 4.0)],
+            EdgeWeightKind::Euclidean,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn euclidean_distances_are_exact() {
+        let inst = square();
+        assert_eq!(inst.distance(0, 1).unwrap(), 3.0);
+        assert_eq!(inst.distance(0, 2).unwrap(), 5.0);
+        assert_eq!(inst.distance(2, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn euc2d_rounds_to_nearest_integer() {
+        let inst = TspInstance::from_coordinates(
+            "r",
+            vec![(0.0, 0.0), (1.0, 1.0)],
+            EdgeWeightKind::Euc2d,
+        )
+        .unwrap();
+        // sqrt(2) ≈ 1.414 → rounds to 1.
+        assert_eq!(inst.distance(0, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ceil2d_rounds_up() {
+        let inst = TspInstance::from_coordinates(
+            "c",
+            vec![(0.0, 0.0), (1.0, 1.0)],
+            EdgeWeightKind::Ceil2d,
+        )
+        .unwrap();
+        assert_eq!(inst.distance(0, 1).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn att_distance_matches_reference_formula() {
+        let inst =
+            TspInstance::from_coordinates("a", vec![(0.0, 0.0), (10.0, 0.0)], EdgeWeightKind::Att)
+                .unwrap();
+        // rij = sqrt(100/10) = 3.1623 → tij = 3 < rij → 4.
+        assert_eq!(inst.distance(0, 1).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn geo_distance_is_positive_and_symmetric() {
+        let inst = TspInstance::from_coordinates(
+            "geo",
+            vec![(38.24, 20.42), (39.57, 26.15), (40.56, 25.32)],
+            EdgeWeightKind::Geo,
+        )
+        .unwrap();
+        let d01 = inst.distance(0, 1).unwrap();
+        assert!(d01 > 0.0);
+        assert_eq!(d01, inst.distance(1, 0).unwrap());
+    }
+
+    #[test]
+    fn explicit_matrix_instances_look_up_entries() {
+        let inst = TspInstance::from_matrix(
+            "m",
+            vec![
+                vec![0.0, 2.0, 9.0],
+                vec![2.0, 0.0, 6.0],
+                vec![9.0, 6.0, 0.0],
+            ],
+        )
+        .unwrap();
+        assert_eq!(inst.edge_weight_kind(), EdgeWeightKind::Explicit);
+        assert_eq!(inst.distance(0, 2).unwrap(), 9.0);
+        assert!(inst.coordinates().is_none());
+    }
+
+    #[test]
+    fn sub_matrix_preserves_order() {
+        let inst = square();
+        let sub = inst.distance_matrix_for(&[2, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[0][1], 5.0);
+        assert_eq!(sub[1][0], 5.0);
+        assert_eq!(sub[0][0], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_indices_error() {
+        let inst = square();
+        assert!(inst.distance(0, 9).is_err());
+        assert!(inst.distance_matrix_for(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn empty_instances_are_rejected() {
+        assert!(TspInstance::from_coordinates("e", vec![], EdgeWeightKind::Euc2d).is_err());
+        assert!(TspInstance::from_matrix("e", vec![]).is_err());
+        assert!(TspInstance::from_matrix("e", vec![vec![0.0], vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn keyword_parsing_covers_supported_types() {
+        assert_eq!(EdgeWeightKind::from_keyword("EUC_2D").unwrap(), EdgeWeightKind::Euc2d);
+        assert_eq!(EdgeWeightKind::from_keyword("CEIL_2D").unwrap(), EdgeWeightKind::Ceil2d);
+        assert_eq!(EdgeWeightKind::from_keyword("ATT").unwrap(), EdgeWeightKind::Att);
+        assert_eq!(EdgeWeightKind::from_keyword("GEO").unwrap(), EdgeWeightKind::Geo);
+        assert_eq!(EdgeWeightKind::from_keyword("EXPLICIT").unwrap(), EdgeWeightKind::Explicit);
+        assert!(EdgeWeightKind::from_keyword("XRAY1").is_err());
+    }
+
+    #[test]
+    fn full_matrix_is_symmetric_with_zero_diagonal() {
+        let inst = square();
+        let m = inst.full_distance_matrix();
+        for i in 0..4 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..4 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! TSPLIB substrate for the TAXI reproduction.
+//!
+//! The paper evaluates on 20 TSPLIB instances from 76 up to 85 900 cities (the largest
+//! instance in the library, `pla85900`). This crate provides everything the rest of the
+//! workspace needs to work with those workloads:
+//!
+//! * [`instance`] — the [`TspInstance`] type with all the common TSPLIB edge-weight
+//!   conventions (EUC_2D, CEIL_2D, ATT, GEO, explicit matrices),
+//! * [`parser`] — a parser for `.tsp` files, used when the real TSPLIB files are
+//!   available on disk,
+//! * [`generator`] — deterministic synthetic instance generators (uniform, clustered,
+//!   drilling-grid) used when the original files are not available offline (see
+//!   DESIGN.md, substitutions),
+//! * [`tour`] — the [`Tour`] type with validation and length evaluation,
+//! * [`optima`] / [`benchmark`] — the 20-instance benchmark suite with the published
+//!   Concorde optima, and a loader that transparently falls back to synthetic instances
+//!   of the same size.
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_tsplib::generator::clustered_instance;
+//! use taxi_tsplib::Tour;
+//!
+//! let instance = clustered_instance("blob200", 200, 8, 42);
+//! let identity = Tour::identity(instance.dimension());
+//! assert!(identity.is_valid_for(&instance));
+//! assert!(identity.length(&instance) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod error;
+pub mod generator;
+pub mod instance;
+pub mod optima;
+pub mod parser;
+pub mod tour;
+pub mod tour_io;
+
+pub use benchmark::{BenchmarkInstance, benchmark_suite, load_or_generate};
+pub use error::TsplibError;
+pub use instance::{EdgeWeightKind, TspInstance};
+pub use optima::known_optimum;
+pub use parser::parse_tsp;
+pub use tour::Tour;

@@ -1,0 +1,77 @@
+//! Published optimal tour lengths for the TSPLIB benchmark instances used in the paper.
+//!
+//! These are the Concorde-verified optima published with TSPLIB; the paper divides its
+//! tour lengths by these values to obtain the "optimal ratio" of Fig. 5. They apply only
+//! to the *original* TSPLIB coordinate files — when the benchmark loader falls back to
+//! synthetic instances, a heuristic reference tour is computed instead.
+
+/// Returns the published optimal tour length for a TSPLIB instance name, if known.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::known_optimum;
+///
+/// assert_eq!(known_optimum("pla85900"), Some(142_382_641));
+/// assert_eq!(known_optimum("pr76"), Some(108_159));
+/// assert_eq!(known_optimum("not-a-real-instance"), None);
+/// ```
+pub fn known_optimum(name: &str) -> Option<u64> {
+    KNOWN_OPTIMA
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, opt)| opt)
+}
+
+/// All `(instance name, optimal length)` pairs for the paper's 20-instance suite.
+pub const KNOWN_OPTIMA: [(&str, u64); 20] = [
+    ("pr76", 108_159),
+    ("eil101", 629),
+    ("kroA200", 29_368),
+    ("gil262", 2_378),
+    ("lin318", 42_029),
+    ("pcb442", 50_778),
+    ("rat575", 6_773),
+    ("gr666", 294_358),
+    ("rat783", 8_806),
+    ("pr1002", 259_045),
+    ("u1060", 224_094),
+    ("pr2392", 378_032),
+    ("pcb3038", 137_694),
+    ("fnl4461", 182_566),
+    ("rl5915", 565_530),
+    ("rl5934", 556_045),
+    ("rl11849", 923_288),
+    ("d18512", 645_238),
+    ("pla33810", 66_048_945),
+    ("pla85900", 142_382_641),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_instances() {
+        assert_eq!(KNOWN_OPTIMA.len(), 20);
+    }
+
+    #[test]
+    fn all_optima_are_positive_and_unique_names() {
+        let mut names = std::collections::HashSet::new();
+        for &(name, opt) in &KNOWN_OPTIMA {
+            assert!(opt > 0);
+            assert!(names.insert(name), "duplicate instance name {name}");
+        }
+    }
+
+    #[test]
+    fn largest_instance_is_pla85900() {
+        assert_eq!(known_optimum("pla85900"), Some(142_382_641));
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert_eq!(known_optimum("berlin52"), None);
+    }
+}

@@ -1,0 +1,299 @@
+//! Parser for TSPLIB `.tsp` files.
+//!
+//! Supports the subset of the format needed for the paper's benchmark suite:
+//! `NODE_COORD_SECTION` instances with `EUC_2D`, `CEIL_2D`, `ATT` and `GEO` edge weights,
+//! and `EXPLICIT` instances with `FULL_MATRIX`, `UPPER_ROW`, `UPPER_DIAG_ROW` and
+//! `LOWER_DIAG_ROW` edge-weight formats.
+
+use crate::{EdgeWeightKind, TspInstance, TsplibError};
+
+/// Parses the textual contents of a TSPLIB `.tsp` file.
+///
+/// # Errors
+///
+/// Returns a [`TsplibError`] describing the first problem encountered: unknown keywords
+/// are ignored, but malformed coordinates, missing sections, unsupported edge-weight
+/// types/formats, or inconsistent dimensions are reported.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::parse_tsp;
+///
+/// let text = "NAME: tiny\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\n\
+///             NODE_COORD_SECTION\n1 0.0 0.0\n2 3.0 0.0\n3 0.0 4.0\nEOF\n";
+/// let instance = parse_tsp(text)?;
+/// assert_eq!(instance.name(), "tiny");
+/// assert_eq!(instance.dimension(), 3);
+/// assert_eq!(instance.distance(1, 2)?, 5.0);
+/// # Ok::<(), taxi_tsplib::TsplibError>(())
+/// ```
+pub fn parse_tsp(text: &str) -> Result<TspInstance, TsplibError> {
+    let mut name = String::from("unnamed");
+    let mut dimension: Option<usize> = None;
+    let mut kind: Option<EdgeWeightKind> = None;
+    let mut weight_format: Option<String> = None;
+    let mut coords: Vec<(f64, f64)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+
+    #[derive(PartialEq)]
+    enum Section {
+        Header,
+        NodeCoords,
+        EdgeWeights,
+        Done,
+    }
+    let mut section = Section::Header;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper == "EOF" {
+            section = Section::Done;
+            continue;
+        }
+        match section {
+            Section::Done => continue,
+            Section::Header => {
+                if upper.starts_with("NODE_COORD_SECTION") {
+                    section = Section::NodeCoords;
+                    continue;
+                }
+                if upper.starts_with("EDGE_WEIGHT_SECTION") {
+                    section = Section::EdgeWeights;
+                    continue;
+                }
+                if upper.starts_with("DISPLAY_DATA_SECTION") {
+                    // Display coordinates are ignored; treat like a terminal section so
+                    // that explicit-matrix instances with display data still parse.
+                    section = Section::Done;
+                    continue;
+                }
+                let (key, value) = split_keyword(line);
+                match key.as_str() {
+                    "NAME" => name = value.to_string(),
+                    "DIMENSION" => {
+                        dimension = Some(value.parse().map_err(|_| TsplibError::Parse {
+                            line: Some(lineno + 1),
+                            reason: format!("invalid DIMENSION value `{value}`"),
+                        })?);
+                    }
+                    "EDGE_WEIGHT_TYPE" => kind = Some(EdgeWeightKind::from_keyword(&value)?),
+                    "EDGE_WEIGHT_FORMAT" => weight_format = Some(value.to_ascii_uppercase()),
+                    // TYPE, COMMENT, NODE_COORD_TYPE, DISPLAY_DATA_TYPE... are ignored.
+                    _ => {}
+                }
+            }
+            Section::NodeCoords => {
+                let mut parts = line.split_whitespace();
+                let _index = parts.next();
+                let x: f64 = parse_float(parts.next(), lineno)?;
+                let y: f64 = parse_float(parts.next(), lineno)?;
+                coords.push((x, y));
+            }
+            Section::EdgeWeights => {
+                for token in line.split_whitespace() {
+                    weights.push(token.parse().map_err(|_| TsplibError::Parse {
+                        line: Some(lineno + 1),
+                        reason: format!("invalid edge weight `{token}`"),
+                    })?);
+                }
+            }
+        }
+    }
+
+    let dimension = dimension.ok_or_else(|| TsplibError::Parse {
+        line: None,
+        reason: "missing DIMENSION".to_string(),
+    })?;
+    let kind = kind.unwrap_or(EdgeWeightKind::Euc2d);
+
+    if kind == EdgeWeightKind::Explicit {
+        let format = weight_format.unwrap_or_else(|| "FULL_MATRIX".to_string());
+        let matrix = assemble_matrix(dimension, &format, &weights)?;
+        return TspInstance::from_matrix(&name, matrix);
+    }
+
+    if coords.len() != dimension {
+        return Err(TsplibError::Inconsistent {
+            reason: format!(
+                "DIMENSION is {dimension} but {} coordinates were given",
+                coords.len()
+            ),
+        });
+    }
+    TspInstance::from_coordinates(&name, coords, kind)
+}
+
+fn split_keyword(line: &str) -> (String, String) {
+    match line.split_once(':') {
+        Some((key, value)) => (key.trim().to_ascii_uppercase(), value.trim().to_string()),
+        None => {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let key = parts.next().unwrap_or_default().trim().to_ascii_uppercase();
+            let value = parts.next().unwrap_or_default().trim().to_string();
+            (key, value)
+        }
+    }
+}
+
+fn parse_float(token: Option<&str>, lineno: usize) -> Result<f64, TsplibError> {
+    token
+        .ok_or_else(|| TsplibError::Parse {
+            line: Some(lineno + 1),
+            reason: "missing coordinate".to_string(),
+        })?
+        .parse()
+        .map_err(|_| TsplibError::Parse {
+            line: Some(lineno + 1),
+            reason: format!("invalid coordinate `{}`", token.unwrap_or_default()),
+        })
+}
+
+fn assemble_matrix(
+    n: usize,
+    format: &str,
+    weights: &[f64],
+) -> Result<Vec<Vec<f64>>, TsplibError> {
+    let mut matrix = vec![vec![0.0; n]; n];
+    let mut it = weights.iter().copied();
+    let mut next = |reason: &str| -> Result<f64, TsplibError> {
+        it.next().ok_or_else(|| TsplibError::Inconsistent {
+            reason: format!("edge weight section too short ({reason})"),
+        })
+    };
+    match format {
+        "FULL_MATRIX" => {
+            for i in 0..n {
+                for j in 0..n {
+                    matrix[i][j] = next("full matrix")?;
+                }
+            }
+        }
+        "UPPER_ROW" => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let w = next("upper row")?;
+                    matrix[i][j] = w;
+                    matrix[j][i] = w;
+                }
+            }
+        }
+        "UPPER_DIAG_ROW" => {
+            for i in 0..n {
+                for j in i..n {
+                    let w = next("upper diagonal row")?;
+                    matrix[i][j] = w;
+                    matrix[j][i] = w;
+                }
+            }
+        }
+        "LOWER_DIAG_ROW" => {
+            for i in 0..n {
+                for j in 0..=i {
+                    let w = next("lower diagonal row")?;
+                    matrix[i][j] = w;
+                    matrix[j][i] = w;
+                }
+            }
+        }
+        other => {
+            return Err(TsplibError::Unsupported {
+                what: format!("edge weight format {other}"),
+            })
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_euc2d_node_coordinates() {
+        let text = "NAME: demo\nTYPE: TSP\nCOMMENT: test\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 0 3\n3 4 3\n4 4 0\nEOF\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.name(), "demo");
+        assert_eq!(inst.dimension(), 4);
+        assert_eq!(inst.distance(0, 2).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn parses_keywords_without_colons() {
+        let text = "NAME demo2\nDIMENSION 2\nEDGE_WEIGHT_TYPE EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 0 7\nEOF\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.name(), "demo2");
+        assert_eq!(inst.distance(0, 1).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn parses_full_matrix() {
+        let text = "NAME: m\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 2 9\n2 0 6\n9 6 0\nEOF\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.distance(0, 2).unwrap(), 9.0);
+        assert_eq!(inst.distance(2, 1).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn parses_upper_row_matrix() {
+        let text = "NAME: u\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n2 9\n6\nEOF\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.distance(0, 1).unwrap(), 2.0);
+        assert_eq!(inst.distance(0, 2).unwrap(), 9.0);
+        assert_eq!(inst.distance(1, 2).unwrap(), 6.0);
+        assert_eq!(inst.distance(2, 0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn parses_lower_diag_row_matrix() {
+        let text = "NAME: l\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n0\n2 0\n9 6 0\nEOF\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.distance(0, 1).unwrap(), 2.0);
+        assert_eq!(inst.distance(0, 2).unwrap(), 9.0);
+        assert_eq!(inst.distance(1, 2).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn missing_dimension_is_reported() {
+        let text = "NAME: broken\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\nEOF\n";
+        assert!(matches!(parse_tsp(text), Err(TsplibError::Parse { .. })));
+    }
+
+    #[test]
+    fn wrong_coordinate_count_is_reported() {
+        let text = "NAME: broken\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 1 1\nEOF\n";
+        assert!(matches!(parse_tsp(text), Err(TsplibError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn invalid_coordinate_is_reported_with_line() {
+        let text = "NAME: broken\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 x 1\nEOF\n";
+        match parse_tsp(text) {
+            Err(TsplibError::Parse { line: Some(line), .. }) => assert_eq!(line, 6),
+            other => panic!("expected a parse error with a line number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_edge_weight_type_is_reported() {
+        let text = "NAME: x\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: XRAY1\nNODE_COORD_SECTION\n1 0 0\n2 1 1\nEOF\n";
+        assert!(matches!(parse_tsp(text), Err(TsplibError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn short_edge_weight_section_is_reported() {
+        let text = "NAME: m\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 2\nEOF\n";
+        assert!(matches!(parse_tsp(text), Err(TsplibError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn att_instances_parse() {
+        let text = "NAME: a\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: ATT\nNODE_COORD_SECTION\n1 0 0\n2 10 0\nEOF\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.distance(0, 1).unwrap(), 4.0);
+    }
+}

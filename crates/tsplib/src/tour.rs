@@ -1,0 +1,211 @@
+//! Tours (city visiting orders) and their evaluation.
+
+use crate::{TspInstance, TsplibError};
+
+/// A closed tour: a visiting order over all cities of an instance.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::{EdgeWeightKind, Tour, TspInstance};
+///
+/// let instance = TspInstance::from_coordinates(
+///     "square",
+///     vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)],
+///     EdgeWeightKind::Euclidean,
+/// )?;
+/// let perimeter = Tour::new(vec![0, 1, 2, 3])?;
+/// let crossing = Tour::new(vec![0, 2, 1, 3])?;
+/// assert!(perimeter.length(&instance) < crossing.length(&instance));
+/// # Ok::<(), taxi_tsplib::TsplibError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tour {
+    order: Vec<usize>,
+}
+
+impl Tour {
+    /// Creates a tour from a visiting order, validating that it is a permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::Inconsistent`] if the order is empty, contains duplicates,
+    /// or skips indices.
+    pub fn new(order: Vec<usize>) -> Result<Self, TsplibError> {
+        if order.is_empty() {
+            return Err(TsplibError::Inconsistent {
+                reason: "a tour must visit at least one city".to_string(),
+            });
+        }
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &c in &order {
+            if c >= n || seen[c] {
+                return Err(TsplibError::Inconsistent {
+                    reason: format!("visiting order is not a permutation (city {c})"),
+                });
+            }
+            seen[c] = true;
+        }
+        Ok(Self { order })
+    }
+
+    /// The identity tour `0, 1, ..., n-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "a tour must visit at least one city");
+        Self {
+            order: (0..n).collect(),
+        }
+    }
+
+    /// The visiting order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of cities visited.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the tour is empty (never true for constructed tours).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Returns `true` if the tour visits every city of `instance` exactly once.
+    pub fn is_valid_for(&self, instance: &TspInstance) -> bool {
+        self.order.len() == instance.dimension()
+    }
+
+    /// Total (cyclic) tour length under `instance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tour references cities outside the instance.
+    pub fn length(&self, instance: &TspInstance) -> f64 {
+        let n = self.order.len();
+        if n < 2 {
+            return 0.0;
+        }
+        (0..n)
+            .map(|i| instance.distance_unchecked(self.order[i], self.order[(i + 1) % n]))
+            .sum()
+    }
+
+    /// Ratio of this tour's length to a reference (e.g. optimal) length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_length` is not strictly positive.
+    pub fn optimal_ratio(&self, instance: &TspInstance, reference_length: f64) -> f64 {
+        assert!(
+            reference_length > 0.0,
+            "reference length must be strictly positive"
+        );
+        self.length(instance) / reference_length
+    }
+
+    /// Rotates the tour so that `city` comes first (useful for canonical comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::Inconsistent`] if the city is not part of the tour.
+    pub fn rotated_to_start_at(&self, city: usize) -> Result<Tour, TsplibError> {
+        let pos = self
+            .order
+            .iter()
+            .position(|&c| c == city)
+            .ok_or_else(|| TsplibError::Inconsistent {
+                reason: format!("city {city} is not part of the tour"),
+            })?;
+        let mut order = Vec::with_capacity(self.order.len());
+        order.extend_from_slice(&self.order[pos..]);
+        order.extend_from_slice(&self.order[..pos]);
+        Ok(Tour { order })
+    }
+}
+
+impl AsRef<[usize]> for Tour {
+    fn as_ref(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeWeightKind;
+
+    fn unit_square() -> TspInstance {
+        TspInstance::from_coordinates(
+            "square",
+            vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)],
+            EdgeWeightKind::Euclidean,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        assert!(Tour::new(vec![]).is_err());
+        assert!(Tour::new(vec![0, 0, 1]).is_err());
+        assert!(Tour::new(vec![0, 1, 3]).is_err());
+        assert!(Tour::new(vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn identity_tour_is_valid() {
+        let inst = unit_square();
+        let tour = Tour::identity(4);
+        assert!(tour.is_valid_for(&inst));
+        assert_eq!(tour.len(), 4);
+    }
+
+    #[test]
+    fn perimeter_length_is_four() {
+        let inst = unit_square();
+        let tour = Tour::identity(4);
+        assert!((tour.length(&inst) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_ratio_is_relative() {
+        let inst = unit_square();
+        let crossing = Tour::new(vec![0, 2, 1, 3]).unwrap();
+        let ratio = crossing.optimal_ratio(&inst, 4.0);
+        assert!(ratio > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_reference_is_rejected() {
+        let inst = unit_square();
+        Tour::identity(4).optimal_ratio(&inst, 0.0);
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let inst = unit_square();
+        let tour = Tour::new(vec![2, 0, 3, 1]).unwrap();
+        let rotated = tour.rotated_to_start_at(0).unwrap();
+        assert_eq!(rotated.order()[0], 0);
+        assert!((tour.length(&inst) - rotated.length(&inst)).abs() < 1e-12);
+        assert!(tour.rotated_to_start_at(9).is_err());
+    }
+
+    #[test]
+    fn single_city_tour_has_zero_length() {
+        let inst = TspInstance::from_coordinates(
+            "one",
+            vec![(5.0, 5.0)],
+            EdgeWeightKind::Euclidean,
+        )
+        .unwrap();
+        assert_eq!(Tour::identity(1).length(&inst), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Reading and writing TSPLIB `.tour` files.
+//!
+//! Downstream users who already work with TSPLIB tooling (Concorde, LKH, plotting
+//! scripts) exchange solutions in the `.tour` format: a `TOUR_SECTION` listing 1-based
+//! city indices terminated by `-1`. This module converts between that format and
+//! [`Tour`].
+
+use crate::{Tour, TsplibError};
+
+/// Serialises a tour to TSPLIB `.tour` format.
+///
+/// # Example
+///
+/// ```
+/// use taxi_tsplib::{tour_io, Tour};
+///
+/// let tour = Tour::new(vec![0, 2, 1])?;
+/// let text = tour_io::write_tour(&tour, "tiny");
+/// assert!(text.contains("TOUR_SECTION"));
+/// let parsed = tour_io::parse_tour(&text)?;
+/// assert_eq!(parsed, tour);
+/// # Ok::<(), taxi_tsplib::TsplibError>(())
+/// ```
+pub fn write_tour(tour: &Tour, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("NAME : {name}.tour\n"));
+    out.push_str("TYPE : TOUR\n");
+    out.push_str(&format!("DIMENSION : {}\n", tour.len()));
+    out.push_str("TOUR_SECTION\n");
+    for &city in tour.order() {
+        out.push_str(&format!("{}\n", city + 1));
+    }
+    out.push_str("-1\nEOF\n");
+    out
+}
+
+/// Parses a TSPLIB `.tour` file.
+///
+/// # Errors
+///
+/// Returns [`TsplibError::Parse`] for malformed indices and
+/// [`TsplibError::Inconsistent`] when the listed cities do not form a permutation.
+pub fn parse_tour(text: &str) -> Result<Tour, TsplibError> {
+    let mut in_section = false;
+    let mut order: Vec<usize> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("TOUR_SECTION") {
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        for token in line.split_whitespace() {
+            if token == "-1" || token.eq_ignore_ascii_case("EOF") {
+                return finish(order);
+            }
+            let index: i64 = token.parse().map_err(|_| TsplibError::Parse {
+                line: Some(lineno + 1),
+                reason: format!("invalid city index `{token}`"),
+            })?;
+            if index < 1 {
+                return Err(TsplibError::Parse {
+                    line: Some(lineno + 1),
+                    reason: format!("city indices are 1-based, got {index}"),
+                });
+            }
+            order.push((index - 1) as usize);
+        }
+    }
+    finish(order)
+}
+
+fn finish(order: Vec<usize>) -> Result<Tour, TsplibError> {
+    if order.is_empty() {
+        return Err(TsplibError::Parse {
+            line: None,
+            reason: "tour file contains no TOUR_SECTION entries".to_string(),
+        });
+    }
+    Tour::new(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_tour() {
+        let tour = Tour::new(vec![3, 0, 2, 1, 4]).unwrap();
+        let text = write_tour(&tour, "roundtrip");
+        let parsed = parse_tour(&text).unwrap();
+        assert_eq!(parsed, tour);
+    }
+
+    #[test]
+    fn written_format_is_one_based() {
+        let tour = Tour::new(vec![0, 1]).unwrap();
+        let text = write_tour(&tour, "t");
+        assert!(text.contains("\n1\n2\n-1\n"));
+        assert!(text.contains("DIMENSION : 2"));
+    }
+
+    #[test]
+    fn parses_indices_spread_over_lines() {
+        let text = "NAME: x\nTYPE: TOUR\nDIMENSION: 4\nTOUR_SECTION\n1 3\n2\n4\n-1\nEOF\n";
+        let tour = parse_tour(text).unwrap();
+        assert_eq!(tour.order(), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn rejects_zero_and_negative_indices() {
+        let text = "TOUR_SECTION\n0\n-1\n";
+        assert!(parse_tour(text).is_err());
+        let text = "TOUR_SECTION\n-3\n-1\n";
+        assert!(parse_tour(text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_cities() {
+        let text = "TOUR_SECTION\n1\n2\n2\n-1\n";
+        assert!(matches!(parse_tour(text), Err(TsplibError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_section() {
+        assert!(parse_tour("NAME: x\nEOF\n").is_err());
+    }
+
+    #[test]
+    fn missing_terminator_still_parses() {
+        let text = "TOUR_SECTION\n2\n1\n3\n";
+        let tour = parse_tour(text).unwrap();
+        assert_eq!(tour.order(), &[1, 0, 2]);
+    }
+}

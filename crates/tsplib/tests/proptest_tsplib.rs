@@ -1,0 +1,87 @@
+//! Property-based tests of the TSPLIB substrate: parser/writer round trips and distance
+//! conventions.
+
+use proptest::prelude::*;
+
+use taxi_tsplib::{parse_tsp, tour_io, EdgeWeightKind, Tour, TspInstance};
+
+fn coords_strategy(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1000.0f64..1000.0, -1000.0f64..1000.0), 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Writing coordinates into `.tsp` text and parsing them back preserves every
+    /// pairwise distance.
+    #[test]
+    fn tsp_text_round_trips(coords in coords_strategy(30)) {
+        let original =
+            TspInstance::from_coordinates("roundtrip", coords.clone(), EdgeWeightKind::Euc2d)
+                .unwrap();
+        let mut text = String::new();
+        text.push_str("NAME: roundtrip\nTYPE: TSP\n");
+        text.push_str(&format!("DIMENSION: {}\n", coords.len()));
+        text.push_str("EDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n");
+        for (i, (x, y)) in coords.iter().enumerate() {
+            text.push_str(&format!("{} {} {}\n", i + 1, x, y));
+        }
+        text.push_str("EOF\n");
+        let parsed = parse_tsp(&text).unwrap();
+        prop_assert_eq!(parsed.dimension(), original.dimension());
+        for i in 0..coords.len() {
+            for j in 0..coords.len() {
+                prop_assert!(
+                    (parsed.distance_unchecked(i, j) - original.distance_unchecked(i, j)).abs()
+                        < 1e-9
+                );
+            }
+        }
+    }
+
+    /// All coordinate-based distance conventions are symmetric, non-negative and zero on
+    /// the diagonal.
+    #[test]
+    fn distances_are_metric_like(coords in coords_strategy(15), kind_idx in 0usize..4) {
+        let kind = [
+            EdgeWeightKind::Euclidean,
+            EdgeWeightKind::Euc2d,
+            EdgeWeightKind::Ceil2d,
+            EdgeWeightKind::Att,
+        ][kind_idx];
+        let instance = TspInstance::from_coordinates("metric", coords.clone(), kind).unwrap();
+        for i in 0..coords.len() {
+            prop_assert_eq!(instance.distance_unchecked(i, i), 0.0);
+            for j in 0..coords.len() {
+                let d = instance.distance_unchecked(i, j);
+                prop_assert!(d >= 0.0);
+                prop_assert!((d - instance.distance_unchecked(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// `.tour` files round-trip arbitrary permutations.
+    #[test]
+    fn tour_files_round_trip(perm in Just((0..25usize).collect::<Vec<_>>()).prop_shuffle()) {
+        let tour = Tour::new(perm).unwrap();
+        let text = tour_io::write_tour(&tour, "prop");
+        let parsed = tour_io::parse_tour(&text).unwrap();
+        prop_assert_eq!(parsed, tour);
+    }
+
+    /// Sub-matrix extraction agrees with direct distance queries.
+    #[test]
+    fn sub_matrix_agrees_with_distances(coords in coords_strategy(20)) {
+        let instance =
+            TspInstance::from_coordinates("sub", coords.clone(), EdgeWeightKind::Euclidean)
+                .unwrap();
+        let n = coords.len();
+        let subset: Vec<usize> = (0..n).step_by(2).collect();
+        let matrix = instance.distance_matrix_for(&subset).unwrap();
+        for (a, &i) in subset.iter().enumerate() {
+            for (b, &j) in subset.iter().enumerate() {
+                prop_assert!((matrix[a][b] - instance.distance_unchecked(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+}

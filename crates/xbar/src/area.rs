@@ -1,0 +1,139 @@
+//! Area model of the Ising macro.
+//!
+//! The paper notes that higher bit precision costs a larger array (Table I's
+//! 12×36 → 12×60 growth) and that the compactness of SOT-MRAM-based stochastic units is
+//! one of the motivations over CMOS RNGs (which take > 375 µm² each). This module
+//! provides a first-order area estimator used by the architecture configuration to
+//! reason about how many macros fit in a silicon budget, and by the RNG-comparison
+//! analysis in `taxi-device`.
+
+use crate::{ArrayGeometry, BitPrecision};
+
+/// First-order area model of one Ising macro at a given technology node.
+///
+/// Areas are expressed in square micrometres. The defaults model a 65 nm implementation:
+/// a 3T-1M SOT-MRAM bit cell of ≈ 0.5 µm², per-row peripheral circuitry (comparator,
+/// latch, stochastic unit, ArgMax branch) of ≈ 120 µm², and per-column drivers of
+/// ≈ 25 µm².
+///
+/// # Example
+///
+/// ```
+/// use taxi_xbar::{AreaModel, BitPrecision};
+///
+/// let model = AreaModel::nm65();
+/// let a2 = model.macro_area_um2(12, BitPrecision::TWO);
+/// let a4 = model.macro_area_um2(12, BitPrecision::FOUR);
+/// assert!(a4 > a2, "higher precision needs a bigger macro");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Area of one 3T-1M SOT-MRAM cell, in µm².
+    pub cell_area_um2: f64,
+    /// Peripheral area per row (comparator + latch + stochastic unit + ArgMax branch),
+    /// in µm².
+    pub row_periphery_um2: f64,
+    /// Driver area per column, in µm².
+    pub column_periphery_um2: f64,
+    /// Fixed control overhead per macro, in µm².
+    pub control_overhead_um2: f64,
+}
+
+impl AreaModel {
+    /// The 65 nm model used throughout the reproduction.
+    pub fn nm65() -> Self {
+        Self {
+            cell_area_um2: 0.5,
+            row_periphery_um2: 120.0,
+            column_periphery_um2: 25.0,
+            control_overhead_um2: 2_000.0,
+        }
+    }
+
+    /// Area of the crossbar array alone, in µm².
+    pub fn array_area_um2(&self, geometry: ArrayGeometry) -> f64 {
+        geometry.cells() as f64 * self.cell_area_um2
+    }
+
+    /// Total area of one macro (array + peripherals + control), in µm².
+    pub fn macro_area_um2(&self, cities: usize, precision: BitPrecision) -> f64 {
+        let geometry = ArrayGeometry::new(cities, precision);
+        self.array_area_um2(geometry)
+            + geometry.rows as f64 * self.row_periphery_um2
+            + geometry.columns() as f64 * self.column_periphery_um2
+            + self.control_overhead_um2
+    }
+
+    /// Total area of one macro, in mm².
+    pub fn macro_area_mm2(&self, cities: usize, precision: BitPrecision) -> f64 {
+        self.macro_area_um2(cities, precision) / 1e6
+    }
+
+    /// Number of macros that fit in a silicon budget of `budget_mm2` square millimetres.
+    pub fn macros_per_budget(
+        &self,
+        budget_mm2: f64,
+        cities: usize,
+        precision: BitPrecision,
+    ) -> usize {
+        let per_macro = self.macro_area_mm2(cities, precision);
+        if per_macro <= 0.0 {
+            return 0;
+        }
+        (budget_mm2 / per_macro).floor() as usize
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::nm65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_grows_with_precision_and_cities() {
+        let model = AreaModel::nm65();
+        let a12_2 = model.macro_area_um2(12, BitPrecision::TWO);
+        let a12_4 = model.macro_area_um2(12, BitPrecision::FOUR);
+        let a20_4 = model.macro_area_um2(20, BitPrecision::FOUR);
+        assert!(a12_4 > a12_2);
+        assert!(a20_4 > a12_4);
+    }
+
+    #[test]
+    fn table_one_geometries_stay_compact() {
+        // A 12-city macro at any of the paper's precisions should stay well below a
+        // square millimetre — the compactness claim that motivates the design.
+        let model = AreaModel::nm65();
+        for bits in [2u8, 3, 4] {
+            let area = model.macro_area_mm2(12, BitPrecision::new(bits).unwrap());
+            assert!(area < 0.1, "{bits}-bit macro area {area} mm² is implausibly large");
+            assert!(area > 0.001);
+        }
+    }
+
+    #[test]
+    fn budget_packing_is_monotone() {
+        let model = AreaModel::nm65();
+        let small = model.macros_per_budget(10.0, 12, BitPrecision::FOUR);
+        let large = model.macros_per_budget(100.0, 12, BitPrecision::FOUR);
+        assert!(large >= 10 * small - 10);
+        assert!(small > 0);
+        // Bigger macros → fewer per budget.
+        let big_macros = model.macros_per_budget(10.0, 20, BitPrecision::FOUR);
+        assert!(big_macros < small);
+    }
+
+    #[test]
+    fn array_area_matches_cell_count() {
+        let model = AreaModel::nm65();
+        let geometry = ArrayGeometry::new(12, BitPrecision::FOUR);
+        assert!(
+            (model.array_area_um2(geometry) - geometry.cells() as f64 * 0.5).abs() < 1e-9
+        );
+    }
+}

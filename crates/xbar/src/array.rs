@@ -1,0 +1,654 @@
+//! The SOT-MRAM crossbar array with bit-sliced weight partitions and spin storage.
+
+use taxi_device::{DeviceParams, MagState};
+
+use crate::{BitPrecision, QuantizedDistances, XbarError};
+
+/// Geometry of an Ising-macro crossbar.
+///
+/// For a sub-problem of `N` cities at bit precision `B` the array is `N` rows by
+/// `N · (B + 1)` columns: `B` weight partitions of `N` columns each followed by the
+/// spin-storage partition whose columns are visiting orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    /// Number of rows (= number of cities of the sub-problem).
+    pub rows: usize,
+    /// Weight bit precision.
+    pub precision: BitPrecision,
+}
+
+impl ArrayGeometry {
+    /// Creates a geometry for `rows` cities at the given precision.
+    pub fn new(rows: usize, precision: BitPrecision) -> Self {
+        Self { rows, precision }
+    }
+
+    /// Total number of columns (`rows · (B + 1)`).
+    pub fn columns(&self) -> usize {
+        self.rows * self.precision.partitions()
+    }
+
+    /// Total number of SOT-MRAM cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.columns()
+    }
+
+    /// Index of the first column of weight partition `p` (0 = most significant bit).
+    pub fn weight_partition_start(&self, p: u8) -> usize {
+        usize::from(p) * self.rows
+    }
+
+    /// Index of the first column of the spin-storage partition.
+    pub fn spin_storage_start(&self) -> usize {
+        usize::from(self.precision.bits()) * self.rows
+    }
+}
+
+impl std::fmt::Display for ArrayGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} × {}", self.rows, self.columns())
+    }
+}
+
+/// Non-ideality configuration for analog reads.
+///
+/// Wire resistance adds a series term that grows with the cell's Manhattan distance from
+/// the drivers (bottom-left corner), attenuating the effective conductance. Storing the
+/// most significant bit closest to the left end (as the paper does) therefore minimises
+/// the error on the most significant partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonIdealityConfig {
+    /// Series wire resistance per crossed cell, in ohms. Zero disables the effect.
+    pub wire_resistance_per_cell_ohms: f64,
+    /// Relative Gaussian conductance variation (sigma / mean). Zero disables the effect.
+    pub conductance_variation: f64,
+}
+
+impl NonIdealityConfig {
+    /// Ideal array: no wire resistance, no device variation.
+    pub fn ideal() -> Self {
+        Self {
+            wire_resistance_per_cell_ohms: 0.0,
+            conductance_variation: 0.0,
+        }
+    }
+
+    /// Realistic defaults used in the paper reproduction (≈ 1 Ω of wire per cell, 2 %
+    /// conductance variation).
+    pub fn realistic() -> Self {
+        Self {
+            wire_resistance_per_cell_ohms: 1.0,
+            conductance_variation: 0.02,
+        }
+    }
+}
+
+impl Default for NonIdealityConfig {
+    fn default() -> Self {
+        Self::realistic()
+    }
+}
+
+/// An `N × N·(B+1)` crossbar of 3T-1M SOT-MRAM cells.
+///
+/// The array exposes exactly the analogue operations the Ising macro needs:
+///
+/// * [`program_weights`](Self::program_weights) — deterministic writes of the bit-sliced
+///   distance weights into the first `B` partitions,
+/// * spin-storage reads/writes ([`spin`](Self::spin), [`write_spin`](Self::write_spin),
+///   [`reset_order_column`](Self::reset_order_column)),
+/// * [`superpose_orders`](Self::superpose_orders) — activate two spin-storage columns and
+///   read the per-row current (the superposed visiting vector), and
+/// * [`weighted_column_currents`](Self::weighted_column_currents) — apply a binary row
+///   vector and read per-city currents through the weight partitions, already scaled by
+///   bit significance (the current-mirror bank model).
+///
+/// # Example
+///
+/// ```
+/// use taxi_xbar::{BitPrecision, CrossbarArray, QuantizedDistances};
+/// use taxi_xbar::array::NonIdealityConfig;
+/// use taxi_device::DeviceParams;
+///
+/// let d = vec![
+///     vec![0.0, 1.0, 5.0],
+///     vec![1.0, 0.0, 2.0],
+///     vec![5.0, 2.0, 0.0],
+/// ];
+/// let q = QuantizedDistances::from_distances(&d, BitPrecision::FOUR)?;
+/// let mut array = CrossbarArray::new(3, BitPrecision::FOUR, DeviceParams::default(),
+///                                    NonIdealityConfig::ideal());
+/// array.program_weights(&q)?;
+/// // City 1 is much closer to city 0 than city 2 is, so with row 0 active the current
+/// // through city 1's columns dominates.
+/// let currents = array.weighted_column_currents(&[true, false, false]);
+/// assert!(currents[1] > currents[2]);
+/// # Ok::<(), taxi_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    geometry: ArrayGeometry,
+    params: DeviceParams,
+    non_ideality: NonIdealityConfig,
+    /// Row-major cell states, `rows × columns`.
+    cells: Vec<MagState>,
+    /// Per-cell fixed conductance perturbation factors (device-to-device variation).
+    variation: Vec<f64>,
+    write_ops: u64,
+    read_ops: u64,
+}
+
+impl CrossbarArray {
+    /// Creates an array with every cell in the high-resistance (logic 0) state.
+    pub fn new(
+        rows: usize,
+        precision: BitPrecision,
+        params: DeviceParams,
+        non_ideality: NonIdealityConfig,
+    ) -> Self {
+        let geometry = ArrayGeometry::new(rows, precision);
+        let n_cells = geometry.cells();
+        // Deterministic pseudo-random variation pattern derived from cell index; this
+        // keeps the array reproducible without threading an RNG through construction.
+        let variation = (0..n_cells)
+            .map(|i| {
+                if non_ideality.conductance_variation == 0.0 {
+                    1.0
+                } else {
+                    // Simple hash → uniform in [-1, 1] → scaled.
+                    let h = (i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left(31)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                    1.0 + (2.0 * u - 1.0) * non_ideality.conductance_variation
+                }
+            })
+            .collect();
+        Self {
+            geometry,
+            params,
+            non_ideality,
+            cells: vec![MagState::AntiParallel; n_cells],
+            variation,
+            write_ops: 0,
+            read_ops: 0,
+        }
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Number of rows (cities).
+    pub fn num_rows(&self) -> usize {
+        self.geometry.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.geometry.columns()
+    }
+
+    /// Device parameters shared by every cell.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Total deterministic write operations issued so far.
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops
+    }
+
+    /// Total analog read (MAC) operations issued so far.
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops
+    }
+
+    fn cell_index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.geometry.rows && col < self.geometry.columns());
+        row * self.geometry.columns() + col
+    }
+
+    /// Effective conductance of the cell at (`row`, `col`) including non-idealities.
+    pub fn effective_conductance(&self, row: usize, col: usize) -> f64 {
+        let idx = self.cell_index(row, col);
+        let base = match self.cells[idx] {
+            MagState::Parallel => self.params.g_parallel(),
+            MagState::AntiParallel => self.params.g_antiparallel(),
+        } * self.variation[idx];
+        let r_wire =
+            self.non_ideality.wire_resistance_per_cell_ohms * ((row + col) as f64 + 1.0);
+        if r_wire <= 0.0 {
+            base
+        } else {
+            1.0 / (1.0 / base + r_wire)
+        }
+    }
+
+    /// Programs the bit-sliced distance weights into the first `B` partitions.
+    ///
+    /// Partition 0 stores the most significant bit (closest to the drivers, minimising
+    /// wire-resistance error on the most significant contribution, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidDistanceMatrix`] if the quantised matrix size or
+    /// precision does not match the array geometry.
+    pub fn program_weights(&mut self, weights: &QuantizedDistances) -> Result<(), XbarError> {
+        if weights.num_cities() != self.geometry.rows {
+            return Err(XbarError::InvalidDistanceMatrix {
+                reason: format!(
+                    "weight matrix is for {} cities but the array has {} rows",
+                    weights.num_cities(),
+                    self.geometry.rows
+                ),
+            });
+        }
+        if weights.precision() != self.geometry.precision {
+            return Err(XbarError::InvalidDistanceMatrix {
+                reason: format!(
+                    "weight precision {} does not match array precision {}",
+                    weights.precision(),
+                    self.geometry.precision
+                ),
+            });
+        }
+        let n = self.geometry.rows;
+        let bits = self.geometry.precision.bits();
+        for row in 0..n {
+            for city in 0..n {
+                for p in 0..bits {
+                    // Partition p stores bit (bits - 1 - p): MSB in partition 0.
+                    let bit = bits - 1 - p;
+                    let col = self.geometry.weight_partition_start(p) + city;
+                    let state = MagState::from_bit(weights.weight_bit(row, city, bit));
+                    let idx = self.cell_index(row, col);
+                    self.cells[idx] = state;
+                    self.write_ops += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the spin-storage bit for (`city`, `order`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::IndexOutOfRange`] if either index is out of range.
+    pub fn spin(&self, city: usize, order: usize) -> Result<bool, XbarError> {
+        self.check_city(city)?;
+        self.check_order(order)?;
+        let col = self.geometry.spin_storage_start() + order;
+        Ok(self.cells[self.cell_index(city, col)] == MagState::Parallel)
+    }
+
+    /// Deterministically writes the spin-storage bit for (`city`, `order`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::IndexOutOfRange`] if either index is out of range.
+    pub fn write_spin(&mut self, city: usize, order: usize, value: bool) -> Result<(), XbarError> {
+        self.check_city(city)?;
+        self.check_order(order)?;
+        let col = self.geometry.spin_storage_start() + order;
+        let idx = self.cell_index(city, col);
+        self.cells[idx] = MagState::from_bit(value);
+        self.write_ops += 1;
+        Ok(())
+    }
+
+    /// Resets every cell of the spin-storage column for `order` to the high-resistance
+    /// state (the pre-update reset described in Section III-C5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::IndexOutOfRange`] if `order` is out of range.
+    pub fn reset_order_column(&mut self, order: usize) -> Result<(), XbarError> {
+        self.check_order(order)?;
+        let col = self.geometry.spin_storage_start() + order;
+        for city in 0..self.geometry.rows {
+            let idx = self.cell_index(city, col);
+            self.cells[idx] = MagState::AntiParallel;
+            self.write_ops += 1;
+        }
+        Ok(())
+    }
+
+    /// Activates the spin-storage columns of `orders` and returns the per-row read
+    /// current: the analogue superposition of the visiting vectors at those orders
+    /// (Section III-C1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::IndexOutOfRange`] if any order is out of range.
+    pub fn superpose_orders(&mut self, orders: &[usize]) -> Result<Vec<f64>, XbarError> {
+        for &o in orders {
+            self.check_order(o)?;
+        }
+        self.read_ops += 1;
+        let v = self.params.read_voltage;
+        let mut currents = vec![0.0f64; self.geometry.rows];
+        for &order in orders {
+            let col = self.geometry.spin_storage_start() + order;
+            for (row, current) in currents.iter_mut().enumerate() {
+                *current += v * self.effective_conductance(row, col);
+            }
+        }
+        Ok(currents)
+    }
+
+    /// Applies the binary `row_vector` to the rows and returns the per-city current
+    /// through the weight partitions, with each partition scaled by its bit significance
+    /// (`2^b`, the current-mirror bank of Fig. 4b).
+    ///
+    /// The returned vector has one entry per city; larger current means a shorter
+    /// combined distance to the active rows (Eq. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_vector.len()` differs from the number of rows.
+    pub fn weighted_column_currents(&mut self, row_vector: &[bool]) -> Vec<f64> {
+        assert_eq!(
+            row_vector.len(),
+            self.geometry.rows,
+            "row vector length must equal the number of rows"
+        );
+        self.read_ops += 1;
+        let v = self.params.read_voltage;
+        let bits = self.geometry.precision.bits();
+        let n = self.geometry.rows;
+        let mut per_city = vec![0.0f64; n];
+        for p in 0..bits {
+            let significance = f64::from(1u32 << (bits - 1 - p));
+            let start = self.geometry.weight_partition_start(p);
+            for city in 0..n {
+                let col = start + city;
+                let mut i_col = 0.0;
+                for (row, &active) in row_vector.iter().enumerate() {
+                    if active {
+                        i_col += v * self.effective_conductance(row, col);
+                    }
+                }
+                per_city[city] += significance * i_col;
+            }
+        }
+        per_city
+    }
+
+    /// Returns the full spin-storage contents as an `orders → city` assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::CorruptSpinStorage`] if any order column does not contain
+    /// exactly one low-resistance cell.
+    pub fn read_assignment(&self) -> Result<Vec<usize>, XbarError> {
+        let n = self.geometry.rows;
+        let mut assignment = Vec::with_capacity(n);
+        for order in 0..n {
+            let col = self.geometry.spin_storage_start() + order;
+            let mut chosen = None;
+            for city in 0..n {
+                if self.cells[self.cell_index(city, col)] == MagState::Parallel {
+                    if chosen.is_some() {
+                        return Err(XbarError::CorruptSpinStorage {
+                            reason: format!("order {order} has more than one city selected"),
+                        });
+                    }
+                    chosen = Some(city);
+                }
+            }
+            match chosen {
+                Some(city) => assignment.push(city),
+                None => {
+                    return Err(XbarError::CorruptSpinStorage {
+                        reason: format!("order {order} has no city selected"),
+                    })
+                }
+            }
+        }
+        Ok(assignment)
+    }
+
+    /// Writes a full `orders → city` assignment into the spin storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::CorruptSpinStorage`] if `assignment` is not a permutation of
+    /// `0..rows`, or [`XbarError::IndexOutOfRange`] if it has the wrong length.
+    pub fn write_assignment(&mut self, assignment: &[usize]) -> Result<(), XbarError> {
+        let n = self.geometry.rows;
+        if assignment.len() != n {
+            return Err(XbarError::IndexOutOfRange {
+                kind: "order",
+                index: assignment.len(),
+                len: n,
+            });
+        }
+        let mut seen = vec![false; n];
+        for &city in assignment {
+            if city >= n {
+                return Err(XbarError::IndexOutOfRange {
+                    kind: "city",
+                    index: city,
+                    len: n,
+                });
+            }
+            if seen[city] {
+                return Err(XbarError::CorruptSpinStorage {
+                    reason: format!("city {city} assigned to more than one order"),
+                });
+            }
+            seen[city] = true;
+        }
+        for (order, &city) in assignment.iter().enumerate() {
+            self.reset_order_column(order)?;
+            self.write_spin(city, order, true)?;
+        }
+        Ok(())
+    }
+
+    fn check_city(&self, city: usize) -> Result<(), XbarError> {
+        if city < self.geometry.rows {
+            Ok(())
+        } else {
+            Err(XbarError::IndexOutOfRange {
+                kind: "city",
+                index: city,
+                len: self.geometry.rows,
+            })
+        }
+    }
+
+    fn check_order(&self, order: usize) -> Result<(), XbarError> {
+        if order < self.geometry.rows {
+            Ok(())
+        } else {
+            Err(XbarError::IndexOutOfRange {
+                kind: "order",
+                index: order,
+                len: self.geometry.rows,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn distances() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 1.0, 5.0, 9.0],
+            vec![1.0, 0.0, 2.0, 7.0],
+            vec![5.0, 2.0, 0.0, 1.5],
+            vec![9.0, 7.0, 1.5, 0.0],
+        ]
+    }
+
+    fn ideal_array() -> CrossbarArray {
+        let q = QuantizedDistances::from_distances(&distances(), BitPrecision::FOUR).unwrap();
+        let mut a = CrossbarArray::new(
+            4,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::ideal(),
+        );
+        a.program_weights(&q).unwrap();
+        a
+    }
+
+    #[test]
+    fn geometry_matches_paper_formula() {
+        // Table I: a 12-city problem needs 12 × 36/48/60 arrays for 2/3/4-bit precision.
+        for (bits, cols) in [(2u8, 36usize), (3, 48), (4, 60)] {
+            let g = ArrayGeometry::new(12, BitPrecision::new(bits).unwrap());
+            assert_eq!(g.columns(), cols);
+            assert_eq!(g.cells(), 12 * cols);
+        }
+    }
+
+    #[test]
+    fn program_weights_rejects_mismatched_sizes() {
+        let q = QuantizedDistances::from_distances(&distances(), BitPrecision::FOUR).unwrap();
+        let mut a = CrossbarArray::new(
+            5,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::ideal(),
+        );
+        assert!(a.program_weights(&q).is_err());
+    }
+
+    #[test]
+    fn program_weights_rejects_mismatched_precision() {
+        let q = QuantizedDistances::from_distances(&distances(), BitPrecision::TWO).unwrap();
+        let mut a = CrossbarArray::new(
+            4,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::ideal(),
+        );
+        assert!(a.program_weights(&q).is_err());
+    }
+
+    #[test]
+    fn closer_city_draws_more_current() {
+        let mut a = ideal_array();
+        // Activate only row 0: city 1 (d=1) should beat city 2 (d=5) and city 3 (d=9).
+        let currents = a.weighted_column_currents(&[true, false, false, false]);
+        assert!(currents[1] > currents[2]);
+        assert!(currents[2] > currents[3]);
+    }
+
+    #[test]
+    fn superposition_reflects_spin_storage() {
+        let mut a = ideal_array();
+        a.write_assignment(&[0, 1, 2, 3]).unwrap();
+        let currents = a.superpose_orders(&[0, 2]).unwrap();
+        // Cities 0 and 2 are selected at orders 0 and 2; their rows carry high current.
+        assert!(currents[0] > currents[1]);
+        assert!(currents[2] > currents[3]);
+    }
+
+    #[test]
+    fn assignment_round_trips() {
+        let mut a = ideal_array();
+        let perm = vec![2, 0, 3, 1];
+        a.write_assignment(&perm).unwrap();
+        assert_eq!(a.read_assignment().unwrap(), perm);
+    }
+
+    #[test]
+    fn write_assignment_rejects_duplicates() {
+        let mut a = ideal_array();
+        assert!(matches!(
+            a.write_assignment(&[0, 0, 1, 2]),
+            Err(XbarError::CorruptSpinStorage { .. })
+        ));
+    }
+
+    #[test]
+    fn read_assignment_detects_missing_selection() {
+        let a = ideal_array();
+        // Fresh spin storage is all zeros → every order column is empty.
+        assert!(matches!(
+            a.read_assignment(),
+            Err(XbarError::CorruptSpinStorage { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_order_column_clears_spins() {
+        let mut a = ideal_array();
+        a.write_assignment(&[0, 1, 2, 3]).unwrap();
+        a.reset_order_column(1).unwrap();
+        for city in 0..4 {
+            assert!(!a.spin(city, 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let mut a = ideal_array();
+        assert!(a.spin(7, 0).is_err());
+        assert!(a.spin(0, 7).is_err());
+        assert!(a.write_spin(0, 9, true).is_err());
+        assert!(a.reset_order_column(9).is_err());
+        assert!(a.superpose_orders(&[9]).is_err());
+    }
+
+    #[test]
+    fn wire_resistance_attenuates_far_cells() {
+        let q = QuantizedDistances::from_distances(&distances(), BitPrecision::FOUR).unwrap();
+        let mut ideal = CrossbarArray::new(
+            4,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::ideal(),
+        );
+        ideal.program_weights(&q).unwrap();
+        let mut lossy = CrossbarArray::new(
+            4,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig {
+                wire_resistance_per_cell_ohms: 50.0,
+                conductance_variation: 0.0,
+            },
+        );
+        lossy.program_weights(&q).unwrap();
+        let i_ideal = ideal.weighted_column_currents(&[true, true, true, true]);
+        let i_lossy = lossy.weighted_column_currents(&[true, true, true, true]);
+        for (a, b) in i_ideal.iter().zip(&i_lossy) {
+            assert!(b < a, "wire resistance must reduce every column current");
+        }
+    }
+
+    #[test]
+    fn non_ideal_array_preserves_ranking_for_moderate_wire_resistance() {
+        let q = QuantizedDistances::from_distances(&distances(), BitPrecision::FOUR).unwrap();
+        let mut a = CrossbarArray::new(
+            4,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::realistic(),
+        );
+        a.program_weights(&q).unwrap();
+        let currents = a.weighted_column_currents(&[true, false, false, false]);
+        assert!(currents[1] > currents[3]);
+    }
+
+    #[test]
+    fn operation_counters_increase() {
+        let mut a = ideal_array();
+        let writes_before = a.write_ops();
+        a.write_assignment(&[0, 1, 2, 3]).unwrap();
+        assert!(a.write_ops() > writes_before);
+        let reads_before = a.read_ops();
+        let _ = a.weighted_column_currents(&[true, false, false, false]);
+        assert_eq!(a.read_ops(), reads_before + 1);
+    }
+}

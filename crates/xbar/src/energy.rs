@@ -1,0 +1,287 @@
+//! Circuit-level latency / power / energy model of one Ising macro (Table I of the paper).
+//!
+//! The paper characterises a 12-city macro in TSMC 65 nm with Cadence Spectre for one
+//! complete iteration (superposition + optimization + spin-storage update) at 2/3/4-bit
+//! weight precision. This module provides an analytical model **calibrated to those
+//! published numbers** so the architecture simulator can account for macro latency and
+//! energy without a SPICE engine (see DESIGN.md, substitutions table).
+
+use crate::{ArrayGeometry, BitPrecision};
+
+/// Latency of the three phases of one macro iteration, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseLatency {
+    /// Superposition phase (spin-storage read + comparator + latch).
+    pub superposition: f64,
+    /// Optimization phase (weight MAC + mirrors + stochastic mask + ArgMax).
+    pub optimization: f64,
+    /// Spin-storage update phase (reset + write).
+    pub storage_update: f64,
+}
+
+impl PhaseLatency {
+    /// The phase latencies reported in Table I (3 ns / 4 ns / 2 ns), independent of bit
+    /// precision.
+    pub fn paper() -> Self {
+        Self {
+            superposition: 3e-9,
+            optimization: 4e-9,
+            storage_update: 2e-9,
+        }
+    }
+
+    /// Total latency of one iteration.
+    pub fn total(&self) -> f64 {
+        self.superposition + self.optimization + self.storage_update
+    }
+}
+
+impl Default for PhaseLatency {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Circuit-level characterisation of one macro configuration, mirroring one column of
+/// Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitReport {
+    /// Number of cities (rows).
+    pub cities: usize,
+    /// Weight bit precision.
+    pub precision: BitPrecision,
+    /// Array geometry (rows × columns).
+    pub geometry: ArrayGeometry,
+    /// Average power during one iteration, in watts.
+    pub power_watts: f64,
+    /// Phase latencies.
+    pub latency: PhaseLatency,
+    /// Energy of one complete iteration, in joules.
+    pub energy_per_iteration_joules: f64,
+}
+
+impl CircuitReport {
+    /// Power in milliwatts (Table I units).
+    pub fn power_milliwatts(&self) -> f64 {
+        self.power_watts * 1e3
+    }
+
+    /// Energy per iteration in picojoules (Table I units).
+    pub fn energy_picojoules(&self) -> f64 {
+        self.energy_per_iteration_joules * 1e12
+    }
+}
+
+/// Calibration anchors: (bits, power in watts) measured at the 12-city reference size.
+const CALIBRATION_CITIES: usize = 12;
+const CALIBRATION: [(u8, f64); 3] = [(2, 4.202e-3), (3, 5.033e-3), (4, 5.11e-3)];
+
+/// Analytical circuit model of the Ising macro, calibrated to Table I.
+///
+/// * Phase latencies are the published 3/4/2 ns, independent of precision.
+/// * Power at the 12-city calibration size reproduces the published 4.202/5.033/5.11 mW
+///   for 2/3/4-bit precision; other precisions are extrapolated from the per-column trend.
+/// * Power for other problem sizes scales with the number of columns relative to the
+///   calibration geometry (array and peripheral circuits both grow with column count).
+/// * Energy per iteration is power × total iteration latency, matching the published
+///   37.82/45.3/45.98 pJ at the calibration point.
+///
+/// # Example
+///
+/// ```
+/// use taxi_xbar::{BitPrecision, MacroCircuitModel};
+///
+/// let model = MacroCircuitModel::paper_calibrated();
+/// let report = model.report(12, BitPrecision::FOUR);
+/// assert!((report.power_milliwatts() - 5.11).abs() < 1e-6);
+/// assert!((report.energy_picojoules() - 45.99).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroCircuitModel {
+    latency: PhaseLatency,
+    /// Per-column incremental power derived from the 3-bit → 4-bit calibration step, in
+    /// watts per column, used to extrapolate outside the calibration table.
+    extrapolation_watts_per_column: f64,
+    /// Energy to program (map) one SOT-MRAM cell, in joules.
+    program_energy_per_cell_joules: f64,
+    /// Time to program one row of cells (cells in a row are written sequentially per
+    /// partition but partitions share the write driver), in seconds.
+    program_latency_per_cell_seconds: f64,
+}
+
+impl MacroCircuitModel {
+    /// The model calibrated to the paper's Table I and device write figures.
+    pub fn paper_calibrated() -> Self {
+        let p3 = CALIBRATION[1].1;
+        let p4 = CALIBRATION[2].1;
+        let cols3 = CALIBRATION_CITIES * (3 + 1);
+        let cols4 = CALIBRATION_CITIES * (4 + 1);
+        Self {
+            latency: PhaseLatency::paper(),
+            extrapolation_watts_per_column: (p4 - p3) / (cols4 - cols3) as f64,
+            program_energy_per_cell_joules: 50e-15,
+            program_latency_per_cell_seconds: 1e-9,
+        }
+    }
+
+    /// The phase latencies of one iteration.
+    pub fn latency(&self) -> PhaseLatency {
+        self.latency
+    }
+
+    /// Average power of one iteration for a macro of `cities` cities at `precision`, in
+    /// watts.
+    pub fn power_watts(&self, cities: usize, precision: BitPrecision) -> f64 {
+        let calibrated = CALIBRATION
+            .iter()
+            .find(|(b, _)| *b == precision.bits())
+            .map(|&(_, p)| p)
+            .unwrap_or_else(|| {
+                // Extrapolate from the 4-bit anchor using the per-column trend.
+                let (b4, p4) = CALIBRATION[2];
+                let cols_anchor = CALIBRATION_CITIES * (usize::from(b4) + 1);
+                let cols_target = CALIBRATION_CITIES * precision.partitions();
+                p4 + self.extrapolation_watts_per_column
+                    * (cols_target as f64 - cols_anchor as f64)
+            });
+        // Scale with column count relative to the 12-city calibration geometry.
+        let cols_calibration = (CALIBRATION_CITIES * precision.partitions()) as f64;
+        let cols_actual = (cities * precision.partitions()) as f64;
+        calibrated * (cols_actual / cols_calibration)
+    }
+
+    /// Energy of one complete iteration (superpose + optimize + update), in joules.
+    pub fn energy_per_iteration_joules(&self, cities: usize, precision: BitPrecision) -> f64 {
+        self.power_watts(cities, precision) * self.latency.total()
+    }
+
+    /// Latency of one complete iteration, in seconds.
+    pub fn latency_per_iteration_seconds(&self) -> f64 {
+        self.latency.total()
+    }
+
+    /// Energy to program (map) the distance weights and initial spin storage of a macro,
+    /// in joules.
+    pub fn mapping_energy_joules(&self, cities: usize, precision: BitPrecision) -> f64 {
+        let cells = ArrayGeometry::new(cities, precision).cells() as f64;
+        cells * self.program_energy_per_cell_joules
+    }
+
+    /// Latency to program (map) a macro, in seconds. Rows are programmed one after the
+    /// other; the cells of a row are written in parallel across partitions.
+    pub fn mapping_latency_seconds(&self, cities: usize, precision: BitPrecision) -> f64 {
+        let writes = (cities * precision.partitions()) as f64;
+        writes * self.program_latency_per_cell_seconds
+    }
+
+    /// Full circuit report for one configuration (one column of Table I).
+    pub fn report(&self, cities: usize, precision: BitPrecision) -> CircuitReport {
+        CircuitReport {
+            cities,
+            precision,
+            geometry: ArrayGeometry::new(cities, precision),
+            power_watts: self.power_watts(cities, precision),
+            latency: self.latency,
+            energy_per_iteration_joules: self.energy_per_iteration_joules(cities, precision),
+        }
+    }
+
+    /// Generates the full Table I (2/3/4-bit columns at the 12-city calibration size).
+    pub fn table_one(&self) -> Vec<CircuitReport> {
+        [BitPrecision::TWO, BitPrecision::THREE, BitPrecision::FOUR]
+            .into_iter()
+            .map(|p| self.report(CALIBRATION_CITIES, p))
+            .collect()
+    }
+}
+
+impl Default for MacroCircuitModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_latencies_match_table_one() {
+        let l = PhaseLatency::paper();
+        assert_eq!(l.superposition, 3e-9);
+        assert_eq!(l.optimization, 4e-9);
+        assert_eq!(l.storage_update, 2e-9);
+        assert!((l.total() - 9e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn power_matches_table_one_at_calibration_point() {
+        let model = MacroCircuitModel::paper_calibrated();
+        for (bits, expected_mw) in [(2u8, 4.202), (3, 5.033), (4, 5.11)] {
+            let p = BitPrecision::new(bits).unwrap();
+            let report = model.report(12, p);
+            assert!(
+                (report.power_milliwatts() - expected_mw).abs() < 1e-9,
+                "power for {bits}-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_matches_table_one_within_rounding() {
+        let model = MacroCircuitModel::paper_calibrated();
+        for (bits, expected_pj) in [(2u8, 37.82), (3, 45.3), (4, 45.98)] {
+            let p = BitPrecision::new(bits).unwrap();
+            let report = model.report(12, p);
+            assert!(
+                (report.energy_picojoules() - expected_pj).abs() < 0.5,
+                "energy for {bits}-bit: got {}",
+                report.energy_picojoules()
+            );
+        }
+    }
+
+    #[test]
+    fn array_sizes_match_table_one() {
+        let model = MacroCircuitModel::paper_calibrated();
+        let table = model.table_one();
+        let sizes: Vec<String> = table.iter().map(|r| r.geometry.to_string()).collect();
+        assert_eq!(sizes, vec!["12 × 36", "12 × 48", "12 × 60"]);
+    }
+
+    #[test]
+    fn power_scales_with_problem_size() {
+        let model = MacroCircuitModel::paper_calibrated();
+        let p12 = model.power_watts(12, BitPrecision::FOUR);
+        let p20 = model.power_watts(20, BitPrecision::FOUR);
+        assert!(p20 > p12);
+        assert!((p20 / p12 - 20.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_precision_costs_more_energy() {
+        let model = MacroCircuitModel::paper_calibrated();
+        let e2 = model.energy_per_iteration_joules(12, BitPrecision::TWO);
+        let e4 = model.energy_per_iteration_joules(12, BitPrecision::FOUR);
+        assert!(e4 > e2);
+    }
+
+    #[test]
+    fn extrapolation_outside_table_is_monotonic() {
+        let model = MacroCircuitModel::paper_calibrated();
+        let p4 = model.power_watts(12, BitPrecision::FOUR);
+        let p5 = model.power_watts(12, BitPrecision::new(5).unwrap());
+        let p6 = model.power_watts(12, BitPrecision::new(6).unwrap());
+        assert!(p5 > p4);
+        assert!(p6 > p5);
+    }
+
+    #[test]
+    fn mapping_costs_grow_with_geometry() {
+        let model = MacroCircuitModel::paper_calibrated();
+        let e_small = model.mapping_energy_joules(12, BitPrecision::TWO);
+        let e_large = model.mapping_energy_joules(12, BitPrecision::FOUR);
+        assert!(e_large > e_small);
+        assert!(model.mapping_latency_seconds(12, BitPrecision::FOUR) > 0.0);
+    }
+}

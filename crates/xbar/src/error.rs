@@ -1,0 +1,110 @@
+//! Error type for crossbar-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use taxi_device::DeviceError;
+
+/// Errors returned by crossbar and Ising-macro operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XbarError {
+    /// The distance matrix was empty, non-square, or contained invalid entries.
+    InvalidDistanceMatrix {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The requested bit precision is unsupported.
+    UnsupportedBitPrecision {
+        /// The requested number of bits.
+        bits: u8,
+    },
+    /// The sub-problem exceeds the macro capacity.
+    ProblemTooLarge {
+        /// Number of cities requested.
+        cities: usize,
+        /// Maximum number of cities the macro supports.
+        capacity: usize,
+    },
+    /// A city or order index was out of range.
+    IndexOutOfRange {
+        /// Kind of index ("city" or "order").
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Valid exclusive upper bound.
+        len: usize,
+    },
+    /// The spin storage does not currently encode a valid permutation.
+    CorruptSpinStorage {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// An underlying device-level error.
+    Device(DeviceError),
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::InvalidDistanceMatrix { reason } => {
+                write!(f, "invalid distance matrix: {reason}")
+            }
+            XbarError::UnsupportedBitPrecision { bits } => {
+                write!(f, "unsupported bit precision: {bits} bits (supported: 1..=8)")
+            }
+            XbarError::ProblemTooLarge { cities, capacity } => {
+                write!(f, "sub-problem with {cities} cities exceeds macro capacity {capacity}")
+            }
+            XbarError::IndexOutOfRange { kind, index, len } => {
+                write!(f, "{kind} index {index} out of range (0..{len})")
+            }
+            XbarError::CorruptSpinStorage { reason } => {
+                write!(f, "spin storage is not a valid permutation: {reason}")
+            }
+            XbarError::Device(err) => write!(f, "device error: {err}"),
+        }
+    }
+}
+
+impl Error for XbarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            XbarError::Device(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for XbarError {
+    fn from(err: DeviceError) -> Self {
+        XbarError::Device(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = XbarError::ProblemTooLarge {
+            cities: 40,
+            capacity: 20,
+        };
+        assert!(err.to_string().contains("40"));
+        assert!(err.to_string().contains("20"));
+    }
+
+    #[test]
+    fn device_error_converts_and_chains() {
+        let device_err = DeviceError::EmptyVector;
+        let err: XbarError = device_err.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XbarError>();
+    }
+}

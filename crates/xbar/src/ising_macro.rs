@@ -1,0 +1,497 @@
+//! The Ising macro: crossbar array + peripherals operating as an autonomous TSP sub-solver.
+
+use rand::Rng;
+
+use taxi_device::{DeviceParams, WriteCurrent};
+
+use crate::array::NonIdealityConfig;
+use crate::{
+    ArgMaxCircuit, BitPrecision, CrossbarArray, CurrentComparator, DLatch, QuantizedDistances,
+    StochasticMaskCircuit, XbarError,
+};
+
+/// Configuration of one Ising macro.
+///
+/// # Example
+///
+/// ```
+/// use taxi_xbar::MacroConfig;
+///
+/// let config = MacroConfig::new(4).with_capacity(12).with_ideal_devices();
+/// assert_eq!(config.capacity(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroConfig {
+    precision: BitPrecision,
+    capacity: usize,
+    device_params: DeviceParams,
+    non_ideality: NonIdealityConfig,
+    argmax_resolution: f64,
+}
+
+impl MacroConfig {
+    /// Creates a configuration at the given weight bit precision with the paper's default
+    /// capacity (12 cities) and realistic non-idealities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=8`.
+    pub fn new(bits: u8) -> Self {
+        Self {
+            precision: BitPrecision::new(bits).expect("bit precision must be within 1..=8"),
+            capacity: 12,
+            device_params: DeviceParams::default(),
+            non_ideality: NonIdealityConfig::realistic(),
+            argmax_resolution: 1e-3,
+        }
+    }
+
+    /// Sets the maximum sub-problem size this macro accepts.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Uses ideal devices (no wire resistance, no conductance variation, ideal ArgMax).
+    pub fn with_ideal_devices(mut self) -> Self {
+        self.non_ideality = NonIdealityConfig::ideal();
+        self.argmax_resolution = 0.0;
+        self
+    }
+
+    /// Overrides the device parameters.
+    pub fn with_device_params(mut self, params: DeviceParams) -> Self {
+        self.device_params = params;
+        self
+    }
+
+    /// Overrides the non-ideality configuration.
+    pub fn with_non_ideality(mut self, non_ideality: NonIdealityConfig) -> Self {
+        self.non_ideality = non_ideality;
+        self
+    }
+
+    /// Overrides the relative ArgMax resolution.
+    pub fn with_argmax_resolution(mut self, resolution: f64) -> Self {
+        self.argmax_resolution = resolution;
+        self
+    }
+
+    /// Weight bit precision.
+    pub fn precision(&self) -> BitPrecision {
+        self.precision
+    }
+
+    /// Maximum sub-problem size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Device parameters.
+    pub fn device_params(&self) -> &DeviceParams {
+        &self.device_params
+    }
+
+    /// Non-ideality configuration.
+    pub fn non_ideality(&self) -> NonIdealityConfig {
+        self.non_ideality
+    }
+}
+
+impl Default for MacroConfig {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// Operation counters accumulated by an Ising macro, consumed by the architecture
+/// simulator for latency/energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MacroOpCounts {
+    /// Number of superposition phases executed.
+    pub superpose_ops: u64,
+    /// Number of distance-MAC (optimize) phases executed.
+    pub optimize_ops: u64,
+    /// Number of spin-storage update phases executed.
+    pub update_ops: u64,
+    /// Number of full per-order optimisation steps (one step = one superpose + optimize +
+    /// update sequence).
+    pub order_steps: u64,
+}
+
+impl MacroOpCounts {
+    /// Total number of complete iterations, where one iteration is a superpose + optimize
+    /// + update sequence as characterised in Table I.
+    pub fn iterations(&self) -> u64 {
+        self.order_steps
+    }
+}
+
+/// One crossbar-based Ising macro solving a single TSP sub-problem in place.
+///
+/// The macro owns the crossbar array (weights + spin storage) and all peripheral
+/// circuits. The algorithm layer drives it through
+/// [`initialize_order`](Self::initialize_order) and [`optimize_order`](Self::optimize_order)
+/// and finally reads the solution back with [`read_solution`](Self::read_solution); no
+/// intermediate spin state ever leaves the macro, mirroring the paper's in-macro
+/// computing claim.
+#[derive(Debug, Clone)]
+pub struct IsingMacro {
+    config: MacroConfig,
+    array: CrossbarArray,
+    comparator: CurrentComparator,
+    latch: DLatch,
+    mask_circuit: StochasticMaskCircuit,
+    argmax: ArgMaxCircuit,
+    counts: MacroOpCounts,
+}
+
+impl IsingMacro {
+    /// Builds a macro for the given sub-problem distance matrix and programs the weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::ProblemTooLarge`] if the matrix exceeds the configured
+    /// capacity, or [`XbarError::InvalidDistanceMatrix`] if the matrix is malformed.
+    pub fn new(distances: &[Vec<f64>], config: MacroConfig) -> Result<Self, XbarError> {
+        let n = distances.len();
+        if n > config.capacity {
+            return Err(XbarError::ProblemTooLarge {
+                cities: n,
+                capacity: config.capacity,
+            });
+        }
+        let weights = QuantizedDistances::from_distances(distances, config.precision)?;
+        let mut array = CrossbarArray::new(
+            n,
+            config.precision,
+            config.device_params.clone(),
+            config.non_ideality,
+        );
+        array.program_weights(&weights)?;
+        let comparator = CurrentComparator::for_device(&config.device_params);
+        let latch = DLatch::new(n);
+        let mask_circuit = StochasticMaskCircuit::new(config.device_params.clone(), n)?;
+        let argmax = ArgMaxCircuit::new(config.argmax_resolution);
+        Ok(Self {
+            config,
+            array,
+            comparator,
+            latch,
+            mask_circuit,
+            argmax,
+            counts: MacroOpCounts::default(),
+        })
+    }
+
+    /// Number of cities of the sub-problem mapped onto this macro.
+    pub fn num_cities(&self) -> usize {
+        self.array.num_rows()
+    }
+
+    /// The macro configuration.
+    pub fn config(&self) -> &MacroConfig {
+        &self.config
+    }
+
+    /// Read-only access to the underlying crossbar array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Accumulated operation counts.
+    pub fn op_counts(&self) -> MacroOpCounts {
+        self.counts
+    }
+
+    /// Writes an initial visiting order (`assignment[order] = city`) into the spin
+    /// storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `assignment` is not a permutation of the macro's cities.
+    pub fn initialize_order(&mut self, assignment: &[usize]) -> Result<(), XbarError> {
+        self.array.write_assignment(assignment)
+    }
+
+    /// Reads the current visiting order (`result[order] = city`) out of the spin storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::CorruptSpinStorage`] if the spin storage does not encode a
+    /// valid permutation.
+    pub fn read_solution(&self) -> Result<Vec<usize>, XbarError> {
+        self.array.read_assignment()
+    }
+
+    /// City currently assigned to `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spin storage is corrupt or `order` is out of range.
+    pub fn city_at_order(&self, order: usize) -> Result<usize, XbarError> {
+        if order >= self.num_cities() {
+            return Err(XbarError::IndexOutOfRange {
+                kind: "order",
+                index: order,
+                len: self.num_cities(),
+            });
+        }
+        Ok(self.read_solution()?[order])
+    }
+
+    /// Executes one full optimisation step for visiting position `order` at write current
+    /// `i_write`, following Section III-C1–C5:
+    ///
+    /// 1. **Superpose** the spin-storage columns of the previous and next orders and
+    ///    binarise the row currents into the D-latch.
+    /// 2. **Optimize**: feed the latched vector back into the weight partitions and read
+    ///    the per-city currents scaled by bit significance (Eq. 5).
+    /// 3. Gate the currents with the **stochastic mask** generated at `i_write`.
+    /// 4. Pick the winning city with the **ArgMax** WTA circuit.
+    /// 5. **Update** the spin storage: the winner moves to `order`; to keep the stored
+    ///    state a valid permutation, the displaced city takes the winner's former slot
+    ///    (a swap).
+    ///
+    /// Returns the city now assigned to `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `order` is out of range, the write current is outside the
+    /// stochastic window, or the spin storage is corrupt.
+    pub fn optimize_order<R: Rng + ?Sized>(
+        &mut self,
+        order: usize,
+        i_write: WriteCurrent,
+        rng: &mut R,
+    ) -> Result<usize, XbarError> {
+        self.optimize_order_constrained(order, i_write, &[], rng)
+    }
+
+    /// Like [`optimize_order`](Self::optimize_order), but additionally suppresses
+    /// `forbidden_cities` from the candidate set. The hierarchical solver uses this to
+    /// keep the fixed first/last cities of a sub-problem (Section IV-2) pinned to their
+    /// endpoints while interior orders are optimised.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`optimize_order`](Self::optimize_order).
+    pub fn optimize_order_constrained<R: Rng + ?Sized>(
+        &mut self,
+        order: usize,
+        i_write: WriteCurrent,
+        forbidden_cities: &[usize],
+        rng: &mut R,
+    ) -> Result<usize, XbarError> {
+        let n = self.num_cities();
+        if order >= n {
+            return Err(XbarError::IndexOutOfRange {
+                kind: "order",
+                index: order,
+                len: n,
+            });
+        }
+        let assignment = self.read_solution()?;
+        let prev_order = (order + n - 1) % n;
+        let next_order = (order + 1) % n;
+
+        // Phase 1: superposition of the neighbouring visiting vectors.
+        let row_currents = self.array.superpose_orders(&[prev_order, next_order])?;
+        let binary = self.comparator.compare(&row_currents);
+        self.latch.store(&binary);
+        self.counts.superpose_ops += 1;
+
+        // Phase 2: distance MAC through the weight partitions.
+        let mut city_currents = self.array.weighted_column_currents(self.latch.read());
+        self.counts.optimize_ops += 1;
+
+        // A city cannot be its own neighbour: suppress the cities already occupying the
+        // neighbouring orders so the winner is a genuine intermediate stop.
+        city_currents[assignment[prev_order]] = 0.0;
+        if next_order != prev_order {
+            city_currents[assignment[next_order]] = 0.0;
+        }
+        // Suppress explicitly forbidden cities (e.g. fixed sub-problem endpoints).
+        for &city in forbidden_cities {
+            if city < n {
+                city_currents[city] = 0.0;
+            }
+        }
+
+        // Phase 3: stochastic gating.
+        let gated = self.mask_circuit.gate(&city_currents, i_write, rng)?;
+
+        // Phase 4: winner-take-all. If the mask suppressed every admissible column fall
+        // back to the ungated currents (the circuit's NAND fallback already guarantees a
+        // non-empty mask, but the neighbour suppression above can still zero everything
+        // for tiny sub-problems).
+        let winner = match self.argmax.winner(&gated, rng) {
+            Some(city) => city,
+            None => match self.argmax.winner(&city_currents, rng) {
+                Some(city) => city,
+                None => assignment[order],
+            },
+        };
+
+        // Phase 5: spin-storage update with permutation-preserving swap.
+        let incumbent = assignment[order];
+        if winner != incumbent {
+            let winner_old_order = assignment
+                .iter()
+                .position(|&c| c == winner)
+                .expect("winner must currently occupy some order");
+            self.array.reset_order_column(order)?;
+            self.array.write_spin(winner, order, true)?;
+            self.array.reset_order_column(winner_old_order)?;
+            self.array.write_spin(incumbent, winner_old_order, true)?;
+        }
+        self.counts.update_ops += 1;
+        self.counts.order_steps += 1;
+        Ok(winner)
+    }
+
+    /// Expected fraction of columns passed by the stochastic mask at `i_write`.
+    pub fn expected_mask_pass_fraction(&self, i_write: WriteCurrent) -> f64 {
+        self.mask_circuit.expected_pass_fraction(i_write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Four cities on a line: 0 -- 1 -- 2 -- 3. Optimal open path visits them in order.
+    fn line_distances() -> Vec<Vec<f64>> {
+        let coords = [0.0, 1.0, 2.0, 3.0];
+        (0..4)
+            .map(|i| (0..4).map(|j| (coords[i] - coords[j]) as f64).map(f64::abs).collect())
+            .collect()
+    }
+
+    fn tour_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+        let n = order.len();
+        (0..n)
+            .map(|i| distances[order[i]][order[(i + 1) % n]])
+            .sum()
+    }
+
+    #[test]
+    fn construction_respects_capacity() {
+        let d = line_distances();
+        let config = MacroConfig::new(4).with_capacity(3);
+        assert!(matches!(
+            IsingMacro::new(&d, config),
+            Err(XbarError::ProblemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_matches_problem() {
+        let d = line_distances();
+        let m = IsingMacro::new(&d, MacroConfig::new(3)).unwrap();
+        assert_eq!(m.num_cities(), 4);
+        assert_eq!(m.array().num_columns(), 4 * 4);
+    }
+
+    #[test]
+    fn initialize_and_read_round_trip() {
+        let d = line_distances();
+        let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        m.initialize_order(&[3, 1, 0, 2]).unwrap();
+        assert_eq!(m.read_solution().unwrap(), vec![3, 1, 0, 2]);
+        assert_eq!(m.city_at_order(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn optimize_order_keeps_permutation_valid() {
+        let d = line_distances();
+        let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        m.initialize_order(&[2, 0, 3, 1]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for step in 0..20 {
+            let order = step % 4;
+            m.optimize_order(order, WriteCurrent::from_micro_amps(400.0), &mut rng)
+                .unwrap();
+            let solution = m.read_solution().unwrap();
+            let mut sorted = solution.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "spin storage must stay a permutation");
+        }
+    }
+
+    /// Six cities on a line: 0 -- 1 -- ... -- 5. The optimal cycle sweeps up and back
+    /// (length 10).
+    fn long_line_distances() -> Vec<Vec<f64>> {
+        let n = 6;
+        (0..n)
+            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn annealing_improves_bad_initial_tour() {
+        let d = long_line_distances();
+        let config = MacroConfig::new(4).with_ideal_devices();
+        let mut m = IsingMacro::new(&d, config).unwrap();
+        let bad = vec![0, 3, 1, 4, 2, 5];
+        m.initialize_order(&bad).unwrap();
+        let start_len = tour_length(&d, &bad);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // Sweep all orders several times while reducing the stochasticity.
+        for &ua in &[420.0, 410.0, 400.0, 390.0, 380.0, 370.0, 360.0, 355.0, 354.0, 353.5] {
+            for order in 0..6 {
+                m.optimize_order(order, WriteCurrent::from_micro_amps(ua), &mut rng)
+                    .unwrap();
+            }
+        }
+        let end = m.read_solution().unwrap();
+        let end_len = tour_length(&d, &end);
+        assert!(
+            end_len < start_len,
+            "annealing must improve the scrambled line tour: {start_len} -> {end_len}"
+        );
+        // Still a valid permutation.
+        let mut sorted = end.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn op_counts_accumulate() {
+        let d = line_distances();
+        let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        m.initialize_order(&[0, 1, 2, 3]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for order in 0..4 {
+            m.optimize_order(order, WriteCurrent::from_micro_amps(420.0), &mut rng)
+                .unwrap();
+        }
+        let counts = m.op_counts();
+        assert_eq!(counts.order_steps, 4);
+        assert_eq!(counts.superpose_ops, 4);
+        assert_eq!(counts.optimize_ops, 4);
+        assert_eq!(counts.update_ops, 4);
+        assert_eq!(counts.iterations(), 4);
+    }
+
+    #[test]
+    fn out_of_range_order_is_rejected() {
+        let d = line_distances();
+        let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        m.initialize_order(&[0, 1, 2, 3]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(m
+            .optimize_order(9, WriteCurrent::from_micro_amps(420.0), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn mask_pass_fraction_matches_device_curve() {
+        let d = line_distances();
+        let m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        let f = m.expected_mask_pass_fraction(WriteCurrent::from_micro_amps(420.0));
+        assert!((f - 0.2).abs() < 0.01);
+    }
+}

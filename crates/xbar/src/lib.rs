@@ -1,0 +1,56 @@
+//! Crossbar-array Ising-macro substrate for the TAXI reproduction.
+//!
+//! This crate models the hardware macro of Section III of the paper: an `N × N·(B+1)`
+//! SOT-MRAM crossbar whose first `B` partitions hold the bit-sliced distance weights
+//! `W_D` (Eq. 4) and whose last partition is the **spin storage** holding the current
+//! visiting order, together with the peripheral circuits that make it an autonomous TSP
+//! sub-solver:
+//!
+//! * a **current comparator** + **D-latch** capturing the superposed visiting vector,
+//! * **current mirrors** scaling each bit partition by its significance,
+//! * the **stochastic mask circuit** driven by SOT-MRAM stochastic switching, and
+//! * the Lazzaro-style winner-take-all **ArgMax** circuit that picks the city with the
+//!   largest column current.
+//!
+//! [`IsingMacro`] wires these together and exposes the per-iteration operations
+//! (superpose → optimize → update) that the algorithm layer in `taxi-ising` drives.
+//! [`energy::MacroCircuitModel`] provides the circuit-level latency/power/energy numbers
+//! (Table I of the paper) consumed by the architecture simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_xbar::{IsingMacro, MacroConfig};
+//!
+//! // A 4-city sub-problem at 4-bit weight precision.
+//! let distances = vec![
+//!     vec![0.0, 2.0, 9.0, 10.0],
+//!     vec![2.0, 0.0, 6.0, 4.0],
+//!     vec![9.0, 6.0, 0.0, 3.0],
+//!     vec![10.0, 4.0, 3.0, 0.0],
+//! ];
+//! let config = MacroConfig::new(4);
+//! let mut macro_ = IsingMacro::new(&distances, config)?;
+//! assert_eq!(macro_.num_cities(), 4);
+//! assert_eq!(macro_.array().num_columns(), 4 * 5); // N * (B + 1)
+//! # Ok::<(), taxi_xbar::XbarError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod array;
+pub mod energy;
+pub mod error;
+pub mod ising_macro;
+pub mod periphery;
+pub mod quantize;
+
+pub use area::AreaModel;
+pub use array::{ArrayGeometry, CrossbarArray};
+pub use energy::{CircuitReport, MacroCircuitModel, PhaseLatency};
+pub use error::XbarError;
+pub use ising_macro::{IsingMacro, MacroConfig, MacroOpCounts};
+pub use periphery::{ArgMaxCircuit, CurrentComparator, CurrentMirrorBank, DLatch, StochasticMaskCircuit};
+pub use quantize::{BitPrecision, QuantizedDistances};

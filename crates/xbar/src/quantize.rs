@@ -1,0 +1,316 @@
+//! Distance-to-conductance quantisation (Eq. 4 of the paper).
+//!
+//! The paper reformulates the inter-city distance `D_{A-B}` into a crossbar weight
+//!
+//! ```text
+//! W_D(A, B) = (D_min / D_{A-B}) · B_precision
+//! ```
+//!
+//! so that *shorter* distances map to *larger* conductances — the column with the largest
+//! current is then the nearest admissible city. `B_precision` is the largest integer
+//! representable at the chosen bit precision (`2^B − 1`). The integer weight is
+//! bit-sliced: partition `b` of the crossbar stores bit `b` of every weight, and the
+//! partition's column current is scaled by `2^b` by the current-mirror bank.
+
+use crate::XbarError;
+
+/// Weight bit precision of the crossbar (`B` in the paper; 2–4 bits are evaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitPrecision(u8);
+
+impl BitPrecision {
+    /// 2-bit precision (most energy-efficient configuration in the paper).
+    pub const TWO: BitPrecision = BitPrecision(2);
+    /// 3-bit precision.
+    pub const THREE: BitPrecision = BitPrecision(3);
+    /// 4-bit precision (highest quality configuration evaluated in the paper).
+    pub const FOUR: BitPrecision = BitPrecision(4);
+
+    /// Creates a bit precision, validating it is within the supported range (1–8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::UnsupportedBitPrecision`] outside `1..=8`.
+    pub fn new(bits: u8) -> Result<Self, XbarError> {
+        if (1..=8).contains(&bits) {
+            Ok(Self(bits))
+        } else {
+            Err(XbarError::UnsupportedBitPrecision { bits })
+        }
+    }
+
+    /// Number of weight bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Number of crossbar partitions (`B` weight partitions plus one spin-storage
+    /// partition).
+    pub fn partitions(self) -> usize {
+        usize::from(self.0) + 1
+    }
+
+    /// Largest representable integer weight (`2^B − 1`).
+    pub fn max_level(self) -> u32 {
+        (1u32 << self.0) - 1
+    }
+}
+
+impl Default for BitPrecision {
+    fn default() -> Self {
+        BitPrecision::FOUR
+    }
+}
+
+impl std::fmt::Display for BitPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+/// The quantised distance-weight matrix of one sub-problem.
+///
+/// # Example
+///
+/// ```
+/// use taxi_xbar::{BitPrecision, QuantizedDistances};
+///
+/// let d = vec![
+///     vec![0.0, 1.0, 2.0],
+///     vec![1.0, 0.0, 4.0],
+///     vec![2.0, 4.0, 0.0],
+/// ];
+/// let q = QuantizedDistances::from_distances(&d, BitPrecision::FOUR)?;
+/// // The shortest edge gets the maximum weight, the 4× longer edge roughly a quarter.
+/// assert_eq!(q.weight(0, 1), 15);
+/// assert!(q.weight(1, 2) <= 4);
+/// # Ok::<(), taxi_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedDistances {
+    n: usize,
+    precision: BitPrecision,
+    /// Row-major `n × n` integer weights in `0..=2^B-1`; diagonal entries are zero.
+    weights: Vec<u32>,
+}
+
+impl QuantizedDistances {
+    /// Quantises a square distance matrix following Eq. 4.
+    ///
+    /// Diagonal entries and non-finite/∞ distances map to weight 0 (high-resistance,
+    /// "never choose"). The minimum is taken over strictly positive off-diagonal
+    /// distances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidDistanceMatrix`] if the matrix is empty, not square,
+    /// contains negative distances, or has no positive off-diagonal entry.
+    pub fn from_distances(
+        distances: &[Vec<f64>],
+        precision: BitPrecision,
+    ) -> Result<Self, XbarError> {
+        let n = distances.len();
+        if n == 0 {
+            return Err(XbarError::InvalidDistanceMatrix {
+                reason: "matrix is empty".to_string(),
+            });
+        }
+        if distances.iter().any(|row| row.len() != n) {
+            return Err(XbarError::InvalidDistanceMatrix {
+                reason: "matrix is not square".to_string(),
+            });
+        }
+        let mut d_min = f64::INFINITY;
+        for (i, row) in distances.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if d < 0.0 {
+                    return Err(XbarError::InvalidDistanceMatrix {
+                        reason: format!("negative distance at ({i}, {j})"),
+                    });
+                }
+                if d.is_finite() && d > 0.0 {
+                    d_min = d_min.min(d);
+                }
+            }
+        }
+        if !d_min.is_finite() {
+            // All off-diagonal distances are zero or infinite. Degenerate but legal for
+            // n == 1 or identical points; use 1.0 so weights become max/0 consistently.
+            d_min = 1.0;
+        }
+        let max_level = f64::from(precision.max_level());
+        let mut weights = vec![0u32; n * n];
+        for (i, row) in distances.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                if i == j || !d.is_finite() {
+                    continue;
+                }
+                let w = if d <= 0.0 {
+                    precision.max_level()
+                } else {
+                    ((d_min / d) * max_level).round().min(max_level) as u32
+                };
+                weights[i * n + j] = w;
+            }
+        }
+        Ok(Self {
+            n,
+            precision,
+            weights,
+        })
+    }
+
+    /// Number of cities in the sub-problem.
+    pub fn num_cities(&self) -> usize {
+        self.n
+    }
+
+    /// The bit precision used for quantisation.
+    pub fn precision(&self) -> BitPrecision {
+        self.precision
+    }
+
+    /// Integer weight between cities `from` and `to` (0 when `from == to`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn weight(&self, from: usize, to: usize) -> u32 {
+        assert!(from < self.n && to < self.n, "city index out of range");
+        self.weights[from * self.n + to]
+    }
+
+    /// Bit `bit` (0 = LSB) of the weight between `from` and `to`.
+    pub fn weight_bit(&self, from: usize, to: usize, bit: u8) -> bool {
+        (self.weight(from, to) >> bit) & 1 == 1
+    }
+
+    /// Iterator over all `(from, to, weight)` triples with `from != to`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (0..self.n)
+                .filter(move |&j| j != i)
+                .map(move |j| (i, j, self.weights[i * self.n + j]))
+        })
+    }
+
+    /// Reconstructs the "relative closeness" value encoded by the weights, i.e.
+    /// `weight / max_level` — useful for quality analyses of quantisation error.
+    pub fn normalized_weight(&self, from: usize, to: usize) -> f64 {
+        f64::from(self.weight(from, to)) / f64::from(self.precision.max_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 1.0, 2.0, 8.0],
+            vec![1.0, 0.0, 4.0, 2.0],
+            vec![2.0, 4.0, 0.0, 1.0],
+            vec![8.0, 2.0, 1.0, 0.0],
+        ]
+    }
+
+    #[test]
+    fn bit_precision_bounds() {
+        assert!(BitPrecision::new(0).is_err());
+        assert!(BitPrecision::new(9).is_err());
+        assert_eq!(BitPrecision::new(4).unwrap(), BitPrecision::FOUR);
+        assert_eq!(BitPrecision::FOUR.max_level(), 15);
+        assert_eq!(BitPrecision::TWO.max_level(), 3);
+        assert_eq!(BitPrecision::THREE.partitions(), 4);
+    }
+
+    #[test]
+    fn shortest_edge_gets_max_weight() {
+        let q = QuantizedDistances::from_distances(&sample(), BitPrecision::FOUR).unwrap();
+        assert_eq!(q.weight(0, 1), 15);
+        assert_eq!(q.weight(2, 3), 15);
+    }
+
+    #[test]
+    fn weights_are_inverse_to_distance() {
+        let q = QuantizedDistances::from_distances(&sample(), BitPrecision::FOUR).unwrap();
+        // d=2 is twice d_min=1, so weight ≈ 15/2.
+        assert!((f64::from(q.weight(0, 2)) - 7.5).abs() <= 0.5);
+        // d=8 → weight ≈ 15/8 ≈ 2.
+        assert_eq!(q.weight(0, 3), 2);
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let q = QuantizedDistances::from_distances(&sample(), BitPrecision::FOUR).unwrap();
+        for i in 0..4 {
+            assert_eq!(q.weight(i, i), 0);
+        }
+    }
+
+    #[test]
+    fn infinite_distance_maps_to_zero_weight() {
+        let mut d = sample();
+        d[0][3] = f64::INFINITY;
+        let q = QuantizedDistances::from_distances(&d, BitPrecision::FOUR).unwrap();
+        assert_eq!(q.weight(0, 3), 0);
+    }
+
+    #[test]
+    fn non_square_matrix_is_rejected() {
+        let d = vec![vec![0.0, 1.0], vec![1.0]];
+        assert!(matches!(
+            QuantizedDistances::from_distances(&d, BitPrecision::FOUR),
+            Err(XbarError::InvalidDistanceMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_distance_is_rejected() {
+        let mut d = sample();
+        d[1][2] = -3.0;
+        assert!(QuantizedDistances::from_distances(&d, BitPrecision::FOUR).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_is_rejected() {
+        let d: Vec<Vec<f64>> = Vec::new();
+        assert!(QuantizedDistances::from_distances(&d, BitPrecision::FOUR).is_err());
+    }
+
+    #[test]
+    fn bit_slicing_reconstructs_weight() {
+        let q = QuantizedDistances::from_distances(&sample(), BitPrecision::THREE).unwrap();
+        for (i, j, w) in q.iter() {
+            let mut reconstructed = 0u32;
+            for b in 0..3 {
+                if q.weight_bit(i, j, b) {
+                    reconstructed |= 1 << b;
+                }
+            }
+            assert_eq!(reconstructed, w);
+        }
+    }
+
+    #[test]
+    fn lower_precision_coarsens_weights() {
+        let q4 = QuantizedDistances::from_distances(&sample(), BitPrecision::FOUR).unwrap();
+        let q2 = QuantizedDistances::from_distances(&sample(), BitPrecision::TWO).unwrap();
+        // The ordering of weights must be preserved even if resolution is lost.
+        assert!(q2.weight(0, 1) >= q2.weight(0, 2));
+        assert!(q4.weight(0, 1) >= q4.weight(0, 2));
+        assert!(q2.weight(0, 1) <= 3);
+    }
+
+    #[test]
+    fn normalized_weight_is_unit_range() {
+        let q = QuantizedDistances::from_distances(&sample(), BitPrecision::FOUR).unwrap();
+        for (i, j, _) in q.iter() {
+            let nw = q.normalized_weight(i, j);
+            assert!((0.0..=1.0).contains(&nw));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the crossbar quantisation and spin storage.
+
+use proptest::prelude::*;
+
+use taxi_device::DeviceParams;
+use taxi_xbar::array::NonIdealityConfig;
+use taxi_xbar::{BitPrecision, CrossbarArray, QuantizedDistances};
+
+fn distance_matrix_strategy(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 4..max_n).prop_map(|points| {
+        points
+            .iter()
+            .map(|&(x1, y1)| {
+                points
+                    .iter()
+                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn permutation_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantised weights always fit the bit precision and keep a zero diagonal.
+    #[test]
+    fn weights_respect_precision(matrix in distance_matrix_strategy(12), bits in 1u8..6) {
+        let precision = BitPrecision::new(bits).unwrap();
+        let q = QuantizedDistances::from_distances(&matrix, precision).unwrap();
+        for i in 0..matrix.len() {
+            prop_assert_eq!(q.weight(i, i), 0);
+            for j in 0..matrix.len() {
+                prop_assert!(q.weight(i, j) <= precision.max_level());
+            }
+        }
+    }
+
+    /// The shortest positive edge always receives the maximum representable weight.
+    #[test]
+    fn shortest_edge_saturates(matrix in distance_matrix_strategy(10)) {
+        let q = QuantizedDistances::from_distances(&matrix, BitPrecision::FOUR).unwrap();
+        let n = matrix.len();
+        let mut best = (0usize, 1usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && matrix[i][j] > 0.0 && matrix[i][j] < best_d {
+                    best_d = matrix[i][j];
+                    best = (i, j);
+                }
+            }
+        }
+        prop_assume!(best_d.is_finite());
+        prop_assert_eq!(q.weight(best.0, best.1), BitPrecision::FOUR.max_level());
+    }
+
+    /// Writing any permutation into the spin storage and reading it back is lossless,
+    /// regardless of non-idealities (they only affect analogue reads, not state).
+    #[test]
+    fn spin_storage_round_trips(matrix in distance_matrix_strategy(10), seed in 0u64..100) {
+        let n = matrix.len();
+        let q = QuantizedDistances::from_distances(&matrix, BitPrecision::FOUR).unwrap();
+        let mut array = CrossbarArray::new(
+            n,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::realistic(),
+        );
+        array.program_weights(&q).unwrap();
+        // Derive a permutation from the seed deterministically.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        array.write_assignment(&perm).unwrap();
+        prop_assert_eq!(array.read_assignment().unwrap(), perm);
+    }
+
+    /// Column currents are monotone in the number of active rows: activating more rows
+    /// can only increase every column current.
+    #[test]
+    fn currents_are_monotone_in_active_rows(matrix in distance_matrix_strategy(9)) {
+        let n = matrix.len();
+        let q = QuantizedDistances::from_distances(&matrix, BitPrecision::THREE).unwrap();
+        let mut array = CrossbarArray::new(
+            n,
+            BitPrecision::THREE,
+            DeviceParams::default(),
+            NonIdealityConfig::ideal(),
+        );
+        array.program_weights(&q).unwrap();
+        let one_row: Vec<bool> = (0..n).map(|i| i == 0).collect();
+        let all_rows = vec![true; n];
+        let few = array.weighted_column_currents(&one_row);
+        let many = array.weighted_column_currents(&all_rows);
+        for (a, b) in few.iter().zip(&many) {
+            prop_assert!(b + 1e-15 >= *a);
+        }
+    }
+
+    /// Permutations survive the permutation strategy itself (sanity of the helper).
+    #[test]
+    fn permutation_strategy_is_valid(perm in permutation_strategy(8)) {
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+}

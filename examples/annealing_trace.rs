@@ -1,0 +1,59 @@
+//! Visualises the annealing dynamics of one Ising macro (Section III-C6 of the paper).
+//!
+//! The macro's stochasticity follows the device's sigmoidal switching curve as the write
+//! current is ramped down linearly, so most of the tour improvement happens early in the
+//! anneal. This example records a trace on one sub-problem and prints the stochasticity
+//! and tour length per sweep as a text chart.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example annealing_trace
+//! ```
+
+use taxi_ising::{CurrentSchedule, IsingError, MacroSolverConfig, MacroTspSolver};
+use taxi_tsplib::generator::clustered_instance;
+use taxi_xbar::MacroConfig;
+
+fn main() -> Result<(), IsingError> {
+    // One 12-city sub-problem, the size the paper characterises.
+    let instance = clustered_instance("trace12", 12, 3, 9);
+    let matrix = instance.full_distance_matrix();
+
+    let config = MacroSolverConfig::new(MacroConfig::new(4).with_capacity(12))
+        .with_schedule(CurrentSchedule::software());
+    let solver = MacroTspSolver::new(config);
+    let (solution, trace) = solver.solve_cycle_traced(&matrix, 7)?;
+
+    println!("annealing trace of one 12-city Ising macro (670-iteration software schedule)\n");
+    println!("{:>9} {:>12} {:>14} {:>12}  best-so-far", "sweep", "I_write µA", "stochasticity", "length");
+    let best = trace.best_so_far();
+    let max_length = trace
+        .points()
+        .iter()
+        .map(|p| p.length)
+        .fold(f64::MIN, f64::max);
+    for (i, (point, best_len)) in trace.points().iter().zip(&best).enumerate() {
+        if i % 4 != 0 && i + 1 != trace.len() {
+            continue; // print every 4th sweep to keep the chart compact
+        }
+        let bar_len = ((best_len / max_length) * 40.0).round() as usize;
+        println!(
+            "{:>9} {:>12.2} {:>13.1}% {:>12.2}  {}",
+            i,
+            point.i_write.as_micro_amps(),
+            point.stochasticity * 100.0,
+            point.length,
+            "#".repeat(bar_len)
+        );
+    }
+    println!();
+    println!("final tour length : {:.2}", solution.length);
+    if let Some(fraction) = trace.early_improvement_fraction() {
+        println!(
+            "improvement in the first half of the anneal: {:.0}% (fast-early / slow-late, as the paper argues)",
+            fraction * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Regenerates the solution-quality figures of the paper (Fig. 5a, 5b and 5c).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fig5_quality                 # all three figures, quick scale
+//! cargo run --release --example fig5_quality -- --figure 5a  # one figure only
+//! TAXI_FULL_SCALE=1 cargo run --release --example fig5_quality   # the full 20-instance suite
+//! ```
+
+use taxi::experiments::fig5::{run_fig5a, run_fig5b, run_fig5c};
+use taxi::{ExperimentScale, TaxiError};
+
+fn main() -> Result<(), TaxiError> {
+    let figure = std::env::args()
+        .skip_while(|a| a != "--figure")
+        .nth(1)
+        .unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::from_env();
+    println!(
+        "running Fig 5 experiments at {} scale (set TAXI_FULL_SCALE=1 for the full suite)\n",
+        if scale == ExperimentScale::full() { "full" } else { "quick" }
+    );
+
+    if figure == "5a" || figure == "all" {
+        let report = run_fig5a(scale, &[12, 14, 16, 18, 20])?;
+        println!("{report}");
+        println!("mean optimal ratio per maximum cluster size:");
+        for (size, mean) in report.mean_ratio_by_cluster_size() {
+            println!("  cluster size {size:>2}: {mean:.4}");
+        }
+        println!();
+    }
+    if figure == "5b" || figure == "all" {
+        let report = run_fig5b(scale)?;
+        println!("{report}");
+    }
+    if figure == "5c" || figure == "all" {
+        let report = run_fig5c(scale)?;
+        println!("{report}");
+        println!(
+            "TAXI (measured) beats the HVC-style baseline on {}/{} instances",
+            report.wins_over_hvc_baseline(),
+            report.rows.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Regenerates the latency/energy figures of the paper (Fig. 6a and 6b).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fig6_latency                 # both figures, quick scale
+//! cargo run --release --example fig6_latency -- --figure 6b  # one figure only
+//! TAXI_FULL_SCALE=1 cargo run --release --example fig6_latency   # the full 20-instance suite
+//! ```
+
+use taxi::experiments::fig6::{run_fig6a, run_fig6b};
+use taxi::{ExperimentScale, TaxiError};
+
+fn main() -> Result<(), TaxiError> {
+    let figure = std::env::args()
+        .skip_while(|a| a != "--figure")
+        .nth(1)
+        .unwrap_or_else(|| "all".to_string());
+    let scale = ExperimentScale::from_env();
+    println!(
+        "running Fig 6 experiments at {} scale (set TAXI_FULL_SCALE=1 for the full suite)\n",
+        if scale == ExperimentScale::full() { "full" } else { "quick" }
+    );
+
+    if figure == "6a" || figure == "all" {
+        let report = run_fig6a(scale, &[12, 14, 16, 18, 20])?;
+        println!("{report}");
+    }
+    if figure == "6b" || figure == "all" {
+        let report = run_fig6b(scale)?;
+        println!("{report}");
+        println!(
+            "geometric-mean speed-up over the Neuro-Ising comparison model: {:.1}x (paper: 8x)",
+            report.mean_speedup_over_neuro_ising()
+        );
+    }
+    Ok(())
+}

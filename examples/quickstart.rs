@@ -1,0 +1,50 @@
+//! Quickstart: solve one synthetic TSP end to end with TAXI and print the result.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use taxi::{TaxiConfig, TaxiError, TaxiSolver};
+use taxi_tsplib::generator::clustered_instance;
+
+fn main() -> Result<(), TaxiError> {
+    // A 400-city synthetic instance with clear cluster structure, the regime where
+    // hierarchical clustering shines.
+    let instance = clustered_instance("quickstart400", 400, 16, 42);
+
+    // The paper's default configuration: maximum cluster size 12, 4-bit distance
+    // weights, Ward agglomerative clustering, realistic device non-idealities.
+    let config = TaxiConfig::new().with_seed(42);
+    let solver = TaxiSolver::new(config);
+    let solution = solver.solve(&instance)?;
+
+    println!("instance        : {} ({} cities)", instance.name(), instance.dimension());
+    println!("tour length     : {:.1}", solution.length);
+    println!("hierarchy levels: {}", solution.levels);
+    println!("sub-problems    : {}", solution.subproblems);
+    println!();
+    println!("latency breakdown (host-measured + hardware-modelled):");
+    println!("  clustering : {:>10.3} ms", solution.latency.clustering_seconds * 1e3);
+    println!("  fixing     : {:>10.3} ms", solution.latency.fixing_seconds * 1e3);
+    println!("  ising      : {:>10.3} ms", solution.latency.ising_seconds * 1e3);
+    println!("  transfer   : {:>10.3} ms", solution.latency.transfer_seconds * 1e3);
+    println!("  mapping    : {:>10.3} ms", solution.latency.mapping_seconds * 1e3);
+    println!("  total      : {:>10.3} ms", solution.latency.total_seconds() * 1e3);
+    println!();
+    println!("energy breakdown (hardware-modelled):");
+    println!("  ising      : {:>10.3} µJ", solution.energy.ising_joules * 1e6);
+    println!("  transfer   : {:>10.3} µJ", solution.energy.transfer_joules * 1e6);
+    println!("  mapping    : {:>10.3} µJ", solution.energy.mapping_joules * 1e6);
+    println!("  total      : {:>10.3} µJ", solution.energy.total_joules() * 1e6);
+
+    // Compare against a classical heuristic reference.
+    let matrix = instance.full_distance_matrix();
+    let reference = taxi_baselines::reference_tour(&matrix);
+    let reference_length = taxi_baselines::tour_length(&matrix, &reference);
+    println!();
+    println!("reference tour (NN + 2-opt): {:.1}", reference_length);
+    println!("ratio to reference         : {:.3}", solution.length / reference_length);
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table I: circuit-level characterisation of one Ising-macro iteration.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example table1_circuit
+//! ```
+
+use taxi::experiments::tables::run_table1;
+
+fn main() {
+    let report = run_table1();
+    println!("{report}");
+    println!("Phase latencies (superposition / optimization / spin-storage update) are the");
+    println!("paper's published 3 / 4 / 2 ns; power and energy come from the analytical");
+    println!("circuit model calibrated to the paper's Spectre results (see DESIGN.md).");
+}

@@ -1,0 +1,20 @@
+//! Regenerates Table II: energy comparison with the published state of the art.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example table2_energy
+//! TAXI_FULL_SCALE=1 cargo run --release --example table2_energy   # measure up to pla85900
+//! ```
+
+use taxi::experiments::tables::run_table2;
+use taxi::{ExperimentScale, TaxiError};
+
+fn main() -> Result<(), TaxiError> {
+    let scale = ExperimentScale::from_env();
+    let report = run_table2(scale)?;
+    println!("{report}");
+    println!("Published rows are quoted from the paper; measured rows are produced by this");
+    println!("reproduction's architecture model at 2-bit precision, cluster size 12.");
+    Ok(())
+}

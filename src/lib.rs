@@ -1,0 +1,26 @@
+//! Umbrella crate for the TAXI reproduction workspace.
+//!
+//! `taxi-suite` re-exports every crate in the workspace so the runnable examples and the
+//! cross-crate integration tests under `tests/` can reach the whole stack through a single
+//! dependency. Library users should normally depend on [`taxi`] (the core crate) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_suite::tsplib::generator::random_uniform_instance;
+//!
+//! let instance = random_uniform_instance("demo16", 16, 42);
+//! assert_eq!(instance.dimension(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use taxi as core;
+pub use taxi_arch as arch;
+pub use taxi_baselines as baselines;
+pub use taxi_cluster as cluster;
+pub use taxi_device as device;
+pub use taxi_ising as ising;
+pub use taxi_tsplib as tsplib;
+pub use taxi_xbar as xbar;

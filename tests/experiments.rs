@@ -1,0 +1,107 @@
+//! Integration tests for the experiment runners that regenerate the paper's tables and
+//! figures, executed at a tiny scale so the whole suite stays fast.
+
+use taxi::experiments::fig5::{run_fig5a, run_fig5b, run_fig5c};
+use taxi::experiments::fig6::{run_fig6a, run_fig6b};
+use taxi::experiments::headline::run_headline;
+use taxi::experiments::tables::{run_table1, run_table2};
+use taxi::ExperimentScale;
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale::tiny().with_max_dimension(101)
+}
+
+#[test]
+fn fig5a_covers_every_requested_cluster_size_and_instance() {
+    let report = run_fig5a(tiny(), &[12, 20]).unwrap();
+    let sizes: Vec<usize> = report.rows.iter().map(|r| r.cluster_size).collect();
+    assert!(sizes.contains(&12) && sizes.contains(&20));
+    let dims: std::collections::BTreeSet<usize> =
+        report.rows.iter().map(|r| r.dimension).collect();
+    assert_eq!(dims.into_iter().collect::<Vec<_>>(), vec![76, 101]);
+    for row in &report.rows {
+        assert!(row.optimal_ratio.is_finite());
+        assert!(row.optimal_ratio > 0.5 && row.optimal_ratio < 2.0);
+    }
+}
+
+#[test]
+fn fig5b_degradation_band_is_bounded() {
+    let report = run_fig5b(tiny()).unwrap();
+    for row in &report.rows {
+        assert!(row.ratio_2bit.is_finite() && row.ratio_3bit.is_finite());
+        assert!(row.degradation_2bit_percent().abs() < 35.0);
+    }
+}
+
+#[test]
+fn fig5c_reference_series_follow_the_paper_relationships() {
+    let report = run_fig5c(tiny()).unwrap();
+    for row in &report.rows {
+        // The paper's reported TAXI curve always beats the reported Neuro-Ising curve.
+        if let Some(neuro) = row.neuro_ising_reported {
+            assert!(row.taxi_reported <= neuro);
+        }
+    }
+}
+
+#[test]
+fn fig6a_baseline_row_is_normalised() {
+    let report = run_fig6a(tiny(), &[12, 16, 20]).unwrap();
+    assert_eq!(report.rows.len(), 3);
+    assert!((report.rows[0].latency_ratio_vs_size_12 - 1.0).abs() < 1e-9);
+    for row in &report.rows {
+        assert!(row.hardware_latency_seconds > 0.0);
+        assert!(row.energy_2bit_joules > 0.0);
+    }
+}
+
+#[test]
+fn fig6b_totals_are_consistent_with_components() {
+    let report = run_fig6b(tiny()).unwrap();
+    for row in &report.rows {
+        let sum = row.clustering_seconds
+            + row.fixing_seconds
+            + row.ising_seconds
+            + row.transfer_seconds;
+        assert!((sum - row.total_seconds).abs() < 1e-9);
+        assert!(row.exact_solver_seconds > row.total_seconds);
+    }
+    assert!(report.mean_speedup_over_neuro_ising() > 1.0);
+}
+
+#[test]
+fn table1_reproduces_published_circuit_numbers() {
+    let report = run_table1();
+    let energies: Vec<f64> = report.rows.iter().map(|r| r.report.energy_picojoules()).collect();
+    assert_eq!(energies.len(), 3);
+    assert!(energies.windows(2).all(|w| w[0] < w[1]), "energy grows with precision");
+    for row in &report.rows {
+        assert!((row.report.latency.total() - 9e-9).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn table2_orders_taxi_well_below_the_cpu_baseline() {
+    let report = run_table2(tiny()).unwrap();
+    let cpu = report
+        .rows
+        .iter()
+        .find(|r| r.technology == "CPU")
+        .expect("published CPU row");
+    for measured in report.measured_rows() {
+        assert!(measured.energy_joules < cpu.energy_joules / 1e3);
+    }
+}
+
+#[test]
+fn headline_report_compares_against_paper_values() {
+    let report = run_headline(tiny()).unwrap();
+    assert!(!report.rows.is_empty());
+    let ratio_row = report
+        .rows
+        .iter()
+        .find(|r| r.metric == "optimal ratio")
+        .expect("optimal-ratio row");
+    assert!(ratio_row.measured > 0.8 && ratio_row.measured < 2.0);
+}
