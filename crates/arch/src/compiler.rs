@@ -232,8 +232,14 @@ mod tests {
     #[test]
     fn multiple_levels_are_separated_by_barriers() {
         let plan = SolvePlan::new(vec![
-            LevelPlan::new(vec![SubProblem { cities: 12, iterations: 10 }]),
-            LevelPlan::new(vec![SubProblem { cities: 12, iterations: 10 }]),
+            LevelPlan::new(vec![SubProblem {
+                cities: 12,
+                iterations: 10,
+            }]),
+            LevelPlan::new(vec![SubProblem {
+                cities: 12,
+                iterations: 10,
+            }]),
         ]);
         let compiler = Compiler::new(ArchConfig::default());
         let program = compiler.compile(&plan);

@@ -230,16 +230,22 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        let mut config = ArchConfig::default();
-        config.tiles = 0;
+        let config = ArchConfig {
+            tiles: 0,
+            ..Default::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = ArchConfig::default();
-        config.cells_per_core = 10;
+        let config = ArchConfig {
+            cells_per_core: 10,
+            ..Default::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = ArchConfig::default();
-        config.macro_capacity = 2;
+        let config = ArchConfig {
+            macro_capacity: 2,
+            ..Default::default()
+        };
         assert!(config.validate().is_err());
     }
 

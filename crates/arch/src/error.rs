@@ -44,7 +44,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = ArchError::SubProblemTooLarge { cities: 40, capacity: 20 };
+        let err = ArchError::SubProblemTooLarge {
+            cities: 40,
+            capacity: 20,
+        };
         assert!(err.to_string().contains("40"));
     }
 

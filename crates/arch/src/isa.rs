@@ -73,16 +73,33 @@ mod tests {
 
     #[test]
     fn transfer_classification() {
-        assert!(Instruction::TransferIn { macro_id: 0, bytes: 10 }.is_transfer());
-        assert!(Instruction::TransferOut { macro_id: 0, bytes: 10 }.is_transfer());
-        assert!(!Instruction::RunMacro { macro_id: 0, cities: 12, iterations: 10 }.is_transfer());
+        assert!(Instruction::TransferIn {
+            macro_id: 0,
+            bytes: 10
+        }
+        .is_transfer());
+        assert!(Instruction::TransferOut {
+            macro_id: 0,
+            bytes: 10
+        }
+        .is_transfer());
+        assert!(!Instruction::RunMacro {
+            macro_id: 0,
+            cities: 12,
+            iterations: 10
+        }
+        .is_transfer());
         assert!(!Instruction::Barrier.is_transfer());
     }
 
     #[test]
     fn macro_id_extraction() {
         assert_eq!(
-            Instruction::ProgramMacro { macro_id: 7, cities: 12 }.macro_id(),
+            Instruction::ProgramMacro {
+                macro_id: 7,
+                cities: 12
+            }
+            .macro_id(),
             Some(7)
         );
         assert_eq!(Instruction::Barrier.macro_id(), None);

@@ -65,10 +65,14 @@ impl Simulator {
                     wave_had_work = true;
                     ensure_slot(&mut wave_mapping, macro_id);
                     let precision = self.config.precision;
-                    wave_mapping[macro_id] +=
-                        self.config.macro_model.mapping_latency_seconds(cities, precision);
-                    report.mapping_energy_joules +=
-                        self.config.macro_model.mapping_energy_joules(cities, precision);
+                    wave_mapping[macro_id] += self
+                        .config
+                        .macro_model
+                        .mapping_latency_seconds(cities, precision);
+                    report.mapping_energy_joules += self
+                        .config
+                        .macro_model
+                        .mapping_energy_joules(cities, precision);
                 }
                 Instruction::RunMacro {
                     macro_id,
@@ -135,7 +139,10 @@ mod tests {
 
     fn plan(count: usize, iterations: u64) -> SolvePlan {
         SolvePlan::new(vec![LevelPlan::new(vec![
-            SubProblem { cities: 12, iterations };
+            SubProblem {
+                cities: 12,
+                iterations
+            };
             count
         ])])
     }

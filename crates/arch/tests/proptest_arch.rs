@@ -5,10 +5,8 @@ use proptest::prelude::*;
 use taxi_arch::{ArchConfig, Compiler, LevelPlan, SolvePlan, SubProblem};
 
 fn plan_strategy() -> impl Strategy<Value = SolvePlan> {
-    let subproblem = (4usize..=12, 1u64..2000).prop_map(|(cities, iterations)| SubProblem {
-        cities,
-        iterations,
-    });
+    let subproblem = (4usize..=12, 1u64..2000)
+        .prop_map(|(cities, iterations)| SubProblem { cities, iterations });
     let level = prop::collection::vec(subproblem, 1..40).prop_map(LevelPlan::new);
     prop::collection::vec(level, 1..4).prop_map(SolvePlan::new)
 }

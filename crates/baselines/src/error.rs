@@ -40,7 +40,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = BaselineError::TooLargeForExact { cities: 50, limit: 20 };
+        let err = BaselineError::TooLargeForExact {
+            cities: 50,
+            limit: 20,
+        };
         assert!(err.to_string().contains("50"));
     }
 

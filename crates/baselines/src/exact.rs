@@ -68,7 +68,7 @@ pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError>
     let full: usize = 1 << n;
     let mut dp = vec![f64::INFINITY; full * n];
     let mut parent = vec![usize::MAX; full * n];
-    dp[(1 << 0) * n] = 0.0; // mask = {0}, end = 0
+    dp[n] = 0.0; // mask = {0}, end = 0
     for mask in 1..full {
         if mask & 1 == 0 {
             continue;
@@ -119,6 +119,116 @@ pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError>
         order,
         length: best_len,
     })
+}
+
+/// Solves the fixed-endpoint open-path TSP exactly with a Held–Karp-style dynamic
+/// program: the shortest Hamiltonian path that starts at `start`, visits every city
+/// exactly once, and ends at `end`.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLargeForExact`] above [`HELD_KARP_LIMIT`] cities and
+/// [`BaselineError::InvalidProblem`] for a malformed matrix, out-of-range endpoints, or
+/// `start == end` on a multi-city instance.
+///
+/// # Example
+///
+/// ```
+/// use taxi_baselines::held_karp_path;
+///
+/// // Four cities on a line: the optimal 0 → 3 path sweeps left to right.
+/// let d: Vec<Vec<f64>> = (0..4)
+///     .map(|i| (0..4).map(|j| (i as f64 - j as f64).abs()).collect())
+///     .collect();
+/// let solution = held_karp_path(&d, 0, 3)?;
+/// assert_eq!(solution.order, vec![0, 1, 2, 3]);
+/// assert!((solution.length - 3.0).abs() < 1e-9);
+/// # Ok::<(), taxi_baselines::BaselineError>(())
+/// ```
+pub fn held_karp_path(
+    distances: &[Vec<f64>],
+    start: usize,
+    end: usize,
+) -> Result<ExactSolution, BaselineError> {
+    let n = distances.len();
+    if n == 0 || distances.iter().any(|row| row.len() != n) {
+        return Err(BaselineError::InvalidProblem {
+            reason: "distance matrix must be square and non-empty".to_string(),
+        });
+    }
+    if start >= n || end >= n {
+        return Err(BaselineError::InvalidProblem {
+            reason: format!("endpoints ({start}, {end}) out of range for {n} cities"),
+        });
+    }
+    if n > 1 && start == end {
+        return Err(BaselineError::InvalidProblem {
+            reason: "start and end must differ for multi-city paths".to_string(),
+        });
+    }
+    if n > HELD_KARP_LIMIT {
+        return Err(BaselineError::TooLargeForExact {
+            cities: n,
+            limit: HELD_KARP_LIMIT,
+        });
+    }
+    if n == 1 {
+        return Ok(ExactSolution {
+            order: vec![start],
+            length: 0.0,
+        });
+    }
+
+    // dp[mask][j] = shortest path starting at `start`, visiting exactly the cities in
+    // `mask` (which always contains `start` and j), ending at j.
+    let full: usize = 1 << n;
+    let mut dp = vec![f64::INFINITY; full * n];
+    let mut parent = vec![usize::MAX; full * n];
+    dp[(1 << start) * n + start] = 0.0;
+    for mask in 1..full {
+        if mask & (1 << start) == 0 {
+            continue;
+        }
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let cur = dp[mask * n + last];
+            if !cur.is_finite() {
+                continue;
+            }
+            for next in 0..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let new_mask = mask | (1 << next);
+                let cand = cur + distances[last][next];
+                if cand < dp[new_mask * n + next] {
+                    dp[new_mask * n + next] = cand;
+                    parent[new_mask * n + next] = last;
+                }
+            }
+        }
+    }
+    let all = full - 1;
+    let length = dp[all * n + end];
+    if !length.is_finite() {
+        return Err(BaselineError::InvalidProblem {
+            reason: "no Hamiltonian path exists under the given matrix".to_string(),
+        });
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut mask = all;
+    let mut last = end;
+    while last != usize::MAX {
+        order.push(last);
+        let prev = parent[mask * n + last];
+        mask &= !(1 << last);
+        last = prev;
+    }
+    order.reverse();
+    debug_assert_eq!(order[0], start);
+    Ok(ExactSolution { order, length })
 }
 
 /// Projection model of an exact (Concorde-style) solver running on one CPU core.
@@ -200,7 +310,11 @@ mod tests {
             })
             .collect();
         pts.iter()
-            .map(|&(x1, y1)| pts.iter().map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()).collect())
+            .map(|&(x1, y1)| {
+                pts.iter()
+                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+                    .collect()
+            })
             .collect()
     }
 
@@ -253,6 +367,47 @@ mod tests {
         assert_eq!(held_karp(&[vec![0.0]]).unwrap().length, 0.0);
         let two = vec![vec![0.0, 3.0], vec![3.0, 0.0]];
         assert_eq!(held_karp(&two).unwrap().length, 6.0);
+    }
+
+    #[test]
+    fn held_karp_path_is_optimal_on_a_line() {
+        let d: Vec<Vec<f64>> = (0..7)
+            .map(|i| (0..7).map(|j| (i as f64 - j as f64).abs()).collect())
+            .collect();
+        let sol = held_karp_path(&d, 0, 6).unwrap();
+        assert_eq!(sol.order, (0..7).collect::<Vec<_>>());
+        assert!((sol.length - 6.0).abs() < 1e-9);
+        // Interior endpoints force a detour; the path must still visit everything once.
+        let sol = held_karp_path(&d, 2, 4).unwrap();
+        assert_eq!(sol.order[0], 2);
+        assert_eq!(*sol.order.last().unwrap(), 4);
+        let mut sorted = sol.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn held_karp_path_never_beats_the_cycle_bound() {
+        // A path between the cycle's two endpoints can never be longer than the optimal
+        // cycle (the cycle is a path plus one closing edge).
+        let d = ring(9);
+        let cycle = held_karp(&d).unwrap();
+        let path = held_karp_path(&d, 0, 1).unwrap();
+        assert!(path.length <= cycle.length + 1e-9);
+    }
+
+    #[test]
+    fn held_karp_path_rejects_bad_inputs() {
+        let d = ring(5);
+        assert!(held_karp_path(&d, 0, 9).is_err());
+        assert!(held_karp_path(&d, 3, 3).is_err());
+        assert!(held_karp_path(&[], 0, 0).is_err());
+        let big = ring(HELD_KARP_LIMIT + 1);
+        assert!(matches!(
+            held_karp_path(&big, 0, 1),
+            Err(BaselineError::TooLargeForExact { .. })
+        ));
+        assert_eq!(held_karp_path(&[vec![0.0]], 0, 0).unwrap().order, vec![0]);
     }
 
     #[test]

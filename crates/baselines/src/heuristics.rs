@@ -123,7 +123,7 @@ pub fn greedy_edge_tour(distances: &[Vec<f64>]) -> Vec<usize> {
 
 /// 2-opt local search: repeatedly reverses tour segments while that shortens the tour,
 /// up to `max_passes` full passes. Returns the number of improving moves applied.
-pub fn two_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+pub fn two_opt(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -> usize {
     let n = order.len();
     if n < 4 {
         return 0;
@@ -140,8 +140,7 @@ pub fn two_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize
                 let b = order[i + 1];
                 let c = order[j];
                 let d = order[(j + 1) % n];
-                let delta =
-                    distances[a][c] + distances[b][d] - distances[a][b] - distances[c][d];
+                let delta = distances[a][c] + distances[b][d] - distances[a][b] - distances[c][d];
                 if delta < -1e-12 {
                     order[i + 1..=j].reverse();
                     improvements += 1;
@@ -205,6 +204,159 @@ pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize)
         }
     }
     improvements
+}
+
+/// Length of the open path `order` under `distances`.
+///
+/// # Panics
+///
+/// Panics if `order` references cities outside the matrix.
+pub fn path_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+    order
+        .windows(2)
+        .map(|pair| distances[pair[0]][pair[1]])
+        .sum()
+}
+
+/// Nearest-neighbour open-path construction from `start`, forced to terminate at `end`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty, either endpoint is out of range, or `start == end` on
+/// a multi-city matrix (a Hamiltonian path cannot start and end at the same city).
+pub fn nearest_neighbor_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
+    let n = distances.len();
+    assert!(n > 0 && start < n && end < n, "endpoints must exist");
+    assert!(
+        n == 1 || start != end,
+        "start and end must differ for multi-city paths"
+    );
+    if n == 1 {
+        return vec![start];
+    }
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    visited[end] = true;
+    let mut order = vec![start];
+    let mut current = start;
+    for _ in 0..n.saturating_sub(2) {
+        let next = (0..n)
+            .filter(|&c| !visited[c])
+            .min_by(|&a, &b| {
+                distances[current][a]
+                    .partial_cmp(&distances[current][b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("an unvisited interior city remains");
+        visited[next] = true;
+        order.push(next);
+        current = next;
+    }
+    order.push(end);
+    order
+}
+
+/// 2-opt local search on an open path: reverses interior segments while that shortens the
+/// path, keeping the first and last cities pinned. Returns the number of improving moves.
+pub fn two_opt_path(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -> usize {
+    let n = order.len();
+    if n < 4 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        // Reversing order[i+1..=j] replaces edges (i, i+1) and (j, j+1); both stay inside
+        // the path, so the endpoints order[0] and order[n-1] are never moved.
+        for i in 0..n - 2 {
+            for j in i + 2..n - 1 {
+                let a = order[i];
+                let b = order[i + 1];
+                let c = order[j];
+                let d = order[j + 1];
+                let delta = distances[a][c] + distances[b][d] - distances[a][b] - distances[c][d];
+                if delta < -1e-12 {
+                    order[i + 1..=j].reverse();
+                    improvements += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
+/// Or-opt local search on an open path: relocates interior segments of 1–3 consecutive
+/// cities while that shortens the path, keeping the endpoints pinned. Returns the number
+/// of improving moves applied.
+pub fn or_opt_path(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+    let n = order.len();
+    if n < 5 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for seg_len in 1..=3usize {
+            let mut i = 1;
+            while i + seg_len < order.len() {
+                let before = path_length(distances, order);
+                let segment: Vec<usize> = order[i..i + seg_len].to_vec();
+                let mut trial: Vec<usize> = order
+                    .iter()
+                    .copied()
+                    .filter(|c| !segment.contains(c))
+                    .collect();
+                let mut best_len = before;
+                let mut best_pos = None;
+                // Insertion positions 1..len keep the pinned endpoints in place.
+                for pos in 1..trial.len() {
+                    let mut candidate = trial.clone();
+                    for (offset, &c) in segment.iter().enumerate() {
+                        candidate.insert(pos + offset, c);
+                    }
+                    let len = path_length(distances, &candidate);
+                    if len < best_len - 1e-12 {
+                        best_len = len;
+                        best_pos = Some(pos);
+                    }
+                }
+                if let Some(pos) = best_pos {
+                    for (offset, &c) in segment.iter().enumerate() {
+                        trial.insert(pos + offset, c);
+                    }
+                    *order = trial;
+                    improvements += 1;
+                    improved = true;
+                }
+                i += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
+/// Reference open path between fixed endpoints: nearest-neighbour construction followed
+/// by bounded path-preserving 2-opt and Or-opt.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty, either endpoint is out of range, or `start == end` on
+/// a multi-city matrix (see [`nearest_neighbor_path`]).
+pub fn reference_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
+    let mut order = nearest_neighbor_path(distances, start, end);
+    two_opt_path(distances, &mut order, 8);
+    if distances.len() <= 400 {
+        or_opt_path(distances, &mut order, 2);
+        two_opt_path(distances, &mut order, 4);
+    }
+    order
 }
 
 /// Reference tour used as the optimal-ratio denominator on synthetic instances:
@@ -298,7 +450,10 @@ mod tests {
         let after = tour_length(&d, &order);
         assert!(moves > 0);
         assert!(after < before);
-        assert!((after - opt).abs() / opt < 0.05, "2-opt should nearly close a ring");
+        assert!(
+            (after - opt).abs() / opt < 0.05,
+            "2-opt should nearly close a ring"
+        );
         assert!(is_permutation(&order, 12));
     }
 
@@ -333,5 +488,62 @@ mod tests {
         let mut order = vec![0, 1, 2];
         assert_eq!(two_opt(&d, &mut order, 10), 0);
         assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    /// Cities on a line: the optimal 0→(n-1) path is the sorted sweep of length n-1.
+    fn line(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn path_variants_pin_endpoints_and_improve() {
+        let d = line(9);
+        let mut order = nearest_neighbor_path(&d, 0, 8);
+        assert_eq!(order[0], 0);
+        assert_eq!(*order.last().unwrap(), 8);
+        assert!(is_permutation(&order, 9));
+        // Scramble the interior, then let the path local search repair it.
+        order = vec![0, 5, 2, 7, 1, 6, 3, 4, 8];
+        let before = path_length(&d, &order);
+        two_opt_path(&d, &mut order, 50);
+        or_opt_path(&d, &mut order, 3);
+        let after = path_length(&d, &order);
+        assert!(after < before);
+        assert_eq!(order[0], 0);
+        assert_eq!(*order.last().unwrap(), 8);
+        assert!(is_permutation(&order, 9));
+    }
+
+    #[test]
+    fn reference_path_is_optimal_on_a_line() {
+        let d = line(10);
+        let order = reference_path(&d, 0, 9);
+        assert!((path_length(&d, &order) - 9.0).abs() < 1e-9);
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reference_path_handles_interior_endpoints() {
+        let d = line(8);
+        let order = reference_path(&d, 3, 5);
+        assert_eq!(order[0], 3);
+        assert_eq!(*order.last().unwrap(), 5);
+        assert!(is_permutation(&order, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "start and end must differ")]
+    fn path_construction_rejects_equal_endpoints_on_multi_city_matrices() {
+        let d = line(5);
+        nearest_neighbor_path(&d, 2, 2);
+    }
+
+    #[test]
+    fn path_length_matches_manual_sum() {
+        let d = line(4);
+        assert!((path_length(&d, &[0, 2, 1, 3]) - 5.0).abs() < 1e-12);
+        assert_eq!(path_length(&d, &[2]), 0.0);
     }
 }

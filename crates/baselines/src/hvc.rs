@@ -8,7 +8,7 @@
 //! endpoints) contribute.
 
 use taxi_cluster::{kmeans_clusters, KMeansConfig, Point};
-use taxi_tsplib::{TspInstance, Tour, TsplibError};
+use taxi_tsplib::{Tour, TspInstance, TsplibError};
 
 use crate::heuristics::{nearest_neighbor_tour, tour_length, two_opt};
 
@@ -96,11 +96,10 @@ impl HvcBaseline {
         let kmeans_cfg = KMeansConfig::new(k)
             .expect("k is at least 1")
             .with_seed(self.config.seed);
-        let clusters = kmeans_clusters(&points, &kmeans_cfg).map_err(|err| {
-            TsplibError::Inconsistent {
+        let clusters =
+            kmeans_clusters(&points, &kmeans_cfg).map_err(|err| TsplibError::Inconsistent {
                 reason: format!("k-means failed: {err}"),
-            }
-        })?;
+            })?;
 
         // Order clusters by a nearest-neighbour walk over their centroids.
         let centroids: Vec<Point> = clusters
@@ -157,7 +156,9 @@ mod tests {
     #[test]
     fn produces_a_valid_tour() {
         let instance = clustered_instance("hvc-test", 150, 6, 9);
-        let solution = HvcBaseline::new(HvcConfig::new(12)).solve(&instance).unwrap();
+        let solution = HvcBaseline::new(HvcConfig::new(12))
+            .solve(&instance)
+            .unwrap();
         assert!(solution.tour.is_valid_for(&instance));
         assert!(solution.length > 0.0);
         assert!(solution.num_clusters >= 150 / 12);
@@ -173,11 +174,7 @@ mod tests {
 
     #[test]
     fn explicit_matrix_instances_are_rejected() {
-        let instance = TspInstance::from_matrix(
-            "m",
-            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
-        )
-        .unwrap();
+        let instance = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         assert!(HvcBaseline::default().solve(&instance).is_err());
     }
 

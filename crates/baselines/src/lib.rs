@@ -46,9 +46,10 @@ pub mod neuro_ising;
 pub mod reported;
 
 pub use error::BaselineError;
-pub use exact::{held_karp, ExactSolution, ExactSolverProjection};
+pub use exact::{held_karp, held_karp_path, ExactSolution, ExactSolverProjection};
 pub use heuristics::{
-    greedy_edge_tour, nearest_neighbor_tour, or_opt, reference_tour, two_opt, tour_length,
+    greedy_edge_tour, nearest_neighbor_path, nearest_neighbor_tour, or_opt, or_opt_path,
+    path_length, reference_path, reference_tour, tour_length, two_opt, two_opt_path,
 };
 pub use hvc::{HvcBaseline, HvcConfig};
 pub use neuro_ising::NeuroIsingModel;

@@ -76,8 +76,8 @@ impl NeuroIsingModel {
         instance: &TspInstance,
         max_cluster_size: usize,
     ) -> Result<(Tour, f64), TsplibError> {
-        let solution = HvcBaseline::new(HvcConfig::new(max_cluster_size).with_seed(0x9E02))
-            .solve(instance)?;
+        let solution =
+            HvcBaseline::new(HvcConfig::new(max_cluster_size).with_seed(0x9E02)).solve(instance)?;
         Ok((solution.tour, solution.length))
     }
 }

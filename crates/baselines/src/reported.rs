@@ -17,8 +17,8 @@ pub const PROBLEM_SIZES: [usize; 20] = [
 /// The two largest values are stated in the text (1.22 and 1.20); the rest are
 /// approximate digitisations in the 1.05–1.25 band shown in the figure.
 pub const TAXI_REPORTED_OPTIMAL_RATIO: [f64; 20] = [
-    1.06, 1.07, 1.09, 1.10, 1.10, 1.11, 1.12, 1.12, 1.13, 1.13, 1.14, 1.16, 1.17, 1.18, 1.18,
-    1.19, 1.20, 1.21, 1.22, 1.20,
+    1.06, 1.07, 1.09, 1.10, 1.10, 1.11, 1.12, 1.12, 1.13, 1.13, 1.14, 1.16, 1.17, 1.18, 1.18, 1.19,
+    1.20, 1.21, 1.22, 1.20,
 ];
 
 /// Approximate optimal ratios of Neuro-Ising (the paper's ref. [5]) adapted from Fig. 5c.
@@ -277,7 +277,10 @@ mod tests {
         for row in &TABLE2_PUBLISHED {
             assert!(row.energy_joules > 0.0);
         }
-        for &(_, e) in TAXI_TABLE2_ENERGY.iter().chain(&TAXI_TABLE2_ENERGY_WITH_MAPPING) {
+        for &(_, e) in TAXI_TABLE2_ENERGY
+            .iter()
+            .chain(&TAXI_TABLE2_ENERGY_WITH_MAPPING)
+        {
             assert!(e > 0.0);
         }
     }

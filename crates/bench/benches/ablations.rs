@@ -7,13 +7,17 @@
 //!   truncated schedule (fewer iterations).
 //! * **Stochasticity**: the stochastic mask vs. a purely greedy ArgMax (elitist
 //!   tracking off vs. on isolates the same effect on solution readout).
+//! * **Backend**: the crossbar Ising macro vs. the software [`TourSolver`] backends
+//!   under the identical clustering/fixing/assembly pipeline.
 //!
 //! Each group prints the quality achieved by both arms once, then times the arms.
+//!
+//! [`TourSolver`]: taxi::TourSolver
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use taxi::{TaxiConfig, TaxiSolver};
+use taxi::{SolverBackend, TaxiConfig, TaxiSolver};
 use taxi_baselines::{HvcBaseline, HvcConfig};
 use taxi_bench::bench_instance;
 use taxi_cluster::hierarchy::ClusteringMethod;
@@ -38,7 +42,9 @@ fn ablation_clustering(c: &mut Criterion) {
     println!("\nablation / clustering   : Ward {ward:.1} vs k-means {kmeans:.1} (tour length)");
 
     let mut group = c.benchmark_group("ablation_clustering");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("ward", |b| {
         let solver = TaxiSolver::new(TaxiConfig::new().with_seed(1));
         b.iter(|| solver.solve(&instance).expect("solve succeeds"));
@@ -64,7 +70,9 @@ fn ablation_fixing(c: &mut Criterion) {
     println!("ablation / fixing       : fixed endpoints {fixed:.1} vs free endpoints {free:.1}");
 
     let mut group = c.benchmark_group("ablation_fixing");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("fixed_endpoints", |b| {
         let solver = TaxiSolver::new(TaxiConfig::new().with_seed(2));
         b.iter(|| solver.solve(&instance).expect("solve succeeds"));
@@ -93,7 +101,9 @@ fn ablation_schedule(c: &mut Criterion) {
     println!("ablation / schedule     : 670-iteration {long:.1} vs 67-iteration {short:.1}");
 
     let mut group = c.benchmark_group("ablation_schedule");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("software_670_iterations", |b| {
         let solver = TaxiSolver::new(
             TaxiConfig::new()
@@ -116,13 +126,18 @@ fn ablation_schedule(c: &mut Criterion) {
 fn ablation_elitist(c: &mut Criterion) {
     let instance = bench_instance();
     let elitist = quality(TaxiConfig::new().with_elitist(true).with_seed(4), &instance);
-    let final_readout = quality(TaxiConfig::new().with_elitist(false).with_seed(4), &instance);
+    let final_readout = quality(
+        TaxiConfig::new().with_elitist(false).with_seed(4),
+        &instance,
+    );
     println!(
         "ablation / readout      : elitist {elitist:.1} vs final spin-storage readout {final_readout:.1}\n"
     );
 
     let mut group = c.benchmark_group("ablation_elitist");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("elitist_tracking", |b| {
         let solver = TaxiSolver::new(TaxiConfig::new().with_elitist(true).with_seed(4));
         b.iter(|| solver.solve(&instance).expect("solve succeeds"));
@@ -134,11 +149,67 @@ fn ablation_elitist(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_backend(c: &mut Criterion) {
+    let instance = bench_instance();
+    for backend in SolverBackend::ALL {
+        let length = quality(
+            TaxiConfig::new().with_seed(5).with_backend(backend),
+            &instance,
+        );
+        println!("ablation / backend      : {backend} {length:.1} (tour length)");
+    }
+
+    let mut group = c.benchmark_group("ablation_backend");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for backend in SolverBackend::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("solve", backend.label()),
+            &backend,
+            |b, &backend| {
+                let solver = TaxiSolver::new(TaxiConfig::new().with_seed(5).with_backend(backend));
+                b.iter(|| solver.solve(&instance).expect("solve succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_batching(c: &mut Criterion) {
+    // One pool shared across the batch vs. a fresh solve (and pool) per instance.
+    let instances: Vec<taxi_tsplib::TspInstance> = (0..4)
+        .map(|i| taxi_tsplib::generator::clustered_instance("batch", 101, 6, 100 + i))
+        .collect();
+    let mut group = c.benchmark_group("ablation_batching");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("solve_batch_shared_pool", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(6));
+        b.iter(|| {
+            let results = solver.solve_batch(&instances);
+            assert!(results.iter().all(Result::is_ok));
+        });
+    });
+    group.bench_function("sequential_solves", |b| {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(6));
+        b.iter(|| {
+            for instance in &instances {
+                solver.solve(instance).expect("solve succeeds");
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_clustering,
     ablation_fixing,
     ablation_schedule,
-    ablation_elitist
+    ablation_elitist,
+    ablation_backend,
+    ablation_batching
 );
 criterion_main!(benches);

@@ -20,7 +20,9 @@ fn fig5a(c: &mut Criterion) {
 
     let instance = bench_instance();
     let mut group = c.benchmark_group("fig5a_quality");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for cluster_size in [12usize, 16, 20] {
         group.bench_with_input(
             BenchmarkId::new("taxi_solve", cluster_size),

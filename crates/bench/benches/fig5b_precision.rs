@@ -16,7 +16,9 @@ fn fig5b(c: &mut Criterion) {
 
     let instance = bench_instance();
     let mut group = c.benchmark_group("fig5b_precision");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for bits in [2u8, 3, 4] {
         group.bench_with_input(BenchmarkId::new("taxi_solve", bits), &bits, |b, &bits| {
             let config = TaxiConfig::new()

@@ -23,7 +23,9 @@ fn fig5c(c: &mut Criterion) {
     let instance = bench_instance();
     let matrix = instance.full_distance_matrix();
     let mut group = c.benchmark_group("fig5c_comparison");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("taxi", |b| {
         let solver = TaxiSolver::new(TaxiConfig::new().with_seed(3));
         b.iter(|| solver.solve(&instance).expect("solve succeeds"));

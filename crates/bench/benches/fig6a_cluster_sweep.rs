@@ -16,7 +16,9 @@ fn fig6a(c: &mut Criterion) {
     println!("\n{report}");
 
     let mut group = c.benchmark_group("fig6a_cluster_sweep");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
     for capacity in [12usize, 16, 20] {
         group.bench_with_input(
             BenchmarkId::new("arch_compile_simulate", capacity),

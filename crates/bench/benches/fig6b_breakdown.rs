@@ -34,7 +34,9 @@ fn fig6b(c: &mut Criterion) {
     let order: Vec<usize> = (0..members.len()).collect();
 
     let mut group = c.benchmark_group("fig6b_breakdown");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("clustering_phase", |b| {
         b.iter(|| Hierarchy::build(&points, &hierarchy_config).expect("hierarchy builds"));
     });

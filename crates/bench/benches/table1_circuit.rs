@@ -30,7 +30,9 @@ fn table1(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("table1_circuit");
-    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(3));
     for bits in [2u8, 3, 4] {
         group.bench_with_input(
             BenchmarkId::new("macro_iteration", bits),

@@ -17,15 +17,32 @@ fn table2(c: &mut Criterion) {
 
     // A 1060-city workload at cluster size 12 decomposes into roughly 98 sub-problems.
     let plan = SolvePlan::new(vec![
-        LevelPlan::new(vec![SubProblem { cities: 12, iterations: 1340 }; 89]),
-        LevelPlan::new(vec![SubProblem { cities: 12, iterations: 1340 }; 8]),
-        LevelPlan::new(vec![SubProblem { cities: 8, iterations: 1340 }]),
+        LevelPlan::new(vec![
+            SubProblem {
+                cities: 12,
+                iterations: 1340
+            };
+            89
+        ]),
+        LevelPlan::new(vec![
+            SubProblem {
+                cities: 12,
+                iterations: 1340
+            };
+            8
+        ]),
+        LevelPlan::new(vec![SubProblem {
+            cities: 8,
+            iterations: 1340,
+        }]),
     ]);
     let config = ArchConfig::default().with_precision(BitPrecision::TWO);
     let compiler = Compiler::new(config);
 
     let mut group = c.benchmark_group("table2_energy");
-    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("arch_energy_accounting_1060", |b| {
         b.iter(|| compiler.compile(&plan).simulate().total_energy_joules());
     });

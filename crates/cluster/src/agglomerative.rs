@@ -148,7 +148,12 @@ fn ward_cut(points: &[Point], indices: &[usize], k: usize) -> Vec<Vec<usize>> {
     // Cut: apply the n - k merges with the smallest Ward deltas (Ward is monotonic, so
     // this equals cutting the dendrogram at k clusters).
     let mut order: Vec<usize> = (0..merges.len()).collect();
-    order.sort_by(|&x, &y| merges[x].delta.partial_cmp(&merges[y].delta).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&x, &y| {
+        merges[x]
+            .delta
+            .partial_cmp(&merges[y].delta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut uf = UnionFind::new(n);
     for &m in order.iter().take(n - k) {
         uf.union(merges[m].a, merges[m].b);
@@ -158,7 +163,10 @@ fn ward_cut(points: &[Point], indices: &[usize], k: usize) -> Vec<Vec<usize>> {
     let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
         std::collections::BTreeMap::new();
     for local in 0..n {
-        groups.entry(uf.find(local)).or_default().push(indices[local]);
+        groups
+            .entry(uf.find(local))
+            .or_default()
+            .push(indices[local]);
     }
     groups.into_values().collect()
 }
@@ -335,7 +343,10 @@ mod tests {
     #[test]
     fn empty_input_is_rejected() {
         let cfg = AgglomerativeConfig::new(2).unwrap();
-        assert_eq!(agglomerative_clusters(&[], &cfg), Err(ClusterError::EmptyInput));
+        assert_eq!(
+            agglomerative_clusters(&[], &cfg),
+            Err(ClusterError::EmptyInput)
+        );
     }
 
     #[test]
@@ -370,12 +381,20 @@ mod tests {
 
     #[test]
     fn well_separated_blobs_are_recovered() {
-        let pts = blobs(&[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)], 15, 3.0);
+        let pts = blobs(
+            &[(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)],
+            15,
+            3.0,
+        );
         let cfg = AgglomerativeConfig::new(4).unwrap();
         let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
         assert_eq!(clusters.len(), 4);
         for cluster in &clusters {
-            assert_eq!(cluster.len(), 15, "each blob must map to exactly one cluster");
+            assert_eq!(
+                cluster.len(),
+                15,
+                "each blob must map to exactly one cluster"
+            );
             // All members of a cluster must come from the same blob (indices are grouped
             // by blob in the generator).
             let blob = cluster[0] / 15;
@@ -403,7 +422,11 @@ mod tests {
 
     #[test]
     fn prepartition_path_still_partitions_input() {
-        let pts = blobs(&[(0.0, 0.0), (200.0, 0.0), (0.0, 200.0), (200.0, 200.0)], 50, 5.0);
+        let pts = blobs(
+            &[(0.0, 0.0), (200.0, 0.0), (0.0, 200.0), (200.0, 200.0)],
+            50,
+            5.0,
+        );
         let cfg = AgglomerativeConfig::new(8)
             .unwrap()
             .with_max_exact_points(60)
@@ -411,7 +434,10 @@ mod tests {
         let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
         let total: usize = clusters.iter().map(Vec::len).sum();
         assert_eq!(total, pts.len());
-        assert!(clusters.len() >= 4, "expected at least one cluster per chunk");
+        assert!(
+            clusters.len() >= 4,
+            "expected at least one cluster per chunk"
+        );
     }
 
     #[test]
@@ -425,7 +451,10 @@ mod tests {
         ];
         let cfg = AgglomerativeConfig::new(2).unwrap();
         let clusters = agglomerative_clusters(&pts, &cfg).unwrap();
-        let lonely = clusters.iter().find(|c| c.len() == 1).expect("a singleton cluster");
+        let lonely = clusters
+            .iter()
+            .find(|c| c.len() == 1)
+            .expect("a singleton cluster");
         assert_eq!(lonely[0], 2);
     }
 

@@ -37,7 +37,10 @@ impl fmt::Display for ClusterError {
                 write!(f, "invalid configuration `{name}`: {reason}")
             }
             ClusterError::TooManyClusters { requested, points } => {
-                write!(f, "requested {requested} clusters from only {points} points")
+                write!(
+                    f,
+                    "requested {requested} clusters from only {points} points"
+                )
             }
             ClusterError::InvalidClusterOrder { reason } => {
                 write!(f, "invalid cluster order: {reason}")

@@ -63,20 +63,24 @@ impl<'a> EndpointFixer<'a> {
 
     /// Fixes the endpoints of every cluster.
     ///
-    /// `clusters[c]` lists the member entity indices of cluster `c`; `visit_order` is the
-    /// cyclic order in which the clusters are visited (each cluster index exactly once).
-    /// The result is indexed by cluster index (not by position in the visiting order).
+    /// `clusters[c]` lists the member entity indices of cluster `c` (any slice-like
+    /// container — `Vec<usize>` or `&[usize]` — so callers never have to re-materialise
+    /// member lists); `visit_order` is the cyclic order in which the clusters are visited
+    /// (each cluster index exactly once). The result is indexed by cluster index (not by
+    /// position in the visiting order).
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::InvalidClusterOrder`] if the visiting order is not a
     /// permutation of the cluster indices, a cluster is empty, or a member index is out
     /// of range.
-    pub fn fix(
+    pub fn fix<C: AsRef<[usize]>>(
         &self,
-        clusters: &[Vec<usize>],
+        clusters: &[C],
         visit_order: &[usize],
     ) -> Result<Vec<FixedEndpoints>, ClusterError> {
+        let clusters: Vec<&[usize]> = clusters.iter().map(AsRef::as_ref).collect();
+        let clusters = clusters.as_slice();
         let k = clusters.len();
         if visit_order.len() != k {
             return Err(ClusterError::InvalidClusterOrder {
@@ -128,7 +132,7 @@ impl<'a> EndpointFixer<'a> {
         for pos in 0..k {
             let current = visit_order[pos];
             let next = visit_order[(pos + 1) % k];
-            let (a, b) = self.closest_pair(&clusters[current], &clusters[next]);
+            let (a, b) = self.closest_pair(clusters[current], clusters[next]);
             exits[current] = a;
             entries[next] = b;
         }
@@ -145,7 +149,7 @@ impl<'a> EndpointFixer<'a> {
                     .position(|&x| x == c)
                     .expect("cluster is in the visit order");
                 let next = visit_order[(pos + 1) % k];
-                exit = self.closest_excluding(&clusters[c], &clusters[next], entry);
+                exit = self.closest_excluding(clusters[c], clusters[next], entry);
                 if entry == exit {
                     // Fall back to any other member.
                     exit = *clusters[c]
@@ -172,11 +176,7 @@ impl<'a> EndpointFixer<'a> {
     /// # Panics
     ///
     /// Panics if indices are out of range.
-    pub fn inter_cluster_length(
-        &self,
-        endpoints: &[FixedEndpoints],
-        visit_order: &[usize],
-    ) -> f64 {
+    pub fn inter_cluster_length(&self, endpoints: &[FixedEndpoints], visit_order: &[usize]) -> f64 {
         let k = visit_order.len();
         if k < 2 {
             return 0.0;
@@ -252,15 +252,15 @@ mod tests {
         // distinct member closest to each of the other clusters, so no endpoint conflicts
         // arise for the natural visiting order.
         let entities = vec![
-            Point::new(1.0, 0.2), // 0: cluster 0, towards cluster 1
-            Point::new(0.4, 1.0), // 1: cluster 0, towards cluster 2
-            Point::new(0.0, 0.0), // 2
-            Point::new(9.0, 0.2), // 3: cluster 1, towards cluster 0
-            Point::new(9.6, 1.0), // 4: cluster 1, towards cluster 2
+            Point::new(1.0, 0.2),  // 0: cluster 0, towards cluster 1
+            Point::new(0.4, 1.0),  // 1: cluster 0, towards cluster 2
+            Point::new(0.0, 0.0),  // 2
+            Point::new(9.0, 0.2),  // 3: cluster 1, towards cluster 0
+            Point::new(9.6, 1.0),  // 4: cluster 1, towards cluster 2
             Point::new(10.0, 0.0), // 5
-            Point::new(4.4, 7.0), // 6: cluster 2, towards cluster 0
-            Point::new(5.6, 7.0), // 7: cluster 2, towards cluster 1
-            Point::new(5.0, 8.0), // 8
+            Point::new(4.4, 7.0),  // 6: cluster 2, towards cluster 0
+            Point::new(5.6, 7.0),  // 7: cluster 2, towards cluster 1
+            Point::new(5.0, 8.0),  // 8
         ];
         let clusters = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
         (entities, clusters)
@@ -304,7 +304,11 @@ mod tests {
 
     #[test]
     fn singleton_cluster_is_degenerate() {
-        let entities = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(9.0, 0.0)];
+        let entities = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+        ];
         let clusters = vec![vec![0], vec![1], vec![2]];
         let fixer = EndpointFixer::new(&entities);
         let endpoints = fixer.fix(&clusters, &[0, 1, 2]).unwrap();
@@ -313,7 +317,11 @@ mod tests {
 
     #[test]
     fn single_cluster_level_uses_farthest_pair() {
-        let entities = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(9.0, 0.0)];
+        let entities = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(9.0, 0.0),
+        ];
         let clusters = vec![vec![0, 1, 2]];
         let fixer = EndpointFixer::new(&entities);
         let endpoints = fixer.fix(&clusters, &[0]).unwrap();

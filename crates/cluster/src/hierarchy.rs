@@ -7,8 +7,7 @@
 
 use crate::agglomerative::split_to_max_size;
 use crate::{
-    agglomerative_clusters, kmeans_clusters, AgglomerativeConfig, ClusterError, KMeansConfig,
-    Point,
+    agglomerative_clusters, kmeans_clusters, AgglomerativeConfig, ClusterError, KMeansConfig, Point,
 };
 
 /// Clustering algorithm used to build each level.
@@ -149,9 +148,10 @@ impl Hierarchy {
                 ClusteringMethod::AgglomerativeWard => {
                     agglomerative_clusters(&entities, &AgglomerativeConfig::new(target)?)?
                 }
-                ClusteringMethod::KMeans => {
-                    kmeans_clusters(&entities, &KMeansConfig::new(target)?.with_seed(config.seed))?
-                }
+                ClusteringMethod::KMeans => kmeans_clusters(
+                    &entities,
+                    &KMeansConfig::new(target)?.with_seed(config.seed),
+                )?,
             };
             // Enforce the hard maximum sub-problem size by splitting oversized clusters.
             let mut bounded: Vec<Vec<usize>> = Vec::with_capacity(raw_clusters.len());
@@ -300,7 +300,10 @@ mod tests {
     fn deep_hierarchy_for_large_instance() {
         let cities = grid(2000);
         let h = Hierarchy::build(&cities, &HierarchyConfig::new(12).unwrap()).unwrap();
-        assert!(h.num_levels() >= 2, "2000 cities at size 12 needs multiple levels");
+        assert!(
+            h.num_levels() >= 2,
+            "2000 cities at size 12 needs multiple levels"
+        );
         h.validate().unwrap();
         assert!(h.top_level().unwrap().len() <= 12);
     }

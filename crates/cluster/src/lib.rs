@@ -48,10 +48,10 @@ pub mod kmeans;
 pub mod point;
 pub mod stats;
 
-pub use agglomerative::{AgglomerativeConfig, agglomerative_clusters};
+pub use agglomerative::{agglomerative_clusters, AgglomerativeConfig};
 pub use error::ClusterError;
 pub use fixing::{EndpointFixer, FixedEndpoints};
 pub use hierarchy::{Cluster, Hierarchy, HierarchyConfig, Level};
-pub use kmeans::{KMeansConfig, kmeans_clusters};
+pub use kmeans::{kmeans_clusters, KMeansConfig};
 pub use point::Point;
 pub use stats::ClusteringStats;

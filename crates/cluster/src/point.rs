@@ -45,7 +45,10 @@ impl Point {
     ///
     /// Panics if `points` is empty.
     pub fn centroid(points: &[Point]) -> Point {
-        assert!(!points.is_empty(), "centroid of an empty point set is undefined");
+        assert!(
+            !points.is_empty(),
+            "centroid of an empty point set is undefined"
+        );
         let n = points.len() as f64;
         let (sx, sy) = points
             .iter()
@@ -59,11 +62,14 @@ impl Point {
     ///
     /// Panics if `indices` is empty or contains an out-of-range index.
     pub fn centroid_of_indices(points: &[Point], indices: &[usize]) -> Point {
-        assert!(!indices.is_empty(), "centroid of an empty member set is undefined");
+        assert!(
+            !indices.is_empty(),
+            "centroid of an empty member set is undefined"
+        );
         let n = indices.len() as f64;
-        let (sx, sy) = indices
-            .iter()
-            .fold((0.0, 0.0), |(sx, sy), &i| (sx + points[i].x, sy + points[i].y));
+        let (sx, sy) = indices.iter().fold((0.0, 0.0), |(sx, sy), &i| {
+            (sx + points[i].x, sy + points[i].y)
+        });
         Point::new(sx / n, sy / n)
     }
 }
@@ -96,7 +102,11 @@ mod tests {
 
     #[test]
     fn centroid_averages_coordinates() {
-        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 3.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
         let c = Point::centroid(&pts);
         assert!((c.x - 1.0).abs() < 1e-12);
         assert!((c.y - 1.0).abs() < 1e-12);
@@ -104,7 +114,11 @@ mod tests {
 
     #[test]
     fn centroid_of_indices_uses_subset() {
-        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 10.0), Point::new(2.0, 4.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(2.0, 4.0),
+        ];
         let c = Point::centroid_of_indices(&pts, &[0, 2]);
         assert!((c.x - 1.0).abs() < 1e-12);
         assert!((c.y - 2.0).abs() < 1e-12);

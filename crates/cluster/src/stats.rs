@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn perfect_split_has_tiny_variance() {
         let pts = two_blobs();
-        let good = vec![(0..40).step_by(2).collect::<Vec<_>>(), (1..40).step_by(2).collect()];
+        let good = vec![
+            (0..40).step_by(2).collect::<Vec<_>>(),
+            (1..40).step_by(2).collect(),
+        ];
         let bad = vec![(0..20).collect::<Vec<_>>(), (20..40).collect()];
         let good_stats = ClusteringStats::compute(&pts, &good);
         let bad_stats = ClusteringStats::compute(&pts, &bad);
@@ -110,7 +113,9 @@ mod tests {
         let ward_stats = ClusteringStats::compute(&pts, &ward);
         let km_stats = ClusteringStats::compute(&pts, &km);
         // On a clean two-blob instance both must find the obvious partition.
-        assert!((ward_stats.within_cluster_variance - km_stats.within_cluster_variance).abs() < 1e-6);
+        assert!(
+            (ward_stats.within_cluster_variance - km_stats.within_cluster_variance).abs() < 1e-6
+        );
         assert_eq!(ward_stats.points, 40);
         assert_eq!(ward_stats.clusters, 2);
     }

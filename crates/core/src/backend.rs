@@ -1,0 +1,440 @@
+//! Pluggable sub-problem solving backends.
+//!
+//! The TAXI paper's core contribution is swapping the sub-problem solver — SOT-MRAM
+//! crossbar Ising macros — *underneath an unchanged hierarchical-clustering pipeline*.
+//! This module makes that swap a first-class operation: [`TourSolver`] abstracts "solve
+//! one small TSP over a distance matrix" (closed cycle or fixed-endpoint open path), and
+//! the end-to-end pipeline drives every sub-problem — the topmost centroid tour and every
+//! per-cluster path — through a `dyn TourSolver`.
+//!
+//! Four backends ship with the crate, selected via
+//! [`TaxiConfig::with_backend`](crate::TaxiConfig::with_backend):
+//!
+//! | [`SolverBackend`] | Implementation | Character |
+//! |---|---|---|
+//! | [`IsingMacro`](SolverBackend::IsingMacro) | [`taxi_ising::MacroTspSolver`] | The paper's hardware model (default) |
+//! | [`NnTwoOpt`](SolverBackend::NnTwoOpt) | NN construction + 2-opt/Or-opt | Fast software heuristic |
+//! | [`GreedyEdge`](SolverBackend::GreedyEdge) | Greedy-edge construction + 2-opt | Alternative heuristic |
+//! | [`Exact`](SolverBackend::Exact) | Held–Karp dynamic program | Optimal for ≤ 20-city sub-problems |
+//!
+//! Custom backends only need `impl TourSolver` plus
+//! [`TaxiSolver::solve_with_backend`](crate::TaxiSolver::solve_with_backend).
+
+use std::sync::Arc;
+
+use taxi_baselines::exact::HELD_KARP_LIMIT;
+use taxi_baselines::{
+    greedy_edge_tour, held_karp, held_karp_path, path_length, reference_path, reference_tour,
+    tour_length, two_opt,
+};
+use taxi_ising::{MacroSolverConfig, MacroTspSolver};
+
+use crate::TaxiError;
+
+/// Solution of one sub-problem, in the sub-problem's local city indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubTour {
+    /// Visiting order: `order[k]` is the local city index visited k-th.
+    pub order: Vec<usize>,
+    /// Length of the cycle (for [`TourSolver::solve_cycle`]) or open path (for
+    /// [`TourSolver::solve_path`]), in the units of the input matrix.
+    pub length: f64,
+}
+
+/// A sub-problem TSP solver: the unit the hierarchical pipeline composes.
+///
+/// Implementations must be deterministic in `(distances, seed)` — the pipeline relies on
+/// that for reproducible end-to-end solves and for `solve` / `solve_batch` equivalence.
+/// They must also be `Send + Sync`: the pipeline invokes one shared instance from many
+/// worker threads at once.
+pub trait TourSolver: Send + Sync {
+    /// Short stable identifier used in reports and benchmarks (e.g. `"ising-macro"`).
+    fn name(&self) -> &str;
+
+    /// Solves a closed (cyclic) TSP over `distances`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty or non-square matrix, or any backend-specific
+    /// failure.
+    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError>;
+
+    /// Solves an open-path TSP whose first city is `start` and last city is `end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed matrix, out-of-range endpoints, or
+    /// `start == end` on a multi-city instance.
+    fn solve_path(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+    ) -> Result<SubTour, TaxiError>;
+}
+
+/// The built-in backend selection, carried by [`TaxiConfig`](crate::TaxiConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverBackend {
+    /// The paper's SOT-MRAM crossbar Ising macro model (the default).
+    #[default]
+    IsingMacro,
+    /// Nearest-neighbour construction refined by 2-opt and Or-opt local search.
+    NnTwoOpt,
+    /// Greedy-edge construction refined by 2-opt local search.
+    GreedyEdge,
+    /// Held–Karp exact dynamic programming (falls back to the heuristic above
+    /// [`HELD_KARP_LIMIT`] cities, which the default cluster sizes never exceed).
+    Exact,
+}
+
+impl SolverBackend {
+    /// Every built-in backend, for sweeps and comparison matrices.
+    pub const ALL: [SolverBackend; 4] = [
+        SolverBackend::IsingMacro,
+        SolverBackend::NnTwoOpt,
+        SolverBackend::GreedyEdge,
+        SolverBackend::Exact,
+    ];
+
+    /// The stable identifier of the backend ([`TourSolver::name`] of its instances).
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverBackend::IsingMacro => "ising-macro",
+            SolverBackend::NnTwoOpt => "nn-2opt",
+            SolverBackend::GreedyEdge => "greedy-edge",
+            SolverBackend::Exact => "exact-dp",
+        }
+    }
+
+    /// Instantiates the backend. The Ising macro backend is built from
+    /// `macro_config`; the software backends ignore it.
+    pub(crate) fn build(self, macro_config: MacroSolverConfig) -> Arc<dyn TourSolver> {
+        match self {
+            SolverBackend::IsingMacro => Arc::new(IsingMacroBackend::new(macro_config)),
+            SolverBackend::NnTwoOpt => Arc::new(NnTwoOptBackend),
+            SolverBackend::GreedyEdge => Arc::new(GreedyEdgeBackend),
+            SolverBackend::Exact => Arc::new(ExactBackend),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Shared validation for the software backends (the Ising backend validates internally).
+fn validate_matrix(backend: &'static str, distances: &[Vec<f64>]) -> Result<usize, TaxiError> {
+    let n = distances.len();
+    if n == 0 || distances.iter().any(|row| row.len() != n) {
+        return Err(TaxiError::Backend {
+            backend: backend.to_string(),
+            reason: "distance matrix must be square and non-empty".to_string(),
+        });
+    }
+    Ok(n)
+}
+
+fn validate_endpoints(
+    backend: &'static str,
+    n: usize,
+    start: usize,
+    end: usize,
+) -> Result<(), TaxiError> {
+    if start >= n || end >= n {
+        return Err(TaxiError::Backend {
+            backend: backend.to_string(),
+            reason: format!("endpoints ({start}, {end}) out of range for {n} cities"),
+        });
+    }
+    if n > 1 && start == end {
+        return Err(TaxiError::Backend {
+            backend: backend.to_string(),
+            reason: "start and end city must differ for sub-problems with more than one city"
+                .to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// The paper's backend: a [`MacroTspSolver`] annealing on the crossbar Ising macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsingMacroBackend {
+    solver: MacroTspSolver,
+}
+
+impl IsingMacroBackend {
+    /// Creates the backend from a macro solver configuration.
+    pub fn new(config: MacroSolverConfig) -> Self {
+        Self {
+            solver: MacroTspSolver::new(config),
+        }
+    }
+
+    /// The underlying macro solver.
+    pub fn solver(&self) -> &MacroTspSolver {
+        &self.solver
+    }
+}
+
+impl TourSolver for IsingMacroBackend {
+    fn name(&self) -> &str {
+        "ising-macro"
+    }
+
+    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError> {
+        let solution = self.solver.solve_cycle(distances, seed)?;
+        Ok(SubTour {
+            order: solution.order,
+            length: solution.length,
+        })
+    }
+
+    fn solve_path(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+    ) -> Result<SubTour, TaxiError> {
+        let solution = self.solver.solve_path(distances, start, end, seed)?;
+        Ok(SubTour {
+            order: solution.order,
+            length: solution.length,
+        })
+    }
+}
+
+/// Nearest-neighbour + 2-opt/Or-opt software heuristic.
+///
+/// Deterministic and seed-independent; path solves pin the fixed endpoints throughout
+/// the local search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NnTwoOptBackend;
+
+impl TourSolver for NnTwoOptBackend {
+    fn name(&self) -> &str {
+        "nn-2opt"
+    }
+
+    fn solve_cycle(&self, distances: &[Vec<f64>], _seed: u64) -> Result<SubTour, TaxiError> {
+        validate_matrix("nn-2opt", distances)?;
+        let order = reference_tour(distances);
+        let length = tour_length(distances, &order);
+        Ok(SubTour { order, length })
+    }
+
+    fn solve_path(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        _seed: u64,
+    ) -> Result<SubTour, TaxiError> {
+        let n = validate_matrix("nn-2opt", distances)?;
+        validate_endpoints("nn-2opt", n, start, end)?;
+        let order = reference_path(distances, start, end);
+        let length = path_length(distances, &order);
+        Ok(SubTour { order, length })
+    }
+}
+
+/// Greedy-edge construction + 2-opt software heuristic.
+///
+/// Cycle solves differ from [`NnTwoOptBackend`] through the construction; path solves
+/// share the endpoint-pinned nearest-neighbour path search (greedy-edge has no natural
+/// fixed-endpoint variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GreedyEdgeBackend;
+
+impl TourSolver for GreedyEdgeBackend {
+    fn name(&self) -> &str {
+        "greedy-edge"
+    }
+
+    fn solve_cycle(&self, distances: &[Vec<f64>], _seed: u64) -> Result<SubTour, TaxiError> {
+        validate_matrix("greedy-edge", distances)?;
+        let mut order = greedy_edge_tour(distances);
+        two_opt(distances, &mut order, 4);
+        let length = tour_length(distances, &order);
+        Ok(SubTour { order, length })
+    }
+
+    fn solve_path(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        _seed: u64,
+    ) -> Result<SubTour, TaxiError> {
+        let n = validate_matrix("greedy-edge", distances)?;
+        validate_endpoints("greedy-edge", n, start, end)?;
+        let order = reference_path(distances, start, end);
+        let length = path_length(distances, &order);
+        Ok(SubTour { order, length })
+    }
+}
+
+/// Held–Karp exact backend: optimal tours for sub-problems up to [`HELD_KARP_LIMIT`]
+/// cities (every sub-problem under the default cluster sizes), heuristic fallback above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExactBackend;
+
+impl TourSolver for ExactBackend {
+    fn name(&self) -> &str {
+        "exact-dp"
+    }
+
+    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError> {
+        let n = validate_matrix("exact-dp", distances)?;
+        if n > HELD_KARP_LIMIT {
+            return NnTwoOptBackend.solve_cycle(distances, seed);
+        }
+        let solution = held_karp(distances).map_err(|err| TaxiError::Backend {
+            backend: "exact-dp".to_string(),
+            reason: err.to_string(),
+        })?;
+        Ok(SubTour {
+            order: solution.order,
+            length: solution.length,
+        })
+    }
+
+    fn solve_path(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+    ) -> Result<SubTour, TaxiError> {
+        let n = validate_matrix("exact-dp", distances)?;
+        validate_endpoints("exact-dp", n, start, end)?;
+        if n > HELD_KARP_LIMIT {
+            return NnTwoOptBackend.solve_path(distances, start, end, seed);
+        }
+        let solution = held_karp_path(distances, start, end).map_err(|err| TaxiError::Backend {
+            backend: "exact-dp".to_string(),
+            reason: err.to_string(),
+        })?;
+        Ok(SubTour {
+            order: solution.order,
+            length: solution.length,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle(n: usize) -> (Vec<Vec<f64>>, f64) {
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        let d: Vec<Vec<f64>> = pts
+            .iter()
+            .map(|&(x1, y1)| {
+                pts.iter()
+                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+                    .collect()
+            })
+            .collect();
+        let optimal = (0..n).map(|i| d[i][(i + 1) % n]).sum();
+        (d, optimal)
+    }
+
+    fn software_backends() -> Vec<Box<dyn TourSolver>> {
+        vec![
+            Box::new(NnTwoOptBackend),
+            Box::new(GreedyEdgeBackend),
+            Box::new(ExactBackend),
+        ]
+    }
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&c| {
+                if c >= n || seen[c] {
+                    false
+                } else {
+                    seen[c] = true;
+                    true
+                }
+            })
+    }
+
+    #[test]
+    fn software_backends_return_valid_cycles_and_paths() {
+        let (d, _) = circle(9);
+        for backend in software_backends() {
+            let cycle = backend.solve_cycle(&d, 1).unwrap();
+            assert!(is_permutation(&cycle.order, 9), "{}", backend.name());
+            assert!((cycle.length - tour_length(&d, &cycle.order)).abs() < 1e-9);
+            let path = backend.solve_path(&d, 2, 6, 1).unwrap();
+            assert!(is_permutation(&path.order, 9), "{}", backend.name());
+            assert_eq!(path.order[0], 2);
+            assert_eq!(*path.order.last().unwrap(), 6);
+        }
+    }
+
+    #[test]
+    fn exact_backend_is_optimal_on_a_circle() {
+        let (d, optimal) = circle(10);
+        let solution = ExactBackend.solve_cycle(&d, 0).unwrap();
+        assert!((solution.length - optimal).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_backends_never_beat_exact() {
+        let (d, _) = circle(11);
+        let exact = ExactBackend.solve_cycle(&d, 0).unwrap();
+        for backend in software_backends() {
+            let solution = backend.solve_cycle(&d, 0).unwrap();
+            assert!(
+                solution.length >= exact.length - 1e-9,
+                "{} undercut the optimum",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_backend_falls_back_above_the_dp_limit() {
+        let (d, _) = circle(HELD_KARP_LIMIT + 4);
+        let solution = ExactBackend.solve_cycle(&d, 0).unwrap();
+        assert!(is_permutation(&solution.order, HELD_KARP_LIMIT + 4));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_the_backend_name() {
+        for backend in software_backends() {
+            let err = backend.solve_cycle(&[], 0).unwrap_err();
+            assert!(
+                matches!(err, TaxiError::Backend { .. }),
+                "{}",
+                backend.name()
+            );
+            let (d, _) = circle(5);
+            assert!(backend.solve_path(&d, 0, 9, 0).is_err());
+            assert!(backend.solve_path(&d, 3, 3, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn backend_labels_are_stable() {
+        assert_eq!(SolverBackend::default(), SolverBackend::IsingMacro);
+        let labels: Vec<&str> = SolverBackend::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(
+            labels,
+            ["ising-macro", "nn-2opt", "greedy-edge", "exact-dp"]
+        );
+        assert_eq!(SolverBackend::Exact.to_string(), "exact-dp");
+    }
+}

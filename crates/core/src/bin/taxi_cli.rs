@@ -39,8 +39,9 @@ impl Default for CliOptions {
 fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<CliOptions, String> {
     let mut options = CliOptions::default();
     while let Some(arg) = args.next() {
-        let mut value_for = |name: &str, args: &mut I| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
+        let value_for = |name: &str, args: &mut I| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--instance" => options.instance_path = Some(value_for("--instance", &mut args)?),
@@ -89,7 +90,12 @@ fn load_instance(options: &CliOptions) -> Result<TspInstance, String> {
         parse_tsp(&text).map_err(|e| format!("cannot parse {path}: {e}"))
     } else {
         let n = options.synthetic_size.expect("synthetic size defaulted");
-        Ok(clustered_instance("synthetic", n, (n / 40).max(2), options.seed))
+        Ok(clustered_instance(
+            "synthetic",
+            n,
+            (n / 40).max(2),
+            options.seed,
+        ))
     }
 }
 
@@ -105,19 +111,31 @@ fn run(options: &CliOptions) -> Result<(), String> {
         .solve(&instance)
         .map_err(|e| e.to_string())?;
 
-    println!("instance        : {} ({} cities)", instance.name(), instance.dimension());
+    println!(
+        "instance        : {} ({} cities)",
+        instance.name(),
+        instance.dimension()
+    );
     println!("cluster size    : {}", options.cluster_size);
     println!("bit precision   : {}-bit", options.bits);
     println!("tour length     : {:.2}", solution.length);
     println!("hierarchy levels: {}", solution.levels);
     println!("sub-problems    : {}", solution.subproblems);
-    println!("host latency    : {:.3} ms (clustering + fixing)",
-        (solution.latency.clustering_seconds + solution.latency.fixing_seconds) * 1e3);
-    println!("hw latency      : {:.3} µs (ising + transfer + mapping)",
+    println!(
+        "host latency    : {:.3} ms (clustering + fixing)",
+        (solution.latency.clustering_seconds + solution.latency.fixing_seconds) * 1e3
+    );
+    println!(
+        "hw latency      : {:.3} µs (ising + transfer + mapping)",
         (solution.latency.ising_seconds
             + solution.latency.transfer_seconds
-            + solution.latency.mapping_seconds) * 1e6);
-    println!("hw energy       : {:.3} µJ", solution.energy.total_joules() * 1e6);
+            + solution.latency.mapping_seconds)
+            * 1e6
+    );
+    println!(
+        "hw energy       : {:.3} µJ",
+        solution.energy.total_joules() * 1e6
+    );
 
     if let Some(path) = &options.tour_out {
         let text = tour_io::write_tour(&solution.tour, instance.name());
@@ -163,8 +181,16 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let options = parse(&[
-            "--instance", "a.tsp", "--cluster-size", "16", "--bits", "2", "--seed", "7",
-            "--tour-out", "out.tour",
+            "--instance",
+            "a.tsp",
+            "--cluster-size",
+            "16",
+            "--bits",
+            "2",
+            "--seed",
+            "7",
+            "--tour-out",
+            "out.tour",
         ])
         .unwrap();
         assert_eq!(options.instance_path.as_deref(), Some("a.tsp"));

@@ -1,11 +1,14 @@
 //! Configuration of the end-to-end TAXI solver.
 
+use std::sync::Arc;
+
 use taxi_arch::ArchConfig;
 use taxi_cluster::hierarchy::ClusteringMethod;
 use taxi_cluster::HierarchyConfig;
 use taxi_ising::{CurrentSchedule, MacroSolverConfig};
 use taxi_xbar::{BitPrecision, MacroConfig};
 
+use crate::backend::{SolverBackend, TourSolver};
 use crate::TaxiError;
 
 /// Builder-style configuration of the TAXI solver.
@@ -39,6 +42,7 @@ pub struct TaxiConfig {
     seed: u64,
     threads: usize,
     arch_override: Option<ArchConfig>,
+    backend: SolverBackend,
 }
 
 impl TaxiConfig {
@@ -57,6 +61,7 @@ impl TaxiConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             arch_override: None,
+            backend: SolverBackend::default(),
         }
     }
 
@@ -134,6 +139,32 @@ impl TaxiConfig {
         self
     }
 
+    /// Selects the sub-problem solving backend (the paper's Ising macro by default).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use taxi::{SolverBackend, TaxiConfig};
+    ///
+    /// let config = TaxiConfig::new().with_backend(SolverBackend::Exact);
+    /// assert_eq!(config.backend(), SolverBackend::Exact);
+    /// ```
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The selected sub-problem solving backend.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
+    /// Instantiates the selected backend (the Ising macro backend picks up this
+    /// configuration's precision, capacity, schedule and elitism).
+    pub fn build_backend(&self) -> Arc<dyn TourSolver> {
+        self.backend.build(self.macro_solver_config())
+    }
+
     /// The maximum cluster size.
     pub fn max_cluster_size(&self) -> usize {
         self.max_cluster_size
@@ -182,8 +213,8 @@ impl TaxiConfig {
 
     /// Builds the per-macro solver configuration.
     pub fn macro_solver_config(&self) -> MacroSolverConfig {
-        let mut macro_config = MacroConfig::new(self.precision.bits())
-            .with_capacity(self.max_cluster_size.max(4));
+        let mut macro_config =
+            MacroConfig::new(self.precision.bits()).with_capacity(self.max_cluster_size.max(4));
         if self.ideal_devices {
             macro_config = macro_config.with_ideal_devices();
         }
@@ -226,7 +257,10 @@ mod tests {
         let config = TaxiConfig::default();
         assert_eq!(config.max_cluster_size(), 12);
         assert_eq!(config.precision(), BitPrecision::FOUR);
-        assert_eq!(config.clustering_method(), ClusteringMethod::AgglomerativeWard);
+        assert_eq!(
+            config.clustering_method(),
+            ClusteringMethod::AgglomerativeWard
+        );
         assert_eq!(config.hardware_schedule().len(), 1340);
     }
 
@@ -254,5 +288,15 @@ mod tests {
     fn thread_count_is_at_least_one() {
         let config = TaxiConfig::new().with_threads(0);
         assert_eq!(config.threads(), 1);
+    }
+
+    #[test]
+    fn backend_selection_round_trips() {
+        assert_eq!(TaxiConfig::new().backend(), SolverBackend::IsingMacro);
+        for backend in SolverBackend::ALL {
+            let config = TaxiConfig::new().with_backend(backend);
+            assert_eq!(config.backend(), backend);
+            assert_eq!(config.build_backend().name(), backend.label());
+        }
     }
 }

@@ -23,6 +23,13 @@ pub enum TaxiError {
         /// Explanation of the limitation.
         reason: String,
     },
+    /// Error raised by a pluggable tour-solving backend.
+    Backend {
+        /// Name of the backend ([`crate::TourSolver::name`]).
+        backend: String,
+        /// What went wrong.
+        reason: String,
+    },
     /// Error from the clustering layer.
     Cluster(ClusterError),
     /// Error from the Ising / macro layer.
@@ -41,6 +48,9 @@ impl fmt::Display for TaxiError {
             }
             TaxiError::UnsupportedInstance { reason } => {
                 write!(f, "unsupported instance: {reason}")
+            }
+            TaxiError::Backend { backend, reason } => {
+                write!(f, "backend `{backend}`: {reason}")
             }
             TaxiError::Cluster(err) => write!(f, "clustering error: {err}"),
             TaxiError::Ising(err) => write!(f, "ising error: {err}"),

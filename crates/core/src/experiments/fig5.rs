@@ -96,7 +96,7 @@ pub fn run_fig5a(
             let config = TaxiConfig::new()
                 .with_max_cluster_size(cluster_size)?
                 .with_bit_precision(4)?
-                .with_seed(0xF16_5A ^ cluster_size as u64);
+                .with_seed(0xF165A ^ cluster_size as u64);
             let solution = TaxiSolver::new(config).solve(instance)?;
             rows.push(Fig5aRow {
                 instance: spec.name.to_string(),
@@ -184,7 +184,7 @@ pub fn run_fig5b(scale: ExperimentScale) -> Result<Fig5bReport, TaxiError> {
             let config = TaxiConfig::new()
                 .with_max_cluster_size(12)?
                 .with_bit_precision(bits)?
-                .with_seed(0xF16_5B ^ u64::from(bits));
+                .with_seed(0xF165B ^ u64::from(bits));
             let solution = TaxiSolver::new(config).solve(instance)?;
             ratios[slot] = solution.length / reference;
         }
@@ -295,7 +295,7 @@ pub fn run_fig5c(scale: ExperimentScale) -> Result<Fig5cReport, TaxiError> {
         let config = TaxiConfig::new()
             .with_max_cluster_size(12)?
             .with_bit_precision(4)?
-            .with_seed(0xF16_5C);
+            .with_seed(0xF165C);
         let taxi_solution = TaxiSolver::new(config).solve(instance)?;
         let hvc_solution = HvcBaseline::new(HvcConfig::new(12))
             .solve(instance)

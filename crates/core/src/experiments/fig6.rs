@@ -93,12 +93,12 @@ pub fn run_fig6a(
         let base_config = TaxiConfig::new()
             .with_max_cluster_size(cluster_size)?
             .with_bit_precision(4)?
-            .with_seed(0xF16_6A);
+            .with_seed(0xF166A);
         let mut arch = base_config.arch_config();
         arch.tiles = 1;
         arch.cores_per_tile = 1;
-        arch.cells_per_core = target_macros
-            * taxi_xbar::ArrayGeometry::new(baseline_size, arch.precision).cells();
+        arch.cells_per_core =
+            target_macros * taxi_xbar::ArrayGeometry::new(baseline_size, arch.precision).cells();
         let config = base_config.with_arch_override(arch);
         let solution = TaxiSolver::new(config).solve(&instance)?;
         let hardware_latency = solution.latency.ising_seconds
@@ -110,7 +110,7 @@ pub fn run_fig6a(
         let config_2bit = TaxiConfig::new()
             .with_max_cluster_size(cluster_size)?
             .with_bit_precision(2)?
-            .with_seed(0xF16_6A);
+            .with_seed(0xF166A);
         let solution_2bit = TaxiSolver::new(config_2bit).solve(&instance)?;
         energies.push(solution_2bit.energy.total_joules());
     }
@@ -254,7 +254,7 @@ pub fn run_fig6b(scale: ExperimentScale) -> Result<Fig6bReport, TaxiError> {
         let config = TaxiConfig::new()
             .with_max_cluster_size(12)?
             .with_bit_precision(4)?
-            .with_seed(0xF16_6B);
+            .with_seed(0xF166B);
         let solution = TaxiSolver::new(config).solve(instance)?;
         let latency = solution.latency;
         let total = latency.total_seconds();

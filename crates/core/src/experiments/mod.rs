@@ -10,12 +10,14 @@
 //! | Table I — per-iteration circuit characterisation | [`tables::run_table1`] |
 //! | Table II — energy comparison with the state of the art | [`tables::run_table2`] |
 //! | Headline claims (pla85900 latency/energy, quality) | [`headline::run_headline`] |
+//! | Backend matrix — pipeline under interchangeable sub-solvers | [`backends::run_backend_matrix`] |
 //!
 //! All runners accept an [`ExperimentScale`]: by default the suite is truncated so that
 //! the full set of experiments completes on a laptop; setting the `TAXI_FULL_SCALE`
 //! environment variable (or using [`ExperimentScale::full`]) runs every instance up to
 //! pla85900 as in the paper.
 
+pub mod backends;
 pub mod fig5;
 pub mod fig6;
 pub mod headline;
@@ -36,7 +38,9 @@ impl ExperimentScale {
     /// Quick scale: instances up to 1 060 cities (the first 11 of the suite). All
     /// experiments finish in minutes on a laptop.
     pub fn quick() -> Self {
-        Self { max_dimension: 1_060 }
+        Self {
+            max_dimension: 1_060,
+        }
     }
 
     /// Tiny scale used by unit/integration tests: instances up to 318 cities.
@@ -46,7 +50,9 @@ impl ExperimentScale {
 
     /// Full scale: the entire 20-instance suite up to pla85900, as in the paper.
     pub fn full() -> Self {
-        Self { max_dimension: usize::MAX }
+        Self {
+            max_dimension: usize::MAX,
+        }
     }
 
     /// Scale chosen from the environment: full when `TAXI_FULL_SCALE` is set, quick

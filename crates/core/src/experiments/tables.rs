@@ -196,7 +196,7 @@ pub fn run_table2(scale: ExperimentScale) -> Result<Table2Report, TaxiError> {
         let config = TaxiConfig::new()
             .with_max_cluster_size(12)?
             .with_bit_precision(2)?
-            .with_seed(0x7AB_2);
+            .with_seed(0x7AB2);
         let solution = TaxiSolver::new(config).solve(instance)?;
         rows.push(Table2Row {
             work: "TAXI (this reproduction)".to_string(),

@@ -15,6 +15,14 @@
 //! into an end-to-end solver ([`TaxiSolver`]) plus experiment runners
 //! ([`experiments`]) that regenerate every table and figure of the paper's evaluation.
 //!
+//! # Architecture
+//!
+//! Solving is structured as a staged [`pipeline`] (Cluster → FixEndpoints → SolveLevels
+//! → Assemble → Account) whose sub-problem solver is a pluggable [`TourSolver`]
+//! [`backend`]: the paper's Ising macro by default, software heuristics or an exact
+//! dynamic program via [`TaxiConfig::with_backend`]. Batches of instances share one
+//! worker pool through [`TaxiSolver::solve_batch`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -37,19 +45,38 @@
 //! );
 //! # Ok::<(), taxi::TaxiError>(())
 //! ```
+//!
+//! # Backend selection
+//!
+//! ```
+//! use taxi::{SolverBackend, TaxiConfig, TaxiSolver};
+//! use taxi_tsplib::generator::clustered_instance;
+//!
+//! let instance = clustered_instance("backends", 90, 5, 7);
+//! for backend in SolverBackend::ALL {
+//!     let config = TaxiConfig::new().with_seed(7).with_backend(backend);
+//!     let solution = TaxiSolver::new(config).solve(&instance)?;
+//!     println!("{backend}: tour length {:.1}", solution.length);
+//! }
+//! # Ok::<(), taxi::TaxiError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod experiments;
+pub mod pipeline;
 pub mod report;
 pub mod result;
 pub mod solver;
 
+pub use backend::{SolverBackend, SubTour, TourSolver};
 pub use config::TaxiConfig;
 pub use error::TaxiError;
 pub use experiments::ExperimentScale;
+pub use pipeline::{NullObserver, PipelineObserver, Stage, StageReport};
 pub use result::{EnergyBreakdown, LatencyBreakdown, TaxiSolution};
 pub use solver::TaxiSolver;

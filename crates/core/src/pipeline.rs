@@ -1,0 +1,586 @@
+//! The staged solving pipeline: Cluster → FixEndpoints → SolveLevels → Assemble →
+//! Account.
+//!
+//! [`TaxiSolver::solve`](crate::TaxiSolver::solve) is a thin wrapper over this module.
+//! Each stage produces a typed [`StageReport`] (collected into
+//! [`TaxiSolution::stage_reports`](crate::TaxiSolution)) and fires the optional
+//! [`PipelineObserver`] hooks, so progress and per-stage cost are observable without
+//! touching the hot path:
+//!
+//! 1. **Cluster** — build the bottom-up cluster [`Hierarchy`] (host, measured).
+//! 2. **FixEndpoints** — pin every cluster's entry/exit entities from the level above's
+//!    visiting order (host, measured; interleaved per level with stage 3, reported in
+//!    aggregate).
+//! 3. **SolveLevels** — solve the topmost centroid cycle and every cluster's
+//!    fixed-endpoint path through the configured [`TourSolver`] backend, fanning the
+//!    clusters of a level out over the shared [`SolvePool`] (host, measured).
+//! 4. **Assemble** — expand the per-cluster orders into the final city [`Tour`].
+//! 5. **Account** — compile the solve plan onto the spatial architecture and simulate
+//!    hardware latency/energy (`modeled_seconds` on the report).
+//!
+//! The pool is created once per [`solve`](crate::TaxiSolver::solve) call and shared
+//! across all hierarchy levels — and, for
+//! [`solve_batch`](crate::TaxiSolver::solve_batch), across all instances — instead of
+//! respawning threads per level as the original monolithic solver did.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use taxi_arch::{Compiler, LevelPlan, SolvePlan, SubProblem};
+use taxi_cluster::{EndpointFixer, FixedEndpoints, Hierarchy, Point};
+use taxi_ising::AnnealingSchedule;
+use taxi_tsplib::{Tour, TspInstance};
+
+use crate::backend::TourSolver;
+use crate::{EnergyBreakdown, LatencyBreakdown, TaxiConfig, TaxiError, TaxiSolution};
+
+/// One of the five pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Hierarchical clustering of the cities.
+    Cluster,
+    /// Inter-cluster endpoint fixing (aggregated across levels).
+    FixEndpoints,
+    /// Sub-problem solving through the backend (aggregated across levels).
+    SolveLevels,
+    /// Expansion of cluster orders into the final tour.
+    Assemble,
+    /// Hardware latency/energy accounting on the spatial architecture.
+    Account,
+}
+
+impl Stage {
+    /// The five stages in execution order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Cluster,
+        Stage::FixEndpoints,
+        Stage::SolveLevels,
+        Stage::Assemble,
+        Stage::Account,
+    ];
+}
+
+/// Outcome of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageReport {
+    /// Which stage this report describes.
+    pub stage: Stage,
+    /// Host wall-clock time spent in the stage, in seconds.
+    pub seconds: f64,
+    /// Work items processed: hierarchy levels (Cluster), clusters fixed (FixEndpoints),
+    /// sub-problems solved (SolveLevels), cities assembled (Assemble), or plan
+    /// sub-problems accounted (Account).
+    pub items: usize,
+    /// Modelled hardware seconds attributed by the stage (nonzero only for
+    /// [`Stage::Account`]: Ising + transfer + mapping latency).
+    pub modeled_seconds: f64,
+}
+
+/// Hooks fired as the pipeline progresses. All methods default to no-ops, so observers
+/// implement only what they need; observation never changes solving behaviour.
+pub trait PipelineObserver {
+    /// A stage is about to run. `FixEndpoints` and `SolveLevels` interleave per level,
+    /// so their start hooks both fire before the level loop.
+    fn on_stage_start(&mut self, _stage: Stage) {}
+
+    /// A stage finished with the given report.
+    fn on_stage_end(&mut self, _report: &StageReport) {}
+
+    /// One hierarchy level was solved. `level_index` counts from 0 = cities; the
+    /// topmost centroid cycle reports `Some(num_levels)`, and `None` flags the
+    /// single-macro fast path (the whole instance fit one sub-problem).
+    fn on_level_solved(&mut self, _level_index: Option<usize>, _subproblems: usize) {}
+}
+
+/// The do-nothing observer used by the plain `solve` entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl PipelineObserver for NullObserver {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool shared across hierarchy levels and batch instances.
+///
+/// Workers pull boxed jobs from one queue; a panicking job is contained (the worker
+/// survives) and surfaces as a missing result in the submitting level, which converts it
+/// into a panic on the coordinating thread — the same failure mode as the original
+/// per-level `std::thread::scope` code, without respawning threads per level per solve.
+pub(crate) struct SolvePool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SolvePool {
+    /// Spawns `threads` workers.
+    pub(crate) fn new(threads: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("taxi-solve-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().expect("pool queue lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                // Contain panics so one poisoned sub-problem cannot take
+                                // the whole pool down for later levels/instances.
+                                let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn solver worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool is open")
+            .send(job)
+            .expect("solver workers alive");
+    }
+}
+
+impl Drop for SolvePool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker drain and exit.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Positions and pairwise-distance access for the entities of one hierarchy level.
+enum EntitySpace<'a> {
+    /// Level 0: entities are the instance's cities.
+    Cities(&'a TspInstance),
+    /// Upper levels: entities are cluster centroids of the level below.
+    Centroids(&'a [Point]),
+}
+
+impl EntitySpace<'_> {
+    fn distance_matrix(&self, members: &[usize]) -> Vec<Vec<f64>> {
+        match self {
+            EntitySpace::Cities(instance) => instance
+                .distance_matrix_for(members)
+                .expect("member indices come from the hierarchy and are always in range"),
+            EntitySpace::Centroids(points) => members
+                .iter()
+                .map(|&i| {
+                    members
+                        .iter()
+                        .map(|&j| points[i].distance(&points[j]))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Trivially small sub-problems (≤ 3 cities) are solved without annealing, so they cost
+/// no macro iterations.
+pub(crate) fn hardware_iterations_for(cities: usize, schedule_iterations: u64) -> u64 {
+    if cities <= 3 {
+        0
+    } else {
+        schedule_iterations
+    }
+}
+
+/// Runs the full pipeline for one instance.
+pub(crate) fn run(
+    config: &TaxiConfig,
+    backend: &Arc<dyn TourSolver>,
+    pool: Option<&SolvePool>,
+    instance: &TspInstance,
+    observer: &mut dyn PipelineObserver,
+) -> Result<TaxiSolution, TaxiError> {
+    let coords = instance
+        .coordinates()
+        .ok_or_else(|| TaxiError::UnsupportedInstance {
+            reason: "TAXI's hierarchical clustering requires city coordinates".to_string(),
+        })?;
+    let cities: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let hardware_iterations = config.hardware_schedule().len() as u64;
+
+    // Stage 1: Cluster.
+    observer.on_stage_start(Stage::Cluster);
+    let clustering_start = Instant::now();
+    let hierarchy = Hierarchy::build(&cities, &config.hierarchy_config()?)?;
+    let cluster_report = StageReport {
+        stage: Stage::Cluster,
+        seconds: clustering_start.elapsed().as_secs_f64(),
+        items: hierarchy.num_levels(),
+        modeled_seconds: 0.0,
+    };
+    observer.on_stage_end(&cluster_report);
+
+    // Stages 2 + 3: FixEndpoints and SolveLevels, interleaved per level.
+    observer.on_stage_start(Stage::FixEndpoints);
+    observer.on_stage_start(Stage::SolveLevels);
+    let mut fixing_seconds = 0.0;
+    let mut clusters_fixed = 0usize;
+    let mut software_solve_seconds = 0.0;
+    let mut level_plans: Vec<LevelPlan> = Vec::new();
+    let mut subproblem_count = 0usize;
+
+    let final_order: Vec<usize> = if hierarchy.num_levels() == 0 {
+        // The whole instance fits in one macro.
+        let solve_start = Instant::now();
+        let matrix = instance.full_distance_matrix();
+        let solution = backend.solve_cycle(&matrix, config.seed())?;
+        software_solve_seconds += solve_start.elapsed().as_secs_f64();
+        subproblem_count += 1;
+        level_plans.push(LevelPlan::new(vec![SubProblem {
+            cities: instance.dimension(),
+            iterations: hardware_iterations_for(instance.dimension(), hardware_iterations),
+        }]));
+        observer.on_level_solved(None, 1);
+        solution.order
+    } else {
+        // Topmost TSP over the top level's cluster centroids.
+        let top = hierarchy
+            .top_level()
+            .expect("hierarchy has at least one level");
+        let top_centroids = top.centroids();
+        let solve_start = Instant::now();
+        let top_matrix: Vec<Vec<f64>> = top_centroids
+            .iter()
+            .map(|a| top_centroids.iter().map(|b| a.distance(b)).collect())
+            .collect();
+        let top_solution = backend.solve_cycle(&top_matrix, config.seed())?;
+        software_solve_seconds += solve_start.elapsed().as_secs_f64();
+        subproblem_count += 1;
+        level_plans.push(LevelPlan::new(vec![SubProblem {
+            cities: top.len(),
+            iterations: hardware_iterations_for(top.len(), hardware_iterations),
+        }]));
+        observer.on_level_solved(Some(hierarchy.num_levels()), 1);
+
+        // Walk the hierarchy top-down, expanding the visiting order of each level's
+        // clusters into a visiting order of the entities one level below.
+        let mut cluster_order = top_solution.order;
+        let mut final_order = Vec::new();
+        for level_index in (0..hierarchy.num_levels()).rev() {
+            let level = hierarchy.level(level_index);
+            // Entity positions are borrowed for level 0 (the cities themselves) and
+            // materialised once per upper level (centroids are computed on demand).
+            let centroid_store: Vec<Point>;
+            let entity_positions: &[Point] = if level_index == 0 {
+                &cities
+            } else {
+                centroid_store = hierarchy.level(level_index - 1).centroids();
+                &centroid_store
+            };
+            let entity_space = if level_index == 0 {
+                EntitySpace::Cities(instance)
+            } else {
+                EntitySpace::Centroids(entity_positions)
+            };
+            let members: Vec<&[usize]> = level
+                .clusters
+                .iter()
+                .map(|c| c.members.as_slice())
+                .collect();
+
+            // Stage 2 slice: endpoint fixing for this level.
+            let fixing_start = Instant::now();
+            let fixer = EndpointFixer::new(entity_positions);
+            let endpoints = fixer.fix(&members, &cluster_order)?;
+            fixing_seconds += fixing_start.elapsed().as_secs_f64();
+            clusters_fixed += members.len();
+
+            // Stage 3 slice: solve every cluster of this level through the backend.
+            let solve_start = Instant::now();
+            let entity_order = solve_level(
+                backend,
+                pool,
+                &entity_space,
+                &members,
+                &cluster_order,
+                &endpoints,
+                config.seed() ^ ((level_index as u64 + 1) << 32),
+            )?;
+            software_solve_seconds += solve_start.elapsed().as_secs_f64();
+
+            subproblem_count += level.len();
+            level_plans.push(LevelPlan::new(
+                level
+                    .clusters
+                    .iter()
+                    .map(|c| SubProblem {
+                        cities: c.members.len(),
+                        iterations: hardware_iterations_for(c.members.len(), hardware_iterations),
+                    })
+                    .collect(),
+            ));
+            observer.on_level_solved(Some(level_index), level.len());
+
+            if level_index == 0 {
+                final_order = entity_order;
+            } else {
+                cluster_order = entity_order;
+            }
+        }
+        final_order
+    };
+
+    let fix_report = StageReport {
+        stage: Stage::FixEndpoints,
+        seconds: fixing_seconds,
+        items: clusters_fixed,
+        modeled_seconds: 0.0,
+    };
+    observer.on_stage_end(&fix_report);
+    let solve_report = StageReport {
+        stage: Stage::SolveLevels,
+        seconds: software_solve_seconds,
+        items: subproblem_count,
+        modeled_seconds: 0.0,
+    };
+    observer.on_stage_end(&solve_report);
+
+    // Stage 4: Assemble.
+    observer.on_stage_start(Stage::Assemble);
+    let assemble_start = Instant::now();
+    let tour = Tour::new(final_order)?;
+    let length = tour.length(instance);
+    let assemble_report = StageReport {
+        stage: Stage::Assemble,
+        seconds: assemble_start.elapsed().as_secs_f64(),
+        items: instance.dimension(),
+        modeled_seconds: 0.0,
+    };
+    observer.on_stage_end(&assemble_report);
+
+    // Stage 5: Account.
+    observer.on_stage_start(Stage::Account);
+    let account_start = Instant::now();
+    let compiler = Compiler::new(config.arch_config());
+    let plan = SolvePlan::new(level_plans);
+    compiler.check(&plan)?;
+    let arch_report = compiler.compile(&plan).simulate();
+    let modeled_seconds = arch_report.ising_latency_seconds
+        + arch_report.transfer_latency_seconds
+        + arch_report.mapping_latency_seconds;
+    let account_report = StageReport {
+        stage: Stage::Account,
+        seconds: account_start.elapsed().as_secs_f64(),
+        items: subproblem_count,
+        modeled_seconds,
+    };
+    observer.on_stage_end(&account_report);
+
+    let latency = LatencyBreakdown {
+        clustering_seconds: cluster_report.seconds,
+        fixing_seconds,
+        ising_seconds: arch_report.ising_latency_seconds,
+        transfer_seconds: arch_report.transfer_latency_seconds,
+        mapping_seconds: arch_report.mapping_latency_seconds,
+    };
+    let energy = EnergyBreakdown {
+        ising_joules: arch_report.ising_energy_joules,
+        transfer_joules: arch_report.transfer_energy_joules,
+        mapping_joules: arch_report.mapping_energy_joules,
+    };
+    Ok(TaxiSolution {
+        tour,
+        length,
+        levels: hierarchy.num_levels(),
+        subproblems: subproblem_count,
+        latency,
+        energy,
+        arch_report,
+        software_solve_seconds,
+        stage_reports: vec![
+            cluster_report,
+            fix_report,
+            solve_report,
+            assemble_report,
+            account_report,
+        ],
+    })
+}
+
+/// Inputs of one per-cluster solve, prepared on the coordinating thread so that jobs own
+/// everything they touch (the pool requires `'static` jobs).
+struct PreparedCluster {
+    index: usize,
+    matrix: Vec<Vec<f64>>,
+    start_local: usize,
+    end_local: usize,
+    seed: u64,
+}
+
+fn prepare_cluster(
+    entity_space: &EntitySpace<'_>,
+    members: &[usize],
+    endpoint: FixedEndpoints,
+    index: usize,
+    level_seed: u64,
+) -> PreparedCluster {
+    let matrix = entity_space.distance_matrix(members);
+    let start_local = members
+        .iter()
+        .position(|&m| m == endpoint.entry)
+        .expect("entry endpoint belongs to the cluster");
+    let end_local = members
+        .iter()
+        .position(|&m| m == endpoint.exit)
+        .expect("exit endpoint belongs to the cluster");
+    PreparedCluster {
+        index,
+        matrix,
+        start_local,
+        end_local,
+        seed: level_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    }
+}
+
+fn solve_prepared(
+    backend: &dyn TourSolver,
+    task: &PreparedCluster,
+) -> Result<Vec<usize>, TaxiError> {
+    let solution = if task.start_local == task.end_local {
+        // Degenerate endpoints can only happen for single-member clusters (handled by the
+        // caller) or a single-cluster level; fall back to a cycle solve.
+        backend.solve_cycle(&task.matrix, task.seed)?
+    } else {
+        backend.solve_path(&task.matrix, task.start_local, task.end_local, task.seed)?
+    };
+    Ok(solution.order)
+}
+
+/// Solves every cluster of one level (path TSPs with fixed endpoints) and concatenates
+/// the resulting member orders following the cluster visiting order.
+fn solve_level(
+    backend: &Arc<dyn TourSolver>,
+    pool: Option<&SolvePool>,
+    entity_space: &EntitySpace<'_>,
+    member_lists: &[&[usize]],
+    cluster_order: &[usize],
+    endpoints: &[FixedEndpoints],
+    level_seed: u64,
+) -> Result<Vec<usize>, TaxiError> {
+    let k = member_lists.len();
+    let mut per_cluster_orders: Vec<Option<Result<Vec<usize>, TaxiError>>> =
+        (0..k).map(|_| None).collect();
+
+    match pool {
+        Some(pool) if k > 1 => {
+            let (tx, rx) = mpsc::channel::<(usize, Result<Vec<usize>, TaxiError>)>();
+            let mut submitted = 0usize;
+            for (index, members) in member_lists.iter().enumerate() {
+                if members.len() == 1 {
+                    per_cluster_orders[index] = Some(Ok(vec![members[0]]));
+                    continue;
+                }
+                let task =
+                    prepare_cluster(entity_space, members, endpoints[index], index, level_seed);
+                let backend = Arc::clone(backend);
+                let tx = tx.clone();
+                pool.submit(Box::new(move || {
+                    let result = solve_prepared(backend.as_ref(), &task);
+                    let _ = tx.send((task.index, result));
+                }));
+                submitted += 1;
+            }
+            drop(tx);
+            for _ in 0..submitted {
+                let (index, local) = rx
+                    .recv()
+                    .expect("a solver worker panicked while solving a cluster");
+                per_cluster_orders[index] = Some(
+                    local.map(|order| order.iter().map(|&l| member_lists[index][l]).collect()),
+                );
+            }
+        }
+        _ => {
+            for (index, members) in member_lists.iter().enumerate() {
+                if members.len() == 1 {
+                    per_cluster_orders[index] = Some(Ok(vec![members[0]]));
+                    continue;
+                }
+                let task =
+                    prepare_cluster(entity_space, members, endpoints[index], index, level_seed);
+                let local = solve_prepared(backend.as_ref(), &task);
+                per_cluster_orders[index] =
+                    Some(local.map(|order| order.iter().map(|&l| members[l]).collect()));
+            }
+        }
+    }
+
+    let mut resolved = Vec::with_capacity(k);
+    for result in per_cluster_orders {
+        resolved.push(result.expect("every cluster was solved")?);
+    }
+    let mut entity_order = Vec::new();
+    for &cluster_index in cluster_order {
+        entity_order.extend_from_slice(&resolved[cluster_index]);
+    }
+    Ok(entity_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn hardware_iterations_vanish_for_trivial_subproblems() {
+        assert_eq!(hardware_iterations_for(3, 1340), 0);
+        assert_eq!(hardware_iterations_for(12, 1340), 1340);
+    }
+
+    #[test]
+    fn pool_executes_submitted_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = SolvePool::new(4);
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                pool.submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            // Dropping the pool joins every worker after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = SolvePool::new(1);
+            pool.submit(Box::new(|| panic!("poisoned sub-problem")));
+            let counter_clone = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter_clone.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stage_order_is_stable() {
+        assert_eq!(Stage::ALL[0], Stage::Cluster);
+        assert_eq!(Stage::ALL[4], Stage::Account);
+        assert_eq!(Stage::ALL.len(), 5);
+    }
+}

@@ -3,6 +3,8 @@
 use taxi_arch::ArchReport;
 use taxi_tsplib::Tour;
 
+use crate::pipeline::{Stage, StageReport};
+
 /// Wall-clock and modelled-hardware latency breakdown of one end-to-end solve, mirroring
 /// the components of the paper's Fig. 6b: clustering, endpoint fixing, Ising processing
 /// and data transfer.
@@ -92,6 +94,13 @@ pub struct TaxiSolution {
     /// Wall-clock time of the software sub-problem solves, in seconds (not part of the
     /// hardware latency model; useful for benchmarking the simulator itself).
     pub software_solve_seconds: f64,
+    /// Per-stage reports in pipeline execution order (Cluster, FixEndpoints,
+    /// SolveLevels, Assemble, Account). The host-measured stages tie exactly to the
+    /// [`LatencyBreakdown`]: `Cluster.seconds == latency.clustering_seconds`,
+    /// `FixEndpoints.seconds == latency.fixing_seconds`, and the Account stage's
+    /// `modeled_seconds` equals the modelled hardware latency
+    /// (`ising + transfer + mapping`).
+    pub stage_reports: Vec<StageReport>,
 }
 
 impl TaxiSolution {
@@ -107,6 +116,11 @@ impl TaxiSolution {
             "reference length must be strictly positive"
         );
         self.length / reference_length
+    }
+
+    /// The report of one pipeline stage, if present.
+    pub fn stage_report(&self, stage: Stage) -> Option<&StageReport> {
+        self.stage_reports.iter().find(|r| r.stage == stage)
     }
 }
 

@@ -170,30 +170,42 @@ mod tests {
 
     #[test]
     fn default_params_are_valid() {
-        DeviceParams::default().validate().expect("paper defaults must validate");
+        DeviceParams::default()
+            .validate()
+            .expect("paper defaults must validate");
     }
 
     #[test]
     fn invalid_resistance_is_rejected() {
-        let mut p = DeviceParams::default();
-        p.r_parallel_ohms = -1.0;
+        let p = DeviceParams {
+            r_parallel_ohms: -1.0,
+            ..Default::default()
+        };
         assert!(matches!(
             p.validate(),
-            Err(DeviceError::InvalidParameter { name: "r_parallel_ohms", .. })
+            Err(DeviceError::InvalidParameter {
+                name: "r_parallel_ohms",
+                ..
+            })
         ));
     }
 
     #[test]
     fn inverted_states_are_rejected() {
-        let mut p = DeviceParams::default();
-        p.r_antiparallel_ohms = p.r_parallel_ohms / 2.0;
+        let defaults = DeviceParams::default();
+        let p = DeviceParams {
+            r_antiparallel_ohms: defaults.r_parallel_ohms / 2.0,
+            ..defaults
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     fn inverted_window_is_rejected() {
-        let mut p = DeviceParams::default();
-        p.stochastic_window_min = WriteCurrent::from_micro_amps(700.0);
+        let p = DeviceParams {
+            stochastic_window_min: WriteCurrent::from_micro_amps(700.0),
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 
@@ -220,7 +232,10 @@ mod tests {
         let err = p
             .require_stochastic(WriteCurrent::from_micro_amps(700.0))
             .unwrap_err();
-        assert!(matches!(err, DeviceError::CurrentOutsideStochasticWindow { .. }));
+        assert!(matches!(
+            err,
+            DeviceError::CurrentOutsideStochasticWindow { .. }
+        ));
     }
 
     #[test]

@@ -218,7 +218,12 @@ mod tests {
         let trials = 2_000;
         let mut total_ones = 0usize;
         for _ in 0..trials {
-            total_ones += gen.generate(current, &mut rng).unwrap().iter().filter(|&&b| b).count();
+            total_ones += gen
+                .generate(current, &mut rng)
+                .unwrap()
+                .iter()
+                .filter(|&&b| b)
+                .count();
         }
         let observed = total_ones as f64 / trials as f64;
         let expected = gen.expected_ones(current);

@@ -202,11 +202,7 @@ impl MacroTspSolver {
         if n <= 3 {
             return Ok((self.solve_cycle(distances, seed)?, trace));
         }
-        let curve = self
-            .config
-            .macro_config
-            .device_params()
-            .switching_curve;
+        let curve = self.config.macro_config.device_params().switching_curve;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut macro_ = IsingMacro::new(distances, self.config.macro_config.clone())?;
         let initial = nearest_neighbor_order(distances, 0);

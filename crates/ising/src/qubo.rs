@@ -95,7 +95,11 @@ impl Qubo {
     ///
     /// Panics if `x.len()` differs from the number of variables.
     pub fn evaluate(&self, x: &[bool]) -> f64 {
-        assert_eq!(x.len(), self.n, "assignment length must match variable count");
+        assert_eq!(
+            x.len(),
+            self.n,
+            "assignment length must match variable count"
+        );
         let mut total = 0.0;
         for i in 0..self.n {
             if !x[i] {
@@ -248,7 +252,11 @@ impl TspQuboEncoder {
     /// Panics if `order` is not a permutation of the cities.
     pub fn assignment_for_order(&self, order: &[usize]) -> Vec<bool> {
         let n = self.num_cities();
-        assert_eq!(order.len(), n, "order length must equal the number of cities");
+        assert_eq!(
+            order.len(),
+            n,
+            "order length must equal the number of cities"
+        );
         let mut x = vec![false; n * n];
         for (o, &c) in order.iter().enumerate() {
             assert!(c < n, "city index out of range");
@@ -311,7 +319,11 @@ impl TspQuboEncoder {
     /// Panics if `order` is not a permutation of the cities.
     pub fn tour_length(&self, order: &[usize]) -> f64 {
         let n = self.num_cities();
-        assert_eq!(order.len(), n, "order length must equal the number of cities");
+        assert_eq!(
+            order.len(),
+            n,
+            "order length must equal the number of cities"
+        );
         (0..n)
             .map(|i| self.distances[order[i]][order[(i + 1) % n]])
             .sum()
@@ -325,11 +337,11 @@ mod tests {
 
     fn square4() -> Vec<Vec<f64>> {
         // Unit square: optimal cycle is the perimeter with length 4.
-        let pts = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        let pts: [(f64, f64); 4] = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
         pts.iter()
             .map(|&(x1, y1)| {
                 pts.iter()
-                    .map(|&(x2, y2)| ((x1 - x2) as f64).hypot(y1 - y2))
+                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
                     .collect()
             })
             .collect()
@@ -382,8 +394,8 @@ mod tests {
         let qubo = enc.encode().unwrap();
         let a = [0usize, 1, 2, 3];
         let b = [0usize, 2, 1, 3];
-        let qubo_diff =
-            qubo.evaluate(&enc.assignment_for_order(&b)) - qubo.evaluate(&enc.assignment_for_order(&a));
+        let qubo_diff = qubo.evaluate(&enc.assignment_for_order(&b))
+            - qubo.evaluate(&enc.assignment_for_order(&a));
         let len_diff = enc.tour_length(&b) - enc.tour_length(&a);
         assert!((qubo_diff - len_diff).abs() < 1e-9);
     }

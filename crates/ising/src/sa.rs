@@ -158,7 +158,13 @@ impl SimulatedAnnealingIsingSolver {
         rng: &mut R,
     ) -> Result<(Vec<Spin>, f64), IsingError> {
         let random: Vec<Spin> = (0..model.len())
-            .map(|_| if rng.gen::<bool>() { Spin::Up } else { Spin::Down })
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    Spin::Up
+                } else {
+                    Spin::Down
+                }
+            })
             .collect();
         model.set_spins(&random)?;
         let result = self.solve(model, rng);

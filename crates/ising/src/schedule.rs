@@ -63,7 +63,10 @@ impl CurrentSchedule {
             start > stop,
             "schedule must ramp downwards (start {start} must exceed stop {stop})"
         );
-        assert!(step.as_amps() > 0.0, "schedule step must be strictly positive");
+        assert!(
+            step.as_amps() > 0.0,
+            "schedule step must be strictly positive"
+        );
         Self { start, stop, step }
     }
 
@@ -163,9 +166,19 @@ impl GeometricTemperatureSchedule {
     ///
     /// Panics unless `start > stop > 0` and `0 < factor < 1`.
     pub fn new(start: f64, stop: f64, factor: f64) -> Self {
-        assert!(start > stop && stop > 0.0, "temperatures must satisfy start > stop > 0");
-        assert!(factor > 0.0 && factor < 1.0, "cooling factor must lie in (0, 1)");
-        Self { start, stop, factor }
+        assert!(
+            start > stop && stop > 0.0,
+            "temperatures must satisfy start > stop > 0"
+        );
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "cooling factor must lie in (0, 1)"
+        );
+        Self {
+            start,
+            stop,
+            factor,
+        }
     }
 
     /// Number of iterations until the temperature drops below `stop`.

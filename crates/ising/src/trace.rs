@@ -143,7 +143,9 @@ mod tests {
 
     #[test]
     fn degenerate_traces_return_none() {
-        assert!(synthetic_trace(&[5.0, 5.0]).early_improvement_fraction().is_none());
+        assert!(synthetic_trace(&[5.0, 5.0])
+            .early_improvement_fraction()
+            .is_none());
         assert!(synthetic_trace(&[5.0, 5.0, 5.0, 5.0, 5.0])
             .early_improvement_fraction()
             .is_none());

@@ -43,26 +43,106 @@ impl BenchmarkInstance {
 
 /// The 20 benchmark instances of the paper, in increasing size order.
 pub const BENCHMARK_SUITE: [BenchmarkInstance; 20] = [
-    BenchmarkInstance { name: "pr76", dimension: 76, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "eil101", dimension: 101, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "kroA200", dimension: 200, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "gil262", dimension: 262, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "lin318", dimension: 318, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "pcb442", dimension: 442, family: InstanceFamily::Grid },
-    BenchmarkInstance { name: "rat575", dimension: 575, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "gr666", dimension: 666, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "rat783", dimension: 783, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "pr1002", dimension: 1002, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "u1060", dimension: 1060, family: InstanceFamily::Grid },
-    BenchmarkInstance { name: "pr2392", dimension: 2392, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "pcb3038", dimension: 3038, family: InstanceFamily::Grid },
-    BenchmarkInstance { name: "fnl4461", dimension: 4461, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "rl5915", dimension: 5915, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "rl5934", dimension: 5934, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "rl11849", dimension: 11849, family: InstanceFamily::Uniform },
-    BenchmarkInstance { name: "d18512", dimension: 18512, family: InstanceFamily::Clustered },
-    BenchmarkInstance { name: "pla33810", dimension: 33810, family: InstanceFamily::Grid },
-    BenchmarkInstance { name: "pla85900", dimension: 85900, family: InstanceFamily::Grid },
+    BenchmarkInstance {
+        name: "pr76",
+        dimension: 76,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "eil101",
+        dimension: 101,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "kroA200",
+        dimension: 200,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "gil262",
+        dimension: 262,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "lin318",
+        dimension: 318,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "pcb442",
+        dimension: 442,
+        family: InstanceFamily::Grid,
+    },
+    BenchmarkInstance {
+        name: "rat575",
+        dimension: 575,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "gr666",
+        dimension: 666,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "rat783",
+        dimension: 783,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "pr1002",
+        dimension: 1002,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "u1060",
+        dimension: 1060,
+        family: InstanceFamily::Grid,
+    },
+    BenchmarkInstance {
+        name: "pr2392",
+        dimension: 2392,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "pcb3038",
+        dimension: 3038,
+        family: InstanceFamily::Grid,
+    },
+    BenchmarkInstance {
+        name: "fnl4461",
+        dimension: 4461,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "rl5915",
+        dimension: 5915,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "rl5934",
+        dimension: 5934,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "rl11849",
+        dimension: 11849,
+        family: InstanceFamily::Uniform,
+    },
+    BenchmarkInstance {
+        name: "d18512",
+        dimension: 18512,
+        family: InstanceFamily::Clustered,
+    },
+    BenchmarkInstance {
+        name: "pla33810",
+        dimension: 33810,
+        family: InstanceFamily::Grid,
+    },
+    BenchmarkInstance {
+        name: "pla85900",
+        dimension: 85900,
+        family: InstanceFamily::Grid,
+    },
 ];
 
 /// Returns the paper's benchmark suite (20 instances, increasing size).
@@ -124,8 +204,9 @@ pub fn load_or_generate(
 /// Derives a stable seed from an instance name so synthetic instances are reproducible
 /// across runs and machines.
 fn deterministic_seed(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +275,10 @@ mod tests {
 
     #[test]
     fn deterministic_seed_is_stable_and_distinct() {
-        assert_eq!(deterministic_seed("pla85900"), deterministic_seed("pla85900"));
+        assert_eq!(
+            deterministic_seed("pla85900"),
+            deterministic_seed("pla85900")
+        );
         assert_ne!(deterministic_seed("pla85900"), deterministic_seed("pr76"));
     }
 }

@@ -35,7 +35,10 @@ pub enum TsplibError {
 impl fmt::Display for TsplibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TsplibError::Parse { line: Some(line), reason } => {
+            TsplibError::Parse {
+                line: Some(line),
+                reason,
+            } => {
                 write!(f, "parse error at line {line}: {reason}")
             }
             TsplibError::Parse { line: None, reason } => write!(f, "parse error: {reason}"),
@@ -44,7 +47,10 @@ impl fmt::Display for TsplibError {
                 write!(f, "inconsistent instance definition: {reason}")
             }
             TsplibError::IndexOutOfRange { index, dimension } => {
-                write!(f, "city index {index} out of range for dimension {dimension}")
+                write!(
+                    f,
+                    "city index {index} out of range for dimension {dimension}"
+                )
             }
         }
     }

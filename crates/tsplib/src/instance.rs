@@ -177,9 +177,7 @@ impl TspInstance {
                 let (x2, y2) = coords[j];
                 match self.kind {
                     EdgeWeightKind::Euclidean => ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt(),
-                    EdgeWeightKind::Euc2d => {
-                        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().round()
-                    }
+                    EdgeWeightKind::Euc2d => ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().round(),
                     EdgeWeightKind::Ceil2d => ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().ceil(),
                     EdgeWeightKind::Att => {
                         let rij = (((x1 - x2).powi(2) + (y1 - y2).powi(2)) / 10.0).sqrt();
@@ -213,7 +211,12 @@ impl TspInstance {
         }
         Ok(cities
             .iter()
-            .map(|&i| cities.iter().map(|&j| self.distance_unchecked(i, j)).collect())
+            .map(|&i| {
+                cities
+                    .iter()
+                    .map(|&j| self.distance_unchecked(i, j))
+                    .collect()
+            })
             .collect())
     }
 
@@ -221,7 +224,8 @@ impl TspInstance {
     /// for sub-problems; this allocates `n²` doubles.
     pub fn full_distance_matrix(&self) -> Vec<Vec<f64>> {
         let all: Vec<usize> = (0..self.dimension).collect();
-        self.distance_matrix_for(&all).expect("all indices are in range")
+        self.distance_matrix_for(&all)
+            .expect("all indices are in range")
     }
 }
 
@@ -264,12 +268,9 @@ mod tests {
 
     #[test]
     fn euc2d_rounds_to_nearest_integer() {
-        let inst = TspInstance::from_coordinates(
-            "r",
-            vec![(0.0, 0.0), (1.0, 1.0)],
-            EdgeWeightKind::Euc2d,
-        )
-        .unwrap();
+        let inst =
+            TspInstance::from_coordinates("r", vec![(0.0, 0.0), (1.0, 1.0)], EdgeWeightKind::Euc2d)
+                .unwrap();
         // sqrt(2) ≈ 1.414 → rounds to 1.
         assert_eq!(inst.distance(0, 1).unwrap(), 1.0);
     }
@@ -349,11 +350,26 @@ mod tests {
 
     #[test]
     fn keyword_parsing_covers_supported_types() {
-        assert_eq!(EdgeWeightKind::from_keyword("EUC_2D").unwrap(), EdgeWeightKind::Euc2d);
-        assert_eq!(EdgeWeightKind::from_keyword("CEIL_2D").unwrap(), EdgeWeightKind::Ceil2d);
-        assert_eq!(EdgeWeightKind::from_keyword("ATT").unwrap(), EdgeWeightKind::Att);
-        assert_eq!(EdgeWeightKind::from_keyword("GEO").unwrap(), EdgeWeightKind::Geo);
-        assert_eq!(EdgeWeightKind::from_keyword("EXPLICIT").unwrap(), EdgeWeightKind::Explicit);
+        assert_eq!(
+            EdgeWeightKind::from_keyword("EUC_2D").unwrap(),
+            EdgeWeightKind::Euc2d
+        );
+        assert_eq!(
+            EdgeWeightKind::from_keyword("CEIL_2D").unwrap(),
+            EdgeWeightKind::Ceil2d
+        );
+        assert_eq!(
+            EdgeWeightKind::from_keyword("ATT").unwrap(),
+            EdgeWeightKind::Att
+        );
+        assert_eq!(
+            EdgeWeightKind::from_keyword("GEO").unwrap(),
+            EdgeWeightKind::Geo
+        );
+        assert_eq!(
+            EdgeWeightKind::from_keyword("EXPLICIT").unwrap(),
+            EdgeWeightKind::Explicit
+        );
         assert!(EdgeWeightKind::from_keyword("XRAY1").is_err());
     }
 

@@ -40,7 +40,7 @@ pub mod parser;
 pub mod tour;
 pub mod tour_io;
 
-pub use benchmark::{BenchmarkInstance, benchmark_suite, load_or_generate};
+pub use benchmark::{benchmark_suite, load_or_generate, BenchmarkInstance};
 pub use error::TsplibError;
 pub use instance::{EdgeWeightKind, TspInstance};
 pub use optima::known_optimum;

@@ -153,11 +153,7 @@ fn parse_float(token: Option<&str>, lineno: usize) -> Result<f64, TsplibError> {
         })
 }
 
-fn assemble_matrix(
-    n: usize,
-    format: &str,
-    weights: &[f64],
-) -> Result<Vec<Vec<f64>>, TsplibError> {
+fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<Vec<Vec<f64>>, TsplibError> {
     let mut matrix = vec![vec![0.0; n]; n];
     let mut it = weights.iter().copied();
     let mut next = |reason: &str| -> Result<f64, TsplibError> {
@@ -266,14 +262,19 @@ mod tests {
     #[test]
     fn wrong_coordinate_count_is_reported() {
         let text = "NAME: broken\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 1 1\nEOF\n";
-        assert!(matches!(parse_tsp(text), Err(TsplibError::Inconsistent { .. })));
+        assert!(matches!(
+            parse_tsp(text),
+            Err(TsplibError::Inconsistent { .. })
+        ));
     }
 
     #[test]
     fn invalid_coordinate_is_reported_with_line() {
         let text = "NAME: broken\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 x 1\nEOF\n";
         match parse_tsp(text) {
-            Err(TsplibError::Parse { line: Some(line), .. }) => assert_eq!(line, 6),
+            Err(TsplibError::Parse {
+                line: Some(line), ..
+            }) => assert_eq!(line, 6),
             other => panic!("expected a parse error with a line number, got {other:?}"),
         }
     }
@@ -281,13 +282,19 @@ mod tests {
     #[test]
     fn unsupported_edge_weight_type_is_reported() {
         let text = "NAME: x\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: XRAY1\nNODE_COORD_SECTION\n1 0 0\n2 1 1\nEOF\n";
-        assert!(matches!(parse_tsp(text), Err(TsplibError::Unsupported { .. })));
+        assert!(matches!(
+            parse_tsp(text),
+            Err(TsplibError::Unsupported { .. })
+        ));
     }
 
     #[test]
     fn short_edge_weight_section_is_reported() {
         let text = "NAME: m\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 2\nEOF\n";
-        assert!(matches!(parse_tsp(text), Err(TsplibError::Inconsistent { .. })));
+        assert!(matches!(
+            parse_tsp(text),
+            Err(TsplibError::Inconsistent { .. })
+        ));
     }
 
     #[test]

@@ -116,13 +116,11 @@ impl Tour {
     ///
     /// Returns [`TsplibError::Inconsistent`] if the city is not part of the tour.
     pub fn rotated_to_start_at(&self, city: usize) -> Result<Tour, TsplibError> {
-        let pos = self
-            .order
-            .iter()
-            .position(|&c| c == city)
-            .ok_or_else(|| TsplibError::Inconsistent {
+        let pos = self.order.iter().position(|&c| c == city).ok_or_else(|| {
+            TsplibError::Inconsistent {
                 reason: format!("city {city} is not part of the tour"),
-            })?;
+            }
+        })?;
         let mut order = Vec::with_capacity(self.order.len());
         order.extend_from_slice(&self.order[pos..]);
         order.extend_from_slice(&self.order[..pos]);
@@ -200,12 +198,9 @@ mod tests {
 
     #[test]
     fn single_city_tour_has_zero_length() {
-        let inst = TspInstance::from_coordinates(
-            "one",
-            vec![(5.0, 5.0)],
-            EdgeWeightKind::Euclidean,
-        )
-        .unwrap();
+        let inst =
+            TspInstance::from_coordinates("one", vec![(5.0, 5.0)], EdgeWeightKind::Euclidean)
+                .unwrap();
         assert_eq!(Tour::identity(1).length(&inst), 0.0);
     }
 }

@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn rejects_duplicate_cities() {
         let text = "TOUR_SECTION\n1\n2\n2\n-1\n";
-        assert!(matches!(parse_tour(text), Err(TsplibError::Inconsistent { .. })));
+        assert!(matches!(
+            parse_tour(text),
+            Err(TsplibError::Inconsistent { .. })
+        ));
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         let model = AreaModel::nm65();
         for bits in [2u8, 3, 4] {
             let area = model.macro_area_mm2(12, BitPrecision::new(bits).unwrap());
-            assert!(area < 0.1, "{bits}-bit macro area {area} mm² is implausibly large");
+            assert!(
+                area < 0.1,
+                "{bits}-bit macro area {area} mm² is implausibly large"
+            );
             assert!(area > 0.001);
         }
     }
@@ -132,8 +135,6 @@ mod tests {
     fn array_area_matches_cell_count() {
         let model = AreaModel::nm65();
         let geometry = ArrayGeometry::new(12, BitPrecision::FOUR);
-        assert!(
-            (model.array_area_um2(geometry) - geometry.cells() as f64 * 0.5).abs() < 1e-9
-        );
+        assert!((model.array_area_um2(geometry) - geometry.cells() as f64 * 0.5).abs() < 1e-9);
     }
 }

@@ -218,8 +218,7 @@ impl CrossbarArray {
             MagState::Parallel => self.params.g_parallel(),
             MagState::AntiParallel => self.params.g_antiparallel(),
         } * self.variation[idx];
-        let r_wire =
-            self.non_ideality.wire_resistance_per_cell_ohms * ((row + col) as f64 + 1.0);
+        let r_wire = self.non_ideality.wire_resistance_per_cell_ohms * ((row + col) as f64 + 1.0);
         if r_wire <= 0.0 {
             base
         } else {

@@ -141,8 +141,7 @@ impl MacroCircuitModel {
                 let (b4, p4) = CALIBRATION[2];
                 let cols_anchor = CALIBRATION_CITIES * (usize::from(b4) + 1);
                 let cols_target = CALIBRATION_CITIES * precision.partitions();
-                p4 + self.extrapolation_watts_per_column
-                    * (cols_target as f64 - cols_anchor as f64)
+                p4 + self.extrapolation_watts_per_column * (cols_target as f64 - cols_anchor as f64)
             });
         // Scale with column count relative to the 12-city calibration geometry.
         let cols_calibration = (CALIBRATION_CITIES * precision.partitions()) as f64;

@@ -50,10 +50,16 @@ impl fmt::Display for XbarError {
                 write!(f, "invalid distance matrix: {reason}")
             }
             XbarError::UnsupportedBitPrecision { bits } => {
-                write!(f, "unsupported bit precision: {bits} bits (supported: 1..=8)")
+                write!(
+                    f,
+                    "unsupported bit precision: {bits} bits (supported: 1..=8)"
+                )
             }
             XbarError::ProblemTooLarge { cities, capacity } => {
-                write!(f, "sub-problem with {cities} cities exceeds macro capacity {capacity}")
+                write!(
+                    f,
+                    "sub-problem with {cities} cities exceeds macro capacity {capacity}"
+                )
             }
             XbarError::IndexOutOfRange { kind, index, len } => {
                 write!(f, "{kind} index {index} out of range (0..{len})")

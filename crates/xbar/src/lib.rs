@@ -52,5 +52,7 @@ pub use array::{ArrayGeometry, CrossbarArray};
 pub use energy::{CircuitReport, MacroCircuitModel, PhaseLatency};
 pub use error::XbarError;
 pub use ising_macro::{IsingMacro, MacroConfig, MacroOpCounts};
-pub use periphery::{ArgMaxCircuit, CurrentComparator, CurrentMirrorBank, DLatch, StochasticMaskCircuit};
+pub use periphery::{
+    ArgMaxCircuit, CurrentComparator, CurrentMirrorBank, DLatch, StochasticMaskCircuit,
+};
 pub use quantize::{BitPrecision, QuantizedDistances};

@@ -26,7 +26,10 @@ fn main() -> Result<(), IsingError> {
     let (solution, trace) = solver.solve_cycle_traced(&matrix, 7)?;
 
     println!("annealing trace of one 12-city Ising macro (670-iteration software schedule)\n");
-    println!("{:>9} {:>12} {:>14} {:>12}  best-so-far", "sweep", "I_write µA", "stochasticity", "length");
+    println!(
+        "{:>9} {:>12} {:>14} {:>12}  best-so-far",
+        "sweep", "I_write µA", "stochasticity", "length"
+    );
     let best = trace.best_so_far();
     let max_length = trace
         .points()

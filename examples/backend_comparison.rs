@@ -1,0 +1,86 @@
+//! Backend comparison: the same hierarchical pipeline driven by every built-in
+//! [`taxi::TourSolver`] backend, plus a live pipeline-stage trace and a batched solve.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example backend_comparison
+//! ```
+
+use taxi::pipeline::{PipelineObserver, Stage, StageReport};
+use taxi::{SolverBackend, TaxiConfig, TaxiError, TaxiSolver};
+use taxi_tsplib::generator::clustered_instance;
+
+/// Prints each pipeline stage as it completes.
+struct StagePrinter;
+
+impl PipelineObserver for StagePrinter {
+    fn on_stage_end(&mut self, report: &StageReport) {
+        println!(
+            "    stage {:<14} {:>9.3} ms host, {:>5} items, {:>9.3} ms modelled",
+            format!("{:?}", report.stage),
+            report.seconds * 1e3,
+            report.items,
+            report.modeled_seconds * 1e3,
+        );
+    }
+
+    fn on_level_solved(&mut self, level_index: Option<usize>, subproblems: usize) {
+        match level_index {
+            Some(level) => println!("    level {level}: {subproblems} sub-problems"),
+            None => println!("    level (single macro): 1 sub-problem"),
+        }
+    }
+}
+
+fn main() -> Result<(), TaxiError> {
+    let instance = clustered_instance("backends400", 400, 16, 42);
+    println!(
+        "instance: {} ({} cities)\n",
+        instance.name(),
+        instance.dimension()
+    );
+
+    // 1. The same pipeline under every built-in backend.
+    println!("backend matrix (identical clustering / fixing / assembly):");
+    for backend in SolverBackend::ALL {
+        let config = TaxiConfig::new().with_seed(42).with_backend(backend);
+        let solution = TaxiSolver::new(config).solve(&instance)?;
+        println!(
+            "  {:<12} tour {:>8.1}, {:>3} sub-problems, solve {:>7.1} ms",
+            backend.label(),
+            solution.length,
+            solution.subproblems,
+            solution.software_solve_seconds * 1e3,
+        );
+    }
+
+    // 2. Observe the staged pipeline on the default (Ising macro) backend.
+    println!("\nstaged pipeline trace (ising-macro backend):");
+    let solver = TaxiSolver::new(TaxiConfig::new().with_seed(42));
+    let solution = solver.solve_with_observer(&instance, &mut StagePrinter)?;
+    let account = solution
+        .stage_report(Stage::Account)
+        .expect("account stage ran");
+    println!(
+        "    modelled hardware latency: {:.3} ms",
+        account.modeled_seconds * 1e3
+    );
+
+    // 3. Batched solving: one worker pool shared across the whole batch.
+    let batch: Vec<_> = (0..4)
+        .map(|i| clustered_instance("wave", 150, 8, 1000 + i))
+        .collect();
+    let results = solver.solve_batch(&batch);
+    println!("\nsolve_batch over {} instances:", batch.len());
+    for (instance, result) in batch.iter().zip(&results) {
+        let solution = result.as_ref().expect("batch instance solves");
+        println!(
+            "  {:<8} {:>4} cities → tour {:>8.1}",
+            instance.name(),
+            instance.dimension(),
+            solution.length
+        );
+    }
+    Ok(())
+}

@@ -19,7 +19,11 @@ fn main() -> Result<(), TaxiError> {
     let scale = ExperimentScale::from_env();
     println!(
         "running Fig 5 experiments at {} scale (set TAXI_FULL_SCALE=1 for the full suite)\n",
-        if scale == ExperimentScale::full() { "full" } else { "quick" }
+        if scale == ExperimentScale::full() {
+            "full"
+        } else {
+            "quick"
+        }
     );
 
     if figure == "5a" || figure == "all" {

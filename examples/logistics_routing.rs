@@ -64,7 +64,10 @@ fn main() -> Result<(), TaxiError> {
 
     // TAXI at several maximum cluster sizes (vehicle capacity of the Ising macro).
     println!("TAXI (hierarchically clustered Ising macros):");
-    println!("{:>12} {:>12} {:>14} {:>14}", "cluster", "route km", "hw latency µs", "energy µJ");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14}",
+        "cluster", "route km", "hw latency µs", "energy µJ"
+    );
     for cluster_size in [8usize, 12, 16, 20] {
         let config = TaxiConfig::new()
             .with_max_cluster_size(cluster_size)?

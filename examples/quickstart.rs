@@ -20,24 +20,58 @@ fn main() -> Result<(), TaxiError> {
     let solver = TaxiSolver::new(config);
     let solution = solver.solve(&instance)?;
 
-    println!("instance        : {} ({} cities)", instance.name(), instance.dimension());
+    println!(
+        "instance        : {} ({} cities)",
+        instance.name(),
+        instance.dimension()
+    );
     println!("tour length     : {:.1}", solution.length);
     println!("hierarchy levels: {}", solution.levels);
     println!("sub-problems    : {}", solution.subproblems);
     println!();
     println!("latency breakdown (host-measured + hardware-modelled):");
-    println!("  clustering : {:>10.3} ms", solution.latency.clustering_seconds * 1e3);
-    println!("  fixing     : {:>10.3} ms", solution.latency.fixing_seconds * 1e3);
-    println!("  ising      : {:>10.3} ms", solution.latency.ising_seconds * 1e3);
-    println!("  transfer   : {:>10.3} ms", solution.latency.transfer_seconds * 1e3);
-    println!("  mapping    : {:>10.3} ms", solution.latency.mapping_seconds * 1e3);
-    println!("  total      : {:>10.3} ms", solution.latency.total_seconds() * 1e3);
+    println!(
+        "  clustering : {:>10.3} ms",
+        solution.latency.clustering_seconds * 1e3
+    );
+    println!(
+        "  fixing     : {:>10.3} ms",
+        solution.latency.fixing_seconds * 1e3
+    );
+    println!(
+        "  ising      : {:>10.3} ms",
+        solution.latency.ising_seconds * 1e3
+    );
+    println!(
+        "  transfer   : {:>10.3} ms",
+        solution.latency.transfer_seconds * 1e3
+    );
+    println!(
+        "  mapping    : {:>10.3} ms",
+        solution.latency.mapping_seconds * 1e3
+    );
+    println!(
+        "  total      : {:>10.3} ms",
+        solution.latency.total_seconds() * 1e3
+    );
     println!();
     println!("energy breakdown (hardware-modelled):");
-    println!("  ising      : {:>10.3} µJ", solution.energy.ising_joules * 1e6);
-    println!("  transfer   : {:>10.3} µJ", solution.energy.transfer_joules * 1e6);
-    println!("  mapping    : {:>10.3} µJ", solution.energy.mapping_joules * 1e6);
-    println!("  total      : {:>10.3} µJ", solution.energy.total_joules() * 1e6);
+    println!(
+        "  ising      : {:>10.3} µJ",
+        solution.energy.ising_joules * 1e6
+    );
+    println!(
+        "  transfer   : {:>10.3} µJ",
+        solution.energy.transfer_joules * 1e6
+    );
+    println!(
+        "  mapping    : {:>10.3} µJ",
+        solution.energy.mapping_joules * 1e6
+    );
+    println!(
+        "  total      : {:>10.3} µJ",
+        solution.energy.total_joules() * 1e6
+    );
 
     // Compare against a classical heuristic reference.
     let matrix = instance.full_distance_matrix();
@@ -45,6 +79,9 @@ fn main() -> Result<(), TaxiError> {
     let reference_length = taxi_baselines::tour_length(&matrix, &reference);
     println!();
     println!("reference tour (NN + 2-opt): {:.1}", reference_length);
-    println!("ratio to reference         : {:.3}", solution.length / reference_length);
+    println!(
+        "ratio to reference         : {:.3}",
+        solution.length / reference_length
+    );
     Ok(())
 }

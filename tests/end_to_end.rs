@@ -32,7 +32,11 @@ fn solves_the_smallest_benchmark_instances_with_good_quality() {
             "{}: ratio {ratio:.3} should stay below 1.5x the heuristic reference",
             spec.name
         );
-        assert!(ratio > 0.5, "{}: suspiciously short tour (ratio {ratio:.3})", spec.name);
+        assert!(
+            ratio > 0.5,
+            "{}: suspiciously short tour (ratio {ratio:.3})",
+            spec.name
+        );
     }
 }
 
@@ -126,7 +130,9 @@ fn hvc_baseline_and_taxi_solve_the_same_instances() {
     let taxi = TaxiSolver::new(TaxiConfig::new().with_seed(1))
         .solve(&instance)
         .unwrap();
-    let hvc = HvcBaseline::new(HvcConfig::new(12)).solve(&instance).unwrap();
+    let hvc = HvcBaseline::new(HvcConfig::new(12))
+        .solve(&instance)
+        .unwrap();
     assert_valid_tour(&taxi, instance.dimension());
     assert!(hvc.tour.is_valid_for(&instance));
     // Both must produce finite, positive tour lengths; TAXI's fixing should usually win,

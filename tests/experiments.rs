@@ -16,8 +16,7 @@ fn fig5a_covers_every_requested_cluster_size_and_instance() {
     let report = run_fig5a(tiny(), &[12, 20]).unwrap();
     let sizes: Vec<usize> = report.rows.iter().map(|r| r.cluster_size).collect();
     assert!(sizes.contains(&12) && sizes.contains(&20));
-    let dims: std::collections::BTreeSet<usize> =
-        report.rows.iter().map(|r| r.dimension).collect();
+    let dims: std::collections::BTreeSet<usize> = report.rows.iter().map(|r| r.dimension).collect();
     assert_eq!(dims.into_iter().collect::<Vec<_>>(), vec![76, 101]);
     for row in &report.rows {
         assert!(row.optimal_ratio.is_finite());
@@ -60,10 +59,8 @@ fn fig6a_baseline_row_is_normalised() {
 fn fig6b_totals_are_consistent_with_components() {
     let report = run_fig6b(tiny()).unwrap();
     for row in &report.rows {
-        let sum = row.clustering_seconds
-            + row.fixing_seconds
-            + row.ising_seconds
-            + row.transfer_seconds;
+        let sum =
+            row.clustering_seconds + row.fixing_seconds + row.ising_seconds + row.transfer_seconds;
         assert!((sum - row.total_seconds).abs() < 1e-9);
         assert!(row.exact_solver_seconds > row.total_seconds);
     }
@@ -73,9 +70,16 @@ fn fig6b_totals_are_consistent_with_components() {
 #[test]
 fn table1_reproduces_published_circuit_numbers() {
     let report = run_table1();
-    let energies: Vec<f64> = report.rows.iter().map(|r| r.report.energy_picojoules()).collect();
+    let energies: Vec<f64> = report
+        .rows
+        .iter()
+        .map(|r| r.report.energy_picojoules())
+        .collect();
     assert_eq!(energies.len(), 3);
-    assert!(energies.windows(2).all(|w| w[0] < w[1]), "energy grows with precision");
+    assert!(
+        energies.windows(2).all(|w| w[0] < w[1]),
+        "energy grows with precision"
+    );
     for row in &report.rows {
         assert!((row.report.latency.total() - 9e-9).abs() < 1e-15);
     }

@@ -30,7 +30,11 @@ fn schedule_and_device_compose_into_the_paper_annealing_trajectory() {
 #[test]
 fn macro_mask_statistics_follow_the_device_curve() {
     let distances: Vec<Vec<f64>> = (0..12)
-        .map(|i| (0..12).map(|j| ((i as f64) - (j as f64)).abs() + 1.0).collect())
+        .map(|i| {
+            (0..12)
+                .map(|j| ((i as f64) - (j as f64)).abs() + 1.0)
+                .collect()
+        })
         .collect();
     let macro_ = IsingMacro::new(&distances, MacroConfig::new(4)).unwrap();
     let params = DeviceParams::default();
@@ -104,8 +108,7 @@ fn one_subproblem_costs_microseconds_and_nanojoules() {
 #[test]
 fn final_schedule_point_behaves_nearly_greedily() {
     let params = DeviceParams::default();
-    let mut generator =
-        taxi_device::StochasticVectorGenerator::new(params, 12).unwrap();
+    let mut generator = taxi_device::StochasticVectorGenerator::new(params, 12).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let stop = WriteCurrent::from_micro_amps(353.0);
     let mut all_ones = 0usize;

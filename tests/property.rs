@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 
 use taxi::{TaxiConfig, TaxiSolver};
-use taxi_cluster::{agglomerative_clusters, AgglomerativeConfig, Hierarchy, HierarchyConfig, Point};
+use taxi_cluster::{
+    agglomerative_clusters, AgglomerativeConfig, Hierarchy, HierarchyConfig, Point,
+};
 use taxi_device::{DeviceParams, SwitchingCurve, WriteCurrent};
 use taxi_ising::{AnnealingSchedule, CurrentSchedule, TspQuboEncoder};
 use taxi_tsplib::{EdgeWeightKind, Tour, TspInstance};

@@ -1,0 +1,226 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build container has no registry access, so the workspace vendors the surface its
+//! benches consume: [`Criterion`], [`BenchmarkGroup`] (`sample_size`,
+//! `measurement_time`, `bench_function`, `bench_with_input`, `finish`), [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of upstream's statistical analysis it times a bounded number of
+//! iterations with `std::time::Instant` and prints mean wall-clock time per iteration.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus an optional
+/// parameter rendered into the printed label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"name/parameter"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean wall-clock time per iteration measured by the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`] so the optimiser
+    /// cannot delete the measured work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then the measured loop.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / self.iterations as u32);
+    }
+}
+
+/// Top-level benchmark harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(BenchmarkId::from(name.as_str()), f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            last_mean: None,
+        };
+        let start = Instant::now();
+        f(&mut bencher);
+        let mean = bencher.last_mean.unwrap_or_else(|| start.elapsed());
+        println!(
+            "bench {}/{}: {:>12.3?} per iter ({} iters)",
+            self.name, id.label, mean, self.sample_size
+        );
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (prints nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a set of benchmark functions runnable via [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function running every [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(1));
+            group.bench_function(BenchmarkId::new("f", 1), |b| {
+                b.iter(|| ran += 1);
+            });
+            group.bench_with_input(BenchmarkId::new("g", 2), &5, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            group.finish();
+        }
+        // warm-up + sample_size iterations.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn bench_function_works_at_top_level() {
+        let mut c = Criterion::default();
+        c.bench_function("top", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

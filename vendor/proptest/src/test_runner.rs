@@ -1,0 +1,206 @@
+//! Deterministic case runner (subset of `proptest::test_runner`).
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-test configuration (subset: number of cases).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (`prop_assume`) cases tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+    /// A `prop_assume` precondition was unmet; the case is discarded.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// The RNG handed to strategies: a seeded ChaCha8 stream plus convenience samplers.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+macro_rules! inclusive_sampler {
+    ($($name:ident => $t:ty),*) => {$(
+        /// Uniform draw from `lo..=hi`.
+        pub fn $name(&mut self, lo: $t, hi: $t) -> $t {
+            assert!(lo <= hi, "empty inclusive range");
+            let span = (hi as i128 - lo as i128) as u128 + 1;
+            let draw = (self.inner.next_u64() as u128) % span;
+            (lo as i128 + draw as i128) as $t
+        }
+    )*};
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    inclusive_sampler!(
+        gen_usize_inclusive => usize,
+        gen_u8_inclusive => u8,
+        gen_u16_inclusive => u16,
+        gen_u32_inclusive => u32,
+        gen_u64_inclusive => u64,
+        gen_i32_inclusive => i32,
+        gen_i64_inclusive => i64
+    );
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Fair coin flip.
+    pub fn gen_bool_half(&mut self) -> bool {
+        self.inner.gen::<bool>()
+    }
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Some(seed) = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return seed;
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` successes, a failure, or the rejection budget is
+/// exhausted. Panics (failing the enclosing `#[test]`) on the first failing case.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let seed = base_seed(test_name);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut index = 0u64;
+    while successes < config.cases {
+        let mut rng = TestRng::from_seed(seed.wrapping_add(index.wrapping_mul(0x9E37_79B9)));
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume rejections \
+                         ({rejects} rejects for {successes} successes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{test_name}: property failed at case #{index} \
+                     (base seed {seed}): {message}"
+                );
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runner_reaches_the_requested_case_count() {
+        let mut seen = 0;
+        run_cases(&ProptestConfig::with_cases(10), "counting", |_| {
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_successes() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(5), "rejecting", |rng| {
+            calls += 1;
+            if rng.gen_bool_half() {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_the_message() {
+        run_cases(&ProptestConfig::with_cases(5), "failing", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-1.0f64..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let (a, b) = ((0u64..4), (0.0f64..2.0)).sample(&mut rng);
+            assert!(a < 4 && (0.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        use crate::strategy::Just;
+        let strat = Just((0..30usize).collect::<Vec<_>>()).prop_shuffle();
+        let mut rng = TestRng::from_seed(11);
+        let mut perm = strat.sample(&mut rng);
+        perm.sort_unstable();
+        assert_eq!(perm, (0..30).collect::<Vec<_>>());
+    }
+}
