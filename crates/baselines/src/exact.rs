@@ -14,6 +14,33 @@ pub struct ExactSolution {
     pub length: f64,
 }
 
+/// Reusable DP tables for [`held_karp_into`] / [`held_karp_path_into`].
+///
+/// The Held–Karp table is `2^n · n` entries — by far the largest allocation on the exact
+/// solve path — so reusing it across sub-problems matters: once the tables have grown to
+/// the largest size seen, every subsequent exact solve allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct HeldKarpScratch {
+    dp: Vec<f64>,
+    parent: Vec<u32>,
+}
+
+impl HeldKarpScratch {
+    /// Creates an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears and resizes the tables for an `n`-city solve.
+    fn prepare(&mut self, n: usize) {
+        let cells = (1usize << n) * n;
+        self.dp.clear();
+        self.dp.resize(cells, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(cells, u32::MAX);
+    }
+}
+
 /// Solves the TSP exactly with the Held–Karp dynamic program.
 ///
 /// # Errors
@@ -38,6 +65,22 @@ pub struct ExactSolution {
 /// # Ok::<(), taxi_baselines::BaselineError>(())
 /// ```
 pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError> {
+    let mut order = Vec::with_capacity(distances.len());
+    let length = held_karp_into(distances, &mut HeldKarpScratch::new(), &mut order)?;
+    Ok(ExactSolution { order, length })
+}
+
+/// Buffer-reusing form of [`held_karp`]: DP tables come from `scratch`, the optimal
+/// order is written into `out` (cleared first), and the optimal length is returned.
+///
+/// # Errors
+///
+/// Same error conditions as [`held_karp`].
+pub fn held_karp_into(
+    distances: &[Vec<f64>],
+    scratch: &mut HeldKarpScratch,
+    out: &mut Vec<usize>,
+) -> Result<f64, BaselineError> {
     let n = distances.len();
     if n == 0 || distances.iter().any(|row| row.len() != n) {
         return Err(BaselineError::InvalidProblem {
@@ -50,24 +93,21 @@ pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError>
             limit: HELD_KARP_LIMIT,
         });
     }
+    out.clear();
     if n == 1 {
-        return Ok(ExactSolution {
-            order: vec![0],
-            length: 0.0,
-        });
+        out.push(0);
+        return Ok(0.0);
     }
     if n == 2 {
-        return Ok(ExactSolution {
-            order: vec![0, 1],
-            length: distances[0][1] + distances[1][0],
-        });
+        out.extend([0, 1]);
+        return Ok(distances[0][1] + distances[1][0]);
     }
 
     // dp[mask][j] = shortest path starting at 0, visiting exactly the cities in `mask`
     // (which always contains 0 and j), ending at j.
     let full: usize = 1 << n;
-    let mut dp = vec![f64::INFINITY; full * n];
-    let mut parent = vec![usize::MAX; full * n];
+    scratch.prepare(n);
+    let HeldKarpScratch { dp, parent } = scratch;
     dp[n] = 0.0; // mask = {0}, end = 0
     for mask in 1..full {
         if mask & 1 == 0 {
@@ -89,7 +129,7 @@ pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError>
                 let cand = cur + distances[last][next];
                 if cand < dp[new_mask * n + next] {
                     dp[new_mask * n + next] = cand;
-                    parent[new_mask * n + next] = last;
+                    parent[new_mask * n + next] = last as u32;
                 }
             }
         }
@@ -104,21 +144,21 @@ pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError>
         }
     }
     // Reconstruct.
-    let mut order = Vec::with_capacity(n);
     let mut mask = all;
     let mut last = best_last;
     while last != usize::MAX && last != 0 {
-        order.push(last);
+        out.push(last);
         let prev = parent[mask * n + last];
         mask &= !(1 << last);
-        last = prev;
+        last = if prev == u32::MAX {
+            usize::MAX
+        } else {
+            prev as usize
+        };
     }
-    order.push(0);
-    order.reverse();
-    Ok(ExactSolution {
-        order,
-        length: best_len,
-    })
+    out.push(0);
+    out.reverse();
+    Ok(best_len)
 }
 
 /// Solves the fixed-endpoint open-path TSP exactly with a Held–Karp-style dynamic
@@ -150,6 +190,30 @@ pub fn held_karp_path(
     start: usize,
     end: usize,
 ) -> Result<ExactSolution, BaselineError> {
+    let mut order = Vec::with_capacity(distances.len());
+    let length = held_karp_path_into(
+        distances,
+        start,
+        end,
+        &mut HeldKarpScratch::new(),
+        &mut order,
+    )?;
+    Ok(ExactSolution { order, length })
+}
+
+/// Buffer-reusing form of [`held_karp_path`]: DP tables come from `scratch`, the optimal
+/// order is written into `out` (cleared first), and the optimal length is returned.
+///
+/// # Errors
+///
+/// Same error conditions as [`held_karp_path`].
+pub fn held_karp_path_into(
+    distances: &[Vec<f64>],
+    start: usize,
+    end: usize,
+    scratch: &mut HeldKarpScratch,
+    out: &mut Vec<usize>,
+) -> Result<f64, BaselineError> {
     let n = distances.len();
     if n == 0 || distances.iter().any(|row| row.len() != n) {
         return Err(BaselineError::InvalidProblem {
@@ -172,18 +236,17 @@ pub fn held_karp_path(
             limit: HELD_KARP_LIMIT,
         });
     }
+    out.clear();
     if n == 1 {
-        return Ok(ExactSolution {
-            order: vec![start],
-            length: 0.0,
-        });
+        out.push(start);
+        return Ok(0.0);
     }
 
     // dp[mask][j] = shortest path starting at `start`, visiting exactly the cities in
     // `mask` (which always contains `start` and j), ending at j.
     let full: usize = 1 << n;
-    let mut dp = vec![f64::INFINITY; full * n];
-    let mut parent = vec![usize::MAX; full * n];
+    scratch.prepare(n);
+    let HeldKarpScratch { dp, parent } = scratch;
     dp[(1 << start) * n + start] = 0.0;
     for mask in 1..full {
         if mask & (1 << start) == 0 {
@@ -205,7 +268,7 @@ pub fn held_karp_path(
                 let cand = cur + distances[last][next];
                 if cand < dp[new_mask * n + next] {
                     dp[new_mask * n + next] = cand;
-                    parent[new_mask * n + next] = last;
+                    parent[new_mask * n + next] = last as u32;
                 }
             }
         }
@@ -217,18 +280,20 @@ pub fn held_karp_path(
             reason: "no Hamiltonian path exists under the given matrix".to_string(),
         });
     }
-    let mut order = Vec::with_capacity(n);
     let mut mask = all;
     let mut last = end;
-    while last != usize::MAX {
-        order.push(last);
+    loop {
+        out.push(last);
         let prev = parent[mask * n + last];
         mask &= !(1 << last);
-        last = prev;
+        if prev == u32::MAX {
+            break;
+        }
+        last = prev as usize;
     }
-    order.reverse();
-    debug_assert_eq!(order[0], start);
-    Ok(ExactSolution { order, length })
+    out.reverse();
+    debug_assert_eq!(out[0], start);
+    Ok(length)
 }
 
 /// Projection model of an exact (Concorde-style) solver running on one CPU core.

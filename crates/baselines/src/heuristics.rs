@@ -5,6 +5,35 @@
 //! optimum does not apply), and they are the comparison heuristics for the ablation
 //! benches.
 
+/// Reusable scratch buffers for the construction heuristics and local searches.
+///
+/// One scratch per worker turns the whole heuristic stack (`nearest_neighbor_*`,
+/// `greedy_edge_tour`, Or-opt relocation) into zero-allocation operations once the
+/// buffers have grown to the largest sub-problem seen; the `*_into` / `*_with` variants
+/// below consume it. Results are identical to the allocating entry points.
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicScratch {
+    visited: Vec<bool>,
+    // Or-opt relocation buffers.
+    segment: Vec<usize>,
+    trial: Vec<usize>,
+    candidate: Vec<usize>,
+    // Greedy-edge construction buffers.
+    edges: Vec<(u32, u32)>,
+    degree: Vec<u8>,
+    component: Vec<u32>,
+    /// Cycle adjacency: every vertex ends with degree ≤ 2.
+    adjacency: Vec<[u32; 2]>,
+    adj_len: Vec<u8>,
+}
+
+impl HeuristicScratch {
+    /// Creates an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Length of the closed tour `order` under `distances`.
 ///
 /// # Panics
@@ -26,27 +55,44 @@ pub fn tour_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
 ///
 /// Panics if the matrix is empty or `start` is out of range.
 pub fn nearest_neighbor_tour(distances: &[Vec<f64>], start: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.len());
+    nearest_neighbor_tour_into(distances, start, &mut HeuristicScratch::new(), &mut order);
+    order
+}
+
+/// Buffer-reusing form of [`nearest_neighbor_tour`]: writes the order into `out`
+/// (cleared first).
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or `start` is out of range.
+pub fn nearest_neighbor_tour_into(
+    distances: &[Vec<f64>],
+    start: usize,
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+) {
     let n = distances.len();
     assert!(n > 0 && start < n, "start city must exist");
-    let mut visited = vec![false; n];
-    let mut order = Vec::with_capacity(n);
+    scratch.visited.clear();
+    scratch.visited.resize(n, false);
+    out.clear();
     let mut current = start;
-    visited[current] = true;
-    order.push(current);
+    scratch.visited[current] = true;
+    out.push(current);
     for _ in 1..n {
         let next = (0..n)
-            .filter(|&c| !visited[c])
+            .filter(|&c| !scratch.visited[c])
             .min_by(|&a, &b| {
                 distances[current][a]
                     .partial_cmp(&distances[current][b])
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("an unvisited city remains");
-        visited[next] = true;
-        order.push(next);
+        scratch.visited[next] = true;
+        out.push(next);
         current = next;
     }
-    order
 }
 
 /// Greedy-edge construction: repeatedly adds the shortest edge that keeps the partial
@@ -56,69 +102,132 @@ pub fn nearest_neighbor_tour(distances: &[Vec<f64>], start: usize) -> Vec<usize>
 ///
 /// Panics if the matrix is empty.
 pub fn greedy_edge_tour(distances: &[Vec<f64>]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.len());
+    greedy_edge_tour_into(distances, &mut HeuristicScratch::new(), &mut order);
+    order
+}
+
+/// Buffer-reusing form of [`greedy_edge_tour`]: the edge list, union-find and adjacency
+/// tables come from `scratch`, and the tour is written into `out` (cleared first).
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn greedy_edge_tour_into(
+    distances: &[Vec<f64>],
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+) {
     let n = distances.len();
     assert!(n > 0, "instance must have at least one city");
+    out.clear();
     if n == 1 {
-        return vec![0];
+        out.push(0);
+        return;
     }
-    let mut edges: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .collect();
-    edges.sort_by(|&(a, b), &(c, d)| {
-        distances[a][b]
-            .partial_cmp(&distances[c][d])
+    let edges = &mut scratch.edges;
+    edges.clear();
+    edges.extend((0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i as u32, j as u32))));
+    // Tie-break equal-length edges by (a, b): identical to a stable sort of the
+    // lexicographically generated list, without the merge-sort scratch allocation.
+    edges.sort_unstable_by(|&(a, b), &(c, d)| {
+        distances[a as usize][b as usize]
+            .partial_cmp(&distances[c as usize][d as usize])
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a, b).cmp(&(c, d)))
     });
-    let mut degree = vec![0usize; n];
-    let mut component: Vec<usize> = (0..n).collect();
-    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
-    fn find(component: &mut Vec<usize>, x: usize) -> usize {
-        if component[x] != x {
-            let root = find(component, component[x]);
-            component[x] = root;
+    scratch.degree.clear();
+    scratch.degree.resize(n, 0);
+    scratch.component.clear();
+    scratch.component.extend(0..n as u32);
+    scratch.adjacency.clear();
+    scratch.adjacency.resize(n, [u32::MAX; 2]);
+    scratch.adj_len.clear();
+    scratch.adj_len.resize(n, 0);
+    fn find(component: &mut [u32], x: u32) -> u32 {
+        // Iterative find with full path compression.
+        let mut root = x;
+        while component[root as usize] != root {
+            root = component[root as usize];
         }
-        component[x]
+        let mut walk = x;
+        while component[walk as usize] != root {
+            let next = component[walk as usize];
+            component[walk as usize] = root;
+            walk = next;
+        }
+        root
     }
+    let push_edge = |adjacency: &mut [[u32; 2]], adj_len: &mut [u8], a: u32, b: u32| {
+        adjacency[a as usize][adj_len[a as usize] as usize] = b;
+        adj_len[a as usize] += 1;
+    };
     let mut added = 0usize;
-    for (a, b) in edges {
+    for idx in 0..edges.len() {
+        let (a, b) = edges[idx];
         if added == n - 1 {
             break;
         }
-        if degree[a] >= 2 || degree[b] >= 2 {
+        if scratch.degree[a as usize] >= 2 || scratch.degree[b as usize] >= 2 {
             continue;
         }
-        let (ra, rb) = (find(&mut component, a), find(&mut component, b));
+        let (ra, rb) = (
+            find(&mut scratch.component, a),
+            find(&mut scratch.component, b),
+        );
         if ra == rb {
             continue;
         }
-        component[rb] = ra;
-        degree[a] += 1;
-        degree[b] += 1;
-        adjacency[a].push(b);
-        adjacency[b].push(a);
+        scratch.component[rb as usize] = ra;
+        scratch.degree[a as usize] += 1;
+        scratch.degree[b as usize] += 1;
+        push_edge(&mut scratch.adjacency, &mut scratch.adj_len, a, b);
+        push_edge(&mut scratch.adjacency, &mut scratch.adj_len, b, a);
         added += 1;
     }
     // Close the cycle: connect the two remaining endpoints (degree 1).
-    let endpoints: Vec<usize> = (0..n).filter(|&c| degree[c] <= 1).collect();
-    if endpoints.len() == 2 {
-        adjacency[endpoints[0]].push(endpoints[1]);
-        adjacency[endpoints[1]].push(endpoints[0]);
+    let mut first_endpoint = u32::MAX;
+    let mut second_endpoint = u32::MAX;
+    let mut endpoint_count = 0usize;
+    for c in 0..n {
+        if scratch.degree[c] <= 1 {
+            endpoint_count += 1;
+            if first_endpoint == u32::MAX {
+                first_endpoint = c as u32;
+            } else if second_endpoint == u32::MAX {
+                second_endpoint = c as u32;
+            }
+        }
+    }
+    if endpoint_count == 2 {
+        push_edge(
+            &mut scratch.adjacency,
+            &mut scratch.adj_len,
+            first_endpoint,
+            second_endpoint,
+        );
+        push_edge(
+            &mut scratch.adjacency,
+            &mut scratch.adj_len,
+            second_endpoint,
+            first_endpoint,
+        );
     }
     // Walk the cycle.
-    let mut order = Vec::with_capacity(n);
-    let mut prev = usize::MAX;
-    let mut current = 0usize;
+    let mut prev = u32::MAX;
+    let mut current = 0u32;
     for _ in 0..n {
-        order.push(current);
-        let next = adjacency[current]
+        out.push(current as usize);
+        let neighbors = &scratch.adjacency[current as usize];
+        let len = scratch.adj_len[current as usize] as usize;
+        let next = neighbors[..len]
             .iter()
             .copied()
             .find(|&c| c != prev)
-            .unwrap_or_else(|| adjacency[current][0]);
+            .unwrap_or_else(|| neighbors[0]);
         prev = current;
         current = next;
     }
-    order
 }
 
 /// 2-opt local search: repeatedly reverses tour segments while that shortens the tour,
@@ -158,6 +267,18 @@ pub fn two_opt(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -
 /// Or-opt local search: relocates segments of 1–3 consecutive cities while that shortens
 /// the tour, up to `max_passes` passes. Returns the number of improving moves applied.
 pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+    or_opt_with(distances, order, max_passes, &mut HeuristicScratch::new())
+}
+
+/// Buffer-reusing form of [`or_opt`]: the segment/trial/candidate relocation buffers come
+/// from `scratch`, so steady-state local search allocates nothing. Results are identical
+/// to [`or_opt`].
+pub fn or_opt_with(
+    distances: &[Vec<f64>],
+    order: &mut Vec<usize>,
+    max_passes: usize,
+    scratch: &mut HeuristicScratch,
+) -> usize {
     let n = order.len();
     if n < 5 {
         return 0;
@@ -168,31 +289,7 @@ pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize)
         for seg_len in 1..=3usize {
             let mut i = 0;
             while i + seg_len < order.len() {
-                let before = tour_length(distances, order);
-                let segment: Vec<usize> = order[i..i + seg_len].to_vec();
-                let mut trial: Vec<usize> = order
-                    .iter()
-                    .copied()
-                    .filter(|c| !segment.contains(c))
-                    .collect();
-                let mut best_len = before;
-                let mut best_pos = None;
-                for pos in 0..=trial.len() {
-                    let mut candidate = trial.clone();
-                    for (offset, &c) in segment.iter().enumerate() {
-                        candidate.insert(pos + offset, c);
-                    }
-                    let len = tour_length(distances, &candidate);
-                    if len < best_len - 1e-12 {
-                        best_len = len;
-                        best_pos = Some(pos);
-                    }
-                }
-                if let Some(pos) = best_pos {
-                    for (offset, &c) in segment.iter().enumerate() {
-                        trial.insert(pos + offset, c);
-                    }
-                    *order = trial;
+                if relocate_segment(distances, order, i, seg_len, false, scratch).is_some() {
                     improvements += 1;
                     improved = true;
                 }
@@ -204,6 +301,64 @@ pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize)
         }
     }
     improvements
+}
+
+/// One Or-opt relocation attempt for `order[i..i + seg_len]`; shared by the cyclic and
+/// open-path searches (`path_mode` pins the first/last positions). Returns the chosen
+/// insertion position when an improving move was applied.
+fn relocate_segment(
+    distances: &[Vec<f64>],
+    order: &mut Vec<usize>,
+    i: usize,
+    seg_len: usize,
+    path_mode: bool,
+    scratch: &mut HeuristicScratch,
+) -> Option<usize> {
+    let length_of = |o: &[usize]| {
+        if path_mode {
+            path_length(distances, o)
+        } else {
+            tour_length(distances, o)
+        }
+    };
+    let HeuristicScratch {
+        segment,
+        trial,
+        candidate,
+        ..
+    } = scratch;
+    let before = length_of(order);
+    segment.clear();
+    segment.extend_from_slice(&order[i..i + seg_len]);
+    trial.clear();
+    trial.extend(order.iter().copied().filter(|c| !segment.contains(c)));
+    let mut best_len = before;
+    let mut best_pos = None;
+    let (first_pos, last_pos) = if path_mode {
+        (1, trial.len().saturating_sub(1))
+    } else {
+        (0, trial.len())
+    };
+    for pos in first_pos..=last_pos {
+        candidate.clear();
+        candidate.extend_from_slice(trial);
+        for (offset, &c) in segment.iter().enumerate() {
+            candidate.insert(pos + offset, c);
+        }
+        let len = length_of(candidate);
+        if len < best_len - 1e-12 {
+            best_len = len;
+            best_pos = Some(pos);
+        }
+    }
+    if let Some(pos) = best_pos {
+        for (offset, &c) in segment.iter().enumerate() {
+            trial.insert(pos + offset, c);
+        }
+        order.clear();
+        order.extend_from_slice(trial);
+    }
+    best_pos
 }
 
 /// Length of the open path `order` under `distances`.
@@ -225,35 +380,61 @@ pub fn path_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
 /// Panics if the matrix is empty, either endpoint is out of range, or `start == end` on
 /// a multi-city matrix (a Hamiltonian path cannot start and end at the same city).
 pub fn nearest_neighbor_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.len());
+    nearest_neighbor_path_into(
+        distances,
+        start,
+        end,
+        &mut HeuristicScratch::new(),
+        &mut order,
+    );
+    order
+}
+
+/// Buffer-reusing form of [`nearest_neighbor_path`]: writes the order into `out`
+/// (cleared first).
+///
+/// # Panics
+///
+/// Same panic conditions as [`nearest_neighbor_path`].
+pub fn nearest_neighbor_path_into(
+    distances: &[Vec<f64>],
+    start: usize,
+    end: usize,
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+) {
     let n = distances.len();
     assert!(n > 0 && start < n && end < n, "endpoints must exist");
     assert!(
         n == 1 || start != end,
         "start and end must differ for multi-city paths"
     );
+    out.clear();
     if n == 1 {
-        return vec![start];
+        out.push(start);
+        return;
     }
-    let mut visited = vec![false; n];
-    visited[start] = true;
-    visited[end] = true;
-    let mut order = vec![start];
+    scratch.visited.clear();
+    scratch.visited.resize(n, false);
+    scratch.visited[start] = true;
+    scratch.visited[end] = true;
+    out.push(start);
     let mut current = start;
     for _ in 0..n.saturating_sub(2) {
         let next = (0..n)
-            .filter(|&c| !visited[c])
+            .filter(|&c| !scratch.visited[c])
             .min_by(|&a, &b| {
                 distances[current][a]
                     .partial_cmp(&distances[current][b])
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("an unvisited interior city remains");
-        visited[next] = true;
-        order.push(next);
+        scratch.visited[next] = true;
+        out.push(next);
         current = next;
     }
-    order.push(end);
-    order
+    out.push(end);
 }
 
 /// 2-opt local search on an open path: reverses interior segments while that shortens the
@@ -293,6 +474,17 @@ pub fn two_opt_path(distances: &[Vec<f64>], order: &mut [usize], max_passes: usi
 /// cities while that shortens the path, keeping the endpoints pinned. Returns the number
 /// of improving moves applied.
 pub fn or_opt_path(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+    or_opt_path_with(distances, order, max_passes, &mut HeuristicScratch::new())
+}
+
+/// Buffer-reusing form of [`or_opt_path`]; insertion positions keep the pinned endpoints
+/// in place. Results are identical to [`or_opt_path`].
+pub fn or_opt_path_with(
+    distances: &[Vec<f64>],
+    order: &mut Vec<usize>,
+    max_passes: usize,
+    scratch: &mut HeuristicScratch,
+) -> usize {
     let n = order.len();
     if n < 5 {
         return 0;
@@ -303,32 +495,7 @@ pub fn or_opt_path(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: u
         for seg_len in 1..=3usize {
             let mut i = 1;
             while i + seg_len < order.len() {
-                let before = path_length(distances, order);
-                let segment: Vec<usize> = order[i..i + seg_len].to_vec();
-                let mut trial: Vec<usize> = order
-                    .iter()
-                    .copied()
-                    .filter(|c| !segment.contains(c))
-                    .collect();
-                let mut best_len = before;
-                let mut best_pos = None;
-                // Insertion positions 1..len keep the pinned endpoints in place.
-                for pos in 1..trial.len() {
-                    let mut candidate = trial.clone();
-                    for (offset, &c) in segment.iter().enumerate() {
-                        candidate.insert(pos + offset, c);
-                    }
-                    let len = path_length(distances, &candidate);
-                    if len < best_len - 1e-12 {
-                        best_len = len;
-                        best_pos = Some(pos);
-                    }
-                }
-                if let Some(pos) = best_pos {
-                    for (offset, &c) in segment.iter().enumerate() {
-                        trial.insert(pos + offset, c);
-                    }
-                    *order = trial;
+                if relocate_segment(distances, order, i, seg_len, true, scratch).is_some() {
                     improvements += 1;
                     improved = true;
                 }
@@ -350,13 +517,37 @@ pub fn or_opt_path(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: u
 /// Panics if the matrix is empty, either endpoint is out of range, or `start == end` on
 /// a multi-city matrix (see [`nearest_neighbor_path`]).
 pub fn reference_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
-    let mut order = nearest_neighbor_path(distances, start, end);
-    two_opt_path(distances, &mut order, 8);
-    if distances.len() <= 400 {
-        or_opt_path(distances, &mut order, 2);
-        two_opt_path(distances, &mut order, 4);
-    }
+    let mut order = Vec::with_capacity(distances.len());
+    reference_path_into(
+        distances,
+        start,
+        end,
+        &mut HeuristicScratch::new(),
+        &mut order,
+    );
     order
+}
+
+/// Buffer-reusing form of [`reference_path`]: writes the path into `out` (cleared
+/// first); once `scratch` and `out` are warm the whole construction + local search runs
+/// without heap allocation.
+///
+/// # Panics
+///
+/// Same panic conditions as [`reference_path`].
+pub fn reference_path_into(
+    distances: &[Vec<f64>],
+    start: usize,
+    end: usize,
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+) {
+    nearest_neighbor_path_into(distances, start, end, scratch, out);
+    two_opt_path(distances, out, 8);
+    if distances.len() <= 400 {
+        or_opt_path_with(distances, out, 2, scratch);
+        two_opt_path(distances, out, 4);
+    }
 }
 
 /// Reference tour used as the optimal-ratio denominator on synthetic instances:
@@ -366,19 +557,31 @@ pub fn reference_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<u
 /// in reasonable time; for instances above `two_opt_limit` cities only the construction
 /// heuristic plus a single bounded 2-opt pass is applied.
 pub fn reference_tour(distances: &[Vec<f64>]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.len());
+    reference_tour_into(distances, &mut HeuristicScratch::new(), &mut order);
+    order
+}
+
+/// Buffer-reusing form of [`reference_tour`]: writes the tour into `out` (cleared
+/// first); once `scratch` and `out` are warm the whole construction + local search runs
+/// without heap allocation.
+pub fn reference_tour_into(
+    distances: &[Vec<f64>],
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+) {
     let n = distances.len();
-    let mut order = nearest_neighbor_tour(distances, 0);
+    nearest_neighbor_tour_into(distances, 0, scratch, out);
     let two_opt_limit = 3_000;
     if n <= two_opt_limit {
-        two_opt(distances, &mut order, 8);
+        two_opt(distances, out, 8);
         if n <= 400 {
-            or_opt(distances, &mut order, 2);
-            two_opt(distances, &mut order, 4);
+            or_opt_with(distances, out, 2, scratch);
+            two_opt(distances, out, 4);
         }
     } else {
-        two_opt(distances, &mut order, 1);
+        two_opt(distances, out, 1);
     }
-    order
 }
 
 #[cfg(test)]
@@ -538,6 +741,51 @@ mod tests {
     fn path_construction_rejects_equal_endpoints_on_multi_city_matrices() {
         let d = line(5);
         nearest_neighbor_path(&d, 2, 2);
+    }
+
+    /// The scratch-based variants must be behaviourally transparent: same tours as the
+    /// allocating entry points, including on tie-heavy symmetric instances where the
+    /// greedy-edge sort order matters.
+    #[test]
+    fn scratch_variants_match_allocating_entry_points() {
+        let mut scratch = HeuristicScratch::new();
+        let mut out = Vec::new();
+        for n in [6usize, 11, 16] {
+            let (d, _) = ring(n);
+            greedy_edge_tour_into(&d, &mut scratch, &mut out);
+            assert_eq!(out, greedy_edge_tour(&d), "greedy-edge n={n}");
+            nearest_neighbor_tour_into(&d, 2 % n, &mut scratch, &mut out);
+            assert_eq!(out, nearest_neighbor_tour(&d, 2 % n), "nn n={n}");
+            reference_tour_into(&d, &mut scratch, &mut out);
+            assert_eq!(out, reference_tour(&d), "reference n={n}");
+            reference_path_into(&d, 0, n - 1, &mut scratch, &mut out);
+            assert_eq!(out, reference_path(&d, 0, n - 1), "reference path n={n}");
+        }
+        let d = line(9);
+        let mut a = vec![0, 5, 2, 7, 1, 6, 3, 4, 8];
+        let mut b = a.clone();
+        let moves_a = or_opt_path(&d, &mut a, 3);
+        let moves_b = or_opt_path_with(&d, &mut b, 3, &mut scratch);
+        assert_eq!(a, b);
+        assert_eq!(moves_a, moves_b);
+    }
+
+    #[test]
+    fn held_karp_into_matches_held_karp() {
+        use crate::exact::{held_karp_into, held_karp_path_into, HeldKarpScratch};
+        let mut scratch = HeldKarpScratch::new();
+        let mut out = Vec::new();
+        for n in [5usize, 9, 12] {
+            let (d, _) = ring(n);
+            let fresh = crate::held_karp(&d).unwrap();
+            let length = held_karp_into(&d, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, fresh.order);
+            assert_eq!(length, fresh.length);
+            let fresh = crate::held_karp_path(&d, 1, n - 2).unwrap();
+            let length = held_karp_path_into(&d, 1, n - 2, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, fresh.order);
+            assert_eq!(length, fresh.length);
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! HVC-style clustered baseline (k-means, independent closed sub-tours, no endpoint
 //! fixing).
 //!
-//! Hierarchical Vertex Clustering (the paper's ref. [4]) and its successors decompose the
+//! Hierarchical Vertex Clustering (the paper's ref. \[4\]) and its successors decompose the
 //! TSP with k-means and solve the clusters without pinning the inter-cluster boundary
 //! cities. This baseline reproduces that structure so the ablation benches can quantify
 //! what TAXI's two algorithmic changes (Ward agglomerative clustering and fixed

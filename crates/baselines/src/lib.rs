@@ -46,10 +46,15 @@ pub mod neuro_ising;
 pub mod reported;
 
 pub use error::BaselineError;
-pub use exact::{held_karp, held_karp_path, ExactSolution, ExactSolverProjection};
+pub use exact::{
+    held_karp, held_karp_into, held_karp_path, held_karp_path_into, ExactSolution,
+    ExactSolverProjection, HeldKarpScratch,
+};
 pub use heuristics::{
-    greedy_edge_tour, nearest_neighbor_path, nearest_neighbor_tour, or_opt, or_opt_path,
-    path_length, reference_path, reference_tour, tour_length, two_opt, two_opt_path,
+    greedy_edge_tour, greedy_edge_tour_into, nearest_neighbor_path, nearest_neighbor_path_into,
+    nearest_neighbor_tour, nearest_neighbor_tour_into, or_opt, or_opt_path, or_opt_path_with,
+    or_opt_with, path_length, reference_path, reference_path_into, reference_tour,
+    reference_tour_into, tour_length, two_opt, two_opt_path, HeuristicScratch,
 };
 pub use hvc::{HvcBaseline, HvcConfig};
 pub use neuro_ising::NeuroIsingModel;

@@ -1,4 +1,4 @@
-//! Neuro-Ising surrogate (the paper's ref. [5]), the state-of-the-art clustering-based
+//! Neuro-Ising surrogate (the paper's ref. \[5\]), the state-of-the-art clustering-based
 //! Ising solver TAXI is benchmarked against.
 //!
 //! Two facets are modelled:

@@ -21,7 +21,7 @@ pub const TAXI_REPORTED_OPTIMAL_RATIO: [f64; 20] = [
     1.20, 1.21, 1.22, 1.20,
 ];
 
-/// Approximate optimal ratios of Neuro-Ising (the paper's ref. [5]) adapted from Fig. 5c.
+/// Approximate optimal ratios of Neuro-Ising (the paper's ref. \[5\]) adapted from Fig. 5c.
 /// The final value follows from the text: TAXI's route on 85 900 cities is 31 % shorter.
 pub const NEURO_ISING_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     Some(1.08),
@@ -46,7 +46,7 @@ pub const NEURO_ISING_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     Some(1.74),
 ];
 
-/// Approximate optimal ratios of HVC (ref. [4]); published only for the smaller
+/// Approximate optimal ratios of HVC (ref. \[4\]); published only for the smaller
 /// instances.
 pub const HVC_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     Some(1.12),
@@ -71,7 +71,7 @@ pub const HVC_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     None,
 ];
 
-/// Approximate optimal ratios of IMA (ref. [6]); published up to a few thousand cities.
+/// Approximate optimal ratios of IMA (ref. \[6\]); published up to a few thousand cities.
 pub const IMA_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     Some(1.09),
     Some(1.10),
@@ -95,7 +95,7 @@ pub const IMA_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     None,
 ];
 
-/// Approximate optimal ratios of CIMA (ref. [7]). The 33 810-city value follows from the
+/// Approximate optimal ratios of CIMA (ref. \[7\]). The 33 810-city value follows from the
 /// text: TAXI's route is 3 % shorter there.
 pub const CIMA_REPORTED_OPTIMAL_RATIO: [Option<f64>; 20] = [
     Some(1.08),

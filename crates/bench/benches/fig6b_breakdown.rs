@@ -30,8 +30,7 @@ fn fig6b(c: &mut Criterion) {
     let hierarchy_config = HierarchyConfig::new(12).expect("valid config");
     let hierarchy = Hierarchy::build(&points, &hierarchy_config).expect("hierarchy builds");
     let level0 = hierarchy.level(0);
-    let members: Vec<Vec<usize>> = level0.clusters.iter().map(|c| c.members.clone()).collect();
-    let order: Vec<usize> = (0..members.len()).collect();
+    let order: Vec<usize> = (0..level0.len()).collect();
 
     let mut group = c.benchmark_group("fig6b_breakdown");
     group
@@ -42,7 +41,12 @@ fn fig6b(c: &mut Criterion) {
     });
     group.bench_function("fixing_phase", |b| {
         let fixer = EndpointFixer::new(&points);
-        b.iter(|| fixer.fix(&members, &order).expect("fixing succeeds"));
+        let mut endpoints = Vec::new();
+        b.iter(|| {
+            fixer
+                .fix_into(&level0, &order, &mut endpoints)
+                .expect("fixing succeeds")
+        });
     });
     group.bench_function("end_to_end", |b| {
         let solver = TaxiSolver::new(TaxiConfig::new().with_seed(6));

@@ -7,7 +7,52 @@
 //! solving the sub-problems independently (and in parallel) can never lengthen the
 //! inter-cluster portion of the route.
 
+use crate::hierarchy::LevelView;
 use crate::{ClusterError, Point};
+
+/// Indexed access to the member lists of a level's clusters.
+///
+/// The fixer is generic over this trait so callers never re-materialise member lists:
+/// plain slices of slice-likes (`&[Vec<usize>]`, `&[&[usize]]`) and the hierarchy's
+/// zero-copy [`LevelView`] all plug in directly.
+pub trait MemberLists {
+    /// Number of clusters.
+    fn num_clusters(&self) -> usize;
+
+    /// Number of members of cluster `c`.
+    fn member_count(&self, c: usize) -> usize;
+
+    /// Member `i` of cluster `c`, as an entity index of the level below.
+    fn member(&self, c: usize, i: usize) -> usize;
+}
+
+impl<C: AsRef<[usize]>> MemberLists for [C] {
+    fn num_clusters(&self) -> usize {
+        self.len()
+    }
+
+    fn member_count(&self, c: usize) -> usize {
+        self[c].as_ref().len()
+    }
+
+    fn member(&self, c: usize, i: usize) -> usize {
+        self[c].as_ref()[i]
+    }
+}
+
+impl MemberLists for LevelView<'_> {
+    fn num_clusters(&self) -> usize {
+        self.len()
+    }
+
+    fn member_count(&self, c: usize) -> usize {
+        self.members(c).len()
+    }
+
+    fn member(&self, c: usize, i: usize) -> usize {
+        self.members(c)[i] as usize
+    }
+}
 
 /// Fixed entry/exit entities of one cluster, expressed as indices into the level's entity
 /// set (level 0: city indices).
@@ -79,9 +124,27 @@ impl<'a> EndpointFixer<'a> {
         clusters: &[C],
         visit_order: &[usize],
     ) -> Result<Vec<FixedEndpoints>, ClusterError> {
-        let clusters: Vec<&[usize]> = clusters.iter().map(AsRef::as_ref).collect();
-        let clusters = clusters.as_slice();
-        let k = clusters.len();
+        let mut out = Vec::new();
+        self.fix_into(clusters, visit_order, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`fix`](Self::fix), but writes the endpoints into a caller-provided buffer
+    /// (cleared first) so repeated level fixes reuse one allocation, and accepts any
+    /// [`MemberLists`] — including the hierarchy's zero-copy
+    /// [`LevelView`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`fix`](Self::fix).
+    pub fn fix_into<M: MemberLists + ?Sized>(
+        &self,
+        clusters: &M,
+        visit_order: &[usize],
+        out: &mut Vec<FixedEndpoints>,
+    ) -> Result<(), ClusterError> {
+        out.clear();
+        let k = clusters.num_clusters();
         if visit_order.len() != k {
             return Err(ClusterError::InvalidClusterOrder {
                 reason: format!(
@@ -100,73 +163,84 @@ impl<'a> EndpointFixer<'a> {
             }
             seen[c] = true;
         }
-        for (c, members) in clusters.iter().enumerate() {
-            if members.is_empty() {
+        for c in 0..k {
+            if clusters.member_count(c) == 0 {
                 return Err(ClusterError::InvalidClusterOrder {
                     reason: format!("cluster {c} has no members"),
                 });
             }
-            if let Some(&bad) = members.iter().find(|&&m| m >= self.entities.len()) {
-                return Err(ClusterError::InvalidClusterOrder {
-                    reason: format!("cluster {c} references entity {bad} which does not exist"),
-                });
+            for i in 0..clusters.member_count(c) {
+                let m = clusters.member(c, i);
+                if m >= self.entities.len() {
+                    return Err(ClusterError::InvalidClusterOrder {
+                        reason: format!("cluster {c} references entity {m} which does not exist"),
+                    });
+                }
             }
         }
         if k == 1 {
             // A single cluster: the route both starts and ends inside it; pick the two
             // mutually farthest members as nominal endpoints (or the same entity when the
             // cluster is a singleton).
-            let members = &clusters[visit_order[0]];
-            let (entry, exit) = if members.len() == 1 {
-                (members[0], members[0])
+            let c = visit_order[0];
+            let (entry, exit) = if clusters.member_count(c) == 1 {
+                (clusters.member(c, 0), clusters.member(c, 0))
             } else {
-                self.farthest_pair(members)
+                self.farthest_pair(clusters, c)
             };
-            return Ok(vec![FixedEndpoints { entry, exit }]);
+            out.push(FixedEndpoints { entry, exit });
+            return Ok(());
         }
 
         // For every adjacent pair in the cyclic visiting order, find the closest pair of
-        // entities across the boundary.
-        let mut exits = vec![usize::MAX; k];
-        let mut entries = vec![usize::MAX; k];
+        // entities across the boundary. `out` doubles as the scratch for the chosen
+        // exits/entries (usize::MAX marks "not yet fixed"; `out` was cleared above, so
+        // the resize fills every slot with the sentinel).
+        out.resize(
+            k,
+            FixedEndpoints {
+                entry: usize::MAX,
+                exit: usize::MAX,
+            },
+        );
         for pos in 0..k {
             let current = visit_order[pos];
             let next = visit_order[(pos + 1) % k];
-            let (a, b) = self.closest_pair(clusters[current], clusters[next]);
-            exits[current] = a;
-            entries[next] = b;
+            let (a, b) = self.closest_pair(clusters, current, next);
+            out[current].exit = a;
+            out[next].entry = b;
         }
 
         // Degenerate repair: if a multi-member cluster would enter and leave through the
         // same entity, move the exit to the second-best choice towards the next cluster.
-        let mut result = Vec::with_capacity(k);
         for c in 0..k {
-            let mut entry = entries[c];
-            let mut exit = exits[c];
-            if entry == exit && clusters[c].len() > 1 {
+            let entry = out[c].entry;
+            let mut exit = out[c].exit;
+            if entry == exit && clusters.member_count(c) > 1 {
                 let pos = visit_order
                     .iter()
                     .position(|&x| x == c)
                     .expect("cluster is in the visit order");
                 let next = visit_order[(pos + 1) % k];
-                exit = self.closest_excluding(clusters[c], clusters[next], entry);
+                exit = self.closest_excluding(clusters, c, next, entry);
                 if entry == exit {
                     // Fall back to any other member.
-                    exit = *clusters[c]
-                        .iter()
-                        .find(|&&m| m != entry)
+                    exit = (0..clusters.member_count(c))
+                        .map(|i| clusters.member(c, i))
+                        .find(|&m| m != entry)
                         .expect("cluster has more than one member");
                 }
             }
-            if entry == usize::MAX {
-                entry = clusters[c][0];
+            if out[c].entry == usize::MAX {
+                out[c].entry = clusters.member(c, 0);
             }
-            if exit == usize::MAX {
-                exit = *clusters[c].last().expect("cluster is non-empty");
-            }
-            result.push(FixedEndpoints { entry, exit });
+            out[c].exit = if exit == usize::MAX {
+                clusters.member(c, clusters.member_count(c) - 1)
+            } else {
+                exit
+            };
         }
-        Ok(result)
+        Ok(())
     }
 
     /// Total length of the inter-cluster connections implied by `endpoints` and the
@@ -191,11 +265,18 @@ impl<'a> EndpointFixer<'a> {
             .sum()
     }
 
-    fn closest_pair(&self, a: &[usize], b: &[usize]) -> (usize, usize) {
-        let mut best = (a[0], b[0]);
+    fn closest_pair<M: MemberLists + ?Sized>(
+        &self,
+        clusters: &M,
+        a: usize,
+        b: usize,
+    ) -> (usize, usize) {
+        let mut best = (clusters.member(a, 0), clusters.member(b, 0));
         let mut best_d = f64::INFINITY;
-        for &i in a {
-            for &j in b {
+        for ai in 0..clusters.member_count(a) {
+            let i = clusters.member(a, ai);
+            for bi in 0..clusters.member_count(b) {
+                let j = clusters.member(b, bi);
                 let d = self.entities[i].squared_distance(&self.entities[j]);
                 if d < best_d {
                     best_d = d;
@@ -206,14 +287,22 @@ impl<'a> EndpointFixer<'a> {
         best
     }
 
-    fn closest_excluding(&self, a: &[usize], b: &[usize], excluded: usize) -> usize {
+    fn closest_excluding<M: MemberLists + ?Sized>(
+        &self,
+        clusters: &M,
+        a: usize,
+        b: usize,
+        excluded: usize,
+    ) -> usize {
         let mut best = excluded;
         let mut best_d = f64::INFINITY;
-        for &i in a {
+        for ai in 0..clusters.member_count(a) {
+            let i = clusters.member(a, ai);
             if i == excluded {
                 continue;
             }
-            for &j in b {
+            for bi in 0..clusters.member_count(b) {
+                let j = clusters.member(b, bi);
                 let d = self.entities[i].squared_distance(&self.entities[j]);
                 if d < best_d {
                     best_d = d;
@@ -224,11 +313,14 @@ impl<'a> EndpointFixer<'a> {
         best
     }
 
-    fn farthest_pair(&self, members: &[usize]) -> (usize, usize) {
-        let mut best = (members[0], members[0]);
+    fn farthest_pair<M: MemberLists + ?Sized>(&self, clusters: &M, c: usize) -> (usize, usize) {
+        let first = clusters.member(c, 0);
+        let mut best = (first, first);
         let mut best_d = -1.0;
-        for &i in members {
-            for &j in members {
+        for ai in 0..clusters.member_count(c) {
+            let i = clusters.member(c, ai);
+            for bi in 0..clusters.member_count(c) {
+                let j = clusters.member(c, bi);
                 if i == j {
                     continue;
                 }

@@ -4,6 +4,16 @@
 //! can confidently solve; the cluster centroids form the next level, which is clustered
 //! again, and so on until a level has no more entities than the maximum size — that top
 //! level is solved directly as one sub-problem.
+//!
+//! # Storage layout
+//!
+//! The hierarchy is stored as index-based structure-of-arrays data rather than nested
+//! per-level/per-cluster `Vec`s: one flat `Vec<u32>` membership table shared by every
+//! cluster of every level, per-cluster offset ranges into it, a flat per-cluster
+//! centroid table, and per-level cluster ranges. Consumers address it through the
+//! borrowing [`LevelView`] / [`ClusterView`] types, so walking the hierarchy during a
+//! solve — including reading a whole level's centroids as one contiguous `&[Point]`
+//! slice — performs no allocation and no copying.
 
 use crate::agglomerative::split_to_max_size;
 use crate::{
@@ -82,36 +92,81 @@ impl HierarchyConfig {
     }
 }
 
-/// One cluster at one hierarchy level.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Cluster {
-    /// Indices of the entities of the level below (level 0: city indices).
-    pub members: Vec<usize>,
+/// Borrowed view of one cluster at one hierarchy level.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    members: &'a [u32],
+    centroid: Point,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Indices of the entities of the level below (level 0: city indices), as stored in
+    /// the flat membership table.
+    pub fn members(&self) -> &'a [u32] {
+        self.members
+    }
+
+    /// Number of member entities.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cluster has no members (never true for built hierarchies).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
     /// Centroid of the member positions.
-    pub centroid: Point,
+    pub fn centroid(&self) -> Point {
+        self.centroid
+    }
 }
 
-/// One level of the hierarchy.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct Level {
-    /// The clusters of this level.
-    pub clusters: Vec<Cluster>,
+/// Borrowed view of one level of the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelView<'a> {
+    hierarchy: &'a Hierarchy,
+    /// Global cluster-index range of this level.
+    first: usize,
+    last: usize,
 }
 
-impl Level {
+impl<'a> LevelView<'a> {
     /// Number of clusters at this level.
     pub fn len(&self) -> usize {
-        self.clusters.len()
+        self.last - self.first
     }
 
     /// Returns `true` if the level has no clusters.
     pub fn is_empty(&self) -> bool {
-        self.clusters.is_empty()
+        self.first == self.last
     }
 
-    /// Centroids of all clusters at this level.
-    pub fn centroids(&self) -> Vec<Point> {
-        self.clusters.iter().map(|c| c.centroid).collect()
+    /// Centroids of all clusters at this level, as one contiguous borrowed slice.
+    pub fn centroids(&self) -> &'a [Point] {
+        &self.hierarchy.centroids[self.first..self.last]
+    }
+
+    /// Member entities of cluster `c` of this level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn members(&self, c: usize) -> &'a [u32] {
+        assert!(c < self.len(), "cluster index out of range");
+        let g = self.first + c;
+        let start = self.hierarchy.member_offsets[g] as usize;
+        let end = self.hierarchy.member_offsets[g + 1] as usize;
+        &self.hierarchy.membership[start..end]
+    }
+
+    /// Iterator over the clusters of this level.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterView<'a>> + '_ {
+        let view = *self;
+        (0..self.len()).map(move |c| ClusterView {
+            members: view.members(c),
+            centroid: view.hierarchy.centroids[view.first + c],
+        })
     }
 }
 
@@ -123,7 +178,17 @@ impl Level {
 /// levels.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hierarchy {
-    levels: Vec<Level>,
+    /// Flat membership table: member indices of every cluster of every level,
+    /// concatenated bottom level first.
+    membership: Vec<u32>,
+    /// Per-cluster ranges into `membership` (global cluster index, one sentinel at the
+    /// end): cluster `g` owns `membership[member_offsets[g]..member_offsets[g + 1]]`.
+    member_offsets: Vec<u32>,
+    /// Per-cluster centroids, global cluster indexing (a level's centroids are
+    /// contiguous, so they read back as one slice).
+    centroids: Vec<Point>,
+    /// Per-level ranges of global cluster indices (one sentinel at the end).
+    level_offsets: Vec<u32>,
     num_cities: usize,
     max_cluster_size: usize,
 }
@@ -140,7 +205,14 @@ impl Hierarchy {
             return Err(ClusterError::EmptyInput);
         }
         let max = config.max_cluster_size;
-        let mut levels = Vec::new();
+        let mut hierarchy = Self {
+            membership: Vec::new(),
+            member_offsets: vec![0],
+            centroids: Vec::new(),
+            level_offsets: vec![0],
+            num_cities: cities.len(),
+            max_cluster_size: max,
+        };
         let mut entities: Vec<Point> = cities.to_vec();
         while entities.len() > max {
             let target = entities.len().div_ceil(max);
@@ -162,38 +234,40 @@ impl Hierarchy {
                     bounded.extend(split_to_max_size(&entities, &members, max));
                 }
             }
-            let clusters: Vec<Cluster> = bounded
-                .into_iter()
-                .map(|members| Cluster {
-                    centroid: Point::centroid_of_indices(&entities, &members),
-                    members,
-                })
-                .collect();
-            let level = Level { clusters };
-            entities = level.centroids();
-            levels.push(level);
-            if levels.len() > 64 {
+            let mut next_entities = Vec::with_capacity(bounded.len());
+            for members in &bounded {
+                let centroid = Point::centroid_of_indices(&entities, members);
+                hierarchy
+                    .membership
+                    .extend(members.iter().map(|&m| m as u32));
+                hierarchy
+                    .member_offsets
+                    .push(hierarchy.membership.len() as u32);
+                hierarchy.centroids.push(centroid);
+                next_entities.push(centroid);
+            }
+            hierarchy
+                .level_offsets
+                .push(hierarchy.centroids.len() as u32);
+            entities = next_entities;
+            if hierarchy.num_levels() > 64 {
                 return Err(ClusterError::InvalidConfig {
                     name: "max_cluster_size",
                     reason: "hierarchy did not converge (too many levels)".to_string(),
                 });
             }
         }
-        Ok(Self {
-            levels,
-            num_cities: cities.len(),
-            max_cluster_size: max,
-        })
+        Ok(hierarchy)
     }
 
     /// Number of levels (zero when the whole instance fits in one macro).
     pub fn num_levels(&self) -> usize {
-        self.levels.len()
+        self.level_offsets.len() - 1
     }
 
-    /// The levels, bottom (cities) first.
-    pub fn levels(&self) -> &[Level] {
-        &self.levels
+    /// Iterator over the levels, bottom (cities) first.
+    pub fn levels(&self) -> impl Iterator<Item = LevelView<'_>> + '_ {
+        (0..self.num_levels()).map(|i| self.level(i))
     }
 
     /// Level `i` (0 = the level grouping cities).
@@ -201,13 +275,18 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn level(&self, i: usize) -> &Level {
-        &self.levels[i]
+    pub fn level(&self, i: usize) -> LevelView<'_> {
+        assert!(i < self.num_levels(), "level index out of range");
+        LevelView {
+            hierarchy: self,
+            first: self.level_offsets[i] as usize,
+            last: self.level_offsets[i + 1] as usize,
+        }
     }
 
     /// The topmost level (the one solved directly), if any levels exist.
-    pub fn top_level(&self) -> Option<&Level> {
-        self.levels.last()
+    pub fn top_level(&self) -> Option<LevelView<'_>> {
+        self.num_levels().checked_sub(1).map(|i| self.level(i))
     }
 
     /// Number of cities the hierarchy was built over.
@@ -222,30 +301,32 @@ impl Hierarchy {
 
     /// Total number of sub-problems (clusters across all levels plus the top-level TSP).
     pub fn num_subproblems(&self) -> usize {
-        let cluster_subproblems: usize = self.levels.iter().map(Level::len).sum();
         // The topmost solve over the last level's centroids (or over the cities if there
         // are no levels) is one additional sub-problem.
-        cluster_subproblems + 1
+        self.centroids.len() + 1
     }
 
     /// Checks the structural invariants: every entity of every level appears in exactly
     /// one cluster of the level above, and no cluster exceeds the maximum size.
     pub fn validate(&self) -> Result<(), ClusterError> {
         let mut expected = self.num_cities;
-        for (li, level) in self.levels.iter().enumerate() {
+        for li in 0..self.num_levels() {
+            let level = self.level(li);
             let mut seen = vec![false; expected];
-            for cluster in &level.clusters {
-                if cluster.members.len() > self.max_cluster_size {
+            for c in 0..level.len() {
+                let members = level.members(c);
+                if members.len() > self.max_cluster_size {
                     return Err(ClusterError::InvalidConfig {
                         name: "max_cluster_size",
                         reason: format!(
                             "cluster at level {li} has {} members (max {})",
-                            cluster.members.len(),
+                            members.len(),
                             self.max_cluster_size
                         ),
                     });
                 }
-                for &m in &cluster.members {
+                for &m in members {
+                    let m = m as usize;
                     if m >= expected || seen[m] {
                         return Err(ClusterError::InvalidClusterOrder {
                             reason: format!("entity {m} at level {li} is missing or duplicated"),
@@ -282,6 +363,7 @@ mod tests {
         let h = Hierarchy::build(&cities, &HierarchyConfig::new(12).unwrap()).unwrap();
         assert_eq!(h.num_levels(), 0);
         assert_eq!(h.num_subproblems(), 1);
+        assert!(h.top_level().is_none());
         h.validate().unwrap();
     }
 
@@ -292,7 +374,7 @@ mod tests {
         assert!(h.num_levels() >= 1);
         h.validate().unwrap();
         // Level 0 must cover all 100 cities.
-        let covered: usize = h.level(0).clusters.iter().map(|c| c.members.len()).sum();
+        let covered: usize = h.level(0).clusters().map(|c| c.len()).sum();
         assert_eq!(covered, 100);
     }
 
@@ -314,9 +396,9 @@ mod tests {
         for max in [8usize, 12, 20] {
             let h = Hierarchy::build(&cities, &HierarchyConfig::new(max).unwrap()).unwrap();
             for level in h.levels() {
-                for cluster in &level.clusters {
-                    assert!(cluster.members.len() <= max);
-                    assert!(!cluster.members.is_empty());
+                for cluster in level.clusters() {
+                    assert!(cluster.len() <= max);
+                    assert!(!cluster.is_empty());
                 }
             }
         }
@@ -359,10 +441,35 @@ mod tests {
         let cities = grid(250);
         let h = Hierarchy::build(&cities, &HierarchyConfig::new(10).unwrap()).unwrap();
         for level in h.levels() {
-            for cluster in &level.clusters {
-                assert!(cluster.centroid.x >= 0.0 && cluster.centroid.x <= 16.0);
-                assert!(cluster.centroid.y >= 0.0 && cluster.centroid.y <= 16.0);
+            for cluster in level.clusters() {
+                assert!(cluster.centroid().x >= 0.0 && cluster.centroid().x <= 16.0);
+                assert!(cluster.centroid().y >= 0.0 && cluster.centroid().y <= 16.0);
             }
+        }
+    }
+
+    #[test]
+    fn level_centroids_are_contiguous_slices() {
+        let cities = grid(400);
+        let h = Hierarchy::build(&cities, &HierarchyConfig::new(10).unwrap()).unwrap();
+        assert!(h.num_levels() >= 2);
+        for li in 0..h.num_levels() {
+            let level = h.level(li);
+            let slice = level.centroids();
+            assert_eq!(slice.len(), level.len());
+            for (c, cluster) in level.clusters().enumerate() {
+                assert_eq!(slice[c], cluster.centroid());
+            }
+        }
+    }
+
+    #[test]
+    fn members_views_match_cluster_iteration() {
+        let cities = grid(120);
+        let h = Hierarchy::build(&cities, &HierarchyConfig::new(9).unwrap()).unwrap();
+        let level = h.level(0);
+        for (c, cluster) in level.clusters().enumerate() {
+            assert_eq!(level.members(c), cluster.members());
         }
     }
 }

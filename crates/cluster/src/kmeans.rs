@@ -1,6 +1,6 @@
 //! Lloyd's k-means clustering.
 //!
-//! Earlier clustered Ising solvers (HVC, IMA, CIMA — the paper's refs [4]–[7]) use
+//! Earlier clustered Ising solvers (HVC, IMA, CIMA — the paper's refs \[4\]–\[7\]) use
 //! k-means to decompose the TSP. TAXI replaces it with agglomerative Ward clustering;
 //! this module provides k-means so the baseline solvers and the clustering ablation can
 //! compare both choices.

@@ -30,8 +30,8 @@
 //! let hierarchy = Hierarchy::build(&cities, &HierarchyConfig::new(12)?)?;
 //! assert!(hierarchy.num_levels() >= 1);
 //! for level in hierarchy.levels() {
-//!     for cluster in &level.clusters {
-//!         assert!(cluster.members.len() <= 12);
+//!     for cluster in level.clusters() {
+//!         assert!(cluster.members().len() <= 12);
 //!     }
 //! }
 //! # Ok::<(), taxi_cluster::ClusterError>(())
@@ -50,8 +50,8 @@ pub mod stats;
 
 pub use agglomerative::{agglomerative_clusters, AgglomerativeConfig};
 pub use error::ClusterError;
-pub use fixing::{EndpointFixer, FixedEndpoints};
-pub use hierarchy::{Cluster, Hierarchy, HierarchyConfig, Level};
+pub use fixing::{EndpointFixer, FixedEndpoints, MemberLists};
+pub use hierarchy::{ClusterView, Hierarchy, HierarchyConfig, LevelView};
 pub use kmeans::{kmeans_clusters, KMeansConfig};
 pub use point::Point;
 pub use stats::ClusteringStats;

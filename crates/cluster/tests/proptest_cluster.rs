@@ -59,13 +59,14 @@ proptest! {
         prop_assume!(hierarchy.num_levels() >= 1);
         let level = hierarchy.level(0);
         prop_assume!(level.len() >= 2);
-        let members: Vec<Vec<usize>> = level.clusters.iter().map(|c| c.members.clone()).collect();
-        let order: Vec<usize> = (0..members.len()).collect();
+        let order: Vec<usize> = (0..level.len()).collect();
         let fixer = EndpointFixer::new(&points);
-        let endpoints = fixer.fix(&members, &order).unwrap();
-        for (cluster, endpoint) in members.iter().zip(&endpoints) {
-            prop_assert!(cluster.contains(&endpoint.entry));
-            prop_assert!(cluster.contains(&endpoint.exit));
+        // The zero-copy LevelView plugs into the fixer directly (no member clones).
+        let mut endpoints = Vec::new();
+        fixer.fix_into(&level, &order, &mut endpoints).unwrap();
+        for (cluster, endpoint) in level.clusters().zip(&endpoints) {
+            prop_assert!(cluster.members().contains(&(endpoint.entry as u32)));
+            prop_assert!(cluster.members().contains(&(endpoint.exit as u32)));
             if cluster.len() > 1 {
                 prop_assert_ne!(endpoint.entry, endpoint.exit);
             }
@@ -87,9 +88,8 @@ proptest! {
             if hierarchy.num_levels() > 0 {
                 let level0: Vec<Vec<usize>> = hierarchy
                     .level(0)
-                    .clusters
-                    .iter()
-                    .map(|c| c.members.clone())
+                    .clusters()
+                    .map(|c| c.members().iter().map(|&m| m as usize).collect())
                     .collect();
                 prop_assert!(is_partition(&level0, points.len()));
             }

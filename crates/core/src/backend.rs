@@ -24,12 +24,50 @@ use std::sync::Arc;
 
 use taxi_baselines::exact::HELD_KARP_LIMIT;
 use taxi_baselines::{
-    greedy_edge_tour, held_karp, held_karp_path, path_length, reference_path, reference_tour,
-    tour_length, two_opt,
+    greedy_edge_tour, greedy_edge_tour_into, held_karp, held_karp_into, held_karp_path,
+    held_karp_path_into, path_length, reference_path, reference_path_into, reference_tour,
+    reference_tour_into, tour_length, two_opt, HeldKarpScratch, HeuristicScratch,
 };
-use taxi_ising::{MacroSolverConfig, MacroTspSolver};
+use taxi_ising::{MacroScratch, MacroSolverConfig, MacroTspSolver};
 
 use crate::TaxiError;
+
+/// Reusable per-worker scratch consumed by the buffer-reusing solve entry points
+/// ([`TourSolver::solve_cycle_into`] / [`TourSolver::solve_path_into`]).
+///
+/// One scratch bundles the work areas of every built-in backend — the warm
+/// [`MacroScratch`] pool of Ising macros, the [`HeuristicScratch`] of the software
+/// heuristics, and the Held–Karp [`HeldKarpScratch`] DP tables — so a worker can switch
+/// backends without reallocating, and custom backends can piggyback on the same buffers
+/// through the accessors.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    macro_scratch: MacroScratch,
+    heuristics: HeuristicScratch,
+    exact: HeldKarpScratch,
+}
+
+impl SolverScratch {
+    /// Creates an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The Ising-macro scratch (warm per-size macro pool).
+    pub fn macro_scratch(&mut self) -> &mut MacroScratch {
+        &mut self.macro_scratch
+    }
+
+    /// The software-heuristic scratch (visited/relocation/greedy-edge buffers).
+    pub fn heuristics(&mut self) -> &mut HeuristicScratch {
+        &mut self.heuristics
+    }
+
+    /// The Held–Karp scratch (DP tables).
+    pub fn exact(&mut self) -> &mut HeldKarpScratch {
+        &mut self.exact
+    }
+}
 
 /// Solution of one sub-problem, in the sub-problem's local city indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +110,55 @@ pub trait TourSolver: Send + Sync {
         end: usize,
         seed: u64,
     ) -> Result<SubTour, TaxiError>;
+
+    /// Buffer-reusing form of [`solve_cycle`](Self::solve_cycle): writes the visiting
+    /// order into `out` (cleared first) and returns the cycle length, drawing work
+    /// areas from `scratch`.
+    ///
+    /// The default implementation delegates to [`solve_cycle`](Self::solve_cycle) (and
+    /// therefore still allocates); the built-in backends override it with
+    /// zero-allocation implementations. Overrides must return exactly the same order
+    /// and length as [`solve_cycle`](Self::solve_cycle) for the same `(distances,
+    /// seed)` — the pipeline mixes both entry points and relies on their equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve_cycle`](Self::solve_cycle).
+    fn solve_cycle_into(
+        &self,
+        distances: &[Vec<f64>],
+        seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let _ = scratch;
+        let sub = self.solve_cycle(distances, seed)?;
+        out.clear();
+        out.extend_from_slice(&sub.order);
+        Ok(sub.length)
+    }
+
+    /// Buffer-reusing form of [`solve_path`](Self::solve_path); same contract as
+    /// [`solve_cycle_into`](Self::solve_cycle_into).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve_path`](Self::solve_path).
+    fn solve_path_into(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let _ = scratch;
+        let sub = self.solve_path(distances, start, end, seed)?;
+        out.clear();
+        out.extend_from_slice(&sub.order);
+        Ok(sub.length)
+    }
 }
 
 /// The built-in backend selection, carried by [`TaxiConfig`](crate::TaxiConfig).
@@ -206,6 +293,39 @@ impl TourSolver for IsingMacroBackend {
             length: solution.length,
         })
     }
+
+    fn solve_cycle_into(
+        &self,
+        distances: &[Vec<f64>],
+        seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let stats =
+            self.solver
+                .solve_cycle_with(distances, seed, &mut scratch.macro_scratch, out)?;
+        Ok(stats.length)
+    }
+
+    fn solve_path_into(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let stats = self.solver.solve_path_with(
+            distances,
+            start,
+            end,
+            seed,
+            &mut scratch.macro_scratch,
+            out,
+        )?;
+        Ok(stats.length)
+    }
 }
 
 /// Nearest-neighbour + 2-opt/Or-opt software heuristic.
@@ -239,6 +359,33 @@ impl TourSolver for NnTwoOptBackend {
         let order = reference_path(distances, start, end);
         let length = path_length(distances, &order);
         Ok(SubTour { order, length })
+    }
+
+    fn solve_cycle_into(
+        &self,
+        distances: &[Vec<f64>],
+        _seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        validate_matrix("nn-2opt", distances)?;
+        reference_tour_into(distances, &mut scratch.heuristics, out);
+        Ok(tour_length(distances, out))
+    }
+
+    fn solve_path_into(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        _seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let n = validate_matrix("nn-2opt", distances)?;
+        validate_endpoints("nn-2opt", n, start, end)?;
+        reference_path_into(distances, start, end, &mut scratch.heuristics, out);
+        Ok(path_length(distances, out))
     }
 }
 
@@ -275,6 +422,34 @@ impl TourSolver for GreedyEdgeBackend {
         let order = reference_path(distances, start, end);
         let length = path_length(distances, &order);
         Ok(SubTour { order, length })
+    }
+
+    fn solve_cycle_into(
+        &self,
+        distances: &[Vec<f64>],
+        _seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        validate_matrix("greedy-edge", distances)?;
+        greedy_edge_tour_into(distances, &mut scratch.heuristics, out);
+        two_opt(distances, out, 4);
+        Ok(tour_length(distances, out))
+    }
+
+    fn solve_path_into(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        _seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let n = validate_matrix("greedy-edge", distances)?;
+        validate_endpoints("greedy-edge", n, start, end)?;
+        reference_path_into(distances, start, end, &mut scratch.heuristics, out);
+        Ok(path_length(distances, out))
     }
 }
 
@@ -322,6 +497,45 @@ impl TourSolver for ExactBackend {
         Ok(SubTour {
             order: solution.order,
             length: solution.length,
+        })
+    }
+
+    fn solve_cycle_into(
+        &self,
+        distances: &[Vec<f64>],
+        seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let n = validate_matrix("exact-dp", distances)?;
+        if n > HELD_KARP_LIMIT {
+            return NnTwoOptBackend.solve_cycle_into(distances, seed, scratch, out);
+        }
+        held_karp_into(distances, &mut scratch.exact, out).map_err(|err| TaxiError::Backend {
+            backend: "exact-dp".to_string(),
+            reason: err.to_string(),
+        })
+    }
+
+    fn solve_path_into(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+        scratch: &mut SolverScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<f64, TaxiError> {
+        let n = validate_matrix("exact-dp", distances)?;
+        validate_endpoints("exact-dp", n, start, end)?;
+        if n > HELD_KARP_LIMIT {
+            return NnTwoOptBackend.solve_path_into(distances, start, end, seed, scratch, out);
+        }
+        held_karp_path_into(distances, start, end, &mut scratch.exact, out).map_err(|err| {
+            TaxiError::Backend {
+                backend: "exact-dp".to_string(),
+                reason: err.to_string(),
+            }
         })
     }
 }

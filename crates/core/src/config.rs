@@ -133,7 +133,14 @@ impl TaxiConfig {
         self
     }
 
-    /// Sets the number of worker threads used to solve clusters of a level in parallel.
+    /// Sets the number of worker threads used to solve clusters of a level in parallel
+    /// (and the number of per-instance workers in
+    /// [`TaxiSolver::solve_batch`](crate::TaxiSolver::solve_batch) sharding).
+    ///
+    /// `0` is clamped to `1` (serial solving): a zero-thread configuration would
+    /// otherwise silently build an empty worker-pool path that can never make
+    /// progress, so the clamp is part of the API contract and covered by regression
+    /// tests.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -288,6 +295,28 @@ mod tests {
     fn thread_count_is_at_least_one() {
         let config = TaxiConfig::new().with_threads(0);
         assert_eq!(config.threads(), 1);
+        // Clamping must survive chained reconfiguration.
+        assert_eq!(config.with_threads(0).with_seed(1).threads(), 1);
+    }
+
+    /// `with_threads(0)` must behave exactly like the serial configuration end to end
+    /// (same tour, no stuck pool), for single solves and batches.
+    #[test]
+    fn zero_threads_solves_like_serial() {
+        use crate::TaxiSolver;
+        use taxi_tsplib::generator::clustered_instance;
+
+        let instance = clustered_instance("zero-threads", 70, 4, 9);
+        let zero = TaxiSolver::new(TaxiConfig::new().with_seed(8).with_threads(0))
+            .solve(&instance)
+            .unwrap();
+        let serial = TaxiSolver::new(TaxiConfig::new().with_seed(8).with_threads(1))
+            .solve(&instance)
+            .unwrap();
+        assert_eq!(zero.tour, serial.tour);
+        let batch = TaxiSolver::new(TaxiConfig::new().with_seed(8).with_threads(0))
+            .solve_batch(std::slice::from_ref(&instance));
+        assert_eq!(batch[0].as_ref().unwrap().tour, serial.tour);
     }
 
     #[test]

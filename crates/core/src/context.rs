@@ -1,0 +1,66 @@
+//! The reusable per-worker solve arena.
+//!
+//! A [`SolveContext`] owns every scratch buffer the hot solve path touches: the city
+//! point list, the sub-problem distance-matrix buffer, the member/endpoint/order
+//! buffers of the level loop, and the backend's [`SolverScratch`] (warm Ising macros,
+//! heuristic work areas, Held–Karp DP tables). [`TaxiSolver`](crate::TaxiSolver) keeps
+//! one context per solver (and [`solve_batch`](crate::TaxiSolver::solve_batch) one per
+//! worker), so in steady state — after one warm-up solve per distinct sub-problem size —
+//! the per-level sub-problem solve loop performs **zero heap allocations**: hierarchy
+//! levels are walked through borrowed slice views, matrices are filled in place, and
+//! every backend writes its visiting order into a reused buffer.
+//!
+//! Reuse rules:
+//!
+//! * A context may be used by one solve at a time (it is `&mut` through the pipeline).
+//! * Contexts are backend-agnostic: the scratch re-validates itself against the solver
+//!   configuration, so one context can serve different backends (a configuration change
+//!   simply re-warms the relevant pools).
+//! * Buffers only grow; a context that has solved a large instance keeps capacity for
+//!   it. Drop the context (or create a fresh one) to release memory.
+
+use taxi_cluster::{FixedEndpoints, Point};
+
+use crate::backend::SolverScratch;
+
+/// Reusable scratch arena for one solve worker.
+///
+/// Created empty (cold); warmed by the first solve. See the [module
+/// docs](self) for the ownership and reuse rules.
+#[derive(Debug, Default)]
+pub struct SolveContext {
+    /// City coordinates of the instance being solved.
+    pub(crate) cities: Vec<Point>,
+    /// Per-level fixed endpoints (indexed by cluster).
+    pub(crate) endpoints: Vec<FixedEndpoints>,
+    /// Visiting order of the current level's clusters.
+    pub(crate) cluster_order: Vec<usize>,
+    /// Visiting order of the entities one level below (the level solve's output).
+    pub(crate) entity_order: Vec<usize>,
+    /// Buffers of the per-cluster solve loop.
+    pub(crate) buffers: SolveBuffers,
+}
+
+impl SolveContext {
+    /// Creates an empty (cold) context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The buffers consumed by the per-cluster solve loop (split from [`SolveContext`] so
+/// the pipeline can borrow them independently of the order buffers).
+#[derive(Debug, Default)]
+pub(crate) struct SolveBuffers {
+    /// Reusable square distance-matrix buffer; only the first `n` rows are meaningful
+    /// for an `n`-entity sub-problem.
+    pub(crate) matrix: Vec<Vec<f64>>,
+    /// Current cluster's member entities, as `usize` indices.
+    pub(crate) members: Vec<usize>,
+    /// Per-cluster solved orders in global entity indices (pooled, one per cluster).
+    pub(crate) resolved: Vec<Vec<usize>>,
+    /// Backend output buffer (local sub-problem indices).
+    pub(crate) local_order: Vec<usize>,
+    /// Backend-owned scratch (warm macros, heuristic buffers, DP tables).
+    pub(crate) scratch: SolverScratch,
+}

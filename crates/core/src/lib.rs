@@ -6,7 +6,7 @@
 //!
 //! * [`taxi_cluster`] — agglomerative (Ward) hierarchical clustering, hierarchy
 //!   construction, and inter-cluster endpoint fixing,
-//! * [`taxi_ising`] + [`taxi_xbar`] + [`taxi_device`] — the SOT-MRAM crossbar Ising
+//! * [`taxi_ising`] + [`taxi_xbar`] + `taxi_device` — the SOT-MRAM crossbar Ising
 //!   macro and the annealing algorithm that solves each sub-problem in place,
 //! * [`taxi_arch`] — the PUMA-style spatial architecture model used for latency and
 //!   energy accounting, and
@@ -20,8 +20,10 @@
 //! Solving is structured as a staged [`pipeline`] (Cluster → FixEndpoints → SolveLevels
 //! → Assemble → Account) whose sub-problem solver is a pluggable [`TourSolver`]
 //! [`backend`]: the paper's Ising macro by default, software heuristics or an exact
-//! dynamic program via [`TaxiConfig::with_backend`]. Batches of instances share one
-//! worker pool through [`TaxiSolver::solve_batch`].
+//! dynamic program via [`TaxiConfig::with_backend`]. Every solver owns a reusable
+//! [`SolveContext`] scratch arena ([`context`]), making the steady-state per-level
+//! solve loop allocation-free; [`TaxiSolver::solve_batch`] shards whole instances
+//! across workers, one context each.
 //!
 //! # Quickstart
 //!
@@ -66,6 +68,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod context;
 pub mod error;
 pub mod experiments;
 pub mod pipeline;
@@ -73,8 +76,9 @@ pub mod report;
 pub mod result;
 pub mod solver;
 
-pub use backend::{SolverBackend, SubTour, TourSolver};
+pub use backend::{SolverBackend, SolverScratch, SubTour, TourSolver};
 pub use config::TaxiConfig;
+pub use context::SolveContext;
 pub use error::TaxiError;
 pub use experiments::ExperimentScale;
 pub use pipeline::{NullObserver, PipelineObserver, Stage, StageReport};

@@ -13,15 +13,30 @@
 //!    aggregate).
 //! 3. **SolveLevels** — solve the topmost centroid cycle and every cluster's
 //!    fixed-endpoint path through the configured [`TourSolver`] backend, fanning the
-//!    clusters of a level out over the shared [`SolvePool`] (host, measured).
+//!    clusters of a level out over the shared worker pool (host, measured).
 //! 4. **Assemble** — expand the per-cluster orders into the final city [`Tour`].
 //! 5. **Account** — compile the solve plan onto the spatial architecture and simulate
 //!    hardware latency/energy (`modeled_seconds` on the report).
 //!
+//! # Zero-realloc solve path
+//!
+//! Every stage borrows its working memory from the caller's
+//! [`SolveContext`]: hierarchy levels are walked through borrowed
+//! [`LevelView`] slices (level centroids are contiguous `&[Point]` slices of the
+//! hierarchy's flat storage), sub-problem matrices are filled into a reused buffer, and
+//! backends write visiting orders into reused buffers via
+//! [`TourSolver::solve_path_into`]. With one thread (or inside one batch worker) the
+//! per-level sub-problem loop performs **zero heap allocations** after warm-up — proved
+//! by the allocation-counter tests in this module. The parallel fan-out path still
+//! allocates O(1) per cluster for job hand-off (jobs must own their inputs), but each
+//! pool worker reuses a persistent [`SolverScratch`] across levels and instances.
+//!
 //! The pool is created once per [`solve`](crate::TaxiSolver::solve) call and shared
-//! across all hierarchy levels — and, for
-//! [`solve_batch`](crate::TaxiSolver::solve_batch), across all instances — instead of
-//! respawning threads per level as the original monolithic solver did.
+//! across all hierarchy levels instead of respawning threads per level as the original
+//! monolithic solver did; [`solve_batch`](crate::TaxiSolver::solve_batch) shards whole
+//! instances across workers, each owning its context.
+//!
+//! [`LevelView`]: taxi_cluster::LevelView
 
 use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
@@ -29,11 +44,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use taxi_arch::{Compiler, LevelPlan, SolvePlan, SubProblem};
-use taxi_cluster::{EndpointFixer, FixedEndpoints, Hierarchy, Point};
+use taxi_cluster::{EndpointFixer, FixedEndpoints, Hierarchy, LevelView, Point};
 use taxi_ising::AnnealingSchedule;
 use taxi_tsplib::{Tour, TspInstance};
 
-use crate::backend::TourSolver;
+use crate::backend::{SolverScratch, TourSolver};
+use crate::context::{SolveBuffers, SolveContext};
 use crate::{EnergyBreakdown, LatencyBreakdown, TaxiConfig, TaxiError, TaxiSolution};
 
 /// One of the five pipeline stages.
@@ -100,14 +116,25 @@ pub struct NullObserver;
 
 impl PipelineObserver for NullObserver {}
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A job executed on a pool worker. Jobs receive the worker's persistent scratch, so
+/// backend work areas (warm macros, DP tables, ...) are reused across jobs, levels and
+/// batch instances.
+type Job = Box<dyn FnOnce(&mut WorkerScratch) + Send + 'static>;
+
+/// Per-worker state that persists across jobs.
+#[derive(Default)]
+struct WorkerScratch {
+    scratch: SolverScratch,
+    out: Vec<usize>,
+}
 
 /// A fixed-size worker pool shared across hierarchy levels and batch instances.
 ///
-/// Workers pull boxed jobs from one queue; a panicking job is contained (the worker
-/// survives) and surfaces as a missing result in the submitting level, which converts it
-/// into a panic on the coordinating thread — the same failure mode as the original
-/// per-level `std::thread::scope` code, without respawning threads per level per solve.
+/// Workers pull boxed jobs from one queue and hand each job their persistent
+/// [`WorkerScratch`]; a panicking job is contained (the worker and its scratch survive)
+/// and surfaces as a missing result in the submitting level, which converts it into a
+/// panic on the coordinating thread — the same failure mode as the original per-level
+/// `std::thread::scope` code, without respawning threads per level per solve.
 pub(crate) struct SolvePool {
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
@@ -123,18 +150,23 @@ impl SolvePool {
                 let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("taxi-solve-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let guard = receiver.lock().expect("pool queue lock");
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => {
-                                // Contain panics so one poisoned sub-problem cannot take
-                                // the whole pool down for later levels/instances.
-                                let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+                    .spawn(move || {
+                        let mut cell = WorkerScratch::default();
+                        loop {
+                            let job = {
+                                let guard = receiver.lock().expect("pool queue lock");
+                                guard.recv()
+                            };
+                            match job {
+                                Ok(job) => {
+                                    // Contain panics so one poisoned sub-problem cannot
+                                    // take the whole pool down for later levels/instances.
+                                    let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                        job(&mut cell)
+                                    }));
+                                }
+                                Err(_) => break,
                             }
-                            Err(_) => break,
                         }
                     })
                     .expect("spawn solver worker")
@@ -169,26 +201,40 @@ impl Drop for SolvePool {
 enum EntitySpace<'a> {
     /// Level 0: entities are the instance's cities.
     Cities(&'a TspInstance),
-    /// Upper levels: entities are cluster centroids of the level below.
+    /// Upper levels: entities are cluster centroids of the level below (a borrowed
+    /// slice of the hierarchy's flat centroid storage).
     Centroids(&'a [Point]),
 }
 
 impl EntitySpace<'_> {
-    fn distance_matrix(&self, members: &[usize]) -> Vec<Vec<f64>> {
+    /// Fills the first `members.len()` rows of `matrix` with the pairwise distances of
+    /// `members`, reusing the buffer (rows beyond `members.len()` are left untouched).
+    fn fill_matrix(&self, members: &[usize], matrix: &mut Vec<Vec<f64>>) -> Result<(), TaxiError> {
+        let n = members.len();
         match self {
-            EntitySpace::Cities(instance) => instance
-                .distance_matrix_for(members)
-                .expect("member indices come from the hierarchy and are always in range"),
-            EntitySpace::Centroids(points) => members
-                .iter()
-                .map(|&i| {
-                    members
-                        .iter()
-                        .map(|&j| points[i].distance(&points[j]))
-                        .collect()
-                })
-                .collect(),
+            EntitySpace::Cities(instance) => {
+                instance.distance_matrix_into(members, matrix)?;
+            }
+            EntitySpace::Centroids(points) => {
+                if matrix.len() < n {
+                    matrix.resize_with(n, Vec::new);
+                }
+                for (i, &mi) in members.iter().enumerate() {
+                    let row = &mut matrix[i];
+                    row.clear();
+                    row.extend(members.iter().map(|&mj| points[mi].distance(&points[mj])));
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Owned distance matrix for `members` (used by the parallel fan-out path, whose
+    /// jobs must own their inputs).
+    fn matrix_owned(&self, members: &[usize]) -> Result<Vec<Vec<f64>>, TaxiError> {
+        let mut matrix = Vec::with_capacity(members.len());
+        self.fill_matrix(members, &mut matrix)?;
+        Ok(matrix)
     }
 }
 
@@ -202,26 +248,35 @@ pub(crate) fn hardware_iterations_for(cities: usize, schedule_iterations: u64) -
     }
 }
 
-/// Runs the full pipeline for one instance.
+/// Runs the full pipeline for one instance, borrowing all scratch memory from `ctx`.
 pub(crate) fn run(
     config: &TaxiConfig,
     backend: &Arc<dyn TourSolver>,
     pool: Option<&SolvePool>,
     instance: &TspInstance,
     observer: &mut dyn PipelineObserver,
+    ctx: &mut SolveContext,
 ) -> Result<TaxiSolution, TaxiError> {
     let coords = instance
         .coordinates()
         .ok_or_else(|| TaxiError::UnsupportedInstance {
             reason: "TAXI's hierarchical clustering requires city coordinates".to_string(),
         })?;
-    let cities: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let SolveContext {
+        cities,
+        endpoints,
+        cluster_order,
+        entity_order,
+        buffers,
+    } = ctx;
+    cities.clear();
+    cities.extend(coords.iter().map(|&(x, y)| Point::new(x, y)));
     let hardware_iterations = config.hardware_schedule().len() as u64;
 
     // Stage 1: Cluster.
     observer.on_stage_start(Stage::Cluster);
     let clustering_start = Instant::now();
-    let hierarchy = Hierarchy::build(&cities, &config.hierarchy_config()?)?;
+    let hierarchy = Hierarchy::build(cities, &config.hierarchy_config()?)?;
     let cluster_report = StageReport {
         stage: Stage::Cluster,
         seconds: clustering_start.elapsed().as_secs_f64(),
@@ -239,11 +294,18 @@ pub(crate) fn run(
     let mut level_plans: Vec<LevelPlan> = Vec::new();
     let mut subproblem_count = 0usize;
 
-    let final_order: Vec<usize> = if hierarchy.num_levels() == 0 {
+    if hierarchy.num_levels() == 0 {
         // The whole instance fits in one macro.
         let solve_start = Instant::now();
-        let matrix = instance.full_distance_matrix();
-        let solution = backend.solve_cycle(&matrix, config.seed())?;
+        buffers.members.clear();
+        buffers.members.extend(0..instance.dimension());
+        EntitySpace::Cities(instance).fill_matrix(&buffers.members, &mut buffers.matrix)?;
+        backend.solve_cycle_into(
+            &buffers.matrix[..instance.dimension()],
+            config.seed(),
+            &mut buffers.scratch,
+            entity_order,
+        )?;
         software_solve_seconds += solve_start.elapsed().as_secs_f64();
         subproblem_count += 1;
         level_plans.push(LevelPlan::new(vec![SubProblem {
@@ -251,7 +313,6 @@ pub(crate) fn run(
             iterations: hardware_iterations_for(instance.dimension(), hardware_iterations),
         }]));
         observer.on_level_solved(None, 1);
-        solution.order
     } else {
         // Topmost TSP over the top level's cluster centroids.
         let top = hierarchy
@@ -259,11 +320,15 @@ pub(crate) fn run(
             .expect("hierarchy has at least one level");
         let top_centroids = top.centroids();
         let solve_start = Instant::now();
-        let top_matrix: Vec<Vec<f64>> = top_centroids
-            .iter()
-            .map(|a| top_centroids.iter().map(|b| a.distance(b)).collect())
-            .collect();
-        let top_solution = backend.solve_cycle(&top_matrix, config.seed())?;
+        buffers.members.clear();
+        buffers.members.extend(0..top.len());
+        EntitySpace::Centroids(top_centroids).fill_matrix(&buffers.members, &mut buffers.matrix)?;
+        backend.solve_cycle_into(
+            &buffers.matrix[..top.len()],
+            config.seed(),
+            &mut buffers.scratch,
+            cluster_order,
+        )?;
         software_solve_seconds += solve_start.elapsed().as_secs_f64();
         subproblem_count += 1;
         level_plans.push(LevelPlan::new(vec![SubProblem {
@@ -274,71 +339,61 @@ pub(crate) fn run(
 
         // Walk the hierarchy top-down, expanding the visiting order of each level's
         // clusters into a visiting order of the entities one level below.
-        let mut cluster_order = top_solution.order;
-        let mut final_order = Vec::new();
         for level_index in (0..hierarchy.num_levels()).rev() {
             let level = hierarchy.level(level_index);
-            // Entity positions are borrowed for level 0 (the cities themselves) and
-            // materialised once per upper level (centroids are computed on demand).
-            let centroid_store: Vec<Point>;
+            // Entity positions are borrowed slices everywhere: the instance's cities for
+            // level 0, the hierarchy's contiguous centroid storage for upper levels.
             let entity_positions: &[Point] = if level_index == 0 {
-                &cities
+                cities
             } else {
-                centroid_store = hierarchy.level(level_index - 1).centroids();
-                &centroid_store
+                hierarchy.level(level_index - 1).centroids()
             };
             let entity_space = if level_index == 0 {
                 EntitySpace::Cities(instance)
             } else {
                 EntitySpace::Centroids(entity_positions)
             };
-            let members: Vec<&[usize]> = level
-                .clusters
-                .iter()
-                .map(|c| c.members.as_slice())
-                .collect();
 
             // Stage 2 slice: endpoint fixing for this level.
             let fixing_start = Instant::now();
             let fixer = EndpointFixer::new(entity_positions);
-            let endpoints = fixer.fix(&members, &cluster_order)?;
+            fixer.fix_into(&level, cluster_order, endpoints)?;
             fixing_seconds += fixing_start.elapsed().as_secs_f64();
-            clusters_fixed += members.len();
+            clusters_fixed += level.len();
 
             // Stage 3 slice: solve every cluster of this level through the backend.
             let solve_start = Instant::now();
-            let entity_order = solve_level(
+            solve_level(
                 backend,
                 pool,
                 &entity_space,
-                &members,
-                &cluster_order,
-                &endpoints,
+                level,
+                cluster_order,
+                endpoints,
                 config.seed() ^ ((level_index as u64 + 1) << 32),
+                buffers,
+                entity_order,
             )?;
             software_solve_seconds += solve_start.elapsed().as_secs_f64();
 
             subproblem_count += level.len();
             level_plans.push(LevelPlan::new(
                 level
-                    .clusters
-                    .iter()
+                    .clusters()
                     .map(|c| SubProblem {
-                        cities: c.members.len(),
-                        iterations: hardware_iterations_for(c.members.len(), hardware_iterations),
+                        cities: c.len(),
+                        iterations: hardware_iterations_for(c.len(), hardware_iterations),
                     })
                     .collect(),
             ));
             observer.on_level_solved(Some(level_index), level.len());
 
-            if level_index == 0 {
-                final_order = entity_order;
-            } else {
-                cluster_order = entity_order;
+            if level_index > 0 {
+                // This level's entity order is the next level's cluster order.
+                std::mem::swap(cluster_order, entity_order);
             }
         }
-        final_order
-    };
+    }
 
     let fix_report = StageReport {
         stage: Stage::FixEndpoints,
@@ -358,7 +413,7 @@ pub(crate) fn run(
     // Stage 4: Assemble.
     observer.on_stage_start(Stage::Assemble);
     let assemble_start = Instant::now();
-    let tour = Tour::new(final_order)?;
+    let tour = Tour::new(entity_order.clone())?;
     let length = tour.length(instance);
     let assemble_report = StageReport {
         stage: Stage::Assemble,
@@ -417,6 +472,11 @@ pub(crate) fn run(
     })
 }
 
+/// Per-cluster seed derivation (stable across the serial and parallel paths).
+fn cluster_seed(level_seed: u64, index: usize) -> u64 {
+    level_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Inputs of one per-cluster solve, prepared on the coordinating thread so that jobs own
 /// everything they touch (the pool requires `'static` jobs).
 struct PreparedCluster {
@@ -427,75 +487,101 @@ struct PreparedCluster {
     seed: u64,
 }
 
-fn prepare_cluster(
-    entity_space: &EntitySpace<'_>,
-    members: &[usize],
-    endpoint: FixedEndpoints,
-    index: usize,
-    level_seed: u64,
-) -> PreparedCluster {
-    let matrix = entity_space.distance_matrix(members);
+/// Local start/end indices of a cluster's fixed endpoints within its member list.
+fn local_endpoints(members: &[u32], endpoint: FixedEndpoints) -> (usize, usize) {
     let start_local = members
         .iter()
-        .position(|&m| m == endpoint.entry)
+        .position(|&m| m as usize == endpoint.entry)
         .expect("entry endpoint belongs to the cluster");
     let end_local = members
         .iter()
-        .position(|&m| m == endpoint.exit)
+        .position(|&m| m as usize == endpoint.exit)
         .expect("exit endpoint belongs to the cluster");
-    PreparedCluster {
-        index,
-        matrix,
-        start_local,
-        end_local,
-        seed: level_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    }
+    (start_local, end_local)
 }
 
-fn solve_prepared(
+/// Solves one prepared sub-problem into `out` through the buffer-reusing backend entry
+/// points. Degenerate (equal) endpoints can only happen for single-member clusters
+/// (handled by the caller) or a single-cluster level; fall back to a cycle solve.
+fn solve_prepared_into(
     backend: &dyn TourSolver,
-    task: &PreparedCluster,
-) -> Result<Vec<usize>, TaxiError> {
-    let solution = if task.start_local == task.end_local {
-        // Degenerate endpoints can only happen for single-member clusters (handled by the
-        // caller) or a single-cluster level; fall back to a cycle solve.
-        backend.solve_cycle(&task.matrix, task.seed)?
+    matrix: &[Vec<f64>],
+    start_local: usize,
+    end_local: usize,
+    seed: u64,
+    scratch: &mut SolverScratch,
+    out: &mut Vec<usize>,
+) -> Result<(), TaxiError> {
+    if start_local == end_local {
+        backend.solve_cycle_into(matrix, seed, scratch, out)?;
     } else {
-        backend.solve_path(&task.matrix, task.start_local, task.end_local, task.seed)?
-    };
-    Ok(solution.order)
+        backend.solve_path_into(matrix, start_local, end_local, seed, scratch, out)?;
+    }
+    Ok(())
 }
 
 /// Solves every cluster of one level (path TSPs with fixed endpoints) and concatenates
-/// the resulting member orders following the cluster visiting order.
+/// the resulting member orders following the cluster visiting order into
+/// `entity_order`.
+///
+/// The serial path (no pool, or a single cluster) borrows everything from `buffers` and
+/// performs zero heap allocations once warm; the pooled path prepares owned jobs per
+/// cluster (jobs must be `'static`) while each worker reuses its persistent scratch.
+#[allow(clippy::too_many_arguments)]
 fn solve_level(
     backend: &Arc<dyn TourSolver>,
     pool: Option<&SolvePool>,
     entity_space: &EntitySpace<'_>,
-    member_lists: &[&[usize]],
+    level: LevelView<'_>,
     cluster_order: &[usize],
     endpoints: &[FixedEndpoints],
     level_seed: u64,
-) -> Result<Vec<usize>, TaxiError> {
-    let k = member_lists.len();
-    let mut per_cluster_orders: Vec<Option<Result<Vec<usize>, TaxiError>>> =
-        (0..k).map(|_| None).collect();
+    buffers: &mut SolveBuffers,
+    entity_order: &mut Vec<usize>,
+) -> Result<(), TaxiError> {
+    let k = level.len();
+    if buffers.resolved.len() < k {
+        buffers.resolved.resize_with(k, Vec::new);
+    }
+    // Keep the error of the lowest cluster index so the pooled path reports the same
+    // error as the serial path regardless of worker arrival order.
+    let mut first_error: Option<(usize, TaxiError)> = None;
 
     match pool {
         Some(pool) if k > 1 => {
             let (tx, rx) = mpsc::channel::<(usize, Result<Vec<usize>, TaxiError>)>();
             let mut submitted = 0usize;
-            for (index, members) in member_lists.iter().enumerate() {
+            for index in 0..k {
+                let members = level.members(index);
                 if members.len() == 1 {
-                    per_cluster_orders[index] = Some(Ok(vec![members[0]]));
+                    let out = &mut buffers.resolved[index];
+                    out.clear();
+                    out.push(members[0] as usize);
                     continue;
                 }
-                let task =
-                    prepare_cluster(entity_space, members, endpoints[index], index, level_seed);
+                buffers.members.clear();
+                buffers.members.extend(members.iter().map(|&m| m as usize));
+                let (start_local, end_local) = local_endpoints(members, endpoints[index]);
+                let task = PreparedCluster {
+                    index,
+                    matrix: entity_space.matrix_owned(&buffers.members)?,
+                    start_local,
+                    end_local,
+                    seed: cluster_seed(level_seed, index),
+                };
                 let backend = Arc::clone(backend);
                 let tx = tx.clone();
-                pool.submit(Box::new(move || {
-                    let result = solve_prepared(backend.as_ref(), &task);
+                pool.submit(Box::new(move |cell: &mut WorkerScratch| {
+                    let result = solve_prepared_into(
+                        backend.as_ref(),
+                        &task.matrix,
+                        task.start_local,
+                        task.end_local,
+                        task.seed,
+                        &mut cell.scratch,
+                        &mut cell.out,
+                    )
+                    .map(|()| cell.out.clone());
                     let _ = tx.send((task.index, result));
                 }));
                 submitted += 1;
@@ -505,35 +591,61 @@ fn solve_level(
                 let (index, local) = rx
                     .recv()
                     .expect("a solver worker panicked while solving a cluster");
-                per_cluster_orders[index] = Some(
-                    local.map(|order| order.iter().map(|&l| member_lists[index][l]).collect()),
-                );
+                match local {
+                    Ok(local_order) => {
+                        let members = level.members(index);
+                        let out = &mut buffers.resolved[index];
+                        out.clear();
+                        out.extend(local_order.iter().map(|&l| members[l] as usize));
+                    }
+                    Err(err) => {
+                        // Drain the remaining results before surfacing the error so the
+                        // channel closes cleanly.
+                        if first_error.as_ref().map_or(true, |(i, _)| index < *i) {
+                            first_error = Some((index, err));
+                        }
+                    }
+                }
             }
         }
         _ => {
-            for (index, members) in member_lists.iter().enumerate() {
-                if members.len() == 1 {
-                    per_cluster_orders[index] = Some(Ok(vec![members[0]]));
+            for index in 0..k {
+                let members = level.members(index);
+                let out_len = members.len();
+                if out_len == 1 {
+                    let out = &mut buffers.resolved[index];
+                    out.clear();
+                    out.push(members[0] as usize);
                     continue;
                 }
-                let task =
-                    prepare_cluster(entity_space, members, endpoints[index], index, level_seed);
-                let local = solve_prepared(backend.as_ref(), &task);
-                per_cluster_orders[index] =
-                    Some(local.map(|order| order.iter().map(|&l| members[l]).collect()));
+                buffers.members.clear();
+                buffers.members.extend(members.iter().map(|&m| m as usize));
+                let (start_local, end_local) = local_endpoints(members, endpoints[index]);
+                entity_space.fill_matrix(&buffers.members, &mut buffers.matrix)?;
+                solve_prepared_into(
+                    backend.as_ref(),
+                    &buffers.matrix[..out_len],
+                    start_local,
+                    end_local,
+                    cluster_seed(level_seed, index),
+                    &mut buffers.scratch,
+                    &mut buffers.local_order,
+                )?;
+                let out = &mut buffers.resolved[index];
+                out.clear();
+                out.extend(buffers.local_order.iter().map(|&l| buffers.members[l]));
             }
         }
     }
+    if let Some((_, err)) = first_error {
+        return Err(err);
+    }
 
-    let mut resolved = Vec::with_capacity(k);
-    for result in per_cluster_orders {
-        resolved.push(result.expect("every cluster was solved")?);
-    }
-    let mut entity_order = Vec::new();
+    entity_order.clear();
     for &cluster_index in cluster_order {
-        entity_order.extend_from_slice(&resolved[cluster_index]);
+        entity_order.extend_from_slice(&buffers.resolved[cluster_index]);
     }
-    Ok(entity_order)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -554,7 +666,7 @@ mod tests {
             let pool = SolvePool::new(4);
             for _ in 0..64 {
                 let counter = Arc::clone(&counter);
-                pool.submit(Box::new(move || {
+                pool.submit(Box::new(move |_cell| {
                     counter.fetch_add(1, Ordering::SeqCst);
                 }));
             }
@@ -568,13 +680,29 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         {
             let pool = SolvePool::new(1);
-            pool.submit(Box::new(|| panic!("poisoned sub-problem")));
+            pool.submit(Box::new(|_cell| panic!("poisoned sub-problem")));
             let counter_clone = Arc::clone(&counter);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_cell| {
                 counter_clone.fetch_add(1, Ordering::SeqCst);
             }));
         }
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_workers_keep_scratch_between_jobs() {
+        let (tx, rx) = mpsc::channel();
+        {
+            let pool = SolvePool::new(1);
+            pool.submit(Box::new(|cell: &mut WorkerScratch| {
+                cell.out.push(41);
+            }));
+            pool.submit(Box::new(move |cell: &mut WorkerScratch| {
+                cell.out.push(1);
+                let _ = tx.send(cell.out.clone());
+            }));
+        }
+        assert_eq!(rx.recv().unwrap(), vec![41, 1]);
     }
 
     #[test]

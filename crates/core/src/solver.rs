@@ -4,11 +4,13 @@
 //!
 //! [`pipeline`]: crate::pipeline
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use taxi_tsplib::TspInstance;
 
 use crate::backend::TourSolver;
+use crate::context::SolveContext;
 use crate::pipeline::{self, NullObserver, PipelineObserver, SolvePool};
 use crate::{TaxiConfig, TaxiError, TaxiSolution};
 
@@ -17,6 +19,12 @@ use crate::{TaxiConfig, TaxiError, TaxiSolution};
 /// Sub-problem solving is pluggable: the configured
 /// [`SolverBackend`](crate::SolverBackend) (the paper's Ising macro by default) is
 /// instantiated once per entry-point call and drives every sub-problem solve.
+///
+/// The solver owns a reusable [`SolveContext`] scratch arena: repeated `solve` calls on
+/// one solver reuse the same buffers and warm backend state, so the steady-state
+/// per-level solve loop allocates nothing (see the [`context`](crate::context) module
+/// docs). Concurrent `solve` calls on one shared solver stay safe — a call that finds
+/// the context busy falls back to a fresh one.
 ///
 /// # Example
 ///
@@ -37,15 +45,34 @@ use crate::{TaxiConfig, TaxiError, TaxiSolution};
 /// assert!(heuristic.solve(&instance)?.tour.is_valid_for(&instance));
 /// # Ok::<(), taxi::TaxiError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct TaxiSolver {
     config: TaxiConfig,
+    /// The solver's persistent scratch arena. Behind a mutex only so `solve(&self)`
+    /// can reuse it; never held across calls.
+    context: Mutex<SolveContext>,
+}
+
+impl Clone for TaxiSolver {
+    fn clone(&self) -> Self {
+        // Scratch state is behaviourally transparent, so a clone starts cold.
+        Self::new(self.config.clone())
+    }
+}
+
+impl PartialEq for TaxiSolver {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+    }
 }
 
 impl TaxiSolver {
     /// Creates a solver with the given configuration.
     pub fn new(config: TaxiConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            context: Mutex::new(SolveContext::new()),
+        }
     }
 
     /// The solver configuration.
@@ -104,29 +131,135 @@ impl TaxiSolver {
         observer: &mut dyn PipelineObserver,
     ) -> Result<TaxiSolution, TaxiError> {
         let pool = self.make_pool();
-        pipeline::run(&self.config, backend, pool.as_ref(), instance, observer)
+        // Reuse the solver's warm context; if another call holds it, solve with a cold
+        // local context instead of blocking. A lock poisoned by a panicked solve is
+        // recovered: the scratch is behaviourally transparent (buffers are cleared or
+        // re-validated before use), so reuse stays safe and the arena is not silently
+        // lost for the solver's lifetime.
+        match self.context.try_lock() {
+            Ok(mut ctx) => pipeline::run(
+                &self.config,
+                backend,
+                pool.as_ref(),
+                instance,
+                observer,
+                &mut ctx,
+            ),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => pipeline::run(
+                &self.config,
+                backend,
+                pool.as_ref(),
+                instance,
+                observer,
+                &mut poisoned.into_inner(),
+            ),
+            Err(std::sync::TryLockError::WouldBlock) => pipeline::run(
+                &self.config,
+                backend,
+                pool.as_ref(),
+                instance,
+                observer,
+                &mut SolveContext::new(),
+            ),
+        }
     }
 
-    /// Solves a batch of instances, reusing one worker pool (and one backend instance)
-    /// across all instances and hierarchy levels instead of respawning threads per level
-    /// per solve. Under a fixed seed every per-instance result is identical to what
+    /// Like [`solve`](Self::solve), but borrowing a caller-owned [`SolveContext`]
+    /// instead of the solver's internal one — the building block for callers that
+    /// manage their own worker-context affinity.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve).
+    pub fn solve_reusing(
+        &self,
+        instance: &TspInstance,
+        ctx: &mut SolveContext,
+    ) -> Result<TaxiSolution, TaxiError> {
+        let backend = self.config.build_backend();
+        let pool = self.make_pool();
+        pipeline::run(
+            &self.config,
+            &backend,
+            pool.as_ref(),
+            instance,
+            &mut NullObserver,
+            ctx,
+        )
+    }
+
+    /// Solves a batch of instances, sharding whole instances across worker threads:
+    /// each worker owns one backend handle and one [`SolveContext`], pulls instances
+    /// from a shared cursor, and solves them serially — so in steady state the batch
+    /// performs zero cross-instance allocation inside the level-solve loop. Under a
+    /// fixed seed every per-instance result is identical to what
     /// [`solve`](Self::solve) returns for that instance.
+    ///
+    /// Sharding only engages when the batch is at least as wide as the thread budget;
+    /// smaller batches (including single instances and `threads == 1`) run serially
+    /// over one reused context with the full intra-level worker pool, so no configured
+    /// thread ever idles.
     ///
     /// Per-instance failures do not abort the batch: each instance yields its own
     /// `Result`, in input order.
     pub fn solve_batch(&self, instances: &[TspInstance]) -> Vec<Result<TaxiSolution, TaxiError>> {
         let backend = self.config.build_backend();
-        let pool = self.make_pool();
-        instances
-            .iter()
-            .map(|instance| {
-                pipeline::run(
-                    &self.config,
-                    &backend,
-                    pool.as_ref(),
-                    instance,
-                    &mut NullObserver,
-                )
+        let workers = self.config.threads();
+        if workers <= 1 || instances.len() < workers {
+            // Narrow batch: instance sharding would leave threads idle, so solve
+            // instances serially with intra-level fan-out over the full pool, reusing
+            // one context.
+            let pool = self.make_pool();
+            let mut ctx = SolveContext::new();
+            return instances
+                .iter()
+                .map(|instance| {
+                    pipeline::run(
+                        &self.config,
+                        &backend,
+                        pool.as_ref(),
+                        instance,
+                        &mut NullObserver,
+                        &mut ctx,
+                    )
+                })
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<TaxiSolution, TaxiError>>>> =
+            (0..instances.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let backend = &backend;
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut ctx = SolveContext::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(instance) = instances.get(i) else {
+                            break;
+                        };
+                        let result = pipeline::run(
+                            &self.config,
+                            backend,
+                            None,
+                            instance,
+                            &mut NullObserver,
+                            &mut ctx,
+                        );
+                        *slots[i].lock().expect("result slot lock") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("every batch instance was solved")
             })
             .collect()
     }

@@ -5,7 +5,7 @@ use crate::{DeviceError, SwitchingCurve, WriteCurrent};
 /// Behavioural parameters of the SOT-MRAM device used across the reproduction.
 ///
 /// Resistance values follow typical perpendicular SOT-MRAM figures (consistent with the
-/// field-free perpendicular SOT-MRAM of the paper's ref. [19]); the stochastic window and
+/// field-free perpendicular SOT-MRAM of the paper's ref. \[19\]); the stochastic window and
 /// switching-probability anchors come directly from the paper.
 ///
 /// # Example

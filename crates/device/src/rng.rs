@@ -133,6 +133,24 @@ impl StochasticVectorGenerator {
         rng: &mut R,
     ) -> Result<Vec<bool>, DeviceError> {
         let mut mask = Vec::with_capacity(self.units.len());
+        self.generate_into(current, rng, &mut mask)?;
+        Ok(mask)
+    }
+
+    /// Like [`generate`](Self::generate), but writes the mask into a caller-provided
+    /// buffer (cleared and refilled), so steady-state mask generation performs no heap
+    /// allocation once the buffer is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`generate`](Self::generate).
+    pub fn generate_into<R: Rng + ?Sized>(
+        &mut self,
+        current: WriteCurrent,
+        rng: &mut R,
+        mask: &mut Vec<bool>,
+    ) -> Result<(), DeviceError> {
+        mask.clear();
         for unit in &mut self.units {
             mask.push(unit.sample(current, rng)?);
         }
@@ -140,7 +158,7 @@ impl StochasticVectorGenerator {
         if mask.iter().all(|&b| !b) {
             mask.iter_mut().for_each(|b| *b = true);
         }
-        Ok(mask)
+        Ok(())
     }
 
     /// Expected number of ones in a mask generated at `current` (before the empty-set

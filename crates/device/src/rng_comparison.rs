@@ -12,11 +12,11 @@ use crate::DeviceParams;
 /// A class of random-number source considered by the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RngTechnology {
-    /// Fully-synthesised CMOS TRNG (the paper's ref. [8], 23 Mb/s, 23 pJ/bit).
+    /// Fully-synthesised CMOS TRNG (the paper's ref. \[8\], 23 Mb/s, 23 pJ/bit).
     CmosSynthesized,
-    /// All-digital high-performance CMOS TRNG (ref. [9], 2.4 Gb/s, 7 mW).
+    /// All-digital high-performance CMOS TRNG (ref. \[9\], 2.4 Gb/s, 7 mW).
     CmosHighPerformance,
-    /// Low-barrier MTJ / spin-dice style RNG (refs. [15]–[18]).
+    /// Low-barrier MTJ / spin-dice style RNG (refs. \[15\]–\[18\]).
     LowBarrierMtj,
     /// SOT-MRAM stochastic switching as used by TAXI.
     SotMram,
@@ -36,7 +36,7 @@ pub struct RngProfile {
 }
 
 impl RngProfile {
-    /// The fully-synthesised CMOS TRNG of the paper's ref. [8] (23 Mb/s, 23 pJ/b,
+    /// The fully-synthesised CMOS TRNG of the paper's ref. \[8\] (23 Mb/s, 23 pJ/b,
     /// > 375 µm²).
     pub fn cmos_synthesized() -> Self {
         Self {
@@ -47,7 +47,7 @@ impl RngProfile {
         }
     }
 
-    /// The high-performance all-digital CMOS TRNG of ref. [9] (2.4 Gb/s at 7 mW,
+    /// The high-performance all-digital CMOS TRNG of ref. \[9\] (2.4 Gb/s at 7 mW,
     /// ≈ 2.9 pJ/b; area ≈ 4 000 µm² in 45 nm).
     pub fn cmos_high_performance() -> Self {
         Self {

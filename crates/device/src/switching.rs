@@ -1,6 +1,6 @@
 //! Sigmoidal switching-probability model.
 //!
-//! The paper (Fig. 4c, following the IEDM'22 device of ref. [19]) controls the expected
+//! The paper (Fig. 4c, following the IEDM'22 device of ref. \[19\]) controls the expected
 //! number of ones in the stochastic mask by setting the write current, exploiting the
 //! native sigmoidal switching-probability vs. write-current characteristic of the SOT
 //! device. Two operating points are quoted explicitly:

@@ -46,7 +46,9 @@ pub mod schedule;
 pub mod trace;
 
 pub use error::IsingError;
-pub use macro_solver::{MacroSolverConfig, MacroTspSolver, SubTourSolution};
+pub use macro_solver::{
+    MacroScratch, MacroSolverConfig, MacroTspSolver, SubTourSolution, SubTourStats,
+};
 pub use model::{IsingModel, Spin};
 pub use qubo::{Qubo, TspQuboEncoder};
 pub use sa::{SaConfig, SimulatedAnnealingIsingSolver};

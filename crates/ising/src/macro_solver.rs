@@ -110,6 +110,73 @@ pub struct SubTourSolution {
     pub op_counts: MacroOpCounts,
 }
 
+/// Scalar outcome of a scratch-based solve ([`MacroTspSolver::solve_cycle_with`] /
+/// [`MacroTspSolver::solve_path_with`]); the visiting order is written into the caller's
+/// buffer instead of being owned by the result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubTourStats {
+    /// Length of the tour (cyclic) or path (fixed endpoints).
+    pub length: f64,
+    /// Number of annealing iterations executed on the macro.
+    pub iterations: u64,
+    /// Hardware operation counters accumulated by the macro.
+    pub op_counts: MacroOpCounts,
+}
+
+/// Reusable per-worker scratch for the macro TSP solver.
+///
+/// Holds one warm [`IsingMacro`] per sub-problem size (re-targeted in place through
+/// [`IsingMacro::remap`]) plus the order/visited buffers of the annealing loop. After a
+/// warm-up solve per distinct sub-problem size, every subsequent solve through
+/// [`MacroTspSolver::solve_cycle_with`] / [`MacroTspSolver::solve_path_with`] performs
+/// zero heap allocations. Results are bit-identical to the allocating entry points: a
+/// remapped macro is indistinguishable from a freshly built one.
+#[derive(Debug, Clone, Default)]
+pub struct MacroScratch {
+    /// `macros[n]` is the warm macro for `n`-city sub-problems.
+    macros: Vec<Option<IsingMacro>>,
+    /// Configuration the warm macros were built with; a config change flushes the pool.
+    config: Option<MacroSolverConfig>,
+    initial: Vec<usize>,
+    best: Vec<usize>,
+    snapshot: Vec<usize>,
+    visited: Vec<bool>,
+}
+
+impl MacroScratch {
+    /// Creates an empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of warm macros currently pooled (one per distinct sub-problem size seen).
+    pub fn warm_macros(&self) -> usize {
+        self.macros.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Ensures the pooled macro for `n` cities is built and programmed for `distances`,
+    /// flushing the pool first if the solver configuration changed.
+    fn prepare_macro(
+        &mut self,
+        config: &MacroSolverConfig,
+        distances: &[Vec<f64>],
+    ) -> Result<(), IsingError> {
+        if self.config.as_ref() != Some(config) {
+            self.macros.clear();
+            self.config = Some(config.clone());
+        }
+        let n = distances.len();
+        if self.macros.len() <= n {
+            self.macros.resize_with(n + 1, || None);
+        }
+        match &mut self.macros[n] {
+            Some(macro_) => macro_.remap(distances)?,
+            slot => *slot = Some(IsingMacro::new(distances, config.macro_config().clone())?),
+        }
+        Ok(())
+    }
+}
+
 /// TSP sub-solver built on a crossbar Ising macro.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MacroTspSolver {
@@ -138,47 +205,85 @@ impl MacroTspSolver {
         distances: &[Vec<f64>],
         seed: u64,
     ) -> Result<SubTourSolution, IsingError> {
+        let mut scratch = MacroScratch::new();
+        let mut order = Vec::new();
+        let stats = self.solve_cycle_with(distances, seed, &mut scratch, &mut order)?;
+        Ok(SubTourSolution {
+            order,
+            length: stats.length,
+            iterations: stats.iterations,
+            op_counts: stats.op_counts,
+        })
+    }
+
+    /// Like [`solve_cycle`](Self::solve_cycle), but reuses a caller-provided
+    /// [`MacroScratch`] and writes the visiting order into `out` (cleared first). After
+    /// one warm-up solve per sub-problem size the solve performs zero heap allocations;
+    /// results are identical to [`solve_cycle`](Self::solve_cycle) for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve_cycle`](Self::solve_cycle).
+    pub fn solve_cycle_with(
+        &self,
+        distances: &[Vec<f64>],
+        seed: u64,
+        scratch: &mut MacroScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<SubTourStats, IsingError> {
         let n = validate_square(distances)?;
+        out.clear();
         if n <= 3 {
-            let order: Vec<usize> = (0..n).collect();
-            return Ok(SubTourSolution {
-                length: cycle_length(distances, &order),
-                order,
+            out.extend(0..n);
+            return Ok(SubTourStats {
+                length: cycle_length(distances, out),
                 iterations: 0,
                 op_counts: MacroOpCounts::default(),
             });
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut macro_ = IsingMacro::new(distances, self.config.macro_config.clone())?;
-        let initial = nearest_neighbor_order(distances, 0);
-        macro_.initialize_order(&initial)?;
+        scratch.prepare_macro(&self.config, distances)?;
+        let MacroScratch {
+            macros,
+            initial,
+            best,
+            snapshot,
+            visited,
+            ..
+        } = scratch;
+        let macro_ = macros[n].as_mut().expect("macro was just prepared");
+        nearest_neighbor_order_into(distances, 0, visited, initial);
+        macro_.initialize_order(initial)?;
 
         let schedule = self.config.schedule;
         let total = schedule.len();
-        let mut best_order = initial.clone();
-        let mut best_length = cycle_length(distances, &best_order);
+        best.clear();
+        best.extend_from_slice(initial);
+        let mut best_length = cycle_length(distances, best);
         for t in 0..total {
             let order = t % n;
             let i_write = schedule.current_at(t);
             macro_.optimize_order(order, i_write, &mut rng)?;
             if self.config.elitist && (t + 1) % n == 0 {
-                let snapshot = macro_.read_solution()?;
-                let length = cycle_length(distances, &snapshot);
+                macro_.read_solution_into(snapshot)?;
+                let length = cycle_length(distances, snapshot);
                 if length < best_length {
                     best_length = length;
-                    best_order = snapshot;
+                    best.clear();
+                    best.extend_from_slice(snapshot);
                 }
             }
         }
-        let final_order = macro_.read_solution()?;
-        let final_length = cycle_length(distances, &final_order);
-        let (order, length) = if self.config.elitist && best_length < final_length {
-            (best_order, best_length)
+        macro_.read_solution_into(out)?;
+        let final_length = cycle_length(distances, out);
+        let length = if self.config.elitist && best_length < final_length {
+            out.clear();
+            out.extend_from_slice(best);
+            best_length
         } else {
-            (final_order, final_length)
+            final_length
         };
-        Ok(SubTourSolution {
-            order,
+        Ok(SubTourStats {
             length,
             iterations: total as u64,
             op_counts: macro_.op_counts(),
@@ -258,6 +363,34 @@ impl MacroTspSolver {
         end: usize,
         seed: u64,
     ) -> Result<SubTourSolution, IsingError> {
+        let mut scratch = MacroScratch::new();
+        let mut order = Vec::new();
+        let stats = self.solve_path_with(distances, start, end, seed, &mut scratch, &mut order)?;
+        Ok(SubTourSolution {
+            order,
+            length: stats.length,
+            iterations: stats.iterations,
+            op_counts: stats.op_counts,
+        })
+    }
+
+    /// Like [`solve_path`](Self::solve_path), but reuses a caller-provided
+    /// [`MacroScratch`] and writes the visiting order into `out` (cleared first). After
+    /// one warm-up solve per sub-problem size the solve performs zero heap allocations;
+    /// results are identical to [`solve_path`](Self::solve_path) for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve_path`](Self::solve_path).
+    pub fn solve_path_with(
+        &self,
+        distances: &[Vec<f64>],
+        start: usize,
+        end: usize,
+        seed: u64,
+        scratch: &mut MacroScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<SubTourStats, IsingError> {
         let n = validate_square(distances)?;
         if start >= n || end >= n {
             return Err(IsingError::InvalidEndpoints {
@@ -270,61 +403,73 @@ impl MacroTspSolver {
                     .to_string(),
             });
         }
+        out.clear();
         if n <= 3 {
-            let mut order = vec![start];
+            out.push(start);
             for c in 0..n {
                 if c != start && c != end {
-                    order.push(c);
+                    out.push(c);
                 }
             }
             if n > 1 {
-                order.push(end);
+                out.push(end);
             }
-            return Ok(SubTourSolution {
-                length: path_length(distances, &order),
-                order,
+            return Ok(SubTourStats {
+                length: path_length(distances, out),
                 iterations: 0,
                 op_counts: MacroOpCounts::default(),
             });
         }
 
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut macro_ = IsingMacro::new(distances, self.config.macro_config.clone())?;
-        let initial = nearest_neighbor_path_order(distances, start, end);
-        macro_.initialize_order(&initial)?;
+        scratch.prepare_macro(&self.config, distances)?;
+        let MacroScratch {
+            macros,
+            initial,
+            best,
+            snapshot,
+            visited,
+            ..
+        } = scratch;
+        let macro_ = macros[n].as_mut().expect("macro was just prepared");
+        nearest_neighbor_path_order_into(distances, start, end, visited, initial);
+        macro_.initialize_order(initial)?;
 
         let frozen = [start, end];
         let schedule = self.config.schedule;
         let total = schedule.len();
         let interior = n - 2;
-        let mut best_order = initial.clone();
-        let mut best_length = path_length(distances, &best_order);
+        best.clear();
+        best.extend_from_slice(initial);
+        let mut best_length = path_length(distances, best);
         for t in 0..total {
             // Cycle over the interior orders 1..n-1; endpoints stay pinned.
             let order = 1 + (t % interior);
             let i_write = schedule.current_at(t);
             macro_.optimize_order_constrained(order, i_write, &frozen, &mut rng)?;
             if self.config.elitist && (t + 1) % interior == 0 {
-                let snapshot = macro_.read_solution()?;
-                let length = path_length(distances, &snapshot);
+                macro_.read_solution_into(snapshot)?;
+                let length = path_length(distances, snapshot);
                 if length < best_length {
                     best_length = length;
-                    best_order = snapshot;
+                    best.clear();
+                    best.extend_from_slice(snapshot);
                 }
             }
         }
-        let final_order = macro_.read_solution()?;
-        let final_length = path_length(distances, &final_order);
-        let (order, length) = if self.config.elitist && best_length < final_length {
-            (best_order, best_length)
+        macro_.read_solution_into(out)?;
+        let final_length = path_length(distances, out);
+        let length = if self.config.elitist && best_length < final_length {
+            out.clear();
+            out.extend_from_slice(best);
+            best_length
         } else {
-            (final_order, final_length)
+            final_length
         };
-        debug_assert_eq!(order[0], start, "start endpoint must remain pinned");
-        debug_assert_eq!(order[n - 1], end, "end endpoint must remain pinned");
-        Ok(SubTourSolution {
+        debug_assert_eq!(out[0], start, "start endpoint must remain pinned");
+        debug_assert_eq!(out[n - 1], end, "end endpoint must remain pinned");
+        Ok(SubTourStats {
             length,
-            order,
             iterations: total as u64,
             op_counts: macro_.op_counts(),
         })
@@ -358,12 +503,27 @@ pub fn path_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
 
 /// Nearest-neighbour visiting order starting from `start` (closed-tour initialisation).
 pub fn nearest_neighbor_order(distances: &[Vec<f64>], start: usize) -> Vec<usize> {
+    let mut visited = Vec::new();
+    let mut order = Vec::with_capacity(distances.len());
+    nearest_neighbor_order_into(distances, start, &mut visited, &mut order);
+    order
+}
+
+/// Buffer-reusing form of [`nearest_neighbor_order`]: `visited` and `out` are cleared
+/// and refilled, so repeated initialisations allocate nothing once warm.
+pub fn nearest_neighbor_order_into(
+    distances: &[Vec<f64>],
+    start: usize,
+    visited: &mut Vec<bool>,
+    out: &mut Vec<usize>,
+) {
     let n = distances.len();
-    let mut visited = vec![false; n];
-    let mut order = Vec::with_capacity(n);
+    visited.clear();
+    visited.resize(n, false);
+    out.clear();
     let mut current = start;
     visited[current] = true;
-    order.push(current);
+    out.push(current);
     for _ in 1..n {
         let next = (0..n)
             .filter(|&c| !visited[c])
@@ -374,20 +534,34 @@ pub fn nearest_neighbor_order(distances: &[Vec<f64>], start: usize) -> Vec<usize
             })
             .expect("an unvisited city must remain");
         visited[next] = true;
-        order.push(next);
+        out.push(next);
         current = next;
     }
-    order
 }
 
 /// Nearest-neighbour path order from `start`, forced to terminate at `end`.
 pub fn nearest_neighbor_path_order(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
+    let mut visited = Vec::new();
+    let mut order = Vec::with_capacity(distances.len());
+    nearest_neighbor_path_order_into(distances, start, end, &mut visited, &mut order);
+    order
+}
+
+/// Buffer-reusing form of [`nearest_neighbor_path_order`].
+pub fn nearest_neighbor_path_order_into(
+    distances: &[Vec<f64>],
+    start: usize,
+    end: usize,
+    visited: &mut Vec<bool>,
+    out: &mut Vec<usize>,
+) {
     let n = distances.len();
-    let mut visited = vec![false; n];
-    let mut order = Vec::with_capacity(n);
+    visited.clear();
+    visited.resize(n, false);
+    out.clear();
     visited[start] = true;
     visited[end] = true;
-    order.push(start);
+    out.push(start);
     let mut current = start;
     for _ in 0..n.saturating_sub(2) {
         let next = (0..n)
@@ -399,13 +573,12 @@ pub fn nearest_neighbor_path_order(distances: &[Vec<f64>], start: usize, end: us
             })
             .expect("an unvisited interior city must remain");
         visited[next] = true;
-        order.push(next);
+        out.push(next);
         current = next;
     }
     if n > 1 {
-        order.push(end);
+        out.push(end);
     }
-    order
 }
 
 fn validate_square(distances: &[Vec<f64>]) -> Result<usize, IsingError> {
@@ -569,6 +742,56 @@ mod tests {
         assert!((cycle_length(&d, &[0, 1, 2]) - 7.0).abs() < 1e-12);
         assert!((path_length(&d, &[0, 1, 2]) - 3.0).abs() < 1e-12);
         assert_eq!(cycle_length(&d, &[0]), 0.0);
+    }
+
+    /// Reusing one scratch across many solves must give bit-identical results to fresh
+    /// solves: the warm macro pool is behaviourally transparent.
+    #[test]
+    fn scratch_reuse_matches_fresh_solves() {
+        let solver = MacroTspSolver::default();
+        let mut scratch = MacroScratch::new();
+        let mut out = Vec::new();
+        for round in 0..3u64 {
+            for n in [5usize, 8, 10] {
+                let (d, _) = circle_distances(n);
+                let seed = round * 31 + n as u64;
+                let fresh = solver.solve_cycle(&d, seed).unwrap();
+                let stats = solver
+                    .solve_cycle_with(&d, seed, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out, fresh.order, "cycle n={n} round={round}");
+                assert_eq!(stats.length, fresh.length);
+                assert_eq!(stats.op_counts, fresh.op_counts);
+
+                let fresh = solver.solve_path(&d, 0, n - 1, seed).unwrap();
+                let stats = solver
+                    .solve_path_with(&d, 0, n - 1, seed, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out, fresh.order, "path n={n} round={round}");
+                assert_eq!(stats.length, fresh.length);
+            }
+        }
+        // One warm macro per distinct size.
+        assert_eq!(scratch.warm_macros(), 3);
+    }
+
+    /// Changing the solver configuration between solves flushes the warm pool instead of
+    /// silently reusing macros built for a different precision/schedule.
+    #[test]
+    fn scratch_flushes_on_config_change() {
+        let (d, _) = circle_distances(6);
+        let mut scratch = MacroScratch::new();
+        let mut out = Vec::new();
+        let a = MacroTspSolver::default();
+        a.solve_cycle_with(&d, 1, &mut scratch, &mut out).unwrap();
+        let b = MacroTspSolver::new(
+            MacroSolverConfig::new(MacroConfig::new(2).with_capacity(64))
+                .with_schedule(CurrentSchedule::software()),
+        );
+        let fresh = b.solve_cycle(&d, 1).unwrap();
+        let stats = b.solve_cycle_with(&d, 1, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, fresh.order);
+        assert_eq!(stats.length, fresh.length);
     }
 
     #[test]

@@ -91,6 +91,29 @@ impl IsingModel {
         })
     }
 
+    /// Resets the model in place to `n` spins with zero couplings, zero fields, and all
+    /// spins up, reusing the coupling/field/spin buffers (no allocation once the buffers
+    /// have grown to the largest problem seen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::InvalidProblem`] if `n` is zero.
+    pub fn reset(&mut self, n: usize) -> Result<(), IsingError> {
+        if n == 0 {
+            return Err(IsingError::InvalidProblem {
+                reason: "an Ising model needs at least one spin".to_string(),
+            });
+        }
+        self.n = n;
+        self.couplings.clear();
+        self.couplings.resize(n * n, 0.0);
+        self.fields.clear();
+        self.fields.resize(n, 0.0);
+        self.spins.clear();
+        self.spins.resize(n, Spin::Up);
+        Ok(())
+    }
+
     /// Number of spins.
     pub fn len(&self) -> usize {
         self.n

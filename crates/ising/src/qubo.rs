@@ -1,7 +1,7 @@
 //! QUBO formulation and the standard TSP-to-QUBO encoding.
 //!
 //! The paper represents the visiting information `σ_{A,i}` (city A visited at order i) as
-//! binary variables following the QUBO/Ising equivalence (its ref. [20]). This module
+//! binary variables following the QUBO/Ising equivalence (its ref. \[20\]). This module
 //! provides the explicit encoding: an `N × N` grid of binary variables with one-hot
 //! constraints on both rows (each city visited exactly once) and columns (each order
 //! filled exactly once), plus the distance objective on adjacent orders. The generic
@@ -52,6 +52,25 @@ impl Qubo {
             n,
             q: vec![0.0; n * n],
         })
+    }
+
+    /// Resets the QUBO in place to `n` variables with all coefficients zero, reusing the
+    /// coefficient buffer: once the buffer has grown to the largest problem seen,
+    /// re-encoding sub-problems allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::InvalidProblem`] if `n` is zero.
+    pub fn reset(&mut self, n: usize) -> Result<(), IsingError> {
+        if n == 0 {
+            return Err(IsingError::InvalidProblem {
+                reason: "a QUBO needs at least one variable".to_string(),
+            });
+        }
+        self.n = n;
+        self.q.clear();
+        self.q.resize(n * n, 0.0);
+        Ok(())
     }
 
     /// Number of binary variables.
@@ -122,6 +141,18 @@ impl Qubo {
     /// Propagates model-construction errors (which cannot occur for a valid QUBO).
     pub fn to_ising(&self) -> Result<IsingModel, IsingError> {
         let mut model = IsingModel::new(self.n)?;
+        self.to_ising_into(&mut model)?;
+        Ok(model)
+    }
+
+    /// Like [`to_ising`](Self::to_ising), but rebuilds a caller-provided model in place
+    /// (couplings, fields and spins are reset first), reusing its buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors (which cannot occur for a valid QUBO).
+    pub fn to_ising_into(&self, model: &mut IsingModel) -> Result<(), IsingError> {
+        model.reset(self.n)?;
         let mut h = vec![0.0; self.n];
         for i in 0..self.n {
             // Linear term Q_ii x_i → (Q_ii / 2) σ_i + const.
@@ -143,7 +174,7 @@ impl Qubo {
             // linear contribution +c·x becomes +c/2·σ, i.e. field −c/2.
             model.set_field(i, -hi)?;
         }
-        Ok(model)
+        Ok(())
     }
 
     fn check(&self, i: usize) -> Result<(), IsingError> {
@@ -271,9 +302,22 @@ impl TspQuboEncoder {
     ///
     /// Propagates construction errors (cannot occur for a validated encoder).
     pub fn encode(&self) -> Result<Qubo, IsingError> {
+        let mut qubo = Qubo::new(self.num_cities() * self.num_cities())?;
+        self.encode_into(&mut qubo)?;
+        Ok(qubo)
+    }
+
+    /// Like [`encode`](Self::encode), but rebuilds a caller-provided QUBO in place via
+    /// [`Qubo::reset`], so encoding a stream of sub-problems reuses one coefficient
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot occur for a validated encoder).
+    pub fn encode_into(&self, qubo: &mut Qubo) -> Result<(), IsingError> {
         let n = self.num_cities();
         let a = self.constraint_weight;
-        let mut qubo = Qubo::new(n * n)?;
+        qubo.reset(n * n)?;
 
         // Row constraints: each city appears in exactly one order.
         for c in 0..n {
@@ -309,7 +353,7 @@ impl TspQuboEncoder {
                 }
             }
         }
-        Ok(qubo)
+        Ok(())
     }
 
     /// Tour length of a visiting order under this instance's distances (cyclic).
@@ -432,6 +476,29 @@ mod tests {
     fn non_square_matrix_is_rejected() {
         let d = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 1.0]];
         assert!(TspQuboEncoder::new(&d).is_err());
+    }
+
+    /// `reset` + `encode_into` must reproduce a fresh encode exactly, including after the
+    /// buffer has been used for a larger problem.
+    #[test]
+    fn encode_into_reuses_buffers_without_changing_results() {
+        let enc4 = TspQuboEncoder::new(&square4()).unwrap();
+        let fresh = enc4.encode().unwrap();
+        let mut reused = Qubo::new(25).unwrap();
+        reused.add(0, 3, 42.0).unwrap(); // dirty state that reset must clear
+        enc4.encode_into(&mut reused).unwrap();
+        assert_eq!(reused, fresh);
+        assert!(Qubo::new(1).unwrap().reset(0).is_err());
+    }
+
+    #[test]
+    fn to_ising_into_matches_to_ising() {
+        let enc = TspQuboEncoder::new(&square4()).unwrap();
+        let qubo = enc.encode().unwrap();
+        let fresh = qubo.to_ising().unwrap();
+        let mut reused = crate::IsingModel::new(3).unwrap();
+        qubo.to_ising_into(&mut reused).unwrap();
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -227,6 +227,39 @@ impl TspInstance {
         self.distance_matrix_for(&all)
             .expect("all indices are in range")
     }
+
+    /// Buffer-reusing form of [`distance_matrix_for`](Self::distance_matrix_for): fills
+    /// the first `cities.len()` rows of `out` in place (growing `out` only if it has
+    /// fewer rows), so repeated sub-problem extraction performs no heap allocation once
+    /// the buffer has grown to the largest sub-problem seen. Rows beyond
+    /// `cities.len()` are left untouched — use `&out[..cities.len()]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsplibError::IndexOutOfRange`] if any index is out of range.
+    pub fn distance_matrix_into(
+        &self,
+        cities: &[usize],
+        out: &mut Vec<Vec<f64>>,
+    ) -> Result<(), TsplibError> {
+        for &c in cities {
+            if c >= self.dimension {
+                return Err(TsplibError::IndexOutOfRange {
+                    index: c,
+                    dimension: self.dimension,
+                });
+            }
+        }
+        if out.len() < cities.len() {
+            out.resize_with(cities.len(), Vec::new);
+        }
+        for (i, &ci) in cities.iter().enumerate() {
+            let row = &mut out[i];
+            row.clear();
+            row.extend(cities.iter().map(|&cj| self.distance_unchecked(ci, cj)));
+        }
+        Ok(())
+    }
 }
 
 /// TSPLIB GEO distance (geographical distance on the idealised Earth).

@@ -45,7 +45,7 @@ pub fn parse_tsp(text: &str) -> Result<TspInstance, TsplibError> {
     }
     let mut section = Section::Header;
 
-    for (lineno, raw) in text.lines().enumerate() {
+    for (lineno, raw) in logical_lines(text).enumerate() {
         let line = raw.trim();
         if line.is_empty() {
             continue;
@@ -126,6 +126,16 @@ pub fn parse_tsp(text: &str) -> Result<TspInstance, TsplibError> {
         });
     }
     TspInstance::from_coordinates(&name, coords, kind)
+}
+
+/// Splits `text` into logical lines under every line-ending convention: `\n` (Unix),
+/// `\r\n` (Windows — TSPLIB files frequently circulate with CRLF endings), and lone
+/// `\r` (classic Mac). Line numbers stay identical to `str::lines` for LF and CRLF
+/// input.
+fn logical_lines(text: &str) -> impl Iterator<Item = &str> {
+    // `str::lines` handles `\n` and strips a trailing `\r` (CRLF); any `\r` still
+    // inside a line is a lone-CR separator.
+    text.lines().flat_map(|line| line.split('\r'))
 }
 
 fn split_keyword(line: &str) -> (String, String) {
@@ -295,6 +305,51 @@ mod tests {
             parse_tsp(text),
             Err(TsplibError::Inconsistent { .. })
         ));
+    }
+
+    /// TSPLIB files frequently circulate with Windows line endings; the parser must
+    /// accept CRLF (and legacy lone-CR) endings plus trailing whitespace in the
+    /// coordinate section.
+    #[test]
+    fn parses_crlf_line_endings_and_trailing_whitespace() {
+        let text = "NAME: crlf\r\nTYPE: TSP\r\nDIMENSION: 3\r\nEDGE_WEIGHT_TYPE: EUC_2D\r\n\
+                    NODE_COORD_SECTION\r\n1 0.0 0.0 \r\n2 3.0 0.0\t\r\n3 0.0 4.0  \r\nEOF\r\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.name(), "crlf");
+        assert_eq!(inst.dimension(), 3);
+        assert_eq!(inst.distance(1, 2).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn parses_lone_cr_line_endings() {
+        let text = "NAME: mac\rDIMENSION: 2\rEDGE_WEIGHT_TYPE: EUC_2D\r\
+                    NODE_COORD_SECTION\r1 0 0\r2 0 7\rEOF\r";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.name(), "mac");
+        assert_eq!(inst.distance(0, 1).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn crlf_explicit_matrix_parses() {
+        let text = "NAME: m\r\nDIMENSION: 3\r\nEDGE_WEIGHT_TYPE: EXPLICIT\r\n\
+                    EDGE_WEIGHT_FORMAT: FULL_MATRIX\r\nEDGE_WEIGHT_SECTION\r\n\
+                    0 2 9\r\n2 0 6\r\n9 6 0\r\nEOF\r\n";
+        let inst = parse_tsp(text).unwrap();
+        assert_eq!(inst.distance(0, 2).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn crlf_error_line_numbers_match_lf() {
+        let lf = "NAME: broken\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 x 1\nEOF\n";
+        let crlf = lf.replace('\n', "\r\n");
+        for text in [lf.to_string(), crlf] {
+            match parse_tsp(&text) {
+                Err(TsplibError::Parse {
+                    line: Some(line), ..
+                }) => assert_eq!(line, 6),
+                other => panic!("expected a parse error with a line number, got {other:?}"),
+            }
+        }
     }
 
     #[test]

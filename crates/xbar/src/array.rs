@@ -134,6 +134,8 @@ pub struct CrossbarArray {
     cells: Vec<MagState>,
     /// Per-cell fixed conductance perturbation factors (device-to-device variation).
     variation: Vec<f64>,
+    /// Reusable per-city scratch for assignment validation (no per-write allocation).
+    seen_buf: Vec<bool>,
     write_ops: u64,
     read_ops: u64,
 }
@@ -171,6 +173,7 @@ impl CrossbarArray {
             non_ideality,
             cells: vec![MagState::AntiParallel; n_cells],
             variation,
+            seen_buf: vec![false; rows],
             write_ops: 0,
             read_ops: 0,
         }
@@ -324,19 +327,44 @@ impl CrossbarArray {
     ///
     /// Returns [`XbarError::IndexOutOfRange`] if any order is out of range.
     pub fn superpose_orders(&mut self, orders: &[usize]) -> Result<Vec<f64>, XbarError> {
+        let mut currents = vec![0.0f64; self.geometry.rows];
+        self.superpose_orders_into(orders, &mut currents)?;
+        Ok(currents)
+    }
+
+    /// Like [`superpose_orders`](Self::superpose_orders), but writes the per-row currents
+    /// into a caller-provided slice (one entry per row) instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::IndexOutOfRange`] if any order is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the number of rows.
+    pub fn superpose_orders_into(
+        &mut self,
+        orders: &[usize],
+        out: &mut [f64],
+    ) -> Result<(), XbarError> {
+        assert_eq!(
+            out.len(),
+            self.geometry.rows,
+            "output length must equal the number of rows"
+        );
         for &o in orders {
             self.check_order(o)?;
         }
         self.read_ops += 1;
         let v = self.params.read_voltage;
-        let mut currents = vec![0.0f64; self.geometry.rows];
+        out.fill(0.0);
         for &order in orders {
             let col = self.geometry.spin_storage_start() + order;
-            for (row, current) in currents.iter_mut().enumerate() {
+            for (row, current) in out.iter_mut().enumerate() {
                 *current += v * self.effective_conductance(row, col);
             }
         }
-        Ok(currents)
+        Ok(())
     }
 
     /// Applies the binary `row_vector` to the rows and returns the per-city current
@@ -350,16 +378,34 @@ impl CrossbarArray {
     ///
     /// Panics if `row_vector.len()` differs from the number of rows.
     pub fn weighted_column_currents(&mut self, row_vector: &[bool]) -> Vec<f64> {
+        let mut per_city = vec![0.0f64; self.geometry.rows];
+        self.weighted_column_currents_into(row_vector, &mut per_city);
+        per_city
+    }
+
+    /// Like [`weighted_column_currents`](Self::weighted_column_currents), but writes the
+    /// per-city currents into a caller-provided slice (one entry per city) instead of
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_vector.len()` or `out.len()` differs from the number of rows.
+    pub fn weighted_column_currents_into(&mut self, row_vector: &[bool], out: &mut [f64]) {
         assert_eq!(
             row_vector.len(),
             self.geometry.rows,
             "row vector length must equal the number of rows"
         );
+        assert_eq!(
+            out.len(),
+            self.geometry.rows,
+            "output length must equal the number of cities"
+        );
         self.read_ops += 1;
         let v = self.params.read_voltage;
         let bits = self.geometry.precision.bits();
         let n = self.geometry.rows;
-        let mut per_city = vec![0.0f64; n];
+        out.fill(0.0);
         for p in 0..bits {
             let significance = f64::from(1u32 << (bits - 1 - p));
             let start = self.geometry.weight_partition_start(p);
@@ -371,10 +417,9 @@ impl CrossbarArray {
                         i_col += v * self.effective_conductance(row, col);
                     }
                 }
-                per_city[city] += significance * i_col;
+                out[city] += significance * i_col;
             }
         }
-        per_city
     }
 
     /// Returns the full spin-storage contents as an `orders → city` assignment.
@@ -384,8 +429,20 @@ impl CrossbarArray {
     /// Returns [`XbarError::CorruptSpinStorage`] if any order column does not contain
     /// exactly one low-resistance cell.
     pub fn read_assignment(&self) -> Result<Vec<usize>, XbarError> {
+        let mut assignment = Vec::with_capacity(self.geometry.rows);
+        self.read_assignment_into(&mut assignment)?;
+        Ok(assignment)
+    }
+
+    /// Like [`read_assignment`](Self::read_assignment), but writes into a caller-provided
+    /// buffer (cleared and refilled) instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`read_assignment`](Self::read_assignment).
+    pub fn read_assignment_into(&self, assignment: &mut Vec<usize>) -> Result<(), XbarError> {
         let n = self.geometry.rows;
-        let mut assignment = Vec::with_capacity(n);
+        assignment.clear();
         for order in 0..n {
             let col = self.geometry.spin_storage_start() + order;
             let mut chosen = None;
@@ -408,7 +465,7 @@ impl CrossbarArray {
                 }
             }
         }
-        Ok(assignment)
+        Ok(())
     }
 
     /// Writes a full `orders → city` assignment into the spin storage.
@@ -426,7 +483,7 @@ impl CrossbarArray {
                 len: n,
             });
         }
-        let mut seen = vec![false; n];
+        self.seen_buf.fill(false);
         for &city in assignment {
             if city >= n {
                 return Err(XbarError::IndexOutOfRange {
@@ -435,12 +492,12 @@ impl CrossbarArray {
                     len: n,
                 });
             }
-            if seen[city] {
+            if self.seen_buf[city] {
                 return Err(XbarError::CorruptSpinStorage {
                     reason: format!("city {city} assigned to more than one order"),
                 });
             }
-            seen[city] = true;
+            self.seen_buf[city] = true;
         }
         for (order, &city) in assignment.iter().enumerate() {
             self.reset_order_column(order)?;

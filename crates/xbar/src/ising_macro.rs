@@ -144,6 +144,16 @@ pub struct IsingMacro {
     mask_circuit: StochasticMaskCircuit,
     argmax: ArgMaxCircuit,
     counts: MacroOpCounts,
+    /// The quantised weights currently programmed, kept for in-place remapping.
+    weights: QuantizedDistances,
+    /// Reusable per-step buffers (assignment readout, row currents, latched binary
+    /// vector input, per-city MAC currents, gated currents): one optimisation step
+    /// performs no heap allocation.
+    assignment_buf: Vec<usize>,
+    row_buf: Vec<f64>,
+    binary_buf: Vec<bool>,
+    city_buf: Vec<f64>,
+    gated_buf: Vec<f64>,
 }
 
 impl IsingMacro {
@@ -181,7 +191,43 @@ impl IsingMacro {
             mask_circuit,
             argmax,
             counts: MacroOpCounts::default(),
+            weights,
+            assignment_buf: Vec::with_capacity(n),
+            row_buf: vec![0.0; n],
+            binary_buf: vec![false; n],
+            city_buf: vec![0.0; n],
+            gated_buf: vec![0.0; n],
         })
+    }
+
+    /// Re-maps the macro onto a new sub-problem of the **same size** in place:
+    /// re-quantises and re-programs the weight partitions and resets the operation
+    /// counters, without reallocating the crossbar or any peripheral circuit.
+    ///
+    /// This is the tile-mapping reuse primitive behind the zero-realloc solve path:
+    /// after one construction per sub-problem size, a worker solves every subsequent
+    /// sub-problem of that size through `remap` with zero heap allocations. The spin
+    /// storage is left untouched — callers re-initialise it through
+    /// [`initialize_order`](Self::initialize_order), exactly as for a fresh macro.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidDistanceMatrix`] if `distances` is malformed or its
+    /// size differs from the macro's current number of cities.
+    pub fn remap(&mut self, distances: &[Vec<f64>]) -> Result<(), XbarError> {
+        if distances.len() != self.num_cities() {
+            return Err(XbarError::InvalidDistanceMatrix {
+                reason: format!(
+                    "remap requires a {}-city matrix but got {} cities",
+                    self.num_cities(),
+                    distances.len()
+                ),
+            });
+        }
+        self.weights.requantize(distances)?;
+        self.array.program_weights(&self.weights)?;
+        self.counts = MacroOpCounts::default();
+        Ok(())
     }
 
     /// Number of cities of the sub-problem mapped onto this macro.
@@ -222,6 +268,16 @@ impl IsingMacro {
     /// valid permutation.
     pub fn read_solution(&self) -> Result<Vec<usize>, XbarError> {
         self.array.read_assignment()
+    }
+
+    /// Like [`read_solution`](Self::read_solution), but writes into a caller-provided
+    /// buffer (cleared and refilled) instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`read_solution`](Self::read_solution).
+    pub fn read_solution_into(&self, out: &mut Vec<usize>) -> Result<(), XbarError> {
+        self.array.read_assignment_into(out)
     }
 
     /// City currently assigned to `order`.
@@ -291,52 +347,57 @@ impl IsingMacro {
                 len: n,
             });
         }
-        let assignment = self.read_solution()?;
+        self.array.read_assignment_into(&mut self.assignment_buf)?;
         let prev_order = (order + n - 1) % n;
         let next_order = (order + 1) % n;
 
         // Phase 1: superposition of the neighbouring visiting vectors.
-        let row_currents = self.array.superpose_orders(&[prev_order, next_order])?;
-        let binary = self.comparator.compare(&row_currents);
-        self.latch.store(&binary);
+        self.array
+            .superpose_orders_into(&[prev_order, next_order], &mut self.row_buf)?;
+        self.comparator
+            .compare_into(&self.row_buf, &mut self.binary_buf);
+        self.latch.store(&self.binary_buf);
         self.counts.superpose_ops += 1;
 
         // Phase 2: distance MAC through the weight partitions.
-        let mut city_currents = self.array.weighted_column_currents(self.latch.read());
+        self.array
+            .weighted_column_currents_into(self.latch.read(), &mut self.city_buf);
         self.counts.optimize_ops += 1;
 
         // A city cannot be its own neighbour: suppress the cities already occupying the
         // neighbouring orders so the winner is a genuine intermediate stop.
-        city_currents[assignment[prev_order]] = 0.0;
+        self.city_buf[self.assignment_buf[prev_order]] = 0.0;
         if next_order != prev_order {
-            city_currents[assignment[next_order]] = 0.0;
+            self.city_buf[self.assignment_buf[next_order]] = 0.0;
         }
         // Suppress explicitly forbidden cities (e.g. fixed sub-problem endpoints).
         for &city in forbidden_cities {
             if city < n {
-                city_currents[city] = 0.0;
+                self.city_buf[city] = 0.0;
             }
         }
 
         // Phase 3: stochastic gating.
-        let gated = self.mask_circuit.gate(&city_currents, i_write, rng)?;
+        self.mask_circuit
+            .gate_into(&self.city_buf, i_write, rng, &mut self.gated_buf)?;
 
         // Phase 4: winner-take-all. If the mask suppressed every admissible column fall
         // back to the ungated currents (the circuit's NAND fallback already guarantees a
         // non-empty mask, but the neighbour suppression above can still zero everything
         // for tiny sub-problems).
-        let winner = match self.argmax.winner(&gated, rng) {
+        let winner = match self.argmax.winner(&self.gated_buf, rng) {
             Some(city) => city,
-            None => match self.argmax.winner(&city_currents, rng) {
+            None => match self.argmax.winner(&self.city_buf, rng) {
                 Some(city) => city,
-                None => assignment[order],
+                None => self.assignment_buf[order],
             },
         };
 
         // Phase 5: spin-storage update with permutation-preserving swap.
-        let incumbent = assignment[order];
+        let incumbent = self.assignment_buf[order];
         if winner != incumbent {
-            let winner_old_order = assignment
+            let winner_old_order = self
+                .assignment_buf
                 .iter()
                 .position(|&c| c == winner)
                 .expect("winner must currently occupy some order");
@@ -505,6 +566,78 @@ mod tests {
         assert!(m
             .optimize_order(9, WriteCurrent::from_micro_amps(420.0), &mut rng)
             .is_err());
+    }
+
+    /// A remapped macro must behave bit-identically to a freshly constructed one: the
+    /// conductance variation pattern depends only on the geometry, the weights are fully
+    /// re-programmed, and the counters restart from zero.
+    #[test]
+    fn remap_is_equivalent_to_fresh_construction() {
+        let d1 = line_distances();
+        let d2: Vec<Vec<f64>> = (0..4)
+            .map(|i| {
+                (0..4)
+                    .map(|j| ((i * i) as f64 - (j * j) as f64).abs())
+                    .collect()
+            })
+            .collect();
+        let config = MacroConfig::new(4);
+
+        let mut fresh = IsingMacro::new(&d2, config.clone()).unwrap();
+        let mut reused = IsingMacro::new(&d1, config).unwrap();
+        // Drive the reused macro through some work first so its state is dirty.
+        reused.initialize_order(&[3, 2, 1, 0]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for order in 0..4 {
+            reused
+                .optimize_order(order, WriteCurrent::from_micro_amps(400.0), &mut rng)
+                .unwrap();
+        }
+        reused.remap(&d2).unwrap();
+        assert_eq!(reused.op_counts(), MacroOpCounts::default());
+
+        fresh.initialize_order(&[0, 1, 2, 3]).unwrap();
+        reused.initialize_order(&[0, 1, 2, 3]).unwrap();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(42);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(42);
+        for step in 0..40 {
+            let order = step % 4;
+            let a = fresh
+                .optimize_order(order, WriteCurrent::from_micro_amps(390.0), &mut rng_a)
+                .unwrap();
+            let b = reused
+                .optimize_order(order, WriteCurrent::from_micro_amps(390.0), &mut rng_b)
+                .unwrap();
+            assert_eq!(a, b, "step {step} diverged after remap");
+        }
+        assert_eq!(
+            fresh.read_solution().unwrap(),
+            reused.read_solution().unwrap()
+        );
+    }
+
+    #[test]
+    fn remap_rejects_size_changes() {
+        let d = line_distances();
+        let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        let small = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert!(matches!(
+            m.remap(&small),
+            Err(XbarError::InvalidDistanceMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn read_solution_into_reuses_buffer() {
+        let d = line_distances();
+        let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
+        m.initialize_order(&[1, 0, 3, 2]).unwrap();
+        let mut out = Vec::new();
+        m.read_solution_into(&mut out).unwrap();
+        assert_eq!(out, vec![1, 0, 3, 2]);
+        m.initialize_order(&[0, 1, 2, 3]).unwrap();
+        m.read_solution_into(&mut out).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -49,7 +49,21 @@ impl CurrentComparator {
 
     /// Compares each current against the threshold.
     pub fn compare(&self, currents: &[f64]) -> Vec<bool> {
-        currents.iter().map(|&i| i > self.threshold_amps).collect()
+        let mut out = vec![false; currents.len()];
+        self.compare_into(currents, &mut out);
+        out
+    }
+
+    /// Like [`compare`](Self::compare), but writes into a caller-provided slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from `currents.len()`.
+    pub fn compare_into(&self, currents: &[f64], out: &mut [bool]) {
+        assert_eq!(currents.len(), out.len(), "comparator width mismatch");
+        for (o, &i) in out.iter_mut().zip(currents) {
+            *o = i > self.threshold_amps;
+        }
     }
 }
 
@@ -182,6 +196,8 @@ impl CurrentMirrorBank {
 #[derive(Debug, Clone)]
 pub struct StochasticMaskCircuit {
     generator: StochasticVectorGenerator,
+    /// Reusable mask buffer for [`gate_into`](Self::gate_into).
+    mask_buf: Vec<bool>,
 }
 
 impl StochasticMaskCircuit {
@@ -193,6 +209,7 @@ impl StochasticMaskCircuit {
     pub fn new(params: DeviceParams, width: usize) -> Result<Self, XbarError> {
         Ok(Self {
             generator: StochasticVectorGenerator::new(params, width)?,
+            mask_buf: Vec::with_capacity(width),
         })
     }
 
@@ -217,17 +234,45 @@ impl StochasticMaskCircuit {
         i_write: WriteCurrent,
         rng: &mut R,
     ) -> Result<Vec<f64>, XbarError> {
+        let mut out = vec![0.0; currents.len()];
+        self.gate_into(currents, i_write, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`gate`](Self::gate), but writes the gated currents into a caller-provided
+    /// slice; the stochastic mask itself is generated into an internal reusable buffer,
+    /// so steady-state gating performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`gate`](Self::gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len()` or `out.len()` differs from the circuit width.
+    pub fn gate_into<R: Rng + ?Sized>(
+        &mut self,
+        currents: &[f64],
+        i_write: WriteCurrent,
+        rng: &mut R,
+        out: &mut [f64],
+    ) -> Result<(), XbarError> {
         assert_eq!(
             currents.len(),
             self.generator.width(),
             "current vector length must equal the mask width"
         );
-        let mask = self.generator.generate(i_write, rng)?;
-        Ok(currents
-            .iter()
-            .zip(&mask)
-            .map(|(&i, &allow)| if allow { i } else { 0.0 })
-            .collect())
+        assert_eq!(
+            out.len(),
+            self.generator.width(),
+            "output length must equal the mask width"
+        );
+        self.generator
+            .generate_into(i_write, rng, &mut self.mask_buf)?;
+        for ((o, &i), &allow) in out.iter_mut().zip(currents).zip(&self.mask_buf) {
+            *o = if allow { i } else { 0.0 };
+        }
+        Ok(())
     }
 
     /// Expected fraction of columns allowed to pass at the given write current.
@@ -297,17 +342,20 @@ impl ArgMaxCircuit {
         if self.resolution == 0.0 {
             return Some(best_idx);
         }
+        // Count-then-select keeps the near-tie break allocation-free: the k-th contender
+        // is found by a second pass instead of materialising a contender list.
         let band = *best * (1.0 - self.resolution);
-        let contenders: Vec<usize> = currents
-            .iter()
-            .enumerate()
-            .filter(|(_, &i)| i >= band)
-            .map(|(idx, _)| idx)
-            .collect();
-        if contenders.len() <= 1 {
+        let contenders = currents.iter().filter(|&&i| i >= band).count();
+        if contenders <= 1 {
             Some(best_idx)
         } else {
-            Some(contenders[rng.gen_range(0..contenders.len())])
+            let pick = rng.gen_range(0..contenders);
+            currents
+                .iter()
+                .enumerate()
+                .filter(|(_, &i)| i >= band)
+                .nth(pick)
+                .map(|(idx, _)| idx)
         }
     }
 

@@ -109,6 +109,26 @@ impl QuantizedDistances {
         distances: &[Vec<f64>],
         precision: BitPrecision,
     ) -> Result<Self, XbarError> {
+        let mut quantized = Self {
+            n: 0,
+            precision,
+            weights: Vec::new(),
+        };
+        quantized.requantize(distances)?;
+        Ok(quantized)
+    }
+
+    /// Re-quantises a new distance matrix in place, reusing the weight buffer.
+    ///
+    /// After the buffer has grown to the largest sub-problem seen, re-quantising
+    /// performs no heap allocation — the reuse primitive behind
+    /// [`IsingMacro::remap`](crate::IsingMacro::remap).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`from_distances`](Self::from_distances); on error the
+    /// previous contents are unspecified.
+    pub fn requantize(&mut self, distances: &[Vec<f64>]) -> Result<(), XbarError> {
         let n = distances.len();
         if n == 0 {
             return Err(XbarError::InvalidDistanceMatrix {
@@ -141,26 +161,24 @@ impl QuantizedDistances {
             // n == 1 or identical points; use 1.0 so weights become max/0 consistently.
             d_min = 1.0;
         }
-        let max_level = f64::from(precision.max_level());
-        let mut weights = vec![0u32; n * n];
+        let max_level = f64::from(self.precision.max_level());
+        self.n = n;
+        self.weights.clear();
+        self.weights.resize(n * n, 0);
         for (i, row) in distances.iter().enumerate() {
             for (j, &d) in row.iter().enumerate() {
                 if i == j || !d.is_finite() {
                     continue;
                 }
                 let w = if d <= 0.0 {
-                    precision.max_level()
+                    self.precision.max_level()
                 } else {
                     ((d_min / d) * max_level).round().min(max_level) as u32
                 };
-                weights[i * n + j] = w;
+                self.weights[i * n + j] = w;
             }
         }
-        Ok(Self {
-            n,
-            precision,
-            weights,
-        })
+        Ok(())
     }
 
     /// Number of cities in the sub-problem.

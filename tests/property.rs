@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use taxi::{TaxiConfig, TaxiSolver};
+use taxi::{SolverBackend, SolverScratch, TaxiConfig, TaxiSolver};
 use taxi_cluster::{
     agglomerative_clusters, AgglomerativeConfig, Hierarchy, HierarchyConfig, Point,
 };
@@ -84,8 +84,8 @@ proptest! {
             Hierarchy::build(&points, &HierarchyConfig::new(max_size).unwrap()).unwrap();
         hierarchy.validate().unwrap();
         for level in hierarchy.levels() {
-            for cluster in &level.clusters {
-                prop_assert!(cluster.members.len() <= max_size);
+            for cluster in level.clusters() {
+                prop_assert!(cluster.members().len() <= max_size);
             }
         }
     }
@@ -137,6 +137,66 @@ proptest! {
             let p = curve.probability(current);
             prop_assert!(p <= prev + 1e-12);
             prev = p;
+        }
+    }
+
+    /// Tour-validity invariants shared across ALL four backends: every cycle solve
+    /// returns a permutation of the cities, every path solve returns a permutation with
+    /// the requested endpoints pinned to the first/last positions, and the reported
+    /// lengths are finite and non-negative.
+    #[test]
+    fn all_backends_uphold_tour_validity_invariants(
+        matrix in distance_matrix_strategy(10),
+        seed in 0u64..100,
+    ) {
+        let n = matrix.len();
+        let (start, end) = (0, n - 1);
+        for kind in SolverBackend::ALL {
+            let backend = TaxiConfig::new().with_backend(kind).build_backend();
+
+            // Closed cycle: a permutation of 0..n with a finite length.
+            let cycle = backend.solve_cycle(&matrix, seed).unwrap();
+            let mut sorted = cycle.order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &(0..n).collect::<Vec<_>>(), "{} cycle", kind);
+            prop_assert!(cycle.length.is_finite() && cycle.length >= 0.0);
+
+            // Open path: permutation with pinned endpoints.
+            let path = backend.solve_path(&matrix, start, end, seed).unwrap();
+            let mut sorted = path.order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &(0..n).collect::<Vec<_>>(), "{} path", kind);
+            prop_assert_eq!(path.order[0], start, "{} start pin", kind);
+            prop_assert_eq!(*path.order.last().unwrap(), end, "{} end pin", kind);
+            prop_assert!(path.length.is_finite() && path.length >= 0.0);
+        }
+    }
+
+    /// The buffer-reusing `_into` entry points are bit-identical to the allocating ones
+    /// for every backend — the equivalence the zero-realloc pipeline relies on.
+    #[test]
+    fn backend_into_variants_match_allocating_variants(
+        matrix in distance_matrix_strategy(9),
+        seed in 0u64..50,
+    ) {
+        let n = matrix.len();
+        let mut scratch = SolverScratch::new();
+        let mut out = Vec::new();
+        for kind in SolverBackend::ALL {
+            let backend = TaxiConfig::new().with_backend(kind).build_backend();
+            let cycle = backend.solve_cycle(&matrix, seed).unwrap();
+            let length = backend
+                .solve_cycle_into(&matrix, seed, &mut scratch, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out, &cycle.order, "{} cycle order", kind);
+            prop_assert_eq!(length, cycle.length, "{} cycle length", kind);
+
+            let path = backend.solve_path(&matrix, 1, n - 1, seed).unwrap();
+            let length = backend
+                .solve_path_into(&matrix, 1, n - 1, seed, &mut scratch, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out, &path.order, "{} path order", kind);
+            prop_assert_eq!(length, path.length, "{} path length", kind);
         }
     }
 
