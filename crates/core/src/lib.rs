@@ -81,6 +81,6 @@ pub use config::TaxiConfig;
 pub use context::SolveContext;
 pub use error::TaxiError;
 pub use experiments::ExperimentScale;
-pub use pipeline::{NullObserver, PipelineObserver, Stage, StageReport};
+pub use pipeline::{NullObserver, PipelineObserver, SharedObserver, Stage, StageReport};
 pub use result::{EnergyBreakdown, LatencyBreakdown, TaxiSolution};
 pub use solver::TaxiSolver;

@@ -116,6 +116,89 @@ pub struct NullObserver;
 
 impl PipelineObserver for NullObserver {}
 
+/// Thread-safe observer adapter: wraps any [`PipelineObserver`] behind a mutex so one
+/// observer instance can be shared by many solving threads (a dispatch service's
+/// workers, batch shards, ...) without `unsafe`.
+///
+/// [`PipelineObserver`] takes `&mut self`, which a shared reference cannot provide;
+/// `SharedObserver` closes the gap by implementing the trait **for `&SharedObserver`**,
+/// locking around every hook. Hooks fire outside the measured hot loops, so the lock is
+/// never on the solve path itself.
+///
+/// # Example
+///
+/// ```
+/// use taxi::pipeline::{PipelineObserver, SharedObserver, Stage, StageReport};
+///
+/// #[derive(Default)]
+/// struct StageCounter(usize);
+/// impl PipelineObserver for StageCounter {
+///     fn on_stage_end(&mut self, _report: &StageReport) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let shared = SharedObserver::new(StageCounter::default());
+/// let mut handle = &shared; // `&SharedObserver<_>` is itself a PipelineObserver
+/// handle.on_stage_start(Stage::Cluster);
+/// handle.on_stage_end(&StageReport {
+///     stage: Stage::Cluster,
+///     seconds: 0.0,
+///     items: 1,
+///     modeled_seconds: 0.0,
+/// });
+/// assert_eq!(shared.into_inner().0, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedObserver<O> {
+    inner: Mutex<O>,
+}
+
+impl<O: PipelineObserver> SharedObserver<O> {
+    /// Wraps `observer` for shared use.
+    pub fn new(observer: O) -> Self {
+        Self {
+            inner: Mutex::new(observer),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the wrapped observer (for reading accumulated
+    /// state mid-flight).
+    pub fn with<R>(&self, f: impl FnOnce(&mut O) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// Unwraps the observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, O> {
+        // A panic inside an observer hook must not silently disable observation for
+        // the rest of the service's lifetime; observer state is advisory, so
+        // recovering the poisoned value is safe.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<O: PipelineObserver> PipelineObserver for &SharedObserver<O> {
+    fn on_stage_start(&mut self, stage: Stage) {
+        self.lock().on_stage_start(stage);
+    }
+
+    fn on_stage_end(&mut self, report: &StageReport) {
+        self.lock().on_stage_end(report);
+    }
+
+    fn on_level_solved(&mut self, level_index: Option<usize>, subproblems: usize) {
+        self.lock().on_level_solved(level_index, subproblems);
+    }
+}
+
 /// A job executed on a pool worker. Jobs receive the worker's persistent scratch, so
 /// backend work areas (warm macros, DP tables, ...) are reused across jobs, levels and
 /// batch instances.
@@ -703,6 +786,53 @@ mod tests {
             }));
         }
         assert_eq!(rx.recv().unwrap(), vec![41, 1]);
+    }
+
+    #[test]
+    fn shared_observer_forwards_hooks_from_many_threads() {
+        #[derive(Default)]
+        struct Tally {
+            starts: usize,
+            ends: usize,
+            levels: usize,
+        }
+        impl PipelineObserver for Tally {
+            fn on_stage_start(&mut self, _stage: Stage) {
+                self.starts += 1;
+            }
+            fn on_stage_end(&mut self, _report: &StageReport) {
+                self.ends += 1;
+            }
+            fn on_level_solved(&mut self, _level: Option<usize>, _subproblems: usize) {
+                self.levels += 1;
+            }
+        }
+
+        let shared = SharedObserver::new(Tally::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut observer: &SharedObserver<Tally> = shared;
+                    for _ in 0..10 {
+                        observer.on_stage_start(Stage::Cluster);
+                        observer.on_level_solved(Some(0), 2);
+                        observer.on_stage_end(&StageReport {
+                            stage: Stage::Cluster,
+                            seconds: 0.0,
+                            items: 1,
+                            modeled_seconds: 0.0,
+                        });
+                    }
+                });
+            }
+        });
+        shared.with(|tally| {
+            assert_eq!(tally.starts, 40);
+            assert_eq!(tally.levels, 40);
+        });
+        let tally = shared.into_inner();
+        assert_eq!(tally.ends, 40);
     }
 
     #[test]

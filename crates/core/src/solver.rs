@@ -177,13 +177,32 @@ impl TaxiSolver {
         ctx: &mut SolveContext,
     ) -> Result<TaxiSolution, TaxiError> {
         let backend = self.config.build_backend();
+        self.solve_reusing_observed(instance, &backend, &mut NullObserver, ctx)
+    }
+
+    /// The fully general reusing entry point: caller-supplied backend, observer **and**
+    /// context. This is what a long-lived serving worker calls in its steady-state
+    /// loop: the backend is built once per worker (not per request), the observer
+    /// feeds per-stage timings into service metrics, and the context keeps every
+    /// scratch buffer warm across requests.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve).
+    pub fn solve_reusing_observed(
+        &self,
+        instance: &TspInstance,
+        backend: &Arc<dyn TourSolver>,
+        observer: &mut dyn PipelineObserver,
+        ctx: &mut SolveContext,
+    ) -> Result<TaxiSolution, TaxiError> {
         let pool = self.make_pool();
         pipeline::run(
             &self.config,
-            &backend,
+            backend,
             pool.as_ref(),
             instance,
-            &mut NullObserver,
+            observer,
             ctx,
         )
     }

@@ -1,0 +1,86 @@
+//! # taxi-dispatch — online dispatch service over the TAXI solver
+//!
+//! The rest of the workspace solves **offline** lists of instances
+//! ([`TaxiSolver::solve_batch`](taxi::TaxiSolver::solve_batch)); this crate turns the
+//! zero-realloc solver into an **online** system that serves a live request stream —
+//! the paper's "dispatch engine for real-time routing" framing made concrete:
+//!
+//! * [`DispatchService`] — a pool of long-lived workers, each owning a persistent
+//!   [`SolveContext`](taxi::SolveContext) and its backends, fed from a bounded MPMC
+//!   [`DispatchQueue`] with explicit [`AdmissionPolicy`] backpressure
+//!   (reject / shed-oldest / block);
+//! * [`MicroBatcher`] — dynamic micro-batching under a max-batch-size +
+//!   max-linger-deadline rule with [`Priority`] classes (interactive before bulk),
+//!   deadline-aware execution order, and graceful degradation that downgrades bulk
+//!   requests to a cheaper backend when the queue depth signals overload;
+//! * [`ServiceMetrics`] / [`ServiceSnapshot`] — lock-free counters and fixed-bucket
+//!   latency histograms (queue wait, solve, end-to-end p50/p99, throughput, shed
+//!   count), with per-stage pipeline timings fed through a [`MetricsObserver`];
+//! * [`Workload`] — a seeded synthetic workload engine generating Poisson or bursty
+//!   arrival processes over four scenario families (uniform, clustered city
+//!   districts, ring logistics, PCB-drilling grids) built on the `taxi-tsplib`
+//!   generators; instances snapshot to TSPLIB text via
+//!   [`TspInstance::write_tsplib`](taxi_tsplib::TspInstance::write_tsplib) for exact
+//!   replay.
+//!
+//! Everything is `std` threads + locks/condvars/atomics — no external runtime — and
+//! the crate forbids `unsafe`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taxi_dispatch::{
+//!     DispatchConfig, DispatchService, Scenario, Workload, WorkloadConfig,
+//! };
+//!
+//! let service = DispatchService::start(DispatchConfig::new().with_workers(2));
+//! let workload = Workload::generate(
+//!     WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+//!         .with_requests(8)
+//!         .with_size_range(30, 50)
+//!         .with_seed(42),
+//! );
+//! let tickets: Vec<_> = workload
+//!     .into_events()
+//!     .into_iter()
+//!     .map(|event| service.submit(event.request).expect("admitted"))
+//!     .collect();
+//! for ticket in tickets {
+//!     let response = ticket.wait().solved().expect("solved");
+//!     assert!(response.solution.length > 0.0);
+//! }
+//! let snapshot = service.shutdown();
+//! assert_eq!(snapshot.completed, 8);
+//! println!("{snapshot}");
+//! ```
+//!
+//! # Determinism
+//!
+//! A served request's tour is **bit-identical** to an offline
+//! [`TaxiSolver::solve`](taxi::TaxiSolver::solve) of the same instance under the same
+//! [`TaxiConfig`](taxi::TaxiConfig) (workers pin `threads = 1`; solver determinism in
+//! `(instance, seed)` does the rest) — regardless of worker count, batch boundaries
+//! or scheduling order. The only exception is deliberate: a degraded bulk request is
+//! solved by the configured cheaper backend, and its response says so
+//! ([`SolvedResponse::degraded`]). The service tests assert both properties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+pub mod workload;
+
+pub use metrics::{
+    HistogramSummary, LatencyHistogram, MetricsObserver, ServiceMetrics, ServiceSnapshot,
+};
+pub use queue::{AdmissionPolicy, DispatchQueue};
+pub use request::{
+    DispatchOutcome, DispatchRequest, Pending, Priority, SolvedResponse, SubmitError, Ticket,
+};
+pub use scheduler::{BatchMeta, BatchPolicy, MicroBatcher};
+pub use service::{DispatchConfig, DispatchService};
+pub use workload::{ArrivalProcess, Scenario, Workload, WorkloadConfig, WorkloadEvent};

@@ -1,0 +1,489 @@
+//! Service observability: lock-free counters, fixed-bucket latency histograms, and
+//! the [`ServiceSnapshot`] read model.
+//!
+//! Everything here is plain atomics (`Relaxed` — metrics are advisory, never a
+//! synchronisation edge), so workers record on the hot path without locks or heap
+//! allocation. Per-stage solve timings arrive through [`MetricsObserver`], a
+//! [`PipelineObserver`] implementation that each worker owns by value: it holds an
+//! `Arc` of the shared metrics and is therefore freely `Send` into worker threads —
+//! no `unsafe`, no locking, unlike wrapping a stateful observer in
+//! [`taxi::SharedObserver`] (which remains the right tool for arbitrary mutable
+//! observers).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxi::{PipelineObserver, Stage, StageReport};
+
+/// Number of log-spaced histogram buckets: bucket `i` counts latencies in
+/// `(2^(i-1) µs, 2^i µs]`, so the range spans 1µs .. ~9 minutes before saturating
+/// into the last bucket.
+const BUCKETS: usize = 30;
+
+/// A fixed-bucket, lock-free latency histogram (power-of-two microsecond buckets).
+///
+/// Recording is wait-free (one atomic add per bucket/count/sum plus a CAS-free max
+/// update); quantiles are estimated as the upper bound of the bucket containing the
+/// target rank, so they are conservative (never under-report) with at most 2×
+/// resolution error — plenty for p50/p99 service dashboards.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(duration: Duration) -> usize {
+        let micros = (duration.as_nanos() / 1_000).max(1) as u64;
+        // ceil(log2(micros)): 1µs → bucket 0, (1µs, 2µs] → 1, (2µs, 4µs] → 2, ...
+        let index = 64 - (micros - 1).leading_zeros() as usize;
+        index.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` (the value quantile estimation reports).
+    fn bucket_upper(index: usize) -> Duration {
+        Duration::from_micros(1u64 << index)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, duration: Duration) {
+        let nanos = duration.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(duration)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the bucket holding
+    /// the target rank, clamped to the observed maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let max = Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed));
+                if index == BUCKETS - 1 {
+                    // The last bucket is open-ended; its only honest upper bound is
+                    // the observed maximum.
+                    return max;
+                }
+                return Self::bucket_upper(index).min(max);
+            }
+        }
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation. Zero when empty.
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_nanos.load(Ordering::Relaxed) / count)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Immutable summary (count, mean, p50/p90/p99, max).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time summary of one [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Estimated median.
+    pub p50: Duration,
+    /// Estimated 90th percentile.
+    pub p90: Duration,
+    /// Estimated 99th percentile.
+    pub p99: Duration,
+    /// Observed maximum.
+    pub max: Duration,
+}
+
+/// The shared metrics hub of one dispatch service.
+///
+/// Workers and the admission queue record into it concurrently;
+/// [`snapshot`](Self::snapshot) assembles the read model. All methods are lock-free
+/// and allocation-free.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started_at: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    degraded: AtomicU64,
+    deadline_misses: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_wait: LatencyHistogram,
+    solve: LatencyHistogram,
+    end_to_end: LatencyHistogram,
+    /// Accumulated host seconds per pipeline stage (nanos), indexed like
+    /// [`Stage::ALL`].
+    stage_nanos: [AtomicU64; Stage::ALL.len()],
+}
+
+impl ServiceMetrics {
+    /// Creates a zeroed metrics hub; `started_at` anchors throughput computation.
+    pub fn new() -> Self {
+        Self {
+            started_at: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            queue_wait: LatencyHistogram::new(),
+            solve: LatencyHistogram::new(),
+            end_to_end: LatencyHistogram::new(),
+            stage_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// One request was admitted.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One submission was refused by the admission policy.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One queued request was shed to make room.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One micro-batch of `size` requests was formed.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// One request completed successfully.
+    pub fn record_completed(
+        &self,
+        queue_wait: Duration,
+        solve_time: Duration,
+        end_to_end: Duration,
+        degraded: bool,
+        missed_deadline: bool,
+    ) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record(queue_wait);
+        self.solve.record(solve_time);
+        self.end_to_end.record(end_to_end);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if missed_deadline {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One request's solve failed.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_stage_seconds(&self, stage: Stage, seconds: f64) {
+        let index = Stage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("every stage is in Stage::ALL");
+        let nanos = (seconds * 1e9).max(0.0) as u64;
+        self.stage_nanos[index].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Assembles the current read model.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let uptime = self.started_at.elapsed();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        ServiceSnapshot {
+            uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            throughput_per_sec: if uptime.is_zero() {
+                0.0
+            } else {
+                completed as f64 / uptime.as_secs_f64()
+            },
+            queue_wait: self.queue_wait.summary(),
+            solve: self.solve.summary(),
+            end_to_end: self.end_to_end.summary(),
+            stage_seconds: std::array::from_fn(|i| {
+                self.stage_nanos[i].load(Ordering::Relaxed) as f64 * 1e-9
+            }),
+        }
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time read model of a dispatch service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    /// Time since the service (metrics hub) started.
+    pub uptime: Duration,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests solved successfully.
+    pub completed: u64,
+    /// Requests whose solve failed.
+    pub failed: u64,
+    /// Requests shed by the admission policy.
+    pub shed: u64,
+    /// Submissions refused outright.
+    pub rejected: u64,
+    /// Completions served by the degraded backend.
+    pub degraded: u64,
+    /// Completions that resolved after their deadline.
+    pub deadline_misses: u64,
+    /// Micro-batches formed.
+    pub batches: u64,
+    /// Mean formed batch size.
+    pub mean_batch_size: f64,
+    /// Completions per second of uptime.
+    pub throughput_per_sec: f64,
+    /// Queue-wait latency distribution.
+    pub queue_wait: HistogramSummary,
+    /// Solve latency distribution.
+    pub solve: HistogramSummary,
+    /// Submission-to-resolution latency distribution.
+    pub end_to_end: HistogramSummary,
+    /// Accumulated host seconds per pipeline stage, indexed like [`Stage::ALL`].
+    pub stage_seconds: [f64; Stage::ALL.len()],
+}
+
+impl std::fmt::Display for ServiceSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "dispatch: {} submitted, {} completed ({:.1}/s), {} failed, {} shed, {} rejected",
+            self.submitted,
+            self.completed,
+            self.throughput_per_sec,
+            self.failed,
+            self.shed,
+            self.rejected,
+        )?;
+        writeln!(
+            f,
+            "  batches: {} (mean size {:.2}), degraded {}, deadline misses {}",
+            self.batches, self.mean_batch_size, self.degraded, self.deadline_misses,
+        )?;
+        for (label, summary) in [
+            ("queue wait", &self.queue_wait),
+            ("solve", &self.solve),
+            ("end-to-end", &self.end_to_end),
+        ] {
+            writeln!(
+                f,
+                "  {label:<10}: p50 {:>9.3?}  p99 {:>9.3?}  max {:>9.3?}  (n={})",
+                summary.p50, summary.p99, summary.max, summary.count,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker [`PipelineObserver`] feeding per-stage host timings into the shared
+/// [`ServiceMetrics`].
+///
+/// Each worker owns one by value; it carries only an `Arc`, so it moves into the
+/// worker thread without any `Send` gymnastics and records without locks.
+#[derive(Debug, Clone)]
+pub struct MetricsObserver {
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl MetricsObserver {
+    /// Creates an observer feeding `metrics`.
+    pub fn new(metrics: Arc<ServiceMetrics>) -> Self {
+        Self { metrics }
+    }
+}
+
+impl PipelineObserver for MetricsObserver {
+    fn on_stage_end(&mut self, report: &StageReport) {
+        self.metrics.add_stage_seconds(report.stage, report.seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_conservative() {
+        let h = LatencyHistogram::new();
+        for micros in [1u64, 3, 7, 20, 50, 120, 400, 900, 2000, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max());
+        // The p50 bucket upper bound covers the true median (50µs → bucket (32, 64]).
+        assert!(p50 >= Duration::from_micros(50));
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.mean(), Duration::from_nanos(1_350_100));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn extreme_latencies_saturate_the_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(40_000));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), h.max());
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let m = ServiceMetrics::new();
+        m.record_submitted();
+        m.record_submitted();
+        m.record_batch(2);
+        m.record_completed(
+            Duration::from_micros(10),
+            Duration::from_micros(500),
+            Duration::from_micros(600),
+            true,
+            false,
+        );
+        m.record_completed(
+            Duration::from_micros(20),
+            Duration::from_micros(700),
+            Duration::from_micros(900),
+            false,
+            true,
+        );
+        m.record_shed();
+        m.add_stage_seconds(Stage::SolveLevels, 0.25);
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.deadline_misses, 1);
+        assert_eq!(snap.batches, 1);
+        assert!((snap.mean_batch_size - 2.0).abs() < 1e-12);
+        assert_eq!(snap.queue_wait.count, 2);
+        let solve_index = Stage::ALL
+            .iter()
+            .position(|&s| s == Stage::SolveLevels)
+            .unwrap();
+        assert!((snap.stage_seconds[solve_index] - 0.25).abs() < 1e-9);
+        assert!(snap.to_string().contains("2 completed"));
+    }
+
+    #[test]
+    fn observer_feeds_stage_timings() {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let mut observer = MetricsObserver::new(Arc::clone(&metrics));
+        observer.on_stage_end(&StageReport {
+            stage: Stage::Cluster,
+            seconds: 0.5,
+            items: 1,
+            modeled_seconds: 0.0,
+        });
+        observer.on_stage_end(&StageReport {
+            stage: Stage::Cluster,
+            seconds: 0.25,
+            items: 1,
+            modeled_seconds: 0.0,
+        });
+        assert!((metrics.snapshot().stage_seconds[0] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut last = 0;
+        for micros in 1..10_000u64 {
+            let index = LatencyHistogram::bucket_index(Duration::from_micros(micros));
+            assert!(index >= last);
+            last = index;
+            assert!(LatencyHistogram::bucket_upper(index) >= Duration::from_micros(micros));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The bounded admission queue feeding the dispatch workers.
+//!
+//! [`DispatchQueue`] is a two-class (interactive/bulk) MPMC queue with a hard capacity
+//! and an explicit [`AdmissionPolicy`] deciding what happens when a submission finds it
+//! full: refuse ([`Reject`](AdmissionPolicy::Reject)), evict the oldest lowest-priority
+//! request ([`ShedOldest`](AdmissionPolicy::ShedOldest)), or apply backpressure by
+//! blocking the submitter ([`Block`](AdmissionPolicy::Block)).
+//!
+//! The queue records admission-side metrics (submissions, rejections, sheds) itself;
+//! batch formation lives in the [`scheduler`](crate::scheduler) module, which drains
+//! this queue under the micro-batching rule.
+//!
+//! Steady-state operation allocates nothing: both class rings are pre-sized to the
+//! queue capacity (they can never grow past it), and pendings move in and out by value.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::metrics::ServiceMetrics;
+use crate::request::{DispatchRequest, Pending, Priority, SubmitError, Ticket};
+
+/// What a full queue does with a new submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the submission with [`SubmitError::QueueFull`]; the caller keeps the
+    /// request.
+    Reject,
+    /// Make room by shedding the oldest request of the lowest priority class present
+    /// (bulk before interactive; FIFO within a class). The victim's ticket resolves
+    /// with [`DispatchOutcome::Shed`](crate::DispatchOutcome::Shed). Interactive work
+    /// is never shed to admit bulk work — such submissions are rejected instead.
+    ShedOldest,
+    /// Apply backpressure: block the submitting thread until a worker drains room (or
+    /// the service shuts down).
+    #[default]
+    Block,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::ShedOldest => "shed-oldest",
+            AdmissionPolicy::Block => "block",
+        })
+    }
+}
+
+/// The mutable queue state, behind the mutex.
+#[derive(Debug)]
+pub(crate) struct QueueState {
+    /// Interactive-class ring, FIFO.
+    pub(crate) interactive: VecDeque<Pending>,
+    /// Bulk-class ring, FIFO.
+    pub(crate) bulk: VecDeque<Pending>,
+    /// Set once by [`DispatchQueue::close`]; closed queues refuse submissions but
+    /// still drain.
+    pub(crate) closed: bool,
+}
+
+impl QueueState {
+    pub(crate) fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    /// Pops the most urgent queued pending: interactive first, FIFO within a class.
+    pub(crate) fn pop_front(&mut self) -> Option<Pending> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.bulk.pop_front())
+    }
+
+    /// The submission instant of the oldest queued pending (the anchor of the
+    /// micro-batcher's linger deadline).
+    pub(crate) fn oldest_submitted_at(&self) -> Option<std::time::Instant> {
+        let a = self.interactive.front().map(|p| p.submitted_at);
+        let b = self.bulk.front().map(|p| p.submitted_at);
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, y) => x.or(y),
+        }
+    }
+}
+
+/// Bounded two-class admission queue with explicit overflow policy.
+///
+/// Create one with [`DispatchQueue::new`], submit with [`submit`](Self::submit), and
+/// drain through a [`MicroBatcher`](crate::MicroBatcher).
+/// [`DispatchService`](crate::DispatchService) wires all three together; the pieces
+/// are public so custom serving loops (and the allocation-counting tests) can drive
+/// the same machinery directly.
+#[derive(Debug)]
+pub struct DispatchQueue {
+    pub(crate) state: Mutex<QueueState>,
+    /// Signalled when a pending is enqueued or the queue closes.
+    pub(crate) not_empty: Condvar,
+    /// Signalled when room is drained (for blocked submitters) or the queue closes.
+    space: Condvar,
+    capacity: usize,
+    policy: AdmissionPolicy,
+    metrics: Arc<ServiceMetrics>,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl DispatchQueue {
+    /// Creates a queue holding at most `capacity` requests under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: AdmissionPolicy, metrics: Arc<ServiceMetrics>) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                interactive: VecDeque::with_capacity(capacity),
+                bulk: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+            policy,
+            metrics,
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The queue's admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Number of requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, QueueState> {
+        // The state is structurally valid at every point (plain rings + flag), so a
+        // panicking peer must not wedge the whole service behind a poisoned mutex.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admits `request` under the queue's policy and returns the client ticket.
+    ///
+    /// With [`AdmissionPolicy::Block`] this call blocks while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the policy refuses to make room and
+    /// [`SubmitError::ShuttingDown`] after [`close`](Self::close); the refused request
+    /// rides back inside the error.
+    pub fn submit(&self, request: DispatchRequest) -> Result<Ticket, SubmitError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(SubmitError::ShuttingDown(request));
+        }
+        let mut shed_victim = None;
+        if state.len() >= self.capacity {
+            match self.policy {
+                AdmissionPolicy::Reject => {
+                    self.metrics.record_rejected();
+                    return Err(SubmitError::QueueFull(request));
+                }
+                AdmissionPolicy::ShedOldest => {
+                    // Shed from the lowest-priority class present; never shed
+                    // interactive work to admit bulk work.
+                    let victim = if let Some(victim) = state.bulk.pop_front() {
+                        victim
+                    } else if request.priority == Priority::Interactive {
+                        state
+                            .interactive
+                            .pop_front()
+                            .expect("a full queue has a front")
+                    } else {
+                        self.metrics.record_rejected();
+                        return Err(SubmitError::QueueFull(request));
+                    };
+                    shed_victim = Some(victim);
+                }
+                AdmissionPolicy::Block => {
+                    while state.len() >= self.capacity && !state.closed {
+                        state = self
+                            .space
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    if state.closed {
+                        return Err(SubmitError::ShuttingDown(request));
+                    }
+                }
+            }
+        }
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (pending, ticket) = Pending::admit(request, seq);
+        match pending.request.priority {
+            Priority::Interactive => state.interactive.push_back(pending),
+            Priority::Bulk => state.bulk.push_back(pending),
+        }
+        self.metrics.record_submitted();
+        self.not_empty.notify_one();
+        drop(state);
+        // Resolve the victim outside the lock: its ticket holder may run arbitrary
+        // code on wake.
+        if let Some(victim) = shed_victim {
+            self.metrics.record_shed();
+            victim.shed();
+        }
+        Ok(ticket)
+    }
+
+    /// Closes the queue: submissions fail from now on, blocked submitters wake with
+    /// [`SubmitError::ShuttingDown`], and batchers drain what is left before
+    /// observing end-of-stream.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Wakes blocked submitters after a drain freed room (called by the batcher).
+    pub(crate) fn notify_space(&self) {
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use taxi_tsplib::generator::random_uniform_instance;
+
+    fn request(priority: Priority) -> DispatchRequest {
+        DispatchRequest::new(random_uniform_instance("q", 6, 3)).with_priority(priority)
+    }
+
+    fn queue(capacity: usize, policy: AdmissionPolicy) -> DispatchQueue {
+        DispatchQueue::new(capacity, policy, Arc::new(ServiceMetrics::new()))
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full() {
+        let q = queue(2, AdmissionPolicy::Reject);
+        let _a = q.submit(request(Priority::Bulk)).unwrap();
+        let _b = q.submit(request(Priority::Bulk)).unwrap();
+        assert!(matches!(
+            q.submit(request(Priority::Bulk)),
+            Err(SubmitError::QueueFull(_))
+        ));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_oldest_bulk_first() {
+        let q = queue(2, AdmissionPolicy::ShedOldest);
+        let first = q.submit(request(Priority::Bulk)).unwrap();
+        let _second = q.submit(request(Priority::Interactive)).unwrap();
+        let _third = q.submit(request(Priority::Bulk)).unwrap();
+        assert!(first.try_take().expect("oldest bulk was shed").is_shed());
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_never_evicts_interactive_for_bulk() {
+        let q = queue(1, AdmissionPolicy::ShedOldest);
+        let held = q.submit(request(Priority::Interactive)).unwrap();
+        assert!(matches!(
+            q.submit(request(Priority::Bulk)),
+            Err(SubmitError::QueueFull(_))
+        ));
+        // But a newer interactive submission may displace it.
+        let _newer = q.submit(request(Priority::Interactive)).unwrap();
+        assert!(held.try_take().expect("displaced").is_shed());
+    }
+
+    #[test]
+    fn block_policy_waits_for_room() {
+        let q = Arc::new(queue(1, AdmissionPolicy::Block));
+        let _first = q.submit(request(Priority::Bulk)).unwrap();
+        let submitter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.submit(request(Priority::Bulk)).map(|_| ()))
+        };
+        // Give the submitter time to block, then drain one.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!submitter.is_finished(), "submitter must be blocked");
+        let drained = q.lock().pop_front().expect("one queued");
+        q.notify_space();
+        drained.shed();
+        submitter.join().unwrap().expect("unblocked submission");
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_submitters_and_refuses_new_work() {
+        let q = Arc::new(queue(1, AdmissionPolicy::Block));
+        let _first = q.submit(request(Priority::Bulk)).unwrap();
+        let submitter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.submit(request(Priority::Bulk)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(
+            submitter.join().unwrap(),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        assert!(matches!(
+            q.submit(request(Priority::Interactive)),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        // The queued request is still drainable after close.
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn interactive_drains_before_bulk() {
+        let q = queue(4, AdmissionPolicy::Reject);
+        let _b1 = q.submit(request(Priority::Bulk)).unwrap();
+        let _i1 = q.submit(request(Priority::Interactive)).unwrap();
+        let mut state = q.lock();
+        let first = state.pop_front().unwrap();
+        assert_eq!(first.request().priority, Priority::Interactive);
+        let second = state.pop_front().unwrap();
+        assert_eq!(second.request().priority, Priority::Bulk);
+        drop(state);
+        first.shed();
+        second.shed();
+    }
+}

@@ -1,0 +1,395 @@
+//! Request, ticket and outcome types of the dispatch service.
+//!
+//! A client builds a [`DispatchRequest`] (instance + [`Priority`] + optional latency
+//! budget) and submits it; submission returns a [`Ticket`] the client blocks on (or
+//! polls) for the [`DispatchOutcome`]. Inside the service the request travels as a
+//! [`Pending`] — the request plus its admission bookkeeping (sequence number,
+//! submission timestamp, response slot) — which a worker eventually resolves.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use taxi::{TaxiError, TaxiSolution};
+use taxi_tsplib::TspInstance;
+
+/// Priority class of a request.
+///
+/// The scheduler serves all queued `Interactive` requests before any `Bulk` request,
+/// and graceful degradation under overload only ever downgrades `Bulk` work.
+/// `Interactive` compares smaller, so sorting pendings by priority puts interactive
+/// work first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: scheduled first, never degraded.
+    Interactive,
+    /// Throughput traffic: scheduled after interactive work, degradable under
+    /// overload.
+    #[default]
+    Bulk,
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::Interactive => "interactive",
+            Priority::Bulk => "bulk",
+        })
+    }
+}
+
+/// One unit of dispatch work: a TSP instance to solve online.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchRequest {
+    /// The instance to solve.
+    pub instance: TspInstance,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Latency budget measured from submission. A deadline is a scheduling hint
+    /// (earlier deadlines solve earlier within a batch) and a metrics signal
+    /// (completions past the deadline count as misses) — not an execution guarantee.
+    pub deadline: Option<Duration>,
+}
+
+impl DispatchRequest {
+    /// A bulk-priority request with no deadline.
+    pub fn new(instance: TspInstance) -> Self {
+        Self {
+            instance,
+            priority: Priority::Bulk,
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the latency budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was refused synchronously. The request travels back inside the
+/// error so the caller can retry or reroute it.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The queue was full and the admission policy refused to make room (either
+    /// [`AdmissionPolicy::Reject`](crate::AdmissionPolicy::Reject), or shed-oldest
+    /// declining to shed interactive work for a bulk arrival).
+    QueueFull(DispatchRequest),
+    /// The service is shutting down and no longer admits work.
+    ShuttingDown(DispatchRequest),
+}
+
+impl SubmitError {
+    /// Recovers the refused request.
+    pub fn into_request(self) -> DispatchRequest {
+        match self {
+            SubmitError::QueueFull(request) | SubmitError::ShuttingDown(request) => request,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => f.write_str("dispatch queue is full"),
+            SubmitError::ShuttingDown(_) => f.write_str("dispatch service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Everything a worker reports back for one successfully solved request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedResponse {
+    /// The end-to-end solution (tour, latency/energy accounting, stage reports).
+    pub solution: TaxiSolution,
+    /// Time the request spent queued before a worker picked its batch up.
+    pub queue_wait: Duration,
+    /// Time the worker spent solving this request.
+    pub solve_time: Duration,
+    /// Submission-to-resolution latency.
+    pub end_to_end: Duration,
+    /// Whether the request was solved by the degraded (cheaper) backend.
+    pub degraded: bool,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+    /// Index of the worker that solved the request.
+    pub worker: usize,
+    /// Whether resolution happened after the request's deadline.
+    pub missed_deadline: bool,
+}
+
+/// Terminal state of a submitted request.
+#[derive(Debug)]
+pub enum DispatchOutcome {
+    /// The request was solved (possibly by the degraded backend — see
+    /// [`SolvedResponse::degraded`]).
+    Solved(Box<SolvedResponse>),
+    /// The request was shed by the admission policy to make room for newer work.
+    Shed {
+        /// How long the request had been queued when it was shed.
+        queued_for: Duration,
+    },
+    /// The solve itself failed (for example an explicit-matrix instance without
+    /// coordinates).
+    Failed(TaxiError),
+}
+
+impl DispatchOutcome {
+    /// The solved response, if the request completed successfully.
+    pub fn solved(self) -> Option<SolvedResponse> {
+        match self {
+            DispatchOutcome::Solved(response) => Some(*response),
+            _ => None,
+        }
+    }
+
+    /// Whether the request was shed.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, DispatchOutcome::Shed { .. })
+    }
+}
+
+/// The single-use rendezvous a worker fills and a [`Ticket`] waits on.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    outcome: Mutex<Option<DispatchOutcome>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<DispatchOutcome>> {
+        // Outcome delivery must survive a panicking peer; the slot's state is a plain
+        // Option, valid at every point, so recovering from poison is safe.
+        self.outcome
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn fill(&self, outcome: DispatchOutcome) {
+        let mut guard = self.lock();
+        debug_assert!(guard.is_none(), "a request resolves exactly once");
+        *guard = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    /// Fills the slot only if it is still empty (the [`Pending`] drop guard's path;
+    /// the outcome is built lazily so the common already-resolved case costs one lock
+    /// round trip and nothing else).
+    fn fill_if_empty(&self, outcome: impl FnOnce() -> DispatchOutcome) {
+        let mut guard = self.lock();
+        if guard.is_none() {
+            *guard = Some(outcome());
+            self.ready.notify_all();
+        }
+    }
+
+    fn wait(&self) -> DispatchOutcome {
+        let mut guard = self.lock();
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn try_take(&self) -> Option<DispatchOutcome> {
+        self.lock().take()
+    }
+}
+
+/// Handle to one submitted request's eventual [`DispatchOutcome`].
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(seq: u64, slot: Arc<ResponseSlot>) -> Self {
+        Self { seq, slot }
+    }
+
+    /// Service-wide sequence number of the request (submission order).
+    pub fn id(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> DispatchOutcome {
+        self.slot.wait()
+    }
+
+    /// Takes the outcome if the request has already resolved.
+    pub fn try_take(&self) -> Option<DispatchOutcome> {
+        self.slot.try_take()
+    }
+}
+
+/// A request inside the service: the [`DispatchRequest`] plus admission bookkeeping.
+///
+/// Workers receive pendings from the micro-batcher and resolve each one exactly once
+/// via [`resolve`](Self::resolve) (or the [`shed`](Self::shed) shorthand). A pending
+/// that is dropped **without** being resolved — a panicking worker unwinding its
+/// batch, a queue torn down mid-stream — resolves its ticket as
+/// [`DispatchOutcome::Failed`] from its drop guard, so a waiting client can never
+/// hang on a lost request.
+#[derive(Debug)]
+pub struct Pending {
+    pub(crate) request: DispatchRequest,
+    pub(crate) seq: u64,
+    pub(crate) submitted_at: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+impl Pending {
+    /// Wraps `request` for admission, returning the pending and its client ticket.
+    pub(crate) fn admit(request: DispatchRequest, seq: u64) -> (Self, Ticket) {
+        let slot = Arc::new(ResponseSlot::default());
+        let submitted_at = Instant::now();
+        let deadline = request.deadline.map(|budget| submitted_at + budget);
+        let pending = Self {
+            request,
+            seq,
+            submitted_at,
+            deadline,
+            slot: Arc::clone(&slot),
+        };
+        (pending, Ticket::new(seq, slot))
+    }
+
+    /// The request being dispatched.
+    pub fn request(&self) -> &DispatchRequest {
+        &self.request
+    }
+
+    /// Service-wide sequence number (submission order).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// When the request was admitted.
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+
+    /// The request's absolute deadline, if it carries a latency budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Resolves the request with `outcome`, waking its ticket.
+    pub fn resolve(self, outcome: DispatchOutcome) {
+        self.slot.fill(outcome);
+    }
+
+    /// Resolves the request as shed.
+    pub fn shed(self) {
+        let queued_for = self.submitted_at.elapsed();
+        self.resolve(DispatchOutcome::Shed { queued_for });
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Safety net: a pending dropped unresolved (worker panic mid-batch, queue
+        // teardown) must still wake its ticket. After a normal `resolve`/`shed` the
+        // slot is already filled and this is one uncontended lock round trip.
+        self.slot.fill_if_empty(|| {
+            DispatchOutcome::Failed(TaxiError::Backend {
+                backend: "dispatch".to_string(),
+                reason: "request was dropped before being resolved \
+                         (worker panic or service teardown)"
+                    .to_string(),
+            })
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_tsplib::generator::random_uniform_instance;
+
+    fn request() -> DispatchRequest {
+        DispatchRequest::new(random_uniform_instance("req", 8, 1))
+    }
+
+    #[test]
+    fn interactive_sorts_before_bulk() {
+        assert!(Priority::Interactive < Priority::Bulk);
+        assert_eq!(Priority::default(), Priority::Bulk);
+    }
+
+    #[test]
+    fn tickets_resolve_once_filled() {
+        let (pending, ticket) = Pending::admit(request().with_priority(Priority::Interactive), 7);
+        assert_eq!(ticket.id(), 7);
+        assert!(ticket.try_take().is_none());
+        pending.shed();
+        match ticket.wait() {
+            DispatchOutcome::Shed { .. } => {}
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tickets_wait_across_threads() {
+        let (pending, ticket) = Pending::admit(request(), 0);
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            pending.resolve(DispatchOutcome::Failed(TaxiError::UnsupportedInstance {
+                reason: "test".to_string(),
+            }));
+        });
+        assert!(matches!(ticket.wait(), DispatchOutcome::Failed(_)));
+        resolver.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_an_unresolved_pending_fails_its_ticket() {
+        let (pending, ticket) = Pending::admit(request(), 3);
+        drop(pending);
+        match ticket.wait() {
+            DispatchOutcome::Failed(TaxiError::Backend { backend, reason }) => {
+                assert_eq!(backend, "dispatch");
+                assert!(reason.contains("dropped"));
+            }
+            other => panic!("expected drop-guard failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_errors_return_the_request() {
+        let original = request();
+        let err = SubmitError::QueueFull(original.clone());
+        assert_eq!(err.to_string(), "dispatch queue is full");
+        assert_eq!(err.into_request(), original);
+    }
+
+    #[test]
+    fn deadlines_become_absolute_on_admission() {
+        let (pending, _ticket) = Pending::admit(request().with_deadline(Duration::from_secs(5)), 0);
+        let deadline = pending.deadline().expect("deadline set");
+        assert!(deadline > pending.submitted_at());
+        assert_eq!(
+            deadline - pending.submitted_at(),
+            Duration::from_secs(5),
+            "budget is anchored at submission"
+        );
+    }
+}

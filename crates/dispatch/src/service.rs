@@ -1,0 +1,404 @@
+//! The dispatch service: long-lived solver workers fed by the admission queue.
+//!
+//! [`DispatchService::start`] spawns a pool of workers. Each worker owns the pieces
+//! that make its steady-state loop cheap and deterministic:
+//!
+//! * a persistent [`SolveContext`] — scratch buffers and warm Ising macros survive
+//!   across requests, so the per-level solve loop stays allocation-free (the PR-2
+//!   arena, now serving traffic);
+//! * its **primary** and **degraded** [`TourSolver`](taxi::TourSolver) backends,
+//!   built once at spawn (never per request);
+//! * a [`MicroBatcher`] draining the shared queue under the service's
+//!   [`BatchPolicy`], and a reusable batch buffer;
+//! * a [`MetricsObserver`] feeding per-stage timings into the shared
+//!   [`ServiceMetrics`].
+//!
+//! Workers force `threads = 1` on their solver: parallelism comes from the worker
+//! pool (one instance per worker), not from intra-instance fan-out, exactly like
+//! [`TaxiSolver::solve_batch`] sharding — which also makes every served tour
+//! bit-identical to an offline [`TaxiSolver::solve`] of the same instance under the
+//! same configuration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use taxi::{SolveContext, SolverBackend, TaxiConfig, TaxiSolver};
+
+use crate::metrics::{MetricsObserver, ServiceMetrics, ServiceSnapshot};
+use crate::queue::{AdmissionPolicy, DispatchQueue};
+use crate::request::{
+    DispatchOutcome, DispatchRequest, Pending, Priority, SolvedResponse, SubmitError, Ticket,
+};
+use crate::scheduler::{BatchPolicy, MicroBatcher};
+
+/// Configuration of a [`DispatchService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchConfig {
+    /// Solver configuration applied to every request (thread count is overridden to 1
+    /// inside each worker; see the module docs).
+    pub solver: TaxiConfig,
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// What a full queue does with new submissions.
+    pub admission: AdmissionPolicy,
+    /// The micro-batching rule.
+    pub batch: BatchPolicy,
+    /// Backend used for bulk requests in overloaded batches (see
+    /// [`BatchPolicy::overload_threshold`]).
+    pub degraded_backend: SolverBackend,
+}
+
+impl DispatchConfig {
+    /// Defaults: paper solver config, one worker per available core, capacity 256,
+    /// blocking admission, batches of 8 with 500µs linger, degradation disabled,
+    /// `NnTwoOpt` as the degraded backend.
+    pub fn new() -> Self {
+        Self {
+            solver: TaxiConfig::new(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 256,
+            admission: AdmissionPolicy::default(),
+            batch: BatchPolicy::default(),
+            degraded_backend: SolverBackend::NnTwoOpt,
+        }
+    }
+
+    /// Sets the per-request solver configuration.
+    #[must_use]
+    pub fn with_solver(mut self, solver: TaxiConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the worker count (`0` clamps to 1, mirroring
+    /// [`TaxiConfig::with_threads`]).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the micro-batching rule.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the backend overloaded bulk requests degrade to.
+    #[must_use]
+    pub fn with_degraded_backend(mut self, backend: SolverBackend) -> Self {
+        self.degraded_backend = backend;
+        self
+    }
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An online TSP dispatch service over the TAXI solver.
+///
+/// # Example
+///
+/// ```
+/// use taxi_dispatch::{DispatchConfig, DispatchRequest, DispatchService, Priority};
+/// use taxi_tsplib::generator::clustered_instance;
+///
+/// let service = DispatchService::start(DispatchConfig::new().with_workers(2));
+/// let ticket = service
+///     .submit(
+///         DispatchRequest::new(clustered_instance("ride", 60, 4, 7))
+///             .with_priority(Priority::Interactive),
+///     )
+///     .expect("admitted");
+/// let response = ticket.wait().solved().expect("solved");
+/// assert!(response.solution.tour.order().len() == 60);
+/// let snapshot = service.shutdown();
+/// assert_eq!(snapshot.completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct DispatchService {
+    queue: Arc<DispatchQueue>,
+    metrics: Arc<ServiceMetrics>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    config: DispatchConfig,
+}
+
+impl DispatchService {
+    /// Starts the service: builds the queue and spawns the workers.
+    pub fn start(config: DispatchConfig) -> Self {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let queue = Arc::new(DispatchQueue::new(
+            config.queue_capacity,
+            config.admission,
+            Arc::clone(&metrics),
+        ));
+        let workers = (0..config.workers.max(1))
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("taxi-dispatch-{index}"))
+                    .spawn(move || worker_loop(index, &config, &queue, &metrics))
+                    .expect("spawn dispatch worker")
+            })
+            .collect();
+        Self {
+            queue,
+            metrics,
+            workers,
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// Submits a request for dispatch.
+    ///
+    /// With [`AdmissionPolicy::Block`] this call blocks while the queue is full
+    /// (backpressure); the other policies return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError`] when admission refuses the request (the request rides
+    /// back inside the error).
+    pub fn submit(&self, request: DispatchRequest) -> Result<Ticket, SubmitError> {
+        self.queue.submit(request)
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Point-in-time service metrics.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Shuts down: refuses new submissions, lets the workers drain every queued
+    /// request, joins them, and returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServiceSnapshot {
+        self.shutdown_in_place();
+        self.metrics.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for DispatchService {
+    fn drop(&mut self) {
+        // A dropped service still drains and joins — no detached workers, no tickets
+        // left hanging.
+        self.shutdown_in_place();
+    }
+}
+
+/// The steady-state serving loop of one worker.
+fn worker_loop(
+    index: usize,
+    config: &DispatchConfig,
+    queue: &Arc<DispatchQueue>,
+    metrics: &Arc<ServiceMetrics>,
+) {
+    // Parallelism comes from the worker pool; intra-instance fan-out would oversubscribe
+    // the host and spawn a thread pool per solve call.
+    let solver_config = config.solver.clone().with_threads(1);
+    let solver = TaxiSolver::new(solver_config.clone());
+    let primary = solver_config.build_backend();
+    let degraded = solver_config
+        .clone()
+        .with_backend(config.degraded_backend)
+        .build_backend();
+    let mut ctx = SolveContext::new();
+    let mut observer = MetricsObserver::new(Arc::clone(metrics));
+    let batcher = MicroBatcher::new(Arc::clone(queue), config.batch);
+    let mut batch: Vec<Pending> = Vec::with_capacity(config.batch.max_batch);
+
+    while let Some(meta) = batcher.next_batch(&mut batch) {
+        metrics.record_batch(batch.len());
+        let batch_size = batch.len();
+        // One clock read per batch: every request in it was dequeued at this instant.
+        let dequeued_at = Instant::now();
+        for pending in batch.drain(..) {
+            let queue_wait = dequeued_at.saturating_duration_since(pending.submitted_at);
+            let degrade = meta.overloaded && pending.request.priority == Priority::Bulk;
+            let backend = if degrade { &degraded } else { &primary };
+            let solve_started = Instant::now();
+            // Contain per-request panics: one poisoned instance must not take the
+            // worker (and with it every queued client) down. The scratch context is
+            // behaviourally transparent — buffers are cleared or re-validated before
+            // use — so reusing it after an unwind is safe, mirroring how the core
+            // solver recovers its own poisoned context mutex.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                solver.solve_reusing_observed(
+                    &pending.request.instance,
+                    backend,
+                    &mut observer,
+                    &mut ctx,
+                )
+            }))
+            .unwrap_or_else(|panic| {
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "solver panicked".to_string());
+                Err(taxi::TaxiError::Backend {
+                    backend: "dispatch".to_string(),
+                    reason: format!("solve panicked: {reason}"),
+                })
+            });
+            let finished = Instant::now();
+            let solve_time = finished.saturating_duration_since(solve_started);
+            let end_to_end = finished.saturating_duration_since(pending.submitted_at);
+            match result {
+                Ok(solution) => {
+                    let missed_deadline = pending.deadline.is_some_and(|d| finished > d);
+                    metrics.record_completed(
+                        queue_wait,
+                        solve_time,
+                        end_to_end,
+                        degrade,
+                        missed_deadline,
+                    );
+                    pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
+                        solution,
+                        queue_wait,
+                        solve_time,
+                        end_to_end,
+                        degraded: degrade,
+                        batch_size,
+                        worker: index,
+                        missed_deadline,
+                    })));
+                }
+                Err(error) => {
+                    metrics.record_failed();
+                    pending.resolve(DispatchOutcome::Failed(error));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_tsplib::generator::clustered_instance;
+
+    #[test]
+    fn config_builders_compose() {
+        let config = DispatchConfig::new()
+            .with_workers(0)
+            .with_queue_capacity(32)
+            .with_admission(AdmissionPolicy::Reject)
+            .with_batch(BatchPolicy::new().with_max_batch(4))
+            .with_degraded_backend(SolverBackend::GreedyEdge);
+        assert_eq!(config.workers, 1, "zero workers clamps to one");
+        assert_eq!(config.queue_capacity, 32);
+        assert_eq!(config.admission, AdmissionPolicy::Reject);
+        assert_eq!(config.batch.max_batch, 4);
+        assert_eq!(config.degraded_backend, SolverBackend::GreedyEdge);
+    }
+
+    #[test]
+    fn service_solves_and_shuts_down_cleanly() {
+        let service = DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(2)
+                .with_solver(TaxiConfig::new().with_seed(3)),
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                service
+                    .submit(DispatchRequest::new(clustered_instance(
+                        "svc",
+                        40 + 5 * i,
+                        3,
+                        i as u64,
+                    )))
+                    .expect("admitted")
+            })
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait().solved().expect("solved");
+            assert!(response.solution.length > 0.0);
+            assert!(response.end_to_end >= response.solve_time);
+        }
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.completed, 6);
+        assert_eq!(snapshot.failed, 0);
+        assert!(snapshot.batches >= 1);
+    }
+
+    #[test]
+    fn queued_work_survives_shutdown() {
+        // Submissions admitted before `shutdown` must all resolve (drain semantics).
+        let service = DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_solver(TaxiConfig::new().with_seed(1)),
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                service
+                    .submit(DispatchRequest::new(clustered_instance("drain", 30, 3, i)))
+                    .expect("admitted")
+            })
+            .collect();
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.completed + snapshot.failed, 4);
+        for ticket in tickets {
+            assert!(ticket.try_take().is_some(), "ticket resolved by drain");
+        }
+    }
+
+    #[test]
+    fn failed_solves_resolve_with_the_error() {
+        let instance =
+            taxi_tsplib::TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]])
+                .unwrap();
+        let service = DispatchService::start(DispatchConfig::new().with_workers(1));
+        let ticket = service.submit(DispatchRequest::new(instance)).unwrap();
+        assert!(matches!(ticket.wait(), DispatchOutcome::Failed(_)));
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.failed, 1);
+        assert_eq!(snapshot.completed, 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Seeded synthetic workload engine: arrival processes over scenario families.
+//!
+//! A [`Workload`] turns a [`WorkloadConfig`] into a deterministic list of
+//! [`WorkloadEvent`]s — timestamped [`DispatchRequest`]s whose instances come from the
+//! `taxi-tsplib` generators. Determinism is end to end: the same seed produces the
+//! same arrival offsets, instance geometries, sizes, priorities and deadlines, which
+//! is what makes load tests reproducible and lets the service's results be checked
+//! bit-for-bit against offline [`TaxiSolver::solve`](taxi::TaxiSolver::solve) runs.
+//!
+//! Every generated instance is an ordinary coordinate-based
+//! [`TspInstance`], so a workload can be **snapshotted** to TSPLIB text with
+//! [`TspInstance::write_tsplib`] and replayed later from disk — the write → parse
+//! round trip is exact.
+
+use std::time::Duration;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use taxi_tsplib::generator::{
+    clustered_instance, grid_drilling_instance, random_uniform_instance, ring_logistics_instance,
+};
+use taxi_tsplib::TspInstance;
+
+use crate::request::{DispatchRequest, Priority};
+
+/// A family of request geometries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Cities uniform in a square (random ride-hailing pickups).
+    Uniform,
+    /// Cities concentrated in Gaussian-like blobs ("city districts" — the regime
+    /// hierarchical clustering is built for).
+    CityDistricts {
+        /// Number of districts (blobs).
+        districts: usize,
+    },
+    /// Stops on concentric delivery rings around a depot (hub-and-ring logistics).
+    RingLogistics {
+        /// Number of delivery rings.
+        rings: usize,
+    },
+    /// A perturbed regular grid (PCB/PLA drilling-style point sets).
+    PcbDrilling,
+}
+
+impl Scenario {
+    /// All families, for sweeps.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Uniform,
+        Scenario::CityDistricts { districts: 6 },
+        Scenario::RingLogistics { rings: 3 },
+        Scenario::PcbDrilling,
+    ];
+
+    /// Short stable label (used in instance names and benchmark output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::CityDistricts { .. } => "districts",
+            Scenario::RingLogistics { .. } => "ring",
+            Scenario::PcbDrilling => "drilling",
+        }
+    }
+
+    /// Generates one instance of this family.
+    pub fn generate(self, name: &str, n: usize, seed: u64) -> TspInstance {
+        match self {
+            Scenario::Uniform => random_uniform_instance(name, n, seed),
+            Scenario::CityDistricts { districts } => {
+                clustered_instance(name, n, districts.max(1), seed)
+            }
+            Scenario::RingLogistics { rings } => {
+                ring_logistics_instance(name, n, rings.max(1), seed)
+            }
+            Scenario::PcbDrilling => grid_drilling_instance(name, n, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// When requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival times with the given mean rate.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+    },
+    /// Bursty arrivals: burst epochs form a Poisson process and each epoch releases a
+    /// whole burst back to back, keeping the same mean rate but a far heavier tail —
+    /// the regime where admission policies earn their keep.
+    Bursty {
+        /// Mean arrivals per second (across bursts).
+        rate_hz: f64,
+        /// Requests released per burst epoch.
+        burst: usize,
+    },
+}
+
+impl ArrivalProcess {
+    fn mean_rate(self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } | ArrivalProcess::Bursty { rate_hz, .. } => rate_hz,
+        }
+    }
+}
+
+/// Configuration of one synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Geometry family of the generated instances.
+    pub scenario: Scenario,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// City counts are drawn uniformly from this inclusive range.
+    pub size_range: (usize, usize),
+    /// Probability a request is [`Priority::Interactive`].
+    pub interactive_fraction: f64,
+    /// Latency budget attached to interactive requests.
+    pub interactive_deadline: Option<Duration>,
+    /// Master seed: drives arrivals, sizes, priorities and instance geometry.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A small default workload: 64 clustered requests of 40–80 cities arriving
+    /// Poisson at 50/s, 25% interactive with a 250ms budget.
+    pub fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 50.0 },
+            requests: 64,
+            size_range: (40, 80),
+            interactive_fraction: 0.25,
+            interactive_deadline: Some(Duration::from_millis(250)),
+            seed: 0xD15_9A7C,
+        }
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the request count.
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the inclusive city-count range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or starts at zero.
+    #[must_use]
+    pub fn with_size_range(mut self, min: usize, max: usize) -> Self {
+        assert!(min > 0 && min <= max, "size range must be non-empty");
+        self.size_range = (min, max);
+        self
+    }
+
+    /// Sets the interactive traffic fraction (clamped to `0.0..=1.0`).
+    #[must_use]
+    pub fn with_interactive_fraction(mut self, fraction: f64) -> Self {
+        self.interactive_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets (or clears) the interactive latency budget.
+    #[must_use]
+    pub fn with_interactive_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.interactive_deadline = deadline;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One timestamped request of a generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEvent {
+    /// Arrival offset from the workload start.
+    pub at: Duration,
+    /// The request to submit at that offset.
+    pub request: DispatchRequest,
+}
+
+/// A fully materialised workload: deterministic in its config, replayable any number
+/// of times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    config: WorkloadConfig,
+    events: Vec<WorkloadEvent>,
+}
+
+impl Workload {
+    /// Generates the workload described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival rate is not positive and finite.
+    pub fn generate(config: WorkloadConfig) -> Self {
+        let rate = config.arrivals.mean_rate();
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut events = Vec::with_capacity(config.requests);
+        let mut clock = 0.0f64;
+        let mut burst_remaining = 0usize;
+        for index in 0..config.requests {
+            match config.arrivals {
+                ArrivalProcess::Poisson { rate_hz } => {
+                    clock += exponential(&mut rng, rate_hz);
+                }
+                ArrivalProcess::Bursty { rate_hz, burst } => {
+                    let burst = burst.max(1);
+                    if burst_remaining == 0 {
+                        // Burst epochs arrive Poisson at rate_hz / burst, so the mean
+                        // request rate stays rate_hz.
+                        clock += exponential(&mut rng, rate_hz / burst as f64);
+                        burst_remaining = burst;
+                    }
+                    burst_remaining -= 1;
+                }
+            }
+            let (min, max) = config.size_range;
+            let n = rng.gen_range(min..=max);
+            let interactive = rng.gen_bool(config.interactive_fraction);
+            let name = format!("wl-{}-{}", config.scenario.label(), index);
+            let instance_seed = config
+                .seed
+                .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let instance = config.scenario.generate(&name, n, instance_seed);
+            let mut request = DispatchRequest::new(instance);
+            if interactive {
+                request = request.with_priority(Priority::Interactive);
+                if let Some(deadline) = config.interactive_deadline {
+                    request = request.with_deadline(deadline);
+                }
+            }
+            events.push(WorkloadEvent {
+                at: Duration::from_secs_f64(clock),
+                request,
+            });
+        }
+        Self { config, events }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// The events, in arrival order.
+    pub fn events(&self) -> &[WorkloadEvent] {
+        &self.events
+    }
+
+    /// Consumes the workload into its events.
+    pub fn into_events(self) -> Vec<WorkloadEvent> {
+        self.events
+    }
+
+    /// Total duration of the arrival schedule (offset of the last event).
+    pub fn makespan(&self) -> Duration {
+        self.events.last().map(|e| e.at).unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Exponential inter-arrival sample via inversion (`-ln(1-u)/λ`; the floor keeps the
+/// logarithm finite even if the RNG ever returned exactly 1).
+fn exponential(rng: &mut ChaCha8Rng, rate_hz: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).max(f64::EPSILON).ln() / rate_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic_in_the_seed() {
+        let config = WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+            .with_requests(32)
+            .with_seed(99);
+        let a = Workload::generate(config.clone());
+        let b = Workload::generate(config);
+        assert_eq!(a, b);
+        let c = Workload::generate(
+            WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+                .with_requests(32)
+                .with_seed(100),
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_offsets_are_monotonic_and_rate_is_plausible() {
+        let workload = Workload::generate(
+            WorkloadConfig::new(Scenario::Uniform)
+                .with_requests(400)
+                .with_arrivals(ArrivalProcess::Poisson { rate_hz: 200.0 })
+                .with_seed(7),
+        );
+        let events = workload.events();
+        assert_eq!(events.len(), 400);
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        // 400 arrivals at 200/s take about 2s; allow generous stochastic slack.
+        let makespan = workload.makespan().as_secs_f64();
+        assert!((0.8..5.0).contains(&makespan), "makespan {makespan}");
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_in_time_but_keep_the_mean_rate() {
+        let poisson = Workload::generate(
+            WorkloadConfig::new(Scenario::Uniform)
+                .with_requests(300)
+                .with_arrivals(ArrivalProcess::Poisson { rate_hz: 100.0 })
+                .with_seed(11),
+        );
+        let bursty = Workload::generate(
+            WorkloadConfig::new(Scenario::Uniform)
+                .with_requests(300)
+                .with_arrivals(ArrivalProcess::Bursty {
+                    rate_hz: 100.0,
+                    burst: 10,
+                })
+                .with_seed(11),
+        );
+        // Same order-of-magnitude makespan...
+        let ratio = bursty.makespan().as_secs_f64() / poisson.makespan().as_secs_f64();
+        assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+        // ...but far more zero-gap arrivals (within a burst the offset is identical).
+        let zero_gaps = |w: &Workload| w.events().windows(2).filter(|p| p[0].at == p[1].at).count();
+        assert!(zero_gaps(&bursty) >= 250);
+        assert_eq!(zero_gaps(&poisson), 0);
+    }
+
+    #[test]
+    fn priorities_and_deadlines_follow_the_config() {
+        let workload = Workload::generate(
+            WorkloadConfig::new(Scenario::PcbDrilling)
+                .with_requests(200)
+                .with_interactive_fraction(0.5)
+                .with_interactive_deadline(Some(Duration::from_millis(100)))
+                .with_seed(5),
+        );
+        let interactive = workload
+            .events()
+            .iter()
+            .filter(|e| e.request.priority == Priority::Interactive)
+            .count();
+        assert!((60..140).contains(&interactive), "got {interactive}");
+        for event in workload.events() {
+            match event.request.priority {
+                Priority::Interactive => {
+                    assert_eq!(event.request.deadline, Some(Duration::from_millis(100)));
+                }
+                Priority::Bulk => assert_eq!(event.request.deadline, None),
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_stay_in_range_and_scenarios_differ() {
+        for scenario in Scenario::ALL {
+            let workload = Workload::generate(
+                WorkloadConfig::new(scenario)
+                    .with_requests(20)
+                    .with_size_range(30, 50)
+                    .with_seed(3),
+            );
+            for event in workload.events() {
+                let n = event.request.instance.dimension();
+                assert!((30..=50).contains(&n), "{scenario}: {n}");
+                assert!(event.request.instance.name().starts_with("wl-"));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_instances_snapshot_through_the_tsplib_writer() {
+        let workload = Workload::generate(
+            WorkloadConfig::new(Scenario::RingLogistics { rings: 2 })
+                .with_requests(4)
+                .with_seed(21),
+        );
+        for event in workload.events() {
+            let text = event.request.instance.write_tsplib();
+            let reparsed = taxi_tsplib::parse_tsp(&text).unwrap();
+            assert_eq!(&reparsed, &event.request.instance);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end tests of the dispatch service: determinism against offline solves,
+//! priority scheduling, graceful degradation, admission policies under load, and
+//! metrics coherence.
+
+use std::time::Duration;
+
+use taxi::{SolverBackend, TaxiConfig, TaxiSolver};
+use taxi_dispatch::{
+    AdmissionPolicy, ArrivalProcess, BatchPolicy, DispatchConfig, DispatchOutcome, DispatchRequest,
+    DispatchService, Priority, Scenario, Ticket, Workload, WorkloadConfig,
+};
+use taxi_tsplib::TspInstance;
+
+fn solver_config() -> TaxiConfig {
+    TaxiConfig::new().with_seed(77)
+}
+
+fn workload(requests: usize, seed: u64) -> Vec<TspInstance> {
+    Workload::generate(
+        WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+            .with_requests(requests)
+            .with_size_range(30, 70)
+            .with_interactive_fraction(0.0)
+            .with_seed(seed),
+    )
+    .into_events()
+    .into_iter()
+    .map(|event| event.request.instance)
+    .collect()
+}
+
+/// Acceptance criterion: a fixed workload seed + a single worker yields bit-identical
+/// tours to offline `TaxiSolver::solve` of the same instances.
+#[test]
+fn single_worker_serves_bit_identical_tours_to_offline_solves() {
+    let instances = workload(6, 5);
+    let offline = TaxiSolver::new(solver_config());
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(1)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(3)
+                    .with_linger(Duration::ZERO),
+            ),
+    );
+    let tickets: Vec<Ticket> = instances
+        .iter()
+        .map(|instance| {
+            service
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    for (instance, ticket) in instances.iter().zip(tickets) {
+        let served = ticket.wait().solved().expect("solved");
+        let reference = offline.solve(instance).expect("offline solve");
+        assert_eq!(served.solution.tour, reference.tour);
+        assert_eq!(served.solution.length, reference.length);
+        assert!(!served.degraded);
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 6);
+}
+
+/// Multi-worker runs still yield identical per-request tours (only completion order
+/// may differ), across every built-in backend.
+#[test]
+fn multi_worker_tours_match_offline_solves_for_every_backend() {
+    for backend in SolverBackend::ALL {
+        let config = solver_config().with_backend(backend);
+        let instances = workload(8, 9);
+        let offline = TaxiSolver::new(config.clone());
+        let service = DispatchService::start(
+            DispatchConfig::new()
+                .with_solver(config)
+                .with_workers(4)
+                .with_batch(
+                    BatchPolicy::new()
+                        .with_max_batch(2)
+                        .with_linger(Duration::ZERO),
+                ),
+        );
+        let tickets: Vec<Ticket> = instances
+            .iter()
+            .map(|instance| {
+                service
+                    .submit(DispatchRequest::new(instance.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        for (instance, ticket) in instances.iter().zip(tickets) {
+            let served = ticket.wait().solved().expect("solved");
+            let reference = offline.solve(instance).expect("offline solve");
+            assert_eq!(served.solution.tour, reference.tour, "{backend}");
+        }
+        service.shutdown();
+    }
+}
+
+/// Under overload, bulk requests degrade to the configured cheaper backend — and the
+/// degraded tour is exactly what that backend produces offline. Interactive requests
+/// never degrade.
+#[test]
+fn overloaded_bulk_requests_degrade_to_the_cheaper_backend() {
+    let instances = workload(5, 13);
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(1)
+            .with_degraded_backend(SolverBackend::NnTwoOpt)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(4)
+                    .with_linger(Duration::ZERO)
+                    // Depth ≥ 1 at formation counts as overloaded: every batch
+                    // degrades, deterministically.
+                    .with_overload_threshold(1),
+            ),
+    );
+    let bulk_tickets: Vec<Ticket> = instances
+        .iter()
+        .map(|instance| {
+            service
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    let interactive = service
+        .submit(DispatchRequest::new(instances[0].clone()).with_priority(Priority::Interactive))
+        .expect("admitted");
+
+    let degraded_offline = TaxiSolver::new(solver_config().with_backend(SolverBackend::NnTwoOpt));
+    let primary_offline = TaxiSolver::new(solver_config());
+    for (instance, ticket) in instances.iter().zip(bulk_tickets) {
+        let served = ticket.wait().solved().expect("solved");
+        assert!(served.degraded, "bulk must degrade under overload");
+        let reference = degraded_offline.solve(instance).expect("offline degraded");
+        assert_eq!(served.solution.tour, reference.tour);
+    }
+    let served = interactive.wait().solved().expect("solved");
+    assert!(!served.degraded, "interactive never degrades");
+    assert_eq!(
+        served.solution.tour,
+        primary_offline.solve(&instances[0]).unwrap().tour
+    );
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.degraded as usize, instances.len());
+}
+
+/// Shed-oldest admission keeps the service live under a burst that exceeds capacity:
+/// every ticket resolves (solved or shed), sheds are counted, and nothing deadlocks.
+#[test]
+fn shed_oldest_keeps_the_service_live_under_bursts() {
+    let events = Workload::generate(
+        WorkloadConfig::new(Scenario::Uniform)
+            .with_requests(24)
+            .with_size_range(20, 40)
+            .with_arrivals(ArrivalProcess::Bursty {
+                rate_hz: 1e6, // effectively: all at once
+                burst: 24,
+            })
+            .with_seed(3),
+    )
+    .into_events();
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(2)
+            .with_queue_capacity(4)
+            .with_admission(AdmissionPolicy::ShedOldest)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(4)
+                    .with_linger(Duration::ZERO),
+            ),
+    );
+    // The default workload mixes interactive traffic in, so a bulk arrival can be
+    // rejected when the full queue holds only interactive work (shed-oldest never
+    // evicts interactive for bulk) — that synchronous refusal is a valid outcome too.
+    let mut rejected = 0u64;
+    let mut tickets = Vec::new();
+    for event in events {
+        match service.submit(event.request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(err) => {
+                let _ = err.into_request();
+                rejected += 1;
+            }
+        }
+    }
+    let mut solved = 0u64;
+    let mut shed = 0u64;
+    for ticket in tickets {
+        match ticket.wait() {
+            DispatchOutcome::Solved(_) => solved += 1,
+            DispatchOutcome::Shed { .. } => shed += 1,
+            DispatchOutcome::Failed(error) => panic!("unexpected failure: {error}"),
+        }
+    }
+    assert_eq!(solved + shed + rejected, 24);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, solved);
+    assert_eq!(snapshot.shed, shed);
+    assert_eq!(snapshot.rejected, rejected);
+    assert_eq!(snapshot.submitted, 24 - rejected);
+}
+
+/// Blocking admission applies backpressure instead of losing work: every submission
+/// eventually lands and completes.
+#[test]
+fn block_admission_backpressures_without_losing_work() {
+    let instances = workload(12, 31);
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(2)
+            .with_queue_capacity(2)
+            .with_admission(AdmissionPolicy::Block)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(2)
+                    .with_linger(Duration::ZERO),
+            ),
+    );
+    let tickets: Vec<Ticket> = instances
+        .iter()
+        .map(|instance| {
+            service
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("blocking admission never refuses while running")
+        })
+        .collect();
+    for ticket in tickets {
+        assert!(ticket.wait().solved().is_some());
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 12);
+    assert_eq!(snapshot.shed, 0);
+    assert_eq!(snapshot.rejected, 0);
+}
+
+/// The snapshot's histograms and counters cohere after a served workload, and
+/// per-stage timings flowed in through the observer path.
+#[test]
+fn snapshot_reflects_a_served_workload() {
+    let instances = workload(10, 41);
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(3)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(4)
+                    .with_linger(Duration::from_millis(1)),
+            ),
+    );
+    let tickets: Vec<Ticket> = instances
+        .iter()
+        .map(|instance| {
+            service
+                .submit(
+                    DispatchRequest::new(instance.clone())
+                        .with_priority(Priority::Interactive)
+                        .with_deadline(Duration::from_secs(3600)),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        let served = ticket.wait().solved().expect("solved");
+        assert_eq!(served.solution.stage_reports.len(), 5);
+        assert!(!served.missed_deadline, "1h budget cannot be missed");
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 10);
+    assert_eq!(snapshot.end_to_end.count, 10);
+    assert_eq!(snapshot.deadline_misses, 0);
+    assert!(snapshot.mean_batch_size >= 1.0);
+    assert!(snapshot.end_to_end.p50 <= snapshot.end_to_end.p99);
+    assert!(snapshot.end_to_end.p99 <= snapshot.end_to_end.max);
+    assert!(snapshot.queue_wait.p50 <= snapshot.end_to_end.max);
+    // Per-stage host timings arrived via the MetricsObserver (solve stage is never
+    // free).
+    let solve_index = taxi::Stage::ALL
+        .iter()
+        .position(|&s| s == taxi::Stage::SolveLevels)
+        .unwrap();
+    assert!(snapshot.stage_seconds[solve_index] > 0.0);
+    assert!(snapshot.throughput_per_sec > 0.0);
+}

@@ -2,14 +2,17 @@
 //!
 //! The original TSPLIB coordinate files are not bundled with this repository, so the
 //! benchmark loader falls back to synthetic instances of the same sizes (see DESIGN.md).
-//! Three families are provided:
+//! Four families are provided:
 //!
 //! * [`random_uniform_instance`] — cities uniformly distributed in a square (typical of
 //!   the `rat*`/`rl*` style random instances),
 //! * [`clustered_instance`] — cities concentrated in Gaussian-like blobs (typical of
 //!   geography-derived instances, and the regime where hierarchical clustering shines),
 //! * [`grid_drilling_instance`] — a perturbed regular grid (the `pla*` instances are
-//!   programmed logic-array drilling problems with strong grid structure).
+//!   programmed logic-array drilling problems with strong grid structure),
+//! * [`ring_logistics_instance`] — stops spread over concentric delivery rings around a
+//!   central depot (hub-and-ring logistics networks; the dispatch workload engine's
+//!   "logistics" scenario).
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -97,6 +100,45 @@ pub fn grid_drilling_instance(name: &str, n: usize, seed: u64) -> TspInstance {
         .expect("generated coordinates are always valid")
 }
 
+/// Generates `n` cities spread over `rings` concentric delivery rings around a central
+/// depot at the origin: city 0 is the depot, and the remaining stops are distributed
+/// ring by ring with angular and radial jitter. Ring `r` has radius proportional to
+/// `r + 1`, and outer rings receive proportionally more stops (their circumference is
+/// longer), which mimics hub-and-ring logistics networks.
+///
+/// # Panics
+///
+/// Panics if `n` or `rings` is zero.
+pub fn ring_logistics_instance(name: &str, n: usize, rings: usize, seed: u64) -> TspInstance {
+    assert!(n > 0, "an instance needs at least one city");
+    assert!(rings > 0, "at least one ring is required");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let base_radius = (n as f64).sqrt() * 40.0;
+    let mut coords = Vec::with_capacity(n);
+    coords.push((0.0, 0.0));
+    // Ring r gets a share of stops proportional to its circumference (r + 1).
+    let weight_total: usize = (1..=rings).sum();
+    let stops = n - 1;
+    let mut assigned = 0usize;
+    for r in 0..rings {
+        let share = if r + 1 == rings {
+            stops - assigned
+        } else {
+            stops * (r + 1) / weight_total
+        };
+        assigned += share;
+        let radius = base_radius * (r + 1) as f64;
+        for k in 0..share {
+            let angle =
+                std::f64::consts::TAU * ((k as f64 + rng.gen::<f64>() * 0.8) / share.max(1) as f64);
+            let rho = radius * (1.0 + (rng.gen::<f64>() - 0.5) * 0.15);
+            coords.push((rho * angle.cos(), rho * angle.sin()));
+        }
+    }
+    TspInstance::from_coordinates(name, coords, EdgeWeightKind::Euclidean)
+        .expect("generated coordinates are always valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +209,43 @@ mod tests {
     #[should_panic(expected = "at least one city")]
     fn zero_size_panics() {
         random_uniform_instance("bad", 0, 0);
+    }
+
+    #[test]
+    fn ring_instance_is_deterministic_and_ring_shaped() {
+        let a = ring_logistics_instance("r", 121, 3, 17);
+        let b = ring_logistics_instance("r", 121, 3, 17);
+        assert_eq!(a, b);
+        assert_eq!(a.dimension(), 121);
+        let coords = a.coordinates().unwrap();
+        assert_eq!(coords[0], (0.0, 0.0), "city 0 is the depot");
+        // Stops concentrate near their ring radius: no stop sits in the innermost 20%
+        // of the outermost ring's radius (the depot aside), and the radial histogram
+        // has mass around every ring.
+        let radii: Vec<f64> = coords[1..]
+            .iter()
+            .map(|&(x, y)| (x * x + y * y).sqrt())
+            .collect();
+        let max_r = radii.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(radii.iter().all(|&r| r > 0.2 * max_r / 3.0));
+        for ring in 1..=3usize {
+            let target = max_r * ring as f64 / 3.0;
+            assert!(
+                radii.iter().any(|&r| (r - target).abs() < 0.25 * target),
+                "no stops near ring {ring}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_instance_survives_more_rings_than_stops() {
+        let inst = ring_logistics_instance("tiny", 3, 5, 1);
+        assert_eq!(inst.dimension(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ring")]
+    fn zero_rings_panic() {
+        ring_logistics_instance("bad", 10, 0, 0);
     }
 }

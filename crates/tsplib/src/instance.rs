@@ -23,6 +23,12 @@ pub enum EdgeWeightKind {
 impl EdgeWeightKind {
     /// Parses the TSPLIB `EDGE_WEIGHT_TYPE` keyword.
     ///
+    /// `EUCLIDEAN` is a non-standard extension keyword for
+    /// [`EdgeWeightKind::Euclidean`] (plain, unrounded distances): the synthetic
+    /// workload generators produce such instances, and
+    /// [`write_tsplib`](TspInstance::write_tsplib) snapshots must round-trip them
+    /// without silently changing the distance convention.
+    ///
     /// # Errors
     ///
     /// Returns [`TsplibError::Unsupported`] for edge-weight types this crate does not
@@ -33,10 +39,24 @@ impl EdgeWeightKind {
             "CEIL_2D" => Ok(EdgeWeightKind::Ceil2d),
             "ATT" => Ok(EdgeWeightKind::Att),
             "GEO" => Ok(EdgeWeightKind::Geo),
+            "EUCLIDEAN" => Ok(EdgeWeightKind::Euclidean),
             "EXPLICIT" => Ok(EdgeWeightKind::Explicit),
             other => Err(TsplibError::Unsupported {
                 what: format!("edge weight type {other}"),
             }),
+        }
+    }
+
+    /// The `EDGE_WEIGHT_TYPE` keyword for this kind (inverse of
+    /// [`from_keyword`](Self::from_keyword)).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EdgeWeightKind::Euc2d => "EUC_2D",
+            EdgeWeightKind::Ceil2d => "CEIL_2D",
+            EdgeWeightKind::Att => "ATT",
+            EdgeWeightKind::Geo => "GEO",
+            EdgeWeightKind::Euclidean => "EUCLIDEAN",
+            EdgeWeightKind::Explicit => "EXPLICIT",
         }
     }
 }

@@ -6,11 +6,12 @@
 //!
 //! * [`instance`] — the [`TspInstance`] type with all the common TSPLIB edge-weight
 //!   conventions (EUC_2D, CEIL_2D, ATT, GEO, explicit matrices),
-//! * [`parser`] — a parser for `.tsp` files, used when the real TSPLIB files are
-//!   available on disk,
+//! * [`parser`] / [`writer`] — a parser for `.tsp` files (used when the real TSPLIB
+//!   files are available on disk) and the matching writer
+//!   ([`TspInstance::write_tsplib`]) for exact snapshot/replay round trips,
 //! * [`generator`] — deterministic synthetic instance generators (uniform, clustered,
-//!   drilling-grid) used when the original files are not available offline (see
-//!   DESIGN.md, substitutions),
+//!   ring-logistics, drilling-grid) used when the original files are not available
+//!   offline (see DESIGN.md, substitutions) and by the dispatch workload engine,
 //! * [`tour`] — the [`Tour`] type with validation and length evaluation,
 //! * [`optima`] / [`benchmark`] — the 20-instance benchmark suite with the published
 //!   Concorde optima, and a loader that transparently falls back to synthetic instances
@@ -39,6 +40,7 @@ pub mod optima;
 pub mod parser;
 pub mod tour;
 pub mod tour_io;
+pub mod writer;
 
 pub use benchmark::{benchmark_suite, load_or_generate, BenchmarkInstance};
 pub use error::TsplibError;

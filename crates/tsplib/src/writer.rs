@@ -1,0 +1,143 @@
+//! Writer for TSPLIB `.tsp` files.
+//!
+//! [`TspInstance::write_tsplib`] serialises an instance into the same textual format
+//! [`parse_tsp`](crate::parse_tsp) reads, so workload snapshots can be saved to disk
+//! and replayed later. The round trip is exact: coordinates are formatted with Rust's
+//! shortest round-trip `f64` representation, so `parse_tsp(&instance.write_tsplib())`
+//! reconstructs bit-identical coordinates (and, for explicit instances, a bit-identical
+//! distance matrix).
+//!
+//! Plain unrounded-Euclidean instances (the synthetic generators' convention) are
+//! written with the non-standard `EDGE_WEIGHT_TYPE: EUCLIDEAN` extension keyword, which
+//! the parser accepts back; every other supported kind uses its standard TSPLIB
+//! keyword.
+
+use std::fmt::Write as _;
+
+use crate::{EdgeWeightKind, TspInstance};
+
+impl TspInstance {
+    /// Serialises the instance as TSPLIB `.tsp` text.
+    ///
+    /// Coordinate-based instances emit a `NODE_COORD_SECTION`; explicit-matrix
+    /// instances emit a `FULL_MATRIX` `EDGE_WEIGHT_SECTION`. The output always ends
+    /// with `EOF` and a trailing newline.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use taxi_tsplib::{parse_tsp, EdgeWeightKind, TspInstance};
+    ///
+    /// let original = TspInstance::from_coordinates(
+    ///     "snapshot",
+    ///     vec![(0.25, 0.75), (3.5, -1.125)],
+    ///     EdgeWeightKind::Euclidean,
+    /// )?;
+    /// let reparsed = parse_tsp(&original.write_tsplib())?;
+    /// assert_eq!(reparsed, original);
+    /// # Ok::<(), taxi_tsplib::TsplibError>(())
+    /// ```
+    #[must_use]
+    pub fn write_tsplib(&self) -> String {
+        let n = self.dimension();
+        let mut out = String::new();
+        let _ = writeln!(out, "NAME: {}", self.name());
+        out.push_str("TYPE: TSP\n");
+        let _ = writeln!(out, "DIMENSION: {n}");
+        let _ = writeln!(
+            out,
+            "EDGE_WEIGHT_TYPE: {}",
+            self.edge_weight_kind().keyword()
+        );
+        match self.coordinates() {
+            Some(coords) => {
+                out.push_str("NODE_COORD_SECTION\n");
+                for (i, &(x, y)) in coords.iter().enumerate() {
+                    // `{:?}` is Rust's shortest f64 representation that parses back to
+                    // the same bits, which is what makes the round trip exact.
+                    let _ = writeln!(out, "{} {:?} {:?}", i + 1, x, y);
+                }
+            }
+            None => {
+                debug_assert_eq!(self.edge_weight_kind(), EdgeWeightKind::Explicit);
+                out.push_str("EDGE_WEIGHT_FORMAT: FULL_MATRIX\n");
+                out.push_str("EDGE_WEIGHT_SECTION\n");
+                for i in 0..n {
+                    for j in 0..n {
+                        if j > 0 {
+                            out.push(' ');
+                        }
+                        let _ = write!(out, "{:?}", self.distance_unchecked(i, j));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str("EOF\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generator::{clustered_instance, random_uniform_instance};
+    use crate::{parse_tsp, EdgeWeightKind, TspInstance};
+
+    #[test]
+    fn coordinate_round_trip_is_exact_for_every_kind() {
+        let coords = vec![(0.1, 0.2), (1e-17, -3.75), (123456.789, -0.000123)];
+        for kind in [
+            EdgeWeightKind::Euc2d,
+            EdgeWeightKind::Ceil2d,
+            EdgeWeightKind::Att,
+            EdgeWeightKind::Geo,
+            EdgeWeightKind::Euclidean,
+        ] {
+            let original = TspInstance::from_coordinates("rt", coords.clone(), kind).unwrap();
+            let reparsed = parse_tsp(&original.write_tsplib()).unwrap();
+            assert_eq!(reparsed, original, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_matrix_round_trip_is_exact() {
+        let original = TspInstance::from_matrix(
+            "m",
+            vec![
+                vec![0.0, 2.5, 9.125],
+                vec![2.5, 0.0, 6.0625],
+                vec![9.125, 6.0625, 0.0],
+            ],
+        )
+        .unwrap();
+        let reparsed = parse_tsp(&original.write_tsplib()).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn generated_instances_round_trip() {
+        for original in [
+            random_uniform_instance("u64", 64, 3),
+            clustered_instance("c64", 64, 5, 3),
+        ] {
+            let reparsed = parse_tsp(&original.write_tsplib()).unwrap();
+            assert_eq!(reparsed, original);
+        }
+    }
+
+    #[test]
+    fn written_text_has_the_expected_shape() {
+        let inst = TspInstance::from_coordinates(
+            "shape",
+            vec![(1.0, 2.0), (3.0, 4.0)],
+            EdgeWeightKind::Euc2d,
+        )
+        .unwrap();
+        let text = inst.write_tsplib();
+        assert!(text.starts_with("NAME: shape\n"));
+        assert!(text.contains("DIMENSION: 2\n"));
+        assert!(text.contains("EDGE_WEIGHT_TYPE: EUC_2D\n"));
+        assert!(text.contains("NODE_COORD_SECTION\n1 1.0 2.0\n2 3.0 4.0\n"));
+        assert!(text.ends_with("EOF\n"));
+    }
+}

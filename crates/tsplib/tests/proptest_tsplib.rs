@@ -69,6 +69,36 @@ proptest! {
         prop_assert_eq!(parsed, tour);
     }
 
+    /// `TspInstance::write_tsplib` → `parse_tsp` is an exact round trip for every
+    /// coordinate-based edge-weight kind: bit-identical coordinates, kind, name and
+    /// dimension (the writer uses Rust's shortest round-trip `f64` formatting).
+    #[test]
+    fn write_tsplib_round_trips_exactly(coords in coords_strategy(30), kind_idx in 0usize..5) {
+        let kind = [
+            EdgeWeightKind::Euclidean,
+            EdgeWeightKind::Euc2d,
+            EdgeWeightKind::Ceil2d,
+            EdgeWeightKind::Att,
+            EdgeWeightKind::Geo,
+        ][kind_idx];
+        let original = TspInstance::from_coordinates("snapshot", coords, kind).unwrap();
+        let reparsed = parse_tsp(&original.write_tsplib()).unwrap();
+        prop_assert_eq!(&reparsed, &original);
+        prop_assert_eq!(reparsed.coordinates().unwrap(), original.coordinates().unwrap());
+    }
+
+    /// Explicit-matrix instances also round-trip bit-identically through the writer.
+    #[test]
+    fn write_tsplib_round_trips_explicit_matrices(coords in coords_strategy(12)) {
+        // Derive a symmetric matrix from coordinates, then snapshot it explicitly.
+        let base =
+            TspInstance::from_coordinates("base", coords, EdgeWeightKind::Euclidean).unwrap();
+        let original =
+            TspInstance::from_matrix("explicit", base.full_distance_matrix()).unwrap();
+        let reparsed = parse_tsp(&original.write_tsplib()).unwrap();
+        prop_assert_eq!(&reparsed, &original);
+    }
+
     /// Sub-matrix extraction agrees with direct distance queries.
     #[test]
     fn sub_matrix_agrees_with_distances(coords in coords_strategy(20)) {

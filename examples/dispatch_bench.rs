@@ -1,0 +1,319 @@
+//! Dispatch load harness: closed- and open-loop load against the `DispatchService`,
+//! emitting `BENCH_dispatch.json` (consumed as a CI artifact).
+//!
+//! Two experiments:
+//!
+//! * **Closed loop (saturation)** — a fixed pool of client threads each keeps exactly
+//!   one request in flight against a blocking-admission service, comparing
+//!   micro-batching (`max_batch = 16`, short linger) against the batch-size-1
+//!   baseline. At saturation every request pays the dispatch machinery (queue lock,
+//!   producer wake-ups, clock reads) — micro-batching amortises that per batch instead
+//!   of per request, so its achieved throughput is higher. Requests are deliberately
+//!   tiny (cheap backend, small instances) so the dispatch path, not the solve,
+//!   dominates — this isolates exactly the effect the batching rule exists for.
+//! * **Open loop (offered vs achieved)** — Poisson arrivals replayed in real time at
+//!   0.5×, 0.9× and 1.5× of the measured saturation capacity, once per admission
+//!   policy (reject / shed-oldest / block), recording achieved throughput, latency
+//!   percentiles, and loss (shed/rejected) — the classic saturation curves, per
+//!   policy.
+//!
+//! Run with `cargo run --release --example dispatch_bench`; set
+//! `TAXI_DISPATCH_SMOKE=1` (CI) for a fast smoke-scale run.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxi::{SolverBackend, TaxiConfig};
+use taxi_dispatch::{
+    AdmissionPolicy, BatchPolicy, DispatchConfig, DispatchRequest, DispatchService, Scenario,
+    ServiceSnapshot, Workload, WorkloadConfig,
+};
+use taxi_tsplib::TspInstance;
+
+struct Scale {
+    smoke: bool,
+    clients: usize,
+    workers: usize,
+    closed_duration: Duration,
+    open_requests_cap: usize,
+}
+
+impl Scale {
+    fn detect() -> Self {
+        let smoke = std::env::var("TAXI_DISPATCH_SMOKE").is_ok_and(|v| v != "0");
+        // The client pool must be deep relative to `workers × max_batch`: a 16-wide
+        // batch drain from a shallow queue hands the whole queue to one worker and
+        // starves the rest, which is a scheduling mistake, not a batching win/loss.
+        if smoke {
+            Self {
+                smoke,
+                clients: 32,
+                workers: 2,
+                closed_duration: Duration::from_millis(500),
+                open_requests_cap: 400,
+            }
+        } else {
+            Self {
+                smoke,
+                clients: 96,
+                workers: 4,
+                closed_duration: Duration::from_secs(2),
+                open_requests_cap: 20_000,
+            }
+        }
+    }
+}
+
+/// Cheap, dispatch-dominated request pool: small uniform instances under the software
+/// heuristic backend.
+fn request_pool() -> Vec<TspInstance> {
+    (0..32)
+        .map(|i| {
+            taxi_tsplib::generator::random_uniform_instance(&format!("load-{i}"), 12, 9000 + i)
+        })
+        .collect()
+}
+
+fn service_solver() -> TaxiConfig {
+    TaxiConfig::new()
+        .with_seed(17)
+        .with_backend(SolverBackend::NnTwoOpt)
+}
+
+struct ClosedArm {
+    max_batch: usize,
+    throughput_per_sec: f64,
+    mean_batch_size: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+/// Closed-loop saturation: `clients` threads, one request in flight each, for
+/// `duration`. Returns achieved throughput and the final snapshot.
+fn closed_loop(scale: &Scale, max_batch: usize) -> ClosedArm {
+    // The queue is half as deep as the client pool, so admission exercises real
+    // backpressure: some producers are always parked on the space condvar, and each
+    // drain pays the wake-up. Batch-size-1 pays it per request; micro-batching pays
+    // it per batch.
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(service_solver())
+            .with_workers(scale.workers)
+            .with_queue_capacity((scale.clients / 2).max(4))
+            .with_admission(AdmissionPolicy::Block)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(max_batch)
+                    .with_linger(Duration::from_micros(200)),
+            ),
+    );
+    let pool = Arc::new(request_pool());
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..scale.clients {
+            let service = &service;
+            let pool = Arc::clone(&pool);
+            let completed = &completed;
+            let deadline = started + scale.closed_duration;
+            scope.spawn(move || {
+                let mut i = client;
+                while Instant::now() < deadline {
+                    let instance = pool[i % pool.len()].clone();
+                    i += 1;
+                    let Ok(ticket) = service.submit(DispatchRequest::new(instance)) else {
+                        break;
+                    };
+                    if ticket.wait().solved().is_some() {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let snapshot = service.shutdown();
+    ClosedArm {
+        max_batch,
+        throughput_per_sec: completed.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        mean_batch_size: snapshot.mean_batch_size,
+        p50: snapshot.end_to_end.p50,
+        p99: snapshot.end_to_end.p99,
+    }
+}
+
+struct OpenArm {
+    policy: AdmissionPolicy,
+    offered_per_sec: f64,
+    achieved_per_sec: f64,
+    snapshot: ServiceSnapshot,
+}
+
+/// Open-loop replay of a Poisson workload at `offered_per_sec` under `policy`.
+fn open_loop(scale: &Scale, policy: AdmissionPolicy, offered_per_sec: f64) -> OpenArm {
+    let window = if scale.smoke {
+        Duration::from_millis(600)
+    } else {
+        Duration::from_secs(3)
+    };
+    let requests =
+        ((offered_per_sec * window.as_secs_f64()) as usize).clamp(20, scale.open_requests_cap);
+    let events = Workload::generate(
+        WorkloadConfig::new(Scenario::Uniform)
+            .with_requests(requests)
+            .with_size_range(10, 14)
+            .with_interactive_fraction(0.25)
+            .with_interactive_deadline(Some(Duration::from_millis(50)))
+            .with_arrivals(taxi_dispatch::ArrivalProcess::Poisson {
+                rate_hz: offered_per_sec,
+            })
+            .with_seed(23),
+    )
+    .into_events();
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(service_solver())
+            .with_workers(scale.workers)
+            .with_queue_capacity(64)
+            .with_admission(policy)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(16)
+                    .with_linger(Duration::from_micros(200))
+                    .with_overload_threshold(48),
+            ),
+    );
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(events.len());
+    for event in events {
+        if let Some(wait) = event.at.checked_sub(started.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        if let Ok(ticket) = service.submit(event.request) {
+            tickets.push(ticket);
+        }
+    }
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    let elapsed = started.elapsed();
+    let snapshot = service.shutdown();
+    OpenArm {
+        policy,
+        offered_per_sec,
+        achieved_per_sec: snapshot.completed as f64 / elapsed.as_secs_f64(),
+        snapshot,
+    }
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let scale = Scale::detect();
+    println!(
+        "dispatch load harness ({} scale: {} workers, {} closed-loop clients)",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.workers,
+        scale.clients,
+    );
+
+    // Closed loop: batch-size-1 baseline vs micro-batching.
+    let baseline = closed_loop(&scale, 1);
+    let batched = closed_loop(&scale, 16);
+    let speedup = batched.throughput_per_sec / baseline.throughput_per_sec;
+    for arm in [&baseline, &batched] {
+        println!(
+            "  closed loop max_batch={:<2}: {:8.0} req/s (mean batch {:.2}, p50 {:.0}µs, p99 {:.0}µs)",
+            arm.max_batch,
+            arm.throughput_per_sec,
+            arm.mean_batch_size,
+            micros(arm.p50),
+            micros(arm.p99),
+        );
+    }
+    println!("  micro-batching speedup at saturation: {speedup:.3}x");
+
+    // Open loop: offered vs achieved per admission policy.
+    let capacity = batched.throughput_per_sec;
+    let mut open_arms = Vec::new();
+    for policy in [
+        AdmissionPolicy::Reject,
+        AdmissionPolicy::ShedOldest,
+        AdmissionPolicy::Block,
+    ] {
+        for fraction in [0.5, 0.9, 1.5] {
+            let arm = open_loop(&scale, policy, capacity * fraction);
+            println!(
+                "  open loop {:<11} offered {:8.0}/s: achieved {:8.0}/s, p99 {:.0}µs, shed {}, rejected {}",
+                arm.policy.to_string(),
+                arm.offered_per_sec,
+                arm.achieved_per_sec,
+                micros(arm.snapshot.end_to_end.p99),
+                arm.snapshot.shed,
+                arm.snapshot.rejected,
+            );
+            open_arms.push(arm);
+        }
+    }
+
+    // Emit BENCH_dispatch.json.
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"dispatch\",");
+    let _ = writeln!(json, "  \"smoke\": {},", scale.smoke);
+    let _ = writeln!(json, "  \"workers\": {},", scale.workers);
+    let _ = writeln!(json, "  \"closed_loop\": {{");
+    let _ = writeln!(json, "    \"clients\": {},", scale.clients);
+    let _ = writeln!(
+        json,
+        "    \"duration_secs\": {:.3},",
+        scale.closed_duration.as_secs_f64()
+    );
+    json.push_str("    \"arms\": [\n");
+    for (index, arm) in [&baseline, &batched].into_iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"max_batch\": {}, \"throughput_per_sec\": {:.1}, \"mean_batch_size\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{}",
+            arm.max_batch,
+            arm.throughput_per_sec,
+            arm.mean_batch_size,
+            micros(arm.p50),
+            micros(arm.p99),
+            if index == 0 { "," } else { "" },
+        );
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"batching_speedup\": {speedup:.4}");
+    json.push_str("  },\n");
+    json.push_str("  \"open_loop\": {\n");
+    let _ = writeln!(json, "    \"capacity_probe_per_sec\": {capacity:.1},");
+    json.push_str("    \"arms\": [\n");
+    let arm_count = open_arms.len();
+    for (index, arm) in open_arms.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"policy\": \"{}\", \"offered_per_sec\": {:.1}, \"achieved_per_sec\": {:.1}, \"completed\": {}, \"shed\": {}, \"rejected\": {}, \"degraded\": {}, \"deadline_misses\": {}, \"queue_wait_p99_us\": {:.1}, \"e2e_p50_us\": {:.1}, \"e2e_p99_us\": {:.1} }}{}",
+            arm.policy,
+            arm.offered_per_sec,
+            arm.achieved_per_sec,
+            arm.snapshot.completed,
+            arm.snapshot.shed,
+            arm.snapshot.rejected,
+            arm.snapshot.degraded,
+            arm.snapshot.deadline_misses,
+            micros(arm.snapshot.queue_wait.p99),
+            micros(arm.snapshot.end_to_end.p50),
+            micros(arm.snapshot.end_to_end.p99),
+            if index + 1 == arm_count { "" } else { "," },
+        );
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_dispatch.json", json).expect("write BENCH_dispatch.json");
+    println!("wrote BENCH_dispatch.json");
+}

@@ -1,0 +1,97 @@
+//! Edge-case coverage for `TaxiSolver::solve_batch`: empty batches, batches of one,
+//! and mixed-size batches must never panic and must stay bit-identical to per-instance
+//! `solve` calls — across thread budgets that put the batch on the serial path, the
+//! exactly-as-wide sharded path, and the wider-than-the-batch fallback.
+
+use taxi::{SolverBackend, TaxiConfig, TaxiSolver};
+use taxi_tsplib::generator::{
+    clustered_instance, grid_drilling_instance, random_uniform_instance, ring_logistics_instance,
+};
+use taxi_tsplib::TspInstance;
+
+fn assert_batch_matches_individual(solver: &TaxiSolver, instances: &[TspInstance]) {
+    let batch = solver.solve_batch(instances);
+    assert_eq!(batch.len(), instances.len());
+    for (instance, result) in instances.iter().zip(&batch) {
+        let batched = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{} failed: {e}", instance.name()));
+        let individual = solver.solve(instance).expect("individual solve");
+        assert_eq!(batched.tour, individual.tour, "{}", instance.name());
+        assert_eq!(batched.length, individual.length, "{}", instance.name());
+        assert_eq!(
+            batched.subproblems,
+            individual.subproblems,
+            "{}",
+            instance.name()
+        );
+    }
+}
+
+#[test]
+fn empty_batch_returns_empty_results() {
+    for threads in [1, 4] {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(2).with_threads(threads));
+        assert!(solver.solve_batch(&[]).is_empty());
+    }
+}
+
+#[test]
+fn batch_of_one_matches_individual_solve() {
+    let instance = clustered_instance("one", 70, 4, 11);
+    for threads in [1, 4] {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(5).with_threads(threads));
+        assert_batch_matches_individual(&solver, std::slice::from_ref(&instance));
+    }
+}
+
+#[test]
+fn mixed_size_batches_match_individual_solves() {
+    // From single-macro tiny (no hierarchy) through multi-level, across all four
+    // generator families.
+    let instances = vec![
+        random_uniform_instance("tiny", 5, 1),
+        random_uniform_instance("one-macro", 11, 2),
+        clustered_instance("two-level", 90, 5, 3),
+        ring_logistics_instance("ring", 60, 3, 4),
+        grid_drilling_instance("grid", 120, 5),
+    ];
+    // threads=1: serial path; threads=3 < len: sharded; threads=8 > len: narrow-batch
+    // fallback (serial with intra-level fan-out).
+    for threads in [1, 3, 8] {
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(7).with_threads(threads));
+        assert_batch_matches_individual(&solver, &instances);
+    }
+}
+
+#[test]
+fn mixed_batches_stay_identical_across_backends() {
+    let instances = vec![
+        random_uniform_instance("b-tiny", 6, 9),
+        clustered_instance("b-mid", 60, 4, 9),
+        ring_logistics_instance("b-ring", 45, 2, 9),
+    ];
+    for backend in SolverBackend::ALL {
+        let solver = TaxiSolver::new(
+            TaxiConfig::new()
+                .with_seed(4)
+                .with_threads(2)
+                .with_backend(backend),
+        );
+        assert_batch_matches_individual(&solver, &instances);
+    }
+}
+
+#[test]
+fn batch_with_duplicate_instances_solves_each_identically() {
+    let instance = clustered_instance("dup", 50, 3, 6);
+    let instances = vec![instance.clone(), instance.clone(), instance];
+    let solver = TaxiSolver::new(TaxiConfig::new().with_seed(3).with_threads(3));
+    let batch = solver.solve_batch(&instances);
+    let first = batch[0].as_ref().unwrap();
+    for result in &batch[1..] {
+        let other = result.as_ref().unwrap();
+        assert_eq!(first.tour, other.tour);
+        assert_eq!(first.length, other.length);
+    }
+}
