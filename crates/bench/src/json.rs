@@ -1,0 +1,333 @@
+//! A small dependency-free JSON writer for benchmark artifacts.
+//!
+//! The runnable examples emit machine-readable result files (`BENCH_dispatch.json`,
+//! `BENCH_cache.json`, ...) consumed as CI artifacts. Hand-rolling `write!` calls
+//! per example drifts: commas, escaping, and number formatting end up subtly
+//! different across files. This module centralises the emission so every artifact
+//! shares one schema style — stable key order (insertion order), explicit float
+//! precision, `null` for non-finite floats, and escaped strings.
+//!
+//! It is a writer, not a parser, and deliberately tiny: build a [`JsonValue`] tree
+//! with the [`JsonObject`]/[`JsonArray`] builders and [`render`](JsonValue::render)
+//! it pretty-printed (or [`render_compact`](JsonValue::render_compact) for log
+//! lines). Pre-rendered JSON (for example
+//! [`ServiceSnapshot::to_json`](../../taxi_dispatch/struct.ServiceSnapshot.html))
+//! embeds via [`JsonValue::Raw`].
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_bench::json::{JsonArray, JsonObject};
+//!
+//! let artifact = JsonObject::new()
+//!     .str("bench", "demo")
+//!     .bool("smoke", true)
+//!     .uint("workers", 4)
+//!     .num("speedup", 3.70129, 3)
+//!     .array(
+//!         "arms",
+//!         JsonArray::from_objects([JsonObject::new().uint("max_batch", 1)]),
+//!     );
+//! let text = artifact.into_value().render();
+//! assert!(text.contains("\"speedup\": 3.701"));
+//! ```
+
+/// One JSON value (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float rendered with a fixed number of decimals (`null` when non-finite).
+    Float {
+        /// The value.
+        value: f64,
+        /// Decimal places to render.
+        decimals: usize,
+    },
+    /// An escaped string.
+    Str(String),
+    /// Pre-rendered JSON embedded verbatim (the caller guarantees validity).
+    Raw(String),
+    /// An object with insertion-ordered keys.
+    Object(JsonObject),
+    /// An array.
+    Array(JsonArray),
+}
+
+impl JsonValue {
+    /// Renders pretty-printed with two-space indentation and a trailing newline —
+    /// the artifact-file format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    /// Renders on one line (log-friendly).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::UInt(u) => out.push_str(&u.to_string()),
+            JsonValue::Float { value, decimals } => {
+                if value.is_finite() {
+                    out.push_str(&format!("{value:.decimals$}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Raw(raw) => out.push_str(raw),
+            JsonValue::Object(object) => {
+                if object.fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (index, (key, value)) in object.fields.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    Self::newline(out, indent + 1, pretty);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, indent + 1, pretty);
+                }
+                Self::newline(out, indent, pretty);
+                out.push('}');
+            }
+            JsonValue::Array(array) => {
+                if array.items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (index, item) in array.items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    Self::newline(out, indent + 1, pretty);
+                    item.write(out, indent + 1, pretty);
+                }
+                Self::newline(out, indent, pretty);
+                out.push(']');
+            }
+        }
+    }
+
+    fn newline(out: &mut String, indent: usize, pretty: bool) {
+        if pretty {
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for a JSON object (insertion-ordered keys).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an arbitrary value.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: JsonValue) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.field(key, JsonValue::Str(value.to_string()))
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.field(key, JsonValue::Bool(value))
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn uint(self, key: &str, value: u64) -> Self {
+        self.field(key, JsonValue::UInt(value))
+    }
+
+    /// Adds a signed integer field.
+    #[must_use]
+    pub fn int(self, key: &str, value: i64) -> Self {
+        self.field(key, JsonValue::Int(value))
+    }
+
+    /// Adds a float field rendered with `decimals` decimal places.
+    #[must_use]
+    pub fn num(self, key: &str, value: f64, decimals: usize) -> Self {
+        self.field(key, JsonValue::Float { value, decimals })
+    }
+
+    /// Adds a nested object.
+    #[must_use]
+    pub fn object(self, key: &str, value: JsonObject) -> Self {
+        self.field(key, JsonValue::Object(value))
+    }
+
+    /// Adds a nested array.
+    #[must_use]
+    pub fn array(self, key: &str, value: JsonArray) -> Self {
+        self.field(key, JsonValue::Array(value))
+    }
+
+    /// Embeds pre-rendered JSON verbatim (the caller guarantees validity).
+    #[must_use]
+    pub fn raw(self, key: &str, json: &str) -> Self {
+        self.field(key, JsonValue::Raw(json.to_string()))
+    }
+
+    /// Finishes the builder into a value.
+    pub fn into_value(self) -> JsonValue {
+        JsonValue::Object(self)
+    }
+
+    /// Renders this object as a pretty-printed artifact file body.
+    pub fn render(self) -> String {
+        self.into_value().render()
+    }
+}
+
+/// Builder for a JSON array.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JsonArray {
+    items: Vec<JsonValue>,
+}
+
+impl JsonArray {
+    /// An empty array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an array of objects.
+    pub fn from_objects(objects: impl IntoIterator<Item = JsonObject>) -> Self {
+        Self {
+            items: objects.into_iter().map(JsonValue::Object).collect(),
+        }
+    }
+
+    /// Appends a value.
+    #[must_use]
+    pub fn push(mut self, value: JsonValue) -> Self {
+        self.items.push(value);
+        self
+    }
+
+    /// Appends an object.
+    #[must_use]
+    pub fn push_object(self, object: JsonObject) -> Self {
+        self.push(JsonValue::Object(object))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_render_in_insertion_order_with_types() {
+        let text = JsonObject::new()
+            .str("name", "a\"b")
+            .bool("ok", true)
+            .uint("count", 7)
+            .int("delta", -3)
+            .num("ratio", 1.0 / 3.0, 4)
+            .render();
+        let expected = "{\n  \"name\": \"a\\\"b\",\n  \"ok\": true,\n  \"count\": 7,\n  \
+                        \"delta\": -3,\n  \"ratio\": 0.3333\n}\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn nested_structures_indent_and_compact_renders_flat() {
+        let value = JsonObject::new()
+            .object("inner", JsonObject::new().uint("x", 1))
+            .array(
+                "items",
+                JsonArray::new()
+                    .push(JsonValue::UInt(1))
+                    .push(JsonValue::UInt(2)),
+            )
+            .into_value();
+        assert_eq!(
+            value.render_compact(),
+            "{\"inner\":{\"x\":1},\"items\":[1,2]}"
+        );
+        assert!(value.render().contains("\n    \"x\": 1\n"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let text = JsonObject::new()
+            .num("nan", f64::NAN, 2)
+            .num("inf", f64::INFINITY, 2)
+            .render();
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn raw_values_embed_verbatim() {
+        let text = JsonObject::new()
+            .raw("snapshot", "{\"completed\":3}")
+            .into_value()
+            .render_compact();
+        assert_eq!(text, "{\"snapshot\":{\"completed\":3}}");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        let text = JsonObject::new()
+            .object("o", JsonObject::new())
+            .array("a", JsonArray::new())
+            .into_value()
+            .render_compact();
+        assert_eq!(text, "{\"o\":{},\"a\":[]}");
+    }
+}

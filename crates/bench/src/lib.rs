@@ -4,6 +4,8 @@
 //! paper: it prints the regenerated rows/series once (so `cargo bench` output documents
 //! the reproduced data) and then times the code paths that produce them.
 
+pub mod json;
+
 use taxi::ExperimentScale;
 use taxi_tsplib::generator::clustered_instance;
 use taxi_tsplib::TspInstance;

@@ -1,0 +1,55 @@
+//! # taxi-cache — serving-side memoization primitives
+//!
+//! Real dispatch traffic is dominated by repeated and near-duplicate instances
+//! (popular routes, recurring PCB panels); this crate provides the two generic
+//! building blocks that let the serving stack avoid recomputing what it already
+//! knows:
+//!
+//! * [`ShardedLru`] — a concurrent LRU cache split into N mutex-guarded shards, with
+//!   capacity bounded both in **entries** and in **bytes** (via the [`Weighted`]
+//!   trait), optional **TTL** expiry, and lock-free hit/miss/insert/evict counters
+//!   ([`CacheCounters`] / [`CacheSnapshot`]). The hit path (hash → shard lock → map
+//!   probe → recency relink → value clone) performs no heap allocation, so an
+//!   `Arc`-valued cache serves hits allocation-free in steady state.
+//! * [`Singleflight`] — request coalescing: concurrent callers that miss on the same
+//!   key elect one **leader** to compute the value while **followers** park on the
+//!   flight's ticket; the leader's completion wakes them all with a shared clone. A
+//!   leader that fails (drops its token without completing, e.g. by panicking)
+//!   abandons the flight: followers observe [`FlightOutcome::Abandoned`] and re-try
+//!   themselves, so one poisoned request can never wedge its followers.
+//!
+//! Both types are `std`-only (mutexes, condvars, atomics — no external runtime) and
+//! the crate forbids `unsafe`. They are deliberately **domain-free**: keys are any
+//! `Hash + Eq + Clone` type and values any `Clone` type, so the same machinery that
+//! backs `taxi::cache::SolutionCache` can memoise anything else the workspace grows
+//! (clusterings, compiled plans, ...).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taxi_cache::{CachePolicy, ShardedLru, Weighted};
+//!
+//! #[derive(Clone, Debug, PartialEq)]
+//! struct Tour(Vec<u32>);
+//! impl Weighted for Tour {
+//!     fn weight_bytes(&self) -> usize {
+//!         self.0.len() * 4
+//!     }
+//! }
+//!
+//! let cache: ShardedLru<u64, Tour> = ShardedLru::new(CachePolicy::new().with_max_entries(128));
+//! assert!(cache.get(&7).is_none());
+//! cache.insert(7, Tour(vec![0, 1, 2]));
+//! assert_eq!(cache.get(&7), Some(Tour(vec![0, 1, 2])));
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod singleflight;
+
+pub use lru::{CacheCounters, CachePolicy, CacheSnapshot, ShardedLru, Weighted};
+pub use singleflight::{FlightOutcome, FlightTicket, Join, LeaderToken, Singleflight};

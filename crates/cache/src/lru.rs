@@ -1,0 +1,637 @@
+//! The sharded concurrent LRU cache.
+//!
+//! A [`ShardedLru`] splits its key space over N independent shards (selected by key
+//! hash), each a mutex-guarded `HashMap` + intrusive recency list, so concurrent
+//! workers contend only when they touch the same shard. Capacity is bounded per
+//! shard both in entries and in bytes (total caps divided evenly); insertion evicts
+//! from the least-recently-used end until both caps hold. An optional TTL expires
+//! entries lazily at lookup time.
+//!
+//! The recency list is index-linked inside a slot vector (no per-entry boxing): a
+//! hit relinks indices and clones the value, performing **zero heap allocation** —
+//! the property the serving cache's counting-allocator test pins down.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Byte-weight of a cached value, used for the cache's byte-capacity accounting.
+///
+/// Implementations should return the value's approximate heap footprint; the cache
+/// adds its own per-entry bookkeeping overhead on top. Weights are advisory
+/// accounting, not allocator truth — consistent under-estimation simply makes the
+/// byte cap admit more entries.
+pub trait Weighted {
+    /// Approximate heap bytes owned by this value.
+    fn weight_bytes(&self) -> usize;
+}
+
+impl<T: Weighted + ?Sized> Weighted for std::sync::Arc<T> {
+    fn weight_bytes(&self) -> usize {
+        // Shared ownership: the Arc'd payload is counted where it is cached; clones
+        // handed to callers share it.
+        (**self).weight_bytes()
+    }
+}
+
+/// Capacity, sharding and expiry policy of a [`ShardedLru`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachePolicy {
+    /// Number of independent shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Total entry capacity across all shards.
+    pub max_entries: usize,
+    /// Total byte capacity across all shards (entry weights + bookkeeping).
+    pub max_bytes: usize,
+    /// Entry time-to-live; `None` disables expiry.
+    pub ttl: Option<Duration>,
+}
+
+impl CachePolicy {
+    /// Defaults: 8 shards, 4096 entries, 64 MiB, no TTL.
+    pub fn new() -> Self {
+        Self {
+            shards: 8,
+            max_entries: 4096,
+            max_bytes: 64 << 20,
+            ttl: None,
+        }
+    }
+
+    /// Sets the shard count (rounded up to a power of two; `0` clamps to 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1).next_power_of_two();
+        self
+    }
+
+    /// Sets the total entry capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    #[must_use]
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        assert!(max_entries > 0, "cache entry capacity must be positive");
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// Sets the total byte capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bytes` is zero.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        assert!(max_bytes > 0, "cache byte capacity must be positive");
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Sets (or clears) the entry TTL.
+    #[must_use]
+    pub fn with_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.ttl = ttl;
+        self
+    }
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lock-free cache activity counters (all `Relaxed`; metrics, not synchronisation).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    expirations: AtomicU64,
+}
+
+impl CacheCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (including expired entries).
+    pub misses: u64,
+    /// Entries inserted (including replacements).
+    pub insertions: u64,
+    /// Entries evicted to respect the entry/byte capacity.
+    pub evictions: u64,
+    /// Entries dropped because their TTL had elapsed.
+    pub expirations: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Accounted bytes currently cached.
+    pub bytes: usize,
+}
+
+impl CacheSnapshot {
+    /// Hit fraction of all lookups so far (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    weight: usize,
+    inserted_at: Instant,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a map from key to slot index plus an intrusive recency list over the
+/// slot vector (`head` = most recent, `tail` = least recent).
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Option<Slot<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone + Weighted> Shard<K, V> {
+    fn new(entry_capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(entry_capacity.min(1 << 16)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn slot(&self, index: usize) -> &Slot<K, V> {
+        self.slots[index].as_ref().expect("linked slot is occupied")
+    }
+
+    fn slot_mut(&mut self, index: usize) -> &mut Slot<K, V> {
+        self.slots[index].as_mut().expect("linked slot is occupied")
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = {
+            let slot = self.slot(index);
+            (slot.prev, slot.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slot_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slot_mut(n).prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        let old_head = self.head;
+        {
+            let slot = self.slot_mut(index);
+            slot.prev = NIL;
+            slot.next = old_head;
+        }
+        if old_head != NIL {
+            self.slot_mut(old_head).prev = index;
+        }
+        self.head = index;
+        if self.tail == NIL {
+            self.tail = index;
+        }
+    }
+
+    fn touch(&mut self, index: usize) {
+        if self.head != index {
+            self.unlink(index);
+            self.push_front(index);
+        }
+    }
+
+    /// Removes the slot at `index`, returning its value.
+    fn remove_slot(&mut self, index: usize) -> V {
+        self.unlink(index);
+        let slot = self.slots[index].take().expect("linked slot is occupied");
+        self.map.remove(&slot.key);
+        self.bytes -= slot.weight;
+        self.free.push(index);
+        slot.value
+    }
+
+    fn evict_tail(&mut self) {
+        let tail = self.tail;
+        if tail != NIL {
+            let _ = self.remove_slot(tail);
+        }
+    }
+}
+
+/// A concurrent LRU cache sharded by key hash. See the [module docs](self) and the
+/// [crate example](crate).
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    policy: CachePolicy,
+    /// Per-shard capacity (total caps divided evenly, rounded up).
+    shard_entries: usize,
+    shard_bytes: usize,
+    counters: CacheCounters,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone + Weighted> ShardedLru<K, V> {
+    /// Creates an empty cache under `policy`.
+    pub fn new(policy: CachePolicy) -> Self {
+        let shards = policy.shards.max(1).next_power_of_two();
+        let shard_entries = policy.max_entries.div_ceil(shards).max(1);
+        let shard_bytes = policy.max_bytes.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(shard_entries)))
+                .collect(),
+            policy,
+            shard_entries,
+            shard_bytes,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> &CachePolicy {
+        &self.policy
+    }
+
+    fn shard_for(&self, key: &K) -> MutexGuard<'_, Shard<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) & (self.shards.len() - 1);
+        // Cached state is structurally valid at every point; a panicking peer must
+        // not take the whole cache down with mutex poisoning.
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Expired entries are dropped
+    /// and reported as a miss. The hit path performs no heap allocation (the value
+    /// clone is the caller's — use `Arc` values for allocation-free serving).
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.get_impl(key, true)
+    }
+
+    /// Like [`get`](Self::get), but a miss is **not** counted — for layered
+    /// lookups that re-check a key whose miss was already counted upstream (e.g. a
+    /// dispatch worker re-probing a request that missed at admission). Hits (and
+    /// TTL expirations) are counted normally.
+    pub fn probe(&self, key: &K) -> Option<V> {
+        self.get_impl(key, false)
+    }
+
+    fn get_impl(&self, key: &K, count_miss: bool) -> Option<V> {
+        let mut shard = self.shard_for(key);
+        let Some(&index) = shard.map.get(key) else {
+            if count_miss {
+                CacheCounters::bump(&self.counters.misses);
+            }
+            return None;
+        };
+        if let Some(ttl) = self.policy.ttl {
+            if shard.slot(index).inserted_at.elapsed() > ttl {
+                let _ = shard.remove_slot(index);
+                CacheCounters::bump(&self.counters.expirations);
+                if count_miss {
+                    CacheCounters::bump(&self.counters.misses);
+                }
+                return None;
+            }
+        }
+        shard.touch(index);
+        CacheCounters::bump(&self.counters.hits);
+        Some(shard.slot(index).value.clone())
+    }
+
+    /// Inserts (or replaces) `key`, evicting least-recently-used entries until the
+    /// shard respects both capacity bounds. Returns `false` — without inserting —
+    /// if the value alone outweighs a whole shard's byte budget (such an entry
+    /// would evict everything and then still violate the cap).
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let weight = value.weight_bytes() + std::mem::size_of::<Slot<K, V>>();
+        if weight > self.shard_bytes {
+            return false;
+        }
+        let mut shard = self.shard_for(&key);
+        if let Some(&index) = shard.map.get(&key) {
+            // Replacement: swap the value in place and refresh recency.
+            shard.bytes = shard.bytes - shard.slot(index).weight + weight;
+            let slot = shard.slot_mut(index);
+            slot.value = value;
+            slot.weight = weight;
+            slot.inserted_at = Instant::now();
+            shard.touch(index);
+        } else {
+            let index = match shard.free.pop() {
+                Some(index) => {
+                    shard.slots[index] = Some(Slot {
+                        key: key.clone(),
+                        value,
+                        weight,
+                        inserted_at: Instant::now(),
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    index
+                }
+                None => {
+                    shard.slots.push(Some(Slot {
+                        key: key.clone(),
+                        value,
+                        weight,
+                        inserted_at: Instant::now(),
+                        prev: NIL,
+                        next: NIL,
+                    }));
+                    shard.slots.len() - 1
+                }
+            };
+            shard.map.insert(key, index);
+            shard.bytes += weight;
+            shard.push_front(index);
+        }
+        while shard.map.len() > self.shard_entries || shard.bytes > self.shard_bytes {
+            shard.evict_tail();
+            CacheCounters::bump(&self.counters.evictions);
+        }
+        CacheCounters::bump(&self.counters.insertions);
+        true
+    }
+
+    /// Removes `key`, returning its value if it was cached.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard_for(key);
+        let index = *shard.map.get(key)?;
+        Some(shard.remove_slot(index))
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounted bytes across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .bytes
+            })
+            .sum()
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.map.clear();
+            shard.slots.clear();
+            shard.free.clear();
+            shard.head = NIL;
+            shard.tail = NIL;
+            shard.bytes = 0;
+        }
+    }
+
+    /// Current statistics (counters plus occupancy).
+    pub fn stats(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            expirations: self.counters.expirations.load(Ordering::Relaxed),
+            entries: self.len(),
+            bytes: self.bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob(Vec<u8>);
+
+    impl Weighted for Blob {
+        fn weight_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn blob(n: usize, fill: u8) -> Blob {
+        Blob(vec![fill; n])
+    }
+
+    fn single_shard(max_entries: usize) -> ShardedLru<u64, Blob> {
+        ShardedLru::new(
+            CachePolicy::new()
+                .with_shards(1)
+                .with_max_entries(max_entries),
+        )
+    }
+
+    #[test]
+    fn get_insert_round_trip_and_counters() {
+        let cache = single_shard(8);
+        assert!(cache.get(&1).is_none());
+        assert!(cache.insert(1, blob(10, 0xAA)));
+        assert_eq!(cache.get(&1), Some(blob(10, 0xAA)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 10);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entry_capacity_evicts_least_recently_used() {
+        let cache = single_shard(3);
+        for key in 0..3u64 {
+            cache.insert(key, blob(4, key as u8));
+        }
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.get(&0).is_some());
+        cache.insert(3, blob(4, 3));
+        assert!(cache.get(&1).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&0).is_some());
+        assert!(cache.get(&2).is_some());
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_capacity_evicts_and_oversized_values_are_refused() {
+        let overhead = std::mem::size_of::<Slot<u64, Blob>>();
+        let cache: ShardedLru<u64, Blob> = ShardedLru::new(
+            CachePolicy::new()
+                .with_shards(1)
+                .with_max_entries(100)
+                .with_max_bytes(3 * (100 + overhead)),
+        );
+        for key in 0..3u64 {
+            assert!(cache.insert(key, blob(100, key as u8)));
+        }
+        assert_eq!(cache.len(), 3);
+        // A fourth entry busts the byte budget: the oldest goes.
+        assert!(cache.insert(3, blob(100, 3)));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&0).is_none());
+        // A value heavier than the whole shard budget is refused outright.
+        assert!(!cache.insert(9, blob(10_000, 9)));
+        assert!(cache.get(&9).is_none());
+    }
+
+    #[test]
+    fn replacement_updates_value_weight_and_recency() {
+        let cache = single_shard(2);
+        cache.insert(1, blob(10, 1));
+        cache.insert(2, blob(10, 2));
+        let bytes_before = cache.bytes();
+        cache.insert(1, blob(20, 11));
+        assert_eq!(cache.bytes(), bytes_before + 10);
+        assert_eq!(cache.get(&1), Some(blob(20, 11)));
+        // 1 was refreshed by the replacement, so 2 is now the LRU victim.
+        cache.insert(3, blob(10, 3));
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries_lazily() {
+        let cache: ShardedLru<u64, Blob> = ShardedLru::new(
+            CachePolicy::new()
+                .with_shards(1)
+                .with_ttl(Some(Duration::from_millis(20))),
+        );
+        cache.insert(1, blob(4, 1));
+        assert!(cache.get(&1).is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(cache.get(&1).is_none(), "expired entry reads as a miss");
+        let stats = cache.stats();
+        assert_eq!(stats.expirations, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let cache = single_shard(8);
+        cache.insert(1, blob(4, 1));
+        cache.insert(2, blob(4, 2));
+        assert_eq!(cache.remove(&1), Some(blob(4, 1)));
+        assert!(cache.remove(&1).is_none());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        // Counters survive a clear.
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn shards_operate_independently_under_concurrency() {
+        let cache: std::sync::Arc<ShardedLru<u64, Blob>> = std::sync::Arc::new(ShardedLru::new(
+            CachePolicy::new().with_shards(8).with_max_entries(4096),
+        ));
+        std::thread::scope(|scope| {
+            for worker in 0..8u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = worker * 1000 + i;
+                        cache.insert(key, blob(8, worker as u8));
+                        assert_eq!(cache.get(&key), Some(blob(8, worker as u8)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 8 * 200);
+        assert_eq!(cache.len(), 8 * 200);
+    }
+
+    #[test]
+    fn probe_counts_hits_but_not_misses() {
+        let cache = single_shard(8);
+        assert!(cache.probe(&1).is_none());
+        cache.insert(1, blob(4, 1));
+        assert_eq!(cache.probe(&1), Some(blob(4, 1)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "probe hits count");
+        assert_eq!(stats.misses, 0, "probe misses do not");
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(CachePolicy::new().with_shards(0).shards, 1);
+        assert_eq!(CachePolicy::new().with_shards(3).shards, 4);
+        assert_eq!(CachePolicy::new().with_shards(16).shards, 16);
+    }
+
+    #[test]
+    fn slot_indices_are_recycled() {
+        let cache = single_shard(2);
+        for round in 0..50u64 {
+            cache.insert(round, blob(4, round as u8));
+        }
+        // Only 2 live entries; the slot vector must not have grown per insertion.
+        let shard = cache.shards[0]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(
+            shard.slots.len() <= 3,
+            "slots grew to {}",
+            shard.slots.len()
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Singleflight request coalescing.
+//!
+//! When many callers miss the cache on the same key at once, computing the value
+//! once and sharing it beats N identical computations. [`Singleflight::join`] elects
+//! roles: the first caller for a key becomes the **leader** (receiving a
+//! [`LeaderToken`]); everyone else becomes a **follower** (receiving a
+//! [`FlightTicket`]). The leader computes the value and calls
+//! [`LeaderToken::complete`], which publishes a clone to every parked follower and
+//! retires the flight. If the leader instead drops its token — an early return, an
+//! error path, a panic unwinding through it — the flight is **abandoned**: followers
+//! wake with [`FlightOutcome::Abandoned`] and are expected to retry (typically
+//! re-joining, so exactly one of them is promoted to the new leader). A failed
+//! leader therefore fails only itself; it can never strand its followers.
+//!
+//! The registry holds only in-progress flights: completion or abandonment removes
+//! the key, so the map's size is bounded by concurrency, not key cardinality.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a follower observes when its flight ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightOutcome<V> {
+    /// The leader completed with this value.
+    Complete(V),
+    /// The leader dropped its token without completing (failure or panic); the
+    /// follower should retry.
+    Abandoned,
+}
+
+impl<V> FlightOutcome<V> {
+    /// The completed value, if the flight completed.
+    pub fn complete(self) -> Option<V> {
+        match self {
+            FlightOutcome::Complete(value) => Some(value),
+            FlightOutcome::Abandoned => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlightState<V> {
+    outcome: Mutex<Option<FlightOutcome<V>>>,
+    done: Condvar,
+}
+
+impl<V: Clone> FlightState<V> {
+    fn new() -> Self {
+        Self {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: FlightOutcome<V>) {
+        let mut guard = self
+            .outcome
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.is_none() {
+            *guard = Some(outcome);
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> FlightOutcome<V> {
+        let mut guard = self
+            .outcome
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return outcome;
+            }
+            guard = self
+                .done
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// A follower's handle on an in-progress flight.
+#[derive(Debug)]
+pub struct FlightTicket<V> {
+    state: Arc<FlightState<V>>,
+}
+
+impl<V: Clone> FlightTicket<V> {
+    /// Blocks until the leader completes or abandons the flight.
+    pub fn wait(self) -> FlightOutcome<V> {
+        self.state.wait()
+    }
+
+    /// Returns the outcome if the flight has already ended.
+    pub fn try_get(&self) -> Option<FlightOutcome<V>> {
+        self.state
+            .outcome
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// The leader's obligation: complete the flight, or abandon it by dropping.
+#[derive(Debug)]
+pub struct LeaderToken<'a, K: Hash + Eq + Clone, V: Clone> {
+    flight: &'a Singleflight<K, V>,
+    key: K,
+    state: Arc<FlightState<V>>,
+    completed: bool,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LeaderToken<'_, K, V> {
+    /// Publishes `value` to every follower and retires the flight.
+    pub fn complete(mut self, value: V) {
+        self.completed = true;
+        self.flight.retire(&self.key);
+        self.state.publish(FlightOutcome::Complete(value));
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Drop for LeaderToken<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.completed {
+            // Leader failed (error return or panic unwind): retire the flight first
+            // so retrying followers can elect a new leader, then wake them.
+            self.flight.retire(&self.key);
+            self.state.publish(FlightOutcome::Abandoned);
+        }
+    }
+}
+
+/// The role [`Singleflight::join`] assigned to a caller.
+#[derive(Debug)]
+pub enum Join<'a, K: Hash + Eq + Clone, V: Clone> {
+    /// This caller computes the value and must [`complete`](LeaderToken::complete)
+    /// (or abandon) the flight.
+    Leader(LeaderToken<'a, K, V>),
+    /// Another caller is already computing; wait on the ticket.
+    Follower(FlightTicket<V>),
+}
+
+/// Coalesces concurrent computations of the same key. See the [module docs](self).
+#[derive(Debug)]
+pub struct Singleflight<K, V> {
+    flights: Mutex<HashMap<K, Arc<FlightState<V>>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Singleflight<K, V> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins the flight for `key`, electing this caller leader if none is in
+    /// progress.
+    pub fn join(&self, key: K) -> Join<'_, K, V> {
+        let mut flights = self
+            .flights
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(state) = flights.get(&key) {
+            return Join::Follower(FlightTicket {
+                state: Arc::clone(state),
+            });
+        }
+        let state = Arc::new(FlightState::new());
+        flights.insert(key.clone(), Arc::clone(&state));
+        Join::Leader(LeaderToken {
+            flight: self,
+            key,
+            state,
+            completed: false,
+        })
+    }
+
+    /// Number of in-progress flights.
+    pub fn in_flight(&self) -> usize {
+        self.flights
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    fn retire(&self, key: &K) {
+        self.flights
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(key);
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Default for Singleflight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn leader_completion_feeds_all_followers() {
+        let flight: Arc<Singleflight<u64, u64>> = Arc::new(Singleflight::new());
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let flight = Arc::clone(&flight);
+                let computed = &computed;
+                scope.spawn(move || match flight.join(42) {
+                    Join::Leader(token) => {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        // Linger so the other threads genuinely join as followers.
+                        std::thread::sleep(Duration::from_millis(30));
+                        token.complete(4242);
+                    }
+                    Join::Follower(ticket) => {
+                        assert_eq!(ticket.wait(), FlightOutcome::Complete(4242));
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one leader");
+        assert_eq!(flight.in_flight(), 0, "completion retires the flight");
+    }
+
+    #[test]
+    fn abandoned_flights_wake_followers_for_retry() {
+        let flight: Arc<Singleflight<u64, u64>> = Arc::new(Singleflight::new());
+        let solves = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let flight = Arc::clone(&flight);
+                let solves = &solves;
+                scope.spawn(move || {
+                    loop {
+                        match flight.join(7) {
+                            Join::Leader(token) => {
+                                if worker == 0 && solves.load(Ordering::Relaxed) == 0 {
+                                    std::thread::sleep(Duration::from_millis(20));
+                                    // First leader fails: drop without completing.
+                                    drop(token);
+                                    return 0;
+                                }
+                                solves.fetch_add(1, Ordering::Relaxed);
+                                token.complete(77);
+                                return 77;
+                            }
+                            Join::Follower(ticket) => match ticket.wait() {
+                                FlightOutcome::Complete(v) => return v,
+                                FlightOutcome::Abandoned => continue,
+                            },
+                        }
+                    }
+                });
+            }
+        });
+        assert!(solves.load(Ordering::Relaxed) >= 1);
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_abandons_via_drop() {
+        let flight: Singleflight<u64, u64> = Singleflight::new();
+        let Join::Leader(token) = flight.join(1) else {
+            panic!("first join leads");
+        };
+        let Join::Follower(ticket) = flight.join(1) else {
+            panic!("second join follows");
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _token = token;
+            panic!("leader died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(ticket.wait(), FlightOutcome::Abandoned);
+        // The key is free again: a retry is promoted to leader.
+        assert!(matches!(flight.join(1), Join::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let flight: Singleflight<u64, u64> = Singleflight::new();
+        let Join::Leader(a) = flight.join(1) else {
+            panic!("leads")
+        };
+        let Join::Leader(b) = flight.join(2) else {
+            panic!("leads")
+        };
+        assert_eq!(flight.in_flight(), 2);
+        a.complete(1);
+        b.complete(2);
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn try_get_observes_completion_without_blocking() {
+        let flight: Singleflight<u64, u64> = Singleflight::new();
+        let Join::Leader(token) = flight.join(5) else {
+            panic!("leads")
+        };
+        let Join::Follower(ticket) = flight.join(5) else {
+            panic!("follows")
+        };
+        assert!(ticket.try_get().is_none());
+        token.complete(55);
+        assert_eq!(ticket.try_get(), Some(FlightOutcome::Complete(55)));
+    }
+}

@@ -1,0 +1,476 @@
+//! The solution cache: serving-side memoization of end-to-end solves.
+//!
+//! A [`SolutionCache`] memoises [`TaxiSolution`]s behind the canonical instance
+//! fingerprint of `taxi_tsplib::fingerprint`, scoped to a solver configuration
+//! (see [`TaxiConfig::cache_token`](crate::TaxiConfig::cache_token)). The flow on
+//! every lookup:
+//!
+//! 1. **Fingerprint** — the instance's permutation-invariant canonical fingerprint
+//!    is computed into a thread-local scratch (allocation-free once warm) and mixed
+//!    with the configuration token to form the cache key.
+//! 2. **Shard probe** — the key selects a shard of the underlying
+//!    [`taxi_cache::ShardedLru`]; a live entry is a hit.
+//! 3. **Serve** — if the request's *exact* fingerprint matches the one stored with
+//!    the entry, the request is a bit-identical resubmission and the stored
+//!    [`Arc<TaxiSolution>`] is served verbatim (an `Arc` clone: the steady-state hit
+//!    path performs **zero heap allocations**). Otherwise the request is a
+//!    permutation of the cached geometry: the stored canonical tour is **remapped**
+//!    through the request's own canonical permutation, producing a tour over the
+//!    request's indexing that visits the same physical coordinates in the same
+//!    order — so its cost is bit-for-bit the cached solve's cost.
+//!
+//! Misses go through [`Singleflight`] coalescing in
+//! [`TaxiSolver::solve_cached`](crate::TaxiSolver::solve_cached): concurrent misses
+//! on one key elect a leader that solves once while followers park on the flight
+//! ticket; a leader that errors or panics fails only itself (followers wake and
+//! retry). Eviction (LRU in entries and bytes) and TTL expiry are the
+//! [`CachePolicy`]'s business, unchanged from `taxi-cache`.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+pub use taxi_cache::CachePolicy;
+
+use taxi_cache::{ShardedLru, Singleflight, Weighted};
+use taxi_tsplib::fingerprint::{canonical_fingerprint_into, exact_fingerprint};
+use taxi_tsplib::{Fingerprint, FingerprintScratch, Tour, TspInstance};
+
+use crate::TaxiSolution;
+
+std::thread_local! {
+    /// Per-thread fingerprint scratch: lets any thread (dispatch admission, workers,
+    /// plain callers) fingerprint instances without allocating once warm.
+    static SCRATCH: RefCell<FingerprintScratch> = RefCell::new(FingerprintScratch::new());
+}
+
+/// One cached solve: the solution plus everything needed to serve it to a permuted
+/// resubmission of the same geometry.
+#[derive(Debug)]
+pub struct CachedEntry {
+    /// The stored solution, in the seeding request's city indexing.
+    solution: Arc<TaxiSolution>,
+    /// Exact fingerprint of the seeding instance (unmixed): a request matching it is
+    /// a bit-identical resubmission and is served verbatim.
+    exact: Fingerprint,
+    /// The seeding instance's canonical permutation (canonical position → seeding
+    /// index). Kept for diagnostics and the remap invariants' debug assertions.
+    perm: Vec<u32>,
+    /// The stored tour expressed in canonical indexing
+    /// (`canonical_tour[i] = inverse_perm[solution.tour[i]]`), precomputed so serving
+    /// a permuted request is one gather, not two.
+    canonical_tour: Vec<u32>,
+}
+
+impl CachedEntry {
+    /// The stored solution in the seeding request's indexing.
+    pub fn solution(&self) -> &Arc<TaxiSolution> {
+        &self.solution
+    }
+}
+
+impl Weighted for CachedEntry {
+    fn weight_bytes(&self) -> usize {
+        std::mem::size_of::<TaxiSolution>()
+            + std::mem::size_of_val(self.solution.tour.order())
+            + self.solution.stage_reports.capacity()
+                * std::mem::size_of::<crate::pipeline::StageReport>()
+            + self.perm.capacity() * 4
+            + self.canonical_tour.capacity() * 4
+    }
+}
+
+/// A successful cache lookup.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The served solution, in the **requester's** city indexing.
+    pub solution: Arc<TaxiSolution>,
+    /// `false` for a bit-identical resubmission served verbatim; `true` when the
+    /// stored tour was remapped through the canonical permutation.
+    pub remapped: bool,
+}
+
+/// Outcome of [`SolutionCache::lookup`]: a hit, or the computed key under which the
+/// caller should solve/coalesce/insert.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// The cache served the request.
+    Hit(CacheHit),
+    /// No live entry; the value is the instance's cache key (canonical fingerprint
+    /// mixed with the configuration token).
+    Miss(u128),
+}
+
+/// Point-in-time statistics of a [`SolutionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolutionCacheStats {
+    /// Lookups that served a stored solution.
+    pub hits: u64,
+    /// Hits served verbatim (bit-identical resubmission).
+    pub exact_hits: u64,
+    /// Hits served by permutation remap.
+    pub remapped_hits: u64,
+    /// Lookups that found nothing live.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+    /// Entries dropped by TTL expiry.
+    pub expirations: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Accounted bytes currently cached.
+    pub bytes: usize,
+}
+
+impl SolutionCacheStats {
+    /// Hit fraction of all lookups so far (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, configuration-scoped solution cache. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use taxi::cache::SolutionCache;
+/// use taxi::{SolveProvenance, TaxiConfig, TaxiSolver};
+/// use taxi_tsplib::generator::clustered_instance;
+///
+/// let cache = SolutionCache::with_defaults();
+/// let solver = TaxiSolver::new(TaxiConfig::new().with_seed(11));
+/// let instance = clustered_instance("popular", 60, 4, 3);
+/// let first = solver.solve_cached(&instance, &cache)?;
+/// assert_eq!(first.provenance, SolveProvenance::Computed);
+/// let second = solver.solve_cached(&instance, &cache)?;
+/// assert_eq!(
+///     second.provenance,
+///     SolveProvenance::CacheHit { remapped: false }
+/// );
+/// assert_eq!(first.solution.tour, second.solution.tour);
+/// # Ok::<(), taxi::TaxiError>(())
+/// ```
+#[derive(Debug)]
+pub struct SolutionCache {
+    entries: ShardedLru<u128, Arc<CachedEntry>>,
+    flights: Singleflight<u128, Arc<CachedEntry>>,
+    exact_hits: std::sync::atomic::AtomicU64,
+    remapped_hits: std::sync::atomic::AtomicU64,
+}
+
+impl SolutionCache {
+    /// Creates a cache under the given LRU policy.
+    pub fn new(policy: CachePolicy) -> Self {
+        Self {
+            entries: ShardedLru::new(policy),
+            flights: Singleflight::new(),
+            exact_hits: std::sync::atomic::AtomicU64::new(0),
+            remapped_hits: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache under the default policy (8 shards, 4096 entries, 64 MiB,
+    /// no TTL).
+    pub fn with_defaults() -> Self {
+        Self::new(CachePolicy::new())
+    }
+
+    /// The underlying LRU policy.
+    pub fn policy(&self) -> &CachePolicy {
+        self.entries.policy()
+    }
+
+    /// The cache key of `instance` under configuration `token`: its canonical
+    /// fingerprint mixed with the token.
+    pub fn key(&self, token: u64, instance: &TspInstance) -> u128 {
+        SCRATCH.with(|scratch| {
+            canonical_fingerprint_into(instance, &mut scratch.borrow_mut())
+                .mixed_with(token)
+                .as_u128()
+        })
+    }
+
+    /// Looks `instance` up under configuration `token`, serving a hit in the
+    /// requester's indexing (see the [module docs](self) for the verbatim/remap
+    /// rule) or returning the computed key on a miss.
+    pub fn lookup(&self, token: u64, instance: &TspInstance) -> CacheLookup {
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let key = canonical_fingerprint_into(instance, &mut scratch)
+                .mixed_with(token)
+                .as_u128();
+            let Some(entry) = self.entries.get(&key) else {
+                return CacheLookup::Miss(key);
+            };
+            CacheLookup::Hit(self.serve_with_scratch(&entry, instance, &scratch, true))
+        })
+    }
+
+    /// Probes a previously computed `key` (a [`lookup`](Self::lookup) miss value or
+    /// [`key`](Self::key)) without re-fingerprinting on the miss path — the
+    /// worker-side re-check of a request that already missed at admission. The miss
+    /// is **not** re-counted (the admission lookup counted it); a hit counts
+    /// normally, and only then is the instance fingerprinted (to build the remap
+    /// permutation).
+    pub fn lookup_keyed(&self, key: u128, instance: &TspInstance) -> Option<CacheHit> {
+        let entry = self.entries.probe(&key)?;
+        Some(SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let _ = canonical_fingerprint_into(instance, &mut scratch);
+            self.serve_with_scratch(&entry, instance, &scratch, true)
+        }))
+    }
+
+    /// Serves `entry` to `instance`, which must canonicalise to the same key the
+    /// entry was stored under — the singleflight/coalescing path, where the caller
+    /// already holds the entry. Not counted as a cache hit: a coalesced serve rides
+    /// a flight completion, not a cache probe, so it stays out of the hit-rate
+    /// statistics.
+    pub fn serve(&self, entry: &Arc<CachedEntry>, instance: &TspInstance) -> CacheHit {
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let _ = canonical_fingerprint_into(instance, &mut scratch);
+            self.serve_with_scratch(entry, instance, &scratch, false)
+        })
+    }
+
+    /// Serve helper over an already-fingerprinted request (`scratch` holds the
+    /// request's canonical permutation). `record` ties the exact/remapped counters
+    /// to the paths whose underlying probe counted a cache hit, preserving the
+    /// invariant `hits == exact_hits + remapped_hits`.
+    fn serve_with_scratch(
+        &self,
+        entry: &Arc<CachedEntry>,
+        instance: &TspInstance,
+        scratch: &FingerprintScratch,
+        record: bool,
+    ) -> CacheHit {
+        use std::sync::atomic::Ordering;
+        if exact_fingerprint(instance) == entry.exact {
+            if record {
+                self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return CacheHit {
+                solution: Arc::clone(&entry.solution),
+                remapped: false,
+            };
+        }
+        // A permuted resubmission: gather the stored canonical tour through the
+        // request's own canonical permutation. Same physical coordinates, same visit
+        // order, bit-identical cost.
+        let perm = scratch.permutation();
+        debug_assert_eq!(perm.len(), entry.canonical_tour.len());
+        let order: Vec<usize> = entry
+            .canonical_tour
+            .iter()
+            .map(|&c| perm[c as usize] as usize)
+            .collect();
+        let tour = Tour::new(order).expect("remapped canonical tour is a permutation");
+        let mut solution = (*entry.solution).clone();
+        debug_assert_eq!(
+            tour.length(instance).to_bits(),
+            solution.length.to_bits(),
+            "remap must preserve tour cost bit-for-bit"
+        );
+        solution.tour = tour;
+        if record {
+            self.remapped_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        CacheHit {
+            solution: Arc::new(solution),
+            remapped: true,
+        }
+    }
+
+    /// Inserts `solution` (a solve of `instance`) under `key` (which must be
+    /// [`Self::key`] of the same `(token, instance)` pair), returning the stored
+    /// entry for singleflight completion / coalesced serving.
+    pub fn insert(
+        &self,
+        key: u128,
+        instance: &TspInstance,
+        solution: Arc<TaxiSolution>,
+    ) -> Arc<CachedEntry> {
+        let (perm, canonical_tour) = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let _ = canonical_fingerprint_into(instance, &mut scratch);
+            let perm = scratch.permutation().to_vec();
+            let mut inverse = vec![0u32; perm.len()];
+            for (canonical, &original) in perm.iter().enumerate() {
+                inverse[original as usize] = canonical as u32;
+            }
+            let canonical_tour: Vec<u32> = solution
+                .tour
+                .order()
+                .iter()
+                .map(|&city| inverse[city])
+                .collect();
+            (perm, canonical_tour)
+        });
+        let entry = Arc::new(CachedEntry {
+            exact: exact_fingerprint(instance),
+            solution,
+            perm,
+            canonical_tour,
+        });
+        self.entries.insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// The singleflight registry coalescing concurrent misses on one key.
+    pub fn flights(&self) -> &Singleflight<u128, Arc<CachedEntry>> {
+        &self.flights
+    }
+
+    /// Drops every cached entry (counters are preserved; in-progress flights are
+    /// unaffected).
+    pub fn clear(&self) {
+        self.entries.clear();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SolutionCacheStats {
+        use std::sync::atomic::Ordering;
+        let inner = self.entries.stats();
+        SolutionCacheStats {
+            hits: inner.hits,
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            remapped_hits: self.remapped_hits.load(Ordering::Relaxed),
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            expirations: inner.expirations,
+            entries: inner.entries,
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SolveProvenance, TaxiConfig, TaxiSolver};
+    use taxi_tsplib::generator::clustered_instance;
+    use taxi_tsplib::EdgeWeightKind;
+
+    fn permuted(instance: &TspInstance, rotate: usize) -> TspInstance {
+        let coords = instance.coordinates().unwrap();
+        let n = coords.len();
+        let rotated: Vec<(f64, f64)> = (0..n).map(|i| coords[(i + rotate) % n]).collect();
+        TspInstance::from_coordinates("permuted", rotated, instance.edge_weight_kind()).unwrap()
+    }
+
+    #[test]
+    fn lookup_miss_then_exact_hit_then_remapped_hit() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(5));
+        let instance = clustered_instance("hit", 50, 4, 9);
+
+        let CacheLookup::Miss(key) = cache.lookup(1, &instance) else {
+            panic!("cold cache must miss");
+        };
+        let solution = Arc::new(solver.solve(&instance).unwrap());
+        cache.insert(key, &instance, Arc::clone(&solution));
+
+        let CacheLookup::Hit(hit) = cache.lookup(1, &instance) else {
+            panic!("resubmission must hit");
+        };
+        assert!(!hit.remapped);
+        assert_eq!(hit.solution.tour, solution.tour);
+
+        let shuffled = permuted(&instance, 13);
+        let CacheLookup::Hit(hit) = cache.lookup(1, &shuffled) else {
+            panic!("permuted resubmission must hit canonically");
+        };
+        assert!(hit.remapped);
+        assert!(hit.solution.tour.is_valid_for(&shuffled));
+        assert_eq!(
+            hit.solution.tour.length(&shuffled).to_bits(),
+            solution.length.to_bits(),
+            "remapped tour cost is bit-identical to the cached solve"
+        );
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.remapped_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokens_isolate_configurations() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(2));
+        let instance = clustered_instance("token", 40, 3, 1);
+        let CacheLookup::Miss(key) = cache.lookup(10, &instance) else {
+            panic!("miss");
+        };
+        let solution = Arc::new(solver.solve(&instance).unwrap());
+        cache.insert(key, &instance, solution);
+        assert!(matches!(cache.lookup(10, &instance), CacheLookup::Hit(_)));
+        assert!(
+            matches!(cache.lookup(11, &instance), CacheLookup::Miss(_)),
+            "a different configuration token must not see the entry"
+        );
+    }
+
+    #[test]
+    fn explicit_matrix_instances_use_exact_identity() {
+        let cache = SolutionCache::with_defaults();
+        let m = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(matches!(cache.lookup(0, &m), CacheLookup::Miss(_)));
+    }
+
+    #[test]
+    fn solve_cached_full_round_trip_is_bit_identical() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(21));
+        let instance = clustered_instance("round", 60, 4, 7);
+        let offline = solver.solve(&instance).unwrap();
+
+        let computed = solver.solve_cached(&instance, &cache).unwrap();
+        assert_eq!(computed.provenance, SolveProvenance::Computed);
+        assert_eq!(computed.solution.tour, offline.tour);
+        assert_eq!(computed.solution.length.to_bits(), offline.length.to_bits());
+
+        let hit = solver.solve_cached(&instance, &cache).unwrap();
+        assert_eq!(
+            hit.provenance,
+            SolveProvenance::CacheHit { remapped: false }
+        );
+        assert_eq!(hit.solution.tour, offline.tour);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new());
+        let instance = clustered_instance("clear", 40, 3, 2);
+        solver.solve_cached(&instance, &cache).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert!(matches!(cache.lookup(0, &instance), CacheLookup::Miss(_)));
+    }
+
+    #[test]
+    fn coordinates_of_different_kinds_never_cross_serve() {
+        // Same coordinates, different distance convention: distinct canonical keys.
+        let cache = SolutionCache::with_defaults();
+        let coords = vec![(0.0, 0.0), (1.0, 0.0), (0.5, 2.0), (4.0, 4.0)];
+        let euclid =
+            TspInstance::from_coordinates("e", coords.clone(), EdgeWeightKind::Euclidean).unwrap();
+        let euc2d = TspInstance::from_coordinates("e", coords, EdgeWeightKind::Euc2d).unwrap();
+        assert_ne!(cache.key(0, &euclid), cache.key(0, &euc2d));
+    }
+}

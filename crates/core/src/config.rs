@@ -230,6 +230,23 @@ impl TaxiConfig {
             .with_elitist(self.elitist)
     }
 
+    /// A 64-bit token identifying every result-affecting part of this configuration,
+    /// used to scope solution-cache keys: the same instance solved under different
+    /// configurations must occupy different cache slots
+    /// (see [`SolutionCache`](crate::cache::SolutionCache)).
+    ///
+    /// The thread count is **excluded**: solve results are independent of the thread
+    /// budget (a tested invariant), so serial and parallel solvers share cache
+    /// entries. The token is deterministic within a process; it is not a stable
+    /// on-disk format.
+    pub fn cache_token(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        // Normalising the thread count folds all thread budgets onto one token.
+        format!("{:?}", self.clone().with_threads(1)).hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Overrides the spatial-architecture description used for latency/energy
     /// accounting (chip size, interconnect constants, ...). The macro capacity and bit
     /// precision of the override are always forced to match this configuration.

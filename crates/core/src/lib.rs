@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cache;
 pub mod config;
 pub mod context;
 pub mod error;
@@ -77,10 +78,11 @@ pub mod result;
 pub mod solver;
 
 pub use backend::{SolverBackend, SolverScratch, SubTour, TourSolver};
+pub use cache::{CacheHit, CacheLookup, SolutionCache, SolutionCacheStats};
 pub use config::TaxiConfig;
 pub use context::SolveContext;
 pub use error::TaxiError;
 pub use experiments::ExperimentScale;
 pub use pipeline::{NullObserver, PipelineObserver, SharedObserver, Stage, StageReport};
 pub use result::{EnergyBreakdown, LatencyBreakdown, TaxiSolution};
-pub use solver::TaxiSolver;
+pub use solver::{CachedSolve, SolveProvenance, TaxiSolver};

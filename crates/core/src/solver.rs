@@ -5,11 +5,13 @@
 //! [`pipeline`]: crate::pipeline
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use taxi_cache::{FlightOutcome, Join};
 use taxi_tsplib::TspInstance;
 
 use crate::backend::TourSolver;
+use crate::cache::{CacheLookup, SolutionCache};
 use crate::context::SolveContext;
 use crate::pipeline::{self, NullObserver, PipelineObserver, SolvePool};
 use crate::{TaxiConfig, TaxiError, TaxiSolution};
@@ -51,6 +53,9 @@ pub struct TaxiSolver {
     /// The solver's persistent scratch arena. Behind a mutex only so `solve(&self)`
     /// can reuse it; never held across calls.
     context: Mutex<SolveContext>,
+    /// Lazily computed [`TaxiConfig::cache_token`] (the token derivation formats the
+    /// configuration, so it is computed once, not per cached solve).
+    cache_token: OnceLock<u64>,
 }
 
 impl Clone for TaxiSolver {
@@ -72,6 +77,7 @@ impl TaxiSolver {
         Self {
             config,
             context: Mutex::new(SolveContext::new()),
+            cache_token: OnceLock::new(),
         }
     }
 
@@ -207,6 +213,142 @@ impl TaxiSolver {
         )
     }
 
+    /// This solver's cache-key scope (memoised
+    /// [`TaxiConfig::cache_token`]).
+    pub fn cache_token(&self) -> u64 {
+        *self.cache_token.get_or_init(|| self.config.cache_token())
+    }
+
+    /// Like [`solve`](Self::solve), but memoised through `cache`:
+    ///
+    /// * a **hit** (this geometry — under any city indexing — was already solved
+    ///   under this configuration) is served without solving; bit-identical
+    ///   resubmissions are served verbatim, permuted ones by canonical-tour remap
+    ///   (see [`crate::cache`]);
+    /// * concurrent **misses** on the same key are coalesced: one caller (the
+    ///   leader) solves and inserts while the rest wait on the flight and share the
+    ///   result. A leader whose solve fails (or panics) fails only its own call —
+    ///   followers wake and retry, electing a new leader among themselves.
+    ///
+    /// The returned [`CachedSolve`] carries the solution plus its
+    /// [`SolveProvenance`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve) — errors are never cached.
+    pub fn solve_cached(
+        &self,
+        instance: &TspInstance,
+        cache: &SolutionCache,
+    ) -> Result<CachedSolve, TaxiError> {
+        self.solve_cached_inner(instance, cache, None, &mut NullObserver)
+    }
+
+    /// [`solve_cached`](Self::solve_cached) with observer hooks (fired only when
+    /// this call actually solves — cache hits and coalesced waits run no pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve).
+    pub fn solve_cached_observed(
+        &self,
+        instance: &TspInstance,
+        cache: &SolutionCache,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<CachedSolve, TaxiError> {
+        self.solve_cached_inner(instance, cache, None, observer)
+    }
+
+    /// The fully general cached entry point: caller-supplied backend and observer.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve).
+    pub fn solve_cached_with(
+        &self,
+        instance: &TspInstance,
+        cache: &SolutionCache,
+        backend: &Arc<dyn TourSolver>,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<CachedSolve, TaxiError> {
+        self.solve_cached_inner(instance, cache, Some(backend), observer)
+    }
+
+    /// Shared cached-solve loop. The backend is built lazily — only if this caller
+    /// is elected leader of a flight — so the hit path stays allocation-free.
+    fn solve_cached_inner(
+        &self,
+        instance: &TspInstance,
+        cache: &SolutionCache,
+        backend: Option<&Arc<dyn TourSolver>>,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<CachedSolve, TaxiError> {
+        let token = self.cache_token();
+        loop {
+            let key = match cache.lookup(token, instance) {
+                CacheLookup::Hit(hit) => {
+                    return Ok(CachedSolve {
+                        solution: hit.solution,
+                        provenance: SolveProvenance::CacheHit {
+                            remapped: hit.remapped,
+                        },
+                    })
+                }
+                CacheLookup::Miss(key) => key,
+            };
+            match cache.flights().join(key) {
+                Join::Leader(flight) => {
+                    // Close the lookup→join race: a previous leader may have
+                    // inserted and retired its flight between this caller's miss and
+                    // this election. Dropping the empty flight abandons it, so any
+                    // follower that raced in retries and hits the cache.
+                    if let Some(hit) = cache.lookup_keyed(key, instance) {
+                        drop(flight);
+                        return Ok(CachedSolve {
+                            solution: hit.solution,
+                            provenance: SolveProvenance::CacheHit {
+                                remapped: hit.remapped,
+                            },
+                        });
+                    }
+                    let built;
+                    let backend = match backend {
+                        Some(backend) => backend,
+                        None => {
+                            built = self.config.build_backend();
+                            &built
+                        }
+                    };
+                    // An error return (or a panic unwinding through the solve) drops
+                    // `flight` uncompleted, abandoning it: followers wake and retry,
+                    // so a poisoned request fails only its own caller.
+                    let solution =
+                        Arc::new(self.solve_with_backend_observed(instance, backend, observer)?);
+                    let entry = cache.insert(key, instance, Arc::clone(&solution));
+                    flight.complete(entry);
+                    return Ok(CachedSolve {
+                        solution,
+                        provenance: SolveProvenance::Computed,
+                    });
+                }
+                Join::Follower(ticket) => match ticket.wait() {
+                    FlightOutcome::Complete(entry) => {
+                        let hit = cache.serve(&entry, instance);
+                        return Ok(CachedSolve {
+                            solution: hit.solution,
+                            provenance: SolveProvenance::Coalesced {
+                                remapped: hit.remapped,
+                            },
+                        });
+                    }
+                    // Leader failed: retry from the top (cache re-check, then a new
+                    // leader election among the surviving followers).
+                    FlightOutcome::Abandoned => continue,
+                },
+            }
+        }
+    }
+
     /// Solves a batch of instances, sharding whole instances across worker threads:
     /// each worker owns one backend handle and one [`SolveContext`], pulls instances
     /// from a shared cursor, and solves them serially — so in steady state the batch
@@ -292,6 +434,42 @@ impl Default for TaxiSolver {
     fn default() -> Self {
         Self::new(TaxiConfig::default())
     }
+}
+
+/// How a [`TaxiSolver::solve_cached`] call obtained its solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveProvenance {
+    /// This call ran the pipeline (and seeded the cache).
+    Computed,
+    /// Served from the cache without solving.
+    CacheHit {
+        /// Whether the stored tour was remapped into the request's indexing (a
+        /// permuted resubmission) or served verbatim (a bit-identical one).
+        remapped: bool,
+    },
+    /// Coalesced onto a concurrent leader's solve of the same key.
+    Coalesced {
+        /// As for [`SolveProvenance::CacheHit`].
+        remapped: bool,
+    },
+}
+
+impl SolveProvenance {
+    /// Whether the solution was obtained without running the pipeline.
+    pub fn avoided_solve(self) -> bool {
+        !matches!(self, SolveProvenance::Computed)
+    }
+}
+
+/// Result of a [`TaxiSolver::solve_cached`] call: the (possibly shared) solution and
+/// how it was obtained.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The solution, in the request's city indexing. Shared (`Arc`) because cache
+    /// hits alias the stored entry rather than deep-copying it.
+    pub solution: Arc<TaxiSolution>,
+    /// How this call obtained the solution.
+    pub provenance: SolveProvenance,
 }
 
 #[cfg(test)]

@@ -1,0 +1,149 @@
+//! Worker-side request coalescing (dispatch singleflight).
+//!
+//! The admission-time cache lookup catches repeats of *already solved* instances;
+//! this module catches repeats that are **in flight**: when several identical
+//! requests are queued (possibly drained into different micro-batches by different
+//! workers), only the first should pay a solve.
+//!
+//! A worker about to solve a pending asks the shared [`Coalescer`] to
+//! [`lead_or_attach`](Coalescer::lead_or_attach) on the request's cache key:
+//!
+//! * no flight in progress → the worker **leads**: it keeps the pending, solves it,
+//!   inserts the solution into the cache, and then [`take`](Coalescer::take)s the
+//!   followers that accumulated meanwhile, resolving each from the cached entry;
+//! * a flight is in progress → the pending is **attached** as a follower and the
+//!   worker moves on to the next request in its batch — no worker thread ever
+//!   blocks waiting on another worker's solve.
+//!
+//! If the leader's solve fails (error or contained panic), the leader takes its
+//! followers and solves them **individually**: a poisoned request fails only its own
+//! ticket. Followers attached after the leader's `take` are impossible — `take`
+//! removes the flight atomically, so a later `lead_or_attach` simply elects a new
+//! leader (which will re-check the cache first and usually hit).
+//!
+//! Unlike [`taxi_cache::Singleflight`] — whose followers are *threads* that park on
+//! a condvar (the right shape for `TaxiSolver::solve_cached` callers) — this
+//! registry's followers are queued [`Pending`]s owned by whichever worker leads, so
+//! coalescing composes with micro-batching instead of stalling it.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::request::Pending;
+
+/// Role assigned to a pending by [`Coalescer::lead_or_attach`].
+#[derive(Debug)]
+pub(crate) enum CoalesceRole {
+    /// No flight was in progress: the caller keeps the pending and must solve it,
+    /// then [`take`](Coalescer::take) and resolve the followers.
+    Lead(Pending),
+    /// The pending joined an in-progress flight; its leader will resolve it.
+    Attached,
+}
+
+/// Shared in-flight registry keyed by solution-cache key. See the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub(crate) struct Coalescer {
+    inflight: Mutex<HashMap<u128, Vec<Pending>>>,
+}
+
+impl Coalescer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elects `pending` leader of a new flight for `key`, or attaches it to the
+    /// flight already in progress.
+    pub(crate) fn lead_or_attach(&self, key: u128, pending: Pending) -> CoalesceRole {
+        let mut inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inflight.get_mut(&key) {
+            Some(followers) => {
+                followers.push(pending);
+                CoalesceRole::Attached
+            }
+            None => {
+                inflight.insert(key, Vec::new());
+                CoalesceRole::Lead(pending)
+            }
+        }
+    }
+
+    /// Ends the flight for `key`, returning the followers that attached while the
+    /// leader solved. Must be called exactly once per [`CoalesceRole::Lead`].
+    pub(crate) fn take(&self, key: u128) -> Vec<Pending> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&key)
+            .unwrap_or_default()
+    }
+
+    /// Number of flights currently in progress.
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DispatchRequest;
+    use taxi_tsplib::generator::random_uniform_instance;
+
+    fn pending(seq: u64) -> Pending {
+        let request = DispatchRequest::new(random_uniform_instance("co", 6, 1));
+        Pending::admit(request, seq).0
+    }
+
+    #[test]
+    fn first_pending_leads_and_later_ones_attach() {
+        let coalescer = Coalescer::new();
+        let CoalesceRole::Lead(leader) = coalescer.lead_or_attach(7, pending(0)) else {
+            panic!("first pending leads");
+        };
+        assert!(matches!(
+            coalescer.lead_or_attach(7, pending(1)),
+            CoalesceRole::Attached
+        ));
+        assert!(matches!(
+            coalescer.lead_or_attach(7, pending(2)),
+            CoalesceRole::Attached
+        ));
+        assert_eq!(coalescer.in_flight(), 1);
+        let followers = coalescer.take(7);
+        assert_eq!(followers.len(), 2);
+        assert_eq!(coalescer.in_flight(), 0);
+        // After take, the key is free: the next pending leads a fresh flight.
+        assert!(matches!(
+            coalescer.lead_or_attach(7, pending(3)),
+            CoalesceRole::Lead(_)
+        ));
+        let _ = coalescer.take(7);
+        leader.shed();
+        // Dropped followers resolve their tickets via the Pending drop guard.
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let coalescer = Coalescer::new();
+        assert!(matches!(
+            coalescer.lead_or_attach(1, pending(0)),
+            CoalesceRole::Lead(_)
+        ));
+        assert!(matches!(
+            coalescer.lead_or_attach(2, pending(1)),
+            CoalesceRole::Lead(_)
+        ));
+        assert_eq!(coalescer.in_flight(), 2);
+        assert!(coalescer.take(1).is_empty());
+        assert!(coalescer.take(2).is_empty());
+    }
+}

@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coalesce;
 pub mod metrics;
 pub mod queue;
 pub mod request;
@@ -83,4 +84,4 @@ pub use request::{
 };
 pub use scheduler::{BatchMeta, BatchPolicy, MicroBatcher};
 pub use service::{DispatchConfig, DispatchService};
-pub use workload::{ArrivalProcess, Scenario, Workload, WorkloadConfig, WorkloadEvent};
+pub use workload::{ArrivalProcess, RequestMix, Scenario, Workload, WorkloadConfig, WorkloadEvent};

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use taxi::{PipelineObserver, Stage, StageReport};
+use taxi::{PipelineObserver, SolutionCacheStats, Stage, StageReport};
 
 /// Number of log-spaced histogram buckets: bucket `i` counts latencies in
 /// `(2^(i-1) µs, 2^i µs]`, so the range spans 1µs .. ~9 minutes before saturating
@@ -161,6 +161,8 @@ pub struct ServiceMetrics {
     rejected: AtomicU64,
     degraded: AtomicU64,
     deadline_misses: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     queue_wait: LatencyHistogram,
@@ -183,6 +185,8 @@ impl ServiceMetrics {
             rejected: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             queue_wait: LatencyHistogram::new(),
@@ -235,6 +239,41 @@ impl ServiceMetrics {
         }
     }
 
+    /// One request was served from the solution cache at admission, without ever
+    /// entering the queue (it counts as completed; only the end-to-end histogram is
+    /// fed — there was no queue wait and no solve). Worker-side late hits — which
+    /// *did* wait — go through
+    /// [`record_late_cache_hit`](Self::record_late_cache_hit).
+    pub fn record_cache_hit(&self, end_to_end: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.end_to_end.record(end_to_end);
+    }
+
+    /// One queued request was served from the cache by a worker's pre-solve
+    /// re-check: it avoided a solve but genuinely waited in the queue, so the
+    /// queue-wait histogram is fed alongside end-to-end.
+    pub fn record_late_cache_hit(&self, queue_wait: Duration, end_to_end: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record(queue_wait);
+        self.end_to_end.record(end_to_end);
+    }
+
+    /// One request rode on a concurrent identical request's solve (singleflight
+    /// coalescing). It counts as completed and feeds the queue-wait and end-to-end
+    /// histograms; the solve histogram is *not* fed — the leader already recorded
+    /// that solve once.
+    pub fn record_coalesced(&self, queue_wait: Duration, end_to_end: Duration, missed: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record(queue_wait);
+        self.end_to_end.record(end_to_end);
+        if missed {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// One request's solve failed.
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
@@ -264,6 +303,9 @@ impl ServiceMetrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            cache: None,
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
@@ -310,6 +352,16 @@ pub struct ServiceSnapshot {
     pub degraded: u64,
     /// Completions that resolved after their deadline.
     pub deadline_misses: u64,
+    /// Completions served from the solution cache at admission or by a worker's
+    /// pre-solve re-check (no solve).
+    pub cache_hits: u64,
+    /// Completions that rode on a concurrent identical request's solve
+    /// (singleflight coalescing; no own solve).
+    pub coalesced: u64,
+    /// Statistics of the attached solution cache, when the service has one
+    /// (injected by [`DispatchService`](crate::DispatchService) snapshots; `None`
+    /// from a bare [`ServiceMetrics::snapshot`]).
+    pub cache: Option<SolutionCacheStats>,
     /// Micro-batches formed.
     pub batches: u64,
     /// Mean formed batch size.
@@ -324,6 +376,124 @@ pub struct ServiceSnapshot {
     pub end_to_end: HistogramSummary,
     /// Accumulated host seconds per pipeline stage, indexed like [`Stage::ALL`].
     pub stage_seconds: [f64; Stage::ALL.len()],
+}
+
+impl ServiceSnapshot {
+    /// Completions that actually ran the solve pipeline (everything not served from
+    /// the cache or coalesced onto another request's solve).
+    pub fn solved_fresh(&self) -> u64 {
+        self.completed
+            .saturating_sub(self.cache_hits)
+            .saturating_sub(self.coalesced)
+    }
+
+    /// Fraction of completions that avoided a solve (cache hits + coalesced). Zero
+    /// when nothing completed.
+    pub fn solve_avoidance_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.coalesced) as f64 / self.completed as f64
+        }
+    }
+
+    /// One-line operator summary of the service state — the log-friendly
+    /// counterpart of the multi-line [`Display`](std::fmt::Display) rendering.
+    pub fn one_line(&self) -> String {
+        let mut line = format!(
+            "dispatch up {:.1}s: {} in, {} done ({:.0}/s), {} failed, {} shed, {} rejected, \
+             {} hit, {} coalesced, p50/p99 {:.0}/{:.0}µs",
+            self.uptime.as_secs_f64(),
+            self.submitted,
+            self.completed,
+            self.throughput_per_sec,
+            self.failed,
+            self.shed,
+            self.rejected,
+            self.cache_hits,
+            self.coalesced,
+            self.end_to_end.p50.as_secs_f64() * 1e6,
+            self.end_to_end.p99.as_secs_f64() * 1e6,
+        );
+        if let Some(cache) = &self.cache {
+            line.push_str(&format!(
+                ", cache {}e/{}B ({:.0}% hit)",
+                cache.entries,
+                cache.bytes,
+                cache.hit_rate() * 100.0,
+            ));
+        }
+        line
+    }
+
+    /// Compact JSON rendering of the full snapshot (one object, stable keys) —
+    /// embeddable into bench artifacts and log pipelines without reaching into
+    /// fields.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        let histogram = |h: &HistogramSummary| {
+            format!(
+                "{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{:.1},\"p90_us\":{:.1},\
+                 \"p99_us\":{:.1},\"max_us\":{:.1}}}",
+                h.count,
+                us(h.mean),
+                us(h.p50),
+                us(h.p90),
+                us(h.p99),
+                us(h.max),
+            )
+        };
+        let mut json = String::with_capacity(1024);
+        let _ = write!(
+            json,
+            "{{\"uptime_secs\":{:.3},\"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"shed\":{},\"rejected\":{},\"degraded\":{},\"deadline_misses\":{},\
+             \"cache_hits\":{},\"coalesced\":{},\"solved_fresh\":{},\"batches\":{},\
+             \"mean_batch_size\":{:.3},\"throughput_per_sec\":{:.1}",
+            self.uptime.as_secs_f64(),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.rejected,
+            self.degraded,
+            self.deadline_misses,
+            self.cache_hits,
+            self.coalesced,
+            self.solved_fresh(),
+            self.batches,
+            self.mean_batch_size,
+            self.throughput_per_sec,
+        );
+        for (label, summary) in [
+            ("queue_wait", &self.queue_wait),
+            ("solve", &self.solve),
+            ("end_to_end", &self.end_to_end),
+        ] {
+            let _ = write!(json, ",\"{label}\":{}", histogram(summary));
+        }
+        if let Some(cache) = &self.cache {
+            let _ = write!(
+                json,
+                ",\"cache\":{{\"hits\":{},\"exact_hits\":{},\"remapped_hits\":{},\
+                 \"misses\":{},\"insertions\":{},\"evictions\":{},\"expirations\":{},\
+                 \"entries\":{},\"bytes\":{},\"hit_rate\":{:.4}}}",
+                cache.hits,
+                cache.exact_hits,
+                cache.remapped_hits,
+                cache.misses,
+                cache.insertions,
+                cache.evictions,
+                cache.expirations,
+                cache.entries,
+                cache.bytes,
+                cache.hit_rate(),
+            );
+        }
+        json.push('}');
+        json
+    }
 }
 
 impl std::fmt::Display for ServiceSnapshot {
@@ -343,6 +513,26 @@ impl std::fmt::Display for ServiceSnapshot {
             "  batches: {} (mean size {:.2}), degraded {}, deadline misses {}",
             self.batches, self.mean_batch_size, self.degraded, self.deadline_misses,
         )?;
+        writeln!(
+            f,
+            "  cache hits {}, coalesced {}, solved fresh {}",
+            self.cache_hits,
+            self.coalesced,
+            self.solved_fresh(),
+        )?;
+        if let Some(cache) = &self.cache {
+            writeln!(
+                f,
+                "  cache: {} entries, {} bytes, {:.1}% hit rate ({} exact, {} remapped, \
+                 {} evicted)",
+                cache.entries,
+                cache.bytes,
+                cache.hit_rate() * 100.0,
+                cache.exact_hits,
+                cache.remapped_hits,
+                cache.evictions,
+            )?;
+        }
         for (label, summary) in [
             ("queue wait", &self.queue_wait),
             ("solve", &self.solve),

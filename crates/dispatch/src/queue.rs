@@ -163,6 +163,17 @@ impl DispatchQueue {
     /// [`SubmitError::ShuttingDown`] after [`close`](Self::close); the refused request
     /// rides back inside the error.
     pub fn submit(&self, request: DispatchRequest) -> Result<Ticket, SubmitError> {
+        self.submit_keyed(request, None)
+    }
+
+    /// [`submit`](Self::submit), tagging the admitted pending with its
+    /// solution-cache key (the service computes it during the admission-time cache
+    /// lookup; workers use it for coalescing and insertion).
+    pub(crate) fn submit_keyed(
+        &self,
+        request: DispatchRequest,
+        cache_key: Option<u128>,
+    ) -> Result<Ticket, SubmitError> {
         let mut state = self.lock();
         if state.closed {
             return Err(SubmitError::ShuttingDown(request));
@@ -203,8 +214,9 @@ impl DispatchQueue {
                 }
             }
         }
-        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (pending, ticket) = Pending::admit(request, seq);
+        let seq = self.allocate_seq();
+        let (mut pending, ticket) = Pending::admit(request, seq);
+        pending.cache_key = cache_key;
         match pending.request.priority {
             Priority::Interactive => state.interactive.push_back(pending),
             Priority::Bulk => state.bulk.push_back(pending),
@@ -233,6 +245,13 @@ impl DispatchQueue {
     /// Wakes blocked submitters after a drain freed room (called by the batcher).
     pub(crate) fn notify_space(&self) {
         self.space.notify_all();
+    }
+
+    /// Allocates the next service-wide sequence number (also used for requests that
+    /// bypass the queue on an admission-time cache hit, so ticket ids stay unique
+    /// and submission-ordered).
+    pub(crate) fn allocate_seq(&self) -> u64 {
+        self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -111,21 +111,32 @@ impl std::error::Error for SubmitError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolvedResponse {
     /// The end-to-end solution (tour, latency/energy accounting, stage reports).
-    pub solution: TaxiSolution,
-    /// Time the request spent queued before a worker picked its batch up.
+    /// Shared (`Arc`): cache hits and coalesced followers alias the stored solve
+    /// instead of deep-copying it.
+    pub solution: Arc<TaxiSolution>,
+    /// Time the request spent queued before a worker picked its batch up (zero for
+    /// admission-time cache hits, which never enter the queue).
     pub queue_wait: Duration,
-    /// Time the worker spent solving this request.
+    /// Time the worker spent solving this request (zero for cache hits; the
+    /// *leader's* solve time for coalesced followers).
     pub solve_time: Duration,
     /// Submission-to-resolution latency.
     pub end_to_end: Duration,
     /// Whether the request was solved by the degraded (cheaper) backend.
     pub degraded: bool,
-    /// Size of the micro-batch this request was served in.
+    /// Size of the micro-batch this request was served in (zero for admission-time
+    /// cache hits).
     pub batch_size: usize,
-    /// Index of the worker that solved the request.
+    /// Index of the worker that solved the request (0, unattributed, for
+    /// admission-time cache hits).
     pub worker: usize,
     /// Whether resolution happened after the request's deadline.
     pub missed_deadline: bool,
+    /// Whether the response was served from the solution cache without solving.
+    pub cache_hit: bool,
+    /// Whether the response rode on a concurrent identical request's solve
+    /// (singleflight coalescing).
+    pub coalesced: bool,
 }
 
 /// Terminal state of a submitted request.
@@ -254,6 +265,9 @@ pub struct Pending {
     pub(crate) submitted_at: Instant,
     pub(crate) deadline: Option<Instant>,
     pub(crate) slot: Arc<ResponseSlot>,
+    /// The request's solution-cache key, computed at admission when the service has
+    /// a cache (drives the worker-side coalescing and insertion).
+    pub(crate) cache_key: Option<u128>,
 }
 
 impl Pending {
@@ -268,6 +282,7 @@ impl Pending {
             submitted_at,
             deadline,
             slot: Arc::clone(&slot),
+            cache_key: None,
         };
         (pending, Ticket::new(seq, slot))
     }

@@ -20,10 +20,12 @@
 //! same configuration.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use taxi::{SolveContext, SolverBackend, TaxiConfig, TaxiSolver};
+use taxi::cache::CachedEntry;
+use taxi::{CacheLookup, SolutionCache, SolveContext, SolverBackend, TaxiConfig, TaxiSolver};
 
+use crate::coalesce::{CoalesceRole, Coalescer};
 use crate::metrics::{MetricsObserver, ServiceMetrics, ServiceSnapshot};
 use crate::queue::{AdmissionPolicy, DispatchQueue};
 use crate::request::{
@@ -32,7 +34,7 @@ use crate::request::{
 use crate::scheduler::{BatchPolicy, MicroBatcher};
 
 /// Configuration of a [`DispatchService`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DispatchConfig {
     /// Solver configuration applied to every request (thread count is overridden to 1
     /// inside each worker; see the module docs).
@@ -48,6 +50,28 @@ pub struct DispatchConfig {
     /// Backend used for bulk requests in overloaded batches (see
     /// [`BatchPolicy::overload_threshold`]).
     pub degraded_backend: SolverBackend,
+    /// The solution cache, if serving-side memoization is enabled: admission serves
+    /// repeat instances without queueing, workers coalesce in-flight duplicates and
+    /// insert fresh solves. `None` (the default) disables caching entirely.
+    pub cache: Option<Arc<SolutionCache>>,
+}
+
+impl PartialEq for DispatchConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is a shared runtime object, not a value: configs are equal when
+        // they share (or equally lack) one.
+        self.solver == other.solver
+            && self.workers == other.workers
+            && self.queue_capacity == other.queue_capacity
+            && self.admission == other.admission
+            && self.batch == other.batch
+            && self.degraded_backend == other.degraded_backend
+            && match (&self.cache, &other.cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 impl DispatchConfig {
@@ -64,6 +88,7 @@ impl DispatchConfig {
             admission: AdmissionPolicy::default(),
             batch: BatchPolicy::default(),
             degraded_backend: SolverBackend::NnTwoOpt,
+            cache: None,
         }
     }
 
@@ -114,6 +139,21 @@ impl DispatchConfig {
         self.degraded_backend = backend;
         self
     }
+
+    /// Attaches a solution cache (shareable across services: entries are scoped by
+    /// each service's solver-configuration token).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SolutionCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Detaches the solution cache.
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
 }
 
 impl Default for DispatchConfig {
@@ -148,6 +188,9 @@ pub struct DispatchService {
     metrics: Arc<ServiceMetrics>,
     workers: Vec<std::thread::JoinHandle<()>>,
     config: DispatchConfig,
+    /// The solver-configuration token scoping this service's cache keys (computed
+    /// once; meaningless without a cache).
+    cache_token: u64,
 }
 
 impl DispatchService {
@@ -159,14 +202,17 @@ impl DispatchService {
             config.admission,
             Arc::clone(&metrics),
         ));
+        let cache_token = config.solver.cache_token();
+        let coalescer = Arc::new(Coalescer::new());
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
+                let coalescer = Arc::clone(&coalescer);
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("taxi-dispatch-{index}"))
-                    .spawn(move || worker_loop(index, &config, &queue, &metrics))
+                    .spawn(move || worker_loop(index, &config, &queue, &metrics, &coalescer))
                     .expect("spawn dispatch worker")
             })
             .collect();
@@ -175,6 +221,7 @@ impl DispatchService {
             metrics,
             workers,
             config,
+            cache_token,
         }
     }
 
@@ -185,6 +232,12 @@ impl DispatchService {
 
     /// Submits a request for dispatch.
     ///
+    /// When the service has a [`SolutionCache`], admission looks the instance up
+    /// first: a hit resolves the returned ticket **immediately** — the request never
+    /// enters the queue, pays no queue wait and consumes no worker. Misses are
+    /// admitted normally, carrying their cache key so workers can coalesce and
+    /// insert.
+    ///
     /// With [`AdmissionPolicy::Block`] this call blocks while the queue is full
     /// (backpressure); the other policies return immediately.
     ///
@@ -193,7 +246,39 @@ impl DispatchService {
     /// Returns [`SubmitError`] when admission refuses the request (the request rides
     /// back inside the error).
     pub fn submit(&self, request: DispatchRequest) -> Result<Ticket, SubmitError> {
-        self.queue.submit(request)
+        let Some(cache) = &self.config.cache else {
+            return self.queue.submit(request);
+        };
+        if self.queue.is_closed() {
+            // Cache hits must not outlive admission: a shut-down service serves
+            // nothing, cached or not.
+            return Err(SubmitError::ShuttingDown(request));
+        }
+        let arrived = Instant::now();
+        match cache.lookup(self.cache_token, &request.instance) {
+            CacheLookup::Hit(hit) => {
+                let seq = self.queue.allocate_seq();
+                let (pending, ticket) = Pending::admit(request, seq);
+                self.metrics.record_submitted();
+                let end_to_end = arrived.elapsed();
+                self.metrics.record_cache_hit(end_to_end);
+                let missed_deadline = pending.deadline().is_some_and(|d| Instant::now() > d);
+                pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
+                    solution: hit.solution,
+                    queue_wait: Duration::ZERO,
+                    solve_time: Duration::ZERO,
+                    end_to_end,
+                    degraded: false,
+                    batch_size: 0,
+                    worker: 0,
+                    missed_deadline,
+                    cache_hit: true,
+                    coalesced: false,
+                })));
+                Ok(ticket)
+            }
+            CacheLookup::Miss(key) => self.queue.submit_keyed(request, Some(key)),
+        }
     }
 
     /// Current queue depth.
@@ -201,16 +286,25 @@ impl DispatchService {
         self.queue.depth()
     }
 
-    /// Point-in-time service metrics.
+    /// Point-in-time service metrics (cache statistics included when the service
+    /// has a cache).
     pub fn snapshot(&self) -> ServiceSnapshot {
-        self.metrics.snapshot()
+        self.snapshot_with_cache()
+    }
+
+    fn snapshot_with_cache(&self) -> ServiceSnapshot {
+        let mut snapshot = self.metrics.snapshot();
+        if let Some(cache) = &self.config.cache {
+            snapshot.cache = Some(cache.stats());
+        }
+        snapshot
     }
 
     /// Shuts down: refuses new submissions, lets the workers drain every queued
     /// request, joins them, and returns the final metrics snapshot.
     pub fn shutdown(mut self) -> ServiceSnapshot {
         self.shutdown_in_place();
-        self.metrics.snapshot()
+        self.snapshot_with_cache()
     }
 
     fn shutdown_in_place(&mut self) {
@@ -229,24 +323,181 @@ impl Drop for DispatchService {
     }
 }
 
+/// The long-lived solving state of one worker thread.
+struct Worker<'a> {
+    index: usize,
+    solver: TaxiSolver,
+    primary: Arc<dyn taxi::TourSolver>,
+    degraded: Arc<dyn taxi::TourSolver>,
+    ctx: SolveContext,
+    observer: MetricsObserver,
+    metrics: &'a Arc<ServiceMetrics>,
+    cache: Option<&'a Arc<SolutionCache>>,
+}
+
+impl Worker<'_> {
+    /// Solves `pending` and resolves its ticket. When `insert_key` is set (primary
+    /// backend + cache enabled), a successful solve is inserted into the cache and
+    /// the stored entry returned (with the solve time) so the caller can serve
+    /// coalesced followers from it.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_and_resolve(
+        &mut self,
+        pending: Pending,
+        degrade: bool,
+        dequeued_at: Instant,
+        batch_size: usize,
+        insert_key: Option<u128>,
+    ) -> Option<(Arc<CachedEntry>, Duration)> {
+        let queue_wait = dequeued_at.saturating_duration_since(pending.submitted_at);
+        let backend = if degrade {
+            &self.degraded
+        } else {
+            &self.primary
+        };
+        let solve_started = Instant::now();
+        // Contain per-request panics: one poisoned instance must not take the
+        // worker (and with it every queued client) down. The scratch context is
+        // behaviourally transparent — buffers are cleared or re-validated before
+        // use — so reusing it after an unwind is safe, mirroring how the core
+        // solver recovers its own poisoned context mutex.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.solver.solve_reusing_observed(
+                &pending.request.instance,
+                backend,
+                &mut self.observer,
+                &mut self.ctx,
+            )
+        }))
+        .unwrap_or_else(|panic| {
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "solver panicked".to_string());
+            Err(taxi::TaxiError::Backend {
+                backend: "dispatch".to_string(),
+                reason: format!("solve panicked: {reason}"),
+            })
+        });
+        let finished = Instant::now();
+        let solve_time = finished.saturating_duration_since(solve_started);
+        let end_to_end = finished.saturating_duration_since(pending.submitted_at);
+        match result {
+            Ok(solution) => {
+                let solution = Arc::new(solution);
+                let entry = insert_key.zip(self.cache).map(|(key, cache)| {
+                    cache.insert(key, &pending.request.instance, Arc::clone(&solution))
+                });
+                let missed_deadline = pending.deadline.is_some_and(|d| finished > d);
+                self.metrics.record_completed(
+                    queue_wait,
+                    solve_time,
+                    end_to_end,
+                    degrade,
+                    missed_deadline,
+                );
+                pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
+                    solution,
+                    queue_wait,
+                    solve_time,
+                    end_to_end,
+                    degraded: degrade,
+                    batch_size,
+                    worker: self.index,
+                    missed_deadline,
+                    cache_hit: false,
+                    coalesced: false,
+                })));
+                entry.map(|entry| (entry, solve_time))
+            }
+            Err(error) => {
+                self.metrics.record_failed();
+                pending.resolve(DispatchOutcome::Failed(error));
+                None
+            }
+        }
+    }
+
+    /// Resolves `pending` from a cached solution found by the worker-side re-check
+    /// (it was solved while this request sat in the queue).
+    fn resolve_late_hit(&self, pending: Pending, solution: Arc<taxi::TaxiSolution>) {
+        let now = Instant::now();
+        let end_to_end = now.saturating_duration_since(pending.submitted_at);
+        // Unlike an admission-time hit, this request genuinely waited in the queue
+        // (service ends the instant it is dequeued and re-checked).
+        self.metrics.record_late_cache_hit(end_to_end, end_to_end);
+        let missed_deadline = pending.deadline.is_some_and(|d| now > d);
+        pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
+            solution,
+            queue_wait: end_to_end,
+            solve_time: Duration::ZERO,
+            end_to_end,
+            degraded: false,
+            batch_size: 0,
+            worker: self.index,
+            missed_deadline,
+            cache_hit: true,
+            coalesced: false,
+        })));
+    }
+
+    /// Resolves a coalesced follower from the leader's freshly inserted entry.
+    fn resolve_follower(
+        &self,
+        pending: Pending,
+        entry: &Arc<CachedEntry>,
+        leader_solve_time: Duration,
+        batch_size: usize,
+    ) {
+        let cache = self.cache.expect("followers only exist with a cache");
+        let hit = cache.serve(entry, &pending.request.instance);
+        let now = Instant::now();
+        let end_to_end = now.saturating_duration_since(pending.submitted_at);
+        let queue_wait = end_to_end.saturating_sub(leader_solve_time);
+        let missed_deadline = pending.deadline.is_some_and(|d| now > d);
+        self.metrics
+            .record_coalesced(queue_wait, end_to_end, missed_deadline);
+        pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
+            solution: hit.solution,
+            queue_wait,
+            solve_time: leader_solve_time,
+            end_to_end,
+            degraded: false,
+            batch_size,
+            worker: self.index,
+            missed_deadline,
+            cache_hit: false,
+            coalesced: true,
+        })));
+    }
+}
+
 /// The steady-state serving loop of one worker.
 fn worker_loop(
     index: usize,
     config: &DispatchConfig,
     queue: &Arc<DispatchQueue>,
     metrics: &Arc<ServiceMetrics>,
+    coalescer: &Arc<Coalescer>,
 ) {
     // Parallelism comes from the worker pool; intra-instance fan-out would oversubscribe
     // the host and spawn a thread pool per solve call.
     let solver_config = config.solver.clone().with_threads(1);
     let solver = TaxiSolver::new(solver_config.clone());
-    let primary = solver_config.build_backend();
-    let degraded = solver_config
-        .clone()
-        .with_backend(config.degraded_backend)
-        .build_backend();
-    let mut ctx = SolveContext::new();
-    let mut observer = MetricsObserver::new(Arc::clone(metrics));
+    let mut worker = Worker {
+        index,
+        primary: solver_config.build_backend(),
+        degraded: solver_config
+            .clone()
+            .with_backend(config.degraded_backend)
+            .build_backend(),
+        solver,
+        ctx: SolveContext::new(),
+        observer: MetricsObserver::new(Arc::clone(metrics)),
+        metrics,
+        cache: config.cache.as_ref(),
+    };
     let batcher = MicroBatcher::new(Arc::clone(queue), config.batch);
     let mut batch: Vec<Pending> = Vec::with_capacity(config.batch.max_batch);
 
@@ -256,61 +507,80 @@ fn worker_loop(
         // One clock read per batch: every request in it was dequeued at this instant.
         let dequeued_at = Instant::now();
         for pending in batch.drain(..) {
-            let queue_wait = dequeued_at.saturating_duration_since(pending.submitted_at);
             let degrade = meta.overloaded && pending.request.priority == Priority::Bulk;
-            let backend = if degrade { &degraded } else { &primary };
-            let solve_started = Instant::now();
-            // Contain per-request panics: one poisoned instance must not take the
-            // worker (and with it every queued client) down. The scratch context is
-            // behaviourally transparent — buffers are cleared or re-validated before
-            // use — so reusing it after an unwind is safe, mirroring how the core
-            // solver recovers its own poisoned context mutex.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                solver.solve_reusing_observed(
-                    &pending.request.instance,
-                    backend,
-                    &mut observer,
-                    &mut ctx,
-                )
-            }))
-            .unwrap_or_else(|panic| {
-                let reason = panic
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "solver panicked".to_string());
-                Err(taxi::TaxiError::Backend {
-                    backend: "dispatch".to_string(),
-                    reason: format!("solve panicked: {reason}"),
-                })
-            });
-            let finished = Instant::now();
-            let solve_time = finished.saturating_duration_since(solve_started);
-            let end_to_end = finished.saturating_duration_since(pending.submitted_at);
-            match result {
-                Ok(solution) => {
-                    let missed_deadline = pending.deadline.is_some_and(|d| finished > d);
-                    metrics.record_completed(
-                        queue_wait,
-                        solve_time,
-                        end_to_end,
-                        degrade,
-                        missed_deadline,
-                    );
-                    pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
-                        solution,
-                        queue_wait,
-                        solve_time,
-                        end_to_end,
-                        degraded: degrade,
+            // The memoization path serves only primary-backend work: a degraded
+            // solve must neither poison the cache nor satisfy coalesced followers
+            // who were promised the primary answer.
+            let cached_key = if degrade { None } else { pending.cache_key };
+            let Some((cache, key)) = worker.cache.zip(cached_key) else {
+                let _ = worker.solve_and_resolve(pending, degrade, dequeued_at, batch_size, None);
+                continue;
+            };
+            // Re-check the cache by the admission-computed key: an identical
+            // instance may have been solved while this request sat in the queue
+            // (e.g. by the leader of an earlier batch). The probe neither
+            // re-fingerprints on a miss nor re-counts the admission-time miss.
+            if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
+                worker.resolve_late_hit(pending, hit.solution);
+                continue;
+            }
+            match coalescer.lead_or_attach(key, pending) {
+                // A leader elsewhere is already solving this key; it will resolve
+                // this pending when it completes.
+                CoalesceRole::Attached => continue,
+                CoalesceRole::Lead(pending) => {
+                    // Double-check after election: the previous leader may have
+                    // inserted between our probe above and its `take` retiring the
+                    // flight (attach-after-take race) — without this, two fresh
+                    // solves of one key could slip through.
+                    if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
+                        worker.resolve_late_hit(pending, hit.solution);
+                        for follower in coalescer.take(key) {
+                            match cache.lookup_keyed(key, &follower.request.instance) {
+                                Some(hit) => worker.resolve_late_hit(follower, hit.solution),
+                                // Evicted in the meantime: solve it individually.
+                                None => {
+                                    let _ = worker.solve_and_resolve(
+                                        follower,
+                                        false,
+                                        dequeued_at,
+                                        batch_size,
+                                        None,
+                                    );
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    let led = worker.solve_and_resolve(
+                        pending,
+                        false,
+                        dequeued_at,
                         batch_size,
-                        worker: index,
-                        missed_deadline,
-                    })));
-                }
-                Err(error) => {
-                    metrics.record_failed();
-                    pending.resolve(DispatchOutcome::Failed(error));
+                        Some(key),
+                    );
+                    let followers = coalescer.take(key);
+                    match led {
+                        Some((entry, solve_time)) => {
+                            for follower in followers {
+                                worker.resolve_follower(follower, &entry, solve_time, batch_size);
+                            }
+                        }
+                        // The leader's solve failed: it fails only its own ticket.
+                        // Followers re-solve individually (no coalescing, no insert
+                        // — if the failure is systematic each gets its own error).
+                        None => {
+                            for follower in followers {
+                                let _ = worker.solve_and_resolve(
+                                    follower,
+                                    false,
+                                    dequeued_at,
+                                    batch_size,
+                                    None,
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -112,6 +112,29 @@ impl ArrivalProcess {
     }
 }
 
+/// Which instance each request asks for.
+///
+/// Real dispatch traffic is rarely all-fresh: popular routes (and recurring PCB
+/// panels) repeat, which is exactly the structure a solution cache exploits.
+/// [`PopularRoutes`](RequestMix::PopularRoutes) models that with a fixed pool of
+/// distinct instances sampled under a Zipf distribution: route `r` (0-based
+/// popularity rank) is requested with probability proportional to
+/// `1 / (r + 1)^exponent`. Exponent `0` is uniform over the pool; `~1` is the
+/// classic heavy-skew regime where a small cache captures most traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestMix {
+    /// Every request is a fresh, distinct instance (the pre-cache default).
+    Fresh,
+    /// Requests draw from a fixed pool of `routes` instances with Zipf-skewed
+    /// popularity.
+    PopularRoutes {
+        /// Number of distinct instances in the pool.
+        routes: usize,
+        /// Zipf skew exponent (`0` = uniform; larger = more skewed).
+        exponent: f64,
+    },
+}
+
 /// Configuration of one synthetic workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
@@ -119,6 +142,9 @@ pub struct WorkloadConfig {
     pub scenario: Scenario,
     /// Arrival process.
     pub arrivals: ArrivalProcess,
+    /// Which instance each request asks for (fresh per request, or Zipf-sampled
+    /// from a popular-routes pool).
+    pub mix: RequestMix,
     /// Number of requests to generate.
     pub requests: usize,
     /// City counts are drawn uniformly from this inclusive range.
@@ -138,6 +164,7 @@ impl WorkloadConfig {
         Self {
             scenario,
             arrivals: ArrivalProcess::Poisson { rate_hz: 50.0 },
+            mix: RequestMix::Fresh,
             requests: 64,
             size_range: (40, 80),
             interactive_fraction: 0.25,
@@ -151,6 +178,32 @@ impl WorkloadConfig {
     pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
         self.arrivals = arrivals;
         self
+    }
+
+    /// Sets the request mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a popular-routes pool is empty or its exponent is not finite and
+    /// non-negative.
+    #[must_use]
+    pub fn with_mix(mut self, mix: RequestMix) -> Self {
+        if let RequestMix::PopularRoutes { routes, exponent } = mix {
+            assert!(routes > 0, "a popular-routes pool needs at least one route");
+            assert!(
+                exponent.is_finite() && exponent >= 0.0,
+                "Zipf exponent must be finite and non-negative"
+            );
+        }
+        self.mix = mix;
+        self
+    }
+
+    /// Shorthand for a Zipf-skewed popular-routes mix (see
+    /// [`RequestMix::PopularRoutes`]).
+    #[must_use]
+    pub fn with_popular_routes(self, routes: usize, exponent: f64) -> Self {
+        self.with_mix(RequestMix::PopularRoutes { routes, exponent })
     }
 
     /// Sets the request count.
@@ -224,6 +277,35 @@ impl Workload {
             "arrival rate must be positive"
         );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        // Popular-routes mix: materialise the route pool and the Zipf CDF up front
+        // (a dedicated RNG keeps the pool independent of the arrival stream).
+        let pool = match config.mix {
+            RequestMix::Fresh => None,
+            RequestMix::PopularRoutes { routes, exponent } => {
+                let mut pool_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+                let (min, max) = config.size_range;
+                let instances: Vec<TspInstance> = (0..routes)
+                    .map(|route| {
+                        let n = pool_rng.gen_range(min..=max);
+                        let seed = config
+                            .seed
+                            .wrapping_add((route as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
+                        config.scenario.generate(
+                            &format!("wl-{}-route{}", config.scenario.label(), route),
+                            n,
+                            seed,
+                        )
+                    })
+                    .collect();
+                let mut cumulative = Vec::with_capacity(routes);
+                let mut total = 0.0f64;
+                for route in 0..routes {
+                    total += ((route + 1) as f64).powf(exponent).recip();
+                    cumulative.push(total);
+                }
+                Some((instances, cumulative, total))
+            }
+        };
         let mut events = Vec::with_capacity(config.requests);
         let mut clock = 0.0f64;
         let mut burst_remaining = 0usize;
@@ -243,14 +325,26 @@ impl Workload {
                     burst_remaining -= 1;
                 }
             }
-            let (min, max) = config.size_range;
-            let n = rng.gen_range(min..=max);
+            let instance = match &pool {
+                Some((instances, cumulative, total)) => {
+                    // Inverse-CDF Zipf sample over the popularity ranks.
+                    let u: f64 = rng.gen::<f64>() * total;
+                    let rank = cumulative
+                        .partition_point(|&c| c <= u)
+                        .min(instances.len() - 1);
+                    instances[rank].clone()
+                }
+                None => {
+                    let (min, max) = config.size_range;
+                    let n = rng.gen_range(min..=max);
+                    let name = format!("wl-{}-{}", config.scenario.label(), index);
+                    let instance_seed = config
+                        .seed
+                        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    config.scenario.generate(&name, n, instance_seed)
+                }
+            };
             let interactive = rng.gen_bool(config.interactive_fraction);
-            let name = format!("wl-{}-{}", config.scenario.label(), index);
-            let instance_seed = config
-                .seed
-                .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            let instance = config.scenario.generate(&name, n, instance_seed);
             let mut request = DispatchRequest::new(instance);
             if interactive {
                 request = request.with_priority(Priority::Interactive);
@@ -398,6 +492,70 @@ mod tests {
                 assert!(event.request.instance.name().starts_with("wl-"));
             }
         }
+    }
+
+    #[test]
+    fn popular_routes_draw_from_a_fixed_pool() {
+        let workload = Workload::generate(
+            WorkloadConfig::new(Scenario::CityDistricts { districts: 3 })
+                .with_requests(200)
+                .with_popular_routes(8, 1.0)
+                .with_seed(17),
+        );
+        let mut names = std::collections::HashSet::new();
+        for event in workload.events() {
+            let name = event.request.instance.name().to_string();
+            assert!(name.contains("-route"), "pool instance name: {name}");
+            names.insert(name);
+        }
+        assert!(
+            names.len() <= 8,
+            "at most 8 distinct routes, got {}",
+            names.len()
+        );
+        // Identical routes are bit-identical instances (what a cache keys on).
+        let first = &workload.events()[0].request.instance;
+        let repeat = workload
+            .events()
+            .iter()
+            .skip(1)
+            .find(|e| e.request.instance.name() == first.name())
+            .expect("200 Zipf draws over 8 routes repeat the head");
+        assert_eq!(&repeat.request.instance, first);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic_on_head_routes() {
+        let count_rank0 = |exponent: f64| {
+            let workload = Workload::generate(
+                WorkloadConfig::new(Scenario::Uniform)
+                    .with_requests(400)
+                    .with_popular_routes(16, exponent)
+                    .with_seed(5),
+            );
+            workload
+                .events()
+                .iter()
+                .filter(|e| e.request.instance.name().ends_with("route0"))
+                .count()
+        };
+        let uniform = count_rank0(0.0);
+        let skewed = count_rank0(1.2);
+        // Uniform: ~25 of 400. Zipf 1.2 over 16 routes: rank 0 carries ~30%.
+        assert!(uniform < 60, "uniform head share too large: {uniform}");
+        assert!(skewed > 80, "skewed head share too small: {skewed}");
+    }
+
+    #[test]
+    fn popular_routes_are_deterministic_in_the_seed() {
+        let config = WorkloadConfig::new(Scenario::PcbDrilling)
+            .with_requests(50)
+            .with_popular_routes(4, 0.9)
+            .with_seed(123);
+        assert_eq!(
+            Workload::generate(config.clone()),
+            Workload::generate(config)
+        );
     }
 
     #[test]

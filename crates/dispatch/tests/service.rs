@@ -2,9 +2,10 @@
 //! priority scheduling, graceful degradation, admission policies under load, and
 //! metrics coherence.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use taxi::{SolverBackend, TaxiConfig, TaxiSolver};
+use taxi::{SolutionCache, SolverBackend, TaxiConfig, TaxiSolver};
 use taxi_dispatch::{
     AdmissionPolicy, ArrivalProcess, BatchPolicy, DispatchConfig, DispatchOutcome, DispatchRequest,
     DispatchService, Priority, Scenario, Ticket, Workload, WorkloadConfig,
@@ -289,4 +290,221 @@ fn snapshot_reflects_a_served_workload() {
         .unwrap();
     assert!(snapshot.stage_seconds[solve_index] > 0.0);
     assert!(snapshot.throughput_per_sec > 0.0);
+}
+
+/// With a cache attached, a repeat submission is served at admission — bypassing the
+/// queue — and its tour is bit-identical to both the first (solved) response and an
+/// offline solve. Snapshots carry the cache statistics.
+#[test]
+fn cache_serves_repeats_bit_identical_without_resolving() {
+    let instances = workload(1, 61);
+    let instance = &instances[0];
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(2)
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let first = service
+        .submit(DispatchRequest::new(instance.clone()))
+        .expect("admitted")
+        .wait()
+        .solved()
+        .expect("solved");
+    assert!(!first.cache_hit);
+    let second = service
+        .submit(DispatchRequest::new(instance.clone()))
+        .expect("admitted")
+        .wait()
+        .solved()
+        .expect("served");
+    assert!(second.cache_hit, "repeat must be served from the cache");
+    assert_eq!(second.queue_wait, Duration::ZERO);
+    assert_eq!(second.solve_time, Duration::ZERO);
+    let offline = TaxiSolver::new(solver_config()).solve(instance).unwrap();
+    assert_eq!(first.solution.tour, offline.tour);
+    assert_eq!(second.solution.tour, offline.tour);
+    assert_eq!(second.solution.length.to_bits(), offline.length.to_bits());
+
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 2);
+    assert_eq!(snapshot.cache_hits, 1);
+    assert_eq!(snapshot.solved_fresh(), 1);
+    let cache = snapshot.cache.expect("snapshot carries cache stats");
+    assert_eq!(cache.hits, 1);
+    assert_eq!(cache.exact_hits, 1);
+    assert_eq!(cache.insertions, 1);
+    assert_eq!(cache.entries, 1);
+    assert!(snapshot.one_line().contains("cache"));
+    assert!(snapshot.to_json().contains("\"cache\":"));
+}
+
+/// A permuted resubmission of a cached geometry is served by canonical remap: a
+/// valid tour over the request's own indexing with bit-identical cost.
+#[test]
+fn permuted_resubmissions_are_served_by_canonical_remap() {
+    let instances = workload(1, 67);
+    let instance = &instances[0];
+    let coords = instance.coordinates().unwrap();
+    let n = coords.len();
+    let rotated: Vec<(f64, f64)> = (0..n).map(|i| coords[(i + 7) % n]).collect();
+    let permuted =
+        TspInstance::from_coordinates("rotated", rotated, instance.edge_weight_kind()).unwrap();
+
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(1)
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let first = service
+        .submit(DispatchRequest::new(instance.clone()))
+        .expect("admitted")
+        .wait()
+        .solved()
+        .expect("solved");
+    let served = service
+        .submit(DispatchRequest::new(permuted.clone()))
+        .expect("admitted")
+        .wait()
+        .solved()
+        .expect("served");
+    assert!(served.cache_hit);
+    assert!(served.solution.tour.is_valid_for(&permuted));
+    assert_eq!(
+        served.solution.tour.length(&permuted).to_bits(),
+        first.solution.length.to_bits(),
+        "remapped tour cost is bit-identical to the cached solve"
+    );
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.cache.unwrap().remapped_hits, 1);
+}
+
+/// A burst of identical requests across multiple workers coalesces into exactly one
+/// solve: every ticket resolves with the same tour, and the snapshot's bookkeeping
+/// (fresh + hits + coalesced) adds up.
+#[test]
+fn concurrent_identical_requests_coalesce_into_one_solve() {
+    const K: usize = 16;
+    let instances = workload(1, 71);
+    let instance = &instances[0];
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(4)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(2)
+                    .with_linger(Duration::ZERO),
+            )
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let tickets: Vec<Ticket> = (0..K)
+        .map(|_| {
+            service
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    let offline = TaxiSolver::new(solver_config()).solve(instance).unwrap();
+    for ticket in tickets {
+        let served = ticket.wait().solved().expect("served");
+        assert_eq!(served.solution.tour, offline.tour);
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, K as u64);
+    assert_eq!(
+        snapshot.solved_fresh(),
+        1,
+        "one solve serves the whole burst (got {} fresh, {} hits, {} coalesced)",
+        snapshot.solved_fresh(),
+        snapshot.cache_hits,
+        snapshot.coalesced,
+    );
+    assert_eq!(snapshot.cache.unwrap().insertions, 1);
+}
+
+/// A leader whose solve fails fails only its own ticket: coalesced followers are
+/// re-solved individually (here the failure is systematic, so each gets its own
+/// error — but each gets one, nobody hangs).
+#[test]
+fn failed_leader_fails_only_itself_and_followers_resolve() {
+    const K: usize = 6;
+    let unsolvable = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(2)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(3)
+                    .with_linger(Duration::ZERO),
+            )
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let tickets: Vec<Ticket> = (0..K)
+        .map(|_| {
+            service
+                .submit(DispatchRequest::new(unsolvable.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        assert!(
+            matches!(ticket.wait(), DispatchOutcome::Failed(_)),
+            "every ticket resolves with its own failure"
+        );
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.failed, K as u64);
+    assert_eq!(snapshot.completed, 0);
+    assert_eq!(
+        snapshot.cache.unwrap().insertions,
+        0,
+        "failures are never cached"
+    );
+}
+
+/// Zipf popular-routes traffic through a cached service: most requests avoid a
+/// solve, and every response stays bit-identical to the offline solve of its
+/// instance.
+#[test]
+fn zipf_workload_mostly_hits_the_cache() {
+    let events = Workload::generate(
+        WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+            .with_requests(40)
+            .with_size_range(30, 50)
+            .with_interactive_fraction(0.0)
+            .with_popular_routes(4, 1.1)
+            .with_seed(83),
+    )
+    .into_events();
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config())
+            .with_workers(2)
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let offline = TaxiSolver::new(solver_config());
+    let submissions: Vec<(TspInstance, Ticket)> = events
+        .into_iter()
+        .map(|event| {
+            let instance = event.request.instance.clone();
+            let ticket = service.submit(event.request).expect("admitted");
+            (instance, ticket)
+        })
+        .collect();
+    for (instance, ticket) in submissions {
+        let served = ticket.wait().solved().expect("served");
+        let reference = offline.solve(&instance).unwrap();
+        assert_eq!(served.solution.tour, reference.tour);
+    }
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 40);
+    assert!(
+        snapshot.solved_fresh() <= 4,
+        "at most one solve per distinct route, got {}",
+        snapshot.solved_fresh()
+    );
+    assert!(snapshot.solve_avoidance_rate() >= 0.9);
 }

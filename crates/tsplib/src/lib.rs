@@ -12,6 +12,8 @@
 //! * [`generator`] — deterministic synthetic instance generators (uniform, clustered,
 //!   ring-logistics, drilling-grid) used when the original files are not available
 //!   offline (see DESIGN.md, substitutions) and by the dispatch workload engine,
+//! * [`fingerprint`] — exact and permutation-invariant canonical instance
+//!   fingerprints (the solution cache's identity layer),
 //! * [`tour`] — the [`Tour`] type with validation and length evaluation,
 //! * [`optima`] / [`benchmark`] — the 20-instance benchmark suite with the published
 //!   Concorde optima, and a loader that transparently falls back to synthetic instances
@@ -34,6 +36,7 @@
 
 pub mod benchmark;
 pub mod error;
+pub mod fingerprint;
 pub mod generator;
 pub mod instance;
 pub mod optima;
@@ -44,6 +47,7 @@ pub mod writer;
 
 pub use benchmark::{benchmark_suite, load_or_generate, BenchmarkInstance};
 pub use error::TsplibError;
+pub use fingerprint::{Fingerprint, FingerprintScratch};
 pub use instance::{EdgeWeightKind, TspInstance};
 pub use optima::known_optimum;
 pub use parser::parse_tsp;

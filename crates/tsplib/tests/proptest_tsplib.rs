@@ -115,3 +115,102 @@ proptest! {
         }
     }
 }
+
+/// A deterministic Fisher–Yates permutation of `0..n` derived from `seed` (the
+/// vendored proptest subset has no shuffle strategy; a SplitMix-style LCG is plenty
+/// for generating permutations).
+fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        state
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Permuting city order never changes the canonical fingerprint, and the
+    /// returned permutations map canonical positions of both submissions onto
+    /// identical coordinates.
+    #[test]
+    fn canonical_fingerprint_is_permutation_invariant(
+        coords in coords_strategy(25),
+        seed in 0u64..1_000_000,
+    ) {
+        use taxi_tsplib::fingerprint::canonical_fingerprint;
+
+        let original =
+            TspInstance::from_coordinates("orig", coords.clone(), EdgeWeightKind::Euclidean)
+                .unwrap();
+        let perm = seeded_permutation(coords.len(), seed);
+        let shuffled_coords: Vec<(f64, f64)> = perm.iter().map(|&i| coords[i]).collect();
+        let shuffled =
+            TspInstance::from_coordinates("shuf", shuffled_coords, EdgeWeightKind::Euclidean)
+                .unwrap();
+
+        let (fp_a, perm_a) = canonical_fingerprint(&original);
+        let (fp_b, perm_b) = canonical_fingerprint(&shuffled);
+        prop_assert_eq!(fp_a, fp_b);
+        for k in 0..coords.len() {
+            let ca = original.coordinates().unwrap()[perm_a[k] as usize];
+            let cb = shuffled.coordinates().unwrap()[perm_b[k] as usize];
+            prop_assert_eq!(ca, cb);
+        }
+        // The exact fingerprint, by contrast, tracks the stored order.
+        use taxi_tsplib::fingerprint::exact_fingerprint;
+        let same_order = TspInstance::from_coordinates(
+            "copy",
+            coords.clone(),
+            EdgeWeightKind::Euclidean,
+        )
+        .unwrap();
+        prop_assert_eq!(exact_fingerprint(&original), exact_fingerprint(&same_order));
+    }
+
+    /// Distinct geometries produced by the suite's generators never collide — for
+    /// either fingerprint.
+    #[test]
+    fn distinct_generator_geometries_never_collide(
+        seed_a in 0u64..5_000,
+        seed_b in 0u64..5_000,
+        n in 5usize..40,
+    ) {
+        use taxi_tsplib::fingerprint::{canonical_fingerprint, exact_fingerprint};
+        use taxi_tsplib::generator::clustered_instance;
+
+        prop_assume!(seed_a != seed_b);
+        let a = clustered_instance("a", n, 3, seed_a);
+        let b = clustered_instance("b", n, 3, seed_b);
+        prop_assume!(a.coordinates() != b.coordinates());
+        prop_assert_ne!(exact_fingerprint(&a), exact_fingerprint(&b));
+        prop_assert_ne!(canonical_fingerprint(&a).0, canonical_fingerprint(&b).0);
+    }
+
+    /// The canonical permutation is always a valid permutation of `0..n`, so any
+    /// cached tour remapped through it stays a valid tour.
+    #[test]
+    fn canonical_permutations_are_permutations(coords in coords_strategy(30)) {
+        use taxi_tsplib::fingerprint::canonical_fingerprint;
+
+        let instance =
+            TspInstance::from_coordinates("perm", coords.clone(), EdgeWeightKind::Euclidean)
+                .unwrap();
+        let (_, perm) = canonical_fingerprint(&instance);
+        let mut seen = vec![false; coords.len()];
+        for &p in &perm {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,319 @@
+//! Solution-cache load harness: quantifies what serving-side memoization buys under
+//! realistic repeat-heavy traffic, emitting `BENCH_cache.json` (a CI artifact
+//! alongside `BENCH_dispatch.json`).
+//!
+//! Three experiments:
+//!
+//! * **Hit rate vs. skew** — a popular-routes workload replayed through a cached
+//!   service at increasing Zipf exponents. The more skewed the popularity, the more
+//!   traffic the cache absorbs; exponent 0 (uniform over the pool) lower-bounds the
+//!   benefit at pool-size/requests.
+//! * **Throughput uplift vs. cache-off** — the same Zipf-skewed closed loop
+//!   (a pool of client threads, one request in flight each) against a cache-on and
+//!   a cache-off service. Cache-on serves repeats at admission — no queue, no
+//!   worker, no solve — so achieved throughput is bounded by the fingerprint probe,
+//!   not the solver. The acceptance bar for this artifact is a ≥ 5x uplift.
+//! * **Coalescing under burst** — a cold-cache burst of identical requests. The
+//!   first becomes the singleflight leader; everything else coalesces onto its
+//!   solve (or hits the cache at admission after it lands). The coalescing factor
+//!   is completed-per-fresh-solve.
+//!
+//! Run with `cargo run --release --example cache_bench`; set `TAXI_CACHE_SMOKE=1`
+//! (CI) for a fast smoke-scale run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxi::cache::CachePolicy;
+use taxi::{SolutionCache, SolverBackend, TaxiConfig};
+use taxi_bench::json::{JsonArray, JsonObject};
+use taxi_dispatch::{
+    AdmissionPolicy, BatchPolicy, DispatchConfig, DispatchRequest, DispatchService, Scenario,
+    ServiceSnapshot, Ticket, Workload, WorkloadConfig,
+};
+use taxi_tsplib::TspInstance;
+
+struct Scale {
+    smoke: bool,
+    workers: usize,
+    clients: usize,
+    replay_requests: usize,
+    closed_duration: Duration,
+    burst: usize,
+}
+
+impl Scale {
+    fn detect() -> Self {
+        let smoke = std::env::var("TAXI_CACHE_SMOKE").is_ok_and(|v| v != "0");
+        if smoke {
+            Self {
+                smoke,
+                workers: 2,
+                clients: 16,
+                replay_requests: 150,
+                closed_duration: Duration::from_millis(400),
+                burst: 24,
+            }
+        } else {
+            Self {
+                smoke,
+                workers: 4,
+                clients: 48,
+                replay_requests: 1200,
+                closed_duration: Duration::from_secs(2),
+                burst: 64,
+            }
+        }
+    }
+}
+
+/// The serving configuration: clustered "popular route" geometries under the
+/// NN+2-opt backend — cheap enough to saturate quickly, expensive enough that a
+/// fingerprint probe beats a solve by orders of magnitude.
+fn solver_config() -> TaxiConfig {
+    TaxiConfig::new()
+        .with_seed(29)
+        .with_backend(SolverBackend::NnTwoOpt)
+}
+
+fn service(scale: &Scale, cache: Option<Arc<SolutionCache>>) -> DispatchService {
+    let mut config = DispatchConfig::new()
+        .with_solver(solver_config())
+        .with_workers(scale.workers)
+        .with_queue_capacity((scale.clients / 2).max(8))
+        .with_admission(AdmissionPolicy::Block)
+        .with_batch(
+            BatchPolicy::new()
+                .with_max_batch(8)
+                .with_linger(Duration::from_micros(200)),
+        );
+    if let Some(cache) = cache {
+        config = config.with_cache(cache);
+    }
+    DispatchService::start(config)
+}
+
+fn zipf_instances(requests: usize, routes: usize, exponent: f64, seed: u64) -> Vec<TspInstance> {
+    Workload::generate(
+        WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+            .with_requests(requests)
+            .with_size_range(40, 60)
+            .with_interactive_fraction(0.0)
+            .with_popular_routes(routes, exponent)
+            .with_seed(seed),
+    )
+    .into_events()
+    .into_iter()
+    .map(|event| event.request.instance)
+    .collect()
+}
+
+struct SkewArm {
+    exponent: f64,
+    snapshot: ServiceSnapshot,
+}
+
+/// Replays a Zipf workload through a cached service whose cache is deliberately
+/// **smaller than the route pool** (8 entries vs 32 routes): with uniform
+/// popularity the LRU thrashes, while Zipf skew keeps the head routes resident —
+/// this is where skew, not just repetition, earns hit rate. Submissions are waited
+/// in windows so hits can land behind the solve that seeds them.
+fn hit_rate_vs_skew(scale: &Scale, exponent: f64, routes: usize) -> SkewArm {
+    let instances = zipf_instances(scale.replay_requests, routes, exponent, 31);
+    let small_cache = SolutionCache::new(
+        CachePolicy::new()
+            .with_shards(1)
+            .with_max_entries(routes / 4),
+    );
+    let service = service(scale, Some(Arc::new(small_cache)));
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(64);
+    for chunk in instances.chunks(64) {
+        for instance in chunk {
+            tickets.push(
+                service
+                    .submit(DispatchRequest::new(instance.clone()))
+                    .expect("admitted"),
+            );
+        }
+        for ticket in tickets.drain(..) {
+            let _ = ticket.wait();
+        }
+    }
+    SkewArm {
+        exponent,
+        snapshot: service.shutdown(),
+    }
+}
+
+struct ClosedArm {
+    throughput_per_sec: f64,
+    snapshot: ServiceSnapshot,
+}
+
+/// Closed-loop saturation over a Zipf-skewed request stream, cache on or off.
+fn closed_loop(scale: &Scale, cache: Option<Arc<SolutionCache>>) -> ClosedArm {
+    let stream = Arc::new(zipf_instances(512, 16, 1.1, 47));
+    let service = service(scale, cache);
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..scale.clients {
+            let service = &service;
+            let stream = Arc::clone(&stream);
+            let completed = &completed;
+            let deadline = started + scale.closed_duration;
+            scope.spawn(move || {
+                let mut i = client;
+                while Instant::now() < deadline {
+                    let instance = stream[i % stream.len()].clone();
+                    i += scale.clients;
+                    let Ok(ticket) = service.submit(DispatchRequest::new(instance)) else {
+                        break;
+                    };
+                    if ticket.wait().solved().is_some() {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    ClosedArm {
+        throughput_per_sec: completed.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        snapshot: service.shutdown(),
+    }
+}
+
+/// Cold-cache burst of identical requests: measures the coalescing factor. The
+/// burst service uses the paper's Ising-macro backend (a solve costing
+/// milliseconds, not microseconds), a queue deep enough to hold the whole burst,
+/// and small zero-linger batches across all workers — so several workers drain
+/// duplicates *while* the leader is still solving, exercising the in-flight
+/// attachment path (not just late cache hits).
+fn coalescing_burst(scale: &Scale) -> ServiceSnapshot {
+    let instance = zipf_instances(1, 1, 0.0, 53).pop().expect("one route");
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(TaxiConfig::new().with_seed(29))
+            .with_workers(scale.workers)
+            .with_queue_capacity(scale.burst)
+            .with_admission(AdmissionPolicy::Block)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(2)
+                    .with_linger(Duration::ZERO),
+            )
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let tickets: Vec<Ticket> = (0..scale.burst)
+        .map(|_| {
+            service
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    service.shutdown()
+}
+
+fn main() {
+    let scale = Scale::detect();
+    println!(
+        "cache load harness ({} scale: {} workers, {} clients)",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.workers,
+        scale.clients,
+    );
+
+    // Hit rate vs. Zipf skew (cache capacity-constrained to a quarter of the pool).
+    let routes = 32;
+    let skew_arms: Vec<SkewArm> = [0.0, 0.6, 1.1]
+        .into_iter()
+        .map(|exponent| {
+            let arm = hit_rate_vs_skew(&scale, exponent, routes);
+            println!(
+                "  skew s={exponent:>3.1}: {:.1}% of {} requests avoided a solve ({} fresh)",
+                arm.snapshot.solve_avoidance_rate() * 100.0,
+                arm.snapshot.completed,
+                arm.snapshot.solved_fresh(),
+            );
+            arm
+        })
+        .collect();
+
+    // Throughput uplift at skewed load, cache-on vs cache-off.
+    let off = closed_loop(&scale, None);
+    let on = closed_loop(&scale, Some(Arc::new(SolutionCache::with_defaults())));
+    let uplift = on.throughput_per_sec / off.throughput_per_sec;
+    println!(
+        "  closed loop cache-off: {:8.0} req/s | cache-on: {:8.0} req/s | uplift {uplift:.2}x",
+        off.throughput_per_sec, on.throughput_per_sec,
+    );
+    println!("    off: {}", off.snapshot.one_line());
+    println!("    on:  {}", on.snapshot.one_line());
+
+    // Coalescing under a cold burst.
+    let burst = coalescing_burst(&scale);
+    let coalescing_factor = burst.completed as f64 / burst.solved_fresh().max(1) as f64;
+    println!(
+        "  burst of {}: {} fresh solve(s), {} coalesced, {} cache hits → factor {:.1}x",
+        scale.burst,
+        burst.solved_fresh(),
+        burst.coalesced,
+        burst.cache_hits,
+        coalescing_factor,
+    );
+
+    let skew_arm = |arm: &SkewArm| {
+        JsonObject::new()
+            .num("exponent", arm.exponent, 2)
+            .uint("routes", routes as u64)
+            .uint("requests", arm.snapshot.completed)
+            .uint("solved_fresh", arm.snapshot.solved_fresh())
+            .uint("cache_hits", arm.snapshot.cache_hits)
+            .uint("coalesced", arm.snapshot.coalesced)
+            .num("solve_avoidance", arm.snapshot.solve_avoidance_rate(), 4)
+            .num(
+                "cache_hit_rate",
+                arm.snapshot.cache.as_ref().map_or(0.0, |c| c.hit_rate()),
+                4,
+            )
+            .raw("snapshot", &arm.snapshot.to_json())
+    };
+    let artifact = JsonObject::new()
+        .str("bench", "cache")
+        .bool("smoke", scale.smoke)
+        .uint("workers", scale.workers as u64)
+        .object(
+            "hit_rate_vs_skew",
+            JsonObject::new().array(
+                "arms",
+                JsonArray::from_objects(skew_arms.iter().map(skew_arm)),
+            ),
+        )
+        .object(
+            "throughput_uplift",
+            JsonObject::new()
+                .uint("clients", scale.clients as u64)
+                .num("duration_secs", scale.closed_duration.as_secs_f64(), 3)
+                .num("cache_off_per_sec", off.throughput_per_sec, 1)
+                .num("cache_on_per_sec", on.throughput_per_sec, 1)
+                .num("uplift", uplift, 3)
+                .raw("cache_on_snapshot", &on.snapshot.to_json()),
+        )
+        .object(
+            "coalescing",
+            JsonObject::new()
+                .uint("burst", scale.burst as u64)
+                .uint("completed", burst.completed)
+                .uint("solved_fresh", burst.solved_fresh())
+                .uint("coalesced", burst.coalesced)
+                .uint("cache_hits", burst.cache_hits)
+                .num("coalescing_factor", coalescing_factor, 2),
+        );
+    std::fs::write("BENCH_cache.json", artifact.render()).expect("write BENCH_cache.json");
+    println!("wrote BENCH_cache.json");
+}

@@ -20,12 +20,12 @@
 //! Run with `cargo run --release --example dispatch_bench`; set
 //! `TAXI_DISPATCH_SMOKE=1` (CI) for a fast smoke-scale run.
 
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use taxi::{SolverBackend, TaxiConfig};
+use taxi_bench::json::{JsonArray, JsonObject};
 use taxi_dispatch::{
     AdmissionPolicy, BatchPolicy, DispatchConfig, DispatchRequest, DispatchService, Scenario,
     ServiceSnapshot, Workload, WorkloadConfig,
@@ -248,72 +248,63 @@ fn main() {
         for fraction in [0.5, 0.9, 1.5] {
             let arm = open_loop(&scale, policy, capacity * fraction);
             println!(
-                "  open loop {:<11} offered {:8.0}/s: achieved {:8.0}/s, p99 {:.0}µs, shed {}, rejected {}",
+                "  open loop {:<11} offered {:8.0}/s: {}",
                 arm.policy.to_string(),
                 arm.offered_per_sec,
-                arm.achieved_per_sec,
-                micros(arm.snapshot.end_to_end.p99),
-                arm.snapshot.shed,
-                arm.snapshot.rejected,
+                arm.snapshot.one_line(),
             );
             open_arms.push(arm);
         }
     }
 
-    // Emit BENCH_dispatch.json.
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"dispatch\",");
-    let _ = writeln!(json, "  \"smoke\": {},", scale.smoke);
-    let _ = writeln!(json, "  \"workers\": {},", scale.workers);
-    let _ = writeln!(json, "  \"closed_loop\": {{");
-    let _ = writeln!(json, "    \"clients\": {},", scale.clients);
-    let _ = writeln!(
-        json,
-        "    \"duration_secs\": {:.3},",
-        scale.closed_duration.as_secs_f64()
-    );
-    json.push_str("    \"arms\": [\n");
-    for (index, arm) in [&baseline, &batched].into_iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "      {{ \"max_batch\": {}, \"throughput_per_sec\": {:.1}, \"mean_batch_size\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{}",
-            arm.max_batch,
-            arm.throughput_per_sec,
-            arm.mean_batch_size,
-            micros(arm.p50),
-            micros(arm.p99),
-            if index == 0 { "," } else { "" },
+    // Emit BENCH_dispatch.json via the shared artifact writer.
+    let closed_arm = |arm: &ClosedArm| {
+        JsonObject::new()
+            .uint("max_batch", arm.max_batch as u64)
+            .num("throughput_per_sec", arm.throughput_per_sec, 1)
+            .num("mean_batch_size", arm.mean_batch_size, 3)
+            .num("p50_us", micros(arm.p50), 1)
+            .num("p99_us", micros(arm.p99), 1)
+    };
+    let open_arm = |arm: &OpenArm| {
+        JsonObject::new()
+            .str("policy", &arm.policy.to_string())
+            .num("offered_per_sec", arm.offered_per_sec, 1)
+            .num("achieved_per_sec", arm.achieved_per_sec, 1)
+            .uint("completed", arm.snapshot.completed)
+            .uint("shed", arm.snapshot.shed)
+            .uint("rejected", arm.snapshot.rejected)
+            .uint("degraded", arm.snapshot.degraded)
+            .uint("deadline_misses", arm.snapshot.deadline_misses)
+            .num("queue_wait_p99_us", micros(arm.snapshot.queue_wait.p99), 1)
+            .num("e2e_p50_us", micros(arm.snapshot.end_to_end.p50), 1)
+            .num("e2e_p99_us", micros(arm.snapshot.end_to_end.p99), 1)
+            .raw("snapshot", &arm.snapshot.to_json())
+    };
+    let artifact = JsonObject::new()
+        .str("bench", "dispatch")
+        .bool("smoke", scale.smoke)
+        .uint("workers", scale.workers as u64)
+        .object(
+            "closed_loop",
+            JsonObject::new()
+                .uint("clients", scale.clients as u64)
+                .num("duration_secs", scale.closed_duration.as_secs_f64(), 3)
+                .array(
+                    "arms",
+                    JsonArray::from_objects([&baseline, &batched].map(closed_arm)),
+                )
+                .num("batching_speedup", speedup, 4),
+        )
+        .object(
+            "open_loop",
+            JsonObject::new()
+                .num("capacity_probe_per_sec", capacity, 1)
+                .array(
+                    "arms",
+                    JsonArray::from_objects(open_arms.iter().map(open_arm)),
+                ),
         );
-    }
-    json.push_str("    ],\n");
-    let _ = writeln!(json, "    \"batching_speedup\": {speedup:.4}");
-    json.push_str("  },\n");
-    json.push_str("  \"open_loop\": {\n");
-    let _ = writeln!(json, "    \"capacity_probe_per_sec\": {capacity:.1},");
-    json.push_str("    \"arms\": [\n");
-    let arm_count = open_arms.len();
-    for (index, arm) in open_arms.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "      {{ \"policy\": \"{}\", \"offered_per_sec\": {:.1}, \"achieved_per_sec\": {:.1}, \"completed\": {}, \"shed\": {}, \"rejected\": {}, \"degraded\": {}, \"deadline_misses\": {}, \"queue_wait_p99_us\": {:.1}, \"e2e_p50_us\": {:.1}, \"e2e_p99_us\": {:.1} }}{}",
-            arm.policy,
-            arm.offered_per_sec,
-            arm.achieved_per_sec,
-            arm.snapshot.completed,
-            arm.snapshot.shed,
-            arm.snapshot.rejected,
-            arm.snapshot.degraded,
-            arm.snapshot.deadline_misses,
-            micros(arm.snapshot.queue_wait.p99),
-            micros(arm.snapshot.end_to_end.p50),
-            micros(arm.snapshot.end_to_end.p99),
-            if index + 1 == arm_count { "" } else { "," },
-        );
-    }
-    json.push_str("    ]\n");
-    json.push_str("  }\n");
-    json.push_str("}\n");
-    std::fs::write("BENCH_dispatch.json", json).expect("write BENCH_dispatch.json");
+    std::fs::write("BENCH_dispatch.json", artifact.render()).expect("write BENCH_dispatch.json");
     println!("wrote BENCH_dispatch.json");
 }

@@ -19,6 +19,8 @@
 pub use taxi as core;
 pub use taxi_arch as arch;
 pub use taxi_baselines as baselines;
+pub use taxi_bench as bench;
+pub use taxi_cache as cache;
 pub use taxi_cluster as cluster;
 pub use taxi_device as device;
 pub use taxi_dispatch as dispatch;
