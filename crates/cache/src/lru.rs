@@ -37,6 +37,21 @@ impl<T: Weighted + ?Sized> Weighted for std::sync::Arc<T> {
 }
 
 /// Capacity, sharding and expiry policy of a [`ShardedLru`].
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use taxi_cache::CachePolicy;
+///
+/// let policy = CachePolicy::new()
+///     .with_shards(4)
+///     .with_max_entries(1024)
+///     .with_max_bytes(8 << 20)
+///     .with_ttl(Some(Duration::from_secs(300)));
+/// assert_eq!(policy.shards, 4);
+/// assert_eq!(policy.max_entries, 1024);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CachePolicy {
     /// Number of independent shards (rounded up to a power of two).
@@ -254,6 +269,29 @@ impl<K: Hash + Eq + Clone, V: Clone + Weighted> Shard<K, V> {
 
 /// A concurrent LRU cache sharded by key hash. See the [module docs](self) and the
 /// [crate example](crate).
+///
+/// # Example: LRU eviction under an entry bound
+///
+/// ```
+/// use taxi_cache::{CachePolicy, ShardedLru, Weighted};
+///
+/// #[derive(Clone, Debug, PartialEq)]
+/// struct Name(&'static str);
+/// impl Weighted for Name {
+///     fn weight_bytes(&self) -> usize {
+///         self.0.len()
+///     }
+/// }
+///
+/// let cache: ShardedLru<u32, Name> =
+///     ShardedLru::new(CachePolicy::new().with_shards(1).with_max_entries(2));
+/// cache.insert(1, Name("one"));
+/// cache.insert(2, Name("two"));
+/// assert_eq!(cache.get(&1), Some(Name("one"))); // touches 1: now 2 is the oldest
+/// cache.insert(3, Name("three"));               // evicts 2
+/// assert_eq!(cache.get(&2), None);
+/// assert_eq!(cache.stats().evictions, 1);
+/// ```
 #[derive(Debug)]
 pub struct ShardedLru<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,

@@ -143,6 +143,25 @@ pub enum Join<'a, K: Hash + Eq + Clone, V: Clone> {
 }
 
 /// Coalesces concurrent computations of the same key. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use taxi_cache::{FlightOutcome, Join, Singleflight};
+///
+/// let flights: Singleflight<&'static str, u64> = Singleflight::new();
+/// // First caller is elected leader and computes.
+/// let Join::Leader(token) = flights.join("answer") else {
+///     panic!("no flight in progress yet");
+/// };
+/// // A concurrent caller becomes a follower of the same flight.
+/// let Join::Follower(ticket) = flights.join("answer") else {
+///     panic!("leader already in flight");
+/// };
+/// token.complete(42);
+/// assert_eq!(ticket.wait().complete(), Some(42));
+/// assert_eq!(flights.in_flight(), 0);
+/// ```
 #[derive(Debug)]
 pub struct Singleflight<K, V> {
     flights: Mutex<HashMap<K, Arc<FlightState<V>>>>,

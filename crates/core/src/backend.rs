@@ -185,6 +185,17 @@ impl SolverBackend {
         SolverBackend::Exact,
     ];
 
+    /// The backend's position in [`SolverBackend::ALL`], usable for flat
+    /// per-backend tables (profiler cells, routed-count metrics).
+    pub fn index(self) -> usize {
+        match self {
+            SolverBackend::IsingMacro => 0,
+            SolverBackend::NnTwoOpt => 1,
+            SolverBackend::GreedyEdge => 2,
+            SolverBackend::Exact => 3,
+        }
+    }
+
     /// The stable identifier of the backend ([`TourSolver::name`] of its instances).
     pub fn label(self) -> &'static str {
         match self {
@@ -650,5 +661,8 @@ mod tests {
             ["ising-macro", "nn-2opt", "greedy-edge", "exact-dp"]
         );
         assert_eq!(SolverBackend::Exact.to_string(), "exact-dp");
+        for backend in SolverBackend::ALL {
+            assert_eq!(SolverBackend::ALL[backend.index()], backend);
+        }
     }
 }

@@ -11,6 +11,61 @@ use taxi_xbar::{BitPrecision, MacroConfig};
 use crate::backend::{SolverBackend, TourSolver};
 use crate::TaxiError;
 
+/// How the solver picks its sub-problem backend.
+///
+/// The default is a single fixed [`SolverBackend`] for every solve. `Adaptive`
+/// engages the per-instance [`AdaptiveRouter`](crate::router::AdaptiveRouter): the
+/// backend is chosen per instance from online latency/quality profiles (see the
+/// [`router`](crate::router) module). A routed solve is bit-identical to solving
+/// with the chosen backend directly — the choice only selects, it never alters the
+/// pipeline.
+///
+/// # Example
+///
+/// ```
+/// use taxi::{BackendChoice, SolverBackend, TaxiConfig};
+///
+/// let fixed = TaxiConfig::new().with_backend(SolverBackend::Exact);
+/// assert_eq!(fixed.backend_choice(), BackendChoice::Fixed(SolverBackend::Exact));
+///
+/// let adaptive = TaxiConfig::new().with_backend_choice(BackendChoice::Adaptive);
+/// assert_eq!(adaptive.backend_choice(), BackendChoice::Adaptive);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// Every solve uses this backend (the paper's Ising macro by default).
+    Fixed(SolverBackend),
+    /// The backend is routed per instance by an adaptive router.
+    Adaptive,
+}
+
+impl Default for BackendChoice {
+    fn default() -> Self {
+        BackendChoice::Fixed(SolverBackend::default())
+    }
+}
+
+impl BackendChoice {
+    /// The fixed backend, or the workspace default under `Adaptive` (used by entry
+    /// points that need one concrete backend, e.g. a dispatch worker's degraded
+    /// fallback when no router is attached).
+    pub fn fixed_or_default(self) -> SolverBackend {
+        match self {
+            BackendChoice::Fixed(backend) => backend,
+            BackendChoice::Adaptive => SolverBackend::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Fixed(backend) => backend.fmt(f),
+            BackendChoice::Adaptive => f.write_str("adaptive"),
+        }
+    }
+}
+
 /// Builder-style configuration of the TAXI solver.
 ///
 /// The defaults match the configuration the paper benchmarks (maximum cluster size 12,
@@ -42,7 +97,7 @@ pub struct TaxiConfig {
     seed: u64,
     threads: usize,
     arch_override: Option<ArchConfig>,
-    backend: SolverBackend,
+    backend: BackendChoice,
 }
 
 impl TaxiConfig {
@@ -61,7 +116,7 @@ impl TaxiConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             arch_override: None,
-            backend: SolverBackend::default(),
+            backend: BackendChoice::default(),
         }
     }
 
@@ -146,7 +201,9 @@ impl TaxiConfig {
         self
     }
 
-    /// Selects the sub-problem solving backend (the paper's Ising macro by default).
+    /// Selects a fixed sub-problem solving backend (the paper's Ising macro by
+    /// default). Shorthand for
+    /// [`with_backend_choice`](Self::with_backend_choice)`(BackendChoice::Fixed(backend))`.
     ///
     /// # Example
     ///
@@ -157,19 +214,46 @@ impl TaxiConfig {
     /// assert_eq!(config.backend(), SolverBackend::Exact);
     /// ```
     pub fn with_backend(mut self, backend: SolverBackend) -> Self {
-        self.backend = backend;
+        self.backend = BackendChoice::Fixed(backend);
         self
     }
 
-    /// The selected sub-problem solving backend.
+    /// Selects how the sub-problem backend is chosen: one fixed backend for every
+    /// solve, or [`BackendChoice::Adaptive`] per-instance routing (see the
+    /// [`router`](crate::router) module).
+    pub fn with_backend_choice(mut self, choice: BackendChoice) -> Self {
+        self.backend = choice;
+        self
+    }
+
+    /// The selected sub-problem solving backend. Under
+    /// [`BackendChoice::Adaptive`] this reports the workspace default (the backend
+    /// non-routing entry points fall back to); use
+    /// [`backend_choice`](Self::backend_choice) to distinguish.
     pub fn backend(&self) -> SolverBackend {
+        self.backend.fixed_or_default()
+    }
+
+    /// How the sub-problem backend is chosen.
+    pub fn backend_choice(&self) -> BackendChoice {
         self.backend
     }
 
     /// Instantiates the selected backend (the Ising macro backend picks up this
-    /// configuration's precision, capacity, schedule and elitism).
+    /// configuration's precision, capacity, schedule and elitism). Under
+    /// [`BackendChoice::Adaptive`] this builds the fallback
+    /// ([`BackendChoice::fixed_or_default`]) — the routed entry points build the
+    /// per-decision backend through
+    /// [`build_backend_for`](Self::build_backend_for) instead.
     pub fn build_backend(&self) -> Arc<dyn TourSolver> {
-        self.backend.build(self.macro_solver_config())
+        self.build_backend_for(self.backend.fixed_or_default())
+    }
+
+    /// Instantiates a specific backend under this configuration, regardless of the
+    /// configured choice — the routed-solve building block: solving through the
+    /// returned instance is bit-identical to configuring `backend` fixed.
+    pub fn build_backend_for(&self, backend: SolverBackend) -> Arc<dyn TourSolver> {
+        backend.build(self.macro_solver_config())
     }
 
     /// The maximum cluster size.
@@ -245,6 +329,15 @@ impl TaxiConfig {
         // Normalising the thread count folds all thread budgets onto one token.
         format!("{:?}", self.clone().with_threads(1)).hash(&mut hasher);
         hasher.finish()
+    }
+
+    /// The cache token a **routed** solve uses: the token of this configuration
+    /// with `backend` selected fixed. Routed cache keys are scoped per chosen
+    /// backend — two requests routed to different backends must never share an
+    /// entry — and they deliberately equal the token of a service configured with
+    /// that backend fixed, so routed and fixed deployments share cache entries.
+    pub fn routed_cache_token(&self, backend: SolverBackend) -> u64 {
+        self.clone().with_backend(backend).cache_token()
     }
 
     /// Overrides the spatial-architecture description used for latency/energy
@@ -342,7 +435,46 @@ mod tests {
         for backend in SolverBackend::ALL {
             let config = TaxiConfig::new().with_backend(backend);
             assert_eq!(config.backend(), backend);
+            assert_eq!(config.backend_choice(), BackendChoice::Fixed(backend));
             assert_eq!(config.build_backend().name(), backend.label());
         }
+    }
+
+    #[test]
+    fn adaptive_choice_round_trips_and_falls_back() {
+        let config = TaxiConfig::new().with_backend_choice(BackendChoice::Adaptive);
+        assert_eq!(config.backend_choice(), BackendChoice::Adaptive);
+        assert_eq!(config.backend(), SolverBackend::IsingMacro);
+        assert_eq!(config.build_backend().name(), "ising-macro");
+        assert_eq!(BackendChoice::Adaptive.to_string(), "adaptive");
+        // Selecting a fixed backend afterwards replaces the choice entirely.
+        assert_eq!(
+            config.with_backend(SolverBackend::Exact).backend_choice(),
+            BackendChoice::Fixed(SolverBackend::Exact)
+        );
+    }
+
+    #[test]
+    fn routed_cache_tokens_are_scoped_per_backend_and_match_fixed_configs() {
+        let adaptive = TaxiConfig::new()
+            .with_seed(3)
+            .with_backend_choice(BackendChoice::Adaptive);
+        let tokens: Vec<u64> = SolverBackend::ALL
+            .iter()
+            .map(|&b| adaptive.routed_cache_token(b))
+            .collect();
+        for (i, &a) in tokens.iter().enumerate() {
+            for &b in &tokens[i + 1..] {
+                assert_ne!(a, b, "routed tokens must differ per backend");
+            }
+        }
+        // A routed token equals the token of the same config with that backend fixed.
+        let fixed = TaxiConfig::new()
+            .with_seed(3)
+            .with_backend(SolverBackend::NnTwoOpt);
+        assert_eq!(
+            adaptive.routed_cache_token(SolverBackend::NnTwoOpt),
+            fixed.cache_token()
+        );
     }
 }

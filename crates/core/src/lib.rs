@@ -75,14 +75,19 @@ pub mod experiments;
 pub mod pipeline;
 pub mod report;
 pub mod result;
+pub mod router;
 pub mod solver;
 
 pub use backend::{SolverBackend, SolverScratch, SubTour, TourSolver};
 pub use cache::{CacheHit, CacheLookup, SolutionCache, SolutionCacheStats};
-pub use config::TaxiConfig;
+pub use config::{BackendChoice, TaxiConfig};
 pub use context::SolveContext;
 pub use error::TaxiError;
 pub use experiments::ExperimentScale;
 pub use pipeline::{NullObserver, PipelineObserver, SharedObserver, Stage, StageReport};
 pub use result::{EnergyBreakdown, LatencyBreakdown, TaxiSolution};
-pub use solver::{CachedSolve, SolveProvenance, TaxiSolver};
+pub use router::{
+    AdaptiveRouter, BackendProfiler, BackendStats, DecisionKind, InstanceFeatures, RouterConfig,
+    RoutingDecision, SizeBucket,
+};
+pub use solver::{CachedSolve, RoutedSolve, SolveProvenance, TaxiSolver};

@@ -1,0 +1,1380 @@
+//! Adaptive per-instance backend routing.
+//!
+//! PR 1 made the sub-problem solver pluggable; until now every request still ran
+//! whatever single [`SolverBackend`] its configuration was built with, even though the
+//! four built-in backends occupy very different points on the size/latency/quality
+//! trade-off (Held–Karp is optimal but exponential in the sub-problem size; NN+2-opt
+//! is cheap but lossy; the Ising macro models the paper's hardware). This module
+//! closes that gap: an [`AdaptiveRouter`] picks the backend **per instance**, from
+//! measured profiles rather than configuration.
+//!
+//! The decision pipeline is
+//!
+//! ```text
+//! instance ──▶ InstanceFeatures ──▶ BackendProfiler ──▶ RoutingDecision
+//!              (city count,          (per-backend ×       (deadline-feasible,
+//!               dispersion,           per-size-bucket      quality-first exploit
+//!               cluster depth,        EWMA latency +       or ε-greedy explore)
+//!               size bucket)          quality ratios)
+//! ```
+//!
+//! * **Features** are deliberately cheap — one O(n) pass over the coordinates — so
+//!   routing never costs a meaningful fraction of a solve.
+//! * **Profiles** are online: every routed solve feeds its measured latency and its
+//!   tour-cost **quality ratio** back into the profiler. Quality is measured against
+//!   a *shadow reference*: the exact Held–Karp optimum for instances small enough to
+//!   solve exactly ([`RouterConfig::shadow_exact_limit`]), and the best cost seen so
+//!   far for that geometry (any backend) above it.
+//! * **Decisions** obey a deadline-feasibility rule — a backend whose profiled p95
+//!   latency for the instance's size bucket exceeds the remaining slack is never
+//!   chosen while a feasible alternative exists — and an ε-greedy exploration arm
+//!   keeps every profile cell fresh. All randomness comes from one seeded RNG, so a
+//!   router replayed over the same decision sequence makes the same choices.
+//!
+//! The router is engaged by [`BackendChoice::Adaptive`](crate::BackendChoice) (both
+//! in [`TaxiSolver::solve`](crate::TaxiSolver::solve) and in the dispatch service)
+//! or explicitly through [`TaxiSolver::solve_routed`](crate::TaxiSolver::solve_routed).
+//! A routed solve is **bit-identical** to solving with the chosen backend directly:
+//! routing only selects the backend, it never alters the pipeline.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use taxi_baselines::exact::HELD_KARP_LIMIT;
+use taxi_tsplib::fingerprint::{canonical_fingerprint_into, FingerprintScratch};
+use taxi_tsplib::TspInstance;
+
+use crate::backend::SolverBackend;
+
+/// Number of instance-size buckets the profiler distinguishes.
+const BUCKETS: usize = 8;
+
+/// Upper (inclusive) city-count bound of every bucket except the open-ended last.
+const BUCKET_BOUNDS: [usize; BUCKETS - 1] = [16, 32, 64, 128, 256, 512, 1024];
+
+/// An instance-size bucket: profiles are kept per backend **and** per bucket, because
+/// backend latency and quality scale very differently with instance size (what is
+/// instant at 20 cities can be the slowest choice at 500).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SizeBucket(usize);
+
+impl SizeBucket {
+    /// Number of distinct buckets.
+    pub const COUNT: usize = BUCKETS;
+
+    /// The bucket holding instances with `cities` cities.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use taxi::router::SizeBucket;
+    ///
+    /// assert_eq!(SizeBucket::of(10), SizeBucket::of(16));
+    /// assert_ne!(SizeBucket::of(16), SizeBucket::of(17));
+    /// assert_eq!(SizeBucket::of(5000), SizeBucket::of(100_000));
+    /// ```
+    pub fn of(cities: usize) -> Self {
+        let index = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| cities <= bound)
+            .unwrap_or(BUCKETS - 1);
+        Self(index)
+    }
+
+    /// The bucket's index (`0..COUNT`), usable for flat per-bucket tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Short stable label (used in benchmark output), e.g. `"<=64"` or `">1024"`.
+    pub fn label(self) -> &'static str {
+        const LABELS: [&str; BUCKETS] = [
+            "<=16", "<=32", "<=64", "<=128", "<=256", "<=512", "<=1024", ">1024",
+        ];
+        LABELS[self.0]
+    }
+}
+
+impl std::fmt::Display for SizeBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cheap per-instance features the router extracts before deciding (one O(n) pass;
+/// no distance matrix, no clustering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFeatures {
+    /// Number of cities.
+    pub cities: usize,
+    /// Spatial dispersion: RMS distance of the cities from their centroid, normalised
+    /// by the bounding-box diagonal (`0.0` for degenerate/explicit-matrix instances,
+    /// up to ~`0.5` for mass concentrated at the corners). Uniform scatter sits near
+    /// `0.25`; tightly clustered blobs sit lower.
+    pub dispersion: f64,
+    /// Estimated depth of the cluster hierarchy the pipeline will build: the number
+    /// of contraction levels until at most `cluster_capacity` entities remain.
+    pub cluster_depth: usize,
+    /// The profile bucket the instance falls into.
+    pub bucket: SizeBucket,
+}
+
+impl InstanceFeatures {
+    /// Extracts the features of `instance` under the given macro capacity
+    /// (`TaxiConfig::max_cluster_size`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use taxi::router::InstanceFeatures;
+    /// use taxi_tsplib::generator::clustered_instance;
+    ///
+    /// let features = InstanceFeatures::extract(&clustered_instance("f", 90, 5, 1), 12);
+    /// assert_eq!(features.cities, 90);
+    /// assert_eq!(features.cluster_depth, 1); // 90 cities → 8 clusters ≤ one macro
+    /// assert!(features.dispersion > 0.0 && features.dispersion < 0.5);
+    /// ```
+    pub fn extract(instance: &TspInstance, cluster_capacity: usize) -> Self {
+        let cities = instance.dimension();
+        let dispersion = instance
+            .coordinates()
+            .map(dispersion_of)
+            .unwrap_or_default();
+        let capacity = cluster_capacity.max(2);
+        let mut depth = 0usize;
+        let mut entities = cities;
+        while entities > capacity {
+            entities = entities.div_ceil(capacity);
+            depth += 1;
+        }
+        Self {
+            cities,
+            dispersion,
+            cluster_depth: depth,
+            bucket: SizeBucket::of(cities),
+        }
+    }
+}
+
+/// RMS centroid distance over bounding-box diagonal (0 for fewer than two cities or a
+/// degenerate box).
+fn dispersion_of(coords: &[(f64, f64)]) -> f64 {
+    if coords.len() < 2 {
+        return 0.0;
+    }
+    let n = coords.len() as f64;
+    let (sx, sy) = coords
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    let (cx, cy) = (sx / n, sy / n);
+    let mut rms = 0.0;
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in coords {
+        rms += (x - cx).powi(2) + (y - cy).powi(2);
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let diagonal = ((max_x - min_x).powi(2) + (max_y - min_y).powi(2)).sqrt();
+    if diagonal <= 0.0 {
+        return 0.0;
+    }
+    (rms / n).sqrt() / diagonal
+}
+
+/// One profile cell's exponentially weighted statistics.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    samples: u64,
+    /// EWMA of the solve latency, in microseconds.
+    latency_us: f64,
+    /// EWMA of the squared latency deviation (µs²), for the p95 estimate.
+    latency_var_us2: f64,
+    quality_samples: u64,
+    /// EWMA of the tour-cost quality ratio (cost / shadow reference, ≥ 1).
+    quality: f64,
+}
+
+impl Cell {
+    fn record(&mut self, alpha: f64, latency: Duration, quality: Option<f64>) {
+        let us = latency.as_secs_f64() * 1e6;
+        if self.samples == 0 {
+            self.latency_us = us;
+            self.latency_var_us2 = 0.0;
+        } else {
+            let dev = us - self.latency_us;
+            // West's incremental EWMA variance: update the variance with the
+            // pre-update mean's deviation, then move the mean.
+            self.latency_var_us2 = (1.0 - alpha) * (self.latency_var_us2 + alpha * dev * dev);
+            self.latency_us += alpha * dev;
+        }
+        self.samples += 1;
+        if let Some(ratio) = quality {
+            if self.quality_samples == 0 {
+                self.quality = ratio;
+            } else {
+                self.quality += alpha * (ratio - self.quality);
+            }
+            self.quality_samples += 1;
+        }
+    }
+}
+
+/// A read-only copy of one profile cell, as consumed by routing decisions (and
+/// exported into `BENCH_router.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BackendStats {
+    /// Latency observations recorded into this cell.
+    pub samples: u64,
+    /// EWMA mean solve latency.
+    pub mean_latency: Duration,
+    /// Conservative p95 latency estimate (`mean + 2σ` from the EWMA variance — a
+    /// normal-tail bound that deliberately over- rather than under-estimates, since
+    /// the feasibility rule uses it to *exclude* backends).
+    pub p95_latency: Duration,
+    /// Quality observations recorded into this cell (≤ `samples`: a ratio needs a
+    /// shadow reference, which the first observation of a fresh geometry seeds).
+    pub quality_samples: u64,
+    /// EWMA mean quality ratio (tour cost / shadow reference; 1.0 is reference
+    /// quality, 1.05 is 5% worse).
+    pub mean_quality: f64,
+}
+
+impl From<Cell> for BackendStats {
+    fn from(cell: Cell) -> Self {
+        let mean_us = cell.latency_us.max(0.0);
+        let p95_us = mean_us + 2.0 * cell.latency_var_us2.max(0.0).sqrt();
+        Self {
+            samples: cell.samples,
+            mean_latency: Duration::from_secs_f64(mean_us * 1e-6),
+            p95_latency: Duration::from_secs_f64(p95_us * 1e-6),
+            quality_samples: cell.quality_samples,
+            mean_quality: cell.quality,
+        }
+    }
+}
+
+/// A shadow quality reference for one canonical geometry.
+#[derive(Debug, Clone, Copy)]
+struct Reference {
+    cost: f64,
+    /// Exact references (Held–Karp optimum) are final; best-seen references only
+    /// ever decrease.
+    exact: bool,
+    /// Bitmask (by [`SolverBackend::index`]) of backends observed on this geometry.
+    observed: u8,
+    /// The backend that achieved `cost` (for exact references: that matched it).
+    best_backend: Option<SolverBackend>,
+}
+
+/// Online per-backend, per-size-bucket latency and quality profiles.
+///
+/// Thread-safe: cells are individually locked, counters are atomic, and the shadow
+/// reference table is one mutex-guarded map — every operation is O(1) short critical
+/// sections, safe to call from every dispatch worker concurrently.
+#[derive(Debug)]
+pub struct BackendProfiler {
+    alpha: f64,
+    shadow_exact_limit: usize,
+    reference_capacity: usize,
+    cells: [[Mutex<Cell>; BUCKETS]; SolverBackend::ALL.len()],
+    /// Canonical fingerprint → best-known cost for that geometry.
+    references: Mutex<HashMap<u128, Reference>>,
+    /// Reused canonicalisation scratch (fingerprints are computed per routed
+    /// request, not per sub-problem, but there is no reason to allocate for them).
+    fingerprint_scratch: Mutex<FingerprintScratch>,
+    observations: AtomicU64,
+}
+
+impl BackendProfiler {
+    fn new(alpha: f64, shadow_exact_limit: usize, reference_capacity: usize) -> Self {
+        Self {
+            alpha,
+            shadow_exact_limit,
+            reference_capacity,
+            cells: std::array::from_fn(|_| std::array::from_fn(|_| Mutex::new(Cell::default()))),
+            references: Mutex::new(HashMap::new()),
+            fingerprint_scratch: Mutex::new(FingerprintScratch::new()),
+            observations: AtomicU64::new(0),
+        }
+    }
+
+    fn cell(&self, backend: SolverBackend, bucket: SizeBucket) -> &Mutex<Cell> {
+        &self.cells[backend.index()][bucket.index()]
+    }
+
+    /// The instance's canonical-geometry key, via the shared reusable scratch.
+    fn canonical_key(&self, instance: &TspInstance) -> u128 {
+        canonical_fingerprint_into(instance, &mut lock_recovering(&self.fingerprint_scratch))
+            .as_u128()
+    }
+
+    /// Total observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// The current statistics of one (backend, bucket) profile cell.
+    pub fn stats(&self, backend: SolverBackend, bucket: SizeBucket) -> BackendStats {
+        BackendStats::from(*lock_recovering(self.cell(backend, bucket)))
+    }
+
+    /// Records one routed solve: measured `latency` and, when a shadow reference is
+    /// available, the quality ratio (also returned, for metrics).
+    ///
+    /// The shadow reference for the instance's canonical geometry is the Held–Karp
+    /// optimum when `instance` is small enough
+    /// ([`RouterConfig::shadow_exact_limit`], memoised per geometry), and the best
+    /// cost seen so far otherwise. The very first observation of a large geometry
+    /// seeds its reference and scores ratio 1.0.
+    pub fn record(
+        &self,
+        instance: &TspInstance,
+        backend: SolverBackend,
+        latency: Duration,
+        tour_cost: f64,
+    ) -> Option<f64> {
+        let quality = self.quality_ratio(instance, backend, tour_cost);
+        let bucket = SizeBucket::of(instance.dimension());
+        lock_recovering(self.cell(backend, bucket)).record(self.alpha, latency, quality);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        quality
+    }
+
+    /// The per-geometry routing signal for this exact geometry, when the reference
+    /// table has seen it under **at least two** backends (a "best" needs a
+    /// comparison). This is the profiler's sharpest knowledge: repeat-heavy
+    /// traffic (popular routes, recurring panels) converges to the per-geometry
+    /// winner instead of the per-size-bucket average.
+    pub fn geometry_signal(&self, instance: &TspInstance) -> Option<GeometrySignal> {
+        let key = self.canonical_key(instance);
+        let references = lock_recovering(&self.references);
+        references.get(&key).map(|reference| GeometrySignal {
+            best: reference.best_backend,
+            observed: reference.observed,
+        })
+    }
+
+    /// The backend known to produce the best tour for this exact geometry, once at
+    /// least two backends have been compared on it (see
+    /// [`geometry_signal`](Self::geometry_signal)).
+    pub fn geometry_best(&self, instance: &TspInstance) -> Option<SolverBackend> {
+        self.geometry_signal(instance)
+            .filter(|signal| signal.observed_count() >= 2)
+            .and_then(|signal| signal.best)
+    }
+
+    /// Latency-only variant of [`record`](Self::record) for callers that cannot
+    /// produce a cost (failed solves still teach the profiler how long the attempt
+    /// took is deliberately **not** done — errors are not representative latencies).
+    pub fn record_latency(&self, backend: SolverBackend, bucket: SizeBucket, latency: Duration) {
+        lock_recovering(self.cell(backend, bucket)).record(self.alpha, latency, None);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolves the quality ratio of `tour_cost` (achieved by `backend`) against
+    /// the instance's shadow reference, creating or improving the reference — and
+    /// its best-backend attribution — as a side effect. `None` when the
+    /// observation carries no quality information: the reference table is at
+    /// capacity, the cost is non-finite, or this observation **seeds** a
+    /// best-seen reference (a cost compared against itself would always score a
+    /// meaningless 1.0, silently flattering whichever backend happens to see a
+    /// geometry first).
+    fn quality_ratio(
+        &self,
+        instance: &TspInstance,
+        backend: SolverBackend,
+        tour_cost: f64,
+    ) -> Option<f64> {
+        if !tour_cost.is_finite() || tour_cost <= 0.0 {
+            return None;
+        }
+        let key = self.canonical_key(instance);
+        let mut references = lock_recovering(&self.references);
+        let mut seeded = false;
+        let entry = match references.get_mut(&key) {
+            Some(entry) => entry,
+            None => {
+                if references.len() >= self.reference_capacity {
+                    // Table full: stop learning new geometries rather than evict
+                    // (references must stay stable for ratios to be comparable).
+                    return None;
+                }
+                let n = instance.dimension();
+                let reference = if n >= 2 && n <= self.shadow_exact_limit {
+                    let exact = taxi_baselines::held_karp(&instance.full_distance_matrix()).ok();
+                    match exact {
+                        Some(solution) => Reference {
+                            cost: solution.length,
+                            exact: true,
+                            observed: 0,
+                            best_backend: None,
+                        },
+                        None => Reference {
+                            cost: tour_cost,
+                            exact: false,
+                            observed: 0,
+                            best_backend: None,
+                        },
+                    }
+                } else {
+                    Reference {
+                        cost: tour_cost,
+                        exact: false,
+                        observed: 0,
+                        best_backend: None,
+                    }
+                };
+                // A freshly seeded best-seen reference is the observation itself:
+                // no comparison happened, so no ratio is reported.
+                seeded = !reference.exact;
+                references.entry(key).or_insert(reference)
+            }
+        };
+        entry.observed |= 1 << backend.index();
+        if entry.cost <= 0.0 {
+            // A zero-length reference (e.g. all cities coincident) admits no
+            // meaningful ratio.
+            entry.best_backend.get_or_insert(backend);
+            return None;
+        }
+        if !entry.exact && tour_cost < entry.cost {
+            entry.cost = tour_cost;
+            entry.best_backend = Some(backend);
+        } else if tour_cost <= entry.cost * (1.0 + 1e-9) && entry.best_backend.is_none() {
+            // First backend to match the reference (an exact optimum, or the
+            // geometry's own seeding cost) claims the attribution.
+            entry.best_backend = Some(backend);
+        }
+        if seeded {
+            return None;
+        }
+        Some((tour_cost / entry.cost).max(1.0))
+    }
+}
+
+/// Per-geometry routing knowledge: the best backend observed for one exact
+/// geometry, plus which backends have been compared on it. A pin only takes
+/// effect once every *non-dominated feasible* candidate appears in its comparison
+/// set — the router sweeps the remaining candidates over the geometry's first
+/// repeats, so partial early evidence can never permanently lock a better backend
+/// out, and the pin it converges to is the geometry's true per-route winner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometrySignal {
+    /// The backend that achieved the best known cost for this geometry, when one
+    /// has been attributed.
+    pub best: Option<SolverBackend>,
+    /// Bitmask (by [`SolverBackend::index`]) of backends observed on the geometry.
+    observed: u8,
+}
+
+impl GeometrySignal {
+    /// Whether `backend` has been observed (compared) on this geometry.
+    pub fn has_observed(&self, backend: SolverBackend) -> bool {
+        self.observed & (1 << backend.index()) != 0
+    }
+
+    /// Number of distinct backends observed on this geometry.
+    pub fn observed_count(&self) -> u32 {
+        self.observed.count_ones()
+    }
+}
+
+/// Recovers a poisoned cell/reference lock: profile state is plain numeric data,
+/// valid at every point, so a panicking peer must not disable routing.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Configuration of an [`AdaptiveRouter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Exploration probability of the ε-greedy arm (clamped to `0.0..=1.0`).
+    pub epsilon: f64,
+    /// Seed of the router's decision RNG (exploration is deterministic in the seed
+    /// and the decision sequence).
+    pub seed: u64,
+    /// EWMA smoothing factor for the profile statistics (clamped to `(0, 1]`).
+    pub ewma_alpha: f64,
+    /// Minimum samples in a profile cell before its statistics are trusted for
+    /// exploitation and feasibility filtering; colder cells are visited first.
+    pub min_samples: u64,
+    /// Bounded-regret exploration: a **trusted** cell whose mean quality ratio
+    /// exceeds the best trusted feasible cell's by more than this bound is
+    /// excluded from the ε-greedy draw (it is strongly dominated — re-sampling it
+    /// costs real quality and cannot change the ranking of static backends).
+    /// Cold and near-best cells always stay explorable. Raise to `f64::INFINITY`
+    /// for classic uniform ε-greedy.
+    pub exploration_regret: f64,
+    /// Instances up to this many cities get an **exact** (Held–Karp) shadow quality
+    /// reference, memoised per geometry; larger ones use best-seen cost. `0`
+    /// disables exact references. Capped at
+    /// [`HELD_KARP_LIMIT`].
+    pub shadow_exact_limit: usize,
+    /// Macro capacity used for the cluster-depth feature (mirrors
+    /// `TaxiConfig::max_cluster_size`).
+    pub cluster_capacity: usize,
+    /// Bound on distinct geometries the shadow reference table tracks.
+    pub reference_capacity: usize,
+    /// The backends the router chooses among (defaults to all four built-ins).
+    pub candidates: Vec<SolverBackend>,
+}
+
+impl RouterConfig {
+    /// Defaults: ε = 0.08, α = 0.2, 3 samples to trust a cell, exact shadow
+    /// references up to 12 cities, all four backends as candidates.
+    pub fn new() -> Self {
+        Self {
+            epsilon: 0.08,
+            seed: 0x0007_07E5,
+            ewma_alpha: 0.2,
+            min_samples: 3,
+            exploration_regret: 0.05,
+            shadow_exact_limit: 12,
+            cluster_capacity: 12,
+            reference_capacity: 65_536,
+            candidates: SolverBackend::ALL.to_vec(),
+        }
+    }
+
+    /// Sets the exploration probability (clamped to `0.0..=1.0`).
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = if epsilon.is_finite() {
+            epsilon.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Sets the decision RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor (clamped to `(0, 1]`).
+    #[must_use]
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.ewma_alpha = if alpha.is_finite() {
+            alpha.clamp(f64::EPSILON, 1.0)
+        } else {
+            0.2
+        };
+        self
+    }
+
+    /// Sets the trust threshold (minimum samples per cell).
+    #[must_use]
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples.max(1);
+        self
+    }
+
+    /// Sets the bounded-regret exploration margin (negative values clamp to 0;
+    /// `f64::INFINITY` restores uniform ε-greedy).
+    #[must_use]
+    pub fn with_exploration_regret(mut self, regret: f64) -> Self {
+        self.exploration_regret = if regret.is_nan() {
+            0.05
+        } else {
+            regret.max(0.0)
+        };
+        self
+    }
+
+    /// Sets the exact shadow-reference limit (capped at [`HELD_KARP_LIMIT`]; `0`
+    /// disables exact references).
+    #[must_use]
+    pub fn with_shadow_exact_limit(mut self, limit: usize) -> Self {
+        self.shadow_exact_limit = limit.min(HELD_KARP_LIMIT);
+        self
+    }
+
+    /// Sets the macro capacity used for the cluster-depth feature.
+    #[must_use]
+    pub fn with_cluster_capacity(mut self, capacity: usize) -> Self {
+        self.cluster_capacity = capacity.max(2);
+        self
+    }
+
+    /// Restricts the candidate backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    #[must_use]
+    pub fn with_candidates(mut self, candidates: Vec<SolverBackend>) -> Self {
+        assert!(
+            !candidates.is_empty(),
+            "router needs at least one candidate"
+        );
+        self.candidates = candidates;
+        self
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a [`RoutingDecision`] was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Best profiled backend among the deadline-feasible candidates
+    /// (lowest mean quality ratio, latency as tie-break).
+    Exploit,
+    /// ε-greedy exploration: a uniformly random deadline-feasible candidate.
+    Explore,
+    /// Not enough trusted profile data: the least-sampled feasible candidate, so
+    /// cold cells fill deterministically (tiny instances prefer `Exact`, which is
+    /// provably optimal there).
+    ColdStart,
+    /// No candidate's profiled p95 fits the remaining slack: the fastest profiled
+    /// backend is chosen as damage control (routing never refuses to answer).
+    DeadlineInfeasible,
+}
+
+impl DecisionKind {
+    /// Short stable label (used in bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::Exploit => "exploit",
+            DecisionKind::Explore => "explore",
+            DecisionKind::ColdStart => "cold-start",
+            DecisionKind::DeadlineInfeasible => "deadline-infeasible",
+        }
+    }
+}
+
+/// One routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingDecision {
+    /// The backend to solve with.
+    pub backend: SolverBackend,
+    /// The profile bucket the decision consulted.
+    pub bucket: SizeBucket,
+    /// How the decision was reached.
+    pub kind: DecisionKind,
+}
+
+impl RoutingDecision {
+    /// Whether this decision came from the exploration arm.
+    pub fn explored(self) -> bool {
+        self.kind == DecisionKind::Explore
+    }
+}
+
+/// The adaptive backend router: features in, [`RoutingDecision`] out, profiles
+/// updated by every observed solve.
+///
+/// Shareable across threads (`Arc<AdaptiveRouter>`): decisions serialise only on the
+/// RNG lock, observations on one profile-cell lock each.
+///
+/// # Example
+///
+/// ```
+/// use taxi::router::{AdaptiveRouter, RouterConfig};
+/// use taxi::{TaxiConfig, TaxiSolver};
+/// use taxi_tsplib::generator::clustered_instance;
+///
+/// let router = AdaptiveRouter::new(RouterConfig::new().with_seed(9));
+/// let solver = TaxiSolver::new(TaxiConfig::new().with_seed(9));
+/// let instance = clustered_instance("routed", 60, 4, 3);
+/// let routed = solver.solve_routed(&instance, &router, None)?;
+/// assert!(routed.solution.tour.is_valid_for(&instance));
+/// // The solve fed the profiler:
+/// assert_eq!(router.profiler().observations(), 1);
+/// # Ok::<(), taxi::TaxiError>(())
+/// ```
+pub struct AdaptiveRouter {
+    config: RouterConfig,
+    profiler: BackendProfiler,
+    rng: Mutex<ChaCha8Rng>,
+    decisions: AtomicU64,
+    explored: AtomicU64,
+}
+
+impl std::fmt::Debug for AdaptiveRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveRouter")
+            .field("config", &self.config)
+            .field("decisions", &self.decisions.load(Ordering::Relaxed))
+            .field("explored", &self.explored.load(Ordering::Relaxed))
+            .field("observations", &self.profiler.observations())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdaptiveRouter {
+    /// Creates a router from `config`.
+    pub fn new(config: RouterConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let profiler = BackendProfiler::new(
+            config.ewma_alpha.clamp(f64::EPSILON, 1.0),
+            config.shadow_exact_limit.min(HELD_KARP_LIMIT),
+            config.reference_capacity,
+        );
+        Self {
+            config,
+            profiler,
+            rng: Mutex::new(rng),
+            decisions: AtomicU64::new(0),
+            explored: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a router with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(RouterConfig::new())
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The online profiles backing the decisions.
+    pub fn profiler(&self) -> &BackendProfiler {
+        &self.profiler
+    }
+
+    /// Total decisions made.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Decisions made by the exploration arm.
+    pub fn explored(&self) -> u64 {
+        self.explored.load(Ordering::Relaxed)
+    }
+
+    /// Extracts features and decides in one call (the common serving-path entry
+    /// point). `slack` is the remaining latency budget; `None` means no deadline.
+    ///
+    /// Unlike a bare [`decide`](Self::decide), this also consults the profiler's
+    /// **per-geometry** memory ([`BackendProfiler::geometry_best`]): a geometry the
+    /// profiler has already compared across backends exploits the known per-route
+    /// winner — the signal that makes repeat-heavy traffic converge past any single
+    /// fixed backend's quality.
+    pub fn route(&self, instance: &TspInstance, slack: Option<Duration>) -> RoutingDecision {
+        let features = InstanceFeatures::extract(instance, self.config.cluster_capacity);
+        self.decide_with_hint(&features, slack, self.profiler.geometry_signal(instance))
+    }
+
+    /// Decides the backend for an instance with the given features and remaining
+    /// deadline slack.
+    ///
+    /// The rule, in order:
+    ///
+    /// 1. **Feasibility** — candidates whose profiled p95 latency for
+    ///    `features.bucket` exceeds `slack` are excluded (cells below
+    ///    [`RouterConfig::min_samples`] are optimistically feasible: exclusion
+    ///    requires evidence).
+    /// 2. If nothing is feasible, the fastest profiled candidate is returned as
+    ///    [`DecisionKind::DeadlineInfeasible`] damage control.
+    /// 3. **Explore** with probability ε: a uniformly random feasible candidate.
+    /// 4. **Exploit** otherwise: the feasible candidate with the lowest mean quality
+    ///    ratio among trusted cells (mean latency breaks ties); if no feasible cell
+    ///    is trusted yet, the least-sampled feasible candidate
+    ///    ([`DecisionKind::ColdStart`]), preferring `Exact` for instances small
+    ///    enough that Held–Karp is provably optimal and fast.
+    pub fn decide(&self, features: &InstanceFeatures, slack: Option<Duration>) -> RoutingDecision {
+        self.decide_with_hint(features, slack, None)
+    }
+
+    /// [`decide`](Self::decide) with a per-geometry signal (the backend known to
+    /// produce the best tour for this exact geometry, from
+    /// [`BackendProfiler::geometry_signal`]). The pin wins the exploit arm when it
+    /// is deadline-feasible, the bucket already has trusted cells, **and** the
+    /// bucket-level favourite has itself been compared on the geometry (otherwise
+    /// the favourite is routed so the comparison happens); exploration,
+    /// feasibility filtering and cold-start sweeping are unaffected — a pin never
+    /// stops the profiles from staying fresh.
+    pub fn decide_with_hint(
+        &self,
+        features: &InstanceFeatures,
+        slack: Option<Duration>,
+        hint: Option<GeometrySignal>,
+    ) -> RoutingDecision {
+        let bucket = features.bucket;
+        let candidates: Vec<(SolverBackend, BackendStats)> = self
+            .config
+            .candidates
+            .iter()
+            .map(|&backend| (backend, self.profiler.stats(backend, bucket)))
+            .collect();
+        let min_samples = self.config.min_samples;
+        let feasible: Vec<&(SolverBackend, BackendStats)> = candidates
+            .iter()
+            .filter(|(_, stats)| match slack {
+                Some(slack) => stats.samples < min_samples || stats.p95_latency <= slack,
+                None => true,
+            })
+            .collect();
+
+        let decision = if feasible.is_empty() {
+            // Damage control: nothing fits the budget, so minimise the overrun.
+            let backend = candidates
+                .iter()
+                .filter(|(_, stats)| stats.samples > 0)
+                .min_by(|a, b| {
+                    total_cmp(a.1.p95_latency.as_secs_f64(), b.1.p95_latency.as_secs_f64())
+                })
+                .map(|(backend, _)| *backend)
+                .unwrap_or(self.config.candidates[0]);
+            RoutingDecision {
+                backend,
+                bucket,
+                kind: DecisionKind::DeadlineInfeasible,
+            }
+        } else {
+            let explore = self.config.epsilon > 0.0 && {
+                let mut rng = lock_recovering(&self.rng);
+                rng.gen_bool(self.config.epsilon)
+            };
+            // Bounded-regret exploration pool: cold cells and near-best cells.
+            // A trusted cell strongly dominated on quality is pruned — backends
+            // are static, so re-sampling a known-bad one buys no information and
+            // costs real quality.
+            let explore_pool: Vec<&&(SolverBackend, BackendStats)> = {
+                let best_quality = feasible
+                    .iter()
+                    .filter(|(_, stats)| stats.samples >= min_samples && stats.quality_samples > 0)
+                    .map(|(_, stats)| stats.mean_quality)
+                    .fold(None, |best: Option<f64>, q| {
+                        Some(best.map_or(q, |b| if q < b { q } else { b }))
+                    });
+                feasible
+                    .iter()
+                    .filter(|(_, stats)| {
+                        stats.samples < min_samples
+                            || stats.quality_samples == 0
+                            || match best_quality {
+                                None => true,
+                                Some(best) => {
+                                    stats.mean_quality <= best + self.config.exploration_regret
+                                }
+                            }
+                    })
+                    .collect()
+            };
+            if explore && !explore_pool.is_empty() {
+                let index = {
+                    let mut rng = lock_recovering(&self.rng);
+                    rng.gen_range(0..explore_pool.len())
+                };
+                RoutingDecision {
+                    backend: explore_pool[index].0,
+                    bucket,
+                    kind: DecisionKind::Explore,
+                }
+            } else {
+                let trusted: Vec<&&(SolverBackend, BackendStats)> = feasible
+                    .iter()
+                    .filter(|(_, stats)| stats.samples >= min_samples && stats.quality_samples > 0)
+                    .collect();
+                let bucket_best = trusted
+                    .iter()
+                    .min_by(|a, b| {
+                        total_cmp(a.1.mean_quality, b.1.mean_quality).then_with(|| {
+                            total_cmp(
+                                a.1.mean_latency.as_secs_f64(),
+                                b.1.mean_latency.as_secs_f64(),
+                            )
+                        })
+                    })
+                    .map(|(backend, _)| *backend);
+                // Per-geometry sweep-then-pin. Once the bucket is warm enough to
+                // exploit at all, a geometry the profiler is tracking first gets
+                // each non-dominated feasible candidate routed to it once (in
+                // candidate order, over its first repeats); after full coverage,
+                // its measured winner is pinned. Repeat-heavy traffic thereby
+                // converges to the *per-route* optimum — strictly better than any
+                // single backend when routes disagree on their winner — while
+                // one-off geometries simply take the bucket favourite.
+                let exploit = match (bucket_best, &hint) {
+                    (Some(favourite), Some(signal)) => {
+                        let unswept = explore_pool
+                            .iter()
+                            .map(|(backend, _)| *backend)
+                            .find(|&backend| !signal.has_observed(backend));
+                        match unswept {
+                            Some(candidate) => Some(candidate),
+                            None => signal
+                                .best
+                                .filter(|best| feasible.iter().any(|(b, _)| b == best))
+                                .or(Some(favourite)),
+                        }
+                    }
+                    (bucket_best, _) => bucket_best,
+                };
+                match exploit {
+                    Some(backend) => RoutingDecision {
+                        backend,
+                        bucket,
+                        kind: DecisionKind::Exploit,
+                    },
+                    None => {
+                        // Cold start: fill the emptiest cell first. Tiny instances
+                        // prefer the exact backend — provably optimal and cheap
+                        // below the DP limit — so early traffic is well served
+                        // while profiles warm.
+                        let prefer_exact = features.cities <= HELD_KARP_LIMIT
+                            && feasible.iter().any(|(b, _)| *b == SolverBackend::Exact);
+                        let backend = if prefer_exact {
+                            let exact_samples = feasible
+                                .iter()
+                                .find(|(b, _)| *b == SolverBackend::Exact)
+                                .map(|(_, s)| s.samples)
+                                .unwrap_or(u64::MAX);
+                            if exact_samples < min_samples {
+                                SolverBackend::Exact
+                            } else {
+                                least_sampled(&feasible)
+                            }
+                        } else {
+                            least_sampled(&feasible)
+                        };
+                        RoutingDecision {
+                            backend,
+                            bucket,
+                            kind: DecisionKind::ColdStart,
+                        }
+                    }
+                }
+            }
+        };
+
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if decision.explored() {
+            self.explored.fetch_add(1, Ordering::Relaxed);
+        }
+        decision
+    }
+
+    /// Feeds one observed solve back into the profiles and returns the quality
+    /// ratio when a shadow reference was available (see
+    /// [`BackendProfiler::record`]).
+    pub fn observe(
+        &self,
+        instance: &TspInstance,
+        backend: SolverBackend,
+        latency: Duration,
+        tour_cost: f64,
+    ) -> Option<f64> {
+        self.profiler.record(instance, backend, latency, tour_cost)
+    }
+}
+
+fn least_sampled(feasible: &[&(SolverBackend, BackendStats)]) -> SolverBackend {
+    feasible
+        .iter()
+        .min_by_key(|(_, stats)| stats.samples)
+        .map(|(backend, _)| *backend)
+        .expect("least_sampled called with a non-empty feasible set")
+}
+
+/// `f64::total_cmp` shim with NaN pushed last (profile means are never NaN, but the
+/// router must not panic if they ever were).
+fn total_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxi_tsplib::generator::{clustered_instance, random_uniform_instance};
+
+    fn features(cities: usize) -> InstanceFeatures {
+        InstanceFeatures {
+            cities,
+            dispersion: 0.2,
+            cluster_depth: 1,
+            bucket: SizeBucket::of(cities),
+        }
+    }
+
+    /// Primes one profile cell with `n` identical observations.
+    fn prime(
+        router: &AdaptiveRouter,
+        backend: SolverBackend,
+        bucket: SizeBucket,
+        latency: Duration,
+        n: u64,
+    ) {
+        for _ in 0..n {
+            router.profiler.record_latency(backend, bucket, latency);
+        }
+    }
+
+    #[test]
+    fn buckets_partition_all_sizes() {
+        assert_eq!(SizeBucket::of(1).index(), 0);
+        assert_eq!(SizeBucket::of(16).index(), 0);
+        assert_eq!(SizeBucket::of(17).index(), 1);
+        assert_eq!(SizeBucket::of(1024).index(), SizeBucket::COUNT - 2);
+        assert_eq!(SizeBucket::of(1025).index(), SizeBucket::COUNT - 1);
+        assert_eq!(SizeBucket::of(usize::MAX).label(), ">1024");
+    }
+
+    #[test]
+    fn features_are_cheap_and_sane() {
+        let uniform = random_uniform_instance("u", 200, 1);
+        let f = InstanceFeatures::extract(&uniform, 12);
+        assert_eq!(f.cities, 200);
+        assert!(
+            f.dispersion > 0.1 && f.dispersion < 0.45,
+            "{}",
+            f.dispersion
+        );
+        // 200 → 17 → 2 → 1: two contraction levels until ≤ 12 entities.
+        assert_eq!(f.cluster_depth, 2);
+        // Single-city and explicit-matrix instances degrade gracefully.
+        let one = random_uniform_instance("one", 1, 1);
+        let f1 = InstanceFeatures::extract(&one, 12);
+        assert_eq!((f1.cluster_depth, f1.dispersion), (0, 0.0));
+        let matrix = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert_eq!(InstanceFeatures::extract(&matrix, 12).dispersion, 0.0);
+    }
+
+    #[test]
+    fn clustered_instances_disperse_less_than_uniform_ones() {
+        let uniform = random_uniform_instance("u", 300, 7);
+        let clustered = clustered_instance("c", 300, 3, 7);
+        let du = InstanceFeatures::extract(&uniform, 12).dispersion;
+        let dc = InstanceFeatures::extract(&clustered, 12).dispersion;
+        assert!(du > 0.0 && dc > 0.0);
+    }
+
+    #[test]
+    fn ewma_profiles_converge_and_p95_dominates_the_mean() {
+        let profiler = BackendProfiler::new(0.2, 12, 1024);
+        let bucket = SizeBucket::of(50);
+        for i in 0..50u64 {
+            let us = if i % 10 == 0 { 900 } else { 100 };
+            profiler.record_latency(SolverBackend::NnTwoOpt, bucket, Duration::from_micros(us));
+        }
+        let stats = profiler.stats(SolverBackend::NnTwoOpt, bucket);
+        assert_eq!(stats.samples, 50);
+        assert!(stats.mean_latency >= Duration::from_micros(90));
+        assert!(stats.p95_latency > stats.mean_latency);
+    }
+
+    #[test]
+    fn quality_uses_exact_reference_below_the_limit() {
+        let profiler = BackendProfiler::new(0.5, 12, 1024);
+        let instance = random_uniform_instance("q", 8, 3);
+        let optimal = taxi_baselines::held_karp(&instance.full_distance_matrix())
+            .unwrap()
+            .length;
+        let ratio = profiler
+            .record(
+                &instance,
+                SolverBackend::NnTwoOpt,
+                Duration::from_micros(10),
+                optimal * 1.25,
+            )
+            .expect("exact reference available");
+        assert!((ratio - 1.25).abs() < 1e-9, "ratio {ratio}");
+        // A second observation at the optimum scores exactly 1.0.
+        let ratio = profiler
+            .record(
+                &instance,
+                SolverBackend::Exact,
+                Duration::from_micros(10),
+                optimal,
+            )
+            .unwrap();
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_uses_best_seen_above_the_limit() {
+        let profiler = BackendProfiler::new(0.5, 12, 1024);
+        let instance = random_uniform_instance("big", 60, 3);
+        // First observation seeds the reference: no comparison, no ratio (a
+        // self-comparison would flatter whichever backend arrives first).
+        let first = profiler.record(
+            &instance,
+            SolverBackend::NnTwoOpt,
+            Duration::from_micros(5),
+            200.0,
+        );
+        assert_eq!(first, None);
+        // A worse cost scores its ratio against the best seen.
+        let worse = profiler
+            .record(
+                &instance,
+                SolverBackend::GreedyEdge,
+                Duration::from_micros(5),
+                250.0,
+            )
+            .unwrap();
+        assert!((worse - 1.25).abs() < 1e-12);
+        // A better cost improves the reference and itself scores 1.0.
+        let better = profiler
+            .record(
+                &instance,
+                SolverBackend::Exact,
+                Duration::from_micros(5),
+                160.0,
+            )
+            .unwrap();
+        assert!((better - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_start_routes_every_backend_eventually() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0).with_seed(1));
+        let f = features(60);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let decision = router.decide(&f, None);
+            assert_eq!(decision.kind, DecisionKind::ColdStart);
+            seen.insert(decision.backend);
+            // Cold-start decisions only converge if the profiler hears back.
+            router
+                .profiler
+                .record_latency(decision.backend, f.bucket, Duration::from_micros(100));
+        }
+        assert_eq!(seen.len(), SolverBackend::ALL.len(), "all backends visited");
+    }
+
+    #[test]
+    fn tiny_cold_instances_prefer_the_exact_backend() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0));
+        let decision = router.decide(&features(10), None);
+        assert_eq!(decision.backend, SolverBackend::Exact);
+        assert_eq!(decision.kind, DecisionKind::ColdStart);
+    }
+
+    #[test]
+    fn deadline_excludes_slow_backends() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0));
+        let f = features(60);
+        // IsingMacro profiled slow, NnTwoOpt fast; both trusted.
+        prime(
+            &router,
+            SolverBackend::IsingMacro,
+            f.bucket,
+            Duration::from_millis(50),
+            5,
+        );
+        prime(
+            &router,
+            SolverBackend::NnTwoOpt,
+            f.bucket,
+            Duration::from_micros(300),
+            5,
+        );
+        prime(
+            &router,
+            SolverBackend::GreedyEdge,
+            f.bucket,
+            Duration::from_millis(40),
+            5,
+        );
+        prime(
+            &router,
+            SolverBackend::Exact,
+            f.bucket,
+            Duration::from_millis(45),
+            5,
+        );
+        let decision = router.decide(&f, Some(Duration::from_millis(2)));
+        assert_eq!(decision.backend, SolverBackend::NnTwoOpt);
+        assert_ne!(decision.kind, DecisionKind::DeadlineInfeasible);
+    }
+
+    #[test]
+    fn infeasible_deadline_falls_back_to_the_fastest_profile() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0));
+        let f = features(60);
+        for backend in SolverBackend::ALL {
+            let millis = 10 + 10 * backend.index() as u64;
+            prime(&router, backend, f.bucket, Duration::from_millis(millis), 5);
+        }
+        // 1µs of slack: nothing fits. IsingMacro (10ms) is the fastest profile.
+        let decision = router.decide(&f, Some(Duration::from_micros(1)));
+        assert_eq!(decision.kind, DecisionKind::DeadlineInfeasible);
+        assert_eq!(decision.backend, SolverBackend::IsingMacro);
+    }
+
+    #[test]
+    fn cold_cells_are_optimistically_feasible() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0));
+        let f = features(60);
+        // Only one backend profiled, and profiled too slow for the slack — the
+        // unprofiled ones must stay in the running.
+        prime(
+            &router,
+            SolverBackend::Exact,
+            f.bucket,
+            Duration::from_millis(50),
+            5,
+        );
+        let decision = router.decide(&f, Some(Duration::from_micros(10)));
+        assert_ne!(decision.backend, SolverBackend::Exact);
+        assert_eq!(decision.kind, DecisionKind::ColdStart);
+    }
+
+    #[test]
+    fn exploit_prefers_quality_then_latency() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0));
+        let instance = random_uniform_instance("exploit", 60, 3);
+        // Pin the best-seen reference at 100 first (Exact observes it), then give
+        // every backend a distinct quality profile at equal latency: ratios are
+        // cost / 100 throughout.
+        for (backend, cost) in [
+            (SolverBackend::Exact, 100.0),
+            (SolverBackend::IsingMacro, 130.0),
+            (SolverBackend::NnTwoOpt, 110.0),
+            (SolverBackend::GreedyEdge, 120.0),
+        ] {
+            for _ in 0..5 {
+                router
+                    .profiler
+                    .record(&instance, backend, Duration::from_micros(500), cost);
+            }
+        }
+        let decision = router.decide(&features(60), None);
+        assert_eq!(decision.kind, DecisionKind::Exploit);
+        assert_eq!(decision.backend, SolverBackend::Exact);
+    }
+
+    #[test]
+    fn geometry_best_pins_repeat_traffic_to_the_per_route_winner() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.0));
+        let instance = random_uniform_instance("route", 60, 3);
+        // No comparison yet → no geometry signal.
+        router.profiler.record(
+            &instance,
+            SolverBackend::Exact,
+            Duration::from_micros(700),
+            120.0,
+        );
+        assert_eq!(router.profiler.geometry_best(&instance), None);
+        // A second backend beats the first on this geometry: signal appears.
+        router.profiler.record(
+            &instance,
+            SolverBackend::NnTwoOpt,
+            Duration::from_micros(90),
+            110.0,
+        );
+        assert_eq!(
+            router.profiler.geometry_best(&instance),
+            Some(SolverBackend::NnTwoOpt)
+        );
+        // Warm the bucket so exploit engages, with Exact as the *bucket-level*
+        // quality winner on other geometries, and IsingMacro/GreedyEdge strongly
+        // dominated (outside the regret bound) so the per-geometry sweep does not
+        // ask for them.
+        let other = random_uniform_instance("other", 60, 9);
+        for _ in 0..5 {
+            for (backend, cost) in [
+                (SolverBackend::Exact, 100.0),
+                (SolverBackend::NnTwoOpt, 105.0),
+                (SolverBackend::GreedyEdge, 140.0),
+                (SolverBackend::IsingMacro, 150.0),
+            ] {
+                router
+                    .profiler
+                    .record(&other, backend, Duration::from_micros(100), cost);
+            }
+        }
+        assert_eq!(
+            router.decide(&features(60), None).backend,
+            SolverBackend::Exact,
+            "bucket-level exploit prefers Exact"
+        );
+        // ...yet the known per-geometry winner overrides it for this route.
+        assert_eq!(
+            router.route(&instance, None).backend,
+            SolverBackend::NnTwoOpt,
+            "geometry memory pins the route to its winner"
+        );
+    }
+
+    #[test]
+    fn strongly_dominated_backends_are_pruned_from_exploration() {
+        let router = AdaptiveRouter::new(
+            RouterConfig::new()
+                .with_epsilon(1.0) // always explore
+                .with_seed(7)
+                .with_exploration_regret(0.05),
+        );
+        let instance = random_uniform_instance("dominated", 60, 3);
+        // Pin the reference at 100, then profile IsingMacro 30% above it and the
+        // rest at/near it — IsingMacro becomes strongly dominated.
+        for (backend, cost) in [
+            (SolverBackend::Exact, 100.0),
+            (SolverBackend::NnTwoOpt, 101.0),
+            (SolverBackend::GreedyEdge, 102.0),
+            (SolverBackend::IsingMacro, 130.0),
+        ] {
+            for _ in 0..5 {
+                router
+                    .profiler
+                    .record(&instance, backend, Duration::from_micros(100), cost);
+            }
+        }
+        for _ in 0..60 {
+            let decision = router.decide(&features(60), None);
+            assert_eq!(decision.kind, DecisionKind::Explore);
+            assert_ne!(
+                decision.backend,
+                SolverBackend::IsingMacro,
+                "a 30%-worse backend must not be re-explored under a 5% regret bound"
+            );
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic_in_the_seed() {
+        let run = |seed: u64| -> Vec<SolverBackend> {
+            let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.5).with_seed(seed));
+            let f = features(60);
+            (0..40)
+                .map(|_| {
+                    let d = router.decide(&f, None);
+                    router
+                        .profiler
+                        .record_latency(d.backend, f.bucket, Duration::from_micros(100));
+                    d.backend
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same decision stream");
+        assert_ne!(run(7), run(8), "different seeds explore differently");
+    }
+
+    #[test]
+    fn exploration_share_tracks_epsilon() {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_epsilon(0.3).with_seed(3));
+        let f = features(60);
+        for _ in 0..400 {
+            let d = router.decide(&f, None);
+            router.profiler.record(
+                &random_uniform_instance("s", 60, 1),
+                d.backend,
+                Duration::from_micros(50),
+                100.0,
+            );
+        }
+        let share = router.explored() as f64 / router.decisions() as f64;
+        assert!((0.18..0.42).contains(&share), "share {share}");
+    }
+}

@@ -6,20 +6,23 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use taxi_cache::{FlightOutcome, Join};
 use taxi_tsplib::TspInstance;
 
-use crate::backend::TourSolver;
+use crate::backend::{SolverBackend, TourSolver};
 use crate::cache::{CacheLookup, SolutionCache};
+use crate::config::BackendChoice;
 use crate::context::SolveContext;
 use crate::pipeline::{self, NullObserver, PipelineObserver, SolvePool};
+use crate::router::{AdaptiveRouter, RouterConfig, RoutingDecision};
 use crate::{TaxiConfig, TaxiError, TaxiSolution};
 
 /// The TAXI solver.
 ///
 /// Sub-problem solving is pluggable: the configured
-/// [`SolverBackend`](crate::SolverBackend) (the paper's Ising macro by default) is
+/// [`SolverBackend`] (the paper's Ising macro by default) is
 /// instantiated once per entry-point call and drives every sub-problem solve.
 ///
 /// The solver owns a reusable [`SolveContext`] scratch arena: repeated `solve` calls on
@@ -56,6 +59,12 @@ pub struct TaxiSolver {
     /// Lazily computed [`TaxiConfig::cache_token`] (the token derivation formats the
     /// configuration, so it is computed once, not per cached solve).
     cache_token: OnceLock<u64>,
+    /// Lazily computed per-backend [`TaxiConfig::routed_cache_token`]s, indexed like
+    /// [`SolverBackend::ALL`].
+    routed_tokens: OnceLock<[u64; SolverBackend::ALL.len()]>,
+    /// The solver-owned router engaged by [`BackendChoice::Adaptive`], built on
+    /// first use (seeded from the configuration, so routing is reproducible).
+    router: OnceLock<Arc<AdaptiveRouter>>,
 }
 
 impl Clone for TaxiSolver {
@@ -78,6 +87,8 @@ impl TaxiSolver {
             config,
             context: Mutex::new(SolveContext::new()),
             cache_token: OnceLock::new(),
+            routed_tokens: OnceLock::new(),
+            router: OnceLock::new(),
         }
     }
 
@@ -98,6 +109,11 @@ impl TaxiSolver {
 
     /// Like [`solve`](Self::solve), firing `observer` hooks as pipeline stages progress.
     ///
+    /// Under [`BackendChoice::Adaptive`] the solver routes the instance through its
+    /// internal [`AdaptiveRouter`] (seeded from the configuration) and solves with
+    /// the chosen backend; use [`solve_routed`](Self::solve_routed) to supply a
+    /// shared router or to see the [`RoutingDecision`].
+    ///
     /// # Errors
     ///
     /// Same error conditions as [`solve`](Self::solve).
@@ -106,13 +122,84 @@ impl TaxiSolver {
         instance: &TspInstance,
         observer: &mut dyn PipelineObserver,
     ) -> Result<TaxiSolution, TaxiError> {
-        let backend = self.config.build_backend();
-        self.solve_with_backend_observed(instance, &backend, observer)
+        match self.config.backend_choice() {
+            BackendChoice::Adaptive => {
+                let router = Arc::clone(self.internal_router());
+                self.solve_routed_observed(instance, &router, None, observer)
+                    .map(|routed| routed.solution)
+            }
+            BackendChoice::Fixed(_) => {
+                let backend = self.config.build_backend();
+                self.solve_with_backend_observed(instance, &backend, observer)
+            }
+        }
+    }
+
+    /// Solves `instance` through an [`AdaptiveRouter`]: the router picks the backend
+    /// from its online profiles (deadline-feasible within `slack`, quality-first,
+    /// ε-greedy exploration), the solve runs with exactly that backend, and the
+    /// measured latency and tour cost are fed back into the profiles.
+    ///
+    /// The returned tour is **bit-identical** to solving the same instance with the
+    /// chosen backend configured fixed — routing selects, it never alters the
+    /// pipeline (a tested invariant).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve).
+    pub fn solve_routed(
+        &self,
+        instance: &TspInstance,
+        router: &AdaptiveRouter,
+        slack: Option<Duration>,
+    ) -> Result<RoutedSolve, TaxiError> {
+        self.solve_routed_observed(instance, router, slack, &mut NullObserver)
+    }
+
+    /// [`solve_routed`](Self::solve_routed) with observer hooks.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`solve`](Self::solve).
+    pub fn solve_routed_observed(
+        &self,
+        instance: &TspInstance,
+        router: &AdaptiveRouter,
+        slack: Option<Duration>,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<RoutedSolve, TaxiError> {
+        let decision = router.route(instance, slack);
+        let backend = self.config.build_backend_for(decision.backend);
+        let started = Instant::now();
+        let solution = self.solve_with_backend_observed(instance, &backend, observer)?;
+        let quality = router.observe(
+            instance,
+            decision.backend,
+            started.elapsed(),
+            solution.length,
+        );
+        Ok(RoutedSolve {
+            solution,
+            decision,
+            quality,
+        })
+    }
+
+    /// The router [`BackendChoice::Adaptive`] entry points use when the caller does
+    /// not supply one, created on first use.
+    fn internal_router(&self) -> &Arc<AdaptiveRouter> {
+        self.router.get_or_init(|| {
+            Arc::new(AdaptiveRouter::new(
+                RouterConfig::new()
+                    .with_seed(self.config.seed())
+                    .with_cluster_capacity(self.config.max_cluster_size()),
+            ))
+        })
     }
 
     /// Like [`solve`](Self::solve), but through a caller-supplied [`TourSolver`] —
     /// the extension point for backends not covered by
-    /// [`SolverBackend`](crate::SolverBackend).
+    /// [`SolverBackend`].
     ///
     /// # Errors
     ///
@@ -219,6 +306,16 @@ impl TaxiSolver {
         *self.cache_token.get_or_init(|| self.config.cache_token())
     }
 
+    /// The cache-key scope of a solve routed to `backend` (memoised
+    /// [`TaxiConfig::routed_cache_token`]): equal to the token of the same
+    /// configuration with `backend` fixed, so routed and fixed services share
+    /// entries, while solves routed to different backends never collide.
+    pub fn routed_cache_token(&self, backend: SolverBackend) -> u64 {
+        self.routed_tokens.get_or_init(|| {
+            std::array::from_fn(|i| self.config.routed_cache_token(SolverBackend::ALL[i]))
+        })[backend.index()]
+    }
+
     /// Like [`solve`](Self::solve), but memoised through `cache`:
     ///
     /// * a **hit** (this geometry — under any city indexing — was already solved
@@ -276,6 +373,12 @@ impl TaxiSolver {
 
     /// Shared cached-solve loop. The backend is built lazily — only if this caller
     /// is elected leader of a flight — so the hit path stays allocation-free.
+    ///
+    /// Under [`BackendChoice::Adaptive`] (and no caller-supplied backend) the
+    /// routing decision is made **before** the lookup, and the cache key is scoped
+    /// to the chosen backend ([`routed_cache_token`](Self::routed_cache_token)):
+    /// the decision is part of the key, so a hit is guaranteed to have been solved
+    /// by the very backend this request was routed to.
     fn solve_cached_inner(
         &self,
         instance: &TspInstance,
@@ -283,7 +386,17 @@ impl TaxiSolver {
         backend: Option<&Arc<dyn TourSolver>>,
         observer: &mut dyn PipelineObserver,
     ) -> Result<CachedSolve, TaxiError> {
-        let token = self.cache_token();
+        let routed = match self.config.backend_choice() {
+            BackendChoice::Adaptive if backend.is_none() => {
+                let router = Arc::clone(self.internal_router());
+                Some((router.route(instance, None), router))
+            }
+            _ => None,
+        };
+        let token = match &routed {
+            Some((decision, _)) => self.routed_cache_token(decision.backend),
+            None => self.cache_token(),
+        };
         loop {
             let key = match cache.lookup(token, instance) {
                 CacheLookup::Hit(hit) => {
@@ -312,9 +425,13 @@ impl TaxiSolver {
                         });
                     }
                     let built;
-                    let backend = match backend {
-                        Some(backend) => backend,
-                        None => {
+                    let backend = match (backend, &routed) {
+                        (Some(backend), _) => backend,
+                        (None, Some((decision, _))) => {
+                            built = self.config.build_backend_for(decision.backend);
+                            &built
+                        }
+                        (None, None) => {
                             built = self.config.build_backend();
                             &built
                         }
@@ -322,13 +439,29 @@ impl TaxiSolver {
                     // An error return (or a panic unwinding through the solve) drops
                     // `flight` uncompleted, abandoning it: followers wake and retry,
                     // so a poisoned request fails only its own caller.
+                    let started = Instant::now();
                     let solution =
                         Arc::new(self.solve_with_backend_observed(instance, backend, observer)?);
+                    let provenance = match &routed {
+                        Some((decision, router)) => {
+                            router.observe(
+                                instance,
+                                decision.backend,
+                                started.elapsed(),
+                                solution.length,
+                            );
+                            SolveProvenance::Routed {
+                                backend: decision.backend,
+                                explored: decision.explored(),
+                            }
+                        }
+                        None => SolveProvenance::Computed,
+                    };
                     let entry = cache.insert(key, instance, Arc::clone(&solution));
                     flight.complete(entry);
                     return Ok(CachedSolve {
                         solution,
-                        provenance: SolveProvenance::Computed,
+                        provenance,
                     });
                 }
                 Join::Follower(ticket) => match ticket.wait() {
@@ -363,8 +496,20 @@ impl TaxiSolver {
     ///
     /// Per-instance failures do not abort the batch: each instance yields its own
     /// `Result`, in input order.
+    ///
+    /// Under [`BackendChoice::Adaptive`] every instance is routed individually (no
+    /// deadline slack) through the solver's internal router, in the order workers
+    /// pick instances up; each worker lazily builds and reuses one backend instance
+    /// per chosen [`SolverBackend`].
     pub fn solve_batch(&self, instances: &[TspInstance]) -> Vec<Result<TaxiSolution, TaxiError>> {
-        let backend = self.config.build_backend();
+        let router = matches!(self.config.backend_choice(), BackendChoice::Adaptive)
+            .then(|| Arc::clone(self.internal_router()));
+        // Routed batches build backends per decision; the fixed backend would go
+        // unused, so only build it when routing is off.
+        let backend = match router {
+            Some(_) => None,
+            None => Some(self.config.build_backend()),
+        };
         let workers = self.config.threads();
         if workers <= 1 || instances.len() < workers {
             // Narrow batch: instance sharding would leave threads idle, so solve
@@ -372,17 +517,25 @@ impl TaxiSolver {
             // one context.
             let pool = self.make_pool();
             let mut ctx = SolveContext::new();
+            let mut routed_backends = RoutedBackends::default();
             return instances
                 .iter()
-                .map(|instance| {
-                    pipeline::run(
+                .map(|instance| match &router {
+                    Some(router) => self.run_routed(
+                        router,
+                        &mut routed_backends,
+                        pool.as_ref(),
+                        instance,
+                        &mut ctx,
+                    ),
+                    None => pipeline::run(
                         &self.config,
-                        &backend,
+                        backend.as_ref().expect("fixed batches build a backend"),
                         pool.as_ref(),
                         instance,
                         &mut NullObserver,
                         &mut ctx,
-                    )
+                    ),
                 })
                 .collect();
         }
@@ -393,23 +546,34 @@ impl TaxiSolver {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let backend = &backend;
+                let router = router.as_ref();
                 let cursor = &cursor;
                 let slots = &slots;
                 scope.spawn(move || {
                     let mut ctx = SolveContext::new();
+                    let mut routed_backends = RoutedBackends::default();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(instance) = instances.get(i) else {
                             break;
                         };
-                        let result = pipeline::run(
-                            &self.config,
-                            backend,
-                            None,
-                            instance,
-                            &mut NullObserver,
-                            &mut ctx,
-                        );
+                        let result = match router {
+                            Some(router) => self.run_routed(
+                                router,
+                                &mut routed_backends,
+                                None,
+                                instance,
+                                &mut ctx,
+                            ),
+                            None => pipeline::run(
+                                &self.config,
+                                backend.as_ref().expect("fixed batches build a backend"),
+                                None,
+                                instance,
+                                &mut NullObserver,
+                                &mut ctx,
+                            ),
+                        };
                         *slots[i].lock().expect("result slot lock") = Some(result);
                     }
                 });
@@ -425,10 +589,47 @@ impl TaxiSolver {
             .collect()
     }
 
+    /// One routed pipeline run inside a batch: route, solve with a per-worker
+    /// memoised backend instance, feed the observation back.
+    fn run_routed(
+        &self,
+        router: &AdaptiveRouter,
+        backends: &mut RoutedBackends,
+        pool: Option<&SolvePool>,
+        instance: &TspInstance,
+        ctx: &mut SolveContext,
+    ) -> Result<TaxiSolution, TaxiError> {
+        let decision = router.route(instance, None);
+        let backend = backends.0[decision.backend.index()]
+            .get_or_insert_with(|| self.config.build_backend_for(decision.backend));
+        let started = Instant::now();
+        let result = pipeline::run(
+            &self.config,
+            backend,
+            pool,
+            instance,
+            &mut NullObserver,
+            ctx,
+        );
+        if let Ok(solution) = &result {
+            router.observe(
+                instance,
+                decision.backend,
+                started.elapsed(),
+                solution.length,
+            );
+        }
+        result
+    }
+
     fn make_pool(&self) -> Option<SolvePool> {
         (self.config.threads() > 1).then(|| SolvePool::new(self.config.threads()))
     }
 }
+
+/// Per-worker lazily built backend instances, indexed like [`SolverBackend::ALL`].
+#[derive(Default)]
+struct RoutedBackends([Option<Arc<dyn TourSolver>>; SolverBackend::ALL.len()]);
 
 impl Default for TaxiSolver {
     fn default() -> Self {
@@ -441,6 +642,15 @@ impl Default for TaxiSolver {
 pub enum SolveProvenance {
     /// This call ran the pipeline (and seeded the cache).
     Computed,
+    /// This call ran the pipeline through an adaptive routing decision
+    /// ([`BackendChoice::Adaptive`]); the cache key was scoped to the routed
+    /// backend, so the entry it seeded is shared with fixed-`backend` services.
+    Routed {
+        /// The backend the router chose.
+        backend: SolverBackend,
+        /// Whether the choice came from the ε-greedy exploration arm.
+        explored: bool,
+    },
     /// Served from the cache without solving.
     CacheHit {
         /// Whether the stored tour was remapped into the request's indexing (a
@@ -457,8 +667,25 @@ pub enum SolveProvenance {
 impl SolveProvenance {
     /// Whether the solution was obtained without running the pipeline.
     pub fn avoided_solve(self) -> bool {
-        !matches!(self, SolveProvenance::Computed)
+        !matches!(
+            self,
+            SolveProvenance::Computed | SolveProvenance::Routed { .. }
+        )
     }
+}
+
+/// Result of a [`TaxiSolver::solve_routed`] call: the solution plus the routing
+/// decision that produced it.
+#[derive(Debug, Clone)]
+pub struct RoutedSolve {
+    /// The end-to-end solution, bit-identical to solving with
+    /// [`decision.backend`](RoutingDecision::backend) configured fixed.
+    pub solution: TaxiSolution,
+    /// The routing decision.
+    pub decision: RoutingDecision,
+    /// The solve's quality ratio against the router's shadow reference, when one
+    /// was available (see [`BackendProfiler::record`](crate::router::BackendProfiler::record)).
+    pub quality: Option<f64>,
 }
 
 /// Result of a [`TaxiSolver::solve_cached`] call: the (possibly shared) solution and

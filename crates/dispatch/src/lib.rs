@@ -13,13 +13,24 @@
 //!   max-linger-deadline rule with [`Priority`] classes (interactive before bulk),
 //!   deadline-aware execution order, and graceful degradation that downgrades bulk
 //!   requests to a cheaper backend when the queue depth signals overload;
+//! * **Adaptive routing** — a service whose solver configuration says
+//!   [`BackendChoice::Adaptive`](taxi::BackendChoice) (or that carries an explicit
+//!   [`AdaptiveRouter`](taxi::router::AdaptiveRouter) via
+//!   [`DispatchConfig::with_router`]) picks the solve backend **per request** from
+//!   online latency/quality profiles: deadline-feasible, quality-first, ε-greedy
+//!   exploration. Batches group same-backend solves adjacently, degradation becomes
+//!   "route under a tighter budget" instead of a hard-coded cheap backend, and
+//!   cache keys are scoped per routed backend;
 //! * [`ServiceMetrics`] / [`ServiceSnapshot`] — lock-free counters and fixed-bucket
 //!   latency histograms (queue wait, solve, end-to-end p50/p99, throughput, shed
-//!   count), with per-stage pipeline timings fed through a [`MetricsObserver`];
+//!   count), per-backend routed counts, exploration share and a
+//!   [`QualityHistogram`] of routed quality ratios, with per-stage pipeline timings
+//!   fed through a [`MetricsObserver`];
 //! * [`Workload`] — a seeded synthetic workload engine generating Poisson or bursty
 //!   arrival processes over four scenario families (uniform, clustered city
 //!   districts, ring logistics, PCB-drilling grids) built on the `taxi-tsplib`
-//!   generators; instances snapshot to TSPLIB text via
+//!   generators, with uniform or small/medium/large [`SizeMix`] instance sizes;
+//!   instances snapshot to TSPLIB text via
 //!   [`TspInstance::write_tsplib`](taxi_tsplib::TspInstance::write_tsplib) for exact
 //!   replay.
 //!
@@ -76,7 +87,8 @@ pub mod service;
 pub mod workload;
 
 pub use metrics::{
-    HistogramSummary, LatencyHistogram, MetricsObserver, ServiceMetrics, ServiceSnapshot,
+    HistogramSummary, LatencyHistogram, MetricsObserver, QualityHistogram, QualitySummary,
+    ServiceMetrics, ServiceSnapshot,
 };
 pub use queue::{AdmissionPolicy, DispatchQueue};
 pub use request::{
@@ -84,4 +96,6 @@ pub use request::{
 };
 pub use scheduler::{BatchMeta, BatchPolicy, MicroBatcher};
 pub use service::{DispatchConfig, DispatchService};
-pub use workload::{ArrivalProcess, RequestMix, Scenario, Workload, WorkloadConfig, WorkloadEvent};
+pub use workload::{
+    ArrivalProcess, RequestMix, Scenario, SizeMix, Workload, WorkloadConfig, WorkloadEvent,
+};

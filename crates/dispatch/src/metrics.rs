@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use taxi::{PipelineObserver, SolutionCacheStats, Stage, StageReport};
+use taxi::{PipelineObserver, SolutionCacheStats, SolverBackend, Stage, StageReport};
 
 /// Number of log-spaced histogram buckets: bucket `i` counts latencies in
 /// `(2^(i-1) µs, 2^i µs]`, so the range spans 1µs .. ~9 minutes before saturating
@@ -27,6 +27,23 @@ const BUCKETS: usize = 30;
 /// update); quantiles are estimated as the upper bound of the bucket containing the
 /// target rank, so they are conservative (never under-report) with at most 2×
 /// resolution error — plenty for p50/p99 service dashboards.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use taxi_dispatch::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for micros in [90, 110, 130, 4000] {
+///     h.record(Duration::from_micros(micros));
+/// }
+/// let summary = h.summary();
+/// assert_eq!(summary.count, 4);
+/// // Conservative: the estimate never under-reports the true quantile.
+/// assert!(summary.p50 >= Duration::from_micros(110));
+/// assert_eq!(summary.max, Duration::from_micros(4000));
+/// ```
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
@@ -146,6 +163,138 @@ pub struct HistogramSummary {
     pub max: Duration,
 }
 
+/// Bucket upper bounds of the [`QualityHistogram`] (the last bucket is open-ended).
+const QUALITY_BOUNDS: [f64; 8] = [1.001, 1.01, 1.02, 1.05, 1.10, 1.20, 1.50, 2.00];
+
+/// A fixed-bucket, lock-free histogram of tour-cost **quality ratios** (solve cost /
+/// shadow reference, ≥ 1.0; see [`taxi::router::BackendProfiler`]).
+///
+/// Buckets are anchored at operator-meaningful thresholds (≤ 0.1%, 1%, 2%, 5%, 10%,
+/// 20%, 50%, 100% above reference, worse). Like [`LatencyHistogram`], recording is
+/// wait-free and quantiles are conservative bucket upper bounds.
+///
+/// # Example
+///
+/// ```
+/// use taxi_dispatch::QualityHistogram;
+///
+/// let h = QualityHistogram::new();
+/// h.record(1.0);
+/// h.record(1.04);
+/// h.record(1.3);
+/// let summary = h.summary();
+/// assert_eq!(summary.count, 3);
+/// assert!(summary.mean > 1.0 && summary.mean < 1.2);
+/// assert!(summary.p95 >= 1.3);
+/// ```
+#[derive(Debug)]
+pub struct QualityHistogram {
+    buckets: [AtomicU64; QUALITY_BOUNDS.len() + 1],
+    count: AtomicU64,
+    /// Sum of ratios in millionths (ratio × 1e6), for the mean.
+    sum_micro: AtomicU64,
+    /// Largest ratio in millionths.
+    max_micro: AtomicU64,
+}
+
+impl QualityHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micro: AtomicU64::new(0),
+            max_micro: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one quality ratio (non-finite values are ignored; values below 1.0
+    /// clamp to 1.0 — a solve cannot beat its own reference by construction).
+    pub fn record(&self, ratio: f64) {
+        if !ratio.is_finite() {
+            return;
+        }
+        let ratio = ratio.max(1.0);
+        let index = QUALITY_BOUNDS
+            .iter()
+            .position(|&bound| ratio <= bound)
+            .unwrap_or(QUALITY_BOUNDS.len());
+        let micro = (ratio * 1e6).min(u64::MAX as f64) as u64;
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micro.fetch_add(micro, Ordering::Relaxed);
+        self.max_micro.fetch_max(micro, Ordering::Relaxed);
+    }
+
+    /// Number of recorded ratios.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile: the upper bound of the bucket holding the target
+    /// rank, clamped to the observed maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let max = self.max_micro.load(Ordering::Relaxed) as f64 * 1e-6;
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return match QUALITY_BOUNDS.get(index) {
+                    Some(&bound) => bound.min(max),
+                    None => max,
+                };
+            }
+        }
+        max
+    }
+
+    /// Mean recorded ratio (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_micro.load(Ordering::Relaxed) as f64 * 1e-6 / count as f64
+    }
+
+    /// Immutable summary (count, mean, p50/p95, max).
+    pub fn summary(&self) -> QualitySummary {
+        QualitySummary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            max: self.max_micro.load(Ordering::Relaxed) as f64 * 1e-6,
+        }
+    }
+}
+
+impl Default for QualityHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time summary of one [`QualityHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QualitySummary {
+    /// Number of ratios recorded.
+    pub count: u64,
+    /// Mean quality ratio (1.0 = reference quality).
+    pub mean: f64,
+    /// Estimated median ratio.
+    pub p50: f64,
+    /// Estimated 95th-percentile ratio.
+    pub p95: f64,
+    /// Worst observed ratio.
+    pub max: f64,
+}
+
 /// The shared metrics hub of one dispatch service.
 ///
 /// Workers and the admission queue record into it concurrently;
@@ -165,6 +314,14 @@ pub struct ServiceMetrics {
     coalesced: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    /// Fresh solves dispatched through the adaptive router, per chosen backend
+    /// (indexed like [`SolverBackend::ALL`]; all zero when routing is disabled).
+    routed: [AtomicU64; SolverBackend::ALL.len()],
+    /// Routed solves whose backend came from the ε-greedy exploration arm.
+    explored: AtomicU64,
+    /// Quality ratios of routed solves (fed when the router's shadow reference was
+    /// available).
+    quality: QualityHistogram,
     queue_wait: LatencyHistogram,
     solve: LatencyHistogram,
     end_to_end: LatencyHistogram,
@@ -189,6 +346,9 @@ impl ServiceMetrics {
             coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            routed: std::array::from_fn(|_| AtomicU64::new(0)),
+            explored: AtomicU64::new(0),
+            quality: QualityHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             solve: LatencyHistogram::new(),
             end_to_end: LatencyHistogram::new(),
@@ -279,6 +439,21 @@ impl ServiceMetrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One fresh solve was dispatched through the adaptive router to `backend`.
+    /// `explored` marks ε-greedy exploration decisions; `quality` is the solve's
+    /// ratio against the router's shadow reference, when one was available.
+    /// Cache hits and coalesced followers are **not** recorded here — routed
+    /// counts track solves the router actually placed.
+    pub fn record_routed(&self, backend: SolverBackend, explored: bool, quality: Option<f64>) {
+        self.routed[backend.index()].fetch_add(1, Ordering::Relaxed);
+        if explored {
+            self.explored.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(ratio) = quality {
+            self.quality.record(ratio);
+        }
+    }
+
     pub(crate) fn add_stage_seconds(&self, stage: Stage, seconds: f64) {
         let index = Stage::ALL
             .iter()
@@ -306,6 +481,9 @@ impl ServiceMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             cache: None,
+            routed_per_backend: std::array::from_fn(|i| self.routed[i].load(Ordering::Relaxed)),
+            explored: self.explored.load(Ordering::Relaxed),
+            quality: self.quality.summary(),
             batches,
             mean_batch_size: if batches == 0 {
                 0.0
@@ -362,6 +540,13 @@ pub struct ServiceSnapshot {
     /// (injected by [`DispatchService`](crate::DispatchService) snapshots; `None`
     /// from a bare [`ServiceMetrics::snapshot`]).
     pub cache: Option<SolutionCacheStats>,
+    /// Fresh solves dispatched through the adaptive router, per chosen backend
+    /// (indexed like [`SolverBackend::ALL`]; all zero when routing is disabled).
+    pub routed_per_backend: [u64; SolverBackend::ALL.len()],
+    /// Routed solves placed by the ε-greedy exploration arm.
+    pub explored: u64,
+    /// Quality-ratio distribution of routed solves (cost / shadow reference).
+    pub quality: QualitySummary,
     /// Micro-batches formed.
     pub batches: u64,
     /// Mean formed batch size.
@@ -397,6 +582,23 @@ impl ServiceSnapshot {
         }
     }
 
+    /// Total fresh solves dispatched through the adaptive router (zero when
+    /// routing is disabled).
+    pub fn routed_total(&self) -> u64 {
+        self.routed_per_backend.iter().sum()
+    }
+
+    /// Fraction of routed solves placed by the exploration arm (zero when nothing
+    /// was routed). Healthy values sit near the router's configured ε.
+    pub fn exploration_share(&self) -> f64 {
+        let routed = self.routed_total();
+        if routed == 0 {
+            0.0
+        } else {
+            self.explored as f64 / routed as f64
+        }
+    }
+
     /// One-line operator summary of the service state — the log-friendly
     /// counterpart of the multi-line [`Display`](std::fmt::Display) rendering.
     pub fn one_line(&self) -> String {
@@ -421,6 +623,14 @@ impl ServiceSnapshot {
                 cache.entries,
                 cache.bytes,
                 cache.hit_rate() * 100.0,
+            ));
+        }
+        if self.routed_total() > 0 {
+            let [im, nn, ge, xd] = self.routed_per_backend;
+            line.push_str(&format!(
+                ", routed im/nn/ge/xd {im}/{nn}/{ge}/{xd} ({:.0}% explore, q\u{0304} {:.3})",
+                self.exploration_share() * 100.0,
+                self.quality.mean,
             ));
         }
         line
@@ -473,6 +683,30 @@ impl ServiceSnapshot {
         ] {
             let _ = write!(json, ",\"{label}\":{}", histogram(summary));
         }
+        if self.routed_total() > 0 {
+            let _ = write!(json, ",\"routed\":{{");
+            for (i, backend) in SolverBackend::ALL.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}\"{}\":{}",
+                    if i == 0 { "" } else { "," },
+                    backend.label(),
+                    self.routed_per_backend[i],
+                );
+            }
+            let _ = write!(
+                json,
+                "}},\"explored\":{},\"exploration_share\":{:.4},\"quality\":{{\
+                 \"count\":{},\"mean\":{:.4},\"p50\":{:.4},\"p95\":{:.4},\"max\":{:.4}}}",
+                self.explored,
+                self.exploration_share(),
+                self.quality.count,
+                self.quality.mean,
+                self.quality.p50,
+                self.quality.p95,
+                self.quality.max,
+            );
+        }
         if let Some(cache) = &self.cache {
             let _ = write!(
                 json,
@@ -520,6 +754,20 @@ impl std::fmt::Display for ServiceSnapshot {
             self.coalesced,
             self.solved_fresh(),
         )?;
+        if self.routed_total() > 0 {
+            write!(f, "  routed:")?;
+            for (i, backend) in SolverBackend::ALL.iter().enumerate() {
+                write!(f, " {} {}", backend.label(), self.routed_per_backend[i])?;
+            }
+            writeln!(
+                f,
+                " ({:.1}% explored); quality mean {:.4} p95 {:.4} (n={})",
+                self.exploration_share() * 100.0,
+                self.quality.mean,
+                self.quality.p95,
+                self.quality.count,
+            )?;
+        }
         if let Some(cache) = &self.cache {
             writeln!(
                 f,

@@ -137,6 +137,13 @@ pub struct SolvedResponse {
     /// Whether the response rode on a concurrent identical request's solve
     /// (singleflight coalescing).
     pub coalesced: bool,
+    /// The backend the adaptive router chose for this request (`None` when the
+    /// service routes statically). Set on fresh routed solves and on responses
+    /// served from a routed solve's cache entry (late hits, coalesced followers).
+    pub routed: Option<taxi::SolverBackend>,
+    /// Whether the routing decision came from the ε-greedy exploration arm
+    /// (always `false` when `routed` is `None` or the response avoided a solve).
+    pub explored: bool,
 }
 
 /// Terminal state of a submitted request.

@@ -24,6 +24,21 @@ use crate::queue::DispatchQueue;
 use crate::request::Pending;
 
 /// The micro-batching rule.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use taxi_dispatch::BatchPolicy;
+///
+/// let policy = BatchPolicy::new()
+///     .with_max_batch(16)
+///     .with_linger(Duration::from_micros(250))
+///     .with_overload_threshold(64);
+/// assert_eq!(policy.max_batch, 16);
+/// assert_eq!(policy.overload_threshold, Some(64));
+/// assert_eq!(policy.without_degradation().overload_threshold, None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Maximum requests per batch. `1` disables batching (every drain takes one

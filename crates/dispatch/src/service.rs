@@ -23,7 +23,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use taxi::cache::CachedEntry;
-use taxi::{CacheLookup, SolutionCache, SolveContext, SolverBackend, TaxiConfig, TaxiSolver};
+use taxi::router::{AdaptiveRouter, RouterConfig, RoutingDecision};
+use taxi::{
+    BackendChoice, CacheLookup, SolutionCache, SolveContext, SolverBackend, TaxiConfig, TaxiSolver,
+};
 
 use crate::coalesce::{CoalesceRole, Coalescer};
 use crate::metrics::{MetricsObserver, ServiceMetrics, ServiceSnapshot};
@@ -48,8 +51,20 @@ pub struct DispatchConfig {
     /// The micro-batching rule.
     pub batch: BatchPolicy,
     /// Backend used for bulk requests in overloaded batches (see
-    /// [`BatchPolicy::overload_threshold`]).
+    /// [`BatchPolicy::overload_threshold`]). Only consulted when adaptive routing
+    /// is **off**: a routed service degrades by tightening the latency budget
+    /// ([`degraded_budget`](Self::degraded_budget)) instead.
     pub degraded_backend: SolverBackend,
+    /// Under adaptive routing, the latency budget overloaded bulk requests are
+    /// routed with (their remaining slack is clamped to at most this): degradation
+    /// becomes "route for a tighter deadline" — the router picks whatever backend
+    /// meets it — rather than a hard-coded cheap backend.
+    pub degraded_budget: Duration,
+    /// The adaptive backend router, if per-instance routing is enabled. Built
+    /// automatically at [`DispatchService::start`] when the solver configuration
+    /// says [`BackendChoice::Adaptive`]; attach one explicitly to share learned
+    /// profiles across services or to customise [`RouterConfig`].
+    pub router: Option<Arc<AdaptiveRouter>>,
     /// The solution cache, if serving-side memoization is enabled: admission serves
     /// repeat instances without queueing, workers coalesce in-flight duplicates and
     /// insert fresh solves. `None` (the default) disables caching entirely.
@@ -66,6 +81,12 @@ impl PartialEq for DispatchConfig {
             && self.admission == other.admission
             && self.batch == other.batch
             && self.degraded_backend == other.degraded_backend
+            && self.degraded_budget == other.degraded_budget
+            && match (&self.router, &other.router) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
             && match (&self.cache, &other.cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -88,6 +109,8 @@ impl DispatchConfig {
             admission: AdmissionPolicy::default(),
             batch: BatchPolicy::default(),
             degraded_backend: SolverBackend::NnTwoOpt,
+            degraded_budget: Duration::from_millis(25),
+            router: None,
             cache: None,
         }
     }
@@ -133,10 +156,37 @@ impl DispatchConfig {
         self
     }
 
-    /// Sets the backend overloaded bulk requests degrade to.
+    /// Sets the backend overloaded bulk requests degrade to (routing-off services
+    /// only; see [`degraded_budget`](Self::degraded_budget) for routed services).
     #[must_use]
     pub fn with_degraded_backend(mut self, backend: SolverBackend) -> Self {
         self.degraded_backend = backend;
+        self
+    }
+
+    /// Sets the latency budget overloaded bulk requests are routed under when
+    /// adaptive routing is enabled.
+    #[must_use]
+    pub fn with_degraded_budget(mut self, budget: Duration) -> Self {
+        self.degraded_budget = budget;
+        self
+    }
+
+    /// Attaches an adaptive backend router (shareable across services, so learned
+    /// latency/quality profiles follow the traffic). Routing is also enabled
+    /// automatically when the solver configuration selects
+    /// [`BackendChoice::Adaptive`].
+    #[must_use]
+    pub fn with_router(mut self, router: Arc<AdaptiveRouter>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    /// Detaches the router ([`BackendChoice::Adaptive`] solver configurations get a
+    /// fresh private router at service start regardless).
+    #[must_use]
+    pub fn without_router(mut self) -> Self {
+        self.router = None;
         self
     }
 
@@ -188,13 +238,23 @@ pub struct DispatchService {
     metrics: Arc<ServiceMetrics>,
     workers: Vec<std::thread::JoinHandle<()>>,
     config: DispatchConfig,
+    /// The adaptive router serving this service's traffic, when routing is enabled
+    /// (the configured one, or a private one built for a
+    /// [`BackendChoice::Adaptive`] solver configuration).
+    router: Option<Arc<AdaptiveRouter>>,
     /// The solver-configuration token scoping this service's cache keys (computed
-    /// once; meaningless without a cache).
+    /// once; meaningless without a cache, and unused under adaptive routing, where
+    /// keys are scoped per routed backend instead).
     cache_token: u64,
 }
 
 impl DispatchService {
     /// Starts the service: builds the queue and spawns the workers.
+    ///
+    /// Adaptive routing is engaged when the configuration carries a router
+    /// ([`DispatchConfig::with_router`]) or the solver configuration selects
+    /// [`BackendChoice::Adaptive`] (a private router seeded from the solver
+    /// configuration is built in that case).
     pub fn start(config: DispatchConfig) -> Self {
         let metrics = Arc::new(ServiceMetrics::new());
         let queue = Arc::new(DispatchQueue::new(
@@ -203,16 +263,35 @@ impl DispatchService {
             Arc::clone(&metrics),
         ));
         let cache_token = config.solver.cache_token();
+        let router = config.router.clone().or_else(|| {
+            matches!(config.solver.backend_choice(), BackendChoice::Adaptive).then(|| {
+                Arc::new(AdaptiveRouter::new(
+                    RouterConfig::new()
+                        .with_seed(config.solver.seed())
+                        .with_cluster_capacity(config.solver.max_cluster_size()),
+                ))
+            })
+        });
         let coalescer = Arc::new(Coalescer::new());
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
                 let coalescer = Arc::clone(&coalescer);
+                let router = router.clone();
                 let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("taxi-dispatch-{index}"))
-                    .spawn(move || worker_loop(index, &config, &queue, &metrics, &coalescer))
+                    .spawn(move || {
+                        worker_loop(
+                            index,
+                            &config,
+                            router.as_ref(),
+                            &queue,
+                            &metrics,
+                            &coalescer,
+                        )
+                    })
                     .expect("spawn dispatch worker")
             })
             .collect();
@@ -221,6 +300,7 @@ impl DispatchService {
             metrics,
             workers,
             config,
+            router,
             cache_token,
         }
     }
@@ -228,6 +308,12 @@ impl DispatchService {
     /// The service configuration.
     pub fn config(&self) -> &DispatchConfig {
         &self.config
+    }
+
+    /// The adaptive router serving this service, when routing is enabled (exposes
+    /// the live latency/quality profiles).
+    pub fn router(&self) -> Option<&Arc<AdaptiveRouter>> {
+        self.router.as_ref()
     }
 
     /// Submits a request for dispatch.
@@ -249,6 +335,13 @@ impl DispatchService {
         let Some(cache) = &self.config.cache else {
             return self.queue.submit(request);
         };
+        if self.router.is_some() {
+            // Routed services scope cache keys per chosen backend, and the routing
+            // decision (it depends on the remaining slack at solve time) is made by
+            // the worker — so admission cannot probe the cache; workers serve late
+            // hits against the routed key instead.
+            return self.queue.submit(request);
+        }
         if self.queue.is_closed() {
             // Cache hits must not outlive admission: a shut-down service serves
             // nothing, cached or not.
@@ -274,6 +367,8 @@ impl DispatchService {
                     missed_deadline,
                     cache_hit: true,
                     coalesced: false,
+                    routed: None,
+                    explored: false,
                 })));
                 Ok(ticket)
             }
@@ -323,23 +418,52 @@ impl Drop for DispatchService {
     }
 }
 
+/// The routing facts a worker carries through one routed solve (chosen backend +
+/// whether the exploration arm chose it).
+#[derive(Debug, Clone, Copy)]
+struct RouteTag {
+    backend: SolverBackend,
+    explored: bool,
+}
+
+impl RouteTag {
+    fn of(decision: &RoutingDecision) -> Self {
+        Self {
+            backend: decision.backend,
+            explored: decision.explored(),
+        }
+    }
+}
+
 /// The long-lived solving state of one worker thread.
 struct Worker<'a> {
     index: usize,
     solver: TaxiSolver,
     primary: Arc<dyn taxi::TourSolver>,
     degraded: Arc<dyn taxi::TourSolver>,
+    /// Per-backend instances for routed dispatch, built on first use (indexed like
+    /// [`SolverBackend::ALL`]).
+    routed_backends: [Option<Arc<dyn taxi::TourSolver>>; SolverBackend::ALL.len()],
     ctx: SolveContext,
     observer: MetricsObserver,
     metrics: &'a Arc<ServiceMetrics>,
     cache: Option<&'a Arc<SolutionCache>>,
+    router: Option<&'a Arc<AdaptiveRouter>>,
 }
 
 impl Worker<'_> {
-    /// Solves `pending` and resolves its ticket. When `insert_key` is set (primary
-    /// backend + cache enabled), a successful solve is inserted into the cache and
-    /// the stored entry returned (with the solve time) so the caller can serve
-    /// coalesced followers from it.
+    /// The worker's instance of a routed backend, built on first use.
+    fn routed_backend(&mut self, backend: SolverBackend) -> Arc<dyn taxi::TourSolver> {
+        let slot = &mut self.routed_backends[backend.index()];
+        Arc::clone(slot.get_or_insert_with(|| self.solver.config().build_backend_for(backend)))
+    }
+
+    /// Solves `pending` and resolves its ticket. When `insert_key` is set (cache
+    /// enabled and the solve is cacheable), a successful solve is inserted into the
+    /// cache and the stored entry returned (with the solve time) so the caller can
+    /// serve coalesced followers from it. A `route` tag overrides the
+    /// primary/degraded backend pair with the routed backend and feeds the solve
+    /// back into the router's profiles.
     #[allow(clippy::too_many_arguments)]
     fn solve_and_resolve(
         &mut self,
@@ -348,13 +472,15 @@ impl Worker<'_> {
         dequeued_at: Instant,
         batch_size: usize,
         insert_key: Option<u128>,
+        route: Option<RouteTag>,
     ) -> Option<(Arc<CachedEntry>, Duration)> {
         let queue_wait = dequeued_at.saturating_duration_since(pending.submitted_at);
-        let backend = if degrade {
-            &self.degraded
-        } else {
-            &self.primary
+        let backend = match route {
+            Some(tag) => self.routed_backend(tag.backend),
+            None if degrade => Arc::clone(&self.degraded),
+            None => Arc::clone(&self.primary),
         };
+        let backend = &backend;
         let solve_started = Instant::now();
         // Contain per-request panics: one poisoned instance must not take the
         // worker (and with it every queued client) down. The scratch context is
@@ -386,6 +512,17 @@ impl Worker<'_> {
         match result {
             Ok(solution) => {
                 let solution = Arc::new(solution);
+                if let Some(tag) = route {
+                    let router = self.router.expect("route tags only exist with a router");
+                    let quality = router.observe(
+                        &pending.request.instance,
+                        tag.backend,
+                        solve_time,
+                        solution.length,
+                    );
+                    self.metrics
+                        .record_routed(tag.backend, tag.explored, quality);
+                }
                 let entry = insert_key.zip(self.cache).map(|(key, cache)| {
                     cache.insert(key, &pending.request.instance, Arc::clone(&solution))
                 });
@@ -408,6 +545,8 @@ impl Worker<'_> {
                     missed_deadline,
                     cache_hit: false,
                     coalesced: false,
+                    routed: route.map(|tag| tag.backend),
+                    explored: route.is_some_and(|tag| tag.explored),
                 })));
                 entry.map(|entry| (entry, solve_time))
             }
@@ -421,7 +560,12 @@ impl Worker<'_> {
 
     /// Resolves `pending` from a cached solution found by the worker-side re-check
     /// (it was solved while this request sat in the queue).
-    fn resolve_late_hit(&self, pending: Pending, solution: Arc<taxi::TaxiSolution>) {
+    fn resolve_late_hit(
+        &self,
+        pending: Pending,
+        solution: Arc<taxi::TaxiSolution>,
+        routed: Option<SolverBackend>,
+    ) {
         let now = Instant::now();
         let end_to_end = now.saturating_duration_since(pending.submitted_at);
         // Unlike an admission-time hit, this request genuinely waited in the queue
@@ -439,6 +583,8 @@ impl Worker<'_> {
             missed_deadline,
             cache_hit: true,
             coalesced: false,
+            routed,
+            explored: false,
         })));
     }
 
@@ -449,6 +595,7 @@ impl Worker<'_> {
         entry: &Arc<CachedEntry>,
         leader_solve_time: Duration,
         batch_size: usize,
+        routed: Option<SolverBackend>,
     ) {
         let cache = self.cache.expect("followers only exist with a cache");
         let hit = cache.serve(entry, &pending.request.instance);
@@ -469,6 +616,8 @@ impl Worker<'_> {
             missed_deadline,
             cache_hit: false,
             coalesced: true,
+            routed,
+            explored: false,
         })));
     }
 }
@@ -477,6 +626,7 @@ impl Worker<'_> {
 fn worker_loop(
     index: usize,
     config: &DispatchConfig,
+    router: Option<&Arc<AdaptiveRouter>>,
     queue: &Arc<DispatchQueue>,
     metrics: &Arc<ServiceMetrics>,
     coalescer: &Arc<Coalescer>,
@@ -492,94 +642,193 @@ fn worker_loop(
             .clone()
             .with_backend(config.degraded_backend)
             .build_backend(),
+        routed_backends: std::array::from_fn(|_| None),
         solver,
         ctx: SolveContext::new(),
         observer: MetricsObserver::new(Arc::clone(metrics)),
         metrics,
         cache: config.cache.as_ref(),
+        router,
     };
     let batcher = MicroBatcher::new(Arc::clone(queue), config.batch);
     let mut batch: Vec<Pending> = Vec::with_capacity(config.batch.max_batch);
+    let mut routed: Vec<(Pending, RoutingDecision, bool)> =
+        Vec::with_capacity(config.batch.max_batch);
 
     while let Some(meta) = batcher.next_batch(&mut batch) {
         metrics.record_batch(batch.len());
         let batch_size = batch.len();
         // One clock read per batch: every request in it was dequeued at this instant.
         let dequeued_at = Instant::now();
-        for pending in batch.drain(..) {
-            let degrade = meta.overloaded && pending.request.priority == Priority::Bulk;
-            // The memoization path serves only primary-backend work: a degraded
-            // solve must neither poison the cache nor satisfy coalesced followers
-            // who were promised the primary answer.
-            let cached_key = if degrade { None } else { pending.cache_key };
-            let Some((cache, key)) = worker.cache.zip(cached_key) else {
-                let _ = worker.solve_and_resolve(pending, degrade, dequeued_at, batch_size, None);
-                continue;
-            };
-            // Re-check the cache by the admission-computed key: an identical
-            // instance may have been solved while this request sat in the queue
-            // (e.g. by the leader of an earlier batch). The probe neither
-            // re-fingerprints on a miss nor re-counts the admission-time miss.
-            if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
-                worker.resolve_late_hit(pending, hit.solution);
-                continue;
-            }
-            match coalescer.lead_or_attach(key, pending) {
-                // A leader elsewhere is already solving this key; it will resolve
-                // this pending when it completes.
-                CoalesceRole::Attached => continue,
-                CoalesceRole::Lead(pending) => {
-                    // Double-check after election: the previous leader may have
-                    // inserted between our probe above and its `take` retiring the
-                    // flight (attach-after-take race) — without this, two fresh
-                    // solves of one key could slip through.
-                    if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
-                        worker.resolve_late_hit(pending, hit.solution);
-                        for follower in coalescer.take(key) {
-                            match cache.lookup_keyed(key, &follower.request.instance) {
-                                Some(hit) => worker.resolve_late_hit(follower, hit.solution),
-                                // Evicted in the meantime: solve it individually.
-                                None => {
-                                    let _ = worker.solve_and_resolve(
-                                        follower,
-                                        false,
-                                        dequeued_at,
-                                        batch_size,
-                                        None,
-                                    );
-                                }
-                            }
-                        }
-                        continue;
+        match worker.router {
+            Some(router) => {
+                // Route the whole batch up front, then group same-backend solves
+                // adjacently within each priority class — warm per-size macros and
+                // scratch stay hot across neighbouring solves. The sort keys on
+                // (priority, backend) and is stable, so interactive work still runs
+                // before bulk (grouping must not let a bulk solve push an
+                // interactive deadline past the slack its routing was judged
+                // against) and deadline order is preserved within each group.
+                for pending in batch.drain(..) {
+                    let mut slack = pending
+                        .deadline
+                        .map(|d| d.saturating_duration_since(dequeued_at));
+                    let degrade = meta.overloaded && pending.request.priority == Priority::Bulk;
+                    if degrade {
+                        // Degradation under routing: a tighter latency budget, not a
+                        // hard-coded cheap backend — the router picks whatever
+                        // backend its profiles say meets the clamped slack.
+                        let budget = config.degraded_budget;
+                        slack = Some(slack.map_or(budget, |s| s.min(budget)));
                     }
-                    let led = worker.solve_and_resolve(
+                    let decision = router.route(&pending.request.instance, slack);
+                    routed.push((pending, decision, degrade));
+                }
+                routed.sort_by_key(|(pending, decision, _)| {
+                    (pending.request().priority, decision.backend.index())
+                });
+                for (pending, decision, degrade) in routed.drain(..) {
+                    // Routed solves are cacheable regardless of degradation: the
+                    // key is scoped to the chosen backend, and a budget-tightened
+                    // solve is still that backend's genuine answer.
+                    let key = worker.cache.map(|cache| {
+                        cache.key(
+                            worker.solver.routed_cache_token(decision.backend),
+                            &pending.request.instance,
+                        )
+                    });
+                    serve_one(
+                        &mut worker,
+                        coalescer,
                         pending,
-                        false,
+                        degrade,
+                        Some(RouteTag::of(&decision)),
+                        key,
                         dequeued_at,
                         batch_size,
-                        Some(key),
                     );
-                    let followers = coalescer.take(key);
-                    match led {
-                        Some((entry, solve_time)) => {
-                            for follower in followers {
-                                worker.resolve_follower(follower, &entry, solve_time, batch_size);
-                            }
+                }
+            }
+            None => {
+                for pending in batch.drain(..) {
+                    let degrade = meta.overloaded && pending.request.priority == Priority::Bulk;
+                    // The memoization path serves only primary-backend work: a
+                    // degraded solve must neither poison the cache nor satisfy
+                    // coalesced followers who were promised the primary answer.
+                    let cached_key = if degrade { None } else { pending.cache_key };
+                    serve_one(
+                        &mut worker,
+                        coalescer,
+                        pending,
+                        degrade,
+                        None,
+                        cached_key,
+                        dequeued_at,
+                        batch_size,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Serves one pending through the cache/coalescing machinery (or solves it directly
+/// when no cache key applies). Shared by the routed and fixed-backend paths: only
+/// the backend selection (`route`) and the key scope differ.
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    worker: &mut Worker<'_>,
+    coalescer: &Coalescer,
+    pending: Pending,
+    degrade: bool,
+    route: Option<RouteTag>,
+    cached_key: Option<u128>,
+    dequeued_at: Instant,
+    batch_size: usize,
+) {
+    let routed_backend = route.map(|tag| tag.backend);
+    // Follower re-solves reuse the leader's backend choice but are not exploration
+    // events themselves (the router already counted the decision once).
+    let resolve_route = route.map(|tag| RouteTag {
+        explored: false,
+        ..tag
+    });
+    let Some((cache, key)) = worker.cache.zip(cached_key) else {
+        let _ = worker.solve_and_resolve(pending, degrade, dequeued_at, batch_size, None, route);
+        return;
+    };
+    // Re-check the cache by key: an identical instance may have been solved while
+    // this request sat in the queue (e.g. by the leader of an earlier batch). The
+    // probe neither re-fingerprints on a miss nor re-counts the admission-time miss.
+    if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
+        worker.resolve_late_hit(pending, hit.solution, routed_backend);
+        return;
+    }
+    match coalescer.lead_or_attach(key, pending) {
+        // A leader elsewhere is already solving this key; it will resolve this
+        // pending when it completes.
+        CoalesceRole::Attached => {}
+        CoalesceRole::Lead(pending) => {
+            // Double-check after election: the previous leader may have inserted
+            // between our probe above and its `take` retiring the flight
+            // (attach-after-take race) — without this, two fresh solves of one key
+            // could slip through.
+            if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
+                worker.resolve_late_hit(pending, hit.solution, routed_backend);
+                for follower in coalescer.take(key) {
+                    match cache.lookup_keyed(key, &follower.request.instance) {
+                        Some(hit) => {
+                            worker.resolve_late_hit(follower, hit.solution, routed_backend)
                         }
-                        // The leader's solve failed: it fails only its own ticket.
-                        // Followers re-solve individually (no coalescing, no insert
-                        // — if the failure is systematic each gets its own error).
+                        // Evicted in the meantime: solve it individually.
                         None => {
-                            for follower in followers {
-                                let _ = worker.solve_and_resolve(
-                                    follower,
-                                    false,
-                                    dequeued_at,
-                                    batch_size,
-                                    None,
-                                );
-                            }
+                            let _ = worker.solve_and_resolve(
+                                follower,
+                                false,
+                                dequeued_at,
+                                batch_size,
+                                None,
+                                resolve_route,
+                            );
                         }
+                    }
+                }
+                return;
+            }
+            let led = worker.solve_and_resolve(
+                pending,
+                degrade,
+                dequeued_at,
+                batch_size,
+                Some(key),
+                route,
+            );
+            let followers = coalescer.take(key);
+            match led {
+                Some((entry, solve_time)) => {
+                    for follower in followers {
+                        worker.resolve_follower(
+                            follower,
+                            &entry,
+                            solve_time,
+                            batch_size,
+                            routed_backend,
+                        );
+                    }
+                }
+                // The leader's solve failed: it fails only its own ticket.
+                // Followers re-solve individually (no coalescing, no insert — if
+                // the failure is systematic each gets its own error).
+                None => {
+                    for follower in followers {
+                        let _ = worker.solve_and_resolve(
+                            follower,
+                            false,
+                            dequeued_at,
+                            batch_size,
+                            None,
+                            resolve_route,
+                        );
                     }
                 }
             }

@@ -135,6 +135,107 @@ pub enum RequestMix {
     },
 }
 
+/// A small/medium/large instance-size blend: each request picks a class by weight,
+/// then a size uniformly within the class's inclusive range.
+///
+/// This is the size model router and dispatch benches use to exercise
+/// **size-dependent** behaviour (backend routing, batch formation) without
+/// hand-rolled generators: a plain uniform `size_range` never produces the bimodal
+/// traffic where one backend wins small instances and another wins large ones.
+///
+/// # Example
+///
+/// ```
+/// use taxi_dispatch::{Scenario, SizeMix, Workload, WorkloadConfig};
+///
+/// let workload = Workload::generate(
+///     WorkloadConfig::new(Scenario::Uniform)
+///         .with_requests(64)
+///         .with_size_mix(SizeMix::new((10, 20), (40, 80), (120, 200)))
+///         .with_seed(7),
+/// );
+/// assert!(workload.events().iter().all(|e| {
+///     let n = e.request.instance.dimension();
+///     (10..=20).contains(&n) || (40..=80).contains(&n) || (120..=200).contains(&n)
+/// }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeMix {
+    /// Inclusive city-count range of the small class.
+    pub small: (usize, usize),
+    /// Inclusive city-count range of the medium class.
+    pub medium: (usize, usize),
+    /// Inclusive city-count range of the large class.
+    pub large: (usize, usize),
+    /// Relative class weights (small, medium, large); need not sum to 1.
+    pub weights: [f64; 3],
+}
+
+impl SizeMix {
+    /// Creates a mix with the default 50/35/15 small/medium/large weighting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or starts at zero.
+    pub fn new(small: (usize, usize), medium: (usize, usize), large: (usize, usize)) -> Self {
+        for (label, (min, max)) in [("small", small), ("medium", medium), ("large", large)] {
+            assert!(
+                min > 0 && min <= max,
+                "{label} size range must be non-empty, got {min}..={max}"
+            );
+        }
+        Self {
+            small,
+            medium,
+            large,
+            weights: [0.5, 0.35, 0.15],
+        }
+    }
+
+    /// Sets the class weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weight is negative or non-finite, or all weights are zero.
+    #[must_use]
+    pub fn with_weights(mut self, weights: [f64; 3]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "some weight must be positive"
+        );
+        self.weights = weights;
+        self
+    }
+
+    /// Draws one size: class by weight, then uniform within the class range.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        let u: f64 = rng.gen::<f64>() * total;
+        let (min, max) = if u < self.weights[0] {
+            self.small
+        } else if u < self.weights[0] + self.weights[1] {
+            self.medium
+        } else {
+            self.large
+        };
+        rng.gen_range(min..=max)
+    }
+
+    /// The overall inclusive size bounds across all three classes.
+    pub fn bounds(&self) -> (usize, usize) {
+        let mins = [self.small.0, self.medium.0, self.large.0];
+        let maxs = [self.small.1, self.medium.1, self.large.1];
+        (
+            mins.into_iter().min().expect("three classes"),
+            maxs.into_iter().max().expect("three classes"),
+        )
+    }
+}
+
 /// Configuration of one synthetic workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
@@ -147,8 +248,12 @@ pub struct WorkloadConfig {
     pub mix: RequestMix,
     /// Number of requests to generate.
     pub requests: usize,
-    /// City counts are drawn uniformly from this inclusive range.
+    /// City counts are drawn uniformly from this inclusive range (superseded by
+    /// [`size_mix`](Self::size_mix) when set).
     pub size_range: (usize, usize),
+    /// Optional small/medium/large size blend; when set, it replaces the uniform
+    /// [`size_range`](Self::size_range) sampling.
+    pub size_mix: Option<SizeMix>,
     /// Probability a request is [`Priority::Interactive`].
     pub interactive_fraction: f64,
     /// Latency budget attached to interactive requests.
@@ -167,6 +272,7 @@ impl WorkloadConfig {
             mix: RequestMix::Fresh,
             requests: 64,
             size_range: (40, 80),
+            size_mix: None,
             interactive_fraction: 0.25,
             interactive_deadline: Some(Duration::from_millis(250)),
             seed: 0xD15_9A7C,
@@ -213,7 +319,8 @@ impl WorkloadConfig {
         self
     }
 
-    /// Sets the inclusive city-count range.
+    /// Sets the inclusive city-count range (and clears any
+    /// [`size_mix`](Self::size_mix)).
     ///
     /// # Panics
     ///
@@ -222,7 +329,29 @@ impl WorkloadConfig {
     pub fn with_size_range(mut self, min: usize, max: usize) -> Self {
         assert!(min > 0 && min <= max, "size range must be non-empty");
         self.size_range = (min, max);
+        self.size_mix = None;
         self
+    }
+
+    /// Sets a small/medium/large size blend, replacing uniform size sampling (the
+    /// `MixedSizes` knob router and dispatch benches use for size-dependent
+    /// routing).
+    #[must_use]
+    pub fn with_size_mix(mut self, mix: SizeMix) -> Self {
+        self.size_range = mix.bounds();
+        self.size_mix = Some(mix);
+        self
+    }
+
+    /// Draws one instance size under the configured model.
+    fn sample_size(&self, rng: &mut ChaCha8Rng) -> usize {
+        match &self.size_mix {
+            Some(mix) => mix.sample(rng),
+            None => {
+                let (min, max) = self.size_range;
+                rng.gen_range(min..=max)
+            }
+        }
     }
 
     /// Sets the interactive traffic fraction (clamped to `0.0..=1.0`).
@@ -258,6 +387,22 @@ pub struct WorkloadEvent {
 
 /// A fully materialised workload: deterministic in its config, replayable any number
 /// of times.
+///
+/// # Example
+///
+/// ```
+/// use taxi_dispatch::{ArrivalProcess, Scenario, Workload, WorkloadConfig};
+///
+/// let workload = Workload::generate(
+///     WorkloadConfig::new(Scenario::Uniform)
+///         .with_requests(16)
+///         .with_arrivals(ArrivalProcess::Poisson { rate_hz: 100.0 })
+///         .with_seed(3),
+/// );
+/// assert_eq!(workload.events().len(), 16);
+/// // Same config, same workload — bit for bit.
+/// assert_eq!(workload, Workload::generate(workload.config().clone()));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     config: WorkloadConfig,
@@ -283,10 +428,9 @@ impl Workload {
             RequestMix::Fresh => None,
             RequestMix::PopularRoutes { routes, exponent } => {
                 let mut pool_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
-                let (min, max) = config.size_range;
                 let instances: Vec<TspInstance> = (0..routes)
                     .map(|route| {
-                        let n = pool_rng.gen_range(min..=max);
+                        let n = config.sample_size(&mut pool_rng);
                         let seed = config
                             .seed
                             .wrapping_add((route as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
@@ -335,8 +479,7 @@ impl Workload {
                     instances[rank].clone()
                 }
                 None => {
-                    let (min, max) = config.size_range;
-                    let n = rng.gen_range(min..=max);
+                    let n = config.sample_size(&mut rng);
                     let name = format!("wl-{}-{}", config.scenario.label(), index);
                     let instance_seed = config
                         .seed
@@ -492,6 +635,61 @@ mod tests {
                 assert!(event.request.instance.name().starts_with("wl-"));
             }
         }
+    }
+
+    #[test]
+    fn size_mix_draws_from_all_three_classes() {
+        let mix = SizeMix::new((10, 14), (40, 60), (120, 160)).with_weights([0.4, 0.4, 0.2]);
+        assert_eq!(mix.bounds(), (10, 160));
+        let workload = Workload::generate(
+            WorkloadConfig::new(Scenario::Uniform)
+                .with_requests(150)
+                .with_size_mix(mix)
+                .with_seed(41),
+        );
+        let (mut small, mut medium, mut large) = (0, 0, 0);
+        for event in workload.events() {
+            match event.request.instance.dimension() {
+                10..=14 => small += 1,
+                40..=60 => medium += 1,
+                120..=160 => large += 1,
+                n => panic!("size {n} outside every class"),
+            }
+        }
+        assert!(
+            small > 20 && medium > 20 && large > 5,
+            "{small}/{medium}/{large}"
+        );
+    }
+
+    #[test]
+    fn size_mix_applies_to_popular_route_pools_and_is_deterministic() {
+        let config = WorkloadConfig::new(Scenario::CityDistricts { districts: 3 })
+            .with_requests(60)
+            .with_popular_routes(6, 0.8)
+            .with_size_mix(SizeMix::new((10, 12), (40, 44), (90, 99)))
+            .with_seed(9);
+        let a = Workload::generate(config.clone());
+        assert_eq!(a, Workload::generate(config));
+        for event in a.events() {
+            let n = event.request.instance.dimension();
+            assert!(
+                (10..=12).contains(&n) || (40..=44).contains(&n) || (90..=99).contains(&n),
+                "pool size {n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size range must be non-empty")]
+    fn size_mix_rejects_empty_ranges() {
+        let _ = SizeMix::new((10, 5), (40, 60), (120, 160));
+    }
+
+    #[test]
+    #[should_panic(expected = "some weight must be positive")]
+    fn size_mix_rejects_all_zero_weights() {
+        let _ = SizeMix::new((1, 2), (3, 4), (5, 6)).with_weights([0.0; 3]);
     }
 
     #[test]

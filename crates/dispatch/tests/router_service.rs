@@ -1,0 +1,255 @@
+//! Service-level adaptive-routing guarantees: routed responses are bit-identical to
+//! offline solves with the chosen backend, metrics account every routed solve,
+//! degraded routing tightens budgets instead of swapping backends, and the routed
+//! cache path coalesces per (backend, geometry) key.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taxi::router::{AdaptiveRouter, RouterConfig};
+use taxi::{BackendChoice, SolutionCache, TaxiConfig, TaxiSolver};
+use taxi_dispatch::{
+    AdmissionPolicy, BatchPolicy, DispatchConfig, DispatchRequest, DispatchService, Priority,
+    SizeMix, Ticket, Workload, WorkloadConfig,
+};
+use taxi_dispatch::{Scenario, SolvedResponse};
+
+fn adaptive_solver(seed: u64) -> TaxiConfig {
+    TaxiConfig::new()
+        .with_seed(seed)
+        .with_backend_choice(BackendChoice::Adaptive)
+}
+
+fn drain(tickets: Vec<Ticket>) -> Vec<SolvedResponse> {
+    tickets
+        .into_iter()
+        .map(|t| t.wait().solved().expect("solved"))
+        .collect()
+}
+
+/// Every response of an adaptive service must carry its routed backend, and the
+/// tour must be bit-identical to an offline solve of that instance under the same
+/// solver configuration with that backend fixed.
+#[test]
+fn routed_service_responses_are_bit_identical_to_offline_solves() {
+    let solver_config = adaptive_solver(6);
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config.clone())
+            .with_workers(2)
+            .with_router(Arc::new(AdaptiveRouter::new(
+                RouterConfig::new().with_seed(3).with_epsilon(0.3),
+            ))),
+    );
+    let workload = Workload::generate(
+        WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+            .with_requests(12)
+            .with_size_mix(SizeMix::new((10, 16), (40, 60), (90, 120)))
+            .with_interactive_fraction(0.0)
+            .with_seed(19),
+    );
+    let events = workload.into_events();
+    let tickets: Vec<Ticket> = events
+        .iter()
+        .map(|e| service.submit(e.request.clone()).expect("admitted"))
+        .collect();
+    let responses = drain(tickets);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 12);
+    assert_eq!(snapshot.routed_total(), 12, "every fresh solve was routed");
+    for (event, response) in events.iter().zip(&responses) {
+        let backend = response.routed.expect("adaptive services tag responses");
+        let offline = TaxiSolver::new(solver_config.clone().with_threads(1).with_backend(backend))
+            .solve(&event.request.instance)
+            .unwrap();
+        assert_eq!(
+            response.solution.tour, offline.tour,
+            "routed {backend} response differs from the offline solve"
+        );
+        assert_eq!(response.solution.length, offline.length);
+    }
+}
+
+/// `BackendChoice::Adaptive` alone (no explicit router) enables routing, and the
+/// service exposes its private router.
+#[test]
+fn adaptive_backend_choice_builds_a_private_router() {
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(adaptive_solver(9))
+            .with_workers(1),
+    );
+    assert!(service.router().is_some());
+    let router = Arc::clone(service.router().unwrap());
+    let ticket = service
+        .submit(DispatchRequest::new(
+            taxi_tsplib::generator::clustered_instance("auto", 40, 3, 1),
+        ))
+        .unwrap();
+    let response = ticket.wait().solved().expect("solved");
+    assert!(response.routed.is_some());
+    assert_eq!(router.decisions(), 1);
+    assert_eq!(router.profiler().observations(), 1);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.routed_total(), 1);
+    let line = snapshot.one_line();
+    assert!(
+        line.contains("routed"),
+        "one-line snapshot advertises routing: {line}"
+    );
+}
+
+/// Without routing, responses carry no routed tag and routed metrics stay zero
+/// (regression guard for the non-routed fast path).
+#[test]
+fn fixed_services_report_no_routing() {
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(TaxiConfig::new().with_seed(2))
+            .with_workers(1),
+    );
+    assert!(service.router().is_none());
+    let ticket = service
+        .submit(DispatchRequest::new(
+            taxi_tsplib::generator::clustered_instance("fixed", 40, 3, 1),
+        ))
+        .unwrap();
+    let response = ticket.wait().solved().expect("solved");
+    assert_eq!(response.routed, None);
+    assert!(!response.explored);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.routed_total(), 0);
+    assert_eq!(snapshot.exploration_share(), 0.0);
+    assert!(!snapshot.one_line().contains("routed"));
+}
+
+/// Under overload, routed bulk requests degrade by budget-tightening: the response
+/// is flagged degraded, but the backend is still a router decision and the tour is
+/// still that backend's exact answer.
+#[test]
+fn routed_degradation_tightens_the_budget_not_the_contract() {
+    let solver_config = adaptive_solver(13);
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config.clone())
+            .with_workers(1)
+            .with_queue_capacity(64)
+            .with_admission(AdmissionPolicy::Block)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(4)
+                    .with_linger(Duration::from_millis(5))
+                    .with_overload_threshold(2),
+            )
+            .with_degraded_budget(Duration::from_micros(50)),
+    );
+    let instances: Vec<_> = (0..10)
+        .map(|i| taxi_tsplib::generator::clustered_instance("overload", 60, 4, i))
+        .collect();
+    let tickets: Vec<Ticket> = instances
+        .iter()
+        .map(|instance| {
+            service
+                .submit(DispatchRequest::new(instance.clone()).with_priority(Priority::Bulk))
+                .expect("admitted")
+        })
+        .collect();
+    let responses = drain(tickets);
+    let snapshot = service.shutdown();
+    let degraded: Vec<&SolvedResponse> = responses.iter().filter(|r| r.degraded).collect();
+    assert!(
+        !degraded.is_empty(),
+        "overloaded batches degraded something"
+    );
+    // Degraded or not, every response is its routed backend's exact answer — the
+    // tightened budget only steers the router, it never swaps in a different
+    // solve path.
+    for (instance, response) in instances.iter().zip(&responses) {
+        let backend = response.routed.expect("routed service");
+        let offline = TaxiSolver::new(solver_config.clone().with_threads(1).with_backend(backend))
+            .solve(instance)
+            .unwrap();
+        assert_eq!(response.solution.tour, offline.tour);
+    }
+    assert_eq!(snapshot.degraded as usize, degraded.len());
+}
+
+/// Routed duplicate requests coalesce on the backend-scoped key: a burst of one
+/// geometry yields far fewer fresh solves than requests (late hits + coalescing),
+/// and every response matches the routed backend's exact answer.
+#[test]
+fn routed_burst_coalesces_per_backend_key() {
+    let solver_config = adaptive_solver(17);
+    let router = Arc::new(AdaptiveRouter::new(
+        // ε = 0 so every decision for one (bucket, cold profile) sequence is the
+        // deterministic cold-start/exploit arm — the burst shares keys sooner.
+        RouterConfig::new().with_seed(23).with_epsilon(0.0),
+    ));
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_solver(solver_config.clone())
+            .with_workers(2)
+            .with_queue_capacity(64)
+            .with_admission(AdmissionPolicy::Block)
+            .with_batch(
+                BatchPolicy::new()
+                    .with_max_batch(4)
+                    .with_linger(Duration::ZERO),
+            )
+            .with_router(router)
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    let instance = taxi_tsplib::generator::clustered_instance("burst", 50, 3, 7);
+    let tickets: Vec<Ticket> = (0..16)
+        .map(|_| {
+            service
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted")
+        })
+        .collect();
+    let responses = drain(tickets);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed, 16);
+    // Every avoided solve must be attributed: fresh + hits + coalesced == total.
+    assert_eq!(
+        snapshot.solved_fresh() + snapshot.cache_hits + snapshot.coalesced,
+        16
+    );
+    assert!(
+        snapshot.solved_fresh() < 16,
+        "a single-geometry burst must coalesce or hit ({} fresh)",
+        snapshot.solved_fresh()
+    );
+    // All responses agree with the offline solve of their routed backend.
+    for response in &responses {
+        if let Some(backend) = response.routed {
+            let offline =
+                TaxiSolver::new(solver_config.clone().with_threads(1).with_backend(backend))
+                    .solve(&instance)
+                    .unwrap();
+            assert_eq!(response.solution.tour, offline.tour);
+        }
+    }
+}
+
+/// Shared routers accumulate profiles across services.
+#[test]
+fn routers_are_shareable_across_services() {
+    let router = Arc::new(AdaptiveRouter::with_defaults());
+    for round in 0..2 {
+        let service = DispatchService::start(
+            DispatchConfig::new()
+                .with_solver(adaptive_solver(round))
+                .with_workers(1)
+                .with_router(Arc::clone(&router)),
+        );
+        let ticket = service
+            .submit(DispatchRequest::new(
+                taxi_tsplib::generator::clustered_instance("shared", 30, 3, round),
+            ))
+            .unwrap();
+        let _ = ticket.wait();
+        service.shutdown();
+    }
+    assert_eq!(router.profiler().observations(), 2);
+}

@@ -1,0 +1,218 @@
+//! Adaptive-router decision boundaries and end-to-end routed-solve guarantees:
+//!
+//! * a routed solve is **bit-identical** to invoking the chosen backend directly;
+//! * `BackendChoice::Adaptive` works through every solver entry point
+//!   (`solve`, `solve_batch`, `solve_cached`);
+//! * routed cache keys are scoped per chosen backend and shared with fixed-backend
+//!   solvers;
+//! * deadline-infeasible fallback, cold start and exploration determinism at the
+//!   public-API level (unit-level boundary tests live in `taxi::router`).
+
+use std::time::Duration;
+
+use taxi::router::{AdaptiveRouter, DecisionKind, RouterConfig};
+use taxi::{BackendChoice, SolutionCache, SolveProvenance, SolverBackend, TaxiConfig, TaxiSolver};
+use taxi_tsplib::generator::{clustered_instance, random_uniform_instance};
+
+fn adaptive_config(seed: u64) -> TaxiConfig {
+    TaxiConfig::new()
+        .with_seed(seed)
+        .with_threads(1)
+        .with_backend_choice(BackendChoice::Adaptive)
+}
+
+/// A routed solve must be bit-identical to configuring the chosen backend fixed:
+/// routing selects the backend, it never alters the pipeline.
+#[test]
+fn routed_solves_are_bit_identical_to_direct_backend_invocation() {
+    let instances = [
+        clustered_instance("routed-a", 70, 4, 5),
+        random_uniform_instance("routed-b", 18, 7),
+        clustered_instance("routed-c", 120, 6, 9),
+    ];
+    let router = AdaptiveRouter::new(RouterConfig::new().with_seed(11).with_epsilon(0.5));
+    let solver = TaxiSolver::new(TaxiConfig::new().with_seed(2).with_threads(1));
+    for instance in &instances {
+        // Several rounds so exploration hits multiple backends.
+        for _ in 0..4 {
+            let routed = solver.solve_routed(instance, &router, None).unwrap();
+            let direct = TaxiSolver::new(
+                TaxiConfig::new()
+                    .with_seed(2)
+                    .with_threads(1)
+                    .with_backend(routed.decision.backend),
+            )
+            .solve(instance)
+            .unwrap();
+            assert_eq!(
+                routed.solution.tour, direct.tour,
+                "backend {} produced a different tour when routed",
+                routed.decision.backend
+            );
+            assert_eq!(routed.solution.length, direct.length);
+        }
+    }
+}
+
+/// `BackendChoice::Adaptive` engages the solver's internal router in plain
+/// `solve()`; the result is always one of the four backends' exact answers.
+#[test]
+fn adaptive_choice_solves_end_to_end() {
+    let instance = clustered_instance("adaptive", 80, 5, 3);
+    let solver = TaxiSolver::new(adaptive_config(4));
+    let solution = solver.solve(&instance).unwrap();
+    assert!(solution.tour.is_valid_for(&instance));
+    let fixed_tours: Vec<_> = SolverBackend::ALL
+        .iter()
+        .map(|&backend| {
+            TaxiSolver::new(
+                TaxiConfig::new()
+                    .with_seed(4)
+                    .with_threads(1)
+                    .with_backend(backend),
+            )
+            .solve(&instance)
+            .unwrap()
+            .tour
+        })
+        .collect();
+    assert!(
+        fixed_tours.contains(&solution.tour),
+        "adaptive solve must match some fixed backend's exact answer"
+    );
+}
+
+/// Adaptive batches route per instance and stay valid across workers.
+#[test]
+fn adaptive_batches_solve_every_instance() {
+    let instances: Vec<_> = (0..6)
+        .map(|i| clustered_instance("adaptive-batch", 40 + 10 * i, 3, i as u64))
+        .collect();
+    let solver = TaxiSolver::new(adaptive_config(8).with_threads(3));
+    let results = solver.solve_batch(&instances);
+    assert_eq!(results.len(), instances.len());
+    for (instance, result) in instances.iter().zip(&results) {
+        assert!(result.as_ref().unwrap().tour.is_valid_for(instance));
+    }
+}
+
+/// Cached adaptive solves report `SolveProvenance::Routed` with the chosen backend,
+/// and a repeat under the same decision hits the backend-scoped entry.
+#[test]
+fn adaptive_cached_solves_record_routing_in_provenance() {
+    let instance = clustered_instance("routed-cache", 50, 3, 6);
+    let cache = SolutionCache::with_defaults();
+    // ε = 0 via internal router would need config plumbing; instead give the
+    // internal router enough identical decisions: with a cold profile the
+    // cold-start arm deterministically picks the least-sampled backend, so the
+    // first decision is reproducible. Exploration may change later decisions —
+    // the provenance contract is what matters here.
+    let solver = TaxiSolver::new(adaptive_config(12));
+    let first = solver.solve_cached(&instance, &cache).unwrap();
+    let routed_backend = match first.provenance {
+        SolveProvenance::Routed { backend, .. } => backend,
+        other => panic!("adaptive cached solve must be Routed, got {other:?}"),
+    };
+    // The seeded entry must be served to a *fixed* solver of the same backend:
+    // routed keys deliberately equal fixed-config keys.
+    let fixed = TaxiSolver::new(
+        TaxiConfig::new()
+            .with_seed(12)
+            .with_threads(1)
+            .with_backend(routed_backend),
+    );
+    let hit = fixed.solve_cached(&instance, &cache).unwrap();
+    assert!(
+        matches!(hit.provenance, SolveProvenance::CacheHit { .. }),
+        "fixed solver of the routed backend must hit the routed entry, got {:?}",
+        hit.provenance
+    );
+    assert_eq!(hit.solution.tour, first.solution.tour);
+    // And a backend the router did NOT choose must not see the entry.
+    let other_backend = SolverBackend::ALL
+        .into_iter()
+        .find(|&b| b != routed_backend)
+        .unwrap();
+    let other = TaxiSolver::new(
+        TaxiConfig::new()
+            .with_seed(12)
+            .with_threads(1)
+            .with_backend(other_backend),
+    );
+    let miss = other.solve_cached(&instance, &cache).unwrap();
+    assert_eq!(miss.provenance, SolveProvenance::Computed);
+}
+
+/// Deadline-infeasible fallback at the public routed-solve level: with all profiles
+/// primed far above the slack, the router still answers (damage control) and the
+/// solve still completes.
+#[test]
+fn infeasible_deadlines_still_solve() {
+    let router = AdaptiveRouter::new(RouterConfig::new().with_seed(5).with_epsilon(0.0));
+    let solver = TaxiSolver::new(TaxiConfig::new().with_seed(5).with_threads(1));
+    let instance = clustered_instance("infeasible", 60, 4, 2);
+    // Prime every backend's profile for this bucket with real solves (well above
+    // the absurd 1ns slack used below).
+    for _ in 0..4 {
+        let solved = solver.solve_routed(&instance, &router, None).unwrap();
+        assert!(solved.solution.tour.is_valid_for(&instance));
+    }
+    let routed = solver
+        .solve_routed(&instance, &router, Some(Duration::from_nanos(1)))
+        .unwrap();
+    assert!(routed.solution.tour.is_valid_for(&instance));
+}
+
+/// Exploration determinism at the `solve_routed` level: two routers with the same
+/// seed, fed the same solve sequence, make the same decision stream.
+#[test]
+fn routed_decision_streams_are_deterministic_in_the_router_seed() {
+    let run = |router_seed: u64| -> Vec<SolverBackend> {
+        let router =
+            AdaptiveRouter::new(RouterConfig::new().with_seed(router_seed).with_epsilon(0.4));
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(1).with_threads(1));
+        let instance = clustered_instance("det", 48, 3, 4);
+        (0..10)
+            .map(|_| {
+                solver
+                    .solve_routed(&instance, &router, None)
+                    .unwrap()
+                    .decision
+                    .backend
+            })
+            .collect()
+    };
+    assert_eq!(run(21), run(21));
+}
+
+/// Cold-start behaviour through the public API: the first decisions sweep the
+/// backends rather than repeating one, and tiny instances prefer exact-dp.
+#[test]
+fn cold_start_sweeps_backends_and_prefers_exact_for_tiny_instances() {
+    let router = AdaptiveRouter::new(RouterConfig::new().with_seed(2).with_epsilon(0.0));
+    let solver = TaxiSolver::new(TaxiConfig::new().with_seed(3).with_threads(1));
+    let tiny = random_uniform_instance("tiny", 10, 1);
+    let first = solver.solve_routed(&tiny, &router, None).unwrap();
+    assert_eq!(first.decision.backend, SolverBackend::Exact);
+    assert_eq!(first.decision.kind, DecisionKind::ColdStart);
+    // exact-dp seeds the shadow reference with the true optimum, so its own
+    // quality ratio is 1.0.
+    assert!(first.quality.is_some_and(|q| (q - 1.0).abs() < 1e-9));
+
+    let mid = clustered_instance("mid", 90, 5, 1);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..SolverBackend::ALL.len() {
+        seen.insert(
+            solver
+                .solve_routed(&mid, &router, None)
+                .unwrap()
+                .decision
+                .backend,
+        );
+    }
+    assert_eq!(
+        seen.len(),
+        SolverBackend::ALL.len(),
+        "cold start sweeps all backends"
+    );
+}
