@@ -138,6 +138,49 @@ impl LatencyHistogram {
             max: self.max(),
         }
     }
+
+    /// Adds every observation recorded in `other` into this histogram.
+    ///
+    /// The merge is **exact** at histogram resolution: buckets, counts, sums and
+    /// maxima add cell-wise, so quantiles of the merged histogram equal the
+    /// quantiles of one histogram fed the union of both observation streams. This
+    /// is what lets a fleet aggregate per-shard latency distributions without
+    /// losing percentile fidelity (merging only `HistogramSummary` quantiles
+    /// cannot be exact).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use taxi_dispatch::LatencyHistogram;
+    ///
+    /// let (a, b, union) = (
+    ///     LatencyHistogram::new(),
+    ///     LatencyHistogram::new(),
+    ///     LatencyHistogram::new(),
+    /// );
+    /// for micros in [10u64, 200, 3000] {
+    ///     a.record(Duration::from_micros(micros));
+    ///     union.record(Duration::from_micros(micros));
+    /// }
+    /// for micros in [55u64, 80_000] {
+    ///     b.record(Duration::from_micros(micros));
+    ///     union.record(Duration::from_micros(micros));
+    /// }
+    /// a.merge_from(&b);
+    /// assert_eq!(a.summary(), union.summary());
+    /// ```
+    pub fn merge_from(&self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(other.sum_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos
+            .fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -272,6 +315,20 @@ impl QualityHistogram {
             max: self.max_micro.load(Ordering::Relaxed) as f64 * 1e-6,
         }
     }
+
+    /// Adds every ratio recorded in `other` into this histogram — the exact
+    /// bucket-wise merge, mirroring [`LatencyHistogram::merge_from`].
+    pub fn merge_from(&self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_micro
+            .fetch_add(other.sum_micro.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_micro
+            .fetch_max(other.max_micro.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 impl Default for QualityHistogram {
@@ -319,6 +376,10 @@ pub struct ServiceMetrics {
     routed: [AtomicU64; SolverBackend::ALL.len()],
     /// Routed solves whose backend came from the ε-greedy exploration arm.
     explored: AtomicU64,
+    /// Worker solve closures that panicked (the panic is contained per request,
+    /// the request fails, and the worker thread survives — but a growing count is
+    /// the fleet's crash-detection signal for a poisoned shard).
+    worker_panics: AtomicU64,
     /// Quality ratios of routed solves (fed when the router's shadow reference was
     /// available).
     quality: QualityHistogram,
@@ -348,6 +409,7 @@ impl ServiceMetrics {
             batched_requests: AtomicU64::new(0),
             routed: std::array::from_fn(|_| AtomicU64::new(0)),
             explored: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             quality: QualityHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             solve: LatencyHistogram::new(),
@@ -439,6 +501,12 @@ impl ServiceMetrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One worker solve closure panicked (contained; the request fails but the
+    /// worker survives). Recorded *in addition to* [`record_failed`](Self::record_failed).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fresh solve was dispatched through the adaptive router to `backend`.
     /// `explored` marks ε-greedy exploration decisions; `quality` is the solve's
     /// ratio against the router's shadow reference, when one was available.
@@ -452,6 +520,44 @@ impl ServiceMetrics {
         if let Some(ratio) = quality {
             self.quality.record(ratio);
         }
+    }
+
+    /// Adds every counter and every histogram observation recorded in `other` into
+    /// this hub — the aggregation path behind fleet-level snapshots.
+    ///
+    /// Counters and per-backend/per-stage arrays add element-wise; histograms merge
+    /// exactly at bucket level (see [`LatencyHistogram::merge_from`]), so the merged
+    /// snapshot's percentiles equal those of a single service that had observed the
+    /// union of both streams. `started_at` is untouched: the *aggregator* owns the
+    /// time base (a fleet overrides uptime/throughput with its own clock).
+    pub fn merge_from(&self, other: &Self) {
+        for (field, theirs) in [
+            (&self.submitted, &other.submitted),
+            (&self.completed, &other.completed),
+            (&self.failed, &other.failed),
+            (&self.shed, &other.shed),
+            (&self.rejected, &other.rejected),
+            (&self.degraded, &other.degraded),
+            (&self.deadline_misses, &other.deadline_misses),
+            (&self.cache_hits, &other.cache_hits),
+            (&self.coalesced, &other.coalesced),
+            (&self.batches, &other.batches),
+            (&self.batched_requests, &other.batched_requests),
+            (&self.explored, &other.explored),
+            (&self.worker_panics, &other.worker_panics),
+        ] {
+            field.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (mine, theirs) in self.routed.iter().zip(&other.routed) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (mine, theirs) in self.stage_nanos.iter().zip(&other.stage_nanos) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.quality.merge_from(&other.quality);
+        self.queue_wait.merge_from(&other.queue_wait);
+        self.solve.merge_from(&other.solve);
+        self.end_to_end.merge_from(&other.end_to_end);
     }
 
     pub(crate) fn add_stage_seconds(&self, stage: Stage, seconds: f64) {
@@ -483,6 +589,7 @@ impl ServiceMetrics {
             cache: None,
             routed_per_backend: std::array::from_fn(|i| self.routed[i].load(Ordering::Relaxed)),
             explored: self.explored.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
             quality: self.quality.summary(),
             batches,
             mean_batch_size: if batches == 0 {
@@ -545,6 +652,9 @@ pub struct ServiceSnapshot {
     pub routed_per_backend: [u64; SolverBackend::ALL.len()],
     /// Routed solves placed by the ε-greedy exploration arm.
     pub explored: u64,
+    /// Worker solve closures that panicked (contained per request; the worker
+    /// thread survives). A fleet reads this as the shard crash signal.
+    pub worker_panics: u64,
     /// Quality-ratio distribution of routed solves (cost / shadow reference).
     pub quality: QualitySummary,
     /// Micro-batches formed.
@@ -659,8 +769,8 @@ impl ServiceSnapshot {
             json,
             "{{\"uptime_secs\":{:.3},\"submitted\":{},\"completed\":{},\"failed\":{},\
              \"shed\":{},\"rejected\":{},\"degraded\":{},\"deadline_misses\":{},\
-             \"cache_hits\":{},\"coalesced\":{},\"solved_fresh\":{},\"batches\":{},\
-             \"mean_batch_size\":{:.3},\"throughput_per_sec\":{:.1}",
+             \"worker_panics\":{},\"cache_hits\":{},\"coalesced\":{},\"solved_fresh\":{},\
+             \"batches\":{},\"mean_batch_size\":{:.3},\"throughput_per_sec\":{:.1}",
             self.uptime.as_secs_f64(),
             self.submitted,
             self.completed,
@@ -669,6 +779,7 @@ impl ServiceSnapshot {
             self.rejected,
             self.degraded,
             self.deadline_misses,
+            self.worker_panics,
             self.cache_hits,
             self.coalesced,
             self.solved_fresh(),
@@ -744,8 +855,13 @@ impl std::fmt::Display for ServiceSnapshot {
         )?;
         writeln!(
             f,
-            "  batches: {} (mean size {:.2}), degraded {}, deadline misses {}",
-            self.batches, self.mean_batch_size, self.degraded, self.deadline_misses,
+            "  batches: {} (mean size {:.2}), degraded {}, deadline misses {}, \
+             worker panics {}",
+            self.batches,
+            self.mean_batch_size,
+            self.degraded,
+            self.deadline_misses,
+            self.worker_panics,
         )?;
         writeln!(
             f,
@@ -912,6 +1028,117 @@ mod tests {
             modeled_seconds: 0.0,
         });
         assert!((metrics.snapshot().stage_seconds[0] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_latency_percentiles_equal_histogram_of_the_union() {
+        // Two disjoint observation streams with very different shapes.
+        let shard_a = LatencyHistogram::new();
+        let shard_b = LatencyHistogram::new();
+        let union = LatencyHistogram::new();
+        let stream_a: Vec<u64> = (0..200).map(|i| 10 + i * 7).collect();
+        let stream_b: Vec<u64> = (0..50).map(|i| 5_000 + i * 900).collect();
+        for &micros in &stream_a {
+            shard_a.record(Duration::from_micros(micros));
+            union.record(Duration::from_micros(micros));
+        }
+        for &micros in &stream_b {
+            shard_b.record(Duration::from_micros(micros));
+            union.record(Duration::from_micros(micros));
+        }
+        shard_a.merge_from(&shard_b);
+        assert_eq!(shard_a.summary(), union.summary());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(shard_a.quantile(q), union.quantile(q), "q={q}");
+        }
+        assert_eq!(shard_a.mean(), union.mean());
+        assert_eq!(shard_a.max(), union.max());
+    }
+
+    #[test]
+    fn merged_quality_percentiles_equal_histogram_of_the_union() {
+        let shard_a = QualityHistogram::new();
+        let shard_b = QualityHistogram::new();
+        let union = QualityHistogram::new();
+        for i in 0..120 {
+            let ratio = 1.0 + (i as f64) * 0.004;
+            shard_a.record(ratio);
+            union.record(ratio);
+        }
+        for i in 0..30 {
+            let ratio = 1.1 + (i as f64) * 0.05;
+            shard_b.record(ratio);
+            union.record(ratio);
+        }
+        shard_a.merge_from(&shard_b);
+        assert_eq!(shard_a.summary(), union.summary());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(shard_a.quantile(q), union.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merged_service_metrics_sum_counters_exactly() {
+        let a = ServiceMetrics::new();
+        let b = ServiceMetrics::new();
+        a.record_submitted();
+        a.record_submitted();
+        a.record_completed(
+            Duration::from_micros(10),
+            Duration::from_micros(100),
+            Duration::from_micros(150),
+            false,
+            false,
+        );
+        a.record_routed(SolverBackend::NnTwoOpt, true, Some(1.02));
+        a.record_worker_panic();
+        a.record_failed();
+        b.record_submitted();
+        b.record_completed(
+            Duration::from_micros(30),
+            Duration::from_micros(400),
+            Duration::from_micros(500),
+            true,
+            true,
+        );
+        b.record_cache_hit(Duration::from_micros(5));
+        b.record_batch(3);
+        b.record_routed(SolverBackend::GreedyEdge, false, Some(1.2));
+        b.add_stage_seconds(Stage::SolveLevels, 0.5);
+
+        let sink = ServiceMetrics::new();
+        sink.merge_from(&a);
+        sink.merge_from(&b);
+        let (sa, sb, merged) = (a.snapshot(), b.snapshot(), sink.snapshot());
+        assert_eq!(merged.submitted, sa.submitted + sb.submitted);
+        assert_eq!(merged.completed, sa.completed + sb.completed);
+        assert_eq!(merged.failed, sa.failed + sb.failed);
+        assert_eq!(merged.degraded, sa.degraded + sb.degraded);
+        assert_eq!(
+            merged.deadline_misses,
+            sa.deadline_misses + sb.deadline_misses
+        );
+        assert_eq!(merged.cache_hits, sa.cache_hits + sb.cache_hits);
+        assert_eq!(merged.worker_panics, sa.worker_panics + sb.worker_panics);
+        assert_eq!(merged.batches, sa.batches + sb.batches);
+        assert_eq!(merged.explored, sa.explored + sb.explored);
+        for i in 0..SolverBackend::ALL.len() {
+            assert_eq!(
+                merged.routed_per_backend[i],
+                sa.routed_per_backend[i] + sb.routed_per_backend[i]
+            );
+        }
+        assert_eq!(
+            merged.end_to_end.count,
+            sa.end_to_end.count + sb.end_to_end.count
+        );
+        assert_eq!(merged.quality.count, sa.quality.count + sb.quality.count);
+        let solve_index = Stage::ALL
+            .iter()
+            .position(|&s| s == Stage::SolveLevels)
+            .unwrap();
+        assert!((merged.stage_seconds[solve_index] - 0.5).abs() < 1e-9);
+        assert!(merged.to_json().contains("\"worker_panics\":1"));
     }
 
     #[test]

@@ -242,6 +242,61 @@ impl DispatchQueue {
         self.space.notify_all();
     }
 
+    /// Atomically closes the queue **and** extracts every queued-but-unstarted
+    /// pending, in drain priority order (interactive first, FIFO within a class).
+    ///
+    /// The close and the extraction happen under one lock acquisition, so no worker
+    /// can pop a pending between them and no submitter can slip a request in after
+    /// the close: a submission either got its ticket *and* is in the returned vector
+    /// (or already with a worker), or it observed [`SubmitError::ShuttingDown`]. The
+    /// returned [`Pending`]s still own their response slots — re-enqueueing them
+    /// elsewhere (see [`adopt`](Self::adopt)) keeps the original tickets live, and
+    /// dropping one fails its ticket explicitly. Either way no ticket is lost.
+    ///
+    /// Blocked submitters wake with `ShuttingDown`; batchers observe end-of-stream
+    /// once in-flight batches finish (the queue is closed *and* empty).
+    pub fn drain_queued(&self) -> Vec<Pending> {
+        let mut state = self.lock();
+        state.closed = true;
+        let mut drained = Vec::with_capacity(state.len());
+        drained.extend(state.interactive.drain(..));
+        drained.extend(state.bulk.drain(..));
+        drop(state);
+        self.not_empty.notify_all();
+        self.space.notify_all();
+        drained
+    }
+
+    /// Enqueues an already-admitted pending extracted from another queue by
+    /// [`drain_queued`](Self::drain_queued), preserving its ticket, priority,
+    /// deadline and original submission instant.
+    ///
+    /// Adoption deliberately bypasses the admission policy and may transiently
+    /// overfill this queue — a migrated request was already admitted once and must
+    /// not be dropped or force a second admission decision. It is **not** counted
+    /// as a new submission (the origin service already recorded it).
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending back when this queue is already closed, so the caller
+    /// can try another home (or drop it, which fails the ticket explicitly).
+    // The large Err is the point: a refused pending must ride back by value so its
+    // ticket stays live, exactly like `SubmitError` carries the request back.
+    #[allow(clippy::result_large_err)]
+    pub fn adopt(&self, pending: Pending) -> Result<(), Pending> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(pending);
+        }
+        match pending.request.priority {
+            Priority::Interactive => state.interactive.push_back(pending),
+            Priority::Bulk => state.bulk.push_back(pending),
+        }
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Wakes blocked submitters after a drain freed room (called by the batcher).
     pub(crate) fn notify_space(&self) {
         self.space.notify_all();
@@ -342,6 +397,56 @@ mod tests {
         ));
         // The queued request is still drainable after close.
         assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn drain_queued_closes_and_extracts_in_priority_order() {
+        let q = queue(4, AdmissionPolicy::Reject);
+        let _b = q.submit(request(Priority::Bulk)).unwrap();
+        let _i = q.submit(request(Priority::Interactive)).unwrap();
+        let drained = q.drain_queued();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].request().priority, Priority::Interactive);
+        assert_eq!(drained[1].request().priority, Priority::Bulk);
+        assert!(q.is_closed());
+        assert_eq!(q.depth(), 0);
+        assert!(matches!(
+            q.submit(request(Priority::Bulk)),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        for pending in drained {
+            pending.shed();
+        }
+    }
+
+    #[test]
+    fn adopt_preserves_ticket_and_refuses_on_closed_queue() {
+        let source = queue(2, AdmissionPolicy::Reject);
+        let ticket = source.submit(request(Priority::Interactive)).unwrap();
+        let mut drained = source.drain_queued();
+        let pending = drained.pop().expect("one pending");
+
+        let target = queue(1, AdmissionPolicy::Reject);
+        // Adoption bypasses admission even when the target is at capacity.
+        let _occupier = target.submit(request(Priority::Bulk)).unwrap();
+        target.adopt(pending).expect("open target adopts");
+        assert_eq!(target.depth(), 2, "adoption may transiently overfill");
+
+        let migrated = target.lock().pop_front().expect("adopted pending queued");
+        assert_eq!(migrated.request().priority, Priority::Interactive);
+        migrated.shed();
+        assert!(ticket
+            .try_take()
+            .expect("original ticket resolved")
+            .is_shed());
+
+        // A closed target hands the pending back instead of losing it.
+        let closed = queue(1, AdmissionPolicy::Reject);
+        let ticket2 = closed.submit(request(Priority::Bulk)).unwrap();
+        let mut drained2 = closed.drain_queued();
+        let err = closed.adopt(drained2.pop().unwrap()).unwrap_err();
+        err.shed();
+        assert!(ticket2.try_take().expect("resolved").is_shed());
     }
 
     #[test]

@@ -381,6 +381,70 @@ impl DispatchService {
         self.queue.depth()
     }
 
+    /// The shared metrics hub (e.g. for merging into a fleet-level aggregate via
+    /// [`ServiceMetrics::merge_from`]).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// Number of worker threads that have not yet exited. After a
+    /// [`drain`](Self::drain) this counts workers still finishing in-flight
+    /// batches; it reaches zero once the drained service is fully quiescent.
+    pub fn alive_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|worker| !worker.is_finished())
+            .count()
+    }
+
+    /// Stops admission and lets the workers serve out everything already queued —
+    /// the non-consuming prefix of [`shutdown`](Self::shutdown), for callers that
+    /// only hold the service behind an `Arc`. Workers exit once the queue is
+    /// empty; watch [`alive_workers`](Self::alive_workers) for quiescence (joining
+    /// still happens at `shutdown`/drop). Contrast with [`drain`](Self::drain),
+    /// which extracts the backlog for resubmission elsewhere instead of serving it
+    /// here.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// **Drains** the service without consuming it: atomically stops admission and
+    /// extracts every queued-but-unstarted request, returning them (tickets intact)
+    /// for resubmission elsewhere.
+    ///
+    /// Contrast with [`shutdown`](Self::shutdown), the consuming variant that keeps
+    /// the queued work and lets the workers serve it out. `drain` instead hands the
+    /// backlog back immediately — the fleet's building block for migrating work off
+    /// an unhealthy shard. In-flight batches are *not* interrupted: workers finish
+    /// what they already dequeued (resolving those tickets normally), then exit
+    /// once they observe the closed, empty queue. Watch [`alive_workers`](Self::alive_workers)
+    /// for quiescence; joining still happens at `shutdown`/drop, either of which is
+    /// safe and cheap after a drain.
+    ///
+    /// A submission racing this call either returns a live ticket whose pending is
+    /// in the returned vector (or already with a worker), or observes
+    /// [`SubmitError::ShuttingDown`] — no ticket is ever silently lost. Dropping a
+    /// returned [`Pending`] fails its ticket explicitly (drop guard), so even
+    /// abandoning the backlog cannot hang a client.
+    pub fn drain(&self) -> Vec<Pending> {
+        self.queue.drain_queued()
+    }
+
+    /// Adopts a pending drained from another service (see [`drain`](Self::drain)):
+    /// enqueues it with ticket, priority, deadline and submission instant
+    /// preserved, bypassing admission (it was admitted once already; it is not
+    /// re-counted as a submission).
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending back when this service is itself shutting down.
+    // The large Err is deliberate: a refused pending rides back by value so its
+    // ticket stays live (same idiom as `SubmitError`).
+    #[allow(clippy::result_large_err)]
+    pub fn adopt(&self, pending: Pending) -> Result<(), Pending> {
+        self.queue.adopt(pending)
+    }
+
     /// Point-in-time service metrics (cache statistics included when the service
     /// has a cache).
     pub fn snapshot(&self) -> ServiceSnapshot {
@@ -487,20 +551,24 @@ impl Worker<'_> {
         // behaviourally transparent — buffers are cleared or re-validated before
         // use — so reusing it after an unwind is safe, mirroring how the core
         // solver recovers its own poisoned context mutex.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.solver.solve_reusing_observed(
                 &pending.request.instance,
                 backend,
                 &mut self.observer,
                 &mut self.ctx,
             )
-        }))
-        .unwrap_or_else(|panic| {
+        }));
+        let result = caught.unwrap_or_else(|panic| {
             let reason = panic
                 .downcast_ref::<&str>()
                 .map(ToString::to_string)
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "solver panicked".to_string());
+            // The contained panic is the fleet's crash-detection signal: a shard
+            // whose panic count grows is poisoned and gets recycled by the
+            // reconciler even though the worker thread itself survived.
+            self.metrics.record_worker_panic();
             Err(taxi::TaxiError::Backend {
                 backend: "dispatch".to_string(),
                 reason: format!("solve panicked: {reason}"),
@@ -906,6 +974,119 @@ mod tests {
         for ticket in tickets {
             assert!(ticket.try_take().is_some(), "ticket resolved by drain");
         }
+    }
+
+    #[test]
+    fn drain_returns_backlog_and_keeps_tickets_alive() {
+        // A tiny linger and one worker let a backlog build; drain must hand the
+        // queued-but-unstarted pendings back with their tickets still resolvable.
+        let service = DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_batch(BatchPolicy::new().with_max_batch(1))
+                .with_solver(TaxiConfig::new().with_seed(7)),
+        );
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                service
+                    .submit(DispatchRequest::new(clustered_instance("mig", 40, 3, i)))
+                    .expect("admitted")
+            })
+            .collect();
+        let drained = service.drain();
+        // Everything admitted is accounted for: either a worker has it (and will
+        // resolve it) or it is in the drained backlog.
+        assert!(matches!(
+            service.submit(DispatchRequest::new(clustered_instance("mig", 40, 3, 99))),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        // Adopt the backlog into a fresh service: original tickets must resolve.
+        let adopter = DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_solver(TaxiConfig::new().with_seed(7)),
+        );
+        for pending in drained {
+            adopter.adopt(pending).expect("adopter is open");
+        }
+        for ticket in tickets {
+            assert!(
+                ticket.wait().solved().is_some(),
+                "every admitted ticket resolves after migration"
+            );
+        }
+        // Drained service quiesces on its own; shutdown after drain is cheap.
+        let snapshot = adopter.shutdown();
+        assert_eq!(snapshot.failed, 0);
+        drop(service);
+    }
+
+    #[test]
+    fn submit_racing_drain_is_refused_or_served_but_never_lost() {
+        // Hammer submissions from several threads while the main thread drains:
+        // every Ok ticket must resolve (served pre-drain, or adopted post-drain),
+        // every refusal must be ShuttingDown with the request riding back.
+        let service = Arc::new(DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(2)
+                .with_solver(TaxiConfig::new().with_seed(5)),
+        ));
+        let submitters: Vec<_> = (0..4)
+            .map(|t: u64| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    // Submit until the drain refuses us — guarantees every thread
+                    // genuinely races the drain at least once.
+                    let mut admitted = Vec::new();
+                    for i in 0.. {
+                        let request = DispatchRequest::new(clustered_instance(
+                            "race",
+                            30,
+                            3,
+                            t * 100_000 + i,
+                        ));
+                        match service.submit(request) {
+                            Ok(ticket) => admitted.push(ticket),
+                            Err(SubmitError::ShuttingDown(_)) => break,
+                            Err(other) => panic!("unexpected admission error: {other}"),
+                        }
+                    }
+                    admitted
+                })
+            })
+            .collect();
+        // Let some submissions land, then drain mid-stream.
+        std::thread::sleep(Duration::from_millis(5));
+        let drained = service.drain();
+        let adopter = DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(2)
+                .with_solver(TaxiConfig::new().with_seed(5)),
+        );
+        for pending in drained {
+            adopter.adopt(pending).expect("adopter is open");
+        }
+        let mut total_admitted = 0u64;
+        for submitter in submitters {
+            // Each thread ran until it observed `ShuttingDown`, so all four raced
+            // the drain; every ticket it did get must still resolve.
+            for ticket in submitter.join().unwrap() {
+                total_admitted += 1;
+                assert!(
+                    ticket.wait().solved().is_some(),
+                    "admitted ticket must resolve despite the racing drain"
+                );
+            }
+        }
+        let merged = ServiceMetrics::new();
+        merged.merge_from(service.metrics());
+        merged.merge_from(adopter.metrics());
+        let _ = adopter.shutdown();
+        assert_eq!(
+            merged.snapshot().completed,
+            total_admitted,
+            "fleet-level accounting: completions across both services cover every ticket"
+        );
     }
 
     #[test]

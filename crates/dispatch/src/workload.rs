@@ -133,6 +133,23 @@ pub enum RequestMix {
         /// Zipf skew exponent (`0` = uniform; larger = more skewed).
         exponent: f64,
     },
+    /// [`PopularRoutes`](RequestMix::PopularRoutes) whose *popularity ranking
+    /// rotates* mid-run: the request stream is divided into `phases` equal
+    /// segments, and each phase shifts which pool routes hold the popular head
+    /// ranks. The pool itself is fixed — only the rank → route mapping moves — so
+    /// this models a hotspot migrating across a stable universe of geometries
+    /// (morning vs. evening rush): exactly the stimulus that exercises
+    /// consistent-hash rebalance and cache-warmth migration in a sharded fleet.
+    /// Deterministic under the seed like every other mix.
+    HotspotShift {
+        /// Number of distinct instances in the pool.
+        routes: usize,
+        /// Zipf skew exponent (`0` = uniform; larger = more skewed).
+        exponent: f64,
+        /// Number of popularity regimes the run is divided into (`1` degenerates
+        /// to plain [`PopularRoutes`](RequestMix::PopularRoutes)).
+        phases: usize,
+    },
 }
 
 /// A small/medium/large instance-size blend: each request picks a class by weight,
@@ -294,12 +311,21 @@ impl WorkloadConfig {
     /// non-negative.
     #[must_use]
     pub fn with_mix(mut self, mix: RequestMix) -> Self {
-        if let RequestMix::PopularRoutes { routes, exponent } = mix {
-            assert!(routes > 0, "a popular-routes pool needs at least one route");
-            assert!(
-                exponent.is_finite() && exponent >= 0.0,
-                "Zipf exponent must be finite and non-negative"
-            );
+        match mix {
+            RequestMix::Fresh => {}
+            RequestMix::PopularRoutes { routes, exponent }
+            | RequestMix::HotspotShift {
+                routes, exponent, ..
+            } => {
+                assert!(routes > 0, "a popular-routes pool needs at least one route");
+                assert!(
+                    exponent.is_finite() && exponent >= 0.0,
+                    "Zipf exponent must be finite and non-negative"
+                );
+            }
+        }
+        if let RequestMix::HotspotShift { phases, .. } = mix {
+            assert!(phases > 0, "a hotspot shift needs at least one phase");
         }
         self.mix = mix;
         self
@@ -310,6 +336,17 @@ impl WorkloadConfig {
     #[must_use]
     pub fn with_popular_routes(self, routes: usize, exponent: f64) -> Self {
         self.with_mix(RequestMix::PopularRoutes { routes, exponent })
+    }
+
+    /// Shorthand for a popular-routes mix whose popular head rotates across
+    /// `phases` segments of the run (see [`RequestMix::HotspotShift`]).
+    #[must_use]
+    pub fn with_hotspot_shift(self, routes: usize, exponent: f64, phases: usize) -> Self {
+        self.with_mix(RequestMix::HotspotShift {
+            routes,
+            exponent,
+            phases,
+        })
     }
 
     /// Sets the request count.
@@ -426,7 +463,10 @@ impl Workload {
         // (a dedicated RNG keeps the pool independent of the arrival stream).
         let pool = match config.mix {
             RequestMix::Fresh => None,
-            RequestMix::PopularRoutes { routes, exponent } => {
+            RequestMix::PopularRoutes { routes, exponent }
+            | RequestMix::HotspotShift {
+                routes, exponent, ..
+            } => {
                 let mut pool_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
                 let instances: Vec<TspInstance> = (0..routes)
                     .map(|route| {
@@ -476,7 +516,18 @@ impl Workload {
                     let rank = cumulative
                         .partition_point(|&c| c <= u)
                         .min(instances.len() - 1);
-                    instances[rank].clone()
+                    // A hotspot shift rotates which route holds each popularity
+                    // rank, phase by phase; the Zipf shape itself is unchanged.
+                    let route = match config.mix {
+                        RequestMix::HotspotShift { routes, phases, .. } => {
+                            let phases = phases.max(1);
+                            let phase = index * phases / config.requests.max(1);
+                            let stride = (routes / phases).max(1);
+                            (rank + phase * stride) % routes
+                        }
+                        _ => rank,
+                    };
+                    instances[route].clone()
                 }
                 None => {
                     let n = config.sample_size(&mut rng);
@@ -742,6 +793,75 @@ mod tests {
         // Uniform: ~25 of 400. Zipf 1.2 over 16 routes: rank 0 carries ~30%.
         assert!(uniform < 60, "uniform head share too large: {uniform}");
         assert!(skewed > 80, "skewed head share too small: {skewed}");
+    }
+
+    #[test]
+    fn hotspot_shift_rotates_the_popular_head_between_phases() {
+        let workload = Workload::generate(
+            WorkloadConfig::new(Scenario::CityDistricts { districts: 3 })
+                .with_requests(400)
+                .with_hotspot_shift(12, 1.2, 4)
+                .with_seed(29),
+        );
+        let events = workload.events();
+        assert_eq!(events.len(), 400);
+        // Most-requested route name per phase segment.
+        let head_of = |slice: &[WorkloadEvent]| {
+            let mut counts = std::collections::HashMap::<&str, usize>::new();
+            for event in slice {
+                *counts.entry(event.request.instance.name()).or_default() += 1;
+            }
+            let (name, count) = counts
+                .into_iter()
+                .max_by_key(|&(_, count)| count)
+                .expect("non-empty phase");
+            (name.to_string(), count)
+        };
+        let (first_head, first_count) = head_of(&events[0..100]);
+        let (last_head, last_count) = head_of(&events[300..400]);
+        assert_ne!(
+            first_head, last_head,
+            "the hotspot must have migrated to a different route"
+        );
+        // Zipf 1.2 over 12 routes: the head rank carries a clear plurality.
+        assert!(first_count > 25, "head share {first_count}/100");
+        assert!(last_count > 25, "head share {last_count}/100");
+        // The pool is fixed: every request still draws from the same 12 routes.
+        let names: std::collections::HashSet<_> = events
+            .iter()
+            .map(|e| e.request.instance.name().to_string())
+            .collect();
+        assert!(names.len() <= 12, "pool grew: {} names", names.len());
+        assert!(names.iter().all(|name| name.contains("-route")));
+    }
+
+    #[test]
+    fn hotspot_shift_is_deterministic_and_single_phase_matches_popular_routes() {
+        let shift = WorkloadConfig::new(Scenario::Uniform)
+            .with_requests(120)
+            .with_hotspot_shift(8, 1.0, 3)
+            .with_seed(77);
+        assert_eq!(Workload::generate(shift.clone()), Workload::generate(shift));
+        // One phase never rotates: the event stream equals plain PopularRoutes.
+        let single = Workload::generate(
+            WorkloadConfig::new(Scenario::Uniform)
+                .with_requests(120)
+                .with_hotspot_shift(8, 1.0, 1)
+                .with_seed(77),
+        );
+        let plain = Workload::generate(
+            WorkloadConfig::new(Scenario::Uniform)
+                .with_requests(120)
+                .with_popular_routes(8, 1.0)
+                .with_seed(77),
+        );
+        assert_eq!(single.events(), plain.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn hotspot_shift_rejects_zero_phases() {
+        let _ = WorkloadConfig::new(Scenario::Uniform).with_hotspot_shift(8, 1.0, 0);
     }
 
     #[test]

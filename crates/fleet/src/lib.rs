@@ -1,0 +1,64 @@
+//! `taxi-fleet` — a sharded multi-service dispatch fleet with a reconciling
+//! control plane.
+//!
+//! One [`DispatchService`](taxi_dispatch::DispatchService) scales to one
+//! machine's worth of workers, but its strongest levers — the solution cache and
+//! the adaptive router's learned profiles — are *warmth* levers: they pay off in
+//! proportion to how often the same traffic returns to the same state. This
+//! crate multiplies the service horizontally **without diluting that warmth**:
+//!
+//! * [`Fleet`] runs N shards (each a full `DispatchService` with its own private
+//!   [`SolutionCache`](taxi::SolutionCache)) behind a front-end that routes every
+//!   request by its canonical instance fingerprint over a weighted
+//!   consistent-hash ring ([`ring::HashRing`]). Repeated geometries always land
+//!   on the shard that already solved them.
+//! * A reconciler thread supervises shard lifecycles
+//!   ([`state::ShardState`]: `Starting → Serving ⇄ Degraded → Draining →
+//!   Stopped`, plus `Failed` crash containment) with the **handlers are the only
+//!   mutators** discipline: operator actions and health verdicts enqueue
+//!   [`state::FleetIntent`]s, and idempotent per-state handlers apply them on
+//!   periodic ticks. Per-state SLAs flag stuck shards instead of hiding them.
+//! * Health ([`health::evaluate`]) is computed purely from consecutive metric
+//!   snapshots — queue saturation, windowed deadline-miss/shed rates, cache
+//!   hit-rate collapse, worker panics — combined any-unhealthy ⇒ unhealthy, with
+//!   a typed probe id per signal and an operator override that pins verdicts
+//!   without blinding the probes.
+//! * Draining a shard **loses nothing**: queued-but-unstarted requests are
+//!   extracted with their tickets intact and re-adopted by survivors; in-flight
+//!   batches finish on the draining shard; anything unplaceable is explicitly
+//!   failed at shutdown. Clients never hang on a dead shard.
+//! * [`Fleet::snapshot`] aggregates **exactly**: per-shard histograms are merged
+//!   at bucket level (including retired generations), so fleet percentiles are
+//!   the percentiles of the union stream — not an average of averages.
+//!
+//! # Quick start
+//!
+//! ```
+//! use taxi_fleet::{Fleet, FleetConfig};
+//! use taxi_dispatch::DispatchRequest;
+//! use taxi_tsplib::generator::clustered_instance;
+//!
+//! let fleet = Fleet::start(FleetConfig::new().with_shards(2));
+//! let popular = clustered_instance("route-7", 40, 4, 7);
+//! for _ in 0..3 {
+//!     // Same geometry ⇒ same shard ⇒ the repeats are cache hits there.
+//!     let ticket = fleet.submit(DispatchRequest::new(popular.clone())).unwrap();
+//!     assert!(ticket.wait().solved().is_some());
+//! }
+//! let snapshot = fleet.shutdown();
+//! assert_eq!(snapshot.service.completed, 3);
+//! assert!(snapshot.service.cache.unwrap().hits >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod health;
+pub mod ring;
+pub mod state;
+
+pub use fleet::{Fleet, FleetConfig, FleetSnapshot, RoutingPolicy, ShardSnapshot};
+pub use health::{evaluate, HealthCheck, HealthPolicy, HealthReport, HealthVerdict, ProbeId};
+pub use ring::HashRing;
+pub use state::{FleetIntent, ShardId, ShardState, StateSlas};

@@ -1,0 +1,252 @@
+//! Weighted consistent-hash ring with virtual nodes.
+//!
+//! The fleet front-end routes each request by its canonical instance fingerprint:
+//! the key falls somewhere on a 64-bit ring, and the owning shard is the one whose
+//! next virtual node lies clockwise from it. Two properties make this the right
+//! structure for cache-warmth-preserving routing:
+//!
+//! * **Stability under weight changes** — a virtual node's position depends only
+//!   on `(shard, replica)`, never on the member set or weights. Draining a shard
+//!   (weight → 0) removes *its* points; every key it did not own keeps its owner,
+//!   so the surviving shards' warm caches and router pins stay warm. This is the
+//!   2.5D data-decomposition discipline applied to serving: partition so each
+//!   worker's hot set stays local, and keep re-partitioning off the critical path.
+//! * **Weight granularity** — weights are expressed in virtual-node counts, so a
+//!   degraded shard can hold half weight by keeping the first half of its replica
+//!   points (the retained points do not move).
+//!
+//! Routing reads are lock-free at this layer: the fleet publishes an immutable
+//! ring snapshot behind an `Arc` and swaps it on reconcile ticks.
+
+use crate::state::ShardId;
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer (public-domain
+/// constants), plenty for placing virtual nodes and keys on the ring.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Ring position of virtual node `replica` of `shard`. Depends on nothing else —
+/// the consistent-hashing invariant lives here.
+fn vnode_point(shard: ShardId, replica: usize) -> u64 {
+    mix64(mix64(shard.index() as u64 ^ 0xA24B_AED4_963E_E407) ^ (replica as u64))
+}
+
+/// Folds a 128-bit fingerprint onto the 64-bit ring.
+fn fold_key(key: u128) -> u64 {
+    mix64((key >> 64) as u64 ^ key as u64)
+}
+
+/// A weighted consistent-hash ring over [`ShardId`]s.
+///
+/// # Example
+///
+/// ```
+/// use taxi_fleet::ring::HashRing;
+/// use taxi_fleet::state::ShardId;
+///
+/// let mut ring = HashRing::new(64);
+/// ring.rebuild(&[(ShardId::new(0), 64), (ShardId::new(1), 64)]);
+/// let owner = ring.route(0xDEAD_BEEF).expect("non-empty ring");
+/// // Same key, same owner — deterministically.
+/// assert_eq!(ring.route(0xDEAD_BEEF), Some(owner));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// Sorted `(position, owner)` virtual nodes.
+    points: Vec<(u64, ShardId)>,
+    /// Nominal virtual-node count per full-weight shard.
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Creates an empty ring whose full-weight shards get `replicas` virtual
+    /// nodes each (`0` clamps to 1). 64–128 replicas keep ownership shares within
+    /// a few percent of proportional.
+    pub fn new(replicas: usize) -> Self {
+        Self {
+            points: Vec::new(),
+            replicas: replicas.max(1),
+        }
+    }
+
+    /// Nominal virtual-node count per full-weight shard.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Rebuilds the ring from `(shard, vnodes)` weights. A shard with weight `0`
+    /// owns nothing; weights above the nominal replica count are honoured as
+    /// given. Retained virtual nodes keep their exact positions across rebuilds
+    /// (see the module docs), so only keys owned by removed points move.
+    pub fn rebuild(&mut self, weights: &[(ShardId, usize)]) {
+        self.points.clear();
+        for &(shard, vnodes) in weights {
+            for replica in 0..vnodes {
+                self.points.push((vnode_point(shard, replica), shard));
+            }
+        }
+        // Position ties are broken by shard id so rebuilds are deterministic even
+        // in the astronomically unlikely collision case.
+        self.points.sort_unstable();
+    }
+
+    /// Whether the ring currently owns no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of virtual nodes currently on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The shard owning `key` (the first virtual node clockwise from the key's
+    /// ring position, wrapping), or `None` on an empty ring.
+    pub fn route(&self, key: u128) -> Option<ShardId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let position = fold_key(key);
+        let index = self.points.partition_point(|&(p, _)| p < position);
+        let (_, owner) = self.points[index % self.points.len()];
+        Some(owner)
+    }
+
+    /// The fraction of the ring's key space `shard` currently owns (0 when absent
+    /// or the ring is empty). Shares across all members sum to 1.
+    pub fn ownership_share(&self, shard: ShardId) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        // Each point owns the arc (previous point, itself]; the first point also
+        // owns the wrapping arc past the last point.
+        let mut owned: u128 = 0;
+        for (index, &(position, owner)) in self.points.iter().enumerate() {
+            if owner != shard {
+                continue;
+            }
+            let previous = if index == 0 {
+                self.points[self.points.len() - 1].0
+            } else {
+                self.points[index - 1].0
+            };
+            owned += u128::from(position.wrapping_sub(previous));
+        }
+        if self.points.len() == 1 {
+            // Single point: wrapping_sub(self) is 0 but the point owns everything.
+            return 1.0;
+        }
+        owned as f64 / 2f64.powi(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard_weights(count: usize, replicas: usize) -> Vec<(ShardId, usize)> {
+        (0..count).map(|i| (ShardId::new(i), replicas)).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let mut ring = HashRing::new(64);
+        ring.rebuild(&shard_weights(4, 64));
+        for key in 0..1000u128 {
+            let owner = ring.route(key * 0x1234_5678_9ABC_DEF0).expect("non-empty");
+            assert_eq!(ring.route(key * 0x1234_5678_9ABC_DEF0), Some(owner));
+            assert!(owner.index() < 4);
+        }
+        assert!(
+            HashRing::new(8).route(42).is_none(),
+            "empty ring routes nowhere"
+        );
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let mut full = HashRing::new(64);
+        full.rebuild(&shard_weights(4, 64));
+        let mut reduced = HashRing::new(64);
+        reduced.rebuild(
+            &shard_weights(4, 64)
+                .into_iter()
+                .filter(|&(shard, _)| shard != ShardId::new(2))
+                .collect::<Vec<_>>(),
+        );
+        let mut moved = 0usize;
+        for key in 0..2000u128 {
+            let key = key.wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_0C1B_08EB_9A17);
+            let before = full.route(key).unwrap();
+            let after = reduced.route(key).unwrap();
+            if before == ShardId::new(2) {
+                moved += 1;
+                assert_ne!(after, ShardId::new(2));
+            } else {
+                // The consistent-hashing property: survivors keep their keys.
+                assert_eq!(before, after, "key moved between surviving shards");
+            }
+        }
+        // Roughly a quarter of the keys belonged to the removed shard.
+        assert!((300..700).contains(&moved), "moved {moved} of 2000");
+    }
+
+    #[test]
+    fn half_weight_halves_ownership_without_moving_retained_points() {
+        let mut full = HashRing::new(64);
+        full.rebuild(&shard_weights(3, 64));
+        let mut degraded = HashRing::new(64);
+        degraded.rebuild(&[
+            (ShardId::new(0), 64),
+            (ShardId::new(1), 32),
+            (ShardId::new(2), 64),
+        ]);
+        let full_share = full.ownership_share(ShardId::new(1));
+        let degraded_share = degraded.ownership_share(ShardId::new(1));
+        assert!(
+            degraded_share < full_share * 0.75,
+            "half weight should shed a sizeable share: {full_share:.3} -> {degraded_share:.3}"
+        );
+        // Keys the degraded shard still owns were owned by it before (its retained
+        // vnodes never moved): degradation sheds keys, it does not steal any.
+        for key in 0..2000u128 {
+            let key = key.wrapping_mul(0xA24B_AED4_963E_E407_0123_4567_89AB_CDEF);
+            if degraded.route(key) == Some(ShardId::new(1)) {
+                assert_eq!(full.route(key), Some(ShardId::new(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_shares_sum_to_one_and_track_weights() {
+        let mut ring = HashRing::new(128);
+        ring.rebuild(&shard_weights(5, 128));
+        let shares: Vec<f64> = (0..5)
+            .map(|i| ring.ownership_share(ShardId::new(i)))
+            .collect();
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        for (index, share) in shares.iter().enumerate() {
+            assert!(
+                (0.08..0.35).contains(share),
+                "shard {index} share {share:.3} far from proportional"
+            );
+        }
+        assert_eq!(ring.ownership_share(ShardId::new(99)), 0.0);
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let mut ring = HashRing::new(1);
+        ring.rebuild(&[(ShardId::new(0), 1)]);
+        assert_eq!(ring.len(), 1);
+        assert!((ring.ownership_share(ShardId::new(0)) - 1.0).abs() < 1e-12);
+        for key in [0u128, 1, u128::MAX] {
+            assert_eq!(ring.route(key), Some(ShardId::new(0)));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Shard identity and the lifecycle state machine the reconciler drives.
+//!
+//! A shard's lifecycle is a plain Rust enum ([`ShardState`]) advanced **only** by
+//! the reconciler's per-state handlers — every other actor (operator drain
+//! requests, health verdicts, crash reports) merely *enqueues an intent*
+//! ([`FleetIntent`]) that the next reconcile tick folds into the handlers' inputs.
+//! That single-mutator discipline is what makes the control plane boringly
+//! debuggable: there is exactly one place a transition can happen, every handler
+//! is idempotent (re-running it on the same observed state is a no-op), and a
+//! missed tick costs latency, never correctness.
+//!
+//! Per-state SLAs ([`StateSlas`]) bound how long a shard may legitimately sit in a
+//! transitional state; the fleet snapshot flags residents that overstay as
+//! **stuck** so operators see a wedged drain or a crash-restart loop instead of a
+//! silently absent shard.
+
+use std::time::Duration;
+
+use crate::health::HealthVerdict;
+
+/// Identity of one shard slot in the fleet (stable across restarts: generations
+/// increment, the id does not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(usize);
+
+impl ShardId {
+    /// Creates the id of slot `index`.
+    pub fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The slot index (also the shard's position in fleet snapshot vectors).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// Lifecycle state of one shard.
+///
+/// ```text
+///             ┌────────────────────────────────────────────┐
+///             ▼                                            │
+/// Starting ─▶ Serving ◀────▶ Degraded                      │
+///    ▲           │               │ (unhealthy past SLA,    │
+///    │           │ (drain)       │  or drain)              │
+///    │           ▼               ▼                         │
+///    │        Draining ──────▶ Stopped ────────────────────┘ (restart)
+///    │           ▲
+///    │   (crash) │
+///    └──────── Failed ◀── Serving/Degraded (worker-panic burst, crash report)
+/// ```
+///
+/// `Serving` and `Degraded` are the only states that own consistent-hash ring
+/// weight (`Degraded` at half weight); everything else is out of rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardState {
+    /// The shard's service is being (re)built; it owns no ring weight yet.
+    Starting,
+    /// Healthy and in rotation at full ring weight.
+    Serving,
+    /// In rotation at reduced ring weight: health probes flag it, but it still
+    /// serves. Recovers to `Serving` if probes clear, escalates to `Draining`
+    /// when unhealthy past the degraded SLA.
+    Degraded,
+    /// Out of rotation; queued-but-unstarted work has been extracted for
+    /// resubmission to survivors, in-flight batches are completing.
+    Draining,
+    /// Fully quiescent (no workers alive); restartable.
+    Stopped,
+    /// Crash detected (worker-panic burst, dead workers, or an operator crash
+    /// report): the reconciler contains it — backlog extracted, metrics retired —
+    /// and recycles the shard through `Starting`.
+    Failed,
+}
+
+impl ShardState {
+    /// Every state, for sweeps and table rendering.
+    pub const ALL: [ShardState; 6] = [
+        ShardState::Starting,
+        ShardState::Serving,
+        ShardState::Degraded,
+        ShardState::Draining,
+        ShardState::Stopped,
+        ShardState::Failed,
+    ];
+
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardState::Starting => "starting",
+            ShardState::Serving => "serving",
+            ShardState::Degraded => "degraded",
+            ShardState::Draining => "draining",
+            ShardState::Stopped => "stopped",
+            ShardState::Failed => "failed",
+        }
+    }
+
+    /// Whether a shard in this state owns consistent-hash ring weight (i.e. the
+    /// front-end routes new requests to it).
+    pub fn in_rotation(self) -> bool {
+        matches!(self, ShardState::Serving | ShardState::Degraded)
+    }
+}
+
+impl std::fmt::Display for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-state residence SLAs: how long a shard may sit in each *transitional*
+/// state before the fleet snapshot flags it as stuck. `Serving` and `Stopped`
+/// are legitimate steady states and have no SLA.
+///
+/// The degraded SLA doubles as the **escalation deadline**: a shard continuously
+/// unhealthy for longer than `degraded` is drained and restarted by the
+/// reconciler (self-healing), rather than flapping in half-weight limbo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateSlas {
+    /// Maximum residence in [`ShardState::Starting`].
+    pub starting: Duration,
+    /// Maximum continuous residence in [`ShardState::Degraded`] before the
+    /// reconciler escalates to a drain + restart.
+    pub degraded: Duration,
+    /// Maximum residence in [`ShardState::Draining`] (in-flight batches should
+    /// complete well within this).
+    pub draining: Duration,
+    /// Maximum residence in [`ShardState::Failed`] (containment is one drain +
+    /// worker quiescence).
+    pub failed: Duration,
+}
+
+impl StateSlas {
+    /// Defaults: 5s starting, 10s degraded, 30s draining, 10s failed.
+    pub fn new() -> Self {
+        Self {
+            starting: Duration::from_secs(5),
+            degraded: Duration::from_secs(10),
+            draining: Duration::from_secs(30),
+            failed: Duration::from_secs(10),
+        }
+    }
+
+    /// The SLA applying to `state`, or `None` for steady states.
+    pub fn for_state(&self, state: ShardState) -> Option<Duration> {
+        match state {
+            ShardState::Starting => Some(self.starting),
+            ShardState::Degraded => Some(self.degraded),
+            ShardState::Draining => Some(self.draining),
+            ShardState::Failed => Some(self.failed),
+            ShardState::Serving | ShardState::Stopped => None,
+        }
+    }
+}
+
+impl Default for StateSlas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An operator/observer request folded into the next reconcile tick.
+///
+/// Intents are the **only** way anything outside the reconciler influences shard
+/// state: they set per-shard desires that the state handlers consume. Unknown
+/// shard ids are ignored (an intent can race a reconfiguration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetIntent {
+    /// Take the shard out of rotation, migrate its backlog to survivors, and stop
+    /// it (it restarts automatically when the fleet auto-restarts, or on an
+    /// explicit [`Restart`](FleetIntent::Restart)).
+    Drain(ShardId),
+    /// Restart a stopped shard (fresh generation, cold cache/router).
+    Restart(ShardId),
+    /// Report a crash observed out-of-band; the reconciler routes the shard
+    /// through [`ShardState::Failed`] containment.
+    ReportCrash(ShardId, String),
+    /// Force the shard's health verdict (`Some(verdict)`) or return it to probe
+    /// control (`None`). The override pins the *verdict*, not the probes: probe
+    /// reports stay visible in the snapshot while overridden.
+    OverrideHealth(ShardId, Option<HealthVerdict>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_membership_matches_the_diagram() {
+        for state in ShardState::ALL {
+            assert_eq!(
+                state.in_rotation(),
+                matches!(state, ShardState::Serving | ShardState::Degraded),
+                "{state}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_states_have_no_sla() {
+        let slas = StateSlas::new();
+        assert_eq!(slas.for_state(ShardState::Serving), None);
+        assert_eq!(slas.for_state(ShardState::Stopped), None);
+        for state in [
+            ShardState::Starting,
+            ShardState::Degraded,
+            ShardState::Draining,
+            ShardState::Failed,
+        ] {
+            assert!(slas.for_state(state).is_some(), "{state}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ShardState::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), ShardState::ALL.len());
+        assert_eq!(ShardId::new(3).to_string(), "shard-3");
+    }
+}

@@ -1,0 +1,337 @@
+//! Fleet load harness: quantifies what fingerprint-affinity routing and the
+//! reconciling control plane buy over a sharded service, emitting
+//! `BENCH_fleet.json` (a CI artifact alongside the other `BENCH_*.json` files).
+//!
+//! Two experiments:
+//!
+//! * **Affinity vs. scatter under Zipf** — the same popular-routes workload
+//!   replayed through identical fleets that differ only in routing policy. Each
+//!   shard's private cache is deliberately smaller than the full route pool but
+//!   larger than its ring share of it: affinity partitions the key space so each
+//!   cache holds exactly its own hot routes, while scatter makes every cache
+//!   chase the whole pool — duplicated cold misses plus LRU thrash. The
+//!   acceptance bar: affinity's fleet-wide cache hit rate strictly beats
+//!   scatter's (p99 end-to-end is recorded for both). A hotspot-shift arm
+//!   replays the same pool with rotating popularity ranks: consistent-hash
+//!   ownership is keyed by geometry, not rank, so affinity's hit rate survives
+//!   the shift.
+//! * **Drain under load** — a live fleet loses a shard to an operator drain
+//!   mid-stream. The acceptance bar: every accepted ticket resolves with a
+//!   solution (the drained backlog is re-adopted by survivors — zero lost, zero
+//!   failed), and the drained shard returns to `Serving` (recovery time
+//!   recorded).
+//!
+//! Run with `cargo run --release --example fleet_bench`; set `TAXI_FLEET_SMOKE=1`
+//! (CI) for a fast smoke-scale run.
+
+use std::time::{Duration, Instant};
+
+use taxi::cache::CachePolicy;
+use taxi_bench::json::{JsonArray, JsonObject};
+use taxi_dispatch::{
+    AdmissionPolicy, BatchPolicy, DispatchConfig, DispatchRequest, Scenario, Ticket, Workload,
+    WorkloadConfig,
+};
+use taxi_fleet::{Fleet, FleetConfig, FleetSnapshot, RoutingPolicy, ShardId, ShardState};
+use taxi_tsplib::TspInstance;
+
+struct Scale {
+    smoke: bool,
+    shards: usize,
+    workers_per_shard: usize,
+    routes: usize,
+    requests: usize,
+    drain_requests: usize,
+}
+
+impl Scale {
+    fn detect() -> Self {
+        let smoke = std::env::var("TAXI_FLEET_SMOKE").is_ok_and(|v| v != "0");
+        if smoke {
+            Self {
+                smoke,
+                shards: 3,
+                workers_per_shard: 1,
+                routes: 24,
+                requests: 300,
+                drain_requests: 90,
+            }
+        } else {
+            Self {
+                smoke,
+                shards: 4,
+                workers_per_shard: 2,
+                routes: 48,
+                requests: 1500,
+                drain_requests: 240,
+            }
+        }
+    }
+
+    /// Per-shard cache capacity: smaller than the route pool (scatter thrashes)
+    /// but comfortably above one shard's ring share of it (affinity fits).
+    fn cache_entries(&self) -> usize {
+        (self.routes * 2) / self.shards
+    }
+}
+
+fn fleet(scale: &Scale, routing: RoutingPolicy) -> Fleet {
+    Fleet::start(
+        FleetConfig::new()
+            .with_shards(scale.shards)
+            .with_shard_config(
+                DispatchConfig::new()
+                    .with_workers(scale.workers_per_shard)
+                    .with_queue_capacity(64)
+                    .with_admission(AdmissionPolicy::Block)
+                    .with_batch(
+                        BatchPolicy::new()
+                            .with_max_batch(8)
+                            .with_linger(Duration::from_micros(200)),
+                    ),
+            )
+            .with_cache_policy(
+                CachePolicy::new()
+                    .with_shards(1)
+                    .with_max_entries(scale.cache_entries()),
+            )
+            .with_routing(routing)
+            .with_reconcile_interval(Duration::from_millis(5)),
+    )
+}
+
+fn zipf_instances(scale: &Scale, hotspot_phases: Option<usize>) -> Vec<TspInstance> {
+    let mut config = WorkloadConfig::new(Scenario::CityDistricts { districts: 4 })
+        .with_requests(scale.requests)
+        .with_size_range(40, 60)
+        .with_interactive_fraction(0.0)
+        .with_seed(61);
+    config = match hotspot_phases {
+        Some(phases) => config.with_hotspot_shift(scale.routes, 1.1, phases),
+        None => config.with_popular_routes(scale.routes, 1.1),
+    };
+    Workload::generate(config)
+        .into_events()
+        .into_iter()
+        .map(|event| event.request.instance)
+        .collect()
+}
+
+struct RoutingArm {
+    label: &'static str,
+    hit_rate: f64,
+    p99: Duration,
+    snapshot: FleetSnapshot,
+}
+
+/// Replays `instances` through a fresh fleet in waited windows (so repeats can
+/// land behind the solves that seed the caches) and reports the fleet-wide
+/// cache hit rate and merged p99.
+fn routing_arm(
+    scale: &Scale,
+    routing: RoutingPolicy,
+    label: &'static str,
+    instances: &[TspInstance],
+) -> RoutingArm {
+    let fleet = fleet(scale, routing);
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(32);
+    for chunk in instances.chunks(32) {
+        for instance in chunk {
+            tickets.push(
+                fleet
+                    .submit(DispatchRequest::new(instance.clone()))
+                    .expect("admitted"),
+            );
+        }
+        for ticket in tickets.drain(..) {
+            assert!(ticket.wait().solved().is_some(), "replay solve");
+        }
+    }
+    let snapshot = fleet.shutdown();
+    assert_eq!(snapshot.service.completed as usize, instances.len());
+    RoutingArm {
+        label,
+        hit_rate: snapshot.service.cache.map_or(0.0, |c| c.hit_rate()),
+        p99: snapshot.service.end_to_end.p99,
+        snapshot,
+    }
+}
+
+struct DrainRun {
+    accepted: usize,
+    solved: usize,
+    recovery: Duration,
+    snapshot: FleetSnapshot,
+}
+
+/// Drains a shard in the middle of a live stream: half the requests are
+/// submitted (unwaited — queues stay hot), the drain lands, the rest of the
+/// stream keeps flowing, then every ticket is awaited.
+fn drain_under_load(scale: &Scale) -> DrainRun {
+    let fleet = fleet(scale, RoutingPolicy::FingerprintAffinity);
+    let instances: Vec<TspInstance> = zipf_instances(scale, None)
+        .into_iter()
+        .take(scale.drain_requests)
+        .collect();
+    let midpoint = instances.len() / 2;
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(instances.len());
+    for instance in &instances[..midpoint] {
+        tickets.push(
+            fleet
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted"),
+        );
+    }
+    let drained_at = Instant::now();
+    fleet.drain(ShardId::new(0));
+    for instance in &instances[midpoint..] {
+        tickets.push(
+            fleet
+                .submit(DispatchRequest::new(instance.clone()))
+                .expect("admitted"),
+        );
+    }
+    let accepted = tickets.len();
+    let solved = tickets
+        .into_iter()
+        .filter_map(|ticket| ticket.wait().solved())
+        .count();
+    // Auto-restart returns the drained shard to rotation; time it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let recovery = loop {
+        fleet.reconcile_now();
+        let snapshot = fleet.snapshot();
+        let shard = &snapshot.shards[0];
+        if shard.state == ShardState::Serving && shard.generation >= 2 {
+            break drained_at.elapsed();
+        }
+        assert!(
+            Instant::now() < deadline,
+            "drained shard never recovered:\n{snapshot}"
+        );
+    };
+    DrainRun {
+        accepted,
+        solved,
+        recovery,
+        snapshot: fleet.shutdown(),
+    }
+}
+
+fn main() {
+    let scale = Scale::detect();
+    println!(
+        "fleet load harness ({} scale: {} shards x {} workers, {} routes, cache {} entries/shard)",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.shards,
+        scale.workers_per_shard,
+        scale.routes,
+        scale.cache_entries(),
+    );
+
+    // Affinity vs. scatter on the identical Zipf stream, plus a hotspot-shift
+    // arm under affinity (ownership is geometric, so the shift costs nothing
+    // beyond the cold misses the new head routes were always going to pay).
+    let zipf = zipf_instances(&scale, None);
+    let shifted = zipf_instances(&scale, Some(3));
+    let arms = [
+        routing_arm(
+            &scale,
+            RoutingPolicy::FingerprintAffinity,
+            "affinity",
+            &zipf,
+        ),
+        routing_arm(&scale, RoutingPolicy::Scatter, "scatter", &zipf),
+        routing_arm(
+            &scale,
+            RoutingPolicy::FingerprintAffinity,
+            "affinity-hotspot-shift",
+            &shifted,
+        ),
+    ];
+    for arm in &arms {
+        println!(
+            "  {:<24} hit rate {:5.1}%  p99 {:?}  ({})",
+            arm.label,
+            arm.hit_rate * 100.0,
+            arm.p99,
+            arm.snapshot.one_line(),
+        );
+    }
+    let affinity = &arms[0];
+    let scatter = &arms[1];
+    assert!(
+        affinity.hit_rate > scatter.hit_rate,
+        "acceptance: affinity hit rate ({:.3}) must beat scatter ({:.3})",
+        affinity.hit_rate,
+        scatter.hit_rate,
+    );
+
+    // Drain under load: zero lost tickets, shard recovers.
+    let drain = drain_under_load(&scale);
+    println!(
+        "  drain-under-load: {}/{} solved, {} resubmitted, recovery {:?}",
+        drain.solved, drain.accepted, drain.snapshot.resubmitted, drain.recovery,
+    );
+    assert_eq!(
+        drain.solved, drain.accepted,
+        "acceptance: every accepted ticket must resolve with a solution"
+    );
+    assert_eq!(drain.snapshot.service.failed, 0, "no ticket may fail");
+    assert_eq!(drain.snapshot.orphaned, 0, "no pending left orphaned");
+
+    let routing_json = |arm: &RoutingArm| {
+        JsonObject::new()
+            .str("arm", arm.label)
+            .uint("requests", arm.snapshot.service.completed)
+            .uint("cache_hits", arm.snapshot.service.cache_hits)
+            .num("fleet_cache_hit_rate", arm.hit_rate, 4)
+            .num("p99_end_to_end_ms", arm.p99.as_secs_f64() * 1e3, 3)
+            .num(
+                "solve_avoidance",
+                arm.snapshot.service.solve_avoidance_rate(),
+                4,
+            )
+            .raw("aggregate", &arm.snapshot.service.to_json())
+    };
+    let artifact = JsonObject::new()
+        .str("bench", "fleet")
+        .bool("smoke", scale.smoke)
+        .uint("shards", scale.shards as u64)
+        .uint("workers_per_shard", scale.workers_per_shard as u64)
+        .uint("routes", scale.routes as u64)
+        .uint("cache_entries_per_shard", scale.cache_entries() as u64)
+        .object(
+            "affinity_vs_scatter",
+            JsonObject::new()
+                .array(
+                    "arms",
+                    JsonArray::from_objects(arms.iter().map(routing_json)),
+                )
+                .bool(
+                    "affinity_beats_scatter",
+                    affinity.hit_rate > scatter.hit_rate,
+                )
+                .num(
+                    "hit_rate_uplift",
+                    affinity.hit_rate / scatter.hit_rate.max(1e-9),
+                    3,
+                ),
+        )
+        .object(
+            "drain_under_load",
+            JsonObject::new()
+                .uint("accepted", drain.accepted as u64)
+                .uint("solved", drain.solved as u64)
+                .uint("lost", (drain.accepted - drain.solved) as u64)
+                .uint("resubmitted", drain.snapshot.resubmitted)
+                .uint("failed", drain.snapshot.service.failed)
+                .num("recovery_secs", drain.recovery.as_secs_f64(), 3)
+                .uint(
+                    "drained_shard_generation",
+                    drain.snapshot.shards[0].generation,
+                ),
+        );
+    std::fs::write("BENCH_fleet.json", artifact.render()).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

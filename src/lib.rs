@@ -24,6 +24,7 @@ pub use taxi_cache as cache;
 pub use taxi_cluster as cluster;
 pub use taxi_device as device;
 pub use taxi_dispatch as dispatch;
+pub use taxi_fleet as fleet;
 pub use taxi_ising as ising;
 pub use taxi_tsplib as tsplib;
 pub use taxi_xbar as xbar;
