@@ -1,5 +1,7 @@
 //! Exact TSP solving (Held–Karp) and a Concorde-style exact-solver projection model.
 
+use taxi_dist::DistanceMatrix;
+
 use crate::BaselineError;
 
 /// Maximum instance size accepted by [`held_karp`] (the DP table is `2^n · n`).
@@ -52,20 +54,22 @@ impl HeldKarpScratch {
 ///
 /// ```
 /// use taxi_baselines::held_karp;
+/// use taxi_dist::DistanceMatrix;
 ///
 /// // Unit square: the optimal cycle is the perimeter of length 4.
-/// let d = vec![
+/// let d = DistanceMatrix::from_rows(&[
 ///     vec![0.0, 1.0, 1.4142135623730951, 1.0],
 ///     vec![1.0, 0.0, 1.0, 1.4142135623730951],
 ///     vec![1.4142135623730951, 1.0, 0.0, 1.0],
 ///     vec![1.0, 1.4142135623730951, 1.0, 0.0],
-/// ];
+/// ])
+/// .expect("square matrix");
 /// let solution = held_karp(&d)?;
 /// assert!((solution.length - 4.0).abs() < 1e-9);
 /// # Ok::<(), taxi_baselines::BaselineError>(())
 /// ```
-pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError> {
-    let mut order = Vec::with_capacity(distances.len());
+pub fn held_karp(distances: &DistanceMatrix) -> Result<ExactSolution, BaselineError> {
+    let mut order = Vec::with_capacity(distances.n());
     let length = held_karp_into(distances, &mut HeldKarpScratch::new(), &mut order)?;
     Ok(ExactSolution { order, length })
 }
@@ -77,14 +81,14 @@ pub fn held_karp(distances: &[Vec<f64>]) -> Result<ExactSolution, BaselineError>
 ///
 /// Same error conditions as [`held_karp`].
 pub fn held_karp_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     scratch: &mut HeldKarpScratch,
     out: &mut Vec<usize>,
 ) -> Result<f64, BaselineError> {
-    let n = distances.len();
-    if n == 0 || distances.iter().any(|row| row.len() != n) {
+    let n = distances.n();
+    if n == 0 {
         return Err(BaselineError::InvalidProblem {
-            reason: "distance matrix must be square and non-empty".to_string(),
+            reason: "distance matrix must be non-empty".to_string(),
         });
     }
     if n > HELD_KARP_LIMIT {
@@ -100,7 +104,7 @@ pub fn held_karp_into(
     }
     if n == 2 {
         out.extend([0, 1]);
-        return Ok(distances[0][1] + distances[1][0]);
+        return Ok(distances.get(0, 1) + distances.get(1, 0));
     }
 
     // dp[mask][j] = shortest path starting at 0, visiting exactly the cities in `mask`
@@ -126,7 +130,7 @@ pub fn held_karp_into(
                     continue;
                 }
                 let new_mask = mask | (1 << next);
-                let cand = cur + distances[last][next];
+                let cand = cur + distances.get(last, next);
                 if cand < dp[new_mask * n + next] {
                     dp[new_mask * n + next] = cand;
                     parent[new_mask * n + next] = last as u32;
@@ -137,7 +141,7 @@ pub fn held_karp_into(
     let all = full - 1;
     let (mut best_last, mut best_len) = (usize::MAX, f64::INFINITY);
     for last in 1..n {
-        let cand = dp[all * n + last] + distances[last][0];
+        let cand = dp[all * n + last] + distances.get(last, 0);
         if cand < best_len {
             best_len = cand;
             best_last = last;
@@ -175,22 +179,21 @@ pub fn held_karp_into(
 ///
 /// ```
 /// use taxi_baselines::held_karp_path;
+/// use taxi_dist::DistanceMatrix;
 ///
 /// // Four cities on a line: the optimal 0 → 3 path sweeps left to right.
-/// let d: Vec<Vec<f64>> = (0..4)
-///     .map(|i| (0..4).map(|j| (i as f64 - j as f64).abs()).collect())
-///     .collect();
+/// let d = DistanceMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs());
 /// let solution = held_karp_path(&d, 0, 3)?;
 /// assert_eq!(solution.order, vec![0, 1, 2, 3]);
 /// assert!((solution.length - 3.0).abs() < 1e-9);
 /// # Ok::<(), taxi_baselines::BaselineError>(())
 /// ```
 pub fn held_karp_path(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     end: usize,
 ) -> Result<ExactSolution, BaselineError> {
-    let mut order = Vec::with_capacity(distances.len());
+    let mut order = Vec::with_capacity(distances.n());
     let length = held_karp_path_into(
         distances,
         start,
@@ -208,16 +211,16 @@ pub fn held_karp_path(
 ///
 /// Same error conditions as [`held_karp_path`].
 pub fn held_karp_path_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     end: usize,
     scratch: &mut HeldKarpScratch,
     out: &mut Vec<usize>,
 ) -> Result<f64, BaselineError> {
-    let n = distances.len();
-    if n == 0 || distances.iter().any(|row| row.len() != n) {
+    let n = distances.n();
+    if n == 0 {
         return Err(BaselineError::InvalidProblem {
-            reason: "distance matrix must be square and non-empty".to_string(),
+            reason: "distance matrix must be non-empty".to_string(),
         });
     }
     if start >= n || end >= n {
@@ -265,7 +268,7 @@ pub fn held_karp_path_into(
                     continue;
                 }
                 let new_mask = mask | (1 << next);
-                let cand = cur + distances[last][next];
+                let cand = cur + distances.get(last, next);
                 if cand < dp[new_mask * n + next] {
                     dp[new_mask * n + next] = cand;
                     parent[new_mask * n + next] = last as u32;
@@ -367,26 +370,24 @@ impl Default for ExactSolverProjection {
 mod tests {
     use super::*;
 
-    fn ring(n: usize) -> Vec<Vec<f64>> {
+    fn ring(n: usize) -> DistanceMatrix {
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
                 (a.cos(), a.sin())
             })
             .collect();
-        pts.iter()
-            .map(|&(x1, y1)| {
-                pts.iter()
-                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
-                    .collect()
-            })
-            .collect()
+        DistanceMatrix::from_fn(n, |i, j| {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[j];
+            ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+        })
     }
 
     #[test]
     fn held_karp_solves_a_ring_optimally() {
         let d = ring(8);
-        let expected: f64 = (0..8).map(|i| d[i][(i + 1) % 8]).sum();
+        let expected: f64 = (0..8).map(|i| d.get(i, (i + 1) % 8)).sum();
         let sol = held_karp(&d).unwrap();
         assert!((sol.length - expected).abs() < 1e-9);
         assert_eq!(sol.order.len(), 8);
@@ -397,12 +398,13 @@ mod tests {
     fn held_karp_finds_known_optimum_on_asymmetric_costs() {
         // Small instance: the three possible cycles have lengths 13, 12 and 17, so the
         // optimum is the 0-1-3-2-0 cycle of length 12.
-        let d = vec![
+        let d = DistanceMatrix::from_rows(&[
             vec![0.0, 1.0, 6.0, 4.0],
             vec![1.0, 0.0, 5.0, 2.0],
             vec![6.0, 5.0, 0.0, 3.0],
             vec![4.0, 2.0, 3.0, 0.0],
-        ];
+        ])
+        .unwrap();
         let sol = held_karp(&d).unwrap();
         assert!((sol.length - 12.0).abs() < 1e-9);
     }
@@ -423,22 +425,19 @@ mod tests {
             held_karp(&d),
             Err(BaselineError::TooLargeForExact { .. })
         ));
-        assert!(held_karp(&[]).is_err());
-        assert!(held_karp(&[vec![0.0, 1.0]]).is_err());
+        assert!(held_karp(&DistanceMatrix::default()).is_err());
     }
 
     #[test]
     fn held_karp_handles_trivial_sizes() {
-        assert_eq!(held_karp(&[vec![0.0]]).unwrap().length, 0.0);
-        let two = vec![vec![0.0, 3.0], vec![3.0, 0.0]];
+        assert_eq!(held_karp(&DistanceMatrix::zeros(1)).unwrap().length, 0.0);
+        let two = DistanceMatrix::from_rows(&[vec![0.0, 3.0], vec![3.0, 0.0]]).unwrap();
         assert_eq!(held_karp(&two).unwrap().length, 6.0);
     }
 
     #[test]
     fn held_karp_path_is_optimal_on_a_line() {
-        let d: Vec<Vec<f64>> = (0..7)
-            .map(|i| (0..7).map(|j| (i as f64 - j as f64).abs()).collect())
-            .collect();
+        let d = DistanceMatrix::from_fn(7, |i, j| (i as f64 - j as f64).abs());
         let sol = held_karp_path(&d, 0, 6).unwrap();
         assert_eq!(sol.order, (0..7).collect::<Vec<_>>());
         assert!((sol.length - 6.0).abs() < 1e-9);
@@ -466,13 +465,18 @@ mod tests {
         let d = ring(5);
         assert!(held_karp_path(&d, 0, 9).is_err());
         assert!(held_karp_path(&d, 3, 3).is_err());
-        assert!(held_karp_path(&[], 0, 0).is_err());
+        assert!(held_karp_path(&DistanceMatrix::default(), 0, 0).is_err());
         let big = ring(HELD_KARP_LIMIT + 1);
         assert!(matches!(
             held_karp_path(&big, 0, 1),
             Err(BaselineError::TooLargeForExact { .. })
         ));
-        assert_eq!(held_karp_path(&[vec![0.0]], 0, 0).unwrap().order, vec![0]);
+        assert_eq!(
+            held_karp_path(&DistanceMatrix::zeros(1), 0, 0)
+                .unwrap()
+                .order,
+            vec![0]
+        );
     }
 
     #[test]

@@ -4,6 +4,16 @@
 //! as the optimal-ratio denominator on synthetic instances (where the published TSPLIB
 //! optimum does not apply), and they are the comparison heuristics for the ablation
 //! benches.
+//!
+//! All entry points consume the flat [`DistanceMatrix`]; the tour/path length kernels
+//! gather edge distances in [`LANES`]-wide chunks (array temporaries the autovectorizer
+//! can lower to SIMD) while accumulating strictly sequentially, so results are
+//! bit-identical to a scalar loop. Exhaustive 2-opt/Or-opt remain the default; the
+//! `*_neighbors` variants prune move generation to k-nearest candidate lists
+//! ([`NeighborLists`]) and are opt-in (they may visit moves in a different order, so
+//! their tours can differ from — but never invalidate — the exhaustive search).
+
+use taxi_dist::{DistanceMatrix, NeighborLists, LANES};
 
 /// Reusable scratch buffers for the construction heuristics and local searches.
 ///
@@ -25,6 +35,10 @@ pub struct HeuristicScratch {
     /// Cycle adjacency: every vertex ends with degree ≤ 2.
     adjacency: Vec<[u32; 2]>,
     adj_len: Vec<u8>,
+    // Neighbor-pruned local-search buffers (used only when a neighbor limit is set).
+    neighbors: NeighborLists,
+    knn_scratch: Vec<(f64, u32)>,
+    position: Vec<u32>,
 }
 
 impl HeuristicScratch {
@@ -36,17 +50,70 @@ impl HeuristicScratch {
 
 /// Length of the closed tour `order` under `distances`.
 ///
+/// The edge distances are gathered [`LANES`] at a time into an array temporary, but the
+/// accumulation is strictly sequential (edge 0, edge 1, ...), so the sum is bit-identical
+/// to the scalar loop for every input.
+///
 /// # Panics
 ///
 /// Panics if `order` references cities outside the matrix.
-pub fn tour_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+pub fn tour_length(distances: &DistanceMatrix, order: &[usize]) -> f64 {
     let n = order.len();
     if n < 2 {
         return 0.0;
     }
-    (0..n)
-        .map(|i| distances[order[i]][order[(i + 1) % n]])
-        .sum()
+    let mut sum = path_length(distances, order);
+    sum += distances.get(order[n - 1], order[0]);
+    sum
+}
+
+/// Length of the open path `order` under `distances` (same chunked-gather, sequential-sum
+/// scheme as [`tour_length`]).
+///
+/// # Panics
+///
+/// Panics if `order` references cities outside the matrix.
+pub fn path_length(distances: &DistanceMatrix, order: &[usize]) -> f64 {
+    let n = order.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut gathered = [0.0f64; LANES];
+    let edges = n - 1;
+    let mut i = 0;
+    while i + LANES <= edges {
+        for l in 0..LANES {
+            gathered[l] = distances.get(order[i + l], order[i + l + 1]);
+        }
+        for &g in &gathered {
+            sum += g;
+        }
+        i += LANES;
+    }
+    while i < edges {
+        sum += distances.get(order[i], order[i + 1]);
+        i += 1;
+    }
+    sum
+}
+
+/// Index of the nearest unvisited city from `row` (first minimum wins; NaN distances are
+/// never selected while a non-NaN candidate exists). Returns `None` when every city is
+/// visited.
+fn nearest_unvisited(row: &[f64], visited: &[bool]) -> Option<usize> {
+    let mut best = f64::NAN;
+    let mut best_idx = None;
+    for (c, (&d, &seen)) in row.iter().zip(visited).enumerate() {
+        if seen {
+            continue;
+        }
+        if best_idx.is_none() || d.total_cmp(&best) == std::cmp::Ordering::Less {
+            best = d;
+            best_idx = Some(c);
+        }
+    }
+    best_idx
 }
 
 /// Nearest-neighbour construction starting at `start`.
@@ -54,8 +121,8 @@ pub fn tour_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
 /// # Panics
 ///
 /// Panics if the matrix is empty or `start` is out of range.
-pub fn nearest_neighbor_tour(distances: &[Vec<f64>], start: usize) -> Vec<usize> {
-    let mut order = Vec::with_capacity(distances.len());
+pub fn nearest_neighbor_tour(distances: &DistanceMatrix, start: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.n());
     nearest_neighbor_tour_into(distances, start, &mut HeuristicScratch::new(), &mut order);
     order
 }
@@ -67,12 +134,12 @@ pub fn nearest_neighbor_tour(distances: &[Vec<f64>], start: usize) -> Vec<usize>
 ///
 /// Panics if the matrix is empty or `start` is out of range.
 pub fn nearest_neighbor_tour_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     scratch: &mut HeuristicScratch,
     out: &mut Vec<usize>,
 ) {
-    let n = distances.len();
+    let n = distances.n();
     assert!(n > 0 && start < n, "start city must exist");
     scratch.visited.clear();
     scratch.visited.resize(n, false);
@@ -81,13 +148,7 @@ pub fn nearest_neighbor_tour_into(
     scratch.visited[current] = true;
     out.push(current);
     for _ in 1..n {
-        let next = (0..n)
-            .filter(|&c| !scratch.visited[c])
-            .min_by(|&a, &b| {
-                distances[current][a]
-                    .partial_cmp(&distances[current][b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        let next = nearest_unvisited(distances.row(current), &scratch.visited)
             .expect("an unvisited city remains");
         scratch.visited[next] = true;
         out.push(next);
@@ -101,8 +162,8 @@ pub fn nearest_neighbor_tour_into(
 /// # Panics
 ///
 /// Panics if the matrix is empty.
-pub fn greedy_edge_tour(distances: &[Vec<f64>]) -> Vec<usize> {
-    let mut order = Vec::with_capacity(distances.len());
+pub fn greedy_edge_tour(distances: &DistanceMatrix) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.n());
     greedy_edge_tour_into(distances, &mut HeuristicScratch::new(), &mut order);
     order
 }
@@ -114,11 +175,11 @@ pub fn greedy_edge_tour(distances: &[Vec<f64>]) -> Vec<usize> {
 ///
 /// Panics if the matrix is empty.
 pub fn greedy_edge_tour_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     scratch: &mut HeuristicScratch,
     out: &mut Vec<usize>,
 ) {
-    let n = distances.len();
+    let n = distances.n();
     assert!(n > 0, "instance must have at least one city");
     out.clear();
     if n == 1 {
@@ -131,9 +192,9 @@ pub fn greedy_edge_tour_into(
     // Tie-break equal-length edges by (a, b): identical to a stable sort of the
     // lexicographically generated list, without the merge-sort scratch allocation.
     edges.sort_unstable_by(|&(a, b), &(c, d)| {
-        distances[a as usize][b as usize]
-            .partial_cmp(&distances[c as usize][d as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        distances
+            .get(a as usize, b as usize)
+            .total_cmp(&distances.get(c as usize, d as usize))
             .then_with(|| (a, b).cmp(&(c, d)))
     });
     scratch.degree.clear();
@@ -232,7 +293,7 @@ pub fn greedy_edge_tour_into(
 
 /// 2-opt local search: repeatedly reverses tour segments while that shortens the tour,
 /// up to `max_passes` full passes. Returns the number of improving moves applied.
-pub fn two_opt(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -> usize {
+pub fn two_opt(distances: &DistanceMatrix, order: &mut [usize], max_passes: usize) -> usize {
     let n = order.len();
     if n < 4 {
         return 0;
@@ -241,15 +302,20 @@ pub fn two_opt(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -
     for _ in 0..max_passes {
         let mut improved = false;
         for i in 0..n - 1 {
+            // Reversing order[i+1..=j] never moves order[i], so row a is loop-invariant
+            // across the j-scan: the inner loop walks one contiguous row instead of
+            // chasing per-row heap pointers. order[i+1] *does* change after a reversal,
+            // so b is re-read each iteration, exactly like the original scan.
+            let a = order[i];
+            let row_a = distances.row(a);
             for j in i + 2..n {
                 if i == 0 && j == n - 1 {
                     continue;
                 }
-                let a = order[i];
                 let b = order[i + 1];
                 let c = order[j];
                 let d = order[(j + 1) % n];
-                let delta = distances[a][c] + distances[b][d] - distances[a][b] - distances[c][d];
+                let delta = row_a[c] + distances.get(b, d) - row_a[b] - distances.get(c, d);
                 if delta < -1e-12 {
                     order[i + 1..=j].reverse();
                     improvements += 1;
@@ -266,7 +332,7 @@ pub fn two_opt(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -
 
 /// Or-opt local search: relocates segments of 1–3 consecutive cities while that shortens
 /// the tour, up to `max_passes` passes. Returns the number of improving moves applied.
-pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+pub fn or_opt(distances: &DistanceMatrix, order: &mut Vec<usize>, max_passes: usize) -> usize {
     or_opt_with(distances, order, max_passes, &mut HeuristicScratch::new())
 }
 
@@ -274,7 +340,7 @@ pub fn or_opt(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize)
 /// from `scratch`, so steady-state local search allocates nothing. Results are identical
 /// to [`or_opt`].
 pub fn or_opt_with(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     order: &mut Vec<usize>,
     max_passes: usize,
     scratch: &mut HeuristicScratch,
@@ -307,7 +373,7 @@ pub fn or_opt_with(
 /// open-path searches (`path_mode` pins the first/last positions). Returns the chosen
 /// insertion position when an improving move was applied.
 fn relocate_segment(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     order: &mut Vec<usize>,
     i: usize,
     seg_len: usize,
@@ -361,26 +427,14 @@ fn relocate_segment(
     best_pos
 }
 
-/// Length of the open path `order` under `distances`.
-///
-/// # Panics
-///
-/// Panics if `order` references cities outside the matrix.
-pub fn path_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
-    order
-        .windows(2)
-        .map(|pair| distances[pair[0]][pair[1]])
-        .sum()
-}
-
 /// Nearest-neighbour open-path construction from `start`, forced to terminate at `end`.
 ///
 /// # Panics
 ///
 /// Panics if the matrix is empty, either endpoint is out of range, or `start == end` on
 /// a multi-city matrix (a Hamiltonian path cannot start and end at the same city).
-pub fn nearest_neighbor_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
-    let mut order = Vec::with_capacity(distances.len());
+pub fn nearest_neighbor_path(distances: &DistanceMatrix, start: usize, end: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.n());
     nearest_neighbor_path_into(
         distances,
         start,
@@ -398,13 +452,13 @@ pub fn nearest_neighbor_path(distances: &[Vec<f64>], start: usize, end: usize) -
 ///
 /// Same panic conditions as [`nearest_neighbor_path`].
 pub fn nearest_neighbor_path_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     end: usize,
     scratch: &mut HeuristicScratch,
     out: &mut Vec<usize>,
 ) {
-    let n = distances.len();
+    let n = distances.n();
     assert!(n > 0 && start < n && end < n, "endpoints must exist");
     assert!(
         n == 1 || start != end,
@@ -422,13 +476,7 @@ pub fn nearest_neighbor_path_into(
     out.push(start);
     let mut current = start;
     for _ in 0..n.saturating_sub(2) {
-        let next = (0..n)
-            .filter(|&c| !scratch.visited[c])
-            .min_by(|&a, &b| {
-                distances[current][a]
-                    .partial_cmp(&distances[current][b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        let next = nearest_unvisited(distances.row(current), &scratch.visited)
             .expect("an unvisited interior city remains");
         scratch.visited[next] = true;
         out.push(next);
@@ -439,7 +487,7 @@ pub fn nearest_neighbor_path_into(
 
 /// 2-opt local search on an open path: reverses interior segments while that shortens the
 /// path, keeping the first and last cities pinned. Returns the number of improving moves.
-pub fn two_opt_path(distances: &[Vec<f64>], order: &mut [usize], max_passes: usize) -> usize {
+pub fn two_opt_path(distances: &DistanceMatrix, order: &mut [usize], max_passes: usize) -> usize {
     let n = order.len();
     if n < 4 {
         return 0;
@@ -455,7 +503,9 @@ pub fn two_opt_path(distances: &[Vec<f64>], order: &mut [usize], max_passes: usi
                 let b = order[i + 1];
                 let c = order[j];
                 let d = order[j + 1];
-                let delta = distances[a][c] + distances[b][d] - distances[a][b] - distances[c][d];
+                let delta = distances.get(a, c) + distances.get(b, d)
+                    - distances.get(a, b)
+                    - distances.get(c, d);
                 if delta < -1e-12 {
                     order[i + 1..=j].reverse();
                     improvements += 1;
@@ -473,14 +523,14 @@ pub fn two_opt_path(distances: &[Vec<f64>], order: &mut [usize], max_passes: usi
 /// Or-opt local search on an open path: relocates interior segments of 1–3 consecutive
 /// cities while that shortens the path, keeping the endpoints pinned. Returns the number
 /// of improving moves applied.
-pub fn or_opt_path(distances: &[Vec<f64>], order: &mut Vec<usize>, max_passes: usize) -> usize {
+pub fn or_opt_path(distances: &DistanceMatrix, order: &mut Vec<usize>, max_passes: usize) -> usize {
     or_opt_path_with(distances, order, max_passes, &mut HeuristicScratch::new())
 }
 
 /// Buffer-reusing form of [`or_opt_path`]; insertion positions keep the pinned endpoints
 /// in place. Results are identical to [`or_opt_path`].
 pub fn or_opt_path_with(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     order: &mut Vec<usize>,
     max_passes: usize,
     scratch: &mut HeuristicScratch,
@@ -509,6 +559,208 @@ pub fn or_opt_path_with(
     improvements
 }
 
+// ---------------------------------------------------------------------------
+// Neighbor-pruned local search (opt-in).
+// ---------------------------------------------------------------------------
+
+/// Rebuilds `position` so `position[city] = index in order`.
+fn index_positions(order: &[usize], position: &mut Vec<u32>, n: usize) {
+    position.clear();
+    position.resize(n, 0);
+    for (idx, &c) in order.iter().enumerate() {
+        position[c] = idx as u32;
+    }
+}
+
+/// Neighbor-pruned 2-opt on a closed tour: only moves whose removed-edge endpoint pairs
+/// are k-nearest neighbors are examined, making one pass O(n·k) instead of O(n²). The
+/// move *order* differs from the exhaustive scan, so the resulting tour may differ from
+/// [`two_opt`]; it is always a valid permutation and never longer than the input.
+pub fn two_opt_neighbors(
+    distances: &DistanceMatrix,
+    order: &mut [usize],
+    max_passes: usize,
+    lists: &NeighborLists,
+    position: &mut Vec<u32>,
+) -> usize {
+    let n = order.len();
+    if n < 4 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        index_positions(order, position, distances.n());
+        for i in 0..n - 1 {
+            let a = order[i];
+            let b = order[i + 1];
+            let row_a = distances.row(a);
+            let d_ab = row_a[b];
+            for &cand in lists.neighbors(a) {
+                let c = cand as usize;
+                let j = position[c] as usize;
+                if j < i + 2 || (i == 0 && j == n - 1) || j >= n {
+                    continue;
+                }
+                // Candidates are sorted ascending: once d(a, c) ≥ d(a, b) no further
+                // candidate can pay for the reversal through the a-side edge.
+                if row_a[c] >= d_ab {
+                    break;
+                }
+                let d = order[(j + 1) % n];
+                let delta = row_a[c] + distances.get(b, d) - d_ab - distances.get(c, d);
+                if delta < -1e-12 {
+                    order[i + 1..=j].reverse();
+                    for (idx, &city) in order.iter().enumerate().take(j + 1).skip(i + 1) {
+                        position[city] = idx as u32;
+                    }
+                    improvements += 1;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
+/// Neighbor-pruned 2-opt on an open path (endpoints pinned); the path-mode counterpart
+/// of [`two_opt_neighbors`].
+pub fn two_opt_path_neighbors(
+    distances: &DistanceMatrix,
+    order: &mut [usize],
+    max_passes: usize,
+    lists: &NeighborLists,
+    position: &mut Vec<u32>,
+) -> usize {
+    let n = order.len();
+    if n < 4 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        index_positions(order, position, distances.n());
+        for i in 0..n - 2 {
+            let a = order[i];
+            let b = order[i + 1];
+            let row_a = distances.row(a);
+            let d_ab = row_a[b];
+            for &cand in lists.neighbors(a) {
+                let c = cand as usize;
+                let j = position[c] as usize;
+                if j < i + 2 || j >= n - 1 {
+                    continue;
+                }
+                if row_a[c] >= d_ab {
+                    break;
+                }
+                let d = order[j + 1];
+                let delta = row_a[c] + distances.get(b, d) - d_ab - distances.get(c, d);
+                if delta < -1e-12 {
+                    order[i + 1..=j].reverse();
+                    for (idx, &city) in order.iter().enumerate().take(j + 1).skip(i + 1) {
+                        position[city] = idx as u32;
+                    }
+                    improvements += 1;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
+/// Neighbor-pruned Or-opt (cyclic or path mode): single-city relocations next to a
+/// k-nearest neighbor, evaluated by O(1) edge deltas instead of full-tour recomputation.
+fn or_opt_neighbors_impl(
+    distances: &DistanceMatrix,
+    order: &mut Vec<usize>,
+    max_passes: usize,
+    lists: &NeighborLists,
+    path_mode: bool,
+    scratch: &mut HeuristicScratch,
+) -> usize {
+    let n = order.len();
+    if n < 5 {
+        return 0;
+    }
+    let mut improvements = 0usize;
+    for _ in 0..max_passes {
+        let mut improved = false;
+        index_positions(order, &mut scratch.position, distances.n());
+        let lo = usize::from(path_mode);
+        let hi = if path_mode { n - 1 } else { n };
+        for i in lo..hi {
+            let s = order[i];
+            let prev = order[(i + n - 1) % n];
+            let next = order[(i + 1) % n];
+            if path_mode && (i == 0 || i == n - 1) {
+                continue;
+            }
+            // Cost of snipping s out of the tour.
+            let removal_gain =
+                distances.get(prev, s) + distances.get(s, next) - distances.get(prev, next);
+            let mut best_delta = -1e-12;
+            let mut best_after: Option<usize> = None;
+            for &cand in lists.neighbors(s) {
+                let u = cand as usize;
+                let j = scratch.position[u] as usize;
+                // Skip no-op anchors: u is s itself, or s already follows u.
+                if j == i || (j + 1) % n == i {
+                    continue;
+                }
+                // Insert s between u and its successor v (v must exist in path mode).
+                if path_mode && j >= n - 1 {
+                    continue;
+                }
+                let v = order[(j + 1) % n];
+                if v == s {
+                    continue;
+                }
+                let insertion_cost =
+                    distances.get(u, s) + distances.get(s, v) - distances.get(u, v);
+                let delta = insertion_cost - removal_gain;
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_after = Some(j);
+                }
+            }
+            if let Some(j) = best_after {
+                // Rebuild the order with s moved to sit after position j.
+                let u = order[j];
+                scratch.trial.clear();
+                scratch
+                    .trial
+                    .extend(order.iter().copied().filter(|&c| c != s));
+                let insert_at = scratch
+                    .trial
+                    .iter()
+                    .position(|&c| c == u)
+                    .expect("anchor city remains")
+                    + 1;
+                scratch.trial.insert(insert_at, s);
+                order.clear();
+                order.extend_from_slice(&scratch.trial);
+                index_positions(order, &mut scratch.position, distances.n());
+                improvements += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improvements
+}
+
 /// Reference open path between fixed endpoints: nearest-neighbour construction followed
 /// by bounded path-preserving 2-opt and Or-opt.
 ///
@@ -516,8 +768,8 @@ pub fn or_opt_path_with(
 ///
 /// Panics if the matrix is empty, either endpoint is out of range, or `start == end` on
 /// a multi-city matrix (see [`nearest_neighbor_path`]).
-pub fn reference_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
-    let mut order = Vec::with_capacity(distances.len());
+pub fn reference_path(distances: &DistanceMatrix, start: usize, end: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.n());
     reference_path_into(
         distances,
         start,
@@ -536,7 +788,7 @@ pub fn reference_path(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<u
 ///
 /// Same panic conditions as [`reference_path`].
 pub fn reference_path_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     end: usize,
     scratch: &mut HeuristicScratch,
@@ -544,7 +796,7 @@ pub fn reference_path_into(
 ) {
     nearest_neighbor_path_into(distances, start, end, scratch, out);
     two_opt_path(distances, out, 8);
-    if distances.len() <= 400 {
+    if distances.n() <= 400 {
         or_opt_path_with(distances, out, 2, scratch);
         two_opt_path(distances, out, 4);
     }
@@ -556,8 +808,8 @@ pub fn reference_path_into(
 /// The local-search effort is bounded so that even the largest benchmark instances finish
 /// in reasonable time; for instances above `two_opt_limit` cities only the construction
 /// heuristic plus a single bounded 2-opt pass is applied.
-pub fn reference_tour(distances: &[Vec<f64>]) -> Vec<usize> {
-    let mut order = Vec::with_capacity(distances.len());
+pub fn reference_tour(distances: &DistanceMatrix) -> Vec<usize> {
+    let mut order = Vec::with_capacity(distances.n());
     reference_tour_into(distances, &mut HeuristicScratch::new(), &mut order);
     order
 }
@@ -566,11 +818,11 @@ pub fn reference_tour(distances: &[Vec<f64>]) -> Vec<usize> {
 /// first); once `scratch` and `out` are warm the whole construction + local search runs
 /// without heap allocation.
 pub fn reference_tour_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     scratch: &mut HeuristicScratch,
     out: &mut Vec<usize>,
 ) {
-    let n = distances.len();
+    let n = distances.n();
     nearest_neighbor_tour_into(distances, 0, scratch, out);
     let two_opt_limit = 3_000;
     if n <= two_opt_limit {
@@ -584,26 +836,117 @@ pub fn reference_tour_into(
     }
 }
 
+/// Like [`reference_tour_into`], but with neighbor-pruned local search when
+/// `neighbor_limit > 0`: a k-nearest candidate list is built (reusing scratch buffers)
+/// and 2-opt/Or-opt only examine neighbor moves, making each pass O(n·k). A limit of 0
+/// is exactly [`reference_tour_into`] (exhaustive, bit-identical legacy behaviour).
+pub fn reference_tour_into_limited(
+    distances: &DistanceMatrix,
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+    neighbor_limit: usize,
+) {
+    let n = distances.n();
+    if neighbor_limit == 0 || n <= neighbor_limit + 2 {
+        reference_tour_into(distances, scratch, out);
+        return;
+    }
+    nearest_neighbor_tour_into(distances, 0, scratch, out);
+    let HeuristicScratch {
+        neighbors,
+        knn_scratch,
+        ..
+    } = scratch;
+    neighbors.rebuild_from_matrix(distances, neighbor_limit, knn_scratch);
+    let lists = std::mem::take(&mut scratch.neighbors);
+    two_opt_neighbors(distances, out, 8, &lists, &mut scratch.position);
+    if n <= 400 {
+        or_opt_neighbors_impl(distances, out, 2, &lists, false, scratch);
+        two_opt_neighbors(distances, out, 4, &lists, &mut scratch.position);
+    }
+    scratch.neighbors = lists;
+}
+
+/// Like [`two_opt`], but with neighbor-pruned candidate scans when `neighbor_limit > 0`
+/// (k-nearest lists are rebuilt from `scratch`, making each pass O(n·k)). A limit of 0
+/// is exactly [`two_opt`] with the same `max_passes` (exhaustive legacy behaviour).
+pub fn two_opt_limited(
+    distances: &DistanceMatrix,
+    order: &mut [usize],
+    max_passes: usize,
+    scratch: &mut HeuristicScratch,
+    neighbor_limit: usize,
+) -> usize {
+    let n = distances.n();
+    if neighbor_limit == 0 || n <= neighbor_limit + 2 {
+        return two_opt(distances, order, max_passes);
+    }
+    let HeuristicScratch {
+        neighbors,
+        knn_scratch,
+        ..
+    } = scratch;
+    neighbors.rebuild_from_matrix(distances, neighbor_limit, knn_scratch);
+    let lists = std::mem::take(&mut scratch.neighbors);
+    let improvements =
+        two_opt_neighbors(distances, order, max_passes, &lists, &mut scratch.position);
+    scratch.neighbors = lists;
+    improvements
+}
+
+/// Like [`reference_path_into`], but with neighbor-pruned local search when
+/// `neighbor_limit > 0` (see [`reference_tour_into_limited`]). A limit of 0 is exactly
+/// [`reference_path_into`].
+///
+/// # Panics
+///
+/// Same panic conditions as [`reference_path`].
+pub fn reference_path_into_limited(
+    distances: &DistanceMatrix,
+    start: usize,
+    end: usize,
+    scratch: &mut HeuristicScratch,
+    out: &mut Vec<usize>,
+    neighbor_limit: usize,
+) {
+    let n = distances.n();
+    if neighbor_limit == 0 || n <= neighbor_limit + 2 {
+        reference_path_into(distances, start, end, scratch, out);
+        return;
+    }
+    nearest_neighbor_path_into(distances, start, end, scratch, out);
+    let HeuristicScratch {
+        neighbors,
+        knn_scratch,
+        ..
+    } = scratch;
+    neighbors.rebuild_from_matrix(distances, neighbor_limit, knn_scratch);
+    let lists = std::mem::take(&mut scratch.neighbors);
+    two_opt_path_neighbors(distances, out, 8, &lists, &mut scratch.position);
+    if n <= 400 {
+        or_opt_neighbors_impl(distances, out, 2, &lists, true, scratch);
+        two_opt_path_neighbors(distances, out, 4, &lists, &mut scratch.position);
+    }
+    scratch.neighbors = lists;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn ring(n: usize) -> (Vec<Vec<f64>>, f64) {
+    fn ring(n: usize) -> (DistanceMatrix, f64) {
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
                 (a.cos(), a.sin())
             })
             .collect();
-        let d: Vec<Vec<f64>> = pts
-            .iter()
-            .map(|&(x1, y1)| {
-                pts.iter()
-                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
-                    .collect()
-            })
-            .collect();
-        let opt = (0..n).map(|i| d[i][(i + 1) % n]).sum();
+        let d = DistanceMatrix::from_fn(n, |i, j| {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[j];
+            ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+        });
+        let opt = (0..n).map(|i| d.get(i, (i + 1) % n)).sum();
         (d, opt)
     }
 
@@ -681,8 +1024,25 @@ mod tests {
 
     #[test]
     fn tour_length_of_trivial_tours_is_zero() {
-        let d = vec![vec![0.0]];
+        let d = DistanceMatrix::zeros(1);
         assert_eq!(tour_length(&d, &[0]), 0.0);
+    }
+
+    /// The chunked-gather length kernels must match a naive scalar sum bit-for-bit for
+    /// every length, including remainders shorter than the lane width.
+    #[test]
+    fn chunked_lengths_are_bit_identical_to_scalar_reference() {
+        for n in 2..24usize {
+            let (d, _) = ring(n);
+            let order: Vec<usize> = (0..n).map(|i| (i * 7) % n).collect();
+            if !is_permutation(&order, n) {
+                continue;
+            }
+            let scalar_tour: f64 = (0..n).map(|i| d.get(order[i], order[(i + 1) % n])).sum();
+            let scalar_path: f64 = order.windows(2).map(|p| d.get(p[0], p[1])).sum();
+            assert_eq!(tour_length(&d, &order), scalar_tour, "tour n={n}");
+            assert_eq!(path_length(&d, &order), scalar_path, "path n={n}");
+        }
     }
 
     #[test]
@@ -694,10 +1054,8 @@ mod tests {
     }
 
     /// Cities on a line: the optimal 0→(n-1) path is the sorted sweep of length n-1.
-    fn line(n: usize) -> Vec<Vec<f64>> {
-        (0..n)
-            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
-            .collect()
+    fn line(n: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs())
     }
 
     #[test]
@@ -768,6 +1126,33 @@ mod tests {
         let moves_b = or_opt_path_with(&d, &mut b, 3, &mut scratch);
         assert_eq!(a, b);
         assert_eq!(moves_a, moves_b);
+    }
+
+    /// A neighbor limit of zero must route through the exhaustive legacy search and
+    /// produce bit-identical tours; a nonzero limit must still produce valid tours that
+    /// 2-opt actually improved.
+    #[test]
+    fn limited_reference_tours_are_valid_and_legacy_at_zero() {
+        let mut scratch = HeuristicScratch::new();
+        let mut out = Vec::new();
+        for n in [10usize, 17, 40] {
+            let (d, opt) = ring(n);
+            reference_tour_into_limited(&d, &mut scratch, &mut out, 0);
+            assert_eq!(out, reference_tour(&d), "limit=0 must be legacy, n={n}");
+            for limit in [4usize, 8] {
+                reference_tour_into_limited(&d, &mut scratch, &mut out, limit);
+                assert!(is_permutation(&out, n), "n={n} limit={limit}");
+                let len = tour_length(&d, &out);
+                assert!(
+                    len <= opt * 1.2 + 1e-9,
+                    "pruned search strayed too far on a ring: n={n} limit={limit} {len} vs {opt}"
+                );
+                reference_path_into_limited(&d, 0, n - 1, &mut scratch, &mut out, limit);
+                assert!(is_permutation(&out, n));
+                assert_eq!(out[0], 0);
+                assert_eq!(*out.last().unwrap(), n - 1);
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! endpoints) contribute.
 
 use taxi_cluster::{kmeans_clusters, KMeansConfig, Point};
+use taxi_dist::DistanceMatrix;
 use taxi_tsplib::{Tour, TspInstance, TsplibError};
 
 use crate::heuristics::{nearest_neighbor_tour, tour_length, two_opt};
@@ -106,10 +107,8 @@ impl HvcBaseline {
             .iter()
             .map(|members| Point::centroid_of_indices(&points, members))
             .collect();
-        let centroid_matrix: Vec<Vec<f64>> = centroids
-            .iter()
-            .map(|a| centroids.iter().map(|b| a.distance(b)).collect())
-            .collect();
+        let centroid_matrix =
+            DistanceMatrix::from_fn(centroids.len(), |i, j| centroids[i].distance(&centroids[j]));
         let cluster_order = nearest_neighbor_tour(&centroid_matrix, 0);
 
         // Solve each cluster independently as a *closed* cycle (no fixed endpoints) and
@@ -174,7 +173,11 @@ mod tests {
 
     #[test]
     fn explicit_matrix_instances_are_rejected() {
-        let instance = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let instance = TspInstance::from_matrix(
+            "m",
+            DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
         assert!(HvcBaseline::default().solve(&instance).is_err());
     }
 

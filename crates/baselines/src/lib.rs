@@ -30,7 +30,7 @@
 //! let mut heuristic = nearest_neighbor_tour(&matrix, 0);
 //! two_opt(&matrix, &mut heuristic, 1_000);
 //! let heuristic_len: f64 = (0..9)
-//!     .map(|i| matrix[heuristic[i]][heuristic[(i + 1) % 9]])
+//!     .map(|i| matrix.get(heuristic[i], heuristic[(i + 1) % 9]))
 //!     .sum();
 //! assert!(exact.length <= heuristic_len + 1e-9);
 //! ```
@@ -53,8 +53,9 @@ pub use exact::{
 pub use heuristics::{
     greedy_edge_tour, greedy_edge_tour_into, nearest_neighbor_path, nearest_neighbor_path_into,
     nearest_neighbor_tour, nearest_neighbor_tour_into, or_opt, or_opt_path, or_opt_path_with,
-    or_opt_with, path_length, reference_path, reference_path_into, reference_tour,
-    reference_tour_into, tour_length, two_opt, two_opt_path, HeuristicScratch,
+    or_opt_with, path_length, reference_path, reference_path_into, reference_path_into_limited,
+    reference_tour, reference_tour_into, reference_tour_into_limited, tour_length, two_opt,
+    two_opt_limited, two_opt_neighbors, two_opt_path, two_opt_path_neighbors, HeuristicScratch,
 };
 pub use hvc::{HvcBaseline, HvcConfig};
 pub use neuro_ising::NeuroIsingModel;

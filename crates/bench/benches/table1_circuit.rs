@@ -11,23 +11,18 @@ use std::time::Duration;
 
 use taxi::experiments::tables::run_table1;
 use taxi_device::WriteCurrent;
+use taxi_dist::DistanceMatrix;
 use taxi_xbar::{IsingMacro, MacroConfig};
 
 fn table1(c: &mut Criterion) {
     println!("\n{}", run_table1());
 
     // A 12-city sub-problem, as characterised in the paper.
-    let distances: Vec<Vec<f64>> = (0..12)
-        .map(|i| {
-            (0..12)
-                .map(|j| {
-                    let a = 2.0 * std::f64::consts::PI * i as f64 / 12.0;
-                    let b = 2.0 * std::f64::consts::PI * j as f64 / 12.0;
-                    ((a.cos() - b.cos()).powi(2) + (a.sin() - b.sin()).powi(2)).sqrt()
-                })
-                .collect()
-        })
-        .collect();
+    let distances = DistanceMatrix::from_fn(12, |i, j| {
+        let a = 2.0 * std::f64::consts::PI * i as f64 / 12.0;
+        let b = 2.0 * std::f64::consts::PI * j as f64 / 12.0;
+        ((a.cos() - b.cos()).powi(2) + (a.sin() - b.sin()).powi(2)).sqrt()
+    });
 
     let mut group = c.benchmark_group("table1_circuit");
     group

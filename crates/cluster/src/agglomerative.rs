@@ -148,12 +148,9 @@ fn ward_cut(points: &[Point], indices: &[usize], k: usize) -> Vec<Vec<usize>> {
     // Cut: apply the n - k merges with the smallest Ward deltas (Ward is monotonic, so
     // this equals cutting the dendrogram at k clusters).
     let mut order: Vec<usize> = (0..merges.len()).collect();
-    order.sort_by(|&x, &y| {
-        merges[x]
-            .delta
-            .partial_cmp(&merges[y].delta)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: identical to partial_cmp for the non-negative finite Ward deltas the
+    // dendrogram produces, and a defined (not Equal-collapsed) order if a delta is NaN.
+    order.sort_by(|&x, &y| merges[x].delta.total_cmp(&merges[y].delta));
     let mut uf = UnionFind::new(n);
     for &m in order.iter().take(n - k) {
         uf.union(merges[m].a, merges[m].b);
@@ -209,19 +206,50 @@ fn nn_chain_dendrogram(points: &[Point], indices: &[usize]) -> Vec<Merge> {
         }
         let current = *chain.last().expect("chain is non-empty");
         let current_cluster = active[current].expect("chain entries are alive");
-        // Nearest alive neighbour of `current`.
+        // Nearest alive neighbour of `current` under total order (first minimum wins;
+        // NaN deltas sort above +∞ so they are never selected). The scan is
+        // lane-chunked: Ward deltas land in fixed-width array temporaries, then fold
+        // into the running best — identical to a sequential scan because every
+        // comparison is exact.
         let mut best = usize::MAX;
         let mut best_delta = f64::INFINITY;
-        for &other in &alive {
+        let chunks = alive.chunks_exact(taxi_dist::LANES);
+        let tail_start = alive.len() - chunks.remainder().len();
+        for (c, chunk) in chunks.enumerate() {
+            let mut deltas = [f64::NAN; taxi_dist::LANES];
+            for l in 0..taxi_dist::LANES {
+                let other = chunk[l];
+                if other != current {
+                    deltas[l] = ward(&current_cluster, &active[other].expect("alive cluster"));
+                }
+            }
+            for (l, &delta) in deltas.iter().enumerate() {
+                if delta.total_cmp(&best_delta) == std::cmp::Ordering::Less {
+                    best_delta = delta;
+                    best = chunk[l];
+                    debug_assert_eq!(alive[c * taxi_dist::LANES + l], chunk[l]);
+                }
+            }
+        }
+        for &other in &alive[tail_start..] {
             if other == current {
                 continue;
             }
             let delta = ward(&current_cluster, &active[other].expect("alive cluster"));
-            if delta < best_delta {
+            if delta.total_cmp(&best_delta) == std::cmp::Ordering::Less {
                 best_delta = delta;
                 best = other;
             }
         }
+        // Non-finite geometry (NaN/∞ coordinates) produces NaN Ward deltas for every
+        // neighbour, leaving `best` unset. Fail fast with a diagnosable message: the
+        // fleet's crash containment expects poisoned instances to panic inside the
+        // clustering stage rather than emit an arbitrary dendrogram.
+        assert!(
+            best != usize::MAX,
+            "agglomerative clustering: no finite Ward delta from cluster {current}; \
+             input coordinates are likely NaN or infinite"
+        );
         let reciprocal = chain.len() >= 2 && chain[chain.len() - 2] == best;
         if reciprocal {
             // Merge `current` and `best`.
@@ -276,7 +304,7 @@ fn median_split_chunks(points: &[Point], indices: &[usize], chunk_size: usize) -
         } else {
             (points[a].y, points[b].y)
         };
-        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        ka.total_cmp(&kb)
     });
     let mid = sorted.len() / 2;
     let (left, right) = sorted.split_at(mid);

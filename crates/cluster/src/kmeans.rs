@@ -9,6 +9,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use taxi_dist::LANES;
 
 use crate::{ClusterError, Point};
 
@@ -98,16 +99,7 @@ pub fn kmeans_clusters(
     for _ in 0..config.max_iterations {
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let nearest = centroids
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    p.squared_distance(a)
-                        .partial_cmp(&p.squared_distance(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(idx, _)| idx)
-                .expect("at least one centroid");
+            let nearest = nearest_centroid(p, &centroids);
             if assignment[i] != nearest {
                 assignment[i] = nearest;
                 changed = true;
@@ -138,20 +130,54 @@ pub fn kmeans_clusters(
     Ok(clusters)
 }
 
+/// Nearest centroid of `p` under squared Euclidean distance; the first minimum wins
+/// ties, and NaN distances (from poisoned geometry) are never selected unless every
+/// distance is NaN. The scan is [`LANES`]-chunked: distances land in fixed-width array
+/// temporaries the autovectorizer can lower to SIMD, with a scalar tail for the
+/// remainder — the selected index is identical to a sequential first-wins scan because
+/// every comparison is exact.
+fn nearest_centroid(p: &Point, centroids: &[Point]) -> usize {
+    debug_assert!(!centroids.is_empty());
+    let mut best = f64::INFINITY;
+    let mut best_idx = 0usize;
+    let chunks = centroids.chunks_exact(LANES);
+    let tail_start = centroids.len() - chunks.remainder().len();
+    for (c, chunk) in chunks.enumerate() {
+        let mut d2 = [0.0f64; LANES];
+        for l in 0..LANES {
+            d2[l] = p.squared_distance(&chunk[l]);
+        }
+        for (l, &d) in d2.iter().enumerate() {
+            if d.total_cmp(&best) == std::cmp::Ordering::Less {
+                best = d;
+                best_idx = c * LANES + l;
+            }
+        }
+    }
+    for (i, centroid) in centroids.iter().enumerate().skip(tail_start) {
+        let d = p.squared_distance(centroid);
+        if d.total_cmp(&best) == std::cmp::Ordering::Less {
+            best = d;
+            best_idx = i;
+        }
+    }
+    best_idx
+}
+
 fn kmeans_plus_plus_init<R: Rng + ?Sized>(points: &[Point], k: usize, rng: &mut R) -> Vec<Point> {
     let mut centroids = Vec::with_capacity(k);
     let first = *points.choose(rng).expect("non-empty input");
     centroids.push(first);
+    // Each point's min squared distance to the chosen centroids, maintained
+    // incrementally: adding a centroid can only lower the minimum, so one `f64::min`
+    // per point per round replaces the full rescan of all centroids (O(n·k) total
+    // instead of O(n·k²)). Seeding with `min(∞, d²)` makes the cache equal, by
+    // induction, to the old `fold(∞, min)` rescan for every input, NaN included.
+    let mut weights: Vec<f64> = points
+        .iter()
+        .map(|p| f64::min(f64::INFINITY, p.squared_distance(&first)))
+        .collect();
     while centroids.len() < k {
-        let weights: Vec<f64> = points
-            .iter()
-            .map(|p| {
-                centroids
-                    .iter()
-                    .map(|c| p.squared_distance(c))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             // All remaining points coincide with existing centroids.
@@ -167,7 +193,11 @@ fn kmeans_plus_plus_init<R: Rng + ?Sized>(points: &[Point], k: usize, rng: &mut 
             }
             target -= w;
         }
-        centroids.push(points[chosen]);
+        let next = points[chosen];
+        centroids.push(next);
+        for (w, p) in weights.iter_mut().zip(points) {
+            *w = f64::min(*w, p.squared_distance(&next));
+        }
     }
     centroids
 }

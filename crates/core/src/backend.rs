@@ -24,10 +24,11 @@ use std::sync::Arc;
 
 use taxi_baselines::exact::HELD_KARP_LIMIT;
 use taxi_baselines::{
-    greedy_edge_tour, greedy_edge_tour_into, held_karp, held_karp_into, held_karp_path,
-    held_karp_path_into, path_length, reference_path, reference_path_into, reference_tour,
-    reference_tour_into, tour_length, two_opt, HeldKarpScratch, HeuristicScratch,
+    greedy_edge_tour_into, held_karp, held_karp_into, held_karp_path, held_karp_path_into,
+    path_length, reference_path_into_limited, reference_tour_into_limited, tour_length,
+    two_opt_limited, HeldKarpScratch, HeuristicScratch,
 };
+use taxi_dist::DistanceMatrix;
 use taxi_ising::{MacroScratch, MacroSolverConfig, MacroTspSolver};
 
 use crate::TaxiError;
@@ -93,9 +94,8 @@ pub trait TourSolver: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Returns an error for an empty or non-square matrix, or any backend-specific
-    /// failure.
-    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError>;
+    /// Returns an error for an empty matrix or any backend-specific failure.
+    fn solve_cycle(&self, distances: &DistanceMatrix, seed: u64) -> Result<SubTour, TaxiError>;
 
     /// Solves an open-path TSP whose first city is `start` and last city is `end`.
     ///
@@ -105,7 +105,7 @@ pub trait TourSolver: Send + Sync {
     /// `start == end` on a multi-city instance.
     fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -126,7 +126,7 @@ pub trait TourSolver: Send + Sync {
     /// Same error conditions as [`solve_cycle`](Self::solve_cycle).
     fn solve_cycle_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         seed: u64,
         scratch: &mut SolverScratch,
         out: &mut Vec<usize>,
@@ -146,7 +146,7 @@ pub trait TourSolver: Send + Sync {
     /// Same error conditions as [`solve_path`](Self::solve_path).
     fn solve_path_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -207,12 +207,17 @@ impl SolverBackend {
     }
 
     /// Instantiates the backend. The Ising macro backend is built from
-    /// `macro_config`; the software backends ignore it.
-    pub(crate) fn build(self, macro_config: MacroSolverConfig) -> Arc<dyn TourSolver> {
+    /// `macro_config`; the heuristic software backends honour `neighbor_limit`
+    /// (k-nearest candidate pruning of their local search, 0 = exhaustive).
+    pub(crate) fn build(
+        self,
+        macro_config: MacroSolverConfig,
+        neighbor_limit: usize,
+    ) -> Arc<dyn TourSolver> {
         match self {
             SolverBackend::IsingMacro => Arc::new(IsingMacroBackend::new(macro_config)),
-            SolverBackend::NnTwoOpt => Arc::new(NnTwoOptBackend),
-            SolverBackend::GreedyEdge => Arc::new(GreedyEdgeBackend),
+            SolverBackend::NnTwoOpt => Arc::new(NnTwoOptBackend::new(neighbor_limit)),
+            SolverBackend::GreedyEdge => Arc::new(GreedyEdgeBackend::new(neighbor_limit)),
             SolverBackend::Exact => Arc::new(ExactBackend),
         }
     }
@@ -225,12 +230,12 @@ impl std::fmt::Display for SolverBackend {
 }
 
 /// Shared validation for the software backends (the Ising backend validates internally).
-fn validate_matrix(backend: &'static str, distances: &[Vec<f64>]) -> Result<usize, TaxiError> {
-    let n = distances.len();
-    if n == 0 || distances.iter().any(|row| row.len() != n) {
+fn validate_matrix(backend: &'static str, distances: &DistanceMatrix) -> Result<usize, TaxiError> {
+    let n = distances.n();
+    if n == 0 {
         return Err(TaxiError::Backend {
             backend: backend.to_string(),
-            reason: "distance matrix must be square and non-empty".to_string(),
+            reason: "distance matrix must be non-empty".to_string(),
         });
     }
     Ok(n)
@@ -283,7 +288,7 @@ impl TourSolver for IsingMacroBackend {
         "ising-macro"
     }
 
-    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError> {
+    fn solve_cycle(&self, distances: &DistanceMatrix, seed: u64) -> Result<SubTour, TaxiError> {
         let solution = self.solver.solve_cycle(distances, seed)?;
         Ok(SubTour {
             order: solution.order,
@@ -293,7 +298,7 @@ impl TourSolver for IsingMacroBackend {
 
     fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -307,7 +312,7 @@ impl TourSolver for IsingMacroBackend {
 
     fn solve_cycle_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         seed: u64,
         scratch: &mut SolverScratch,
         out: &mut Vec<usize>,
@@ -320,7 +325,7 @@ impl TourSolver for IsingMacroBackend {
 
     fn solve_path_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -342,51 +347,78 @@ impl TourSolver for IsingMacroBackend {
 /// Nearest-neighbour + 2-opt/Or-opt software heuristic.
 ///
 /// Deterministic and seed-independent; path solves pin the fixed endpoints throughout
-/// the local search.
+/// the local search. A non-zero `neighbor_limit` restricts the local search to each
+/// city's k nearest neighbours (O(n·k) passes instead of O(n²)); 0 keeps the exhaustive
+/// legacy scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct NnTwoOptBackend;
+pub struct NnTwoOptBackend {
+    neighbor_limit: usize,
+}
+
+impl NnTwoOptBackend {
+    /// Creates the backend with the given neighbour-candidate limit (0 = exhaustive).
+    pub fn new(neighbor_limit: usize) -> Self {
+        Self { neighbor_limit }
+    }
+
+    /// The neighbour-candidate limit of the pruned local search (0 = exhaustive).
+    pub fn neighbor_limit(&self) -> usize {
+        self.neighbor_limit
+    }
+}
 
 impl TourSolver for NnTwoOptBackend {
     fn name(&self) -> &str {
         "nn-2opt"
     }
 
-    fn solve_cycle(&self, distances: &[Vec<f64>], _seed: u64) -> Result<SubTour, TaxiError> {
+    fn solve_cycle(&self, distances: &DistanceMatrix, _seed: u64) -> Result<SubTour, TaxiError> {
         validate_matrix("nn-2opt", distances)?;
-        let order = reference_tour(distances);
+        let mut scratch = HeuristicScratch::new();
+        let mut order = Vec::new();
+        reference_tour_into_limited(distances, &mut scratch, &mut order, self.neighbor_limit);
         let length = tour_length(distances, &order);
         Ok(SubTour { order, length })
     }
 
     fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         _seed: u64,
     ) -> Result<SubTour, TaxiError> {
         let n = validate_matrix("nn-2opt", distances)?;
         validate_endpoints("nn-2opt", n, start, end)?;
-        let order = reference_path(distances, start, end);
+        let mut scratch = HeuristicScratch::new();
+        let mut order = Vec::new();
+        reference_path_into_limited(
+            distances,
+            start,
+            end,
+            &mut scratch,
+            &mut order,
+            self.neighbor_limit,
+        );
         let length = path_length(distances, &order);
         Ok(SubTour { order, length })
     }
 
     fn solve_cycle_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         _seed: u64,
         scratch: &mut SolverScratch,
         out: &mut Vec<usize>,
     ) -> Result<f64, TaxiError> {
         validate_matrix("nn-2opt", distances)?;
-        reference_tour_into(distances, &mut scratch.heuristics, out);
+        reference_tour_into_limited(distances, &mut scratch.heuristics, out, self.neighbor_limit);
         Ok(tour_length(distances, out))
     }
 
     fn solve_path_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         _seed: u64,
@@ -395,7 +427,14 @@ impl TourSolver for NnTwoOptBackend {
     ) -> Result<f64, TaxiError> {
         let n = validate_matrix("nn-2opt", distances)?;
         validate_endpoints("nn-2opt", n, start, end)?;
-        reference_path_into(distances, start, end, &mut scratch.heuristics, out);
+        reference_path_into_limited(
+            distances,
+            start,
+            end,
+            &mut scratch.heuristics,
+            out,
+            self.neighbor_limit,
+        );
         Ok(path_length(distances, out))
     }
 }
@@ -404,53 +443,85 @@ impl TourSolver for NnTwoOptBackend {
 ///
 /// Cycle solves differ from [`NnTwoOptBackend`] through the construction; path solves
 /// share the endpoint-pinned nearest-neighbour path search (greedy-edge has no natural
-/// fixed-endpoint variant).
+/// fixed-endpoint variant). A non-zero `neighbor_limit` prunes the local search to
+/// k-nearest candidates, as for [`NnTwoOptBackend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct GreedyEdgeBackend;
+pub struct GreedyEdgeBackend {
+    neighbor_limit: usize,
+}
+
+impl GreedyEdgeBackend {
+    /// Creates the backend with the given neighbour-candidate limit (0 = exhaustive).
+    pub fn new(neighbor_limit: usize) -> Self {
+        Self { neighbor_limit }
+    }
+
+    /// The neighbour-candidate limit of the pruned local search (0 = exhaustive).
+    pub fn neighbor_limit(&self) -> usize {
+        self.neighbor_limit
+    }
+}
 
 impl TourSolver for GreedyEdgeBackend {
     fn name(&self) -> &str {
         "greedy-edge"
     }
 
-    fn solve_cycle(&self, distances: &[Vec<f64>], _seed: u64) -> Result<SubTour, TaxiError> {
+    fn solve_cycle(&self, distances: &DistanceMatrix, _seed: u64) -> Result<SubTour, TaxiError> {
         validate_matrix("greedy-edge", distances)?;
-        let mut order = greedy_edge_tour(distances);
-        two_opt(distances, &mut order, 4);
+        let mut scratch = HeuristicScratch::new();
+        let mut order = Vec::new();
+        greedy_edge_tour_into(distances, &mut scratch, &mut order);
+        two_opt_limited(distances, &mut order, 4, &mut scratch, self.neighbor_limit);
         let length = tour_length(distances, &order);
         Ok(SubTour { order, length })
     }
 
     fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         _seed: u64,
     ) -> Result<SubTour, TaxiError> {
         let n = validate_matrix("greedy-edge", distances)?;
         validate_endpoints("greedy-edge", n, start, end)?;
-        let order = reference_path(distances, start, end);
+        let mut scratch = HeuristicScratch::new();
+        let mut order = Vec::new();
+        reference_path_into_limited(
+            distances,
+            start,
+            end,
+            &mut scratch,
+            &mut order,
+            self.neighbor_limit,
+        );
         let length = path_length(distances, &order);
         Ok(SubTour { order, length })
     }
 
     fn solve_cycle_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         _seed: u64,
         scratch: &mut SolverScratch,
         out: &mut Vec<usize>,
     ) -> Result<f64, TaxiError> {
         validate_matrix("greedy-edge", distances)?;
         greedy_edge_tour_into(distances, &mut scratch.heuristics, out);
-        two_opt(distances, out, 4);
+        two_opt_limited(
+            distances,
+            out,
+            4,
+            &mut scratch.heuristics,
+            self.neighbor_limit,
+        );
         Ok(tour_length(distances, out))
     }
 
     fn solve_path_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         _seed: u64,
@@ -459,7 +530,14 @@ impl TourSolver for GreedyEdgeBackend {
     ) -> Result<f64, TaxiError> {
         let n = validate_matrix("greedy-edge", distances)?;
         validate_endpoints("greedy-edge", n, start, end)?;
-        reference_path_into(distances, start, end, &mut scratch.heuristics, out);
+        reference_path_into_limited(
+            distances,
+            start,
+            end,
+            &mut scratch.heuristics,
+            out,
+            self.neighbor_limit,
+        );
         Ok(path_length(distances, out))
     }
 }
@@ -474,10 +552,10 @@ impl TourSolver for ExactBackend {
         "exact-dp"
     }
 
-    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError> {
+    fn solve_cycle(&self, distances: &DistanceMatrix, seed: u64) -> Result<SubTour, TaxiError> {
         let n = validate_matrix("exact-dp", distances)?;
         if n > HELD_KARP_LIMIT {
-            return NnTwoOptBackend.solve_cycle(distances, seed);
+            return NnTwoOptBackend::default().solve_cycle(distances, seed);
         }
         let solution = held_karp(distances).map_err(|err| TaxiError::Backend {
             backend: "exact-dp".to_string(),
@@ -491,7 +569,7 @@ impl TourSolver for ExactBackend {
 
     fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -499,7 +577,7 @@ impl TourSolver for ExactBackend {
         let n = validate_matrix("exact-dp", distances)?;
         validate_endpoints("exact-dp", n, start, end)?;
         if n > HELD_KARP_LIMIT {
-            return NnTwoOptBackend.solve_path(distances, start, end, seed);
+            return NnTwoOptBackend::default().solve_path(distances, start, end, seed);
         }
         let solution = held_karp_path(distances, start, end).map_err(|err| TaxiError::Backend {
             backend: "exact-dp".to_string(),
@@ -513,14 +591,14 @@ impl TourSolver for ExactBackend {
 
     fn solve_cycle_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         seed: u64,
         scratch: &mut SolverScratch,
         out: &mut Vec<usize>,
     ) -> Result<f64, TaxiError> {
         let n = validate_matrix("exact-dp", distances)?;
         if n > HELD_KARP_LIMIT {
-            return NnTwoOptBackend.solve_cycle_into(distances, seed, scratch, out);
+            return NnTwoOptBackend::default().solve_cycle_into(distances, seed, scratch, out);
         }
         held_karp_into(distances, &mut scratch.exact, out).map_err(|err| TaxiError::Backend {
             backend: "exact-dp".to_string(),
@@ -530,7 +608,7 @@ impl TourSolver for ExactBackend {
 
     fn solve_path_into(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -540,7 +618,8 @@ impl TourSolver for ExactBackend {
         let n = validate_matrix("exact-dp", distances)?;
         validate_endpoints("exact-dp", n, start, end)?;
         if n > HELD_KARP_LIMIT {
-            return NnTwoOptBackend.solve_path_into(distances, start, end, seed, scratch, out);
+            return NnTwoOptBackend::default()
+                .solve_path_into(distances, start, end, seed, scratch, out);
         }
         held_karp_path_into(distances, start, end, &mut scratch.exact, out).map_err(|err| {
             TaxiError::Backend {
@@ -555,29 +634,26 @@ impl TourSolver for ExactBackend {
 mod tests {
     use super::*;
 
-    fn circle(n: usize) -> (Vec<Vec<f64>>, f64) {
+    fn circle(n: usize) -> (DistanceMatrix, f64) {
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
                 (a.cos(), a.sin())
             })
             .collect();
-        let d: Vec<Vec<f64>> = pts
-            .iter()
-            .map(|&(x1, y1)| {
-                pts.iter()
-                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
-                    .collect()
-            })
-            .collect();
-        let optimal = (0..n).map(|i| d[i][(i + 1) % n]).sum();
+        let d = DistanceMatrix::from_fn(n, |i, j| {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[j];
+            ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+        });
+        let optimal = (0..n).map(|i| d.get(i, (i + 1) % n)).sum();
         (d, optimal)
     }
 
     fn software_backends() -> Vec<Box<dyn TourSolver>> {
         vec![
-            Box::new(NnTwoOptBackend),
-            Box::new(GreedyEdgeBackend),
+            Box::new(NnTwoOptBackend::default()),
+            Box::new(GreedyEdgeBackend::default()),
             Box::new(ExactBackend),
         ]
     }
@@ -640,7 +716,9 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected_with_the_backend_name() {
         for backend in software_backends() {
-            let err = backend.solve_cycle(&[], 0).unwrap_err();
+            let err = backend
+                .solve_cycle(&DistanceMatrix::default(), 0)
+                .unwrap_err();
             assert!(
                 matches!(err, TaxiError::Backend { .. }),
                 "{}",

@@ -427,7 +427,11 @@ mod tests {
     #[test]
     fn explicit_matrix_instances_use_exact_identity() {
         let cache = SolutionCache::with_defaults();
-        let m = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let m = TspInstance::from_matrix(
+            "m",
+            taxi_dist::DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
         assert!(matches!(cache.lookup(0, &m), CacheLookup::Miss(_)));
     }
 

@@ -98,6 +98,7 @@ pub struct TaxiConfig {
     threads: usize,
     arch_override: Option<ArchConfig>,
     backend: BackendChoice,
+    neighbor_limit: usize,
 }
 
 impl TaxiConfig {
@@ -117,6 +118,7 @@ impl TaxiConfig {
                 .unwrap_or(1),
             arch_override: None,
             backend: BackendChoice::default(),
+            neighbor_limit: 0,
         }
     }
 
@@ -226,6 +228,25 @@ impl TaxiConfig {
         self
     }
 
+    /// Restricts the software backends' 2-opt/Or-opt local search to each city's
+    /// `limit` nearest neighbours, turning every improvement pass from O(n²) into
+    /// O(n·k). `0` (the default) keeps the exhaustive legacy scan, which is
+    /// bit-identical to pre-pruning behaviour. Pruned tours remain valid
+    /// permutations but may differ slightly in length from the exhaustive search;
+    /// the limit participates in [`cache_token`](Self::cache_token), so cached
+    /// solutions never leak across pruning settings. The Ising-macro backend is
+    /// unaffected.
+    pub fn with_neighbor_limit(mut self, limit: usize) -> Self {
+        self.neighbor_limit = limit;
+        self
+    }
+
+    /// The neighbour-candidate limit of the software backends' pruned local search
+    /// (0 = exhaustive).
+    pub fn neighbor_limit(&self) -> usize {
+        self.neighbor_limit
+    }
+
     /// The selected sub-problem solving backend. Under
     /// [`BackendChoice::Adaptive`] this reports the workspace default (the backend
     /// non-routing entry points fall back to); use
@@ -253,7 +274,7 @@ impl TaxiConfig {
     /// configured choice — the routed-solve building block: solving through the
     /// returned instance is bit-identical to configuring `backend` fixed.
     pub fn build_backend_for(&self, backend: SolverBackend) -> Arc<dyn TourSolver> {
-        backend.build(self.macro_solver_config())
+        backend.build(self.macro_solver_config(), self.neighbor_limit)
     }
 
     /// The maximum cluster size.
@@ -452,6 +473,15 @@ mod tests {
             config.with_backend(SolverBackend::Exact).backend_choice(),
             BackendChoice::Fixed(SolverBackend::Exact)
         );
+    }
+
+    #[test]
+    fn neighbor_limit_round_trips_and_scopes_the_cache_token() {
+        let config = TaxiConfig::new();
+        assert_eq!(config.neighbor_limit(), 0);
+        let pruned = config.clone().with_neighbor_limit(8);
+        assert_eq!(pruned.neighbor_limit(), 8);
+        assert_ne!(config.cache_token(), pruned.cache_token());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   it. Drop the context (or create a fresh one) to release memory.
 
 use taxi_cluster::{FixedEndpoints, Point};
+use taxi_dist::DistanceMatrix;
 
 use crate::backend::SolverScratch;
 
@@ -52,9 +53,8 @@ impl SolveContext {
 /// the pipeline can borrow them independently of the order buffers).
 #[derive(Debug, Default)]
 pub(crate) struct SolveBuffers {
-    /// Reusable square distance-matrix buffer; only the first `n` rows are meaningful
-    /// for an `n`-entity sub-problem.
-    pub(crate) matrix: Vec<Vec<f64>>,
+    /// Reusable flat distance-matrix buffer, resized per sub-problem.
+    pub(crate) matrix: DistanceMatrix,
     /// Current cluster's member entities, as `usize` indices.
     pub(crate) members: Vec<usize>,
     /// Per-cluster solved orders in global entity indices (pooled, one per cluster).

@@ -45,6 +45,7 @@ use std::time::Instant;
 
 use taxi_arch::{Compiler, LevelPlan, SolvePlan, SubProblem};
 use taxi_cluster::{EndpointFixer, FixedEndpoints, Hierarchy, LevelView, Point};
+use taxi_dist::DistanceMatrix;
 use taxi_ising::AnnealingSchedule;
 use taxi_tsplib::{Tour, TspInstance};
 
@@ -290,23 +291,16 @@ enum EntitySpace<'a> {
 }
 
 impl EntitySpace<'_> {
-    /// Fills the first `members.len()` rows of `matrix` with the pairwise distances of
-    /// `members`, reusing the buffer (rows beyond `members.len()` are left untouched).
-    fn fill_matrix(&self, members: &[usize], matrix: &mut Vec<Vec<f64>>) -> Result<(), TaxiError> {
+    /// Resets `matrix` to `members.len()` entities and fills it with their pairwise
+    /// distances in place, reusing the flat buffer.
+    fn fill_matrix(&self, members: &[usize], matrix: &mut DistanceMatrix) -> Result<(), TaxiError> {
         let n = members.len();
         match self {
             EntitySpace::Cities(instance) => {
                 instance.distance_matrix_into(members, matrix)?;
             }
             EntitySpace::Centroids(points) => {
-                if matrix.len() < n {
-                    matrix.resize_with(n, Vec::new);
-                }
-                for (i, &mi) in members.iter().enumerate() {
-                    let row = &mut matrix[i];
-                    row.clear();
-                    row.extend(members.iter().map(|&mj| points[mi].distance(&points[mj])));
-                }
+                matrix.fill_from_fn(n, |i, j| points[members[i]].distance(&points[members[j]]));
             }
         }
         Ok(())
@@ -314,8 +308,8 @@ impl EntitySpace<'_> {
 
     /// Owned distance matrix for `members` (used by the parallel fan-out path, whose
     /// jobs must own their inputs).
-    fn matrix_owned(&self, members: &[usize]) -> Result<Vec<Vec<f64>>, TaxiError> {
-        let mut matrix = Vec::with_capacity(members.len());
+    fn matrix_owned(&self, members: &[usize]) -> Result<DistanceMatrix, TaxiError> {
+        let mut matrix = DistanceMatrix::default();
         self.fill_matrix(members, &mut matrix)?;
         Ok(matrix)
     }
@@ -384,7 +378,7 @@ pub(crate) fn run(
         buffers.members.extend(0..instance.dimension());
         EntitySpace::Cities(instance).fill_matrix(&buffers.members, &mut buffers.matrix)?;
         backend.solve_cycle_into(
-            &buffers.matrix[..instance.dimension()],
+            &buffers.matrix,
             config.seed(),
             &mut buffers.scratch,
             entity_order,
@@ -407,7 +401,7 @@ pub(crate) fn run(
         buffers.members.extend(0..top.len());
         EntitySpace::Centroids(top_centroids).fill_matrix(&buffers.members, &mut buffers.matrix)?;
         backend.solve_cycle_into(
-            &buffers.matrix[..top.len()],
+            &buffers.matrix,
             config.seed(),
             &mut buffers.scratch,
             cluster_order,
@@ -564,7 +558,7 @@ fn cluster_seed(level_seed: u64, index: usize) -> u64 {
 /// everything they touch (the pool requires `'static` jobs).
 struct PreparedCluster {
     index: usize,
-    matrix: Vec<Vec<f64>>,
+    matrix: DistanceMatrix,
     start_local: usize,
     end_local: usize,
     seed: u64,
@@ -588,7 +582,7 @@ fn local_endpoints(members: &[u32], endpoint: FixedEndpoints) -> (usize, usize) 
 /// (handled by the caller) or a single-cluster level; fall back to a cycle solve.
 fn solve_prepared_into(
     backend: &dyn TourSolver,
-    matrix: &[Vec<f64>],
+    matrix: &DistanceMatrix,
     start_local: usize,
     end_local: usize,
     seed: u64,
@@ -707,7 +701,7 @@ fn solve_level(
                 entity_space.fill_matrix(&buffers.members, &mut buffers.matrix)?;
                 solve_prepared_into(
                     backend.as_ref(),
-                    &buffers.matrix[..out_len],
+                    &buffers.matrix,
                     start_local,
                     end_local,
                     cluster_seed(level_seed, index),

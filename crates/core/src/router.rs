@@ -1046,7 +1046,11 @@ mod tests {
         let one = random_uniform_instance("one", 1, 1);
         let f1 = InstanceFeatures::extract(&one, 12);
         assert_eq!((f1.cluster_depth, f1.dispersion), (0, 0.0));
-        let matrix = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let matrix = TspInstance::from_matrix(
+            "m",
+            taxi_dist::DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
         assert_eq!(InstanceFeatures::extract(&matrix, 12).dispersion, 0.0);
     }
 

@@ -758,7 +758,11 @@ mod tests {
 
     #[test]
     fn explicit_matrix_instances_are_rejected() {
-        let instance = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let instance = TspInstance::from_matrix(
+            "m",
+            taxi_dist::DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
         assert!(matches!(
             TaxiSolver::default().solve(&instance),
             Err(TaxiError::UnsupportedInstance { .. })
@@ -820,7 +824,11 @@ mod tests {
     #[test]
     fn batch_isolates_per_instance_failures() {
         let good = clustered_instance("ok", 40, 3, 2);
-        let bad = TspInstance::from_matrix("bad", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let bad = TspInstance::from_matrix(
+            "bad",
+            taxi_dist::DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
         let results = TaxiSolver::default().solve_batch(&[good, bad]);
         assert!(results[0].is_ok());
         assert!(matches!(
@@ -873,22 +881,22 @@ mod tests {
             }
             fn solve_cycle(
                 &self,
-                distances: &[Vec<f64>],
+                distances: &taxi_dist::DistanceMatrix,
                 _seed: u64,
             ) -> Result<SubTour, TaxiError> {
-                let order: Vec<usize> = (0..distances.len()).collect();
+                let order: Vec<usize> = (0..distances.n()).collect();
                 Ok(SubTour { length: 0.0, order })
             }
             fn solve_path(
                 &self,
-                distances: &[Vec<f64>],
+                distances: &taxi_dist::DistanceMatrix,
                 start: usize,
                 end: usize,
                 _seed: u64,
             ) -> Result<SubTour, TaxiError> {
                 let mut order = vec![start];
-                order.extend((0..distances.len()).filter(|&c| c != start && c != end));
-                if distances.len() > 1 {
+                order.extend((0..distances.n()).filter(|&c| c != start && c != end));
+                if distances.n() > 1 {
                     order.push(end);
                 }
                 Ok(SubTour { length: 0.0, order })

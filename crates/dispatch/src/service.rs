@@ -1091,9 +1091,11 @@ mod tests {
 
     #[test]
     fn failed_solves_resolve_with_the_error() {
-        let instance =
-            taxi_tsplib::TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]])
-                .unwrap();
+        let instance = taxi_tsplib::TspInstance::from_matrix(
+            "m",
+            taxi_dist::DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        )
+        .unwrap();
         let service = DispatchService::start(DispatchConfig::new().with_workers(1));
         let ticket = service.submit(DispatchRequest::new(instance)).unwrap();
         assert!(matches!(ticket.wait(), DispatchOutcome::Failed(_)));

@@ -430,7 +430,11 @@ fn concurrent_identical_requests_coalesce_into_one_solve() {
 #[test]
 fn failed_leader_fails_only_itself_and_followers_resolve() {
     const K: usize = 6;
-    let unsolvable = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+    let unsolvable = TspInstance::from_matrix(
+        "m",
+        taxi_dist::DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+    )
+    .unwrap();
     let service = DispatchService::start(
         DispatchConfig::new()
             .with_solver(solver_config())

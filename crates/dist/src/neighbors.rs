@@ -1,0 +1,331 @@
+//! Per-node k-nearest-neighbor candidate lists for pruned local search.
+//!
+//! Exhaustive 2-opt/Or-opt move generation is O(n²) per pass; almost all improving
+//! moves connect cities that are already close, so restricting move generation to each
+//! city's k nearest neighbors makes a pass O(n·k) with negligible quality loss. The
+//! lists here are built either exactly from a distance matrix (small sub-problems) or
+//! approximately from coordinates via uniform grid buckets (large instances, O(n·k)
+//! build instead of O(n²)).
+
+use crate::{DistanceMatrix, LANES};
+
+/// Fixed-k candidate lists, stored as one flat `Vec<u32>` with stride `k`.
+///
+/// Node `i`'s candidates are `lists.neighbors(i)`, sorted by ascending distance
+/// (ties broken by index, so builds are deterministic).
+///
+/// # Example
+///
+/// ```
+/// use taxi_dist::{DistanceMatrix, NeighborLists};
+///
+/// let d = DistanceMatrix::from_fn(5, |i, j| (i as f64 - j as f64).abs());
+/// let lists = NeighborLists::from_matrix(&d, 2);
+/// assert_eq!(lists.neighbors(0), &[1, 2]);
+/// assert_eq!(lists.neighbors(4), &[3, 2]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NeighborLists {
+    k: usize,
+    n: usize,
+    /// Flat candidate storage, stride `k`; entries beyond a node's count are unused.
+    neighbors: Vec<u32>,
+    /// Valid candidates per node (`min(k, n - 1)` for matrix builds).
+    counts: Vec<u32>,
+}
+
+impl NeighborLists {
+    /// Builds exact k-nearest lists from a distance matrix (O(n² log n)).
+    pub fn from_matrix(distances: &DistanceMatrix, k: usize) -> Self {
+        let mut lists = Self::default();
+        let mut scratch = Vec::new();
+        lists.rebuild_from_matrix(distances, k, &mut scratch);
+        lists
+    }
+
+    /// Re-builds exact k-nearest lists in place, reusing this value's buffers and the
+    /// caller's `(distance, index)` scratch — allocation-free once warm.
+    pub fn rebuild_from_matrix(
+        &mut self,
+        distances: &DistanceMatrix,
+        k: usize,
+        scratch: &mut Vec<(f64, u32)>,
+    ) {
+        let n = distances.n();
+        let per_node = k.min(n.saturating_sub(1));
+        self.reset(n, k);
+        for i in 0..n {
+            scratch.clear();
+            let row = distances.row(i);
+            scratch.extend(
+                row.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(j, &d)| (d, j as u32)),
+            );
+            Self::select_k(scratch, per_node);
+            let base = i * k;
+            for (slot, &(_, j)) in scratch.iter().take(per_node).enumerate() {
+                self.neighbors[base + slot] = j;
+            }
+            self.counts[i] = per_node as u32;
+        }
+    }
+
+    /// Builds approximate k-nearest lists from coordinates via uniform grid buckets.
+    ///
+    /// Points are bucketed into a √(n/2) × √(n/2) grid; each query expands square rings
+    /// of cells until at least `k` candidates are seen, then one further ring, and the
+    /// final `k` are selected by exact distance. The lists are deterministic and exact
+    /// for uniformly spread inputs' near neighbors; pathological densities may miss a
+    /// true neighbor, which pruned local search tolerates (it only shrinks the move
+    /// set).
+    pub fn from_points_grid(points: &[(f64, f64)], k: usize) -> Self {
+        let n = points.len();
+        let per_node = k.min(n.saturating_sub(1));
+        let mut lists = Self::default();
+        lists.reset(n, k);
+        if per_node == 0 {
+            return lists;
+        }
+
+        // Grid geometry: ~2 points per cell on average.
+        let side = (((n as f64) / 2.0).sqrt().ceil() as usize).max(1);
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in points {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+        let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+        let cell_of = |x: f64, y: f64| -> (usize, usize) {
+            let cx = (((x - min_x) / span_x) * side as f64) as usize;
+            let cy = (((y - min_y) / span_y) * side as f64) as usize;
+            (cx.min(side - 1), cy.min(side - 1))
+        };
+
+        // Counting-sort points into buckets (one flat index array + offsets).
+        let mut cell_counts = vec![0u32; side * side];
+        for &(x, y) in points {
+            let (cx, cy) = cell_of(x, y);
+            cell_counts[cy * side + cx] += 1;
+        }
+        let mut offsets = vec![0u32; side * side + 1];
+        for c in 0..side * side {
+            offsets[c + 1] = offsets[c] + cell_counts[c];
+        }
+        let mut bucketed = vec![0u32; n];
+        let mut cursor = offsets.clone();
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let (cx, cy) = cell_of(x, y);
+            let c = cy * side + cx;
+            bucketed[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        let mut candidates: Vec<(f64, u32)> = Vec::with_capacity(4 * k);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let (cx, cy) = cell_of(x, y);
+            candidates.clear();
+            let mut ring = 0usize;
+            let mut extra_ring = false;
+            // Bounds of the box visited by the previous rings (cells inside it are
+            // skipped, so boundary clamping never revisits a cell).
+            let mut prev: Option<(usize, usize, usize, usize)> = None;
+            loop {
+                let lo_x = cx.saturating_sub(ring);
+                let hi_x = (cx + ring).min(side - 1);
+                let lo_y = cy.saturating_sub(ring);
+                let hi_y = (cy + ring).min(side - 1);
+                for gy in lo_y..=hi_y {
+                    for gx in lo_x..=hi_x {
+                        if let Some((plo_x, phi_x, plo_y, phi_y)) = prev {
+                            if gx >= plo_x && gx <= phi_x && gy >= plo_y && gy <= phi_y {
+                                continue;
+                            }
+                        }
+                        let c = gy * side + gx;
+                        for &j in &bucketed[offsets[c] as usize..offsets[c + 1] as usize] {
+                            if j as usize == i {
+                                continue;
+                            }
+                            let (px, py) = points[j as usize];
+                            let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                            candidates.push((d2, j));
+                        }
+                    }
+                }
+                prev = Some((lo_x, hi_x, lo_y, hi_y));
+                let covers_grid = lo_x == 0 && lo_y == 0 && hi_x == side - 1 && hi_y == side - 1;
+                if covers_grid || (extra_ring && candidates.len() >= per_node) {
+                    break;
+                }
+                if candidates.len() >= per_node {
+                    extra_ring = true;
+                }
+                ring += 1;
+            }
+            let take = per_node.min(candidates.len());
+            Self::select_k(&mut candidates, take);
+            let base = i * k;
+            for (slot, &(_, j)) in candidates.iter().take(take).enumerate() {
+                lists.neighbors[base + slot] = j;
+            }
+            lists.counts[i] = take as u32;
+        }
+        lists
+    }
+
+    /// Candidate neighbors of node `i`, ascending by distance.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        let base = i * self.k;
+        &self.neighbors[base..base + self.counts[i] as usize]
+    }
+
+    /// The configured candidate budget per node.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes the lists were built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the lists cover no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn reset(&mut self, n: usize, k: usize) {
+        self.k = k;
+        self.n = n;
+        self.neighbors.clear();
+        self.neighbors.resize(n * k, 0);
+        self.counts.clear();
+        self.counts.resize(n, 0);
+    }
+
+    /// Deterministic partial selection: after the call the first `k` entries of `items`
+    /// are the k smallest, sorted ascending (ties by index).
+    fn select_k(items: &mut [(f64, u32)], k: usize) {
+        let by_dist =
+            |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1));
+        if k == 0 {
+            return;
+        }
+        if k < items.len() {
+            items.select_nth_unstable_by(k - 1, by_dist);
+            items[..k].sort_unstable_by(by_dist);
+        } else {
+            items.sort_unstable_by(by_dist);
+        }
+    }
+}
+
+/// Squared Euclidean distance helper used by the chunked scans in dependent crates
+/// (kept here so the lane width stays consistent with [`LANES`]).
+#[inline]
+pub(crate) fn _lane_width_is_pow2() -> bool {
+    LANES.is_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(w: usize, h: usize) -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                pts.push((x as f64, y as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn matrix_lists_are_exact_and_sorted() {
+        let d = DistanceMatrix::from_fn(8, |i, j| ((i as f64 - j as f64).abs()).sqrt());
+        let lists = NeighborLists::from_matrix(&d, 3);
+        for i in 0..8 {
+            let nb = lists.neighbors(i);
+            assert_eq!(nb.len(), 3);
+            for w in nb.windows(2) {
+                assert!(d.get(i, w[0] as usize) <= d.get(i, w[1] as usize));
+            }
+            assert!(!nb.contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let d = DistanceMatrix::from_fn(3, |i, j| (i + j) as f64);
+        let lists = NeighborLists::from_matrix(&d, 10);
+        assert_eq!(lists.neighbors(0).len(), 2);
+        assert_eq!(lists.k(), 10);
+        assert_eq!(lists.len(), 3);
+    }
+
+    #[test]
+    fn grid_lists_match_exact_lists_on_a_lattice() {
+        let pts = grid_points(7, 6);
+        let d = DistanceMatrix::from_fn(pts.len(), |i, j| {
+            let (xi, yi) = pts[i];
+            let (xj, yj) = pts[j];
+            (xi - xj).hypot(yi - yj)
+        });
+        let exact = NeighborLists::from_matrix(&d, 4);
+        let grid = NeighborLists::from_points_grid(&pts, 4);
+        for i in 0..pts.len() {
+            // Compare neighbor *distances*, not identities: equidistant lattice
+            // neighbors may tie-break differently between the two builders.
+            let ed: Vec<f64> = exact
+                .neighbors(i)
+                .iter()
+                .map(|&j| d.get(i, j as usize))
+                .collect();
+            let gd: Vec<f64> = grid
+                .neighbors(i)
+                .iter()
+                .map(|&j| d.get(i, j as usize))
+                .collect();
+            assert_eq!(ed, gd, "node {i}");
+        }
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let pts = vec![(2.0, 2.0); 9];
+        let lists = NeighborLists::from_points_grid(&pts, 3);
+        for i in 0..9 {
+            assert_eq!(lists.neighbors(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn singleton_and_empty_inputs() {
+        assert!(NeighborLists::from_points_grid(&[], 4).is_empty());
+        let one = NeighborLists::from_points_grid(&[(0.0, 0.0)], 4);
+        assert_eq!(one.neighbors(0).len(), 0);
+        assert!(_lane_width_is_pow2());
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers() {
+        let d8 = DistanceMatrix::from_fn(8, |i, j| (i as f64 - j as f64).abs());
+        let d4 = DistanceMatrix::from_fn(4, |i, j| (i as f64 - j as f64).abs());
+        let mut lists = NeighborLists::from_matrix(&d8, 3);
+        let mut scratch = Vec::new();
+        lists.rebuild_from_matrix(&d4, 2, &mut scratch);
+        assert_eq!(lists.len(), 4);
+        assert_eq!(lists.neighbors(0), &[1, 2]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Total, NaN-safe float ordering helpers for argmin scans.
+//!
+//! The clustering and heuristic argmin loops used to compare distances with
+//! `partial_cmp(..).unwrap_or(Equal)`, which silently mis-orders NaN and — in
+//! `unwrap()` form — is a latent panic path. These helpers use [`f64::total_cmp`]
+//! instead: every float has a defined place in the order (NaN sorts above `+∞`), so a
+//! poisoned distance degrades into "never the minimum" deterministically. For finite
+//! inputs the result is identical to the old comparisons.
+
+use crate::LANES;
+
+/// The smaller of `a` and `b` under IEEE total order (NaN sorts above `+∞`, so a NaN
+/// argument is only returned when both arguments are NaN).
+#[inline]
+pub fn total_min(a: f64, b: f64) -> f64 {
+    if b.total_cmp(&a) == std::cmp::Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+/// Index of the smallest value under IEEE total order; the first minimum wins ties.
+/// Returns `None` for an empty iterator.
+pub fn argmin_total(values: impl IntoIterator<Item = f64>) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, v) in values.into_iter().enumerate() {
+        match &best {
+            Some((_, b)) if v.total_cmp(b) != std::cmp::Ordering::Less => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Lane-chunked argmin over a contiguous slice; identical result to
+/// [`argmin_total`] (first minimum wins), but the inner loop processes
+/// [`LANES`]-wide chunks the autovectorizer can lower to SIMD compares.
+pub fn argmin_slice(values: &[f64]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best_idx = 0usize;
+    let mut best = values[0];
+    let chunks = values.chunks_exact(LANES);
+    let remainder_start = values.len() - chunks.remainder().len();
+    for (c, chunk) in chunks.enumerate() {
+        // Reduce the chunk first (vectorizable), then fold into the running best.
+        let mut lane_best = chunk[0];
+        let mut lane_idx = 0usize;
+        for (l, &v) in chunk.iter().enumerate().skip(1) {
+            if v.total_cmp(&lane_best) == std::cmp::Ordering::Less {
+                lane_best = v;
+                lane_idx = l;
+            }
+        }
+        if lane_best.total_cmp(&best) == std::cmp::Ordering::Less {
+            best = lane_best;
+            best_idx = c * LANES + lane_idx;
+        }
+    }
+    for (i, &v) in values.iter().enumerate().skip(remainder_start) {
+        if v.total_cmp(&best) == std::cmp::Ordering::Less {
+            best = v;
+            best_idx = i;
+        }
+    }
+    Some(best_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_min_prefers_non_nan() {
+        assert_eq!(total_min(1.0, 2.0), 1.0);
+        assert_eq!(total_min(f64::NAN, 2.0), 2.0);
+        assert_eq!(total_min(2.0, f64::NAN), 2.0);
+        assert!(total_min(f64::NAN, f64::NAN).is_nan());
+        assert_eq!(total_min(f64::INFINITY, f64::NAN), f64::INFINITY);
+    }
+
+    #[test]
+    fn argmin_total_first_minimum_wins() {
+        assert_eq!(argmin_total([3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmin_total([]), None);
+        assert_eq!(argmin_total([f64::NAN, 5.0, f64::NAN]), Some(1));
+        assert_eq!(argmin_total([f64::NAN, f64::NAN]), Some(0));
+    }
+
+    #[test]
+    fn argmin_slice_matches_scalar_reference_on_odd_lengths() {
+        for n in 0..40usize {
+            let values: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 23) as f64 - 7.5).collect();
+            assert_eq!(
+                argmin_slice(&values),
+                argmin_total(values.iter().copied()),
+                "length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn argmin_slice_skips_nan_lanes() {
+        let mut values = vec![5.0; 13];
+        values[3] = f64::NAN;
+        values[9] = -1.0;
+        assert_eq!(argmin_slice(&values), Some(9));
+    }
+}

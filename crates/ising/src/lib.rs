@@ -18,15 +18,10 @@
 //! # Example
 //!
 //! ```
+//! use taxi_dist::DistanceMatrix;
 //! use taxi_ising::{CurrentSchedule, MacroSolverConfig, MacroTspSolver};
 //!
-//! let distances = vec![
-//!     vec![0.0, 1.0, 2.0, 3.0, 4.0],
-//!     vec![1.0, 0.0, 1.0, 2.0, 3.0],
-//!     vec![2.0, 1.0, 0.0, 1.0, 2.0],
-//!     vec![3.0, 2.0, 1.0, 0.0, 1.0],
-//!     vec![4.0, 3.0, 2.0, 1.0, 0.0],
-//! ];
+//! let distances = DistanceMatrix::from_fn(5, |i, j| (i as f64 - j as f64).abs());
 //! let config = MacroSolverConfig::default().with_schedule(CurrentSchedule::fast());
 //! let solver = MacroTspSolver::new(config);
 //! let solution = solver.solve_cycle(&distances, 99)?;

@@ -17,6 +17,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use taxi_dist::DistanceMatrix;
 use taxi_xbar::{IsingMacro, MacroConfig, MacroOpCounts};
 
 use crate::{AnnealingSchedule, CurrentSchedule, IsingError};
@@ -159,13 +160,13 @@ impl MacroScratch {
     fn prepare_macro(
         &mut self,
         config: &MacroSolverConfig,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
     ) -> Result<(), IsingError> {
         if self.config.as_ref() != Some(config) {
             self.macros.clear();
             self.config = Some(config.clone());
         }
-        let n = distances.len();
+        let n = distances.n();
         if self.macros.len() <= n {
             self.macros.resize_with(n + 1, || None);
         }
@@ -202,7 +203,7 @@ impl MacroTspSolver {
     /// capacity.
     pub fn solve_cycle(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         seed: u64,
     ) -> Result<SubTourSolution, IsingError> {
         let mut scratch = MacroScratch::new();
@@ -226,12 +227,12 @@ impl MacroTspSolver {
     /// Same error conditions as [`solve_cycle`](Self::solve_cycle).
     pub fn solve_cycle_with(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         seed: u64,
         scratch: &mut MacroScratch,
         out: &mut Vec<usize>,
     ) -> Result<SubTourStats, IsingError> {
-        let n = validate_square(distances)?;
+        let n = validate_matrix(distances)?;
         out.clear();
         if n <= 3 {
             out.extend(0..n);
@@ -299,10 +300,10 @@ impl MacroTspSolver {
     /// Same error conditions as [`solve_cycle`](Self::solve_cycle).
     pub fn solve_cycle_traced(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         seed: u64,
     ) -> Result<(SubTourSolution, crate::AnnealingTrace), IsingError> {
-        let n = validate_square(distances)?;
+        let n = validate_matrix(distances)?;
         let mut trace = crate::AnnealingTrace::new();
         if n <= 3 {
             return Ok((self.solve_cycle(distances, seed)?, trace));
@@ -358,7 +359,7 @@ impl MacroTspSolver {
     /// has more than one city, or either endpoint is out of range.
     pub fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -384,14 +385,14 @@ impl MacroTspSolver {
     /// Same error conditions as [`solve_path`](Self::solve_path).
     pub fn solve_path_with(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
         scratch: &mut MacroScratch,
         out: &mut Vec<usize>,
     ) -> Result<SubTourStats, IsingError> {
-        let n = validate_square(distances)?;
+        let n = validate_matrix(distances)?;
         if start >= n || end >= n {
             return Err(IsingError::InvalidEndpoints {
                 reason: format!("endpoints ({start}, {end}) out of range for {n} cities"),
@@ -483,28 +484,28 @@ impl Default for MacroTspSolver {
 }
 
 /// Length of a closed tour under `distances`.
-pub fn cycle_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+pub fn cycle_length(distances: &DistanceMatrix, order: &[usize]) -> f64 {
     let n = order.len();
     if n < 2 {
         return 0.0;
     }
     (0..n)
-        .map(|i| distances[order[i]][order[(i + 1) % n]])
+        .map(|i| distances.get(order[i], order[(i + 1) % n]))
         .sum()
 }
 
 /// Length of an open path under `distances`.
-pub fn path_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+pub fn path_length(distances: &DistanceMatrix, order: &[usize]) -> f64 {
     order
         .windows(2)
-        .map(|pair| distances[pair[0]][pair[1]])
+        .map(|pair| distances.get(pair[0], pair[1]))
         .sum()
 }
 
 /// Nearest-neighbour visiting order starting from `start` (closed-tour initialisation).
-pub fn nearest_neighbor_order(distances: &[Vec<f64>], start: usize) -> Vec<usize> {
+pub fn nearest_neighbor_order(distances: &DistanceMatrix, start: usize) -> Vec<usize> {
     let mut visited = Vec::new();
-    let mut order = Vec::with_capacity(distances.len());
+    let mut order = Vec::with_capacity(distances.n());
     nearest_neighbor_order_into(distances, start, &mut visited, &mut order);
     order
 }
@@ -512,12 +513,12 @@ pub fn nearest_neighbor_order(distances: &[Vec<f64>], start: usize) -> Vec<usize
 /// Buffer-reusing form of [`nearest_neighbor_order`]: `visited` and `out` are cleared
 /// and refilled, so repeated initialisations allocate nothing once warm.
 pub fn nearest_neighbor_order_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     visited: &mut Vec<bool>,
     out: &mut Vec<usize>,
 ) {
-    let n = distances.len();
+    let n = distances.n();
     visited.clear();
     visited.resize(n, false);
     out.clear();
@@ -525,13 +526,10 @@ pub fn nearest_neighbor_order_into(
     visited[current] = true;
     out.push(current);
     for _ in 1..n {
+        let row = distances.row(current);
         let next = (0..n)
             .filter(|&c| !visited[c])
-            .min_by(|&a, &b| {
-                distances[current][a]
-                    .partial_cmp(&distances[current][b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|&a, &b| row[a].total_cmp(&row[b]))
             .expect("an unvisited city must remain");
         visited[next] = true;
         out.push(next);
@@ -540,22 +538,26 @@ pub fn nearest_neighbor_order_into(
 }
 
 /// Nearest-neighbour path order from `start`, forced to terminate at `end`.
-pub fn nearest_neighbor_path_order(distances: &[Vec<f64>], start: usize, end: usize) -> Vec<usize> {
+pub fn nearest_neighbor_path_order(
+    distances: &DistanceMatrix,
+    start: usize,
+    end: usize,
+) -> Vec<usize> {
     let mut visited = Vec::new();
-    let mut order = Vec::with_capacity(distances.len());
+    let mut order = Vec::with_capacity(distances.n());
     nearest_neighbor_path_order_into(distances, start, end, &mut visited, &mut order);
     order
 }
 
 /// Buffer-reusing form of [`nearest_neighbor_path_order`].
 pub fn nearest_neighbor_path_order_into(
-    distances: &[Vec<f64>],
+    distances: &DistanceMatrix,
     start: usize,
     end: usize,
     visited: &mut Vec<bool>,
     out: &mut Vec<usize>,
 ) {
-    let n = distances.len();
+    let n = distances.n();
     visited.clear();
     visited.resize(n, false);
     out.clear();
@@ -564,13 +566,10 @@ pub fn nearest_neighbor_path_order_into(
     out.push(start);
     let mut current = start;
     for _ in 0..n.saturating_sub(2) {
+        let row = distances.row(current);
         let next = (0..n)
             .filter(|&c| !visited[c])
-            .min_by(|&a, &b| {
-                distances[current][a]
-                    .partial_cmp(&distances[current][b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|&a, &b| row[a].total_cmp(&row[b]))
             .expect("an unvisited interior city must remain");
         visited[next] = true;
         out.push(next);
@@ -581,16 +580,11 @@ pub fn nearest_neighbor_path_order_into(
     }
 }
 
-fn validate_square(distances: &[Vec<f64>]) -> Result<usize, IsingError> {
-    let n = distances.len();
+fn validate_matrix(distances: &DistanceMatrix) -> Result<usize, IsingError> {
+    let n = distances.n();
     if n == 0 {
         return Err(IsingError::InvalidProblem {
             reason: "distance matrix is empty".to_string(),
-        });
-    }
-    if distances.iter().any(|row| row.len() != n) {
-        return Err(IsingError::InvalidProblem {
-            reason: "distance matrix is not square".to_string(),
         });
     }
     Ok(n)
@@ -601,22 +595,18 @@ mod tests {
     use super::*;
 
     /// Points on a circle: the optimal cycle visits them in angular order.
-    fn circle_distances(n: usize) -> (Vec<Vec<f64>>, f64) {
+    fn circle_distances(n: usize) -> (DistanceMatrix, f64) {
         let points: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
                 (angle.cos(), angle.sin())
             })
             .collect();
-        let d: Vec<Vec<f64>> = points
-            .iter()
-            .map(|&(x1, y1)| {
-                points
-                    .iter()
-                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
-                    .collect()
-            })
-            .collect();
+        let d = DistanceMatrix::from_fn(n, |i, j| {
+            let (x1, y1) = points[i];
+            let (x2, y2) = points[j];
+            ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+        });
         let optimal = cycle_length(&d, &(0..n).collect::<Vec<_>>());
         (d, optimal)
     }
@@ -660,11 +650,12 @@ mod tests {
 
     #[test]
     fn solve_cycle_handles_tiny_instances_without_hardware() {
-        let d = vec![
+        let d = DistanceMatrix::from_rows(&[
             vec![0.0, 1.0, 2.0],
             vec![1.0, 0.0, 1.5],
             vec![2.0, 1.5, 0.0],
-        ];
+        ])
+        .unwrap();
         let solver = MacroTspSolver::default();
         let sol = solver.solve_cycle(&d, 0).unwrap();
         assert_eq!(sol.order, vec![0, 1, 2]);
@@ -694,9 +685,7 @@ mod tests {
         // Points on a line with the endpoints fixed to the extremes: the optimal path is
         // the sorted sweep, and the solver should get close to it.
         let n = 8;
-        let d: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
-            .collect();
+        let d = DistanceMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs());
         let solver = MacroTspSolver::default();
         let sol = solver.solve_path(&d, 0, n - 1, 5).unwrap();
         let optimal = (n - 1) as f64;
@@ -708,11 +697,9 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_ragged_matrices_are_rejected() {
+    fn empty_matrices_are_rejected() {
         let solver = MacroTspSolver::default();
-        assert!(solver.solve_cycle(&[], 0).is_err());
-        let ragged = vec![vec![0.0, 1.0], vec![1.0]];
-        assert!(solver.solve_cycle(&ragged, 0).is_err());
+        assert!(solver.solve_cycle(&DistanceMatrix::default(), 0).is_err());
     }
 
     #[test]
@@ -734,11 +721,12 @@ mod tests {
 
     #[test]
     fn lengths_helpers_match_manual_sums() {
-        let d = vec![
+        let d = DistanceMatrix::from_rows(&[
             vec![0.0, 1.0, 4.0],
             vec![1.0, 0.0, 2.0],
             vec![4.0, 2.0, 0.0],
-        ];
+        ])
+        .unwrap();
         assert!((cycle_length(&d, &[0, 1, 2]) - 7.0).abs() < 1e-12);
         assert!((path_length(&d, &[0, 1, 2]) - 3.0).abs() < 1e-12);
         assert_eq!(cycle_length(&d, &[0]), 0.0);

@@ -9,6 +9,8 @@
 //! HVC-style baseline) consume this encoding; the hardware macro realises the same
 //! objective implicitly through its MAC + ArgMax update.
 
+use taxi_dist::DistanceMatrix;
+
 use crate::{IsingError, IsingModel};
 
 /// A quadratic unconstrained binary optimisation problem: minimise `xᵀQx` over binary `x`.
@@ -206,13 +208,15 @@ impl Qubo {
 /// # Example
 ///
 /// ```
+/// use taxi_dist::DistanceMatrix;
 /// use taxi_ising::TspQuboEncoder;
 ///
-/// let d = vec![
+/// let d = DistanceMatrix::from_rows(&[
 ///     vec![0.0, 1.0, 2.0],
 ///     vec![1.0, 0.0, 1.5],
 ///     vec![2.0, 1.5, 0.0],
-/// ];
+/// ])
+/// .expect("square matrix");
 /// let encoder = TspQuboEncoder::new(&d)?;
 /// let qubo = encoder.encode()?;
 /// assert_eq!(qubo.len(), 9);
@@ -224,7 +228,7 @@ impl Qubo {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TspQuboEncoder {
-    distances: Vec<Vec<f64>>,
+    distances: DistanceMatrix,
     constraint_weight: f64,
 }
 
@@ -234,22 +238,16 @@ impl TspQuboEncoder {
     ///
     /// # Errors
     ///
-    /// Returns [`IsingError::InvalidProblem`] if the matrix is empty or not square.
-    pub fn new(distances: &[Vec<f64>]) -> Result<Self, IsingError> {
-        let n = distances.len();
-        if n == 0 || distances.iter().any(|row| row.len() != n) {
+    /// Returns [`IsingError::InvalidProblem`] if the matrix is empty.
+    pub fn new(distances: &DistanceMatrix) -> Result<Self, IsingError> {
+        if distances.is_empty() {
             return Err(IsingError::InvalidProblem {
-                reason: "distance matrix must be square and non-empty".to_string(),
+                reason: "distance matrix must be non-empty".to_string(),
             });
         }
-        let max_edge = distances
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|d| d.is_finite())
-            .fold(0.0f64, f64::max);
+        let max_edge = distances.max_finite().max(0.0);
         Ok(Self {
-            distances: distances.to_vec(),
+            distances: distances.clone(),
             constraint_weight: 2.0 * max_edge + 1.0,
         })
     }
@@ -262,7 +260,7 @@ impl TspQuboEncoder {
 
     /// Number of cities.
     pub fn num_cities(&self) -> usize {
-        self.distances.len()
+        self.distances.n()
     }
 
     /// The penalty weight `A`.
@@ -343,7 +341,7 @@ impl TspQuboEncoder {
                 if c == c2 {
                     continue;
                 }
-                let d = self.distances[c][c2];
+                let d = self.distances.get(c, c2);
                 if !d.is_finite() {
                     continue;
                 }
@@ -369,7 +367,7 @@ impl TspQuboEncoder {
             "order length must equal the number of cities"
         );
         (0..n)
-            .map(|i| self.distances[order[i]][order[(i + 1) % n]])
+            .map(|i| self.distances.get(order[i], order[(i + 1) % n]))
             .sum()
     }
 }
@@ -379,16 +377,14 @@ mod tests {
     use super::*;
     use crate::Spin;
 
-    fn square4() -> Vec<Vec<f64>> {
+    fn square4() -> DistanceMatrix {
         // Unit square: optimal cycle is the perimeter with length 4.
         let pts: [(f64, f64); 4] = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
-        pts.iter()
-            .map(|&(x1, y1)| {
-                pts.iter()
-                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
-                    .collect()
-            })
-            .collect()
+        DistanceMatrix::from_fn(4, |i, j| {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[j];
+            (x1 - x2).hypot(y1 - y2)
+        })
     }
 
     #[test]
@@ -473,9 +469,8 @@ mod tests {
     }
 
     #[test]
-    fn non_square_matrix_is_rejected() {
-        let d = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 1.0]];
-        assert!(TspQuboEncoder::new(&d).is_err());
+    fn empty_matrix_is_rejected() {
+        assert!(TspQuboEncoder::new(&DistanceMatrix::default()).is_err());
     }
 
     /// `reset` + `encode_into` must reproduce a fresh encode exactly, including after the

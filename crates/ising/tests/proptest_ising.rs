@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use taxi_dist::DistanceMatrix;
 use taxi_ising::{IsingModel, Spin, TspQuboEncoder};
 
 fn model_strategy(max_n: usize) -> impl Strategy<Value = IsingModel> {
@@ -23,17 +24,13 @@ fn model_strategy(max_n: usize) -> impl Strategy<Value = IsingModel> {
     })
 }
 
-fn distance_matrix_strategy(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn distance_matrix_strategy(max_n: usize) -> impl Strategy<Value = DistanceMatrix> {
     prop::collection::vec((0.0f64..50.0, 0.0f64..50.0), 3..max_n).prop_map(|points| {
-        points
-            .iter()
-            .map(|&(x1, y1)| {
-                points
-                    .iter()
-                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
-                    .collect()
-            })
-            .collect()
+        DistanceMatrix::from_fn(points.len(), |i, j| {
+            let (x1, y1) = points[i];
+            let (x2, y2) = points[j];
+            (x1 - x2).hypot(y1 - y2)
+        })
     })
 }
 
@@ -74,7 +71,7 @@ proptest! {
         swap_a in 0usize..7,
         swap_b in 0usize..7,
     ) {
-        let n = matrix.len();
+        let n = matrix.n();
         let encoder = TspQuboEncoder::new(&matrix).unwrap();
         let qubo = encoder.encode().unwrap();
         let tour_a: Vec<usize> = (0..n).collect();

@@ -328,11 +328,12 @@ mod tests {
     fn matrix_instances_fingerprint_exactly() {
         let m = TspInstance::from_matrix(
             "m",
-            vec![
+            taxi_dist::DistanceMatrix::from_rows(&[
                 vec![0.0, 2.0, 9.0],
                 vec![2.0, 0.0, 6.0],
                 vec![9.0, 6.0, 0.0],
-            ],
+            ])
+            .unwrap(),
         )
         .unwrap();
         let (fp, perm) = canonical_fingerprint(&m);

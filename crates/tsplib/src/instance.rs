@@ -1,5 +1,7 @@
 //! The TSP instance type and TSPLIB distance conventions.
 
+use taxi_dist::DistanceMatrix;
+
 use crate::TsplibError;
 
 /// Distance convention of an instance.
@@ -65,7 +67,7 @@ impl EdgeWeightKind {
 #[derive(Debug, Clone, PartialEq)]
 enum InstanceData {
     Coordinates(Vec<(f64, f64)>),
-    Matrix(Vec<f64>),
+    Matrix(DistanceMatrix),
 }
 
 /// One travelling-salesman-problem instance.
@@ -122,14 +124,13 @@ impl TspInstance {
         })
     }
 
-    /// Builds an instance from an explicit full distance matrix (row-major).
+    /// Builds an instance from an explicit full distance matrix.
     ///
     /// # Errors
     ///
-    /// Returns [`TsplibError::Inconsistent`] if the matrix is empty or not square.
-    pub fn from_matrix(name: &str, matrix: Vec<Vec<f64>>) -> Result<Self, TsplibError> {
-        let n = matrix.len();
-        if n == 0 || matrix.iter().any(|row| row.len() != n) {
+    /// Returns [`TsplibError::Inconsistent`] if the matrix is empty.
+    pub fn from_matrix(name: &str, matrix: DistanceMatrix) -> Result<Self, TsplibError> {
+        if matrix.is_empty() {
             return Err(TsplibError::Inconsistent {
                 reason: "explicit distance matrix must be square and non-empty".to_string(),
             });
@@ -137,8 +138,8 @@ impl TspInstance {
         Ok(Self {
             name: name.to_string(),
             kind: EdgeWeightKind::Explicit,
-            dimension: n,
-            data: InstanceData::Matrix(matrix.into_iter().flatten().collect()),
+            dimension: matrix.n(),
+            data: InstanceData::Matrix(matrix),
         })
     }
 
@@ -191,7 +192,7 @@ impl TspInstance {
             return 0.0;
         }
         match &self.data {
-            InstanceData::Matrix(m) => m[i * self.dimension + j],
+            InstanceData::Matrix(m) => m.get(i, j),
             InstanceData::Coordinates(coords) => {
                 let (x1, y1) = coords[i];
                 let (x2, y2) = coords[j];
@@ -220,39 +221,24 @@ impl TspInstance {
     /// # Errors
     ///
     /// Returns [`TsplibError::IndexOutOfRange`] if any index is out of range.
-    pub fn distance_matrix_for(&self, cities: &[usize]) -> Result<Vec<Vec<f64>>, TsplibError> {
-        for &c in cities {
-            if c >= self.dimension {
-                return Err(TsplibError::IndexOutOfRange {
-                    index: c,
-                    dimension: self.dimension,
-                });
-            }
-        }
-        Ok(cities
-            .iter()
-            .map(|&i| {
-                cities
-                    .iter()
-                    .map(|&j| self.distance_unchecked(i, j))
-                    .collect()
-            })
-            .collect())
+    pub fn distance_matrix_for(&self, cities: &[usize]) -> Result<DistanceMatrix, TsplibError> {
+        let mut out = DistanceMatrix::default();
+        self.distance_matrix_into(cities, &mut out)?;
+        Ok(out)
     }
 
     /// Full `n × n` distance matrix. Prefer [`distance_matrix_for`](Self::distance_matrix_for)
     /// for sub-problems; this allocates `n²` doubles.
-    pub fn full_distance_matrix(&self) -> Vec<Vec<f64>> {
+    pub fn full_distance_matrix(&self) -> DistanceMatrix {
         let all: Vec<usize> = (0..self.dimension).collect();
         self.distance_matrix_for(&all)
             .expect("all indices are in range")
     }
 
-    /// Buffer-reusing form of [`distance_matrix_for`](Self::distance_matrix_for): fills
-    /// the first `cities.len()` rows of `out` in place (growing `out` only if it has
-    /// fewer rows), so repeated sub-problem extraction performs no heap allocation once
-    /// the buffer has grown to the largest sub-problem seen. Rows beyond
-    /// `cities.len()` are left untouched — use `&out[..cities.len()]`.
+    /// Buffer-reusing form of [`distance_matrix_for`](Self::distance_matrix_for):
+    /// resets `out` to `cities.len()` and fills it in place (cache-blocked), so
+    /// repeated sub-problem extraction performs no heap allocation once the buffer has
+    /// grown to the largest sub-problem seen.
     ///
     /// # Errors
     ///
@@ -260,7 +246,7 @@ impl TspInstance {
     pub fn distance_matrix_into(
         &self,
         cities: &[usize],
-        out: &mut Vec<Vec<f64>>,
+        out: &mut DistanceMatrix,
     ) -> Result<(), TsplibError> {
         for &c in cities {
             if c >= self.dimension {
@@ -270,14 +256,9 @@ impl TspInstance {
                 });
             }
         }
-        if out.len() < cities.len() {
-            out.resize_with(cities.len(), Vec::new);
-        }
-        for (i, &ci) in cities.iter().enumerate() {
-            let row = &mut out[i];
-            row.clear();
-            row.extend(cities.iter().map(|&cj| self.distance_unchecked(ci, cj)));
-        }
+        out.fill_from_fn(cities.len(), |i, j| {
+            self.distance_unchecked(cities[i], cities[j])
+        });
         Ok(())
     }
 }
@@ -365,11 +346,12 @@ mod tests {
     fn explicit_matrix_instances_look_up_entries() {
         let inst = TspInstance::from_matrix(
             "m",
-            vec![
+            DistanceMatrix::from_rows(&[
                 vec![0.0, 2.0, 9.0],
                 vec![2.0, 0.0, 6.0],
                 vec![9.0, 6.0, 0.0],
-            ],
+            ])
+            .unwrap(),
         )
         .unwrap();
         assert_eq!(inst.edge_weight_kind(), EdgeWeightKind::Explicit);
@@ -381,10 +363,10 @@ mod tests {
     fn sub_matrix_preserves_order() {
         let inst = square();
         let sub = inst.distance_matrix_for(&[2, 0]).unwrap();
-        assert_eq!(sub.len(), 2);
-        assert_eq!(sub[0][1], 5.0);
-        assert_eq!(sub[1][0], 5.0);
-        assert_eq!(sub[0][0], 0.0);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.get(0, 1), 5.0);
+        assert_eq!(sub.get(1, 0), 5.0);
+        assert_eq!(sub.get(0, 0), 0.0);
     }
 
     #[test]
@@ -397,8 +379,8 @@ mod tests {
     #[test]
     fn empty_instances_are_rejected() {
         assert!(TspInstance::from_coordinates("e", vec![], EdgeWeightKind::Euc2d).is_err());
-        assert!(TspInstance::from_matrix("e", vec![]).is_err());
-        assert!(TspInstance::from_matrix("e", vec![vec![0.0], vec![0.0]]).is_err());
+        assert!(TspInstance::from_matrix("e", DistanceMatrix::default()).is_err());
+        assert!(DistanceMatrix::from_rows(&[vec![0.0], vec![0.0]]).is_err());
     }
 
     #[test]
@@ -431,9 +413,9 @@ mod tests {
         let inst = square();
         let m = inst.full_distance_matrix();
         for i in 0..4 {
-            assert_eq!(m[i][i], 0.0);
+            assert_eq!(m.get(i, i), 0.0);
             for j in 0..4 {
-                assert_eq!(m[i][j], m[j][i]);
+                assert_eq!(m.get(i, j), m.get(j, i));
             }
         }
     }

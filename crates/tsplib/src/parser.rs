@@ -5,6 +5,8 @@
 //! and `EXPLICIT` instances with `FULL_MATRIX`, `UPPER_ROW`, `UPPER_DIAG_ROW` and
 //! `LOWER_DIAG_ROW` edge-weight formats.
 
+use taxi_dist::DistanceMatrix;
+
 use crate::{EdgeWeightKind, TspInstance, TsplibError};
 
 /// Parses the textual contents of a TSPLIB `.tsp` file.
@@ -163,8 +165,8 @@ fn parse_float(token: Option<&str>, lineno: usize) -> Result<f64, TsplibError> {
         })
 }
 
-fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<Vec<Vec<f64>>, TsplibError> {
-    let mut matrix = vec![vec![0.0; n]; n];
+fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<DistanceMatrix, TsplibError> {
+    let mut matrix = DistanceMatrix::zeros(n);
     let mut it = weights.iter().copied();
     let mut next = |reason: &str| -> Result<f64, TsplibError> {
         it.next().ok_or_else(|| TsplibError::Inconsistent {
@@ -175,7 +177,7 @@ fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<Vec<Vec<f6
         "FULL_MATRIX" => {
             for i in 0..n {
                 for j in 0..n {
-                    matrix[i][j] = next("full matrix")?;
+                    matrix.set(i, j, next("full matrix")?);
                 }
             }
         }
@@ -183,8 +185,8 @@ fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<Vec<Vec<f6
             for i in 0..n {
                 for j in (i + 1)..n {
                     let w = next("upper row")?;
-                    matrix[i][j] = w;
-                    matrix[j][i] = w;
+                    matrix.set(i, j, w);
+                    matrix.set(j, i, w);
                 }
             }
         }
@@ -192,8 +194,8 @@ fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<Vec<Vec<f6
             for i in 0..n {
                 for j in i..n {
                     let w = next("upper diagonal row")?;
-                    matrix[i][j] = w;
-                    matrix[j][i] = w;
+                    matrix.set(i, j, w);
+                    matrix.set(j, i, w);
                 }
             }
         }
@@ -201,8 +203,8 @@ fn assemble_matrix(n: usize, format: &str, weights: &[f64]) -> Result<Vec<Vec<f6
             for i in 0..n {
                 for j in 0..=i {
                     let w = next("lower diagonal row")?;
-                    matrix[i][j] = w;
-                    matrix[j][i] = w;
+                    matrix.set(i, j, w);
+                    matrix.set(j, i, w);
                 }
             }
         }

@@ -103,11 +103,12 @@ mod tests {
     fn explicit_matrix_round_trip_is_exact() {
         let original = TspInstance::from_matrix(
             "m",
-            vec![
+            taxi_dist::DistanceMatrix::from_rows(&[
                 vec![0.0, 2.5, 9.125],
                 vec![2.5, 0.0, 6.0625],
                 vec![9.125, 6.0625, 0.0],
-            ],
+            ])
+            .unwrap(),
         )
         .unwrap();
         let reparsed = parse_tsp(&original.write_tsplib()).unwrap();

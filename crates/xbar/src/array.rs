@@ -1,6 +1,7 @@
 //! The SOT-MRAM crossbar array with bit-sliced weight partitions and spin storage.
 
 use taxi_device::{DeviceParams, MagState};
+use taxi_dist::LANES;
 
 use crate::{BitPrecision, QuantizedDistances, XbarError};
 
@@ -109,12 +110,14 @@ impl Default for NonIdealityConfig {
 /// use taxi_xbar::{BitPrecision, CrossbarArray, QuantizedDistances};
 /// use taxi_xbar::array::NonIdealityConfig;
 /// use taxi_device::DeviceParams;
+/// use taxi_dist::DistanceMatrix;
 ///
-/// let d = vec![
+/// let d = DistanceMatrix::from_rows(&[
 ///     vec![0.0, 1.0, 5.0],
 ///     vec![1.0, 0.0, 2.0],
 ///     vec![5.0, 2.0, 0.0],
-/// ];
+/// ])
+/// .expect("square matrix");
 /// let q = QuantizedDistances::from_distances(&d, BitPrecision::FOUR)?;
 /// let mut array = CrossbarArray::new(3, BitPrecision::FOUR, DeviceParams::default(),
 ///                                    NonIdealityConfig::ideal());
@@ -134,6 +137,13 @@ pub struct CrossbarArray {
     cells: Vec<MagState>,
     /// Per-cell fixed conductance perturbation factors (device-to-device variation).
     variation: Vec<f64>,
+    /// Cached effective conductance per cell (state + variation + wire resistance).
+    ///
+    /// The read kernels are the anneal loop's hot path; the conductance formula is
+    /// deterministic in the cell state, so it only needs re-evaluation at the four
+    /// mutation points (`new`, `program_weights`, `write_spin`, `reset_order_column`)
+    /// instead of once per MAC term. Values are identical to computing on the fly.
+    g_eff: Vec<f64>,
     /// Reusable per-city scratch for assignment validation (no per-write allocation).
     seen_buf: Vec<bool>,
     write_ops: u64,
@@ -167,16 +177,24 @@ impl CrossbarArray {
                 }
             })
             .collect();
-        Self {
+        let mut array = Self {
             geometry,
             params,
             non_ideality,
             cells: vec![MagState::AntiParallel; n_cells],
             variation,
+            g_eff: vec![0.0; n_cells],
             seen_buf: vec![false; rows],
             write_ops: 0,
             read_ops: 0,
+        };
+        let columns = array.geometry.columns();
+        for row in 0..rows {
+            for col in 0..columns {
+                array.refresh_conductance(row, col);
+            }
         }
+        array
     }
 
     /// The array geometry.
@@ -216,17 +234,23 @@ impl CrossbarArray {
 
     /// Effective conductance of the cell at (`row`, `col`) including non-idealities.
     pub fn effective_conductance(&self, row: usize, col: usize) -> f64 {
+        self.g_eff[self.cell_index(row, col)]
+    }
+
+    /// Recomputes the cached effective conductance of one cell; must be called whenever
+    /// the cell's state changes.
+    fn refresh_conductance(&mut self, row: usize, col: usize) {
         let idx = self.cell_index(row, col);
         let base = match self.cells[idx] {
             MagState::Parallel => self.params.g_parallel(),
             MagState::AntiParallel => self.params.g_antiparallel(),
         } * self.variation[idx];
         let r_wire = self.non_ideality.wire_resistance_per_cell_ohms * ((row + col) as f64 + 1.0);
-        if r_wire <= 0.0 {
+        self.g_eff[idx] = if r_wire <= 0.0 {
             base
         } else {
             1.0 / (1.0 / base + r_wire)
-        }
+        };
     }
 
     /// Programs the bit-sliced distance weights into the first `B` partitions.
@@ -268,6 +292,7 @@ impl CrossbarArray {
                     let state = MagState::from_bit(weights.weight_bit(row, city, bit));
                     let idx = self.cell_index(row, col);
                     self.cells[idx] = state;
+                    self.refresh_conductance(row, col);
                     self.write_ops += 1;
                 }
             }
@@ -298,6 +323,7 @@ impl CrossbarArray {
         let col = self.geometry.spin_storage_start() + order;
         let idx = self.cell_index(city, col);
         self.cells[idx] = MagState::from_bit(value);
+        self.refresh_conductance(city, col);
         self.write_ops += 1;
         Ok(())
     }
@@ -314,6 +340,7 @@ impl CrossbarArray {
         for city in 0..self.geometry.rows {
             let idx = self.cell_index(city, col);
             self.cells[idx] = MagState::AntiParallel;
+            self.refresh_conductance(city, col);
             self.write_ops += 1;
         }
         Ok(())
@@ -357,11 +384,29 @@ impl CrossbarArray {
         }
         self.read_ops += 1;
         let v = self.params.read_voltage;
+        let n = self.geometry.rows;
+        let columns = self.geometry.columns();
         out.fill(0.0);
+        // Rows are chunked [`LANES`] wide (independent outputs gathered into an array
+        // temporary the autovectorizer can lower to SIMD); each out[row] still receives
+        // exactly one add per order, in order order, so results are bit-identical to the
+        // scalar loop.
         for &order in orders {
             let col = self.geometry.spin_storage_start() + order;
-            for (row, current) in out.iter_mut().enumerate() {
-                *current += v * self.effective_conductance(row, col);
+            let mut row = 0;
+            while row + LANES <= n {
+                let mut gathered = [0.0f64; LANES];
+                for l in 0..LANES {
+                    gathered[l] = self.g_eff[(row + l) * columns + col];
+                }
+                for (l, &g) in gathered.iter().enumerate() {
+                    out[row + l] += v * g;
+                }
+                row += LANES;
+            }
+            while row < n {
+                out[row] += v * self.g_eff[row * columns + col];
+                row += 1;
             }
         }
         Ok(())
@@ -405,19 +450,41 @@ impl CrossbarArray {
         let v = self.params.read_voltage;
         let bits = self.geometry.precision.bits();
         let n = self.geometry.rows;
+        let columns = self.geometry.columns();
         out.fill(0.0);
+        // Cities (columns within a partition) are chunked [`LANES`] wide: each lane's
+        // accumulator sums its active rows in exactly the original row order, so per-city
+        // currents are bit-identical to the scalar scan while four adjacent columns are
+        // processed from one contiguous row slice.
         for p in 0..bits {
             let significance = f64::from(1u32 << (bits - 1 - p));
             let start = self.geometry.weight_partition_start(p);
-            for city in 0..n {
+            let mut city = 0;
+            while city + LANES <= n {
+                let mut acc = [0.0f64; LANES];
+                for (row, &active) in row_vector.iter().enumerate() {
+                    if active {
+                        let base = row * columns + start + city;
+                        for l in 0..LANES {
+                            acc[l] += v * self.g_eff[base + l];
+                        }
+                    }
+                }
+                for (l, &i_col) in acc.iter().enumerate() {
+                    out[city + l] += significance * i_col;
+                }
+                city += LANES;
+            }
+            while city < n {
                 let col = start + city;
                 let mut i_col = 0.0;
                 for (row, &active) in row_vector.iter().enumerate() {
                     if active {
-                        i_col += v * self.effective_conductance(row, col);
+                        i_col += v * self.g_eff[row * columns + col];
                     }
                 }
                 out[city] += significance * i_col;
+                city += 1;
             }
         }
     }
@@ -535,13 +602,14 @@ impl CrossbarArray {
 mod tests {
     use super::*;
 
-    fn distances() -> Vec<Vec<f64>> {
-        vec![
+    fn distances() -> taxi_dist::DistanceMatrix {
+        taxi_dist::DistanceMatrix::from_rows(&[
             vec![0.0, 1.0, 5.0, 9.0],
             vec![1.0, 0.0, 2.0, 7.0],
             vec![5.0, 2.0, 0.0, 1.5],
             vec![9.0, 7.0, 1.5, 0.0],
-        ]
+        ])
+        .unwrap()
     }
 
     fn ideal_array() -> CrossbarArray {

@@ -3,6 +3,7 @@
 use rand::Rng;
 
 use taxi_device::{DeviceParams, WriteCurrent};
+use taxi_dist::DistanceMatrix;
 
 use crate::array::NonIdealityConfig;
 use crate::{
@@ -163,8 +164,8 @@ impl IsingMacro {
     ///
     /// Returns [`XbarError::ProblemTooLarge`] if the matrix exceeds the configured
     /// capacity, or [`XbarError::InvalidDistanceMatrix`] if the matrix is malformed.
-    pub fn new(distances: &[Vec<f64>], config: MacroConfig) -> Result<Self, XbarError> {
-        let n = distances.len();
+    pub fn new(distances: &DistanceMatrix, config: MacroConfig) -> Result<Self, XbarError> {
+        let n = distances.n();
         if n > config.capacity {
             return Err(XbarError::ProblemTooLarge {
                 cities: n,
@@ -214,13 +215,13 @@ impl IsingMacro {
     ///
     /// Returns [`XbarError::InvalidDistanceMatrix`] if `distances` is malformed or its
     /// size differs from the macro's current number of cities.
-    pub fn remap(&mut self, distances: &[Vec<f64>]) -> Result<(), XbarError> {
-        if distances.len() != self.num_cities() {
+    pub fn remap(&mut self, distances: &DistanceMatrix) -> Result<(), XbarError> {
+        if distances.n() != self.num_cities() {
             return Err(XbarError::InvalidDistanceMatrix {
                 reason: format!(
                     "remap requires a {}-city matrix but got {} cities",
                     self.num_cities(),
-                    distances.len()
+                    distances.n()
                 ),
             });
         }
@@ -424,22 +425,15 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Four cities on a line: 0 -- 1 -- 2 -- 3. Optimal open path visits them in order.
-    fn line_distances() -> Vec<Vec<f64>> {
-        let coords = [0.0, 1.0, 2.0, 3.0];
-        (0..4)
-            .map(|i| {
-                (0..4)
-                    .map(|j| coords[i] - coords[j])
-                    .map(f64::abs)
-                    .collect()
-            })
-            .collect()
+    fn line_distances() -> DistanceMatrix {
+        let coords = [0.0f64, 1.0, 2.0, 3.0];
+        DistanceMatrix::from_fn(4, |i, j| (coords[i] - coords[j]).abs())
     }
 
-    fn tour_length(distances: &[Vec<f64>], order: &[usize]) -> f64 {
+    fn tour_length(distances: &DistanceMatrix, order: &[usize]) -> f64 {
         let n = order.len();
         (0..n)
-            .map(|i| distances[order[i]][order[(i + 1) % n]])
+            .map(|i| distances.get(order[i], order[(i + 1) % n]))
             .sum()
     }
 
@@ -493,11 +487,8 @@ mod tests {
 
     /// Six cities on a line: 0 -- 1 -- ... -- 5. The optimal cycle sweeps up and back
     /// (length 10).
-    fn long_line_distances() -> Vec<Vec<f64>> {
-        let n = 6;
-        (0..n)
-            .map(|i| (0..n).map(|j| (i as f64 - j as f64).abs()).collect())
-            .collect()
+    fn long_line_distances() -> DistanceMatrix {
+        DistanceMatrix::from_fn(6, |i, j| (i as f64 - j as f64).abs())
     }
 
     #[test]
@@ -574,13 +565,7 @@ mod tests {
     #[test]
     fn remap_is_equivalent_to_fresh_construction() {
         let d1 = line_distances();
-        let d2: Vec<Vec<f64>> = (0..4)
-            .map(|i| {
-                (0..4)
-                    .map(|j| ((i * i) as f64 - (j * j) as f64).abs())
-                    .collect()
-            })
-            .collect();
+        let d2 = DistanceMatrix::from_fn(4, |i, j| ((i * i) as f64 - (j * j) as f64).abs());
         let config = MacroConfig::new(4);
 
         let mut fresh = IsingMacro::new(&d2, config.clone()).unwrap();
@@ -620,7 +605,7 @@ mod tests {
     fn remap_rejects_size_changes() {
         let d = line_distances();
         let mut m = IsingMacro::new(&d, MacroConfig::new(4)).unwrap();
-        let small = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let small = DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         assert!(matches!(
             m.remap(&small),
             Err(XbarError::InvalidDistanceMatrix { .. })

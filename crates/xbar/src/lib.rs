@@ -20,15 +20,16 @@
 //! # Example
 //!
 //! ```
+//! use taxi_dist::DistanceMatrix;
 //! use taxi_xbar::{IsingMacro, MacroConfig};
 //!
 //! // A 4-city sub-problem at 4-bit weight precision.
-//! let distances = vec![
+//! let distances = DistanceMatrix::from_rows(&[
 //!     vec![0.0, 2.0, 9.0, 10.0],
 //!     vec![2.0, 0.0, 6.0, 4.0],
 //!     vec![9.0, 6.0, 0.0, 3.0],
 //!     vec![10.0, 4.0, 3.0, 0.0],
-//! ];
+//! ]).expect("square matrix");
 //! let config = MacroConfig::new(4);
 //! let mut macro_ = IsingMacro::new(&distances, config)?;
 //! assert_eq!(macro_.num_cities(), 4);

@@ -12,6 +12,8 @@
 //! bit-sliced: partition `b` of the crossbar stores bit `b` of every weight, and the
 //! partition's column current is scaled by `2^b` by the current-mirror bank.
 
+use taxi_dist::DistanceMatrix;
+
 use crate::XbarError;
 
 /// Weight bit precision of the crossbar (`B` in the paper; 2–4 bits are evaluated).
@@ -73,13 +75,15 @@ impl std::fmt::Display for BitPrecision {
 /// # Example
 ///
 /// ```
+/// use taxi_dist::DistanceMatrix;
 /// use taxi_xbar::{BitPrecision, QuantizedDistances};
 ///
-/// let d = vec![
+/// let d = DistanceMatrix::from_rows(&[
 ///     vec![0.0, 1.0, 2.0],
 ///     vec![1.0, 0.0, 4.0],
 ///     vec![2.0, 4.0, 0.0],
-/// ];
+/// ])
+/// .expect("square matrix");
 /// let q = QuantizedDistances::from_distances(&d, BitPrecision::FOUR)?;
 /// // The shortest edge gets the maximum weight, the 4× longer edge roughly a quarter.
 /// assert_eq!(q.weight(0, 1), 15);
@@ -103,10 +107,10 @@ impl QuantizedDistances {
     ///
     /// # Errors
     ///
-    /// Returns [`XbarError::InvalidDistanceMatrix`] if the matrix is empty, not square,
-    /// contains negative distances, or has no positive off-diagonal entry.
+    /// Returns [`XbarError::InvalidDistanceMatrix`] if the matrix is empty or contains
+    /// negative distances.
     pub fn from_distances(
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         precision: BitPrecision,
     ) -> Result<Self, XbarError> {
         let mut quantized = Self {
@@ -128,20 +132,15 @@ impl QuantizedDistances {
     ///
     /// Same error conditions as [`from_distances`](Self::from_distances); on error the
     /// previous contents are unspecified.
-    pub fn requantize(&mut self, distances: &[Vec<f64>]) -> Result<(), XbarError> {
-        let n = distances.len();
+    pub fn requantize(&mut self, distances: &DistanceMatrix) -> Result<(), XbarError> {
+        let n = distances.n();
         if n == 0 {
             return Err(XbarError::InvalidDistanceMatrix {
                 reason: "matrix is empty".to_string(),
             });
         }
-        if distances.iter().any(|row| row.len() != n) {
-            return Err(XbarError::InvalidDistanceMatrix {
-                reason: "matrix is not square".to_string(),
-            });
-        }
         let mut d_min = f64::INFINITY;
-        for (i, row) in distances.iter().enumerate() {
+        for (i, row) in distances.rows().enumerate() {
             for (j, &d) in row.iter().enumerate() {
                 if i == j {
                     continue;
@@ -165,7 +164,7 @@ impl QuantizedDistances {
         self.n = n;
         self.weights.clear();
         self.weights.resize(n * n, 0);
-        for (i, row) in distances.iter().enumerate() {
+        for (i, row) in distances.rows().enumerate() {
             for (j, &d) in row.iter().enumerate() {
                 if i == j || !d.is_finite() {
                     continue;
@@ -226,13 +225,14 @@ impl QuantizedDistances {
 mod tests {
     use super::*;
 
-    fn sample() -> Vec<Vec<f64>> {
-        vec![
+    fn sample() -> DistanceMatrix {
+        DistanceMatrix::from_rows(&[
             vec![0.0, 1.0, 2.0, 8.0],
             vec![1.0, 0.0, 4.0, 2.0],
             vec![2.0, 4.0, 0.0, 1.0],
             vec![8.0, 2.0, 1.0, 0.0],
-        ]
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -272,31 +272,24 @@ mod tests {
     #[test]
     fn infinite_distance_maps_to_zero_weight() {
         let mut d = sample();
-        d[0][3] = f64::INFINITY;
+        d.set(0, 3, f64::INFINITY);
         let q = QuantizedDistances::from_distances(&d, BitPrecision::FOUR).unwrap();
         assert_eq!(q.weight(0, 3), 0);
     }
 
     #[test]
-    fn non_square_matrix_is_rejected() {
-        let d = vec![vec![0.0, 1.0], vec![1.0]];
-        assert!(matches!(
-            QuantizedDistances::from_distances(&d, BitPrecision::FOUR),
-            Err(XbarError::InvalidDistanceMatrix { .. })
-        ));
-    }
-
-    #[test]
     fn negative_distance_is_rejected() {
         let mut d = sample();
-        d[1][2] = -3.0;
+        d.set(1, 2, -3.0);
         assert!(QuantizedDistances::from_distances(&d, BitPrecision::FOUR).is_err());
     }
 
     #[test]
     fn empty_matrix_is_rejected() {
-        let d: Vec<Vec<f64>> = Vec::new();
-        assert!(QuantizedDistances::from_distances(&d, BitPrecision::FOUR).is_err());
+        assert!(matches!(
+            QuantizedDistances::from_distances(&DistanceMatrix::default(), BitPrecision::FOUR),
+            Err(XbarError::InvalidDistanceMatrix { .. })
+        ));
     }
 
     #[test]

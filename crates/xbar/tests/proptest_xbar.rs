@@ -3,20 +3,17 @@
 use proptest::prelude::*;
 
 use taxi_device::DeviceParams;
+use taxi_dist::DistanceMatrix;
 use taxi_xbar::array::NonIdealityConfig;
 use taxi_xbar::{BitPrecision, CrossbarArray, QuantizedDistances};
 
-fn distance_matrix_strategy(max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn distance_matrix_strategy(max_n: usize) -> impl Strategy<Value = DistanceMatrix> {
     prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 4..max_n).prop_map(|points| {
-        points
-            .iter()
-            .map(|&(x1, y1)| {
-                points
-                    .iter()
-                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
-                    .collect()
-            })
-            .collect()
+        DistanceMatrix::from_fn(points.len(), |i, j| {
+            let (x1, y1) = points[i];
+            let (x2, y2) = points[j];
+            (x1 - x2).hypot(y1 - y2)
+        })
     })
 }
 
@@ -32,9 +29,9 @@ proptest! {
     fn weights_respect_precision(matrix in distance_matrix_strategy(12), bits in 1u8..6) {
         let precision = BitPrecision::new(bits).unwrap();
         let q = QuantizedDistances::from_distances(&matrix, precision).unwrap();
-        for i in 0..matrix.len() {
+        for i in 0..matrix.n() {
             prop_assert_eq!(q.weight(i, i), 0);
-            for j in 0..matrix.len() {
+            for j in 0..matrix.n() {
                 prop_assert!(q.weight(i, j) <= precision.max_level());
             }
         }
@@ -44,13 +41,13 @@ proptest! {
     #[test]
     fn shortest_edge_saturates(matrix in distance_matrix_strategy(10)) {
         let q = QuantizedDistances::from_distances(&matrix, BitPrecision::FOUR).unwrap();
-        let n = matrix.len();
+        let n = matrix.n();
         let mut best = (0usize, 1usize);
         let mut best_d = f64::INFINITY;
         for i in 0..n {
             for j in 0..n {
-                if i != j && matrix[i][j] > 0.0 && matrix[i][j] < best_d {
-                    best_d = matrix[i][j];
+                if i != j && matrix.get(i, j) > 0.0 && matrix.get(i, j) < best_d {
+                    best_d = matrix.get(i, j);
                     best = (i, j);
                 }
             }
@@ -63,7 +60,7 @@ proptest! {
     /// regardless of non-idealities (they only affect analogue reads, not state).
     #[test]
     fn spin_storage_round_trips(matrix in distance_matrix_strategy(10), seed in 0u64..100) {
-        let n = matrix.len();
+        let n = matrix.n();
         let q = QuantizedDistances::from_distances(&matrix, BitPrecision::FOUR).unwrap();
         let mut array = CrossbarArray::new(
             n,
@@ -88,7 +85,7 @@ proptest! {
     /// can only increase every column current.
     #[test]
     fn currents_are_monotone_in_active_rows(matrix in distance_matrix_strategy(9)) {
-        let n = matrix.len();
+        let n = matrix.n();
         let q = QuantizedDistances::from_distances(&matrix, BitPrecision::THREE).unwrap();
         let mut array = CrossbarArray::new(
             n,
@@ -104,6 +101,90 @@ proptest! {
         for (a, b) in few.iter().zip(&many) {
             prop_assert!(b + 1e-15 >= *a);
         }
+    }
+
+    /// The lane-chunked MAC kernel is bit-identical to a scalar re-derivation from the
+    /// per-cell effective conductances, for arbitrary sizes (odd tails included),
+    /// precisions and activation patterns.
+    #[test]
+    fn chunked_mac_is_bit_identical_to_scalar_reference(
+        matrix in distance_matrix_strategy(14),
+        bits in 1u8..5,
+        mask in 0u32..4096,
+    ) {
+        let n = matrix.n();
+        let precision = BitPrecision::new(bits).unwrap();
+        let q = QuantizedDistances::from_distances(&matrix, precision).unwrap();
+        let mut array = CrossbarArray::new(
+            n,
+            precision,
+            DeviceParams::default(),
+            NonIdealityConfig::realistic(),
+        );
+        array.program_weights(&q).unwrap();
+        let row_vector: Vec<bool> = (0..n).map(|i| (mask >> (i % 12)) & 1 == 1).collect();
+
+        let chunked = array.weighted_column_currents(&row_vector);
+
+        // Scalar reference: per-city accumulation in original row order.
+        let geometry = array.geometry();
+        let v = array.params().read_voltage;
+        let mut reference = vec![0.0f64; n];
+        for p in 0..bits {
+            let significance = f64::from(1u32 << (bits - 1 - p));
+            let start = geometry.weight_partition_start(p);
+            for (city, slot) in reference.iter_mut().enumerate() {
+                let mut i_col = 0.0;
+                for (row, &active) in row_vector.iter().enumerate() {
+                    if active {
+                        i_col += v * array.effective_conductance(row, start + city);
+                    }
+                }
+                *slot += significance * i_col;
+            }
+        }
+        prop_assert_eq!(chunked, reference);
+    }
+
+    /// The lane-chunked superposition kernel is bit-identical to a scalar re-derivation
+    /// from the per-cell effective conductances.
+    #[test]
+    fn chunked_superposition_is_bit_identical_to_scalar_reference(
+        matrix in distance_matrix_strategy(14),
+        seed in 0u64..100,
+        active_orders in 1usize..6,
+    ) {
+        let n = matrix.n();
+        let q = QuantizedDistances::from_distances(&matrix, BitPrecision::FOUR).unwrap();
+        let mut array = CrossbarArray::new(
+            n,
+            BitPrecision::FOUR,
+            DeviceParams::default(),
+            NonIdealityConfig::realistic(),
+        );
+        array.program_weights(&q).unwrap();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        array.write_assignment(&perm).unwrap();
+        let orders: Vec<usize> = (0..active_orders.min(n)).collect();
+
+        let chunked = array.superpose_orders(&orders).unwrap();
+
+        let geometry = array.geometry();
+        let v = array.params().read_voltage;
+        let mut reference = vec![0.0f64; n];
+        for &order in &orders {
+            let col = geometry.spin_storage_start() + order;
+            for (row, slot) in reference.iter_mut().enumerate() {
+                *slot += v * array.effective_conductance(row, col);
+            }
+        }
+        prop_assert_eq!(chunked, reference);
     }
 
     /// Permutations survive the permutation strategy itself (sanity of the helper).

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use taxi::{SolveContext, SolverBackend, SolverScratch, TaxiConfig, TaxiSolver};
 use taxi_cluster::{EndpointFixer, Hierarchy, Point};
+use taxi_dist::DistanceMatrix;
 use taxi_tsplib::generator::clustered_instance;
 use taxi_tsplib::TspInstance;
 
@@ -61,7 +62,7 @@ struct LevelSolveHarness {
     hierarchy: Hierarchy,
     endpoints: Vec<taxi_cluster::FixedEndpoints>,
     scratch: SolverScratch,
-    matrix: Vec<Vec<f64>>,
+    matrix: DistanceMatrix,
     members: Vec<usize>,
     out: Vec<usize>,
 }
@@ -88,7 +89,7 @@ impl LevelSolveHarness {
             hierarchy,
             endpoints,
             scratch: SolverScratch::new(),
-            matrix: Vec::new(),
+            matrix: DistanceMatrix::default(),
             members: Vec::new(),
             out: Vec::new(),
         }
@@ -115,12 +116,12 @@ impl LevelSolveHarness {
             let seed = seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             if start == end {
                 backend
-                    .solve_cycle_into(&self.matrix[..n], seed, &mut self.scratch, &mut self.out)
+                    .solve_cycle_into(&self.matrix, seed, &mut self.scratch, &mut self.out)
                     .unwrap();
             } else {
                 backend
                     .solve_path_into(
-                        &self.matrix[..n],
+                        &self.matrix,
                         start,
                         end,
                         seed,

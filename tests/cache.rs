@@ -10,6 +10,7 @@ use taxi::{
     PipelineObserver, SolutionCache, SolveProvenance, SolverBackend, Stage, SubTour, TaxiConfig,
     TaxiError, TaxiSolver, TourSolver,
 };
+use taxi_dist::DistanceMatrix;
 use taxi_tsplib::generator::{clustered_instance, random_uniform_instance};
 use taxi_tsplib::TspInstance;
 
@@ -191,14 +192,14 @@ impl TourSolver for PanicOnceBackend {
         "panic-once"
     }
 
-    fn solve_cycle(&self, distances: &[Vec<f64>], seed: u64) -> Result<SubTour, TaxiError> {
+    fn solve_cycle(&self, distances: &DistanceMatrix, seed: u64) -> Result<SubTour, TaxiError> {
         self.trip();
         self.inner.solve_cycle(distances, seed)
     }
 
     fn solve_path(
         &self,
-        distances: &[Vec<f64>],
+        distances: &DistanceMatrix,
         start: usize,
         end: usize,
         seed: u64,
@@ -282,7 +283,11 @@ fn leader_panic_fails_only_itself_and_followers_resolve() {
 fn solve_errors_propagate_and_are_not_cached() {
     let cache = SolutionCache::with_defaults();
     let solver = TaxiSolver::new(TaxiConfig::new());
-    let unsolvable = TspInstance::from_matrix("m", vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+    let unsolvable = TspInstance::from_matrix(
+        "m",
+        DistanceMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+    )
+    .unwrap();
     for _ in 0..3 {
         assert!(matches!(
             solver.solve_cached(&unsolvable, &cache),

@@ -1,0 +1,83 @@
+//! Golden-tour bit-identity regression.
+//!
+//! `tests/fixtures/golden_tours.txt` was captured from the solver **before** the flat
+//! [`DistanceMatrix`] compute core landed (`Vec<Vec<f64>>` matrices, scalar kernels,
+//! exhaustive local search). Every line is `backend|instance|length|order` with the
+//! length printed as `{:.17e}` — enough digits to round-trip an `f64` exactly.
+//!
+//! The default configuration (no f32 mirror, `neighbor_limit == 0`) must reproduce
+//! every fixture tour **bit-identically**: same visiting order, same length to the
+//! last bit. This is the acceptance gate for the refactor — lane-chunked kernels,
+//! conductance caching and flat indexing are only allowed to change *how fast* the
+//! answer is computed, never the answer itself.
+//!
+//! [`DistanceMatrix`]: taxi_dist::DistanceMatrix
+
+use taxi::{SolverBackend, TaxiConfig, TaxiSolver};
+use taxi_tsplib::generator::{clustered_instance, random_uniform_instance};
+use taxi_tsplib::TspInstance;
+
+/// The exact instances the fixture was captured on.
+fn golden_instances() -> Vec<TspInstance> {
+    vec![
+        clustered_instance("golden-a", 80, 5, 11),
+        clustered_instance("golden-b", 130, 6, 3),
+        random_uniform_instance("golden-c", 60, 7),
+        random_uniform_instance("golden-d", 10, 4),
+    ]
+}
+
+#[test]
+fn default_path_reproduces_pre_refactor_tours_bit_identically() {
+    let fixture = include_str!("fixtures/golden_tours.txt");
+    let instances = golden_instances();
+    let mut checked = 0usize;
+
+    for line in fixture.lines().filter(|l| !l.trim().is_empty()) {
+        let mut parts = line.splitn(4, '|');
+        let backend_label = parts.next().expect("backend field");
+        let name = parts.next().expect("instance field");
+        let length: f64 = parts
+            .next()
+            .expect("length field")
+            .parse()
+            .expect("length parses");
+        let order: Vec<usize> = parts
+            .next()
+            .expect("order field")
+            .split(',')
+            .map(|c| c.parse().expect("city index parses"))
+            .collect();
+
+        let backend = SolverBackend::ALL
+            .into_iter()
+            .find(|b| b.label() == backend_label)
+            .unwrap_or_else(|| panic!("unknown backend label {backend_label}"));
+        let instance = instances
+            .iter()
+            .find(|i| i.name() == name)
+            .unwrap_or_else(|| panic!("unknown golden instance {name}"));
+
+        let solution = TaxiSolver::new(TaxiConfig::new().with_seed(9).with_backend(backend))
+            .solve(instance)
+            .unwrap_or_else(|err| panic!("{backend_label} failed on {name}: {err}"));
+
+        assert_eq!(
+            solution.tour.order(),
+            &order[..],
+            "{backend_label} tour on {name} diverged from the pre-refactor fixture"
+        );
+        assert!(
+            solution.length == length,
+            "{backend_label} length on {name} diverged: fixture {length:.17e}, got {:.17e}",
+            solution.length
+        );
+        checked += 1;
+    }
+
+    assert_eq!(
+        checked,
+        SolverBackend::ALL.len() * instances.len(),
+        "fixture must cover every backend × instance pair"
+    );
+}

@@ -6,6 +6,7 @@ use rand_chacha::ChaCha8Rng;
 
 use taxi_arch::{ArchConfig, Compiler, LevelPlan, SolvePlan, SubProblem};
 use taxi_device::{DeviceParams, SwitchingCurve, WriteCurrent};
+use taxi_dist::DistanceMatrix;
 use taxi_ising::{AnnealingSchedule, CurrentSchedule, MacroSolverConfig, MacroTspSolver};
 use taxi_xbar::{BitPrecision, IsingMacro, MacroCircuitModel, MacroConfig};
 
@@ -29,13 +30,7 @@ fn schedule_and_device_compose_into_the_paper_annealing_trajectory() {
 /// schedule.
 #[test]
 fn macro_mask_statistics_follow_the_device_curve() {
-    let distances: Vec<Vec<f64>> = (0..12)
-        .map(|i| {
-            (0..12)
-                .map(|j| ((i as f64) - (j as f64)).abs() + 1.0)
-                .collect()
-        })
-        .collect();
+    let distances = DistanceMatrix::from_fn(12, |i, j| ((i as f64) - (j as f64)).abs() + 1.0);
     let macro_ = IsingMacro::new(&distances, MacroConfig::new(4)).unwrap();
     let params = DeviceParams::default();
     for ua in [360.0, 400.0, 440.0] {
@@ -50,17 +45,11 @@ fn macro_mask_statistics_follow_the_device_curve() {
 /// regression guard for the spin-storage swap logic under stochastic updates).
 #[test]
 fn macro_solver_is_robust_across_seeds() {
-    let distances: Vec<Vec<f64>> = (0..10)
-        .map(|i| {
-            (0..10)
-                .map(|j| {
-                    let a = 2.0 * std::f64::consts::PI * i as f64 / 10.0;
-                    let b = 2.0 * std::f64::consts::PI * j as f64 / 10.0;
-                    ((a.cos() - b.cos()).powi(2) + (a.sin() - b.sin()).powi(2)).sqrt()
-                })
-                .collect()
-        })
-        .collect();
+    let distances = DistanceMatrix::from_fn(10, |i, j| {
+        let a = 2.0 * std::f64::consts::PI * i as f64 / 10.0;
+        let b = 2.0 * std::f64::consts::PI * j as f64 / 10.0;
+        ((a.cos() - b.cos()).powi(2) + (a.sin() - b.sin()).powi(2)).sqrt()
+    });
     let solver = MacroTspSolver::new(MacroSolverConfig::default());
     for seed in 0..10u64 {
         let solution = solver.solve_cycle(&distances, seed).unwrap();

@@ -8,6 +8,7 @@ use taxi_cluster::{
     agglomerative_clusters, AgglomerativeConfig, Hierarchy, HierarchyConfig, Point,
 };
 use taxi_device::{DeviceParams, SwitchingCurve, WriteCurrent};
+use taxi_dist::DistanceMatrix;
 use taxi_ising::{AnnealingSchedule, CurrentSchedule, TspQuboEncoder};
 use taxi_tsplib::{EdgeWeightKind, Tour, TspInstance};
 use taxi_xbar::{BitPrecision, QuantizedDistances};
@@ -18,17 +19,13 @@ fn points_strategy(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
 }
 
 /// Strategy: a symmetric distance matrix derived from random points (always metric).
-fn distance_matrix_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn distance_matrix_strategy(max_len: usize) -> impl Strategy<Value = DistanceMatrix> {
     points_strategy(max_len).prop_map(|points| {
-        points
-            .iter()
-            .map(|&(x1, y1)| {
-                points
-                    .iter()
-                    .map(|&(x2, y2)| (x1 - x2).hypot(y1 - y2))
-                    .collect()
-            })
-            .collect()
+        DistanceMatrix::from_fn(points.len(), |i, j| {
+            let (x1, y1) = points[i];
+            let (x2, y2) = points[j];
+            (x1 - x2).hypot(y1 - y2)
+        })
     })
 }
 
@@ -40,11 +37,11 @@ proptest! {
     #[test]
     fn quantized_weights_are_monotone_in_distance(matrix in distance_matrix_strategy(10)) {
         let q = QuantizedDistances::from_distances(&matrix, BitPrecision::FOUR).unwrap();
-        let n = matrix.len();
+        let n = matrix.n();
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    if i != j && i != k && matrix[i][j] <= matrix[i][k] && matrix[i][j] > 0.0 && matrix[i][k] > 0.0 {
+                    if i != j && i != k && matrix.get(i, j) <= matrix.get(i, k) && matrix.get(i, j) > 0.0 && matrix.get(i, k) > 0.0 {
                         prop_assert!(q.weight(i, j) >= q.weight(i, k));
                     }
                 }
@@ -107,7 +104,7 @@ proptest! {
     /// The QUBO encoding ranks valid tours exactly like their geometric length.
     #[test]
     fn qubo_objective_orders_tours_by_length(matrix in distance_matrix_strategy(7)) {
-        let n = matrix.len();
+        let n = matrix.n();
         let encoder = TspQuboEncoder::new(&matrix).unwrap();
         let qubo = encoder.encode().unwrap();
         let identity: Vec<usize> = (0..n).collect();
@@ -149,7 +146,7 @@ proptest! {
         matrix in distance_matrix_strategy(10),
         seed in 0u64..100,
     ) {
-        let n = matrix.len();
+        let n = matrix.n();
         let (start, end) = (0, n - 1);
         for kind in SolverBackend::ALL {
             let backend = TaxiConfig::new().with_backend(kind).build_backend();
@@ -179,7 +176,7 @@ proptest! {
         matrix in distance_matrix_strategy(9),
         seed in 0u64..50,
     ) {
-        let n = matrix.len();
+        let n = matrix.n();
         let mut scratch = SolverScratch::new();
         let mut out = Vec::new();
         for kind in SolverBackend::ALL {
@@ -197,6 +194,50 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(&out, &path.order, "{} path order", kind);
             prop_assert_eq!(length, path.length, "{} path length", kind);
+        }
+    }
+
+    /// Neighbor-pruned local search (`neighbor_limit > 0`) upholds the same validity
+    /// invariants on every backend: cycle solves stay permutations, path solves keep
+    /// their pinned endpoints, and the `_into` entry points stay bit-identical to the
+    /// allocating ones under pruning.
+    #[test]
+    fn pruned_backends_uphold_tour_validity_invariants(
+        matrix in distance_matrix_strategy(13),
+        seed in 0u64..50,
+        limit in 1usize..10,
+    ) {
+        let n = matrix.n();
+        let mut scratch = SolverScratch::new();
+        let mut out = Vec::new();
+        for kind in SolverBackend::ALL {
+            let backend = TaxiConfig::new()
+                .with_neighbor_limit(limit)
+                .with_backend(kind)
+                .build_backend();
+
+            let cycle = backend.solve_cycle(&matrix, seed).unwrap();
+            let mut sorted = cycle.order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &(0..n).collect::<Vec<_>>(), "{} pruned cycle", kind);
+            prop_assert!(cycle.length.is_finite() && cycle.length >= 0.0);
+            let length = backend
+                .solve_cycle_into(&matrix, seed, &mut scratch, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out, &cycle.order, "{} pruned cycle order", kind);
+            prop_assert_eq!(length, cycle.length, "{} pruned cycle length", kind);
+
+            let path = backend.solve_path(&matrix, 0, n - 1, seed).unwrap();
+            let mut sorted = path.order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &(0..n).collect::<Vec<_>>(), "{} pruned path", kind);
+            prop_assert_eq!(path.order[0], 0, "{} pruned start pin", kind);
+            prop_assert_eq!(*path.order.last().unwrap(), n - 1, "{} pruned end pin", kind);
+            let length = backend
+                .solve_path_into(&matrix, 0, n - 1, seed, &mut scratch, &mut out)
+                .unwrap();
+            prop_assert_eq!(&out, &path.order, "{} pruned path order", kind);
+            prop_assert_eq!(length, path.length, "{} pruned path length", kind);
         }
     }
 
