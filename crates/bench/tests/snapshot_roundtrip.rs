@@ -1,0 +1,146 @@
+//! `ServiceSnapshot::to_json()` round-trip: the emitted text must parse with
+//! `taxi_bench::json::parse`, and every field the human-facing `one_line()`
+//! summary shows must be present and numerically equal in the JSON — the two
+//! renderings of one snapshot may never disagree.
+
+use std::sync::Arc;
+
+use taxi::router::{AdaptiveRouter, RouterConfig};
+use taxi::{BackendChoice, SolutionCache, SolverBackend, TaxiConfig};
+use taxi_bench::json::{parse, Parsed};
+use taxi_dispatch::{DispatchConfig, DispatchRequest, DispatchService, ServiceSnapshot};
+use taxi_tsplib::generator::clustered_instance;
+
+/// Serves enough traffic to populate every optional section: duplicate
+/// geometries for cache hits, adaptive routing for the routed/quality block.
+fn populated_snapshot() -> ServiceSnapshot {
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_workers(2)
+            .with_solver(
+                TaxiConfig::new()
+                    .with_seed(11)
+                    .with_backend_choice(BackendChoice::Adaptive),
+            )
+            .with_router(Arc::new(AdaptiveRouter::new(
+                RouterConfig::new().with_seed(7).with_epsilon(0.25),
+            )))
+            .with_cache(Arc::new(SolutionCache::with_defaults())),
+    );
+    // Eight distinct geometries, then the same eight again. The first pass is
+    // fully awaited before the repeats go in, so every repeat finds the cache
+    // populated (whether a repeat *hits* depends on routing to the same
+    // backend — insertions, not hits, are the deterministic signal).
+    for _pass in 0..2 {
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                let instance = clustered_instance("roundtrip", 36, 3, i);
+                service
+                    .submit(DispatchRequest::new(instance))
+                    .expect("admitted")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().solved().expect("solved");
+        }
+    }
+    service.shutdown()
+}
+
+/// Fetches a numeric field, failing loudly if missing or non-numeric.
+fn number(parsed: &Parsed, path: &[&str]) -> f64 {
+    let mut node = parsed;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("field {path:?} present in to_json"));
+    }
+    node.as_f64()
+        .unwrap_or_else(|| panic!("field {path:?} is numeric"))
+}
+
+#[test]
+fn to_json_parses_and_agrees_with_one_line() {
+    let snapshot = populated_snapshot();
+    let line = snapshot.one_line();
+    let parsed = parse(&snapshot.to_json()).expect("to_json emits valid JSON");
+
+    // Counters shown by one_line, checked exactly.
+    assert_eq!(number(&parsed, &["submitted"]), snapshot.submitted as f64);
+    assert_eq!(number(&parsed, &["completed"]), snapshot.completed as f64);
+    assert_eq!(number(&parsed, &["failed"]), snapshot.failed as f64);
+    assert_eq!(number(&parsed, &["shed"]), snapshot.shed as f64);
+    assert_eq!(number(&parsed, &["rejected"]), snapshot.rejected as f64);
+    assert_eq!(number(&parsed, &["cache_hits"]), snapshot.cache_hits as f64);
+    assert_eq!(number(&parsed, &["coalesced"]), snapshot.coalesced as f64);
+
+    // Rates and times one_line rounds, checked to the JSON's own precision.
+    assert!((number(&parsed, &["uptime_secs"]) - snapshot.uptime.as_secs_f64()).abs() < 1e-3);
+    assert!((number(&parsed, &["throughput_per_sec"]) - snapshot.throughput_per_sec).abs() < 0.1);
+    for (key, value) in [
+        ("p50_us", snapshot.end_to_end.p50),
+        ("p99_us", snapshot.end_to_end.p99),
+    ] {
+        assert!((number(&parsed, &["end_to_end", key]) - value.as_secs_f64() * 1e6).abs() < 0.1);
+    }
+
+    // The cache segment one_line shows when a cache is attached.
+    let cache = snapshot.cache.as_ref().expect("cache attached");
+    assert!(line.contains("cache "), "one_line shows the cache segment");
+    assert_eq!(number(&parsed, &["cache", "entries"]), cache.entries as f64);
+    assert_eq!(number(&parsed, &["cache", "bytes"]), cache.bytes as f64);
+    assert!((number(&parsed, &["cache", "hit_rate"]) - cache.hit_rate()).abs() < 1e-4);
+    assert!(cache.insertions > 0, "fresh solves populate the cache");
+
+    // The routed segment one_line shows when the router placed solves.
+    assert!(
+        line.contains("routed "),
+        "one_line shows the routed segment"
+    );
+    for (index, backend) in SolverBackend::ALL.iter().enumerate() {
+        assert_eq!(
+            number(&parsed, &["routed", backend.label()]),
+            snapshot.routed_per_backend[index] as f64,
+        );
+    }
+    assert!((number(&parsed, &["exploration_share"]) - snapshot.exploration_share()).abs() < 1e-4);
+    assert!((number(&parsed, &["quality", "mean"]) - snapshot.quality.mean).abs() < 1e-4);
+
+    // Every numeric literal one_line prints must appear in the JSON's value
+    // set (same snapshot, two renderings — they may not disagree).
+    assert!(line.contains(&format!("{} in", snapshot.submitted)));
+    assert!(line.contains(&format!("{} done", snapshot.completed)));
+}
+
+#[test]
+fn to_json_of_an_idle_service_parses_with_all_base_fields() {
+    let service = DispatchService::start(DispatchConfig::new().with_workers(1));
+    let snapshot = service.shutdown();
+    let parsed = parse(&snapshot.to_json()).expect("valid JSON");
+    for field in [
+        "uptime_secs",
+        "captured_at_secs",
+        "submitted",
+        "completed",
+        "failed",
+        "shed",
+        "rejected",
+        "degraded",
+        "deadline_misses",
+        "worker_panics",
+        "cache_hits",
+        "coalesced",
+        "solved_fresh",
+        "batches",
+        "mean_batch_size",
+        "throughput_per_sec",
+        "queue_wait",
+        "solve",
+        "end_to_end",
+    ] {
+        assert!(parsed.get(field).is_some(), "base field {field} present");
+    }
+    // No cache, no routed traffic: the optional sections are absent.
+    assert!(parsed.get("cache").is_none());
+    assert!(parsed.get("routed").is_none());
+}

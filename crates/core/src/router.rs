@@ -657,6 +657,16 @@ impl DecisionKind {
             DecisionKind::DeadlineInfeasible => "deadline-infeasible",
         }
     }
+
+    /// Stable numeric code (packed into trace span attributes).
+    pub fn code(self) -> u8 {
+        match self {
+            DecisionKind::Exploit => 0,
+            DecisionKind::Explore => 1,
+            DecisionKind::ColdStart => 2,
+            DecisionKind::DeadlineInfeasible => 3,
+        }
+    }
 }
 
 /// One routing decision.
@@ -668,6 +678,12 @@ pub struct RoutingDecision {
     pub bucket: SizeBucket,
     /// How the decision was reached.
     pub kind: DecisionKind,
+    /// Bitmask (by [`SolverBackend::index`]) of candidates excluded by the
+    /// deadline-feasibility filter: profiled p95 latency above the remaining
+    /// slack with at least `min_samples` of evidence. Zero when no deadline was
+    /// given or everything fit; under [`DecisionKind::DeadlineInfeasible`] it
+    /// covers every candidate.
+    pub excluded: u8,
 }
 
 impl RoutingDecision {
@@ -817,13 +833,21 @@ impl AdaptiveRouter {
             .map(|&backend| (backend, self.profiler.stats(backend, bucket)))
             .collect();
         let min_samples = self.config.min_samples;
-        let feasible: Vec<&(SolverBackend, BackendStats)> = candidates
-            .iter()
-            .filter(|(_, stats)| match slack {
+        let mut excluded = 0u8;
+        let mut feasible: Vec<&(SolverBackend, BackendStats)> =
+            Vec::with_capacity(candidates.len());
+        for candidate in &candidates {
+            let (backend, stats) = candidate;
+            let fits = match slack {
                 Some(slack) => stats.samples < min_samples || stats.p95_latency <= slack,
                 None => true,
-            })
-            .collect();
+            };
+            if fits {
+                feasible.push(candidate);
+            } else {
+                excluded |= 1 << backend.index();
+            }
+        }
 
         let decision = if feasible.is_empty() {
             // Damage control: nothing fits the budget, so minimise the overrun.
@@ -839,6 +863,7 @@ impl AdaptiveRouter {
                 backend,
                 bucket,
                 kind: DecisionKind::DeadlineInfeasible,
+                excluded,
             }
         } else {
             let explore = self.config.epsilon > 0.0 && {
@@ -880,6 +905,7 @@ impl AdaptiveRouter {
                     backend: explore_pool[index].0,
                     bucket,
                     kind: DecisionKind::Explore,
+                    excluded,
                 }
             } else {
                 let trusted: Vec<&&(SolverBackend, BackendStats)> = feasible
@@ -926,6 +952,7 @@ impl AdaptiveRouter {
                         backend,
                         bucket,
                         kind: DecisionKind::Exploit,
+                        excluded,
                     },
                     None => {
                         // Cold start: fill the emptiest cell first. Tiny instances
@@ -952,6 +979,7 @@ impl AdaptiveRouter {
                             backend,
                             bucket,
                             kind: DecisionKind::ColdStart,
+                            excluded,
                         }
                     }
                 }
@@ -1201,6 +1229,19 @@ mod tests {
         let decision = router.decide(&f, Some(Duration::from_millis(2)));
         assert_eq!(decision.backend, SolverBackend::NnTwoOpt);
         assert_ne!(decision.kind, DecisionKind::DeadlineInfeasible);
+        // The exclusion mask names exactly the three backends the filter dropped.
+        let expected: u8 = [
+            SolverBackend::IsingMacro,
+            SolverBackend::GreedyEdge,
+            SolverBackend::Exact,
+        ]
+        .iter()
+        .map(|b| 1 << b.index())
+        .sum();
+        assert_eq!(decision.excluded, expected);
+
+        // Without a deadline nothing is excluded.
+        assert_eq!(router.decide(&f, None).excluded, 0);
     }
 
     #[test]
@@ -1215,6 +1256,9 @@ mod tests {
         let decision = router.decide(&f, Some(Duration::from_micros(1)));
         assert_eq!(decision.kind, DecisionKind::DeadlineInfeasible);
         assert_eq!(decision.backend, SolverBackend::IsingMacro);
+        // Damage control: the mask records that every candidate was excluded.
+        let all: u8 = SolverBackend::ALL.iter().map(|b| 1 << b.index()).sum();
+        assert_eq!(decision.excluded, all);
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub mod queue;
 pub mod request;
 pub mod scheduler;
 pub mod service;
+pub mod tracing;
 pub mod workload;
 
 pub use metrics::{
@@ -96,6 +97,7 @@ pub use request::{
 };
 pub use scheduler::{BatchMeta, BatchPolicy, MicroBatcher};
 pub use service::{DispatchConfig, DispatchService};
+pub use tracing::TracingObserver;
 pub use workload::{
     ArrivalProcess, RequestMix, Scenario, SizeMix, Workload, WorkloadConfig, WorkloadEvent,
 };

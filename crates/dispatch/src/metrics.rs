@@ -64,7 +64,12 @@ impl LatencyHistogram {
     }
 
     fn bucket_index(duration: Duration) -> usize {
-        let micros = (duration.as_nanos() / 1_000).max(1) as u64;
+        // Saturate, don't truncate: `as u64` on a u128 keeps the low 64 bits, which
+        // would scatter week-plus outliers into arbitrary low buckets instead of the
+        // open-ended last one.
+        let micros = (duration.as_nanos() / 1_000)
+            .max(1)
+            .min(u128::from(u64::MAX)) as u64;
         // ceil(log2(micros)): 1µs → bucket 0, (1µs, 2µs] → 1, (2µs, 4µs] → 2, ...
         let index = 64 - (micros - 1).leading_zeros() as usize;
         index.min(BUCKETS - 1)
@@ -577,6 +582,7 @@ impl ServiceMetrics {
         let batched = self.batched_requests.load(Ordering::Relaxed);
         ServiceSnapshot {
             uptime,
+            captured_at: uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
             failed: self.failed.load(Ordering::Relaxed),
@@ -623,6 +629,12 @@ impl Default for ServiceMetrics {
 pub struct ServiceSnapshot {
     /// Time since the service (metrics hub) started.
     pub uptime: Duration,
+    /// When this snapshot was captured, as a monotonic (`Instant`-based) offset on
+    /// the same clock as `uptime`. Two dumps yield exact rates:
+    /// `(completed₂ − completed₁) / (captured_at₂ − captured_at₁)`. Equal to
+    /// `uptime` for a live service; an aggregator (the fleet) stamps both with its
+    /// own clock.
+    pub captured_at: Duration,
     /// Requests admitted into the queue.
     pub submitted: u64,
     /// Requests solved successfully.
@@ -767,11 +779,13 @@ impl ServiceSnapshot {
         let mut json = String::with_capacity(1024);
         let _ = write!(
             json,
-            "{{\"uptime_secs\":{:.3},\"submitted\":{},\"completed\":{},\"failed\":{},\
+            "{{\"uptime_secs\":{:.3},\"captured_at_secs\":{:.3},\"submitted\":{},\
+             \"completed\":{},\"failed\":{},\
              \"shed\":{},\"rejected\":{},\"degraded\":{},\"deadline_misses\":{},\
              \"worker_panics\":{},\"cache_hits\":{},\"coalesced\":{},\"solved_fresh\":{},\
              \"batches\":{},\"mean_batch_size\":{:.3},\"throughput_per_sec\":{:.1}",
             self.uptime.as_secs_f64(),
+            self.captured_at.as_secs_f64(),
             self.submitted,
             self.completed,
             self.failed,
@@ -970,6 +984,23 @@ mod tests {
         h.record(Duration::from_secs(40_000));
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(0.5), h.max());
+    }
+
+    #[test]
+    fn u64_max_duration_saturates_instead_of_truncating() {
+        // Regression: `as u64` on the u128 microsecond value kept only the low 64
+        // bits, scattering astronomically large observations into arbitrary low
+        // buckets. They must land in the open-ended last bucket instead.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_secs(u64::MAX));
+        assert_eq!(h.count(), 2);
+        // The outlier is the top rank, so p99 must report the observed maximum
+        // (the honest bound of the saturating bucket), not a low-bucket estimate.
+        assert_eq!(h.quantile(0.99), h.max());
+        assert!(h.max() >= Duration::from_secs(1 << 30));
+        // And the small observation is still where it belongs.
+        assert!(h.quantile(0.25) <= Duration::from_micros(128));
     }
 
     #[test]

@@ -15,9 +15,13 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use taxi_trace::{AttrKey, RequestFacts, SpanName};
 
 use crate::metrics::ServiceMetrics;
 use crate::request::{DispatchRequest, Pending, Priority, SubmitError, Ticket};
+use crate::tracing::TraceCtx;
 
 /// What a full queue does with a new submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -100,6 +104,9 @@ pub struct DispatchQueue {
     policy: AdmissionPolicy,
     metrics: Arc<ServiceMetrics>,
     seq: std::sync::atomic::AtomicU64,
+    /// Tracing bundle (ring `"admission"`), attached by the service before the
+    /// queue is shared; `None` keeps every admission hook a no-op.
+    trace: Option<TraceCtx>,
 }
 
 impl DispatchQueue {
@@ -122,7 +129,19 @@ impl DispatchQueue {
             policy,
             metrics,
             seq: std::sync::atomic::AtomicU64::new(0),
+            trace: None,
         }
+    }
+
+    /// Attaches the admission tracing bundle (called by the service between
+    /// construction and sharing the queue; tracing stays off without it).
+    pub(crate) fn attach_trace(&mut self, ctx: TraceCtx) {
+        self.trace = Some(ctx);
+    }
+
+    /// The admission tracing bundle, when tracing is on.
+    pub(crate) fn trace_ctx(&self) -> Option<&TraceCtx> {
+        self.trace.as_ref()
     }
 
     /// The queue's capacity.
@@ -174,6 +193,9 @@ impl DispatchQueue {
         request: DispatchRequest,
         cache_key: Option<u128>,
     ) -> Result<Ticket, SubmitError> {
+        // Admission-span anchor: covers the lock acquisition, the policy decision
+        // and (under `Block`) the whole backpressure wait.
+        let arrived = Instant::now();
         let mut state = self.lock();
         if state.closed {
             return Err(SubmitError::ShuttingDown(request));
@@ -217,18 +239,48 @@ impl DispatchQueue {
         let seq = self.allocate_seq();
         let (mut pending, ticket) = Pending::admit(request, seq);
         pending.cache_key = cache_key;
-        match pending.request.priority {
+        let priority = pending.request.priority;
+        if let Some(ctx) = &self.trace {
+            pending.trace = ctx.mint();
+        }
+        let trace = pending.trace;
+        match priority {
             Priority::Interactive => state.interactive.push_back(pending),
             Priority::Bulk => state.bulk.push_back(pending),
         }
+        let depth = state.len() as u64;
         self.metrics.record_submitted();
         self.not_empty.notify_one();
         drop(state);
+        if let Some(ctx) = &self.trace {
+            ctx.sink().record(
+                trace,
+                SpanName::Admit,
+                arrived,
+                arrived.elapsed(),
+                &[
+                    (AttrKey::Priority, priority as u64),
+                    (AttrKey::QueueDepth, depth),
+                    (AttrKey::Seq, seq),
+                ],
+            );
+        }
         // Resolve the victim outside the lock: its ticket holder may run arbitrary
         // code on wake.
         if let Some(victim) = shed_victim {
             self.metrics.record_shed();
+            let victim_trace = victim.trace;
+            let victim_submitted = victim.submitted_at;
+            let queued_for = victim_submitted.elapsed();
             victim.shed();
+            if let Some(ctx) = &self.trace {
+                // Shed outcomes are always retained by tail sampling.
+                ctx.finish(
+                    victim_trace,
+                    victim_submitted,
+                    &RequestFacts::completed(queued_for).shed(),
+                );
+            }
         }
         Ok(ticket)
     }

@@ -275,6 +275,10 @@ pub struct Pending {
     /// The request's solution-cache key, computed at admission when the service has
     /// a cache (drives the worker-side coalescing and insertion).
     pub(crate) cache_key: Option<u128>,
+    /// The request's trace identity, minted at admission when the service has a
+    /// tracer ([`TraceId::NONE`](taxi_trace::TraceId::NONE) otherwise — recording
+    /// against it is skipped everywhere).
+    pub(crate) trace: taxi_trace::TraceId,
 }
 
 impl Pending {
@@ -290,6 +294,7 @@ impl Pending {
             deadline,
             slot: Arc::clone(&slot),
             cache_key: None,
+            trace: taxi_trace::TraceId::NONE,
         };
         (pending, Ticket::new(seq, slot))
     }
@@ -312,6 +317,13 @@ impl Pending {
     /// The request's absolute deadline, if it carries a latency budget.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// The request's trace identity
+    /// ([`TraceId::NONE`](taxi_trace::TraceId::NONE) when the service traces
+    /// nothing).
+    pub fn trace(&self) -> taxi_trace::TraceId {
+        self.trace
     }
 
     /// Resolves the request with `outcome`, waking its ticket.

@@ -28,6 +28,8 @@ use taxi::{
     BackendChoice, CacheLookup, SolutionCache, SolveContext, SolverBackend, TaxiConfig, TaxiSolver,
 };
 
+use taxi_trace::{AttrKey, RequestFacts, SpanName, Tracer};
+
 use crate::coalesce::{CoalesceRole, Coalescer};
 use crate::metrics::{MetricsObserver, ServiceMetrics, ServiceSnapshot};
 use crate::queue::{AdmissionPolicy, DispatchQueue};
@@ -35,6 +37,7 @@ use crate::request::{
     DispatchOutcome, DispatchRequest, Pending, Priority, SolvedResponse, SubmitError, Ticket,
 };
 use crate::scheduler::{BatchPolicy, MicroBatcher};
+use crate::tracing::{TraceCtx, TracingObserver};
 
 /// Configuration of a [`DispatchService`].
 #[derive(Debug, Clone)]
@@ -69,6 +72,16 @@ pub struct DispatchConfig {
     /// repeat instances without queueing, workers coalesce in-flight duplicates and
     /// insert fresh solves. `None` (the default) disables caching entirely.
     pub cache: Option<Arc<SolutionCache>>,
+    /// The span tracer, if per-request tracing is enabled: every admitted request
+    /// is minted a [`TraceId`](taxi_trace::TraceId) and recorded through the
+    /// flight recorder at each hop (admission, queue, routing, batching, cache,
+    /// coalescing, solve, pipeline stages). Shareable across services; `None`
+    /// (the default) keeps every tracing hook a no-op.
+    pub trace: Option<Arc<Tracer>>,
+    /// The fleet placement `(shard, generation)` stamped onto every finished
+    /// trace's root span. `(0, 0)` for a standalone service; the fleet sets it
+    /// when building shard services.
+    pub trace_site: (u64, u64),
 }
 
 impl PartialEq for DispatchConfig {
@@ -92,6 +105,12 @@ impl PartialEq for DispatchConfig {
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
             }
+            && match (&self.trace, &other.trace) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && self.trace_site == other.trace_site
     }
 }
 
@@ -112,6 +131,8 @@ impl DispatchConfig {
             degraded_budget: Duration::from_millis(25),
             router: None,
             cache: None,
+            trace: None,
+            trace_site: (0, 0),
         }
     }
 
@@ -204,6 +225,31 @@ impl DispatchConfig {
         self.cache = None;
         self
     }
+
+    /// Attaches a span tracer (shareable across services; see
+    /// [`taxi_trace::Tracer`]). Every admitted request is then traced through
+    /// the flight recorder, with tail sampling deciding at completion which
+    /// traces are kept for export.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.trace = Some(tracer);
+        self
+    }
+
+    /// Detaches the tracer.
+    #[must_use]
+    pub fn without_tracer(mut self) -> Self {
+        self.trace = None;
+        self
+    }
+
+    /// Sets the fleet placement `(shard, generation)` stamped onto every
+    /// finished trace's root span.
+    #[must_use]
+    pub fn with_trace_site(mut self, shard: u64, generation: u64) -> Self {
+        self.trace_site = (shard, generation);
+        self
+    }
 }
 
 impl Default for DispatchConfig {
@@ -257,11 +303,15 @@ impl DispatchService {
     /// configuration is built in that case).
     pub fn start(config: DispatchConfig) -> Self {
         let metrics = Arc::new(ServiceMetrics::new());
-        let queue = Arc::new(DispatchQueue::new(
+        let mut queue = DispatchQueue::new(
             config.queue_capacity,
             config.admission,
             Arc::clone(&metrics),
-        ));
+        );
+        if let Some(tracer) = &config.trace {
+            queue.attach_trace(TraceCtx::new(tracer, "admission", config.trace_site));
+        }
+        let queue = Arc::new(queue);
         let cache_token = config.solver.cache_token();
         let router = config.router.clone().or_else(|| {
             matches!(config.solver.backend_choice(), BackendChoice::Adaptive).then(|| {
@@ -351,7 +401,21 @@ impl DispatchService {
         match cache.lookup(self.cache_token, &request.instance) {
             CacheLookup::Hit(hit) => {
                 let seq = self.queue.allocate_seq();
-                let (pending, ticket) = Pending::admit(request, seq);
+                let (mut pending, ticket) = Pending::admit(request, seq);
+                if let Some(ctx) = self.queue.trace_ctx() {
+                    // An admission-time hit still gets a full trace: the lookup
+                    // span covers the fingerprint + probe, and the root span
+                    // shows the request never reached the queue.
+                    pending.trace = ctx.mint();
+                    ctx.sink().record(
+                        pending.trace,
+                        SpanName::CacheLookup,
+                        arrived,
+                        arrived.elapsed(),
+                        &[(AttrKey::Hit, 1), (AttrKey::Seq, seq)],
+                    );
+                }
+                let trace = pending.trace;
                 self.metrics.record_submitted();
                 let end_to_end = arrived.elapsed();
                 self.metrics.record_cache_hit(end_to_end);
@@ -370,6 +434,13 @@ impl DispatchService {
                     routed: None,
                     explored: false,
                 })));
+                if let Some(ctx) = self.queue.trace_ctx() {
+                    let mut facts = RequestFacts::completed(end_to_end);
+                    if missed_deadline {
+                        facts = facts.deadline_missed();
+                    }
+                    ctx.finish(trace, arrived, &facts);
+                }
                 Ok(ticket)
             }
             CacheLookup::Miss(key) => self.queue.submit_keyed(request, Some(key)),
@@ -509,10 +580,12 @@ struct Worker<'a> {
     /// [`SolverBackend::ALL`]).
     routed_backends: [Option<Arc<dyn taxi::TourSolver>>; SolverBackend::ALL.len()],
     ctx: SolveContext,
-    observer: MetricsObserver,
+    observer: TracingObserver,
     metrics: &'a Arc<ServiceMetrics>,
     cache: Option<&'a Arc<SolutionCache>>,
     router: Option<&'a Arc<AdaptiveRouter>>,
+    /// Tracing bundle (ring `"worker-<index>"`) when the service has a tracer.
+    trace: Option<TraceCtx>,
 }
 
 impl Worker<'_> {
@@ -545,6 +618,11 @@ impl Worker<'_> {
             None => Arc::clone(&self.primary),
         };
         let backend = &backend;
+        let trace = pending.trace;
+        let submitted_at = pending.submitted_at;
+        // Stage spans recorded by the pipeline observer during this solve are
+        // attributed to this request.
+        self.observer.set_trace(trace);
         let solve_started = Instant::now();
         // Contain per-request panics: one poisoned instance must not take the
         // worker (and with it every queued client) down. The scratch context is
@@ -575,8 +653,25 @@ impl Worker<'_> {
             })
         });
         let finished = Instant::now();
+        self.observer.set_trace(taxi_trace::TraceId::NONE);
         let solve_time = finished.saturating_duration_since(solve_started);
         let end_to_end = finished.saturating_duration_since(pending.submitted_at);
+        if let Some(ctx) = &self.trace {
+            if trace.is_some() {
+                ctx.sink().record(
+                    trace,
+                    SpanName::Solve,
+                    solve_started,
+                    solve_time,
+                    &[
+                        (AttrKey::Worker, self.index as u64),
+                        (AttrKey::BatchSize, batch_size as u64),
+                        (AttrKey::Degraded, u64::from(degrade)),
+                        (AttrKey::Cities, pending.request.instance.dimension() as u64),
+                    ],
+                );
+            }
+        }
         match result {
             Ok(solution) => {
                 let solution = Arc::new(solution);
@@ -616,11 +711,25 @@ impl Worker<'_> {
                     routed: route.map(|tag| tag.backend),
                     explored: route.is_some_and(|tag| tag.explored),
                 })));
+                if let Some(ctx) = &self.trace {
+                    let mut facts = RequestFacts::completed(end_to_end);
+                    if missed_deadline {
+                        facts = facts.deadline_missed();
+                    }
+                    ctx.finish(trace, submitted_at, &facts);
+                }
                 entry.map(|entry| (entry, solve_time))
             }
             Err(error) => {
                 self.metrics.record_failed();
                 pending.resolve(DispatchOutcome::Failed(error));
+                if let Some(ctx) = &self.trace {
+                    ctx.finish(
+                        trace,
+                        submitted_at,
+                        &RequestFacts::completed(end_to_end).failed(),
+                    );
+                }
                 None
             }
         }
@@ -640,6 +749,19 @@ impl Worker<'_> {
         // (service ends the instant it is dequeued and re-checked).
         self.metrics.record_late_cache_hit(end_to_end, end_to_end);
         let missed_deadline = pending.deadline.is_some_and(|d| now > d);
+        let trace = pending.trace;
+        let submitted_at = pending.submitted_at;
+        if let Some(ctx) = &self.trace {
+            if trace.is_some() {
+                ctx.sink().record(
+                    trace,
+                    SpanName::CacheLateHit,
+                    now,
+                    Duration::ZERO,
+                    &[(AttrKey::Worker, self.index as u64), (AttrKey::Hit, 1)],
+                );
+            }
+        }
         pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
             solution,
             queue_wait: end_to_end,
@@ -654,6 +776,13 @@ impl Worker<'_> {
             routed,
             explored: false,
         })));
+        if let Some(ctx) = &self.trace {
+            let mut facts = RequestFacts::completed(end_to_end);
+            if missed_deadline {
+                facts = facts.deadline_missed();
+            }
+            ctx.finish(trace, submitted_at, &facts);
+        }
     }
 
     /// Resolves a coalesced follower from the leader's freshly inserted entry.
@@ -673,6 +802,22 @@ impl Worker<'_> {
         let missed_deadline = pending.deadline.is_some_and(|d| now > d);
         self.metrics
             .record_coalesced(queue_wait, end_to_end, missed_deadline);
+        let trace = pending.trace;
+        let submitted_at = pending.submitted_at;
+        if let Some(ctx) = &self.trace {
+            if trace.is_some() {
+                ctx.sink().record(
+                    trace,
+                    SpanName::Coalesce,
+                    now,
+                    Duration::ZERO,
+                    &[
+                        (AttrKey::Worker, self.index as u64),
+                        (AttrKey::BatchSize, batch_size as u64),
+                    ],
+                );
+            }
+        }
         pending.resolve(DispatchOutcome::Solved(Box::new(SolvedResponse {
             solution: hit.solution,
             queue_wait,
@@ -687,6 +832,13 @@ impl Worker<'_> {
             routed,
             explored: false,
         })));
+        if let Some(ctx) = &self.trace {
+            let mut facts = RequestFacts::completed(end_to_end);
+            if missed_deadline {
+                facts = facts.deadline_missed();
+            }
+            ctx.finish(trace, submitted_at, &facts);
+        }
     }
 }
 
@@ -703,6 +855,17 @@ fn worker_loop(
     // the host and spawn a thread pool per solve call.
     let solver_config = config.solver.clone().with_threads(1);
     let solver = TaxiSolver::new(solver_config.clone());
+    let trace = config
+        .trace
+        .as_ref()
+        .map(|tracer| TraceCtx::new(tracer, &format!("worker-{index}"), config.trace_site));
+    let observer = match &trace {
+        Some(ctx) => TracingObserver::with_sink(
+            MetricsObserver::new(Arc::clone(metrics)),
+            ctx.sink().clone(),
+        ),
+        None => TracingObserver::new(MetricsObserver::new(Arc::clone(metrics))),
+    };
     let mut worker = Worker {
         index,
         primary: solver_config.build_backend(),
@@ -713,10 +876,11 @@ fn worker_loop(
         routed_backends: std::array::from_fn(|_| None),
         solver,
         ctx: SolveContext::new(),
-        observer: MetricsObserver::new(Arc::clone(metrics)),
+        observer,
         metrics,
         cache: config.cache.as_ref(),
         router,
+        trace,
     };
     let batcher = MicroBatcher::new(Arc::clone(queue), config.batch);
     let mut batch: Vec<Pending> = Vec::with_capacity(config.batch.max_batch);
@@ -728,6 +892,23 @@ fn worker_loop(
         let batch_size = batch.len();
         // One clock read per batch: every request in it was dequeued at this instant.
         let dequeued_at = Instant::now();
+        if let Some(ctx) = &worker.trace {
+            // Batch formation is shared work: one instantaneous span, attributed
+            // to the first traced member.
+            if let Some(first) = batch.iter().find(|p| p.trace.is_some()) {
+                ctx.sink().record(
+                    first.trace,
+                    SpanName::Batch,
+                    dequeued_at,
+                    Duration::ZERO,
+                    &[
+                        (AttrKey::BatchSize, batch_size as u64),
+                        (AttrKey::Worker, index as u64),
+                        (AttrKey::Overloaded, u64::from(meta.overloaded)),
+                    ],
+                );
+            }
+        }
         match worker.router {
             Some(router) => {
                 // Route the whole batch up front, then group same-backend solves
@@ -749,7 +930,24 @@ fn worker_loop(
                         let budget = config.degraded_budget;
                         slack = Some(slack.map_or(budget, |s| s.min(budget)));
                     }
+                    let route_started = Instant::now();
                     let decision = router.route(&pending.request.instance, slack);
+                    if let Some(ctx) = &worker.trace {
+                        if pending.trace.is_some() {
+                            ctx.sink().record(
+                                pending.trace,
+                                SpanName::Route,
+                                route_started,
+                                route_started.elapsed(),
+                                &[
+                                    (AttrKey::Backend, decision.backend.index() as u64),
+                                    (AttrKey::Decision, u64::from(decision.kind.code())),
+                                    (AttrKey::Explored, u64::from(decision.explored())),
+                                    (AttrKey::ExcludedMask, u64::from(decision.excluded)),
+                                ],
+                            );
+                        }
+                    }
                     routed.push((pending, decision, degrade));
                 }
                 routed.sort_by_key(|(pending, decision, _)| {
@@ -821,6 +1019,17 @@ fn serve_one(
         explored: false,
         ..tag
     });
+    if let Some(ctx) = &worker.trace {
+        if pending.trace.is_some() {
+            ctx.sink().record(
+                pending.trace,
+                SpanName::QueueWait,
+                pending.submitted_at,
+                dequeued_at.saturating_duration_since(pending.submitted_at),
+                &[(AttrKey::Worker, worker.index as u64)],
+            );
+        }
+    }
     let Some((cache, key)) = worker.cache.zip(cached_key) else {
         let _ = worker.solve_and_resolve(pending, degrade, dequeued_at, batch_size, None, route);
         return;
@@ -828,7 +1037,20 @@ fn serve_one(
     // Re-check the cache by key: an identical instance may have been solved while
     // this request sat in the queue (e.g. by the leader of an earlier batch). The
     // probe neither re-fingerprints on a miss nor re-counts the admission-time miss.
-    if let Some(hit) = cache.lookup_keyed(key, &pending.request.instance) {
+    let probe_started = Instant::now();
+    let probed = cache.lookup_keyed(key, &pending.request.instance);
+    if let Some(ctx) = &worker.trace {
+        if pending.trace.is_some() {
+            ctx.sink().record(
+                pending.trace,
+                SpanName::CacheLookup,
+                probe_started,
+                probe_started.elapsed(),
+                &[(AttrKey::Hit, u64::from(probed.is_some()))],
+            );
+        }
+    }
+    if let Some(hit) = probed {
         worker.resolve_late_hit(pending, hit.solution, routed_backend);
         return;
     }

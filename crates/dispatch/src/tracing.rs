@@ -1,0 +1,229 @@
+//! Request tracing hooks for the dispatch layer.
+//!
+//! When a [`DispatchConfig`](crate::DispatchConfig) carries a [`Tracer`] (see
+//! [`with_tracer`](crate::DispatchConfig::with_tracer)), every admitted request
+//! is minted a [`TraceId`] and spans are recorded at each hop — admission,
+//! queue wait, routing, batch formation, cache probes, coalescing, the solve,
+//! and its five pipeline stages — into the tracer's per-component flight
+//! recorder rings. This module holds the two pieces of glue:
+//!
+//! * `TraceCtx` (crate-internal), the per-component bundle (tracer handle +
+//!   that component's recording sink + the fleet shard/generation the service
+//!   runs as), used by the queue (ring `"admission"`) and each worker (ring
+//!   `"worker-<i>"`);
+//! * [`TracingObserver`], a [`PipelineObserver`] that both feeds per-stage
+//!   seconds into [`ServiceMetrics`](crate::ServiceMetrics) (like the plain
+//!   [`MetricsObserver`] it wraps) and records a span per pipeline stage
+//!   against the request currently being solved.
+//!
+//! Tracing is strictly additive: with no tracer configured every hook is a
+//! no-op and the service behaves — and allocates — exactly as before.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxi::{PipelineObserver, Stage, StageReport};
+use taxi_trace::{AttrKey, RequestFacts, SpanName, TraceId, TraceSink, Tracer};
+
+use crate::metrics::MetricsObserver;
+
+/// One component's tracing bundle: the shared tracer, this component's ring
+/// sink, and the fleet placement stamped onto every root span.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceCtx {
+    tracer: Arc<Tracer>,
+    sink: TraceSink,
+    /// Fleet shard slot (0 for a standalone service).
+    shard: u64,
+    /// Shard service generation (0 for a standalone service).
+    generation: u64,
+}
+
+impl TraceCtx {
+    /// Registers a component ring named `label` on `tracer`. `site` is the
+    /// fleet placement `(shard, generation)` carried by
+    /// [`DispatchConfig::trace_site`](crate::DispatchConfig::trace_site).
+    pub(crate) fn new(tracer: &Arc<Tracer>, label: &str, site: (u64, u64)) -> Self {
+        Self {
+            tracer: Arc::clone(tracer),
+            sink: tracer.register(label),
+            shard: site.0,
+            generation: site.1,
+        }
+    }
+
+    /// Mints the next trace id.
+    pub(crate) fn mint(&self) -> TraceId {
+        self.tracer.mint()
+    }
+
+    /// This component's recording sink.
+    pub(crate) fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Finishes a traced request: tail sampling + the root `request` span,
+    /// stamped with this service's shard and generation (the fleet-hop
+    /// attribution on every trace).
+    pub(crate) fn finish(&self, trace: TraceId, start: Instant, facts: &RequestFacts) {
+        self.tracer.finish(
+            trace,
+            start,
+            facts,
+            &[
+                (AttrKey::Shard, self.shard),
+                (AttrKey::Generation, self.generation),
+            ],
+        );
+    }
+}
+
+/// Maps a pipeline stage to its span name.
+pub(crate) fn stage_span(stage: Stage) -> SpanName {
+    match stage {
+        Stage::Cluster => SpanName::StageCluster,
+        Stage::FixEndpoints => SpanName::StageFixEndpoints,
+        Stage::SolveLevels => SpanName::StageSolveLevels,
+        Stage::Assemble => SpanName::StageAssemble,
+        Stage::Account => SpanName::StageAccount,
+    }
+}
+
+/// A [`PipelineObserver`] that records metrics **and** per-stage trace spans.
+///
+/// Wraps the service's [`MetricsObserver`] (every
+/// stage report still lands in [`ServiceMetrics`](crate::ServiceMetrics)) and
+/// additionally, when built with a sink, records one span per finished
+/// pipeline stage against the request the worker is currently solving
+/// ([`set_trace`](Self::set_trace) switches the attribution between solves;
+/// recording is skipped while the current id is [`TraceId::NONE`]).
+///
+/// Workers own one by value, exactly like the plain metrics observer; the
+/// type is public so custom serving loops can drive the same machinery.
+#[derive(Debug)]
+pub struct TracingObserver {
+    metrics: MetricsObserver,
+    sink: Option<TraceSink>,
+    trace: TraceId,
+}
+
+impl TracingObserver {
+    /// A metrics-only observer (no tracing; behaves like the wrapped
+    /// [`MetricsObserver`]).
+    pub fn new(metrics: MetricsObserver) -> Self {
+        Self {
+            metrics,
+            sink: None,
+            trace: TraceId::NONE,
+        }
+    }
+
+    /// An observer that also records stage spans into `sink`.
+    pub fn with_sink(metrics: MetricsObserver, sink: TraceSink) -> Self {
+        Self {
+            metrics,
+            sink: Some(sink),
+            trace: TraceId::NONE,
+        }
+    }
+
+    /// Attributes subsequently observed stages to `trace` (use
+    /// [`TraceId::NONE`] to pause recording between solves).
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.trace = trace;
+    }
+}
+
+impl PipelineObserver for TracingObserver {
+    fn on_stage_start(&mut self, stage: Stage) {
+        self.metrics.on_stage_start(stage);
+    }
+
+    fn on_stage_end(&mut self, report: &StageReport) {
+        self.metrics.on_stage_end(report);
+        if let Some(sink) = &self.sink {
+            if self.trace.is_some() {
+                let duration = Duration::from_secs_f64(report.seconds.max(0.0));
+                // The report carries only the elapsed seconds; anchor the span
+                // at `now − duration` (exact for the stage that just ended).
+                let start = Instant::now()
+                    .checked_sub(duration)
+                    .unwrap_or_else(Instant::now);
+                sink.record(self.trace, stage_span(report.stage), start, duration, &[]);
+            }
+        }
+    }
+
+    fn on_level_solved(&mut self, level_index: Option<usize>, subproblems: usize) {
+        self.metrics.on_level_solved(level_index, subproblems);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ServiceMetrics;
+    use taxi_trace::TraceConfig;
+
+    #[test]
+    fn tracing_observer_records_metrics_and_spans() {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let tracer = Arc::new(Tracer::new(TraceConfig::new().with_keep_probability(1.0)));
+        let ctx = TraceCtx::new(&tracer, "worker-0", (3, 2));
+        let mut observer = TracingObserver::with_sink(
+            MetricsObserver::new(Arc::clone(&metrics)),
+            ctx.sink().clone(),
+        );
+        let report = StageReport {
+            stage: Stage::SolveLevels,
+            seconds: 0.001,
+            items: 4,
+            modeled_seconds: 0.0,
+        };
+
+        // Untraced: metrics only.
+        observer.on_stage_end(&report);
+        // Traced: metrics + a span.
+        let trace = ctx.mint();
+        observer.set_trace(trace);
+        observer.on_stage_end(&report);
+
+        let snapshot = metrics.snapshot();
+        let index = Stage::ALL
+            .iter()
+            .position(|&s| s == Stage::SolveLevels)
+            .unwrap();
+        assert!((snapshot.stage_seconds[index] - 0.002).abs() < 1e-9);
+
+        let spans = tracer.spans();
+        let (_, worker_spans) = spans
+            .iter()
+            .find(|(label, _)| label == "worker-0")
+            .expect("worker ring registered");
+        assert_eq!(worker_spans.len(), 1, "only the traced stage recorded");
+        assert_eq!(worker_spans[0].name, SpanName::StageSolveLevels);
+        assert_eq!(worker_spans[0].trace, trace);
+
+        // The finish helper stamps the fleet placement onto the root span.
+        ctx.finish(
+            trace,
+            Instant::now(),
+            &RequestFacts::completed(Duration::from_micros(10)),
+        );
+        let spans = tracer.spans();
+        let root = &spans
+            .iter()
+            .find(|(label, _)| label == "request")
+            .expect("root ring")
+            .1[0];
+        assert_eq!(root.attr(AttrKey::Shard), Some(3));
+        assert_eq!(root.attr(AttrKey::Generation), Some(2));
+    }
+
+    #[test]
+    fn every_stage_maps_to_a_distinct_span_name() {
+        let mut names: Vec<SpanName> = Stage::ALL.iter().map(|&s| stage_span(s)).collect();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+    }
+}

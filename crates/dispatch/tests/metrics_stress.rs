@@ -1,0 +1,104 @@
+//! `ServiceMetrics::merge_from` under concurrent recording: merges racing live
+//! writers must never panic or produce impossible snapshots, and once the
+//! writers quiesce the merged totals are exact.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taxi_dispatch::ServiceMetrics;
+
+const THREADS: u64 = 4;
+const PER_THREAD: u64 = 5_000;
+
+/// How many of `0..PER_THREAD` are divisible by `k`.
+fn multiples_of(k: u64) -> u64 {
+    (PER_THREAD - 1) / k + 1
+}
+
+#[test]
+fn merge_from_racing_recorders_is_safe_and_exact_after_quiescence() {
+    let source = Arc::new(ServiceMetrics::new());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let source = Arc::clone(&source);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let wait = Duration::from_micros(50 + (i % 64));
+                    let solve = Duration::from_micros(400 + (i % 128));
+                    source.record_submitted();
+                    source.record_completed(wait, solve, wait + solve, i % 5 == 0, i % 7 == 0);
+                    if i % 11 == 0 {
+                        source.record_failed();
+                    }
+                    if i % 13 == 0 {
+                        source.record_shed();
+                    }
+                }
+            });
+        }
+        // Racy merges while the writers hammer: each one reads the live
+        // counters mid-flight. The result is a consistent-enough snapshot —
+        // monotone in what it has seen, never beyond the true total — and the
+        // merge itself must never tear a histogram (count always covers the
+        // bucket sum it copied).
+        scope.spawn(|| {
+            let mut last_completed = 0u64;
+            for _ in 0..200 {
+                let scratch = ServiceMetrics::new();
+                scratch.merge_from(&source);
+                let snapshot = scratch.snapshot();
+                assert!(snapshot.completed <= THREADS * PER_THREAD);
+                assert!(
+                    snapshot.completed >= last_completed,
+                    "merged completions regressed"
+                );
+                last_completed = snapshot.completed;
+                assert!(snapshot.end_to_end.count <= THREADS * PER_THREAD);
+                if snapshot.end_to_end.count > 0 {
+                    assert!(snapshot.end_to_end.max >= snapshot.end_to_end.p99);
+                    assert!(snapshot.end_to_end.p99 >= snapshot.end_to_end.p50);
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    // Writers are quiescent: the merge is now exact, counter for counter and
+    // histogram cell for histogram cell.
+    let aggregate = ServiceMetrics::new();
+    aggregate.merge_from(&source);
+    let snapshot = aggregate.snapshot();
+    let total = THREADS * PER_THREAD;
+    assert_eq!(snapshot.submitted, total);
+    assert_eq!(snapshot.completed, total);
+    assert_eq!(snapshot.failed, THREADS * multiples_of(11));
+    assert_eq!(snapshot.shed, THREADS * multiples_of(13));
+    assert_eq!(snapshot.degraded, THREADS * multiples_of(5));
+    assert_eq!(snapshot.deadline_misses, THREADS * multiples_of(7));
+    assert_eq!(snapshot.queue_wait.count, total);
+    assert_eq!(snapshot.solve.count, total);
+    assert_eq!(snapshot.end_to_end.count, total);
+    // Every observation fed both sides of each histogram bound.
+    assert!(snapshot.queue_wait.max <= Duration::from_micros(113));
+    assert!(snapshot.end_to_end.max <= Duration::from_micros(641));
+    // The merged distribution equals one hub fed the union directly.
+    let direct = ServiceMetrics::new();
+    for _ in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let wait = Duration::from_micros(50 + (i % 64));
+            let solve = Duration::from_micros(400 + (i % 128));
+            direct.record_submitted();
+            direct.record_completed(wait, solve, wait + solve, i % 5 == 0, i % 7 == 0);
+        }
+    }
+    let expected = direct.snapshot();
+    assert_eq!(snapshot.queue_wait, expected.queue_wait);
+    assert_eq!(snapshot.solve, expected.solve);
+    assert_eq!(snapshot.end_to_end, expected.end_to_end);
+
+    // Merging the same source again doubles every total exactly.
+    aggregate.merge_from(&source);
+    let doubled = aggregate.snapshot();
+    assert_eq!(doubled.completed, 2 * total);
+    assert_eq!(doubled.end_to_end.count, 2 * total);
+}

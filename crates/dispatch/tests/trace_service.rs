@@ -1,0 +1,178 @@
+//! End-to-end tracing through a live dispatch service: every layer records its
+//! span, tail sampling keeps what the issue says it must keep, and the exports
+//! carry exactly the kept traces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taxi_dispatch::{DispatchConfig, DispatchRequest, DispatchService};
+use taxi_trace::{export, flags, AttrKey, Span, SpanName, TraceConfig, Tracer};
+use taxi_tsplib::generator::clustered_instance;
+
+fn ring<'a>(spans: &'a [(String, Vec<Span>)], label: &str) -> &'a [Span] {
+    spans
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, s)| s.as_slice())
+        .unwrap_or_else(|| panic!("ring {label:?} registered"))
+}
+
+#[test]
+fn traced_service_records_spans_in_every_layer() {
+    const REQUESTS: u64 = 8;
+    let tracer = Arc::new(Tracer::new(
+        TraceConfig::new()
+            .with_keep_probability(1.0)
+            .with_ring_capacity(512),
+    ));
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_workers(2)
+            .with_tracer(Arc::clone(&tracer))
+            .with_trace_site(5, 3),
+    );
+    let tickets: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            service
+                .submit(DispatchRequest::new(clustered_instance("trace", 40, 3, i)))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().solved().expect("solved");
+    }
+    // Join the workers first: a ticket resolves before its trace finishes, so
+    // stats are only settled once the service is quiescent.
+    let _ = service.shutdown();
+
+    let stats = tracer.stats();
+    assert_eq!(stats.minted, REQUESTS);
+    assert_eq!(
+        stats.kept + stats.dropped,
+        REQUESTS,
+        "every minted trace reached a sampling verdict"
+    );
+    assert_eq!(
+        stats.kept, REQUESTS,
+        "keep probability 1.0 keeps everything"
+    );
+
+    let spans = tracer.spans();
+    // Admission ring: one admit span per queued request.
+    let admission = ring(&spans, "admission");
+    assert_eq!(
+        admission
+            .iter()
+            .filter(|s| s.name == SpanName::Admit)
+            .count(),
+        REQUESTS as usize,
+    );
+    for admit in admission.iter().filter(|s| s.name == SpanName::Admit) {
+        assert!(admit.attr(AttrKey::QueueDepth).is_some());
+        assert!(admit.attr(AttrKey::Priority).is_some());
+    }
+    // Root ring: one request span per trace, stamped with the fleet placement.
+    let roots = ring(&spans, "request");
+    assert_eq!(roots.len(), REQUESTS as usize);
+    for root in roots {
+        assert!(root.kept());
+        assert_eq!(root.attr(AttrKey::Shard), Some(5));
+        assert_eq!(root.attr(AttrKey::Generation), Some(3));
+        assert!(root.attr(AttrKey::LatencyUs).is_some());
+    }
+    // Worker rings: queue wait, batch formation, the solve, and all five
+    // pipeline stages.
+    let worker: Vec<&Span> = spans
+        .iter()
+        .filter(|(label, _)| label.starts_with("worker-"))
+        .flat_map(|(_, s)| s.iter())
+        .collect();
+    assert_eq!(
+        worker
+            .iter()
+            .filter(|s| s.name == SpanName::QueueWait)
+            .count(),
+        REQUESTS as usize,
+    );
+    assert_eq!(
+        worker.iter().filter(|s| s.name == SpanName::Solve).count(),
+        REQUESTS as usize,
+    );
+    assert!(worker.iter().any(|s| s.name == SpanName::Batch));
+    for stage in [
+        SpanName::StageCluster,
+        SpanName::StageFixEndpoints,
+        SpanName::StageSolveLevels,
+        SpanName::StageAssemble,
+        SpanName::StageAccount,
+    ] {
+        assert!(
+            worker.iter().any(|s| s.name == stage),
+            "stage span {stage:?} recorded"
+        );
+    }
+}
+
+#[test]
+fn deadline_missed_requests_are_always_retained() {
+    // Keep probability zero and an unreachable latency threshold: the *only*
+    // way a trace survives is a bad outcome — exactly what the tail sampler
+    // guarantees for deadline misses.
+    let tracer = Arc::new(Tracer::new(
+        TraceConfig::new()
+            .with_keep_probability(0.0)
+            .with_latency_threshold(Duration::from_secs(3600)),
+    ));
+    let service = DispatchService::start(
+        DispatchConfig::new()
+            .with_workers(1)
+            .with_tracer(Arc::clone(&tracer)),
+    );
+    // An already-expired deadline guarantees the miss.
+    let missed = service
+        .submit(
+            DispatchRequest::new(clustered_instance("miss", 40, 3, 0))
+                .with_deadline(Duration::ZERO),
+        )
+        .expect("admitted");
+    let healthy: Vec<_> = (1..9)
+        .map(|i| {
+            service
+                .submit(DispatchRequest::new(clustered_instance("ok", 40, 3, i)))
+                .expect("admitted")
+        })
+        .collect();
+    assert!(missed.wait().solved().expect("solved").missed_deadline);
+    for ticket in healthy {
+        ticket.wait().solved().expect("solved");
+    }
+    let _ = service.shutdown();
+
+    let stats = tracer.stats();
+    assert_eq!(stats.minted, 9);
+    assert_eq!(
+        stats.kept, 1,
+        "only the deadline miss survives tail sampling"
+    );
+    assert_eq!(stats.dropped, 8);
+
+    let spans = tracer.spans();
+    let kept: Vec<&Span> = ring(&spans, "request")
+        .iter()
+        .filter(|s| s.kept())
+        .collect();
+    assert_eq!(kept.len(), 1);
+    assert_ne!(
+        kept[0].flags & flags::DEADLINE_MISS,
+        0,
+        "the kept root span is the deadline-missed request"
+    );
+
+    // Both exports carry exactly the kept trace.
+    let chrome = export::chrome_trace(&tracer);
+    assert!(chrome.contains("\"kept_traces\": 1"));
+    assert!(chrome.contains("\"deadline_missed\": true"));
+    let folded = export::folded(&tracer);
+    assert!(folded.contains("request "));
+    assert!(folded.contains("request;solve"));
+}

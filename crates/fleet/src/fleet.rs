@@ -44,6 +44,7 @@ use taxi_dispatch::{
     DispatchConfig, DispatchRequest, DispatchService, Pending, ServiceMetrics, ServiceSnapshot,
     SubmitError, Ticket,
 };
+use taxi_trace::{Tracer, TracerStats};
 use taxi_tsplib::fingerprint::{canonical_fingerprint_into, FingerprintScratch};
 use taxi_tsplib::TspInstance;
 
@@ -95,6 +96,12 @@ pub struct FleetConfig {
     /// drained shard stays down until an explicit [`Fleet::restart`]. Crash
     /// containment (`Failed`) always recycles, regardless.
     pub auto_restart: bool,
+    /// The span tracer shared by every shard generation, if request tracing is
+    /// enabled. Each generation's service records into the same flight
+    /// recorder, with its `(shard, generation)` stamped on every root span —
+    /// the fleet-hop attribution. Overrides whatever tracer the
+    /// [`shard`](Self::shard) template carries.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl FleetConfig {
@@ -112,6 +119,7 @@ impl FleetConfig {
             health: HealthPolicy::new(),
             slas: StateSlas::new(),
             auto_restart: true,
+            trace: None,
         }
     }
 
@@ -183,6 +191,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_auto_restart(mut self, auto_restart: bool) -> Self {
         self.auto_restart = auto_restart;
+        self
+    }
+
+    /// Attaches a span tracer shared by every shard generation (see
+    /// [`trace`](Self::trace)).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.trace = Some(tracer);
         self
     }
 }
@@ -354,13 +370,27 @@ fn add_cache_stats(total: &mut SolutionCacheStats, add: &SolutionCacheStats) {
 }
 
 impl FleetInner {
+    /// The tracer every shard generation records into, when tracing is enabled
+    /// (fleet-level tracer wins over one set on the shard template).
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.config
+            .trace
+            .as_ref()
+            .or(self.config.shard.trace.as_ref())
+    }
+
     /// Builds one shard generation's service from the template (fresh private
-    /// cache when the fleet-level policy is set).
-    fn build_shard_service(&self) -> DispatchService {
+    /// cache when the fleet-level policy is set; trace site stamped with this
+    /// shard slot and generation).
+    fn build_shard_service(&self, id: ShardId, generation: u64) -> DispatchService {
         let mut config = self.config.shard.clone();
         if let Some(policy) = self.config.cache {
             config.cache = Some(Arc::new(SolutionCache::new(policy)));
         }
+        if let Some(tracer) = self.tracer() {
+            config.trace = Some(Arc::clone(tracer));
+        }
+        config.trace_site = (id.index() as u64, generation);
         DispatchService::start(config)
     }
 
@@ -462,7 +492,8 @@ impl FleetInner {
         match cell.state {
             ShardState::Starting => {
                 if cell.service.is_none() {
-                    cell.service = Some(Arc::new(self.build_shard_service()));
+                    cell.service =
+                        Some(Arc::new(self.build_shard_service(cell.id, cell.generation)));
                 }
                 cell.prev = None;
                 cell.health = HealthCheck::default();
@@ -617,8 +648,10 @@ impl FleetInner {
             });
         }
         let mut service = sink.snapshot();
-        // The merged sink was just born: the fleet clock owns the time base.
+        // The merged sink was just born: the fleet clock owns the time base,
+        // including the capture timestamp rate computations key on.
         service.uptime = uptime;
+        service.captured_at = uptime;
         service.throughput_per_sec = if uptime.as_secs_f64() > 0.0 {
             service.completed as f64 / uptime.as_secs_f64()
         } else {
@@ -632,6 +665,7 @@ impl FleetInner {
             resubmitted: self.resubmitted.load(Ordering::Relaxed),
             orphaned: st.orphans.len(),
             reconcile_ticks: st.ticks,
+            trace: self.tracer().map(|tracer| tracer.stats()),
         }
     }
 }
@@ -685,6 +719,9 @@ pub struct FleetSnapshot {
     pub orphaned: usize,
     /// Reconcile passes completed.
     pub reconcile_ticks: u64,
+    /// Flight-recorder counters (traces minted/kept/dropped, spans recorded and
+    /// resident), when the fleet traces requests. `None` with tracing off.
+    pub trace: Option<TracerStats>,
 }
 
 impl FleetSnapshot {
@@ -695,8 +732,9 @@ impl FleetSnapshot {
 
     /// One-line fleet summary.
     pub fn one_line(&self) -> String {
-        format!(
-            "fleet: {}/{} shards in rotation, {} completed ({} cache hits), {} resubmitted, {} orphaned, {} ticks",
+        let mut line = format!(
+            "fleet up {:.1}s: {}/{} shards in rotation, {} completed ({} cache hits), {} resubmitted, {} orphaned, {} ticks",
+            self.uptime.as_secs_f64(),
             self.in_rotation(),
             self.shards.len(),
             self.service.completed,
@@ -704,7 +742,11 @@ impl FleetSnapshot {
             self.resubmitted,
             self.orphaned,
             self.reconcile_ticks,
-        )
+        );
+        if let Some(trace) = &self.trace {
+            line.push_str(&format!(", traces {}/{} kept", trace.kept, trace.minted,));
+        }
+        line
     }
 }
 

@@ -57,8 +57,10 @@ pub mod fleet;
 pub mod health;
 pub mod ring;
 pub mod state;
+pub mod telemetry;
 
 pub use fleet::{Fleet, FleetConfig, FleetSnapshot, RoutingPolicy, ShardSnapshot};
 pub use health::{evaluate, HealthCheck, HealthPolicy, HealthReport, HealthVerdict, ProbeId};
 pub use ring::HashRing;
 pub use state::{FleetIntent, ShardId, ShardState, StateSlas};
+pub use telemetry::Telemetry;

@@ -1,0 +1,672 @@
+//! Unified telemetry exposition: every fleet, service, cache, router and
+//! tracer counter on one Prometheus-style text page.
+//!
+//! [`Telemetry`] wraps one [`FleetSnapshot`] and [`render`](Telemetry::render)s
+//! it in the Prometheus text exposition format (`# HELP`/`# TYPE` preambles,
+//! `name{label="value"} number` samples). The page is **complete by
+//! construction**: every counter in [`ServiceSnapshot`], every
+//! [`SolutionCacheStats`](taxi::SolutionCacheStats) field, every per-shard
+//! control-plane view (state, generation, SLA-stuck flag, ring share, verdict,
+//! queue depth) and the tracer's keep/drop counters appear — the completeness
+//! test in this module enumerates them all. Scrape it, dump it next to bench
+//! artifacts, or diff two pages to compute exact rates from
+//! `captured_at_seconds`.
+
+use std::fmt::Write as _;
+
+use taxi::SolverBackend;
+use taxi_dispatch::{HistogramSummary, ServiceSnapshot};
+
+use crate::fleet::{Fleet, FleetSnapshot};
+use crate::state::ShardState;
+
+/// Stage labels, index-aligned with [`taxi::Stage::ALL`].
+const STAGE_LABELS: [&str; 5] = [
+    "cluster",
+    "fix_endpoints",
+    "solve_levels",
+    "assemble",
+    "account",
+];
+
+/// One fleet snapshot, renderable as a Prometheus-style text page.
+///
+/// # Example
+///
+/// ```
+/// use taxi_fleet::{Fleet, FleetConfig, Telemetry};
+///
+/// let fleet = Fleet::start(FleetConfig::new().with_shards(1));
+/// let page = fleet.telemetry().render();
+/// assert!(page.contains("taxi_service_completed_total 0"));
+/// assert!(page.contains("taxi_shard_state{shard=\"0\",state=\"serving\"} 1"));
+/// fleet.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    snapshot: FleetSnapshot,
+}
+
+/// Formats a sample value: integral values print bare, fractional ones with
+/// full round-trip precision.
+fn value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Accumulates the exposition page.
+struct Page {
+    out: String,
+}
+
+impl Page {
+    fn new() -> Self {
+        Self {
+            out: String::with_capacity(8 * 1024),
+        }
+    }
+
+    /// Writes the `# HELP`/`# TYPE` preamble for a metric family.
+    fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Writes one unlabelled sample.
+    fn sample(&mut self, name: &str, v: f64) -> &mut Self {
+        let _ = writeln!(self.out, "{name} {}", value(v));
+        self
+    }
+
+    /// Writes one labelled sample; `labels` is the rendered `key="v",...` body.
+    fn labelled(&mut self, name: &str, labels: &str, v: f64) -> &mut Self {
+        let _ = writeln!(self.out, "{name}{{{labels}}} {}", value(v));
+        self
+    }
+}
+
+/// Emits one latency histogram summary as `*_count` plus a stat-labelled gauge
+/// family (seconds).
+fn histogram(page: &mut Page, path: &str, summary: &HistogramSummary) {
+    page.labelled(
+        "taxi_service_latency_count",
+        &format!("path=\"{path}\""),
+        summary.count as f64,
+    );
+    for (stat, duration) in [
+        ("mean", summary.mean),
+        ("p50", summary.p50),
+        ("p90", summary.p90),
+        ("p99", summary.p99),
+        ("max", summary.max),
+    ] {
+        page.labelled(
+            "taxi_service_latency_seconds",
+            &format!("path=\"{path}\",stat=\"{stat}\""),
+            duration.as_secs_f64(),
+        );
+    }
+}
+
+/// Emits the aggregate service section (every [`ServiceSnapshot`] counter).
+fn render_service(page: &mut Page, service: &ServiceSnapshot) {
+    page.family(
+        "taxi_service_uptime_seconds",
+        "gauge",
+        "Time base of the aggregate service counters",
+    )
+    .sample("taxi_service_uptime_seconds", service.uptime.as_secs_f64());
+    page.family(
+        "taxi_service_captured_at_seconds",
+        "gauge",
+        "Monotonic capture timestamp of this page (same clock as uptime; diff two pages for exact rates)",
+    )
+    .sample(
+        "taxi_service_captured_at_seconds",
+        service.captured_at.as_secs_f64(),
+    );
+    for (name, help, count) in [
+        (
+            "taxi_service_submitted_total",
+            "Requests admitted",
+            service.submitted,
+        ),
+        (
+            "taxi_service_completed_total",
+            "Requests solved successfully",
+            service.completed,
+        ),
+        (
+            "taxi_service_failed_total",
+            "Requests whose solve failed",
+            service.failed,
+        ),
+        (
+            "taxi_service_shed_total",
+            "Requests shed by admission",
+            service.shed,
+        ),
+        (
+            "taxi_service_rejected_total",
+            "Submissions refused outright",
+            service.rejected,
+        ),
+        (
+            "taxi_service_degraded_total",
+            "Completions served degraded",
+            service.degraded,
+        ),
+        (
+            "taxi_service_deadline_misses_total",
+            "Completions resolved after their deadline",
+            service.deadline_misses,
+        ),
+        (
+            "taxi_service_cache_hits_total",
+            "Completions served from the solution cache",
+            service.cache_hits,
+        ),
+        (
+            "taxi_service_coalesced_total",
+            "Completions coalesced onto another request's solve",
+            service.coalesced,
+        ),
+        (
+            "taxi_service_solved_fresh_total",
+            "Completions that ran the solve pipeline",
+            service.solved_fresh(),
+        ),
+        (
+            "taxi_service_worker_panics_total",
+            "Contained worker solve panics (fleet crash signal)",
+            service.worker_panics,
+        ),
+        (
+            "taxi_service_explored_total",
+            "Routed solves placed by the exploration arm",
+            service.explored,
+        ),
+        (
+            "taxi_service_batches_total",
+            "Micro-batches formed",
+            service.batches,
+        ),
+    ] {
+        page.family(name, "counter", help)
+            .sample(name, count as f64);
+    }
+    page.family(
+        "taxi_service_mean_batch_size",
+        "gauge",
+        "Mean formed batch size",
+    )
+    .sample("taxi_service_mean_batch_size", service.mean_batch_size);
+    page.family(
+        "taxi_service_throughput_per_sec",
+        "gauge",
+        "Completions per second of uptime",
+    )
+    .sample(
+        "taxi_service_throughput_per_sec",
+        service.throughput_per_sec,
+    );
+    page.family(
+        "taxi_service_solve_avoidance_rate",
+        "gauge",
+        "Fraction of completions that avoided a solve",
+    )
+    .sample(
+        "taxi_service_solve_avoidance_rate",
+        service.solve_avoidance_rate(),
+    );
+    page.family(
+        "taxi_service_exploration_share",
+        "gauge",
+        "Fraction of routed solves placed by exploration",
+    )
+    .sample(
+        "taxi_service_exploration_share",
+        service.exploration_share(),
+    );
+    page.family(
+        "taxi_service_routed_total",
+        "counter",
+        "Fresh solves dispatched through the adaptive router, by chosen backend",
+    );
+    for (index, backend) in SolverBackend::ALL.iter().enumerate() {
+        page.labelled(
+            "taxi_service_routed_total",
+            &format!("backend=\"{}\"", backend.label()),
+            service.routed_per_backend[index] as f64,
+        );
+    }
+    page.family(
+        "taxi_service_quality_count",
+        "counter",
+        "Routed solves with a quality ratio observation",
+    )
+    .sample("taxi_service_quality_count", service.quality.count as f64);
+    page.family(
+        "taxi_service_quality_ratio",
+        "gauge",
+        "Routed-solve quality ratio against the shadow reference (1.0 = reference)",
+    );
+    for (stat, ratio) in [
+        ("mean", service.quality.mean),
+        ("p50", service.quality.p50),
+        ("p95", service.quality.p95),
+        ("max", service.quality.max),
+    ] {
+        page.labelled(
+            "taxi_service_quality_ratio",
+            &format!("stat=\"{stat}\""),
+            ratio,
+        );
+    }
+    page.family(
+        "taxi_service_latency_count",
+        "counter",
+        "Observations per latency histogram",
+    );
+    page.family(
+        "taxi_service_latency_seconds",
+        "gauge",
+        "Latency distribution summaries (conservative bucket upper bounds)",
+    );
+    histogram(page, "queue_wait", &service.queue_wait);
+    histogram(page, "solve", &service.solve);
+    histogram(page, "end_to_end", &service.end_to_end);
+    page.family(
+        "taxi_service_stage_seconds_total",
+        "counter",
+        "Accumulated host seconds per pipeline stage",
+    );
+    for (index, label) in STAGE_LABELS.iter().enumerate() {
+        page.labelled(
+            "taxi_service_stage_seconds_total",
+            &format!("stage=\"{label}\""),
+            service.stage_seconds[index],
+        );
+    }
+    if let Some(cache) = &service.cache {
+        for (name, help, count) in [
+            (
+                "taxi_cache_hits_total",
+                "Cache lookups served (exact + remapped)",
+                cache.hits,
+            ),
+            (
+                "taxi_cache_exact_hits_total",
+                "Exact-fingerprint cache hits",
+                cache.exact_hits,
+            ),
+            (
+                "taxi_cache_remapped_hits_total",
+                "Cache hits served through permutation remapping",
+                cache.remapped_hits,
+            ),
+            (
+                "taxi_cache_misses_total",
+                "Cache lookups that missed",
+                cache.misses,
+            ),
+            (
+                "taxi_cache_insertions_total",
+                "Entries inserted",
+                cache.insertions,
+            ),
+            (
+                "taxi_cache_evictions_total",
+                "Entries evicted by capacity",
+                cache.evictions,
+            ),
+            (
+                "taxi_cache_expirations_total",
+                "Entries expired by TTL",
+                cache.expirations,
+            ),
+        ] {
+            page.family(name, "counter", help)
+                .sample(name, count as f64);
+        }
+        page.family("taxi_cache_entries", "gauge", "Live cache entries")
+            .sample("taxi_cache_entries", cache.entries as f64);
+        page.family("taxi_cache_bytes", "gauge", "Estimated live cache bytes")
+            .sample("taxi_cache_bytes", cache.bytes as f64);
+        page.family("taxi_cache_hit_rate", "gauge", "Lifetime cache hit rate")
+            .sample("taxi_cache_hit_rate", cache.hit_rate());
+    }
+}
+
+impl Telemetry {
+    /// Wraps a fleet snapshot for exposition.
+    pub fn new(snapshot: FleetSnapshot) -> Self {
+        Self { snapshot }
+    }
+
+    /// The wrapped snapshot.
+    pub fn snapshot(&self) -> &FleetSnapshot {
+        &self.snapshot
+    }
+
+    /// Renders the full Prometheus-style text page (see the module docs).
+    pub fn render(&self) -> String {
+        let snapshot = &self.snapshot;
+        let mut page = Page::new();
+        page.family(
+            "taxi_fleet_uptime_seconds",
+            "gauge",
+            "Time since the fleet started",
+        )
+        .sample("taxi_fleet_uptime_seconds", snapshot.uptime.as_secs_f64());
+        page.family("taxi_fleet_shards", "gauge", "Shard slots")
+            .sample("taxi_fleet_shards", snapshot.shards.len() as f64);
+        page.family(
+            "taxi_fleet_shards_in_rotation",
+            "gauge",
+            "Shards currently owning ring weight",
+        )
+        .sample(
+            "taxi_fleet_shards_in_rotation",
+            snapshot.in_rotation() as f64,
+        );
+        page.family(
+            "taxi_fleet_resubmitted_total",
+            "counter",
+            "Orphaned pendings re-adopted onto surviving shards",
+        )
+        .sample("taxi_fleet_resubmitted_total", snapshot.resubmitted as f64);
+        page.family(
+            "taxi_fleet_orphaned",
+            "gauge",
+            "Pendings currently orphaned (tickets live)",
+        )
+        .sample("taxi_fleet_orphaned", snapshot.orphaned as f64);
+        page.family(
+            "taxi_fleet_reconcile_ticks_total",
+            "counter",
+            "Reconcile passes completed",
+        )
+        .sample(
+            "taxi_fleet_reconcile_ticks_total",
+            snapshot.reconcile_ticks as f64,
+        );
+
+        render_service(&mut page, &snapshot.service);
+
+        page.family(
+            "taxi_shard_state",
+            "gauge",
+            "Shard lifecycle state (1 for the current state)",
+        );
+        for shard in &snapshot.shards {
+            for state in ShardState::ALL {
+                page.labelled(
+                    "taxi_shard_state",
+                    &format!("shard=\"{}\",state=\"{}\"", shard.id.index(), state.label()),
+                    f64::from(u8::from(shard.state == state)),
+                );
+            }
+        }
+        for (name, kind, help, read) in [
+            (
+                "taxi_shard_generation",
+                "counter",
+                "Service generation (bumped every restart)",
+                &(|s: &crate::fleet::ShardSnapshot| s.generation as f64)
+                    as &dyn Fn(&crate::fleet::ShardSnapshot) -> f64,
+            ),
+            (
+                "taxi_shard_in_state_seconds",
+                "gauge",
+                "Time spent in the current state",
+                &|s| s.in_state.as_secs_f64(),
+            ),
+            (
+                "taxi_shard_stuck",
+                "gauge",
+                "Whether the shard has overstayed its state SLA",
+                &|s| f64::from(u8::from(s.stuck)),
+            ),
+            (
+                "taxi_shard_ring_share",
+                "gauge",
+                "Fraction of the consistent-hash ring owned",
+                &|s| s.ring_share,
+            ),
+            (
+                "taxi_shard_queue_depth",
+                "gauge",
+                "Instantaneous admission-queue depth",
+                &|s| s.queue_depth as f64,
+            ),
+            (
+                "taxi_shard_healthy",
+                "gauge",
+                "Effective health verdict (1 healthy, 0 unhealthy)",
+                &|s| f64::from(u8::from(s.verdict == crate::health::HealthVerdict::Healthy)),
+            ),
+            (
+                "taxi_shard_health_overridden",
+                "gauge",
+                "Whether an operator override pins the verdict",
+                &|s| f64::from(u8::from(s.overridden)),
+            ),
+        ] {
+            page.family(name, kind, help);
+            for shard in &snapshot.shards {
+                page.labelled(
+                    name,
+                    &format!("shard=\"{}\"", shard.id.index()),
+                    read(shard),
+                );
+            }
+        }
+
+        if let Some(trace) = &snapshot.trace {
+            for (name, kind, help, count) in [
+                (
+                    "taxi_trace_minted_total",
+                    "counter",
+                    "Trace ids minted",
+                    trace.minted,
+                ),
+                (
+                    "taxi_trace_kept_total",
+                    "counter",
+                    "Traces kept by tail sampling",
+                    trace.kept,
+                ),
+                (
+                    "taxi_trace_dropped_total",
+                    "counter",
+                    "Traces dropped by tail sampling",
+                    trace.dropped,
+                ),
+                (
+                    "taxi_trace_recorded_spans_total",
+                    "counter",
+                    "Spans pushed into the flight recorder",
+                    trace.recorded_spans,
+                ),
+                (
+                    "taxi_trace_resident_spans",
+                    "gauge",
+                    "Spans currently resident in the rings",
+                    trace.resident_spans,
+                ),
+                (
+                    "taxi_trace_rings",
+                    "gauge",
+                    "Registered recorder rings",
+                    trace.rings,
+                ),
+                (
+                    "taxi_trace_ring_capacity",
+                    "gauge",
+                    "Capacity of each recorder ring",
+                    trace.ring_capacity,
+                ),
+            ] {
+                page.family(name, kind, help).sample(name, count as f64);
+            }
+        }
+        page.out
+    }
+}
+
+impl Fleet {
+    /// The fleet's unified telemetry page: a point-in-time [`Telemetry`] built
+    /// from [`snapshot`](Fleet::snapshot) — render it with
+    /// [`Telemetry::render`].
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry::new(self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use taxi_dispatch::{DispatchConfig, DispatchRequest};
+    use taxi_trace::{TraceConfig, Tracer};
+    use taxi_tsplib::generator::clustered_instance;
+
+    /// Every metric family the page must carry: the acceptance criterion is
+    /// that no snapshot counter is missing from the exposition.
+    const REQUIRED_FAMILIES: &[&str] = &[
+        "taxi_fleet_uptime_seconds",
+        "taxi_fleet_shards",
+        "taxi_fleet_shards_in_rotation",
+        "taxi_fleet_resubmitted_total",
+        "taxi_fleet_orphaned",
+        "taxi_fleet_reconcile_ticks_total",
+        "taxi_service_uptime_seconds",
+        "taxi_service_captured_at_seconds",
+        "taxi_service_submitted_total",
+        "taxi_service_completed_total",
+        "taxi_service_failed_total",
+        "taxi_service_shed_total",
+        "taxi_service_rejected_total",
+        "taxi_service_degraded_total",
+        "taxi_service_deadline_misses_total",
+        "taxi_service_cache_hits_total",
+        "taxi_service_coalesced_total",
+        "taxi_service_solved_fresh_total",
+        "taxi_service_worker_panics_total",
+        "taxi_service_explored_total",
+        "taxi_service_batches_total",
+        "taxi_service_mean_batch_size",
+        "taxi_service_throughput_per_sec",
+        "taxi_service_solve_avoidance_rate",
+        "taxi_service_exploration_share",
+        "taxi_service_routed_total",
+        "taxi_service_quality_count",
+        "taxi_service_quality_ratio",
+        "taxi_service_latency_count",
+        "taxi_service_latency_seconds",
+        "taxi_service_stage_seconds_total",
+        "taxi_cache_hits_total",
+        "taxi_cache_exact_hits_total",
+        "taxi_cache_remapped_hits_total",
+        "taxi_cache_misses_total",
+        "taxi_cache_insertions_total",
+        "taxi_cache_evictions_total",
+        "taxi_cache_expirations_total",
+        "taxi_cache_entries",
+        "taxi_cache_bytes",
+        "taxi_cache_hit_rate",
+        "taxi_shard_state",
+        "taxi_shard_generation",
+        "taxi_shard_in_state_seconds",
+        "taxi_shard_stuck",
+        "taxi_shard_ring_share",
+        "taxi_shard_queue_depth",
+        "taxi_shard_healthy",
+        "taxi_shard_health_overridden",
+        "taxi_trace_minted_total",
+        "taxi_trace_kept_total",
+        "taxi_trace_dropped_total",
+        "taxi_trace_recorded_spans_total",
+        "taxi_trace_resident_spans",
+        "taxi_trace_rings",
+        "taxi_trace_ring_capacity",
+    ];
+
+    #[test]
+    fn page_is_complete_and_numerically_consistent() {
+        let tracer = Arc::new(Tracer::new(TraceConfig::new().with_keep_probability(1.0)));
+        let fleet = Fleet::start(
+            FleetConfig::new()
+                .with_shards(2)
+                .with_shard_config(DispatchConfig::new().with_workers(1))
+                .with_reconcile_interval(Duration::from_millis(5))
+                .with_tracer(Arc::clone(&tracer)),
+        );
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                fleet
+                    .submit(DispatchRequest::new(clustered_instance("telem", 30, 3, i)))
+                    .expect("admitted")
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().solved().expect("solved");
+        }
+        let telemetry = fleet.telemetry();
+        let page = telemetry.render();
+        for family in REQUIRED_FAMILIES {
+            assert!(
+                page.contains(&format!("# TYPE {family} ")),
+                "family {family} missing from page:\n{page}"
+            );
+        }
+        // Samples match the snapshot the page was rendered from.
+        let snapshot = telemetry.snapshot();
+        assert!(page.contains(&format!(
+            "taxi_service_completed_total {}",
+            snapshot.service.completed
+        )));
+        assert!(page.contains(&format!(
+            "taxi_service_submitted_total {}",
+            snapshot.service.submitted
+        )));
+        let trace = snapshot.trace.as_ref().expect("tracing enabled");
+        assert!(page.contains(&format!("taxi_trace_minted_total {}", trace.minted)));
+        // Exactly one state sample per shard is 1.
+        for shard in 0..2 {
+            let ones = ShardState::ALL
+                .iter()
+                .filter(|state| {
+                    page.contains(&format!(
+                        "taxi_shard_state{{shard=\"{shard}\",state=\"{}\"}} 1",
+                        state.label()
+                    ))
+                })
+                .count();
+            assert_eq!(ones, 1, "shard {shard} must be in exactly one state");
+        }
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn cache_and_trace_sections_are_omitted_when_absent() {
+        let fleet = Fleet::start(
+            FleetConfig::new()
+                .with_shards(1)
+                .with_shard_config(DispatchConfig::new().with_workers(1))
+                .without_cache(),
+        );
+        let page = fleet.telemetry().render();
+        assert!(!page.contains("taxi_cache_"));
+        assert!(!page.contains("taxi_trace_"));
+        assert!(page.contains("taxi_service_completed_total 0"));
+        fleet.shutdown();
+    }
+}

@@ -1,0 +1,114 @@
+//! Tracing through the fleet layer: root spans carry the (shard, generation)
+//! placement that served them, the fleet snapshot exposes tracer stats, and a
+//! shard restart bumps the generation stamped on subsequent traces.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxi_dispatch::{DispatchConfig, DispatchRequest};
+use taxi_fleet::{Fleet, FleetConfig, ShardId, ShardState};
+use taxi_trace::{AttrKey, SpanName, TraceConfig, Tracer};
+use taxi_tsplib::generator::clustered_instance;
+
+fn traced_fleet(shards: usize, tracer: &Arc<Tracer>) -> Fleet {
+    Fleet::start(
+        FleetConfig::new()
+            .with_shards(shards)
+            .with_shard_config(DispatchConfig::new().with_workers(1))
+            .with_reconcile_interval(Duration::from_millis(5))
+            .with_tracer(Arc::clone(tracer)),
+    )
+}
+
+#[test]
+fn root_spans_carry_shard_and_generation() {
+    const REQUESTS: u64 = 12;
+    let tracer = Arc::new(Tracer::new(TraceConfig::new().with_keep_probability(1.0)));
+    let fleet = traced_fleet(3, &tracer);
+    let tickets: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            fleet
+                .submit(DispatchRequest::new(clustered_instance("ft", 30, 3, i)))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().solved().expect("solved");
+    }
+    let snapshot = fleet.shutdown();
+
+    let trace = snapshot.trace.expect("snapshot exposes tracer stats");
+    assert_eq!(trace.minted, REQUESTS);
+    assert_eq!(trace.kept, REQUESTS);
+
+    let spans = tracer.spans();
+    let roots: Vec<_> = spans
+        .iter()
+        .flat_map(|(_, spans)| spans.iter())
+        .filter(|s| s.name == SpanName::Request)
+        .collect();
+    assert_eq!(roots.len(), REQUESTS as usize);
+    // Every root names a real shard at generation 1 (no restarts happened),
+    // and the fingerprint router used more than one shard for 12 distinct
+    // geometries across 3 shards.
+    let mut shards_seen = [false; 3];
+    for root in &roots {
+        let shard = root.attr(AttrKey::Shard).expect("shard stamped");
+        assert!(shard < 3, "shard id {shard} out of range");
+        shards_seen[shard as usize] = true;
+        assert_eq!(root.attr(AttrKey::Generation), Some(1));
+    }
+    assert!(
+        shards_seen.iter().filter(|seen| **seen).count() > 1,
+        "fingerprint routing spread 12 routes over more than one shard"
+    );
+}
+
+#[test]
+fn restart_bumps_generation_on_new_traces() {
+    let tracer = Arc::new(Tracer::new(TraceConfig::new().with_keep_probability(1.0)));
+    // One shard: every request lands on it, before and after the restart.
+    let fleet = traced_fleet(1, &tracer);
+    let shard = ShardId::new(0);
+    fleet
+        .submit(DispatchRequest::new(clustered_instance("gen", 30, 3, 0)))
+        .expect("admitted")
+        .wait()
+        .solved()
+        .expect("solved");
+
+    // Crash containment recycles the shard onto a fresh generation.
+    fleet.report_crash(shard, "trace-test");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        fleet.reconcile_now();
+        let view = fleet.snapshot();
+        let cell = &view.shards[0];
+        if cell.state == ShardState::Serving && cell.generation >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "recycle completes:\n{view}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    fleet
+        .submit(DispatchRequest::new(clustered_instance("gen", 30, 3, 1)))
+        .expect("admitted")
+        .wait()
+        .solved()
+        .expect("solved");
+    let snapshot = fleet.shutdown();
+    assert!(snapshot.one_line().contains("traces"));
+
+    let spans = tracer.spans();
+    let generations: Vec<u64> = spans
+        .iter()
+        .flat_map(|(_, spans)| spans.iter())
+        .filter(|s| s.name == SpanName::Request)
+        .filter_map(|s| s.attr(AttrKey::Generation))
+        .collect();
+    assert!(
+        generations.contains(&1) && generations.iter().any(|g| *g >= 2),
+        "traces straddle the restart: generations {generations:?}"
+    );
+}

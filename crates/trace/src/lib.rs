@@ -1,0 +1,888 @@
+//! # taxi-trace — per-request span tracing for the TAXI serving stack
+//!
+//! The dispatch/fleet layers answer *"how is the service doing?"* with counters
+//! and histograms; this crate answers *"why was **this** request slow?"*. It is
+//! an always-on **flight recorder**:
+//!
+//! * a [`TraceId`] is minted at admission and rides the request through every
+//!   layer (queue, router, batcher, solver pipeline, cache, fleet shard);
+//! * each layer records fixed-size [`Span`]s — name, start, duration, up to
+//!   [`MAX_ATTRS`] integer attributes — into a lock-free, fixed-capacity,
+//!   overwrite-oldest [`ring::SpanRing`] registered per component
+//!   ([`Tracer::register`]). Recording performs **zero heap allocations** after
+//!   warm-up (proven by a counting-allocator test), so tracing can stay on in
+//!   production;
+//! * at request completion, [`Tracer::finish`] applies **tail sampling**
+//!   ([`sampler::TailSampler`]): traces that failed, were shed, missed their
+//!   deadline, or breached the latency threshold are *always* kept; the rest
+//!   keep with a seeded deterministic probability. The verdict lands as flag
+//!   bits on the root `request` span;
+//! * kept traces export as Chrome `trace_event` JSON
+//!   ([`export::chrome_trace`], load in `chrome://tracing` / Perfetto) and as
+//!   flamegraph-folded text ([`export::folded`]).
+//!
+//! Everything is `std` atomics — no locks on the record path (the only mutex
+//! guards ring *registration*), no `unsafe`, no external runtime. Spans are
+//! packed into [`AtomicU64`] words with a per-slot sequence protocol, so a
+//! torn read is detected and discarded rather than ever being undefined
+//! behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::{Duration, Instant};
+//! use taxi_trace::{AttrKey, RequestFacts, SpanName, TraceConfig, Tracer};
+//!
+//! let tracer = Tracer::new(TraceConfig::new().with_keep_probability(1.0));
+//! let sink = tracer.register("worker-0");
+//! let trace = tracer.mint();
+//! let start = Instant::now();
+//! sink.record(
+//!     trace,
+//!     SpanName::Solve,
+//!     start,
+//!     Duration::from_micros(250),
+//!     &[(AttrKey::Worker, 0), (AttrKey::BatchSize, 4)],
+//! );
+//! let kept = tracer.finish(
+//!     trace,
+//!     start,
+//!     &RequestFacts::completed(Duration::from_micros(300)),
+//!     &[(AttrKey::Shard, 1)],
+//! );
+//! assert!(kept, "keep probability 1.0 keeps everything");
+//! let chrome = taxi_trace::export::chrome_trace(&tracer);
+//! assert!(chrome.contains("\"solve\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod ring;
+pub mod sampler;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ring::SpanRing;
+pub use sampler::{KeepReason, RequestFacts, TailSampler};
+
+/// Maximum number of attributes one span can carry (excess is truncated).
+pub const MAX_ATTRS: usize = 4;
+
+/// Flag bits carried by the root `request` span (see [`Span::flags`]).
+pub mod flags {
+    /// The trace survived tail sampling and is exported.
+    pub const KEPT: u8 = 1;
+    /// The request's solve failed.
+    pub const FAILED: u8 = 2;
+    /// The request was shed by the admission policy.
+    pub const SHED: u8 = 4;
+    /// The request resolved after its deadline.
+    pub const DEADLINE_MISS: u8 = 8;
+    /// Kept because end-to-end latency breached the tail threshold.
+    pub const LATENCY: u8 = 16;
+    /// Kept by the probabilistic arm (seeded RNG).
+    pub const SAMPLED: u8 = 32;
+}
+
+/// Identity of one traced request, minted at admission ([`Tracer::mint`]).
+///
+/// `TraceId::NONE` (zero) marks an untraced request: recording against it is a
+/// no-op by convention at the call sites, and the tracer never mints it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The "not traced" sentinel.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// The raw id (zero for [`NONE`](Self::NONE)).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is a real minted id.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// What one span measures. Tags are stable `u8`s so names pack into the ring's
+/// atomic words without storing pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanName {
+    /// The root span of one request (recorded by [`Tracer::finish`]; carries
+    /// the tail-sampling verdict in its flags).
+    Request,
+    /// Admission: queue-lock acquisition + policy decision + enqueue.
+    Admit,
+    /// Time spent queued before a worker dequeued the request's batch.
+    QueueWait,
+    /// The adaptive router's backend decision for this request.
+    Route,
+    /// Micro-batch formation (instant event on the batch's first request).
+    Batch,
+    /// A solution-cache probe (admission-time or worker-side re-check).
+    CacheLookup,
+    /// Served from the cache by the worker's pre-solve re-check.
+    CacheLateHit,
+    /// Rode on a concurrent identical request's solve (singleflight).
+    Coalesce,
+    /// The backend solve itself.
+    Solve,
+    /// Pipeline stage: hierarchical clustering.
+    StageCluster,
+    /// Pipeline stage: inter-cluster endpoint fixing.
+    StageFixEndpoints,
+    /// Pipeline stage: sub-problem solving.
+    StageSolveLevels,
+    /// Pipeline stage: tour assembly.
+    StageAssemble,
+    /// Pipeline stage: hardware latency/energy accounting.
+    StageAccount,
+}
+
+impl SpanName {
+    /// Every span name (decode/coverage helper).
+    pub const ALL: [SpanName; 14] = [
+        SpanName::Request,
+        SpanName::Admit,
+        SpanName::QueueWait,
+        SpanName::Route,
+        SpanName::Batch,
+        SpanName::CacheLookup,
+        SpanName::CacheLateHit,
+        SpanName::Coalesce,
+        SpanName::Solve,
+        SpanName::StageCluster,
+        SpanName::StageFixEndpoints,
+        SpanName::StageSolveLevels,
+        SpanName::StageAssemble,
+        SpanName::StageAccount,
+    ];
+
+    fn tag(self) -> u8 {
+        match self {
+            SpanName::Request => 1,
+            SpanName::Admit => 2,
+            SpanName::QueueWait => 3,
+            SpanName::Route => 4,
+            SpanName::Batch => 5,
+            SpanName::CacheLookup => 6,
+            SpanName::CacheLateHit => 7,
+            SpanName::Coalesce => 8,
+            SpanName::Solve => 9,
+            SpanName::StageCluster => 10,
+            SpanName::StageFixEndpoints => 11,
+            SpanName::StageSolveLevels => 12,
+            SpanName::StageAssemble => 13,
+            SpanName::StageAccount => 14,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<SpanName> {
+        SpanName::ALL.into_iter().find(|name| name.tag() == tag)
+    }
+
+    /// Short stable label (used by the exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanName::Request => "request",
+            SpanName::Admit => "admit",
+            SpanName::QueueWait => "queue_wait",
+            SpanName::Route => "route",
+            SpanName::Batch => "batch",
+            SpanName::CacheLookup => "cache_lookup",
+            SpanName::CacheLateHit => "cache_late_hit",
+            SpanName::Coalesce => "coalesce",
+            SpanName::Solve => "solve",
+            SpanName::StageCluster => "stage_cluster",
+            SpanName::StageFixEndpoints => "stage_fix_endpoints",
+            SpanName::StageSolveLevels => "stage_solve_levels",
+            SpanName::StageAssemble => "stage_assemble",
+            SpanName::StageAccount => "stage_account",
+        }
+    }
+
+    /// The span's parent frame in the synthetic flamegraph stack (`None` for
+    /// the root). Pipeline stages nest under the solve; everything else hangs
+    /// directly off the request.
+    pub fn folded_parent(self) -> Option<SpanName> {
+        match self {
+            SpanName::Request => None,
+            SpanName::StageCluster
+            | SpanName::StageFixEndpoints
+            | SpanName::StageSolveLevels
+            | SpanName::StageAssemble
+            | SpanName::StageAccount => Some(SpanName::Solve),
+            _ => Some(SpanName::Request),
+        }
+    }
+}
+
+/// Key of one span attribute. Values are raw `u64`s; the key says how to read
+/// them (index, flag, count, microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKey {
+    /// Solver backend index ([`SolverBackend::index`](../taxi/enum.SolverBackend.html)).
+    Backend,
+    /// 1 when the routing decision came from the ε-greedy exploration arm.
+    Explored,
+    /// Routing decision kind (0 exploit, 1 explore, 2 cold-start, 3 infeasible).
+    Decision,
+    /// Bitmask of backends excluded by the router's deadline-feasibility filter.
+    ExcludedMask,
+    /// Micro-batch size.
+    BatchSize,
+    /// Priority class (0 interactive, 1 bulk).
+    Priority,
+    /// Queue depth observed at admission.
+    QueueDepth,
+    /// Fleet shard slot the request was served on.
+    Shard,
+    /// Shard service generation.
+    Generation,
+    /// Worker thread index.
+    Worker,
+    /// 1 when a cache probe hit.
+    Hit,
+    /// 1 when the request was solved degraded (cheaper backend / tighter budget).
+    Degraded,
+    /// 1 when the batch was formed under overload.
+    Overloaded,
+    /// End-to-end latency in microseconds (root span).
+    LatencyUs,
+    /// Service-wide submission sequence number.
+    Seq,
+    /// Instance size (cities).
+    Cities,
+}
+
+impl AttrKey {
+    /// Every attribute key (decode/coverage helper).
+    pub const ALL: [AttrKey; 16] = [
+        AttrKey::Backend,
+        AttrKey::Explored,
+        AttrKey::Decision,
+        AttrKey::ExcludedMask,
+        AttrKey::BatchSize,
+        AttrKey::Priority,
+        AttrKey::QueueDepth,
+        AttrKey::Shard,
+        AttrKey::Generation,
+        AttrKey::Worker,
+        AttrKey::Hit,
+        AttrKey::Degraded,
+        AttrKey::Overloaded,
+        AttrKey::LatencyUs,
+        AttrKey::Seq,
+        AttrKey::Cities,
+    ];
+
+    fn tag(self) -> u8 {
+        match self {
+            AttrKey::Backend => 1,
+            AttrKey::Explored => 2,
+            AttrKey::Decision => 3,
+            AttrKey::ExcludedMask => 4,
+            AttrKey::BatchSize => 5,
+            AttrKey::Priority => 6,
+            AttrKey::QueueDepth => 7,
+            AttrKey::Shard => 8,
+            AttrKey::Generation => 9,
+            AttrKey::Worker => 10,
+            AttrKey::Hit => 11,
+            AttrKey::Degraded => 12,
+            AttrKey::Overloaded => 13,
+            AttrKey::LatencyUs => 14,
+            AttrKey::Seq => 15,
+            AttrKey::Cities => 16,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<AttrKey> {
+        AttrKey::ALL.into_iter().find(|key| key.tag() == tag)
+    }
+
+    /// Short stable label (used by the exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            AttrKey::Backend => "backend",
+            AttrKey::Explored => "explored",
+            AttrKey::Decision => "decision",
+            AttrKey::ExcludedMask => "excluded_mask",
+            AttrKey::BatchSize => "batch_size",
+            AttrKey::Priority => "priority",
+            AttrKey::QueueDepth => "queue_depth",
+            AttrKey::Shard => "shard",
+            AttrKey::Generation => "generation",
+            AttrKey::Worker => "worker",
+            AttrKey::Hit => "hit",
+            AttrKey::Degraded => "degraded",
+            AttrKey::Overloaded => "overloaded",
+            AttrKey::LatencyUs => "latency_us",
+            AttrKey::Seq => "seq",
+            AttrKey::Cities => "cities",
+        }
+    }
+}
+
+/// One decoded span: what a layer did for one request, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The request this span belongs to.
+    pub trace: TraceId,
+    /// What the span measures.
+    pub name: SpanName,
+    /// Flag bits (see [`flags`]; nonzero only on root spans today).
+    pub flags: u8,
+    /// Start, as an offset from the tracer's epoch.
+    pub start: Duration,
+    /// Duration of the measured work.
+    pub duration: Duration,
+    attrs: [(AttrKey, u64); MAX_ATTRS],
+    attr_len: u8,
+}
+
+impl Span {
+    /// The span's attributes, in recording order.
+    pub fn attrs(&self) -> &[(AttrKey, u64)] {
+        &self.attrs[..usize::from(self.attr_len)]
+    }
+
+    /// The value of attribute `key`, if recorded.
+    pub fn attr(&self, key: AttrKey) -> Option<u64> {
+        self.attrs()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Whether the trace carrying this root span survived tail sampling.
+    pub fn kept(&self) -> bool {
+        self.flags & flags::KEPT != 0
+    }
+
+    /// Packs a span into the ring's word layout. Word 1 holds, low to high:
+    /// name tag (8 bits), flags (8), attribute count (8), then one key tag per
+    /// attribute slot (8 each).
+    fn encode(
+        trace: TraceId,
+        name: SpanName,
+        fl: u8,
+        start_ns: u64,
+        dur_ns: u64,
+        attrs: &[(AttrKey, u64)],
+    ) -> [u64; ring::SPAN_WORDS] {
+        let n = attrs.len().min(MAX_ATTRS);
+        let mut meta = u64::from(name.tag()) | (u64::from(fl) << 8) | ((n as u64) << 16);
+        let mut words = [0u64; ring::SPAN_WORDS];
+        for (slot, &(key, value)) in attrs.iter().take(MAX_ATTRS).enumerate() {
+            meta |= u64::from(key.tag()) << (24 + 8 * slot);
+            words[4 + slot] = value;
+        }
+        words[0] = trace.0;
+        words[1] = meta;
+        words[2] = start_ns;
+        words[3] = dur_ns;
+        words
+    }
+
+    /// Decodes one ring record; `None` for records whose tags do not decode
+    /// (a wrap race stomped the slot — the defensive counterpart of the ring's
+    /// sequence protocol).
+    fn decode(words: &[u64; ring::SPAN_WORDS]) -> Option<Span> {
+        let meta = words[1];
+        let name = SpanName::from_tag((meta & 0xff) as u8)?;
+        let fl = ((meta >> 8) & 0xff) as u8;
+        let n = ((meta >> 16) & 0xff) as usize;
+        if n > MAX_ATTRS {
+            return None;
+        }
+        let mut attrs = [(AttrKey::Backend, 0u64); MAX_ATTRS];
+        for (slot, attr) in attrs.iter_mut().enumerate().take(n) {
+            let key = AttrKey::from_tag(((meta >> (24 + 8 * slot)) & 0xff) as u8)?;
+            *attr = (key, words[4 + slot]);
+        }
+        Some(Span {
+            trace: TraceId(words[0]),
+            name,
+            flags: fl,
+            start: Duration::from_nanos(words[2]),
+            duration: Duration::from_nanos(words[3]),
+            attrs,
+            attr_len: n as u8,
+        })
+    }
+}
+
+/// Configuration of a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Capacity, in spans, of each registered ring (clamped to ≥ 8).
+    pub ring_capacity: usize,
+    /// End-to-end latency at which a trace is always kept (tail sampling).
+    pub latency_threshold: Duration,
+    /// Probability of keeping an unremarkable trace (clamped to `0.0..=1.0`).
+    pub keep_probability: f64,
+    /// Seed of the deterministic sampling sequence.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// Defaults: 1024-span rings, 100ms tail threshold, 1% probabilistic keep,
+    /// a fixed seed.
+    pub fn new() -> Self {
+        Self {
+            ring_capacity: 1024,
+            latency_threshold: Duration::from_millis(100),
+            keep_probability: 0.01,
+            seed: 0x7a81_5eed,
+        }
+    }
+
+    /// Sets the per-ring span capacity.
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Sets the always-keep latency threshold.
+    #[must_use]
+    pub fn with_latency_threshold(mut self, threshold: Duration) -> Self {
+        self.latency_threshold = threshold;
+        self
+    }
+
+    /// Sets the probabilistic keep rate for unremarkable traces.
+    #[must_use]
+    pub fn with_keep_probability(mut self, p: f64) -> Self {
+        self.keep_probability = p;
+        self
+    }
+
+    /// Sets the sampling seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A recording handle onto one component's ring (workers, the admission queue,
+/// ...). Cloning shares the ring; recording is lock-free and allocation-free.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    epoch: Instant,
+    ring: Arc<SpanRing>,
+}
+
+impl TraceSink {
+    /// Records one span. `start` is clamped to the tracer's epoch; attributes
+    /// beyond [`MAX_ATTRS`] are truncated.
+    pub fn record(
+        &self,
+        trace: TraceId,
+        name: SpanName,
+        start: Instant,
+        duration: Duration,
+        attrs: &[(AttrKey, u64)],
+    ) {
+        self.record_flagged(trace, name, 0, start, duration, attrs);
+    }
+
+    /// [`record`](Self::record) with explicit flag bits (root spans).
+    pub fn record_flagged(
+        &self,
+        trace: TraceId,
+        name: SpanName,
+        fl: u8,
+        start: Instant,
+        duration: Duration,
+        attrs: &[(AttrKey, u64)],
+    ) {
+        let start_ns = clamp_ns(start.saturating_duration_since(self.epoch));
+        let dur_ns = clamp_ns(duration);
+        self.ring
+            .push(Span::encode(trace, name, fl, start_ns, dur_ns, attrs));
+    }
+}
+
+fn clamp_ns(duration: Duration) -> u64 {
+    duration.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Point-in-time counters of one [`Tracer`] (the exposition layer's view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TracerStats {
+    /// Trace ids minted so far.
+    pub minted: u64,
+    /// Finished traces retained by tail sampling.
+    pub kept: u64,
+    /// Finished traces dropped by tail sampling.
+    pub dropped: u64,
+    /// Spans recorded across every ring (including overwritten ones).
+    pub recorded_spans: u64,
+    /// Spans currently resident (≤ rings × capacity).
+    pub resident_spans: u64,
+    /// Registered rings (components).
+    pub rings: u64,
+    /// Per-ring capacity in spans.
+    pub ring_capacity: u64,
+}
+
+/// The per-request span tracer: mints [`TraceId`]s, owns the component rings,
+/// applies tail sampling at [`finish`](Self::finish), and feeds the exports.
+///
+/// Shareable as `Arc<Tracer>`; every operation on the request path is
+/// lock-free (the registration mutex is touched only at component start-up).
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    config: TraceConfig,
+    sampler: TailSampler,
+    rings: Mutex<Vec<(String, Arc<SpanRing>)>>,
+    root: TraceSink,
+    next_trace: AtomicU64,
+    kept: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// Creates a tracer from `config`. The root `request` ring is registered
+    /// implicitly.
+    pub fn new(config: TraceConfig) -> Self {
+        let epoch = Instant::now();
+        let capacity = config.ring_capacity.max(8);
+        let root_ring = Arc::new(SpanRing::new(capacity));
+        let root = TraceSink {
+            epoch,
+            ring: Arc::clone(&root_ring),
+        };
+        Self {
+            epoch,
+            sampler: TailSampler::new(
+                config.latency_threshold,
+                config.keep_probability,
+                config.seed,
+            ),
+            config,
+            rings: Mutex::new(vec![("request".to_string(), root_ring)]),
+            root,
+            next_trace: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a tracer with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(TraceConfig::new())
+    }
+
+    /// The tracer's configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// The instant span offsets are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Mints the next trace id (never [`TraceId::NONE`]).
+    pub fn mint(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Registers a component ring and returns its recording sink. Called once
+    /// per component at start-up (this is the only locking operation).
+    pub fn register(&self, label: &str) -> TraceSink {
+        let ring = Arc::new(SpanRing::new(self.config.ring_capacity.max(8)));
+        self.rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((label.to_string(), Arc::clone(&ring)));
+        TraceSink {
+            epoch: self.epoch,
+            ring,
+        }
+    }
+
+    /// Finishes a traced request: applies tail sampling to `facts`, records
+    /// the root `request` span (outcome flags + `latency_us` + the caller's
+    /// attributes, typically shard/generation), and returns whether the trace
+    /// was kept. Allocation-free.
+    pub fn finish(
+        &self,
+        trace: TraceId,
+        start: Instant,
+        facts: &RequestFacts,
+        attrs: &[(AttrKey, u64)],
+    ) -> bool {
+        if !trace.is_some() {
+            return false;
+        }
+        let mut fl = 0u8;
+        if facts.failed {
+            fl |= flags::FAILED;
+        }
+        if facts.shed {
+            fl |= flags::SHED;
+        }
+        if facts.deadline_missed {
+            fl |= flags::DEADLINE_MISS;
+        }
+        let verdict = self.sampler.decide(facts);
+        match verdict {
+            Some(KeepReason::Outcome) => fl |= flags::KEPT,
+            Some(KeepReason::Latency) => fl |= flags::KEPT | flags::LATENCY,
+            Some(KeepReason::Sampled) => fl |= flags::KEPT | flags::SAMPLED,
+            None => {}
+        }
+        if verdict.is_some() {
+            self.kept.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut all = [(AttrKey::LatencyUs, 0u64); MAX_ATTRS];
+        all[0] = (
+            AttrKey::LatencyUs,
+            facts.latency.as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        let extra = attrs.len().min(MAX_ATTRS - 1);
+        all[1..1 + extra].copy_from_slice(&attrs[..extra]);
+        self.root.record_flagged(
+            trace,
+            SpanName::Request,
+            fl,
+            start,
+            facts.latency,
+            &all[..1 + extra],
+        );
+        verdict.is_some()
+    }
+
+    /// Current tracer counters.
+    pub fn stats(&self) -> TracerStats {
+        let rings = self
+            .rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut recorded = 0u64;
+        let mut resident = 0u64;
+        for (_, ring) in rings.iter() {
+            let pushed = ring.recorded();
+            recorded += pushed;
+            resident += pushed.min(ring.capacity() as u64);
+        }
+        TracerStats {
+            minted: self.next_trace.load(Ordering::Relaxed),
+            kept: self.kept.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            recorded_spans: recorded,
+            resident_spans: resident,
+            rings: rings.len() as u64,
+            ring_capacity: self.config.ring_capacity.max(8) as u64,
+        }
+    }
+
+    /// Decodes every resident span, grouped per ring (the export path; this
+    /// allocates and is not meant for the request hot path).
+    pub fn spans(&self) -> Vec<(String, Vec<Span>)> {
+        let rings = self
+            .rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = Vec::with_capacity(rings.len());
+        let mut raw = Vec::new();
+        for (label, ring) in rings.iter() {
+            raw.clear();
+            ring.snapshot_into(&mut raw);
+            let spans = raw.iter().filter_map(Span::decode).collect();
+            out.push((label.clone(), spans));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer(p: f64) -> Tracer {
+        Tracer::new(
+            TraceConfig::new()
+                .with_keep_probability(p)
+                .with_latency_threshold(Duration::from_millis(50)),
+        )
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_ring() {
+        let t = tracer(1.0);
+        let sink = t.register("worker-0");
+        let id = t.mint();
+        assert!(id.is_some());
+        let start = Instant::now();
+        sink.record(
+            id,
+            SpanName::Route,
+            start,
+            Duration::from_micros(7),
+            &[
+                (AttrKey::Backend, 2),
+                (AttrKey::Explored, 1),
+                (AttrKey::ExcludedMask, 0b1001),
+            ],
+        );
+        let spans = t.spans();
+        let (label, worker_spans) = spans
+            .iter()
+            .find(|(label, _)| label == "worker-0")
+            .expect("registered ring");
+        assert_eq!(label, "worker-0");
+        assert_eq!(worker_spans.len(), 1);
+        let span = worker_spans[0];
+        assert_eq!(span.trace, id);
+        assert_eq!(span.name, SpanName::Route);
+        assert_eq!(span.duration, Duration::from_micros(7));
+        assert_eq!(span.attr(AttrKey::Backend), Some(2));
+        assert_eq!(span.attr(AttrKey::Explored), Some(1));
+        assert_eq!(span.attr(AttrKey::ExcludedMask), Some(0b1001));
+        assert_eq!(span.attr(AttrKey::Worker), None);
+    }
+
+    #[test]
+    fn excess_attributes_truncate() {
+        let t = tracer(1.0);
+        let sink = t.register("w");
+        let id = t.mint();
+        let attrs: Vec<(AttrKey, u64)> = AttrKey::ALL.iter().map(|&k| (k, 1)).collect();
+        sink.record(id, SpanName::Solve, Instant::now(), Duration::ZERO, &attrs);
+        let spans = t.spans();
+        let span = spans
+            .iter()
+            .find(|(l, _)| l == "w")
+            .and_then(|(_, s)| s.first())
+            .copied()
+            .expect("span recorded");
+        assert_eq!(span.attrs().len(), MAX_ATTRS);
+    }
+
+    #[test]
+    fn finish_keeps_bad_outcomes_even_at_zero_probability() {
+        let t = tracer(0.0);
+        for (facts, flag) in [
+            (
+                RequestFacts::completed(Duration::from_micros(10)).failed(),
+                flags::FAILED,
+            ),
+            (
+                RequestFacts::completed(Duration::from_micros(10)).shed(),
+                flags::SHED,
+            ),
+            (
+                RequestFacts::completed(Duration::from_micros(10)).deadline_missed(),
+                flags::DEADLINE_MISS,
+            ),
+        ] {
+            let id = t.mint();
+            assert!(t.finish(id, Instant::now(), &facts, &[]), "{flag:#b} kept");
+        }
+        // An unremarkable fast request is dropped at p=0.
+        let id = t.mint();
+        assert!(!t.finish(
+            id,
+            Instant::now(),
+            &RequestFacts::completed(Duration::from_micros(10)),
+            &[]
+        ));
+        let stats = t.stats();
+        assert_eq!(stats.kept, 3);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.minted, 4);
+    }
+
+    #[test]
+    fn finish_keeps_latency_breaches() {
+        let t = tracer(0.0);
+        let id = t.mint();
+        assert!(t.finish(
+            id,
+            Instant::now(),
+            &RequestFacts::completed(Duration::from_millis(60)),
+            &[]
+        ));
+        let spans = t.spans();
+        let root = &spans[0].1[0];
+        assert!(root.kept());
+        assert_ne!(root.flags & flags::LATENCY, 0);
+    }
+
+    #[test]
+    fn root_span_carries_latency_and_caller_attrs() {
+        let t = tracer(1.0);
+        let id = t.mint();
+        t.finish(
+            id,
+            Instant::now(),
+            &RequestFacts::completed(Duration::from_micros(1234)),
+            &[(AttrKey::Shard, 3), (AttrKey::Generation, 2)],
+        );
+        let spans = t.spans();
+        let root = &spans[0].1[0];
+        assert_eq!(root.name, SpanName::Request);
+        assert_eq!(root.attr(AttrKey::LatencyUs), Some(1234));
+        assert_eq!(root.attr(AttrKey::Shard), Some(3));
+        assert_eq!(root.attr(AttrKey::Generation), Some(2));
+        assert_ne!(root.flags & flags::SAMPLED, 0);
+    }
+
+    #[test]
+    fn finish_on_an_untraced_request_is_a_no_op() {
+        let t = tracer(1.0);
+        assert!(!t.finish(
+            TraceId::NONE,
+            Instant::now(),
+            &RequestFacts::completed(Duration::ZERO),
+            &[]
+        ));
+        let stats = t.stats();
+        assert_eq!(stats.kept + stats.dropped, 0);
+        assert_eq!(stats.recorded_spans, 0);
+    }
+
+    #[test]
+    fn name_and_key_tags_are_unique_and_round_trip() {
+        for name in SpanName::ALL {
+            assert_eq!(SpanName::from_tag(name.tag()), Some(name));
+            assert_eq!(
+                SpanName::ALL
+                    .iter()
+                    .filter(|n| n.tag() == name.tag())
+                    .count(),
+                1
+            );
+        }
+        for key in AttrKey::ALL {
+            assert_eq!(AttrKey::from_tag(key.tag()), Some(key));
+            assert_eq!(
+                AttrKey::ALL.iter().filter(|k| k.tag() == key.tag()).count(),
+                1
+            );
+        }
+        assert_eq!(SpanName::from_tag(0), None);
+        assert_eq!(AttrKey::from_tag(0), None);
+    }
+}

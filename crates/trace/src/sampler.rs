@@ -1,0 +1,197 @@
+//! Tail sampling: decide at request *completion* which traces to keep.
+//!
+//! Head sampling (decide at admission) throws away exactly the traces you
+//! want — the slow and broken tail is invisible until the request finishes.
+//! [`TailSampler`] inverts that: every trace is recorded into the flight
+//! recorder unconditionally (recording is cheap and overwrite-oldest), and the
+//! *keep* decision happens at [`decide`](TailSampler::decide) time, when the
+//! outcome is known:
+//!
+//! * failed / shed / deadline-missed → always keep ([`KeepReason::Outcome`]);
+//! * end-to-end latency ≥ threshold → always keep ([`KeepReason::Latency`]);
+//! * otherwise keep with a configured probability, driven by a seeded
+//!   counter-mode splitmix64 stream so test runs are deterministic
+//!   ([`KeepReason::Sampled`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Completion facts about one request, fed to [`TailSampler::decide`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestFacts {
+    /// The solve failed (worker panic or solver error).
+    pub failed: bool,
+    /// The request was shed by the admission policy.
+    pub shed: bool,
+    /// The request resolved after its deadline.
+    pub deadline_missed: bool,
+    /// End-to-end latency (submission to resolution).
+    pub latency: Duration,
+}
+
+impl RequestFacts {
+    /// Facts for a successfully completed request.
+    pub fn completed(latency: Duration) -> Self {
+        Self {
+            latency,
+            ..Self::default()
+        }
+    }
+
+    /// Marks the request failed.
+    #[must_use]
+    pub fn failed(mut self) -> Self {
+        self.failed = true;
+        self
+    }
+
+    /// Marks the request shed.
+    #[must_use]
+    pub fn shed(mut self) -> Self {
+        self.shed = true;
+        self
+    }
+
+    /// Marks the request's deadline missed.
+    #[must_use]
+    pub fn deadline_missed(mut self) -> Self {
+        self.deadline_missed = true;
+        self
+    }
+
+    /// Whether any always-keep outcome bit is set.
+    pub fn bad_outcome(&self) -> bool {
+        self.failed || self.shed || self.deadline_missed
+    }
+}
+
+/// Why a trace was kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// Failed, shed, or deadline-missed — always kept.
+    Outcome,
+    /// Latency breached the tail threshold — always kept.
+    Latency,
+    /// Won the probabilistic keep draw.
+    Sampled,
+}
+
+/// The keep/drop policy. Lock-free and allocation-free; one atomic counter
+/// advances the deterministic sampling stream.
+#[derive(Debug)]
+pub struct TailSampler {
+    latency_threshold: Duration,
+    /// Keep when `splitmix64(seed + n) < keep_bar`, i.e. the probability
+    /// mapped onto the full `u64` range. `u64::MAX` means "always".
+    keep_bar: u64,
+    seed: u64,
+    draws: AtomicU64,
+}
+
+impl TailSampler {
+    /// Creates a sampler. `keep_probability` is clamped to `0.0..=1.0`.
+    pub fn new(latency_threshold: Duration, keep_probability: f64, seed: u64) -> Self {
+        let p = keep_probability.clamp(0.0, 1.0);
+        let keep_bar = if p >= 1.0 {
+            u64::MAX
+        } else {
+            // p * 2^64, computed without overflow: p * 2^32 * 2^32.
+            (p * 4_294_967_296.0) as u64 * 4_294_967_296u64
+        };
+        Self {
+            latency_threshold,
+            keep_bar,
+            seed,
+            draws: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides whether a trace with these completion facts is kept, and why.
+    pub fn decide(&self, facts: &RequestFacts) -> Option<KeepReason> {
+        if facts.bad_outcome() {
+            return Some(KeepReason::Outcome);
+        }
+        if facts.latency >= self.latency_threshold {
+            return Some(KeepReason::Latency);
+        }
+        if self.keep_bar == 0 {
+            return None;
+        }
+        if self.keep_bar == u64::MAX {
+            return Some(KeepReason::Sampled);
+        }
+        let n = self.draws.fetch_add(1, Ordering::Relaxed);
+        if splitmix64(self.seed.wrapping_add(n)) < self.keep_bar {
+            Some(KeepReason::Sampled)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, used here in counter mode
+/// (`splitmix64(seed + n)`) as the deterministic sampling stream.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> RequestFacts {
+        RequestFacts::completed(Duration::from_micros(100))
+    }
+
+    #[test]
+    fn bad_outcomes_always_keep() {
+        let s = TailSampler::new(Duration::from_millis(100), 0.0, 1);
+        assert_eq!(s.decide(&fast().failed()), Some(KeepReason::Outcome));
+        assert_eq!(s.decide(&fast().shed()), Some(KeepReason::Outcome));
+        assert_eq!(
+            s.decide(&fast().deadline_missed()),
+            Some(KeepReason::Outcome)
+        );
+    }
+
+    #[test]
+    fn latency_breach_always_keeps() {
+        let s = TailSampler::new(Duration::from_millis(100), 0.0, 1);
+        let slow = RequestFacts::completed(Duration::from_millis(100));
+        assert_eq!(s.decide(&slow), Some(KeepReason::Latency));
+        assert_eq!(s.decide(&fast()), None);
+    }
+
+    #[test]
+    fn probability_extremes_are_deterministic() {
+        let never = TailSampler::new(Duration::from_secs(1), 0.0, 7);
+        let always = TailSampler::new(Duration::from_secs(1), 1.0, 7);
+        for _ in 0..100 {
+            assert_eq!(never.decide(&fast()), None);
+            assert_eq!(always.decide(&fast()), Some(KeepReason::Sampled));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let a = TailSampler::new(Duration::from_secs(1), 0.25, 42);
+        let b = TailSampler::new(Duration::from_secs(1), 0.25, 42);
+        let da: Vec<_> = (0..256).map(|_| a.decide(&fast())).collect();
+        let db: Vec<_> = (0..256).map(|_| b.decide(&fast())).collect();
+        assert_eq!(da, db);
+        let kept = da.iter().filter(|d| d.is_some()).count();
+        // ~25% of 256 draws; wide bounds, the point is "neither 0 nor all".
+        assert!((24..=104).contains(&kept), "kept {kept}/256 at p=0.25");
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let s = TailSampler::new(Duration::from_secs(1), 7.5, 1);
+        assert_eq!(s.decide(&fast()), Some(KeepReason::Sampled));
+        let s = TailSampler::new(Duration::from_secs(1), -0.5, 1);
+        assert_eq!(s.decide(&fast()), None);
+    }
+}

@@ -1,0 +1,333 @@
+//! Tracer overhead harness + telemetry showcase: proves the always-on flight
+//! recorder is cheap enough to leave enabled, and emits the observability
+//! artifacts (`BENCH_trace.json`, a Chrome `trace_event` file, flamegraph-folded
+//! text, and the unified Prometheus-style telemetry page).
+//!
+//! Two parts:
+//!
+//! * **Overhead** — two measurements of the same question, because they fail in
+//!   different ways. (1) *End-to-end*: the identical closed-loop dispatch
+//!   workload replayed through two services that differ only in whether a
+//!   [`Tracer`] is attached (default config: 1% tail keep, per-worker rings).
+//!   Each round runs both arms back-to-back (alternating which goes first, so
+//!   within-round drift cancels), and the score is the median of the per-round
+//!   on/off ratios. On a shared machine this wall-clock comparison carries
+//!   ±10–15% scheduler noise per pair — it cannot *resolve* a 3% budget, so at
+//!   full scale it is sanity-gated loosely (<20%, catching only catastrophic
+//!   regressions) and reported for the record. (2) *Modeled from per-op costs*:
+//!   a tight-loop microbench times every operation the tracer adds to a
+//!   request's path — one mint + tail-sampled finish, and one ring record per
+//!   span — with nanosecond-scale variance. Multiplying by the measured
+//!   spans-per-request from arm (1) and dividing by the untraced arm's median
+//!   per-request wall time bounds the true overhead fraction. **The 3%
+//!   acceptance gate at full scale is enforced on this modeled overhead**,
+//!   which the same noise cannot flake. The smoke run (`TAXI_TRACE_SMOKE=1`,
+//!   CI) is too short to time meaningfully, so it only reports numbers and
+//!   enforces sanity (tracing still solves everything).
+//! * **Exports** — a traced 2-shard fleet (keep-everything sampling) serves a
+//!   small stream, then dumps `TRACE_chrome.json` (load in `chrome://tracing` or
+//!   Perfetto), `TRACE_folded.txt` (feed to `flamegraph.pl`/inferno), and the
+//!   `Telemetry::render()` page on stdout — every snapshot counter in one
+//!   scrapeable text page.
+//!
+//! Run with `cargo run --release --example trace_bench`; set `TAXI_TRACE_SMOKE=1`
+//! for the fast CI smoke scale.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use taxi_bench::json::{JsonArray, JsonObject};
+use taxi_dispatch::{DispatchConfig, DispatchRequest, DispatchService, Ticket};
+use taxi_fleet::{Fleet, FleetConfig};
+use taxi_trace::{export, AttrKey, RequestFacts, SpanName, TraceConfig, Tracer};
+use taxi_tsplib::generator::clustered_instance;
+use taxi_tsplib::TspInstance;
+
+struct Scale {
+    smoke: bool,
+    workers: usize,
+    requests: usize,
+    repeats: usize,
+}
+
+impl Scale {
+    fn detect() -> Self {
+        let smoke = std::env::var("TAXI_TRACE_SMOKE").is_ok_and(|v| v != "0");
+        if smoke {
+            Self {
+                smoke,
+                workers: 2,
+                requests: 120,
+                repeats: 2,
+            }
+        } else {
+            Self {
+                smoke,
+                workers: 2,
+                requests: 900,
+                repeats: 8,
+            }
+        }
+    }
+}
+
+fn instances(scale: &Scale) -> Vec<TspInstance> {
+    (0..scale.requests)
+        .map(|i| clustered_instance("ovh", 40, 3, i as u64))
+        .collect()
+}
+
+/// One closed-loop replay: windows of 32 in flight, every ticket awaited.
+/// Returns the wall time of the replay and the service snapshot.
+fn replay(service: &DispatchService, instances: &[TspInstance]) -> Duration {
+    let started = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(32);
+    for chunk in instances.chunks(32) {
+        for instance in chunk {
+            tickets.push(
+                service
+                    .submit(DispatchRequest::new(instance.clone()))
+                    .expect("admitted"),
+            );
+        }
+        for ticket in tickets.drain(..) {
+            assert!(ticket.wait().solved().is_some(), "replay solve");
+        }
+    }
+    started.elapsed()
+}
+
+/// Runs one repeat of an arm (a fresh service each time, so no warmth carries
+/// over between repeats or arms) and returns its wall time.
+fn one_repeat(scale: &Scale, instances: &[TspInstance], tracer: Option<&Arc<Tracer>>) -> Duration {
+    let mut config = DispatchConfig::new().with_workers(scale.workers);
+    if let Some(tracer) = tracer {
+        config = config.with_tracer(Arc::clone(tracer));
+    }
+    let service = DispatchService::start(config);
+    let elapsed = replay(&service, instances);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.completed as usize, instances.len());
+    elapsed
+}
+
+/// Tight-loop timing of the operations a [`Tracer`] adds to a request's path:
+/// one mint + tail-sampled finish (root span on keep), and one ring record per
+/// span. Returns `(mint_finish_ns, record_ns)` per operation.
+fn tracer_op_costs() -> (f64, f64) {
+    const OPS: u32 = 200_000;
+    let probe = Tracer::new(TraceConfig::new());
+    let sink = probe.register("probe");
+    let anchor = Instant::now();
+    let span_len = Duration::from_micros(250);
+
+    let trace = probe.mint();
+    let started = Instant::now();
+    for _ in 0..OPS {
+        sink.record(trace, SpanName::Solve, anchor, span_len, &[]);
+    }
+    let record_ns = started.elapsed().as_nanos() as f64 / f64::from(OPS);
+
+    let facts = RequestFacts::completed(span_len);
+    let site = [(AttrKey::Shard, 0), (AttrKey::Generation, 1)];
+    let started = Instant::now();
+    for _ in 0..OPS {
+        let trace = probe.mint();
+        probe.finish(trace, anchor, &facts, &site);
+    }
+    let mint_finish_ns = started.elapsed().as_nanos() as f64 / f64::from(OPS);
+    (mint_finish_ns, record_ns)
+}
+
+/// Median of a non-empty sample (mean of the middle two for even counts).
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// The export showcase: a keep-everything traced fleet serving a short stream.
+fn export_artifacts(scale: &Scale) -> (Arc<Tracer>, String) {
+    let tracer = Arc::new(Tracer::new(TraceConfig::new().with_keep_probability(1.0)));
+    let fleet = Fleet::start(
+        FleetConfig::new()
+            .with_shards(2)
+            .with_shard_config(DispatchConfig::new().with_workers(1))
+            .with_tracer(Arc::clone(&tracer)),
+    );
+    let showcase = if scale.smoke { 16 } else { 48 };
+    let tickets: Vec<_> = (0..showcase)
+        .map(|i| {
+            fleet
+                .submit(DispatchRequest::new(clustered_instance("show", 36, 3, i)))
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().solved().expect("solved");
+    }
+    let page = fleet.telemetry().render();
+    fleet.shutdown();
+    (tracer, page)
+}
+
+fn main() {
+    let scale = Scale::detect();
+    println!(
+        "tracer overhead harness ({} scale: {} workers, {} requests x {} interleaved repeats)",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.workers,
+        scale.requests,
+        scale.repeats,
+    );
+
+    // Paired rounds over the identical instance stream, alternating which arm
+    // runs first so any systematic within-round drift cancels across rounds.
+    let pool = instances(&scale);
+    let tracer = Arc::new(Tracer::new(TraceConfig::new()));
+    let mut off: Vec<Duration> = Vec::with_capacity(scale.repeats);
+    let mut on: Vec<Duration> = Vec::with_capacity(scale.repeats);
+    for round in 0..scale.repeats {
+        if round % 2 == 0 {
+            off.push(one_repeat(&scale, &pool, None));
+            on.push(one_repeat(&scale, &pool, Some(&tracer)));
+        } else {
+            on.push(one_repeat(&scale, &pool, Some(&tracer)));
+            off.push(one_repeat(&scale, &pool, None));
+        }
+    }
+    // Each interleaved round is a matched pair; the median paired ratio is the
+    // score (see the module docs for why minima are not robust here).
+    let ratios: Vec<f64> = off
+        .iter()
+        .zip(&on)
+        .map(|(o, t)| t.as_secs_f64() / o.as_secs_f64())
+        .collect();
+    let overhead = median(&ratios) - 1.0;
+    let stats = tracer.stats();
+    println!(
+        "  tracing off: {:?}",
+        off.iter().map(Duration::as_secs_f64).collect::<Vec<_>>(),
+    );
+    println!(
+        "  tracing on:  {:?}",
+        on.iter().map(Duration::as_secs_f64).collect::<Vec<_>>(),
+    );
+    println!("  paired on/off ratios: {ratios:?}");
+    println!(
+        "  end-to-end overhead {:+.2}% (median paired; wall-clock, noise-limited)  \
+         (traces {} minted, {} kept, {} dropped, {} spans recorded)",
+        overhead * 100.0,
+        stats.minted,
+        stats.kept,
+        stats.dropped,
+        stats.recorded_spans,
+    );
+
+    // The acceptance gate: modeled overhead from directly measured per-op
+    // costs (nanosecond-scale variance) against the untraced arm's median
+    // per-request wall time. Conservative: the tracer's cost is charged
+    // against wall time even though the workload spreads it over all workers.
+    let (mint_finish_ns, record_ns) = tracer_op_costs();
+    let spans_per_request = stats.recorded_spans as f64 / stats.minted as f64;
+    let per_request_ns = mint_finish_ns + spans_per_request * record_ns;
+    let off_secs: Vec<f64> = off.iter().map(Duration::as_secs_f64).collect();
+    let modeled = (scale.requests as f64 * per_request_ns * 1e-9) / median(&off_secs);
+    println!(
+        "  per-op costs: mint+finish {mint_finish_ns:.1}ns, record {record_ns:.1}ns, \
+         {spans_per_request:.1} spans/request => modeled overhead {:+.4}%",
+        modeled * 100.0,
+    );
+    assert_eq!(
+        stats.minted as usize,
+        scale.requests * scale.repeats,
+        "every traced request minted a trace"
+    );
+    if !scale.smoke {
+        assert!(
+            modeled < 0.03,
+            "acceptance: modeled tracer overhead must stay under 3% (measured {:+.4}%)",
+            modeled * 100.0,
+        );
+        assert!(
+            overhead < 0.20,
+            "sanity: end-to-end overhead {:+.2}% exceeds what wall-clock noise explains",
+            overhead * 100.0,
+        );
+    }
+
+    // Exports: Chrome trace, folded stacks, and the unified telemetry page.
+    let (show_tracer, telemetry_page) = export_artifacts(&scale);
+    let chrome = export::chrome_trace(&show_tracer);
+    std::fs::write("TRACE_chrome.json", &chrome).expect("write TRACE_chrome.json");
+    let folded = export::folded(&show_tracer);
+    std::fs::write("TRACE_folded.txt", &folded).expect("write TRACE_folded.txt");
+    println!(
+        "wrote TRACE_chrome.json ({} bytes) and TRACE_folded.txt ({} stacks)",
+        chrome.len(),
+        folded.lines().count(),
+    );
+    println!("--- telemetry page ---");
+    print!("{telemetry_page}");
+    println!("--- end telemetry page ---");
+
+    let times = |durations: &[Duration]| {
+        let mut array = JsonArray::new();
+        for duration in durations {
+            array = array.push(taxi_bench::json::JsonValue::Float {
+                value: duration.as_secs_f64(),
+                decimals: 6,
+            });
+        }
+        array
+    };
+    let artifact = JsonObject::new()
+        .str("bench", "trace")
+        .bool("smoke", scale.smoke)
+        .uint("workers", scale.workers as u64)
+        .uint("requests_per_repeat", scale.requests as u64)
+        .uint("repeats", scale.repeats as u64)
+        .object(
+            "overhead",
+            JsonObject::new()
+                .array("off_secs", times(&off))
+                .array("on_secs", times(&on))
+                .num("median_paired_ratio", overhead + 1.0, 6)
+                .num("end_to_end_overhead_pct", overhead * 100.0, 3)
+                .num("mint_finish_ns", mint_finish_ns, 1)
+                .num("record_ns", record_ns, 1)
+                .num("spans_per_request", spans_per_request, 2)
+                .num("modeled_overhead_pct", modeled * 100.0, 4)
+                .bool("gate_under_3pct", modeled < 0.03)
+                .bool("gate_enforced", !scale.smoke),
+        )
+        .object(
+            "tracer",
+            JsonObject::new()
+                .uint("minted", stats.minted)
+                .uint("kept", stats.kept)
+                .uint("dropped", stats.dropped)
+                .uint("recorded_spans", stats.recorded_spans)
+                .uint("rings", stats.rings)
+                .uint("ring_capacity", stats.ring_capacity),
+        )
+        .object(
+            "artifacts",
+            JsonObject::new()
+                .str("chrome_trace", "TRACE_chrome.json")
+                .str("folded_stacks", "TRACE_folded.txt")
+                .uint("chrome_bytes", chrome.len() as u64)
+                .uint("folded_stacks_count", folded.lines().count() as u64)
+                .uint(
+                    "telemetry_page_lines",
+                    telemetry_page.lines().count() as u64,
+                ),
+        );
+    std::fs::write("BENCH_trace.json", artifact.render()).expect("write BENCH_trace.json");
+    println!("wrote BENCH_trace.json");
+}
