@@ -6,9 +6,25 @@
 
 pub mod json;
 
+use std::path::PathBuf;
+
 use taxi::ExperimentScale;
 use taxi_tsplib::generator::clustered_instance;
 use taxi_tsplib::TspInstance;
+
+/// Resolves where a bench artifact (`BENCH_*.json`, trace dumps) should be
+/// written: `$TAXI_ARTIFACT_DIR` if set, else the gitignored `artifacts/`
+/// directory under the current working directory. Creates the directory on
+/// first use so callers can `fs::write` the returned path directly. Artifacts
+/// never land at the repository root, so a bench run leaves the working tree
+/// clean.
+pub fn artifact_path(name: &str) -> PathBuf {
+    let dir = std::env::var_os("TAXI_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"));
+    std::fs::create_dir_all(&dir).expect("create artifact directory");
+    dir.join(name)
+}
 
 /// The experiment scale used inside benches. Benches default to the tiny scale so the
 /// full `cargo bench --workspace` run finishes quickly; set `TAXI_FULL_SCALE=1` to sweep
@@ -39,6 +55,13 @@ mod tests {
     fn bench_instances_have_expected_sizes() {
         assert_eq!(bench_instance().dimension(), 101);
         assert_eq!(medium_instance().dimension(), 442);
+    }
+
+    #[test]
+    fn artifact_path_lands_in_the_artifact_dir() {
+        let path = artifact_path("BENCH_test.json");
+        assert!(path.ends_with("artifacts/BENCH_test.json") || path.parent().is_some());
+        assert!(path.parent().expect("parent dir").is_dir());
     }
 
     #[test]

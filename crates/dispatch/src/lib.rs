@@ -88,8 +88,8 @@ pub mod tracing;
 pub mod workload;
 
 pub use metrics::{
-    HistogramSummary, LatencyHistogram, MetricsObserver, QualityHistogram, QualitySummary,
-    ServiceMetrics, ServiceSnapshot,
+    HistogramBuckets, HistogramSummary, LatencyHistogram, MetricsObserver, QualityBuckets,
+    QualityHistogram, QualitySummary, ServiceMetrics, ServiceSnapshot,
 };
 pub use queue::{AdmissionPolicy, DispatchQueue};
 pub use request::{

@@ -63,6 +63,10 @@ impl LatencyHistogram {
         }
     }
 
+    /// Number of buckets (bucket `i` covers `(2^(i-1) µs, 2^i µs]`; the last is
+    /// open-ended). Windowed consumers size their delta arrays with this.
+    pub const BUCKETS: usize = BUCKETS;
+
     fn bucket_index(duration: Duration) -> usize {
         // Saturate, don't truncate: `as u64` on a u128 keeps the low 64 bits, which
         // would scatter week-plus outliers into arbitrary low buckets instead of the
@@ -75,9 +79,37 @@ impl LatencyHistogram {
         index.min(BUCKETS - 1)
     }
 
-    /// Upper bound of bucket `i` (the value quantile estimation reports).
-    fn bucket_upper(index: usize) -> Duration {
-        Duration::from_micros(1u64 << index)
+    /// Upper bound of bucket `index` (the value quantile estimation reports).
+    /// The last bucket is open-ended; this is its *lower* neighbourhood bound.
+    pub fn bucket_upper(index: usize) -> Duration {
+        Duration::from_micros(1u64 << index.min(BUCKETS - 1))
+    }
+
+    /// Index of the bucket `duration` falls into — the public face of the
+    /// bucketing rule, so windowed consumers (e.g. an SLO engine counting
+    /// observations above a latency target) can align thresholds to bucket
+    /// boundaries.
+    pub fn bucket_of(duration: Duration) -> usize {
+        Self::bucket_index(duration)
+    }
+
+    /// Copies the raw bucket counts and scalar tallies into `out` without
+    /// allocating — the feed for time-series scrapers that compute *windowed*
+    /// percentiles from bucket deltas rather than lifetime cumulatives.
+    pub fn load_into(&self, out: &mut HistogramBuckets) {
+        for (slot, bucket) in out.counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out.count = self.count.load(Ordering::Relaxed);
+        out.sum_nanos = self.sum_nanos.load(Ordering::Relaxed);
+        out.max_nanos = self.max_nanos.load(Ordering::Relaxed);
+    }
+
+    /// Raw bucket counts and scalar tallies, by value.
+    pub fn buckets(&self) -> HistogramBuckets {
+        let mut out = HistogramBuckets::default();
+        self.load_into(&mut out);
+        out
     }
 
     /// Records one observation.
@@ -211,6 +243,35 @@ pub struct HistogramSummary {
     pub max: Duration,
 }
 
+/// Raw contents of one [`LatencyHistogram`]: per-bucket counts plus the scalar
+/// tallies, captured without allocation via [`LatencyHistogram::load_into`].
+///
+/// Two captures of the same histogram subtract bucket-wise into an *exact*
+/// windowed histogram of just the observations recorded between them — the
+/// primitive behind windowed percentiles (`taxi-obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramBuckets {
+    /// Per-bucket observation counts, indexed like the histogram's buckets.
+    pub counts: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations in nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest observation in nanoseconds (lifetime, not resettable).
+    pub max_nanos: u64,
+}
+
+impl Default for HistogramBuckets {
+    fn default() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+}
+
 /// Bucket upper bounds of the [`QualityHistogram`] (the last bucket is open-ended).
 const QUALITY_BOUNDS: [f64; 8] = [1.001, 1.01, 1.02, 1.05, 1.10, 1.20, 1.50, 2.00];
 
@@ -246,6 +307,14 @@ pub struct QualityHistogram {
 }
 
 impl QualityHistogram {
+    /// Number of buckets (one per bound in [`Self::BOUNDS`] plus the open-ended
+    /// worst bucket).
+    pub const BUCKETS: usize = QUALITY_BOUNDS.len() + 1;
+
+    /// Bucket upper bounds; ratios above the last bound land in the open-ended
+    /// final bucket.
+    pub const BOUNDS: [f64; 8] = QUALITY_BOUNDS;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self {
@@ -254,6 +323,24 @@ impl QualityHistogram {
             sum_micro: AtomicU64::new(0),
             max_micro: AtomicU64::new(0),
         }
+    }
+
+    /// Copies the raw bucket counts and scalar tallies into `out` without
+    /// allocating — the quality-side twin of [`LatencyHistogram::load_into`].
+    pub fn load_into(&self, out: &mut QualityBuckets) {
+        for (slot, bucket) in out.counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out.count = self.count.load(Ordering::Relaxed);
+        out.sum_micro = self.sum_micro.load(Ordering::Relaxed);
+        out.max_micro = self.max_micro.load(Ordering::Relaxed);
+    }
+
+    /// Raw bucket counts and scalar tallies, by value.
+    pub fn buckets(&self) -> QualityBuckets {
+        let mut out = QualityBuckets::default();
+        self.load_into(&mut out);
+        out
     }
 
     /// Records one quality ratio (non-finite values are ignored; values below 1.0
@@ -342,6 +429,21 @@ impl Default for QualityHistogram {
     }
 }
 
+/// Raw contents of one [`QualityHistogram`], captured without allocation via
+/// [`QualityHistogram::load_into`]. Subtracting two captures bucket-wise yields
+/// the exact quality distribution of the interval between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QualityBuckets {
+    /// Per-bucket ratio counts (bucket `i` ≤ `BOUNDS[i]`; last is open-ended).
+    pub counts: [u64; QUALITY_BOUNDS.len() + 1],
+    /// Total ratios recorded.
+    pub count: u64,
+    /// Sum of ratios in millionths.
+    pub sum_micro: u64,
+    /// Largest ratio in millionths (lifetime, not resettable).
+    pub max_micro: u64,
+}
+
 /// Point-in-time summary of one [`QualityHistogram`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QualitySummary {
@@ -391,6 +493,12 @@ pub struct ServiceMetrics {
     queue_wait: LatencyHistogram,
     solve: LatencyHistogram,
     end_to_end: LatencyHistogram,
+    /// Solve latency per routed backend (indexed like [`SolverBackend::ALL`]) —
+    /// the per-backend lane behind windowed quarantine decisions. Only routed
+    /// fresh solves feed these; cache hits and coalesced followers do not.
+    backend_solve: [LatencyHistogram; SolverBackend::ALL.len()],
+    /// Quality ratios per routed backend (indexed like [`SolverBackend::ALL`]).
+    backend_quality: [QualityHistogram; SolverBackend::ALL.len()],
     /// Accumulated host seconds per pipeline stage (nanos), indexed like
     /// [`Stage::ALL`].
     stage_nanos: [AtomicU64; Stage::ALL.len()],
@@ -419,6 +527,8 @@ impl ServiceMetrics {
             queue_wait: LatencyHistogram::new(),
             solve: LatencyHistogram::new(),
             end_to_end: LatencyHistogram::new(),
+            backend_solve: std::array::from_fn(|_| LatencyHistogram::new()),
+            backend_quality: std::array::from_fn(|_| QualityHistogram::new()),
             stage_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -514,17 +624,56 @@ impl ServiceMetrics {
 
     /// One fresh solve was dispatched through the adaptive router to `backend`.
     /// `explored` marks ε-greedy exploration decisions; `quality` is the solve's
-    /// ratio against the router's shadow reference, when one was available.
-    /// Cache hits and coalesced followers are **not** recorded here — routed
-    /// counts track solves the router actually placed.
-    pub fn record_routed(&self, backend: SolverBackend, explored: bool, quality: Option<f64>) {
+    /// ratio against the router's shadow reference, when one was available;
+    /// `solve_time` feeds the per-backend latency lane. Cache hits and coalesced
+    /// followers are **not** recorded here — routed counts track solves the
+    /// router actually placed.
+    pub fn record_routed(
+        &self,
+        backend: SolverBackend,
+        explored: bool,
+        quality: Option<f64>,
+        solve_time: Duration,
+    ) {
         self.routed[backend.index()].fetch_add(1, Ordering::Relaxed);
+        self.backend_solve[backend.index()].record(solve_time);
         if explored {
             self.explored.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(ratio) = quality {
             self.quality.record(ratio);
+            self.backend_quality[backend.index()].record(ratio);
         }
+    }
+
+    /// The queue-wait latency histogram (raw, for windowed scrapers).
+    pub fn queue_wait_histogram(&self) -> &LatencyHistogram {
+        &self.queue_wait
+    }
+
+    /// The solve latency histogram (raw, for windowed scrapers).
+    pub fn solve_histogram(&self) -> &LatencyHistogram {
+        &self.solve
+    }
+
+    /// The end-to-end latency histogram (raw, for windowed scrapers).
+    pub fn end_to_end_histogram(&self) -> &LatencyHistogram {
+        &self.end_to_end
+    }
+
+    /// The overall quality-ratio histogram (raw, for windowed scrapers).
+    pub fn quality_histogram(&self) -> &QualityHistogram {
+        &self.quality
+    }
+
+    /// The solve latency histogram of one routed backend.
+    pub fn backend_solve_histogram(&self, backend: SolverBackend) -> &LatencyHistogram {
+        &self.backend_solve[backend.index()]
+    }
+
+    /// The quality-ratio histogram of one routed backend.
+    pub fn backend_quality_histogram(&self, backend: SolverBackend) -> &QualityHistogram {
+        &self.backend_quality[backend.index()]
     }
 
     /// Adds every counter and every histogram observation recorded in `other` into
@@ -563,6 +712,12 @@ impl ServiceMetrics {
         self.queue_wait.merge_from(&other.queue_wait);
         self.solve.merge_from(&other.solve);
         self.end_to_end.merge_from(&other.end_to_end);
+        for (mine, theirs) in self.backend_solve.iter().zip(&other.backend_solve) {
+            mine.merge_from(theirs);
+        }
+        for (mine, theirs) in self.backend_quality.iter().zip(&other.backend_quality) {
+            mine.merge_from(theirs);
+        }
     }
 
     pub(crate) fn add_stage_seconds(&self, stage: Stage, seconds: f64) {
@@ -1121,7 +1276,12 @@ mod tests {
             false,
             false,
         );
-        a.record_routed(SolverBackend::NnTwoOpt, true, Some(1.02));
+        a.record_routed(
+            SolverBackend::NnTwoOpt,
+            true,
+            Some(1.02),
+            Duration::from_micros(100),
+        );
         a.record_worker_panic();
         a.record_failed();
         b.record_submitted();
@@ -1134,7 +1294,12 @@ mod tests {
         );
         b.record_cache_hit(Duration::from_micros(5));
         b.record_batch(3);
-        b.record_routed(SolverBackend::GreedyEdge, false, Some(1.2));
+        b.record_routed(
+            SolverBackend::GreedyEdge,
+            false,
+            Some(1.2),
+            Duration::from_micros(400),
+        );
         b.add_stage_seconds(Stage::SolveLevels, 0.5);
 
         let sink = ServiceMetrics::new();
@@ -1170,6 +1335,23 @@ mod tests {
             .unwrap();
         assert!((merged.stage_seconds[solve_index] - 0.5).abs() < 1e-9);
         assert!(merged.to_json().contains("\"worker_panics\":1"));
+        // Per-backend lanes merge exactly too.
+        assert_eq!(
+            sink.backend_solve_histogram(SolverBackend::NnTwoOpt)
+                .count(),
+            1
+        );
+        assert_eq!(
+            sink.backend_quality_histogram(SolverBackend::GreedyEdge)
+                .count(),
+            1
+        );
+        assert_eq!(
+            sink.backend_solve_histogram(SolverBackend::NnTwoOpt)
+                .buckets()
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -684,7 +684,7 @@ impl Worker<'_> {
                         solution.length,
                     );
                     self.metrics
-                        .record_routed(tag.backend, tag.explored, quality);
+                        .record_routed(tag.backend, tag.explored, quality, solve_time);
                 }
                 let entry = insert_key.zip(self.cache).map(|(key, cache)| {
                     cache.insert(key, &pending.request.instance, Arc::clone(&solution))

@@ -44,11 +44,17 @@ use taxi_dispatch::{
     DispatchConfig, DispatchRequest, DispatchService, Pending, ServiceMetrics, ServiceSnapshot,
     SubmitError, Ticket,
 };
+use taxi_obs::{
+    AlertState, FleetSample, HistoryStore, SampleSource, Scraper, ShardWindow, SloEngine, SloSpec,
+    SloStatus,
+};
 use taxi_trace::{Tracer, TracerStats};
 use taxi_tsplib::fingerprint::{canonical_fingerprint_into, FingerprintScratch};
 use taxi_tsplib::TspInstance;
 
-use crate::health::{evaluate, HealthCheck, HealthPolicy, HealthReport, HealthVerdict, ProbeId};
+use crate::health::{
+    evaluate_window, HealthCheck, HealthPolicy, HealthReport, HealthVerdict, ProbeId, ProbeWindow,
+};
 use crate::ring::HashRing;
 use crate::state::{FleetIntent, ShardId, ShardState, StateSlas};
 
@@ -62,6 +68,82 @@ pub enum RoutingPolicy {
     /// Round-robin over in-rotation shards, ignoring the key. The control arm
     /// for affinity benchmarks, and occasionally useful for uniform traffic.
     Scatter,
+}
+
+/// Configuration of the fleet's observability layer: the time-series history
+/// ring, the background scraper, and the declarative SLOs the engine evaluates
+/// on every scrape.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// History ring capacity in samples (default 256; clamped to ≥ 2). With the
+    /// default reconcile and scrape cadences this holds a few seconds of
+    /// history — comfortably more than the probe lookback.
+    pub ring_capacity: usize,
+    /// Background scrape cadence (default 50ms, clamped to ≥ 1ms by the
+    /// scraper).
+    pub scrape_interval: Duration,
+    /// Whether to run the background scraper thread (default on). With it off,
+    /// the reconciler still records a sample every pass and
+    /// [`Fleet::scrape_now`] records + evaluates on demand — the deterministic
+    /// mode tests and benches use.
+    pub scraper: bool,
+    /// Declarative SLOs evaluated after every scrape (empty by default: the
+    /// history store still fills, nothing alerts).
+    pub slos: Vec<SloSpec>,
+}
+
+impl ObsConfig {
+    /// Defaults: 256-sample ring, 50ms scrapes, scraper on, no SLOs.
+    pub fn new() -> Self {
+        Self {
+            ring_capacity: 256,
+            scrape_interval: Duration::from_millis(50),
+            scraper: true,
+            slos: Vec::new(),
+        }
+    }
+
+    /// Sets the history ring capacity in samples.
+    #[must_use]
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Sets the background scrape cadence.
+    #[must_use]
+    pub fn with_scrape_interval(mut self, interval: Duration) -> Self {
+        self.scrape_interval = interval;
+        self
+    }
+
+    /// Disables the background scraper thread (reconciler-pass samples and
+    /// [`Fleet::scrape_now`] remain).
+    #[must_use]
+    pub fn without_scraper(mut self) -> Self {
+        self.scraper = false;
+        self
+    }
+
+    /// Adds one SLO to evaluate.
+    #[must_use]
+    pub fn with_slo(mut self, spec: SloSpec) -> Self {
+        self.slos.push(spec);
+        self
+    }
+
+    /// Replaces the SLO set.
+    #[must_use]
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Configuration of a [`Fleet`].
@@ -102,6 +184,8 @@ pub struct FleetConfig {
     /// the fleet-hop attribution. Overrides whatever tracer the
     /// [`shard`](Self::shard) template carries.
     pub trace: Option<Arc<Tracer>>,
+    /// Observability layer: history ring, background scraper, SLOs.
+    pub obs: ObsConfig,
 }
 
 impl FleetConfig {
@@ -120,6 +204,7 @@ impl FleetConfig {
             slas: StateSlas::new(),
             auto_restart: true,
             trace: None,
+            obs: ObsConfig::new(),
         }
     }
 
@@ -201,6 +286,21 @@ impl FleetConfig {
         self.trace = Some(tracer);
         self
     }
+
+    /// Sets the observability configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Adds one SLO to the observability layer (convenience for
+    /// [`with_obs`](Self::with_obs)).
+    #[must_use]
+    pub fn with_slo(mut self, spec: SloSpec) -> Self {
+        self.obs.slos.push(spec);
+        self
+    }
 }
 
 impl Default for FleetConfig {
@@ -271,8 +371,6 @@ struct ShardCell {
     since: Instant,
     generation: u64,
     service: Option<Arc<DispatchService>>,
-    /// Previous tick's snapshot — the left edge of the health-probe window.
-    prev: Option<ServiceSnapshot>,
     /// Latest health evaluation (kept for snapshots even while overridden).
     health: HealthCheck,
     /// Effective verdict after any operator override.
@@ -291,7 +389,6 @@ impl ShardCell {
             since: now,
             generation: 1,
             service: None,
-            prev: None,
             health: HealthCheck::default(),
             verdict: HealthVerdict::Healthy,
             override_verdict: None,
@@ -337,6 +434,32 @@ struct FleetInner {
     scatter_cursor: AtomicUsize,
     shutdown: AtomicBool,
     started_at: Instant,
+    /// The observability layer: history store + SLO engine, shared with the
+    /// background scraper thread.
+    obs: FleetObs,
+}
+
+/// The fleet's observability state: the sample history every producer records
+/// into and the SLO engine evaluated after each scrape.
+#[derive(Debug)]
+struct FleetObs {
+    store: Arc<HistoryStore>,
+    engine: Arc<Mutex<SloEngine>>,
+}
+
+/// The fleet's [`SampleSource`]: briefly locks the control state and captures
+/// one full cumulative sample. Holds a weak handle so the scraper thread can
+/// never keep a dropped fleet alive.
+#[derive(Debug)]
+struct FleetSampler(std::sync::Weak<FleetInner>);
+
+impl SampleSource for FleetSampler {
+    fn sample_into(&self, sample: &mut FleetSample) {
+        if let Some(inner) = self.0.upgrade() {
+            let st = lock(&inner.state);
+            inner.fill_sample(&st, sample);
+        }
+    }
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -407,10 +530,43 @@ impl FleetInner {
         }
     }
 
+    /// Captures one cumulative [`FleetSample`] from the held control state:
+    /// fleet-wide totals (retired generations + every live shard, merged
+    /// bucket-exactly) plus per-shard counters. Allocation-free once `sample`
+    /// has warmed to the shard count.
+    fn fill_sample(&self, st: &ControlState, sample: &mut FleetSample) {
+        sample.reset(st.cells.len());
+        sample.at = self.started_at.elapsed();
+        sample.fleet.fill_from(&self.retired);
+        let (any_cache, cache_total) = *lock(&self.retired_cache);
+        sample.fleet.cache = any_cache.then_some(cache_total);
+        for (index, cell) in st.cells.iter().enumerate() {
+            let slot = &mut sample.shards[index];
+            slot.generation = cell.generation;
+            let Some(service) = &cell.service else {
+                continue; // slot stays zeroed, live = false
+            };
+            slot.live = true;
+            slot.in_rotation = cell.state.in_rotation();
+            slot.queue_depth = service.queue_depth();
+            slot.queue_capacity = service.config().queue_capacity;
+            slot.counters.fill_from(service.metrics());
+            slot.counters.cache = service.config().cache.as_ref().map(|cache| cache.stats());
+            sample.fleet.accumulate(&slot.counters);
+        }
+    }
+
     /// One reconcile pass: intents → handlers → table → orphan adoption →
     /// publish. Idempotent: running it twice on a quiescent fleet is a no-op.
     fn run_pass(&self, st: &mut ControlState) {
         let now = Instant::now();
+        // Record this pass's sample first: the newest history sample becomes
+        // the right edge of every probe window the handlers evaluate below,
+        // and the SLO engine judges fully up-to-date windows.
+        self.obs
+            .store
+            .record_with(|sample| self.fill_sample(st, sample));
+        lock(&self.obs.engine).evaluate(&self.obs.store);
         while let Some(intent) = st.intents.pop_front() {
             self.apply_intent(st, intent);
         }
@@ -495,7 +651,6 @@ impl FleetInner {
                     cell.service =
                         Some(Arc::new(self.build_shard_service(cell.id, cell.generation)));
                 }
-                cell.prev = None;
                 cell.health = HealthCheck::default();
                 cell.verdict = HealthVerdict::Healthy;
                 cell.transition(ShardState::Serving, now);
@@ -507,11 +662,23 @@ impl FleetInner {
                     cell.transition(ShardState::Failed, now);
                     return;
                 };
-                let snapshot = service.snapshot();
-                let mut check = evaluate(
+                // Probe window from the history store: lookback behind the
+                // sample this pass just recorded, generation-guarded. A brand
+                // new generation with only one sample falls back to its
+                // lifetime totals — the window since the generation started.
+                let mut shard_window = ShardWindow::default();
+                let window = if self.obs.store.shard_window_into(
+                    cell.id.index(),
+                    self.config.health.lookback,
+                    &mut shard_window,
+                ) {
+                    ProbeWindow::from(&shard_window.window)
+                } else {
+                    ProbeWindow::between(None, &service.snapshot())
+                };
+                let mut check = evaluate_window(
                     &self.config.health,
-                    cell.prev.as_ref(),
-                    &snapshot,
+                    &window,
                     service.queue_depth(),
                     service.config().queue_capacity,
                 );
@@ -527,7 +694,6 @@ impl FleetInner {
                     }
                     None => check.verdict(),
                 };
-                cell.prev = Some(snapshot);
                 cell.health = check;
                 cell.verdict = verdict;
                 // A pinned-healthy override suppresses probe-driven crash
@@ -573,7 +739,6 @@ impl FleetInner {
                     if let Some(service) = cell.service.take() {
                         self.retire(&service);
                     }
-                    cell.prev = None;
                     if cell.state == ShardState::Failed {
                         // Crash containment always recycles: fresh generation.
                         cell.generation += 1;
@@ -666,6 +831,8 @@ impl FleetInner {
             orphaned: st.orphans.len(),
             reconcile_ticks: st.ticks,
             trace: self.tracer().map(|tracer| tracer.stats()),
+            alerts: lock(&self.obs.engine).statuses().to_vec(),
+            history_samples: self.obs.store.recorded(),
         }
     }
 }
@@ -722,12 +889,25 @@ pub struct FleetSnapshot {
     /// Flight-recorder counters (traces minted/kept/dropped, spans recorded and
     /// resident), when the fleet traces requests. `None` with tracing off.
     pub trace: Option<TracerStats>,
+    /// Latest SLO evaluation statuses (burn rates + alert state per rule;
+    /// empty when no SLOs are configured).
+    pub alerts: Vec<SloStatus>,
+    /// Total samples ever recorded into the observability history ring.
+    pub history_samples: u64,
 }
 
 impl FleetSnapshot {
     /// The shards currently in rotation.
     pub fn in_rotation(&self) -> usize {
         self.shards.iter().filter(|s| s.state.in_rotation()).count()
+    }
+
+    /// SLO rules currently firing their burn-rate alert.
+    pub fn firing_alerts(&self) -> usize {
+        self.alerts
+            .iter()
+            .filter(|status| status.state == AlertState::Firing)
+            .count()
     }
 
     /// One-line fleet summary.
@@ -745,6 +925,14 @@ impl FleetSnapshot {
         );
         if let Some(trace) = &self.trace {
             line.push_str(&format!(", traces {}/{} kept", trace.kept, trace.minted,));
+        }
+        if !self.alerts.is_empty() {
+            let firing = self.firing_alerts();
+            if firing > 0 {
+                line.push_str(&format!(", slo {firing}/{} FIRING", self.alerts.len()));
+            } else {
+                line.push_str(&format!(", slo {} ok", self.alerts.len()));
+            }
         }
         line
     }
@@ -793,11 +981,14 @@ impl std::fmt::Display for FleetSnapshot {
 pub struct Fleet {
     inner: Arc<FleetInner>,
     reconciler: Option<std::thread::JoinHandle<()>>,
+    sampler: Arc<FleetSampler>,
+    scraper: Option<Scraper>,
 }
 
 impl Fleet {
     /// Starts the fleet: builds every shard synchronously (the routing table is
-    /// live when this returns) and spawns the reconciler thread.
+    /// live when this returns) and spawns the reconciler thread (plus the
+    /// observability scraper, unless [`ObsConfig::scraper`] is off).
     pub fn start(config: FleetConfig) -> Self {
         let now = Instant::now();
         let shards = config.shards.max(1);
@@ -805,6 +996,10 @@ impl Fleet {
         let cells = (0..shards)
             .map(|i| ShardCell::new(ShardId::new(i), now))
             .collect();
+        let obs = FleetObs {
+            store: Arc::new(HistoryStore::new(config.obs.ring_capacity, shards)),
+            engine: Arc::new(Mutex::new(SloEngine::new(config.obs.slos.clone()))),
+        };
         let inner = Arc::new(FleetInner {
             config,
             state: Mutex::new(ControlState {
@@ -822,6 +1017,7 @@ impl Fleet {
             scatter_cursor: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             started_at: now,
+            obs,
         });
         {
             let mut st = lock(&inner.state);
@@ -833,9 +1029,20 @@ impl Fleet {
             .name("taxi-fleet-reconciler".to_string())
             .spawn(move || reconcile_loop(&loop_inner))
             .expect("spawn fleet reconciler");
+        let sampler = Arc::new(FleetSampler(Arc::downgrade(&inner)));
+        let scraper = inner.config.obs.scraper.then(|| {
+            Scraper::spawn(
+                inner.config.obs.scrape_interval,
+                Arc::clone(&inner.obs.store),
+                Arc::clone(&inner.obs.engine),
+                Arc::clone(&sampler) as Arc<dyn SampleSource>,
+            )
+        });
         Self {
             inner,
             reconciler: Some(reconciler),
+            sampler,
+            scraper,
         }
     }
 
@@ -986,6 +1193,40 @@ impl Fleet {
         self.inner.snapshot_locked(&st)
     }
 
+    /// The observability history store: every cumulative sample the reconciler
+    /// and scraper recorded, with windowed reads — the data feed for windowed
+    /// per-shard and per-backend latency/quality series.
+    pub fn history(&self) -> &Arc<HistoryStore> {
+        &self.inner.obs.store
+    }
+
+    /// Synchronously records one history sample and evaluates the SLO engine —
+    /// the deterministic alternative to waiting on the background scraper.
+    pub fn scrape_now(&self) {
+        self.inner.obs.store.record_from(&*self.sampler);
+        lock(&self.inner.obs.engine).evaluate(&self.inner.obs.store);
+    }
+
+    /// The latest SLO evaluation statuses (empty when no SLOs are configured
+    /// or nothing has been evaluated yet).
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        lock(&self.inner.obs.engine).statuses().to_vec()
+    }
+
+    /// Renders the text sparkline dashboard over the recorded history
+    /// (throughput, rates, p99, per-shard queues, SLO table).
+    pub fn dashboard(&self) -> String {
+        let statuses = self.slo_statuses();
+        taxi_obs::spark::dashboard(&self.inner.obs.store, &statuses, 48)
+    }
+
+    /// Dumps the recorded history as a JSON time-series document readable by
+    /// `taxi_bench::json::parse`.
+    pub fn history_json(&self) -> String {
+        let statuses = self.slo_statuses();
+        taxi_obs::spark::series_json(&self.inner.obs.store, &statuses)
+    }
+
     /// Shuts the fleet down: stops the reconciler, closes every shard (queued
     /// work is served out), waits for quiescence, retires all counters and
     /// returns the final snapshot. Orphans that could not be re-placed are
@@ -997,6 +1238,10 @@ impl Fleet {
     }
 
     fn shutdown_in_place(&mut self) {
+        // Stop the scraper first: no samples of a fleet mid-teardown.
+        if let Some(mut scraper) = self.scraper.take() {
+            scraper.stop();
+        }
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.kick();
         if let Some(handle) = self.reconciler.take() {

@@ -1,11 +1,14 @@
-//! Shard health probes: typed probe ids, windowed evaluation over snapshot
+//! Shard health probes: typed probe ids, windowed evaluation over counter
 //! deltas, and an any-unhealthy-⇒-unhealthy combination rule.
 //!
-//! Health is computed **purely** from two consecutive [`ServiceSnapshot`]s (plus
-//! the instantaneous queue depth), never from callbacks into the service: the
-//! reconciler snapshots each shard on its tick, diffs against the previous tick,
-//! and feeds the deltas to [`evaluate`]. Pure inputs keep the probes trivially
-//! unit-testable and make the verdict reproducible from a metrics dump.
+//! Health is computed **purely** from a [`ProbeWindow`] of counter deltas (plus
+//! the instantaneous queue depth), never from callbacks into the service. The
+//! reconciler materialises each shard's window from the fleet's history store
+//! ([`taxi_obs::HistoryStore`]) reaching [`HealthPolicy::lookback`] behind the
+//! newest sample, and feeds it to [`evaluate_window`]; [`evaluate`] keeps the
+//! original two-snapshot entry point as a thin delta adapter. Pure inputs keep
+//! the probes trivially unit-testable and make the verdict reproducible from a
+//! metrics dump.
 //!
 //! Each probe has a stable typed id ([`ProbeId`]) so operators can triage by
 //! name, alert on specific probes, and pin an override without string matching.
@@ -13,7 +16,10 @@
 //! the shard unhealthy. A shard that sheds half its load but keeps its queue
 //! shallow is still a shard the ring should stop favouring.
 
+use std::time::Duration;
+
 use taxi_dispatch::ServiceSnapshot;
+use taxi_obs::ServiceWindow;
 
 /// Stable identity of one health probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +155,11 @@ pub struct HealthPolicy {
     /// Worker panics in the window at or above this trip the crash probe
     /// (default 1: any panic is a crash).
     pub worker_panic_limit: u64,
+    /// How far behind the newest history sample the probe window reaches
+    /// (default 250ms). Longer lookbacks smooth noisy verdicts; shorter ones
+    /// react faster. Only used by the history-store-backed fleet path — the
+    /// raw [`evaluate`] adapter judges whatever two snapshots it is given.
+    pub lookback: Duration,
 }
 
 impl HealthPolicy {
@@ -161,7 +172,15 @@ impl HealthPolicy {
             cache_hit_floor: 0.05,
             min_window: 16,
             worker_panic_limit: 1,
+            lookback: Duration::from_millis(250),
         }
+    }
+
+    /// Sets the probe window lookback.
+    #[must_use]
+    pub fn with_lookback(mut self, lookback: Duration) -> Self {
+        self.lookback = lookback;
+        self
     }
 }
 
@@ -220,16 +239,112 @@ fn windowed_rate(part: u64, whole: u64, min_window: u64) -> Option<f64> {
     }
 }
 
-/// Evaluates every automatic probe against the delta between `prev` and `curr`.
+/// The counter deltas one health evaluation judges: a plain-old-data window
+/// that can be built from two consecutive [`ServiceSnapshot`]s (the original
+/// [`evaluate`] adapter) or from the fleet's history store (a
+/// [`taxi_obs::ServiceWindow`], via `From`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbeWindow {
+    /// Completions in the window.
+    pub completed: u64,
+    /// Deadline misses in the window.
+    pub deadline_misses: u64,
+    /// Admissions in the window.
+    pub submitted: u64,
+    /// Sheds in the window.
+    pub shed: u64,
+    /// Worker panics in the window.
+    pub worker_panics: u64,
+    /// Whether the shard has a solution cache attached (gates the
+    /// [`CacheHitCollapse`](ProbeId::CacheHitCollapse) probe).
+    pub has_cache: bool,
+    /// Cache lookups that hit, in the window.
+    pub cache_hits: u64,
+    /// Total cache lookups in the window.
+    pub cache_lookups: u64,
+}
+
+impl From<&ServiceWindow> for ProbeWindow {
+    fn from(window: &ServiceWindow) -> Self {
+        Self {
+            completed: window.completed,
+            deadline_misses: window.deadline_misses,
+            submitted: window.submitted,
+            shed: window.shed,
+            worker_panics: window.worker_panics,
+            has_cache: window.has_cache,
+            cache_hits: window.cache_lookup_hits,
+            cache_lookups: window.cache_lookup_hits + window.cache_lookup_misses,
+        }
+    }
+}
+
+impl ProbeWindow {
+    /// The delta window between two snapshots of the same service generation
+    /// (`prev = None` means "since the generation started": lifetime totals).
+    /// Counters are monotone within a generation, so `saturating_sub` only
+    /// matters across a missed generation swap, where the window is garbage
+    /// anyway and the caller re-windows next tick.
+    pub fn between(prev: Option<&ServiceSnapshot>, curr: &ServiceSnapshot) -> Self {
+        let (base_hits, base_lookups) = match prev.and_then(|p| p.cache) {
+            Some(cache) => (cache.hits, cache.hits + cache.misses),
+            None => (0, 0),
+        };
+        let (hits, lookups) = match curr.cache {
+            Some(cache) => (
+                cache.hits.saturating_sub(base_hits),
+                (cache.hits + cache.misses).saturating_sub(base_lookups),
+            ),
+            None => (0, 0),
+        };
+        Self {
+            completed: curr
+                .completed
+                .saturating_sub(prev.map_or(0, |p| p.completed)),
+            deadline_misses: curr
+                .deadline_misses
+                .saturating_sub(prev.map_or(0, |p| p.deadline_misses)),
+            submitted: curr
+                .submitted
+                .saturating_sub(prev.map_or(0, |p| p.submitted)),
+            shed: curr.shed.saturating_sub(prev.map_or(0, |p| p.shed)),
+            worker_panics: curr
+                .worker_panics
+                .saturating_sub(prev.map_or(0, |p| p.worker_panics)),
+            has_cache: curr.cache.is_some(),
+            cache_hits: hits,
+            cache_lookups: lookups,
+        }
+    }
+}
+
+/// Evaluates every automatic probe against the delta between `prev` and `curr`
+/// — the two-snapshot adapter over [`evaluate_window`].
 ///
-/// `prev = None` (first tick of a generation) leaves the rate probes silent —
-/// there is no window yet. `queue_capacity = 0` (unbounded queue) disables the
-/// saturation probe. All probes report even when healthy, so a snapshot shows
-/// the evidence either way.
+/// `prev = None` (first tick of a generation) judges the lifetime totals — the
+/// window since the generation started. `queue_capacity = 0` (unbounded queue)
+/// disables the saturation probe. All probes report even when healthy, so a
+/// snapshot shows the evidence either way.
 pub fn evaluate(
     policy: &HealthPolicy,
     prev: Option<&ServiceSnapshot>,
     curr: &ServiceSnapshot,
+    queue_depth: usize,
+    queue_capacity: usize,
+) -> HealthCheck {
+    evaluate_window(
+        policy,
+        &ProbeWindow::between(prev, curr),
+        queue_depth,
+        queue_capacity,
+    )
+}
+
+/// Evaluates every automatic probe against one [`ProbeWindow`] of counter
+/// deltas plus the instantaneous queue depth.
+pub fn evaluate_window(
+    policy: &HealthPolicy,
+    window: &ProbeWindow,
     queue_depth: usize,
     queue_capacity: usize,
 ) -> HealthCheck {
@@ -255,22 +370,11 @@ pub fn evaluate(
         }
     }
 
-    // Windowed deltas. Counters are monotone within a shard generation, so
-    // saturating_sub only matters across a missed generation swap (where the
-    // window is garbage anyway and the probes go silent next tick).
-    let d_completed = curr
-        .completed
-        .saturating_sub(prev.map_or(0, |p| p.completed));
-    let d_misses = curr
-        .deadline_misses
-        .saturating_sub(prev.map_or(0, |p| p.deadline_misses));
-    let d_shed = curr.shed.saturating_sub(prev.map_or(0, |p| p.shed));
-    let d_submitted = curr
-        .submitted
-        .saturating_sub(prev.map_or(0, |p| p.submitted));
-    let d_panics = curr
-        .worker_panics
-        .saturating_sub(prev.map_or(0, |p| p.worker_panics));
+    let d_completed = window.completed;
+    let d_misses = window.deadline_misses;
+    let d_shed = window.shed;
+    let d_submitted = window.submitted;
+    let d_panics = window.worker_panics;
 
     match windowed_rate(d_misses, d_completed, policy.min_window) {
         Some(rate) if rate >= policy.deadline_miss_rate => {
@@ -294,37 +398,34 @@ pub fn evaluate(
 
     // Cache hit collapse: only judged when the shard actually has a cache and
     // the window saw enough lookups to mean something.
-    match (prev.and_then(|p| p.cache), curr.cache) {
-        (prev_cache, Some(cache)) => {
-            let base_hits = prev_cache.map_or(0, |c| c.hits);
-            let base_misses = prev_cache.map_or(0, |c| c.misses);
-            let d_hits = cache.hits.saturating_sub(base_hits);
-            let d_lookups = (cache.hits + cache.misses).saturating_sub(base_hits + base_misses);
-            match windowed_rate(d_hits, d_lookups, policy.min_window) {
-                Some(rate) if rate < policy.cache_hit_floor => {
-                    reports.push(HealthReport::unhealthy(
-                        ProbeId::CacheHitCollapse,
-                        format!(
-                            "hit rate {:.1}% < {:.1}% floor over {d_lookups} lookups",
-                            rate * 100.0,
-                            policy.cache_hit_floor * 100.0
-                        ),
-                    ));
-                }
-                Some(rate) => reports.push(HealthReport::healthy(
+    if window.has_cache {
+        let d_hits = window.cache_hits;
+        let d_lookups = window.cache_lookups;
+        match windowed_rate(d_hits, d_lookups, policy.min_window) {
+            Some(rate) if rate < policy.cache_hit_floor => {
+                reports.push(HealthReport::unhealthy(
                     ProbeId::CacheHitCollapse,
-                    format!("hit rate {:.1}% over {d_lookups} lookups", rate * 100.0),
-                )),
-                None => reports.push(HealthReport::healthy(
-                    ProbeId::CacheHitCollapse,
-                    format!("window {d_lookups} < {} lookups", policy.min_window),
-                )),
+                    format!(
+                        "hit rate {:.1}% < {:.1}% floor over {d_lookups} lookups",
+                        rate * 100.0,
+                        policy.cache_hit_floor * 100.0
+                    ),
+                ));
             }
+            Some(rate) => reports.push(HealthReport::healthy(
+                ProbeId::CacheHitCollapse,
+                format!("hit rate {:.1}% over {d_lookups} lookups", rate * 100.0),
+            )),
+            None => reports.push(HealthReport::healthy(
+                ProbeId::CacheHitCollapse,
+                format!("window {d_lookups} < {} lookups", policy.min_window),
+            )),
         }
-        (_, None) => reports.push(HealthReport::healthy(
+    } else {
+        reports.push(HealthReport::healthy(
             ProbeId::CacheHitCollapse,
             "no cache attached".to_string(),
-        )),
+        ));
     }
 
     let d_offered = d_submitted + d_shed;

@@ -59,8 +59,12 @@ pub mod ring;
 pub mod state;
 pub mod telemetry;
 
-pub use fleet::{Fleet, FleetConfig, FleetSnapshot, RoutingPolicy, ShardSnapshot};
-pub use health::{evaluate, HealthCheck, HealthPolicy, HealthReport, HealthVerdict, ProbeId};
+pub use fleet::{Fleet, FleetConfig, FleetSnapshot, ObsConfig, RoutingPolicy, ShardSnapshot};
+pub use health::{
+    evaluate, evaluate_window, HealthCheck, HealthPolicy, HealthReport, HealthVerdict, ProbeId,
+    ProbeWindow,
+};
 pub use ring::HashRing;
 pub use state::{FleetIntent, ShardId, ShardState, StateSlas};
+pub use taxi_obs::{AlertState, HistoryStore, SloKind, SloSpec, SloStatus};
 pub use telemetry::Telemetry;

@@ -1,21 +1,22 @@
-//! Unified telemetry exposition: every fleet, service, cache, router and
-//! tracer counter on one Prometheus-style text page.
+//! Unified telemetry exposition: every fleet, service, cache, router, tracer
+//! and SLO counter on one Prometheus-style text page.
 //!
 //! [`Telemetry`] wraps one [`FleetSnapshot`] and [`render`](Telemetry::render)s
 //! it in the Prometheus text exposition format (`# HELP`/`# TYPE` preambles,
-//! `name{label="value"} number` samples). The page is **complete by
-//! construction**: every counter in [`ServiceSnapshot`], every
-//! [`SolutionCacheStats`](taxi::SolutionCacheStats) field, every per-shard
-//! control-plane view (state, generation, SLA-stuck flag, ring share, verdict,
-//! queue depth) and the tracer's keep/drop counters appear — the completeness
-//! test in this module enumerates them all. Scrape it, dump it next to bench
-//! artifacts, or diff two pages to compute exact rates from
+//! `name{label="value"} number` samples, label values escaped per the
+//! exposition spec). The page is **complete by construction**: every family it
+//! can emit is declared in the central [`FAMILIES`] registry — the only way to
+//! write a family is to register it first (unregistered names panic), and the
+//! completeness test enumerates the registry instead of a hand-maintained
+//! list, so a new family can never silently go missing. Scrape it, dump it
+//! next to bench artifacts, or diff two pages to compute exact rates from
 //! `captured_at_seconds`.
 
 use std::fmt::Write as _;
 
 use taxi::SolverBackend;
 use taxi_dispatch::{HistogramSummary, ServiceSnapshot};
+use taxi_obs::AlertState;
 
 use crate::fleet::{Fleet, FleetSnapshot};
 use crate::state::ShardState;
@@ -28,6 +29,320 @@ const STAGE_LABELS: [&str; 5] = [
     "assemble",
     "account",
 ];
+
+/// One registered metric family: the name plus the `# TYPE`/`# HELP` preamble
+/// text the page emits for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyInfo {
+    /// Metric family name (`taxi_service_completed_total`).
+    pub name: &'static str,
+    /// Exposition type: `counter` or `gauge`.
+    pub kind: &'static str,
+    /// One-line `# HELP` text.
+    pub help: &'static str,
+}
+
+const fn family(name: &'static str, kind: &'static str, help: &'static str) -> FamilyInfo {
+    FamilyInfo { name, kind, help }
+}
+
+/// The central family registry: **every** family [`Telemetry::render`] can
+/// emit, in page order. Families whose section is conditional (cache, trace,
+/// SLO) are still registered — they are simply absent from pages rendered
+/// without that subsystem.
+pub const FAMILIES: &[FamilyInfo] = &[
+    family(
+        "taxi_fleet_uptime_seconds",
+        "gauge",
+        "Time since the fleet started",
+    ),
+    family("taxi_fleet_shards", "gauge", "Shard slots"),
+    family(
+        "taxi_fleet_shards_in_rotation",
+        "gauge",
+        "Shards currently owning ring weight",
+    ),
+    family(
+        "taxi_fleet_resubmitted_total",
+        "counter",
+        "Orphaned pendings re-adopted onto surviving shards",
+    ),
+    family(
+        "taxi_fleet_orphaned",
+        "gauge",
+        "Pendings currently orphaned (tickets live)",
+    ),
+    family(
+        "taxi_fleet_reconcile_ticks_total",
+        "counter",
+        "Reconcile passes completed",
+    ),
+    family(
+        "taxi_fleet_history_samples_total",
+        "counter",
+        "Samples recorded into the observability history ring",
+    ),
+    family(
+        "taxi_service_uptime_seconds",
+        "gauge",
+        "Time base of the aggregate service counters",
+    ),
+    family(
+        "taxi_service_captured_at_seconds",
+        "gauge",
+        "Monotonic capture timestamp of this page (same clock as uptime; diff two pages for exact rates)",
+    ),
+    family("taxi_service_submitted_total", "counter", "Requests admitted"),
+    family(
+        "taxi_service_completed_total",
+        "counter",
+        "Requests solved successfully",
+    ),
+    family(
+        "taxi_service_failed_total",
+        "counter",
+        "Requests whose solve failed",
+    ),
+    family(
+        "taxi_service_shed_total",
+        "counter",
+        "Requests shed by admission",
+    ),
+    family(
+        "taxi_service_rejected_total",
+        "counter",
+        "Submissions refused outright",
+    ),
+    family(
+        "taxi_service_degraded_total",
+        "counter",
+        "Completions served degraded",
+    ),
+    family(
+        "taxi_service_deadline_misses_total",
+        "counter",
+        "Completions resolved after their deadline",
+    ),
+    family(
+        "taxi_service_cache_hits_total",
+        "counter",
+        "Completions served from the solution cache",
+    ),
+    family(
+        "taxi_service_coalesced_total",
+        "counter",
+        "Completions coalesced onto another request's solve",
+    ),
+    family(
+        "taxi_service_solved_fresh_total",
+        "counter",
+        "Completions that ran the solve pipeline",
+    ),
+    family(
+        "taxi_service_worker_panics_total",
+        "counter",
+        "Contained worker solve panics (fleet crash signal)",
+    ),
+    family(
+        "taxi_service_explored_total",
+        "counter",
+        "Routed solves placed by the exploration arm",
+    ),
+    family("taxi_service_batches_total", "counter", "Micro-batches formed"),
+    family("taxi_service_mean_batch_size", "gauge", "Mean formed batch size"),
+    family(
+        "taxi_service_throughput_per_sec",
+        "gauge",
+        "Completions per second of uptime",
+    ),
+    family(
+        "taxi_service_solve_avoidance_rate",
+        "gauge",
+        "Fraction of completions that avoided a solve",
+    ),
+    family(
+        "taxi_service_exploration_share",
+        "gauge",
+        "Fraction of routed solves placed by exploration",
+    ),
+    family(
+        "taxi_service_routed_total",
+        "counter",
+        "Fresh solves dispatched through the adaptive router, by chosen backend",
+    ),
+    family(
+        "taxi_service_quality_count",
+        "counter",
+        "Routed solves with a quality ratio observation",
+    ),
+    family(
+        "taxi_service_quality_ratio",
+        "gauge",
+        "Routed-solve quality ratio against the shadow reference (1.0 = reference)",
+    ),
+    family(
+        "taxi_service_latency_count",
+        "counter",
+        "Observations per latency histogram",
+    ),
+    family(
+        "taxi_service_latency_seconds",
+        "gauge",
+        "Latency distribution summaries (conservative bucket upper bounds)",
+    ),
+    family(
+        "taxi_service_stage_seconds_total",
+        "counter",
+        "Accumulated host seconds per pipeline stage",
+    ),
+    family(
+        "taxi_cache_hits_total",
+        "counter",
+        "Cache lookups served (exact + remapped)",
+    ),
+    family(
+        "taxi_cache_exact_hits_total",
+        "counter",
+        "Exact-fingerprint cache hits",
+    ),
+    family(
+        "taxi_cache_remapped_hits_total",
+        "counter",
+        "Cache hits served through permutation remapping",
+    ),
+    family("taxi_cache_misses_total", "counter", "Cache lookups that missed"),
+    family("taxi_cache_insertions_total", "counter", "Entries inserted"),
+    family(
+        "taxi_cache_evictions_total",
+        "counter",
+        "Entries evicted by capacity",
+    ),
+    family(
+        "taxi_cache_expirations_total",
+        "counter",
+        "Entries expired by TTL",
+    ),
+    family("taxi_cache_entries", "gauge", "Live cache entries"),
+    family("taxi_cache_bytes", "gauge", "Estimated live cache bytes"),
+    family("taxi_cache_hit_rate", "gauge", "Lifetime cache hit rate"),
+    family(
+        "taxi_shard_state",
+        "gauge",
+        "Shard lifecycle state (1 for the current state)",
+    ),
+    family(
+        "taxi_shard_generation",
+        "counter",
+        "Service generation (bumped every restart)",
+    ),
+    family(
+        "taxi_shard_in_state_seconds",
+        "gauge",
+        "Time spent in the current state",
+    ),
+    family(
+        "taxi_shard_stuck",
+        "gauge",
+        "Whether the shard has overstayed its state SLA",
+    ),
+    family(
+        "taxi_shard_ring_share",
+        "gauge",
+        "Fraction of the consistent-hash ring owned",
+    ),
+    family(
+        "taxi_shard_queue_depth",
+        "gauge",
+        "Instantaneous admission-queue depth",
+    ),
+    family(
+        "taxi_shard_healthy",
+        "gauge",
+        "Effective health verdict (1 healthy, 0 unhealthy)",
+    ),
+    family(
+        "taxi_shard_health_overridden",
+        "gauge",
+        "Whether an operator override pins the verdict",
+    ),
+    family("taxi_trace_minted_total", "counter", "Trace ids minted"),
+    family(
+        "taxi_trace_kept_total",
+        "counter",
+        "Traces kept by tail sampling",
+    ),
+    family(
+        "taxi_trace_dropped_total",
+        "counter",
+        "Traces dropped by tail sampling",
+    ),
+    family(
+        "taxi_trace_recorded_spans_total",
+        "counter",
+        "Spans pushed into the flight recorder",
+    ),
+    family(
+        "taxi_trace_resident_spans",
+        "gauge",
+        "Spans currently resident in the rings",
+    ),
+    family("taxi_trace_rings", "gauge", "Registered recorder rings"),
+    family(
+        "taxi_trace_ring_capacity",
+        "gauge",
+        "Capacity of each recorder ring",
+    ),
+    family(
+        "taxi_slo_objective",
+        "gauge",
+        "Configured SLO objective (fraction of good events)",
+    ),
+    family(
+        "taxi_slo_error_budget",
+        "gauge",
+        "Error budget (1 - objective)",
+    ),
+    family(
+        "taxi_slo_burn_rate",
+        "gauge",
+        "Windowed error rate over error budget, per alert window",
+    ),
+    family(
+        "taxi_slo_window_events",
+        "gauge",
+        "Events observed in each alert window",
+    ),
+    family(
+        "taxi_slo_firing",
+        "gauge",
+        "Whether the SLO's multi-window burn-rate alert is firing",
+    ),
+];
+
+/// Looks a family up in the registry (`None` for unregistered names).
+pub fn family_info(name: &str) -> Option<&'static FamilyInfo> {
+    FAMILIES.iter().find(|info| info.name == name)
+}
+
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// double-quote and newline must be escaped inside `label="..."`.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders one `key="value"` label pair with the value escaped.
+fn label(key: &str, value: &str) -> String {
+    format!("{key}=\"{}\"", escape_label(value))
+}
 
 /// One fleet snapshot, renderable as a Prometheus-style text page.
 ///
@@ -57,7 +372,9 @@ fn value(v: f64) -> String {
     }
 }
 
-/// Accumulates the exposition page.
+/// Accumulates the exposition page. Families must be declared in [`FAMILIES`]:
+/// [`open`](Page::open) panics on an unregistered name, which is what keeps
+/// the registry authoritative.
 struct Page {
     out: String,
 }
@@ -69,10 +386,12 @@ impl Page {
         }
     }
 
-    /// Writes the `# HELP`/`# TYPE` preamble for a metric family.
-    fn family(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
-        let _ = writeln!(self.out, "# HELP {name} {help}");
-        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    /// Writes the `# HELP`/`# TYPE` preamble for a registered metric family.
+    fn open(&mut self, name: &str) -> &mut Self {
+        let info = family_info(name)
+            .unwrap_or_else(|| panic!("family {name} not declared in telemetry::FAMILIES"));
+        let _ = writeln!(self.out, "# HELP {} {}", info.name, info.help);
+        let _ = writeln!(self.out, "# TYPE {} {}", info.name, info.kind);
         self
     }
 
@@ -82,7 +401,8 @@ impl Page {
         self
     }
 
-    /// Writes one labelled sample; `labels` is the rendered `key="v",...` body.
+    /// Writes one labelled sample; `labels` is the rendered `key="v",...` body
+    /// (build pairs with [`label`] so values are escaped).
     fn labelled(&mut self, name: &str, labels: &str, v: f64) -> &mut Self {
         let _ = writeln!(self.out, "{name}{{{labels}}} {}", value(v));
         self
@@ -94,7 +414,7 @@ impl Page {
 fn histogram(page: &mut Page, path: &str, summary: &HistogramSummary) {
     page.labelled(
         "taxi_service_latency_count",
-        &format!("path=\"{path}\""),
+        &label("path", path),
         summary.count as f64,
     );
     for (stat, duration) in [
@@ -106,7 +426,7 @@ fn histogram(page: &mut Page, path: &str, summary: &HistogramSummary) {
     ] {
         page.labelled(
             "taxi_service_latency_seconds",
-            &format!("path=\"{path}\",stat=\"{stat}\""),
+            &format!("{},{}", label("path", path), label("stat", stat)),
             duration.as_secs_f64(),
         );
     }
@@ -114,230 +434,95 @@ fn histogram(page: &mut Page, path: &str, summary: &HistogramSummary) {
 
 /// Emits the aggregate service section (every [`ServiceSnapshot`] counter).
 fn render_service(page: &mut Page, service: &ServiceSnapshot) {
-    page.family(
-        "taxi_service_uptime_seconds",
-        "gauge",
-        "Time base of the aggregate service counters",
-    )
-    .sample("taxi_service_uptime_seconds", service.uptime.as_secs_f64());
-    page.family(
-        "taxi_service_captured_at_seconds",
-        "gauge",
-        "Monotonic capture timestamp of this page (same clock as uptime; diff two pages for exact rates)",
-    )
-    .sample(
+    page.open("taxi_service_uptime_seconds")
+        .sample("taxi_service_uptime_seconds", service.uptime.as_secs_f64());
+    page.open("taxi_service_captured_at_seconds").sample(
         "taxi_service_captured_at_seconds",
         service.captured_at.as_secs_f64(),
     );
-    for (name, help, count) in [
-        (
-            "taxi_service_submitted_total",
-            "Requests admitted",
-            service.submitted,
-        ),
-        (
-            "taxi_service_completed_total",
-            "Requests solved successfully",
-            service.completed,
-        ),
-        (
-            "taxi_service_failed_total",
-            "Requests whose solve failed",
-            service.failed,
-        ),
-        (
-            "taxi_service_shed_total",
-            "Requests shed by admission",
-            service.shed,
-        ),
-        (
-            "taxi_service_rejected_total",
-            "Submissions refused outright",
-            service.rejected,
-        ),
-        (
-            "taxi_service_degraded_total",
-            "Completions served degraded",
-            service.degraded,
-        ),
+    for (name, count) in [
+        ("taxi_service_submitted_total", service.submitted),
+        ("taxi_service_completed_total", service.completed),
+        ("taxi_service_failed_total", service.failed),
+        ("taxi_service_shed_total", service.shed),
+        ("taxi_service_rejected_total", service.rejected),
+        ("taxi_service_degraded_total", service.degraded),
         (
             "taxi_service_deadline_misses_total",
-            "Completions resolved after their deadline",
             service.deadline_misses,
         ),
-        (
-            "taxi_service_cache_hits_total",
-            "Completions served from the solution cache",
-            service.cache_hits,
-        ),
-        (
-            "taxi_service_coalesced_total",
-            "Completions coalesced onto another request's solve",
-            service.coalesced,
-        ),
-        (
-            "taxi_service_solved_fresh_total",
-            "Completions that ran the solve pipeline",
-            service.solved_fresh(),
-        ),
-        (
-            "taxi_service_worker_panics_total",
-            "Contained worker solve panics (fleet crash signal)",
-            service.worker_panics,
-        ),
-        (
-            "taxi_service_explored_total",
-            "Routed solves placed by the exploration arm",
-            service.explored,
-        ),
-        (
-            "taxi_service_batches_total",
-            "Micro-batches formed",
-            service.batches,
-        ),
+        ("taxi_service_cache_hits_total", service.cache_hits),
+        ("taxi_service_coalesced_total", service.coalesced),
+        ("taxi_service_solved_fresh_total", service.solved_fresh()),
+        ("taxi_service_worker_panics_total", service.worker_panics),
+        ("taxi_service_explored_total", service.explored),
+        ("taxi_service_batches_total", service.batches),
     ] {
-        page.family(name, "counter", help)
-            .sample(name, count as f64);
+        page.open(name).sample(name, count as f64);
     }
-    page.family(
-        "taxi_service_mean_batch_size",
-        "gauge",
-        "Mean formed batch size",
-    )
-    .sample("taxi_service_mean_batch_size", service.mean_batch_size);
-    page.family(
-        "taxi_service_throughput_per_sec",
-        "gauge",
-        "Completions per second of uptime",
-    )
-    .sample(
+    page.open("taxi_service_mean_batch_size")
+        .sample("taxi_service_mean_batch_size", service.mean_batch_size);
+    page.open("taxi_service_throughput_per_sec").sample(
         "taxi_service_throughput_per_sec",
         service.throughput_per_sec,
     );
-    page.family(
-        "taxi_service_solve_avoidance_rate",
-        "gauge",
-        "Fraction of completions that avoided a solve",
-    )
-    .sample(
+    page.open("taxi_service_solve_avoidance_rate").sample(
         "taxi_service_solve_avoidance_rate",
         service.solve_avoidance_rate(),
     );
-    page.family(
-        "taxi_service_exploration_share",
-        "gauge",
-        "Fraction of routed solves placed by exploration",
-    )
-    .sample(
+    page.open("taxi_service_exploration_share").sample(
         "taxi_service_exploration_share",
         service.exploration_share(),
     );
-    page.family(
-        "taxi_service_routed_total",
-        "counter",
-        "Fresh solves dispatched through the adaptive router, by chosen backend",
-    );
+    page.open("taxi_service_routed_total");
     for (index, backend) in SolverBackend::ALL.iter().enumerate() {
         page.labelled(
             "taxi_service_routed_total",
-            &format!("backend=\"{}\"", backend.label()),
+            &label("backend", backend.label()),
             service.routed_per_backend[index] as f64,
         );
     }
-    page.family(
-        "taxi_service_quality_count",
-        "counter",
-        "Routed solves with a quality ratio observation",
-    )
-    .sample("taxi_service_quality_count", service.quality.count as f64);
-    page.family(
-        "taxi_service_quality_ratio",
-        "gauge",
-        "Routed-solve quality ratio against the shadow reference (1.0 = reference)",
-    );
+    page.open("taxi_service_quality_count")
+        .sample("taxi_service_quality_count", service.quality.count as f64);
+    page.open("taxi_service_quality_ratio");
     for (stat, ratio) in [
         ("mean", service.quality.mean),
         ("p50", service.quality.p50),
         ("p95", service.quality.p95),
         ("max", service.quality.max),
     ] {
-        page.labelled(
-            "taxi_service_quality_ratio",
-            &format!("stat=\"{stat}\""),
-            ratio,
-        );
+        page.labelled("taxi_service_quality_ratio", &label("stat", stat), ratio);
     }
-    page.family(
-        "taxi_service_latency_count",
-        "counter",
-        "Observations per latency histogram",
-    );
-    page.family(
-        "taxi_service_latency_seconds",
-        "gauge",
-        "Latency distribution summaries (conservative bucket upper bounds)",
-    );
+    page.open("taxi_service_latency_count");
+    page.open("taxi_service_latency_seconds");
     histogram(page, "queue_wait", &service.queue_wait);
     histogram(page, "solve", &service.solve);
     histogram(page, "end_to_end", &service.end_to_end);
-    page.family(
-        "taxi_service_stage_seconds_total",
-        "counter",
-        "Accumulated host seconds per pipeline stage",
-    );
-    for (index, label) in STAGE_LABELS.iter().enumerate() {
+    page.open("taxi_service_stage_seconds_total");
+    for (index, stage) in STAGE_LABELS.iter().enumerate() {
         page.labelled(
             "taxi_service_stage_seconds_total",
-            &format!("stage=\"{label}\""),
+            &label("stage", stage),
             service.stage_seconds[index],
         );
     }
     if let Some(cache) = &service.cache {
-        for (name, help, count) in [
-            (
-                "taxi_cache_hits_total",
-                "Cache lookups served (exact + remapped)",
-                cache.hits,
-            ),
-            (
-                "taxi_cache_exact_hits_total",
-                "Exact-fingerprint cache hits",
-                cache.exact_hits,
-            ),
-            (
-                "taxi_cache_remapped_hits_total",
-                "Cache hits served through permutation remapping",
-                cache.remapped_hits,
-            ),
-            (
-                "taxi_cache_misses_total",
-                "Cache lookups that missed",
-                cache.misses,
-            ),
-            (
-                "taxi_cache_insertions_total",
-                "Entries inserted",
-                cache.insertions,
-            ),
-            (
-                "taxi_cache_evictions_total",
-                "Entries evicted by capacity",
-                cache.evictions,
-            ),
-            (
-                "taxi_cache_expirations_total",
-                "Entries expired by TTL",
-                cache.expirations,
-            ),
+        for (name, count) in [
+            ("taxi_cache_hits_total", cache.hits),
+            ("taxi_cache_exact_hits_total", cache.exact_hits),
+            ("taxi_cache_remapped_hits_total", cache.remapped_hits),
+            ("taxi_cache_misses_total", cache.misses),
+            ("taxi_cache_insertions_total", cache.insertions),
+            ("taxi_cache_evictions_total", cache.evictions),
+            ("taxi_cache_expirations_total", cache.expirations),
         ] {
-            page.family(name, "counter", help)
-                .sample(name, count as f64);
+            page.open(name).sample(name, count as f64);
         }
-        page.family("taxi_cache_entries", "gauge", "Live cache entries")
+        page.open("taxi_cache_entries")
             .sample("taxi_cache_entries", cache.entries as f64);
-        page.family("taxi_cache_bytes", "gauge", "Estimated live cache bytes")
+        page.open("taxi_cache_bytes")
             .sample("taxi_cache_bytes", cache.bytes as f64);
-        page.family("taxi_cache_hit_rate", "gauge", "Lifetime cache hit rate")
+        page.open("taxi_cache_hit_rate")
             .sample("taxi_cache_hit_rate", cache.hit_rate());
     }
 }
@@ -357,162 +542,111 @@ impl Telemetry {
     pub fn render(&self) -> String {
         let snapshot = &self.snapshot;
         let mut page = Page::new();
-        page.family(
-            "taxi_fleet_uptime_seconds",
-            "gauge",
-            "Time since the fleet started",
-        )
-        .sample("taxi_fleet_uptime_seconds", snapshot.uptime.as_secs_f64());
-        page.family("taxi_fleet_shards", "gauge", "Shard slots")
+        page.open("taxi_fleet_uptime_seconds")
+            .sample("taxi_fleet_uptime_seconds", snapshot.uptime.as_secs_f64());
+        page.open("taxi_fleet_shards")
             .sample("taxi_fleet_shards", snapshot.shards.len() as f64);
-        page.family(
-            "taxi_fleet_shards_in_rotation",
-            "gauge",
-            "Shards currently owning ring weight",
-        )
-        .sample(
+        page.open("taxi_fleet_shards_in_rotation").sample(
             "taxi_fleet_shards_in_rotation",
             snapshot.in_rotation() as f64,
         );
-        page.family(
-            "taxi_fleet_resubmitted_total",
-            "counter",
-            "Orphaned pendings re-adopted onto surviving shards",
-        )
-        .sample("taxi_fleet_resubmitted_total", snapshot.resubmitted as f64);
-        page.family(
-            "taxi_fleet_orphaned",
-            "gauge",
-            "Pendings currently orphaned (tickets live)",
-        )
-        .sample("taxi_fleet_orphaned", snapshot.orphaned as f64);
-        page.family(
-            "taxi_fleet_reconcile_ticks_total",
-            "counter",
-            "Reconcile passes completed",
-        )
-        .sample(
+        page.open("taxi_fleet_resubmitted_total")
+            .sample("taxi_fleet_resubmitted_total", snapshot.resubmitted as f64);
+        page.open("taxi_fleet_orphaned")
+            .sample("taxi_fleet_orphaned", snapshot.orphaned as f64);
+        page.open("taxi_fleet_reconcile_ticks_total").sample(
             "taxi_fleet_reconcile_ticks_total",
             snapshot.reconcile_ticks as f64,
+        );
+        page.open("taxi_fleet_history_samples_total").sample(
+            "taxi_fleet_history_samples_total",
+            snapshot.history_samples as f64,
         );
 
         render_service(&mut page, &snapshot.service);
 
-        page.family(
-            "taxi_shard_state",
-            "gauge",
-            "Shard lifecycle state (1 for the current state)",
-        );
+        page.open("taxi_shard_state");
         for shard in &snapshot.shards {
             for state in ShardState::ALL {
                 page.labelled(
                     "taxi_shard_state",
-                    &format!("shard=\"{}\",state=\"{}\"", shard.id.index(), state.label()),
+                    &format!(
+                        "{},{}",
+                        label("shard", &shard.id.index().to_string()),
+                        label("state", state.label())
+                    ),
                     f64::from(u8::from(shard.state == state)),
                 );
             }
         }
-        for (name, kind, help, read) in [
+        for (name, read) in [
             (
                 "taxi_shard_generation",
-                "counter",
-                "Service generation (bumped every restart)",
                 &(|s: &crate::fleet::ShardSnapshot| s.generation as f64)
                     as &dyn Fn(&crate::fleet::ShardSnapshot) -> f64,
             ),
-            (
-                "taxi_shard_in_state_seconds",
-                "gauge",
-                "Time spent in the current state",
-                &|s| s.in_state.as_secs_f64(),
-            ),
-            (
-                "taxi_shard_stuck",
-                "gauge",
-                "Whether the shard has overstayed its state SLA",
-                &|s| f64::from(u8::from(s.stuck)),
-            ),
-            (
-                "taxi_shard_ring_share",
-                "gauge",
-                "Fraction of the consistent-hash ring owned",
-                &|s| s.ring_share,
-            ),
-            (
-                "taxi_shard_queue_depth",
-                "gauge",
-                "Instantaneous admission-queue depth",
-                &|s| s.queue_depth as f64,
-            ),
-            (
-                "taxi_shard_healthy",
-                "gauge",
-                "Effective health verdict (1 healthy, 0 unhealthy)",
-                &|s| f64::from(u8::from(s.verdict == crate::health::HealthVerdict::Healthy)),
-            ),
-            (
-                "taxi_shard_health_overridden",
-                "gauge",
-                "Whether an operator override pins the verdict",
-                &|s| f64::from(u8::from(s.overridden)),
-            ),
+            ("taxi_shard_in_state_seconds", &|s| s.in_state.as_secs_f64()),
+            ("taxi_shard_stuck", &|s| f64::from(u8::from(s.stuck))),
+            ("taxi_shard_ring_share", &|s| s.ring_share),
+            ("taxi_shard_queue_depth", &|s| s.queue_depth as f64),
+            ("taxi_shard_healthy", &|s| {
+                f64::from(u8::from(s.verdict == crate::health::HealthVerdict::Healthy))
+            }),
+            ("taxi_shard_health_overridden", &|s| {
+                f64::from(u8::from(s.overridden))
+            }),
         ] {
-            page.family(name, kind, help);
+            page.open(name);
             for shard in &snapshot.shards {
                 page.labelled(
                     name,
-                    &format!("shard=\"{}\"", shard.id.index()),
+                    &label("shard", &shard.id.index().to_string()),
                     read(shard),
                 );
             }
         }
 
         if let Some(trace) = &snapshot.trace {
-            for (name, kind, help, count) in [
-                (
-                    "taxi_trace_minted_total",
-                    "counter",
-                    "Trace ids minted",
-                    trace.minted,
-                ),
-                (
-                    "taxi_trace_kept_total",
-                    "counter",
-                    "Traces kept by tail sampling",
-                    trace.kept,
-                ),
-                (
-                    "taxi_trace_dropped_total",
-                    "counter",
-                    "Traces dropped by tail sampling",
-                    trace.dropped,
-                ),
-                (
-                    "taxi_trace_recorded_spans_total",
-                    "counter",
-                    "Spans pushed into the flight recorder",
-                    trace.recorded_spans,
-                ),
-                (
-                    "taxi_trace_resident_spans",
-                    "gauge",
-                    "Spans currently resident in the rings",
-                    trace.resident_spans,
-                ),
-                (
-                    "taxi_trace_rings",
-                    "gauge",
-                    "Registered recorder rings",
-                    trace.rings,
-                ),
-                (
-                    "taxi_trace_ring_capacity",
-                    "gauge",
-                    "Capacity of each recorder ring",
-                    trace.ring_capacity,
-                ),
+            for (name, count) in [
+                ("taxi_trace_minted_total", trace.minted),
+                ("taxi_trace_kept_total", trace.kept),
+                ("taxi_trace_dropped_total", trace.dropped),
+                ("taxi_trace_recorded_spans_total", trace.recorded_spans),
+                ("taxi_trace_resident_spans", trace.resident_spans),
+                ("taxi_trace_rings", trace.rings),
+                ("taxi_trace_ring_capacity", trace.ring_capacity),
             ] {
-                page.family(name, kind, help).sample(name, count as f64);
+                page.open(name).sample(name, count as f64);
+            }
+        }
+
+        if !snapshot.alerts.is_empty() {
+            for name in [
+                "taxi_slo_objective",
+                "taxi_slo_error_budget",
+                "taxi_slo_burn_rate",
+                "taxi_slo_window_events",
+                "taxi_slo_firing",
+            ] {
+                page.open(name);
+            }
+            for status in &snapshot.alerts {
+                let slo = label("slo", &status.name);
+                page.labelled("taxi_slo_objective", &slo, status.objective);
+                page.labelled("taxi_slo_error_budget", &slo, status.budget);
+                for (window, burn, events) in [
+                    ("fast", status.fast_burn, status.fast_events),
+                    ("slow", status.slow_burn, status.slow_events),
+                ] {
+                    let labels = format!("{slo},{}", label("window", window));
+                    page.labelled("taxi_slo_burn_rate", &labels, burn);
+                    page.labelled("taxi_slo_window_events", &labels, events as f64);
+                }
+                page.labelled(
+                    "taxi_slo_firing",
+                    &slo,
+                    f64::from(u8::from(status.state == AlertState::Firing)),
+                );
             }
         }
         page.out
@@ -535,79 +669,20 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
     use taxi_dispatch::{DispatchConfig, DispatchRequest};
+    use taxi_obs::SloSpec;
     use taxi_trace::{TraceConfig, Tracer};
     use taxi_tsplib::generator::clustered_instance;
 
-    /// Every metric family the page must carry: the acceptance criterion is
-    /// that no snapshot counter is missing from the exposition.
-    const REQUIRED_FAMILIES: &[&str] = &[
-        "taxi_fleet_uptime_seconds",
-        "taxi_fleet_shards",
-        "taxi_fleet_shards_in_rotation",
-        "taxi_fleet_resubmitted_total",
-        "taxi_fleet_orphaned",
-        "taxi_fleet_reconcile_ticks_total",
-        "taxi_service_uptime_seconds",
-        "taxi_service_captured_at_seconds",
-        "taxi_service_submitted_total",
-        "taxi_service_completed_total",
-        "taxi_service_failed_total",
-        "taxi_service_shed_total",
-        "taxi_service_rejected_total",
-        "taxi_service_degraded_total",
-        "taxi_service_deadline_misses_total",
-        "taxi_service_cache_hits_total",
-        "taxi_service_coalesced_total",
-        "taxi_service_solved_fresh_total",
-        "taxi_service_worker_panics_total",
-        "taxi_service_explored_total",
-        "taxi_service_batches_total",
-        "taxi_service_mean_batch_size",
-        "taxi_service_throughput_per_sec",
-        "taxi_service_solve_avoidance_rate",
-        "taxi_service_exploration_share",
-        "taxi_service_routed_total",
-        "taxi_service_quality_count",
-        "taxi_service_quality_ratio",
-        "taxi_service_latency_count",
-        "taxi_service_latency_seconds",
-        "taxi_service_stage_seconds_total",
-        "taxi_cache_hits_total",
-        "taxi_cache_exact_hits_total",
-        "taxi_cache_remapped_hits_total",
-        "taxi_cache_misses_total",
-        "taxi_cache_insertions_total",
-        "taxi_cache_evictions_total",
-        "taxi_cache_expirations_total",
-        "taxi_cache_entries",
-        "taxi_cache_bytes",
-        "taxi_cache_hit_rate",
-        "taxi_shard_state",
-        "taxi_shard_generation",
-        "taxi_shard_in_state_seconds",
-        "taxi_shard_stuck",
-        "taxi_shard_ring_share",
-        "taxi_shard_queue_depth",
-        "taxi_shard_healthy",
-        "taxi_shard_health_overridden",
-        "taxi_trace_minted_total",
-        "taxi_trace_kept_total",
-        "taxi_trace_dropped_total",
-        "taxi_trace_recorded_spans_total",
-        "taxi_trace_resident_spans",
-        "taxi_trace_rings",
-        "taxi_trace_ring_capacity",
-    ];
-
     #[test]
-    fn page_is_complete_and_numerically_consistent() {
+    fn page_is_complete_against_the_registry() {
         let tracer = Arc::new(Tracer::new(TraceConfig::new().with_keep_probability(1.0)));
         let fleet = Fleet::start(
             FleetConfig::new()
                 .with_shards(2)
                 .with_shard_config(DispatchConfig::new().with_workers(1))
                 .with_reconcile_interval(Duration::from_millis(5))
-                .with_tracer(Arc::clone(&tracer)),
+                .with_tracer(Arc::clone(&tracer))
+                .with_slo(SloSpec::availability("availability", 0.99)),
         );
         let tickets: Vec<_> = (0..4)
             .map(|i| {
@@ -619,13 +694,27 @@ mod tests {
         for ticket in tickets {
             ticket.wait().solved().expect("solved");
         }
+        fleet.scrape_now();
         let telemetry = fleet.telemetry();
         let page = telemetry.render();
-        for family in REQUIRED_FAMILIES {
+        // Every registered family appears on a fully-enabled page — the
+        // registry, not a hand-maintained list, is the completeness oracle.
+        for info in FAMILIES {
             assert!(
-                page.contains(&format!("# TYPE {family} ")),
-                "family {family} missing from page:\n{page}"
+                page.contains(&format!("# TYPE {} {}", info.name, info.kind)),
+                "family {} missing from page:\n{page}",
+                info.name
             );
+        }
+        // And the page carries no family the registry does not know.
+        for line in page.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().expect("family name");
+                assert!(
+                    family_info(name).is_some(),
+                    "page emits unregistered family {name}"
+                );
+            }
         }
         // Samples match the snapshot the page was rendered from.
         let snapshot = telemetry.snapshot();
@@ -636,6 +725,11 @@ mod tests {
         assert!(page.contains(&format!(
             "taxi_service_submitted_total {}",
             snapshot.service.submitted
+        )));
+        assert!(page.contains("taxi_slo_firing{slo=\"availability\"} 0"));
+        assert!(page.contains(&format!(
+            "taxi_fleet_history_samples_total {}",
+            snapshot.history_samples
         )));
         let trace = snapshot.trace.as_ref().expect("tracing enabled");
         assert!(page.contains(&format!("taxi_trace_minted_total {}", trace.minted)));
@@ -656,7 +750,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_and_trace_sections_are_omitted_when_absent() {
+    fn cache_trace_and_slo_sections_are_omitted_when_absent() {
         let fleet = Fleet::start(
             FleetConfig::new()
                 .with_shards(1)
@@ -666,7 +760,30 @@ mod tests {
         let page = fleet.telemetry().render();
         assert!(!page.contains("taxi_cache_"));
         assert!(!page.contains("taxi_trace_"));
+        assert!(!page.contains("taxi_slo_"));
         assert!(page.contains("taxi_service_completed_total 0"));
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_the_exposition_format() {
+        assert_eq!(
+            label("slo", "p99 \"fast\"\\slow\nline"),
+            "slo=\"p99 \\\"fast\\\"\\\\slow\\nline\""
+        );
+        let fleet = Fleet::start(
+            FleetConfig::new()
+                .with_shards(1)
+                .with_shard_config(DispatchConfig::new().with_workers(1))
+                .with_reconcile_interval(Duration::from_millis(5))
+                .with_slo(SloSpec::availability("avail \"99\"", 0.99)),
+        );
+        fleet.scrape_now();
+        let page = fleet.telemetry().render();
+        assert!(
+            page.contains("taxi_slo_firing{slo=\"avail \\\"99\\\"\"} 0"),
+            "quoted SLO name must render escaped:\n{page}"
+        );
         fleet.shutdown();
     }
 }

@@ -1,0 +1,197 @@
+//! Probe-migration regression: health verdicts computed from the
+//! history-store windows reproduce the pre-migration behaviour on the crash
+//! and degrade scenarios, with every producer configuration.
+//!
+//! Before the observability crate existed, the reconciler hand-rolled probe
+//! windows from consecutive snapshot deltas. The probes now read windowed
+//! deltas out of [`taxi_fleet::HistoryStore`]; these tests pin the verdicts
+//! that migration must preserve:
+//!
+//! * a worker panic is still read as a **crash** (Failed → recycle with a
+//!   fresh generation), even when the background scraper is disabled and the
+//!   reconciler's own samples are the only history producer;
+//! * a deadline-miss storm still **degrades** (not crashes) the shard, and
+//!   the shard recovers once the badness ages out of the lookback window —
+//!   without a restart;
+//! * the history surface itself (JSON dump, dashboard, SLO statuses) is
+//!   readable by the bench tooling.
+
+use std::time::{Duration, Instant};
+
+use taxi_dispatch::{DispatchConfig, DispatchOutcome, DispatchRequest};
+use taxi_fleet::{Fleet, FleetConfig, HealthPolicy, ObsConfig, RoutingPolicy, ShardState, SloSpec};
+use taxi_tsplib::generator::random_uniform_instance;
+use taxi_tsplib::instance::{EdgeWeightKind, TspInstance};
+
+fn base_config(shards: usize) -> FleetConfig {
+    FleetConfig::new()
+        .with_shards(shards)
+        .with_shard_config(
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_queue_capacity(128),
+        )
+        .with_routing(RoutingPolicy::FingerprintAffinity)
+        .with_reconcile_interval(Duration::from_millis(5))
+}
+
+#[test]
+fn worker_panic_still_reads_as_a_crash_with_reconciler_only_history() {
+    // No background scraper: the reconciler's per-pass sample is the only
+    // history producer, and it alone must feed the crash probe.
+    let fleet = Fleet::start(base_config(2).with_obs(ObsConfig::new().without_scraper()));
+    let mut coords: Vec<(f64, f64)> = (0..64).map(|i| ((i % 8) as f64, (i / 8) as f64)).collect();
+    coords[5].0 = f64::NAN;
+    let poison = TspInstance::from_coordinates("poison", coords, EdgeWeightKind::Euclidean)
+        .expect("constructible");
+    let outcome = fleet
+        .submit(DispatchRequest::new(poison))
+        .expect("admitted")
+        .wait();
+    assert!(matches!(outcome, DispatchOutcome::Failed(_)), "{outcome:?}");
+
+    // Same verdict as before the migration: Failed containment, then a
+    // recycled generation back in Serving.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        fleet.reconcile_now();
+        let snapshot = fleet.snapshot();
+        let recycled = snapshot
+            .shards
+            .iter()
+            .any(|s| s.generation >= 2 && s.state == ShardState::Serving);
+        if recycled
+            && snapshot
+                .shards
+                .iter()
+                .all(|s| s.state == ShardState::Serving)
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "poisoned shard never recycled:\n{snapshot}"
+        );
+    }
+    let history = fleet.history();
+    assert!(
+        history.recorded() > 0,
+        "the reconciler must have recorded samples"
+    );
+    let snapshot = fleet.shutdown();
+    assert_eq!(snapshot.service.worker_panics, 1, "{snapshot}");
+    assert_eq!(snapshot.service.failed, 1, "{snapshot}");
+}
+
+#[test]
+fn deadline_miss_storm_degrades_then_recovers_without_a_restart() {
+    // No cache: all-distinct traffic would trip the cache-hit-collapse probe
+    // and mask the deadline probe this test pins down.
+    let fleet = Fleet::start(
+        base_config(1)
+            .without_cache()
+            .with_health(HealthPolicy::new().with_lookback(Duration::from_millis(400))),
+    );
+
+    // A storm of impossible deadlines: every completion is a miss, far above
+    // the 50% windowed threshold once the window holds min_window (16)
+    // completions.
+    for i in 0..24u64 {
+        let request = DispatchRequest::new(random_uniform_instance(&format!("storm{i}"), 16, i))
+            .with_deadline(Duration::from_nanos(1));
+        let outcome = fleet.submit(request).expect("admitted").wait();
+        assert!(outcome.solved().is_some(), "misses still complete");
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        fleet.scrape_now();
+        fleet.reconcile_now();
+        let snapshot = fleet.snapshot();
+        if snapshot.shards[0].state == ShardState::Degraded {
+            // Degraded, not crashed: the generation must not have recycled.
+            assert_eq!(snapshot.shards[0].generation, 1, "{snapshot}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "storm never degraded the shard:\n{snapshot}"
+        );
+    }
+
+    // Recovery: healthy traffic while the storm ages out of the 400ms
+    // lookback. The shard must return to Serving on the same generation — a
+    // recovered shard recovers, it is not restarted.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut i = 0u64;
+    loop {
+        let request =
+            DispatchRequest::new(random_uniform_instance(&format!("calm{i}"), 16, 1_000 + i));
+        assert!(fleet
+            .submit(request)
+            .expect("admitted")
+            .wait()
+            .solved()
+            .is_some());
+        i += 1;
+        fleet.scrape_now();
+        fleet.reconcile_now();
+        let snapshot = fleet.snapshot();
+        if snapshot.shards[0].state == ShardState::Serving {
+            assert_eq!(
+                snapshot.shards[0].generation, 1,
+                "recovery must not recycle the generation:\n{snapshot}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard never recovered:\n{snapshot}"
+        );
+    }
+    let snapshot = fleet.shutdown();
+    assert_eq!(snapshot.service.failed, 0, "{snapshot}");
+    assert!(snapshot.service.deadline_misses >= 24, "{snapshot}");
+}
+
+#[test]
+fn history_surface_is_readable_by_the_bench_tooling() {
+    let fleet = Fleet::start(
+        base_config(1)
+            .with_slo(SloSpec::availability("availability", 0.99))
+            .with_slo(SloSpec::deadline_hits("deadline", 0.95)),
+    );
+    for i in 0..6u64 {
+        let request = DispatchRequest::new(random_uniform_instance(&format!("ok{i}"), 16, i));
+        assert!(fleet
+            .submit(request)
+            .expect("admitted")
+            .wait()
+            .solved()
+            .is_some());
+        fleet.scrape_now();
+    }
+
+    // The JSON time-series dump parses with the bench harness's own parser.
+    let dump = fleet.history_json();
+    let parsed = taxi_bench::json::parse(&dump).expect("history_json parses");
+    assert!(parsed.get("recorded").and_then(|v| v.as_u64()).unwrap_or(0) >= 6);
+    assert!(parsed.get("series").is_some(), "series map present");
+
+    // The SLO statuses ride on snapshots and the one-line summary.
+    let statuses = fleet.slo_statuses();
+    assert_eq!(statuses.len(), 2);
+    let snapshot = fleet.snapshot();
+    assert_eq!(snapshot.alerts.len(), 2);
+    assert_eq!(snapshot.firing_alerts(), 0, "healthy traffic never fires");
+    assert!(
+        snapshot.one_line().contains("slo 2 ok"),
+        "{}",
+        snapshot.one_line()
+    );
+
+    // The text dashboard renders every series block plus the alert table.
+    let dashboard = fleet.dashboard();
+    assert!(!dashboard.is_empty());
+    assert!(dashboard.contains("availability"), "{dashboard}");
+    fleet.shutdown();
+}

@@ -1,0 +1,91 @@
+//! `taxi-obs` — time-series observability for the dispatch fleet.
+//!
+//! Everything the fleet exposed before this crate was *lifetime-cumulative*: a
+//! [`ServiceSnapshot`](taxi_dispatch::ServiceSnapshot) tells you how many
+//! requests ever completed, but not whether the shard is burning its error
+//! budget *right now*. This crate adds the missing time axis:
+//!
+//! * [`SeriesRing`] — a fixed-capacity, overwrite-oldest ring of
+//!   [`FleetSample`]s. Every slot is fully preallocated at construction, and
+//!   recording fills slots **in place**, so the steady-state scrape path
+//!   performs zero heap allocations (proven by `tests/obs_alloc.rs`, in the
+//!   style of the trace and dispatch allocation tests).
+//! * [`HistoryStore`] — the shared, thread-safe face of the ring. Producers
+//!   (a background scraper thread, the fleet reconciler) record samples;
+//!   consumers materialise **windowed** views: per-window request/shed/
+//!   deadline-miss rates and *exact* windowed latency/quality percentiles
+//!   computed from histogram **bucket deltas** — subtracting the cumulative
+//!   bucket arrays at the window edges yields the precise distribution of just
+//!   the observations inside the window (see [`ServiceWindow`]).
+//! * [`SloEngine`] — declarative [`SloSpec`]s (availability, latency target,
+//!   quality-ratio floor, deadline hits) with error budgets and multi-window
+//!   burn-rate alerting: an alert fires only when the **fast and slow**
+//!   windows both burn above threshold, and clears with hysteresis. The
+//!   resulting [`SloStatus`]es are stamped into fleet snapshots.
+//! * [`Scraper`] — the background thread gluing a [`SampleSource`] to the
+//!   store at a configurable cadence, evaluating the SLO engine after every
+//!   scrape.
+//! * [`spark`] — text sparkline dashboards and a JSON time-series dump
+//!   readable by `taxi_bench::json::parse`.
+//!
+//! The per-shard and per-backend windowed series ([`ShardWindow`],
+//! [`BackendWindow`]) are the data feed for backend quarantine decisions
+//! (ROADMAP item 1): "is this backend's windowed p99/quality collapsing on
+//! this shard?" is answered here, not from lifetime aggregates.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use taxi_dispatch::ServiceMetrics;
+//! use taxi_obs::{FleetSample, HistoryStore};
+//!
+//! let metrics = ServiceMetrics::new();
+//! let store = HistoryStore::new(64, 1);
+//! let mut at = Duration::ZERO;
+//! let mut record = |metrics: &ServiceMetrics, at: Duration| {
+//!     store.record_with(|sample: &mut FleetSample| {
+//!         sample.at = at;
+//!         sample.fleet.fill_from(metrics);
+//!         sample.shards[0].live = true;
+//!         sample.shards[0].counters = sample.fleet;
+//!     });
+//! };
+//! record(&metrics, at);
+//! for _ in 0..10 {
+//!     metrics.record_submitted();
+//!     metrics.record_completed(
+//!         Duration::from_micros(5),
+//!         Duration::from_micros(100),
+//!         Duration::from_micros(120),
+//!         false,
+//!         false,
+//!     );
+//!     at += Duration::from_millis(10);
+//!     record(&metrics, at);
+//! }
+//! let mut window = taxi_obs::ServiceWindow::default();
+//! assert!(store.fleet_window_into(Duration::from_millis(50), &mut window));
+//! assert_eq!(window.completed, 5); // exactly the completions inside the window
+//! assert!(window.end_to_end.quantile(0.5) >= Duration::from_micros(120));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod sample;
+pub mod scraper;
+pub mod slo;
+pub mod spark;
+pub mod store;
+pub mod window;
+
+pub use ring::SeriesRing;
+pub use sample::{
+    BackendCounters, FleetSample, SampleSource, ServiceCounters, ShardSample, BACKENDS,
+};
+pub use scraper::Scraper;
+pub use slo::{AlertState, SloEngine, SloKind, SloSpec, SloStatus};
+pub use store::{HistoryStore, ShardWindow};
+pub use window::{BackendWindow, LatencyWindow, QualityWindow, ServiceWindow};

@@ -1,0 +1,123 @@
+//! The fixed-capacity, overwrite-oldest sample ring.
+//!
+//! [`SeriesRing`] follows the data-acquisition discipline of a flight
+//! recorder: a bounded buffer that always accepts the newest sample by
+//! overwriting the oldest, with **every slot fully preallocated at
+//! construction**. Recording fills the victim slot in place through a caller
+//! closure, so after the first lap no push ever touches the heap — the
+//! property `tests/obs_alloc.rs` proves with a counting allocator.
+
+use crate::sample::FleetSample;
+
+/// Fixed-capacity ring of [`FleetSample`]s, oldest-overwriting.
+///
+/// Single-writer by construction (the [`HistoryStore`](crate::HistoryStore)
+/// serialises producers behind a mutex); readers access slots through the
+/// same store. Indexing is by *age*: age 0 is the newest sample.
+#[derive(Debug)]
+pub struct SeriesRing {
+    slots: Vec<FleetSample>,
+    /// Total samples ever recorded; `recorded % capacity` is the next victim.
+    recorded: u64,
+}
+
+impl SeriesRing {
+    /// Creates a ring with `capacity` slots (clamped to at least 2 — a window
+    /// needs two edges), each preallocated for `shards` shard slots.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(2);
+        Self {
+            slots: (0..capacity).map(|_| FleetSample::new(shards)).collect(),
+            recorded: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Samples currently resident (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.recorded.min(self.slots.len() as u64) as usize
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorded == 0
+    }
+
+    /// Total samples ever recorded (monotone; `recorded - len` have been
+    /// overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records one sample by filling the oldest slot in place. The closure
+    /// receives the victim slot with its previous contents — fillers must
+    /// overwrite every field they use (or call [`FleetSample::reset`]), and
+    /// must not allocate if the zero-allocation guarantee matters to them.
+    pub fn push_with(&mut self, fill: impl FnOnce(&mut FleetSample)) {
+        let index = (self.recorded % self.slots.len() as u64) as usize;
+        fill(&mut self.slots[index]);
+        self.recorded += 1;
+    }
+
+    /// The sample recorded `age` pushes ago (age 0 = newest). `None` when the
+    /// ring holds fewer samples.
+    pub fn get(&self, age: usize) -> Option<&FleetSample> {
+        if age >= self.len() {
+            return None;
+        }
+        let newest = (self.recorded - 1) % self.slots.len() as u64;
+        let capacity = self.slots.len() as u64;
+        let index = (newest + capacity - age as u64) % capacity;
+        Some(&self.slots[index as usize])
+    }
+
+    /// The newest sample, if any.
+    pub fn latest(&self) -> Option<&FleetSample> {
+        self.get(0)
+    }
+
+    /// Iterates resident samples oldest → newest.
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = &FleetSample> {
+        (0..self.len()).rev().filter_map(|age| self.get(age))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stamp(ring: &mut SeriesRing, millis: u64) {
+        ring.push_with(|sample| sample.at = Duration::from_millis(millis));
+    }
+
+    #[test]
+    fn overwrites_oldest_and_indexes_by_age() {
+        let mut ring = SeriesRing::new(4, 1);
+        assert!(ring.is_empty());
+        for millis in 0..6 {
+            stamp(&mut ring, millis);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.recorded(), 6);
+        // Resident samples are 2, 3, 4, 5; age 0 is the newest.
+        assert_eq!(ring.latest().unwrap().at, Duration::from_millis(5));
+        assert_eq!(ring.get(3).unwrap().at, Duration::from_millis(2));
+        assert!(ring.get(4).is_none());
+        let order: Vec<u64> = ring
+            .iter_oldest_first()
+            .map(|s| s.at.as_millis() as u64)
+            .collect();
+        assert_eq!(order, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn capacity_clamps_to_two() {
+        let ring = SeriesRing::new(0, 1);
+        assert_eq!(ring.capacity(), 2);
+    }
+}

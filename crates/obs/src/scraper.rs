@@ -1,0 +1,117 @@
+//! The background scraper thread: samples a [`SampleSource`] into a
+//! [`HistoryStore`] at a fixed cadence and evaluates the [`SloEngine`] after
+//! every scrape.
+//!
+//! The scraper is deliberately dumb: no batching, no backpressure, no
+//! skipping. Each tick is one `record_from` (which fills a preallocated ring
+//! slot in place — zero allocation in steady state) plus one engine
+//! evaluation (also allocation-free). Owners stop it explicitly or let `Drop`
+//! join it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::sample::SampleSource;
+use crate::slo::SloEngine;
+use crate::store::HistoryStore;
+
+/// Handle to the background scraper thread.
+#[derive(Debug)]
+pub struct Scraper {
+    handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Scraper {
+    /// Spawns a scraper recording `source` into `store` every `interval`
+    /// (clamped to ≥ 1ms) and evaluating `engine` after each scrape.
+    pub fn spawn(
+        interval: Duration,
+        store: Arc<HistoryStore>,
+        engine: Arc<Mutex<SloEngine>>,
+        source: Arc<dyn SampleSource>,
+    ) -> Self {
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("taxi-obs-scraper".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    store.record_from(&*source);
+                    engine.lock().expect("slo engine poisoned").evaluate(&store);
+                    std::thread::park_timeout(interval);
+                }
+            })
+            .expect("spawn obs scraper thread");
+        Self {
+            handle: Some(handle),
+            stop,
+        }
+    }
+
+    /// Stops the thread and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scraper {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::FleetSample;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
+
+    struct TickSource {
+        epoch: Instant,
+        ticks: AtomicU64,
+    }
+
+    impl SampleSource for TickSource {
+        fn sample_into(&self, sample: &mut FleetSample) {
+            sample.reset(1);
+            sample.at = self.epoch.elapsed();
+            sample.fleet.completed = self.ticks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn scraper_records_until_stopped() {
+        let store = Arc::new(HistoryStore::new(16, 1));
+        let engine = Arc::new(Mutex::new(SloEngine::new(Vec::new())));
+        let source = Arc::new(TickSource {
+            epoch: Instant::now(),
+            ticks: AtomicU64::new(0),
+        });
+        let mut scraper = Scraper::spawn(
+            Duration::from_millis(2),
+            Arc::clone(&store),
+            Arc::clone(&engine),
+            source,
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.recorded() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        scraper.stop();
+        let recorded = store.recorded();
+        assert!(recorded >= 3, "scraper only recorded {recorded} samples");
+        assert_eq!(engine.lock().unwrap().evaluations(), recorded);
+        // Stopped means stopped.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(store.recorded(), recorded);
+    }
+}

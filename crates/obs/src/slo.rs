@@ -1,0 +1,415 @@
+//! The SLO engine: declarative objectives, error budgets, and multi-window
+//! burn-rate alerting.
+//!
+//! An [`SloSpec`] declares an objective (e.g. "99.9% of resolved requests
+//! succeed") whose complement is the **error budget** (0.1% may fail). The
+//! engine measures the windowed error rate and expresses it as a **burn
+//! rate** — the multiple of the budget being consumed: burn 1.0 spends the
+//! budget exactly at the sustainable pace, burn 10 exhausts it ten times too
+//! fast. Alerting is **multi-window**: a rule fires only when the *fast*
+//! window (reacts quickly, noisy) **and** the *slow* window (smooths noise,
+//! reacts slowly) both burn above the threshold — the standard defence
+//! against paging on a transient blip — and clears with hysteresis: both
+//! windows must sit below the clear threshold for several consecutive
+//! evaluations before the alert resets. Evaluation allocates nothing; all
+//! scratch is preallocated per rule.
+
+use std::time::Duration;
+
+use crate::store::HistoryStore;
+use crate::window::ServiceWindow;
+
+/// What an [`SloSpec`] measures over each window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloKind {
+    /// Fraction of resolved requests (completed + failed + shed + rejected)
+    /// that completed. Errors: failures, sheds, rejections.
+    Availability,
+    /// Fraction of completions that met their deadline. Errors: deadline
+    /// misses.
+    DeadlineHits,
+    /// Fraction of completions faster than the target. Errors: end-to-end
+    /// observations above the threshold (align the threshold to a
+    /// power-of-two-microsecond histogram boundary for exact accounting).
+    LatencyBelow(Duration),
+    /// Fraction of routed solves with quality ratio at or below the bound.
+    /// Errors: ratios above it (align the bound to one of
+    /// [`taxi_dispatch::QualityHistogram::BOUNDS`] for exact accounting).
+    QualityBelow(f64),
+}
+
+/// A declarative service-level objective with burn-rate alert policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Rule name (rendered in telemetry labels and dashboards).
+    pub name: String,
+    /// What is measured.
+    pub kind: SloKind,
+    /// Target good fraction in `(0, 1)`; the error budget is `1 − objective`.
+    pub objective: f64,
+    /// Fast alert window (reacts quickly).
+    pub fast: Duration,
+    /// Slow alert window (smooths noise). Must be ≥ `fast` to be useful.
+    pub slow: Duration,
+    /// Burn rate at or above which **both** windows must sit to fire.
+    pub fire_burn: f64,
+    /// Burn rate below which both windows must sit to make clearing progress.
+    pub clear_burn: f64,
+    /// Consecutive clear evaluations required before a firing alert resets.
+    pub clear_after: u32,
+    /// Minimum measured events in each window before the rule may fire (an
+    /// idle service never alerts).
+    pub min_events: u64,
+}
+
+impl SloSpec {
+    fn new(name: &str, kind: SloKind, objective: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            objective: objective.clamp(0.0, 1.0 - 1e-9),
+            fast: Duration::from_secs(2),
+            slow: Duration::from_secs(10),
+            fire_burn: 2.0,
+            clear_burn: 1.0,
+            clear_after: 3,
+            min_events: 10,
+        }
+    }
+
+    /// Availability SLO: `objective` of resolved requests complete.
+    pub fn availability(name: &str, objective: f64) -> Self {
+        Self::new(name, SloKind::Availability, objective)
+    }
+
+    /// Deadline SLO: `objective` of completions meet their deadline.
+    pub fn deadline_hits(name: &str, objective: f64) -> Self {
+        Self::new(name, SloKind::DeadlineHits, objective)
+    }
+
+    /// Latency SLO: `objective` of completions finish within `target`
+    /// end-to-end.
+    pub fn latency_below(name: &str, target: Duration, objective: f64) -> Self {
+        Self::new(name, SloKind::LatencyBelow(target), objective)
+    }
+
+    /// Quality SLO: `objective` of routed solves stay at or below
+    /// `max_ratio` (cost / shadow reference).
+    pub fn quality_below(name: &str, max_ratio: f64, objective: f64) -> Self {
+        Self::new(name, SloKind::QualityBelow(max_ratio), objective)
+    }
+
+    /// Overrides the fast/slow alert windows.
+    pub fn with_windows(mut self, fast: Duration, slow: Duration) -> Self {
+        self.fast = fast;
+        self.slow = slow.max(fast);
+        self
+    }
+
+    /// Overrides the fire/clear burn thresholds (clear clamped below fire).
+    pub fn with_burn(mut self, fire: f64, clear: f64) -> Self {
+        self.fire_burn = fire.max(0.0);
+        self.clear_burn = clear.clamp(0.0, self.fire_burn);
+        self
+    }
+
+    /// Overrides the clear hysteresis depth (min 1 evaluation).
+    pub fn with_clear_after(mut self, evaluations: u32) -> Self {
+        self.clear_after = evaluations.max(1);
+        self
+    }
+
+    /// Overrides the minimum per-window event count.
+    pub fn with_min_events(mut self, events: u64) -> Self {
+        self.min_events = events;
+        self
+    }
+
+    /// The error budget: the allowed bad fraction, `1 − objective`.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+
+    /// Bad and total event counts of `window` under this spec's kind.
+    fn measure(&self, window: &ServiceWindow) -> (u64, u64) {
+        match self.kind {
+            SloKind::Availability => {
+                let bad = window.failed + window.shed + window.rejected;
+                (bad, window.resolved())
+            }
+            SloKind::DeadlineHits => (window.deadline_misses, window.completed),
+            SloKind::LatencyBelow(target) => (
+                window.end_to_end.count_above(target),
+                window.end_to_end.count,
+            ),
+            SloKind::QualityBelow(bound) => {
+                (window.quality.count_above(bound), window.quality.count)
+            }
+        }
+    }
+}
+
+/// Whether an alert rule is currently firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Within budget (or clearing hysteresis completed).
+    Ok,
+    /// Both windows burned above the fire threshold; not yet cleared.
+    Firing,
+}
+
+/// Point-in-time status of one SLO rule — stamped into fleet snapshots and
+/// rendered by telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Rule name.
+    pub name: String,
+    /// Current alert state.
+    pub state: AlertState,
+    /// Burn rate over the fast window.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Events measured in the fast window.
+    pub fast_events: u64,
+    /// Events measured in the slow window.
+    pub slow_events: u64,
+    /// The rule's error budget (allowed bad fraction).
+    pub budget: f64,
+    /// The rule's objective.
+    pub objective: f64,
+}
+
+#[derive(Debug)]
+struct Rule {
+    spec: SloSpec,
+    clear_streak: u32,
+}
+
+/// Evaluates a set of [`SloSpec`]s against a [`HistoryStore`].
+///
+/// `evaluate` is allocation-free: windows are computed into per-engine
+/// scratch, and statuses are updated in place (names were allocated when the
+/// specs were added).
+#[derive(Debug)]
+pub struct SloEngine {
+    rules: Vec<Rule>,
+    statuses: Vec<SloStatus>,
+    evaluations: u64,
+    fast_scratch: ServiceWindow,
+    slow_scratch: ServiceWindow,
+}
+
+impl SloEngine {
+    /// Creates an engine over `specs` (empty specs ⇒ a no-op engine).
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let statuses = specs
+            .iter()
+            .map(|spec| SloStatus {
+                name: spec.name.clone(),
+                state: AlertState::Ok,
+                fast_burn: 0.0,
+                slow_burn: 0.0,
+                fast_events: 0,
+                slow_events: 0,
+                budget: spec.budget(),
+                objective: spec.objective,
+            })
+            .collect();
+        Self {
+            rules: specs
+                .into_iter()
+                .map(|spec| Rule {
+                    spec,
+                    clear_streak: 0,
+                })
+                .collect(),
+            statuses,
+            evaluations: 0,
+            fast_scratch: ServiceWindow::default(),
+            slow_scratch: ServiceWindow::default(),
+        }
+    }
+
+    /// True when no rules are configured.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of configured rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total evaluation passes performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Current statuses, one per rule in spec order.
+    pub fn statuses(&self) -> &[SloStatus] {
+        &self.statuses
+    }
+
+    /// Number of rules currently firing.
+    pub fn firing(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| s.state == AlertState::Firing)
+            .count()
+    }
+
+    /// Re-evaluates every rule against the store's current history. One call
+    /// is one alert "tick": firing needs one tick with both windows breaching,
+    /// clearing needs `clear_after` consecutive clean ticks.
+    pub fn evaluate(&mut self, store: &HistoryStore) {
+        self.evaluations += 1;
+        for (rule, status) in self.rules.iter_mut().zip(&mut self.statuses) {
+            let spec = &rule.spec;
+            let fast_ok = store.fleet_window_into(spec.fast, &mut self.fast_scratch);
+            let slow_ok = store.fleet_window_into(spec.slow, &mut self.slow_scratch);
+            let (fast_bad, fast_total) = if fast_ok {
+                spec.measure(&self.fast_scratch)
+            } else {
+                (0, 0)
+            };
+            let (slow_bad, slow_total) = if slow_ok {
+                spec.measure(&self.slow_scratch)
+            } else {
+                (0, 0)
+            };
+            let budget = spec.budget();
+            let burn = |bad: u64, total: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    (bad as f64 / total as f64) / budget
+                }
+            };
+            status.fast_burn = burn(fast_bad, fast_total);
+            status.slow_burn = burn(slow_bad, slow_total);
+            status.fast_events = fast_total;
+            status.slow_events = slow_total;
+            match status.state {
+                AlertState::Ok => {
+                    let breach = status.fast_burn >= spec.fire_burn
+                        && status.slow_burn >= spec.fire_burn
+                        && fast_total >= spec.min_events
+                        && slow_total >= spec.min_events;
+                    if breach {
+                        status.state = AlertState::Firing;
+                        rule.clear_streak = 0;
+                    }
+                }
+                AlertState::Firing => {
+                    let clean =
+                        status.fast_burn < spec.clear_burn && status.slow_burn < spec.clear_burn;
+                    if clean {
+                        rule.clear_streak += 1;
+                        if rule.clear_streak >= spec.clear_after {
+                            status.state = AlertState::Ok;
+                            rule.clear_streak = 0;
+                        }
+                    } else {
+                        rule.clear_streak = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::ShardSample;
+
+    fn record(store: &HistoryStore, millis: u64, completed: u64, misses: u64) {
+        store.record_with(|sample| {
+            sample.reset(1);
+            sample.at = Duration::from_millis(millis);
+            sample.fleet.completed = completed;
+            sample.fleet.deadline_misses = misses;
+            sample.shards[0] = ShardSample::default();
+        });
+    }
+
+    fn engine() -> SloEngine {
+        SloEngine::new(vec![SloSpec::deadline_hits("deadline", 0.99)
+            .with_windows(Duration::from_millis(100), Duration::from_millis(400))
+            .with_burn(2.0, 1.0)
+            .with_clear_after(2)
+            .with_min_events(10)])
+    }
+
+    #[test]
+    fn fires_only_when_both_windows_breach_and_clears_with_hysteresis() {
+        let store = HistoryStore::new(64, 1);
+        let mut engine = engine();
+
+        // Healthy baseline across the whole slow window.
+        for tick in 0..=8u64 {
+            record(&store, tick * 50, tick * 100, 0);
+        }
+        engine.evaluate(&store);
+        assert_eq!(engine.statuses()[0].state, AlertState::Ok);
+        assert_eq!(engine.firing(), 0);
+
+        // A miss storm confined to the fast window: fast burns, the slow
+        // window still dilutes it below the fire threshold → no alert.
+        record(&store, 450, 910, 10);
+        engine.evaluate(&store);
+        let status = &engine.statuses()[0];
+        assert!(status.fast_burn >= 2.0, "fast burn {}", status.fast_burn);
+        assert_eq!(status.state, AlertState::Ok);
+
+        // The storm persists across the slow window too → fire.
+        for tick in 10..=18u64 {
+            record(
+                &store,
+                tick * 50,
+                910 + (tick - 9) * 100,
+                10 + (tick - 9) * 60,
+            );
+        }
+        engine.evaluate(&store);
+        assert_eq!(engine.statuses()[0].state, AlertState::Firing);
+
+        // Recovery: clean traffic. One clean evaluation is not enough
+        // (hysteresis depth 2)...
+        for tick in 19..=30u64 {
+            record(&store, tick * 50, 1810 + (tick - 18) * 100, 550);
+        }
+        engine.evaluate(&store);
+        assert_eq!(engine.statuses()[0].state, AlertState::Firing);
+        // ...the second consecutive clean evaluation clears it.
+        record(&store, 1560, 3100, 550);
+        engine.evaluate(&store);
+        assert_eq!(engine.statuses()[0].state, AlertState::Ok);
+    }
+
+    #[test]
+    fn idle_windows_never_fire() {
+        let store = HistoryStore::new(8, 1);
+        let mut engine = engine();
+        for tick in 0..10u64 {
+            record(&store, tick * 50, 0, 0);
+        }
+        engine.evaluate(&store);
+        assert_eq!(engine.statuses()[0].state, AlertState::Ok);
+        assert_eq!(engine.statuses()[0].fast_events, 0);
+    }
+
+    #[test]
+    fn min_events_gates_thin_windows() {
+        let store = HistoryStore::new(8, 1);
+        let mut engine = engine();
+        // 100% miss rate but only 4 completions — below min_events.
+        record(&store, 0, 0, 0);
+        record(&store, 50, 4, 4);
+        engine.evaluate(&store);
+        let status = &engine.statuses()[0];
+        assert!(status.fast_burn > 2.0);
+        assert_eq!(status.state, AlertState::Ok);
+    }
+}

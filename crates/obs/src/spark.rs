@@ -1,0 +1,347 @@
+//! Text sparkline dashboard and JSON time-series dump.
+//!
+//! The display path is allowed to allocate (it builds strings); only the
+//! record path is allocation-free. The JSON dump is deliberately plain —
+//! cumulative series plus per-gap derived rates — and parses with
+//! `taxi_bench::json::parse`, so bench harnesses and scripts can consume
+//! fleet history without a JSON dependency.
+
+use std::fmt::Write as _;
+
+use crate::slo::{AlertState, SloStatus};
+use crate::store::HistoryStore;
+use crate::window::LatencyWindow;
+
+/// Sparkline glyphs, lowest to highest.
+const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a fixed-height sparkline, scaled min→max. An empty
+/// slice renders empty; a flat series renders at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    let mut out = String::with_capacity(values.len() * 3);
+    if values.is_empty() {
+        return out;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        let v = if v.is_finite() { v } else { 0.0 };
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
+    for &v in values {
+        let v = if v.is_finite() { v } else { 0.0 };
+        let level = (((v - lo) / range) * (LEVELS.len() - 1) as f64).round() as usize;
+        out.push(LEVELS[level.min(LEVELS.len() - 1)]);
+    }
+    out
+}
+
+/// Per-gap derived series extracted from the store for display and export.
+struct Series {
+    at_secs: Vec<f64>,
+    submitted: Vec<u64>,
+    completed: Vec<u64>,
+    failed: Vec<u64>,
+    shed: Vec<u64>,
+    deadline_misses: Vec<u64>,
+    // Derived, one entry per gap between consecutive samples.
+    throughput: Vec<f64>,
+    request_rate: Vec<f64>,
+    miss_rate: Vec<f64>,
+    shed_rate: Vec<f64>,
+    p99_us: Vec<f64>,
+    // Per shard: instantaneous queue depth and generation per sample.
+    shard_queue_depth: Vec<Vec<u64>>,
+    shard_generation: Vec<Vec<u64>>,
+}
+
+fn extract(store: &HistoryStore) -> Series {
+    store.with_ring(|ring| {
+        let len = ring.len();
+        let shard_count = ring.latest().map_or(0, |s| s.shards.len());
+        let mut series = Series {
+            at_secs: Vec::with_capacity(len),
+            submitted: Vec::with_capacity(len),
+            completed: Vec::with_capacity(len),
+            failed: Vec::with_capacity(len),
+            shed: Vec::with_capacity(len),
+            deadline_misses: Vec::with_capacity(len),
+            throughput: Vec::new(),
+            request_rate: Vec::new(),
+            miss_rate: Vec::new(),
+            shed_rate: Vec::new(),
+            p99_us: Vec::new(),
+            shard_queue_depth: vec![Vec::with_capacity(len); shard_count],
+            shard_generation: vec![Vec::with_capacity(len); shard_count],
+        };
+        let mut prev: Option<&crate::sample::FleetSample> = None;
+        for sample in ring.iter_oldest_first() {
+            series.at_secs.push(sample.at.as_secs_f64());
+            series.submitted.push(sample.fleet.submitted);
+            series.completed.push(sample.fleet.completed);
+            series.failed.push(sample.fleet.failed);
+            series.shed.push(sample.fleet.shed);
+            series.deadline_misses.push(sample.fleet.deadline_misses);
+            for (index, shard) in sample.shards.iter().enumerate().take(shard_count) {
+                series.shard_queue_depth[index].push(shard.queue_depth as u64);
+                series.shard_generation[index].push(shard.generation);
+            }
+            if let Some(older) = prev {
+                let span = sample.at.saturating_sub(older.at);
+                let secs = span.as_secs_f64().max(f64::MIN_POSITIVE);
+                let completed = sample.fleet.completed.saturating_sub(older.fleet.completed);
+                let submitted = sample.fleet.submitted.saturating_sub(older.fleet.submitted);
+                let shed = sample.fleet.shed.saturating_sub(older.fleet.shed);
+                let misses = sample
+                    .fleet
+                    .deadline_misses
+                    .saturating_sub(older.fleet.deadline_misses);
+                series.throughput.push(completed as f64 / secs);
+                series.request_rate.push(submitted as f64 / secs);
+                series.miss_rate.push(if completed == 0 {
+                    0.0
+                } else {
+                    misses as f64 / completed as f64
+                });
+                series.shed_rate.push(if submitted + shed == 0 {
+                    0.0
+                } else {
+                    shed as f64 / (submitted + shed) as f64
+                });
+                let window =
+                    LatencyWindow::between(&older.fleet.end_to_end, &sample.fleet.end_to_end);
+                series
+                    .p99_us
+                    .push(window.quantile(0.99).as_secs_f64() * 1e6);
+            }
+            prev = Some(sample);
+        }
+        series
+    })
+}
+
+fn tail(values: &[f64], width: usize) -> &[f64] {
+    &values[values.len().saturating_sub(width)..]
+}
+
+/// Renders a text dashboard: one sparkline row per derived series (most
+/// recent `width` gaps), per-shard queue-depth rows, and the alert table.
+pub fn dashboard(store: &HistoryStore, statuses: &[SloStatus], width: usize) -> String {
+    let series = extract(store);
+    let samples = series.at_secs.len();
+    let mut out = String::with_capacity(1024);
+    let span = if samples >= 2 {
+        series.at_secs[samples - 1] - series.at_secs[0]
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "fleet history: {samples} samples spanning {span:.1}s (recorded {}, capacity {})",
+        store.recorded(),
+        store.capacity(),
+    );
+    if samples < 2 {
+        out.push_str("  (not enough samples for windows yet)\n");
+        return out;
+    }
+    let rows: [(&str, &[f64], f64); 5] = [
+        ("done/s", &series.throughput, 1.0),
+        ("req/s", &series.request_rate, 1.0),
+        ("p99 µs", &series.p99_us, 1.0),
+        ("miss %", &series.miss_rate, 100.0),
+        ("shed %", &series.shed_rate, 100.0),
+    ];
+    for (label, values, scale) in rows {
+        let window = tail(values, width);
+        let last = window.last().copied().unwrap_or(0.0) * scale;
+        let _ = writeln!(out, "  {label:<7} {} last {last:.1}", sparkline(window));
+    }
+    for (index, depths) in series.shard_queue_depth.iter().enumerate() {
+        let values: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+        let window = tail(&values, width);
+        let generation = series.shard_generation[index].last().copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  s{index} q     {} depth {:.0} gen {generation}",
+            sparkline(window),
+            window.last().copied().unwrap_or(0.0),
+        );
+    }
+    if !statuses.is_empty() {
+        out.push_str("  slo:\n");
+        for status in statuses {
+            let state = match status.state {
+                AlertState::Firing => "FIRING",
+                AlertState::Ok => "ok",
+            };
+            let _ = writeln!(
+                out,
+                "    {:<16} {state:<6} burn fast {:.2} / slow {:.2} (budget {:.3}%)",
+                status.name,
+                status.fast_burn,
+                status.slow_burn,
+                status.budget * 100.0,
+            );
+        }
+    }
+    out
+}
+
+fn push_f64_array(out: &mut String, key: &str, values: &[f64]) {
+    let _ = write!(out, "\"{key}\":[");
+    for (i, v) in values.iter().enumerate() {
+        let v = if v.is_finite() { *v } else { 0.0 };
+        let _ = write!(out, "{}{v:.3}", if i == 0 { "" } else { "," });
+    }
+    out.push(']');
+}
+
+fn push_u64_array(out: &mut String, key: &str, values: &[u64]) {
+    let _ = write!(out, "\"{key}\":[");
+    for (i, v) in values.iter().enumerate() {
+        let _ = write!(out, "{}{v}", if i == 0 { "" } else { "," });
+    }
+    out.push(']');
+}
+
+/// Dumps the store as a JSON time-series object.
+///
+/// Cumulative series (`at_secs`, `completed`, …) have one entry per resident
+/// sample; derived series (`throughput_per_sec`, `e2e_p99_us`, …) have one
+/// entry per gap between consecutive samples (length − 1). The output parses
+/// with `taxi_bench::json::parse`.
+pub fn series_json(store: &HistoryStore, statuses: &[SloStatus]) -> String {
+    let series = extract(store);
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"samples\":{},\"recorded\":{},\"capacity\":{},\"series\":{{",
+        series.at_secs.len(),
+        store.recorded(),
+        store.capacity(),
+    );
+    push_f64_array(&mut out, "at_secs", &series.at_secs);
+    out.push(',');
+    push_u64_array(&mut out, "submitted", &series.submitted);
+    out.push(',');
+    push_u64_array(&mut out, "completed", &series.completed);
+    out.push(',');
+    push_u64_array(&mut out, "failed", &series.failed);
+    out.push(',');
+    push_u64_array(&mut out, "shed", &series.shed);
+    out.push(',');
+    push_u64_array(&mut out, "deadline_misses", &series.deadline_misses);
+    out.push(',');
+    push_f64_array(&mut out, "throughput_per_sec", &series.throughput);
+    out.push(',');
+    push_f64_array(&mut out, "request_rate_per_sec", &series.request_rate);
+    out.push(',');
+    push_f64_array(&mut out, "deadline_miss_rate", &series.miss_rate);
+    out.push(',');
+    push_f64_array(&mut out, "shed_rate", &series.shed_rate);
+    out.push(',');
+    push_f64_array(&mut out, "e2e_p99_us", &series.p99_us);
+    out.push_str("},\"shards\":[");
+    for index in 0..series.shard_queue_depth.len() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_u64_array(&mut out, "queue_depth", &series.shard_queue_depth[index]);
+        out.push(',');
+        push_u64_array(&mut out, "generation", &series.shard_generation[index]);
+        out.push('}');
+    }
+    out.push_str("],\"alerts\":[");
+    for (i, status) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"firing\":{},\"fast_burn\":{:.4},\"slow_burn\":{:.4},\
+             \"objective\":{:.6}}}",
+            status.name.replace('\\', "\\\\").replace('"', "\\\""),
+            status.state == AlertState::Firing,
+            status.fast_burn,
+            status.slow_burn,
+            status.objective,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::ShardSample;
+    use crate::slo::SloSpec;
+    use std::time::Duration;
+
+    #[test]
+    fn sparkline_scales_min_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0]), "▁");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+        // Flat series render at the lowest level, not NaN garbage.
+        assert_eq!(sparkline(&[3.0, 3.0, 3.0]), "▁▁▁");
+    }
+
+    fn seeded_store() -> HistoryStore {
+        let store = HistoryStore::new(16, 2);
+        for tick in 0..6u64 {
+            store.record_with(|sample| {
+                sample.reset(2);
+                sample.at = Duration::from_millis(tick * 100);
+                sample.fleet.submitted = tick * 12;
+                sample.fleet.completed = tick * 10;
+                sample.fleet.deadline_misses = tick;
+                for (index, shard) in sample.shards.iter_mut().enumerate() {
+                    *shard = ShardSample {
+                        live: true,
+                        generation: 1,
+                        in_rotation: true,
+                        queue_depth: tick as usize + index,
+                        queue_capacity: 64,
+                        ..Default::default()
+                    };
+                }
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn dashboard_renders_rows_and_alerts() {
+        let store = seeded_store();
+        let spec = SloSpec::availability("avail", 0.999);
+        let engine = crate::slo::SloEngine::new(vec![spec]);
+        let text = dashboard(&store, engine.statuses(), 32);
+        assert!(text.contains("6 samples"));
+        assert!(text.contains("done/s"));
+        assert!(text.contains("s1 q"));
+        assert!(text.contains("avail"));
+    }
+
+    #[test]
+    fn series_json_has_cumulative_and_derived_lengths() {
+        let store = seeded_store();
+        let json = series_json(&store, &[]);
+        assert!(json.contains("\"samples\":6"));
+        assert!(json.contains("\"completed\":[0,10,20,30,40,50]"));
+        // Derived series are per-gap: 5 entries.
+        let derived = json
+            .split("\"throughput_per_sec\":[")
+            .nth(1)
+            .unwrap()
+            .split(']')
+            .next()
+            .unwrap();
+        assert_eq!(derived.split(',').count(), 5);
+    }
+}

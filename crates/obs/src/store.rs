@@ -1,0 +1,265 @@
+//! [`HistoryStore`] — the shared, thread-safe history of fleet samples.
+//!
+//! A mutex around a [`SeriesRing`] plus window-selection logic. Producers (the
+//! fleet reconciler, the background [`Scraper`](crate::Scraper), synchronous
+//! `scrape_now` calls) all record through the same lock, which serialises
+//! samples and therefore guarantees **per-series monotonicity**: every counter
+//! in sample *n+1* is ≥ its value in sample *n* (fleet level; per shard,
+//! within one generation). Consumers select windows by *lookback*: the window
+//! right edge is the newest sample, the left edge the oldest sample still
+//! within the lookback horizon — so producers with different cadences feeding
+//! the same store never skew a window, they only change its resolution.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::ring::SeriesRing;
+use crate::sample::{FleetSample, SampleSource};
+use crate::window::ServiceWindow;
+
+/// Windowed view of one shard, generation-guarded.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardWindow {
+    /// Generation both window edges belong to.
+    pub generation: u64,
+    /// Whether the shard was in rotation at the newest edge.
+    pub in_rotation: bool,
+    /// Instantaneous queue depth at the newest edge.
+    pub queue_depth: usize,
+    /// Queue capacity at the newest edge.
+    pub queue_capacity: usize,
+    /// The windowed counters and distributions.
+    pub window: ServiceWindow,
+}
+
+/// Thread-safe fixed-capacity history of [`FleetSample`]s with windowed reads.
+#[derive(Debug)]
+pub struct HistoryStore {
+    ring: Mutex<SeriesRing>,
+    /// Staging slot for [`record_from`](Self::record_from): the source fills
+    /// this *outside* the ring lock, so a source that takes its own locks (the
+    /// fleet's control-state mutex) can never deadlock against a producer that
+    /// records while already holding those locks (the reconciler, which calls
+    /// [`record_with`](Self::record_with) under its state lock).
+    scratch: Mutex<FleetSample>,
+}
+
+impl HistoryStore {
+    /// Creates a store with `capacity` ring slots, each preallocated for
+    /// `shards` shards. Everything is allocated here; recording never grows
+    /// the ring.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        Self {
+            ring: Mutex::new(SeriesRing::new(capacity, shards)),
+            scratch: Mutex::new(FleetSample::new(shards)),
+        }
+    }
+
+    /// Records one sample by filling the oldest ring slot in place under the
+    /// store lock. The closure must stamp `sample.at` with a monotone offset,
+    /// and must not call back into this store (the ring lock is held).
+    pub fn record_with(&self, fill: impl FnOnce(&mut FleetSample)) {
+        let mut ring = self.ring.lock().expect("history ring poisoned");
+        ring.push_with(fill);
+    }
+
+    /// Records one sample from a [`SampleSource`]. The source runs with only
+    /// the staging lock held — never the ring lock — so it may freely take its
+    /// own locks while sampling; the staged capture is then copied into the
+    /// ring slot buffer-reusingly (zero allocation in steady state).
+    pub fn record_from(&self, source: &dyn SampleSource) {
+        let mut scratch = self.scratch.lock().expect("history scratch poisoned");
+        source.sample_into(&mut scratch);
+        self.record_with(|slot| slot.clone_from(&scratch));
+    }
+
+    /// Total samples ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.ring.lock().expect("history ring poisoned").recorded()
+    }
+
+    /// Samples currently resident.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("history ring poisoned").len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recorded() == 0
+    }
+
+    /// Ring capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().expect("history ring poisoned").capacity()
+    }
+
+    /// Copies the newest sample into `out` (reusing `out`'s buffers — zero
+    /// allocation once `out` has warmed to the shard count). False when the
+    /// store is empty.
+    pub fn latest_into(&self, out: &mut FleetSample) -> bool {
+        let ring = self.ring.lock().expect("history ring poisoned");
+        match ring.latest() {
+            Some(sample) => {
+                out.clone_from(sample);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs `read` against the ring under the store lock — the escape hatch
+    /// for whole-series consumers (dashboards, JSON dumps). Keep `read` short;
+    /// producers block while it runs.
+    pub fn with_ring<R>(&self, read: impl FnOnce(&SeriesRing) -> R) -> R {
+        let ring = self.ring.lock().expect("history ring poisoned");
+        read(&ring)
+    }
+
+    /// Materialises the fleet-level window reaching `lookback` behind the
+    /// newest sample into `out`, without allocating. The left edge is the
+    /// oldest resident sample within the horizon. False (and `out` untouched)
+    /// when fewer than two samples qualify — windows need two edges.
+    pub fn fleet_window_into(&self, lookback: Duration, out: &mut ServiceWindow) -> bool {
+        let ring = self.ring.lock().expect("history ring poisoned");
+        let Some(newest) = ring.latest() else {
+            return false;
+        };
+        let horizon = newest.at.saturating_sub(lookback);
+        let mut left = None;
+        for age in 1..ring.len() {
+            let sample = ring.get(age).expect("age < len");
+            if sample.at < horizon {
+                break;
+            }
+            left = Some(age);
+        }
+        let Some(age) = left else { return false };
+        let older = ring.get(age).expect("age < len");
+        out.set_between(&older.fleet, &newest.fleet, newest.at - older.at);
+        true
+    }
+
+    /// Materialises shard `shard`'s window reaching `lookback` behind the
+    /// newest sample into `out`, without allocating. Both edges must be live
+    /// samples of the **same generation** as the newest edge — a recycled
+    /// shard restarts its counters, so subtracting across a generation bump
+    /// would manufacture negative (saturated-to-zero) garbage; instead the
+    /// window simply shrinks to the new generation's history. False when the
+    /// newest sample has no live entry for `shard` or no older same-generation
+    /// sample exists within the horizon.
+    pub fn shard_window_into(
+        &self,
+        shard: usize,
+        lookback: Duration,
+        out: &mut ShardWindow,
+    ) -> bool {
+        let ring = self.ring.lock().expect("history ring poisoned");
+        let Some(newest) = ring.latest() else {
+            return false;
+        };
+        let Some(current) = newest.shards.get(shard) else {
+            return false;
+        };
+        if !current.live {
+            return false;
+        }
+        let horizon = newest.at.saturating_sub(lookback);
+        let mut left = None;
+        for age in 1..ring.len() {
+            let sample = ring.get(age).expect("age < len");
+            if sample.at < horizon {
+                break;
+            }
+            match sample.shards.get(shard) {
+                Some(past) if past.live && past.generation == current.generation => {
+                    left = Some(age);
+                }
+                // An older generation (or a gap with no live service) ends the
+                // usable history for this generation.
+                _ => break,
+            }
+        }
+        let Some(age) = left else { return false };
+        let older = ring.get(age).expect("age < len");
+        let older_shard = &older.shards[shard];
+        out.generation = current.generation;
+        out.in_rotation = current.in_rotation;
+        out.queue_depth = current.queue_depth;
+        out.queue_capacity = current.queue_capacity;
+        out.window.set_between(
+            &older_shard.counters,
+            &current.counters,
+            newest.at - older.at,
+        );
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{ServiceCounters, ShardSample};
+
+    fn record(store: &HistoryStore, millis: u64, completed: u64, generation: u64, live: bool) {
+        store.record_with(|sample| {
+            sample.reset(1);
+            sample.at = Duration::from_millis(millis);
+            sample.fleet.completed = completed;
+            sample.shards[0] = ShardSample {
+                live,
+                generation,
+                in_rotation: live,
+                queue_depth: 3,
+                queue_capacity: 64,
+                counters: ServiceCounters {
+                    completed,
+                    ..Default::default()
+                },
+            };
+        });
+    }
+
+    #[test]
+    fn fleet_window_selects_oldest_sample_within_lookback() {
+        let store = HistoryStore::new(8, 1);
+        let mut window = ServiceWindow::default();
+        assert!(!store.fleet_window_into(Duration::from_secs(1), &mut window));
+        for (millis, completed) in [(0, 10), (100, 20), (200, 35), (300, 50)] {
+            record(&store, millis, completed, 1, true);
+        }
+        // Lookback 150ms from t=300 admits t=200 and t=300 only.
+        assert!(store.fleet_window_into(Duration::from_millis(150), &mut window));
+        assert_eq!(window.completed, 15);
+        assert_eq!(window.span, Duration::from_millis(100));
+        // A huge lookback reaches the oldest resident sample.
+        assert!(store.fleet_window_into(Duration::from_secs(60), &mut window));
+        assert_eq!(window.completed, 40);
+    }
+
+    #[test]
+    fn shard_window_stops_at_generation_bumps() {
+        let store = HistoryStore::new(8, 1);
+        record(&store, 0, 100, 1, true);
+        record(&store, 100, 150, 1, true);
+        // Generation bump: counters restart from zero.
+        record(&store, 200, 5, 2, true);
+        let mut window = ShardWindow::default();
+        // Only one sample of generation 2 exists — no window yet.
+        assert!(!store.shard_window_into(0, Duration::from_secs(1), &mut window));
+        record(&store, 300, 20, 2, true);
+        assert!(store.shard_window_into(0, Duration::from_secs(1), &mut window));
+        assert_eq!(window.generation, 2);
+        // The window is generation-2 only: 20 − 5, never 20 − 150.
+        assert_eq!(window.window.completed, 15);
+        assert_eq!(window.window.span, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn shard_window_requires_live_newest_edge() {
+        let store = HistoryStore::new(8, 1);
+        record(&store, 0, 10, 1, true);
+        record(&store, 100, 20, 1, false);
+        let mut window = ShardWindow::default();
+        assert!(!store.shard_window_into(0, Duration::from_secs(1), &mut window));
+    }
+}

@@ -1,0 +1,269 @@
+//! Integration properties of the windowed history store.
+//!
+//! Three claims the crate's design rests on, held here end-to-end through real
+//! [`taxi_dispatch::ServiceMetrics`] captures:
+//!
+//! 1. **Bucket-delta percentiles are exact** (at bucket resolution): the
+//!    quantiles of a window computed by subtracting cumulative bucket arrays
+//!    equal the quantiles of a fresh histogram fed only the window's
+//!    observations.
+//! 2. **Racy capture stays per-series monotone**: with writer threads
+//!    hammering the metrics while samples are recorded concurrently, every
+//!    counter and every histogram bucket is non-decreasing across successive
+//!    resident samples, and windows built from any adjacent pair stay sane.
+//! 3. **Generation bumps never leak across a window**: a shard restart
+//!    (counters reset to zero) shrinks the shard window to the new
+//!    generation's history instead of manufacturing saturated garbage, and
+//!    the property survives ring wrap-around.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use taxi::SolverBackend;
+use taxi_dispatch::{LatencyHistogram, QualityHistogram, ServiceMetrics};
+use taxi_obs::{HistoryStore, ServiceWindow, ShardWindow};
+
+/// Deterministic mix so the tests need no RNG dependency.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Records one cumulative sample of `metrics` as a single-shard fleet.
+fn record_sample(store: &HistoryStore, metrics: &ServiceMetrics, at: Duration) {
+    store.record_with(|sample| {
+        sample.reset(1);
+        sample.at = at;
+        sample.fleet.fill_from(metrics);
+        sample.shards[0].live = true;
+        sample.shards[0].generation = 1;
+        sample.shards[0].in_rotation = true;
+        sample.shards[0].counters = sample.fleet;
+    });
+}
+
+#[test]
+fn windowed_percentiles_match_a_directly_fed_histogram() {
+    let metrics = ServiceMetrics::new();
+    let store = HistoryStore::new(16, 1);
+    let mut state = 0x9E3779B97F4A7C15u64;
+
+    // Phase A: history that must NOT leak into the window. Latencies capped
+    // well below phase B's ceiling so the lifetime maximum lands in phase B
+    // (the window max hint is the newer edge's lifetime max).
+    for _ in 0..300 {
+        let micros = lcg(&mut state) % 1_500 + 1;
+        metrics.record_submitted();
+        metrics.record_completed(
+            Duration::from_micros(micros / 10),
+            Duration::from_micros(micros),
+            Duration::from_micros(micros + micros / 10),
+            false,
+            false,
+        );
+        metrics.record_routed(
+            SolverBackend::ALL[0],
+            false,
+            Some(1.0 + (lcg(&mut state) % 400) as f64 * 1e-3),
+            Duration::from_micros(micros),
+        );
+    }
+    record_sample(&store, &metrics, Duration::from_millis(100));
+
+    // Phase B: every observation goes to the cumulative metrics AND to fresh
+    // direct-fed histograms — the window must equal the direct feed.
+    let direct_latency = LatencyHistogram::new();
+    let direct_quality = QualityHistogram::new();
+    for index in 0..500 {
+        let micros = if index == 0 {
+            30_000 // force the lifetime maximum into the window
+        } else {
+            lcg(&mut state) % 20_000 + 1
+        };
+        let end_to_end = Duration::from_micros(micros);
+        metrics.record_submitted();
+        metrics.record_completed(
+            Duration::from_micros(micros / 10),
+            Duration::from_micros(micros * 9 / 10),
+            end_to_end,
+            false,
+            false,
+        );
+        direct_latency.record(end_to_end);
+        let ratio = if index == 1 {
+            3.5 // force the quality maximum into the window too
+        } else {
+            1.0 + (lcg(&mut state) % 2_000) as f64 * 1e-3
+        };
+        metrics.record_routed(
+            SolverBackend::ALL[0],
+            false,
+            Some(ratio),
+            Duration::from_micros(micros * 9 / 10),
+        );
+        direct_quality.record(ratio);
+    }
+    record_sample(&store, &metrics, Duration::from_millis(200));
+
+    // Lookback 100ms from t=200 selects exactly the phase-A/phase-B pair.
+    let mut window = ServiceWindow::default();
+    assert!(store.fleet_window_into(Duration::from_millis(100), &mut window));
+    assert_eq!(window.completed, 500);
+    assert_eq!(window.end_to_end.count, 500);
+    assert_eq!(window.quality.count, 500);
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            window.end_to_end.quantile(q),
+            direct_latency.quantile(q),
+            "latency quantile q={q}"
+        );
+        assert!(
+            (window.quality.quantile(q) - direct_quality.quantile(q)).abs() < 1e-12,
+            "quality quantile q={q}"
+        );
+    }
+    assert_eq!(window.end_to_end.mean(), direct_latency.mean());
+    assert!((window.quality.mean() - direct_quality.mean()).abs() < 1e-9);
+    // The per-backend lane saw the same routed stream.
+    assert_eq!(window.per_backend[0].routed, 500);
+    assert_eq!(
+        window.per_backend[0].quality.quantile(0.95),
+        window.quality.quantile(0.95)
+    );
+}
+
+#[test]
+fn racy_capture_stays_per_series_monotone() {
+    let metrics = Arc::new(ServiceMetrics::new());
+    let store = HistoryStore::new(128, 1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4u64)
+        .map(|worker| {
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut state = 0x5851F42D4C957F2D ^ worker;
+                while !stop.load(Ordering::Relaxed) {
+                    let micros = lcg(&mut state) % 5_000 + 1;
+                    metrics.record_submitted();
+                    metrics.record_completed(
+                        Duration::from_micros(micros / 8),
+                        Duration::from_micros(micros),
+                        Duration::from_micros(micros + micros / 8),
+                        micros % 7 == 0,
+                        micros % 11 == 0,
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // Sample concurrently with the writers — captures are racy by design.
+    for tick in 0..200u64 {
+        record_sample(&store, &metrics, Duration::from_millis(tick));
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+    record_sample(&store, &metrics, Duration::from_millis(200));
+
+    assert_eq!(store.recorded(), 201);
+    assert_eq!(store.len(), 128);
+    store.with_ring(|ring| {
+        for age in 1..ring.len() {
+            let newer = ring.get(age - 1).expect("age-1 < len");
+            let older = ring.get(age).expect("age < len");
+            assert!(newer.at > older.at, "timestamps monotone");
+            // Each atomic increments independently, so every series must be
+            // monotone field-wise even though one capture can tear between
+            // fields.
+            assert!(newer.fleet.submitted >= older.fleet.submitted);
+            assert!(newer.fleet.completed >= older.fleet.completed);
+            assert!(newer.fleet.degraded >= older.fleet.degraded);
+            assert!(newer.fleet.deadline_misses >= older.fleet.deadline_misses);
+            assert!(newer.fleet.end_to_end.count >= older.fleet.end_to_end.count);
+            assert!(newer.fleet.end_to_end.sum_nanos >= older.fleet.end_to_end.sum_nanos);
+            for bucket in 0..LatencyHistogram::BUCKETS {
+                assert!(
+                    newer.fleet.end_to_end.counts[bucket] >= older.fleet.end_to_end.counts[bucket],
+                    "bucket {bucket} decreased"
+                );
+            }
+            // Any adjacent pair yields a sane window: quantiles are ordered
+            // and bounded by the max hint, rates are finite fractions.
+            let window = ServiceWindow::between(&older.fleet, &newer.fleet, newer.at - older.at);
+            let p50 = window.end_to_end.quantile(0.5);
+            let p99 = window.end_to_end.quantile(0.99);
+            assert!(p50 <= p99);
+            assert!(p99 <= Duration::from_nanos(window.end_to_end.max_hint_nanos));
+            assert!((0.0..=1.0).contains(&window.deadline_miss_rate()));
+            assert!((0.0..=1.0).contains(&window.shed_rate()));
+        }
+    });
+}
+
+#[test]
+fn generation_bumps_never_leak_across_a_window_even_after_wrap() {
+    let store = HistoryStore::new(4, 1);
+    let record = |millis: u64, completed: u64, generation: u64| {
+        store.record_with(|sample| {
+            sample.reset(1);
+            sample.at = Duration::from_millis(millis);
+            // The fleet aggregate folds in retired generations, so it keeps
+            // growing; only the shard counters reset on restart.
+            sample.fleet.completed = 1_000 + millis;
+            sample.shards[0].live = true;
+            sample.shards[0].generation = generation;
+            sample.shards[0].in_rotation = true;
+            sample.shards[0].counters.completed = completed;
+        });
+    };
+
+    // Generation 1 fills the ring and wraps it.
+    for (tick, completed) in [
+        (0u64, 100u64),
+        (50, 220),
+        (100, 380),
+        (150, 500),
+        (200, 640),
+    ] {
+        record(tick, completed, 1);
+    }
+    assert_eq!(store.recorded(), 5);
+    assert_eq!(store.len(), 4);
+    let mut shard = ShardWindow::default();
+    assert!(store.shard_window_into(0, Duration::from_secs(60), &mut shard));
+    assert_eq!(shard.generation, 1);
+    assert_eq!(shard.window.completed, 640 - 220); // oldest resident edge
+
+    // Restart: generation 2 begins from near zero. One sample of the new
+    // generation is edge-less — no window, rather than a cross-generation one.
+    record(250, 7, 2);
+    assert!(!store.shard_window_into(0, Duration::from_secs(60), &mut shard));
+
+    // Two samples in: the window is generation-2 only (25 − 7, never 25 − 640).
+    record(300, 25, 2);
+    assert!(store.shard_window_into(0, Duration::from_secs(60), &mut shard));
+    assert_eq!(shard.generation, 2);
+    assert_eq!(shard.window.completed, 18);
+    assert_eq!(shard.window.span, Duration::from_millis(50));
+
+    // The fleet-level window is unaffected by the shard restart: its series
+    // kept growing, and a huge lookback reaches the oldest resident sample.
+    let mut fleet = ServiceWindow::default();
+    assert!(store.fleet_window_into(Duration::from_secs(60), &mut fleet));
+    assert_eq!(fleet.completed, (1_000 + 300) - (1_000 + 150));
+
+    // Keep recording generation 2 until generation 1 has fully left the ring:
+    // the window now spans all resident generation-2 history.
+    record(350, 60, 2);
+    record(400, 90, 2);
+    assert!(store.shard_window_into(0, Duration::from_secs(60), &mut shard));
+    assert_eq!(shard.window.completed, 90 - 7);
+    assert_eq!(shard.window.span, Duration::from_millis(150));
+}

@@ -314,6 +314,7 @@ fn main() {
                 .uint("cache_hits", burst.cache_hits)
                 .num("coalescing_factor", coalescing_factor, 2),
         );
-    std::fs::write("BENCH_cache.json", artifact.render()).expect("write BENCH_cache.json");
-    println!("wrote BENCH_cache.json");
+    let path = taxi_bench::artifact_path("BENCH_cache.json");
+    std::fs::write(&path, artifact.render()).expect("write BENCH_cache.json");
+    println!("wrote {}", path.display());
 }

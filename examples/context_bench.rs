@@ -120,6 +120,7 @@ fn main() {
         speedup,
         alloc_ratio,
     );
-    std::fs::write("BENCH_context.json", json).expect("write BENCH_context.json");
-    println!("wrote BENCH_context.json");
+    let path = taxi_bench::artifact_path("BENCH_context.json");
+    std::fs::write(&path, json).expect("write BENCH_context.json");
+    println!("wrote {}", path.display());
 }

@@ -305,6 +305,7 @@ fn main() {
                     JsonArray::from_objects(open_arms.iter().map(open_arm)),
                 ),
         );
-    std::fs::write("BENCH_dispatch.json", artifact.render()).expect("write BENCH_dispatch.json");
-    println!("wrote BENCH_dispatch.json");
+    let path = taxi_bench::artifact_path("BENCH_dispatch.json");
+    std::fs::write(&path, artifact.render()).expect("write BENCH_dispatch.json");
+    println!("wrote {}", path.display());
 }

@@ -332,6 +332,7 @@ fn main() {
                     drain.snapshot.shards[0].generation,
                 ),
         );
-    std::fs::write("BENCH_fleet.json", artifact.render()).expect("write BENCH_fleet.json");
-    println!("wrote BENCH_fleet.json");
+    let path = taxi_bench::artifact_path("BENCH_fleet.json");
+    std::fs::write(&path, artifact.render()).expect("write BENCH_fleet.json");
+    println!("wrote {}", path.display());
 }

@@ -425,8 +425,9 @@ fn main() {
                 .bool("routed_solves_match_direct_invocation", true)
                 .uint("checked_per_arm", scale.identity_checks as u64),
         );
-    std::fs::write("BENCH_router.json", artifact.render()).expect("write BENCH_router.json");
-    println!("wrote BENCH_router.json");
+    let path = taxi_bench::artifact_path("BENCH_router.json");
+    std::fs::write(&path, artifact.render()).expect("write BENCH_router.json");
+    println!("wrote {}", path.display());
     // Asserted after the artifact lands so a failing claim still leaves the
     // evidence on disk (and as a CI artifact).
     for arm in &fixed {

@@ -533,6 +533,7 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_simd.json", json).expect("write BENCH_simd.json");
-    println!("\nwrote BENCH_simd.json");
+    let path = taxi_bench::artifact_path("BENCH_simd.json");
+    std::fs::write(&path, json).expect("write BENCH_simd.json");
+    println!("\nwrote {}", path.display());
 }

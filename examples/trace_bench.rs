@@ -264,12 +264,16 @@ fn main() {
     // Exports: Chrome trace, folded stacks, and the unified telemetry page.
     let (show_tracer, telemetry_page) = export_artifacts(&scale);
     let chrome = export::chrome_trace(&show_tracer);
-    std::fs::write("TRACE_chrome.json", &chrome).expect("write TRACE_chrome.json");
+    let chrome_path = taxi_bench::artifact_path("TRACE_chrome.json");
+    std::fs::write(&chrome_path, &chrome).expect("write TRACE_chrome.json");
     let folded = export::folded(&show_tracer);
-    std::fs::write("TRACE_folded.txt", &folded).expect("write TRACE_folded.txt");
+    let folded_path = taxi_bench::artifact_path("TRACE_folded.txt");
+    std::fs::write(&folded_path, &folded).expect("write TRACE_folded.txt");
     println!(
-        "wrote TRACE_chrome.json ({} bytes) and TRACE_folded.txt ({} stacks)",
+        "wrote {} ({} bytes) and {} ({} stacks)",
+        chrome_path.display(),
         chrome.len(),
+        folded_path.display(),
         folded.lines().count(),
     );
     println!("--- telemetry page ---");
@@ -319,8 +323,8 @@ fn main() {
         .object(
             "artifacts",
             JsonObject::new()
-                .str("chrome_trace", "TRACE_chrome.json")
-                .str("folded_stacks", "TRACE_folded.txt")
+                .str("chrome_trace", &chrome_path.display().to_string())
+                .str("folded_stacks", &folded_path.display().to_string())
                 .uint("chrome_bytes", chrome.len() as u64)
                 .uint("folded_stacks_count", folded.lines().count() as u64)
                 .uint(
@@ -328,6 +332,7 @@ fn main() {
                     telemetry_page.lines().count() as u64,
                 ),
         );
-    std::fs::write("BENCH_trace.json", artifact.render()).expect("write BENCH_trace.json");
-    println!("wrote BENCH_trace.json");
+    let path = taxi_bench::artifact_path("BENCH_trace.json");
+    std::fs::write(&path, artifact.render()).expect("write BENCH_trace.json");
+    println!("wrote {}", path.display());
 }
