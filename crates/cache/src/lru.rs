@@ -480,6 +480,34 @@ impl<K: Hash + Eq + Clone, V: Clone + Weighted> ShardedLru<K, V> {
         }
     }
 
+    /// Visits every live entry, **oldest-first** within each shard (shard order is
+    /// the internal hash layout and carries no meaning). Entries past their TTL
+    /// are skipped. Recency is not refreshed and no counter moves; each shard's
+    /// lock is held for the duration of that shard's walk, so keep `f` cheap.
+    ///
+    /// Oldest-first order is what a snapshotter wants: re-inserting entries in
+    /// visit order reproduces the same relative recency ranking, so a restored
+    /// cache evicts in the same order the original would have.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.shards {
+            let shard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut index = shard.tail;
+            while index != NIL {
+                let slot = shard.slot(index);
+                let live = self
+                    .policy
+                    .ttl
+                    .map_or(true, |ttl| slot.inserted_at.elapsed() <= ttl);
+                if live {
+                    f(&slot.key, &slot.value);
+                }
+                index = slot.prev;
+            }
+        }
+    }
+
     /// Current statistics (counters plus occupancy).
     pub fn stats(&self) -> CacheSnapshot {
         CacheSnapshot {
@@ -654,6 +682,30 @@ mod tests {
         assert_eq!(CachePolicy::new().with_shards(0).shards, 1);
         assert_eq!(CachePolicy::new().with_shards(3).shards, 4);
         assert_eq!(CachePolicy::new().with_shards(16).shards, 16);
+    }
+
+    #[test]
+    fn for_each_walks_oldest_first_and_skips_expired() {
+        let cache = single_shard(8);
+        for key in 0..4u64 {
+            cache.insert(key, blob(4, key as u8));
+        }
+        // Touch 0: recency becomes 1 (oldest), 2, 3, 0 (newest).
+        assert!(cache.get(&0).is_some());
+        let mut seen = Vec::new();
+        cache.for_each(|&k, _| seen.push(k));
+        assert_eq!(seen, vec![1, 2, 3, 0]);
+
+        let expiring: ShardedLru<u64, Blob> = ShardedLru::new(
+            CachePolicy::new()
+                .with_shards(1)
+                .with_ttl(Some(Duration::from_millis(10))),
+        );
+        expiring.insert(1, blob(4, 1));
+        std::thread::sleep(Duration::from_millis(30));
+        let mut count = 0;
+        expiring.for_each(|_, _| count += 1);
+        assert_eq!(count, 0, "expired entries are not visited");
     }
 
     #[test]

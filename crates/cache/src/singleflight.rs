@@ -17,7 +17,9 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What a follower observes when its flight ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +81,27 @@ impl<V: Clone> FlightState<V> {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
+
+    fn wait_until(&self, deadline: Instant) -> Option<FlightOutcome<V>> {
+        let mut guard = self
+            .outcome
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (recovered, _timed_out) = self
+                .done
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = recovered;
+        }
+    }
 }
 
 /// A follower's handle on an in-progress flight.
@@ -91,6 +114,19 @@ impl<V: Clone> FlightTicket<V> {
     /// Blocks until the leader completes or abandons the flight.
     pub fn wait(self) -> FlightOutcome<V> {
         self.state.wait()
+    }
+
+    /// Blocks until the flight ends or `timeout` elapses; `None` is a timeout.
+    ///
+    /// A timed-out waiter has **not** abandoned the flight — only the leader's
+    /// fate decides that. A leader that completes after its waiters gave up still
+    /// counts as a completed flight (the value lands in the cache for the
+    /// waiters' retries); the abandoned counter moves only when the leader drops
+    /// its token uncompleted. Timed-out callers typically re-probe the cache and
+    /// re-[`join`](Singleflight::join), becoming a follower of the still-running
+    /// flight or the leader of a fresh one.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<FlightOutcome<V>> {
+        self.state.wait_until(Instant::now() + timeout)
     }
 
     /// Returns the outcome if the flight has already ended.
@@ -113,10 +149,13 @@ pub struct LeaderToken<'a, K: Hash + Eq + Clone, V: Clone> {
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> LeaderToken<'_, K, V> {
-    /// Publishes `value` to every follower and retires the flight.
+    /// Publishes `value` to every follower and retires the flight. Counts as a
+    /// **completed** flight even if every follower already timed out of its wait
+    /// — completion is the leader's fate, not the audience's.
     pub fn complete(mut self, value: V) {
         self.completed = true;
         self.flight.retire(&self.key);
+        self.flight.completed.fetch_add(1, Ordering::Relaxed);
         self.state.publish(FlightOutcome::Complete(value));
     }
 }
@@ -127,6 +166,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Drop for LeaderToken<'_, K, V> {
             // Leader failed (error return or panic unwind): retire the flight first
             // so retrying followers can elect a new leader, then wake them.
             self.flight.retire(&self.key);
+            self.flight.abandoned.fetch_add(1, Ordering::Relaxed);
             self.state.publish(FlightOutcome::Abandoned);
         }
     }
@@ -165,6 +205,11 @@ pub enum Join<'a, K: Hash + Eq + Clone, V: Clone> {
 #[derive(Debug)]
 pub struct Singleflight<K, V> {
     flights: Mutex<HashMap<K, Arc<FlightState<V>>>>,
+    /// Flights whose leader called [`LeaderToken::complete`].
+    completed: AtomicU64,
+    /// Flights whose leader dropped its token uncompleted. Exactly one of these
+    /// two counters moves per flight, exactly once.
+    abandoned: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Singleflight<K, V> {
@@ -172,6 +217,8 @@ impl<K: Hash + Eq + Clone, V: Clone> Singleflight<K, V> {
     pub fn new() -> Self {
         Self {
             flights: Mutex::new(HashMap::new()),
+            completed: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
         }
     }
 
@@ -195,6 +242,18 @@ impl<K: Hash + Eq + Clone, V: Clone> Singleflight<K, V> {
             state,
             completed: false,
         })
+    }
+
+    /// Flights that ended with [`LeaderToken::complete`].
+    pub fn completed_flights(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Flights whose leader dropped its token without completing (error returns
+    /// and panic unwinds). Waiter timeouts do **not** move this counter — see
+    /// [`FlightTicket::wait_timeout`].
+    pub fn abandoned_flights(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
     }
 
     /// Number of in-progress flights.
@@ -317,6 +376,97 @@ mod tests {
         a.complete(1);
         b.complete(2);
         assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn late_completion_after_waiter_timeout_counts_completed_not_abandoned() {
+        // The path the counters must pin down: the leader is slow, every waiter
+        // times out and walks away, and only then does the leader complete. The
+        // flight *completed* — the waiters' impatience is not the leader's
+        // abandonment — so completed=1, abandoned=0, and the published value is
+        // there for anyone still holding a ticket.
+        let flight: Singleflight<u64, u64> = Singleflight::new();
+        let Join::Leader(token) = flight.join(9) else {
+            panic!("first join leads");
+        };
+        let Join::Follower(impatient) = flight.join(9) else {
+            panic!("second join follows");
+        };
+        let Join::Follower(patient) = flight.join(9) else {
+            panic!("third join follows");
+        };
+        assert_eq!(
+            impatient.wait_timeout(Duration::from_millis(10)),
+            None,
+            "waiter times out while the leader is still working"
+        );
+        assert_eq!(flight.completed_flights(), 0);
+        assert_eq!(flight.abandoned_flights(), 0);
+        // A timed-out caller that re-joins while the flight is still running
+        // becomes a follower again — the flight key is not freed by a timeout.
+        assert!(matches!(flight.join(9), Join::Follower(_)));
+        token.complete(99);
+        assert_eq!(flight.completed_flights(), 1);
+        assert_eq!(
+            flight.abandoned_flights(),
+            0,
+            "a late completion must never count as abandoned"
+        );
+        assert_eq!(patient.wait(), FlightOutcome::Complete(99));
+        // After completion the key is free: a retry is promoted to leader.
+        assert!(matches!(flight.join(9), Join::Leader(_)));
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_outcome_when_it_arrives_in_time() {
+        let flight: Arc<Singleflight<u64, u64>> = Arc::new(Singleflight::new());
+        let Join::Leader(token) = flight.join(3) else {
+            panic!("leads");
+        };
+        let Join::Follower(ticket) = flight.join(3) else {
+            panic!("follows");
+        };
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                token.complete(33);
+            });
+            assert_eq!(
+                ticket.wait_timeout(Duration::from_secs(5)),
+                Some(FlightOutcome::Complete(33))
+            );
+        });
+    }
+
+    #[test]
+    fn counters_attribute_each_flight_exactly_once() {
+        let flight: Singleflight<u64, u64> = Singleflight::new();
+        // Flight 1: abandoned (leader drops uncompleted).
+        let Join::Leader(token) = flight.join(1) else {
+            panic!("leads");
+        };
+        drop(token);
+        assert_eq!(flight.completed_flights(), 0);
+        assert_eq!(flight.abandoned_flights(), 1);
+        // Retry after abandonment elects a new leader; its completion counts on
+        // the completed side, leaving the abandoned count untouched.
+        let Join::Leader(token) = flight.join(1) else {
+            panic!("abandonment freed the key for a new leader");
+        };
+        token.complete(11);
+        assert_eq!(flight.completed_flights(), 1);
+        assert_eq!(flight.abandoned_flights(), 1);
+        // Panic unwinds count as abandonment exactly once too.
+        let Join::Leader(token) = flight.join(2) else {
+            panic!("leads");
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _token = token;
+            panic!("leader died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(flight.abandoned_flights(), 2);
+        assert_eq!(flight.completed_flights(), 1);
     }
 
     #[test]

@@ -32,10 +32,11 @@ use std::sync::Arc;
 pub use taxi_cache::CachePolicy;
 
 use taxi_cache::{ShardedLru, Singleflight, Weighted};
+use taxi_snap::{RecordReader, RecordWriter, SnapError};
 use taxi_tsplib::fingerprint::{canonical_fingerprint_into, exact_fingerprint};
 use taxi_tsplib::{Fingerprint, FingerprintScratch, Tour, TspInstance};
 
-use crate::TaxiSolution;
+use crate::{EnergyBreakdown, LatencyBreakdown, TaxiSolution};
 
 std::thread_local! {
     /// Per-thread fingerprint scratch: lets any thread (dispatch admission, workers,
@@ -335,6 +336,143 @@ impl SolutionCache {
         self.entries.clear();
     }
 
+    /// Serialises every live entry into `writer` (the payload of a
+    /// `taxi-snap` snapshot section). Entries are written oldest-first per
+    /// shard, so a restore re-inserts them in the same relative recency order.
+    ///
+    /// What is persisted per entry is the cache's *semantic* answer — the key,
+    /// the exact fingerprint, the canonical permutation and tour, the
+    /// bit-exact tour length, and the summary solve statistics (levels,
+    /// sub-problem count, latency/energy breakdowns). Per-stage reports and
+    /// the raw architecture-simulator report are diagnostics of the original
+    /// solve process, not of the answer; they restore as defaults.
+    pub fn snapshot_into(&self, writer: &mut RecordWriter) {
+        let mut staged: Vec<(u128, Arc<CachedEntry>)> = Vec::new();
+        self.entries
+            .for_each(|&key, entry| staged.push((key, Arc::clone(entry))));
+        writer.write_u64(staged.len() as u64);
+        for (key, entry) in staged {
+            let solution = &entry.solution;
+            writer.write_u128(key);
+            writer.write_u128(entry.exact.as_u128());
+            writer.write_u32(entry.perm.len() as u32);
+            for &p in &entry.perm {
+                writer.write_u32(p);
+            }
+            for &c in &entry.canonical_tour {
+                writer.write_u32(c);
+            }
+            writer.write_f64_bits(solution.length);
+            writer.write_u64(solution.levels as u64);
+            writer.write_u64(solution.subproblems as u64);
+            writer.write_f64_bits(solution.latency.clustering_seconds);
+            writer.write_f64_bits(solution.latency.fixing_seconds);
+            writer.write_f64_bits(solution.latency.ising_seconds);
+            writer.write_f64_bits(solution.latency.transfer_seconds);
+            writer.write_f64_bits(solution.latency.mapping_seconds);
+            writer.write_f64_bits(solution.energy.ising_joules);
+            writer.write_f64_bits(solution.energy.transfer_joules);
+            writer.write_f64_bits(solution.energy.mapping_joules);
+            writer.write_f64_bits(solution.software_solve_seconds);
+        }
+    }
+
+    /// Restores entries serialised by [`snapshot_into`](Self::snapshot_into),
+    /// returning how many were inserted.
+    ///
+    /// The restore is **validate-fully-then-apply**: every record is decoded and
+    /// semantically checked (stored permutations must actually be permutations,
+    /// the cost must be finite, the payload must end exactly where it claims)
+    /// before a single entry is inserted. Any failure returns the typed error
+    /// with the cache untouched — the consumer cold-starts rather than serving
+    /// from a suspect snapshot. Keys are pre-mixed with the configuration token
+    /// they were recorded under, so entries restored into a service running a
+    /// *different* configuration are unreachable dead weight, never wrong
+    /// answers (they age out via LRU).
+    pub fn restore_from(&self, reader: &mut RecordReader<'_>) -> Result<usize, SnapError> {
+        let count = reader.read_u64()?;
+        let mut staged: Vec<(u128, CachedEntry)> =
+            Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(4096));
+        for _ in 0..count {
+            let key = reader.read_u128()?;
+            let exact = Fingerprint::from_u128(reader.read_u128()?);
+            let n = reader.read_u32()? as usize;
+            let mut perm = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                perm.push(reader.read_u32()?);
+            }
+            let mut canonical_tour = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                canonical_tour.push(reader.read_u32()?);
+            }
+            if !is_permutation(&perm) || !is_permutation(&canonical_tour) {
+                return Err(SnapError::Corrupt {
+                    context: "cache entry permutation",
+                });
+            }
+            let length = reader.read_f64_bits()?;
+            if !length.is_finite() {
+                return Err(SnapError::Corrupt {
+                    context: "cache entry tour length not finite",
+                });
+            }
+            let levels = reader.read_u64()? as usize;
+            let subproblems = reader.read_u64()? as usize;
+            let latency = LatencyBreakdown {
+                clustering_seconds: reader.read_f64_bits()?,
+                fixing_seconds: reader.read_f64_bits()?,
+                ising_seconds: reader.read_f64_bits()?,
+                transfer_seconds: reader.read_f64_bits()?,
+                mapping_seconds: reader.read_f64_bits()?,
+            };
+            let energy = EnergyBreakdown {
+                ising_joules: reader.read_f64_bits()?,
+                transfer_joules: reader.read_f64_bits()?,
+                mapping_joules: reader.read_f64_bits()?,
+            };
+            let software_solve_seconds = reader.read_f64_bits()?;
+            // Rebuild the tour in the seeding request's indexing:
+            // canonical_tour[i] = inverse_perm[tour[i]]  ⇒  tour[i] = perm[canonical_tour[i]].
+            let order: Vec<usize> = canonical_tour
+                .iter()
+                .map(|&c| perm[c as usize] as usize)
+                .collect();
+            let tour = Tour::new(order).map_err(|_| SnapError::Corrupt {
+                context: "cache entry tour",
+            })?;
+            let solution = TaxiSolution {
+                tour,
+                length,
+                levels,
+                subproblems,
+                latency,
+                energy,
+                arch_report: Default::default(),
+                software_solve_seconds,
+                stage_reports: Vec::new(),
+            };
+            staged.push((
+                key,
+                CachedEntry {
+                    solution: Arc::new(solution),
+                    exact,
+                    perm,
+                    canonical_tour,
+                },
+            ));
+        }
+        if !reader.is_empty() {
+            return Err(SnapError::Corrupt {
+                context: "trailing bytes after cache entries",
+            });
+        }
+        let restored = staged.len();
+        for (key, entry) in staged {
+            self.entries.insert(key, Arc::new(entry));
+        }
+        Ok(restored)
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> SolutionCacheStats {
         use std::sync::atomic::Ordering;
@@ -351,6 +489,20 @@ impl SolutionCache {
             bytes: inner.bytes,
         }
     }
+}
+
+/// Whether `values` is a permutation of `0..values.len()` (every index exactly
+/// once) — the semantic validity check a restored entry must pass before it is
+/// allowed anywhere near a serving path.
+fn is_permutation(values: &[u32]) -> bool {
+    let mut seen = vec![false; values.len()];
+    for &value in values {
+        match seen.get_mut(value as usize) {
+            Some(slot) if !*slot => *slot = true,
+            _ => return false,
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -465,6 +617,128 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
         assert!(matches!(cache.lookup(0, &instance), CacheLookup::Miss(_)));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_serves_bit_identical_hits() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(17));
+        let instances: Vec<TspInstance> = (0..4)
+            .map(|seed| clustered_instance("snap", 40 + seed * 7, 4, seed as u64))
+            .collect();
+        for instance in &instances {
+            let CacheLookup::Miss(key) = cache.lookup(3, instance) else {
+                panic!("cold cache must miss");
+            };
+            let solution = Arc::new(solver.solve(instance).unwrap());
+            cache.insert(key, instance, solution);
+        }
+
+        let mut writer = RecordWriter::new();
+        cache.snapshot_into(&mut writer);
+        let bytes = writer.into_bytes();
+
+        let restored = SolutionCache::with_defaults();
+        let count = restored
+            .restore_from(&mut RecordReader::new(&bytes))
+            .unwrap();
+        assert_eq!(count, instances.len());
+        assert_eq!(restored.stats().entries, instances.len());
+
+        for instance in &instances {
+            let CacheLookup::Hit(original) = cache.lookup(3, instance) else {
+                panic!("source cache must hit");
+            };
+            let CacheLookup::Hit(warm) = restored.lookup(3, instance) else {
+                panic!("restored cache must hit");
+            };
+            assert!(!warm.remapped, "exact fingerprints survive the round trip");
+            assert_eq!(warm.solution.tour, original.solution.tour);
+            assert_eq!(
+                warm.solution.length.to_bits(),
+                original.solution.length.to_bits(),
+                "restored hit must be bit-identical"
+            );
+            assert_eq!(warm.solution.levels, original.solution.levels);
+            assert_eq!(warm.solution.subproblems, original.solution.subproblems);
+            // Permuted resubmissions remap bit-identically through the restored
+            // canonical tour too.
+            let shuffled = permuted(instance, 7);
+            let CacheLookup::Hit(remapped) = restored.lookup(3, &shuffled) else {
+                panic!("permuted resubmission must hit the restored cache");
+            };
+            assert!(remapped.remapped);
+            assert_eq!(
+                remapped.solution.tour.length(&shuffled).to_bits(),
+                original.solution.length.to_bits()
+            );
+        }
+        // A different configuration token still misses: restored keys stay scoped.
+        assert!(matches!(
+            restored.lookup(4, &instances[0]),
+            CacheLookup::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_semantic_corruption_without_partial_state() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(8));
+        for seed in 0..3u64 {
+            let instance = clustered_instance("bad", 30, 3, seed);
+            let CacheLookup::Miss(key) = cache.lookup(0, &instance) else {
+                panic!("miss");
+            };
+            let solution = Arc::new(solver.solve(&instance).unwrap());
+            cache.insert(key, &instance, solution);
+        }
+        let mut writer = RecordWriter::new();
+        cache.snapshot_into(&mut writer);
+        let good = writer.into_bytes();
+
+        // A duplicated permutation index: structurally decodable, semantically
+        // impossible. Offset 44 is the first perm word of the first entry
+        // (count u64 + key u128 + exact u128 + n u32).
+        let mut evil = good.clone();
+        let n = u32::from_le_bytes(evil[40..44].try_into().unwrap()) as usize;
+        assert!(n > 1);
+        evil.copy_within(48..52, 44); // perm[0] = perm[1]
+        let target = SolutionCache::with_defaults();
+        let err = target
+            .restore_from(&mut RecordReader::new(&evil))
+            .unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt { .. }), "{err:?}");
+        assert_eq!(
+            target.stats().entries,
+            0,
+            "a rejected restore must apply nothing"
+        );
+
+        // Truncation mid-stream: typed error, still nothing applied.
+        let err = target
+            .restore_from(&mut RecordReader::new(&good[..good.len() - 3]))
+            .unwrap_err();
+        assert!(matches!(err, SnapError::Truncated { .. }), "{err:?}");
+        assert_eq!(target.stats().entries, 0);
+
+        // Trailing garbage after the declared entries: rejected too.
+        let mut padded = good.clone();
+        padded.push(0xEE);
+        let err = target
+            .restore_from(&mut RecordReader::new(&padded))
+            .unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt { .. }), "{err:?}");
+        assert_eq!(target.stats().entries, 0);
+    }
+
+    #[test]
+    fn is_permutation_accepts_exactly_permutations() {
+        assert!(is_permutation(&[]));
+        assert!(is_permutation(&[0]));
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0]));
+        assert!(!is_permutation(&[1, 2]));
+        assert!(!is_permutation(&[0, 3, 1]));
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::time::Duration;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use taxi_baselines::exact::HELD_KARP_LIMIT;
+use taxi_snap::{RecordReader, RecordWriter, SnapError};
 use taxi_tsplib::fingerprint::{canonical_fingerprint_into, FingerprintScratch};
 use taxi_tsplib::TspInstance;
 
@@ -378,6 +379,150 @@ impl BackendProfiler {
         self.observations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Serialises the profiler's learned state into `writer` (the payload of a
+    /// `taxi-snap` snapshot section): every (backend, bucket) EWMA cell, the
+    /// per-geometry shadow-reference table (sorted by key, so the byte stream is
+    /// deterministic), and the observation count. Configuration (α, shadow
+    /// limits, capacities) is *not* persisted — it belongs to the restoring
+    /// process.
+    pub fn snapshot_into(&self, writer: &mut RecordWriter) {
+        writer.write_u32(SolverBackend::ALL.len() as u32);
+        writer.write_u32(BUCKETS as u32);
+        for backend_cells in &self.cells {
+            for cell in backend_cells {
+                let cell = *lock_recovering(cell);
+                writer.write_u64(cell.samples);
+                writer.write_f64_bits(cell.latency_us);
+                writer.write_f64_bits(cell.latency_var_us2);
+                writer.write_u64(cell.quality_samples);
+                writer.write_f64_bits(cell.quality);
+            }
+        }
+        let references = lock_recovering(&self.references);
+        let mut sorted: Vec<(&u128, &Reference)> = references.iter().collect();
+        sorted.sort_unstable_by_key(|(key, _)| **key);
+        writer.write_u64(sorted.len() as u64);
+        for (key, reference) in sorted {
+            writer.write_u128(*key);
+            writer.write_f64_bits(reference.cost);
+            writer.write_u8(u8::from(reference.exact));
+            writer.write_u8(reference.observed);
+            writer.write_u8(
+                reference
+                    .best_backend
+                    .map_or(u8::MAX, |backend| backend.index() as u8),
+            );
+        }
+        writer.write_u64(self.observations.load(Ordering::Relaxed));
+    }
+
+    /// Restores state serialised by [`snapshot_into`](Self::snapshot_into),
+    /// **replacing** the profiler's cells and reference table. Returns the
+    /// number of shadow references restored.
+    ///
+    /// Validate-fully-then-apply: the whole payload is decoded and semantically
+    /// checked (cell layout must match this build, EWMA statistics must be
+    /// finite and non-negative, observed-backend bitmasks and backend indices
+    /// must be in range) before anything is touched; any failure leaves the
+    /// profiler exactly as it was. References beyond
+    /// [`RouterConfig::reference_capacity`] are dropped (lowest keys kept — the
+    /// table refuses new geometries at capacity anyway).
+    pub fn restore_from(&self, reader: &mut RecordReader<'_>) -> Result<usize, SnapError> {
+        let backends = reader.read_u32()? as usize;
+        let buckets = reader.read_u32()? as usize;
+        if backends != SolverBackend::ALL.len() || buckets != BUCKETS {
+            return Err(SnapError::Corrupt {
+                context: "profiler cell layout mismatch",
+            });
+        }
+        let mut cells = Vec::with_capacity(backends * buckets);
+        for _ in 0..backends * buckets {
+            let cell = Cell {
+                samples: reader.read_u64()?,
+                latency_us: reader.read_f64_bits()?,
+                latency_var_us2: reader.read_f64_bits()?,
+                quality_samples: reader.read_u64()?,
+                quality: reader.read_f64_bits()?,
+            };
+            let stats_valid = cell.latency_us.is_finite()
+                && cell.latency_us >= 0.0
+                && cell.latency_var_us2.is_finite()
+                && cell.latency_var_us2 >= 0.0
+                && cell.quality.is_finite()
+                && cell.quality >= 0.0
+                && cell.quality_samples <= cell.samples;
+            if !stats_valid {
+                return Err(SnapError::Corrupt {
+                    context: "profiler cell statistics",
+                });
+            }
+            cells.push(cell);
+        }
+        let reference_count = reader.read_u64()?;
+        let mut references =
+            Vec::with_capacity(usize::try_from(reference_count).unwrap_or(0).min(4096));
+        for _ in 0..reference_count {
+            let key = reader.read_u128()?;
+            let cost = reader.read_f64_bits()?;
+            let exact = match reader.read_u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(SnapError::Corrupt {
+                        context: "profiler reference exact flag",
+                    })
+                }
+            };
+            let observed = reader.read_u8()?;
+            let best = reader.read_u8()?;
+            let best_backend = match best {
+                u8::MAX => None,
+                index if (index as usize) < SolverBackend::ALL.len() => {
+                    Some(SolverBackend::ALL[index as usize])
+                }
+                _ => {
+                    return Err(SnapError::Corrupt {
+                        context: "profiler reference backend index",
+                    })
+                }
+            };
+            if !cost.is_finite() || observed >= 1 << SolverBackend::ALL.len() {
+                return Err(SnapError::Corrupt {
+                    context: "profiler reference",
+                });
+            }
+            references.push((
+                key,
+                Reference {
+                    cost,
+                    exact,
+                    observed,
+                    best_backend,
+                },
+            ));
+        }
+        let observations = reader.read_u64()?;
+        if !reader.is_empty() {
+            return Err(SnapError::Corrupt {
+                context: "trailing bytes after profiler state",
+            });
+        }
+        // Everything validated: apply atomically enough (cell locks are taken one
+        // at a time, but no decode error can fire past this point).
+        for (backend_index, backend_cells) in self.cells.iter().enumerate() {
+            for (bucket_index, cell) in backend_cells.iter().enumerate() {
+                *lock_recovering(cell) = cells[backend_index * BUCKETS + bucket_index];
+            }
+        }
+        let mut table = lock_recovering(&self.references);
+        table.clear();
+        let restored = references.len().min(self.reference_capacity);
+        table.extend(references.into_iter().take(self.reference_capacity));
+        drop(table);
+        self.observations.store(observations, Ordering::Relaxed);
+        Ok(restored)
+    }
+
     /// Resolves the quality ratio of `tour_cost` (achieved by `backend`) against
     /// the instance's shadow reference, creating or improving the reference — and
     /// its best-backend attribution — as a side effect. `None` when the
@@ -608,6 +753,14 @@ impl RouterConfig {
         self
     }
 
+    /// Sets the per-geometry shadow-reference table capacity. Also caps how many
+    /// references a snapshot restore will re-admit.
+    #[must_use]
+    pub fn with_reference_capacity(mut self, capacity: usize) -> Self {
+        self.reference_capacity = capacity;
+        self
+    }
+
     /// Restricts the candidate backends.
     ///
     /// # Panics
@@ -775,6 +928,22 @@ impl AdaptiveRouter {
     /// Decisions made by the exploration arm.
     pub fn explored(&self) -> u64 {
         self.explored.load(Ordering::Relaxed)
+    }
+
+    /// Serialises the router's learned profile (see
+    /// [`BackendProfiler::snapshot_into`]). The exploration RNG and the
+    /// decision/exploration counters are deliberately **not** persisted: the
+    /// RNG stream is a per-process exploration schedule, and the counters
+    /// describe this process's traffic, not transferable knowledge.
+    pub fn snapshot_into(&self, writer: &mut RecordWriter) {
+        self.profiler.snapshot_into(writer);
+    }
+
+    /// Restores a profile serialised by [`snapshot_into`](Self::snapshot_into),
+    /// replacing the profiler's state. Returns the number of per-geometry
+    /// references restored. On error the router is left untouched.
+    pub fn restore_from(&self, reader: &mut RecordReader<'_>) -> Result<usize, SnapError> {
+        self.profiler.restore_from(reader)
     }
 
     /// Extracts features and decides in one call (the common serving-path entry
@@ -1424,5 +1593,153 @@ mod tests {
         }
         let share = router.explored() as f64 / router.decisions() as f64;
         assert!((0.18..0.42).contains(&share), "share {share}");
+    }
+
+    /// Trains a profiler with real traffic so its cells and reference table are
+    /// non-trivial, then returns it alongside the instances that populated it.
+    fn trained_router() -> (AdaptiveRouter, Vec<TspInstance>) {
+        let router = AdaptiveRouter::new(RouterConfig::new().with_seed(11));
+        let instances: Vec<TspInstance> = (0..6)
+            .map(|i| random_uniform_instance("train", 20 + i * 13, i as u64))
+            .collect();
+        for (i, instance) in instances.iter().enumerate() {
+            for (j, backend) in SolverBackend::ALL.iter().enumerate() {
+                router.profiler.record(
+                    instance,
+                    *backend,
+                    Duration::from_micros(40 + 10 * (i as u64 + j as u64)),
+                    100.0 + (i * 7 + j) as f64,
+                );
+            }
+        }
+        (router, instances)
+    }
+
+    #[test]
+    fn profiler_snapshot_restore_is_lossless() {
+        let (router, instances) = trained_router();
+        let mut writer = RecordWriter::new();
+        router.snapshot_into(&mut writer);
+        let bytes = writer.into_bytes();
+
+        let restored = AdaptiveRouter::new(RouterConfig::new().with_seed(99));
+        let refs = restored
+            .restore_from(&mut RecordReader::new(&bytes))
+            .expect("restore");
+        assert!(refs > 0, "trained table must carry references");
+        assert_eq!(
+            restored.profiler.observations(),
+            router.profiler.observations()
+        );
+        for backend in SolverBackend::ALL {
+            for bucket_cities in [10usize, 33, 100, 2000] {
+                let bucket = SizeBucket::of(bucket_cities);
+                let a = router.profiler.stats(backend, bucket);
+                let b = restored.profiler.stats(backend, bucket);
+                assert_eq!(a.samples, b.samples);
+                assert_eq!(a.quality_samples, b.quality_samples);
+                assert_eq!(a.mean_latency, b.mean_latency);
+                assert_eq!(a.p95_latency, b.p95_latency);
+                assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
+            }
+        }
+        // The sharpest knowledge survives: per-geometry winners are identical.
+        for instance in &instances {
+            assert_eq!(
+                restored.profiler.geometry_best(instance),
+                router.profiler.geometry_best(instance),
+            );
+            assert_eq!(
+                restored
+                    .profiler
+                    .geometry_signal(instance)
+                    .map(|s| s.observed),
+                router
+                    .profiler
+                    .geometry_signal(instance)
+                    .map(|s| s.observed),
+            );
+        }
+        // And a second snapshot of the restored state is byte-identical: the
+        // sorted reference table makes the format deterministic.
+        let mut again = RecordWriter::new();
+        restored.snapshot_into(&mut again);
+        assert_eq!(again.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn profiler_restore_rejects_corruption_without_partial_state() {
+        let (router, _) = trained_router();
+        let mut writer = RecordWriter::new();
+        router.snapshot_into(&mut writer);
+        let bytes = writer.into_bytes();
+
+        let assert_untouched = |victim: &AdaptiveRouter| {
+            assert_eq!(victim.profiler.observations(), 0, "no partial state");
+            for backend in SolverBackend::ALL {
+                assert_eq!(
+                    victim.profiler.stats(backend, SizeBucket::of(20)).samples,
+                    0
+                );
+            }
+        };
+
+        // Wrong cell-grid dimensions: a snapshot from an incompatible build.
+        let mut skewed = bytes.clone();
+        skewed[0] = 9;
+        let victim = AdaptiveRouter::new(RouterConfig::new());
+        assert!(matches!(
+            victim.restore_from(&mut RecordReader::new(&skewed)),
+            Err(SnapError::Corrupt { context }) if context.contains("layout")
+        ));
+        assert_untouched(&victim);
+
+        // Non-finite EWMA latency in the first cell (offset: 8-byte dimension
+        // header + samples u64 → latency bits start at 16).
+        let mut nan = bytes.clone();
+        nan[16..24].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let victim = AdaptiveRouter::new(RouterConfig::new());
+        assert!(matches!(
+            victim.restore_from(&mut RecordReader::new(&nan)),
+            Err(SnapError::Corrupt { context }) if context.contains("statistics")
+        ));
+        assert_untouched(&victim);
+
+        // Truncation mid-stream.
+        let victim = AdaptiveRouter::new(RouterConfig::new());
+        assert!(matches!(
+            victim.restore_from(&mut RecordReader::new(&bytes[..bytes.len() - 3])),
+            Err(SnapError::Truncated { .. })
+        ));
+        assert_untouched(&victim);
+
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let victim = AdaptiveRouter::new(RouterConfig::new());
+        assert!(matches!(
+            victim.restore_from(&mut RecordReader::new(&padded)),
+            Err(SnapError::Corrupt { context }) if context.contains("trailing")
+        ));
+        assert_untouched(&victim);
+
+        // The pristine bytes still restore after all those rejections.
+        let victim = AdaptiveRouter::new(RouterConfig::new());
+        victim
+            .restore_from(&mut RecordReader::new(&bytes))
+            .expect("pristine snapshot restores");
+    }
+
+    #[test]
+    fn profiler_restore_respects_reference_capacity() {
+        let (router, _) = trained_router();
+        let mut writer = RecordWriter::new();
+        router.snapshot_into(&mut writer);
+        let bytes = writer.into_bytes();
+        let small = AdaptiveRouter::new(RouterConfig::new().with_reference_capacity(2));
+        let refs = small
+            .restore_from(&mut RecordReader::new(&bytes))
+            .expect("restore");
+        assert_eq!(refs, 2, "capacity caps the restored table");
     }
 }

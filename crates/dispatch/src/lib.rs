@@ -84,6 +84,7 @@ pub mod queue;
 pub mod request;
 pub mod scheduler;
 pub mod service;
+pub mod snapshot;
 pub mod tracing;
 pub mod workload;
 
@@ -97,6 +98,10 @@ pub use request::{
 };
 pub use scheduler::{BatchMeta, BatchPolicy, MicroBatcher};
 pub use service::{DispatchConfig, DispatchService};
+pub use snapshot::{
+    restore_snapshot, shard_snapshot_path, write_snapshot, RestoreSummary, SnapshotPolicy,
+    SECTION_CACHE, SECTION_ROUTER,
+};
 pub use tracing::TracingObserver;
 pub use workload::{
     ArrivalProcess, RequestMix, Scenario, SizeMix, Workload, WorkloadConfig, WorkloadEvent,

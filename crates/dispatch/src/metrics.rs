@@ -487,6 +487,19 @@ pub struct ServiceMetrics {
     /// the request fails, and the worker thread survives — but a growing count is
     /// the fleet's crash-detection signal for a poisoned shard).
     worker_panics: AtomicU64,
+    /// Durability snapshots written (periodic housekeeping + the final one at
+    /// shutdown).
+    snapshots_written: AtomicU64,
+    /// Durability snapshots restored at service start (0 or 1 per service;
+    /// summed across generations by the fleet aggregate).
+    snapshots_restored: AtomicU64,
+    /// Durability snapshots rejected: a restore found the file corrupt,
+    /// truncated or version-skewed (typed, contained — the service cold-started
+    /// instead), or a periodic write failed.
+    snapshots_rejected: AtomicU64,
+    /// When the last snapshot was written, as nanoseconds since `started_at`
+    /// (`0` = never; the first nanosecond of uptime cannot finish a write).
+    last_snapshot_nanos: AtomicU64,
     /// Quality ratios of routed solves (fed when the router's shadow reference was
     /// available).
     quality: QualityHistogram,
@@ -523,6 +536,10 @@ impl ServiceMetrics {
             routed: std::array::from_fn(|_| AtomicU64::new(0)),
             explored: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            snapshots_restored: AtomicU64::new(0),
+            snapshots_rejected: AtomicU64::new(0),
+            last_snapshot_nanos: AtomicU64::new(0),
             quality: QualityHistogram::new(),
             queue_wait: LatencyHistogram::new(),
             solve: LatencyHistogram::new(),
@@ -622,6 +639,29 @@ impl ServiceMetrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One durability snapshot was written (periodic or at shutdown). Also
+    /// stamps the last-snapshot clock that feeds
+    /// [`ServiceSnapshot::last_snapshot_age`].
+    pub fn record_snapshot_written(&self) {
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(self.started_at.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.last_snapshot_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// One durability snapshot was restored at service start.
+    pub fn record_snapshot_restored(&self) {
+        self.snapshots_restored.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One durability snapshot was rejected (corrupt/truncated/version-skewed on
+    /// restore, or a write failed). The service carries on cold — this counter
+    /// is the operator's signal to look at the snapshot directory.
+    pub fn record_snapshot_rejected(&self) {
+        self.snapshots_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One fresh solve was dispatched through the adaptive router to `backend`.
     /// `explored` marks ε-greedy exploration decisions; `quality` is the solve's
     /// ratio against the router's shadow reference, when one was available;
@@ -699,9 +739,19 @@ impl ServiceMetrics {
             (&self.batched_requests, &other.batched_requests),
             (&self.explored, &other.explored),
             (&self.worker_panics, &other.worker_panics),
+            (&self.snapshots_written, &other.snapshots_written),
+            (&self.snapshots_restored, &other.snapshots_restored),
+            (&self.snapshots_rejected, &other.snapshots_rejected),
         ] {
             field.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         }
+        // The aggregate's "last snapshot" is the most recent across sources.
+        // Clocks differ per hub, but both count from their own `started_at`, and
+        // fleet members share one process epoch to within thread-spawn skew.
+        self.last_snapshot_nanos.fetch_max(
+            other.last_snapshot_nanos.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         for (mine, theirs) in self.routed.iter().zip(&other.routed) {
             mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         }
@@ -751,6 +801,13 @@ impl ServiceMetrics {
             routed_per_backend: std::array::from_fn(|i| self.routed[i].load(Ordering::Relaxed)),
             explored: self.explored.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            snapshots_restored: self.snapshots_restored.load(Ordering::Relaxed),
+            snapshots_rejected: self.snapshots_rejected.load(Ordering::Relaxed),
+            last_snapshot_age: match self.last_snapshot_nanos.load(Ordering::Relaxed) {
+                0 => None,
+                nanos => Some(uptime.saturating_sub(Duration::from_nanos(nanos))),
+            },
             quality: self.quality.summary(),
             batches,
             mean_batch_size: if batches == 0 {
@@ -822,6 +879,17 @@ pub struct ServiceSnapshot {
     /// Worker solve closures that panicked (contained per request; the worker
     /// thread survives). A fleet reads this as the shard crash signal.
     pub worker_panics: u64,
+    /// Durability snapshots written (periodic + shutdown).
+    pub snapshots_written: u64,
+    /// Durability snapshots restored at service start.
+    pub snapshots_restored: u64,
+    /// Durability snapshots rejected (corrupt/truncated/version-skewed restore,
+    /// or a failed write) — the service cold-started or skipped the write.
+    pub snapshots_rejected: u64,
+    /// Time since the last snapshot write, `None` when none has been written.
+    /// The staleness signal: a healthy snapshotting service keeps this under
+    /// its configured interval (+ jitter).
+    pub last_snapshot_age: Option<Duration>,
     /// Quality-ratio distribution of routed solves (cost / shadow reference).
     pub quality: QualitySummary,
     /// Micro-batches formed.
@@ -910,6 +978,15 @@ impl ServiceSnapshot {
                 self.quality.mean,
             ));
         }
+        if self.snapshots_written + self.snapshots_restored + self.snapshots_rejected > 0 {
+            line.push_str(&format!(
+                ", snap {}w/{}r/{}x",
+                self.snapshots_written, self.snapshots_restored, self.snapshots_rejected,
+            ));
+            if let Some(age) = self.last_snapshot_age {
+                line.push_str(&format!(" age {:.1}s", age.as_secs_f64()));
+            }
+        }
         line
     }
 
@@ -956,6 +1033,14 @@ impl ServiceSnapshot {
             self.mean_batch_size,
             self.throughput_per_sec,
         );
+        let _ = write!(
+            json,
+            ",\"snapshots_written\":{},\"snapshots_restored\":{},\"snapshots_rejected\":{}",
+            self.snapshots_written, self.snapshots_restored, self.snapshots_rejected,
+        );
+        if let Some(age) = self.last_snapshot_age {
+            let _ = write!(json, ",\"last_snapshot_age_secs\":{:.3}", age.as_secs_f64());
+        }
         for (label, summary) in [
             ("queue_wait", &self.queue_wait),
             ("solve", &self.solve),
@@ -1039,6 +1124,17 @@ impl std::fmt::Display for ServiceSnapshot {
             self.coalesced,
             self.solved_fresh(),
         )?;
+        if self.snapshots_written + self.snapshots_restored + self.snapshots_rejected > 0 {
+            write!(
+                f,
+                "  snapshots: {} written, {} restored, {} rejected",
+                self.snapshots_written, self.snapshots_restored, self.snapshots_rejected,
+            )?;
+            match self.last_snapshot_age {
+                Some(age) => writeln!(f, ", last {:.1}s ago", age.as_secs_f64())?,
+                None => writeln!(f)?,
+            }
+        }
         if self.routed_total() > 0 {
             write!(f, "  routed:")?;
             for (i, backend) in SolverBackend::ALL.iter().enumerate() {

@@ -37,6 +37,7 @@ use crate::request::{
     DispatchOutcome, DispatchRequest, Pending, Priority, SolvedResponse, SubmitError, Ticket,
 };
 use crate::scheduler::{BatchPolicy, MicroBatcher};
+use crate::snapshot::{restore_snapshot, write_snapshot, SnapshotPolicy};
 use crate::tracing::{TraceCtx, TracingObserver};
 
 /// Configuration of a [`DispatchService`].
@@ -82,6 +83,11 @@ pub struct DispatchConfig {
     /// trace's root span. `(0, 0)` for a standalone service; the fleet sets it
     /// when building shard services.
     pub trace_site: (u64, u64),
+    /// The durability policy, if warm restarts are enabled: where and how often
+    /// the service snapshots its cache and router profiles, and whether start
+    /// restores the previous snapshot (see [`SnapshotPolicy`]). `None` (the
+    /// default) never touches the filesystem.
+    pub snapshot: Option<SnapshotPolicy>,
 }
 
 impl PartialEq for DispatchConfig {
@@ -111,6 +117,7 @@ impl PartialEq for DispatchConfig {
                 _ => false,
             }
             && self.trace_site == other.trace_site
+            && self.snapshot == other.snapshot
     }
 }
 
@@ -133,6 +140,7 @@ impl DispatchConfig {
             cache: None,
             trace: None,
             trace_site: (0, 0),
+            snapshot: None,
         }
     }
 
@@ -250,6 +258,26 @@ impl DispatchConfig {
         self.trace_site = (shard, generation);
         self
     }
+
+    /// Enables durable warm restarts under `policy`: service start restores the
+    /// shard's previous snapshot (when the policy says so), a housekeeping
+    /// thread re-snapshots every `interval` (+ jitter), and shutdown writes a
+    /// final snapshot after the workers drain — so the next generation starts
+    /// where this one stopped. The snapshot file is keyed by the shard slot
+    /// ([`DispatchConfig::with_trace_site`]'s first component), stable across
+    /// generations.
+    #[must_use]
+    pub fn with_snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot = Some(policy);
+        self
+    }
+
+    /// Disables durability snapshots.
+    #[must_use]
+    pub fn without_snapshots(mut self) -> Self {
+        self.snapshot = None;
+        self
+    }
 }
 
 impl Default for DispatchConfig {
@@ -292,6 +320,30 @@ pub struct DispatchService {
     /// once; meaningless without a cache, and unused under adaptive routing, where
     /// keys are scoped per routed backend instead).
     cache_token: u64,
+    /// The periodic snapshot thread, when the policy asks for one (stopped and
+    /// joined before the final shutdown snapshot).
+    housekeeper: Option<Housekeeper>,
+}
+
+/// Handle of the background snapshot thread: a condvar-signalled stop flag plus
+/// the join handle.
+#[derive(Debug)]
+struct Housekeeper {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Housekeeper {
+    /// Signals the thread to stop and joins it. Idempotent per handle (takes
+    /// ownership).
+    fn stop(self) {
+        let (lock, condvar) = &*self.stop;
+        *lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        condvar.notify_all();
+        let _ = self.thread.join();
+    }
 }
 
 impl DispatchService {
@@ -322,6 +374,18 @@ impl DispatchService {
                 ))
             })
         });
+        if let Some(policy) = config.snapshot.as_ref().filter(|p| p.restore_on_start) {
+            let path = policy.shard_path(config.trace_site.0);
+            match restore_snapshot(&path, config.cache.as_deref(), router.as_deref()) {
+                Ok(_) => metrics.record_snapshot_restored(),
+                // A missing file is a normal first boot, not a rejection.
+                Err(error) if error.is_not_found() => {}
+                // Corrupt/truncated/version-skewed (or unreadable): serve cold.
+                // Each subsystem restored all-or-nothing, so no partial state
+                // survives the failure.
+                Err(_) => metrics.record_snapshot_rejected(),
+            }
+        }
         let coalescer = Arc::new(Coalescer::new());
         let workers = (0..config.workers.max(1))
             .map(|index| {
@@ -345,6 +409,19 @@ impl DispatchService {
                     .expect("spawn dispatch worker")
             })
             .collect();
+        let housekeeper = config
+            .snapshot
+            .as_ref()
+            .filter(|policy| !policy.interval.is_zero())
+            .map(|policy| {
+                spawn_housekeeper(
+                    policy.clone(),
+                    config.trace_site.0,
+                    config.cache.clone(),
+                    router.clone(),
+                    Arc::clone(&metrics),
+                )
+            });
         Self {
             queue,
             metrics,
@@ -352,6 +429,7 @@ impl DispatchService {
             config,
             router,
             cache_token,
+            housekeeper,
         }
     }
 
@@ -516,6 +594,30 @@ impl DispatchService {
         self.queue.adopt(pending)
     }
 
+    /// Writes a durability snapshot immediately (in addition to the periodic
+    /// cadence). Returns `Ok(false)` without touching the filesystem when the
+    /// service has no [`SnapshotPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure (also counted as one rejected snapshot).
+    pub fn snapshot_now(&self) -> Result<bool, taxi_snap::SnapError> {
+        let Some(policy) = &self.config.snapshot else {
+            return Ok(false);
+        };
+        let path = policy.shard_path(self.config.trace_site.0);
+        match write_snapshot(&path, self.config.cache.as_deref(), self.router.as_deref()) {
+            Ok(()) => {
+                self.metrics.record_snapshot_written();
+                Ok(true)
+            }
+            Err(error) => {
+                self.metrics.record_snapshot_rejected();
+                Err(error)
+            }
+        }
+    }
+
     /// Point-in-time service metrics (cache statistics included when the service
     /// has a cache).
     pub fn snapshot(&self) -> ServiceSnapshot {
@@ -538,9 +640,21 @@ impl DispatchService {
     }
 
     fn shutdown_in_place(&mut self) {
+        if let Some(housekeeper) = self.housekeeper.take() {
+            housekeeper.stop();
+        }
         self.queue.close();
+        let served = !self.workers.is_empty();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Final snapshot AFTER the workers drained (and only on the first
+        // shutdown pass — `shutdown` is followed by `Drop`): the retiring
+        // service persists everything it learned, including solves that
+        // finished during the drain, so its successor restores the full warm
+        // state.
+        if served && self.config.snapshot.is_some() {
+            let _ = self.snapshot_now();
         }
     }
 }
@@ -551,6 +665,65 @@ impl Drop for DispatchService {
         // left hanging.
         self.shutdown_in_place();
     }
+}
+
+/// Spawns the periodic snapshot thread: sleeps `interval` (+ deterministic
+/// per-(shard, tick) jitter, so a fleet's shards never write in lockstep),
+/// writes a snapshot, repeats — until the stop condvar fires.
+fn spawn_housekeeper(
+    policy: SnapshotPolicy,
+    shard: u64,
+    cache: Option<Arc<SolutionCache>>,
+    router: Option<Arc<AdaptiveRouter>>,
+    metrics: Arc<ServiceMetrics>,
+) -> Housekeeper {
+    let stop = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let signal = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name(format!("taxi-snapshot-{shard}"))
+        .spawn(move || {
+            let path = policy.shard_path(shard);
+            // Plain LCG seeded by the shard slot: cheap, deterministic, and
+            // independent of the solver's RNG streams.
+            let mut jitter_state = shard.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let (lock, condvar) = &*signal;
+            let mut stopped = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                let jitter = if policy.jitter.is_zero() {
+                    Duration::ZERO
+                } else {
+                    jitter_state = jitter_state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    let unit = (jitter_state >> 11) as f64 / (1u64 << 53) as f64;
+                    policy.jitter.mul_f64(unit)
+                };
+                let deadline = Instant::now() + policy.interval + jitter;
+                while !*stopped {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, _) = condvar
+                        .wait_timeout(stopped, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    stopped = guard;
+                }
+                if *stopped {
+                    // The shutdown path writes the final snapshot after the
+                    // workers drain; racing it here would persist a stale view.
+                    return;
+                }
+                match write_snapshot(&path, cache.as_deref(), router.as_deref()) {
+                    Ok(()) => metrics.record_snapshot_written(),
+                    Err(_) => metrics.record_snapshot_rejected(),
+                }
+            }
+        })
+        .expect("spawn snapshot housekeeper");
+    Housekeeper { stop, thread }
 }
 
 /// The routing facts a worker carries through one routed solve (chosen backend +
@@ -1309,6 +1482,151 @@ mod tests {
             total_admitted,
             "fleet-level accounting: completions across both services cover every ticket"
         );
+    }
+
+    fn temp_snapshot_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "taxi-dispatch-service-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    #[test]
+    fn snapshot_policy_serves_warm_bit_identical_after_restart() {
+        let dir = temp_snapshot_dir("warm");
+        let solver = TaxiConfig::new().with_seed(3);
+        let config = |cache: Arc<SolutionCache>| {
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_solver(solver.clone())
+                .with_cache(cache)
+                // Interval zero: only the shutdown snapshot writes — the test
+                // exercises exactly the generation-to-generation handoff.
+                .with_snapshot_policy(SnapshotPolicy::new(&dir).with_interval(Duration::ZERO))
+        };
+
+        // Generation 1: serve four distinct instances fresh, then shut down
+        // (which persists the final snapshot).
+        let service = DispatchService::start(config(Arc::new(SolutionCache::with_defaults())));
+        let mut first: Vec<(f64, Vec<usize>)> = Vec::new();
+        for i in 0..4 {
+            let response = service
+                .submit(DispatchRequest::new(clustered_instance("wrm", 36, 3, i)))
+                .expect("admitted")
+                .wait()
+                .solved()
+                .expect("solved");
+            assert!(!response.cache_hit);
+            first.push((
+                response.solution.length,
+                response.solution.tour.order().to_vec(),
+            ));
+        }
+        let gen1 = service.shutdown();
+        assert_eq!(gen1.snapshots_written, 1, "shutdown persisted the state");
+        assert!(gen1.last_snapshot_age.is_some());
+
+        // Generation 2: a fresh cache object, same policy — start restores the
+        // snapshot and every repeat is a bit-identical cache hit.
+        let service = DispatchService::start(config(Arc::new(SolutionCache::with_defaults())));
+        for (i, (length, order)) in first.iter().enumerate() {
+            let response = service
+                .submit(DispatchRequest::new(clustered_instance(
+                    "wrm", 36, 3, i as u64,
+                )))
+                .expect("admitted")
+                .wait()
+                .solved()
+                .expect("solved");
+            assert!(response.cache_hit, "restored entry serves instance {i}");
+            assert_eq!(response.solution.length.to_bits(), length.to_bits());
+            assert_eq!(response.solution.tour.order(), &order[..]);
+        }
+        let gen2 = service.shutdown();
+        assert_eq!(gen2.snapshots_restored, 1);
+        assert_eq!(gen2.snapshots_rejected, 0);
+        assert_eq!(gen2.cache_hits, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_cold_starts_and_counts_rejected() {
+        let dir = temp_snapshot_dir("corrupt");
+        let solver = TaxiConfig::new().with_seed(9);
+        let config = |cache: Arc<SolutionCache>| {
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_solver(solver.clone())
+                .with_cache(cache)
+                .with_snapshot_policy(SnapshotPolicy::new(&dir).with_interval(Duration::ZERO))
+        };
+        let service = DispatchService::start(config(Arc::new(SolutionCache::with_defaults())));
+        service
+            .submit(DispatchRequest::new(clustered_instance("cor", 30, 3, 1)))
+            .expect("admitted")
+            .wait()
+            .solved()
+            .expect("solved");
+        service.shutdown();
+
+        // Flip one payload byte: the restore must reject, the service must
+        // still serve (cold), and the next shutdown rewrites a good snapshot.
+        let path = crate::snapshot::shard_snapshot_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).expect("snapshot written");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("corrupt in place");
+
+        let service = DispatchService::start(config(Arc::new(SolutionCache::with_defaults())));
+        let response = service
+            .submit(DispatchRequest::new(clustered_instance("cor", 30, 3, 1)))
+            .expect("admitted")
+            .wait()
+            .solved()
+            .expect("served cold");
+        assert!(!response.cache_hit, "corrupt snapshot must not serve hits");
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.snapshots_rejected, 1);
+        assert_eq!(snapshot.snapshots_restored, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn periodic_housekeeper_writes_on_cadence() {
+        let dir = temp_snapshot_dir("periodic");
+        let service = DispatchService::start(
+            DispatchConfig::new()
+                .with_workers(1)
+                .with_cache(Arc::new(SolutionCache::with_defaults()))
+                .with_snapshot_policy(
+                    SnapshotPolicy::new(&dir)
+                        .with_interval(Duration::from_millis(20))
+                        .with_jitter(Duration::from_millis(5)),
+                ),
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.snapshot().snapshots_written < 2 {
+            assert!(Instant::now() < deadline, "housekeeper writes periodically");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let age = service
+            .snapshot()
+            .last_snapshot_age
+            .expect("age tracked after a write");
+        assert!(age < Duration::from_secs(5));
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_now_is_a_no_op_without_a_policy() {
+        let service = DispatchService::start(DispatchConfig::new().with_workers(1));
+        assert!(!service.snapshot_now().expect("no-op succeeds"));
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.snapshots_written, 0);
     }
 
     #[test]

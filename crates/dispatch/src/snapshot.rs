@@ -1,0 +1,293 @@
+//! Durable warm restarts: periodic, checksummed snapshots of a service's
+//! learned state — the solution cache and the adaptive router's profiles — and
+//! restore-on-start so a recycled service comes back warm.
+//!
+//! The file format is `taxi-snap` ([`taxi_snap::Snapshot`]): versioned,
+//! length-prefixed sections with per-section and whole-file checksums, written
+//! atomically (tmp + rename). A service snapshot carries up to two sections:
+//!
+//! | id | payload |
+//! |----|---------|
+//! | [`SECTION_CACHE`]  | [`SolutionCache::snapshot_into`] |
+//! | [`SECTION_ROUTER`] | [`AdaptiveRouter::snapshot_into`] |
+//!
+//! Safety model: a snapshot can only ever make a restart *faster*, never
+//! *wrong*. Corrupt, truncated or version-skewed files fail the restore with a
+//! typed [`SnapError`] and the service cold-starts; cache keys embed the solver
+//! configuration token, so a snapshot taken under a different configuration
+//! restores into unreachable (and eventually evicted) entries rather than
+//! wrong answers. Each subsystem restores all-or-nothing (validate fully, then
+//! apply).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use taxi::router::AdaptiveRouter;
+use taxi::SolutionCache;
+use taxi_snap::{RecordReader, RecordWriter, SnapError, Snapshot, SnapshotBuilder};
+
+/// Section id of the solution-cache payload inside a service snapshot.
+pub const SECTION_CACHE: u32 = 1;
+
+/// Section id of the router-profile payload inside a service snapshot.
+pub const SECTION_ROUTER: u32 = 2;
+
+/// When and where a [`DispatchService`](crate::DispatchService) snapshots its
+/// warm state.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use taxi_dispatch::SnapshotPolicy;
+///
+/// let policy = SnapshotPolicy::new("/tmp/taxi-snapshots")
+///     .with_interval(Duration::from_secs(30))
+///     .with_jitter(Duration::from_secs(5));
+/// assert!(policy.restore_on_start);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Directory holding the snapshot files (created on first write). One file
+    /// per shard slot: `shard-<index>.snap` — the name is stable across
+    /// generations, which is what lets generation N+1 restore what generation N
+    /// persisted.
+    pub dir: PathBuf,
+    /// Cadence of the periodic background snapshot. [`Duration::ZERO`] disables
+    /// the housekeeping thread: only the final snapshot at shutdown (and
+    /// explicit [`DispatchService::snapshot_now`](crate::DispatchService::snapshot_now)
+    /// calls) are written.
+    pub interval: Duration,
+    /// Upper bound of the per-tick jitter added to `interval`, decorrelating
+    /// the write bursts of a fleet's shards (deterministic per shard + tick).
+    pub jitter: Duration,
+    /// Whether [`DispatchService::start`](crate::DispatchService::start)
+    /// restores the shard's snapshot before serving. Defaults to `true`; a
+    /// missing file is a normal cold start, a corrupt one counts as rejected.
+    pub restore_on_start: bool,
+}
+
+impl SnapshotPolicy {
+    /// A policy writing to `dir`: 30 s interval, 3 s jitter, restore on start.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            interval: Duration::from_secs(30),
+            jitter: Duration::from_secs(3),
+            restore_on_start: true,
+        }
+    }
+
+    /// Sets the periodic snapshot interval ([`Duration::ZERO`] disables the
+    /// background thread; shutdown and explicit snapshots still write).
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the per-tick jitter bound.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets whether service start restores the shard's snapshot.
+    #[must_use]
+    pub fn with_restore_on_start(mut self, restore: bool) -> Self {
+        self.restore_on_start = restore;
+        self
+    }
+
+    /// The snapshot file of shard slot `shard` under this policy's directory.
+    pub fn shard_path(&self, shard: u64) -> PathBuf {
+        shard_snapshot_path(&self.dir, shard)
+    }
+}
+
+/// The snapshot file of shard slot `shard` under `dir`
+/// (`<dir>/shard-<shard>.snap`). Keyed by the *slot*, not the generation:
+/// a recycled shard's new generation restores its predecessor's file.
+pub fn shard_snapshot_path(dir: &Path, shard: u64) -> PathBuf {
+    dir.join(format!("shard-{shard}.snap"))
+}
+
+/// What a restore brought back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RestoreSummary {
+    /// Cache entries re-inserted.
+    pub cache_entries: usize,
+    /// Router per-geometry references re-admitted (the EWMA cells restore
+    /// alongside whenever the section is present).
+    pub router_references: usize,
+    /// Whether the snapshot carried a cache section.
+    pub had_cache_section: bool,
+    /// Whether the snapshot carried a router section.
+    pub had_router_section: bool,
+}
+
+/// Writes a snapshot of `cache` and/or `router` to `path`, atomically
+/// (tmp + rename; see [`SnapshotBuilder::write_atomic`]). Subsystems the
+/// service does not have are simply absent from the file.
+///
+/// # Errors
+///
+/// Propagates I/O failures ([`SnapError::Io`]).
+pub fn write_snapshot(
+    path: &Path,
+    cache: Option<&SolutionCache>,
+    router: Option<&AdaptiveRouter>,
+) -> Result<(), SnapError> {
+    let mut builder = SnapshotBuilder::new();
+    if let Some(cache) = cache {
+        let mut writer = RecordWriter::new();
+        cache.snapshot_into(&mut writer);
+        builder.section(SECTION_CACHE, writer.into_bytes());
+    }
+    if let Some(router) = router {
+        let mut writer = RecordWriter::new();
+        router.snapshot_into(&mut writer);
+        builder.section(SECTION_ROUTER, writer.into_bytes());
+    }
+    builder.write_atomic(path)
+}
+
+/// Restores `path` into `cache` and/or `router`. Sections the caller has no
+/// subsystem for (and subsystems the file has no section for) are skipped.
+///
+/// Each subsystem applies all-or-nothing; the file's checksums mean a failure
+/// here is either I/O, format skew, or semantic corruption — in every case the
+/// caller should count one rejected snapshot and serve cold.
+///
+/// # Errors
+///
+/// [`SnapError::Io`] (use [`SnapError::is_not_found`] to recognise a normal
+/// first boot), or the typed corruption errors of [`Snapshot::from_bytes`] /
+/// the subsystem `restore_from` implementations.
+pub fn restore_snapshot(
+    path: &Path,
+    cache: Option<&SolutionCache>,
+    router: Option<&AdaptiveRouter>,
+) -> Result<RestoreSummary, SnapError> {
+    let snapshot = Snapshot::read(path)?;
+    let mut summary = RestoreSummary::default();
+    if let Some((cache, payload)) = cache.zip(snapshot.section(SECTION_CACHE)) {
+        summary.had_cache_section = true;
+        summary.cache_entries = cache.restore_from(&mut RecordReader::new(payload))?;
+    }
+    if let Some((router, payload)) = router.zip(snapshot.section(SECTION_ROUTER)) {
+        summary.had_router_section = true;
+        summary.router_references = router.restore_from(&mut RecordReader::new(payload))?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use taxi::router::RouterConfig;
+    use taxi::{TaxiConfig, TaxiSolver};
+    use taxi_tsplib::generator::clustered_instance;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "taxi-dispatch-snapshot-{}-{}-{tag}.snap",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    #[test]
+    fn policy_builders_compose() {
+        let policy = SnapshotPolicy::new("/tmp/t")
+            .with_interval(Duration::from_secs(7))
+            .with_jitter(Duration::ZERO)
+            .with_restore_on_start(false);
+        assert_eq!(policy.interval, Duration::from_secs(7));
+        assert!(!policy.restore_on_start);
+        assert_eq!(
+            policy.shard_path(3),
+            PathBuf::from("/tmp/t").join("shard-3.snap")
+        );
+    }
+
+    #[test]
+    fn write_then_restore_round_trips_both_sections() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(5));
+        let token = solver.config().cache_token();
+        for i in 0..3 {
+            let instance = clustered_instance("snap", 30, 3, i);
+            let solution = Arc::new(solver.solve(&instance).expect("solve"));
+            let key = cache.key(token, &instance);
+            cache.insert(key, &instance, solution);
+        }
+        let router = AdaptiveRouter::new(RouterConfig::new().with_seed(1));
+        router.profiler().record(
+            &clustered_instance("snap", 30, 3, 0),
+            taxi::SolverBackend::NnTwoOpt,
+            Duration::from_micros(120),
+            100.0,
+        );
+
+        let path = temp_path("roundtrip");
+        write_snapshot(&path, Some(&cache), Some(&router)).expect("write");
+
+        let fresh_cache = SolutionCache::with_defaults();
+        let fresh_router = AdaptiveRouter::new(RouterConfig::new().with_seed(9));
+        let summary =
+            restore_snapshot(&path, Some(&fresh_cache), Some(&fresh_router)).expect("restore");
+        assert_eq!(summary.cache_entries, 3);
+        assert!(summary.had_cache_section && summary.had_router_section);
+        assert_eq!(fresh_cache.stats().entries, 3);
+        assert_eq!(
+            fresh_router.profiler().observations(),
+            router.profiler().observations()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sections_are_skipped_when_the_subsystem_is_absent() {
+        let cache = SolutionCache::with_defaults();
+        let path = temp_path("cache-only");
+        write_snapshot(&path, Some(&cache), None).expect("write");
+        // A router-only consumer finds nothing to restore — and that is fine.
+        let router = AdaptiveRouter::new(RouterConfig::new());
+        let summary = restore_snapshot(&path, None, Some(&router)).expect("restore");
+        assert_eq!(summary, RestoreSummary::default());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_not_found() {
+        let path = temp_path("missing");
+        let err = restore_snapshot(&path, None, None).expect_err("no file");
+        assert!(err.is_not_found());
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected_with_no_partial_state() {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(5));
+        let instance = clustered_instance("snap", 30, 3, 9);
+        let solution = Arc::new(solver.solve(&instance).expect("solve"));
+        let key = cache.key(solver.config().cache_token(), &instance);
+        cache.insert(key, &instance, solution);
+        let path = temp_path("corrupt");
+        write_snapshot(&path, Some(&cache), None).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let fresh = SolutionCache::with_defaults();
+        restore_snapshot(&path, Some(&fresh), None).expect_err("corruption detected");
+        assert_eq!(fresh.stats().entries, 0, "no partial state");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -42,7 +42,7 @@ use taxi::cache::CachePolicy;
 use taxi::{SolutionCache, SolutionCacheStats};
 use taxi_dispatch::{
     DispatchConfig, DispatchRequest, DispatchService, Pending, ServiceMetrics, ServiceSnapshot,
-    SubmitError, Ticket,
+    SnapshotPolicy, SubmitError, Ticket,
 };
 use taxi_obs::{
     AlertState, FleetSample, HistoryStore, SampleSource, Scraper, ShardWindow, SloEngine, SloSpec,
@@ -159,9 +159,17 @@ pub struct FleetConfig {
     /// When set, each shard generation gets its **own fresh** [`SolutionCache`]
     /// built from this policy — the private-cache layout fingerprint affinity is
     /// designed for (each shard caches exactly the key range it owns). A
-    /// restarted generation starts cold by design: warmth is an artifact of
-    /// traffic, not state to migrate. `None` leaves whatever the template says.
+    /// restarted generation starts cold unless [`snapshot`](Self::snapshot)
+    /// turns on durable warm restarts. `None` leaves whatever the template says.
     pub cache: Option<CachePolicy>,
+    /// Durable warm restarts, when set: every shard generation snapshots its
+    /// cache and router profiles under this policy, into a per-*slot* file
+    /// (`shard-<index>.snap`), and a recycled generation restores its
+    /// predecessor's snapshot before serving — warmth survives crash recycles
+    /// and operator restarts. Corrupt or version-skewed snapshots are rejected
+    /// (counted on [`ServiceSnapshot::snapshots_rejected`]) and the generation
+    /// cold-starts instead.
+    pub snapshot: Option<SnapshotPolicy>,
     /// Shard-selection policy.
     pub routing: RoutingPolicy,
     /// Virtual nodes per full-weight shard on the consistent-hash ring.
@@ -197,6 +205,7 @@ impl FleetConfig {
             shards: 2,
             shard: DispatchConfig::new().with_workers(2),
             cache: Some(CachePolicy::new()),
+            snapshot: None,
             routing: RoutingPolicy::FingerprintAffinity,
             replicas: 64,
             reconcile_interval: Duration::from_millis(20),
@@ -234,6 +243,14 @@ impl FleetConfig {
     #[must_use]
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Enables durable warm restarts for every shard generation (see
+    /// [`snapshot`](Self::snapshot)).
+    #[must_use]
+    pub fn with_snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot = Some(policy);
         self
     }
 
@@ -514,6 +531,12 @@ impl FleetInner {
             config.trace = Some(Arc::clone(tracer));
         }
         config.trace_site = (id.index() as u64, generation);
+        if let Some(policy) = &self.config.snapshot {
+            // The snapshot file is keyed by the slot (trace_site.0), so this
+            // start — inside the reconciler's `Starting` handler — restores
+            // whatever the slot's previous generation persisted at retirement.
+            config.snapshot = Some(policy.clone());
+        }
         DispatchService::start(config)
     }
 

@@ -148,6 +148,26 @@ pub const FAMILIES: &[FamilyInfo] = &[
         "counter",
         "Routed solves placed by the exploration arm",
     ),
+    family(
+        "taxi_service_snapshots_written_total",
+        "counter",
+        "Durability snapshots written (periodic + shutdown)",
+    ),
+    family(
+        "taxi_service_snapshots_restored_total",
+        "counter",
+        "Durability snapshots restored at service start",
+    ),
+    family(
+        "taxi_service_snapshots_rejected_total",
+        "counter",
+        "Durability snapshots rejected (corrupt/skewed restore or failed write)",
+    ),
+    family(
+        "taxi_service_last_snapshot_age_seconds",
+        "gauge",
+        "Seconds since the last durability snapshot was written",
+    ),
     family("taxi_service_batches_total", "counter", "Micro-batches formed"),
     family("taxi_service_mean_batch_size", "gauge", "Mean formed batch size"),
     family(
@@ -456,9 +476,28 @@ fn render_service(page: &mut Page, service: &ServiceSnapshot) {
         ("taxi_service_solved_fresh_total", service.solved_fresh()),
         ("taxi_service_worker_panics_total", service.worker_panics),
         ("taxi_service_explored_total", service.explored),
+        (
+            "taxi_service_snapshots_written_total",
+            service.snapshots_written,
+        ),
+        (
+            "taxi_service_snapshots_restored_total",
+            service.snapshots_restored,
+        ),
+        (
+            "taxi_service_snapshots_rejected_total",
+            service.snapshots_rejected,
+        ),
         ("taxi_service_batches_total", service.batches),
     ] {
         page.open(name).sample(name, count as f64);
+    }
+    // The family header always renders (the registry is the completeness
+    // oracle); the series itself exists only once a snapshot has been written —
+    // "absent" is the honest reading of "never", not an age of zero.
+    page.open("taxi_service_last_snapshot_age_seconds");
+    if let Some(age) = service.last_snapshot_age {
+        page.sample("taxi_service_last_snapshot_age_seconds", age.as_secs_f64());
     }
     page.open("taxi_service_mean_batch_size")
         .sample("taxi_service_mean_batch_size", service.mean_batch_size);

@@ -1,0 +1,157 @@
+//! Durable warm-restart integration: a crashed shard is recycled by the
+//! reconciler with restore-on-start, and the fresh generation serves the
+//! previously-hot fingerprints from its restored cache — bit-identical to the
+//! solutions the dead generation computed.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use taxi_dispatch::{DispatchConfig, DispatchOutcome, DispatchRequest, SnapshotPolicy};
+use taxi_fleet::{Fleet, FleetConfig, RoutingPolicy, ShardState};
+use taxi_tsplib::generator::random_uniform_instance;
+use taxi_tsplib::instance::{EdgeWeightKind, TspInstance};
+
+/// Fresh per-test snapshot directory (parallel tests must not share files).
+fn temp_snapshot_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "taxi-fleet-restart-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp snapshot dir");
+    dir
+}
+
+/// The NaN-poison recipe from the crash-containment test: a NaN coordinate
+/// panics the solver's clustering stage inside the worker, which the fleet
+/// health probe reads as a crash.
+fn poison_instance() -> TspInstance {
+    let mut coords: Vec<(f64, f64)> = (0..64).map(|i| ((i % 8) as f64, (i / 8) as f64)).collect();
+    coords[5].0 = f64::NAN;
+    TspInstance::from_coordinates("poison", coords, EdgeWeightKind::Euclidean)
+        .expect("constructible")
+}
+
+#[test]
+fn recycled_generation_restores_the_dead_generations_cache_bit_identically() {
+    let dir = temp_snapshot_dir("recycle");
+    let fleet = Fleet::start(
+        FleetConfig::new()
+            .with_shards(2)
+            .with_shard_config(
+                DispatchConfig::new()
+                    .with_workers(1)
+                    .with_queue_capacity(128),
+            )
+            .with_routing(RoutingPolicy::FingerprintAffinity)
+            .with_reconcile_interval(Duration::from_millis(5))
+            // Interval zero: no periodic writes — durability rides entirely on
+            // the final snapshot a retiring generation writes at teardown,
+            // which is exactly the path crash containment exercises.
+            .with_snapshot_policy(SnapshotPolicy::new(&dir).with_interval(Duration::ZERO)),
+    );
+
+    // Warm generation 1: solve six distinct routes and record each tour
+    // bit-exactly, then prove they are hot (second submission hits the cache).
+    let routes: Vec<TspInstance> = (0..6)
+        .map(|r| random_uniform_instance(&format!("hot{r}"), 24, 4_000 + r))
+        .collect();
+    let mut recorded: Vec<(u64, Vec<usize>)> = Vec::new();
+    for route in &routes {
+        let ticket = fleet
+            .submit(DispatchRequest::new(route.clone()))
+            .expect("admitted");
+        let response = ticket.wait().solved().expect("gen-1 solve");
+        recorded.push((
+            response.solution.length.to_bits(),
+            response.solution.tour.order().to_vec(),
+        ));
+    }
+    for route in &routes {
+        let ticket = fleet
+            .submit(DispatchRequest::new(route.clone()))
+            .expect("admitted");
+        let response = ticket.wait().solved().expect("gen-1 re-solve");
+        assert!(response.cache_hit, "route is hot before the crash");
+    }
+
+    // Crash whichever shard owns the poison fingerprint; the client gets an
+    // explicit failure and the reconciler contains + recycles the shard.
+    let ticket = fleet
+        .submit(DispatchRequest::new(poison_instance()))
+        .expect("admitted");
+    assert!(
+        matches!(ticket.wait(), DispatchOutcome::Failed(_)),
+        "poison fails explicitly"
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        fleet.reconcile_now();
+        let snapshot = fleet.snapshot();
+        let recycled = snapshot
+            .shards
+            .iter()
+            .any(|s| s.generation >= 2 && s.state == ShardState::Serving);
+        let all_serving = snapshot
+            .shards
+            .iter()
+            .all(|s| s.state == ShardState::Serving);
+        if recycled && all_serving {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "poisoned shard never recycled:\n{snapshot}"
+        );
+    }
+
+    // The retiring generation persisted its cache at teardown, and the fresh
+    // generation restored it on start.
+    let snapshot = fleet.snapshot();
+    assert!(
+        snapshot.service.snapshots_restored >= 1,
+        "recycled generation restored a snapshot: {snapshot}"
+    );
+    let restored_entries: u64 = snapshot
+        .shards
+        .iter()
+        .filter(|s| s.generation >= 2)
+        .filter_map(|s| s.service.as_ref())
+        .filter_map(|s| s.cache.as_ref())
+        .map(|c| c.entries as u64)
+        .sum();
+    assert!(
+        restored_entries > 0,
+        "the fresh generation starts warm, not cold: {snapshot}"
+    );
+
+    // Generation N+1 serves every previously-hot fingerprint as a cache hit —
+    // affinity pins each route to the same slot across generations, so the
+    // recycled shard's routes are answered from the *restored* cache — and
+    // every tour is bit-identical to what generation N computed.
+    for (index, route) in routes.iter().enumerate() {
+        let ticket = fleet
+            .submit(DispatchRequest::new(route.clone()))
+            .expect("admitted");
+        let response = ticket.wait().solved().expect("post-recycle solve");
+        assert!(
+            response.cache_hit,
+            "route {index} stays warm across the restart"
+        );
+        assert_eq!(
+            response.solution.length.to_bits(),
+            recorded[index].0,
+            "route {index} length is bit-identical across the restart"
+        );
+        assert_eq!(
+            response.solution.tour.order(),
+            recorded[index].1.as_slice(),
+            "route {index} tour is identical across the restart"
+        );
+    }
+
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

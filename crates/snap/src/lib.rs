@@ -1,0 +1,691 @@
+//! `taxi-snap`: a versioned, checksummed binary snapshot format for durable warm
+//! restarts.
+//!
+//! Every shard restart used to discard the solution cache and the router's learned
+//! latency/quality profiles — a cold ε-greedy re-exploration and a cache-miss storm
+//! on every recycle. This crate is the persistence layer that fixes that: a
+//! **std-only** binary container that higher layers (`taxi::cache`, `taxi::router`,
+//! `taxi-dispatch`) serialise their warm state into and restore from on start.
+//!
+//! The format is deliberately paranoid, because a *wrong* restore is strictly worse
+//! than a cold start:
+//!
+//! * **Magic + format version header** — a file from a future (or alien) format is
+//!   rejected before any payload byte is interpreted.
+//! * **Per-section checksums** — each section's payload carries its own FNV-1a 64
+//!   digest, so corruption is localised to a typed error, never a misparse.
+//! * **Whole-file checksum trailer** — catches truncation and trailer corruption
+//!   that section checksums cannot see.
+//! * **Atomic writes** — [`SnapshotBuilder::write_atomic`] writes `<path>.tmp` and
+//!   renames over the destination, so a crash mid-write leaves the previous
+//!   snapshot intact (rename is atomic on POSIX filesystems).
+//! * **Length-prefixed records** — [`RecordWriter`]/[`RecordReader`] encode
+//!   primitives little-endian with explicit bounds checking; every decode failure
+//!   is a typed [`SnapError`], never a panic.
+//!
+//! Consumers follow one contract: **validate fully, then apply atomically**. A
+//! snapshot that fails any check — bad magic, version skew, checksum mismatch,
+//! truncation, or semantic validation in the consumer — must leave the consumer
+//! exactly as cold as it started.
+//!
+//! # File layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"TAXISNAP"
+//! 8       4     format version (u32 LE)
+//! 12      4     section count (u32 LE)
+//! 16      8     header checksum: FNV-1a 64 over bytes [0, 16) (u64 LE)
+//! --- per section ---
+//!         4     section id (u32 LE)
+//!         8     payload length (u64 LE)
+//!         n     payload bytes
+//!         8     payload checksum: FNV-1a 64 over the payload (u64 LE)
+//! --- trailer ---
+//!         8     file checksum: FNV-1a 64 over everything before it (u64 LE)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use taxi_snap::{RecordReader, RecordWriter, Snapshot, SnapshotBuilder};
+//!
+//! let mut records = RecordWriter::new();
+//! records.write_u32(3);
+//! records.write_f64_bits(1.5);
+//!
+//! let mut builder = SnapshotBuilder::new();
+//! builder.section(7, records.into_bytes());
+//! let bytes = builder.encode();
+//!
+//! let snapshot = Snapshot::from_bytes(&bytes)?;
+//! let mut reader = RecordReader::new(snapshot.section(7).unwrap());
+//! assert_eq!(reader.read_u32()?, 3);
+//! assert_eq!(reader.read_f64_bits()?, 1.5);
+//! assert!(reader.is_empty());
+//! # Ok::<(), taxi_snap::SnapError>(())
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// The eight magic bytes every snapshot file starts with.
+pub const MAGIC: [u8; 8] = *b"TAXISNAP";
+
+/// The format version this crate writes and accepts.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed byte length of the file header (magic + version + section count +
+/// header checksum).
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+/// FNV-1a 64-bit digest of `bytes` — the checksum used throughout the format.
+/// Deterministic across processes and platforms; not cryptographic (the threat
+/// model is bit rot and truncation, not adversaries).
+///
+/// # Example
+///
+/// ```
+/// assert_ne!(taxi_snap::checksum(b"abc"), taxi_snap::checksum(b"abd"));
+/// assert_eq!(taxi_snap::checksum(b""), 0xcbf2_9ce4_8422_2325);
+/// ```
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Everything that can go wrong reading a snapshot. Every variant is a *typed*
+/// rejection: consumers map any of them to a cold start, never to a partial or
+/// wrong restore.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Filesystem-level failure (missing file, permissions, short write...).
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file's format version is not one this build understands.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The byte stream ended before the structure it promised.
+    Truncated {
+        /// The structure that was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Which digest failed: `"header"`, `"section"`, or `"file"`.
+        scope: &'static str,
+    },
+    /// The structure decoded but is semantically impossible (e.g. a stored
+    /// permutation that is not a permutation, a non-finite cost, an
+    /// out-of-range index).
+    Corrupt {
+        /// What failed validation.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io(err) => write!(f, "snapshot io error: {err}"),
+            SnapError::BadMagic => write!(f, "snapshot magic bytes missing or wrong"),
+            SnapError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} not supported (this build reads {supported})"
+            ),
+            SnapError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapError::ChecksumMismatch { scope } => {
+                write!(f, "snapshot {scope} checksum mismatch")
+            }
+            SnapError::Corrupt { context } => {
+                write!(f, "snapshot corrupt: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapError {
+    fn from(err: std::io::Error) -> Self {
+        SnapError::Io(err)
+    }
+}
+
+impl SnapError {
+    /// Whether this error is "the file is not there" — the one rejection that is
+    /// *expected* (first boot, or snapshotting disabled previously) and should not
+    /// be counted as a rejected snapshot.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, SnapError::Io(err) if err.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+/// Builds a snapshot file: sections in, encoded bytes (or an atomically written
+/// file) out.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    version: u32,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// A builder writing the current [`FORMAT_VERSION`].
+    pub fn new() -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Overrides the format version written into the header (test hook for
+    /// version-skew coverage; the checksums are computed over whatever version is
+    /// written, so the skewed file is otherwise pristine).
+    #[must_use]
+    pub fn with_version(mut self, version: u32) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Appends one section. Section ids are consumer-defined; duplicate ids are
+    /// allowed by the format but [`Snapshot::section`] returns the first match.
+    pub fn section(&mut self, id: u32, payload: Vec<u8>) -> &mut Self {
+        self.sections.push((id, payload));
+        self
+    }
+
+    /// Encodes the snapshot into its byte representation (see the
+    /// [module docs](self) for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_bytes: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload_bytes + self.sections.len() * 20 + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let header_checksum = checksum(&out);
+        out.extend_from_slice(&header_checksum.to_le_bytes());
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+            out.extend_from_slice(&checksum(payload).to_le_bytes());
+        }
+        let file_checksum = checksum(&out);
+        out.extend_from_slice(&file_checksum.to_le_bytes());
+        out
+    }
+
+    /// Writes the encoded snapshot to `path` atomically: the bytes land in
+    /// `<path>.tmp` first and are renamed over the destination, so a crash
+    /// mid-write can never leave a torn snapshot where a reader looks. Parent
+    /// directories are created as needed.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+}
+
+/// A fully verified, decoded snapshot: header checked, version accepted, every
+/// section and file checksum recomputed and matched. Holding a `Snapshot` means
+/// the *container* is sound; consumers still semantically validate their own
+/// section payloads before applying them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    version: u32,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Decodes and verifies `bytes`. Checks run in order: magic, header checksum,
+    /// format version, section structure + per-section checksums, whole-file
+    /// checksum. The first failure is returned as its typed [`SnapError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        if bytes.len() < 8 {
+            return Err(SnapError::Truncated { context: "magic" });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(SnapError::Truncated { context: "header" });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let section_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        let stored_header = u64::from_le_bytes(bytes[16..HEADER_LEN].try_into().expect("8 bytes"));
+        if checksum(&bytes[..16]) != stored_header {
+            return Err(SnapError::ChecksumMismatch { scope: "header" });
+        }
+        if version != FORMAT_VERSION {
+            return Err(SnapError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let mut sections = Vec::with_capacity(section_count as usize);
+        let mut pos = HEADER_LEN;
+        for _ in 0..section_count {
+            if bytes.len() - pos < 12 {
+                return Err(SnapError::Truncated {
+                    context: "section header",
+                });
+            }
+            let id = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+            let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            pos += 12;
+            let len = usize::try_from(len).map_err(|_| SnapError::Corrupt {
+                context: "section length exceeds addressable memory",
+            })?;
+            if bytes.len() - pos < len + 8 {
+                return Err(SnapError::Truncated {
+                    context: "section payload",
+                });
+            }
+            let payload = &bytes[pos..pos + len];
+            let stored =
+                u64::from_le_bytes(bytes[pos + len..pos + len + 8].try_into().expect("8 bytes"));
+            if checksum(payload) != stored {
+                return Err(SnapError::ChecksumMismatch { scope: "section" });
+            }
+            sections.push((id, payload.to_vec()));
+            pos += len + 8;
+        }
+        if bytes.len() - pos < 8 {
+            return Err(SnapError::Truncated {
+                context: "file checksum",
+            });
+        }
+        if bytes.len() - pos > 8 {
+            return Err(SnapError::Corrupt {
+                context: "trailing bytes after file checksum",
+            });
+        }
+        let stored_file = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+        if checksum(&bytes[..pos]) != stored_file {
+            return Err(SnapError::ChecksumMismatch { scope: "file" });
+        }
+        Ok(Self { version, sections })
+    }
+
+    /// Reads and verifies the snapshot at `path`
+    /// (see [`from_bytes`](Self::from_bytes)).
+    pub fn read(path: &Path) -> Result<Self, SnapError> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+
+    /// The format version the file declared.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of sections.
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// The payload of the first section with `id`, if present.
+    pub fn section(&self, id: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(section_id, _)| *section_id == id)
+            .map(|(_, payload)| payload.as_slice())
+    }
+}
+
+/// Appends little-endian primitives and length-prefixed byte strings to a
+/// growable buffer — the encoder half of the record layer section payloads are
+/// built from.
+#[derive(Debug, Default)]
+pub struct RecordWriter {
+    buf: Vec<u8>,
+}
+
+impl RecordWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn write_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn write_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn write_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn write_u128(&mut self, value: u128) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern — the representation
+    /// round-trips **bit-for-bit**, including NaN payloads and signed zeros (the
+    /// consumer's validation, not the transport, decides what values are
+    /// acceptable).
+    pub fn write_f64_bits(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Appends a `u64`-length-prefixed byte string.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer into its buffer (typically handed to
+    /// [`SnapshotBuilder::section`]).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked decoder over a record byte slice — every read past the end is
+/// a typed [`SnapError::Truncated`], never a panic.
+#[derive(Debug)]
+pub struct RecordReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecordReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(SnapError::Truncated { context });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, "u32")?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, "u64")?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn read_u128(&mut self) -> Result<u128, SnapError> {
+        Ok(u128::from_le_bytes(
+            self.take(16, "u128")?.try_into().expect("16 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its raw bit pattern (see
+    /// [`RecordWriter::write_f64_bits`]).
+    pub fn read_f64_bits(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a `u64`-length-prefixed byte string.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let len = self.read_u64()?;
+        let len = usize::try_from(len).map_err(|_| SnapError::Corrupt {
+            context: "byte-string length exceeds addressable memory",
+        })?;
+        self.take(len, "byte string")
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed (consumers check this after decoding
+    /// a section: leftover bytes mean the payload is not what it claims).
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_bytes() -> Vec<u8> {
+        let mut builder = SnapshotBuilder::new();
+        builder.section(1, vec![1, 2, 3, 4]);
+        builder.section(2, b"payload".to_vec());
+        builder.encode()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let bytes = two_section_bytes();
+        let snapshot = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snapshot.version(), FORMAT_VERSION);
+        assert_eq!(snapshot.section_count(), 2);
+        assert_eq!(snapshot.section(1), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(snapshot.section(2), Some(&b"payload"[..]));
+        assert_eq!(snapshot.section(3), None);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let bytes = SnapshotBuilder::new().encode();
+        let snapshot = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snapshot.section_count(), 0);
+    }
+
+    #[test]
+    fn record_primitives_round_trip() {
+        let mut writer = RecordWriter::new();
+        writer.write_u8(7);
+        writer.write_u32(u32::MAX);
+        writer.write_u64(u64::MAX - 1);
+        writer.write_u128(u128::MAX / 3);
+        writer.write_f64_bits(-0.0);
+        writer.write_f64_bits(f64::NAN);
+        writer.write_bytes(b"abc");
+        let bytes = writer.into_bytes();
+        let mut reader = RecordReader::new(&bytes);
+        assert_eq!(reader.read_u8().unwrap(), 7);
+        assert_eq!(reader.read_u32().unwrap(), u32::MAX);
+        assert_eq!(reader.read_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(reader.read_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(
+            reader.read_f64_bits().unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert!(reader.read_f64_bits().unwrap().is_nan());
+        assert_eq!(reader.read_bytes().unwrap(), b"abc");
+        assert!(reader.is_empty());
+        assert!(matches!(reader.read_u8(), Err(SnapError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = two_section_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::BadMagic)
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(b"short"),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn header_corruption_fails_the_header_checksum() {
+        let mut bytes = two_section_bytes();
+        bytes[12] ^= 0x01; // section count
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::ChecksumMismatch { scope: "header" })
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_rejected_with_the_found_version() {
+        let mut builder = SnapshotBuilder::new().with_version(FORMAT_VERSION + 1);
+        builder.section(1, vec![9]);
+        let bytes = builder.encode();
+        match Snapshot::from_bytes(&bytes) {
+            Err(SnapError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected version skew rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_section_checksum() {
+        let mut bytes = two_section_bytes();
+        bytes[HEADER_LEN + 12] ^= 0x40; // first byte of section 1's payload
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::ChecksumMismatch { scope: "section" })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = two_section_bytes();
+        for len in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapError::Truncated { .. }
+                        | SnapError::ChecksumMismatch { .. }
+                        | SnapError::BadMagic
+                ),
+                "truncation to {len} bytes must be a typed rejection, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = two_section_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn file_checksum_guards_the_trailer() {
+        let mut bytes = two_section_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::ChecksumMismatch { scope: "file" })
+        ));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("taxi-snap-test-{}", std::process::id()));
+        let path = dir.join("nested").join("state.snap");
+        let mut builder = SnapshotBuilder::new();
+        builder.section(1, vec![1]);
+        builder.write_atomic(&path).unwrap();
+        let mut builder = SnapshotBuilder::new();
+        builder.section(1, vec![2]);
+        builder.write_atomic(&path).unwrap();
+        let snapshot = Snapshot::read(&path).unwrap();
+        assert_eq!(snapshot.section(1), Some(&[2u8][..]));
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_the_expected_not_found_rejection() {
+        let err = Snapshot::read(Path::new("/nonexistent/taxi.snap")).unwrap_err();
+        assert!(err.is_not_found());
+        assert!(!SnapError::BadMagic.is_not_found());
+    }
+
+    #[test]
+    fn errors_display_and_source() {
+        use std::error::Error as _;
+        let io: SnapError = std::io::Error::other("boom").into();
+        assert!(io.source().is_some());
+        assert!(format!("{io}").contains("boom"));
+        for err in [
+            SnapError::BadMagic,
+            SnapError::UnsupportedVersion {
+                found: 2,
+                supported: 1,
+            },
+            SnapError::Truncated { context: "header" },
+            SnapError::ChecksumMismatch { scope: "file" },
+            SnapError::Corrupt { context: "perm" },
+        ] {
+            assert!(!format!("{err}").is_empty());
+            assert!(err.source().is_none());
+        }
+    }
+}

@@ -67,6 +67,14 @@ impl Fingerprint {
         self.0
     }
 
+    /// Reconstructs a fingerprint from its raw 128-bit value (the inverse of
+    /// [`as_u128`](Self::as_u128)). Used by snapshot/restore paths that persist
+    /// fingerprints as plain integers; the value carries no validity invariant
+    /// beyond being the bits of a previously computed fingerprint.
+    pub fn from_u128(value: u128) -> Self {
+        Self(value)
+    }
+
     /// Derives a new fingerprint by mixing `salt` into this one. Used by the solution
     /// cache to scope instance fingerprints to a solver configuration: the same
     /// geometry solved under different configurations must occupy different cache

@@ -1,0 +1,285 @@
+//! Warm-restart durability harness: quantifies what snapshot/restore buys a
+//! restarted service on repeat-heavy traffic, emitting `BENCH_restart.json`.
+//!
+//! Four arms over the same popular-routes replay workload:
+//!
+//! * **Pre-restart** — the first service generation warms its cache, then the
+//!   replay phase measures its steady-state hit rate. At shutdown the
+//!   generation writes its durability snapshot.
+//! * **Snapshot restart** — a fresh generation restores that snapshot on start
+//!   and replays the same traffic. The acceptance bar for this artifact is a
+//!   hit rate **≥ 90% of the pre-restart rate**, with every served tour
+//!   bit-identical to what the dead generation computed.
+//! * **Cold restart** — the contrast arm: a fresh generation with no snapshot
+//!   re-pays every route's cold miss.
+//! * **Corrupted snapshot** — a fresh generation pointed at a bit-flipped
+//!   snapshot file: the restore is rejected (counted, typed), the service
+//!   falls back to a cold start, and every answer is still correct — a bad
+//!   snapshot costs warmth, never correctness.
+//!
+//! Run with `cargo run --release --example restart_bench`; set
+//! `TAXI_RESTART_SMOKE=1` (CI) for a fast smoke-scale run.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use taxi::{SolutionCache, SolverBackend, TaxiConfig};
+use taxi_bench::json::JsonObject;
+use taxi_dispatch::{
+    shard_snapshot_path, DispatchConfig, DispatchRequest, DispatchService, ServiceSnapshot,
+    SnapshotPolicy, Ticket,
+};
+use taxi_tsplib::generator::random_uniform_instance;
+use taxi_tsplib::TspInstance;
+
+struct Scale {
+    smoke: bool,
+    workers: usize,
+    routes: usize,
+    replays: usize,
+    size: usize,
+}
+
+impl Scale {
+    fn detect() -> Self {
+        let smoke = std::env::var("TAXI_RESTART_SMOKE").is_ok_and(|v| v != "0");
+        if smoke {
+            Self {
+                smoke,
+                workers: 2,
+                routes: 12,
+                replays: 3,
+                size: 32,
+            }
+        } else {
+            Self {
+                smoke,
+                workers: 4,
+                routes: 32,
+                replays: 6,
+                size: 48,
+            }
+        }
+    }
+}
+
+fn routes(scale: &Scale) -> Vec<TspInstance> {
+    (0..scale.routes)
+        .map(|r| random_uniform_instance(&format!("route{r}"), scale.size, 7_000 + r as u64))
+        .collect()
+}
+
+fn service(scale: &Scale, snapshot: Option<SnapshotPolicy>) -> DispatchService {
+    let mut config = DispatchConfig::new()
+        .with_solver(
+            TaxiConfig::new()
+                .with_seed(29)
+                .with_backend(SolverBackend::NnTwoOpt),
+        )
+        .with_workers(scale.workers)
+        .with_queue_capacity(scale.routes.max(8))
+        .with_cache(Arc::new(SolutionCache::with_defaults()));
+    if let Some(policy) = snapshot {
+        config = config.with_snapshot_policy(policy);
+    }
+    DispatchService::start(config)
+}
+
+/// Submits every route `replays` times (waiting each round so hits can land
+/// behind the solve that seeds them) and returns the recorded tour lengths,
+/// bit-exact, in route order from the **last** round.
+fn replay(service: &DispatchService, routes: &[TspInstance], replays: usize) -> Vec<u64> {
+    let mut lengths = vec![0u64; routes.len()];
+    for _ in 0..replays {
+        let tickets: Vec<Ticket> = routes
+            .iter()
+            .map(|route| {
+                service
+                    .submit(DispatchRequest::new(route.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        for (index, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().solved().expect("solved");
+            lengths[index] = response.solution.length.to_bits();
+        }
+    }
+    lengths
+}
+
+/// Hit rate over the delta between two cumulative snapshots.
+fn hit_rate_between(before: &ServiceSnapshot, after: &ServiceSnapshot) -> f64 {
+    let hits = after.cache_hits - before.cache_hits;
+    let completed = after.completed - before.completed;
+    if completed == 0 {
+        0.0
+    } else {
+        hits as f64 / completed as f64
+    }
+}
+
+struct Arm {
+    hit_rate: f64,
+    snapshot: ServiceSnapshot,
+    lengths: Vec<u64>,
+}
+
+/// Starts a fresh generation under `policy`, replays the measurement workload
+/// and returns its steady hit rate (no warmup round: warmth, if any, must come
+/// from the restored snapshot).
+fn restart_arm(scale: &Scale, routes: &[TspInstance], policy: Option<SnapshotPolicy>) -> Arm {
+    let service = service(scale, policy);
+    let before = service.snapshot();
+    let lengths = replay(&service, routes, scale.replays);
+    let after = service.snapshot();
+    let hit_rate = hit_rate_between(&before, &after);
+    Arm {
+        hit_rate,
+        snapshot: service.shutdown(),
+        lengths,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("taxi-restart-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    dir
+}
+
+/// Copies the generation-1 snapshot into its own directory and flips one
+/// payload byte — a realistic torn/corrupted file.
+fn corrupted_copy(source: &Path, tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    let mut bytes = std::fs::read(source).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(shard_snapshot_path(&dir, 0), bytes).expect("write corrupted snapshot");
+    dir
+}
+
+fn main() {
+    let scale = Scale::detect();
+    println!(
+        "warm-restart harness ({} scale: {} routes x {} replays, {} workers)",
+        if scale.smoke { "smoke" } else { "full" },
+        scale.routes,
+        scale.replays,
+        scale.workers,
+    );
+    let routes = routes(&scale);
+    let dir = temp_dir("gen1");
+    // Interval zero: no periodic writes — durability rides on the final
+    // snapshot the retiring generation writes at shutdown.
+    let policy = SnapshotPolicy::new(&dir).with_interval(Duration::ZERO);
+
+    // Generation 1: warm (one round of cold misses), then measure.
+    let gen1 = service(&scale, Some(policy.clone()));
+    let warm_lengths = replay(&gen1, &routes, 1);
+    let before = gen1.snapshot();
+    let measured = replay(&gen1, &routes, scale.replays);
+    let after = gen1.snapshot();
+    assert_eq!(measured, warm_lengths, "steady state is deterministic");
+    let pre_rate = hit_rate_between(&before, &after);
+    let gen1_snapshot = gen1.shutdown();
+    assert!(
+        gen1_snapshot.snapshots_written >= 1,
+        "the retiring generation persisted its state"
+    );
+    println!("  pre-restart: hit rate {:.1}%", pre_rate * 100.0);
+
+    // Snapshot-restart arm: restore generation 1's state, replay.
+    let snap = restart_arm(&scale, &routes, Some(policy.clone()));
+    assert!(
+        snap.snapshot.snapshots_restored >= 1,
+        "the fresh generation restored the snapshot"
+    );
+    assert_eq!(
+        snap.lengths, warm_lengths,
+        "restored tours are bit-identical to the dead generation's"
+    );
+    println!(
+        "  snapshot restart: hit rate {:.1}% (restored {} snapshot)",
+        snap.hit_rate * 100.0,
+        snap.snapshot.snapshots_restored,
+    );
+
+    // Cold-restart contrast arm: same traffic, no snapshot.
+    let cold = restart_arm(&scale, &routes, None);
+    println!("  cold restart: hit rate {:.1}%", cold.hit_rate * 100.0);
+
+    // Corrupted-snapshot arm: restore rejected, cold start, still correct.
+    let corrupt_dir = corrupted_copy(&shard_snapshot_path(&dir, 0), "corrupt");
+    let corrupt = restart_arm(
+        &scale,
+        &routes,
+        Some(SnapshotPolicy::new(&corrupt_dir).with_interval(Duration::ZERO)),
+    );
+    assert!(
+        corrupt.snapshot.snapshots_rejected >= 1,
+        "the corrupted snapshot was rejected, not trusted"
+    );
+    assert_eq!(
+        corrupt.lengths, warm_lengths,
+        "a rejected snapshot still yields correct (cold-computed) answers"
+    );
+    println!(
+        "  corrupted snapshot: rejected {}, hit rate {:.1}% (cold fallback)",
+        corrupt.snapshot.snapshots_rejected,
+        corrupt.hit_rate * 100.0,
+    );
+
+    // The acceptance gate: restoring the snapshot preserves ≥ 90% of the
+    // pre-restart hit rate, and beats the cold arm.
+    assert!(
+        snap.hit_rate >= 0.9 * pre_rate,
+        "snapshot-restart hit rate {:.3} must be >= 90% of pre-restart {:.3}",
+        snap.hit_rate,
+        pre_rate,
+    );
+    assert!(
+        snap.hit_rate > cold.hit_rate,
+        "warm restart ({:.3}) must beat cold restart ({:.3})",
+        snap.hit_rate,
+        cold.hit_rate,
+    );
+
+    let arm_json = |arm: &Arm| {
+        JsonObject::new()
+            .num("hit_rate", arm.hit_rate, 4)
+            .uint("completed", arm.snapshot.completed)
+            .uint("cache_hits", arm.snapshot.cache_hits)
+            .uint("snapshots_restored", arm.snapshot.snapshots_restored)
+            .uint("snapshots_rejected", arm.snapshot.snapshots_rejected)
+            .raw("snapshot", &arm.snapshot.to_json())
+    };
+    let artifact = JsonObject::new()
+        .str("bench", "restart")
+        .bool("smoke", scale.smoke)
+        .uint("routes", scale.routes as u64)
+        .uint("replays", scale.replays as u64)
+        .uint("workers", scale.workers as u64)
+        .object(
+            "pre_restart",
+            JsonObject::new()
+                .num("hit_rate", pre_rate, 4)
+                .uint("snapshots_written", gen1_snapshot.snapshots_written)
+                .raw("snapshot", &gen1_snapshot.to_json()),
+        )
+        .object("snapshot_restart", arm_json(&snap))
+        .object("cold_restart", arm_json(&cold))
+        .object("corrupted_snapshot", arm_json(&corrupt))
+        .num(
+            "warm_over_pre_ratio",
+            snap.hit_rate / pre_rate.max(f64::EPSILON),
+            4,
+        )
+        .bool("gate_90_percent", snap.hit_rate >= 0.9 * pre_rate);
+    let path = taxi_bench::artifact_path("BENCH_restart.json");
+    std::fs::write(&path, artifact.render()).expect("write BENCH_restart.json");
+    println!("wrote {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&corrupt_dir);
+}

@@ -1,0 +1,159 @@
+//! Property tests for the durability layer (`taxi-snap`): arbitrary
+//! [`SolutionCache`] contents and [`BackendProfiler`] states survive a
+//! snapshot → restore round trip losslessly — restored lookups are
+//! bit-identical and a re-snapshot reproduces the exact byte stream.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use taxi::router::{AdaptiveRouter, RouterConfig};
+use taxi::{CacheLookup, SolutionCache, SolverBackend, TaxiConfig, TaxiSolver};
+use taxi_snap::{RecordReader, RecordWriter};
+use taxi_tsplib::{EdgeWeightKind, TspInstance};
+
+/// Strategy: a small coordinate instance (bounded size keeps the real solves
+/// the cache entries come from fast).
+fn instance_strategy() -> impl Strategy<Value = TspInstance> {
+    (
+        prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 6..20),
+        0u32..1_000_000,
+    )
+        .prop_map(|(points, tag)| {
+            TspInstance::from_coordinates(&format!("prop{tag}"), points, EdgeWeightKind::Euclidean)
+                .expect("constructible")
+        })
+}
+
+/// Strategy: a batch of distinct instances to populate a cache with.
+fn instances_strategy() -> impl Strategy<Value = Vec<TspInstance>> {
+    prop::collection::vec(instance_strategy(), 1..4)
+}
+
+/// One profiler observation: (instance index, backend index, latency in
+/// microseconds, tour cost).
+type Observation = (usize, usize, u64, f64);
+
+/// Strategy: a pool of instances plus a sequence of observations over them.
+fn observations_strategy() -> impl Strategy<Value = (Vec<TspInstance>, Vec<Observation>)> {
+    (
+        prop::collection::vec(instance_strategy(), 1..4),
+        prop::collection::vec(
+            (
+                0usize..8,
+                0usize..SolverBackend::ALL.len(),
+                1u64..500_000,
+                1.0f64..10_000.0,
+            ),
+            1..24,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whatever a cache holds, a restore into a fresh cache serves every key
+    /// as an exact hit with a bit-identical tour and length, and restores the
+    /// exact entry count.
+    #[test]
+    fn cache_snapshot_restore_is_lossless(
+        instances in instances_strategy(),
+        seed in 0u64..1000,
+        token in 0u64..u64::MAX,
+    ) {
+        let cache = SolutionCache::with_defaults();
+        let solver = TaxiSolver::new(TaxiConfig::new().with_seed(seed).with_threads(1));
+        let mut originals = Vec::new();
+        for instance in &instances {
+            let CacheLookup::Miss(key) = cache.lookup(token, instance) else {
+                // Two generated instances may share a geometry; the duplicate
+                // is already cached, which is fine.
+                continue;
+            };
+            let solution = Arc::new(solver.solve(instance).unwrap());
+            cache.insert(key, instance, Arc::clone(&solution));
+            originals.push((instance.clone(), solution));
+        }
+
+        let mut writer = RecordWriter::new();
+        cache.snapshot_into(&mut writer);
+        let payload = writer.into_bytes();
+
+        let restored = SolutionCache::with_defaults();
+        let count = restored
+            .restore_from(&mut RecordReader::new(&payload))
+            .expect("round trip restores");
+        prop_assert_eq!(count, originals.len());
+        prop_assert_eq!(restored.stats().entries, cache.stats().entries);
+
+        for (instance, solution) in &originals {
+            let CacheLookup::Hit(hit) = restored.lookup(token, instance) else {
+                prop_assert!(false, "restored cache must hit");
+                unreachable!();
+            };
+            prop_assert!(!hit.remapped);
+            prop_assert_eq!(
+                hit.solution.length.to_bits(),
+                solution.length.to_bits(),
+                "restored length is bit-identical"
+            );
+            prop_assert_eq!(&hit.solution.tour, &solution.tour);
+        }
+
+        // A re-snapshot of the restored cache is not required to be
+        // byte-identical (LRU order may differ), but it must restore again to
+        // the same entry count — the format never decays.
+        let mut again = RecordWriter::new();
+        restored.snapshot_into(&mut again);
+        let second = SolutionCache::with_defaults();
+        prop_assert_eq!(
+            second
+                .restore_from(&mut RecordReader::new(&again.into_bytes()))
+                .expect("second round trip"),
+            originals.len()
+        );
+    }
+
+    /// Whatever a profiler has learned, restore is lossless: the restored
+    /// router re-serialises to the exact same byte stream (cells, references
+    /// and observation count included — the strongest equality available).
+    #[test]
+    fn profiler_snapshot_restore_is_lossless(
+        scenario in observations_strategy(),
+    ) {
+        let (instances, observations) = scenario;
+        let router = AdaptiveRouter::new(RouterConfig::new());
+        for (which, backend, micros, cost) in &observations {
+            let instance = &instances[which % instances.len()];
+            router.profiler().record(
+                instance,
+                SolverBackend::ALL[*backend],
+                Duration::from_micros(*micros),
+                *cost,
+            );
+        }
+
+        let mut writer = RecordWriter::new();
+        router.snapshot_into(&mut writer);
+        let payload = writer.into_bytes();
+
+        let restored = AdaptiveRouter::new(RouterConfig::new());
+        restored
+            .restore_from(&mut RecordReader::new(&payload))
+            .expect("round trip restores");
+        prop_assert_eq!(
+            restored.profiler().observations(),
+            router.profiler().observations()
+        );
+
+        let mut again = RecordWriter::new();
+        restored.snapshot_into(&mut again);
+        prop_assert_eq!(
+            again.into_bytes(),
+            payload,
+            "restored profiler re-serialises byte-identically"
+        );
+    }
+}
